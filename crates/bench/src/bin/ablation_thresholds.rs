@@ -1,0 +1,37 @@
+//! Ablation: the dictionary frequency thresholds of §III.A (paper: 47 for
+//! processes, 10 for utensils). Sweeps thresholds and reports dictionary
+//! size plus how the filtered dictionaries affect event extraction.
+//!
+//! Usage: `ablation_thresholds [total_recipes] [seed]`
+
+use recipe_bench::parse_cli;
+use recipe_core::events::relation_stats;
+use recipe_core::pipeline::TrainedPipeline;
+use recipe_corpus::RecipeCorpus;
+
+fn main() {
+    let scale = parse_cli();
+    let corpus = RecipeCorpus::generate(&scale.corpus);
+    let mut pipeline = TrainedPipeline::train(&corpus, &scale.pipeline);
+    let base = pipeline.dicts.clone();
+
+    println!("Ablation: dictionary frequency thresholds");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "proc thr", "uten thr", "processes", "utensils", "relations/ins", "std"
+    );
+    let sample = 200.min(corpus.recipes.len());
+    for (pt, ut) in [(1, 1), (2, 2), (5, 3), (10, 5), (20, 10), (50, 20)] {
+        pipeline.dicts = base.with_thresholds(pt, ut);
+        let stats = relation_stats(&pipeline, corpus.recipes.iter().take(sample));
+        println!(
+            "{:>10} {:>10} {:>10} {:>10} {:>12.3} {:>10.2}",
+            pt,
+            ut,
+            pipeline.dicts.processes.len(),
+            pipeline.dicts.utensils.len(),
+            stats.mean,
+            stats.std_dev
+        );
+    }
+}

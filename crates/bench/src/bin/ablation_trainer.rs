@@ -1,0 +1,30 @@
+//! Ablation: CRF vs structured averaged perceptron on the composite
+//! ingredient dataset — accuracy/training-time trade-off called out in
+//! DESIGN.md.
+//!
+//! Usage: `ablation_trainer [total_recipes] [seed]`
+
+use recipe_bench::{parse_cli, trainer_ablation};
+use recipe_core::pipeline::{build_site_dataset, train_pos_tagger};
+use recipe_corpus::{RecipeCorpus, Site};
+use recipe_text::Preprocessor;
+
+fn main() {
+    let scale = parse_cli();
+    let corpus = RecipeCorpus::generate(&scale.corpus);
+    let pre = Preprocessor::default();
+    let pos = train_pos_tagger(&corpus, scale.pipeline.pos_epochs, scale.pipeline.seed);
+    let ds_ar = build_site_dataset(&corpus, Site::AllRecipes, &pos, &pre, &scale.pipeline);
+    let ds_fc = build_site_dataset(&corpus, Site::FoodCom, &pos, &pre, &scale.pipeline);
+    let mut train = ds_ar.train.clone();
+    train.extend(ds_fc.train.iter().cloned());
+    let mut test = ds_ar.test.clone();
+    test.extend(ds_fc.test.iter().cloned());
+
+    let r = trainer_ablation(&train, &test, &scale.pipeline);
+    println!("Ablation: trainer choice on the composite (BOTH) dataset");
+    println!("train {} / test {} sequences", train.len(), test.len());
+    println!("CRF:        F1 {:.4}  train {:.2}s", r.crf_f1, r.crf_secs);
+    println!("Perceptron: F1 {:.4}  train {:.2}s", r.perceptron_f1, r.perceptron_secs);
+    println!("speedup {:.1}x, F1 delta {:+.4}", r.crf_secs / r.perceptron_secs.max(1e-9), r.perceptron_f1 - r.crf_f1);
+}

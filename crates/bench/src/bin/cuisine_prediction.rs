@@ -1,0 +1,39 @@
+//! Extension experiment: cuisine prediction from mined ingredient
+//! information — a use case the paper's introduction motivates for the
+//! structured ingredients section.
+//!
+//! Pipeline: mine recipes into RecipeModels with the trained extractor,
+//! fit a naive Bayes classifier on the train half, evaluate on the held
+//! out half against the majority-class baseline.
+//!
+//! Usage: `cuisine_prediction [total_recipes] [seed]`
+
+use recipe_bench::parse_cli;
+use recipe_core::cuisine::CuisineClassifier;
+use recipe_core::pipeline::TrainedPipeline;
+use recipe_corpus::RecipeCorpus;
+
+fn main() {
+    let scale = parse_cli();
+    let corpus = RecipeCorpus::generate(&scale.corpus);
+    eprintln!("training pipeline...");
+    let pipeline = TrainedPipeline::train(&corpus, &scale.pipeline);
+
+    eprintln!("mining recipe models...");
+    let sample = corpus.recipes.len().min(4000);
+    let models: Vec<_> =
+        corpus.recipes.iter().take(sample).map(|r| pipeline.model_recipe(r)).collect();
+    let (train, test) = models.split_at(models.len() / 2);
+
+    let clf = CuisineClassifier::fit(train);
+    let (acc, baseline) = clf.evaluate(test);
+    println!("Cuisine prediction from extracted ingredient names (naive Bayes)");
+    println!("train {} recipes | test {} recipes | {} cuisines", train.len(), test.len(), clf.num_classes());
+    println!("accuracy:          {acc:.3}");
+    println!("majority baseline: {baseline:.3}");
+    println!("random baseline:   {:.3}", 1.0 / clf.num_classes().max(1) as f64);
+    println!();
+    println!("note: only 12 of the 40 corpus cuisines carry an ingredient signature;");
+    println!("recipes of unsignatured cuisines are irreducibly ambiguous, which bounds");
+    println!("attainable accuracy well below 1.");
+}

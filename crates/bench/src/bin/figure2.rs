@@ -1,0 +1,70 @@
+//! Regenerates Figure 2: K-Means clusters of the 1×36 POS-tag frequency
+//! vectors, projected to 2-D with PCA, plus the inertia-vs-k elbow curve.
+//!
+//! Emits `figure2_points.csv` (x, y, cluster) and `figure2_elbow.csv`
+//! (k, inertia) into the working directory and prints a summary.
+//!
+//! Usage: `figure2 [total_recipes] [seed]`
+
+use recipe_bench::{figure2_experiment, parse_cli};
+use recipe_core::pipeline::train_pos_tagger;
+use recipe_corpus::RecipeCorpus;
+use std::io::Write;
+
+fn main() {
+    let scale = parse_cli();
+    let corpus = RecipeCorpus::generate(&scale.corpus);
+    let pos = train_pos_tagger(&corpus, scale.pipeline.pos_epochs, scale.pipeline.seed);
+    let fig = figure2_experiment(&corpus, &pos, &scale.pipeline, 20_000);
+
+    let mut f = std::fs::File::create("figure2_points.csv").expect("create points csv");
+    writeln!(f, "x,y,cluster").unwrap();
+    for (x, y, c) in &fig.points {
+        writeln!(f, "{x:.6},{y:.6},{c}").unwrap();
+    }
+    let mut f =
+        std::fs::File::create("figure2b_points.csv").expect("create panel-b points csv");
+    writeln!(f, "x,y,cluster").unwrap();
+    for (x, y, c) in &fig.points_pca_first {
+        writeln!(f, "{x:.6},{y:.6},{c}").unwrap();
+    }
+    let mut f = std::fs::File::create("figure2_elbow.csv").expect("create elbow csv");
+    writeln!(f, "k,inertia").unwrap();
+    for (k, inertia) in &fig.elbow {
+        writeln!(f, "{k},{inertia:.3}").unwrap();
+    }
+
+    println!("Figure 2: POS-vector clustering");
+    println!("points: {} unique phrases, k = {} clusters (paper: 23)", fig.points.len(), scale.pipeline.kmeans.k);
+    println!("elbow criterion suggests k = {} (paper chose 23 from elbow + interpretability)", fig.chosen_k);
+    println!("PCA explained variance: axis1 {:.3}, axis2 {:.3}", fig.explained[0], fig.explained[1]);
+    println!("inertia curve:");
+    for (k, inertia) in &fig.elbow {
+        println!("  k={k:<3} inertia={inertia:.1}");
+    }
+    println!(
+        "panel (a) cluster-then-PCA vs panel (b) PCA-then-cluster: ARI {:.3}",
+        fig.variant_agreement
+    );
+    // Render the actual figure: both panels + the elbow curve.
+    let sample: Vec<(f64, f64, usize)> = fig.points.iter().copied().take(5000).collect();
+    std::fs::write(
+        "figure2a.svg",
+        recipe_bench::svg::scatter_svg(&sample, "Fig 2(a): K-Means in 36-D, PCA projection", 720, 540),
+    )
+    .expect("write fig2a svg");
+    let sample_b: Vec<(f64, f64, usize)> =
+        fig.points_pca_first.iter().copied().take(5000).collect();
+    std::fs::write(
+        "figure2b.svg",
+        recipe_bench::svg::scatter_svg(&sample_b, "Fig 2(b): PCA first, then K-Means", 720, 540),
+    )
+    .expect("write fig2b svg");
+    std::fs::write(
+        "figure2_elbow.svg",
+        recipe_bench::svg::elbow_svg(&fig.elbow, "Inertia vs k (elbow criterion)", 720, 420),
+    )
+    .expect("write elbow svg");
+    println!("wrote figure2_points.csv, figure2b_points.csv, figure2_elbow.csv,");
+    println!("      figure2a.svg, figure2b.svg, figure2_elbow.svg");
+}

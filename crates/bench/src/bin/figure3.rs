@@ -1,0 +1,41 @@
+//! Regenerates Figure 3: the dependency parse of a typical instruction.
+//!
+//! Usage: `figure3 [total_recipes] [seed]`
+
+use recipe_bench::{parse_cli, render_dependency_parse};
+use recipe_core::pipeline::TrainedPipeline;
+use recipe_corpus::RecipeCorpus;
+
+fn main() {
+    let scale = parse_cli();
+    let corpus = RecipeCorpus::generate(&scale.corpus);
+    let pipeline = TrainedPipeline::train(&corpus, &scale.pipeline);
+
+    // The paper's running example sentence family.
+    let sentence: Vec<String> = "bring the water to a boil in a large pot ."
+        .split_whitespace()
+        .map(|s| s.to_string())
+        .collect();
+    println!("Figure 3: dependency parse of a typical instruction");
+    println!("sentence: {}", sentence.join(" "));
+    println!("{}", render_dependency_parse(&pipeline, &sentence));
+
+    // And a corpus sentence for comparison.
+    let sample = &corpus.recipes[0].instructions[0];
+    println!("corpus sentence: {}", sample.text());
+    println!("{}", render_dependency_parse(&pipeline, &sample.words()));
+    let (uas, las) = pipeline.parser.evaluate(
+        &corpus
+            .recipes
+            .iter()
+            .take(50)
+            .flat_map(|r| r.instructions.iter())
+            .map(|s| recipe_parser::parser::ParseExample {
+                words: s.words(),
+                tags: s.pos_tags(),
+                tree: s.tree.clone(),
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("parser attachment scores on 50 recipes (gold POS trees): UAS {uas:.3} LAS {las:.3}");
+}

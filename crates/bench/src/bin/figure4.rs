@@ -1,0 +1,27 @@
+//! Regenerates Figure 4: instruction-section NER inference over a recipe.
+//!
+//! Usage: `figure4 [total_recipes] [seed]`
+
+use recipe_bench::{parse_cli, render_instruction_ner};
+use recipe_core::pipeline::TrainedPipeline;
+use recipe_corpus::RecipeCorpus;
+
+fn main() {
+    let scale = parse_cli();
+    let corpus = RecipeCorpus::generate(&scale.corpus);
+    let pipeline = TrainedPipeline::train(&corpus, &scale.pipeline);
+
+    let recipe = &corpus.recipes[1];
+    println!("Figure 4: NER inference for the instruction section of \"{}\"", recipe.title);
+    for sent in &recipe.instructions {
+        println!("  {}", render_instruction_ner(&pipeline, &sent.words()));
+    }
+    println!();
+    println!(
+        "dictionaries: {} processes (threshold {}), {} utensils (threshold {})",
+        pipeline.dicts.processes.len(),
+        scale.pipeline.process_threshold,
+        pipeline.dicts.utensils.len(),
+        scale.pipeline.utensil_threshold
+    );
+}

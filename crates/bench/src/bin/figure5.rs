@@ -1,0 +1,38 @@
+//! Regenerates Figure 5: merged many-to-many relation tuples for an
+//! instruction.
+//!
+//! Usage: `figure5 [total_recipes] [seed]`
+
+use recipe_bench::parse_cli;
+use recipe_core::events::extract_sentence_events;
+use recipe_core::pipeline::TrainedPipeline;
+use recipe_corpus::RecipeCorpus;
+
+fn main() {
+    let scale = parse_cli();
+    let corpus = RecipeCorpus::generate(&scale.corpus);
+    let pipeline = TrainedPipeline::train(&corpus, &scale.pipeline);
+
+    let sentence: Vec<String> = "bring the water to a boil in a large pot ."
+        .split_whitespace()
+        .map(|s| s.to_string())
+        .collect();
+    println!("Figure 5: compound many-to-many relations");
+    println!("sentence: {}", sentence.join(" "));
+    for e in extract_sentence_events(&pipeline, &sentence, 0) {
+        println!("  {e}");
+    }
+    println!();
+
+    let recipe = &corpus.recipes[2];
+    println!("events mined from \"{}\":", recipe.title);
+    for (step, sentences) in recipe.steps().iter().enumerate() {
+        println!("  step {}:", step + 1);
+        for sent in sentences {
+            println!("    {}", sent.text());
+            for e in extract_sentence_events(&pipeline, &sent.words(), step) {
+                println!("      -> {e}");
+            }
+        }
+    }
+}

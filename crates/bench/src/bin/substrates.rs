@@ -1,0 +1,87 @@
+//! Substrate quality report: how good are the from-scratch stand-ins for
+//! Stanford POS, spaCy and NLTK on held-out corpus data?
+//!
+//! Not a paper table — supporting evidence that the substitution layer
+//! (DESIGN.md §2) is sound: errors in the headline tables come from the
+//! *task*, not from broken substrates.
+//!
+//! Usage: `substrates [total_recipes] [seed]`
+
+use recipe_bench::parse_cli;
+use recipe_core::pipeline::train_pos_tagger;
+use recipe_corpus::RecipeCorpus;
+use recipe_parser::parser::{DependencyParser, ParseExample, ParserConfig};
+
+fn main() {
+    let scale = parse_cli();
+    let corpus = RecipeCorpus::generate(&scale.corpus);
+
+    // --- POS tagger: train on even recipes, evaluate on odd ones. ---
+    let half: Vec<_> = corpus.recipes.iter().step_by(2).collect();
+    let spec2 = {
+        let mut recipes = Vec::new();
+        for r in &half {
+            recipes.push((*r).clone());
+        }
+        recipes
+    };
+    let train_corpus = RecipeCorpus { recipes: spec2, spec: corpus.spec };
+    let pos = train_pos_tagger(&train_corpus, scale.pipeline.pos_epochs, scale.pipeline.seed);
+
+    let mut eval_phr = Vec::new();
+    let mut eval_ins = Vec::new();
+    for r in corpus.recipes.iter().skip(1).step_by(2).take(400) {
+        for p in &r.ingredients {
+            eval_phr.push((p.words(), p.pos_tags()));
+        }
+        for s in &r.instructions {
+            eval_ins.push((s.words(), s.pos_tags()));
+        }
+    }
+    println!("substrate quality (held-out half of the corpus)");
+    println!("POS tagger (Stanford-Twitter stand-in):");
+    println!("  ingredient phrases: {:.4} token accuracy", pos.accuracy(&eval_phr));
+    println!("  instructions:       {:.4} token accuracy", pos.accuracy(&eval_ins));
+    println!("  features: {}, tagdict: {}", pos.num_features(), pos.tagdict_len());
+
+    // --- Dependency parser: train on a slice, evaluate on another. ---
+    let mut treebank = Vec::new();
+    for r in corpus.recipes.iter().take(600) {
+        for s in &r.instructions {
+            treebank.push(ParseExample { words: s.words(), tags: s.pos_tags(), tree: s.tree.clone() });
+        }
+    }
+    let split = treebank.len() * 4 / 5;
+    let (train_tb, test_tb) = treebank.split_at(split);
+    let parser = DependencyParser::train(train_tb, &ParserConfig::default());
+    let (uas_gold, las_gold) = parser.evaluate(test_tb);
+    println!("dependency parser (spaCy stand-in), gold POS:");
+    println!("  UAS {uas_gold:.4}  LAS {las_gold:.4}  ({} test sentences)", test_tb.len());
+
+    // With predicted POS (the pipeline's actual operating condition).
+    let test_pred: Vec<ParseExample> = test_tb
+        .iter()
+        .map(|ex| ParseExample {
+            words: ex.words.clone(),
+            tags: pos.tag(&ex.words),
+            tree: ex.tree.clone(),
+        })
+        .collect();
+    let (uas_pred, las_pred) = parser.evaluate(&test_pred);
+    println!("dependency parser, predicted POS:");
+    println!("  UAS {uas_pred:.4}  LAS {las_pred:.4}");
+
+    // Beam-width sweep (greedy-trained model; wider beams optimize model
+    // score, which may or may not track gold accuracy).
+    println!("beam-width sweep (UAS on the gold-POS test split):");
+    for beam in [1usize, 2, 4, 8] {
+        let mut uas = 0.0;
+        for ex in test_tb.iter().take(200) {
+            uas += parser.parse_beam(&ex.words, &ex.tags, beam).uas(&ex.tree);
+        }
+        println!("  beam {beam}: UAS {:.4}", uas / test_tb.len().min(200) as f64);
+    }
+
+    println!();
+    println!("(both substrates train on synthetic gold annotations; see DESIGN.md section 2)");
+}

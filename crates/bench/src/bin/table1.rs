@@ -1,0 +1,25 @@
+//! Regenerates Table I + Table II: the trained ingredient NER applied to
+//! the paper's seven example phrases, plus the tag inventory.
+//!
+//! Usage: `table1 [total_recipes] [seed]`
+
+use recipe_bench::{parse_cli, table1_rows};
+use recipe_core::pipeline::TrainedPipeline;
+use recipe_corpus::RecipeCorpus;
+use recipe_ner::IngredientTag;
+
+fn main() {
+    let scale = parse_cli();
+    eprintln!("generating corpus of {} recipes...", scale.corpus.total());
+    let corpus = RecipeCorpus::generate(&scale.corpus);
+    eprintln!("training pipeline...");
+    let pipeline = TrainedPipeline::train(&corpus, &scale.pipeline);
+
+    println!("Table II: Named Entity Recognition Tags");
+    for tag in IngredientTag::ALL.iter().filter(|t| **t != IngredientTag::O) {
+        println!("  {tag}");
+    }
+    println!();
+    println!("Table I: Annotations on the Ingredients Section by the NER Model");
+    println!("{}", table1_rows(&pipeline));
+}

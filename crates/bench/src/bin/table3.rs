@@ -1,0 +1,22 @@
+//! Regenerates Table III: training and testing dataset sizes produced by
+//! the cluster-stratified sampling protocol.
+//!
+//! Usage: `table3 [total_recipes] [seed]`
+
+use recipe_bench::{cross_site_experiment, parse_cli};
+
+fn main() {
+    let scale = parse_cli();
+    eprintln!(
+        "corpus: {} AllRecipes + {} Food.com recipes",
+        scale.corpus.allrecipes, scale.corpus.foodcom
+    );
+    let (_, result) = cross_site_experiment(&scale);
+    println!("Table III: Training and Testing Dataset Sizes For NER on Ingredients Section");
+    println!("(paper: train 1470 / 5142 / 6612, test 483 / 1705 / 2188)");
+    println!("{}", result.table3());
+    println!(
+        "unique phrases: AllRecipes {} | FOOD.com {}",
+        result.unique_phrases[0], result.unique_phrases[1]
+    );
+}

@@ -1,0 +1,452 @@
+//! The experiment implementations behind every table and figure.
+
+use crate::scale::ExperimentScale;
+use recipe_cluster::{inertia_sweep, KMeans, Pca};
+use recipe_core::events::{relation_stats, RelationStats};
+use recipe_core::instructions::tag_instruction;
+use recipe_core::pipeline::{
+    build_instruction_datasets, build_site_dataset, train_pos_tagger, PipelineConfig,
+    SiteDataset, TrainedPipeline,
+};
+use recipe_corpus::{RecipeCorpus, Site};
+use recipe_eval::metrics::{entity_prf, ClassMetrics};
+use recipe_eval::report::TextTable;
+use recipe_ner::model::LabeledSequence;
+use recipe_ner::{IngredientTag, LabelSet, SequenceModel};
+use recipe_tagger::{pos_frequency_vector, PosTagger};
+use recipe_text::Preprocessor;
+use serde::Serialize;
+use std::time::Instant;
+
+/// The paper's Table I example phrases (verbatim from the PDF).
+pub const TABLE1_PHRASES: &[&str] = &[
+    "1 sheet frozen puff pastry ( thawed )",
+    "6 ounces blue cheese , at room temperature",
+    "1 tablespoon whole milk ( or half-and-half )",
+    "2-3 medium tomatoes",
+    "1/2 teaspoon pepper , freshly ground",
+    "1/2 teaspoon fresh thyme , minced",
+    "1 teaspoon extra virgin olive oil",
+];
+
+/// Everything the cross-site experiment produces (Tables III + IV).
+#[derive(Debug, Clone, Serialize)]
+pub struct CrossSiteResult {
+    /// Train sizes: `[AllRecipes, Food.com, BOTH]`.
+    pub train_sizes: [usize; 3],
+    /// Test sizes: `[AllRecipes, Food.com, BOTH]`.
+    pub test_sizes: [usize; 3],
+    /// Unique phrases per site `[AllRecipes, Food.com]`.
+    pub unique_phrases: [usize; 2],
+    /// Entity-level micro F1; `f1[test_set][model]`, both indexed
+    /// `[AllRecipes, Food.com, BOTH]`.
+    pub f1: [[f64; 3]; 3],
+}
+
+impl CrossSiteResult {
+    /// Render Table III (dataset sizes).
+    pub fn table3(&self) -> TextTable {
+        let mut t = TextTable::new(&["Datasets", "AllRecipes", "FOOD.com", "BOTH"]);
+        t.row(&[
+            "Training Set Size".to_string(),
+            self.train_sizes[0].to_string(),
+            self.train_sizes[1].to_string(),
+            self.train_sizes[2].to_string(),
+        ]);
+        t.row(&[
+            "Testing Set Size".to_string(),
+            self.test_sizes[0].to_string(),
+            self.test_sizes[1].to_string(),
+            self.test_sizes[2].to_string(),
+        ]);
+        t
+    }
+
+    /// Render Table IV (cross-dataset F1 matrix).
+    pub fn table4(&self) -> TextTable {
+        let names = ["AllRecipes", "FOOD.com", "BOTH"];
+        let mut t =
+            TextTable::new(&["Testing Set", "AllRecipes model", "FOOD.com model", "BOTH model"]);
+        for (i, name) in names.iter().enumerate() {
+            t.row(&[
+                name.to_string(),
+                format!("{:.4}", self.f1[i][0]),
+                format!("{:.4}", self.f1[i][1]),
+                format!("{:.4}", self.f1[i][2]),
+            ]);
+        }
+        t
+    }
+}
+
+/// Train the three NER models (AllRecipes / Food.com / BOTH) and evaluate
+/// each on the three test sets — the full §II.F protocol.
+pub fn cross_site_experiment(scale: &ExperimentScale) -> (RecipeCorpus, CrossSiteResult) {
+    let corpus = RecipeCorpus::generate(&scale.corpus);
+    let cfg = &scale.pipeline;
+    let pre = Preprocessor::default();
+    let pos = train_pos_tagger(&corpus, cfg.pos_epochs, cfg.seed);
+
+    let ds_ar = build_site_dataset(&corpus, Site::AllRecipes, &pos, &pre, cfg);
+    let ds_fc = build_site_dataset(&corpus, Site::FoodCom, &pos, &pre, cfg);
+    let result = cross_site_from_datasets(&ds_ar, &ds_fc, cfg);
+    (corpus, result)
+}
+
+/// The model-training + evaluation half, reusable by ablations.
+pub fn cross_site_from_datasets(
+    ds_ar: &SiteDataset,
+    ds_fc: &SiteDataset,
+    cfg: &PipelineConfig,
+) -> CrossSiteResult {
+    let labels = IngredientTag::label_set();
+    let mut both_train = ds_ar.train.clone();
+    both_train.extend(ds_fc.train.iter().cloned());
+    let mut both_test = ds_ar.test.clone();
+    both_test.extend(ds_fc.test.iter().cloned());
+
+    let models = [
+        SequenceModel::train(&labels, &ds_ar.train, &cfg.ner),
+        SequenceModel::train(&labels, &ds_fc.train, &cfg.ner),
+        SequenceModel::train(&labels, &both_train, &cfg.ner),
+    ];
+    let tests: [&[LabeledSequence]; 3] = [&ds_ar.test, &ds_fc.test, &both_test];
+
+    let mut f1 = [[0.0f64; 3]; 3];
+    for (ti, test) in tests.iter().enumerate() {
+        for (mi, model) in models.iter().enumerate() {
+            f1[ti][mi] = ner_f1(model, test);
+        }
+    }
+    CrossSiteResult {
+        train_sizes: [ds_ar.train.len(), ds_fc.train.len(), both_train.len()],
+        test_sizes: [ds_ar.test.len(), ds_fc.test.len(), both_test.len()],
+        unique_phrases: [ds_ar.unique_phrases, ds_fc.unique_phrases],
+        f1,
+    }
+}
+
+/// Entity-level micro F1 of a model over a labeled test set.
+pub fn ner_f1(model: &SequenceModel, test: &[LabeledSequence]) -> f64 {
+    ner_metrics(model, test).micro.f1
+}
+
+/// Full entity-level metrics of a model over a labeled test set.
+pub fn ner_metrics(model: &SequenceModel, test: &[LabeledSequence]) -> ClassMetrics {
+    let gold: Vec<Vec<String>> = test.iter().map(|(_, t)| t.clone()).collect();
+    let pred: Vec<Vec<String>> = test.iter().map(|(w, _)| model.predict(w)).collect();
+    entity_prf(&gold, &pred, "O")
+}
+
+/// 5-fold cross-validation (the paper's §II.F validation protocol) of the
+/// composite model; returns per-fold entity F1.
+pub fn crossval_f1(
+    data: &[LabeledSequence],
+    labels: &LabelSet,
+    cfg: &PipelineConfig,
+    folds: usize,
+) -> Vec<f64> {
+    let splits = recipe_eval::kfold_indices(data.len(), folds, cfg.seed);
+    splits
+        .iter()
+        .map(|fold| {
+            let train: Vec<LabeledSequence> =
+                fold.train.iter().map(|&i| data[i].clone()).collect();
+            let test: Vec<LabeledSequence> = fold.test.iter().map(|&i| data[i].clone()).collect();
+            let model = SequenceModel::train(labels, &train, &cfg.ner);
+            ner_f1(&model, &test)
+        })
+        .collect()
+}
+
+/// Table V result: instruction NER per-class metrics.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table5Result {
+    /// Training sentences used.
+    pub train_size: usize,
+    /// Test sentences used.
+    pub test_size: usize,
+    /// Per-class + aggregate entity metrics.
+    pub metrics: ClassMetrics,
+}
+
+impl Table5Result {
+    /// Render Table V.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&["", "Precision", "Recall", "F1 Score"]);
+        for (class, label) in [("PROCESS", "Processes"), ("UTENSIL", "Utensils")] {
+            if let Some(s) = self.metrics.per_class.get(class) {
+                t.row(&[
+                    label.to_string(),
+                    format!("{:.2}", s.precision),
+                    format!("{:.2}", s.recall),
+                    format!("{:.2}", s.f1),
+                ]);
+            }
+        }
+        t
+    }
+}
+
+/// Train and evaluate the instruction NER model (Table V).
+pub fn table5_experiment(corpus: &RecipeCorpus, cfg: &PipelineConfig) -> Table5Result {
+    let (train, test, _) = build_instruction_datasets(corpus, cfg);
+    let labels = recipe_ner::InstructionTag::label_set();
+    let model = SequenceModel::train(&labels, &train, &cfg.ner);
+    let metrics = ner_metrics(&model, &test);
+    Table5Result { train_size: train.len(), test_size: test.len(), metrics }
+}
+
+/// Figure 2 result: clustered POS vectors with 2-D PCA coordinates plus
+/// the inertia-vs-k elbow series. Both of the paper's panels are covered:
+/// (a) cluster in 36-D then project with PCA; (b) project to 2-D with PCA
+/// first, then cluster.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure2Result {
+    /// Panel (a): `(x, y, cluster)` per sampled unique phrase, clusters
+    /// from the full 36-D space.
+    pub points: Vec<(f64, f64, usize)>,
+    /// Panel (b): same coordinates, clusters computed *after* the PCA
+    /// projection.
+    pub points_pca_first: Vec<(f64, f64, usize)>,
+    /// Adjusted Rand index between the (a) and (b) partitions.
+    pub variant_agreement: f64,
+    /// `(k, inertia)` series for the elbow criterion (36-D clustering).
+    pub elbow: Vec<(usize, f64)>,
+    /// The elbow point chosen by the second-difference criterion.
+    pub chosen_k: usize,
+    /// Variance explained by the two PCA axes.
+    pub explained: [f64; 2],
+}
+
+/// Cluster the corpus's POS vectors, project to 2-D, sweep k (Fig. 2).
+pub fn figure2_experiment(
+    corpus: &RecipeCorpus,
+    pos: &PosTagger,
+    cfg: &PipelineConfig,
+    max_points: usize,
+) -> Figure2Result {
+    // Unique phrases from both sites (the paper clusters the union).
+    let mut seen = std::collections::HashSet::new();
+    let mut vectors = Vec::new();
+    for site in [Site::AllRecipes, Site::FoodCom] {
+        for p in corpus.phrases(site) {
+            if vectors.len() >= max_points {
+                break;
+            }
+            if seen.insert(p.text()) {
+                vectors.push(pos_frequency_vector(&pos.tag(&p.words())));
+            }
+        }
+    }
+    let km = KMeans::fit(&vectors, &cfg.kmeans);
+    let pca = Pca::fit(&vectors, 2);
+    let projected = pca.transform_all(&vectors);
+    let points: Vec<(f64, f64, usize)> = projected
+        .iter()
+        .zip(&km.assignments)
+        .map(|(p, &c)| (p[0], p[1], c))
+        .collect();
+
+    // Panel (b): cluster the 2-D projection itself.
+    let km_b = KMeans::fit(&projected, &cfg.kmeans);
+    let points_pca_first: Vec<(f64, f64, usize)> = projected
+        .iter()
+        .zip(&km_b.assignments)
+        .map(|(p, &c)| (p[0], p[1], c))
+        .collect();
+    let variant_agreement =
+        recipe_cluster::adjusted_rand_index(&km.assignments, &km_b.assignments);
+
+    let ks: Vec<usize> = (2..=40).step_by(2).collect();
+    let elbow = inertia_sweep(&vectors, &ks, &cfg.kmeans);
+    let chosen_k = recipe_cluster::elbow_point(&elbow);
+    Figure2Result {
+        points,
+        points_pca_first,
+        variant_agreement,
+        elbow,
+        chosen_k,
+        explained: [pca.explained_variance[0], pca.explained_variance[1]],
+    }
+}
+
+/// Conclusion-section statistics: relations per instruction and unique
+/// ingredient names.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConclusionStats {
+    /// Relations-per-instruction statistics (paper: 6.164 ± 5.70 over
+    /// 174 932 steps).
+    pub relations: RelationStats,
+    /// Unique extracted ingredient names (paper: 20 280).
+    pub unique_names: usize,
+    /// Recipes measured.
+    pub recipes: usize,
+}
+
+/// Run the full pipeline and compute the conclusion statistics.
+pub fn conclusion_experiment(
+    corpus: &RecipeCorpus,
+    pipeline: &TrainedPipeline,
+    max_recipes: usize,
+) -> ConclusionStats {
+    let recipes = corpus.recipes.len().min(max_recipes);
+    let relations = relation_stats(pipeline, corpus.recipes.iter().take(recipes));
+    let unique_names = pipeline.unique_ingredient_names(corpus);
+    ConclusionStats { relations, unique_names, recipes }
+}
+
+/// Render the Table I demonstration: the paper's seven phrases through the
+/// trained extractor.
+pub fn table1_rows(pipeline: &TrainedPipeline) -> TextTable {
+    let mut t = TextTable::new(&[
+        "Ingredient Phrase",
+        "Name",
+        "State",
+        "Quantity",
+        "Unit",
+        "Temperature",
+        "Dry/Fresh",
+        "Size",
+    ]);
+    let blank = || String::new();
+    for phrase in TABLE1_PHRASES {
+        let e = pipeline.extract_ingredient(phrase);
+        t.row(&[
+            phrase.to_string(),
+            e.name.clone(),
+            e.state.clone().unwrap_or_else(blank),
+            e.quantity.clone().unwrap_or_else(blank),
+            e.unit.clone().unwrap_or_else(blank),
+            e.temperature.clone().unwrap_or_else(blank),
+            e.dry_fresh.clone().unwrap_or_else(blank),
+            e.size.clone().unwrap_or_else(blank),
+        ]);
+    }
+    t
+}
+
+/// Figure 3: render an instruction's dependency parse as text.
+pub fn render_dependency_parse(pipeline: &TrainedPipeline, words: &[String]) -> String {
+    let pos = pipeline.pos.tag(words);
+    let tree = pipeline.parser.parse(words, &pos);
+    let mut out = String::new();
+    for i in 0..words.len() {
+        let head = match tree.head(i) {
+            None => "ROOT".to_string(),
+            Some(h) => words[h].clone(),
+        };
+        out.push_str(&format!(
+            "{:>12}  {:<5} --{}--> {}\n",
+            words[i],
+            pos[i].as_str(),
+            tree.label(i).as_str(),
+            head
+        ));
+    }
+    out
+}
+
+/// Figure 4: render an instruction's NER tags as text.
+pub fn render_instruction_ner(pipeline: &TrainedPipeline, words: &[String]) -> String {
+    let tags = tag_instruction(&pipeline.instruction_ner, words);
+    words
+        .iter()
+        .zip(&tags)
+        .map(|(w, t)| format!("{w}/{t}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Ablation: CRF vs structured perceptron on the same composite dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrainerAblation {
+    /// Entity F1 of the CRF model on the composite test set.
+    pub crf_f1: f64,
+    /// CRF wall-clock training seconds.
+    pub crf_secs: f64,
+    /// Entity F1 of the perceptron model.
+    pub perceptron_f1: f64,
+    /// Perceptron wall-clock training seconds.
+    pub perceptron_secs: f64,
+}
+
+/// Run the trainer ablation on prepared datasets.
+pub fn trainer_ablation(
+    train: &[LabeledSequence],
+    test: &[LabeledSequence],
+    cfg: &PipelineConfig,
+) -> TrainerAblation {
+    let labels = IngredientTag::label_set();
+    let mut out = TrainerAblation { crf_f1: 0.0, crf_secs: 0.0, perceptron_f1: 0.0, perceptron_secs: 0.0 };
+    for trainer in [recipe_ner::Trainer::Crf, recipe_ner::Trainer::Perceptron] {
+        let cfg_t = recipe_ner::TrainConfig { trainer, ..cfg.ner };
+        let t0 = Instant::now();
+        let model = SequenceModel::train(&labels, train, &cfg_t);
+        let secs = t0.elapsed().as_secs_f64();
+        let f1 = ner_f1(&model, test);
+        match trainer {
+            recipe_ner::Trainer::Crf | recipe_ner::Trainer::CrfLbfgs => {
+                out.crf_f1 = f1;
+                out.crf_secs = secs;
+            }
+            recipe_ner::Trainer::Perceptron => {
+                out.perceptron_f1 = f1;
+                out.perceptron_secs = secs;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_cross_site_shapes_hold() {
+        let scale = ExperimentScale::smoke(7);
+        let (_, result) = cross_site_experiment(&scale);
+        // Diagonals healthy.
+        assert!(result.f1[0][0] > 0.8, "AR/AR {:?}", result.f1);
+        assert!(result.f1[1][1] > 0.8, "FC/FC {:?}", result.f1);
+        // The paper's key asymmetry: the AllRecipes model degrades on
+        // Food.com more than the Food.com model degrades on AllRecipes.
+        assert!(
+            result.f1[1][0] < result.f1[0][1],
+            "expected AR->FC < FC->AR: {:?}",
+            result.f1
+        );
+        // BOTH is the best (or tied-best) model on the BOTH test set.
+        assert!(result.f1[2][2] + 1e-9 >= result.f1[2][0]);
+        assert!(result.f1[2][2] + 1e-9 >= result.f1[2][1]);
+        // Sizes: both splits non-empty, BOTH = sum.
+        assert_eq!(result.train_sizes[2], result.train_sizes[0] + result.train_sizes[1]);
+    }
+
+    #[test]
+    fn smoke_table5_metrics_exist() {
+        let scale = ExperimentScale::smoke(3);
+        let corpus = RecipeCorpus::generate(&scale.corpus);
+        let r = table5_experiment(&corpus, &scale.pipeline);
+        assert!(r.train_size > 0 && r.test_size > 0);
+        let process = &r.metrics.per_class["PROCESS"];
+        let utensil = &r.metrics.per_class["UTENSIL"];
+        assert!(process.f1 > 0.6, "process f1 {}", process.f1);
+        assert!(utensil.f1 > 0.6, "utensil f1 {}", utensil.f1);
+    }
+
+    #[test]
+    fn smoke_figure2_produces_clusters_and_elbow() {
+        let scale = ExperimentScale::smoke(5);
+        let corpus = RecipeCorpus::generate(&scale.corpus);
+        let pos = train_pos_tagger(&corpus, 2, 5);
+        let fig = figure2_experiment(&corpus, &pos, &scale.pipeline, 800);
+        assert!(!fig.points.is_empty());
+        assert_eq!(fig.elbow.len(), 20);
+        assert!(fig.chosen_k >= 2);
+        assert!(fig.explained[0] >= fig.explained[1]);
+        // Inertia decreases along the sweep overall.
+        assert!(fig.elbow.first().unwrap().1 > fig.elbow.last().unwrap().1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each `table_*` / `figure_*` binary in `src/bin/` is a thin wrapper over
+//! the functions here, so the same code paths are unit-tested, benchmarked
+//! and used to produce EXPERIMENTS.md.
+//!
+//! Scale: the binaries default to a corpus of [`DEFAULT_TOTAL_RECIPES`]
+//! recipes (1/10 of RecipeDB, same 16:102 site ratio) and draw annotation
+//! budgets sized to the paper's Table III (1470/5142 train, 483/1705
+//! test). Pass a recipe count as the first CLI argument to rescale.
+
+pub mod experiments;
+pub mod scale;
+pub mod svg;
+
+pub use experiments::*;
+pub use scale::*;

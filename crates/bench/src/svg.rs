@@ -1,0 +1,168 @@
+//! Minimal hand-rolled SVG plotting — enough to render Figure 2 (cluster
+//! scatter + elbow curve) without a plotting dependency.
+
+use std::fmt::Write as _;
+
+/// Categorical palette (distinct hues, readable on white).
+const PALETTE: &[&str] = &[
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac", "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b",
+    "#e377c2", "#7f7f7f", "#bcbd22", "#17becf", "#393b79", "#637939", "#8c6d31", "#843c39",
+];
+
+/// Color for a cluster id.
+pub fn cluster_color(c: usize) -> &'static str {
+    PALETTE[c % PALETTE.len()]
+}
+
+fn bounds(points: &[(f64, f64, usize)]) -> (f64, f64, f64, f64) {
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y, _) in points {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    (min_x, max_x, min_y, max_y)
+}
+
+/// Render a cluster scatter plot as an SVG string.
+///
+/// `points` are `(x, y, cluster)`; the viewport auto-fits with a margin.
+pub fn scatter_svg(points: &[(f64, f64, usize)], title: &str, width: u32, height: u32) -> String {
+    let mut svg = String::new();
+    let (w, h) = (f64::from(width), f64::from(height));
+    let margin = 40.0;
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    let _ = write!(svg, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">{title}</text>"#,
+        w / 2.0
+    );
+    if !points.is_empty() {
+        let (min_x, max_x, min_y, max_y) = bounds(points);
+        let span_x = (max_x - min_x).max(1e-9);
+        let span_y = (max_y - min_y).max(1e-9);
+        let sx = |x: f64| margin + (x - min_x) / span_x * (w - 2.0 * margin);
+        let sy = |y: f64| h - margin - (y - min_y) / span_y * (h - 2.0 * margin);
+        for &(x, y, c) in points {
+            let _ = write!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="2.2" fill="{}" fill-opacity="0.6"/>"#,
+                sx(x),
+                sy(y),
+                cluster_color(c)
+            );
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Render an inertia-vs-k elbow curve as an SVG string.
+pub fn elbow_svg(curve: &[(usize, f64)], title: &str, width: u32, height: u32) -> String {
+    let mut svg = String::new();
+    let (w, h) = (f64::from(width), f64::from(height));
+    let margin = 48.0;
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    let _ = write!(svg, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">{title}</text>"#,
+        w / 2.0
+    );
+    if curve.len() >= 2 {
+        let min_k = curve.first().map(|&(k, _)| k as f64).unwrap_or(0.0);
+        let max_k = curve.last().map(|&(k, _)| k as f64).unwrap_or(1.0);
+        let max_i = curve.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max);
+        let min_i = curve.iter().map(|&(_, v)| v).fold(f64::MAX, f64::min);
+        let span_k = (max_k - min_k).max(1e-9);
+        let span_i = (max_i - min_i).max(1e-9);
+        let sx = |k: f64| margin + (k - min_k) / span_k * (w - 2.0 * margin);
+        let sy = |v: f64| h - margin - (v - min_i) / span_i * (h - 2.0 * margin);
+        let path: Vec<String> =
+            curve.iter().map(|&(k, v)| format!("{:.1},{:.1}", sx(k as f64), sy(v))).collect();
+        let _ = write!(
+            svg,
+            r##"<polyline points="{}" fill="none" stroke="#4e79a7" stroke-width="2"/>"##,
+            path.join(" ")
+        );
+        for &(k, v) in curve {
+            let _ = write!(
+                svg,
+                r##"<circle cx="{:.1}" cy="{:.1}" r="3" fill="#4e79a7"/>"##,
+                sx(k as f64),
+                sy(v)
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="10" text-anchor="middle">{k}</text>"#,
+                sx(k as f64),
+                h - margin / 2.0
+            );
+        }
+        // Axis lines.
+        let _ = write!(
+            svg,
+            r##"<line x1="{m}" y1="{b}" x2="{r}" y2="{b}" stroke="#333" stroke-width="1"/>"##,
+            m = margin,
+            b = h - margin,
+            r = w - margin
+        );
+        let _ = write!(
+            svg,
+            r##"<line x1="{m}" y1="{t}" x2="{m}" y2="{b}" stroke="#333" stroke-width="1"/>"##,
+            m = margin,
+            t = margin,
+            b = h - margin
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_contains_all_points_and_is_valid_ish() {
+        let points = vec![(0.0, 0.0, 0), (1.0, 1.0, 1), (2.0, 0.5, 2)];
+        let svg = scatter_svg(&points, "test", 400, 300);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("test"));
+    }
+
+    #[test]
+    fn colors_cycle_deterministically() {
+        assert_eq!(cluster_color(0), cluster_color(24));
+        assert_ne!(cluster_color(0), cluster_color(1));
+    }
+
+    #[test]
+    fn elbow_draws_polyline() {
+        let curve = vec![(2usize, 100.0), (4, 50.0), (6, 30.0)];
+        let svg = elbow_svg(&curve, "elbow", 400, 300);
+        assert!(svg.contains("<polyline"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        assert!(scatter_svg(&[], "empty", 100, 100).contains("</svg>"));
+        assert!(elbow_svg(&[], "empty", 100, 100).contains("</svg>"));
+        assert!(elbow_svg(&[(3, 1.0)], "one", 100, 100).contains("</svg>"));
+        // All-identical points: span guards kick in.
+        let same = vec![(1.0, 1.0, 0); 5];
+        assert!(scatter_svg(&same, "same", 100, 100).contains("</svg>"));
+    }
+}

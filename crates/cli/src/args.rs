@@ -1,0 +1,240 @@
+//! Hand-rolled argument parsing for `recipe-mine` (no external parser
+//! dependency; the surface is small and stable).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `train --out <path> [--recipes N] [--seed S]`
+    Train {
+        /// Artifact output path.
+        out: String,
+        /// Corpus size to train on.
+        recipes: usize,
+        /// Corpus/training seed.
+        seed: u64,
+    },
+    /// `extract --model <path> <phrase>...`
+    Extract {
+        /// Trained artifact path.
+        model: String,
+        /// Ingredient phrases to extract.
+        phrases: Vec<String>,
+    },
+    /// `mine --model <path> <recipe.txt>...`
+    Mine {
+        /// Trained artifact path.
+        model: String,
+        /// Recipe text files to mine.
+        files: Vec<String>,
+    },
+    /// `generate --out <dir> [--recipes N] [--seed S]`
+    Generate {
+        /// Output directory for the recipe text files + corpus.jsonl.
+        out: String,
+        /// Number of recipes.
+        recipes: usize,
+        /// Corpus seed.
+        seed: u64,
+    },
+    /// `help`
+    Help,
+}
+
+/// Result of [`parse_args`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedArgs {
+    /// The subcommand to run.
+    pub command: Command,
+}
+
+/// Errors produced by argument parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// No subcommand given.
+    Missing,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// A required flag was not supplied.
+    MissingFlag(&'static str),
+    /// A flag value failed to parse.
+    BadValue(&'static str, String),
+    /// Positional arguments were required but absent.
+    MissingPositional(&'static str),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::Missing => write!(f, "no subcommand; try `recipe-mine help`"),
+            ArgsError::UnknownCommand(c) => write!(f, "unknown subcommand {c:?}"),
+            ArgsError::MissingFlag(flag) => write!(f, "missing required flag --{flag}"),
+            ArgsError::BadValue(flag, v) => write!(f, "bad value for --{flag}: {v:?}"),
+            ArgsError::MissingPositional(what) => write!(f, "expected at least one {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Split args into `--flag value` pairs plus positionals.
+fn split_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0usize;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_string(), String::new());
+                i += 1;
+            }
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (flags, positional)
+}
+
+/// Parse a CLI invocation (without the program name).
+pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
+    let Some(cmd) = args.first() else {
+        return Err(ArgsError::Missing);
+    };
+    let rest = &args[1..];
+    let (flags, positional) = split_flags(rest);
+    let command = match cmd.as_str() {
+        "help" | "--help" | "-h" => Command::Help,
+        "train" => {
+            let out = flags.get("out").cloned().ok_or(ArgsError::MissingFlag("out"))?;
+            let recipes = match flags.get("recipes") {
+                Some(v) => {
+                    v.parse().map_err(|_| ArgsError::BadValue("recipes", v.clone()))?
+                }
+                None => 1000,
+            };
+            let seed = match flags.get("seed") {
+                Some(v) => v.parse().map_err(|_| ArgsError::BadValue("seed", v.clone()))?,
+                None => 42,
+            };
+            Command::Train { out, recipes, seed }
+        }
+        "generate" => {
+            let out = flags.get("out").cloned().ok_or(ArgsError::MissingFlag("out"))?;
+            let recipes = match flags.get("recipes") {
+                Some(v) => v.parse().map_err(|_| ArgsError::BadValue("recipes", v.clone()))?,
+                None => 100,
+            };
+            let seed = match flags.get("seed") {
+                Some(v) => v.parse().map_err(|_| ArgsError::BadValue("seed", v.clone()))?,
+                None => 42,
+            };
+            Command::Generate { out, recipes, seed }
+        }
+        "extract" => {
+            let model = flags.get("model").cloned().ok_or(ArgsError::MissingFlag("model"))?;
+            if positional.is_empty() {
+                return Err(ArgsError::MissingPositional("phrase"));
+            }
+            Command::Extract { model, phrases: positional }
+        }
+        "mine" => {
+            let model = flags.get("model").cloned().ok_or(ArgsError::MissingFlag("model"))?;
+            if positional.is_empty() {
+                return Err(ArgsError::MissingPositional("recipe file"));
+            }
+            Command::Mine { model, files: positional }
+        }
+        other => return Err(ArgsError::UnknownCommand(other.to_string())),
+    };
+    Ok(ParsedArgs { command })
+}
+
+/// Usage text for `help`.
+pub const USAGE: &str = "\
+recipe-mine — named-entity based recipe modelling
+
+USAGE:
+  recipe-mine generate --out <dir> [--recipes N] [--seed S]
+  recipe-mine train   --out <model.json> [--recipes N] [--seed S]
+  recipe-mine extract --model <model.json> <phrase>...
+  recipe-mine mine    --model <model.json> <recipe.txt>...
+  recipe-mine help
+
+generate write a synthetic RecipeDB-like corpus as recipe text files
+         (mineable with `mine`) plus corpus.jsonl with gold annotations
+train    generate a synthetic RecipeDB-like corpus, train the full
+         pipeline (POS tagger, ingredient & instruction NER, parser,
+         dictionaries) and save the artifact as JSON
+extract  print the structured attributes of ingredient phrases as JSON
+mine     mine recipe text files (## ingredients / ## instructions
+         sections) into the Fig. 1 structure, printed as JSON
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_train_with_defaults() {
+        let parsed = parse_args(&s(&["train", "--out", "m.json"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Train { out: "m.json".into(), recipes: 1000, seed: 42 }
+        );
+    }
+
+    #[test]
+    fn parses_train_with_flags_any_order() {
+        let parsed =
+            parse_args(&s(&["train", "--seed", "7", "--recipes", "250", "--out", "x"])).unwrap();
+        assert_eq!(parsed.command, Command::Train { out: "x".into(), recipes: 250, seed: 7 });
+    }
+
+    #[test]
+    fn parses_extract_with_positionals() {
+        let parsed =
+            parse_args(&s(&["extract", "--model", "m.json", "2 cups flour", "1 egg"])).unwrap();
+        match parsed.command {
+            Command::Extract { model, phrases } => {
+                assert_eq!(model, "m.json");
+                assert_eq!(phrases, vec!["2 cups flour", "1 egg"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse_args(&[]), Err(ArgsError::Missing));
+        assert!(matches!(
+            parse_args(&s(&["frobnicate"])),
+            Err(ArgsError::UnknownCommand(_))
+        ));
+        assert_eq!(parse_args(&s(&["train"])), Err(ArgsError::MissingFlag("out")));
+        assert!(matches!(
+            parse_args(&s(&["train", "--out", "x", "--recipes", "many"])),
+            Err(ArgsError::BadValue("recipes", _))
+        ));
+        assert_eq!(
+            parse_args(&s(&["extract", "--model", "m"])),
+            Err(ArgsError::MissingPositional("phrase"))
+        );
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse_args(&s(&[h])).unwrap().command, Command::Help);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! `recipe-mine` — the command-line face of the recipe-knowledge-mining
+//! workspace. See `recipe-mine help`.
+
+use recipe_cli::{commands, parse_args};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse_args(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", recipe_cli::args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match commands::run(&parsed.command) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

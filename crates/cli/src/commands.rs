@@ -1,0 +1,251 @@
+//! Subcommand implementations. Each returns its output as a `String` so
+//! tests can assert on it without process spawning; the binary prints.
+
+use crate::args::Command;
+use crate::recipe_file::parse_recipe_file;
+use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
+use recipe_corpus::{CorpusSpec, RecipeCorpus};
+use serde_json::json;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Filesystem problem (with the offending path).
+    Io(String, std::io::Error),
+    /// Artifact load/save problem.
+    Persist(recipe_core::persist::PersistError),
+    /// Recipe file parse problem (with the offending path).
+    RecipeFile(String, crate::recipe_file::RecipeFileError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Io(path, e) => write!(f, "{path}: {e}"),
+            CliError::Persist(e) => write!(f, "model artifact: {e}"),
+            CliError::RecipeFile(path, e) => write!(f, "{path}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<recipe_core::persist::PersistError> for CliError {
+    fn from(e: recipe_core::persist::PersistError) -> Self {
+        CliError::Persist(e)
+    }
+}
+
+/// Execute a command; returns the text to print on stdout.
+pub fn run(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(crate::args::USAGE.to_string()),
+        Command::Train { out, recipes, seed } => train(out, *recipes, *seed),
+        Command::Generate { out, recipes, seed } => generate(out, *recipes, *seed),
+        Command::Extract { model, phrases } => extract(model, phrases),
+        Command::Mine { model, files } => mine(model, files),
+    }
+}
+
+fn generate(out: &str, recipes: usize, seed: u64) -> Result<String, CliError> {
+    let corpus = RecipeCorpus::generate(&CorpusSpec::scaled(recipes, seed));
+    let dir = std::path::Path::new(out);
+    std::fs::create_dir_all(dir).map_err(|e| CliError::Io(out.to_string(), e))?;
+    // Plain-text recipe files in the `mine` format.
+    for recipe in &corpus.recipes {
+        let mut text = format!("# {}\n\n## ingredients\n", recipe.title);
+        for line in recipe.ingredient_lines() {
+            text.push_str(&line);
+            text.push('\n');
+        }
+        text.push_str("\n## instructions\n");
+        for step in recipe.steps() {
+            let sentences: Vec<String> = step.iter().map(|s| s.text()).collect();
+            text.push_str(&sentences.join(" "));
+            text.push('\n');
+        }
+        let path = dir.join(format!("recipe_{:05}.txt", recipe.id));
+        std::fs::write(&path, text)
+            .map_err(|e| CliError::Io(path.to_string_lossy().into_owned(), e))?;
+    }
+    // Gold-annotated interchange file.
+    let jsonl = recipe_corpus::export::recipes_to_jsonl(&corpus.recipes);
+    let jsonl_path = dir.join("corpus.jsonl");
+    std::fs::write(&jsonl_path, jsonl)
+        .map_err(|e| CliError::Io(jsonl_path.to_string_lossy().into_owned(), e))?;
+    Ok(format!(
+        "wrote {} recipe files and corpus.jsonl to {out}\n",
+        corpus.recipes.len()
+    ))
+}
+
+fn train(out: &str, recipes: usize, seed: u64) -> Result<String, CliError> {
+    eprintln!("generating corpus of {recipes} recipes (seed {seed})...");
+    let corpus = RecipeCorpus::generate(&CorpusSpec::scaled(recipes, seed));
+    eprintln!("training pipeline...");
+    let mut cfg = PipelineConfig::fast();
+    cfg.seed = seed;
+    let pipeline = TrainedPipeline::train(&corpus, &cfg);
+    let summary = json!({
+        "recipes": recipes,
+        "seed": seed,
+        "ingredient_ner_features": pipeline.ingredient_ner.num_features(),
+        "instruction_ner_features": pipeline.instruction_ner.num_features(),
+        "process_dictionary": pipeline.dicts.processes.len(),
+        "utensil_dictionary": pipeline.dicts.utensils.len(),
+        "artifact": out,
+    });
+    pipeline.save(out)?;
+    Ok(format!("{}\n", serde_json::to_string_pretty(&summary).expect("json")))
+}
+
+/// Structured JSON for one extracted entry.
+fn entry_json(entry: &recipe_core::IngredientEntry) -> serde_json::Value {
+    json!({
+        "name": entry.name,
+        "state": entry.state,
+        "quantity": entry.quantity,
+        "unit": entry.unit,
+        "temperature": entry.temperature,
+        "dry_fresh": entry.dry_fresh,
+        "size": entry.size,
+    })
+}
+
+fn extract(model: &str, phrases: &[String]) -> Result<String, CliError> {
+    let pipeline = TrainedPipeline::load(model)?;
+    let rows: Vec<serde_json::Value> = phrases
+        .iter()
+        .map(|p| {
+            let e = pipeline.extract_ingredient(p);
+            json!({ "phrase": p, "entry": entry_json(&e) })
+        })
+        .collect();
+    Ok(format!("{}\n", serde_json::to_string_pretty(&rows).expect("json")))
+}
+
+fn mine(model: &str, files: &[String]) -> Result<String, CliError> {
+    let pipeline = TrainedPipeline::load(model)?;
+    let mut out = Vec::new();
+    for path in files {
+        let content =
+            std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
+        let recipe =
+            parse_recipe_file(&content).map_err(|e| CliError::RecipeFile(path.clone(), e))?;
+        let modeled = pipeline.model_text(
+            &recipe.title,
+            "",
+            &recipe.ingredients,
+            &recipe.instructions,
+        );
+        out.push(json!({
+            "file": path,
+            "title": modeled.title,
+            "ingredients": modeled.ingredients.iter().map(entry_json).collect::<Vec<_>>(),
+            "events": modeled.events.iter().map(|e| json!({
+                "step": e.step,
+                "process": e.process,
+                "ingredients": e.ingredients,
+                "utensils": e.utensils,
+            })).collect::<Vec<_>>(),
+            "process_sequence": modeled.process_sequence(),
+        }));
+    }
+    Ok(format!("{}\n", serde_json::to_string_pretty(&out).expect("json")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("recipe_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&Command::Help).unwrap();
+        assert!(out.contains("recipe-mine"));
+        assert!(out.contains("extract"));
+    }
+
+    #[test]
+    fn train_extract_mine_round_trip() {
+        let model_path = tmp("cli_model.json");
+        let model = model_path.to_string_lossy().to_string();
+
+        // train (small corpus keeps the test fast)
+        let out = run(&Command::Train { out: model.clone(), recipes: 120, seed: 3 }).unwrap();
+        assert!(out.contains("artifact"));
+        assert!(model_path.exists());
+
+        // extract
+        let out = run(&Command::Extract {
+            model: model.clone(),
+            phrases: vec!["2 cups flour".into()],
+        })
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed[0]["entry"]["name"], "flour");
+        assert_eq!(parsed[0]["entry"]["unit"], "cup");
+
+        // mine
+        let recipe_path = tmp("cli_recipe.txt");
+        std::fs::write(
+            &recipe_path,
+            "# test soup\n## ingredients\n2 cups water\n1 pinch salt\n## instructions\nBoil the water in a large pot. Add the salt.\n",
+        )
+        .unwrap();
+        let out = run(&Command::Mine {
+            model: model.clone(),
+            files: vec![recipe_path.to_string_lossy().to_string()],
+        })
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed[0]["title"], "test soup");
+        assert_eq!(parsed[0]["ingredients"].as_array().unwrap().len(), 2);
+
+        std::fs::remove_file(&model_path).ok();
+        std::fs::remove_file(&recipe_path).ok();
+    }
+
+    #[test]
+    fn generate_writes_mineable_files() {
+        let dir = tmp("gen_corpus");
+        std::fs::remove_dir_all(&dir).ok();
+        let out = run(&Command::Generate {
+            out: dir.to_string_lossy().into_owned(),
+            recipes: 5,
+            seed: 7,
+        })
+        .unwrap();
+        assert!(out.contains("5 recipe files"));
+        let jsonl = std::fs::read_to_string(dir.join("corpus.jsonl")).unwrap();
+        assert_eq!(jsonl.lines().count(), 5);
+        // The text files parse in the `mine` format.
+        let first = std::fs::read_to_string(dir.join("recipe_00000.txt")).unwrap();
+        let parsed = crate::recipe_file::parse_recipe_file(&first).unwrap();
+        assert!(!parsed.ingredients.is_empty());
+        assert!(!parsed.instructions.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_model_is_a_clean_error() {
+        let err = run(&Command::Extract {
+            model: "/nonexistent/model.json".into(),
+            phrases: vec!["salt".into()],
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("model artifact"));
+    }
+
+    #[test]
+    fn args_to_command_integration() {
+        let parsed = parse_args(&["help".to_string()]).unwrap();
+        assert!(run(&parsed.command).is_ok());
+    }
+}

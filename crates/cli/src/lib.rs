@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Library half of the `recipe-mine` CLI: argument parsing, the recipe
+//! text-file format, and the subcommand implementations. Everything here
+//! is testable without spawning processes; the binary is a thin wrapper.
+//!
+//! # Recipe text format
+//!
+//! ```text
+//! # Tomato soup            <- title line (optional, first '#' line)
+//! ## ingredients
+//! 2 cups tomatoes, chopped
+//! 1 pinch salt
+//! ## instructions
+//! Boil the tomatoes in a large pot. Add the salt.
+//! Simmer for 20 minutes.
+//! ```
+//!
+//! Each non-empty line under `## instructions` is one instruction *step*
+//! (a paragraph that may contain several sentences).
+
+pub mod args;
+pub mod commands;
+pub mod recipe_file;
+
+pub use args::{parse_args, Command, ParsedArgs};
+pub use recipe_file::{parse_recipe_file, RecipeText};

@@ -1,0 +1,160 @@
+//! The recipe text-file format: a `#` title, an `## ingredients` section
+//! of one phrase per line, and an `## instructions` section of one step
+//! (paragraph) per line.
+
+use std::fmt;
+
+/// A parsed recipe text file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecipeText {
+    /// Recipe title (empty when the file has no `#` line).
+    pub title: String,
+    /// One ingredient phrase per line.
+    pub ingredients: Vec<String>,
+    /// One instruction step (possibly multi-sentence) per line.
+    pub instructions: Vec<String>,
+}
+
+/// Errors from [`parse_recipe_file`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecipeFileError {
+    /// Content before any `##` section header.
+    ContentOutsideSection {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Unknown `##` section name.
+    UnknownSection {
+        /// 1-based line number.
+        line: usize,
+        /// The offending section name.
+        name: String,
+    },
+    /// The file has no ingredient lines.
+    NoIngredients,
+}
+
+impl fmt::Display for RecipeFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecipeFileError::ContentOutsideSection { line } => {
+                write!(f, "line {line}: content before any '## section' header")
+            }
+            RecipeFileError::UnknownSection { line, name } => {
+                write!(f, "line {line}: unknown section {name:?} (expected ingredients/instructions)")
+            }
+            RecipeFileError::NoIngredients => write!(f, "no '## ingredients' lines found"),
+        }
+    }
+}
+
+impl std::error::Error for RecipeFileError {}
+
+#[derive(PartialEq)]
+enum Section {
+    None,
+    Ingredients,
+    Instructions,
+}
+
+/// Parse the recipe text format.
+pub fn parse_recipe_file(content: &str) -> Result<RecipeText, RecipeFileError> {
+    let mut out = RecipeText::default();
+    let mut section = Section::None;
+    for (i, raw) in content.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("##") {
+            match header.trim().to_lowercase().as_str() {
+                "ingredients" => section = Section::Ingredients,
+                "instructions" => section = Section::Instructions,
+                name => {
+                    return Err(RecipeFileError::UnknownSection {
+                        line: lineno,
+                        name: name.to_string(),
+                    })
+                }
+            }
+            continue;
+        }
+        if let Some(title) = line.strip_prefix('#') {
+            if out.title.is_empty() {
+                out.title = title.trim().to_string();
+            }
+            continue;
+        }
+        match section {
+            Section::None => {
+                return Err(RecipeFileError::ContentOutsideSection { line: lineno })
+            }
+            Section::Ingredients => out.ingredients.push(line.to_string()),
+            Section::Instructions => out.instructions.push(line.to_string()),
+        }
+    }
+    if out.ingredients.is_empty() {
+        return Err(RecipeFileError::NoIngredients);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# Tomato soup
+
+## ingredients
+2 cups tomatoes , chopped
+1 pinch salt
+
+## instructions
+Boil the tomatoes in a large pot. Add the salt.
+Simmer for 20 minutes.
+";
+
+    #[test]
+    fn parses_the_documented_format() {
+        let r = parse_recipe_file(SAMPLE).unwrap();
+        assert_eq!(r.title, "Tomato soup");
+        assert_eq!(r.ingredients.len(), 2);
+        assert_eq!(r.instructions.len(), 2);
+        assert!(r.instructions[0].contains("Add the salt."));
+    }
+
+    #[test]
+    fn title_is_optional_and_first_wins() {
+        let r = parse_recipe_file("## ingredients\nsalt\n# late title\n## instructions\nstir .")
+            .unwrap();
+        assert_eq!(r.title, "late title");
+        let r2 = parse_recipe_file("## ingredients\nsalt\n").unwrap();
+        assert_eq!(r2.title, "");
+    }
+
+    #[test]
+    fn section_names_are_case_insensitive() {
+        let r = parse_recipe_file("## Ingredients\nsalt\n## INSTRUCTIONS\nstir .").unwrap();
+        assert_eq!(r.ingredients, ["salt"]);
+        assert_eq!(r.instructions, ["stir ."]);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert_eq!(
+            parse_recipe_file("stray line\n"),
+            Err(RecipeFileError::ContentOutsideSection { line: 1 })
+        );
+        assert_eq!(
+            parse_recipe_file("## garnish\nx\n"),
+            Err(RecipeFileError::UnknownSection { line: 1, name: "garnish".into() })
+        );
+        assert_eq!(parse_recipe_file(""), Err(RecipeFileError::NoIngredients));
+        assert_eq!(
+            parse_recipe_file("## instructions\nstir .\n"),
+            Err(RecipeFileError::NoIngredients)
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! End-to-end tests of the actual `recipe-mine` binary (spawned as a
+//! process, exercising exit codes and stdout/stderr contracts).
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_recipe-mine"))
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    let out = bin().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("extract"));
+}
+
+#[test]
+fn bad_args_exit_code_two() {
+    let out = bin().arg("frobnicate").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown subcommand"));
+}
+
+#[test]
+fn missing_model_exit_code_one() {
+    let out = bin()
+        .args(["extract", "--model", "/nonexistent.json", "salt"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn train_then_extract_through_the_binary() {
+    let dir = std::env::temp_dir().join("recipe_mine_bin_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = dir.join("model.json");
+
+    let out = bin()
+        .args(["train", "--out", model.to_str().unwrap(), "--recipes", "120", "--seed", "9"])
+        .output()
+        .expect("spawn train");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    let out = bin()
+        .args(["extract", "--model", model.to_str().unwrap(), "2 cups flour"])
+        .output()
+        .expect("spawn extract");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let parsed: serde_json::Value = serde_json::from_str(&stdout).expect("json stdout");
+    assert_eq!(parsed[0]["entry"]["name"], "flour");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

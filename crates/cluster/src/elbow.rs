@@ -1,0 +1,80 @@
+//! Elbow criterion for choosing k (§II.E, paper reference 8).
+//!
+//! Sweep k over a range, record the final inertia for each, and pick the
+//! "knee": the k with the maximum second difference of the inertia curve,
+//! i.e. where adding one more cluster stops buying much inertia.
+
+use crate::kmeans::{KMeans, KMeansConfig};
+
+/// Run K-Means for every k in `ks` and return `(k, inertia)` pairs.
+pub fn inertia_sweep(data: &[Vec<f64>], ks: &[usize], base: &KMeansConfig) -> Vec<(usize, f64)> {
+    ks.iter()
+        .map(|&k| {
+            let km = KMeans::fit(data, &KMeansConfig { k, ..*base });
+            (k, km.inertia)
+        })
+        .collect()
+}
+
+/// The elbow of an inertia curve: the interior point with the maximum
+/// positive second difference. Returns the corresponding k.
+///
+/// Falls back to the middle k when the curve has fewer than three points.
+pub fn elbow_point(curve: &[(usize, f64)]) -> usize {
+    assert!(!curve.is_empty(), "empty inertia curve");
+    if curve.len() < 3 {
+        return curve[curve.len() / 2].0;
+    }
+    let mut best_k = curve[1].0;
+    let mut best_dd = f64::NEG_INFINITY;
+    for w in curve.windows(3) {
+        let (_, y0) = w[0];
+        let (k1, y1) = w[1];
+        let (_, y2) = w[2];
+        let dd = (y0 - y1) - (y1 - y2); // drop before minus drop after
+        if dd > best_dd {
+            best_dd = dd;
+            best_k = k1;
+        }
+    }
+    best_k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elbow_of_synthetic_curve() {
+        // Sharp knee at k = 3.
+        let curve = vec![(1, 100.0), (2, 55.0), (3, 12.0), (4, 10.0), (5, 9.0), (6, 8.5)];
+        assert_eq!(elbow_point(&curve), 3);
+    }
+
+    #[test]
+    fn short_curves_fall_back() {
+        assert_eq!(elbow_point(&[(4, 1.0)]), 4);
+        assert_eq!(elbow_point(&[(2, 5.0), (3, 1.0)]), 3);
+    }
+
+    #[test]
+    fn sweep_finds_knee_on_blobs() {
+        // Four well-separated blobs: the knee should land at or near 4.
+        let mut data = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (50.0, 0.0), (0.0, 50.0), (50.0, 50.0)] {
+            for j in 0..15 {
+                data.push(vec![cx + (j % 4) as f64 * 0.2, cy + (j % 3) as f64 * 0.2]);
+            }
+        }
+        let base = KMeansConfig { seed: 11, ..Default::default() };
+        let curve = inertia_sweep(&data, &[1, 2, 3, 4, 5, 6, 7], &base);
+        let k = elbow_point(&curve);
+        assert!((3..=5).contains(&k), "elbow at {k}, curve {curve:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty inertia curve")]
+    fn empty_curve_panics() {
+        elbow_point(&[]);
+    }
+}

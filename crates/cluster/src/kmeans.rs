@@ -1,0 +1,281 @@
+//! Lloyd's K-Means with k-means++ initialization.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// K-Means hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on inertia improvement.
+    pub tol: f64,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { k: 23, max_iters: 100, tol: 1e-7, seed: 42 }
+    }
+}
+
+/// A fitted K-Means model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeans {
+    /// Cluster centroids, `k` rows of dimensionality `dim`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per input point.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Lloyd iterations actually run.
+    pub iterations: usize,
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> (usize, f64) {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = sq_dist(centroid, p);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// k-means++ seeding: the first centroid is uniform, each further centroid
+/// is sampled proportionally to its squared distance from the closest
+/// already-chosen centroid.
+pub(crate) fn kmeanspp_init(data: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(data[rng.random_range(0..data.len())].clone());
+    let mut d2: Vec<f64> = data.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with a centroid; pick uniformly.
+            data[rng.random_range(0..data.len())].clone()
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut idx = data.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    idx = i;
+                    break;
+                }
+                target -= d;
+            }
+            data[idx].clone()
+        };
+        for (i, p) in data.iter().enumerate() {
+            let d = sq_dist(p, &next);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+        centroids.push(next);
+    }
+    centroids
+}
+
+impl KMeans {
+    /// Fit K-Means to `data` (rows are points). `k` is clamped to the
+    /// number of points.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or rows have inconsistent dimensions.
+    pub fn fit(data: &[Vec<f64>], cfg: &KMeansConfig) -> Self {
+        assert!(!data.is_empty(), "cannot cluster an empty dataset");
+        let dim = data[0].len();
+        assert!(data.iter().all(|p| p.len() == dim), "inconsistent dimensions");
+        let k = cfg.k.min(data.len()).max(1);
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut centroids = kmeanspp_init(data, k, &mut rng);
+        let mut assignments = vec![0usize; data.len()];
+        let mut inertia = f64::INFINITY;
+        let mut iterations = 0usize;
+
+        for iter in 0..cfg.max_iters {
+            iterations = iter + 1;
+            // Assignment step.
+            let mut new_inertia = 0.0;
+            for (i, p) in data.iter().enumerate() {
+                let (c, d) = nearest(&centroids, p);
+                assignments[i] = c;
+                new_inertia += d;
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0f64; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (p, &a) in data.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, &x) in sums[a].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Reseed an empty cluster at the point farthest from
+                    // its centroid to keep k clusters alive.
+                    let far = data
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| {
+                            let da = sq_dist(a, &centroids[assignments[0]]);
+                            let db = sq_dist(b, &centroids[assignments[0]]);
+                            da.partial_cmp(&db).unwrap()
+                        })
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    centroids[c] = data[far].clone();
+                    continue;
+                }
+                for (j, s) in sums[c].iter().enumerate() {
+                    centroids[c][j] = s / counts[c] as f64;
+                }
+            }
+            let converged = new_inertia <= inertia && inertia - new_inertia < cfg.tol;
+            inertia = new_inertia;
+            if converged {
+                break;
+            }
+        }
+        // Final assignment against the final centroids.
+        let mut final_inertia = 0.0;
+        for (i, p) in data.iter().enumerate() {
+            let (c, d) = nearest(&centroids, p);
+            assignments[i] = c;
+            final_inertia += d;
+        }
+        KMeans { centroids, assignments, inertia: final_inertia, iterations }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Assign a new point to its nearest centroid.
+    pub fn predict(&self, point: &[f64]) -> usize {
+        nearest(&self.centroids, point).0
+    }
+
+    /// Per-cluster member indices.
+    pub fn cluster_members(&self) -> Vec<Vec<usize>> {
+        let mut members = vec![Vec::new(); self.k()];
+        for (i, &a) in self.assignments.iter().enumerate() {
+            members[a].push(i);
+        }
+        members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs in 2-D.
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut data = Vec::new();
+        let centers = [(0.0, 0.0), (10.0, 10.0), (20.0, 0.0)];
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for j in 0..20 {
+                let dx = ((ci * 20 + j) % 5) as f64 * 0.1;
+                let dy = ((ci * 20 + j) % 7) as f64 * 0.1;
+                data.push(vec![cx + dx, cy + dy]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let data = blobs();
+        let km = KMeans::fit(&data, &KMeansConfig { k: 3, ..Default::default() });
+        assert_eq!(km.k(), 3);
+        // Each blob of 20 points must be in a single cluster.
+        for blob in 0..3 {
+            let first = km.assignments[blob * 20];
+            for j in 0..20 {
+                assert_eq!(km.assignments[blob * 20 + j], first, "blob {blob}");
+            }
+        }
+        // And clusters must be distinct across blobs.
+        assert_ne!(km.assignments[0], km.assignments[20]);
+        assert_ne!(km.assignments[20], km.assignments[40]);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let data = blobs();
+        let mut last = f64::INFINITY;
+        for k in [1, 2, 3, 6] {
+            let km = KMeans::fit(&data, &KMeansConfig { k, seed: 9, ..Default::default() });
+            assert!(km.inertia <= last + 1e-9, "k={k}: {} > {last}", km.inertia);
+            last = km.inertia;
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_dataset_size() {
+        let data = vec![vec![1.0], vec![2.0]];
+        let km = KMeans::fit(&data, &KMeansConfig { k: 10, ..Default::default() });
+        assert_eq!(km.k(), 2);
+        assert!(km.inertia < 1e-12);
+    }
+
+    #[test]
+    fn predict_matches_training_assignment() {
+        let data = blobs();
+        let km = KMeans::fit(&data, &KMeansConfig { k: 3, ..Default::default() });
+        for (i, p) in data.iter().enumerate() {
+            assert_eq!(km.predict(p), km.assignments[i]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs();
+        let a = KMeans::fit(&data, &KMeansConfig { k: 3, seed: 5, ..Default::default() });
+        let b = KMeans::fit(&data, &KMeansConfig { k: 3, seed: 5, ..Default::default() });
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn identical_points_converge_instantly() {
+        let data = vec![vec![1.0, 2.0]; 8];
+        let km = KMeans::fit(&data, &KMeansConfig { k: 3, ..Default::default() });
+        assert!(km.inertia < 1e-12);
+    }
+
+    #[test]
+    fn cluster_members_partition_the_data() {
+        let data = blobs();
+        let km = KMeans::fit(&data, &KMeansConfig { k: 3, ..Default::default() });
+        let members = km.cluster_members();
+        let total: usize = members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, data.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        KMeans::fit(&[], &KMeansConfig::default());
+    }
+}

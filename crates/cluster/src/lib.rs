@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Clustering substrate: K-Means, elbow criterion, PCA and
+//! cluster-stratified sampling.
+//!
+//! §II.D–E of the paper: every unique ingredient phrase becomes a 1×36
+//! POS-tag frequency vector; K-Means (k = 23, chosen by the elbow
+//! criterion plus cluster interpretability) groups phrases with similar
+//! lexical structure; a fixed percentage of unique phrases is sampled from
+//! each cluster to build the NER training and testing sets (Table III);
+//! Fig. 2 visualizes the clusters through a 2-D PCA projection.
+//!
+//! Everything is deterministic given a seed and validated against
+//! textbook properties in tests (inertia decreases monotonically during
+//! Lloyd iterations, PCA reconstructs variance ordering, …).
+
+pub mod elbow;
+pub mod kmeans;
+pub mod minibatch;
+pub mod pca;
+pub mod quality;
+pub mod sampling;
+
+pub use elbow::{elbow_point, inertia_sweep};
+pub use kmeans::{KMeans, KMeansConfig};
+pub use minibatch::{minibatch_kmeans, MiniBatchConfig};
+pub use pca::Pca;
+pub use quality::{adjusted_rand_index, normalized_mutual_information, purity, silhouette};
+pub use sampling::{stratified_sample, stratified_split, StratifiedSplit};

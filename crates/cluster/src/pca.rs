@@ -1,0 +1,239 @@
+// Index-based loops mirror the textbook linear-algebra formulations and
+// keep symmetric-index access patterns legible.
+#![allow(clippy::needless_range_loop)]
+
+//! Principal Component Analysis via Jacobi eigendecomposition.
+//!
+//! Fig. 2 of the paper projects the 36-dimensional POS vectors to 2-D with
+//! PCA for visualization (both PCA-then-cluster and cluster-then-PCA
+//! variants). Dimensions here are tiny (36×36 covariance), so the cyclic
+//! Jacobi rotation method is exact, dependency-free and fast.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted PCA transform.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pca {
+    /// Feature means subtracted before projection.
+    pub mean: Vec<f64>,
+    /// Principal axes as rows, sorted by decreasing eigenvalue.
+    pub components: Vec<Vec<f64>>,
+    /// Eigenvalues (variances along each axis), same order.
+    pub explained_variance: Vec<f64>,
+}
+
+/// Symmetric eigendecomposition by cyclic Jacobi rotations.
+/// Returns (eigenvalues, eigenvectors as columns).
+fn jacobi_eigen(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.len();
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i][j] * a[i][j];
+            }
+        }
+        if off < 1e-20 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-15 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for row in v.iter_mut() {
+                    let vp = row[p];
+                    let vq = row[q];
+                    row[p] = c * vp - s * vq;
+                    row[q] = s * vp + c * vq;
+                }
+            }
+        }
+    }
+    let eig: Vec<f64> = (0..n).map(|i| a[i][i]).collect();
+    (eig, v)
+}
+
+impl Pca {
+    /// Fit a PCA with `n_components` axes on `data` (rows are points).
+    ///
+    /// # Panics
+    /// Panics on empty data, inconsistent dimensions, or
+    /// `n_components > dim`.
+    pub fn fit(data: &[Vec<f64>], n_components: usize) -> Self {
+        assert!(!data.is_empty(), "cannot fit PCA on empty data");
+        let dim = data[0].len();
+        assert!(data.iter().all(|p| p.len() == dim), "inconsistent dimensions");
+        assert!(n_components <= dim, "n_components exceeds dimensionality");
+        let n = data.len() as f64;
+
+        let mut mean = vec![0.0; dim];
+        for p in data {
+            for (m, &x) in mean.iter_mut().zip(p) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+
+        // Covariance (population normalization; the scale does not affect
+        // axis directions or ordering).
+        let mut cov = vec![vec![0.0; dim]; dim];
+        for p in data {
+            for i in 0..dim {
+                let di = p[i] - mean[i];
+                for j in i..dim {
+                    cov[i][j] += di * (p[j] - mean[j]);
+                }
+            }
+        }
+        for i in 0..dim {
+            for j in i..dim {
+                cov[i][j] /= n;
+                cov[j][i] = cov[i][j];
+            }
+        }
+
+        let (eig, vecs) = jacobi_eigen(cov);
+        let mut order: Vec<usize> = (0..dim).collect();
+        order.sort_by(|&a, &b| eig[b].partial_cmp(&eig[a]).unwrap());
+
+        let components: Vec<Vec<f64>> = order
+            .iter()
+            .take(n_components)
+            .map(|&c| (0..dim).map(|r| vecs[r][c]).collect())
+            .collect();
+        let explained_variance: Vec<f64> =
+            order.iter().take(n_components).map(|&c| eig[c].max(0.0)).collect();
+
+        Pca { mean, components, explained_variance }
+    }
+
+    /// Project one point onto the principal axes.
+    pub fn transform(&self, point: &[f64]) -> Vec<f64> {
+        self.components
+            .iter()
+            .map(|axis| {
+                axis.iter().zip(point).zip(&self.mean).map(|((a, &x), &m)| a * (x - m)).sum()
+            })
+            .collect()
+    }
+
+    /// Project every row of `data`.
+    pub fn transform_all(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        data.iter().map(|p| self.transform(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points along the line y = 2x with small orthogonal noise.
+    fn line_data() -> Vec<Vec<f64>> {
+        (0..40)
+            .map(|i| {
+                let t = i as f64 * 0.5;
+                let noise = ((i * 37) % 7) as f64 * 0.01 - 0.03;
+                vec![t - 2.0 * noise, 2.0 * t + noise]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_axis_follows_dominant_direction() {
+        let pca = Pca::fit(&line_data(), 2);
+        let axis = &pca.components[0];
+        // Direction (1, 2)/sqrt(5) up to sign.
+        let expect = [1.0 / 5.0f64.sqrt(), 2.0 / 5.0f64.sqrt()];
+        let dot: f64 = axis.iter().zip(&expect).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() > 0.999, "axis {axis:?}");
+    }
+
+    #[test]
+    fn variances_sorted_descending() {
+        let pca = Pca::fit(&line_data(), 2);
+        assert!(pca.explained_variance[0] >= pca.explained_variance[1]);
+        assert!(pca.explained_variance[0] > 10.0 * pca.explained_variance[1]);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let pca = Pca::fit(&line_data(), 2);
+        let a = &pca.components[0];
+        let b = &pca.components[1];
+        let na: f64 = a.iter().map(|x| x * x).sum();
+        let nb: f64 = b.iter().map(|x| x * x).sum();
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        assert!((na - 1.0).abs() < 1e-9);
+        assert!((nb - 1.0).abs() < 1e-9);
+        assert!(dot.abs() < 1e-9);
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let data = line_data();
+        let pca = Pca::fit(&data, 1);
+        let projected = pca.transform_all(&data);
+        let mean: f64 = projected.iter().map(|p| p[0]).sum::<f64>() / data.len() as f64;
+        assert!(mean.abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_variance_is_preserved_by_full_decomposition() {
+        let data = line_data();
+        let dim = 2;
+        let pca = Pca::fit(&data, dim);
+        // Sum of eigenvalues == trace of covariance.
+        let n = data.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for p in &data {
+            for (m, x) in mean.iter_mut().zip(p) {
+                *m += x / n;
+            }
+        }
+        let trace: f64 = (0..dim)
+            .map(|j| data.iter().map(|p| (p[j] - mean[j]).powi(2)).sum::<f64>() / n)
+            .sum();
+        let eigsum: f64 = pca.explained_variance.iter().sum();
+        assert!((trace - eigsum).abs() < 1e-6, "{trace} vs {eigsum}");
+    }
+
+    #[test]
+    fn high_dim_zero_variance_dims_are_ignored() {
+        // 5-D data varying only in dims 0 and 3.
+        let data: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64, 1.0, 2.0, (i % 5) as f64, 3.0])
+            .collect();
+        let pca = Pca::fit(&data, 2);
+        // First axis ~ dim 0.
+        assert!(pca.components[0][0].abs() > 0.99, "{:?}", pca.components[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_components exceeds")]
+    fn too_many_components_panics() {
+        Pca::fit(&[vec![1.0, 2.0]], 3);
+    }
+}

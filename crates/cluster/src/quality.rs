@@ -1,0 +1,247 @@
+//! Cluster-quality metrics: internal (silhouette) and external (purity,
+//! adjusted Rand index, normalized mutual information).
+//!
+//! The paper justifies k = 23 by inertia (elbow) plus *interpretation* of
+//! the clusters — phrases with the same lexical structure should share a
+//! cluster. Our synthetic corpus knows each phrase's true template family,
+//! so interpretability becomes measurable: external metrics compare the
+//! K-Means assignment against the gold family labels.
+
+use crate::kmeans::sq_dist;
+use std::collections::HashMap;
+
+/// Mean silhouette coefficient over all points (internal quality;
+/// 1 = dense & separated, 0 = overlapping, negative = misassigned).
+///
+/// O(n²) — intended for the ≤ a-few-thousand-point evaluation samples of
+/// the cluster-quality experiment, not for full corpora.
+pub fn silhouette(data: &[Vec<f64>], assignments: &[usize]) -> f64 {
+    assert_eq!(data.len(), assignments.len());
+    let n = data.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let k = assignments.iter().copied().max().unwrap_or(0) + 1;
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &a) in assignments.iter().enumerate() {
+        members[a].push(i);
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let own = assignments[i];
+        if members[own].len() < 2 {
+            // Silhouette of a singleton is defined as 0.
+            counted += 1;
+            continue;
+        }
+        // a(i): mean distance to own cluster (excluding self).
+        let a_i = members[own]
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| sq_dist(&data[i], &data[j]).sqrt())
+            .sum::<f64>()
+            / (members[own].len() - 1) as f64;
+        // b(i): smallest mean distance to another cluster.
+        let mut b_i = f64::INFINITY;
+        for (c, mem) in members.iter().enumerate() {
+            if c == own || mem.is_empty() {
+                continue;
+            }
+            let d = mem.iter().map(|&j| sq_dist(&data[i], &data[j]).sqrt()).sum::<f64>()
+                / mem.len() as f64;
+            b_i = b_i.min(d);
+        }
+        if b_i.is_finite() {
+            let s = (b_i - a_i) / a_i.max(b_i);
+            total += s;
+        }
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Contingency counts between two labelings.
+fn contingency(pred: &[usize], gold: &[usize]) -> HashMap<(usize, usize), usize> {
+    let mut table = HashMap::new();
+    for (&p, &g) in pred.iter().zip(gold) {
+        *table.entry((p, g)).or_insert(0) += 1;
+    }
+    table
+}
+
+fn class_counts(labels: &[usize]) -> HashMap<usize, usize> {
+    let mut counts = HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Cluster purity: fraction of points whose cluster's majority gold label
+/// matches their own. In `[0, 1]`; higher is better, but inflates with k.
+pub fn purity(pred: &[usize], gold: &[usize]) -> f64 {
+    assert_eq!(pred.len(), gold.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let table = contingency(pred, gold);
+    // Majority gold-label count per cluster.
+    let mut per_cluster: HashMap<usize, usize> = HashMap::new();
+    for (&(p, _g), &count) in &table {
+        let e = per_cluster.entry(p).or_insert(0);
+        if count > *e {
+            *e = count;
+        }
+    }
+    per_cluster.values().sum::<usize>() as f64 / pred.len() as f64
+}
+
+fn comb2(n: usize) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand index between two labelings: 1 = identical partitions,
+/// ~0 = random agreement (can be negative).
+pub fn adjusted_rand_index(pred: &[usize], gold: &[usize]) -> f64 {
+    assert_eq!(pred.len(), gold.len());
+    let n = pred.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let table = contingency(pred, gold);
+    let sum_ij: f64 = table.values().map(|&c| comb2(c)).sum();
+    let sum_a: f64 = class_counts(pred).values().map(|&c| comb2(c)).sum();
+    let sum_b: f64 = class_counts(gold).values().map(|&c| comb2(c)).sum();
+    let total = comb2(n);
+    let expected = sum_a * sum_b / total;
+    let max_index = (sum_a + sum_b) / 2.0;
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0;
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+/// Normalized mutual information (arithmetic normalization) in `[0, 1]`.
+pub fn normalized_mutual_information(pred: &[usize], gold: &[usize]) -> f64 {
+    assert_eq!(pred.len(), gold.len());
+    let n = pred.len() as f64;
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let table = contingency(pred, gold);
+    let pc = class_counts(pred);
+    let gc = class_counts(gold);
+    let mut mi = 0.0;
+    for (&(p, g), &c) in &table {
+        let pij = c as f64 / n;
+        let pi = pc[&p] as f64 / n;
+        let pj = gc[&g] as f64 / n;
+        mi += pij * (pij / (pi * pj)).ln();
+    }
+    let h = |counts: &HashMap<usize, usize>| -> f64 {
+        counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let hp = h(&pc);
+    let hg = h(&gc);
+    if hp == 0.0 && hg == 0.0 {
+        return 1.0;
+    }
+    let denom = (hp + hg) / 2.0;
+    if denom == 0.0 {
+        0.0
+    } else {
+        (mi / denom).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement() {
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&labels, &labels) - 1.0).abs() < 1e-12);
+        assert!((purity(&labels, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuted_cluster_ids_do_not_matter() {
+        let gold = vec![0, 0, 1, 1, 2, 2];
+        let pred = vec![2, 2, 0, 0, 1, 1];
+        assert!((adjusted_rand_index(&pred, &gold) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&pred, &gold) - 1.0).abs() < 1e-12);
+        assert!((purity(&pred, &gold) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_like_assignment_scores_low() {
+        let gold = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let pred = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let ari = adjusted_rand_index(&pred, &gold);
+        assert!(ari.abs() < 0.3, "ari {ari}");
+    }
+
+    #[test]
+    fn purity_with_merged_clusters() {
+        // One big cluster holding two gold classes: purity = majority share.
+        let gold = vec![0, 0, 0, 1];
+        let pred = vec![0, 0, 0, 0];
+        assert!((purity(&pred, &gold) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_of_split_partition() {
+        // Splitting a gold class into two clusters keeps purity at 1 but
+        // lowers NMI below 1.
+        let gold = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let pred = vec![0, 0, 1, 1, 2, 2, 3, 3];
+        assert!((purity(&pred, &gold) - 1.0).abs() < 1e-12);
+        let nmi = normalized_mutual_information(&pred, &gold);
+        assert!(nmi > 0.5 && nmi < 1.0, "nmi {nmi}");
+    }
+
+    #[test]
+    fn silhouette_separated_vs_overlapping() {
+        let mut data = Vec::new();
+        let mut assign = Vec::new();
+        for i in 0..10 {
+            data.push(vec![i as f64 * 0.01, 0.0]);
+            assign.push(0);
+            data.push(vec![100.0 + i as f64 * 0.01, 0.0]);
+            assign.push(1);
+        }
+        let good = silhouette(&data, &assign);
+        assert!(good > 0.95, "separated silhouette {good}");
+        // A mixed assignment (each cluster holds half of each blob, since
+        // the data interleaves blobs) scores much lower.
+        let bad_assign: Vec<usize> = (0..20).map(|i| usize::from(i < 10)).collect();
+        let bad = silhouette(&data, &bad_assign);
+        assert!(bad < good - 0.5, "bad {bad} vs good {good}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(silhouette(&[], &[]), 0.0);
+        assert_eq!(silhouette(&[vec![1.0]], &[0]), 0.0);
+        assert_eq!(purity(&[], &[]), 0.0);
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 1.0);
+        assert_eq!(normalized_mutual_information(&[], &[]), 0.0);
+        // Single cluster both sides.
+        let ones = vec![0usize; 5];
+        assert_eq!(adjusted_rand_index(&ones, &ones), 1.0);
+        assert_eq!(normalized_mutual_information(&ones, &ones), 1.0);
+    }
+}

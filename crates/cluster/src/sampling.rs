@@ -1,0 +1,145 @@
+//! Cluster-stratified sampling (§II.E).
+//!
+//! The paper builds its NER annotation sets by picking a fixed percentage
+//! of *unique* ingredient phrases from every K-Means cluster — 1 % per
+//! cluster for the AllRecipes training set, 0.33 % for its test set
+//! (excluding training picks), and 0.5 % / 0.165 % for Food.com. This
+//! guarantees each lexical-structure family is represented in the
+//! annotation budget.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Disjoint train/test index sets produced by stratified sampling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StratifiedSplit {
+    /// Indices (into the original item list) chosen for training.
+    pub train: Vec<usize>,
+    /// Indices chosen for testing; disjoint from `train`.
+    pub test: Vec<usize>,
+}
+
+/// Sample `fraction` of the members of each cluster (at least one member
+/// per non-empty cluster). Returns sorted item indices.
+pub fn stratified_sample(
+    cluster_members: &[Vec<usize>],
+    fraction: f64,
+    seed: u64,
+) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked = Vec::new();
+    for members in cluster_members {
+        if members.is_empty() {
+            continue;
+        }
+        let mut shuffled = members.clone();
+        shuffled.shuffle(&mut rng);
+        let take = ((members.len() as f64 * fraction).round() as usize).clamp(
+            if fraction > 0.0 { 1 } else { 0 },
+            members.len(),
+        );
+        picked.extend_from_slice(&shuffled[..take]);
+    }
+    picked.sort_unstable();
+    picked
+}
+
+/// Build a train/test split per the paper: `train_frac` of every cluster
+/// goes to training, then `test_frac` of every cluster is drawn from the
+/// *remaining* members.
+pub fn stratified_split(
+    cluster_members: &[Vec<usize>],
+    train_frac: f64,
+    test_frac: f64,
+    seed: u64,
+) -> StratifiedSplit {
+    let train = stratified_sample(cluster_members, train_frac, seed);
+    let train_set: std::collections::HashSet<usize> = train.iter().copied().collect();
+    // Remove training picks, then sample the test fraction relative to the
+    // original cluster sizes (like the paper's 0.33 % of unique phrases).
+    let remaining: Vec<Vec<usize>> = cluster_members
+        .iter()
+        .map(|m| m.iter().copied().filter(|i| !train_set.contains(i)).collect())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let mut test = Vec::new();
+    for (members, orig) in remaining.iter().zip(cluster_members) {
+        if members.is_empty() || orig.is_empty() {
+            continue;
+        }
+        let mut shuffled = members.clone();
+        shuffled.shuffle(&mut rng);
+        let take = ((orig.len() as f64 * test_frac).round() as usize)
+            .clamp(if test_frac > 0.0 { 1 } else { 0 }, members.len());
+        test.extend_from_slice(&shuffled[..take]);
+    }
+    test.sort_unstable();
+    StratifiedSplit { train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters() -> Vec<Vec<usize>> {
+        vec![(0..100).collect(), (100..140).collect(), (140..150).collect()]
+    }
+
+    #[test]
+    fn fraction_respected_per_cluster() {
+        let picked = stratified_sample(&clusters(), 0.1, 7);
+        assert_eq!(picked.len(), 10 + 4 + 1);
+    }
+
+    #[test]
+    fn every_nonempty_cluster_represented() {
+        let picked = stratified_sample(&clusters(), 0.01, 7);
+        // 1% of 100 = 1, of 40 -> rounds to 0 but clamps to 1, of 10 -> 1.
+        assert_eq!(picked.len(), 3);
+        assert!(picked.iter().any(|&i| i < 100));
+        assert!(picked.iter().any(|&i| (100..140).contains(&i)));
+        assert!(picked.iter().any(|&i| i >= 140));
+    }
+
+    #[test]
+    fn zero_fraction_picks_nothing() {
+        assert!(stratified_sample(&clusters(), 0.0, 7).is_empty());
+    }
+
+    #[test]
+    fn split_is_disjoint() {
+        let split = stratified_split(&clusters(), 0.2, 0.1, 3);
+        let train: std::collections::HashSet<_> = split.train.iter().collect();
+        assert!(split.test.iter().all(|i| !train.contains(i)));
+        assert!(!split.train.is_empty());
+        assert!(!split.test.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = stratified_split(&clusters(), 0.2, 0.1, 3);
+        let b = stratified_split(&clusters(), 0.2, 0.1, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_clusters_are_skipped() {
+        let members = vec![vec![], (0..10).collect::<Vec<_>>(), vec![]];
+        let picked = stratified_sample(&members, 0.5, 1);
+        assert_eq!(picked.len(), 5);
+    }
+
+    #[test]
+    fn full_fraction_takes_everything() {
+        let picked = stratified_sample(&clusters(), 1.0, 1);
+        assert_eq!(picked.len(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn out_of_range_fraction_panics() {
+        stratified_sample(&clusters(), 1.5, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Cuisine prediction from mined ingredient information (a use case the
+//! paper's introduction names for the ingredients section: "food pairing,
+//! flavor prediction, nutritional estimation, cost estimation and cuisine
+//! prediction").
+//!
+//! A multinomial naive Bayes classifier over extracted ingredient names
+//! with Laplace smoothing — the textbook baseline for set-of-ingredients
+//! cuisine classification.
+
+use crate::model::RecipeModel;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Multinomial naive Bayes over ingredient names.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CuisineClassifier {
+    /// Recipes per cuisine.
+    class_counts: BTreeMap<String, usize>,
+    /// `word_counts[cuisine][ingredient]`.
+    word_counts: BTreeMap<String, HashMap<String, usize>>,
+    /// Total ingredient tokens per cuisine.
+    token_totals: BTreeMap<String, usize>,
+    /// Distinct ingredient vocabulary size (smoothing denominator).
+    vocab: std::collections::BTreeSet<String>,
+}
+
+impl CuisineClassifier {
+    /// Fit on mined recipe models with known cuisines.
+    pub fn fit(models: &[RecipeModel]) -> Self {
+        let mut c = CuisineClassifier::default();
+        for m in models {
+            if m.cuisine.is_empty() {
+                continue;
+            }
+            *c.class_counts.entry(m.cuisine.clone()).or_insert(0) += 1;
+            let wc = c.word_counts.entry(m.cuisine.clone()).or_default();
+            let tot = c.token_totals.entry(m.cuisine.clone()).or_insert(0);
+            for e in &m.ingredients {
+                if e.name.is_empty() {
+                    continue;
+                }
+                // Use the base noun (last token) so modifier-composed
+                // names ("red onion") share evidence with their base.
+                let base = e.name.rsplit(' ').next().unwrap_or(&e.name).to_string();
+                *wc.entry(base.clone()).or_insert(0) += 1;
+                *tot += 1;
+                c.vocab.insert(base);
+            }
+        }
+        c
+    }
+
+    /// Number of cuisines seen during fitting.
+    pub fn num_classes(&self) -> usize {
+        self.class_counts.len()
+    }
+
+    /// Log-probability scores per cuisine for an ingredient-name list,
+    /// highest first.
+    pub fn scores(&self, names: &[String]) -> Vec<(String, f64)> {
+        let total_recipes: usize = self.class_counts.values().sum();
+        if total_recipes == 0 {
+            return Vec::new();
+        }
+        let v = self.vocab.len() as f64;
+        let mut scored: Vec<(String, f64)> = self
+            .class_counts
+            .iter()
+            .map(|(cuisine, &count)| {
+                let prior = (count as f64 / total_recipes as f64).ln();
+                let wc = &self.word_counts[cuisine];
+                let tot = self.token_totals[cuisine] as f64;
+                let ll: f64 = names
+                    .iter()
+                    .map(|n| {
+                        let base = n.rsplit(' ').next().unwrap_or(n);
+                        let c = wc.get(base).copied().unwrap_or(0) as f64;
+                        ((c + 1.0) / (tot + v)).ln()
+                    })
+                    .sum();
+                (cuisine.clone(), prior + ll)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite log-probs"));
+        scored
+    }
+
+    /// Most likely cuisine for a mined recipe model.
+    pub fn predict(&self, model: &RecipeModel) -> Option<String> {
+        let names: Vec<String> = model.ingredients.iter().map(|e| e.name.clone()).collect();
+        self.scores(&names).into_iter().next().map(|(c, _)| c)
+    }
+
+    /// Accuracy over labeled models, plus the majority-class baseline.
+    pub fn evaluate(&self, models: &[RecipeModel]) -> (f64, f64) {
+        if models.is_empty() {
+            return (0.0, 0.0);
+        }
+        let correct = models
+            .iter()
+            .filter(|m| self.predict(m).as_deref() == Some(m.cuisine.as_str()))
+            .count();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for m in models {
+            *counts.entry(m.cuisine.as_str()).or_insert(0) += 1;
+        }
+        let majority = counts.values().copied().max().unwrap_or(0);
+        (correct as f64 / models.len() as f64, majority as f64 / models.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::IngredientEntry;
+
+    fn model(cuisine: &str, names: &[&str]) -> RecipeModel {
+        RecipeModel {
+            cuisine: cuisine.to_string(),
+            ingredients: names.iter().map(|n| IngredientEntry::named(*n)).collect(),
+            ..Default::default()
+        }
+    }
+
+    fn training() -> Vec<RecipeModel> {
+        vec![
+            model("italian", &["pasta", "tomato", "basil"]),
+            model("italian", &["pasta", "olive oil", "garlic"]),
+            model("italian", &["tomato", "basil", "mozzarella"]),
+            model("mexican", &["tortilla", "bean", "chili"]),
+            model("mexican", &["corn", "bean", "lime"]),
+            model("mexican", &["tortilla", "chili", "cilantro"]),
+        ]
+    }
+
+    #[test]
+    fn classifies_clear_cases() {
+        let clf = CuisineClassifier::fit(&training());
+        assert_eq!(clf.num_classes(), 2);
+        let italian = model("?", &["pasta", "basil"]);
+        let mexican = model("?", &["tortilla", "bean"]);
+        assert_eq!(clf.predict(&italian).as_deref(), Some("italian"));
+        assert_eq!(clf.predict(&mexican).as_deref(), Some("mexican"));
+    }
+
+    #[test]
+    fn modifier_names_share_base_evidence() {
+        let clf = CuisineClassifier::fit(&training());
+        // "heirloom tomato" backs off to "tomato".
+        let m = model("?", &["heirloom tomato", "sweet basil"]);
+        assert_eq!(clf.predict(&m).as_deref(), Some("italian"));
+    }
+
+    #[test]
+    fn scores_are_sorted_and_finite() {
+        let clf = CuisineClassifier::fit(&training());
+        let scores = clf.scores(&["bean".to_string(), "unseen-thing".to_string()]);
+        assert_eq!(scores.len(), 2);
+        assert!(scores[0].1 >= scores[1].1);
+        assert!(scores.iter().all(|(_, s)| s.is_finite()));
+    }
+
+    #[test]
+    fn evaluate_beats_majority_on_training_data() {
+        let clf = CuisineClassifier::fit(&training());
+        let (acc, baseline) = clf.evaluate(&training());
+        assert!(acc > baseline, "acc {acc} baseline {baseline}");
+        assert!((baseline - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_model_predicts_nothing_sensibly() {
+        let clf = CuisineClassifier::fit(&[]);
+        assert!(clf.predict(&model("?", &["pasta"])).is_none());
+        assert_eq!(clf.evaluate(&[]), (0.0, 0.0));
+    }
+}

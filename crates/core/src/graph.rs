@@ -1,0 +1,219 @@
+//! Knowledge-graph export of mined recipes (§I cites Knowledge Graphs /
+//! Thought Graphs as the downstream consumers of the event tuples).
+//!
+//! A [`RecipeModel`] becomes a directed graph:
+//!
+//! * one node per event (the cooking technique at a temporal position);
+//! * one node per distinct ingredient / utensil;
+//! * participation edges event → participant;
+//! * temporal edges event → next event (the narrative chain).
+//!
+//! [`to_dot`] renders Graphviz DOT; [`RecipeGraph`] is the programmatic
+//! form for downstream traversal.
+
+use crate::model::RecipeModel;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Node kinds in the recipe graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A cooking event (technique instance).
+    Event,
+    /// An ingredient entity.
+    Ingredient,
+    /// A utensil entity.
+    Utensil,
+}
+
+/// A node: kind plus display label.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Display label (`fry@2`, `olive oil`, `pan`).
+    pub label: String,
+}
+
+/// Edge kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Event uses an ingredient.
+    UsesIngredient,
+    /// Event uses a utensil.
+    UsesUtensil,
+    /// Temporal successor (event chain).
+    Next,
+}
+
+/// The programmatic recipe graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RecipeGraph {
+    /// Nodes, indexed by the ids used in `edges`.
+    pub nodes: Vec<Node>,
+    /// `(from, to, kind)` edges over node indices.
+    pub edges: Vec<(usize, usize, EdgeKind)>,
+}
+
+impl RecipeGraph {
+    /// Build the graph of a mined recipe.
+    pub fn from_model(model: &RecipeModel) -> Self {
+        let mut g = RecipeGraph::default();
+        let mut entity_ids: BTreeMap<(NodeKind, String), usize> = BTreeMap::new();
+        let mut entity = |g: &mut RecipeGraph, kind: NodeKind, label: &str| -> usize {
+            *entity_ids.entry((kind, label.to_string())).or_insert_with(|| {
+                g.nodes.push(Node { kind, label: label.to_string() });
+                g.nodes.len() - 1
+            })
+        };
+        let mut prev_event: Option<usize> = None;
+        for (i, e) in model.events.iter().enumerate() {
+            g.nodes.push(Node {
+                kind: NodeKind::Event,
+                label: format!("{}@{}", e.process, i + 1),
+            });
+            let ev = g.nodes.len() - 1;
+            if let Some(p) = prev_event {
+                g.edges.push((p, ev, EdgeKind::Next));
+            }
+            prev_event = Some(ev);
+            for ing in &e.ingredients {
+                let n = entity(&mut g, NodeKind::Ingredient, ing);
+                g.edges.push((ev, n, EdgeKind::UsesIngredient));
+            }
+            for ut in &e.utensils {
+                let n = entity(&mut g, NodeKind::Utensil, ut);
+                g.edges.push((ev, n, EdgeKind::UsesUtensil));
+            }
+        }
+        g
+    }
+
+    /// Count nodes of a kind.
+    pub fn count(&self, kind: NodeKind) -> usize {
+        self.nodes.iter().filter(|n| n.kind == kind).count()
+    }
+}
+
+fn escape(label: &str) -> String {
+    label.replace('"', "\\\"")
+}
+
+/// Render a mined recipe as Graphviz DOT.
+pub fn to_dot(model: &RecipeModel) -> String {
+    let g = RecipeGraph::from_model(model);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph recipe {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  label=\"{}\";", escape(&model.title));
+    for (i, node) in g.nodes.iter().enumerate() {
+        let (shape, color) = match node.kind {
+            NodeKind::Event => ("box", "#4e79a7"),
+            NodeKind::Ingredient => ("ellipse", "#59a14f"),
+            NodeKind::Utensil => ("diamond", "#f28e2b"),
+        };
+        let _ = writeln!(
+            out,
+            "  n{i} [label=\"{}\", shape={shape}, color=\"{color}\"];",
+            escape(&node.label)
+        );
+    }
+    for &(from, to, kind) in &g.edges {
+        let style = match kind {
+            EdgeKind::Next => " [style=bold]",
+            EdgeKind::UsesIngredient => "",
+            EdgeKind::UsesUtensil => " [style=dashed]",
+        };
+        let _ = writeln!(out, "  n{from} -> n{to}{style};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CookingEvent;
+
+    fn model() -> RecipeModel {
+        RecipeModel {
+            title: "test".into(),
+            events: vec![
+                CookingEvent {
+                    process: "boil".into(),
+                    ingredients: vec!["water".into()],
+                    utensils: vec!["pot".into()],
+                    step: 0,
+                },
+                CookingEvent {
+                    process: "add".into(),
+                    ingredients: vec!["pasta".into(), "water".into()],
+                    utensils: vec![],
+                    step: 1,
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn graph_shares_entity_nodes() {
+        let g = RecipeGraph::from_model(&model());
+        // 2 events + 2 distinct ingredients (water shared) + 1 utensil.
+        assert_eq!(g.count(NodeKind::Event), 2);
+        assert_eq!(g.count(NodeKind::Ingredient), 2);
+        assert_eq!(g.count(NodeKind::Utensil), 1);
+        // water participates in both events.
+        let water = g
+            .nodes
+            .iter()
+            .position(|n| n.label == "water")
+            .expect("water node");
+        let uses: usize = g
+            .edges
+            .iter()
+            .filter(|&&(_, to, k)| to == water && k == EdgeKind::UsesIngredient)
+            .count();
+        assert_eq!(uses, 2);
+    }
+
+    #[test]
+    fn temporal_chain_links_events_in_order() {
+        let g = RecipeGraph::from_model(&model());
+        let nexts: Vec<_> =
+            g.edges.iter().filter(|&&(_, _, k)| k == EdgeKind::Next).collect();
+        assert_eq!(nexts.len(), 1);
+        let &&(from, to, _) = nexts.first().unwrap();
+        assert!(g.nodes[from].label.starts_with("boil"));
+        assert!(g.nodes[to].label.starts_with("add"));
+    }
+
+    #[test]
+    fn dot_output_is_syntactically_plausible() {
+        let dot = to_dot(&model());
+        assert!(dot.starts_with("digraph recipe {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("boil@1"));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("->"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn labels_with_quotes_are_escaped() {
+        let mut m = model();
+        m.title = "the \"best\" soup".into();
+        let dot = to_dot(&m);
+        assert!(dot.contains("the \\\"best\\\" soup"));
+    }
+
+    #[test]
+    fn empty_model_yields_empty_graph() {
+        let g = RecipeGraph::from_model(&RecipeModel::default());
+        assert!(g.nodes.is_empty());
+        assert!(g.edges.is_empty());
+        assert!(to_dot(&RecipeModel::default()).contains("digraph"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Instruction-section mining: NER application and the frequency-threshold
+//! dictionaries of §III.A.
+//!
+//! The paper runs the instruction NER model over RecipeDB, then keeps only
+//! processes seen at least 47 times and utensils seen at least 10 times —
+//! "removing most of the inconsistencies" — to form the dictionaries used
+//! by relation extraction.
+
+use recipe_corpus::RecipeCorpus;
+use recipe_ner::{InstructionTag, SequenceModel};
+use recipe_text::Preprocessor;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Frequency-thresholded vocabularies of cooking techniques and utensils.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dictionaries {
+    /// Cooking techniques (lemmatized lowercase).
+    pub processes: BTreeSet<String>,
+    /// Utensils (lemmatized lowercase).
+    pub utensils: BTreeSet<String>,
+    /// Raw counts behind `processes` (kept for the threshold ablation).
+    pub process_counts: BTreeMap<String, usize>,
+    /// Raw counts behind `utensils`.
+    pub utensil_counts: BTreeMap<String, usize>,
+}
+
+impl Dictionaries {
+    /// Is `word` (already normalized) a known process?
+    pub fn is_process(&self, word: &str) -> bool {
+        self.processes.contains(word)
+    }
+
+    /// Is `word` (already normalized) a known utensil?
+    pub fn is_utensil(&self, word: &str) -> bool {
+        self.utensils.contains(word)
+    }
+
+    /// Re-apply different thresholds to the stored counts (ablation hook).
+    pub fn with_thresholds(&self, process_min: usize, utensil_min: usize) -> Dictionaries {
+        Dictionaries {
+            processes: self
+                .process_counts
+                .iter()
+                .filter(|&(_, &c)| c >= process_min)
+                .map(|(w, _)| w.clone())
+                .collect(),
+            utensils: self
+                .utensil_counts
+                .iter()
+                .filter(|&(_, &c)| c >= utensil_min)
+                .map(|(w, _)| w.clone())
+                .collect(),
+            process_counts: self.process_counts.clone(),
+            utensil_counts: self.utensil_counts.clone(),
+        }
+    }
+}
+
+/// Tag one instruction sentence (raw tokens) with the instruction NER
+/// model.
+pub fn tag_instruction(ner: &SequenceModel, words: &[String]) -> Vec<InstructionTag> {
+    ner.predict(words)
+        .iter()
+        .map(|t| InstructionTag::parse(t).unwrap_or(InstructionTag::O))
+        .collect()
+}
+
+/// Run the instruction NER over the whole corpus, count the predicted
+/// process and utensil surface forms (lemmatized), and keep the ones above
+/// the thresholds.
+pub fn build_dictionaries(
+    corpus: &RecipeCorpus,
+    ner: &SequenceModel,
+    pre: &Preprocessor,
+    process_threshold: usize,
+    utensil_threshold: usize,
+) -> Dictionaries {
+    let mut process_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut utensil_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for recipe in &corpus.recipes {
+        for sent in &recipe.instructions {
+            let words = sent.words();
+            let tags = tag_instruction(ner, &words);
+            for (w, t) in words.iter().zip(&tags) {
+                match t {
+                    InstructionTag::Process => {
+                        *process_counts.entry(pre.normalize_word(w)).or_default() += 1;
+                    }
+                    InstructionTag::Utensil => {
+                        *utensil_counts.entry(pre.normalize_word(w)).or_default() += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    let dicts = Dictionaries {
+        processes: BTreeSet::new(),
+        utensils: BTreeSet::new(),
+        process_counts,
+        utensil_counts,
+    };
+    dicts.with_thresholds(process_threshold, utensil_threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_filter_counts() {
+        let mut d = Dictionaries::default();
+        d.process_counts.insert("boil".into(), 50);
+        d.process_counts.insert("zap".into(), 3);
+        d.utensil_counts.insert("pan".into(), 12);
+        d.utensil_counts.insert("doohickey".into(), 1);
+        let filtered = d.with_thresholds(47, 10);
+        assert!(filtered.is_process("boil"));
+        assert!(!filtered.is_process("zap"));
+        assert!(filtered.is_utensil("pan"));
+        assert!(!filtered.is_utensil("doohickey"));
+    }
+
+    #[test]
+    fn rethresholding_is_monotone() {
+        let mut d = Dictionaries::default();
+        for (w, c) in [("a", 1), ("b", 5), ("c", 20), ("d", 100)] {
+            d.process_counts.insert(w.into(), c);
+        }
+        let strict = d.with_thresholds(50, 10);
+        let loose = d.with_thresholds(2, 10);
+        assert!(strict.processes.is_subset(&loose.processes));
+        assert_eq!(strict.processes.len(), 1);
+        assert_eq!(loose.processes.len(), 3);
+    }
+}

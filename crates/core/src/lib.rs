@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! Named-entity based recipe modelling — the paper's primary contribution.
+//!
+//! This crate assembles the substrates (`recipe-text`, `recipe-tagger`,
+//! `recipe-ner`, `recipe-cluster`, `recipe-parser`, `recipe-corpus`) into
+//! the full pipeline of Diwan, Batra & Bagler (ICDE 2020):
+//!
+//! 1. **Ingredient modelling** ([`pipeline`]): preprocess every ingredient
+//!    phrase, POS-tag it, cluster the 1×36 POS vectors with K-Means,
+//!    stratified-sample an annotation budget, train the NER model, and
+//!    decompose phrases into the seven attributes of Table II
+//!    ([`model::IngredientEntry`]).
+//! 2. **Instruction mining** ([`instructions`], [`events`]): a second NER
+//!    model tags processes/utensils/ingredients, frequency-threshold
+//!    dictionaries filter them, and a dependency parser extracts
+//!    many-to-many [`model::CookingEvent`] tuples per §III.B.
+//! 3. **Applications** ([`nutrition`], [`similarity`]): nutritional profile
+//!    estimation and recipe similarity over the mined structure, the two
+//!    applications the paper reports deploying on RecipeDB.
+//!
+//! The resulting uniform structure is [`model::RecipeModel`] — Fig. 1 of
+//! the paper.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
+//! use recipe_corpus::{CorpusSpec, RecipeCorpus};
+//!
+//! let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(42));
+//! let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
+//! let model = pipeline.model_recipe(&corpus.recipes[0]);
+//! println!("{} events", model.events.len());
+//! ```
+
+pub mod cuisine;
+pub mod events;
+pub mod generation;
+pub mod graph;
+pub mod instructions;
+pub mod model;
+pub mod nutrition;
+pub mod persist;
+pub mod pipeline;
+pub mod quantity;
+pub mod render;
+pub mod similarity;
+
+pub use model::{CookingEvent, IngredientEntry, RecipeModel};
+pub use pipeline::{IngredientExtractor, PipelineConfig, TrainedPipeline};
+pub use quantity::Quantity;

@@ -1,0 +1,223 @@
+//! The uniform recipe data structure (Fig. 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One ingredient with its extracted attributes (Table II). Every field
+/// except `name` is optional — most phrases fill only a subset, exactly as
+/// in Table I of the paper.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngredientEntry {
+    /// Ingredient name (normalized, possibly multi-word): `puff pastry`.
+    pub name: String,
+    /// Processing state: `thawed`, `minced`.
+    pub state: Option<String>,
+    /// Quantity string as written: `1`, `1 1/2`, `2-3`.
+    pub quantity: Option<String>,
+    /// Measuring unit: `sheet`, `ounce`.
+    pub unit: Option<String>,
+    /// Temperature attribute: `frozen`, `room temperature`.
+    pub temperature: Option<String>,
+    /// Dry/fresh attribute: `fresh`, `dried`.
+    pub dry_fresh: Option<String>,
+    /// Portion size: `medium`, `large`.
+    pub size: Option<String>,
+}
+
+impl IngredientEntry {
+    /// A bare entry with only a name.
+    pub fn named(name: impl Into<String>) -> Self {
+        IngredientEntry { name: name.into(), ..Default::default() }
+    }
+
+    /// Number of filled attribute slots (excluding the name).
+    pub fn attribute_count(&self) -> usize {
+        [
+            &self.state,
+            &self.quantity,
+            &self.unit,
+            &self.temperature,
+            &self.dry_fresh,
+            &self.size,
+        ]
+        .iter()
+        .filter(|o| o.is_some())
+        .count()
+    }
+}
+
+impl fmt::Display for IngredientEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(q) = &self.quantity {
+            write!(f, " [qty {q}")?;
+            if let Some(u) = &self.unit {
+                write!(f, " {u}")?;
+            }
+            write!(f, "]")?;
+        } else if let Some(u) = &self.unit {
+            write!(f, " [unit {u}]")?;
+        }
+        if let Some(s) = &self.state {
+            write!(f, " [state {s}]")?;
+        }
+        if let Some(t) = &self.temperature {
+            write!(f, " [temp {t}]")?;
+        }
+        if let Some(d) = &self.dry_fresh {
+            write!(f, " [{d}]")?;
+        }
+        if let Some(s) = &self.size {
+            write!(f, " [size {s}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A many-to-many cooking event (§III.B): one cooking technique applied to
+/// any number of ingredients and utensils at one instruction position.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CookingEvent {
+    /// The cooking technique / process (normalized verb): `fry`.
+    pub process: String,
+    /// Ingredient participants: `["potato", "olive oil"]`.
+    pub ingredients: Vec<String>,
+    /// Utensil participants: `["pan"]`.
+    pub utensils: Vec<String>,
+    /// Temporal position: index of the instruction step this event came
+    /// from (events are ordered within a recipe).
+    pub step: usize,
+}
+
+impl CookingEvent {
+    /// Number of one-to-one relations this compound event models (the unit
+    /// the paper's 6.164 ± 5.70 statistic counts).
+    pub fn relation_count(&self) -> usize {
+        self.ingredients.len() + self.utensils.len()
+    }
+}
+
+impl fmt::Display for CookingEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} + [{}] + [{}]",
+            self.process,
+            self.ingredients.join(", "),
+            self.utensils.join(", ")
+        )
+    }
+}
+
+/// The complete mined model of one recipe: Fig. 1's uniform structure.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RecipeModel {
+    /// Source recipe id.
+    pub id: u64,
+    /// Source recipe title.
+    pub title: String,
+    /// Cuisine label (metadata carried through).
+    pub cuisine: String,
+    /// Structured ingredient section.
+    pub ingredients: Vec<IngredientEntry>,
+    /// Temporal sequence of cooking events mined from the instructions.
+    pub events: Vec<CookingEvent>,
+    /// Number of instruction steps the events were mined from.
+    pub num_steps: usize,
+}
+
+impl RecipeModel {
+    /// All distinct processes, in first-use order (the temporal sequence of
+    /// techniques).
+    pub fn process_sequence(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for e in &self.events {
+            if !seen.contains(&e.process.as_str()) {
+                seen.push(e.process.as_str());
+            }
+        }
+        seen
+    }
+
+    /// All distinct utensils used.
+    pub fn utensils(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for e in &self.events {
+            for u in &e.utensils {
+                if !seen.contains(&u.as_str()) {
+                    seen.push(u.as_str());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Total one-to-one relation count across events.
+    pub fn total_relations(&self) -> usize {
+        self.events.iter().map(|e| e.relation_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(process: &str, ings: &[&str], uts: &[&str], step: usize) -> CookingEvent {
+        CookingEvent {
+            process: process.to_string(),
+            ingredients: ings.iter().map(|s| s.to_string()).collect(),
+            utensils: uts.iter().map(|s| s.to_string()).collect(),
+            step,
+        }
+    }
+
+    #[test]
+    fn entry_attribute_count() {
+        let mut e = IngredientEntry::named("pepper");
+        assert_eq!(e.attribute_count(), 0);
+        e.quantity = Some("1/2".into());
+        e.unit = Some("teaspoon".into());
+        e.state = Some("ground".into());
+        assert_eq!(e.attribute_count(), 3);
+    }
+
+    #[test]
+    fn entry_display_is_compact() {
+        let e = IngredientEntry {
+            name: "puff pastry".into(),
+            state: Some("thawed".into()),
+            quantity: Some("1".into()),
+            unit: Some("sheet".into()),
+            temperature: Some("frozen".into()),
+            dry_fresh: None,
+            size: None,
+        };
+        let s = e.to_string();
+        assert!(s.contains("puff pastry"));
+        assert!(s.contains("qty 1 sheet"));
+        assert!(s.contains("state thawed"));
+        assert!(s.contains("temp frozen"));
+    }
+
+    #[test]
+    fn event_relation_count_is_many_to_many() {
+        let e = event("fry", &["potato", "olive oil"], &["pan"], 0);
+        assert_eq!(e.relation_count(), 3);
+        assert_eq!(e.to_string(), "fry + [potato, olive oil] + [pan]");
+    }
+
+    #[test]
+    fn model_aggregations() {
+        let m = RecipeModel {
+            events: vec![
+                event("boil", &["water"], &["pot"], 0),
+                event("add", &["pasta"], &["pot"], 1),
+                event("boil", &["pasta"], &[], 2),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(m.process_sequence(), ["boil", "add"]);
+        assert_eq!(m.utensils(), ["pot"]);
+        assert_eq!(m.total_relations(), 5);
+    }
+}

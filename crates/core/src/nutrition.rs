@@ -1,0 +1,376 @@
+//! Nutritional profile estimation (application from §IV; paper reference 13).
+//!
+//! The paper used the USDA Standard Legacy database; we embed a compact
+//! per-100 g nutrient table for the corpus's base ingredients plus a
+//! unit→gram conversion table. Estimation multiplies each ingredient's
+//! quantity (midpoint for ranges), converts to grams, and sums nutrient
+//! contributions; unknown ingredients or units are reported, not guessed.
+
+use crate::model::{IngredientEntry, RecipeModel};
+use crate::quantity::Quantity;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Macro-nutrient profile. All quantities per the amounts in the recipe
+/// (not per serving).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NutrientProfile {
+    /// Kilocalories.
+    pub kcal: f64,
+    /// Protein, grams.
+    pub protein_g: f64,
+    /// Fat, grams.
+    pub fat_g: f64,
+    /// Carbohydrates, grams.
+    pub carbs_g: f64,
+}
+
+impl NutrientProfile {
+    /// Element-wise sum.
+    pub fn add(&mut self, other: &NutrientProfile) {
+        self.kcal += other.kcal;
+        self.protein_g += other.protein_g;
+        self.fat_g += other.fat_g;
+        self.carbs_g += other.carbs_g;
+    }
+
+    /// Scale by a factor (e.g. grams/100).
+    pub fn scaled(&self, factor: f64) -> NutrientProfile {
+        NutrientProfile {
+            kcal: self.kcal * factor,
+            protein_g: self.protein_g * factor,
+            fat_g: self.fat_g * factor,
+            carbs_g: self.carbs_g * factor,
+        }
+    }
+}
+
+/// Per-100 g nutrient rows for base ingredients (USDA-order-of-magnitude
+/// values; the *relative* structure is what the estimation exercise needs).
+const NUTRIENTS_PER_100G: &[(&str, f64, f64, f64, f64)] = &[
+    // (name, kcal, protein, fat, carbs)
+    ("flour", 364.0, 10.3, 1.0, 76.3),
+    ("sugar", 387.0, 0.0, 0.0, 100.0),
+    ("salt", 0.0, 0.0, 0.0, 0.0),
+    ("pepper", 251.0, 10.4, 3.3, 63.9),
+    ("butter", 717.0, 0.9, 81.1, 0.1),
+    ("milk", 61.0, 3.2, 3.3, 4.8),
+    ("egg", 143.0, 12.6, 9.5, 0.7),
+    ("water", 0.0, 0.0, 0.0, 0.0),
+    ("oil", 884.0, 0.0, 100.0, 0.0),
+    ("olive oil", 884.0, 0.0, 100.0, 0.0),
+    ("onion", 40.0, 1.1, 0.1, 9.3),
+    ("garlic", 149.0, 6.4, 0.5, 33.1),
+    ("tomato", 18.0, 0.9, 0.2, 3.9),
+    ("potato", 77.0, 2.0, 0.1, 17.5),
+    ("carrot", 41.0, 0.9, 0.2, 9.6),
+    ("celery", 16.0, 0.7, 0.2, 3.0),
+    ("chicken", 239.0, 27.3, 13.6, 0.0),
+    ("beef", 250.0, 26.0, 15.0, 0.0),
+    ("pork", 242.0, 27.3, 14.0, 0.0),
+    ("rice", 130.0, 2.7, 0.3, 28.2),
+    ("pasta", 131.0, 5.0, 1.1, 25.0),
+    ("cheese", 402.0, 25.0, 33.1, 1.3),
+    ("cream", 340.0, 2.1, 36.1, 2.8),
+    ("cream cheese", 342.0, 5.9, 34.2, 4.1),
+    ("yogurt", 59.0, 10.0, 0.4, 3.6),
+    ("honey", 304.0, 0.3, 0.0, 82.4),
+    ("vinegar", 18.0, 0.0, 0.0, 0.9),
+    ("lemon", 29.0, 1.1, 0.3, 9.3),
+    ("mushroom", 22.0, 3.1, 0.3, 3.3),
+    ("spinach", 23.0, 2.9, 0.4, 3.6),
+    ("broccoli", 34.0, 2.8, 0.4, 6.6),
+    ("corn", 86.0, 3.3, 1.4, 18.7),
+    ("bean", 347.0, 21.4, 1.2, 62.4),
+    ("lentil", 116.0, 9.0, 0.4, 20.1),
+    ("almond", 579.0, 21.2, 49.9, 21.6),
+    ("walnut", 654.0, 15.2, 65.2, 13.7),
+    ("thyme", 101.0, 5.6, 1.7, 24.5),
+    ("basil", 23.0, 3.2, 0.6, 2.7),
+    ("cinnamon", 247.0, 4.0, 1.2, 80.6),
+    ("ginger", 80.0, 1.8, 0.8, 17.8),
+    ("vanilla", 288.0, 0.1, 0.1, 12.7),
+    ("chocolate", 546.0, 4.9, 31.3, 61.2),
+    ("shrimp", 99.0, 24.0, 0.3, 0.2),
+    ("salmon", 208.0, 20.4, 13.4, 0.0),
+    ("bacon", 541.0, 37.0, 42.0, 1.4),
+    ("bread", 265.0, 9.0, 3.2, 49.0),
+    ("blue cheese", 353.0, 21.4, 28.7, 2.3),
+    ("puff pastry", 558.0, 7.4, 38.5, 45.7),
+    ("tofu", 76.0, 8.0, 4.8, 1.9),
+    ("avocado", 160.0, 2.0, 14.7, 8.5),
+];
+
+/// Gram weight of one unit of an ingredient (generic densities; the
+/// volume→mass mapping is intentionally coarse, like the paper's).
+const UNIT_GRAMS: &[(&str, f64)] = &[
+    ("cup", 240.0),
+    ("tablespoon", 15.0),
+    ("teaspoon", 5.0),
+    ("ounce", 28.35),
+    ("pound", 453.6),
+    ("gram", 1.0),
+    ("kilogram", 1000.0),
+    ("liter", 1000.0),
+    ("milliliter", 1.0),
+    ("pinch", 0.4),
+    ("dash", 0.6),
+    ("clove", 3.0),
+    ("slice", 25.0),
+    ("piece", 30.0),
+    ("can", 400.0),
+    ("package", 225.0),
+    ("sheet", 250.0),
+    ("stick", 113.0),
+    ("bunch", 100.0),
+    ("sprig", 2.0),
+    ("stalk", 40.0),
+    ("head", 500.0),
+    ("quart", 946.0),
+    ("pint", 473.0),
+    ("gallon", 3785.0),
+    ("jar", 350.0),
+    ("bottle", 500.0),
+    ("carton", 1000.0),
+    ("envelope", 7.0),
+    ("wedge", 30.0),
+    ("strip", 15.0),
+    ("fillet", 170.0),
+    ("rib", 60.0),
+];
+
+/// Default gram weight of one countable item (`2 eggs`).
+const DEFAULT_ITEM_GRAMS: f64 = 100.0;
+
+/// Volume-unit density overrides per ingredient base: a cup of flour is
+/// 120 g, not the generic 240 g of water. `(ingredient base, unit, grams)`.
+const DENSITY_OVERRIDES: &[(&str, &str, f64)] = &[
+    ("flour", "cup", 120.0),
+    ("sugar", "cup", 200.0),
+    ("butter", "cup", 227.0),
+    ("rice", "cup", 185.0),
+    ("oat", "cup", 90.0),
+    ("cocoa", "cup", 85.0),
+    ("honey", "cup", 340.0),
+    ("oil", "cup", 218.0),
+    ("cheese", "cup", 113.0),
+    ("flour", "tablespoon", 8.0),
+    ("sugar", "tablespoon", 12.5),
+    ("butter", "tablespoon", 14.2),
+    ("oil", "tablespoon", 13.6),
+    ("honey", "tablespoon", 21.0),
+];
+
+/// One ingredient's contribution to the recipe profile, or why it could
+/// not be estimated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Contribution {
+    /// Estimated profile plus the gram mass used.
+    Estimated {
+        /// Nutrients contributed.
+        profile: NutrientProfile,
+        /// Grams the quantity/unit resolved to.
+        grams: f64,
+    },
+    /// Ingredient name absent from the nutrient table.
+    UnknownIngredient,
+    /// Quantity string did not parse.
+    UnknownQuantity,
+}
+
+/// The nutrition estimator: nutrient table + unit conversions.
+#[derive(Debug, Clone)]
+pub struct NutritionEstimator {
+    table: HashMap<&'static str, NutrientProfile>,
+    units: HashMap<&'static str, f64>,
+}
+
+impl Default for NutritionEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NutritionEstimator {
+    /// Estimator with the embedded tables.
+    pub fn new() -> Self {
+        let table = NUTRIENTS_PER_100G
+            .iter()
+            .map(|&(n, kcal, p, f, c)| {
+                (n, NutrientProfile { kcal, protein_g: p, fat_g: f, carbs_g: c })
+            })
+            .collect();
+        let units = UNIT_GRAMS.iter().copied().collect();
+        NutritionEstimator { table, units }
+    }
+
+    /// Look up an ingredient; falls back to the last name token so
+    /// modifier-composed names (`red onion`) match their base row.
+    pub fn lookup(&self, name: &str) -> Option<&NutrientProfile> {
+        if let Some(p) = self.table.get(name) {
+            return Some(p);
+        }
+        let last = name.rsplit(' ').next()?;
+        self.table.get(last)
+    }
+
+    /// Gram weight of `quantity` × `unit` (unit `None` means countable
+    /// items). When the ingredient is known, volume units use its density
+    /// override (a cup of flour is 120 g; of water, 240 g).
+    pub fn to_grams(&self, quantity: f64, unit: Option<&str>) -> f64 {
+        self.to_grams_of(quantity, unit, "")
+    }
+
+    /// [`NutritionEstimator::to_grams`] with ingredient-aware density.
+    pub fn to_grams_of(&self, quantity: f64, unit: Option<&str>, ingredient: &str) -> f64 {
+        let Some(u) = unit else {
+            return quantity * DEFAULT_ITEM_GRAMS;
+        };
+        let base = ingredient.rsplit(' ').next().unwrap_or(ingredient);
+        if let Some(&(_, _, grams)) =
+            DENSITY_OVERRIDES.iter().find(|&&(ing, un, _)| ing == base && un == u)
+        {
+            return quantity * grams;
+        }
+        quantity * self.units.get(u).copied().unwrap_or(DEFAULT_ITEM_GRAMS)
+    }
+
+    /// Contribution of one structured entry.
+    pub fn contribution(&self, entry: &IngredientEntry) -> Contribution {
+        let Some(per100) = self.lookup(&entry.name) else {
+            return Contribution::UnknownIngredient;
+        };
+        let qty = match &entry.quantity {
+            Some(q) => match Quantity::parse(q) {
+                Some(q) => q.midpoint(),
+                None => return Contribution::UnknownQuantity,
+            },
+            // Unquantified entries ("salt to taste") count one pinch-scale
+            // unit so they do not silently vanish.
+            None => 1.0,
+        };
+        let grams = self.to_grams_of(qty, entry.unit.as_deref(), &entry.name);
+        Contribution::Estimated { profile: per100.scaled(grams / 100.0), grams }
+    }
+
+    /// Aggregate profile of a mined recipe plus per-ingredient outcomes.
+    pub fn estimate(&self, model: &RecipeModel) -> (NutrientProfile, Vec<Contribution>) {
+        let mut total = NutrientProfile::default();
+        let mut contribs = Vec::with_capacity(model.ingredients.len());
+        for entry in &model.ingredients {
+            let c = self.contribution(entry);
+            if let Contribution::Estimated { profile, .. } = &c {
+                total.add(profile);
+            }
+            contribs.push(c);
+        }
+        (total, contribs)
+    }
+
+    /// Fraction of entries that estimated successfully (coverage metric).
+    pub fn coverage(&self, contribs: &[Contribution]) -> f64 {
+        if contribs.is_empty() {
+            return 0.0;
+        }
+        let ok = contribs.iter().filter(|c| matches!(c, Contribution::Estimated { .. })).count();
+        ok as f64 / contribs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, qty: Option<&str>, unit: Option<&str>) -> IngredientEntry {
+        IngredientEntry {
+            name: name.into(),
+            quantity: qty.map(Into::into),
+            unit: unit.map(Into::into),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn one_cup_of_flour_uses_flour_density() {
+        let est = NutritionEstimator::new();
+        let c = est.contribution(&entry("flour", Some("1"), Some("cup")));
+        match c {
+            Contribution::Estimated { profile, grams } => {
+                assert_eq!(grams, 120.0, "flour density override");
+                assert!((profile.kcal - 364.0 * 1.2).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Water has no override: the generic 240 g cup applies.
+        let c = est.contribution(&entry("water", Some("1"), Some("cup")));
+        match c {
+            Contribution::Estimated { grams, .. } => assert_eq!(grams, 240.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Modifier-composed names back off to the base density.
+        let c = est.contribution(&entry("all-purpose flour", Some("2"), Some("cup")));
+        match c {
+            Contribution::Estimated { grams, .. } => assert_eq!(grams, 240.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn modifier_names_fall_back_to_base() {
+        let est = NutritionEstimator::new();
+        assert!(est.lookup("red onion").is_some());
+        assert!(est.lookup("sweet potato").is_some());
+        assert!(est.lookup("unobtainium").is_none());
+        // Exact multiword rows win over the fallback.
+        assert_eq!(est.lookup("olive oil").unwrap().fat_g, 100.0);
+    }
+
+    #[test]
+    fn ranges_use_midpoint() {
+        let est = NutritionEstimator::new();
+        let c = est.contribution(&entry("tomato", Some("2-4"), None));
+        match c {
+            Contribution::Estimated { grams, .. } => assert_eq!(grams, 300.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknowns_are_reported_not_guessed() {
+        let est = NutritionEstimator::new();
+        assert_eq!(
+            est.contribution(&entry("unobtainium", Some("1"), None)),
+            Contribution::UnknownIngredient
+        );
+        assert_eq!(
+            est.contribution(&entry("flour", Some("some"), None)),
+            Contribution::UnknownQuantity
+        );
+    }
+
+    #[test]
+    fn recipe_aggregation_and_coverage() {
+        let est = NutritionEstimator::new();
+        let model = RecipeModel {
+            ingredients: vec![
+                entry("flour", Some("2"), Some("cup")),
+                entry("butter", Some("1"), Some("stick")),
+                entry("unobtainium", Some("1"), None),
+            ],
+            ..Default::default()
+        };
+        let (total, contribs) = est.estimate(&model);
+        assert!(total.kcal > 1000.0);
+        assert!((est.coverage(&contribs) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_calorie_ingredients() {
+        let est = NutritionEstimator::new();
+        let c = est.contribution(&entry("water", Some("4"), Some("cup")));
+        match c {
+            Contribution::Estimated { profile, .. } => assert_eq!(profile.kcal, 0.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

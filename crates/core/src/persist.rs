@@ -1,0 +1,180 @@
+//! Persistence: save and load trained pipelines as JSON.
+//!
+//! Training the full pipeline takes seconds to minutes depending on corpus
+//! scale; downstream applications (nutrition services, similarity search)
+//! want to train once and ship the artifact. The preprocessor is rebuilt
+//! from its embedded tables on load, so the artifact contains only learned
+//! parameters.
+
+use crate::instructions::Dictionaries;
+use crate::pipeline::TrainedPipeline;
+use recipe_ner::SequenceModel;
+use recipe_parser::DependencyParser;
+use recipe_tagger::PosTagger;
+use recipe_text::Preprocessor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Serializable snapshot of every learned component.
+#[derive(Serialize, Deserialize)]
+pub struct PipelineArtifact {
+    /// Artifact format version; bumped on breaking changes.
+    pub version: u32,
+    pos: PosTagger,
+    ingredient_ner: SequenceModel,
+    instruction_ner: SequenceModel,
+    parser: DependencyParser,
+    dicts: Dictionaries,
+}
+
+/// Current artifact format version.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// Errors from saving/loading pipelines.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// JSON (de)serialization error.
+    Json(serde_json::Error),
+    /// The artifact was written by an incompatible version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Json(e) => write!(f, "serialization error: {e}"),
+            PersistError::VersionMismatch { found, expected } => {
+                write!(f, "artifact version {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+impl TrainedPipeline {
+    /// Snapshot the learned components (drops training-time bookkeeping
+    /// such as the per-site datasets).
+    pub fn to_artifact(self) -> PipelineArtifact {
+        PipelineArtifact {
+            version: ARTIFACT_VERSION,
+            pos: self.pos,
+            ingredient_ner: self.ingredient_ner,
+            instruction_ner: self.instruction_ner,
+            parser: self.parser,
+            dicts: self.dicts,
+        }
+    }
+
+    /// Rebuild a pipeline from a snapshot.
+    pub fn from_artifact(artifact: PipelineArtifact) -> Result<Self, PersistError> {
+        if artifact.version != ARTIFACT_VERSION {
+            return Err(PersistError::VersionMismatch {
+                found: artifact.version,
+                expected: ARTIFACT_VERSION,
+            });
+        }
+        Ok(TrainedPipeline {
+            pre: Preprocessor::default(),
+            pos: artifact.pos,
+            ingredient_ner: artifact.ingredient_ner,
+            instruction_ner: artifact.instruction_ner,
+            parser: artifact.parser,
+            dicts: artifact.dicts,
+            site_datasets: Vec::new(),
+        })
+    }
+
+    /// Save the pipeline to a JSON file.
+    pub fn save(self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let file = File::create(path)?;
+        serde_json::to_writer(BufWriter::new(file), &self.to_artifact())?;
+        Ok(())
+    }
+
+    /// Load a pipeline from a JSON file written by [`TrainedPipeline::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let file = File::open(path)?;
+        let artifact: PipelineArtifact = serde_json::from_reader(BufReader::new(file))?;
+        Self::from_artifact(artifact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use recipe_corpus::{CorpusSpec, RecipeCorpus};
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(77));
+        let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
+
+        let phrases = [
+            "2 cups flour",
+            "1 sheet frozen puff pastry ( thawed )",
+            "2-3 medium tomatoes , finely chopped",
+        ];
+        let before: Vec<_> = phrases.iter().map(|p| pipeline.extract_ingredient(p)).collect();
+        let model_before = pipeline.model_recipe(&corpus.recipes[0]);
+
+        let dir = std::env::temp_dir().join("recipe_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pipeline.json");
+        pipeline.save(&path).unwrap();
+
+        let loaded = TrainedPipeline::load(&path).unwrap();
+        let after: Vec<_> = phrases.iter().map(|p| loaded.extract_ingredient(p)).collect();
+        assert_eq!(before, after);
+        let model_after = loaded.model_recipe(&corpus.recipes[0]);
+        assert_eq!(model_before.ingredients, model_after.ingredients);
+        assert_eq!(model_before.events, model_after.events);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(78));
+        let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
+        let mut artifact = pipeline.to_artifact();
+        artifact.version = 999;
+        match TrainedPipeline::from_artifact(artifact) {
+            Err(PersistError::VersionMismatch { found: 999, expected }) => {
+                assert_eq!(expected, ARTIFACT_VERSION);
+            }
+            other => panic!("expected version mismatch, got {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        match TrainedPipeline::load("/nonexistent/path/pipeline.json") {
+            Err(PersistError::Io(_)) => {}
+            _ => panic!("expected io error"),
+        }
+    }
+}

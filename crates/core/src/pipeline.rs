@@ -1,0 +1,575 @@
+//! The end-to-end training pipeline (§II of the paper) and the trained
+//! artifact bundle.
+//!
+//! Training follows the paper's computational protocol:
+//!
+//! 1. train the POS tagger substrate (stand-in for the pretrained Stanford
+//!    Twitter model, which does not exist for Rust);
+//! 2. represent every unique ingredient phrase as a 1×36 POS-frequency
+//!    vector and K-Means-cluster them (k = 23 by default);
+//! 3. draw the annotation budget: a fixed percentage of unique phrases per
+//!    cluster for training and (disjointly) for testing — 1 % / 0.33 % for
+//!    AllRecipes, 0.5 % / 0.165 % for Food.com in the paper;
+//! 4. train the ingredient NER model (linear-chain CRF) on the sampled
+//!    phrases;
+//! 5. train the instruction NER model and the dependency parser on the
+//!    instruction annotations;
+//! 6. run the instruction NER over the corpus and build the process and
+//!    utensil dictionaries by frequency thresholding (47 / 10 in the
+//!    paper).
+
+use crate::instructions::{build_dictionaries, Dictionaries};
+use crate::model::{IngredientEntry, RecipeModel};
+use recipe_cluster::{stratified_split, KMeans, KMeansConfig};
+use recipe_corpus::{AnnotatedPhrase, Recipe, RecipeCorpus, Site};
+use recipe_ner::model::LabeledSequence;
+use recipe_ner::{IngredientTag, InstructionTag, SequenceModel, TrainConfig};
+use recipe_parser::parser::{DependencyParser, ParseExample, ParserConfig};
+use recipe_tagger::{pos_frequency_vector, PosTagger};
+use recipe_text::Preprocessor;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Pipeline hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// POS tagger training epochs.
+    pub pos_epochs: usize,
+    /// Ingredient/instruction NER training configuration.
+    pub ner: TrainConfig,
+    /// K-Means configuration (k = 23 per the paper's elbow analysis).
+    pub kmeans: KMeansConfig,
+    /// Per-cluster training fraction for AllRecipes (paper: 0.01).
+    pub train_frac_allrecipes: f64,
+    /// Per-cluster test fraction for AllRecipes (paper: 0.0033).
+    pub test_frac_allrecipes: f64,
+    /// Per-cluster training fraction for Food.com (paper: 0.005).
+    pub train_frac_foodcom: f64,
+    /// Per-cluster test fraction for Food.com (paper: 0.00165).
+    pub test_frac_foodcom: f64,
+    /// Fraction of instruction sentences used to train the instruction NER
+    /// and the parser (the paper hand-annotated the longest recipes of 40
+    /// cuisines — a small fixed budget).
+    pub instruction_train_frac: f64,
+    /// Dependency parser training configuration.
+    pub parser: ParserConfig,
+    /// Absolute frequency threshold for the process dictionary (paper: 47).
+    pub process_threshold: usize,
+    /// Absolute frequency threshold for the utensil dictionary (paper: 10).
+    pub utensil_threshold: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// The paper's settings, for full-scale corpora.
+    pub fn paper() -> Self {
+        PipelineConfig {
+            pos_epochs: 5,
+            ner: TrainConfig::default(),
+            kmeans: KMeansConfig::default(),
+            train_frac_allrecipes: 0.01,
+            test_frac_allrecipes: 0.0033,
+            train_frac_foodcom: 0.005,
+            test_frac_foodcom: 0.00165,
+            instruction_train_frac: 0.02,
+            parser: ParserConfig::default(),
+            process_threshold: 47,
+            utensil_threshold: 10,
+            seed: 42,
+        }
+    }
+
+    /// Settings for small corpora and tests: larger sampling fractions
+    /// (small corpora would otherwise yield single-digit training sets),
+    /// fewer epochs, low dictionary thresholds.
+    pub fn fast() -> Self {
+        PipelineConfig {
+            pos_epochs: 3,
+            ner: TrainConfig { epochs: 8, ..TrainConfig::default() },
+            kmeans: KMeansConfig { k: 23, max_iters: 30, ..KMeansConfig::default() },
+            train_frac_allrecipes: 0.30,
+            test_frac_allrecipes: 0.10,
+            train_frac_foodcom: 0.15,
+            test_frac_foodcom: 0.05,
+            instruction_train_frac: 0.15,
+            parser: ParserConfig { epochs: 4, ..ParserConfig::default() },
+            process_threshold: 2,
+            utensil_threshold: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// A stratified ingredient dataset for one site: labeled train/test splits
+/// plus bookkeeping from the clustering stage.
+#[derive(Debug, Clone)]
+pub struct SiteDataset {
+    /// Which site the phrases came from.
+    pub site: Site,
+    /// NER training sequences (preprocessed tokens, tag names).
+    pub train: Vec<LabeledSequence>,
+    /// NER test sequences, disjoint from `train`.
+    pub test: Vec<LabeledSequence>,
+    /// Number of unique phrases that entered clustering.
+    pub unique_phrases: usize,
+    /// K-Means inertia of the clustering used for sampling.
+    pub inertia: f64,
+}
+
+/// Convert a gold phrase into a labeled NER sequence.
+fn phrase_to_sequence(pre: &Preprocessor, phrase: &AnnotatedPhrase) -> LabeledSequence {
+    let (words, tags) = phrase.preprocessed(pre);
+    (words, tags.into_iter().map(|t| t.as_str().to_string()).collect())
+}
+
+/// Deduplicate phrases by surface text (the paper samples *unique*
+/// ingredient phrases), preserving first-seen order.
+fn unique_phrases<'a>(phrases: &[&'a AnnotatedPhrase]) -> Vec<&'a AnnotatedPhrase> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for &p in phrases {
+        if seen.insert(p.text()) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Build the cluster-stratified train/test NER dataset for one site
+/// (pipeline steps 2–3).
+pub fn build_site_dataset(
+    corpus: &RecipeCorpus,
+    site: Site,
+    pos: &PosTagger,
+    pre: &Preprocessor,
+    cfg: &PipelineConfig,
+) -> SiteDataset {
+    let all = corpus.phrases(site);
+    let uniq = unique_phrases(&all);
+    assert!(!uniq.is_empty(), "no phrases for {site}");
+
+    // 1×36 POS-frequency vectors over the tagger's predictions (the
+    // pipeline never uses gold POS at this stage).
+    let vectors: Vec<Vec<f64>> =
+        uniq.iter().map(|p| pos_frequency_vector(&pos.tag(&p.words()))).collect();
+    let km = KMeans::fit(&vectors, &cfg.kmeans);
+
+    let (train_frac, test_frac) = match site {
+        Site::AllRecipes => (cfg.train_frac_allrecipes, cfg.test_frac_allrecipes),
+        Site::FoodCom => (cfg.train_frac_foodcom, cfg.test_frac_foodcom),
+    };
+    let split = stratified_split(&km.cluster_members(), train_frac, test_frac, cfg.seed);
+
+    let train = split.train.iter().map(|&i| phrase_to_sequence(pre, uniq[i])).collect();
+    let test = split.test.iter().map(|&i| phrase_to_sequence(pre, uniq[i])).collect();
+    SiteDataset { site, train, test, unique_phrases: uniq.len(), inertia: km.inertia }
+}
+
+/// Build instruction NER training data and parser treebank from the
+/// corpus's gold annotations (the stand-in for the paper's manual
+/// annotation of the longest recipes across 40 cuisines).
+pub fn build_instruction_datasets(
+    corpus: &RecipeCorpus,
+    cfg: &PipelineConfig,
+) -> (Vec<LabeledSequence>, Vec<LabeledSequence>, Vec<ParseExample>) {
+    let mut ner_train = Vec::new();
+    let mut ner_test = Vec::new();
+    let mut treebank = Vec::new();
+    let mut count = 0usize;
+    let budget_every = (1.0 / cfg.instruction_train_frac).round().max(1.0) as usize;
+    for recipe in &corpus.recipes {
+        for sent in &recipe.instructions {
+            let words = sent.words();
+            let tags: Vec<String> =
+                sent.tokens.iter().map(|t| t.tag.as_str().to_string()).collect();
+            let slot = count % budget_every;
+            if slot == 0 {
+                ner_train.push((words.clone(), tags));
+                treebank.push(ParseExample {
+                    words,
+                    tags: sent.pos_tags(),
+                    tree: sent.tree.clone(),
+                });
+            } else if (1..=3).contains(&slot) {
+                // Three held-out sentences per training sentence: the test
+                // set is larger than the annotation budget, matching the
+                // paper's corpus-wide application of the model.
+                ner_test.push((words, tags));
+            }
+            count += 1;
+        }
+    }
+    (ner_train, ner_test, treebank)
+}
+
+/// Extract an [`IngredientEntry`] from NER-tagged tokens. Multi-token runs
+/// of the same tag merge (`puff pastry`, `room temperature`, `1 1/2`); for
+/// single-valued attributes the first run wins.
+pub fn entry_from_tagged(words: &[String], tags: &[IngredientTag]) -> IngredientEntry {
+    debug_assert_eq!(words.len(), tags.len());
+    let mut entry = IngredientEntry::default();
+    let mut name_parts: Vec<String> = Vec::new();
+    let mut qty_parts: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    while i < words.len() {
+        let tag = tags[i];
+        let start = i;
+        while i < words.len() && tags[i] == tag {
+            i += 1;
+        }
+        let run = words[start..i].join(" ");
+        match tag {
+            IngredientTag::O => {}
+            IngredientTag::Name => name_parts.push(run),
+            IngredientTag::Quantity => qty_parts.push(run),
+            IngredientTag::State => {
+                entry.state.get_or_insert(run);
+            }
+            IngredientTag::Unit => {
+                entry.unit.get_or_insert(run);
+            }
+            IngredientTag::Temp => {
+                entry.temperature.get_or_insert(run);
+            }
+            IngredientTag::DryFresh => {
+                entry.dry_fresh.get_or_insert(run);
+            }
+            IngredientTag::Size => {
+                entry.size.get_or_insert(run);
+            }
+        }
+    }
+    if !name_parts.is_empty() {
+        entry.name = name_parts.join(" ");
+    }
+    if !qty_parts.is_empty() {
+        entry.quantity = Some(qty_parts.join(" "));
+    }
+    entry
+}
+
+/// Extracts ingredient attributes from raw phrases using a trained NER
+/// model (the user-facing half of §II).
+pub struct IngredientExtractor {
+    pre: Preprocessor,
+    ner: SequenceModel,
+}
+
+impl IngredientExtractor {
+    /// Wrap a trained NER model.
+    pub fn new(ner: SequenceModel) -> Self {
+        IngredientExtractor { pre: Preprocessor::default(), ner }
+    }
+
+    /// Extract the structured entry for one raw ingredient phrase.
+    pub fn extract(&self, phrase: &str) -> IngredientEntry {
+        let words = self.pre.preprocess(phrase);
+        let tags: Vec<IngredientTag> = self
+            .ner
+            .predict(&words)
+            .iter()
+            .map(|t| IngredientTag::parse(t).unwrap_or(IngredientTag::O))
+            .collect();
+        entry_from_tagged(&words, &tags)
+    }
+
+    /// Access the underlying NER model.
+    pub fn ner(&self) -> &SequenceModel {
+        &self.ner
+    }
+
+    /// Access the preprocessor.
+    pub fn preprocessor(&self) -> &Preprocessor {
+        &self.pre
+    }
+}
+
+/// The full trained pipeline: every model of Fig. 1's mining stack.
+pub struct TrainedPipeline {
+    /// Preprocessor shared across stages.
+    pub pre: Preprocessor,
+    /// POS tagger (Stanford-Twitter-model stand-in).
+    pub pos: PosTagger,
+    /// Ingredient NER (trained on the composite BOTH dataset).
+    pub ingredient_ner: SequenceModel,
+    /// Instruction NER.
+    pub instruction_ner: SequenceModel,
+    /// Dependency parser.
+    pub parser: DependencyParser,
+    /// Frequency-thresholded process/utensil dictionaries.
+    pub dicts: Dictionaries,
+    /// Per-site ingredient datasets (kept for evaluation and Table III).
+    pub site_datasets: Vec<SiteDataset>,
+}
+
+/// Train the POS-tagger substrate on the corpus's gold POS annotations
+/// (pipeline stage 1 — the stand-in for the pretrained Stanford Twitter
+/// model).
+pub fn train_pos_tagger(corpus: &RecipeCorpus, epochs: usize, seed: u64) -> PosTagger {
+    let pos_data: Vec<(Vec<String>, Vec<recipe_tagger::PennTag>)> = corpus
+        .recipes
+        .iter()
+        .flat_map(|r| {
+            r.ingredients
+                .iter()
+                .map(|p| (p.words(), p.pos_tags()))
+                .chain(r.instructions.iter().map(|s| (s.words(), s.pos_tags())))
+        })
+        .collect();
+    PosTagger::train(&pos_data, epochs, seed)
+}
+
+impl TrainedPipeline {
+    /// Train every stage on a corpus.
+    pub fn train(corpus: &RecipeCorpus, cfg: &PipelineConfig) -> Self {
+        let pre = Preprocessor::default();
+        let pos = train_pos_tagger(corpus, cfg.pos_epochs, cfg.seed);
+
+        // Stages 2–4: per-site stratified datasets and the composite NER.
+        let ds_ar = build_site_dataset(corpus, Site::AllRecipes, &pos, &pre, cfg);
+        let ds_fc = build_site_dataset(corpus, Site::FoodCom, &pos, &pre, cfg);
+        let mut both_train = ds_ar.train.clone();
+        both_train.extend(ds_fc.train.iter().cloned());
+        let labels = IngredientTag::label_set();
+        let ingredient_ner = SequenceModel::train(&labels, &both_train, &cfg.ner);
+
+        // Stage 5: instruction NER + parser.
+        let (instr_train, _instr_test, treebank) = build_instruction_datasets(corpus, cfg);
+        let instruction_ner =
+            SequenceModel::train(&InstructionTag::label_set(), &instr_train, &cfg.ner);
+        let parser = DependencyParser::train(&treebank, &cfg.parser);
+
+        // Stage 6: dictionaries from NER predictions over the corpus.
+        let dicts = build_dictionaries(
+            corpus,
+            &instruction_ner,
+            &pre,
+            cfg.process_threshold,
+            cfg.utensil_threshold,
+        );
+
+        TrainedPipeline {
+            pre,
+            pos,
+            ingredient_ner,
+            instruction_ner,
+            parser,
+            dicts,
+            site_datasets: vec![ds_ar, ds_fc],
+        }
+    }
+
+    /// Extract the structured entry for one raw ingredient phrase.
+    pub fn extract_ingredient(&self, phrase: &str) -> IngredientEntry {
+        let words = self.pre.preprocess(phrase);
+        let tags: Vec<IngredientTag> = self
+            .ingredient_ner
+            .predict(&words)
+            .iter()
+            .map(|t| IngredientTag::parse(t).unwrap_or(IngredientTag::O))
+            .collect();
+        entry_from_tagged(&words, &tags)
+    }
+
+    /// Mine the full [`RecipeModel`] from a recipe's raw text.
+    pub fn model_recipe(&self, recipe: &Recipe) -> RecipeModel {
+        let ingredients: Vec<IngredientEntry> = recipe
+            .ingredient_lines()
+            .iter()
+            .map(|line| self.extract_ingredient(line))
+            .collect();
+        let events = crate::events::extract_recipe_events(self, recipe);
+        RecipeModel {
+            id: recipe.id,
+            title: recipe.title.clone(),
+            cuisine: recipe.cuisine.clone(),
+            ingredients,
+            events,
+            num_steps: recipe.num_steps(),
+        }
+    }
+
+    /// Mine a recipe from **raw text**: ingredient lines plus instruction
+    /// step paragraphs (each paragraph may contain several sentences,
+    /// split on `.`). This is the entry point for text that did not come
+    /// from the synthetic corpus.
+    pub fn model_text(
+        &self,
+        title: &str,
+        cuisine: &str,
+        ingredient_lines: &[String],
+        instruction_steps: &[String],
+    ) -> RecipeModel {
+        let ingredients: Vec<IngredientEntry> =
+            ingredient_lines.iter().map(|l| self.extract_ingredient(l)).collect();
+        let mut events = Vec::new();
+        for (step, paragraph) in instruction_steps.iter().enumerate() {
+            for sentence in split_sentences(paragraph) {
+                events.extend(crate::events::extract_sentence_events(self, &sentence, step));
+            }
+        }
+        RecipeModel {
+            id: 0,
+            title: title.to_string(),
+            cuisine: cuisine.to_string(),
+            ingredients,
+            events,
+            num_steps: instruction_steps.len(),
+        }
+    }
+
+    /// All unique extracted ingredient names over a corpus (the paper's
+    /// "20 280 unique ingredient names" statistic, at our scale).
+    pub fn unique_ingredient_names(&self, corpus: &RecipeCorpus) -> usize {
+        let mut names = std::collections::HashSet::new();
+        for r in &corpus.recipes {
+            for line in r.ingredient_lines() {
+                let e = self.extract_ingredient(&line);
+                if !e.name.is_empty() {
+                    names.insert(e.name);
+                }
+            }
+        }
+        names.len()
+    }
+}
+
+/// Split a raw instruction paragraph into tokenized sentences. Sentence
+/// boundaries are `.`, `!` and `?` tokens (kept as the final token of each
+/// sentence, matching the grammar's sentence shape).
+pub fn split_sentences(paragraph: &str) -> Vec<Vec<String>> {
+    let mut sentences = Vec::new();
+    let mut current: Vec<String> = Vec::new();
+    for tok in recipe_text::tokenize(paragraph) {
+        let boundary = matches!(tok.text.as_str(), "." | "!" | "?");
+        current.push(tok.text);
+        if boundary {
+            sentences.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        sentences.push(current);
+    }
+    sentences
+}
+
+/// Count of unique surface forms per site — diagnostic used by benches.
+pub fn unique_phrase_counts(corpus: &RecipeCorpus) -> HashMap<Site, usize> {
+    let mut out = HashMap::new();
+    for site in [Site::AllRecipes, Site::FoodCom] {
+        let phrases = corpus.phrases(site);
+        out.insert(site, unique_phrases(&phrases).len());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recipe_corpus::CorpusSpec;
+
+    fn tiny_pipeline() -> (RecipeCorpus, TrainedPipeline) {
+        let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(11));
+        let cfg = PipelineConfig::fast();
+        let pipeline = TrainedPipeline::train(&corpus, &cfg);
+        (corpus, pipeline)
+    }
+
+    #[test]
+    fn entry_from_tagged_groups_runs() {
+        use IngredientTag as I;
+        let words: Vec<String> =
+            ["1", "1/2", "cup", "olive", "oil", "chopped"].iter().map(|s| s.to_string()).collect();
+        let tags = [I::Quantity, I::Quantity, I::Unit, I::Name, I::Name, I::State];
+        let e = entry_from_tagged(&words, &tags);
+        assert_eq!(e.name, "olive oil");
+        assert_eq!(e.quantity.as_deref(), Some("1 1/2"));
+        assert_eq!(e.unit.as_deref(), Some("cup"));
+        assert_eq!(e.state.as_deref(), Some("chopped"));
+    }
+
+    #[test]
+    fn pipeline_trains_and_extracts() {
+        let (corpus, pipeline) = tiny_pipeline();
+        // Extraction on a simple held-out-style phrase.
+        let e = pipeline.extract_ingredient("2 cups flour");
+        assert_eq!(e.quantity.as_deref(), Some("2"));
+        assert_eq!(e.unit.as_deref(), Some("cup"));
+        assert_eq!(e.name, "flour");
+        // Full recipe modelling runs end to end.
+        let model = pipeline.model_recipe(&corpus.recipes[0]);
+        assert_eq!(model.ingredients.len(), corpus.recipes[0].ingredients.len());
+        assert_eq!(model.num_steps, corpus.recipes[0].num_steps());
+    }
+
+    #[test]
+    fn split_sentences_on_periods() {
+        let s = split_sentences("Boil the water. Add salt and stir.");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], ["Boil", "the", "water", "."]);
+        assert_eq!(s[1].last().map(|t| t.as_str()), Some("."));
+        // Trailing text without punctuation still forms a sentence.
+        let s = split_sentences("serve warm");
+        assert_eq!(s.len(), 1);
+        assert!(split_sentences("").is_empty());
+    }
+
+    #[test]
+    fn model_text_mines_raw_recipes() {
+        let (_, pipeline) = tiny_pipeline();
+        let model = pipeline.model_text(
+            "stovetop pasta",
+            "italian",
+            &["2 cups pasta".to_string(), "1 pinch salt".to_string()],
+            &[
+                "Boil the pasta in a large pot. Add the salt.".to_string(),
+                "Drain the pasta in a colander.".to_string(),
+            ],
+        );
+        assert_eq!(model.ingredients.len(), 2);
+        assert_eq!(model.ingredients[0].name, "pasta");
+        assert_eq!(model.num_steps, 2);
+        assert!(!model.events.is_empty(), "no events mined from raw text");
+        assert!(model.events.iter().all(|e| e.step < 2));
+    }
+
+    #[test]
+    fn site_datasets_are_disjoint_and_sized() {
+        let (_, pipeline) = tiny_pipeline();
+        for ds in &pipeline.site_datasets {
+            assert!(!ds.train.is_empty(), "{:?} train empty", ds.site);
+            assert!(!ds.test.is_empty(), "{:?} test empty", ds.site);
+            let train_texts: std::collections::HashSet<String> =
+                ds.train.iter().map(|(w, _)| w.join(" ")).collect();
+            for (w, _) in &ds.test {
+                assert!(!train_texts.contains(&w.join(" ")), "leaked test phrase");
+            }
+        }
+    }
+
+    #[test]
+    fn dictionaries_contain_core_processes() {
+        let (_, pipeline) = tiny_pipeline();
+        assert!(!pipeline.dicts.processes.is_empty());
+        assert!(!pipeline.dicts.utensils.is_empty());
+    }
+
+    #[test]
+    fn unique_names_are_plausible() {
+        let (corpus, pipeline) = tiny_pipeline();
+        let n = pipeline.unique_ingredient_names(&corpus);
+        assert!(n > 20, "unique names {n}");
+    }
+
+    #[test]
+    fn instruction_dataset_split() {
+        let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(3));
+        let cfg = PipelineConfig::fast();
+        let (train, test, treebank) = build_instruction_datasets(&corpus, &cfg);
+        assert!(!train.is_empty());
+        assert!(!test.is_empty());
+        assert_eq!(train.len(), treebank.len());
+        assert!(train.len() < corpus.num_instructions() / 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Parsing quantity strings into numeric ranges.
+//!
+//! The `QUANTITY` entity keeps the surface form (`1 1/2`, `2-3`); numeric
+//! applications (nutrition estimation) need a value. A quantity parses to
+//! a closed interval — a point value when exact.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed quantity: a closed numeric interval `[min, max]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantity {
+    /// Lower bound.
+    pub min: f64,
+    /// Upper bound (equal to `min` for exact quantities).
+    pub max: f64,
+}
+
+impl Quantity {
+    /// An exact quantity.
+    pub fn exact(v: f64) -> Self {
+        Quantity { min: v, max: v }
+    }
+
+    /// Interval midpoint — the value numeric applications use.
+    pub fn midpoint(&self) -> f64 {
+        (self.min + self.max) / 2.0
+    }
+
+    /// Is this a range rather than a point?
+    pub fn is_range(&self) -> bool {
+        self.min != self.max
+    }
+
+    /// Parse a quantity surface string. Accepts integers (`2`), decimals
+    /// (`1.5`), fractions (`3/4`), mixed numbers (`1 1/2`) and ranges
+    /// (`2-3`). Returns `None` for anything else.
+    ///
+    /// ```
+    /// use recipe_core::Quantity;
+    /// assert_eq!(Quantity::parse("1 1/2").unwrap().midpoint(), 1.5);
+    /// assert_eq!(Quantity::parse("2-4").unwrap().midpoint(), 3.0);
+    /// assert!(Quantity::parse("some").is_none());
+    /// ```
+    pub fn parse(s: &str) -> Option<Quantity> {
+        let s = s.trim();
+        if s.is_empty() {
+            return None;
+        }
+        // Range: a-b where both halves parse as simple numbers.
+        if let Some((a, b)) = s.split_once('-') {
+            if let (Some(x), Some(y)) = (parse_simple(a), parse_simple(b)) {
+                if x <= y {
+                    return Some(Quantity { min: x, max: y });
+                }
+                return None;
+            }
+        }
+        // Mixed number: "1 1/2".
+        if let Some((whole, frac)) = s.split_once(' ') {
+            if let (Some(w), Some(f)) = (parse_simple(whole), parse_fraction(frac)) {
+                return Some(Quantity::exact(w + f));
+            }
+        }
+        parse_simple(s).map(Quantity::exact)
+    }
+}
+
+/// Integer, decimal or fraction.
+fn parse_simple(s: &str) -> Option<f64> {
+    let s = s.trim();
+    if let Some(f) = parse_fraction(s) {
+        return Some(f);
+    }
+    let v: f64 = s.parse().ok()?;
+    if v.is_finite() && v >= 0.0 {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn parse_fraction(s: &str) -> Option<f64> {
+    let (num, den) = s.split_once('/')?;
+    let n: f64 = num.trim().parse().ok()?;
+    let d: f64 = den.trim().parse().ok()?;
+    if d > 0.0 && n >= 0.0 {
+        Some(n / d)
+    } else {
+        None
+    }
+}
+
+impl fmt::Display for Quantity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_range() {
+            write!(f, "{}-{}", self.min, self.max)
+        } else {
+            write!(f, "{}", self.min)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_and_decimals() {
+        assert_eq!(Quantity::parse("2"), Some(Quantity::exact(2.0)));
+        assert_eq!(Quantity::parse("1.5"), Some(Quantity::exact(1.5)));
+        assert_eq!(Quantity::parse(" 12 "), Some(Quantity::exact(12.0)));
+    }
+
+    #[test]
+    fn fractions() {
+        assert_eq!(Quantity::parse("1/2"), Some(Quantity::exact(0.5)));
+        assert_eq!(Quantity::parse("3/4"), Some(Quantity::exact(0.75)));
+    }
+
+    #[test]
+    fn mixed_numbers() {
+        assert_eq!(Quantity::parse("1 1/2"), Some(Quantity::exact(1.5)));
+        assert_eq!(Quantity::parse("2 3/4"), Some(Quantity::exact(2.75)));
+    }
+
+    #[test]
+    fn ranges() {
+        let q = Quantity::parse("2-3").unwrap();
+        assert!(q.is_range());
+        assert_eq!(q.midpoint(), 2.5);
+        // Fraction ranges.
+        assert_eq!(Quantity::parse("1/2-1").unwrap().midpoint(), 0.75);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for s in ["", "some", "a-b", "3-2", "1/0", "-4", "1//2"] {
+            assert!(Quantity::parse(s).is_none(), "{s:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        assert_eq!(Quantity::parse("2-3").unwrap().to_string(), "2-3");
+        assert_eq!(Quantity::exact(2.0).to_string(), "2");
+    }
+}

@@ -1,0 +1,301 @@
+//! Structure-based rendering and translation (§IV lists "translating
+//! recipes between languages" among the model's applications).
+//!
+//! Once a recipe is a [`RecipeModel`], translation no longer needs
+//! sentence-level machine translation: the structure is language-neutral
+//! and only the *lexicon* (ingredient names, units, processes, utensils)
+//! plus a handful of surface templates change. A [`Lexicon`] maps the
+//! mined vocabulary into a target language; [`render_recipe`] realizes the
+//! structure as text.
+//!
+//! The embedded Spanish lexicon is deliberately small — a demonstration of
+//! the mechanism, not a dictionary; unmapped words pass through unchanged
+//! (standard practice for untranslatable culinary terms).
+
+use crate::model::{CookingEvent, IngredientEntry, RecipeModel};
+use std::collections::HashMap;
+
+/// Surface templates and word mappings for one target language.
+#[derive(Debug, Clone)]
+pub struct Lexicon {
+    /// Language tag (`"en"`, `"es"`).
+    pub language: &'static str,
+    /// Word-level mapping applied to names, units, processes, utensils.
+    map: HashMap<&'static str, &'static str>,
+    /// Template for an event with participants: `{process}`, `{list}`.
+    event_template: &'static str,
+    /// Joiner between list items.
+    and_word: &'static str,
+    /// Heading for the ingredient section.
+    pub ingredients_heading: &'static str,
+    /// Heading for the instruction section.
+    pub instructions_heading: &'static str,
+}
+
+impl Lexicon {
+    /// Identity lexicon: renders the mined structure back to English.
+    pub fn english() -> Self {
+        Lexicon {
+            language: "en",
+            map: HashMap::new(),
+            event_template: "{process} the {list}",
+            and_word: "and",
+            ingredients_heading: "Ingredients",
+            instructions_heading: "Instructions",
+        }
+    }
+
+    /// Demonstration Spanish lexicon.
+    pub fn spanish() -> Self {
+        let map: HashMap<&str, &str> = [
+            // processes
+            ("add", "añadir"),
+            ("bake", "hornear"),
+            ("boil", "hervir"),
+            ("bring", "llevar"),
+            ("chop", "picar"),
+            ("combine", "combinar"),
+            ("cook", "cocinar"),
+            ("cover", "tapar"),
+            ("fry", "freír"),
+            ("heat", "calentar"),
+            ("mix", "mezclar"),
+            ("pour", "verter"),
+            ("preheat", "precalentar"),
+            ("serve", "servir"),
+            ("simmer", "cocer"),
+            ("stir", "remover"),
+            ("season", "sazonar"),
+            ("drain", "escurrir"),
+            ("garnish", "decorar"),
+            ("transfer", "trasladar"),
+            // ingredients
+            ("water", "agua"),
+            ("salt", "sal"),
+            ("pepper", "pimienta"),
+            ("flour", "harina"),
+            ("sugar", "azúcar"),
+            ("butter", "mantequilla"),
+            ("milk", "leche"),
+            ("egg", "huevo"),
+            ("oil", "aceite"),
+            ("olive", "oliva"),
+            ("onion", "cebolla"),
+            ("garlic", "ajo"),
+            ("tomato", "tomate"),
+            ("potato", "patata"),
+            ("chicken", "pollo"),
+            ("rice", "arroz"),
+            ("cheese", "queso"),
+            ("chopped", "picado"),
+            ("ground", "molido"),
+            ("fresh", "fresco"),
+            ("frozen", "congelado"),
+            // units
+            ("cup", "taza"),
+            ("teaspoon", "cucharadita"),
+            ("tablespoon", "cucharada"),
+            ("ounce", "onza"),
+            ("pound", "libra"),
+            ("pinch", "pizca"),
+            ("sheet", "lámina"),
+            ("clove", "diente"),
+            // utensils
+            ("pan", "sartén"),
+            ("pot", "olla"),
+            ("bowl", "cuenco"),
+            ("oven", "horno"),
+            ("skillet", "sartén"),
+            ("whisk", "batidor"),
+            ("spoon", "cuchara"),
+        ]
+        .into_iter()
+        .collect();
+        Lexicon {
+            language: "es",
+            map,
+            event_template: "{process} {list}",
+            and_word: "y",
+            ingredients_heading: "Ingredientes",
+            instructions_heading: "Preparación",
+        }
+    }
+
+    /// Translate one word (lowercased lookup; unmapped words pass through).
+    pub fn word(&self, w: &str) -> String {
+        self.map.get(w).map(|t| t.to_string()).unwrap_or_else(|| w.to_string())
+    }
+
+    /// Translate a (possibly multi-word) term word by word.
+    pub fn term(&self, term: &str) -> String {
+        term.split(' ').map(|w| self.word(w)).collect::<Vec<_>>().join(" ")
+    }
+
+    /// Join a list with the language's conjunction.
+    fn join_list(&self, items: &[String]) -> String {
+        match items.len() {
+            0 => String::new(),
+            1 => items[0].clone(),
+            n => format!("{} {} {}", items[..n - 1].join(", "), self.and_word, items[n - 1]),
+        }
+    }
+}
+
+/// Render one ingredient entry as a text line.
+pub fn render_ingredient(entry: &IngredientEntry, lex: &Lexicon) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(q) = &entry.quantity {
+        parts.push(q.clone());
+    }
+    if let Some(u) = &entry.unit {
+        parts.push(lex.term(u));
+    }
+    if let Some(s) = &entry.size {
+        parts.push(lex.term(s));
+    }
+    if let Some(d) = &entry.dry_fresh {
+        parts.push(lex.term(d));
+    }
+    if let Some(t) = &entry.temperature {
+        parts.push(lex.term(t));
+    }
+    parts.push(lex.term(&entry.name));
+    let mut line = parts.join(" ");
+    if let Some(state) = &entry.state {
+        line.push_str(", ");
+        line.push_str(&lex.term(state));
+    }
+    line
+}
+
+/// Render one event as an imperative clause.
+pub fn render_event(event: &CookingEvent, lex: &Lexicon) -> String {
+    let mut items: Vec<String> = event.ingredients.iter().map(|i| lex.term(i)).collect();
+    items.extend(event.utensils.iter().map(|u| lex.term(u)));
+    let process = lex.term(&event.process);
+    if items.is_empty() {
+        return process;
+    }
+    lex.event_template
+        .replace("{process}", &process)
+        .replace("{list}", &lex.join_list(&items))
+}
+
+/// Render the whole model as sectioned text.
+pub fn render_recipe(model: &RecipeModel, lex: &Lexicon) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n\n{}\n", model.title, lex.ingredients_heading));
+    for entry in &model.ingredients {
+        out.push_str(&format!("- {}\n", render_ingredient(entry, lex)));
+    }
+    out.push_str(&format!("\n{}\n", lex.instructions_heading));
+    let mut step = usize::MAX;
+    let mut n = 0usize;
+    for event in &model.events {
+        if event.step != step {
+            step = event.step;
+            n += 1;
+            out.push_str(&format!("{n}. "));
+        } else {
+            out.push_str("   ");
+        }
+        out.push_str(&render_event(event, lex));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RecipeModel {
+        RecipeModel {
+            id: 1,
+            title: "test".into(),
+            cuisine: "spanish".into(),
+            ingredients: vec![
+                IngredientEntry {
+                    name: "olive oil".into(),
+                    quantity: Some("2".into()),
+                    unit: Some("tablespoon".into()),
+                    ..Default::default()
+                },
+                IngredientEntry {
+                    name: "potato".into(),
+                    state: Some("chopped".into()),
+                    quantity: Some("3".into()),
+                    ..Default::default()
+                },
+            ],
+            events: vec![
+                CookingEvent {
+                    process: "fry".into(),
+                    ingredients: vec!["potato".into(), "olive oil".into()],
+                    utensils: vec!["pan".into()],
+                    step: 0,
+                },
+                CookingEvent {
+                    process: "serve".into(),
+                    ingredients: vec![],
+                    utensils: vec![],
+                    step: 1,
+                },
+            ],
+            num_steps: 2,
+        }
+    }
+
+    #[test]
+    fn english_rendering_is_identity_on_words() {
+        let lex = Lexicon::english();
+        let text = render_recipe(&model(), &lex);
+        assert!(text.contains("- 2 tablespoon olive oil"));
+        assert!(text.contains("- 3 potato, chopped"));
+        assert!(text.contains("1. fry the potato, olive oil and pan"));
+        assert!(text.contains("2. serve"));
+    }
+
+    #[test]
+    fn spanish_translation_maps_the_lexicon() {
+        let lex = Lexicon::spanish();
+        let text = render_recipe(&model(), &lex);
+        assert!(text.contains("Ingredientes"), "{text}");
+        // Word-by-word mapping keeps source word order ("oliva aceite") —
+        // the demonstration trades fluency for zero MT machinery.
+        assert!(text.contains("2 cucharada oliva aceite"), "{text}");
+        assert!(text.contains("3 patata, picado"), "{text}");
+        assert!(text.contains("freír patata, oliva aceite y sartén"), "{text}");
+        assert!(text.contains("servir"), "{text}");
+    }
+
+    #[test]
+    fn unmapped_words_pass_through() {
+        let lex = Lexicon::spanish();
+        assert_eq!(lex.term("gochujang"), "gochujang");
+        assert_eq!(lex.term("olive gochujang"), "oliva gochujang");
+    }
+
+    #[test]
+    fn list_joining() {
+        let lex = Lexicon::english();
+        assert_eq!(lex.join_list(&[]), "");
+        assert_eq!(lex.join_list(&["a".into()]), "a");
+        assert_eq!(lex.join_list(&["a".into(), "b".into()]), "a and b");
+        assert_eq!(lex.join_list(&["a".into(), "b".into(), "c".into()]), "a, b and c");
+    }
+
+    #[test]
+    fn events_in_one_step_share_numbering() {
+        let mut m = model();
+        m.events.push(CookingEvent {
+            process: "stir".into(),
+            ingredients: vec![],
+            utensils: vec![],
+            step: 1,
+        });
+        let text = render_recipe(&m, &Lexicon::english());
+        // Two events at step 1: the second is indented, not renumbered.
+        assert!(text.contains("2. serve\n   stir"), "{text}");
+    }
+}

@@ -1,0 +1,327 @@
+//! Recipe similarity over the mined structure (application from §IV).
+//!
+//! The paper reports deploying its model for "determining similarity
+//! between recipes" in RecipeDB. With the structured model in hand,
+//! similarity decomposes naturally:
+//!
+//! * **ingredient similarity** — Jaccard overlap of the ingredient-name
+//!   sets (what the dish is made of);
+//! * **process similarity** — cosine similarity of the cooking-technique
+//!   count vectors (how the dish is made);
+//! * a weighted combination of the two.
+
+use crate::model::RecipeModel;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Weights for the combined score. Defaults to an even split.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SimilarityWeights {
+    /// Weight of the ingredient Jaccard term.
+    pub ingredients: f64,
+    /// Weight of the process cosine term.
+    pub processes: f64,
+}
+
+impl Default for SimilarityWeights {
+    fn default() -> Self {
+        SimilarityWeights { ingredients: 0.5, processes: 0.5 }
+    }
+}
+
+/// Jaccard similarity of two recipes' ingredient-name sets.
+pub fn ingredient_similarity(a: &RecipeModel, b: &RecipeModel) -> f64 {
+    let sa: HashSet<&str> = a.ingredients.iter().map(|e| e.name.as_str()).collect();
+    let sb: HashSet<&str> = b.ingredients.iter().map(|e| e.name.as_str()).collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// Cosine similarity of two recipes' process count vectors.
+pub fn process_similarity(a: &RecipeModel, b: &RecipeModel) -> f64 {
+    let count = |m: &RecipeModel| {
+        let mut c: HashMap<String, f64> = HashMap::new();
+        for e in &m.events {
+            *c.entry(e.process.clone()).or_default() += 1.0;
+        }
+        c
+    };
+    let ca = count(a);
+    let cb = count(b);
+    let dot: f64 = ca.iter().filter_map(|(k, v)| cb.get(k).map(|w| v * w)).sum();
+    let na: f64 = ca.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = cb.values().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+/// Weighted combination of ingredient and process similarity, in `[0, 1]`.
+pub fn recipe_similarity(a: &RecipeModel, b: &RecipeModel, w: &SimilarityWeights) -> f64 {
+    let total = w.ingredients + w.processes;
+    if total == 0.0 {
+        return 0.0;
+    }
+    (w.ingredients * ingredient_similarity(a, b) + w.processes * process_similarity(a, b))
+        / total
+}
+
+/// The `k` most similar models to `query` (excluding exact id matches),
+/// highest first.
+pub fn most_similar<'a>(
+    query: &RecipeModel,
+    pool: &'a [RecipeModel],
+    k: usize,
+    w: &SimilarityWeights,
+) -> Vec<(&'a RecipeModel, f64)> {
+    let mut scored: Vec<(&RecipeModel, f64)> = pool
+        .iter()
+        .filter(|m| m.id != query.id)
+        .map(|m| (m, recipe_similarity(query, m, w)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.id.cmp(&b.0.id)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CookingEvent, IngredientEntry};
+
+    fn model(id: u64, names: &[&str], processes: &[&str]) -> RecipeModel {
+        RecipeModel {
+            id,
+            ingredients: names.iter().map(|n| IngredientEntry::named(*n)).collect(),
+            events: processes
+                .iter()
+                .enumerate()
+                .map(|(i, p)| CookingEvent {
+                    process: p.to_string(),
+                    ingredients: vec!["x".into()],
+                    utensils: vec![],
+                    step: i,
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn identical_recipes_score_one() {
+        let a = model(1, &["flour", "egg"], &["mix", "bake"]);
+        let b = model(2, &["flour", "egg"], &["mix", "bake"]);
+        assert!((recipe_similarity(&a, &b, &SimilarityWeights::default()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_recipes_score_zero() {
+        let a = model(1, &["flour"], &["bake"]);
+        let b = model(2, &["shrimp"], &["grill"]);
+        assert_eq!(recipe_similarity(&a, &b, &SimilarityWeights::default()), 0.0);
+    }
+
+    #[test]
+    fn jaccard_is_partial_overlap() {
+        let a = model(1, &["flour", "egg", "sugar"], &[]);
+        let b = model(2, &["flour", "egg", "butter"], &[]);
+        assert!((ingredient_similarity(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn process_cosine_counts_multiplicity() {
+        let a = model(1, &[], &["stir", "stir", "bake"]);
+        let b = model(2, &[], &["stir", "bake", "bake"]);
+        let sim = process_similarity(&a, &b);
+        // dot = 2*1 + 1*2 = 4; norms = sqrt(5) each.
+        assert!((sim - 4.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_is_ordered_and_excludes_self() {
+        let q = model(0, &["flour", "egg"], &["mix"]);
+        let pool = vec![
+            model(0, &["flour", "egg"], &["mix"]), // same id: excluded
+            model(1, &["flour", "egg"], &["mix"]), // perfect match
+            model(2, &["flour"], &["mix"]),
+            model(3, &["shrimp"], &["grill"]),
+        ];
+        let top = most_similar(&q, &pool, 2, &SimilarityWeights::default());
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0.id, 1);
+        assert_eq!(top[1].0.id, 2);
+        assert!(top[0].1 >= top[1].1);
+    }
+
+    #[test]
+    fn weights_shift_the_score() {
+        let a = model(1, &["flour"], &["bake"]);
+        let b = model(2, &["flour"], &["grill"]);
+        let ing_only = SimilarityWeights { ingredients: 1.0, processes: 0.0 };
+        let proc_only = SimilarityWeights { ingredients: 0.0, processes: 1.0 };
+        assert_eq!(recipe_similarity(&a, &b, &ing_only), 1.0);
+        assert_eq!(recipe_similarity(&a, &b, &proc_only), 0.0);
+    }
+
+    #[test]
+    fn empty_models_are_safe() {
+        let a = model(1, &[], &[]);
+        let b = model(2, &[], &[]);
+        assert_eq!(recipe_similarity(&a, &b, &SimilarityWeights::default()), 0.0);
+    }
+}
+
+/// IDF-weighted similarity: shared *rare* ingredients (saffron) are far
+/// stronger evidence of relatedness than shared staples (salt). Fitted on
+/// a collection of mined models; the weighted Jaccard numerator/denominator
+/// sum inverse-document-frequency weights instead of counting.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimilarityIndex {
+    idf: HashMap<String, f64>,
+    /// Models the index was fitted on.
+    pub n_docs: usize,
+}
+
+
+impl SimilarityIndex {
+    /// Fit IDF weights over the ingredient names of `models`.
+    pub fn fit(models: &[RecipeModel]) -> Self {
+        let mut df: HashMap<String, usize> = HashMap::new();
+        for m in models {
+            let names: HashSet<&str> = m.ingredients.iter().map(|e| e.name.as_str()).collect();
+            for n in names {
+                *df.entry(n.to_string()).or_insert(0) += 1;
+            }
+        }
+        let n_docs = models.len();
+        let idf = df
+            .into_iter()
+            .map(|(name, d)| {
+                // Smoothed IDF, always positive.
+                (name, ((1.0 + n_docs as f64) / (1.0 + d as f64)).ln() + 1.0)
+            })
+            .collect();
+        SimilarityIndex { idf, n_docs }
+    }
+
+    /// Weight of one ingredient name (unseen names get the maximal,
+    /// rarest-possible weight).
+    pub fn idf(&self, name: &str) -> f64 {
+        self.idf
+            .get(name)
+            .copied()
+            .unwrap_or_else(|| ((1.0 + self.n_docs as f64).ln()) + 1.0)
+    }
+
+    /// IDF-weighted Jaccard over ingredient-name sets.
+    pub fn weighted_ingredient_similarity(&self, a: &RecipeModel, b: &RecipeModel) -> f64 {
+        let sa: HashSet<&str> = a.ingredients.iter().map(|e| e.name.as_str()).collect();
+        let sb: HashSet<&str> = b.ingredients.iter().map(|e| e.name.as_str()).collect();
+        if sa.is_empty() && sb.is_empty() {
+            return 0.0;
+        }
+        let inter: f64 = sa.intersection(&sb).map(|n| self.idf(n)).sum();
+        let union: f64 = sa.union(&sb).map(|n| self.idf(n)).sum();
+        if union == 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// The `k` most similar models by weighted ingredient similarity.
+    pub fn most_similar<'a>(
+        &self,
+        query: &RecipeModel,
+        pool: &'a [RecipeModel],
+        k: usize,
+    ) -> Vec<(&'a RecipeModel, f64)> {
+        let mut scored: Vec<(&RecipeModel, f64)> = pool
+            .iter()
+            .filter(|m| m.id != query.id)
+            .map(|m| (m, self.weighted_ingredient_similarity(query, m)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.id.cmp(&b.0.id)));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod idf_tests {
+    use super::*;
+    use crate::model::IngredientEntry;
+
+    fn model(id: u64, names: &[&str]) -> RecipeModel {
+        RecipeModel {
+            id,
+            ingredients: names.iter().map(|n| IngredientEntry::named(*n)).collect(),
+            ..Default::default()
+        }
+    }
+
+    /// A pool where salt is ubiquitous and saffron is rare.
+    fn pool() -> Vec<RecipeModel> {
+        vec![
+            model(1, &["salt", "saffron", "rice"]),
+            model(2, &["salt", "flour", "egg"]),
+            model(3, &["salt", "beef", "onion"]),
+            model(4, &["salt", "milk", "oats"]),
+            model(5, &["salt", "saffron", "chicken"]),
+        ]
+    }
+
+    #[test]
+    fn rare_ingredients_weigh_more() {
+        let idx = SimilarityIndex::fit(&pool());
+        assert!(idx.idf("saffron") > idx.idf("salt"));
+    }
+
+    #[test]
+    fn shared_rare_beats_shared_common() {
+        let idx = SimilarityIndex::fit(&pool());
+        let q = model(9, &["saffron", "salt", "pea"]);
+        let shares_saffron = model(10, &["saffron", "lamb", "pepper"]);
+        let shares_salt = model(11, &["salt", "lamb", "pepper"]);
+        let s1 = idx.weighted_ingredient_similarity(&q, &shares_saffron);
+        let s2 = idx.weighted_ingredient_similarity(&q, &shares_salt);
+        assert!(s1 > s2, "saffron {s1} vs salt {s2}");
+        // Unweighted Jaccard cannot tell them apart.
+        assert!((ingredient_similarity(&q, &shares_saffron)
+            - ingredient_similarity(&q, &shares_salt))
+            .abs()
+            < 1e-12);
+    }
+
+    #[test]
+    fn identical_sets_score_one() {
+        let idx = SimilarityIndex::fit(&pool());
+        let a = model(20, &["salt", "rice"]);
+        let b = model(21, &["salt", "rice"]);
+        assert!((idx.weighted_ingredient_similarity(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unseen_names_get_max_weight_and_empty_is_safe() {
+        let idx = SimilarityIndex::fit(&pool());
+        assert!(idx.idf("unobtainium") >= idx.idf("saffron"));
+        let empty = model(30, &[]);
+        assert_eq!(idx.weighted_ingredient_similarity(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn ranking_excludes_self_and_sorts() {
+        let p = pool();
+        let idx = SimilarityIndex::fit(&p);
+        let top = idx.most_similar(&p[0], &p, 3);
+        assert_eq!(top.len(), 3);
+        assert!(top.iter().all(|(m, _)| m.id != p[0].id));
+        // The other saffron recipe ranks first.
+        assert_eq!(top[0].0.id, 5);
+    }
+}

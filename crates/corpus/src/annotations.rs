@@ -1,0 +1,223 @@
+//! Gold-annotated text units emitted by the generator.
+
+use recipe_ner::{IngredientTag, InstructionTag};
+use recipe_parser::DepTree;
+use recipe_tagger::PennTag;
+use recipe_text::normalize::{Preprocessor, Section};
+use recipe_text::stopwords;
+use serde::{Deserialize, Serialize};
+
+/// One token with gold POS and a gold entity tag of type `T`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnnotatedToken<T> {
+    /// Surface form as generated.
+    pub text: String,
+    /// Gold Penn Treebank tag.
+    pub pos: PennTag,
+    /// Gold entity tag.
+    pub tag: T,
+}
+
+/// A gold-annotated ingredient phrase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnnotatedPhrase {
+    /// Tokens with gold POS and ingredient-attribute tags.
+    pub tokens: Vec<AnnotatedToken<IngredientTag>>,
+    /// Index of the grammar template family that produced this phrase
+    /// (ground truth for cluster-quality analysis; the pipeline never sees
+    /// it).
+    pub template: usize,
+}
+
+impl AnnotatedPhrase {
+    /// Surface text, space-joined.
+    pub fn text(&self) -> String {
+        let words: Vec<&str> = self.tokens.iter().map(|t| t.text.as_str()).collect();
+        words.join(" ")
+    }
+
+    /// Surface tokens.
+    pub fn words(&self) -> Vec<String> {
+        self.tokens.iter().map(|t| t.text.clone()).collect()
+    }
+
+    /// Gold POS tags.
+    pub fn pos_tags(&self) -> Vec<PennTag> {
+        self.tokens.iter().map(|t| t.pos).collect()
+    }
+
+    /// Apply the paper's preprocessing (lowercase, stop-word removal,
+    /// lemmatization) while keeping gold tags aligned: dropped tokens drop
+    /// their tags too. Returns `(normalized tokens, gold tags)` ready for
+    /// NER training.
+    pub fn preprocessed(&self, pre: &Preprocessor) -> (Vec<String>, Vec<IngredientTag>) {
+        let mut words = Vec::with_capacity(self.tokens.len());
+        let mut tags = Vec::with_capacity(self.tokens.len());
+        for tok in &self.tokens {
+            if let Some(norm) = normalize_token(pre, &tok.text, Section::Ingredients) {
+                words.push(norm);
+                tags.push(tok.tag);
+            }
+        }
+        (words, tags)
+    }
+
+    /// The gold ingredient name: the lemmatized, space-joined `NAME`
+    /// tokens.
+    pub fn gold_name(&self, pre: &Preprocessor) -> String {
+        let parts: Vec<String> = self
+            .tokens
+            .iter()
+            .filter(|t| t.tag == IngredientTag::Name)
+            .map(|t| pre.normalize_word(&t.text))
+            .collect();
+        parts.join(" ")
+    }
+}
+
+/// A gold-annotated instruction sentence with its dependency tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnotatedSentence {
+    /// Tokens with gold POS and instruction entity tags.
+    pub tokens: Vec<AnnotatedToken<InstructionTag>>,
+    /// Gold dependency tree over the raw tokens.
+    pub tree: DepTree,
+}
+
+impl AnnotatedSentence {
+    /// Surface text, space-joined.
+    pub fn text(&self) -> String {
+        let words: Vec<&str> = self.tokens.iter().map(|t| t.text.as_str()).collect();
+        words.join(" ")
+    }
+
+    /// Surface tokens.
+    pub fn words(&self) -> Vec<String> {
+        self.tokens.iter().map(|t| t.text.clone()).collect()
+    }
+
+    /// Gold POS tags.
+    pub fn pos_tags(&self) -> Vec<PennTag> {
+        self.tokens.iter().map(|t| t.pos).collect()
+    }
+
+    /// Instruction-mode preprocessing with tag alignment (keeps
+    /// syntax-bearing stop words, drops the rest).
+    pub fn preprocessed(&self, pre: &Preprocessor) -> (Vec<String>, Vec<InstructionTag>) {
+        let mut words = Vec::with_capacity(self.tokens.len());
+        let mut tags = Vec::with_capacity(self.tokens.len());
+        for tok in &self.tokens {
+            if let Some(norm) = normalize_token(pre, &tok.text, Section::Instructions) {
+                words.push(norm);
+                tags.push(tok.tag);
+            }
+        }
+        (words, tags)
+    }
+}
+
+/// Normalize one already-tokenized word the way the phrase preprocessor
+/// would; `None` means the token is dropped (stop word / punctuation).
+fn normalize_token(pre: &Preprocessor, text: &str, section: Section) -> Option<String> {
+    let is_word = text.chars().all(|c| c.is_alphabetic() || c == '-' || c == '\'');
+    if !is_word {
+        // Punctuation drops unless configured otherwise; numbers pass.
+        let is_punct = text.chars().count() == 1 && !text.chars().next().unwrap().is_alphanumeric();
+        if is_punct {
+            return if pre.keep_punct { Some(text.to_string()) } else { None };
+        }
+        return Some(text.to_lowercase());
+    }
+    let lower = text.to_lowercase();
+    if pre.remove_stop_words && stopwords::is_stop_word(&lower) {
+        let keep = section == Section::Instructions && stopwords::keep_in_instructions(&lower);
+        if !keep {
+            return None;
+        }
+    }
+    if pre.lemmatize {
+        Some(pre.lemmatizer().lemmatize_noun(&lower))
+    } else {
+        Some(lower)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use IngredientTag as I;
+    use PennTag as P;
+
+    fn tok<T: Copy>(text: &str, pos: PennTag, tag: T) -> AnnotatedToken<T> {
+        AnnotatedToken { text: text.to_string(), pos, tag }
+    }
+
+    fn sample_phrase() -> AnnotatedPhrase {
+        AnnotatedPhrase {
+            tokens: vec![
+                tok("2", P::CD, I::Quantity),
+                tok("cups", P::NNS, I::Unit),
+                tok("of", P::IN, I::O),
+                tok("Tomatoes", P::NNS, I::Name),
+                tok(",", P::SYM, I::O),
+                tok("chopped", P::VBN, I::State),
+            ],
+            template: 1,
+        }
+    }
+
+    #[test]
+    fn text_and_words() {
+        let p = sample_phrase();
+        assert_eq!(p.text(), "2 cups of Tomatoes , chopped");
+        assert_eq!(p.words().len(), 6);
+        assert_eq!(p.pos_tags()[0], P::CD);
+    }
+
+    #[test]
+    fn preprocessing_keeps_tags_aligned() {
+        let p = sample_phrase();
+        let pre = Preprocessor::default();
+        let (words, tags) = p.preprocessed(&pre);
+        assert_eq!(words, ["2", "cup", "tomato", "chopped"]);
+        assert_eq!(tags, [I::Quantity, I::Unit, I::Name, I::State]);
+    }
+
+    #[test]
+    fn gold_name_is_lemmatized() {
+        let p = sample_phrase();
+        let pre = Preprocessor::default();
+        assert_eq!(p.gold_name(&pre), "tomato");
+    }
+
+    #[test]
+    fn punctuation_kept_when_configured() {
+        let p = sample_phrase();
+        let pre = Preprocessor::with_punct();
+        let (words, tags) = p.preprocessed(&pre);
+        assert!(words.contains(&",".to_string()));
+        assert_eq!(words.len(), tags.len());
+    }
+
+    #[test]
+    fn instruction_preprocessing_keeps_syntax_words() {
+        use recipe_parser::tree::DepLabel;
+        use InstructionTag as T;
+        let s = AnnotatedSentence {
+            tokens: vec![
+                tok("Boil", P::VB, T::Process),
+                tok("the", P::DT, T::O),
+                tok("water", P::NN, T::Ingredient),
+            ],
+            tree: DepTree::new(
+                vec![None, Some(2), Some(0)],
+                vec![DepLabel::Root, DepLabel::Det, DepLabel::Dobj],
+            )
+            .unwrap(),
+        };
+        let pre = Preprocessor::default();
+        let (words, tags) = s.preprocessed(&pre);
+        assert_eq!(words, ["boil", "the", "water"]);
+        assert_eq!(tags, [T::Process, T::O, T::Ingredient]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Dataset export/import in a CoNLL-style column format.
+//!
+//! The paper releases its labeled dataset (8 800 ingredient phrases split
+//! into training and testing sets) on GitHub. This module writes and reads
+//! the equivalent artifacts for our corpus: one token per line as
+//! `token<TAB>POS<TAB>TAG`, blank line between sequences, `#`-prefixed
+//! comment lines ignored.
+
+use crate::annotations::{AnnotatedPhrase, AnnotatedToken};
+use recipe_ner::IngredientTag;
+use recipe_tagger::PennTag;
+use std::fmt::Write as _;
+use std::io::{BufReader, Read, Write};
+use std::str::FromStr;
+
+/// Serialize phrases into the column format.
+pub fn phrases_to_conll(phrases: &[&AnnotatedPhrase]) -> String {
+    let mut out = String::new();
+    out.push_str("# token\tpos\ttag\n");
+    for phrase in phrases {
+        let _ = writeln!(out, "# template {}", phrase.template);
+        for tok in &phrase.tokens {
+            let _ = writeln!(out, "{}\t{}\t{}", tok.text, tok.pos.as_str(), tok.tag.as_str());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Errors while parsing the column format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A data line did not have exactly three tab-separated columns.
+    BadColumns {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Unknown POS tag string.
+    BadPos {
+        /// 1-based line number.
+        line: usize,
+        /// Offending tag text.
+        tag: String,
+    },
+    /// Unknown entity tag string.
+    BadTag {
+        /// 1-based line number.
+        line: usize,
+        /// Offending tag text.
+        tag: String,
+    },
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadColumns { line } => write!(f, "line {line}: expected 3 columns"),
+            ParseError::BadPos { line, tag } => write!(f, "line {line}: unknown POS {tag:?}"),
+            ParseError::BadTag { line, tag } => write!(f, "line {line}: unknown tag {tag:?}"),
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse phrases from the column format. Template comments are restored
+/// when present (otherwise template 0).
+pub fn phrases_from_conll(input: &str) -> Result<Vec<AnnotatedPhrase>, ParseError> {
+    let mut phrases = Vec::new();
+    let mut tokens: Vec<AnnotatedToken<IngredientTag>> = Vec::new();
+    let mut template = 0usize;
+    let flush = |tokens: &mut Vec<AnnotatedToken<IngredientTag>>, template: &mut usize,
+                     phrases: &mut Vec<AnnotatedPhrase>| {
+        if !tokens.is_empty() {
+            phrases.push(AnnotatedPhrase { tokens: std::mem::take(tokens), template: *template });
+            *template = 0;
+        }
+    };
+    for (i, line) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            flush(&mut tokens, &mut template, &mut phrases);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some(t) = rest.trim().strip_prefix("template ") {
+                template = t.trim().parse().unwrap_or(0);
+            }
+            continue;
+        }
+        let mut cols = line.split('\t');
+        let (text, pos, tag) = match (cols.next(), cols.next(), cols.next(), cols.next()) {
+            (Some(a), Some(b), Some(c), None) => (a, b, c),
+            _ => return Err(ParseError::BadColumns { line: lineno }),
+        };
+        let pos = PennTag::from_str(pos)
+            .map_err(|_| ParseError::BadPos { line: lineno, tag: pos.to_string() })?;
+        let tag = IngredientTag::parse(tag)
+            .ok_or_else(|| ParseError::BadTag { line: lineno, tag: tag.to_string() })?;
+        tokens.push(AnnotatedToken { text: text.to_string(), pos, tag });
+    }
+    flush(&mut tokens, &mut template, &mut phrases);
+    Ok(phrases)
+}
+
+/// Write phrases to any writer.
+pub fn write_phrases<W: Write>(mut w: W, phrases: &[&AnnotatedPhrase]) -> std::io::Result<()> {
+    w.write_all(phrases_to_conll(phrases).as_bytes())
+}
+
+/// Read phrases from any reader.
+pub fn read_phrases<R: Read>(r: R) -> Result<Vec<AnnotatedPhrase>, ParseError> {
+    let mut buf = String::new();
+    BufReader::new(r)
+        .read_to_string(&mut buf)
+        .map_err(|e| ParseError::Io(e.to_string()))?;
+    phrases_from_conll(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::PhraseGenerator;
+    use crate::recipe::Site;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_phrases(n: usize) -> Vec<AnnotatedPhrase> {
+        let g = PhraseGenerator::new(Site::FoodCom);
+        let mut rng = StdRng::seed_from_u64(5);
+        (0..n).map(|_| g.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let phrases = sample_phrases(200);
+        let refs: Vec<&AnnotatedPhrase> = phrases.iter().collect();
+        let text = phrases_to_conll(&refs);
+        let back = phrases_from_conll(&text).unwrap();
+        assert_eq!(phrases, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_tolerated() {
+        let input = "# a file comment\n\n\nsalt\tNN\tNAME\n\n# trailing comment\n";
+        let phrases = phrases_from_conll(input).unwrap();
+        assert_eq!(phrases.len(), 1);
+        assert_eq!(phrases[0].tokens[0].text, "salt");
+        assert_eq!(phrases[0].template, 0);
+    }
+
+    #[test]
+    fn template_comment_is_restored() {
+        let input = "# template 7\n2\tCD\tQUANTITY\ncups\tNNS\tUNIT\n";
+        let phrases = phrases_from_conll(input).unwrap();
+        assert_eq!(phrases[0].template, 7);
+    }
+
+    #[test]
+    fn bad_rows_are_reported_with_line_numbers() {
+        assert_eq!(
+            phrases_from_conll("just-one-column\n"),
+            Err(ParseError::BadColumns { line: 1 })
+        );
+        assert!(matches!(
+            phrases_from_conll("salt\tWHAT\tNAME\n"),
+            Err(ParseError::BadPos { line: 1, .. })
+        ));
+        assert!(matches!(
+            phrases_from_conll("salt\tNN\tWHAT\n"),
+            Err(ParseError::BadTag { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let phrases = sample_phrases(20);
+        let refs: Vec<&AnnotatedPhrase> = phrases.iter().collect();
+        let mut buf = Vec::new();
+        write_phrases(&mut buf, &refs).unwrap();
+        let back = read_phrases(&buf[..]).unwrap();
+        assert_eq!(phrases, back);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(phrases_from_conll("").unwrap().is_empty());
+        assert!(phrases_from_conll("# only comments\n").unwrap().is_empty());
+    }
+}
+
+/// Serialize full recipes (with gold annotations) as JSON Lines — the
+/// interchange format for shipping a generated corpus between tools.
+pub fn recipes_to_jsonl(recipes: &[crate::recipe::Recipe]) -> String {
+    recipes
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("recipe serializes"))
+        .fold(String::new(), |mut acc, line| {
+            acc.push_str(&line);
+            acc.push('\n');
+            acc
+        })
+}
+
+/// Parse recipes from JSON Lines; blank lines are skipped. Returns the
+/// first parse error with its 1-based line number.
+pub fn recipes_from_jsonl(
+    input: &str,
+) -> Result<Vec<crate::recipe::Recipe>, (usize, serde_json::Error)> {
+    let mut out = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(serde_json::from_str(line).map_err(|e| (i + 1, e))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod jsonl_tests {
+    use super::*;
+    use crate::generator::{CorpusSpec, RecipeCorpus};
+
+    #[test]
+    fn recipes_round_trip_jsonl() {
+        let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(31));
+        let subset = &corpus.recipes[..10];
+        let text = recipes_to_jsonl(subset);
+        assert_eq!(text.lines().count(), 10);
+        let back = recipes_from_jsonl(&text).unwrap();
+        assert_eq!(back.len(), 10);
+        for (a, b) in subset.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.ingredient_lines(), b.ingredient_lines());
+            assert_eq!(a.instruction_lines(), b.instruction_lines());
+            assert_eq!(a.step_of, b.step_of);
+        }
+    }
+
+    #[test]
+    fn jsonl_errors_carry_line_numbers() {
+        let text = "\n{not json}\n";
+        let err = recipes_from_jsonl(text).unwrap_err();
+        assert_eq!(err.0, 2);
+    }
+}

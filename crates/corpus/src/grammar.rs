@@ -1,0 +1,645 @@
+//! Ingredient-phrase grammar: ~24 template families with gold annotations.
+//!
+//! Each template family realizes a distinct lexical structure — the
+//! paper's §II.A "variation in lexical structure" challenge, and the
+//! structure families that K-Means later rediscovers as its 23 clusters.
+//! The AllRecipes profile concentrates probability mass on the simple
+//! families; Food.com spreads across all of them (it is the larger and
+//! messier corpus), which drives the Table IV cross-site asymmetry.
+
+use crate::annotations::{AnnotatedPhrase, AnnotatedToken};
+use crate::recipe::Site;
+use crate::vocab;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::RngExt;
+use recipe_ner::IngredientTag as I;
+use recipe_tagger::PennTag as P;
+
+/// Sampling context for one phrase: site-filtered pools plus the RNG.
+pub struct PhraseGenerator {
+    site: Site,
+    name_bases: Vec<&'static str>,
+    units: Vec<(&'static str, &'static str)>,
+    states: Vec<&'static str>,
+    sizes: Vec<&'static str>,
+    temps: Vec<&'static str>,
+    dry_fresh: Vec<&'static str>,
+}
+
+/// Internal builder for one phrase realization.
+struct Ctx<'a> {
+    g: &'a PhraseGenerator,
+    rng: &'a mut StdRng,
+    toks: Vec<AnnotatedToken<I>>,
+    /// Whether the most recent quantity rendered as exactly "1".
+    singular: bool,
+    /// Cuisine-signature bases (subset of the site pool) favoured when
+    /// sampling ingredient names.
+    bias: &'a [&'static str],
+}
+
+impl<'a> Ctx<'a> {
+    fn push(&mut self, text: impl Into<String>, pos: P, tag: I) {
+        self.toks.push(AnnotatedToken { text: text.into(), pos, tag });
+    }
+
+    /// A plain integer quantity.
+    fn qty_int(&mut self) {
+        let n: u32 = *[1u32, 1, 1, 2, 2, 3, 4, 5, 6, 8, 10, 12].choose(self.rng).unwrap();
+        self.singular = n == 1;
+        self.push(n.to_string(), P::CD, I::Quantity);
+    }
+
+    /// A fraction quantity (`1/2`). Sub-unit quantities take singular
+    /// units in recipe convention ("1/2 cup sugar").
+    fn qty_fraction(&mut self) {
+        let f = *["1/2", "1/3", "1/4", "3/4", "2/3", "1/8"].choose(self.rng).unwrap();
+        self.singular = true;
+        self.push(f, P::CD, I::Quantity);
+    }
+
+    /// A mixed number (`1 1/2`) — two QUANTITY tokens.
+    fn qty_mixed(&mut self) {
+        let n: u32 = *[1u32, 2, 3].choose(self.rng).unwrap();
+        let f = *["1/2", "1/4", "3/4"].choose(self.rng).unwrap();
+        self.push(n.to_string(), P::CD, I::Quantity);
+        self.push(f, P::CD, I::Quantity);
+        self.singular = false;
+    }
+
+    /// A range (`2-3`).
+    fn qty_range(&mut self) {
+        let a: u32 = self.rng.random_range(1..5);
+        let b = a + self.rng.random_range(1..3);
+        self.push(format!("{a}-{b}"), P::CD, I::Quantity);
+        self.singular = false;
+    }
+
+    /// Any quantity form, weighted toward integers.
+    fn qty(&mut self) {
+        match self.rng.random_range(0..10) {
+            0..=5 => self.qty_int(),
+            6..=7 => self.qty_fraction(),
+            8 => self.qty_mixed(),
+            _ => self.qty_range(),
+        }
+    }
+
+    /// A measuring unit, agreeing in number with the last quantity.
+    fn unit(&mut self) {
+        let &(sg, pl) = self.g.units.choose(self.rng).unwrap();
+        if self.singular {
+            self.push(sg, P::NN, I::Unit);
+        } else {
+            self.push(pl, P::NNS, I::Unit);
+        }
+    }
+
+    /// Apply scraped-data surface noise: with small probability, swap two
+    /// adjacent letters of a content word (RecipeDB is web-scraped text;
+    /// this is what keeps test-time OOV words flowing at any corpus size).
+    fn maybe_typo(&mut self, word: &str) -> String {
+        const TYPO_PROB: f64 = 0.045;
+        if word.len() >= 4
+            && word.chars().all(|c| c.is_ascii_lowercase())
+            && self.rng.random_range(0.0..1.0) < TYPO_PROB
+        {
+            let i = self.rng.random_range(1..word.len() - 1);
+            let mut b = word.as_bytes().to_vec();
+            b.swap(i, i + 1);
+            return String::from_utf8(b).expect("ascii stays utf8");
+        }
+        word.to_string()
+    }
+
+    /// An ingredient name: optional modifiers plus a base noun. All tokens
+    /// carry the `NAME` tag (multi-token entity, cf. "puff pastry" /
+    /// "extra virgin olive oil" in Table I).
+    fn name(&mut self) {
+        let n_mods = match self.rng.random_range(0..10) {
+            0..=5 => 0,
+            6..=8 => 1,
+            _ => 2,
+        };
+        let mut used = Vec::new();
+        for _ in 0..n_mods {
+            let &(m, pos) = vocab::NAME_MODIFIERS.choose(self.rng).unwrap();
+            if used.contains(&m) {
+                continue;
+            }
+            used.push(m);
+            self.push(m, pos, I::Name);
+        }
+        let base = if !self.bias.is_empty() && self.rng.random_range(0..100) < 45 {
+            *self.bias.choose(self.rng).unwrap()
+        } else {
+            *self.g.name_bases.choose(self.rng).unwrap()
+        };
+        let plural = !self.singular && self.rng.random_range(0..3) == 0 && can_pluralize(base);
+        let surface =
+            if plural { pluralize(base) } else { base.to_string() };
+        let surface = self.maybe_typo(&surface);
+        self.push(surface, if plural { P::NNS } else { P::NN }, I::Name);
+    }
+
+    fn state(&mut self) {
+        let s = *self.g.states.choose(self.rng).unwrap();
+        let s = self.maybe_typo(s);
+        self.push(s, P::VBN, I::State);
+    }
+
+    fn state_adverb(&mut self) {
+        let a = *vocab::STATE_ADVERBS.choose(self.rng).unwrap();
+        self.push(a, P::RB, I::O);
+    }
+
+    fn size(&mut self) {
+        let s = *self.g.sizes.choose(self.rng).unwrap();
+        self.push(s, P::JJ, I::Size);
+    }
+
+    fn temp(&mut self) {
+        let t = *self.g.temps.choose(self.rng).unwrap();
+        self.push(t, P::JJ, I::Temp);
+    }
+
+    fn dry_fresh(&mut self) {
+        let d = *self.g.dry_fresh.choose(self.rng).unwrap();
+        self.push(d, P::JJ, I::DryFresh);
+    }
+
+    fn comma(&mut self) {
+        self.push(",", P::SYM, I::O);
+    }
+
+    fn lit(&mut self, text: &str, pos: P) {
+        self.push(text, pos, I::O);
+    }
+}
+
+fn can_pluralize(base: &str) -> bool {
+    !base.ends_with('s') && !base.ends_with("sh") && !base.ends_with("ch")
+}
+
+fn pluralize(base: &str) -> String {
+    if base.ends_with('o') {
+        format!("{base}es")
+    } else if let Some(stem) = base.strip_suffix('y') {
+        let keep_y = stem.ends_with(|c: char| "aeiou".contains(c));
+        if keep_y {
+            format!("{base}s")
+        } else {
+            format!("{stem}ies")
+        }
+    } else {
+        format!("{base}s")
+    }
+}
+
+/// One template family: realization function plus per-site weights.
+type TemplateFn = fn(&mut Ctx);
+
+struct Template {
+    f: TemplateFn,
+    /// Relative weight under the AllRecipes profile.
+    w_ar: f64,
+    /// Relative weight under the Food.com profile.
+    w_fc: f64,
+}
+
+/// "2 cups flour"
+fn t_qty_unit_name(c: &mut Ctx) {
+    c.qty();
+    c.unit();
+    c.name();
+}
+
+/// "1 cup onion , chopped"
+fn t_qty_unit_name_state(c: &mut Ctx) {
+    c.qty();
+    c.unit();
+    c.name();
+    c.comma();
+    c.state();
+}
+
+/// "2 eggs"
+fn t_qty_name(c: &mut Ctx) {
+    c.qty_int();
+    c.name();
+}
+
+/// "2-3 medium tomatoes"
+fn t_qty_size_name(c: &mut Ctx) {
+    c.qty();
+    c.size();
+    c.name();
+}
+
+/// "1 tablespoon fresh thyme"
+fn t_qty_unit_df_name(c: &mut Ctx) {
+    c.qty();
+    c.unit();
+    c.dry_fresh();
+    c.name();
+}
+
+/// "1/2 teaspoon pepper , freshly ground"
+fn t_qty_unit_name_adv_state(c: &mut Ctx) {
+    c.qty();
+    c.unit();
+    c.name();
+    c.comma();
+    c.state_adverb();
+    c.state();
+}
+
+/// "1 (8 ounce) package cream cheese , softened"
+fn t_parenthetical_package(c: &mut Ctx) {
+    c.qty_int();
+    c.lit("(", P::SYM);
+    let n: u32 = *[4u32, 6, 8, 10, 12, 14, 16].choose(c.rng).unwrap();
+    c.push(n.to_string(), P::CD, I::Quantity);
+    // Parenthetical sizes conventionally stay singular: "(8 ounce)".
+    c.push("ounce", P::NN, I::Unit);
+    c.lit(")", P::SYM);
+    c.push("package", P::NN, I::Unit);
+    c.name();
+    c.comma();
+    c.state();
+}
+
+/// "1 sheet frozen puff pastry ( thawed )"
+fn t_temp_name_paren_state(c: &mut Ctx) {
+    c.qty_int();
+    c.unit();
+    c.temp();
+    c.name();
+    c.lit("(", P::SYM);
+    c.state();
+    c.lit(")", P::SYM);
+}
+
+/// "2 cups shredded cheddar"
+fn t_qty_unit_state_name(c: &mut Ctx) {
+    c.qty();
+    c.unit();
+    c.state();
+    c.name();
+}
+
+/// "salt and pepper to taste"
+fn t_to_taste(c: &mut Ctx) {
+    c.name();
+    c.lit("and", P::CC);
+    c.name();
+    c.lit("to", P::TO);
+    c.lit("taste", P::VB);
+}
+
+/// "1 onion , peeled and diced"
+fn t_name_two_states(c: &mut Ctx) {
+    c.qty_int();
+    c.name();
+    c.comma();
+    c.state();
+    c.lit("and", P::CC);
+    c.state();
+}
+
+/// "2 large eggs , beaten"
+fn t_qty_size_name_state(c: &mut Ctx) {
+    c.qty();
+    c.size();
+    c.name();
+    c.comma();
+    c.state();
+}
+
+/// "1 1/2 cups milk" (mixed number)
+fn t_mixed_unit_name(c: &mut Ctx) {
+    c.qty_mixed();
+    c.unit();
+    c.name();
+}
+
+/// "1-2 fresh chili pepper very finely chopped"
+fn t_range_df_name_adv_state(c: &mut Ctx) {
+    c.qty_range();
+    c.dry_fresh();
+    c.name();
+    c.state_adverb();
+    c.state();
+}
+
+/// "1 pinch of salt"
+fn t_qty_unit_of_name(c: &mut Ctx) {
+    c.qty();
+    c.unit();
+    c.lit("of", P::IN);
+    c.name();
+}
+
+/// "6 ounces blue cheese , at room temperature"
+fn t_room_temperature(c: &mut Ctx) {
+    c.qty();
+    c.unit();
+    c.name();
+    c.comma();
+    c.lit("at", P::IN);
+    c.push("room", P::NN, I::Temp);
+    c.push("temperature", P::NN, I::Temp);
+}
+
+/// "1 cup walnuts ( optional )"
+fn t_optional(c: &mut Ctx) {
+    c.qty();
+    c.unit();
+    c.name();
+    c.lit("(", P::SYM);
+    c.lit("optional", P::JJ);
+    c.lit(")", P::SYM);
+}
+
+/// "2 cups frozen peas"
+fn t_qty_unit_temp_name(c: &mut Ctx) {
+    c.qty();
+    c.unit();
+    c.temp();
+    c.name();
+}
+
+/// "1 cup carrot , peeled , diced"
+fn t_two_comma_states(c: &mut Ctx) {
+    c.qty();
+    c.unit();
+    c.name();
+    c.comma();
+    c.state();
+    c.comma();
+    c.state();
+}
+
+/// "large onion , diced" (no quantity)
+fn t_size_name_state(c: &mut Ctx) {
+    c.singular = true;
+    c.size();
+    c.name();
+    c.comma();
+    c.state();
+}
+
+/// "fresh basil leaves" style: DF + name
+fn t_df_name(c: &mut Ctx) {
+    c.singular = true;
+    c.dry_fresh();
+    c.name();
+}
+
+/// "salt" (bare name)
+fn t_bare_name(c: &mut Ctx) {
+    c.singular = true;
+    c.name();
+}
+
+/// "1/2 cup hot water"
+fn t_fraction_unit_temp_name(c: &mut Ctx) {
+    c.qty_fraction();
+    c.unit();
+    c.temp();
+    c.name();
+}
+
+/// "2 tablespoons butter , melted , plus more for greasing"
+fn t_plus_more(c: &mut Ctx) {
+    c.qty();
+    c.unit();
+    c.name();
+    c.comma();
+    c.state();
+    c.comma();
+    c.lit("plus", P::CC);
+    c.lit("more", P::JJR);
+    c.lit("for", P::IN);
+    c.lit("greasing", P::VBG);
+}
+
+/// Template registry. AllRecipes weights concentrate on the first, simple
+/// families; Food.com spreads across everything.
+fn templates() -> Vec<Template> {
+    vec![
+        Template { f: t_qty_unit_name, w_ar: 22.0, w_fc: 12.0 },
+        Template { f: t_qty_unit_name_state, w_ar: 16.0, w_fc: 10.0 },
+        Template { f: t_qty_name, w_ar: 14.0, w_fc: 8.0 },
+        Template { f: t_qty_size_name, w_ar: 10.0, w_fc: 6.0 },
+        Template { f: t_qty_unit_df_name, w_ar: 8.0, w_fc: 6.0 },
+        Template { f: t_qty_unit_name_adv_state, w_ar: 6.0, w_fc: 6.0 },
+        Template { f: t_qty_unit_state_name, w_ar: 6.0, w_fc: 5.0 },
+        Template { f: t_bare_name, w_ar: 5.0, w_fc: 3.0 },
+        Template { f: t_mixed_unit_name, w_ar: 4.0, w_fc: 4.0 },
+        Template { f: t_qty_unit_temp_name, w_ar: 3.0, w_fc: 4.0 },
+        Template { f: t_to_taste, w_ar: 2.0, w_fc: 2.0 },
+        Template { f: t_qty_size_name_state, w_ar: 2.0, w_fc: 4.0 },
+        // Complex families: rare on AllRecipes, common on Food.com.
+        Template { f: t_parenthetical_package, w_ar: 0.5, w_fc: 5.0 },
+        Template { f: t_temp_name_paren_state, w_ar: 0.5, w_fc: 4.0 },
+        Template { f: t_name_two_states, w_ar: 0.5, w_fc: 4.0 },
+        Template { f: t_range_df_name_adv_state, w_ar: 0.2, w_fc: 3.0 },
+        Template { f: t_qty_unit_of_name, w_ar: 0.5, w_fc: 3.0 },
+        Template { f: t_room_temperature, w_ar: 0.2, w_fc: 3.0 },
+        Template { f: t_optional, w_ar: 0.5, w_fc: 3.0 },
+        Template { f: t_two_comma_states, w_ar: 0.2, w_fc: 2.5 },
+        Template { f: t_size_name_state, w_ar: 0.5, w_fc: 2.0 },
+        Template { f: t_df_name, w_ar: 1.0, w_fc: 2.0 },
+        Template { f: t_fraction_unit_temp_name, w_ar: 0.3, w_fc: 2.0 },
+        Template { f: t_plus_more, w_ar: 0.1, w_fc: 2.0 },
+    ]
+}
+
+/// Number of template families in the grammar.
+pub fn num_templates() -> usize {
+    templates().len()
+}
+
+impl PhraseGenerator {
+    /// Generator for one site profile.
+    pub fn new(site: Site) -> Self {
+        PhraseGenerator {
+            site,
+            name_bases: vocab::name_bases_for_site(site),
+            units: vocab::units_for_site(site),
+            states: vocab::for_site(vocab::STATES, site),
+            sizes: vocab::for_site(vocab::SIZES, site),
+            temps: vocab::for_site(vocab::TEMPS, site),
+            dry_fresh: vocab::for_site(vocab::DRY_FRESH, site),
+        }
+    }
+
+    /// The site this generator models.
+    pub fn site(&self) -> Site {
+        self.site
+    }
+
+    /// Sample one gold-annotated ingredient phrase.
+    pub fn generate(&self, rng: &mut StdRng) -> AnnotatedPhrase {
+        self.generate_biased(rng, &[])
+    }
+
+    /// Sample a phrase whose ingredient name is drawn from `bias` (a
+    /// cuisine signature) part of the time. Bias entries not in this
+    /// site's pool are ignored.
+    pub fn generate_biased(
+        &self,
+        rng: &mut StdRng,
+        bias: &[&'static str],
+    ) -> AnnotatedPhrase {
+        let usable: Vec<&'static str> =
+            bias.iter().copied().filter(|b| self.name_bases.contains(b)).collect();
+        let templates = templates();
+        let weights: Vec<f64> = templates
+            .iter()
+            .map(|t| if self.site == Site::AllRecipes { t.w_ar } else { t.w_fc })
+            .collect();
+        let idx = weighted_choice(rng, &weights);
+        let mut ctx =
+            Ctx { g: self, rng, toks: Vec::with_capacity(10), singular: false, bias: &usable };
+        (templates[idx].f)(&mut ctx);
+        AnnotatedPhrase { tokens: ctx.toks, template: idx }
+    }
+}
+
+/// Sample an index proportional to `weights`.
+fn weighted_choice(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut target = rng.random_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use recipe_text::Preprocessor;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn phrases_are_nonempty_and_aligned() {
+        let g = PhraseGenerator::new(Site::FoodCom);
+        let mut r = rng(1);
+        for _ in 0..500 {
+            let p = g.generate(&mut r);
+            assert!(!p.tokens.is_empty());
+            assert!(p.template < num_templates());
+        }
+    }
+
+    #[test]
+    fn every_phrase_has_a_name() {
+        let g = PhraseGenerator::new(Site::FoodCom);
+        let mut r = rng(2);
+        for _ in 0..500 {
+            let p = g.generate(&mut r);
+            assert!(
+                p.tokens.iter().any(|t| t.tag == I::Name),
+                "phrase without NAME: {}",
+                p.text()
+            );
+        }
+    }
+
+    #[test]
+    fn all_templates_reachable_on_foodcom() {
+        let g = PhraseGenerator::new(Site::FoodCom);
+        let mut r = rng(3);
+        let mut seen = vec![false; num_templates()];
+        for _ in 0..5000 {
+            seen[g.generate(&mut r).template] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "unreached templates: {seen:?}");
+    }
+
+    #[test]
+    fn allrecipes_prefers_simple_templates() {
+        let g = PhraseGenerator::new(Site::AllRecipes);
+        let mut r = rng(4);
+        let mut counts = vec![0usize; num_templates()];
+        for _ in 0..5000 {
+            counts[g.generate(&mut r).template] += 1;
+        }
+        let simple: usize = counts[..12].iter().sum();
+        let complex: usize = counts[12..].iter().sum();
+        assert!(simple > 15 * complex, "simple {simple} vs complex {complex}");
+    }
+
+    #[test]
+    fn preprocessing_round_trips_on_generated_phrases() {
+        let pre = Preprocessor::default();
+        for site in [Site::AllRecipes, Site::FoodCom] {
+            let g = PhraseGenerator::new(site);
+            let mut r = rng(5);
+            for _ in 0..300 {
+                let p = g.generate(&mut r);
+                let (words, tags) = p.preprocessed(&pre);
+                assert_eq!(words.len(), tags.len());
+                assert!(!words.is_empty(), "phrase fully preprocessed away: {}", p.text());
+                assert!(words.iter().all(|w| !w.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn pluralization_rules() {
+        assert_eq!(pluralize("tomato"), "tomatoes");
+        assert_eq!(pluralize("berry"), "berries");
+        assert_eq!(pluralize("egg"), "eggs");
+        assert_eq!(pluralize("turkey"), "turkeys");
+    }
+
+    #[test]
+    fn quantities_take_all_forms() {
+        let g = PhraseGenerator::new(Site::FoodCom);
+        let mut r = rng(6);
+        let mut saw_fraction = false;
+        let mut saw_range = false;
+        let mut saw_int = false;
+        for _ in 0..2000 {
+            let p = g.generate(&mut r);
+            for t in &p.tokens {
+                if t.tag == I::Quantity {
+                    if t.text.contains('/') {
+                        saw_fraction = true;
+                    } else if t.text.contains('-') {
+                        saw_range = true;
+                    } else {
+                        saw_int = true;
+                    }
+                }
+            }
+        }
+        assert!(saw_fraction && saw_range && saw_int);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = PhraseGenerator::new(Site::FoodCom);
+        let a: Vec<String> = {
+            let mut r = rng(9);
+            (0..50).map(|_| g.generate(&mut r).text()).collect()
+        };
+        let b: Vec<String> = {
+            let mut r = rng(9);
+            (0..50).map(|_| g.generate(&mut r).text()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

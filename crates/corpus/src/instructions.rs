@@ -1,0 +1,688 @@
+//! Instruction-sentence grammar with gold dependency trees.
+//!
+//! Every template realizes an imperative cooking sentence and records, by
+//! construction, its Penn POS tags, its PROCESS/UTENSIL/INGREDIENT entity
+//! tags and its (projective) dependency tree — the gold standard for both
+//! the instruction NER model (Table V) and the dependency parser used for
+//! relation extraction (Figs. 3–5).
+
+use crate::annotations::{AnnotatedSentence, AnnotatedToken};
+use crate::recipe::Site;
+use crate::vocab;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::RngExt;
+use recipe_ner::InstructionTag as T;
+use recipe_parser::tree::{DepLabel as L, DepTree};
+use recipe_tagger::PennTag as P;
+
+/// A multi-token ingredient mention: `(text, pos)` per token.
+pub type NameTokens = Vec<(String, P)>;
+
+/// Sentence builder that accumulates tokens + arcs and validates at the
+/// end.
+struct B {
+    toks: Vec<AnnotatedToken<T>>,
+    heads: Vec<Option<usize>>,
+    labels: Vec<L>,
+}
+
+impl B {
+    fn new() -> Self {
+        B { toks: Vec::with_capacity(12), heads: Vec::new(), labels: Vec::new() }
+    }
+
+    fn tok(&mut self, text: &str, pos: P, tag: T, head: Option<usize>, label: L) -> usize {
+        self.toks.push(AnnotatedToken { text: text.to_string(), pos, tag });
+        self.heads.push(head);
+        self.labels.push(label);
+        self.toks.len() - 1
+    }
+
+    /// Root verb.
+    fn root(&mut self, text: &str) -> usize {
+        self.tok(text, P::VB, T::Process, None, L::Root)
+    }
+
+    /// A noun phrase `[det] [modifiers…] head`, attached `(head, label)`.
+    /// Returns the index of the head noun. All name tokens carry `tag`.
+    fn np(
+        &mut self,
+        det: Option<&str>,
+        words: &[(String, P)],
+        tag: T,
+        head: usize,
+        label: L,
+    ) -> usize {
+        debug_assert!(!words.is_empty());
+        let start = self.toks.len();
+        let det_n = usize::from(det.is_some());
+        let noun_idx = start + det_n + words.len() - 1;
+        if let Some(d) = det {
+            self.tok(d, P::DT, T::O, Some(noun_idx), L::Det);
+        }
+        for (w, pos) in &words[..words.len() - 1] {
+            let lab = if pos.is_noun() { L::Compound } else { L::Amod };
+            self.tok(w, *pos, tag, Some(noun_idx), lab);
+        }
+        let (w, pos) = &words[words.len() - 1];
+        self.tok(w, *pos, tag, Some(head), label)
+    }
+
+    /// A prepositional phrase `prep [det] np`, attached to `verb`.
+    /// Returns the index of the object noun.
+    fn pp(
+        &mut self,
+        prep: &str,
+        det: Option<&str>,
+        words: &[(String, P)],
+        tag: T,
+        verb: usize,
+    ) -> usize {
+        let p = self.tok(prep, P::IN, T::O, Some(verb), L::Prep);
+        self.np(det, words, tag, p, L::Pobj)
+    }
+
+    /// Sentence-final period.
+    fn period(&mut self, root: usize) {
+        self.tok(".", P::SYM, T::O, Some(root), L::Punct);
+    }
+
+    fn finish(self) -> AnnotatedSentence {
+        let tree = DepTree::new(self.heads, self.labels).expect("template tree is valid");
+        debug_assert!(tree.is_projective(), "template tree must be projective");
+        AnnotatedSentence { tokens: self.toks, tree }
+    }
+}
+
+fn single(word: &str, pos: P) -> NameTokens {
+    vec![(word.to_string(), pos)]
+}
+
+/// With probability ~1/3, coordinate a second ingredient onto `head`
+/// ("the potatoes **and carrots**") — conj expansion is what pushes event
+/// arity up (§III.B's many-to-many motivation).
+fn maybe_conj(b: &mut B, rng: &mut StdRng, head: usize, names: &[NameTokens]) {
+    if rng.random_range(0..100) < 35 {
+        let name = names.choose(rng).unwrap().clone();
+        b.tok("and", P::CC, T::O, Some(head), L::Cc);
+        b.np(None, &name, T::Ingredient, head, L::Conj);
+    }
+}
+
+/// Context handed to each template realization.
+pub struct InstructionGenerator {
+    utensils: Vec<&'static str>,
+    processes: Vec<&'static str>,
+}
+
+impl InstructionGenerator {
+    /// Generator for one site profile.
+    pub fn new(site: Site) -> Self {
+        InstructionGenerator {
+            utensils: vocab::for_site(vocab::UTENSILS, site),
+            processes: vocab::for_site(vocab::PROCESSES, site),
+        }
+    }
+
+    fn utensil(&self, rng: &mut StdRng) -> NameTokens {
+        let u = *self.utensils.choose(rng).unwrap();
+        let u = self.maybe_typo(rng, u);
+        vec![(u, P::NN)]
+    }
+
+    /// A process verb drawn from a compatible subset (falls back to the
+    /// whole pool when the intersection with the site pool is empty).
+    fn verb(&self, rng: &mut StdRng, subset: &[&str]) -> String {
+        let avail: Vec<&&str> = subset.iter().filter(|v| self.processes.contains(*v)).collect();
+        // A quarter of realizations draw from the whole technique pool, so
+        // the long tail of processes actually occurs in text (268 distinct
+        // techniques in the paper's annotation).
+        let chosen = if avail.is_empty() || rng.random_range(0..4) == 0 {
+            (*self.processes.choose(rng).unwrap()).to_string()
+        } else {
+            (**avail.choose(rng).unwrap()).to_string()
+        };
+        self.maybe_typo(rng, &chosen)
+    }
+
+    /// A gold-`O` intermediate-product noun ("mixture", "batter").
+    fn product(&self, rng: &mut StdRng) -> String {
+        let w = *vocab::PRODUCT_NOUNS.choose(rng).unwrap();
+        self.maybe_typo(rng, w)
+    }
+
+    /// A gold-`O` non-technique verb ("let", "continue").
+    fn nonprocess_verb(&self, rng: &mut StdRng) -> String {
+        let w = *vocab::NONPROCESS_VERBS.choose(rng).unwrap();
+        self.maybe_typo(rng, w)
+    }
+
+    /// Apply scraped-data surface noise to a content word (cf. the
+    /// ingredient grammar's typo model).
+    fn maybe_typo(&self, rng: &mut StdRng, word: &str) -> String {
+        const TYPO_PROB: f64 = 0.10;
+        if word.len() >= 4
+            && word.chars().all(|c| c.is_ascii_lowercase())
+            && rng.random_range(0.0..1.0) < TYPO_PROB
+        {
+            let i = rng.random_range(1..word.len() - 1);
+            let mut b = word.as_bytes().to_vec();
+            b.swap(i, i + 1);
+            return String::from_utf8(b).expect("ascii stays utf8");
+        }
+        word.to_string()
+    }
+
+    /// Sample one gold-annotated instruction sentence. `names` supplies the
+    /// recipe's ingredient mentions (token sequences with POS); it must be
+    /// non-empty.
+    pub fn generate(&self, rng: &mut StdRng, names: &[NameTokens]) -> AnnotatedSentence {
+        let core = self.generate_core(rng, names);
+        // Realistic instructions often lead with an adverbial or a
+        // prepositional preamble — the cooking verb is *not* reliably the
+        // first token, which is exactly what makes the instruction NER's
+        // job (Table V) non-trivial.
+        if rng.random_range(0.0..1.0) < 0.4 {
+            self.prepend_preamble(rng, core)
+        } else {
+            core
+        }
+    }
+
+    /// Re-index a core sentence after `preamble` extra tokens and attach
+    /// the preamble to the core root.
+    fn prepend_preamble(&self, rng: &mut StdRng, core: AnnotatedSentence) -> AnnotatedSentence {
+        let kind = rng.random_range(0..6u32);
+        // Each preamble is (tokens, heads-relative, labels): heads are
+        // indices into the preamble itself, or `ROOT_REF` for the core
+        // root verb.
+        const ROOT_REF: usize = usize::MAX;
+        let mut pre: Vec<(String, P, T, usize, L)> = Vec::new();
+        match kind {
+            0 => {
+                pre.push(("meanwhile".into(), P::RB, T::O, ROOT_REF, L::Advmod));
+                pre.push((",".into(), P::SYM, T::O, ROOT_REF, L::Punct));
+            }
+            1 => pre.push(("then".into(), P::RB, T::O, ROOT_REF, L::Advmod)),
+            2 => {
+                pre.push(("next".into(), P::RB, T::O, ROOT_REF, L::Advmod));
+                pre.push((",".into(), P::SYM, T::O, ROOT_REF, L::Punct));
+            }
+            3 => pre.push(("carefully".into(), P::RB, T::O, ROOT_REF, L::Advmod)),
+            4 => {
+                // "in a small bowl ," — a *utensil mention in the preamble*.
+                let utensil = *self.utensils.choose(rng).unwrap();
+                pre.push(("in".into(), P::IN, T::O, ROOT_REF, L::Prep));
+                pre.push(("a".into(), P::DT, T::O, 3, L::Det));
+                pre.push(("small".into(), P::JJ, T::O, 3, L::Amod));
+                pre.push((utensil.to_string(), P::NN, T::Utensil, 0, L::Pobj));
+                pre.push((",".into(), P::SYM, T::O, ROOT_REF, L::Punct));
+            }
+            _ => {
+                // "using a fork ," — an instrumental clause whose verb is
+                // NOT a cooking technique (gold O).
+                let utensil = *self.utensils.choose(rng).unwrap();
+                pre.push(("using".into(), P::VBG, T::O, ROOT_REF, L::Advcl));
+                pre.push(("a".into(), P::DT, T::O, 2, L::Det));
+                pre.push((utensil.to_string(), P::NN, T::Utensil, 0, L::Dobj));
+                pre.push((",".into(), P::SYM, T::O, ROOT_REF, L::Punct));
+            }
+        }
+        let offset = pre.len();
+        let core_root = core.tree.root().expect("core has a root") + offset;
+        let mut toks = Vec::with_capacity(offset + core.tokens.len());
+        let mut heads = Vec::with_capacity(offset + core.tokens.len());
+        let mut labels = Vec::with_capacity(offset + core.tokens.len());
+        for (text, pos, tag, head, label) in pre {
+            toks.push(AnnotatedToken { text, pos, tag });
+            heads.push(Some(if head == ROOT_REF { core_root } else { head }));
+            labels.push(label);
+        }
+        for (i, tok) in core.tokens.into_iter().enumerate() {
+            toks.push(tok);
+            heads.push(core.tree.head(i).map(|h| h + offset));
+            labels.push(core.tree.label(i));
+        }
+        let tree = DepTree::new(heads, labels).expect("preamble keeps tree valid");
+        debug_assert!(tree.is_projective());
+        AnnotatedSentence { tokens: toks, tree }
+    }
+
+    fn generate_core(&self, rng: &mut StdRng, names: &[NameTokens]) -> AnnotatedSentence {
+        assert!(!names.is_empty(), "need at least one ingredient name");
+        let pick = |rng: &mut StdRng| names.choose(rng).unwrap().clone();
+        let template = rng.random_range(0..22u32);
+        let mut b = B::new();
+        match template {
+            // "Preheat the oven to 350 degrees ."
+            0 => {
+                let v = b.root(&self.verb(rng, &["preheat", "heat"]));
+                b.np(Some("the"), &single("oven", P::NN), T::Utensil, v, L::Dobj);
+                let deg: u32 = *[325u32, 350, 375, 400, 425, 450].choose(rng).unwrap();
+                let p = b.tok("to", P::IN, T::O, Some(v), L::Prep);
+                let noun = b.toks.len() + 1;
+                b.tok(&deg.to_string(), P::CD, T::O, Some(noun), L::Nummod);
+                b.tok("degrees", P::NNS, T::O, Some(p), L::Pobj);
+                b.period(v);
+            }
+            // "Bring the water to a boil in a large pot ."
+            1 => {
+                let v = b.root(&self.verb(rng, &["bring"]));
+                b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
+                b.pp("to", Some("a"), &single("boil", P::NN), T::Process, v, );
+                let pot = self.utensil(rng);
+                let p = b.tok("in", P::IN, T::O, Some(v), L::Prep);
+                let noun_idx = b.toks.len() + 2;
+                b.tok("a", P::DT, T::O, Some(noun_idx), L::Det);
+                b.tok("large", P::JJ, T::O, Some(noun_idx), L::Amod);
+                b.tok(&pot[0].0, P::NN, T::Utensil, Some(p), L::Pobj);
+                b.period(v);
+            }
+            // "Add the X and Y to the PAN ."
+            2 => {
+                let v = b.root(&self.verb(rng, &["add", "transfer", "pour"]));
+                let x = b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
+                b.tok("and", P::CC, T::O, Some(x), L::Cc);
+                b.np(None, &pick(rng), T::Ingredient, x, L::Conj);
+                // The target is a utensil or an intermediate product — the
+                // same slot, different gold tags, separated only by word
+                // identity.
+                if rng.random_range(0..10) < 6 {
+                    b.pp("to", Some("the"), &self.utensil(rng), T::Utensil, v);
+                } else {
+                    b.pp("to", Some("the"), &single(&self.product(rng), P::NN), T::O, v);
+                }
+                b.period(v);
+            }
+            // "Stir gently until smooth ."
+            3 => {
+                let v = b.root(&self.verb(rng, &["stir", "whisk", "beat", "mix"]));
+                b.tok("gently", P::RB, T::O, Some(v), L::Advmod);
+                let adj = b.toks.len() + 1;
+                b.tok("until", P::IN, T::O, Some(adj), L::Mark);
+                b.tok(
+                    ["smooth", "combined", "thickened"].choose(rng).unwrap(),
+                    P::JJ,
+                    T::O,
+                    Some(v),
+                    L::Advcl,
+                );
+                b.period(v);
+            }
+            // "Fry the X with Y in a UTENSIL ."
+            4 => {
+                let v = b.root(&self.verb(rng, &["fry", "saute", "cook", "brown", "sear"]));
+                let x = b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
+                maybe_conj(&mut b, rng, x, names);
+                b.pp("with", None, &pick(rng), T::Ingredient, v);
+                b.pp("in", Some("a"), &self.utensil(rng), T::Utensil, v);
+                b.period(v);
+            }
+            // "Boil the X for 10 minutes ."
+            5 => {
+                let v = b.root(&self.verb(rng, &["boil", "simmer", "steam", "cook", "poach"]));
+                let x = b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
+                maybe_conj(&mut b, rng, x, names);
+                let mins: u32 = *[5u32, 10, 15, 20, 25, 30, 45].choose(rng).unwrap();
+                let p = b.tok("for", P::IN, T::O, Some(v), L::Prep);
+                let noun = b.toks.len() + 1;
+                b.tok(&mins.to_string(), P::CD, T::O, Some(noun), L::Nummod);
+                b.tok("minutes", P::NNS, T::O, Some(p), L::Pobj);
+                b.period(v);
+            }
+            // "Season the X with salt and pepper ."
+            6 => {
+                let v = b.root(&self.verb(rng, &["season", "coat", "rub", "dust", "sprinkle"]));
+                b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
+                let s = b.pp("with", None, &single("salt", P::NN), T::Ingredient, v);
+                b.tok("and", P::CC, T::O, Some(s), L::Cc);
+                b.tok("pepper", P::NN, T::Ingredient, Some(s), L::Conj);
+                b.period(v);
+            }
+            // "Combine X , Y and Z in a large bowl ."
+            7 => {
+                let v = b.root(&self.verb(rng, &["combine", "mix", "blend", "toss", "whisk"]));
+                let x = b.np(None, &pick(rng), T::Ingredient, v, L::Dobj);
+                b.tok(",", P::SYM, T::O, Some(x), L::Punct);
+                let y = b.np(None, &pick(rng), T::Ingredient, x, L::Conj);
+                b.tok("and", P::CC, T::O, Some(x), L::Cc);
+                let _z = b.np(None, &pick(rng), T::Ingredient, x, L::Conj);
+                let _ = y;
+                let p = b.tok("in", P::IN, T::O, Some(v), L::Prep);
+                let noun_idx = b.toks.len() + 2;
+                b.tok("a", P::DT, T::O, Some(noun_idx), L::Det);
+                b.tok("large", P::JJ, T::O, Some(noun_idx), L::Amod);
+                b.tok("bowl", P::NN, T::Utensil, Some(p), L::Pobj);
+                b.period(v);
+            }
+            // "Cover and simmer for 20 minutes ."
+            8 => {
+                let v = b.root(&self.verb(rng, &["cover", "chill", "refrigerate", "cool"]));
+                b.tok("and", P::CC, T::O, Some(v), L::Cc);
+                // The conjunct verb is a technique most of the time, but
+                // the slot also hosts gold-O verbs ("cover and wait").
+                let v2 = if rng.random_range(0..10) < 7 {
+                    b.tok(
+                        &self.verb(rng, &["simmer", "marinate", "cook", "bake"]),
+                        P::VB,
+                        T::Process,
+                        Some(v),
+                        L::Conj,
+                    )
+                } else {
+                    b.tok(&self.nonprocess_verb(rng), P::VB, T::O, Some(v), L::Conj)
+                };
+                let mins: u32 = *[10u32, 15, 20, 30, 60].choose(rng).unwrap();
+                let p = b.tok("for", P::IN, T::O, Some(v2), L::Prep);
+                let noun = b.toks.len() + 1;
+                b.tok(&mins.to_string(), P::CD, T::O, Some(noun), L::Nummod);
+                b.tok("minutes", P::NNS, T::O, Some(p), L::Pobj);
+                b.period(v);
+            }
+            // "Drain the X in a colander ."
+            9 => {
+                let v = b.root(&self.verb(rng, &["drain", "rinse", "strain"]));
+                let x = b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
+                maybe_conj(&mut b, rng, x, names);
+                b.pp("in", Some("a"), &self.utensil(rng), T::Utensil, v);
+                b.period(v);
+            }
+            // "Transfer the mixture to a serving dish ."
+            10 => {
+                let v = b.root(&self.verb(rng, &["transfer", "pour", "place", "spoon"]));
+                if rng.random_range(0..10) < 5 {
+                    b.np(Some("the"), &single(&self.product(rng), P::NN), T::O, v, L::Dobj);
+                } else {
+                    b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
+                }
+                b.pp("to", Some("a"), &self.utensil(rng), T::Utensil, v);
+                b.period(v);
+            }
+            // "Bake for 30 minutes until golden ."
+            11 => {
+                let v = b.root(&self.verb(rng, &["bake", "roast", "broil", "grill"]));
+                let mins: u32 = *[15u32, 20, 25, 30, 40, 50].choose(rng).unwrap();
+                let p = b.tok("for", P::IN, T::O, Some(v), L::Prep);
+                let noun = b.toks.len() + 1;
+                b.tok(&mins.to_string(), P::CD, T::O, Some(noun), L::Nummod);
+                b.tok("minutes", P::NNS, T::O, Some(p), L::Pobj);
+                let adj = b.toks.len() + 1;
+                b.tok("until", P::IN, T::O, Some(adj), L::Mark);
+                b.tok(
+                    ["golden", "tender", "crisp", "bubbly"].choose(rng).unwrap(),
+                    P::JJ,
+                    T::O,
+                    Some(v),
+                    L::Advcl,
+                );
+                b.period(v);
+            }
+            // "Chop the X finely ."
+            12 => {
+                let v = b.root(&self.verb(rng, &["chop", "dice", "mince", "slice", "grate"]));
+                let x = b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
+                maybe_conj(&mut b, rng, x, names);
+                b.tok("finely", P::RB, T::O, Some(v), L::Advmod);
+                b.period(v);
+            }
+            // "Pour the X over the Y ."
+            13 => {
+                let v = b.root(&self.verb(rng, &["pour", "drizzle", "spread", "brush"]));
+                let x = b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
+                maybe_conj(&mut b, rng, x, names);
+                b.pp("over", Some("the"), &pick(rng), T::Ingredient, v);
+                b.period(v);
+            }
+            // "Heat the oil in a UTENSIL over medium heat ."
+            14 => {
+                let v = b.root(&self.verb(rng, &["heat", "melt", "warm"]));
+                b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
+                b.pp("in", Some("a"), &self.utensil(rng), T::Utensil, v);
+                let p = b.tok("over", P::IN, T::O, Some(v), L::Prep);
+                let noun_idx = b.toks.len() + 1;
+                b.tok("medium", P::JJ, T::O, Some(noun_idx), L::Amod);
+                b.tok("heat", P::NN, T::O, Some(p), L::Pobj);
+                b.period(v);
+            }
+            // "Let the mixture cool completely ." — the root verb is NOT a
+            // cooking technique (gold O); "cool" is. Verb-identity alone
+            // does not decide PROCESS-hood.
+            16 => {
+                let v = b.tok(&self.nonprocess_verb(rng), P::VB, T::O, None, L::Root);
+                b.np(Some("the"), &single(&self.product(rng), P::NN), T::O, v, L::Dobj);
+                let c = b.tok(
+                    &self.verb(rng, &["cool", "rest", "thicken", "chill"]),
+                    P::VB,
+                    T::Process,
+                    Some(v),
+                    L::Xcomp,
+                );
+                b.tok("completely", P::RB, T::O, Some(c), L::Advmod);
+                b.period(v);
+            }
+            // "Set the X aside ." — no cooking technique at all; yields no
+            // event (zero-relation steps drive the high variance of the
+            // conclusion statistic).
+            17 => {
+                let v = b.tok(&self.nonprocess_verb(rng), P::VB, T::O, None, L::Root);
+                b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
+                b.tok("aside", P::RP, T::O, Some(v), L::Prt);
+                b.period(v);
+            }
+            // "Soak the X in the {bowl | brine} ." — the `in the ___` slot
+            // hosts utensils AND intermediate products; only the noun's
+            // identity decides UTENSIL vs O.
+            18 => {
+                let v = b.root(&self.verb(rng, &["soak", "marinate", "dissolve", "chill"]));
+                let x = b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
+                maybe_conj(&mut b, rng, x, names);
+                if rng.random_range(0..10) < 5 {
+                    b.pp("in", Some("the"), &self.utensil(rng), T::Utensil, v);
+                } else {
+                    b.pp("in", Some("the"), &single(&self.product(rng), P::NN), T::O, v);
+                }
+                b.period(v);
+            }
+            // "Remove the {pan | X} from the heat ." — a utensil in the
+            // direct-object slot that ingredients normally occupy; tail
+            // utensils here are the recall sink of Table V.
+            19 => {
+                let v = b.root(&self.verb(rng, &["remove", "lift", "take"]));
+                if rng.random_range(0..10) < 6 {
+                    b.np(Some("the"), &self.utensil(rng), T::Utensil, v, L::Dobj);
+                } else {
+                    b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
+                }
+                let p = b.tok("from", P::IN, T::O, Some(v), L::Prep);
+                let noun = b.toks.len() + 1;
+                b.tok("the", P::DT, T::O, Some(noun), L::Det);
+                b.tok("heat", P::NN, T::O, Some(p), L::Pobj);
+                b.period(v);
+            }
+            // "Layer the X , Y and Z in the dish , then top with W ." —
+            // two coordinated processes over four participants.
+            20 => {
+                let v = b.root(&self.verb(rng, &["layer", "arrange", "stack", "place"]));
+                let x = b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
+                b.tok(",", P::SYM, T::O, Some(x), L::Punct);
+                b.np(None, &pick(rng), T::Ingredient, x, L::Conj);
+                b.tok("and", P::CC, T::O, Some(x), L::Cc);
+                b.np(None, &pick(rng), T::Ingredient, x, L::Conj);
+                b.pp("in", Some("the"), &self.utensil(rng), T::Utensil, v);
+                b.tok(",", P::SYM, T::O, Some(v), L::Punct);
+                let v2 = b.toks.len() + 1;
+                b.tok("then", P::RB, T::O, Some(v2), L::Advmod);
+                let v2 = b.tok(
+                    &self.verb(rng, &["top", "garnish", "cover", "dust"]),
+                    P::VB,
+                    T::Process,
+                    Some(v),
+                    L::Conj,
+                );
+                b.pp("with", None, &pick(rng), T::Ingredient, v2);
+                b.period(v);
+            }
+            // "Stir the X into the Y until the sauce thickens ." — an
+            // until-clause with an explicit subject (the nsubj coverage of
+            // §III.B's relation extraction).
+            21 => {
+                let v = b.root(&self.verb(rng, &["stir", "fold", "whisk", "blend"]));
+                b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
+                b.pp("into", Some("the"), &pick(rng), T::Ingredient, v);
+                let clause_verb_idx = b.toks.len() + 3;
+                b.tok("until", P::IN, T::O, Some(clause_verb_idx), L::Mark);
+                let subj_idx = b.toks.len() + 1;
+                b.tok("the", P::DT, T::O, Some(subj_idx), L::Det);
+                b.tok(&self.product(rng), P::NN, T::O, Some(clause_verb_idx), L::Nsubj);
+                b.tok(
+                    ["thickens", "reduces", "sets", "bubbles"].choose(rng).unwrap(),
+                    P::VBZ,
+                    T::Process,
+                    Some(v),
+                    L::Advcl,
+                );
+                b.period(v);
+            }
+            // "Garnish with fresh X and serve ."
+            _ => {
+                let v = b.root(&self.verb(rng, &["garnish", "top", "serve", "dress"]));
+                let p = b.tok("with", P::IN, T::O, Some(v), L::Prep);
+                let name = pick(rng);
+                let (last, init) = name.split_last().unwrap();
+                // "fresh" + modifiers all attach to the final head noun.
+                let real_noun = b.toks.len() + 1 + init.len();
+                b.tok("fresh", P::JJ, T::O, Some(real_noun), L::Amod);
+                for (w, pos) in init {
+                    let lab = if pos.is_noun() { L::Compound } else { L::Amod };
+                    b.tok(w, *pos, T::Ingredient, Some(real_noun), lab);
+                }
+                b.tok(&last.0, last.1, T::Ingredient, Some(p), L::Pobj);
+                b.tok("and", P::CC, T::O, Some(v), L::Cc);
+                b.tok(&self.verb(rng, &["serve", "enjoy"]), P::VB, T::Process, Some(v), L::Conj);
+                b.period(v);
+            }
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn names() -> Vec<NameTokens> {
+        vec![
+            single("water", P::NN),
+            single("potatoes", P::NNS),
+            vec![("olive".to_string(), P::NN), ("oil".to_string(), P::NN)],
+            single("onion", P::NN),
+        ]
+    }
+
+    #[test]
+    fn all_templates_produce_valid_projective_trees() {
+        for site in [Site::AllRecipes, Site::FoodCom] {
+            let g = InstructionGenerator::new(site);
+            let mut rng = StdRng::seed_from_u64(1);
+            for _ in 0..2000 {
+                let s = g.generate(&mut rng, &names());
+                assert_eq!(s.tree.len(), s.tokens.len());
+                assert!(s.tree.is_projective(), "non-projective: {}", s.text());
+                assert!(s.tree.root().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn most_sentences_have_a_process() {
+        // Template 17 ("set aside") deliberately has none; everything else
+        // carries at least one cooking technique.
+        let g = InstructionGenerator::new(Site::FoodCom);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 500;
+        let with_process = (0..n)
+            .filter(|_| {
+                g.generate(&mut rng, &names()).tokens.iter().any(|t| t.tag == T::Process)
+            })
+            .count();
+        assert!(with_process * 10 > n * 8, "{with_process}/{n}");
+    }
+
+    #[test]
+    fn root_is_a_verb_and_usually_a_process() {
+        let g = InstructionGenerator::new(Site::FoodCom);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut process_roots = 0usize;
+        let n = 500;
+        for _ in 0..n {
+            let s = g.generate(&mut rng, &names());
+            let root = s.tree.root().unwrap();
+            assert!(s.tokens[root].pos.is_verb(), "{}", s.text());
+            if s.tokens[root].tag == T::Process {
+                process_roots += 1;
+            }
+        }
+        // Only the "let"/"set" templates have non-process roots.
+        assert!(process_roots * 10 > n * 8, "{process_roots}/{n}");
+    }
+
+    #[test]
+    fn preambles_move_the_verb_off_position_zero() {
+        let g = InstructionGenerator::new(Site::FoodCom);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut displaced = 0usize;
+        for _ in 0..300 {
+            let s = g.generate(&mut rng, &names());
+            if s.tree.root() != Some(0) {
+                displaced += 1;
+            }
+            assert!(s.tree.is_projective(), "{}", s.text());
+        }
+        assert!(displaced > 60, "only {displaced} preambled sentences");
+    }
+
+    #[test]
+    fn multiword_names_stay_contiguous_and_tagged() {
+        let g = InstructionGenerator::new(Site::FoodCom);
+        let mut rng = StdRng::seed_from_u64(4);
+        let only_oil: Vec<NameTokens> =
+            vec![vec![("olive".to_string(), P::NN), ("oil".to_string(), P::NN)]];
+        let mut saw_multiword = false;
+        for _ in 0..200 {
+            let s = g.generate(&mut rng, &only_oil);
+            let idx: Vec<usize> = (0..s.tokens.len())
+                .filter(|&i| s.tokens[i].tag == T::Ingredient)
+                .collect();
+            for w in idx.windows(2) {
+                if w[1] == w[0] + 1 {
+                    saw_multiword = true;
+                }
+            }
+        }
+        assert!(saw_multiword);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = InstructionGenerator::new(Site::AllRecipes);
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..40).map(|_| g.generate(&mut rng, &names()).text()).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..40).map(|_| g.generate(&mut rng, &names()).text()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ingredient")]
+    fn empty_names_panics() {
+        let g = InstructionGenerator::new(Site::AllRecipes);
+        let mut rng = StdRng::seed_from_u64(1);
+        g.generate(&mut rng, &[]);
+    }
+}

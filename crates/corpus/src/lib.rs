@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Synthetic RecipeDB-like corpus with gold annotations.
+//!
+//! The paper’s experiments run over RecipeDB (reference 1): 118 000 recipes scraped
+//! from AllRecipes.com (16 000) and Food.com (102 000). That dataset is not
+//! redistributable, and its annotations were produced manually. This crate
+//! substitutes a **grammar-based generator** that emits recipes with gold
+//! NER tags, gold Penn Treebank POS tags and gold dependency trees *by
+//! construction*, while reproducing the distributional properties the
+//! paper's pipeline depends on:
+//!
+//! * **Lexical-structure variety** (§II.A challenge 3): ~24 ingredient
+//!   phrase template families, from `"3/4 cup sugar"` to
+//!   `"1 (8 ounce) package cream cheese, softened"` — these families are
+//!   what K-Means later rediscovers as clusters;
+//! * **Site shift** (Table IV): an [`Site::AllRecipes`]-like profile uses a
+//!   narrower template and vocabulary distribution, while the
+//!   [`Site::FoodCom`]-like profile adds exclusive vocabulary and the
+//!   complex template families. Models trained on one site degrade on the
+//!   other exactly as in the paper, and the composite model recovers;
+//! * **Homograph attributes** (§II.A challenge 2): `clove` appears both as
+//!   an ingredient (`2 cloves garlic` — unit!) and a spice name;
+//! * **Long-tail ingredient names**: names are composed from base nouns and
+//!   modifiers, so unseen names keep appearing at any corpus size.
+//!
+//! The instruction grammar produces imperative sentences with gold
+//! dependency trees (projective by construction) and gold
+//! process/utensil/ingredient entity tags.
+
+pub mod annotations;
+pub mod export;
+pub mod generator;
+pub mod grammar;
+pub mod instructions;
+pub mod recipe;
+pub mod vocab;
+
+pub use annotations::{AnnotatedPhrase, AnnotatedSentence, AnnotatedToken};
+pub use generator::{CorpusSpec, RecipeCorpus};
+pub use recipe::{Recipe, Site};

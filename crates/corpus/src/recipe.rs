@@ -1,0 +1,106 @@
+//! Recipe records and site profiles.
+
+use crate::annotations::{AnnotatedPhrase, AnnotatedSentence};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Source-site profile of a recipe. RecipeDB draws primarily from
+/// AllRecipes.com (16 000 recipes) and Food.com (102 000 recipes); the two
+/// sites differ in vocabulary breadth and phrase-structure complexity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Site {
+    /// AllRecipes.com-like profile: simpler phrases, narrower vocabulary.
+    AllRecipes,
+    /// Food.com-like profile: broader vocabulary, complex phrase families.
+    FoodCom,
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Site::AllRecipes => f.write_str("AllRecipes"),
+            Site::FoodCom => f.write_str("FOOD.com"),
+        }
+    }
+}
+
+/// A synthetic recipe with gold-annotated sections.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Recipe {
+    /// Corpus-unique identifier.
+    pub id: u64,
+    /// Display title (derived from the headline ingredient).
+    pub title: String,
+    /// Cuisine label.
+    pub cuisine: String,
+    /// Which site profile generated this recipe.
+    pub site: Site,
+    /// Gold-annotated ingredient phrases.
+    pub ingredients: Vec<AnnotatedPhrase>,
+    /// Gold-annotated instruction sentences, in temporal order.
+    pub instructions: Vec<AnnotatedSentence>,
+    /// Step index of each instruction sentence: RecipeDB instruction
+    /// *steps* are short paragraphs, so several consecutive sentences
+    /// share a step (`step_of.len() == instructions.len()`,
+    /// non-decreasing). The paper's relations-per-instruction statistic
+    /// counts per step.
+    pub step_of: Vec<usize>,
+}
+
+impl Recipe {
+    /// Number of instruction steps (paragraphs).
+    pub fn num_steps(&self) -> usize {
+        self.step_of.last().map(|&s| s + 1).unwrap_or(0)
+    }
+
+    /// Instruction sentences grouped by step, in temporal order.
+    pub fn steps(&self) -> Vec<Vec<&AnnotatedSentence>> {
+        let mut steps: Vec<Vec<&AnnotatedSentence>> = vec![Vec::new(); self.num_steps()];
+        for (sent, &st) in self.instructions.iter().zip(&self.step_of) {
+            steps[st].push(sent);
+        }
+        steps
+    }
+
+    /// Total instruction token count.
+    pub fn instruction_tokens(&self) -> usize {
+        self.instructions.iter().map(|s| s.tokens.len()).sum()
+    }
+
+    /// Render the ingredient section as plain text lines (what a scraper
+    /// would have produced).
+    pub fn ingredient_lines(&self) -> Vec<String> {
+        self.ingredients.iter().map(|p| p.text()).collect()
+    }
+
+    /// Render the instruction section as plain text lines.
+    pub fn instruction_lines(&self) -> Vec<String> {
+        self.instructions.iter().map(|s| s.text()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_display_matches_paper_names() {
+        assert_eq!(Site::AllRecipes.to_string(), "AllRecipes");
+        assert_eq!(Site::FoodCom.to_string(), "FOOD.com");
+    }
+
+    #[test]
+    fn empty_recipe_has_zero_steps() {
+        let r = Recipe {
+            id: 0,
+            title: String::new(),
+            cuisine: String::new(),
+            site: Site::AllRecipes,
+            ingredients: vec![],
+            instructions: vec![],
+            step_of: vec![],
+        };
+        assert_eq!(r.num_steps(), 0);
+        assert!(r.steps().is_empty());
+    }
+}

@@ -1,0 +1,534 @@
+//! Culinary vocabulary with site affinities.
+//!
+//! Every list is annotated with which site profile uses it. The shared
+//! pool dominates; Food.com adds a sizeable exclusive vocabulary (it is the
+//! larger, more diverse site in RecipeDB), and AllRecipes adds a small
+//! exclusive pool. This asymmetry is what reproduces the Table IV
+//! off-diagonal: a model trained only on AllRecipes has never seen the
+//! Food.com-exclusive words.
+
+use crate::recipe::Site;
+use recipe_tagger::PennTag;
+
+/// Which site profile(s) draw a vocabulary entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Affinity {
+    /// Available to both sites.
+    Shared,
+    /// AllRecipes-exclusive.
+    AllRecipes,
+    /// Food.com-exclusive.
+    FoodCom,
+}
+
+impl Affinity {
+    /// Does a site draw from this pool?
+    pub fn includes(self, site: Site) -> bool {
+        match self {
+            Affinity::Shared => true,
+            Affinity::AllRecipes => site == Site::AllRecipes,
+            Affinity::FoodCom => site == Site::FoodCom,
+        }
+    }
+}
+
+/// Base ingredient nouns (single token, tagged `NN`). The paper's corpus
+/// yields 20 280 unique names; we synthesize variety by combining these
+/// bases with [`NAME_MODIFIERS`].
+pub const NAME_BASES_SHARED: &[&str] = &[
+    "flour", "sugar", "salt", "pepper", "butter", "milk", "egg", "water", "oil", "onion",
+    "garlic", "tomato", "potato", "carrot", "celery", "chicken", "beef", "pork", "rice", "pasta",
+    "cheese", "cream", "yogurt", "honey", "vinegar", "lemon", "lime", "orange", "apple", "banana",
+    "mushroom", "spinach", "broccoli", "cabbage", "lettuce", "cucumber", "zucchini", "corn",
+    "bean", "pea", "lentil", "chickpea", "almond", "walnut", "pecan", "peanut", "cashew",
+    "raisin", "date", "fig", "thyme", "basil", "oregano", "rosemary", "sage", "parsley",
+    "cilantro", "mint", "dill", "cumin", "paprika", "cinnamon", "nutmeg", "ginger", "turmeric",
+    "vanilla", "chocolate", "cocoa", "coffee", "tea", "wine", "broth", "stock", "mustard",
+    "ketchup", "mayonnaise", "shrimp", "salmon", "tuna", "bacon", "ham", "sausage", "turkey",
+    "lamb", "oat", "barley", "quinoa", "couscous", "bread", "tortilla", "noodle", "clove",
+];
+
+/// Food.com-exclusive bases (the larger, more adventurous site).
+pub const NAME_BASES_FOODCOM: &[&str] = &[
+    "shallot", "leek", "fennel", "kale", "chard", "arugula", "radicchio", "endive", "parsnip",
+    "turnip", "rutabaga", "beet", "jicama", "plantain", "mango", "papaya", "guava", "lychee",
+    "tamarind", "saffron", "cardamom", "coriander", "fenugreek", "sumac", "zaatar", "harissa",
+    "miso", "tahini", "seitan", "tempeh", "tofu", "edamame", "wasabi", "nori", "kimchi",
+    "gochujang", "pancetta", "prosciutto", "chorizo", "anchovy", "caper", "olive", "artichoke",
+    "asparagus", "eggplant", "okra", "yam", "taro", "millet", "farro", "polenta", "gnocchi",
+    "orzo", "vermicelli", "mascarpone", "ricotta", "gruyere", "gorgonzola", "brie", "feta",
+    "halloumi", "buttermilk", "molasses", "agave", "stevia", "lard", "ghee", "cognac", "sherry",
+    "marsala", "mirin",
+];
+
+/// AllRecipes-exclusive bases (a small pool).
+pub const NAME_BASES_ALLRECIPES: &[&str] = &[
+    "margarine", "shortening", "velveeta", "cool-whip", "bisquick", "jello", "marshmallow",
+    "pretzel", "cracker", "soda",
+];
+
+/// Modifier tokens that precede a base to form compound names
+/// (`JJ`-tagged when adjectival, `NN` when nominal compounds).
+pub const NAME_MODIFIERS: &[(&str, PennTag)] = &[
+    ("red", PennTag::JJ),
+    ("green", PennTag::JJ),
+    ("yellow", PennTag::JJ),
+    ("white", PennTag::JJ),
+    ("black", PennTag::JJ),
+    ("sweet", PennTag::JJ),
+    ("sour", PennTag::JJ),
+    ("baby", PennTag::NN),
+    ("wild", PennTag::JJ),
+    ("smoked", PennTag::VBN),
+    ("roasted", PennTag::VBN),
+    ("whole", PennTag::JJ),
+    ("brown", PennTag::JJ),
+    ("sea", PennTag::NN),
+    ("olive", PennTag::NN),
+    ("coconut", PennTag::NN),
+    ("sesame", PennTag::NN),
+    ("chili", PennTag::NN),
+    ("bell", PennTag::NN),
+    ("cherry", PennTag::NN),
+    ("heirloom", PennTag::NN),
+    ("blue", PennTag::JJ),
+    ("cream", PennTag::NN),
+    ("puff", PennTag::NN),
+    ("sourdough", PennTag::NN),
+    ("basmati", PennTag::NN),
+    ("jasmine", PennTag::NN),
+    ("extra-virgin", PennTag::JJ),
+    ("all-purpose", PennTag::JJ),
+    ("self-rising", PennTag::JJ),
+    // Homograph modifiers: these words are NAME tokens here ("ground
+    // beef", "dried apricot") but STATE / DRY-FRESH entities elsewhere
+    // ("pepper, freshly ground"; "dried, not fresh") — the §II.A
+    // attribute-identification challenge. They are what keeps in-domain
+    // NER F1 below 1.0, as in the paper.
+    ("ground", PennTag::VBN),
+    ("whipped", PennTag::VBN),
+    ("powdered", PennTag::VBN),
+    ("dried", PennTag::VBN),
+    ("crushed", PennTag::VBN),
+    ("cracked", PennTag::VBN),
+    ("melted", PennTag::VBN),
+    ("toasted", PennTag::VBN),
+];
+
+/// Measuring units as (singular, plural) with affinity. Tagged `NN`/`NNS`.
+/// `clove` doubles as an ingredient base above — the paper's homograph
+/// challenge.
+pub const UNITS: &[(&str, &str, Affinity)] = &[
+    ("cup", "cups", Affinity::Shared),
+    ("teaspoon", "teaspoons", Affinity::Shared),
+    ("tablespoon", "tablespoons", Affinity::Shared),
+    ("ounce", "ounces", Affinity::Shared),
+    ("pound", "pounds", Affinity::Shared),
+    ("pinch", "pinches", Affinity::Shared),
+    ("dash", "dashes", Affinity::Shared),
+    ("clove", "cloves", Affinity::Shared),
+    ("slice", "slices", Affinity::Shared),
+    ("piece", "pieces", Affinity::Shared),
+    ("can", "cans", Affinity::Shared),
+    ("package", "packages", Affinity::Shared),
+    ("sheet", "sheets", Affinity::Shared),
+    ("stick", "sticks", Affinity::Shared),
+    ("bunch", "bunches", Affinity::Shared),
+    ("sprig", "sprigs", Affinity::FoodCom),
+    ("stalk", "stalks", Affinity::FoodCom),
+    ("head", "heads", Affinity::FoodCom),
+    ("gram", "grams", Affinity::FoodCom),
+    ("kilogram", "kilograms", Affinity::FoodCom),
+    ("liter", "liters", Affinity::FoodCom),
+    ("milliliter", "milliliters", Affinity::FoodCom),
+    ("quart", "quarts", Affinity::AllRecipes),
+    ("pint", "pints", Affinity::AllRecipes),
+    ("gallon", "gallons", Affinity::AllRecipes),
+    ("jar", "jars", Affinity::Shared),
+    ("bottle", "bottles", Affinity::FoodCom),
+    ("carton", "cartons", Affinity::AllRecipes),
+    ("envelope", "envelopes", Affinity::AllRecipes),
+    ("wedge", "wedges", Affinity::FoodCom),
+    ("strip", "strips", Affinity::FoodCom),
+    ("fillet", "fillets", Affinity::FoodCom),
+    ("rib", "ribs", Affinity::FoodCom),
+];
+
+/// Processing-state participles (`VBN`).
+pub const STATES: &[(&str, Affinity)] = &[
+    ("chopped", Affinity::Shared),
+    ("minced", Affinity::Shared),
+    ("diced", Affinity::Shared),
+    ("sliced", Affinity::Shared),
+    ("ground", Affinity::Shared),
+    ("grated", Affinity::Shared),
+    ("shredded", Affinity::Shared),
+    ("melted", Affinity::Shared),
+    ("softened", Affinity::Shared),
+    ("beaten", Affinity::Shared),
+    ("crushed", Affinity::Shared),
+    ("peeled", Affinity::Shared),
+    ("drained", Affinity::Shared),
+    ("thawed", Affinity::Shared),
+    ("toasted", Affinity::Shared),
+    ("crumbled", Affinity::FoodCom),
+    ("julienned", Affinity::FoodCom),
+    ("pitted", Affinity::FoodCom),
+    ("halved", Affinity::FoodCom),
+    ("quartered", Affinity::FoodCom),
+    ("cubed", Affinity::FoodCom),
+    ("trimmed", Affinity::FoodCom),
+    ("rinsed", Affinity::FoodCom),
+    ("blanched", Affinity::FoodCom),
+    ("caramelized", Affinity::FoodCom),
+    ("deveined", Affinity::FoodCom),
+    ("scalded", Affinity::AllRecipes),
+    ("sifted", Affinity::AllRecipes),
+];
+
+/// Adverbs that may precede a state (`RB`).
+pub const STATE_ADVERBS: &[&str] = &["finely", "freshly", "coarsely", "roughly", "thinly", "very"];
+
+/// Portion sizes (`JJ`).
+pub const SIZES: &[(&str, Affinity)] = &[
+    ("small", Affinity::Shared),
+    ("medium", Affinity::Shared),
+    ("large", Affinity::Shared),
+    ("extra-large", Affinity::FoodCom),
+    ("jumbo", Affinity::AllRecipes),
+];
+
+/// Temperature states (`JJ` unless noted).
+pub const TEMPS: &[(&str, Affinity)] = &[
+    ("frozen", Affinity::Shared),
+    ("cold", Affinity::Shared),
+    ("hot", Affinity::Shared),
+    ("warm", Affinity::Shared),
+    ("chilled", Affinity::FoodCom),
+    ("lukewarm", Affinity::FoodCom),
+];
+
+/// Dry/fresh indicators (`JJ`).
+pub const DRY_FRESH: &[(&str, Affinity)] =
+    &[("fresh", Affinity::Shared), ("dried", Affinity::Shared), ("dry", Affinity::Shared)];
+
+/// Cooking processes (imperative verb base forms, `VB`). The paper
+/// annotated 268 across 40 cuisines; this pool of ~110 is scaled to the
+/// synthetic corpus (documented in EXPERIMENTS.md).
+pub const PROCESSES: &[(&str, Affinity)] = &[
+    ("add", Affinity::Shared),
+    ("bake", Affinity::Shared),
+    ("beat", Affinity::Shared),
+    ("blend", Affinity::Shared),
+    ("boil", Affinity::Shared),
+    ("bring", Affinity::Shared),
+    ("broil", Affinity::Shared),
+    ("brown", Affinity::Shared),
+    ("brush", Affinity::Shared),
+    ("chill", Affinity::Shared),
+    ("chop", Affinity::Shared),
+    ("coat", Affinity::Shared),
+    ("combine", Affinity::Shared),
+    ("cook", Affinity::Shared),
+    ("cool", Affinity::Shared),
+    ("cover", Affinity::Shared),
+    ("cut", Affinity::Shared),
+    ("dice", Affinity::Shared),
+    ("discard", Affinity::Shared),
+    ("dissolve", Affinity::Shared),
+    ("drain", Affinity::Shared),
+    ("drizzle", Affinity::Shared),
+    ("dust", Affinity::Shared),
+    ("fill", Affinity::Shared),
+    ("flip", Affinity::Shared),
+    ("fold", Affinity::Shared),
+    ("fry", Affinity::Shared),
+    ("garnish", Affinity::Shared),
+    ("grate", Affinity::Shared),
+    ("grease", Affinity::Shared),
+    ("grill", Affinity::Shared),
+    ("heat", Affinity::Shared),
+    ("knead", Affinity::Shared),
+    ("layer", Affinity::Shared),
+    ("marinate", Affinity::Shared),
+    ("mash", Affinity::Shared),
+    ("measure", Affinity::Shared),
+    ("melt", Affinity::Shared),
+    ("mince", Affinity::Shared),
+    ("mix", Affinity::Shared),
+    ("peel", Affinity::Shared),
+    ("place", Affinity::Shared),
+    ("pour", Affinity::Shared),
+    ("preheat", Affinity::Shared),
+    ("press", Affinity::Shared),
+    ("reduce", Affinity::Shared),
+    ("refrigerate", Affinity::Shared),
+    ("remove", Affinity::Shared),
+    ("rinse", Affinity::Shared),
+    ("roast", Affinity::Shared),
+    ("roll", Affinity::Shared),
+    ("rub", Affinity::Shared),
+    ("saute", Affinity::Shared),
+    ("season", Affinity::Shared),
+    ("serve", Affinity::Shared),
+    ("shred", Affinity::Shared),
+    ("sift", Affinity::Shared),
+    ("simmer", Affinity::Shared),
+    ("skim", Affinity::Shared),
+    ("slice", Affinity::Shared),
+    ("soak", Affinity::Shared),
+    ("sprinkle", Affinity::Shared),
+    ("steam", Affinity::Shared),
+    ("stir", Affinity::Shared),
+    ("strain", Affinity::Shared),
+    ("stuff", Affinity::Shared),
+    ("taste", Affinity::Shared),
+    ("thaw", Affinity::Shared),
+    ("toast", Affinity::Shared),
+    ("top", Affinity::Shared),
+    ("toss", Affinity::Shared),
+    ("transfer", Affinity::Shared),
+    ("trim", Affinity::Shared),
+    ("turn", Affinity::Shared),
+    ("whip", Affinity::Shared),
+    ("whisk", Affinity::Shared),
+    // Food.com-exclusive technique verbs.
+    ("blanch", Affinity::FoodCom),
+    ("braise", Affinity::FoodCom),
+    ("baste", Affinity::FoodCom),
+    ("caramelize", Affinity::FoodCom),
+    ("clarify", Affinity::FoodCom),
+    ("deglaze", Affinity::FoodCom),
+    ("emulsify", Affinity::FoodCom),
+    ("flambe", Affinity::FoodCom),
+    ("julienne", Affinity::FoodCom),
+    ("macerate", Affinity::FoodCom),
+    ("poach", Affinity::FoodCom),
+    ("proof", Affinity::FoodCom),
+    ("puree", Affinity::FoodCom),
+    ("render", Affinity::FoodCom),
+    ("score", Affinity::FoodCom),
+    ("sear", Affinity::FoodCom),
+    ("sweat", Affinity::FoodCom),
+    ("temper", Affinity::FoodCom),
+    ("zest", Affinity::FoodCom),
+    // AllRecipes-exclusive.
+    ("microwave", Affinity::AllRecipes),
+    ("frost", Affinity::AllRecipes),
+    ("unmold", Affinity::AllRecipes),
+];
+
+/// Utensils (`NN`). The paper annotated 69; pool of ~45, scaled.
+pub const UTENSILS: &[(&str, Affinity)] = &[
+    ("pan", Affinity::Shared),
+    ("pot", Affinity::Shared),
+    ("bowl", Affinity::Shared),
+    ("oven", Affinity::Shared),
+    ("skillet", Affinity::Shared),
+    ("saucepan", Affinity::Shared),
+    ("whisk", Affinity::Shared),
+    ("spoon", Affinity::Shared),
+    ("fork", Affinity::Shared),
+    ("knife", Affinity::Shared),
+    ("blender", Affinity::Shared),
+    ("grater", Affinity::Shared),
+    ("colander", Affinity::Shared),
+    ("tray", Affinity::Shared),
+    ("dish", Affinity::Shared),
+    ("plate", Affinity::Shared),
+    ("rack", Affinity::Shared),
+    ("board", Affinity::Shared),
+    ("foil", Affinity::Shared),
+    ("griddle", Affinity::Shared),
+    ("grill", Affinity::Shared),
+    ("mixer", Affinity::Shared),
+    ("spatula", Affinity::Shared),
+    ("ladle", Affinity::Shared),
+    ("sieve", Affinity::FoodCom),
+    ("mandoline", Affinity::FoodCom),
+    ("wok", Affinity::FoodCom),
+    ("ramekin", Affinity::FoodCom),
+    ("mortar", Affinity::FoodCom),
+    ("pestle", Affinity::FoodCom),
+    ("zester", Affinity::FoodCom),
+    ("thermometer", Affinity::FoodCom),
+    ("skewer", Affinity::FoodCom),
+    ("peeler", Affinity::FoodCom),
+    ("tongs", Affinity::FoodCom),
+    ("microwave", Affinity::AllRecipes),
+    ("casserole", Affinity::AllRecipes),
+    ("crockpot", Affinity::AllRecipes),
+    // Long-tail utensils (the paper annotated 69 distinct ones). "brush"
+    // doubles as a process verb — another homograph.
+    ("stockpot", Affinity::Shared),
+    ("roaster", Affinity::FoodCom),
+    ("broiler", Affinity::Shared),
+    ("steamer", Affinity::FoodCom),
+    ("juicer", Affinity::FoodCom),
+    ("masher", Affinity::Shared),
+    ("strainer", Affinity::Shared),
+    ("sifter", Affinity::AllRecipes),
+    ("chopper", Affinity::FoodCom),
+    ("slicer", Affinity::FoodCom),
+    ("corer", Affinity::FoodCom),
+    ("mallet", Affinity::FoodCom),
+    ("cleaver", Affinity::FoodCom),
+    ("brush", Affinity::Shared),
+    ("scraper", Affinity::FoodCom),
+    ("scoop", Affinity::Shared),
+    ("funnel", Affinity::FoodCom),
+    ("mold", Affinity::Shared),
+    ("cooker", Affinity::Shared),
+    ("kettle", Affinity::Shared),
+    ("platter", Affinity::Shared),
+    ("pitcher", Affinity::AllRecipes),
+    ("ricer", Affinity::FoodCom),
+    ("torch", Affinity::FoodCom),
+    ("basket", Affinity::Shared),
+    ("rolling-pin", Affinity::Shared),
+    ("bundt-pan", Affinity::AllRecipes),
+    ("springform", Affinity::FoodCom),
+    ("cheesecloth", Affinity::FoodCom),
+    ("parchment", Affinity::Shared),
+];
+
+/// Verbs that appear in instruction text but are **not** cooking
+/// techniques (gold `O`). They occupy the same syntactic slots as process
+/// verbs, so only lexical knowledge separates them — a principal error
+/// source for the instruction NER, as in the paper.
+pub const NONPROCESS_VERBS: &[&str] = &[
+    "let", "set", "wait", "continue", "check", "watch", "begin", "start", "stop", "try",
+    "make", "keep", "leave", "allow", "repeat", "return", "use", "need", "want", "prepare",
+    "ensure", "avoid", "finish", "follow", "gather", "notice", "open", "close", "hold",
+    "lift", "move", "adjust", "arrange", "attach", "balance", "carry", "collect", "compare",
+    "count", "decide", "expect", "find", "help", "hurry", "imagine", "insert", "inspect",
+    "label", "listen", "look", "manage", "mark", "match", "monitor", "note", "observe",
+    "pause", "plan", "point", "practice", "press-on", "proceed", "read", "record", "remember",
+    "review", "save", "search", "select", "share", "show", "skip", "study", "test", "think",
+];
+
+/// Intermediate-product nouns (gold `O`): they sit in the same argument
+/// slots as utensils ("transfer to the **bowl**" / "transfer to the
+/// **sauce**") and as ingredient mentions, so identity matters.
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "mixture", "batter", "dough", "marinade", "filling", "topping", "liquid", "glaze",
+    "mass", "paste", "crust", "base", "layer", "center", "side", "top", "bottom", "surface",
+    "blend", "puree", "reduction", "emulsion", "infusion", "concentrate", "syrup-base",
+    "roux", "slurry", "brine", "curd", "foam", "froth", "gel", "jelly", "pulp", "residue",
+    "sediment", "skin", "stockpot-liquid", "suspension", "zest-mix", "coating", "crumb",
+    "drippings", "juices", "scraps", "shell", "streusel", "swirl", "whip",
+];
+
+/// Cuisine labels used for recipe metadata (the paper sampled instruction
+/// annotations across 40 cuisines).
+pub const CUISINES: &[&str] = &[
+    "american", "british", "cajun", "caribbean", "chinese", "colombian", "cuban", "dutch",
+    "egyptian", "ethiopian", "filipino", "french", "german", "greek", "hungarian", "indian",
+    "indonesian", "iranian", "irish", "israeli", "italian", "jamaican", "japanese", "korean",
+    "lebanese", "malaysian", "mexican", "moroccan", "nigerian", "pakistani", "peruvian",
+    "polish", "portuguese", "russian", "spanish", "swedish", "thai", "turkish", "vietnamese",
+    "welsh",
+];
+
+/// Characteristic ingredient bases per cuisine. Recipes of a cuisine draw
+/// a bias share of their ingredients from its signature — the signal that
+/// makes cuisine prediction (a §I use case of ingredient information)
+/// learnable. Cuisines without a row behave neutrally.
+pub const CUISINE_SIGNATURES: &[(&str, &[&str])] = &[
+    ("italian", &["pasta", "tomato", "basil", "olive", "garlic", "ricotta", "polenta", "gnocchi", "orzo", "mascarpone"]),
+    ("french", &["butter", "cream", "wine", "shallot", "thyme", "brie", "cognac", "sherry"]),
+    ("mexican", &["tortilla", "bean", "corn", "chili", "lime", "cilantro", "chorizo"]),
+    ("indian", &["rice", "lentil", "cumin", "turmeric", "ginger", "cardamom", "fenugreek", "ghee"]),
+    ("chinese", &["rice", "ginger", "sesame", "noodle", "tofu", "mirin"]),
+    ("japanese", &["rice", "tofu", "nori", "wasabi", "miso", "mirin"]),
+    ("thai", &["rice", "lime", "cilantro", "coconut", "chili", "tamarind"]),
+    ("greek", &["feta", "olive", "lemon", "oregano", "yogurt", "eggplant"]),
+    ("american", &["beef", "cheese", "potato", "corn", "bacon", "ketchup"]),
+    ("moroccan", &["couscous", "cumin", "date", "saffron", "harissa", "fig"]),
+    ("korean", &["rice", "sesame", "kimchi", "gochujang", "tofu"]),
+    ("lebanese", &["chickpea", "tahini", "mint", "lemon", "sumac", "zaatar"]),
+];
+
+/// Signature bases for a cuisine (empty for neutral cuisines).
+pub fn cuisine_signature(cuisine: &str) -> &'static [&'static str] {
+    CUISINE_SIGNATURES
+        .iter()
+        .find(|(c, _)| *c == cuisine)
+        .map(|(_, bases)| *bases)
+        .unwrap_or(&[])
+}
+
+/// Filter a `(word, affinity)` slice down to the entries a site draws from.
+pub fn for_site<T: Copy>(entries: &[(T, Affinity)], site: Site) -> Vec<T> {
+    entries.iter().filter(|(_, a)| a.includes(site)).map(|&(w, _)| w).collect()
+}
+
+/// Unit list for a site, as (singular, plural) pairs.
+pub fn units_for_site(site: Site) -> Vec<(&'static str, &'static str)> {
+    UNITS.iter().filter(|(_, _, a)| a.includes(site)).map(|&(s, p, _)| (s, p)).collect()
+}
+
+/// Ingredient base-noun pool for a site.
+pub fn name_bases_for_site(site: Site) -> Vec<&'static str> {
+    let mut v: Vec<&str> = NAME_BASES_SHARED.to_vec();
+    match site {
+        Site::AllRecipes => v.extend(NAME_BASES_ALLRECIPES),
+        Site::FoodCom => v.extend(NAME_BASES_FOODCOM),
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affinity_filtering() {
+        assert!(Affinity::Shared.includes(Site::AllRecipes));
+        assert!(Affinity::Shared.includes(Site::FoodCom));
+        assert!(!Affinity::FoodCom.includes(Site::AllRecipes));
+        assert!(Affinity::AllRecipes.includes(Site::AllRecipes));
+    }
+
+    #[test]
+    fn foodcom_vocabulary_is_strictly_larger() {
+        assert!(name_bases_for_site(Site::FoodCom).len() > name_bases_for_site(Site::AllRecipes).len());
+        assert!(for_site(PROCESSES, Site::FoodCom).len() > for_site(PROCESSES, Site::AllRecipes).len());
+        assert!(!units_for_site(Site::FoodCom).is_empty());
+    }
+
+    #[test]
+    fn clove_is_both_unit_and_name() {
+        // The homograph challenge from §II.A.
+        assert!(UNITS.iter().any(|(s, _, _)| *s == "clove"));
+        assert!(NAME_BASES_SHARED.contains(&"clove"));
+    }
+
+    #[test]
+    fn no_duplicate_name_bases_within_site() {
+        for site in [Site::AllRecipes, Site::FoodCom] {
+            let mut v = name_bases_for_site(site);
+            let before = v.len();
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), before, "duplicate base for {site:?}");
+        }
+    }
+
+    #[test]
+    fn cuisine_inventory_matches_paper_scale() {
+        assert_eq!(CUISINES.len(), 40);
+    }
+
+    #[test]
+    fn pools_are_nonempty_everywhere() {
+        for site in [Site::AllRecipes, Site::FoodCom] {
+            assert!(!for_site(STATES, site).is_empty());
+            assert!(!for_site(SIZES, site).is_empty());
+            assert!(!for_site(TEMPS, site).is_empty());
+            assert!(!for_site(DRY_FRESH, site).is_empty());
+            assert!(!for_site(PROCESSES, site).is_empty());
+            assert!(!for_site(UTENSILS, site).is_empty());
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Bootstrap confidence intervals for sequence-level evaluation metrics.
+//!
+//! The paper reports point estimates; on a synthetic corpus we can say how
+//! stable they are. Resample the evaluation set with replacement, recompute
+//! the metric, and report percentile intervals.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+
+/// A percentile bootstrap interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapInterval {
+    /// Metric on the full evaluation set.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Number of bootstrap replicates.
+    pub replicates: usize,
+}
+
+/// Percentile-bootstrap an arbitrary metric over items.
+///
+/// `metric` maps a set of item indices to a score; it is called once on
+/// the identity sample (the point estimate) and once per replicate.
+/// `level` is the two-sided confidence level (e.g. 0.95).
+///
+/// # Panics
+/// Panics when `items == 0`, `replicates == 0`, or `level` outside (0,1).
+pub fn bootstrap_metric<F: FnMut(&[usize]) -> f64>(
+    items: usize,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+    mut metric: F,
+) -> BootstrapInterval {
+    assert!(items > 0, "no items to bootstrap");
+    assert!(replicates > 0, "need at least one replicate");
+    assert!(level > 0.0 && level < 1.0, "level must be in (0,1)");
+
+    let identity: Vec<usize> = (0..items).collect();
+    let point = metric(&identity);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scores = Vec::with_capacity(replicates);
+    let mut sample = vec![0usize; items];
+    for _ in 0..replicates {
+        for s in &mut sample {
+            *s = rng.random_range(0..items);
+        }
+        scores.push(metric(&sample));
+    }
+    scores.sort_by(|a, b| a.partial_cmp(b).expect("finite metric"));
+    let alpha = (1.0 - level) / 2.0;
+    let idx = |q: f64| -> usize {
+        ((scores.len() as f64 * q) as usize).min(scores.len() - 1)
+    };
+    BootstrapInterval { point, lo: scores[idx(alpha)], hi: scores[idx(1.0 - alpha)], replicates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_metric_has_zero_width() {
+        let ci = bootstrap_metric(50, 200, 0.95, 1, |_| 0.7);
+        assert_eq!(ci.point, 0.7);
+        assert_eq!(ci.lo, 0.7);
+        assert_eq!(ci.hi, 0.7);
+    }
+
+    #[test]
+    fn interval_brackets_the_point_for_mean_metric() {
+        // Items 0..100 with value = index; metric = mean value.
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ci = bootstrap_metric(100, 500, 0.95, 7, |idx| {
+            idx.iter().map(|&i| values[i]).sum::<f64>() / idx.len() as f64
+        });
+        assert!((ci.point - 49.5).abs() < 1e-9);
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        // Standard error of the mean of U(0..99) over n=100 is ~2.9; the
+        // 95% interval should be roughly ±6.
+        assert!(ci.hi - ci.lo > 5.0 && ci.hi - ci.lo < 20.0, "{ci:?}");
+    }
+
+    #[test]
+    fn wider_level_means_wider_interval() {
+        let values: Vec<f64> = (0..60).map(|i| (i % 7) as f64).collect();
+        let mk = |level| {
+            bootstrap_metric(60, 400, level, 3, |idx| {
+                idx.iter().map(|&i| values[i]).sum::<f64>() / idx.len() as f64
+            })
+        };
+        let narrow = mk(0.5);
+        let wide = mk(0.99);
+        assert!(wide.hi - wide.lo >= narrow.hi - narrow.lo);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let f = |idx: &[usize]| idx.iter().map(|&i| (i * i) as f64).sum::<f64>();
+        let a = bootstrap_metric(20, 100, 0.9, 11, f);
+        let b = bootstrap_metric(20, 100, 0.9, 11, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "no items")]
+    fn empty_items_panics() {
+        bootstrap_metric(0, 10, 0.95, 0, |_| 0.0);
+    }
+}
+
+/// Result of a paired bootstrap comparison of two systems on the same
+/// evaluation items.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairedComparison {
+    /// Metric of system A on the full set.
+    pub a: f64,
+    /// Metric of system B on the full set.
+    pub b: f64,
+    /// Point estimate of A − B.
+    pub delta: f64,
+    /// Fraction of bootstrap replicates where A beats B (a one-sided
+    /// significance proxy: ≥ 0.95 is conventionally "A significantly
+    /// better").
+    pub win_rate: f64,
+}
+
+/// Paired bootstrap: resample item indices once per replicate and evaluate
+/// *both* systems on the identical resample, so item difficulty cancels.
+///
+/// `metric(system, indices)` computes the score of system 0 (A) or 1 (B)
+/// on an index multiset.
+///
+/// # Panics
+/// Panics when `items == 0` or `replicates == 0`.
+pub fn paired_bootstrap<F: FnMut(usize, &[usize]) -> f64>(
+    items: usize,
+    replicates: usize,
+    seed: u64,
+    mut metric: F,
+) -> PairedComparison {
+    assert!(items > 0, "no items to bootstrap");
+    assert!(replicates > 0, "need at least one replicate");
+    let identity: Vec<usize> = (0..items).collect();
+    let a = metric(0, &identity);
+    let b = metric(1, &identity);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut wins = 0usize;
+    let mut sample = vec![0usize; items];
+    for _ in 0..replicates {
+        for s in &mut sample {
+            *s = rng.random_range(0..items);
+        }
+        if metric(0, &sample) > metric(1, &sample) {
+            wins += 1;
+        }
+    }
+    PairedComparison { a, b, delta: a - b, win_rate: wins as f64 / replicates as f64 }
+}
+
+#[cfg(test)]
+mod paired_tests {
+    use super::*;
+
+    #[test]
+    fn clearly_better_system_wins_almost_always() {
+        // System 0 scores 1 on every item; system 1 scores 0 on a third.
+        let scores_b: Vec<f64> = (0..90).map(|i| f64::from(i % 3 != 0)).collect();
+        let cmp = paired_bootstrap(90, 300, 5, |sys, idx| {
+            if sys == 0 {
+                1.0
+            } else {
+                idx.iter().map(|&i| scores_b[i]).sum::<f64>() / idx.len() as f64
+            }
+        });
+        assert!(cmp.delta > 0.2);
+        assert!(cmp.win_rate > 0.99, "{cmp:?}");
+    }
+
+    #[test]
+    fn identical_systems_tie() {
+        let cmp = paired_bootstrap(50, 200, 9, |_, idx| idx.len() as f64);
+        assert_eq!(cmp.delta, 0.0);
+        // Ties are not wins.
+        assert_eq!(cmp.win_rate, 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let f = |sys: usize, idx: &[usize]| {
+            idx.iter().map(|&i| ((i + sys) % 7) as f64).sum::<f64>()
+        };
+        assert_eq!(paired_bootstrap(30, 100, 3, f), paired_bootstrap(30, 100, 3, f));
+    }
+}

@@ -1,0 +1,90 @@
+//! k-fold cross-validation splits (the paper validates its NER models with
+//! 5-fold cross-validation, §II.F).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One fold: indices for training and held-out evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KFold {
+    /// Training item indices.
+    pub train: Vec<usize>,
+    /// Held-out item indices.
+    pub test: Vec<usize>,
+}
+
+/// Produce `k` shuffled folds over `n` items. Every item appears in exactly
+/// one test fold; fold sizes differ by at most one.
+///
+/// # Panics
+/// Panics when `k == 0` or `k > n`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<KFold> {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= n, "k ({k}) exceeds number of items ({n})");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    let mut folds = Vec::with_capacity(k);
+    let base = n / k;
+    let extra = n % k;
+    let mut start = 0usize;
+    for f in 0..k {
+        let size = base + usize::from(f < extra);
+        let test: Vec<usize> = order[start..start + size].to_vec();
+        let train: Vec<usize> =
+            order[..start].iter().chain(&order[start + size..]).copied().collect();
+        folds.push(KFold { train, test });
+        start += size;
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn folds_partition_the_data() {
+        let folds = kfold_indices(23, 5, 7);
+        assert_eq!(folds.len(), 5);
+        let mut seen = HashSet::new();
+        for f in &folds {
+            for &i in &f.test {
+                assert!(seen.insert(i), "index {i} in two test folds");
+            }
+        }
+        assert_eq!(seen.len(), 23);
+    }
+
+    #[test]
+    fn fold_sizes_balanced() {
+        let folds = kfold_indices(23, 5, 7);
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 23);
+        assert!(sizes.iter().all(|&s| s == 4 || s == 5), "{sizes:?}");
+    }
+
+    #[test]
+    fn train_test_disjoint_and_complete() {
+        for f in kfold_indices(10, 3, 1) {
+            let train: HashSet<_> = f.train.iter().collect();
+            assert!(f.test.iter().all(|i| !train.contains(i)));
+            assert_eq!(f.train.len() + f.test.len(), 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(kfold_indices(12, 4, 9), kfold_indices(12, 4, 9));
+        assert_ne!(kfold_indices(12, 4, 9), kfold_indices(12, 4, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds number of items")]
+    fn too_many_folds_panics() {
+        kfold_indices(3, 5, 0);
+    }
+}

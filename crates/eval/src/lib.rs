@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Evaluation substrate: precision/recall/F1, confusion matrices, k-fold
+//! cross-validation and plain-text table rendering.
+//!
+//! The paper reports entity-level F1 for the ingredient NER models (Table
+//! IV, 5-fold cross-validated) and per-class precision/recall/F1 for the
+//! instruction NER model (Table V). This crate provides those metrics in a
+//! task-agnostic way over string label sequences.
+
+pub mod bootstrap;
+pub mod crossval;
+pub mod metrics;
+pub mod report;
+
+pub use bootstrap::{bootstrap_metric, paired_bootstrap, BootstrapInterval, PairedComparison};
+pub use crossval::{kfold_indices, KFold};
+pub use metrics::{
+    entity_prf, token_prf, ClassMetrics, ConfusionMatrix, PrfScores,
+};
+pub use report::TextTable;

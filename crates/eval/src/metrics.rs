@@ -1,0 +1,307 @@
+//! Precision / recall / F1 at token and entity level, plus confusion
+//! matrices.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Precision/recall/F1 triple with the number of gold items (`support`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrfScores {
+    /// tp / (tp + fp); 0 when the denominator is 0.
+    pub precision: f64,
+    /// tp / (tp + fn); 0 when the denominator is 0.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub f1: f64,
+    /// Number of gold items of this class.
+    pub support: usize,
+}
+
+impl PrfScores {
+    /// Build from raw counts.
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Self {
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        PrfScores { precision, recall, f1, support: tp + fn_ }
+    }
+}
+
+/// Per-class scores plus micro and macro averages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    /// Scores per class label (sorted by label).
+    pub per_class: BTreeMap<String, PrfScores>,
+    /// Micro average (global tp/fp/fn pool).
+    pub micro: PrfScores,
+    /// Macro average (unweighted mean over classes with support).
+    pub macro_avg: PrfScores,
+}
+
+fn aggregate(counts: BTreeMap<String, (usize, usize, usize)>) -> ClassMetrics {
+    let mut per_class = BTreeMap::new();
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    for (label, (t, f, n)) in &counts {
+        per_class.insert(label.clone(), PrfScores::from_counts(*t, *f, *n));
+        tp += t;
+        fp += f;
+        fn_ += n;
+    }
+    let micro = PrfScores::from_counts(tp, fp, fn_);
+    let with_support: Vec<&PrfScores> =
+        per_class.values().filter(|s| s.support > 0).collect();
+    let macro_avg = if with_support.is_empty() {
+        PrfScores::from_counts(0, 0, 0)
+    } else {
+        let k = with_support.len() as f64;
+        let p = with_support.iter().map(|s| s.precision).sum::<f64>() / k;
+        let r = with_support.iter().map(|s| s.recall).sum::<f64>() / k;
+        let f1 = with_support.iter().map(|s| s.f1).sum::<f64>() / k;
+        PrfScores { precision: p, recall: r, f1, support: micro.support }
+    };
+    ClassMetrics { per_class, micro, macro_avg }
+}
+
+/// Token-level P/R/F1 per class over parallel gold/pred label sequences.
+/// The `outside` label (usually `"O"`) is excluded from the classes.
+///
+/// # Panics
+/// Panics when a gold/pred pair has different lengths.
+pub fn token_prf(
+    gold: &[Vec<String>],
+    pred: &[Vec<String>],
+    outside: &str,
+) -> ClassMetrics {
+    assert_eq!(gold.len(), pred.len(), "gold/pred sequence count mismatch");
+    let mut counts: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new();
+    for (g_seq, p_seq) in gold.iter().zip(pred) {
+        assert_eq!(g_seq.len(), p_seq.len(), "sequence length mismatch");
+        for (g, p) in g_seq.iter().zip(p_seq) {
+            if g == p {
+                if g != outside {
+                    counts.entry(g.clone()).or_default().0 += 1;
+                }
+            } else {
+                if p != outside {
+                    counts.entry(p.clone()).or_default().1 += 1;
+                }
+                if g != outside {
+                    counts.entry(g.clone()).or_default().2 += 1;
+                }
+            }
+        }
+    }
+    aggregate(counts)
+}
+
+/// An entity span: consecutive tokens sharing one non-outside label.
+/// Our annotation scheme is raw per-token tags (no BIO prefixes), matching
+/// the paper's Stanford NER setup, so maximal same-label runs are entities.
+pub fn extract_entities(labels: &[String], outside: &str) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < labels.len() {
+        if labels[i] == outside {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let label = &labels[i];
+        while i < labels.len() && &labels[i] == label {
+            i += 1;
+        }
+        out.push((start, i, label.clone()));
+    }
+    out
+}
+
+/// Entity-level P/R/F1: an entity counts as correct only when its span and
+/// label both match exactly (CoNLL convention).
+pub fn entity_prf(
+    gold: &[Vec<String>],
+    pred: &[Vec<String>],
+    outside: &str,
+) -> ClassMetrics {
+    assert_eq!(gold.len(), pred.len(), "gold/pred sequence count mismatch");
+    let mut counts: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new();
+    for (g_seq, p_seq) in gold.iter().zip(pred) {
+        assert_eq!(g_seq.len(), p_seq.len(), "sequence length mismatch");
+        let g_ents: BTreeSet<_> = extract_entities(g_seq, outside).into_iter().collect();
+        let p_ents: BTreeSet<_> = extract_entities(p_seq, outside).into_iter().collect();
+        for e in &p_ents {
+            if g_ents.contains(e) {
+                counts.entry(e.2.clone()).or_default().0 += 1;
+            } else {
+                counts.entry(e.2.clone()).or_default().1 += 1;
+            }
+        }
+        for e in &g_ents {
+            if !p_ents.contains(e) {
+                counts.entry(e.2.clone()).or_default().2 += 1;
+            }
+        }
+    }
+    aggregate(counts)
+}
+
+/// A labeled confusion matrix over token decisions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Class labels in display order.
+    pub labels: Vec<String>,
+    /// `counts[gold][pred]`.
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Build from parallel gold/pred sequences; the label inventory is the
+    /// union of observed labels, sorted.
+    pub fn from_sequences(gold: &[Vec<String>], pred: &[Vec<String>]) -> Self {
+        assert_eq!(gold.len(), pred.len());
+        let mut labels: BTreeSet<String> = BTreeSet::new();
+        for seq in gold.iter().chain(pred) {
+            labels.extend(seq.iter().cloned());
+        }
+        let labels: Vec<String> = labels.into_iter().collect();
+        let idx = |l: &str| labels.iter().position(|x| x == l).expect("label present");
+        let mut counts = vec![vec![0usize; labels.len()]; labels.len()];
+        for (g_seq, p_seq) in gold.iter().zip(pred) {
+            assert_eq!(g_seq.len(), p_seq.len());
+            for (g, p) in g_seq.iter().zip(p_seq) {
+                counts[idx(g)][idx(p)] += 1;
+            }
+        }
+        ConfusionMatrix { labels, counts }
+    }
+
+    /// Total tokens.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy (diagonal mass).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.labels.len()).map(|i| self.counts[i][i]).sum();
+        diag as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(rows: &[&[&str]]) -> Vec<Vec<String>> {
+        rows.iter().map(|r| r.iter().map(|s| s.to_string()).collect()).collect()
+    }
+
+    #[test]
+    fn prf_from_counts() {
+        let s = PrfScores::from_counts(8, 2, 2);
+        assert!((s.precision - 0.8).abs() < 1e-12);
+        assert!((s.recall - 0.8).abs() < 1e-12);
+        assert!((s.f1 - 0.8).abs() < 1e-12);
+        assert_eq!(s.support, 10);
+        let zero = PrfScores::from_counts(0, 0, 0);
+        assert_eq!(zero.f1, 0.0);
+    }
+
+    #[test]
+    fn token_level_counts() {
+        let gold = seqs(&[&["QUANTITY", "UNIT", "NAME"]]);
+        let pred = seqs(&[&["QUANTITY", "NAME", "NAME"]]);
+        let m = token_prf(&gold, &pred, "O");
+        assert_eq!(m.per_class["QUANTITY"].support, 1);
+        assert!((m.per_class["NAME"].precision - 0.5).abs() < 1e-12);
+        assert!((m.per_class["NAME"].recall - 1.0).abs() < 1e-12);
+        assert_eq!(m.per_class["UNIT"].recall, 0.0);
+        // micro: tp=2 (QUANTITY, NAME), fp=1 (NAME), fn=1 (UNIT)
+        assert!((m.micro.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.micro.recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outside_label_is_ignored() {
+        let gold = seqs(&[&["O", "NAME", "O"]]);
+        let pred = seqs(&[&["O", "NAME", "O"]]);
+        let m = token_prf(&gold, &pred, "O");
+        assert!(!m.per_class.contains_key("O"));
+        assert!((m.micro.f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entity_extraction_groups_runs() {
+        let labels: Vec<String> =
+            ["NAME", "NAME", "O", "UNIT", "NAME"].iter().map(|s| s.to_string()).collect();
+        let ents = extract_entities(&labels, "O");
+        assert_eq!(
+            ents,
+            vec![
+                (0, 2, "NAME".to_string()),
+                (3, 4, "UNIT".to_string()),
+                (4, 5, "NAME".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn entity_level_requires_exact_span() {
+        // Gold: NAME covers tokens 1-2; pred only covers token 1.
+        let gold = seqs(&[&["O", "NAME", "NAME"]]);
+        let pred = seqs(&[&["O", "NAME", "O"]]);
+        let m = entity_prf(&gold, &pred, "O");
+        assert_eq!(m.per_class["NAME"].precision, 0.0);
+        assert_eq!(m.per_class["NAME"].recall, 0.0);
+        // Exact match counts.
+        let m2 = entity_prf(&gold, &gold, "O");
+        assert!((m2.micro.f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_average_ignores_zero_support_classes() {
+        let gold = seqs(&[&["NAME", "UNIT"]]);
+        let pred = seqs(&[&["NAME", "SIZE"]]);
+        let m = token_prf(&gold, &pred, "O");
+        // SIZE has support 0 (never in gold): excluded from macro.
+        assert_eq!(m.per_class["SIZE"].support, 0);
+        let macro_f1 = m.macro_avg.f1;
+        // NAME f1 = 1.0, UNIT f1 = 0.0 -> macro 0.5.
+        assert!((macro_f1 - 0.5).abs() < 1e-12, "{macro_f1}");
+    }
+
+    #[test]
+    fn confusion_matrix_accuracy() {
+        let gold = seqs(&[&["A", "B", "A", "B"]]);
+        let pred = seqs(&[&["A", "B", "B", "B"]]);
+        let cm = ConfusionMatrix::from_sequences(&gold, &pred);
+        assert_eq!(cm.total(), 4);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        let a = cm.labels.iter().position(|l| l == "A").unwrap();
+        let b = cm.labels.iter().position(|l| l == "B").unwrap();
+        assert_eq!(cm.counts[a][b], 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = token_prf(&[], &[], "O");
+        assert_eq!(m.micro.f1, 0.0);
+        let cm = ConfusionMatrix::from_sequences(&[], &[]);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert!(extract_entities(&[], "O").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let gold = seqs(&[&["A", "B"]]);
+        let pred = seqs(&[&["A"]]);
+        token_prf(&gold, &pred, "O");
+    }
+}

@@ -1,0 +1,125 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! Every `table_*` / `figure_*` binary prints its results with this
+//! renderer so EXPERIMENTS.md entries share one format.
+
+use std::fmt;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Table with the given column headers.
+    pub fn new<S: AsRef<str>>(header: &[S]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.as_ref().to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; short rows are padded with empty cells.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        let mut row: Vec<String> = cells.iter().map(|s| s.as_ref().to_string()).collect();
+        while row.len() < self.header.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(|s| s.as_str()).unwrap_or("");
+                write!(f, " {cell:w$} |", w = w)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with 4 decimal places (the paper's F1 precision).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Format a float with 2 decimal places.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new(&["Testing Set", "AllRecipes", "FOOD.com"]);
+        t.row(&["AllRecipes", "0.9682", "0.9317"]);
+        t.row(&["FOOD.com", "0.8672", "0.9519"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have equal width.
+        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(s.contains("0.9682"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(&["a", "b", "c"]);
+        t.row(&["x"]);
+        assert!(t.to_string().lines().count() == 3);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f4(0.95191), "0.9519");
+        assert_eq!(f2(6.164), "6.16");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(&["col"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_string().lines().count(), 2);
+    }
+}

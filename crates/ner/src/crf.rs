@@ -1,0 +1,446 @@
+//! Linear-chain Conditional Random Field.
+//!
+//! The model family of the Stanford NER tagger used throughout the paper.
+//! Training minimizes L2-regularized negative log-likelihood with exact
+//! forward–backward gradients and per-parameter AdaGrad step sizes;
+//! decoding is exact Viterbi.
+//!
+//! Everything is computed in log space; the implementation is validated in
+//! tests against brute-force enumeration of tiny label spaces (partition
+//! function, marginals, decoding).
+
+use crate::decode::{log_sum_exp, viterbi, Params};
+use crate::encode::EncodedSequence;
+use crate::lbfgs::{minimize, LbfgsConfig, LbfgsResult};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// CRF training hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CrfConfig {
+    /// Passes over the training data.
+    pub epochs: usize,
+    /// Base AdaGrad learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength (per-example, applied to touched weights).
+    pub l2: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for CrfConfig {
+    fn default() -> Self {
+        CrfConfig { epochs: 20, learning_rate: 0.2, l2: 1e-6, seed: 42 }
+    }
+}
+
+/// A trained linear-chain CRF.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearChainCrf {
+    params: Params,
+}
+
+/// AdaGrad accumulators, laid out exactly like [`Params`].
+struct AdaGrad {
+    emit: Vec<f64>,
+    trans: Vec<f64>,
+    start: Vec<f64>,
+    end: Vec<f64>,
+    lr: f64,
+}
+
+impl AdaGrad {
+    fn new(params: &Params, lr: f64) -> Self {
+        AdaGrad {
+            emit: vec![0.0; params.emit.len()],
+            trans: vec![0.0; params.trans.len()],
+            start: vec![0.0; params.start.len()],
+            end: vec![0.0; params.end.len()],
+            lr,
+        }
+    }
+
+    /// One AdaGrad step on a single weight: `w -= lr_adj * grad`.
+    #[inline]
+    fn step(w: &mut f64, acc: &mut f64, grad: f64, lr: f64) {
+        const EPS: f64 = 1e-8;
+        *acc += grad * grad;
+        *w -= lr * grad / (acc.sqrt() + EPS);
+    }
+}
+
+/// Forward/backward tables for one sequence (log space).
+struct Lattice {
+    /// `alpha[t][y]`: log-sum of all prefixes ending in `y` at `t`
+    /// (includes `emit(t, y)` and `start`).
+    alpha: Vec<Vec<f64>>,
+    /// `beta[t][y]`: log-sum of all suffixes starting after `(t, y)`
+    /// (includes `end`, excludes `emit(t, y)`).
+    beta: Vec<Vec<f64>>,
+    /// Per-position emission score rows.
+    emits: Vec<Vec<f64>>,
+    /// Log partition function.
+    log_z: f64,
+}
+
+fn build_lattice(params: &Params, feats: &[Vec<u32>]) -> Lattice {
+    let n = feats.len();
+    let l = params.n_labels;
+    let emits: Vec<Vec<f64>> = feats.iter().map(|f| params.emit_row(f)).collect();
+
+    let mut alpha = vec![vec![0.0f64; l]; n];
+    for y in 0..l {
+        alpha[0][y] = params.start[y] + emits[0][y];
+    }
+    let mut scratch = vec![0.0f64; l];
+    for t in 1..n {
+        for y in 0..l {
+            for yp in 0..l {
+                scratch[yp] = alpha[t - 1][yp] + params.trans[yp * l + y];
+            }
+            alpha[t][y] = log_sum_exp(&scratch) + emits[t][y];
+        }
+    }
+    for y in 0..l {
+        scratch[y] = alpha[n - 1][y] + params.end[y];
+    }
+    let log_z = log_sum_exp(&scratch);
+
+    let mut beta = vec![vec![0.0f64; l]; n];
+    beta[n - 1].copy_from_slice(&params.end);
+    for t in (0..n - 1).rev() {
+        for y in 0..l {
+            for yn in 0..l {
+                scratch[yn] = params.trans[y * l + yn] + emits[t + 1][yn] + beta[t + 1][yn];
+            }
+            beta[t][y] = log_sum_exp(&scratch);
+        }
+    }
+    Lattice { alpha, beta, emits, log_z }
+}
+
+impl LinearChainCrf {
+    /// Train on encoded sequences. `n_features` must cover every feature id
+    /// present in `data`.
+    pub fn train(
+        n_features: usize,
+        n_labels: usize,
+        data: &[EncodedSequence],
+        cfg: &CrfConfig,
+    ) -> Self {
+        let mut params = Params::zeros(n_features, n_labels);
+        let mut ada = AdaGrad::new(&params, cfg.learning_rate);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for &si in &order {
+                let seq = &data[si];
+                if seq.is_empty() {
+                    continue;
+                }
+                Self::sgd_step(&mut params, &mut ada, seq, cfg.l2);
+            }
+        }
+        LinearChainCrf { params }
+    }
+
+    /// One stochastic gradient step on a single sequence.
+    fn sgd_step(params: &mut Params, ada: &mut AdaGrad, seq: &EncodedSequence, l2: f64) {
+        let l = params.n_labels;
+        let n = seq.len();
+        let lat = build_lattice(params, &seq.feats);
+        let lr = ada.lr;
+
+        // Node marginals -> emission / start / end gradients.
+        for t in 0..n {
+            let gold = seq.labels[t];
+            for y in 0..l {
+                let p = (lat.alpha[t][y] + lat.beta[t][y] - lat.log_z).exp();
+                let grad = p - if y == gold { 1.0 } else { 0.0 };
+                if grad.abs() < 1e-12 {
+                    continue;
+                }
+                for &f in &seq.feats[t] {
+                    let idx = f as usize * l + y;
+                    let g = grad + l2 * params.emit[idx];
+                    AdaGrad::step(&mut params.emit[idx], &mut ada.emit[idx], g, lr);
+                }
+                if t == 0 {
+                    let g = grad + l2 * params.start[y];
+                    AdaGrad::step(&mut params.start[y], &mut ada.start[y], g, lr);
+                }
+                if t == n - 1 {
+                    let g = grad + l2 * params.end[y];
+                    AdaGrad::step(&mut params.end[y], &mut ada.end[y], g, lr);
+                }
+            }
+        }
+        // Edge marginals -> transition gradients.
+        for t in 1..n {
+            let gold_pair = (seq.labels[t - 1], seq.labels[t]);
+            for yp in 0..l {
+                for y in 0..l {
+                    let logp = lat.alpha[t - 1][yp]
+                        + params.trans[yp * l + y]
+                        + lat.emits[t][y]
+                        + lat.beta[t][y]
+                        - lat.log_z;
+                    let p = logp.exp();
+                    let obs = if (yp, y) == gold_pair { 1.0 } else { 0.0 };
+                    let grad = p - obs;
+                    if grad.abs() < 1e-12 {
+                        continue;
+                    }
+                    let idx = yp * l + y;
+                    let g = grad + l2 * params.trans[idx];
+                    AdaGrad::step(&mut params.trans[idx], &mut ada.trans[idx], g, lr);
+                }
+            }
+        }
+    }
+
+    /// Train with full-batch L-BFGS (the Stanford NER optimizer family)
+    /// instead of AdaGrad SGD. Returns the model and the optimizer report.
+    pub fn train_lbfgs(
+        n_features: usize,
+        n_labels: usize,
+        data: &[EncodedSequence],
+        l2: f64,
+        cfg: &LbfgsConfig,
+    ) -> (Self, LbfgsResult) {
+        let template = Params::zeros(n_features, n_labels);
+        let n_emit = template.emit.len();
+        let n_trans = template.trans.len();
+        let l = n_labels;
+        let dim = n_emit + n_trans + 2 * l;
+        let mut x = vec![0.0f64; dim];
+
+        let unpack = |x: &[f64]| -> Params {
+            Params {
+                n_labels: l,
+                emit: x[..n_emit].to_vec(),
+                trans: x[n_emit..n_emit + n_trans].to_vec(),
+                start: x[n_emit + n_trans..n_emit + n_trans + l].to_vec(),
+                end: x[n_emit + n_trans + l..].to_vec(),
+            }
+        };
+
+        let result = minimize(&mut x, cfg, |x| {
+            let params = unpack(x);
+            let mut nll = 0.0;
+            let mut grad = vec![0.0f64; dim];
+            for seq in data {
+                if seq.is_empty() {
+                    continue;
+                }
+                let lat = build_lattice(&params, &seq.feats);
+                nll += lat.log_z - params.sequence_score(&seq.feats, &seq.labels);
+                let n = seq.len();
+                // Node terms.
+                for t in 0..n {
+                    let gold = seq.labels[t];
+                    for y in 0..l {
+                        let p = (lat.alpha[t][y] + lat.beta[t][y] - lat.log_z).exp();
+                        let g = p - f64::from(y == gold);
+                        if g.abs() < 1e-12 {
+                            continue;
+                        }
+                        for &fid in &seq.feats[t] {
+                            grad[fid as usize * l + y] += g;
+                        }
+                        if t == 0 {
+                            grad[n_emit + n_trans + y] += g;
+                        }
+                        if t == n - 1 {
+                            grad[n_emit + n_trans + l + y] += g;
+                        }
+                    }
+                }
+                // Edge terms.
+                for t in 1..n {
+                    let gold_pair = (seq.labels[t - 1], seq.labels[t]);
+                    for yp in 0..l {
+                        for y in 0..l {
+                            let logp = lat.alpha[t - 1][yp]
+                                + params.trans[yp * l + y]
+                                + lat.emits[t][y]
+                                + lat.beta[t][y]
+                                - lat.log_z;
+                            let g = logp.exp() - f64::from((yp, y) == gold_pair);
+                            if g.abs() >= 1e-12 {
+                                grad[n_emit + yp * l + y] += g;
+                            }
+                        }
+                    }
+                }
+            }
+            // L2 regularization.
+            for (gi, &xi) in grad.iter_mut().zip(x.iter()) {
+                *gi += l2 * xi;
+            }
+            let reg: f64 = x.iter().map(|&v| v * v).sum::<f64>() * l2 / 2.0;
+            (nll + reg, grad)
+        });
+        (LinearChainCrf { params: unpack(&x) }, result)
+    }
+
+    /// Viterbi-decode a feature-encoded sequence.
+    pub fn decode(&self, feats: &[Vec<u32>]) -> Vec<usize> {
+        viterbi(&self.params, feats)
+    }
+
+    /// Log-likelihood of a labeled sequence under the model (test hook).
+    pub fn log_likelihood(&self, seq: &EncodedSequence) -> f64 {
+        if seq.is_empty() {
+            return 0.0;
+        }
+        let lat = build_lattice(&self.params, &seq.feats);
+        self.params.sequence_score(&seq.feats, &seq.labels) - lat.log_z
+    }
+
+    /// Per-position label marginals `p(y_t = y | x)`.
+    pub fn marginals(&self, feats: &[Vec<u32>]) -> Vec<Vec<f64>> {
+        if feats.is_empty() {
+            return Vec::new();
+        }
+        let lat = build_lattice(&self.params, feats);
+        lat.alpha
+            .iter()
+            .zip(&lat.beta)
+            .map(|(a, b)| {
+                a.iter().zip(b).map(|(&x, &y)| (x + y - lat.log_z).exp()).collect()
+            })
+            .collect()
+    }
+
+    /// Access the raw parameter block (used by ablation benches).
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Wrap an existing parameter block (model surgery such as pruning).
+    pub fn from_params(params: Params) -> Self {
+        LinearChainCrf { params }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny dataset: label 0 for feature 0, label 1 for feature 1, with a
+    /// strict alternation pattern to exercise transitions.
+    fn toy_data() -> Vec<EncodedSequence> {
+        vec![
+            EncodedSequence { feats: vec![vec![0], vec![1], vec![0]], labels: vec![0, 1, 0] },
+            EncodedSequence { feats: vec![vec![1], vec![0]], labels: vec![1, 0] },
+            EncodedSequence { feats: vec![vec![0], vec![1]], labels: vec![0, 1] },
+        ]
+    }
+
+    #[test]
+    fn learns_toy_problem() {
+        let data = toy_data();
+        let crf = LinearChainCrf::train(2, 2, &data, &CrfConfig::default());
+        for seq in &data {
+            assert_eq!(crf.decode(&seq.feats), seq.labels);
+        }
+    }
+
+    #[test]
+    fn training_increases_log_likelihood() {
+        let data = toy_data();
+        let untrained = LinearChainCrf { params: Params::zeros(2, 2) };
+        let trained = LinearChainCrf::train(2, 2, &data, &CrfConfig::default());
+        for seq in &data {
+            assert!(trained.log_likelihood(seq) > untrained.log_likelihood(seq));
+        }
+    }
+
+    #[test]
+    fn marginals_sum_to_one() {
+        let data = toy_data();
+        let crf = LinearChainCrf::train(2, 2, &data, &CrfConfig::default());
+        let feats = vec![vec![0u32], vec![1], vec![1], vec![0]];
+        for row in crf.marginals(&feats) {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "marginal row sums to {s}");
+            assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn log_z_matches_brute_force_enumeration() {
+        // Validate the forward pass against explicit enumeration.
+        let data = toy_data();
+        let crf = LinearChainCrf::train(2, 2, &data, &CrfConfig { epochs: 3, ..Default::default() });
+        let feats = vec![vec![0u32], vec![1], vec![0]];
+        let lat = build_lattice(&crf.params, &feats);
+        let l = 2usize;
+        let n = feats.len();
+        let mut scores = Vec::new();
+        for code in 0..l.pow(n as u32) {
+            let mut seq = Vec::with_capacity(n);
+            let mut c = code;
+            for _ in 0..n {
+                seq.push(c % l);
+                c /= l;
+            }
+            scores.push(crf.params.sequence_score(&feats, &seq));
+        }
+        let brute_log_z = log_sum_exp(&scores);
+        assert!((lat.log_z - brute_log_z).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sequence_is_skipped_gracefully() {
+        let mut data = toy_data();
+        data.push(EncodedSequence { feats: vec![], labels: vec![] });
+        let crf = LinearChainCrf::train(2, 2, &data, &CrfConfig { epochs: 2, ..Default::default() });
+        assert!(crf.decode(&[]).is_empty());
+        assert_eq!(crf.log_likelihood(&EncodedSequence { feats: vec![], labels: vec![] }), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = toy_data();
+        let a = LinearChainCrf::train(2, 2, &data, &CrfConfig::default());
+        let b = LinearChainCrf::train(2, 2, &data, &CrfConfig::default());
+        assert_eq!(a.params.emit, b.params.emit);
+        assert_eq!(a.params.trans, b.params.trans);
+    }
+
+    #[test]
+    fn lbfgs_fits_toy_problem() {
+        let data = toy_data();
+        let (crf, result) =
+            LinearChainCrf::train_lbfgs(2, 2, &data, 1e-4, &LbfgsConfig::default());
+        assert!(result.iterations > 0);
+        for seq in &data {
+            assert_eq!(crf.decode(&seq.feats), seq.labels, "lbfgs decode");
+        }
+    }
+
+    #[test]
+    fn lbfgs_reaches_higher_likelihood_than_short_sgd() {
+        let data = toy_data();
+        let sgd = LinearChainCrf::train(2, 2, &data, &CrfConfig { epochs: 2, ..Default::default() });
+        let (lbfgs, _) =
+            LinearChainCrf::train_lbfgs(2, 2, &data, 1e-6, &LbfgsConfig::default());
+        let ll = |m: &LinearChainCrf| data.iter().map(|s| m.log_likelihood(s)).sum::<f64>();
+        assert!(ll(&lbfgs) >= ll(&sgd) - 1e-6, "{} vs {}", ll(&lbfgs), ll(&sgd));
+    }
+
+    #[test]
+    fn unknown_feature_ids_do_not_crash_decoding() {
+        let data = toy_data();
+        let crf = LinearChainCrf::train(2, 2, &data, &CrfConfig { epochs: 2, ..Default::default() });
+        // Feature 99 was never seen; emit_row skips it.
+        let out = crf.decode(&[vec![99u32], vec![0]]);
+        assert_eq!(out.len(), 2);
+    }
+}

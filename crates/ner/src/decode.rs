@@ -1,0 +1,397 @@
+// Index-based loops mirror the textbook linear-algebra formulations and
+// keep symmetric-index access patterns legible.
+#![allow(clippy::needless_range_loop)]
+
+//! Shared decoding machinery: emission scoring, Viterbi, log-sum-exp.
+//!
+//! Both the CRF and the structured perceptron parameterize a sequence score
+//!
+//! ```text
+//! score(y | x) = Σ_t  emit(t, y_t) + Σ_t  trans(y_{t-1}, y_t)
+//!              + start(y_0) + end(y_{n-1})
+//! ```
+//!
+//! where `emit(t, y) = Σ_{f ∈ feats[t]} W[f·L + y]`. This module holds the
+//! parameter block and the exact max-product (Viterbi) and sum-product
+//! (log-sum-exp) primitives over it.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense parameter block for a linear-chain model with `n_labels` labels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Params {
+    /// Number of labels `L`.
+    pub n_labels: usize,
+    /// Emission weights, indexed `feature * L + label`.
+    pub emit: Vec<f64>,
+    /// Transition weights, indexed `prev * L + next`.
+    pub trans: Vec<f64>,
+    /// Start-of-sequence weights, one per label.
+    pub start: Vec<f64>,
+    /// End-of-sequence weights, one per label.
+    pub end: Vec<f64>,
+}
+
+impl Params {
+    /// Zero-initialized parameters for `n_features` interned features.
+    pub fn zeros(n_features: usize, n_labels: usize) -> Self {
+        Params {
+            n_labels,
+            emit: vec![0.0; n_features * n_labels],
+            trans: vec![0.0; n_labels * n_labels],
+            start: vec![0.0; n_labels],
+            end: vec![0.0; n_labels],
+        }
+    }
+
+    /// Grow the emission block to cover `n_features` features.
+    pub fn grow(&mut self, n_features: usize) {
+        let need = n_features * self.n_labels;
+        if need > self.emit.len() {
+            self.emit.resize(need, 0.0);
+        }
+    }
+
+    /// Emission score row (one score per label) for the features at one
+    /// position. Features beyond the emission block are ignored (they were
+    /// interned after this parameter block stopped growing).
+    pub fn emit_row(&self, feats: &[u32]) -> Vec<f64> {
+        let l = self.n_labels;
+        let mut row = vec![0.0; l];
+        for &f in feats {
+            let base = f as usize * l;
+            if base + l <= self.emit.len() {
+                for (y, r) in row.iter_mut().enumerate() {
+                    *r += self.emit[base + y];
+                }
+            }
+        }
+        row
+    }
+
+    /// Total score of a specific label sequence.
+    pub fn sequence_score(&self, feats: &[Vec<u32>], labels: &[usize]) -> f64 {
+        debug_assert_eq!(feats.len(), labels.len());
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let l = self.n_labels;
+        let mut s = self.start[labels[0]] + self.end[labels[labels.len() - 1]];
+        for (t, &y) in labels.iter().enumerate() {
+            for &f in &feats[t] {
+                let idx = f as usize * l + y;
+                if idx < self.emit.len() {
+                    s += self.emit[idx];
+                }
+            }
+            if t > 0 {
+                s += self.trans[labels[t - 1] * l + y];
+            }
+        }
+        s
+    }
+}
+
+/// Numerically-stable `log(Σ exp(x_i))`.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Viterbi decoding: the highest-scoring label sequence for the given
+/// per-position feature ids. Returns an empty vector for empty input.
+pub fn viterbi(params: &Params, feats: &[Vec<u32>]) -> Vec<usize> {
+    let n = feats.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let l = params.n_labels;
+    // delta[t][y]: best score of any path ending in y at t.
+    let mut delta = vec![vec![0.0f64; l]; n];
+    let mut back = vec![vec![0usize; l]; n];
+
+    let e0 = params.emit_row(&feats[0]);
+    for y in 0..l {
+        delta[0][y] = params.start[y] + e0[y];
+    }
+    for t in 1..n {
+        let et = params.emit_row(&feats[t]);
+        for y in 0..l {
+            let mut best = f64::NEG_INFINITY;
+            let mut arg = 0usize;
+            for yp in 0..l {
+                let s = delta[t - 1][yp] + params.trans[yp * l + y];
+                if s > best {
+                    best = s;
+                    arg = yp;
+                }
+            }
+            delta[t][y] = best + et[y];
+            back[t][y] = arg;
+        }
+    }
+    let mut last = 0usize;
+    let mut best = f64::NEG_INFINITY;
+    for y in 0..l {
+        let s = delta[n - 1][y] + params.end[y];
+        if s > best {
+            best = s;
+            last = y;
+        }
+    }
+    let mut path = vec![0usize; n];
+    path[n - 1] = last;
+    for t in (1..n).rev() {
+        path[t - 1] = back[t][path[t]];
+    }
+    path
+}
+
+/// Brute-force best sequence by enumeration — test oracle for [`viterbi`].
+/// Exponential; only call with tiny `n` and label counts.
+pub fn brute_force_best(params: &Params, feats: &[Vec<u32>]) -> Vec<usize> {
+    let n = feats.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let l = params.n_labels;
+    let total = l.pow(n as u32);
+    assert!(total <= 1 << 20, "brute force space too large");
+    let mut best_seq = vec![0usize; n];
+    let mut best_score = f64::NEG_INFINITY;
+    for code in 0..total {
+        let mut seq = Vec::with_capacity(n);
+        let mut c = code;
+        for _ in 0..n {
+            seq.push(c % l);
+            c /= l;
+        }
+        let s = params.sequence_score(feats, &seq);
+        if s > best_score {
+            best_score = s;
+            best_seq = seq;
+        }
+    }
+    best_seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> Params {
+        let mut p = Params::zeros(4, 3);
+        // Deterministic pseudo-random-ish weights.
+        for (i, w) in p.emit.iter_mut().enumerate() {
+            *w = ((i * 7919 % 13) as f64 - 6.0) / 3.0;
+        }
+        for (i, w) in p.trans.iter_mut().enumerate() {
+            *w = ((i * 104729 % 11) as f64 - 5.0) / 4.0;
+        }
+        p.start = vec![0.3, -0.2, 0.1];
+        p.end = vec![-0.1, 0.4, 0.0];
+        p
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable_and_correct() {
+        assert!((log_sum_exp(&[0.0, 0.0]) - 2.0f64.ln()).abs() < 1e-12);
+        // Huge magnitudes must not overflow.
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + 2.0f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn viterbi_matches_brute_force() {
+        let p = tiny_params();
+        let feats: Vec<Vec<u32>> = vec![vec![0, 2], vec![1], vec![3, 0], vec![2]];
+        let v = viterbi(&p, &feats);
+        let b = brute_force_best(&p, &feats);
+        assert_eq!(
+            p.sequence_score(&feats, &v),
+            p.sequence_score(&feats, &b),
+            "viterbi {v:?} vs brute {b:?}"
+        );
+    }
+
+    #[test]
+    fn viterbi_handles_empty_and_single() {
+        let p = tiny_params();
+        assert!(viterbi(&p, &[]).is_empty());
+        let single = viterbi(&p, &[vec![1u32]]);
+        assert_eq!(single.len(), 1);
+        let brute = brute_force_best(&p, &[vec![1u32]]);
+        assert_eq!(single, brute);
+    }
+
+    #[test]
+    fn sequence_score_of_empty_is_zero() {
+        let p = tiny_params();
+        assert_eq!(p.sequence_score(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn emit_row_ignores_out_of_range_features() {
+        let p = Params::zeros(2, 3);
+        let row = p.emit_row(&[5]); // feature 5 never trained
+        assert_eq!(row, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn grow_preserves_existing_weights() {
+        let mut p = Params::zeros(1, 2);
+        p.emit[0] = 1.5;
+        p.grow(4);
+        assert_eq!(p.emit.len(), 8);
+        assert_eq!(p.emit[0], 1.5);
+        assert_eq!(p.emit[7], 0.0);
+    }
+}
+
+/// N-best Viterbi: the `n` highest-scoring label sequences with their
+/// scores, best first. Exact (no rescoring approximation): each lattice
+/// cell keeps its `n` best partial hypotheses.
+pub fn viterbi_nbest(params: &Params, feats: &[Vec<u32>], n: usize) -> Vec<(Vec<usize>, f64)> {
+    let len = feats.len();
+    if len == 0 || n == 0 {
+        return Vec::new();
+    }
+    let l = params.n_labels;
+    // hyp[t][y] = sorted list of (score, prev_label, prev_rank).
+    let mut hyp: Vec<Vec<Vec<(f64, usize, usize)>>> = Vec::with_capacity(len);
+
+    let e0 = params.emit_row(&feats[0]);
+    hyp.push((0..l).map(|y| vec![(params.start[y] + e0[y], usize::MAX, 0)]).collect());
+
+    for t in 1..len {
+        let et = params.emit_row(&feats[t]);
+        let mut row: Vec<Vec<(f64, usize, usize)>> = Vec::with_capacity(l);
+        for y in 0..l {
+            let mut cands: Vec<(f64, usize, usize)> = Vec::new();
+            for yp in 0..l {
+                for (rank, &(s, _, _)) in hyp[t - 1][yp].iter().enumerate() {
+                    cands.push((s + params.trans[yp * l + y] + et[y], yp, rank));
+                }
+            }
+            cands.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+            cands.truncate(n);
+            row.push(cands);
+        }
+        hyp.push(row);
+    }
+
+    // Final candidates including the end scores.
+    let mut finals: Vec<(f64, usize, usize)> = Vec::new();
+    for y in 0..l {
+        for (rank, &(s, _, _)) in hyp[len - 1][y].iter().enumerate() {
+            finals.push((s + params.end[y], y, rank));
+        }
+    }
+    finals.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    finals.truncate(n);
+
+    // Backtrace each final hypothesis.
+    finals
+        .into_iter()
+        .map(|(score, mut y, mut rank)| {
+            let mut path = vec![0usize; len];
+            for t in (0..len).rev() {
+                path[t] = y;
+                let (_, py, pr) = hyp[t][y][rank];
+                y = py;
+                rank = pr;
+            }
+            (path, score)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod nbest_tests {
+    use super::*;
+
+    fn tiny_params() -> Params {
+        let mut p = Params::zeros(4, 3);
+        for (i, w) in p.emit.iter_mut().enumerate() {
+            *w = ((i * 7919 % 13) as f64 - 6.0) / 3.0;
+        }
+        for (i, w) in p.trans.iter_mut().enumerate() {
+            *w = ((i * 104729 % 11) as f64 - 5.0) / 4.0;
+        }
+        p.start = vec![0.3, -0.2, 0.1];
+        p.end = vec![-0.1, 0.4, 0.0];
+        p
+    }
+
+    /// All sequences with scores, best first (oracle).
+    fn brute_all(params: &Params, feats: &[Vec<u32>]) -> Vec<(Vec<usize>, f64)> {
+        let n = feats.len();
+        let l = params.n_labels;
+        let mut out = Vec::new();
+        for code in 0..l.pow(n as u32) {
+            let mut seq = Vec::with_capacity(n);
+            let mut c = code;
+            for _ in 0..n {
+                seq.push(c % l);
+                c /= l;
+            }
+            let s = params.sequence_score(feats, &seq);
+            out.push((seq, s));
+        }
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        out
+    }
+
+    #[test]
+    fn nbest_matches_brute_force() {
+        let p = tiny_params();
+        let feats: Vec<Vec<u32>> = vec![vec![0, 2], vec![1], vec![3, 0], vec![2]];
+        let nbest = viterbi_nbest(&p, &feats, 5);
+        let brute = brute_all(&p, &feats);
+        assert_eq!(nbest.len(), 5);
+        for (i, (seq, score)) in nbest.iter().enumerate() {
+            assert!((score - brute[i].1).abs() < 1e-9, "rank {i}");
+            assert!((p.sequence_score(&feats, seq) - score).abs() < 1e-9);
+        }
+        // Scores are non-increasing.
+        for w in nbest.windows(2) {
+            assert!(w[0].1 >= w[1].1 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn best_of_nbest_equals_viterbi() {
+        let p = tiny_params();
+        let feats: Vec<Vec<u32>> = vec![vec![1], vec![0, 3], vec![2]];
+        let v = viterbi(&p, &feats);
+        let nbest = viterbi_nbest(&p, &feats, 3);
+        assert_eq!(nbest[0].0, v);
+    }
+
+    #[test]
+    fn nbest_handles_small_spaces() {
+        let p = tiny_params();
+        // Only 3 labels, one token -> 3 possible sequences; asking for 10
+        // returns all 3.
+        let nbest = viterbi_nbest(&p, &[vec![0u32]], 10);
+        assert_eq!(nbest.len(), 3);
+        assert!(viterbi_nbest(&p, &[], 5).is_empty());
+        assert!(viterbi_nbest(&p, &[vec![0u32]], 0).is_empty());
+    }
+
+    #[test]
+    fn nbest_sequences_are_distinct() {
+        let p = tiny_params();
+        let feats: Vec<Vec<u32>> = vec![vec![0], vec![1], vec![2]];
+        let nbest = viterbi_nbest(&p, &feats, 8);
+        for i in 0..nbest.len() {
+            for j in (i + 1)..nbest.len() {
+                assert_ne!(nbest[i].0, nbest[j].0, "duplicate at {i},{j}");
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Feature interning and dataset encoding shared by both sequence models.
+
+use crate::features::FeatureExtractor;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Interns feature strings to dense `u32` ids.
+///
+/// During training the interner grows; at prediction time it is *frozen*
+/// and unknown features are silently dropped (they carry zero weight
+/// anyway).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Interner {
+    map: HashMap<String, u32>,
+    frozen: bool,
+}
+
+impl Interner {
+    /// Empty, growable interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct features.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no features have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Stop accepting new features.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Id for `feature`; allocates a fresh id unless frozen.
+    pub fn intern(&mut self, feature: &str) -> Option<u32> {
+        if let Some(&id) = self.map.get(feature) {
+            return Some(id);
+        }
+        if self.frozen {
+            return None;
+        }
+        let id = self.map.len() as u32;
+        self.map.insert(feature.to_string(), id);
+        Some(id)
+    }
+
+    /// Id for `feature` without allocating.
+    pub fn get(&self, feature: &str) -> Option<u32> {
+        self.map.get(feature).copied()
+    }
+
+    /// Iterate `(feature, id)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.map.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Build a frozen interner containing only `keep`, with fresh dense
+    /// ids. Returns the interner and the old-id → new-id map.
+    pub fn retain_features(&self, keep: impl Fn(u32) -> bool) -> (Interner, Vec<Option<u32>>) {
+        let mut remap = vec![None; self.map.len()];
+        let mut map = HashMap::new();
+        // Deterministic new ids: sort survivors by old id.
+        let mut survivors: Vec<(&str, u32)> =
+            self.iter().filter(|&(_, id)| keep(id)).collect();
+        survivors.sort_by_key(|&(_, id)| id);
+        for (new_id, (feature, old_id)) in survivors.into_iter().enumerate() {
+            map.insert(feature.to_string(), new_id as u32);
+            remap[old_id as usize] = Some(new_id as u32);
+        }
+        (Interner { map, frozen: true }, remap)
+    }
+}
+
+/// A label-encoded training sequence: per-position feature ids + label ids.
+#[derive(Debug, Clone)]
+pub struct EncodedSequence {
+    /// `feats[t]` = active feature ids at position `t` (sorted, deduped).
+    pub feats: Vec<Vec<u32>>,
+    /// Gold label id per position.
+    pub labels: Vec<usize>,
+}
+
+impl EncodedSequence {
+    /// Sequence length in tokens.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Extract and intern features for a token sequence, growing `interner`.
+pub fn encode_tokens_mut(
+    extractor: &FeatureExtractor,
+    interner: &mut Interner,
+    tokens: &[String],
+) -> Vec<Vec<u32>> {
+    extractor
+        .extract(tokens)
+        .into_iter()
+        .map(|fs| {
+            let mut ids: Vec<u32> = fs.iter().filter_map(|f| interner.intern(f)).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        })
+        .collect()
+}
+
+/// Extract features using only already-known ids (prediction path).
+pub fn encode_tokens(
+    extractor: &FeatureExtractor,
+    interner: &Interner,
+    tokens: &[String],
+) -> Vec<Vec<u32>> {
+    extractor
+        .extract(tokens)
+        .into_iter()
+        .map(|fs| {
+            let mut ids: Vec<u32> = fs.iter().filter_map(|f| interner.get(f)).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_assigns_dense_ids() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), Some(0));
+        assert_eq!(i.intern("b"), Some(1));
+        assert_eq!(i.intern("a"), Some(0));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn frozen_interner_rejects_new() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.freeze();
+        assert_eq!(i.intern("a"), Some(0));
+        assert_eq!(i.intern("new"), None);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn encode_paths_agree_on_known_features() {
+        let fe = FeatureExtractor::new();
+        let mut i = Interner::new();
+        let toks: Vec<String> = vec!["2".into(), "cups".into()];
+        let grown = encode_tokens_mut(&fe, &mut i, &toks);
+        let frozen = encode_tokens(&fe, &i, &toks);
+        assert_eq!(grown, frozen);
+    }
+
+    #[test]
+    fn unknown_features_drop_silently() {
+        let fe = FeatureExtractor::new();
+        let mut i = Interner::new();
+        let train: Vec<String> = vec!["salt".into()];
+        encode_tokens_mut(&fe, &mut i, &train);
+        let test: Vec<String> = vec!["zanthoxylum".into()];
+        let enc = encode_tokens(&fe, &i, &test);
+        // Shape/bias features overlap; word identity does not.
+        assert!(enc[0].len() < i.len());
+    }
+}

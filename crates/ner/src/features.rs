@@ -1,0 +1,244 @@
+//! Stanford-NER-style feature templates.
+//!
+//! Emission features for token *i* of a sequence. The template inventory
+//! mirrors the distributional features Stanford NER uses by default:
+//! current/previous/next word identity, word shape, character prefixes and
+//! suffixes, digit/hyphen indicators, and position-in-sequence flags. The
+//! shape and affix templates are what let a model label ingredient names it
+//! never saw in training — the paper's "robust to unknown ingredients and
+//! unknown attributes" requirement (§II.A).
+
+use serde::{Deserialize, Serialize};
+
+/// Which feature templates to apply. All on by default; the
+/// `ablation_features` bench switches groups off to measure their effect on
+/// the cross-dataset generalization of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Word identity features (current, prev, next, bigrams).
+    pub lexical: bool,
+    /// Word-shape features (`Xx`, `d`, `d/d`, `d-d`…).
+    pub shape: bool,
+    /// Prefix/suffix features (lengths 1–3).
+    pub affixes: bool,
+    /// Context window features (prev/next word identity).
+    pub context: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig { lexical: true, shape: true, affixes: true, context: true }
+    }
+}
+
+/// Compute the collapsed word shape: letters → `x`/`X`, digits → `d`,
+/// everything else verbatim; runs collapsed to one symbol.
+///
+/// ```
+/// assert_eq!(recipe_ner::features::word_shape("Flour"), "Xx");
+/// assert_eq!(recipe_ner::features::word_shape("1/2"), "d/d");
+/// assert_eq!(recipe_ner::features::word_shape("2-3"), "d-d");
+/// assert_eq!(recipe_ner::features::word_shape("all-purpose"), "x-x");
+/// ```
+pub fn word_shape(word: &str) -> String {
+    let mut shape = String::new();
+    let mut last = '\0';
+    for c in word.chars() {
+        let s = if c.is_ascii_digit() {
+            'd'
+        } else if c.is_uppercase() {
+            'X'
+        } else if c.is_alphabetic() {
+            'x'
+        } else {
+            c
+        };
+        if s != last {
+            shape.push(s);
+            last = s;
+        }
+    }
+    shape
+}
+
+fn char_prefix(word: &str, n: usize) -> &str {
+    let mut cut = n.min(word.len());
+    while cut < word.len() && !word.is_char_boundary(cut) {
+        cut += 1;
+    }
+    &word[..cut]
+}
+
+fn char_suffix(word: &str, n: usize) -> &str {
+    if word.len() <= n {
+        return word;
+    }
+    let mut cut = word.len() - n;
+    while !word.is_char_boundary(cut) {
+        cut += 1;
+    }
+    &word[cut..]
+}
+
+/// Extracts emission feature strings for each position of a sequence.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FeatureExtractor {
+    /// Template configuration.
+    pub config: FeatureConfig,
+}
+
+impl FeatureExtractor {
+    /// Extractor with all templates enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extractor with a specific template configuration.
+    pub fn with_config(config: FeatureConfig) -> Self {
+        FeatureExtractor { config }
+    }
+
+    /// Feature strings for every position of `tokens`.
+    pub fn extract(&self, tokens: &[String]) -> Vec<Vec<String>> {
+        (0..tokens.len()).map(|i| self.extract_at(tokens, i)).collect()
+    }
+
+    /// Feature strings for position `i`.
+    pub fn extract_at(&self, tokens: &[String], i: usize) -> Vec<String> {
+        let cfg = self.config;
+        let w = tokens[i].as_str();
+        let mut f = Vec::with_capacity(20);
+        f.push("b".to_string()); // bias
+
+        if cfg.lexical {
+            f.push(format!("w={w}"));
+            f.push(format!("wl={}", w.to_lowercase()));
+        }
+        if cfg.shape {
+            f.push(format!("sh={}", word_shape(w)));
+            if w.bytes().any(|b| b.is_ascii_digit()) {
+                f.push("hasdig".to_string());
+            }
+            if w.contains('-') {
+                f.push("hashyp".to_string());
+            }
+            if w.contains('/') {
+                f.push("hasslash".to_string());
+            }
+            if w.chars().count() <= 2 {
+                f.push("short".to_string());
+            }
+        }
+        if cfg.affixes {
+            for n in 1..=3 {
+                f.push(format!("p{n}={}", char_prefix(w, n)));
+                f.push(format!("s{n}={}", char_suffix(w, n)));
+            }
+        }
+        if cfg.context {
+            if i == 0 {
+                f.push("first".to_string());
+            } else {
+                let pw = tokens[i - 1].as_str();
+                f.push(format!("w-1={pw}"));
+                if cfg.shape {
+                    f.push(format!("sh-1={}", word_shape(pw)));
+                }
+                if cfg.lexical {
+                    f.push(format!("w-1w={pw}|{w}"));
+                }
+            }
+            if i + 1 == tokens.len() {
+                f.push("last".to_string());
+            } else {
+                let nw = tokens[i + 1].as_str();
+                f.push(format!("w+1={nw}"));
+                if cfg.shape {
+                    f.push(format!("sh+1={}", word_shape(nw)));
+                }
+                if cfg.lexical {
+                    f.push(format!("ww+1={w}|{nw}"));
+                }
+            }
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(ws: &[&str]) -> Vec<String> {
+        ws.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn shapes() {
+        assert_eq!(word_shape("flour"), "x");
+        assert_eq!(word_shape("Flour"), "Xx");
+        assert_eq!(word_shape("12"), "d");
+        assert_eq!(word_shape("1/2"), "d/d");
+        assert_eq!(word_shape("2-3"), "d-d");
+        assert_eq!(word_shape("McDonald"), "XxXx");
+        assert_eq!(word_shape(""), "");
+    }
+
+    #[test]
+    fn bias_always_present() {
+        let fe = FeatureExtractor::new();
+        let f = fe.extract_at(&toks(&["salt"]), 0);
+        assert!(f.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn boundary_features() {
+        let fe = FeatureExtractor::new();
+        let t = toks(&["2", "cups", "flour"]);
+        let f0 = fe.extract_at(&t, 0);
+        let f2 = fe.extract_at(&t, 2);
+        assert!(f0.contains(&"first".to_string()));
+        assert!(f2.contains(&"last".to_string()));
+        assert!(f0.iter().any(|f| f == "w+1=cups"));
+        assert!(f2.iter().any(|f| f == "w-1=cups"));
+    }
+
+    #[test]
+    fn digit_and_fraction_indicators() {
+        let fe = FeatureExtractor::new();
+        let f = fe.extract_at(&toks(&["1/2"]), 0);
+        assert!(f.contains(&"hasdig".to_string()));
+        assert!(f.contains(&"hasslash".to_string()));
+        let f = fe.extract_at(&toks(&["2-3"]), 0);
+        assert!(f.contains(&"hashyp".to_string()));
+    }
+
+    #[test]
+    fn affixes_present() {
+        let fe = FeatureExtractor::new();
+        let f = fe.extract_at(&toks(&["frozen"]), 0);
+        assert!(f.contains(&"p1=f".to_string()));
+        assert!(f.contains(&"s3=zen".to_string()));
+    }
+
+    #[test]
+    fn config_switches_groups_off() {
+        let fe = FeatureExtractor::with_config(FeatureConfig {
+            lexical: false,
+            shape: false,
+            affixes: false,
+            context: false,
+        });
+        let f = fe.extract_at(&toks(&["salt"]), 0);
+        assert_eq!(f, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn extract_covers_every_position() {
+        let fe = FeatureExtractor::new();
+        let t = toks(&["1", "cup", "sugar"]);
+        let all = fe.extract(&t);
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|f| !f.is_empty()));
+    }
+}

@@ -1,0 +1,208 @@
+//! Label inventories for the two NER tasks plus a generic [`LabelSet`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The seven ingredient-attribute entity tags of Table II, plus `O` for
+/// tokens outside any entity (punctuation, leftovers of stop-word removal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IngredientTag {
+    /// Outside any entity.
+    O,
+    /// Name of the ingredient: `salt`, `puff pastry`.
+    Name,
+    /// Processing state: `ground`, `thawed`, `minced`.
+    State,
+    /// Measuring unit: `gram`, `cup`, `sheet`.
+    Unit,
+    /// Quantity associated with the unit: `1`, `1 1/2`, `2-4`.
+    Quantity,
+    /// Portion size: `small`, `large`, `medium`.
+    Size,
+    /// Temperature applied prior to cooking: `hot`, `frozen`.
+    Temp,
+    /// Dry/fresh state: `dry`, `fresh`.
+    DryFresh,
+}
+
+impl IngredientTag {
+    /// All tags in canonical order (`O` first).
+    pub const ALL: [IngredientTag; 8] = [
+        IngredientTag::O,
+        IngredientTag::Name,
+        IngredientTag::State,
+        IngredientTag::Unit,
+        IngredientTag::Quantity,
+        IngredientTag::Size,
+        IngredientTag::Temp,
+        IngredientTag::DryFresh,
+    ];
+
+    /// Canonical string used in annotations (matches Table II).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IngredientTag::O => "O",
+            IngredientTag::Name => "NAME",
+            IngredientTag::State => "STATE",
+            IngredientTag::Unit => "UNIT",
+            IngredientTag::Quantity => "QUANTITY",
+            IngredientTag::Size => "SIZE",
+            IngredientTag::Temp => "TEMP",
+            IngredientTag::DryFresh => "DF",
+        }
+    }
+
+    /// Parse from the canonical string.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|t| t.as_str() == s)
+    }
+
+    /// The label set for the ingredient NER task.
+    pub fn label_set() -> LabelSet {
+        LabelSet::new(&Self::ALL.map(|t| t.as_str()))
+    }
+}
+
+impl fmt::Display for IngredientTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Entity tags for the instructions section (§III.A): cooking processes,
+/// utensils and ingredient mentions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum InstructionTag {
+    /// Outside any entity.
+    O,
+    /// Cooking technique / process verb: `boil`, `preheat`.
+    Process,
+    /// Utensil: `pan`, `oven`, `whisk`.
+    Utensil,
+    /// Ingredient mention inside an instruction.
+    Ingredient,
+}
+
+impl InstructionTag {
+    /// All tags in canonical order (`O` first).
+    pub const ALL: [InstructionTag; 4] = [
+        InstructionTag::O,
+        InstructionTag::Process,
+        InstructionTag::Utensil,
+        InstructionTag::Ingredient,
+    ];
+
+    /// Canonical annotation string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InstructionTag::O => "O",
+            InstructionTag::Process => "PROCESS",
+            InstructionTag::Utensil => "UTENSIL",
+            InstructionTag::Ingredient => "INGREDIENT",
+        }
+    }
+
+    /// Parse from the canonical string.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|t| t.as_str() == s)
+    }
+
+    /// The label set for the instruction NER task.
+    pub fn label_set() -> LabelSet {
+        LabelSet::new(&Self::ALL.map(|t| t.as_str()))
+    }
+}
+
+impl fmt::Display for InstructionTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A fixed, ordered inventory of label strings with dense ids.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelSet {
+    names: Vec<String>,
+}
+
+impl LabelSet {
+    /// Build from label names; order defines ids. Panics on duplicates.
+    pub fn new<S: AsRef<str>>(names: &[S]) -> Self {
+        let names: Vec<String> = names.iter().map(|s| s.as_ref().to_string()).collect();
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b, "duplicate label {a:?}");
+            }
+        }
+        assert!(!names.is_empty(), "label set must not be empty");
+        LabelSet { names }
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Always false: construction forbids empty sets.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Dense id of a label name.
+    pub fn id(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Label name for a dense id. Panics if out of range.
+    pub fn name(&self, id: usize) -> &str {
+        &self.names[id]
+    }
+
+    /// Iterate names in id order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingredient_tags_round_trip() {
+        for t in IngredientTag::ALL {
+            assert_eq!(IngredientTag::parse(t.as_str()), Some(t));
+        }
+        assert_eq!(IngredientTag::parse("nope"), None);
+    }
+
+    #[test]
+    fn instruction_tags_round_trip() {
+        for t in InstructionTag::ALL {
+            assert_eq!(InstructionTag::parse(t.as_str()), Some(t));
+        }
+    }
+
+    #[test]
+    fn label_set_ids_are_stable() {
+        let ls = IngredientTag::label_set();
+        assert_eq!(ls.len(), 8);
+        assert_eq!(ls.id("O"), Some(0));
+        assert_eq!(ls.id("NAME"), Some(1));
+        assert_eq!(ls.name(4), "QUANTITY");
+        assert_eq!(ls.id("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_labels_panic() {
+        LabelSet::new(&["A", "B", "A"]);
+    }
+
+    #[test]
+    fn seven_entity_tags_plus_outside() {
+        // Table II defines 7 entity classes; O is ours.
+        assert_eq!(IngredientTag::ALL.len(), 8);
+        assert_eq!(IngredientTag::ALL.iter().filter(|t| **t != IngredientTag::O).count(), 7);
+    }
+}

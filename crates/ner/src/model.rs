@@ -1,0 +1,349 @@
+//! The user-facing NER model: training configuration, the trainer choice,
+//! and string-in / string-out prediction.
+
+use crate::crf::{CrfConfig, LinearChainCrf};
+use crate::encode::{encode_tokens, encode_tokens_mut, EncodedSequence, Interner};
+use crate::features::{FeatureConfig, FeatureExtractor};
+use crate::labels::LabelSet;
+use crate::perceptron::{PerceptronConfig, StructuredPerceptron};
+use serde::{Deserialize, Serialize};
+
+/// Which training algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trainer {
+    /// Linear-chain CRF with AdaGrad SGD (the paper's model family).
+    Crf,
+    /// Linear-chain CRF trained with full-batch L-BFGS (the Stanford NER
+    /// optimizer family). Slower per pass, reaches the regularized optimum.
+    CrfLbfgs,
+    /// Structured averaged perceptron (fast ablation baseline).
+    Perceptron,
+}
+
+/// Training configuration for [`SequenceModel::train`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Algorithm choice.
+    pub trainer: Trainer,
+    /// Passes over the data.
+    pub epochs: usize,
+    /// CRF learning rate (ignored by the perceptron).
+    pub learning_rate: f64,
+    /// CRF L2 strength (ignored by the perceptron).
+    pub l2: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Feature template switches.
+    pub features: FeatureConfig,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            trainer: Trainer::Crf,
+            epochs: 15,
+            learning_rate: 0.2,
+            l2: 1e-6,
+            seed: 42,
+            features: FeatureConfig::default(),
+        }
+    }
+}
+
+/// A labeled training example: parallel token and label-name sequences.
+pub type LabeledSequence = (Vec<String>, Vec<String>);
+
+#[derive(Serialize, Deserialize)]
+enum Inner {
+    Crf(LinearChainCrf),
+    Perceptron(StructuredPerceptron),
+}
+
+/// A trained sequence model bundling the label set, the feature pipeline
+/// and the underlying parameter block.
+#[derive(Serialize, Deserialize)]
+pub struct SequenceModel {
+    labels: LabelSet,
+    extractor: FeatureExtractor,
+    interner: Interner,
+    inner: Inner,
+}
+
+impl SequenceModel {
+    /// Train a model on `(tokens, label names)` pairs.
+    ///
+    /// # Panics
+    /// Panics if a sequence has mismatched lengths or an unknown label.
+    pub fn train(labels: &LabelSet, data: &[LabeledSequence], cfg: &TrainConfig) -> Self {
+        let extractor = FeatureExtractor::with_config(cfg.features);
+        let mut interner = Interner::new();
+        let mut encoded = Vec::with_capacity(data.len());
+        for (tokens, tags) in data {
+            assert_eq!(tokens.len(), tags.len(), "tokens/labels length mismatch");
+            let feats = encode_tokens_mut(&extractor, &mut interner, tokens);
+            let label_ids = tags
+                .iter()
+                .map(|t| labels.id(t).unwrap_or_else(|| panic!("unknown label {t:?}")))
+                .collect();
+            encoded.push(EncodedSequence { feats, labels: label_ids });
+        }
+        interner.freeze();
+        let n_features = interner.len();
+        let n_labels = labels.len();
+        let inner = match cfg.trainer {
+            Trainer::Crf => Inner::Crf(LinearChainCrf::train(
+                n_features,
+                n_labels,
+                &encoded,
+                &CrfConfig {
+                    epochs: cfg.epochs,
+                    learning_rate: cfg.learning_rate,
+                    l2: cfg.l2,
+                    seed: cfg.seed,
+                },
+            )),
+            Trainer::CrfLbfgs => {
+                let lcfg = crate::lbfgs::LbfgsConfig {
+                    max_iters: cfg.epochs.max(30),
+                    ..Default::default()
+                };
+                let (model, _) =
+                    LinearChainCrf::train_lbfgs(n_features, n_labels, &encoded, cfg.l2, &lcfg);
+                Inner::Crf(model)
+            }
+            Trainer::Perceptron => Inner::Perceptron(StructuredPerceptron::train(
+                n_features,
+                n_labels,
+                &encoded,
+                &PerceptronConfig { epochs: cfg.epochs, seed: cfg.seed },
+            )),
+        };
+        SequenceModel { labels: labels.clone(), extractor, interner, inner }
+    }
+
+    /// Predict label names for a token sequence.
+    pub fn predict(&self, tokens: &[String]) -> Vec<String> {
+        self.predict_ids(tokens).into_iter().map(|id| self.labels.name(id).to_string()).collect()
+    }
+
+    /// Predict dense label ids for a token sequence.
+    pub fn predict_ids(&self, tokens: &[String]) -> Vec<usize> {
+        let feats = encode_tokens(&self.extractor, &self.interner, tokens);
+        match &self.inner {
+            Inner::Crf(m) => m.decode(&feats),
+            Inner::Perceptron(m) => m.decode(&feats),
+        }
+    }
+
+    /// The `n` best label sequences with model scores, best first.
+    pub fn predict_nbest(&self, tokens: &[String], n: usize) -> Vec<(Vec<String>, f64)> {
+        let feats = encode_tokens(&self.extractor, &self.interner, tokens);
+        let params = match &self.inner {
+            Inner::Crf(m) => m.params(),
+            Inner::Perceptron(m) => m.params(),
+        };
+        crate::decode::viterbi_nbest(params, &feats, n)
+            .into_iter()
+            .map(|(ids, score)| {
+                (ids.into_iter().map(|id| self.labels.name(id).to_string()).collect(), score)
+            })
+            .collect()
+    }
+
+    /// Per-token label marginals `p(y_t | x)` — CRF models only (`None`
+    /// for the perceptron, whose scores are not probabilistic).
+    pub fn predict_marginals(&self, tokens: &[String]) -> Option<Vec<Vec<f64>>> {
+        let feats = encode_tokens(&self.extractor, &self.interner, tokens);
+        match &self.inner {
+            Inner::Crf(m) => Some(m.marginals(&feats)),
+            Inner::Perceptron(_) => None,
+        }
+    }
+
+    /// The model's label inventory.
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// Number of interned features.
+    pub fn num_features(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Return a pruned copy: features whose absolute emission weight never
+    /// exceeds `epsilon` for any label are dropped (they contribute
+    /// ~nothing to scores but dominate artifact size). Transition, start
+    /// and end weights are preserved.
+    pub fn pruned(&self, epsilon: f64) -> SequenceModel {
+        let params = match &self.inner {
+            Inner::Crf(m) => m.params(),
+            Inner::Perceptron(m) => m.params(),
+        };
+        let l = params.n_labels;
+        let keep = |id: u32| -> bool {
+            let base = id as usize * l;
+            params.emit[base..base + l].iter().any(|w| w.abs() > epsilon)
+        };
+        let (interner, remap) = self.interner.retain_features(keep);
+        let mut emit = vec![0.0; interner.len() * l];
+        for (old, new) in remap.iter().enumerate() {
+            if let Some(new) = new {
+                let src = old * l;
+                let dst = *new as usize * l;
+                emit[dst..dst + l].copy_from_slice(&params.emit[src..src + l]);
+            }
+        }
+        let new_params = crate::decode::Params {
+            n_labels: l,
+            emit,
+            trans: params.trans.clone(),
+            start: params.start.clone(),
+            end: params.end.clone(),
+        };
+        let inner = match &self.inner {
+            Inner::Crf(_) => Inner::Crf(LinearChainCrf::from_params(new_params)),
+            Inner::Perceptron(_) => {
+                Inner::Perceptron(StructuredPerceptron::from_params(new_params))
+            }
+        };
+        SequenceModel {
+            labels: self.labels.clone(),
+            extractor: self.extractor.clone(),
+            interner,
+            inner,
+        }
+    }
+
+    /// Token-level accuracy over a gold-labeled set (quick diagnostics;
+    /// entity-level P/R/F1 lives in `recipe-eval`).
+    pub fn token_accuracy(&self, data: &[LabeledSequence]) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (tokens, gold) in data {
+            let pred = self.predict(tokens);
+            total += gold.len();
+            correct += pred.iter().zip(gold).filter(|(p, g)| p == g).count();
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(tokens: &[&str], tags: &[&str]) -> LabeledSequence {
+        (
+            tokens.iter().map(|s| s.to_string()).collect(),
+            tags.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    fn toy_labels() -> LabelSet {
+        LabelSet::new(&["O", "NAME", "QUANTITY", "UNIT"])
+    }
+
+    fn toy_data() -> Vec<LabeledSequence> {
+        vec![
+            seq(&["2", "cups", "flour"], &["QUANTITY", "UNIT", "NAME"]),
+            seq(&["1", "pinch", "salt"], &["QUANTITY", "UNIT", "NAME"]),
+            seq(&["1/2", "teaspoon", "pepper"], &["QUANTITY", "UNIT", "NAME"]),
+            seq(&["3", "tablespoons", "butter"], &["QUANTITY", "UNIT", "NAME"]),
+        ]
+    }
+
+    #[test]
+    fn both_trainers_fit_the_toy_set() {
+        for trainer in [Trainer::Crf, Trainer::CrfLbfgs, Trainer::Perceptron] {
+            let cfg = TrainConfig { trainer, epochs: 15, ..Default::default() };
+            let m = SequenceModel::train(&toy_labels(), &toy_data(), &cfg);
+            assert!(m.token_accuracy(&toy_data()) > 0.99, "{trainer:?}");
+        }
+    }
+
+    #[test]
+    fn generalizes_to_unseen_names_via_shape_and_context() {
+        let cfg = TrainConfig { trainer: Trainer::Crf, epochs: 25, ..Default::default() };
+        let m = SequenceModel::train(&toy_labels(), &toy_data(), &cfg);
+        let pred = m.predict(&["5".into(), "cups".into(), "zoodles".into()]);
+        assert_eq!(pred, ["QUANTITY", "UNIT", "NAME"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown label")]
+    fn unknown_label_panics() {
+        let cfg = TrainConfig::default();
+        SequenceModel::train(&toy_labels(), &[seq(&["x"], &["WHAT"])], &cfg);
+    }
+
+    #[test]
+    fn pruning_shrinks_without_changing_strong_predictions() {
+        let cfg = TrainConfig { epochs: 15, ..Default::default() };
+        let m = SequenceModel::train(&toy_labels(), &toy_data(), &cfg);
+        let before = m.num_features();
+        // Pick an epsilon between the smallest and largest per-feature max
+        // so the test is robust to trainer details.
+        let pruned = m.pruned(0.5);
+        assert!(pruned.num_features() < before, "{} !< {before}", pruned.num_features());
+        assert!(pruned.num_features() > 0);
+        // The surviving strong features still carry the toy problem.
+        assert!(pruned.token_accuracy(&toy_data()) > 0.99);
+        // Epsilon 0 keeps every feature that has any weight at all.
+        let noop = m.pruned(0.0);
+        assert!(noop.num_features() <= before);
+        for (tokens, _) in &toy_data() {
+            assert_eq!(noop.predict(tokens), m.predict(tokens));
+        }
+    }
+
+    #[test]
+    fn nbest_first_equals_predict() {
+        let cfg = TrainConfig { epochs: 10, ..Default::default() };
+        let m = SequenceModel::train(&toy_labels(), &toy_data(), &cfg);
+        let toks: Vec<String> = vec!["2".into(), "cups".into(), "flour".into()];
+        let nbest = m.predict_nbest(&toks, 3);
+        assert_eq!(nbest.len(), 3);
+        assert_eq!(nbest[0].0, m.predict(&toks));
+        assert!(nbest[0].1 >= nbest[1].1);
+    }
+
+    #[test]
+    fn marginals_exist_for_crf_only() {
+        let toks: Vec<String> = vec!["2".into(), "cups".into(), "flour".into()];
+        let crf = SequenceModel::train(
+            &toy_labels(),
+            &toy_data(),
+            &TrainConfig { trainer: Trainer::Crf, epochs: 5, ..Default::default() },
+        );
+        let marg = crf.predict_marginals(&toks).expect("crf has marginals");
+        assert_eq!(marg.len(), 3);
+        for row in &marg {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        let perc = SequenceModel::train(
+            &toy_labels(),
+            &toy_data(),
+            &TrainConfig { trainer: Trainer::Perceptron, epochs: 5, ..Default::default() },
+        );
+        assert!(perc.predict_marginals(&toks).is_none());
+    }
+
+    #[test]
+    fn predict_on_empty_tokens() {
+        let cfg = TrainConfig { epochs: 2, ..Default::default() };
+        let m = SequenceModel::train(&toy_labels(), &toy_data(), &cfg);
+        assert!(m.predict(&[]).is_empty());
+    }
+
+    #[test]
+    fn accuracy_of_empty_eval_set_is_zero() {
+        let cfg = TrainConfig { epochs: 2, ..Default::default() };
+        let m = SequenceModel::train(&toy_labels(), &toy_data(), &cfg);
+        assert_eq!(m.token_accuracy(&[]), 0.0);
+    }
+}

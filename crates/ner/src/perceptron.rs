@@ -1,0 +1,199 @@
+//! Structured averaged perceptron over the linear-chain parameterization.
+//!
+//! Identical scoring function to the CRF ([`Params`]), but trained with
+//! Collins-style perceptron updates: decode with current weights, then add
+//! the gold sequence's features and subtract the predicted sequence's.
+//! Weight averaging uses the lazy totals/timestamps scheme. Training is an
+//! order of magnitude faster than CRF SGD at a small cost in accuracy —
+//! the `ablation_trainer` bench quantifies the trade-off.
+
+use crate::decode::{viterbi, Params};
+use crate::encode::EncodedSequence;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Structured perceptron training hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PerceptronConfig {
+    /// Passes over the training data.
+    pub epochs: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for PerceptronConfig {
+    fn default() -> Self {
+        PerceptronConfig { epochs: 10, seed: 42 }
+    }
+}
+
+/// A trained structured averaged perceptron.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StructuredPerceptron {
+    params: Params,
+}
+
+/// Lazy-averaging bookkeeping parallel to one parameter vector.
+struct Avg {
+    totals: Vec<f64>,
+    stamps: Vec<u64>,
+}
+
+impl Avg {
+    fn new(len: usize) -> Self {
+        Avg { totals: vec![0.0; len], stamps: vec![0; len] }
+    }
+
+    #[inline]
+    fn add(&mut self, w: &mut [f64], idx: usize, delta: f64, step: u64) {
+        let elapsed = step - self.stamps[idx];
+        self.totals[idx] += elapsed as f64 * w[idx];
+        w[idx] += delta;
+        self.stamps[idx] = step;
+    }
+
+    fn finalize(&mut self, w: &mut [f64], step: u64) {
+        if step == 0 {
+            return;
+        }
+        for (i, wi) in w.iter_mut().enumerate() {
+            let elapsed = step - self.stamps[i];
+            self.totals[i] += elapsed as f64 * *wi;
+            *wi = self.totals[i] / step as f64;
+        }
+    }
+}
+
+impl StructuredPerceptron {
+    /// Train on encoded sequences. `n_features` must cover every feature id
+    /// present in `data`.
+    pub fn train(
+        n_features: usize,
+        n_labels: usize,
+        data: &[EncodedSequence],
+        cfg: &PerceptronConfig,
+    ) -> Self {
+        let mut params = Params::zeros(n_features, n_labels);
+        let mut avg_emit = Avg::new(params.emit.len());
+        let mut avg_trans = Avg::new(params.trans.len());
+        let mut avg_start = Avg::new(params.start.len());
+        let mut avg_end = Avg::new(params.end.len());
+
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut step: u64 = 0;
+        let l = n_labels;
+
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for &si in &order {
+                let seq = &data[si];
+                if seq.is_empty() {
+                    continue;
+                }
+                step += 1;
+                let pred = viterbi(&params, &seq.feats);
+                if pred == seq.labels {
+                    continue;
+                }
+                // +gold, -pred over emissions / transitions / boundaries.
+                for (sign, labels) in [(1.0, &seq.labels), (-1.0, &pred)] {
+                    for (t, &y) in labels.iter().enumerate() {
+                        for &f in &seq.feats[t] {
+                            avg_emit.add(&mut params.emit, f as usize * l + y, sign, step);
+                        }
+                        if t > 0 {
+                            avg_trans.add(&mut params.trans, labels[t - 1] * l + y, sign, step);
+                        }
+                    }
+                    avg_start.add(&mut params.start, labels[0], sign, step);
+                    avg_end.add(&mut params.end, labels[labels.len() - 1], sign, step);
+                }
+            }
+        }
+        avg_emit.finalize(&mut params.emit, step);
+        avg_trans.finalize(&mut params.trans, step);
+        avg_start.finalize(&mut params.start, step);
+        avg_end.finalize(&mut params.end, step);
+        StructuredPerceptron { params }
+    }
+
+    /// Viterbi-decode a feature-encoded sequence.
+    pub fn decode(&self, feats: &[Vec<u32>]) -> Vec<usize> {
+        viterbi(&self.params, feats)
+    }
+
+    /// Access the raw parameter block.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Wrap an existing parameter block (model surgery such as pruning).
+    pub fn from_params(params: Params) -> Self {
+        StructuredPerceptron { params }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data() -> Vec<EncodedSequence> {
+        vec![
+            EncodedSequence { feats: vec![vec![0], vec![1], vec![0]], labels: vec![0, 1, 0] },
+            EncodedSequence { feats: vec![vec![1], vec![0]], labels: vec![1, 0] },
+            EncodedSequence { feats: vec![vec![0], vec![1]], labels: vec![0, 1] },
+        ]
+    }
+
+    #[test]
+    fn learns_toy_problem() {
+        let data = toy_data();
+        let p = StructuredPerceptron::train(2, 2, &data, &PerceptronConfig::default());
+        for seq in &data {
+            assert_eq!(p.decode(&seq.feats), seq.labels);
+        }
+    }
+
+    #[test]
+    fn transition_structure_is_learned() {
+        // Feature 0 is ambiguous (appears under both labels); only the
+        // alternation transition disambiguates the middle position.
+        let data = vec![
+            EncodedSequence { feats: vec![vec![1], vec![0], vec![1]], labels: vec![1, 0, 1] },
+            EncodedSequence { feats: vec![vec![2], vec![0], vec![2]], labels: vec![0, 1, 0] },
+        ];
+        let p = StructuredPerceptron::train(3, 2, &data, &PerceptronConfig { epochs: 20, seed: 3 });
+        assert_eq!(p.decode(&data[0].feats), data[0].labels);
+        assert_eq!(p.decode(&data[1].feats), data[1].labels);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = toy_data();
+        let a = StructuredPerceptron::train(2, 2, &data, &PerceptronConfig::default());
+        let b = StructuredPerceptron::train(2, 2, &data, &PerceptronConfig::default());
+        assert_eq!(a.params.emit, b.params.emit);
+    }
+
+    #[test]
+    fn empty_dataset_yields_zero_model() {
+        let p = StructuredPerceptron::train(2, 2, &[], &PerceptronConfig::default());
+        assert!(p.params.emit.iter().all(|&w| w == 0.0));
+        assert_eq!(p.decode(&[vec![0u32]]), vec![0]);
+    }
+
+    #[test]
+    fn perfect_prediction_stops_updates() {
+        let data = toy_data();
+        let p = StructuredPerceptron::train(2, 2, &data, &PerceptronConfig { epochs: 50, seed: 1 });
+        // After convergence further epochs leave averaged weights finite
+        // and predictions stable.
+        for seq in &data {
+            assert_eq!(p.decode(&seq.feats), seq.labels);
+        }
+        assert!(p.params.emit.iter().all(|w| w.is_finite()));
+    }
+}

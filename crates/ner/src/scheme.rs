@@ -1,0 +1,166 @@
+//! Tagging-scheme conversion: raw per-token tags ↔ BIO.
+//!
+//! The paper (like Stanford NER's default) annotates with **raw tags** —
+//! every token of a NAME entity is simply `NAME`. The raw scheme cannot
+//! represent two *adjacent* entities of the same type; BIO (`B-NAME`
+//! begins an entity, `I-NAME` continues it) can, at the cost of doubling
+//! the label space. The `ablation_scheme` binary measures whether that
+//! trade-off matters on recipe text.
+
+/// Convert raw tags to BIO: the first token of every maximal same-tag run
+/// becomes `B-TAG`, the rest `I-TAG`; `outside` stays itself.
+pub fn to_bio(labels: &[String], outside: &str) -> Vec<String> {
+    let mut out = Vec::with_capacity(labels.len());
+    for (i, label) in labels.iter().enumerate() {
+        if label == outside {
+            out.push(label.clone());
+        } else if i > 0 && labels[i - 1] == *label {
+            out.push(format!("I-{label}"));
+        } else {
+            out.push(format!("B-{label}"));
+        }
+    }
+    out
+}
+
+/// Strip BIO prefixes back to raw tags. Tolerant of malformed sequences
+/// (an `I-` with no preceding entity is treated like `B-`); non-BIO labels
+/// pass through unchanged.
+pub fn from_bio(labels: &[String]) -> Vec<String> {
+    labels
+        .iter()
+        .map(|l| {
+            l.strip_prefix("B-")
+                .or_else(|| l.strip_prefix("I-"))
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| l.clone())
+        })
+        .collect()
+}
+
+/// The BIO label inventory derived from a raw inventory (outside label
+/// first, then `B-`/`I-` pairs in the raw order).
+pub fn bio_label_names(raw: &[&str], outside: &str) -> Vec<String> {
+    let mut names = vec![outside.to_string()];
+    for &r in raw {
+        if r != outside {
+            names.push(format!("B-{r}"));
+            names.push(format!("I-{r}"));
+        }
+    }
+    names
+}
+
+/// Extract `(start, end, type)` entities from a BIO sequence. Unlike raw
+/// tags, adjacent entities of one type stay separate.
+pub fn extract_entities_bio(labels: &[String], outside: &str) -> Vec<(usize, usize, String)> {
+    let mut out: Vec<(usize, usize, String)> = Vec::new();
+    let mut open: Option<(usize, String)> = None;
+    for (i, label) in labels.iter().enumerate() {
+        if label == outside {
+            if let Some((s, ty)) = open.take() {
+                out.push((s, i, ty));
+            }
+            continue;
+        }
+        if let Some(ty) = label.strip_prefix("B-") {
+            if let Some((s, prev)) = open.take() {
+                out.push((s, i, prev));
+            }
+            open = Some((i, ty.to_string()));
+        } else if let Some(ty) = label.strip_prefix("I-") {
+            match &open {
+                Some((_, prev)) if prev == ty => {}
+                // Malformed continuation: treat as a new entity.
+                _ => {
+                    if let Some((s, prev)) = open.take() {
+                        out.push((s, i, prev));
+                    }
+                    open = Some((i, ty.to_string()));
+                }
+            }
+        } else {
+            // Non-BIO label: behave like the raw scheme.
+            match &open {
+                Some((_, prev)) if prev == label.as_str() => {}
+                _ => {
+                    if let Some((s, prev)) = open.take() {
+                        out.push((s, i, prev));
+                    }
+                    open = Some((i, label.clone()));
+                }
+            }
+        }
+    }
+    if let Some((s, ty)) = open {
+        out.push((s, labels.len(), ty));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(ls: &[&str]) -> Vec<String> {
+        ls.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn raw_to_bio_marks_boundaries() {
+        let raw = v(&["QUANTITY", "QUANTITY", "UNIT", "O", "NAME", "NAME"]);
+        assert_eq!(
+            to_bio(&raw, "O"),
+            v(&["B-QUANTITY", "I-QUANTITY", "B-UNIT", "O", "B-NAME", "I-NAME"])
+        );
+    }
+
+    #[test]
+    fn bio_round_trips_to_raw() {
+        let raw = v(&["O", "NAME", "NAME", "UNIT", "O", "STATE"]);
+        assert_eq!(from_bio(&to_bio(&raw, "O")), raw);
+    }
+
+    #[test]
+    fn bio_separates_adjacent_entities_raw_cannot() {
+        // Two adjacent NAME entities, expressible only in BIO.
+        let bio = v(&["B-NAME", "B-NAME", "I-NAME"]);
+        let ents = extract_entities_bio(&bio, "O");
+        assert_eq!(
+            ents,
+            vec![(0, 1, "NAME".to_string()), (1, 3, "NAME".to_string())]
+        );
+    }
+
+    #[test]
+    fn malformed_i_starts_new_entity() {
+        let bio = v(&["O", "I-UNIT", "I-NAME"]);
+        let ents = extract_entities_bio(&bio, "O");
+        assert_eq!(
+            ents,
+            vec![(1, 2, "UNIT".to_string()), (2, 3, "NAME".to_string())]
+        );
+    }
+
+    #[test]
+    fn label_inventory_shape() {
+        let names = bio_label_names(&["O", "NAME", "UNIT"], "O");
+        assert_eq!(names, v(&["O", "B-NAME", "I-NAME", "B-UNIT", "I-UNIT"]));
+    }
+
+    #[test]
+    fn bio_extraction_matches_raw_extraction_when_no_adjacency() {
+        use recipe_eval::metrics::extract_entities;
+        let raw = v(&["QUANTITY", "UNIT", "O", "NAME", "NAME", "O", "STATE"]);
+        let from_raw = extract_entities(&raw, "O");
+        let from_bio_seq = extract_entities_bio(&to_bio(&raw, "O"), "O");
+        assert_eq!(from_raw, from_bio_seq);
+    }
+
+    #[test]
+    fn empty_and_all_outside() {
+        assert!(extract_entities_bio(&[], "O").is_empty());
+        assert!(extract_entities_bio(&v(&["O", "O"]), "O").is_empty());
+        assert_eq!(to_bio(&v(&["O"]), "O"), v(&["O"]));
+    }
+}

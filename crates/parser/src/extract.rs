@@ -1,0 +1,225 @@
+//! Verb-argument extraction rules (§III.B).
+//!
+//! For every verb in a parsed instruction we collect:
+//!
+//! * **subjects** — `nsubj` / `nsubjpass` children;
+//! * **objects** — `dobj` children (plus their `conj` expansions: *chop the
+//!   onions and carrots* yields both nouns);
+//! * **prepositional objects** — `pobj` grandchildren through `prep`
+//!   children (*fry … with olive oil in a pan* yields both `oil` and
+//!   `pan`), likewise conj-expanded.
+//!
+//! The frames are later filtered against the NER-derived process and
+//! utensil dictionaries in `recipe-core` to form the paper's many-to-many
+//! event tuples.
+
+use crate::tree::{DepLabel, DepTree};
+use recipe_tagger::PennTag;
+use serde::{Deserialize, Serialize};
+
+/// Arguments collected around one verb occurrence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerbFrame {
+    /// Token index of the verb.
+    pub verb: usize,
+    /// Token indices of subjects.
+    pub subjects: Vec<usize>,
+    /// Token indices of direct objects (conj-expanded).
+    pub objects: Vec<usize>,
+    /// Token indices of prepositional objects (conj-expanded), with the
+    /// preposition token that introduced each.
+    pub prep_objects: Vec<(usize, usize)>,
+}
+
+impl VerbFrame {
+    /// All argument token indices, without the introducing prepositions.
+    pub fn all_arguments(&self) -> Vec<usize> {
+        let mut v = self.subjects.clone();
+        v.extend(&self.objects);
+        v.extend(self.prep_objects.iter().map(|&(_, o)| o));
+        v
+    }
+}
+
+/// Expand a head noun with its `conj` chain (`onions and carrots` →
+/// `[onions, carrots]`).
+fn conj_expand(tree: &DepTree, head: usize) -> Vec<usize> {
+    let mut out = vec![head];
+    let mut frontier = vec![head];
+    while let Some(h) = frontier.pop() {
+        for c in tree.children_with_label(h, DepLabel::Conj) {
+            out.push(c);
+            frontier.push(c);
+        }
+    }
+    out
+}
+
+/// Extract a [`VerbFrame`] for every verb-tagged token of the sentence.
+///
+/// Verbs coordinated with another verb (`cover and simmer`) each get their
+/// own frame; a conjunct verb with no arguments of its own inherits the
+/// arguments of the verb it is conjoined to (both processes apply to the
+/// same entities).
+pub fn verb_frames(tree: &DepTree, tags: &[PennTag]) -> Vec<VerbFrame> {
+    assert_eq!(tree.len(), tags.len(), "tree/tags length mismatch");
+    let mut frames = Vec::new();
+    for (v, tag) in tags.iter().enumerate() {
+        if !tag.is_verb() {
+            continue;
+        }
+        frames.push(frame_for_verb(tree, v));
+    }
+    // Argument inheritance for bare conjunct verbs.
+    let originals = frames.clone();
+    for frame in &mut frames {
+        if frame.subjects.is_empty() && frame.objects.is_empty() && frame.prep_objects.is_empty()
+        {
+            if let Some(head) = tree.head(frame.verb) {
+                if tree.label(frame.verb) == DepLabel::Conj && tags[head].is_verb() {
+                    if let Some(parent) = originals.iter().find(|f| f.verb == head) {
+                        frame.subjects = parent.subjects.clone();
+                        frame.objects = parent.objects.clone();
+                        frame.prep_objects = parent.prep_objects.clone();
+                    }
+                }
+            }
+        }
+    }
+    frames
+}
+
+fn frame_for_verb(tree: &DepTree, v: usize) -> VerbFrame {
+    let mut subjects = Vec::new();
+    let mut objects = Vec::new();
+    let mut prep_objects = Vec::new();
+    for c in tree.children(v) {
+        match tree.label(c) {
+            DepLabel::Nsubj | DepLabel::NsubjPass => subjects.extend(conj_expand(tree, c)),
+            DepLabel::Dobj => objects.extend(conj_expand(tree, c)),
+            DepLabel::Prep => {
+                for p in tree.children_with_label(c, DepLabel::Pobj) {
+                    for o in conj_expand(tree, p) {
+                        prep_objects.push((c, o));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    VerbFrame { verb: v, subjects, objects, prep_objects }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DepLabel::*;
+    use PennTag::*;
+
+    /// "fry the potatoes with olive oil in a pan"
+    ///  0   1   2        3    4     5   6  7 8
+    fn fry_tree() -> (DepTree, Vec<PennTag>) {
+        let tree = DepTree::new(
+            vec![
+                None,    // fry (root)
+                Some(2), // the -> potatoes
+                Some(0), // potatoes -> fry (dobj)
+                Some(0), // with -> fry (prep)
+                Some(5), // olive -> oil (compound)
+                Some(3), // oil -> with (pobj)
+                Some(0), // in -> fry (prep)
+                Some(8), // a -> pan
+                Some(6), // pan -> in (pobj)
+            ],
+            vec![Root, Det, Dobj, Prep, Compound, Pobj, Prep, Det, Pobj],
+        )
+        .unwrap();
+        let tags = vec![VB, DT, NNS, IN, JJ, NN, IN, DT, NN];
+        (tree, tags)
+    }
+
+    #[test]
+    fn collects_objects_and_prep_objects() {
+        let (tree, tags) = fry_tree();
+        let frames = verb_frames(&tree, &tags);
+        assert_eq!(frames.len(), 1);
+        let f = &frames[0];
+        assert_eq!(f.verb, 0);
+        assert_eq!(f.objects, vec![2]);
+        assert_eq!(f.prep_objects, vec![(3, 5), (6, 8)]);
+        assert_eq!(f.all_arguments(), vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn conj_expansion_of_objects() {
+        // "chop the onions and carrots": onions(dobj) -> carrots(conj)
+        let tree = DepTree::new(
+            vec![None, Some(2), Some(0), Some(4), Some(2)],
+            vec![Root, Det, Dobj, Cc, Conj],
+        )
+        .unwrap();
+        // heads: and -> carrots? Standard: cc attaches to first conjunct;
+        // carrots(conj) -> onions. Fix: and -> onions.
+        let tree = DepTree::new(
+            vec![None, Some(2), Some(0), Some(2), Some(2)],
+            vec![Root, Det, Dobj, Cc, Conj],
+        )
+        .unwrap_or(tree);
+        let tags = vec![VB, DT, NNS, CC, NNS];
+        let frames = verb_frames(&tree, &tags);
+        assert_eq!(frames[0].objects, vec![2, 4]);
+    }
+
+    #[test]
+    fn subjects_are_collected() {
+        // "the water boils": water(nsubj) <- boils
+        let tree = DepTree::new(
+            vec![Some(1), Some(2), None],
+            vec![Det, Nsubj, Root],
+        )
+        .unwrap();
+        let tags = vec![DT, NN, VBZ];
+        let frames = verb_frames(&tree, &tags);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].subjects, vec![1]);
+    }
+
+    #[test]
+    fn conjoined_verb_inherits_arguments() {
+        // "cover and simmer the stew": cover(root) -> simmer(conj);
+        // the stew attaches to cover as dobj.
+        let tree = DepTree::new(
+            vec![None, Some(0), Some(0), Some(4), Some(0)],
+            vec![Root, Cc, Conj, Det, Dobj],
+        )
+        .unwrap();
+        let tags = vec![VB, CC, VB, DT, NN];
+        let frames = verb_frames(&tree, &tags);
+        assert_eq!(frames.len(), 2);
+        let simmer = frames.iter().find(|f| f.verb == 2).unwrap();
+        assert_eq!(simmer.objects, vec![4], "conjunct inherits the dobj");
+    }
+
+    #[test]
+    fn non_verbs_get_no_frames() {
+        let tree = DepTree::new(vec![None, Some(0)], vec![Root, Amod]).unwrap();
+        let tags = vec![NN, JJ];
+        assert!(verb_frames(&tree, &tags).is_empty());
+    }
+
+    #[test]
+    fn multiple_independent_verbs() {
+        // "boil water ; drain pasta" modeled as boil(root) with drain(conj)
+        // having its own object.
+        let tree = DepTree::new(
+            vec![None, Some(0), Some(0), Some(2)],
+            vec![Root, Dobj, Conj, Dobj],
+        )
+        .unwrap();
+        let tags = vec![VB, NN, VB, NN];
+        let frames = verb_frames(&tree, &tags);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].objects, vec![1]);
+        assert_eq!(frames[1].objects, vec![3]);
+    }
+}

@@ -1,0 +1,400 @@
+//! Greedy transition-based dependency parser.
+//!
+//! An averaged perceptron scores transitions from configuration features
+//! (word and POS of the top stack items and buffer front, their pairs, and
+//! structural context), exactly the recipe of Nivre-style greedy parsers.
+//! Training imitates the static oracle on gold projective trees.
+
+use crate::transition::{
+    all_transitions, gold_arrays, oracle, transition_id, State, Transition, ROOT,
+};
+use crate::tree::DepTree;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use recipe_tagger::perceptron::AveragedPerceptron;
+use recipe_tagger::PennTag;
+use serde::{Deserialize, Serialize};
+
+/// Parser training configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ParserConfig {
+    /// Passes over the training treebank.
+    pub epochs: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for ParserConfig {
+    fn default() -> Self {
+        ParserConfig { epochs: 8, seed: 42 }
+    }
+}
+
+/// A training instance: tokens, POS tags, gold tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParseExample {
+    /// Surface tokens.
+    pub words: Vec<String>,
+    /// POS tags, parallel to `words`.
+    pub tags: Vec<PennTag>,
+    /// Gold dependency tree.
+    pub tree: DepTree,
+}
+
+/// A trained greedy arc-standard parser.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DependencyParser {
+    model: AveragedPerceptron,
+    transitions: Vec<Transition>,
+}
+
+/// Word/tag lookup with virtual-root and out-of-range sentinels.
+fn node_word(words: &[String], node: usize) -> &str {
+    if node == ROOT {
+        "-ROOT-"
+    } else {
+        words.get(node - 1).map(|s| s.as_str()).unwrap_or("-NONE-")
+    }
+}
+
+fn node_tag(tags: &[PennTag], node: usize) -> &'static str {
+    if node == ROOT {
+        "-ROOT-"
+    } else {
+        tags.get(node - 1).map(|t| t.as_str()).unwrap_or("-NONE-")
+    }
+}
+
+/// Configuration features: unigrams and pairs over s1, s2, b1, b2 plus
+/// stack/buffer geometry.
+fn state_features(state: &State, words: &[String], tags: &[PennTag]) -> Vec<String> {
+    let s1 = state.s1();
+    let s2 = state.s2();
+    let b1 = state.b1();
+    let b2 = if state.next < state.n { Some(state.next + 1) } else { None };
+
+    let wd = |n: Option<usize>| n.map(|n| node_word(words, n)).unwrap_or("-NONE-");
+    let tg = |n: Option<usize>| n.map(|n| node_tag(tags, n)).unwrap_or("-NONE-");
+
+    let (s1w, s1t) = (wd(s1), tg(s1));
+    let (s2w, s2t) = (wd(s2), tg(s2));
+    let (b1w, b1t) = (wd(b1), tg(b1));
+    let b2t = tg(b2);
+
+    let mut f = Vec::with_capacity(20);
+    f.push("bias".to_string());
+    f.push(format!("s1w={s1w}"));
+    f.push(format!("s1t={s1t}"));
+    f.push(format!("s2w={s2w}"));
+    f.push(format!("s2t={s2t}"));
+    f.push(format!("b1w={b1w}"));
+    f.push(format!("b1t={b1t}"));
+    f.push(format!("b2t={b2t}"));
+    f.push(format!("s1w+s1t={s1w}|{s1t}"));
+    f.push(format!("s1t+s2t={s1t}|{s2t}"));
+    f.push(format!("s1w+s2w={s1w}|{s2w}"));
+    f.push(format!("s1t+b1t={s1t}|{b1t}"));
+    f.push(format!("s2t+s1t+b1t={s2t}|{s1t}|{b1t}"));
+    f.push(format!("s1t+b1t+b2t={s1t}|{b1t}|{b2t}"));
+    f.push(format!("s1w+b1w={s1w}|{b1w}"));
+    f.push(format!("s2w+s1t={s2w}|{s1t}"));
+    // Geometry: distance between s2 and s1, stack depth, buffer size class.
+    if let (Some(a), Some(b)) = (s2, s1) {
+        let dist = b.saturating_sub(a).min(5);
+        f.push(format!("dist={dist}"));
+    }
+    f.push(format!("depth={}", state.stack.len().min(5)));
+    f.push(format!("bufempty={}", state.b1().is_none()));
+    f
+}
+
+impl DependencyParser {
+    /// Train on gold trees (must be projective; non-projective examples are
+    /// skipped with no error since the oracle cannot reproduce them).
+    pub fn train(examples: &[ParseExample], cfg: &ParserConfig) -> Self {
+        let transitions = all_transitions();
+        let mut model = AveragedPerceptron::new(transitions.len());
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for &ei in &order {
+                let ex = &examples[ei];
+                if ex.tree.is_empty() || !ex.tree.is_projective() {
+                    continue;
+                }
+                let (gh, gl) = gold_arrays(&ex.tree);
+                let mut state = State::new(ex.tree.len());
+                let max_steps = 2 * ex.tree.len();
+                for _ in 0..max_steps {
+                    if state.is_terminal() {
+                        break;
+                    }
+                    let gold_t = oracle(&state, &gh, &gl);
+                    let feats = state_features(&state, &ex.words, &ex.tags);
+                    let legal: Vec<usize> = (0..transitions.len())
+                        .filter(|&i| state.is_legal(transitions[i]))
+                        .collect();
+                    let guess = model.predict_constrained(&feats, &legal);
+                    model.update(transition_id(gold_t), guess, &feats);
+                    // Follow the oracle (no exploration) — standard static
+                    // oracle training.
+                    state.apply(gold_t);
+                }
+            }
+        }
+        model.finalize_averaging();
+        DependencyParser { model, transitions }
+    }
+
+    /// Greedy-parse a tagged sentence into a dependency tree.
+    pub fn parse(&self, words: &[String], tags: &[PennTag]) -> DepTree {
+        assert_eq!(words.len(), tags.len(), "words/tags length mismatch");
+        let n = words.len();
+        if n == 0 {
+            return DepTree::new(vec![], vec![]).expect("empty tree");
+        }
+        let mut state = State::new(n);
+        // Arc-standard terminates after exactly 2n transitions; the bound
+        // guards against pathological loops.
+        for _ in 0..(2 * n + 4) {
+            if state.is_terminal() {
+                break;
+            }
+            let feats = state_features(&state, words, tags);
+            let legal: Vec<usize> = (0..self.transitions.len())
+                .filter(|&i| state.is_legal(self.transitions[i]))
+                .collect();
+            debug_assert!(!legal.is_empty(), "no legal transition");
+            let choice = self.model.predict_constrained(&feats, &legal);
+            state.apply(self.transitions[choice]);
+        }
+        state.into_tree().expect("arc-standard yields a valid tree")
+    }
+
+    /// Beam-search parse: keep the `beam` highest-scoring transition
+    /// sequences instead of committing greedily. `beam == 1` reproduces
+    /// [`DependencyParser::parse`]; larger beams recover from early
+    /// attachment mistakes at linear extra cost.
+    pub fn parse_beam(&self, words: &[String], tags: &[PennTag], beam: usize) -> DepTree {
+        self.parse_beam_scored(words, tags, beam).1
+    }
+
+    /// Beam-search parse returning the winning hypothesis' cumulative
+    /// model score alongside the tree (the score is what the beam
+    /// optimizes; tests assert it is non-decreasing in the beam width).
+    pub fn parse_beam_scored(
+        &self,
+        words: &[String],
+        tags: &[PennTag],
+        beam: usize,
+    ) -> (f64, DepTree) {
+        assert_eq!(words.len(), tags.len(), "words/tags length mismatch");
+        assert!(beam >= 1, "beam width must be positive");
+        let n = words.len();
+        if n == 0 {
+            return (0.0, DepTree::new(vec![], vec![]).expect("empty tree"));
+        }
+        // Hypotheses: (cumulative score, state).
+        let mut hyps: Vec<(f64, State)> = vec![(0.0, State::new(n))];
+        for _ in 0..(2 * n + 4) {
+            if hyps.iter().all(|(_, s)| s.is_terminal()) {
+                break;
+            }
+            let mut next: Vec<(f64, State)> = Vec::with_capacity(hyps.len() * 4);
+            for (score, state) in &hyps {
+                if state.is_terminal() {
+                    next.push((*score, state.clone()));
+                    continue;
+                }
+                let feats = state_features(state, words, tags);
+                let scores = self.model.scores(&feats);
+                for (tid, t) in self.transitions.iter().enumerate() {
+                    if !state.is_legal(*t) {
+                        continue;
+                    }
+                    let mut s2 = state.clone();
+                    s2.apply(*t);
+                    next.push((score + scores[tid], s2));
+                }
+            }
+            next.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+            next.truncate(beam);
+            hyps = next;
+        }
+        let (score, best) = hyps.into_iter().next().expect("at least one hypothesis");
+        (score, best.into_tree().expect("arc-standard yields a valid tree"))
+    }
+
+    /// Unlabeled/labeled attachment scores over a treebank.
+    pub fn evaluate(&self, examples: &[ParseExample]) -> (f64, f64) {
+        let mut uas_sum = 0.0;
+        let mut las_sum = 0.0;
+        let mut count = 0usize;
+        for ex in examples {
+            if ex.tree.is_empty() {
+                continue;
+            }
+            let pred = self.parse(&ex.words, &ex.tags);
+            uas_sum += pred.uas(&ex.tree);
+            las_sum += pred.las(&ex.tree);
+            count += 1;
+        }
+        if count == 0 {
+            (0.0, 0.0)
+        } else {
+            (uas_sum / count as f64, las_sum / count as f64)
+        }
+    }
+
+    /// Number of features in the underlying classifier.
+    pub fn num_features(&self) -> usize {
+        self.model.num_features()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DepLabel;
+
+    fn words(ws: &[&str]) -> Vec<String> {
+        ws.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Tiny treebank of imperative recipe-style sentences.
+    fn treebank() -> Vec<ParseExample> {
+        use DepLabel::*;
+        use PennTag::*;
+        let mut bank = vec![ParseExample {
+            words: words(&["boil", "the", "water"]),
+            tags: vec![VB, DT, NN],
+            tree: DepTree::new(vec![None, Some(2), Some(0)], vec![Root, Det, Dobj]).unwrap(),
+        }];
+        // "chop the onion"
+        bank.push(ParseExample {
+            words: words(&["chop", "the", "onion"]),
+            tags: vec![VB, DT, NN],
+            tree: DepTree::new(vec![None, Some(2), Some(0)], vec![Root, Det, Dobj]).unwrap(),
+        });
+        // "stir gently"
+        bank.push(ParseExample {
+            words: words(&["stir", "gently"]),
+            tags: vec![VB, RB],
+            tree: DepTree::new(vec![None, Some(0)], vec![Root, Advmod]).unwrap(),
+        });
+        // "fry the potatoes in a pan"
+        bank.push(ParseExample {
+            words: words(&["fry", "the", "potatoes", "in", "a", "pan"]),
+            tags: vec![VB, DT, NNS, IN, DT, NN],
+            tree: DepTree::new(
+                vec![None, Some(2), Some(0), Some(0), Some(5), Some(3)],
+                vec![Root, Det, Dobj, Prep, Det, Pobj],
+            )
+            .unwrap(),
+        });
+        bank
+    }
+
+    #[test]
+    fn fits_training_treebank() {
+        let bank = treebank();
+        let parser = DependencyParser::train(&bank, &ParserConfig { epochs: 20, seed: 1 });
+        let (uas, las) = parser.evaluate(&bank);
+        assert!(uas > 0.95, "UAS {uas}");
+        assert!(las > 0.95, "LAS {las}");
+    }
+
+    #[test]
+    fn generalizes_to_same_structure_new_words() {
+        let bank = treebank();
+        let parser = DependencyParser::train(&bank, &ParserConfig { epochs: 20, seed: 1 });
+        use PennTag::*;
+        let tree = parser.parse(&words(&["mince", "the", "garlic"]), &[VB, DT, NN]);
+        assert_eq!(tree.root(), Some(0));
+        assert_eq!(tree.head(2), Some(0));
+        assert_eq!(tree.label(2), DepLabel::Dobj);
+    }
+
+    #[test]
+    fn parse_always_returns_valid_tree() {
+        let bank = treebank();
+        let parser = DependencyParser::train(&bank, &ParserConfig { epochs: 2, seed: 1 });
+        use PennTag::*;
+        // Nonsense input still yields a well-formed tree.
+        let tree = parser.parse(
+            &words(&["pan", "pan", "pan", "pan", "pan"]),
+            &[NN, NN, NN, NN, NN],
+        );
+        assert_eq!(tree.len(), 5);
+        assert!(tree.root().is_some());
+    }
+
+    #[test]
+    fn empty_sentence() {
+        let parser = DependencyParser::train(&treebank(), &ParserConfig { epochs: 1, seed: 1 });
+        let tree = parser.parse(&[], &[]);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let bank = treebank();
+        let a = DependencyParser::train(&bank, &ParserConfig { epochs: 5, seed: 3 });
+        let b = DependencyParser::train(&bank, &ParserConfig { epochs: 5, seed: 3 });
+        use PennTag::*;
+        let w = words(&["saute", "the", "shallots"]);
+        let t = [VB, DT, NNS];
+        assert_eq!(a.parse(&w, &t), b.parse(&w, &t));
+    }
+
+    #[test]
+    fn beam_one_matches_greedy() {
+        let bank = treebank();
+        let parser = DependencyParser::train(&bank, &ParserConfig { epochs: 10, seed: 2 });
+        use PennTag::*;
+        for (w, t) in [
+            (words(&["boil", "the", "water"]), vec![VB, DT, NN]),
+            (words(&["fry", "the", "potatoes", "in", "a", "pan"]), vec![VB, DT, NNS, IN, DT, NN]),
+        ] {
+            assert_eq!(parser.parse_beam(&w, &t, 1), parser.parse(&w, &t));
+        }
+    }
+
+    #[test]
+    fn wider_beam_scores_monotonically() {
+        // The beam optimizes cumulative model score: the winning score is
+        // non-decreasing in the beam width. (Gold accuracy need not be —
+        // the classifier was trained for greedy decoding.)
+        let bank = treebank();
+        let parser = DependencyParser::train(&bank, &ParserConfig { epochs: 3, seed: 5 });
+        for ex in &bank {
+            let mut last = f64::NEG_INFINITY;
+            for beam in [1usize, 2, 4, 8] {
+                let (score, tree) = parser.parse_beam_scored(&ex.words, &ex.tags, beam);
+                assert!(score >= last - 1e-9, "beam {beam}: {score} < {last}");
+                assert_eq!(tree.len(), ex.words.len());
+                last = score;
+            }
+        }
+    }
+
+    #[test]
+    fn beam_parse_is_well_formed_on_nonsense() {
+        let bank = treebank();
+        let parser = DependencyParser::train(&bank, &ParserConfig { epochs: 2, seed: 1 });
+        use PennTag::*;
+        let tree = parser.parse_beam(&words(&["a", "a", "a", "a"]), &[DT, DT, DT, DT], 3);
+        assert_eq!(tree.len(), 4);
+        assert!(tree.root().is_some());
+        assert!(parser.parse_beam(&[], &[], 2).is_empty());
+    }
+
+    #[test]
+    fn evaluate_empty_bank() {
+        let parser = DependencyParser::train(&treebank(), &ParserConfig { epochs: 1, seed: 1 });
+        assert_eq!(parser.evaluate(&[]), (0.0, 0.0));
+    }
+}

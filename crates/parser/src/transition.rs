@@ -1,0 +1,363 @@
+//! The arc-standard transition system and its static oracle.
+//!
+//! A parser configuration is a stack, a buffer, and the arc set built so
+//! far. The three transition families are:
+//!
+//! * **Shift** — move the buffer front onto the stack;
+//! * **LeftArc(l)** — make the second-topmost stack item a dependent (with
+//!   label *l*) of the topmost, and pop it;
+//! * **RightArc(l)** — make the topmost a dependent of the second-topmost,
+//!   and pop it.
+//!
+//! A virtual root node sits at the stack bottom; the final RightArc from it
+//! assigns the sentence root. The static oracle reproduces any projective
+//! gold tree exactly.
+
+use crate::tree::{DepLabel, DepTree, TreeError};
+use serde::{Deserialize, Serialize};
+
+/// Virtual root node id inside a [`State`]. Token *i* of the sentence is
+/// node *i + 1*.
+pub const ROOT: usize = 0;
+
+/// A transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transition {
+    /// Push the buffer front.
+    Shift,
+    /// `s2 <-l- s1`, pop s2.
+    LeftArc(DepLabel),
+    /// `s2 -l-> s1`, pop s1.
+    RightArc(DepLabel),
+}
+
+/// Dense transition inventory: `Shift` is 0, then LeftArc per label, then
+/// RightArc per label. Root can only be assigned by RightArc, and LeftArc
+/// never carries `Root`, but keeping the full product keeps ids simple.
+pub fn all_transitions() -> Vec<Transition> {
+    let mut v = Vec::with_capacity(1 + 2 * DepLabel::ALL.len());
+    v.push(Transition::Shift);
+    for l in DepLabel::ALL {
+        v.push(Transition::LeftArc(l));
+    }
+    for l in DepLabel::ALL {
+        v.push(Transition::RightArc(l));
+    }
+    v
+}
+
+/// Dense id of a transition (inverse of [`all_transitions`] order).
+pub fn transition_id(t: Transition) -> usize {
+    let nl = DepLabel::ALL.len();
+    match t {
+        Transition::Shift => 0,
+        Transition::LeftArc(l) => 1 + l.index(),
+        Transition::RightArc(l) => 1 + nl + l.index(),
+    }
+}
+
+/// Parser configuration over a sentence of `n` tokens.
+#[derive(Debug, Clone)]
+pub struct State {
+    /// Stack of node ids (bottom first); starts as `[ROOT]`.
+    pub stack: Vec<usize>,
+    /// Next buffer node id; the buffer is `next..=n`.
+    pub next: usize,
+    /// Sentence length in tokens.
+    pub n: usize,
+    /// `head[node]` for nodes `1..=n`, 0 meaning "unattached or root".
+    pub heads: Vec<usize>,
+    /// Arc labels parallel to `heads`.
+    pub labels: Vec<DepLabel>,
+}
+
+impl State {
+    /// Initial configuration for `n` tokens.
+    pub fn new(n: usize) -> Self {
+        State {
+            stack: vec![ROOT],
+            next: 1,
+            n,
+            heads: vec![usize::MAX; n + 1],
+            labels: vec![DepLabel::Dep; n + 1],
+        }
+    }
+
+    /// Is the buffer exhausted and only the root left on the stack?
+    pub fn is_terminal(&self) -> bool {
+        self.next > self.n && self.stack.len() == 1
+    }
+
+    /// Top of stack (`s1`).
+    pub fn s1(&self) -> Option<usize> {
+        self.stack.last().copied()
+    }
+
+    /// Second-topmost stack node (`s2`).
+    pub fn s2(&self) -> Option<usize> {
+        if self.stack.len() >= 2 {
+            Some(self.stack[self.stack.len() - 2])
+        } else {
+            None
+        }
+    }
+
+    /// Buffer front (`b1`).
+    pub fn b1(&self) -> Option<usize> {
+        if self.next <= self.n {
+            Some(self.next)
+        } else {
+            None
+        }
+    }
+
+    /// Is `t` applicable in this configuration?
+    pub fn is_legal(&self, t: Transition) -> bool {
+        match t {
+            Transition::Shift => self.next <= self.n,
+            Transition::LeftArc(l) => {
+                // s2 must exist and not be the virtual root.
+                l != DepLabel::Root && self.stack.len() >= 2 && self.stack[self.stack.len() - 2] != ROOT
+            }
+            Transition::RightArc(l) => {
+                if self.stack.len() < 2 {
+                    return false;
+                }
+                let s2 = self.stack[self.stack.len() - 2];
+                // Root label iff attaching to the virtual root, and the
+                // root arc may only be drawn when the buffer is empty
+                // (arc-standard leaves the sentence root for last).
+                if s2 == ROOT {
+                    l == DepLabel::Root && self.next > self.n
+                } else {
+                    l != DepLabel::Root
+                }
+            }
+        }
+    }
+
+    /// Apply a transition. Panics if illegal (callers check first).
+    pub fn apply(&mut self, t: Transition) {
+        debug_assert!(self.is_legal(t), "illegal transition {t:?}");
+        match t {
+            Transition::Shift => {
+                self.stack.push(self.next);
+                self.next += 1;
+            }
+            Transition::LeftArc(l) => {
+                let s1 = self.stack.pop().expect("stack");
+                let s2 = self.stack.pop().expect("stack");
+                self.heads[s2] = s1;
+                self.labels[s2] = l;
+                self.stack.push(s1);
+            }
+            Transition::RightArc(l) => {
+                let s1 = self.stack.pop().expect("stack");
+                let s2 = *self.stack.last().expect("stack");
+                self.heads[s1] = s2;
+                self.labels[s1] = l;
+            }
+        }
+    }
+
+    /// Convert the finished configuration into a [`DepTree`]. Unattached
+    /// tokens (possible when decoding dead-ends) attach to the root token
+    /// with label `dep`.
+    pub fn into_tree(self) -> Result<DepTree, TreeError> {
+        let root_tok = (1..=self.n).find(|&i| self.heads[i] == ROOT);
+        let mut heads = Vec::with_capacity(self.n);
+        let mut labels = Vec::with_capacity(self.n);
+        for i in 1..=self.n {
+            let h = self.heads[i];
+            if h == ROOT && Some(i) == root_tok {
+                heads.push(None);
+                labels.push(DepLabel::Root);
+            } else if h == usize::MAX || h == ROOT {
+                // Fallback attachment for robustness.
+                match root_tok {
+                    Some(r) if r != i => {
+                        heads.push(Some(r - 1));
+                        labels.push(DepLabel::Dep);
+                    }
+                    _ => {
+                        heads.push(None);
+                        labels.push(DepLabel::Root);
+                    }
+                }
+            } else {
+                heads.push(Some(h - 1));
+                labels.push(self.labels[i]);
+            }
+        }
+        DepTree::new(heads, labels)
+    }
+}
+
+/// Static oracle: the correct transition for `state` given a projective
+/// gold tree. `gold_heads[i]` / `gold_labels[i]` use node ids (`1..=n`,
+/// head `ROOT` for the sentence root).
+pub fn oracle(state: &State, gold_heads: &[usize], gold_labels: &[DepLabel]) -> Transition {
+    if let (Some(s1), Some(s2)) = (state.s1(), state.s2()) {
+        // LeftArc: s2's head is s1 and s2's dependents are all attached.
+        if s2 != ROOT && gold_heads[s2] == s1 && deps_done(state, s2, gold_heads) {
+            return Transition::LeftArc(gold_labels[s2]);
+        }
+        // RightArc: s1's head is s2 and s1's dependents are all attached.
+        if gold_heads[s1] == s2 && deps_done(state, s1, gold_heads) {
+            let label = if s2 == ROOT { DepLabel::Root } else { gold_labels[s1] };
+            // The root arc must wait for an empty buffer to stay legal.
+            if s2 != ROOT || state.next > state.n {
+                return Transition::RightArc(label);
+            }
+        }
+    }
+    Transition::Shift
+}
+
+/// Are all gold dependents of `node` already attached in `state`?
+fn deps_done(state: &State, node: usize, gold_heads: &[usize]) -> bool {
+    (1..=state.n).all(|i| gold_heads[i] != node || state.heads[i] != usize::MAX)
+}
+
+/// Gold `(heads, labels)` in node-id space from a [`DepTree`].
+pub fn gold_arrays(tree: &DepTree) -> (Vec<usize>, Vec<DepLabel>) {
+    let n = tree.len();
+    let mut heads = vec![usize::MAX; n + 1];
+    let mut labels = vec![DepLabel::Dep; n + 1];
+    for i in 0..n {
+        heads[i + 1] = match tree.head(i) {
+            None => ROOT,
+            Some(h) => h + 1,
+        };
+        labels[i + 1] = tree.label(i);
+    }
+    (heads, labels)
+}
+
+/// Run the oracle to completion and return the transition sequence.
+/// Only valid for projective trees.
+pub fn oracle_sequence(tree: &DepTree) -> Vec<Transition> {
+    let (gh, gl) = gold_arrays(tree);
+    let mut state = State::new(tree.len());
+    let mut seq = Vec::new();
+    let max_steps = 4 * tree.len() + 4;
+    while !state.is_terminal() && seq.len() <= max_steps {
+        let t = oracle(&state, &gh, &gl);
+        if !state.is_legal(t) {
+            break;
+        }
+        state.apply(t);
+        seq.push(t);
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// "bring the water to a boil" style tree over 3 tokens:
+    /// boil(root) -> water(dobj) -> the(det)
+    fn tree3() -> DepTree {
+        DepTree::new(
+            vec![None, Some(2), Some(0)],
+            vec![DepLabel::Root, DepLabel::Det, DepLabel::Dobj],
+        )
+        .unwrap()
+    }
+
+    /// Richer projective tree: "preheat the oven to 350 degrees"
+    /// preheat(root); oven -> the(det); preheat -> oven(dobj);
+    /// preheat -> to(prep); degrees -> 350(nummod); to -> degrees(pobj).
+    fn tree6() -> DepTree {
+        DepTree::new(
+            vec![None, Some(2), Some(0), Some(0), Some(5), Some(3)],
+            vec![
+                DepLabel::Root,
+                DepLabel::Det,
+                DepLabel::Dobj,
+                DepLabel::Prep,
+                DepLabel::Nummod,
+                DepLabel::Pobj,
+            ],
+        )
+        .unwrap()
+    }
+
+    fn replay(tree: &DepTree) -> DepTree {
+        let seq = oracle_sequence(tree);
+        let mut state = State::new(tree.len());
+        for t in seq {
+            state.apply(t);
+        }
+        assert!(state.is_terminal(), "oracle did not reach terminal state");
+        state.into_tree().unwrap()
+    }
+
+    #[test]
+    fn oracle_reconstructs_small_tree() {
+        let t = tree3();
+        assert_eq!(replay(&t), t);
+    }
+
+    #[test]
+    fn oracle_reconstructs_nested_tree() {
+        let t = tree6();
+        assert!(t.is_projective());
+        assert_eq!(replay(&t), t);
+    }
+
+    #[test]
+    fn oracle_sequence_length_is_2n() {
+        // Arc-standard always uses exactly 2n transitions (n shifts, n arcs).
+        assert_eq!(oracle_sequence(&tree3()).len(), 6);
+        assert_eq!(oracle_sequence(&tree6()).len(), 12);
+    }
+
+    #[test]
+    fn legality_rules() {
+        let mut s = State::new(2);
+        assert!(s.is_legal(Transition::Shift));
+        assert!(!s.is_legal(Transition::LeftArc(DepLabel::Det)));
+        assert!(!s.is_legal(Transition::RightArc(DepLabel::Dobj)));
+        s.apply(Transition::Shift);
+        // Stack = [ROOT, 1]: RightArc(Root) is illegal while the buffer is
+        // non-empty; LeftArc on the virtual root is always illegal.
+        assert!(!s.is_legal(Transition::RightArc(DepLabel::Root)));
+        assert!(!s.is_legal(Transition::LeftArc(DepLabel::Det)));
+        s.apply(Transition::Shift);
+        // Stack = [ROOT, 1, 2]: both arcs between tokens 1 and 2 are legal.
+        assert!(s.is_legal(Transition::LeftArc(DepLabel::Det)));
+        assert!(s.is_legal(Transition::RightArc(DepLabel::Dobj)));
+        // But a Root-labeled arc between ordinary tokens is not.
+        assert!(!s.is_legal(Transition::RightArc(DepLabel::Root)));
+        assert!(!s.is_legal(Transition::LeftArc(DepLabel::Root)));
+    }
+
+    #[test]
+    fn transition_ids_round_trip() {
+        for (i, t) in all_transitions().into_iter().enumerate() {
+            assert_eq!(transition_id(t), i);
+        }
+    }
+
+    #[test]
+    fn single_token_sentence() {
+        let t = DepTree::new(vec![None], vec![DepLabel::Root]).unwrap();
+        assert_eq!(replay(&t), t);
+    }
+
+    #[test]
+    fn into_tree_recovers_from_unattached_tokens() {
+        // Simulate a decoding dead-end: shift everything, then terminate
+        // without attaching token 2.
+        let mut s = State::new(2);
+        s.apply(Transition::Shift);
+        s.apply(Transition::Shift);
+        s.apply(Transition::RightArc(DepLabel::Dobj)); // 1 -> 2
+        s.apply(Transition::RightArc(DepLabel::Root)); // ROOT -> 1
+        let tree = s.into_tree().unwrap();
+        assert_eq!(tree.root(), Some(0));
+        assert_eq!(tree.head(1), Some(0));
+    }
+}

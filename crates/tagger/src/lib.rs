@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Part-of-speech tagging substrate.
+//!
+//! The paper POS-tags every ingredient phrase with the Stanford *Twitter*
+//! POS model — chosen because ingredient phrases are not grammatical
+//! sentences and resemble tweets — and represents each phrase as a **1×36
+//! vector of Penn Treebank tag frequencies** (§II.D). Those vectors feed
+//! the K-Means clustering that drives training-set selection.
+//!
+//! This crate provides:
+//!
+//! * [`tagset::PennTag`] — the 36-tag Penn Treebank tagset;
+//! * [`tagger::PosTagger`] — an averaged-perceptron sequence tagger
+//!   (the same model family as NLTK's `PerceptronTagger`) with
+//!   recipe-aware surface features;
+//! * [`vectorize`] — the phrase → 1×36 frequency-vector encoding.
+//!
+//! # Example
+//!
+//! ```
+//! use recipe_tagger::{PosTagger, PennTag};
+//!
+//! // Train on a toy corpus of (words, tags) pairs.
+//! let corpus = vec![
+//!     (vec!["2".into(), "cups".into(), "flour".into()],
+//!      vec![PennTag::CD, PennTag::NNS, PennTag::NN]),
+//!     (vec!["1".into(), "cup".into(), "sugar".into()],
+//!      vec![PennTag::CD, PennTag::NN, PennTag::NN]),
+//! ];
+//! let tagger = PosTagger::train(&corpus, 5, 42);
+//! let tags = tagger.tag(&["3".into(), "cups".into(), "sugar".into()]);
+//! assert_eq!(tags[0], PennTag::CD);
+//! ```
+
+pub mod perceptron;
+pub mod tagger;
+pub mod tagset;
+pub mod vectorize;
+
+pub use tagger::PosTagger;
+pub use tagset::PennTag;
+pub use vectorize::{pos_frequency_vector, POS_VECTOR_DIM};

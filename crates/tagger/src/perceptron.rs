@@ -1,0 +1,232 @@
+//! Averaged multiclass perceptron over sparse string features.
+//!
+//! The classifier behind both the POS tagger and the dependency parser's
+//! transition classifier. Weights are kept per feature as a dense row over
+//! the (small) class inventory; averaging uses the lazy totals/timestamps
+//! trick so training stays O(active features) per update.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-feature weight row with the bookkeeping needed for lazy averaging.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Row {
+    /// Current weights, one per class.
+    w: Vec<f64>,
+    /// Accumulated `w * steps` totals, one per class.
+    totals: Vec<f64>,
+    /// Step at which each class weight last changed.
+    stamps: Vec<u64>,
+}
+
+impl Row {
+    fn new(classes: usize) -> Self {
+        Row { w: vec![0.0; classes], totals: vec![0.0; classes], stamps: vec![0; classes] }
+    }
+}
+
+/// Averaged multiclass perceptron.
+///
+/// Classes are dense `usize` ids in `0..num_classes`; features are interned
+/// strings. Scoring sums the weight rows of the active features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AveragedPerceptron {
+    rows: HashMap<String, Row>,
+    num_classes: usize,
+    /// Global update counter (number of `update` calls so far).
+    steps: u64,
+    /// Whether `finalize_averaging` has run.
+    averaged: bool,
+}
+
+impl AveragedPerceptron {
+    /// Create an empty model for `num_classes` classes.
+    pub fn new(num_classes: usize) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        AveragedPerceptron { rows: HashMap::new(), num_classes, steps: 0, averaged: false }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of distinct features seen.
+    pub fn num_features(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Score every class for the given active features.
+    pub fn scores(&self, features: &[String]) -> Vec<f64> {
+        let mut s = vec![0.0; self.num_classes];
+        for f in features {
+            if let Some(row) = self.rows.get(f) {
+                for (acc, w) in s.iter_mut().zip(&row.w) {
+                    *acc += *w;
+                }
+            }
+        }
+        s
+    }
+
+    /// Highest-scoring class (ties break toward the lower class id, which
+    /// keeps prediction deterministic).
+    pub fn predict(&self, features: &[String]) -> usize {
+        let s = self.scores(features);
+        argmax(&s)
+    }
+
+    /// Highest-scoring class among `allowed` (used by constrained decoders).
+    pub fn predict_constrained(&self, features: &[String], allowed: &[usize]) -> usize {
+        debug_assert!(!allowed.is_empty());
+        let s = self.scores(features);
+        let mut best = allowed[0];
+        for &c in &allowed[1..] {
+            if s[c] > s[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Perceptron update: promote `truth`, demote `guess` (no-op when they
+    /// agree, except for the step counter).
+    pub fn update(&mut self, truth: usize, guess: usize, features: &[String]) {
+        assert!(!self.averaged, "cannot keep training after finalize_averaging");
+        self.steps += 1;
+        if truth == guess {
+            return;
+        }
+        let steps = self.steps;
+        let classes = self.num_classes;
+        for f in features {
+            let row = self.rows.entry(f.clone()).or_insert_with(|| Row::new(classes));
+            for (c, delta) in [(truth, 1.0), (guess, -1.0)] {
+                let elapsed = steps - row.stamps[c];
+                row.totals[c] += elapsed as f64 * row.w[c];
+                row.w[c] += delta;
+                row.stamps[c] = steps;
+            }
+        }
+    }
+
+    /// Replace each weight with its average over all training steps.
+    /// Call exactly once, after the last `update`.
+    pub fn finalize_averaging(&mut self) {
+        if self.averaged || self.steps == 0 {
+            self.averaged = true;
+            return;
+        }
+        let steps = self.steps;
+        for row in self.rows.values_mut() {
+            for c in 0..self.num_classes {
+                let elapsed = steps - row.stamps[c];
+                row.totals[c] += elapsed as f64 * row.w[c];
+                row.w[c] = row.totals[c] / steps as f64;
+                row.stamps[c] = steps;
+            }
+        }
+        self.averaged = true;
+        // Drop all-zero rows: they cost memory and change nothing.
+        self.rows.retain(|_, row| row.w.iter().any(|&w| w != 0.0));
+    }
+}
+
+/// Index of the maximum value (first on ties). Panics on empty input.
+pub fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feats(fs: &[&str]) -> Vec<String> {
+        fs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn learns_a_separable_problem() {
+        let mut p = AveragedPerceptron::new(2);
+        let a = feats(&["bias", "w=red"]);
+        let b = feats(&["bias", "w=blue"]);
+        for _ in 0..10 {
+            let g = p.predict(&a);
+            p.update(0, g, &a);
+            let g = p.predict(&b);
+            p.update(1, g, &b);
+        }
+        p.finalize_averaging();
+        assert_eq!(p.predict(&a), 0);
+        assert_eq!(p.predict(&b), 1);
+    }
+
+    #[test]
+    fn correct_prediction_changes_nothing_but_steps() {
+        let mut p = AveragedPerceptron::new(3);
+        let f = feats(&["x"]);
+        p.update(1, 0, &f); // creates the row
+        let before = p.scores(&f);
+        p.update(1, 1, &f); // truth == guess
+        assert_eq!(p.scores(&f), before);
+    }
+
+    #[test]
+    fn averaging_matches_manual_computation() {
+        // One feature, two classes, two updates at steps 1 and 2, finalize
+        // after 4 steps total.
+        let mut p = AveragedPerceptron::new(2);
+        let f = feats(&["f"]);
+        p.update(0, 1, &f); // step1: w0=+1,w1=-1
+        p.update(0, 1, &f); // step2: w0=+2,w1=-2
+        p.update(0, 0, &f); // step3: no weight change
+        p.update(0, 0, &f); // step4
+        p.finalize_averaging();
+        // Lazy averaging integrates the weight value over the interval it
+        // was in force: w0 = 1 for one step (between updates 1 and 2) and
+        // 2 for two steps (update 2 → finalize) -> (1*1 + 2*2) / 4 = 5/4.
+        let s = p.scores(&f);
+        assert!((s[0] - 5.0 / 4.0).abs() < 1e-12, "{s:?}");
+        assert!((s[1] + 5.0 / 4.0).abs() < 1e-12, "{s:?}");
+    }
+
+    #[test]
+    fn unseen_features_score_zero() {
+        let p = AveragedPerceptron::new(4);
+        assert_eq!(p.scores(&feats(&["nope"])), vec![0.0; 4]);
+        assert_eq!(p.predict(&feats(&["nope"])), 0);
+    }
+
+    #[test]
+    fn constrained_prediction_respects_allowed_set() {
+        let mut p = AveragedPerceptron::new(3);
+        let f = feats(&["f"]);
+        for _ in 0..5 {
+            let g = p.predict(&f);
+            p.update(2, g, &f);
+        }
+        p.finalize_averaging();
+        assert_eq!(p.predict(&f), 2);
+        assert_eq!(p.predict_constrained(&f, &[0, 1]), argmax(&p.scores(&f)[..2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot keep training")]
+    fn training_after_averaging_panics() {
+        let mut p = AveragedPerceptron::new(2);
+        p.finalize_averaging();
+        p.update(0, 1, &feats(&["f"]));
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[0.0, 0.0, 0.0]), 0);
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! The 36-tag Penn Treebank part-of-speech tagset.
+//!
+//! The paper encodes every ingredient phrase as a 1×36 vector of tag
+//! frequencies; the 36 dimensions are exactly the Penn Treebank word-level
+//! tags below (punctuation tags are excluded, as in the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of Penn Treebank word-level tags (and therefore the POS-vector
+/// dimensionality used throughout the paper).
+pub const NUM_TAGS: usize = 36;
+
+/// Penn Treebank word-level POS tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names are the standard PTB mnemonics
+pub enum PennTag {
+    /// Coordinating conjunction (`and`, `or`).
+    CC,
+    /// Cardinal number (`2`, `1/2`, `2-3`).
+    CD,
+    /// Determiner (`the`, `a`).
+    DT,
+    /// Existential *there*.
+    EX,
+    /// Foreign word.
+    FW,
+    /// Preposition / subordinating conjunction (`in`, `of`, `until`).
+    IN,
+    /// Adjective (`fresh`, `large`).
+    JJ,
+    /// Adjective, comparative (`larger`).
+    JJR,
+    /// Adjective, superlative (`largest`).
+    JJS,
+    /// List item marker.
+    LS,
+    /// Modal (`can`, `should`).
+    MD,
+    /// Noun, singular or mass (`cup`, `flour`).
+    NN,
+    /// Noun, plural (`cups`, `tomatoes`).
+    NNS,
+    /// Proper noun, singular (`Dijon`).
+    NNP,
+    /// Proper noun, plural.
+    NNPS,
+    /// Predeterminer (`all`, `half`).
+    PDT,
+    /// Possessive ending (`'s`).
+    POS,
+    /// Personal pronoun (`it`).
+    PRP,
+    /// Possessive pronoun (`its`).
+    PRPS,
+    /// Adverb (`finely`, `freshly`).
+    RB,
+    /// Adverb, comparative.
+    RBR,
+    /// Adverb, superlative.
+    RBS,
+    /// Particle (`up` in `cut up`).
+    RP,
+    /// Symbol.
+    SYM,
+    /// *to*.
+    TO,
+    /// Interjection.
+    UH,
+    /// Verb, base form (`boil`).
+    VB,
+    /// Verb, past tense (`boiled`).
+    VBD,
+    /// Verb, gerund/present participle (`boiling`).
+    VBG,
+    /// Verb, past participle (`chopped`, `thawed`).
+    VBN,
+    /// Verb, non-3rd-person singular present (`boil`).
+    VBP,
+    /// Verb, 3rd-person singular present (`boils`).
+    VBZ,
+    /// Wh-determiner (`which`).
+    WDT,
+    /// Wh-pronoun (`what`).
+    WP,
+    /// Possessive wh-pronoun (`whose`).
+    WPS,
+    /// Wh-adverb (`when`).
+    WRB,
+}
+
+/// All 36 tags in canonical (index) order.
+pub const ALL_TAGS: [PennTag; NUM_TAGS] = [
+    PennTag::CC,
+    PennTag::CD,
+    PennTag::DT,
+    PennTag::EX,
+    PennTag::FW,
+    PennTag::IN,
+    PennTag::JJ,
+    PennTag::JJR,
+    PennTag::JJS,
+    PennTag::LS,
+    PennTag::MD,
+    PennTag::NN,
+    PennTag::NNS,
+    PennTag::NNP,
+    PennTag::NNPS,
+    PennTag::PDT,
+    PennTag::POS,
+    PennTag::PRP,
+    PennTag::PRPS,
+    PennTag::RB,
+    PennTag::RBR,
+    PennTag::RBS,
+    PennTag::RP,
+    PennTag::SYM,
+    PennTag::TO,
+    PennTag::UH,
+    PennTag::VB,
+    PennTag::VBD,
+    PennTag::VBG,
+    PennTag::VBN,
+    PennTag::VBP,
+    PennTag::VBZ,
+    PennTag::WDT,
+    PennTag::WP,
+    PennTag::WPS,
+    PennTag::WRB,
+];
+
+impl PennTag {
+    /// Stable index in `0..NUM_TAGS` (the POS-vector dimension).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Tag at a given index; panics if `idx >= NUM_TAGS`.
+    #[inline]
+    pub fn from_index(idx: usize) -> PennTag {
+        ALL_TAGS[idx]
+    }
+
+    /// Canonical PTB string (`PRP$` and `WP$` use the `$` spelling).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PennTag::CC => "CC",
+            PennTag::CD => "CD",
+            PennTag::DT => "DT",
+            PennTag::EX => "EX",
+            PennTag::FW => "FW",
+            PennTag::IN => "IN",
+            PennTag::JJ => "JJ",
+            PennTag::JJR => "JJR",
+            PennTag::JJS => "JJS",
+            PennTag::LS => "LS",
+            PennTag::MD => "MD",
+            PennTag::NN => "NN",
+            PennTag::NNS => "NNS",
+            PennTag::NNP => "NNP",
+            PennTag::NNPS => "NNPS",
+            PennTag::PDT => "PDT",
+            PennTag::POS => "POS",
+            PennTag::PRP => "PRP",
+            PennTag::PRPS => "PRP$",
+            PennTag::RB => "RB",
+            PennTag::RBR => "RBR",
+            PennTag::RBS => "RBS",
+            PennTag::RP => "RP",
+            PennTag::SYM => "SYM",
+            PennTag::TO => "TO",
+            PennTag::UH => "UH",
+            PennTag::VB => "VB",
+            PennTag::VBD => "VBD",
+            PennTag::VBG => "VBG",
+            PennTag::VBN => "VBN",
+            PennTag::VBP => "VBP",
+            PennTag::VBZ => "VBZ",
+            PennTag::WDT => "WDT",
+            PennTag::WP => "WP",
+            PennTag::WPS => "WP$",
+            PennTag::WRB => "WRB",
+        }
+    }
+
+    /// Is this one of the noun tags?
+    pub fn is_noun(self) -> bool {
+        matches!(self, PennTag::NN | PennTag::NNS | PennTag::NNP | PennTag::NNPS)
+    }
+
+    /// Is this one of the verb tags?
+    pub fn is_verb(self) -> bool {
+        matches!(
+            self,
+            PennTag::VB | PennTag::VBD | PennTag::VBG | PennTag::VBN | PennTag::VBP | PennTag::VBZ
+        )
+    }
+
+    /// Is this one of the adjective tags?
+    pub fn is_adjective(self) -> bool {
+        matches!(self, PennTag::JJ | PennTag::JJR | PennTag::JJS)
+    }
+}
+
+impl fmt::Display for PennTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when parsing an unknown tag string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTagError(pub String);
+
+impl fmt::Display for ParseTagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown Penn Treebank tag: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseTagError {}
+
+impl FromStr for PennTag {
+    type Err = ParseTagError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ALL_TAGS
+            .iter()
+            .copied()
+            .find(|t| t.as_str() == s)
+            .ok_or_else(|| ParseTagError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_36_tags() {
+        assert_eq!(ALL_TAGS.len(), NUM_TAGS);
+        assert_eq!(NUM_TAGS, 36);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, tag) in ALL_TAGS.iter().enumerate() {
+            assert_eq!(tag.index(), i);
+            assert_eq!(PennTag::from_index(i), *tag);
+        }
+    }
+
+    #[test]
+    fn string_round_trips() {
+        for tag in ALL_TAGS {
+            assert_eq!(tag.as_str().parse::<PennTag>().unwrap(), tag);
+        }
+    }
+
+    #[test]
+    fn dollar_spellings() {
+        assert_eq!("PRP$".parse::<PennTag>().unwrap(), PennTag::PRPS);
+        assert_eq!("WP$".parse::<PennTag>().unwrap(), PennTag::WPS);
+    }
+
+    #[test]
+    fn unknown_tag_is_error() {
+        assert!("XYZ".parse::<PennTag>().is_err());
+        assert!("nn".parse::<PennTag>().is_err());
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(PennTag::NNS.is_noun());
+        assert!(PennTag::VBG.is_verb());
+        assert!(PennTag::JJR.is_adjective());
+        assert!(!PennTag::CD.is_noun());
+        assert!(!PennTag::CD.is_verb());
+    }
+}

@@ -1,0 +1,90 @@
+//! Phrase → 1×36 POS-tag frequency vectors (§II.D of the paper).
+//!
+//! Each unique ingredient phrase is represented by the frequency of every
+//! Penn Treebank tag among its tokens (a bag-of-tags). Phrases with
+//! similar lexical structure — "3 teaspoons olive oil" and "2 tablespoons
+//! all-purpose flour" — land close together in Euclidean distance, which
+//! is exactly the property the K-Means clustering step relies on.
+
+use crate::tagset::{PennTag, NUM_TAGS};
+
+/// Dimensionality of the POS vector (36, the Penn Treebank tag count).
+pub const POS_VECTOR_DIM: usize = NUM_TAGS;
+
+/// Raw tag-count vector for one tagged phrase.
+///
+/// ```
+/// use recipe_tagger::{pos_frequency_vector, PennTag};
+/// let v = pos_frequency_vector(&[PennTag::CD, PennTag::NNS, PennTag::NN]);
+/// assert_eq!(v[PennTag::CD.index()], 1.0);
+/// assert_eq!(v[PennTag::NN.index()], 1.0);
+/// assert_eq!(v.iter().sum::<f64>(), 3.0);
+/// ```
+pub fn pos_frequency_vector(tags: &[PennTag]) -> Vec<f64> {
+    let mut v = vec![0.0; POS_VECTOR_DIM];
+    for tag in tags {
+        v[tag.index()] += 1.0;
+    }
+    v
+}
+
+/// Tag-count vector normalized to unit L1 norm (tag *proportions*). Useful
+/// when phrases vary a lot in length; the paper's bag-of-words clustering
+/// uses raw counts, so [`pos_frequency_vector`] is the default.
+pub fn pos_proportion_vector(tags: &[PennTag]) -> Vec<f64> {
+    let mut v = pos_frequency_vector(tags);
+    let total: f64 = v.iter().sum();
+    if total > 0.0 {
+        for x in &mut v {
+            *x /= total;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let v = pos_frequency_vector(&[PennTag::NN, PennTag::NN, PennTag::JJ]);
+        assert_eq!(v[PennTag::NN.index()], 2.0);
+        assert_eq!(v[PennTag::JJ.index()], 1.0);
+        assert_eq!(v.len(), 36);
+    }
+
+    #[test]
+    fn empty_phrase_is_zero_vector() {
+        let v = pos_frequency_vector(&[]);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn proportions_sum_to_one() {
+        let v = pos_proportion_vector(&[PennTag::CD, PennTag::NN, PennTag::NN, PennTag::NNS]);
+        let sum: f64 = v.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((v[PennTag::NN.index()] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportions_of_empty_phrase_stay_zero() {
+        let v = pos_proportion_vector(&[]);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn similar_structures_are_close() {
+        use PennTag::*;
+        // "3 teaspoons olive oil" vs "2 tablespoons all-purpose flour"
+        let a = pos_frequency_vector(&[CD, NNS, NN, NN]);
+        let b = pos_frequency_vector(&[CD, NNS, JJ, NN]);
+        // "boil the water until tender"
+        let c = pos_frequency_vector(&[VB, DT, NN, IN, JJ]);
+        let d2 = |x: &[f64], y: &[f64]| -> f64 {
+            x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
+        };
+        assert!(d2(&a, &b) < d2(&a, &c));
+    }
+}

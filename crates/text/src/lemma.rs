@@ -1,0 +1,381 @@
+//! WordNet-style lemmatizer (the *morphy* algorithm).
+//!
+//! NLTK's `WordNetLemmatizer` — used by the paper for preprocessing — wraps
+//! WordNet's morphy procedure: first look the word up in a per-class
+//! *exception list* of irregular forms, then try a cascade of suffix
+//! *detachment rules* and accept the first candidate found in the lexicon.
+//!
+//! We embed the exception lists relevant to culinary vocabulary plus a
+//! lexicon of base forms, and fall back to conservative rule application
+//! (never producing an empty or single-letter stem) when a word is unknown,
+//! so novel ingredient names still normalize sensibly (`yuzus` → `yuzu`).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Word class used to select detachment rules (WordNet's four classes,
+/// adverbs handled like adjectives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WordClass {
+    /// Nouns: `tomatoes` → `tomato`.
+    Noun,
+    /// Verbs: `boiling` → `boil`.
+    Verb,
+    /// Adjectives: `larger` → `large`.
+    Adjective,
+}
+
+/// Irregular noun plurals common in food text.
+const NOUN_EXCEPTIONS: &[(&str, &str)] = &[
+    ("children", "child"),
+    ("feet", "foot"),
+    ("geese", "goose"),
+    ("halves", "half"),
+    ("knives", "knife"),
+    ("leaves", "leaf"),
+    ("lives", "life"),
+    ("loaves", "loaf"),
+    ("men", "man"),
+    ("mice", "mouse"),
+    ("potatoes", "potato"),
+    ("teeth", "tooth"),
+    ("tomatoes", "tomato"),
+    ("wives", "wife"),
+    ("women", "woman"),
+];
+
+/// Irregular verb forms common in instruction text.
+const VERB_EXCEPTIONS: &[(&str, &str)] = &[
+    ("ate", "eat"),
+    ("beaten", "beat"),
+    ("began", "begin"),
+    ("begun", "begin"),
+    ("brought", "bring"),
+    ("cut", "cut"),
+    ("done", "do"),
+    ("drew", "draw"),
+    ("froze", "freeze"),
+    ("frozen", "freeze"),
+    ("ground", "grind"),
+    ("kept", "keep"),
+    ("left", "leave"),
+    ("let", "let"),
+    ("made", "make"),
+    ("melted", "melt"),
+    ("put", "put"),
+    ("set", "set"),
+    ("took", "take"),
+    ("threw", "throw"),
+    ("thrown", "throw"),
+    ("went", "go"),
+];
+
+/// Irregular adjective comparative/superlative forms.
+const ADJ_EXCEPTIONS: &[(&str, &str)] =
+    &[("best", "good"), ("better", "good"), ("least", "little"), ("less", "little"), ("more", "many"), ("most", "many"), ("worse", "bad"), ("worst", "bad")];
+
+/// Base-form lexicon: words whose base form we *know*, so detachment
+/// candidates can be validated against it. Deliberately food-centric; the
+/// lemmatizer degrades gracefully for words outside it.
+const LEXICON: &[&str] = &[
+    // ingredients & food nouns
+    "almond", "apple", "apricot", "asparagus", "avocado", "bacon", "banana", "basil", "bean",
+    "beef", "beet", "berry", "biscuit", "blueberry", "bread", "broccoli", "broth", "butter",
+    "cabbage", "cake", "caper", "carrot", "cashew", "celery", "cheese", "cherry", "chicken",
+    "chickpea", "chili", "chive", "chocolate", "cilantro", "cinnamon", "clove", "coconut",
+    "cookie", "coriander", "corn", "crab", "cranberry", "cream", "cucumber", "cumin", "curry",
+    "date", "dill", "dough", "egg", "eggplant", "fennel", "fig", "fillet", "flour", "garlic",
+    "ginger", "grape", "gravy", "ham", "hazelnut", "herb", "honey", "jalapeno", "juice", "kale",
+    "lamb", "leek", "lemon", "lentil", "lettuce", "lime", "lobster", "mango", "maple",
+    "marinade", "meat", "milk", "mint", "mushroom", "mussel", "mustard", "noodle", "nut",
+    "nutmeg", "oat", "oil", "olive", "onion", "orange", "oregano", "oyster", "paprika",
+    "parsley", "parsnip", "pasta", "pastry", "pea", "peach", "peanut", "pear", "pecan",
+    "pepper", "pickle", "pineapple", "pistachio", "plum", "pork", "potato", "prawn", "pumpkin",
+    "quinoa", "radish", "raisin", "raspberry", "rhubarb", "rice", "rosemary", "saffron", "sage",
+    "salmon", "salsa", "salt", "sauce", "sausage", "scallion", "scallop", "seed", "sesame",
+    "shallot", "shrimp", "soup", "spinach", "sprout", "squash", "steak", "stock", "strawberry",
+    "sugar", "syrup", "thyme", "tofu", "tomato", "tortilla", "tuna", "turkey", "turmeric",
+    "turnip", "vanilla", "vinegar", "walnut", "water", "watermelon", "wine", "yeast", "yogurt",
+    "zucchini", "hummus", "citrus", "couscous", "asparagus",
+    // units & containers
+    "bag", "batch", "bottle", "bowl", "box", "bunch", "can", "carton", "container", "cup",
+    "dash", "dollop", "gallon", "gram", "handful", "head", "inch", "jar", "kilogram", "liter",
+    "loaf", "milliliter", "ounce", "package", "packet", "piece", "pinch", "pint", "pound",
+    "quart", "rib", "sheet", "slice", "sprig", "stalk", "stick", "strip", "tablespoon",
+    "teaspoon", "wedge",
+    // utensils
+    "blender", "board", "colander", "dish", "foil", "fork", "grater", "griddle", "grill",
+    "knife", "ladle", "mixer", "oven", "pan", "peeler", "plate", "pot", "processor", "rack",
+    "skewer", "skillet", "spatula", "spoon", "thermometer", "tong", "tray", "whisk", "wok",
+    // processes (verb base forms)
+    "add", "bake", "baste", "beat", "blanch", "blend", "boil", "braise", "bring", "broil",
+    "brown", "brush", "chill", "chop", "coat", "combine", "cook", "cool", "core", "cover",
+    "crush", "cube", "cut", "deglaze", "dice", "discard", "dissolve", "drain", "dress",
+    "drizzle", "dry", "dust", "fill", "flip", "fold", "fry", "garnish", "glaze", "grate",
+    "grease", "grill", "grind", "heat", "julienne", "knead", "layer", "marinate", "mash",
+    "measure", "melt", "microwave", "mince", "mix", "peel", "pit", "place", "poach", "pour",
+    "preheat", "press", "puree", "reduce", "refrigerate", "remove", "rinse", "roast", "roll",
+    "rub", "saute", "scrape", "sear", "season", "serve", "shred", "sift", "simmer", "skim",
+    "slice", "soak", "soften", "sprinkle", "steam", "stew", "stir", "strain", "stuff", "taste",
+    "thaw", "thicken", "toast", "top", "toss", "transfer", "trim", "turn", "whip", "whisk",
+    "zest",
+    // adjectives / states
+    "big", "bitter", "coarse", "cold", "creamy", "crisp", "crispy", "dark", "deep", "dried",
+    "extra", "fine", "firm", "fresh", "gentle", "golden", "heavy", "hot", "large", "lean",
+    "light", "little", "long", "low", "medium", "mild", "new", "quick", "raw", "rich", "ripe",
+    "short", "small", "smooth", "soft", "sour", "spicy", "stiff", "sweet", "tender", "thick",
+    "thin", "warm", "whole", "wide",
+];
+
+/// The lemmatizer: exception tables + detachment rules + lexicon validation.
+#[derive(Debug, Clone)]
+pub struct Lemmatizer {
+    lexicon: HashSet<&'static str>,
+    noun_exc: HashMap<&'static str, &'static str>,
+    verb_exc: HashMap<&'static str, &'static str>,
+    adj_exc: HashMap<&'static str, &'static str>,
+}
+
+impl Default for Lemmatizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lemmatizer {
+    /// Build a lemmatizer with the embedded culinary lexicon.
+    pub fn new() -> Self {
+        Lemmatizer {
+            lexicon: LEXICON.iter().copied().collect(),
+            noun_exc: NOUN_EXCEPTIONS.iter().copied().collect(),
+            verb_exc: VERB_EXCEPTIONS.iter().copied().collect(),
+            adj_exc: ADJ_EXCEPTIONS.iter().copied().collect(),
+        }
+    }
+
+    /// Is `word` a known base form?
+    pub fn in_lexicon(&self, word: &str) -> bool {
+        self.lexicon.contains(word)
+    }
+
+    /// Lemmatize `word` (must already be lowercase) as the given class.
+    ///
+    /// ```
+    /// use recipe_text::lemma::{Lemmatizer, WordClass};
+    /// let lem = Lemmatizer::new();
+    /// assert_eq!(lem.lemmatize("tomatoes", WordClass::Noun), "tomato");
+    /// assert_eq!(lem.lemmatize("boiling", WordClass::Verb), "boil");
+    /// assert_eq!(lem.lemmatize("larger", WordClass::Adjective), "large");
+    /// ```
+    pub fn lemmatize(&self, word: &str, class: WordClass) -> String {
+        let exc = match class {
+            WordClass::Noun => &self.noun_exc,
+            WordClass::Verb => &self.verb_exc,
+            WordClass::Adjective => &self.adj_exc,
+        };
+        if let Some(&base) = exc.get(word) {
+            return base.to_string();
+        }
+        if self.lexicon.contains(word) {
+            return word.to_string();
+        }
+        match class {
+            WordClass::Noun => self.detach_noun(word),
+            WordClass::Verb => self.detach_verb(word),
+            WordClass::Adjective => self.detach_adj(word),
+        }
+    }
+
+    /// Lemmatize as a noun — the default used for ingredient phrases, where
+    /// almost every content word is nominal.
+    pub fn lemmatize_noun(&self, word: &str) -> String {
+        self.lemmatize(word, WordClass::Noun)
+    }
+
+    /// Try detachment rules in order; prefer candidates in the lexicon but
+    /// accept a safe rule-stem for unknown words.
+    fn detach<'a>(&self, word: &str, rules: &[(&'a str, &'a str)]) -> String {
+        let mut fallback: Option<String> = None;
+        for &(suffix, replacement) in rules {
+            if let Some(stem) = word.strip_suffix(suffix) {
+                if stem.len() < 2 {
+                    continue;
+                }
+                let candidate = format!("{stem}{replacement}");
+                if self.lexicon.contains(candidate.as_str()) {
+                    return candidate;
+                }
+                if fallback.is_none() {
+                    fallback = Some(candidate);
+                }
+            }
+        }
+        fallback.unwrap_or_else(|| word.to_string())
+    }
+
+    fn detach_noun(&self, word: &str) -> String {
+        // WordNet noun detachments, most specific first.
+        const RULES: &[(&str, &str)] = &[
+            ("ies", "y"),
+            ("sses", "ss"),
+            ("shes", "sh"),
+            ("ches", "ch"),
+            ("xes", "x"),
+            ("zes", "z"),
+            ("ves", "f"),
+            ("oes", "o"),
+            ("es", "e"),
+            ("es", ""),
+            ("s", ""),
+        ];
+        // Words ending in "ss" (cress) are singular; true "-us" singulars
+        // (asparagus, hummus) are covered by the lexicon before we get here.
+        if word.ends_with("ss") || !word.ends_with('s') {
+            return word.to_string();
+        }
+        self.detach(word, RULES)
+    }
+
+    fn detach_verb(&self, word: &str) -> String {
+        const RULES: &[(&str, &str)] = &[
+            ("ies", "y"),
+            // doubled consonant + ing/ed: chopping → chop, stirred → stir
+            ("bbing", "b"),
+            ("dding", "d"),
+            ("gging", "g"),
+            ("mming", "m"),
+            ("nning", "n"),
+            ("pping", "p"),
+            ("rring", "r"),
+            ("tting", "t"),
+            ("bbed", "b"),
+            ("dded", "d"),
+            ("gged", "g"),
+            ("mmed", "m"),
+            ("nned", "n"),
+            ("pped", "p"),
+            ("rred", "r"),
+            ("tted", "t"),
+            ("ing", "e"),
+            ("ing", ""),
+            ("ed", "e"),
+            ("ed", ""),
+            ("es", "e"),
+            ("es", ""),
+            ("s", ""),
+        ];
+        if !(word.ends_with('s') || word.ends_with("ing") || word.ends_with("ed")) {
+            return word.to_string();
+        }
+        self.detach(word, RULES)
+    }
+
+    fn detach_adj(&self, word: &str) -> String {
+        const RULES: &[(&str, &str)] = &[("est", "e"), ("est", ""), ("er", "e"), ("er", "")];
+        if !(word.ends_with("er") || word.ends_with("est")) {
+            return word.to_string();
+        }
+        self.detach(word, RULES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lem() -> Lemmatizer {
+        Lemmatizer::new()
+    }
+
+    #[test]
+    fn regular_noun_plurals() {
+        let l = lem();
+        assert_eq!(l.lemmatize_noun("cups"), "cup");
+        assert_eq!(l.lemmatize_noun("onions"), "onion");
+        assert_eq!(l.lemmatize_noun("berries"), "berry");
+        assert_eq!(l.lemmatize_noun("peaches"), "peach");
+        assert_eq!(l.lemmatize_noun("boxes"), "box");
+        assert_eq!(l.lemmatize_noun("slices"), "slice");
+    }
+
+    #[test]
+    fn irregular_noun_plurals() {
+        let l = lem();
+        assert_eq!(l.lemmatize_noun("tomatoes"), "tomato");
+        assert_eq!(l.lemmatize_noun("potatoes"), "potato");
+        assert_eq!(l.lemmatize_noun("knives"), "knife");
+        assert_eq!(l.lemmatize_noun("leaves"), "leaf");
+        assert_eq!(l.lemmatize_noun("loaves"), "loaf");
+    }
+
+    #[test]
+    fn singular_forms_pass_through() {
+        let l = lem();
+        assert_eq!(l.lemmatize_noun("tomato"), "tomato");
+        assert_eq!(l.lemmatize_noun("asparagus"), "asparagus");
+        assert_eq!(l.lemmatize_noun("cress"), "cress");
+        assert_eq!(l.lemmatize_noun("hummus"), "hummus");
+    }
+
+    #[test]
+    fn verb_inflections() {
+        let l = lem();
+        assert_eq!(l.lemmatize("boiling", WordClass::Verb), "boil");
+        assert_eq!(l.lemmatize("chopped", WordClass::Verb), "chop");
+        assert_eq!(l.lemmatize("chopping", WordClass::Verb), "chop");
+        assert_eq!(l.lemmatize("stirred", WordClass::Verb), "stir");
+        assert_eq!(l.lemmatize("slices", WordClass::Verb), "slice");
+        assert_eq!(l.lemmatize("baked", WordClass::Verb), "bake");
+        assert_eq!(l.lemmatize("sauteing", WordClass::Verb), "saute");
+        assert_eq!(l.lemmatize("simmering", WordClass::Verb), "simmer");
+    }
+
+    #[test]
+    fn irregular_verbs() {
+        let l = lem();
+        assert_eq!(l.lemmatize("brought", WordClass::Verb), "bring");
+        assert_eq!(l.lemmatize("frozen", WordClass::Verb), "freeze");
+        assert_eq!(l.lemmatize("ground", WordClass::Verb), "grind");
+        assert_eq!(l.lemmatize("made", WordClass::Verb), "make");
+    }
+
+    #[test]
+    fn adjectives() {
+        let l = lem();
+        assert_eq!(l.lemmatize("larger", WordClass::Adjective), "large");
+        assert_eq!(l.lemmatize("largest", WordClass::Adjective), "large");
+        assert_eq!(l.lemmatize("thicker", WordClass::Adjective), "thick");
+        assert_eq!(l.lemmatize("best", WordClass::Adjective), "good");
+        assert_eq!(l.lemmatize("fresh", WordClass::Adjective), "fresh");
+    }
+
+    #[test]
+    fn unknown_words_degrade_gracefully() {
+        let l = lem();
+        // Not in the lexicon: the plural rule still applies.
+        assert_eq!(l.lemmatize_noun("yuzus"), "yuzu");
+        assert_eq!(l.lemmatize_noun("gooseberries"), "gooseberry");
+        // Too short to stem.
+        assert_eq!(l.lemmatize_noun("as"), "as");
+    }
+
+    #[test]
+    fn lemmatization_is_idempotent_on_lexicon() {
+        let l = lem();
+        for w in super::LEXICON {
+            let once = l.lemmatize_noun(w);
+            assert_eq!(l.lemmatize_noun(&once), once, "noun idempotence for {w}");
+        }
+    }
+
+    #[test]
+    fn never_returns_empty_or_tiny_stems() {
+        let l = lem();
+        for w in ["s", "es", "ies", "ing", "ed", ""] {
+            let out = l.lemmatize_noun(w);
+            assert!(out.len() >= w.len().min(2), "{w:?} -> {out:?}");
+        }
+        assert_eq!(l.lemmatize_noun("s"), "s");
+        assert_eq!(l.lemmatize_noun("es"), "es");
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Text-processing substrate for recipe knowledge mining.
+//!
+//! The paper (Diwan et al., ICDE 2020) preprocesses every ingredient phrase
+//! and instruction sentence before feeding it to the POS tagger and the NER
+//! models:
+//!
+//! 1. tokenize (recipe text is phrase-like: fractions such as `1/2`, ranges
+//!    such as `2-3`, and parenthesised asides such as `( thawed )` are
+//!    meaningful tokens);
+//! 2. drop stop words;
+//! 3. lemmatize with the WordNet lemmatizer (`tomatoes` → `tomato`);
+//! 4. lowercase.
+//!
+//! The paper used NLTK for steps 2–4; this crate implements the same
+//! contract natively: [`tokenize`], [`stopwords::is_stop_word`],
+//! [`lemma::Lemmatizer`] (an implementation of WordNet's *morphy*
+//! algorithm: irregular-form exception lists plus per-part-of-speech suffix
+//! detachment rules) and the end-to-end [`normalize::Preprocessor`].
+//!
+//! # Example
+//!
+//! ```
+//! use recipe_text::normalize::Preprocessor;
+//!
+//! let pre = Preprocessor::default();
+//! let tokens = pre.preprocess("2-3 medium Tomatoes, freshly chopped");
+//! let texts: Vec<&str> = tokens.iter().map(|t| t.as_str()).collect();
+//! assert_eq!(texts, ["2-3", "medium", "tomato", "freshly", "chopped"]);
+//! ```
+
+pub mod lemma;
+pub mod normalize;
+pub mod stem;
+pub mod stopwords;
+pub mod token;
+
+pub use lemma::{Lemmatizer, WordClass};
+pub use normalize::Preprocessor;
+pub use token::{tokenize, Token, TokenKind};

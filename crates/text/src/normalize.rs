@@ -1,0 +1,196 @@
+//! End-to-end preprocessing pipeline (§II.C of the paper).
+//!
+//! Combines tokenization, lowercasing, stop-word removal and noun
+//! lemmatization so that `"tomatoes"` and `"Tomato"` become the identical
+//! token `tomato`. Two section-specific modes exist because the
+//! instructions section must keep prepositions and determiners for the
+//! dependency parser.
+
+use crate::lemma::{Lemmatizer, WordClass};
+use crate::stopwords;
+use crate::token::{tokenize, Token, TokenKind};
+
+/// Which recipe section is being preprocessed. Controls stop-word policy
+/// and the default lemma word-class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// Ingredient phrases: aggressive stop-word removal, noun lemmas.
+    Ingredients,
+    /// Instruction sentences: keep syntax-bearing function words.
+    Instructions,
+}
+
+/// Configurable preprocessing pipeline.
+///
+/// The default configuration matches the paper: lowercase, drop stop
+/// words, lemmatize with the WordNet lemmatizer, keep punctuation only for
+/// parentheses (they delimit attributes like `( thawed )`).
+#[derive(Debug, Clone)]
+pub struct Preprocessor {
+    lemmatizer: Lemmatizer,
+    /// Remove stop words entirely (`true` in the paper's pipeline).
+    pub remove_stop_words: bool,
+    /// Lemmatize tokens (`true` in the paper's pipeline).
+    pub lemmatize: bool,
+    /// Keep `(`/`)`/`,` punctuation tokens. The NER feature extractor uses
+    /// them as boundary signals, so the default is `true`.
+    pub keep_punct: bool,
+}
+
+impl Default for Preprocessor {
+    fn default() -> Self {
+        Preprocessor {
+            lemmatizer: Lemmatizer::new(),
+            remove_stop_words: true,
+            lemmatize: true,
+            keep_punct: false,
+        }
+    }
+}
+
+impl Preprocessor {
+    /// A preprocessor that keeps punctuation tokens.
+    pub fn with_punct() -> Self {
+        Preprocessor { keep_punct: true, ..Preprocessor::default() }
+    }
+
+    /// A preprocessor that lowercases and drops stop words but leaves
+    /// inflection intact (the "no lemmatizer" ablation).
+    pub fn without_lemmatization() -> Self {
+        Preprocessor { lemmatize: false, ..Preprocessor::default() }
+    }
+
+    /// Access the underlying lemmatizer.
+    pub fn lemmatizer(&self) -> &Lemmatizer {
+        &self.lemmatizer
+    }
+
+    /// Preprocess an ingredient phrase into normalized token strings.
+    ///
+    /// ```
+    /// let pre = recipe_text::Preprocessor::default();
+    /// assert_eq!(pre.preprocess("1/2 teaspoon of Fresh Thyme"), ["1/2", "teaspoon", "fresh", "thyme"]);
+    /// ```
+    pub fn preprocess(&self, input: &str) -> Vec<String> {
+        self.preprocess_section(input, Section::Ingredients)
+    }
+
+    /// Preprocess with an explicit section policy.
+    pub fn preprocess_section(&self, input: &str, section: Section) -> Vec<String> {
+        self.preprocess_tokens(&tokenize(input), section)
+    }
+
+    /// Preprocess already-tokenized input (used when gold spans matter).
+    pub fn preprocess_tokens(&self, tokens: &[Token], section: Section) -> Vec<String> {
+        let mut out = Vec::with_capacity(tokens.len());
+        for tok in tokens {
+            match tok.kind {
+                TokenKind::Punct => {
+                    if self.keep_punct {
+                        out.push(tok.text.clone());
+                    }
+                }
+                TokenKind::Word => {
+                    let lower = tok.text.to_lowercase();
+                    if self.remove_stop_words && stopwords::is_stop_word(&lower) {
+                        let keep = section == Section::Instructions
+                            && stopwords::keep_in_instructions(&lower);
+                        if !keep {
+                            continue;
+                        }
+                    }
+                    if self.lemmatize {
+                        let class = match section {
+                            Section::Ingredients => WordClass::Noun,
+                            // In instructions most content words are verbs;
+                            // nouns in the lexicon pass through unchanged.
+                            Section::Instructions => WordClass::Noun,
+                        };
+                        out.push(self.lemmatizer.lemmatize(&lower, class));
+                    } else {
+                        out.push(lower);
+                    }
+                }
+                _ => out.push(tok.text.to_lowercase()),
+            }
+        }
+        out
+    }
+
+    /// Normalize a single word the same way `preprocess` would (lowercase +
+    /// noun lemma), without stop-word filtering. Useful for dictionary keys.
+    pub fn normalize_word(&self, word: &str) -> String {
+        let lower = word.to_lowercase();
+        if self.lemmatize {
+            self.lemmatizer.lemmatize_noun(&lower)
+        } else {
+            lower
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_on_paper_example() {
+        let pre = Preprocessor::default();
+        assert_eq!(
+            pre.preprocess("6 ounces blue cheese, at room temperature"),
+            ["6", "ounce", "blue", "cheese", "room", "temperature"]
+        );
+    }
+
+    #[test]
+    fn plurality_and_capitalization_unify() {
+        let pre = Preprocessor::default();
+        assert_eq!(pre.preprocess("Tomatoes"), pre.preprocess("tomato"));
+    }
+
+    #[test]
+    fn punctuation_kept_when_requested() {
+        let pre = Preprocessor::with_punct();
+        assert_eq!(
+            pre.preprocess("1 sheet frozen puff pastry ( thawed )"),
+            ["1", "sheet", "frozen", "puff", "pastry", "(", "thawed", ")"]
+        );
+    }
+
+    #[test]
+    fn instruction_mode_keeps_prepositions() {
+        let pre = Preprocessor::default();
+        let toks = pre.preprocess_section("Bring the water to a boil in a large pot", Section::Instructions);
+        assert!(toks.contains(&"in".to_string()));
+        assert!(toks.contains(&"the".to_string()));
+        assert!(toks.contains(&"to".to_string()));
+    }
+
+    #[test]
+    fn ingredient_mode_drops_stop_words() {
+        let pre = Preprocessor::default();
+        let toks = pre.preprocess("a pinch of the salt");
+        assert_eq!(toks, ["pinch", "salt"]);
+    }
+
+    #[test]
+    fn normalize_word_contract() {
+        let pre = Preprocessor::default();
+        assert_eq!(pre.normalize_word("Tomatoes"), "tomato");
+        assert_eq!(pre.normalize_word("CUPS"), "cup");
+        // Stop words pass through normalize_word: it is a key normalizer.
+        assert_eq!(pre.normalize_word("the"), "the");
+    }
+
+    #[test]
+    fn no_lemmatize_mode() {
+        let pre = Preprocessor { lemmatize: false, ..Preprocessor::default() };
+        assert_eq!(pre.preprocess("Tomatoes"), ["tomatoes"]);
+    }
+
+    #[test]
+    fn numbers_pass_through() {
+        let pre = Preprocessor::default();
+        assert_eq!(pre.preprocess("2-3 1/2 1.5 12"), ["2-3", "1/2", "1.5", "12"]);
+    }
+}

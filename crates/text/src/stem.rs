@@ -1,0 +1,364 @@
+//! Porter stemmer (Porter, 1980) — the classic alternative to the paper's
+//! WordNet lemmatizer for token normalization.
+//!
+//! The paper normalizes with a lemmatizer so that `tomatoes` → `tomato`
+//! stays a real word; a stemmer is cruder (`tomatoes` → `tomato`, but
+//! `juicy` → `juici`) yet needs no lexicon at all. The
+//! `ablation_normalizer` binary measures the difference on the NER task.
+//!
+//! This is the original five-step algorithm over the `[C](VC)^m[V]`
+//! measure, implemented for lowercase ASCII words; non-ASCII input is
+//! returned unchanged.
+
+/// Is the byte at `i` a consonant under Porter's definition?
+fn is_consonant(word: &[u8], i: usize) -> bool {
+    match word[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => {
+            if i == 0 {
+                true
+            } else {
+                // y after a consonant is a vowel ("happy"), after a vowel
+                // a consonant ("boy").
+                !is_consonant(word, i - 1)
+            }
+        }
+        _ => true,
+    }
+}
+
+/// Porter's measure m of `word[..len]`: the number of VC sequences.
+fn measure(word: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(word, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_consonant(word, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // Skip consonants -> one VC completed.
+        while i < len && is_consonant(word, i) {
+            i += 1;
+        }
+        m += 1;
+    }
+}
+
+fn has_vowel(word: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(word, i))
+}
+
+/// Does `word[..len]` end with a double consonant?
+fn ends_double_consonant(word: &[u8], len: usize) -> bool {
+    len >= 2 && word[len - 1] == word[len - 2] && is_consonant(word, len - 1)
+}
+
+/// Does `word[..len]` end consonant-vowel-consonant, where the final
+/// consonant is not w, x or y?
+fn ends_cvc(word: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    is_consonant(word, len - 3)
+        && !is_consonant(word, len - 2)
+        && is_consonant(word, len - 1)
+        && !matches!(word[len - 1], b'w' | b'x' | b'y')
+}
+
+struct Stem {
+    buf: Vec<u8>,
+}
+
+impl Stem {
+    fn ends_with(&self, suffix: &str) -> bool {
+        self.buf.ends_with(suffix.as_bytes())
+    }
+
+    fn stem_len(&self, suffix: &str) -> usize {
+        self.buf.len() - suffix.len()
+    }
+
+    fn m_for(&self, suffix: &str) -> usize {
+        measure(&self.buf, self.stem_len(suffix))
+    }
+
+    fn replace(&mut self, suffix: &str, with: &str) {
+        let at = self.stem_len(suffix);
+        self.buf.truncate(at);
+        self.buf.extend_from_slice(with.as_bytes());
+    }
+
+    /// Replace `suffix` with `with` when the stem measure exceeds `min_m`.
+    /// Returns true when the suffix matched (whether or not replaced).
+    fn try_rule(&mut self, suffix: &str, with: &str, min_m: usize) -> bool {
+        if self.ends_with(suffix) {
+            if self.m_for(suffix) > min_m {
+                self.replace(suffix, with);
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Stem a lowercase word with the Porter algorithm.
+///
+/// ```
+/// use recipe_text::stem::porter_stem;
+/// assert_eq!(porter_stem("caresses"), "caress");
+/// assert_eq!(porter_stem("ponies"), "poni");
+/// assert_eq!(porter_stem("relational"), "relat");
+/// assert_eq!(porter_stem("tomatoes"), "tomato");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut s = Stem { buf: word.as_bytes().to_vec() };
+
+    // Step 1a.
+    if s.ends_with("sses") {
+        s.replace("sses", "ss");
+    } else if s.ends_with("ies") {
+        s.replace("ies", "i");
+    } else if !s.ends_with("ss") && s.ends_with("s") {
+        s.replace("s", "");
+    }
+
+    // Step 1b.
+    let mut step1b_extra = false;
+    if s.ends_with("eed") {
+        if s.m_for("eed") > 0 {
+            s.replace("eed", "ee");
+        }
+    } else if s.ends_with("ed") && has_vowel(&s.buf, s.stem_len("ed")) {
+        s.replace("ed", "");
+        step1b_extra = true;
+    } else if s.ends_with("ing") && has_vowel(&s.buf, s.stem_len("ing")) {
+        s.replace("ing", "");
+        step1b_extra = true;
+    }
+    if step1b_extra {
+        if s.ends_with("at") || s.ends_with("bl") || s.ends_with("iz") {
+            s.buf.push(b'e');
+        } else if ends_double_consonant(&s.buf, s.buf.len())
+            && !matches!(s.buf[s.buf.len() - 1], b'l' | b's' | b'z')
+        {
+            s.buf.pop();
+        } else if measure(&s.buf, s.buf.len()) == 1 && ends_cvc(&s.buf, s.buf.len()) {
+            s.buf.push(b'e');
+        }
+    }
+
+    // Step 1c.
+    if s.ends_with("y") && has_vowel(&s.buf, s.stem_len("y")) {
+        s.replace("y", "i");
+    }
+
+    // Step 2 (m > 0 suffix mappings).
+    const STEP2: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for &(suffix, with) in STEP2 {
+        if s.try_rule(suffix, with, 0) {
+            break;
+        }
+    }
+
+    // Step 3.
+    const STEP3: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for &(suffix, with) in STEP3 {
+        if s.try_rule(suffix, with, 0) {
+            break;
+        }
+    }
+
+    // Step 4 (m > 1 deletions).
+    const STEP4: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
+        "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    let mut matched = false;
+    for &suffix in STEP4 {
+        if s.ends_with(suffix) {
+            if s.m_for(suffix) > 1 {
+                s.replace(suffix, "");
+            }
+            matched = true;
+            break;
+        }
+    }
+    // Special "ion" rule: only after s or t.
+    if !matched && s.ends_with("ion") {
+        let at = s.stem_len("ion");
+        if at >= 1 && matches!(s.buf[at - 1], b's' | b't') && measure(&s.buf, at) > 1 {
+            s.replace("ion", "");
+        }
+    }
+
+    // Step 5a.
+    if s.ends_with("e") {
+        let at = s.stem_len("e");
+        let m = measure(&s.buf, at);
+        if m > 1 || (m == 1 && !ends_cvc(&s.buf, at)) {
+            s.replace("e", "");
+        }
+    }
+    // Step 5b.
+    if ends_double_consonant(&s.buf, s.buf.len())
+        && s.buf[s.buf.len() - 1] == b'l'
+        && measure(&s.buf, s.buf.len()) > 1
+    {
+        s.buf.pop();
+    }
+
+    String::from_utf8(s.buf).expect("ascii stays utf8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic vectors from Porter's paper and the reference vocabulary.
+    #[test]
+    fn reference_vectors() {
+        for (input, expect) in [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ] {
+            assert_eq!(porter_stem(input), expect, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn culinary_words() {
+        assert_eq!(porter_stem("tomatoes"), "tomato");
+        assert_eq!(porter_stem("chopped"), "chop");
+        assert_eq!(porter_stem("slices"), "slice");
+        assert_eq!(porter_stem("boiling"), "boil");
+        assert_eq!(porter_stem("teaspoons"), "teaspoon");
+    }
+
+    #[test]
+    fn short_and_non_ascii_pass_through() {
+        assert_eq!(porter_stem("go"), "go");
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem("jalapeño"), "jalapeño");
+        assert_eq!(porter_stem("Tomatoes"), "Tomatoes"); // caller lowercases
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_words() {
+        for w in ["tomato", "chop", "boil", "slice", "flour", "butter", "pepper"] {
+            let once = porter_stem(w);
+            assert_eq!(porter_stem(&once), once, "{w}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! English stop-word list.
+//!
+//! The paper removes stop words before POS-tagging and NER (§II.C),
+//! matching NLTK's English list. The list below is NLTK's list *minus*
+//! words that can be entity-bearing in recipe text: `to` participates in
+//! instruction syntax (`bring to a boil`) but is still a stop word for
+//! ingredient phrases, so the [`Preprocessor`](crate::normalize::Preprocessor)
+//! decides per-section which list to use.
+
+/// NLTK-style English stop words (lowercase).
+pub const STOP_WORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "aren't", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can't", "cannot", "could", "couldn't", "did", "didn't", "do", "does", "doesn't",
+    "doing", "don't", "down", "during", "each", "few", "for", "from", "further", "had", "hadn't",
+    "has", "hasn't", "have", "haven't", "having", "he", "he'd", "he'll", "he's", "her", "here",
+    "here's", "hers", "herself", "him", "himself", "his", "how", "how's", "i", "i'd", "i'll",
+    "i'm", "i've", "if", "in", "into", "is", "isn't", "it", "it's", "its", "itself", "let's",
+    "me", "more", "most", "mustn't", "my", "myself", "no", "nor", "not", "of", "off", "on",
+    "once", "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over", "own",
+    "same", "shan't", "she", "she'd", "she'll", "she's", "should", "shouldn't", "so", "some",
+    "such", "than", "that", "that's", "the", "their", "theirs", "them", "themselves", "then",
+    "there", "there's", "these", "they", "they'd", "they'll", "they're", "they've", "this",
+    "those", "through", "to", "too", "under", "until", "up", "very", "was", "wasn't", "we",
+    "we'd", "we'll", "we're", "we've", "were", "weren't", "what", "what's", "when", "when's",
+    "where", "where's", "which", "while", "who", "who's", "whom", "why", "why's", "with",
+    "won't", "would", "wouldn't", "you", "you'd", "you'll", "you're", "you've", "your", "yours",
+    "yourself", "yourselves",
+];
+
+/// Stop words that must be *kept* when preprocessing instruction sentences,
+/// because the dependency parser needs them to recover prepositional
+/// attachments (`fry the potatoes **with** olive oil **in** a pan`).
+pub const INSTRUCTION_KEEP: &[&str] =
+    &["in", "into", "with", "to", "on", "over", "under", "from", "until", "for", "the", "a", "an"];
+
+/// Is `word` (already lowercased) a stop word?
+///
+/// ```
+/// assert!(recipe_text::stopwords::is_stop_word("the"));
+/// assert!(!recipe_text::stopwords::is_stop_word("tomato"));
+/// ```
+pub fn is_stop_word(word: &str) -> bool {
+    // The list is sorted; binary search keeps lookups allocation-free.
+    STOP_WORDS.binary_search(&word).is_ok()
+}
+
+/// Is `word` a stop word that should nevertheless survive instruction
+/// preprocessing?
+pub fn keep_in_instructions(word: &str) -> bool {
+    INSTRUCTION_KEEP.contains(&word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_unique() {
+        let mut sorted = STOP_WORDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, STOP_WORDS, "STOP_WORDS must stay sorted for binary_search");
+    }
+
+    #[test]
+    fn common_stop_words_match() {
+        for w in ["the", "a", "of", "and", "or", "at", "to"] {
+            assert!(is_stop_word(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stopped() {
+        for w in ["tomato", "cup", "frozen", "boil", "pan", "fresh", "ground"] {
+            assert!(!is_stop_word(w), "{w} must not be a stop word");
+        }
+    }
+
+    #[test]
+    fn instruction_keep_words_are_stop_words() {
+        for w in INSTRUCTION_KEEP {
+            assert!(is_stop_word(w), "{w} should be in the main list too");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_lowercase_contract() {
+        // Callers must lowercase first; "The" is not found as-is.
+        assert!(!is_stop_word("The"));
+    }
+}

@@ -1,0 +1,351 @@
+//! Recipe-aware tokenizer.
+//!
+//! Ingredient phrases are not grammatical sentences; they are dense with
+//! numeric patterns that ordinary word tokenizers destroy. The lexical
+//! challenges called out in §II.A of the paper drive the rules here:
+//!
+//! * fractions (`1/2`, `3 1/2`) and unicode vulgar fractions (`½`) stay a
+//!   single token (`½` is normalized to `1/2`);
+//! * numeric ranges (`2-3`, `1-2`) stay a single token — they are a single
+//!   `QUANTITY` entity;
+//! * hyphenated words (`half-and-half`, `all-purpose`) stay a single token;
+//! * punctuation (`(`, `)`, `,`, `.`, `;`, `:`) is split into its own token
+//!   so that parenthesised attributes like `( thawed )` can be tagged.
+
+use serde::{Deserialize, Serialize};
+
+/// Broad lexical class of a token, decided purely from its surface form.
+///
+/// This is *not* a part-of-speech tag — it is cheap surface information used
+/// by feature extractors in the tagger and NER crates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// Alphabetic (possibly hyphenated) word: `pepper`, `half-and-half`.
+    Word,
+    /// Pure integer: `2`, `16`.
+    Integer,
+    /// Fraction: `1/2`, `3/4`.
+    Fraction,
+    /// Numeric range: `2-3`, `1-2`.
+    Range,
+    /// Mixed number written as one token after normalization is not
+    /// produced; decimals such as `1.5` are `Decimal`.
+    Decimal,
+    /// Single punctuation character: `(`, `)`, `,`, …
+    Punct,
+    /// Anything else (alphanumeric mixes such as `8oz`).
+    Other,
+}
+
+/// A token with its surface text and byte span in the original input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// Surface text (after unicode-fraction normalization).
+    pub text: String,
+    /// Surface-form class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte in the original string.
+    pub start: usize,
+    /// Byte offset one past the last byte in the original string.
+    pub end: usize,
+}
+
+impl Token {
+    /// Borrow the token text.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+}
+
+/// Map unicode vulgar fractions to their ASCII spelling.
+fn unicode_fraction(c: char) -> Option<&'static str> {
+    Some(match c {
+        '½' => "1/2",
+        '⅓' => "1/3",
+        '⅔' => "2/3",
+        '¼' => "1/4",
+        '¾' => "3/4",
+        '⅕' => "1/5",
+        '⅖' => "2/5",
+        '⅗' => "3/5",
+        '⅘' => "4/5",
+        '⅙' => "1/6",
+        '⅚' => "5/6",
+        '⅛' => "1/8",
+        '⅜' => "3/8",
+        '⅝' => "5/8",
+        '⅞' => "7/8",
+        _ => return None,
+    })
+}
+
+fn is_punct(c: char) -> bool {
+    matches!(c, '(' | ')' | ',' | '.' | ';' | ':' | '!' | '?' | '"' | '\'' | '[' | ']' | '&' | '/')
+}
+
+/// Classify a completed token's surface form.
+fn classify(text: &str) -> TokenKind {
+    let bytes = text.as_bytes();
+    if bytes.is_empty() {
+        return TokenKind::Other;
+    }
+    if text.chars().count() == 1 && is_punct(text.chars().next().unwrap()) {
+        return TokenKind::Punct;
+    }
+    if text.chars().all(|c| c.is_ascii_digit()) {
+        return TokenKind::Integer;
+    }
+    // Fraction: digits '/' digits
+    if let Some(slash) = text.find('/') {
+        let (a, b) = (&text[..slash], &text[slash + 1..]);
+        if !a.is_empty()
+            && !b.is_empty()
+            && a.bytes().all(|c| c.is_ascii_digit())
+            && b.bytes().all(|c| c.is_ascii_digit())
+        {
+            return TokenKind::Fraction;
+        }
+    }
+    // Range: digits '-' digits
+    if let Some(dash) = text.find('-') {
+        let (a, b) = (&text[..dash], &text[dash + 1..]);
+        if !a.is_empty()
+            && !b.is_empty()
+            && a.bytes().all(|c| c.is_ascii_digit())
+            && b.bytes().all(|c| c.is_ascii_digit())
+        {
+            return TokenKind::Range;
+        }
+    }
+    // Decimal: digits '.' digits
+    if let Some(dot) = text.find('.') {
+        let (a, b) = (&text[..dot], &text[dot + 1..]);
+        if !a.is_empty()
+            && !b.is_empty()
+            && a.bytes().all(|c| c.is_ascii_digit())
+            && b.bytes().all(|c| c.is_ascii_digit())
+        {
+            return TokenKind::Decimal;
+        }
+    }
+    if text.chars().all(|c| c.is_alphabetic() || c == '-' || c == '\'') {
+        return TokenKind::Word;
+    }
+    TokenKind::Other
+}
+
+/// Decide whether a `-` or `/` or `.` at byte position `i` glues two parts
+/// of one token together (numeric range / fraction / decimal / hyphenated
+/// word) rather than separating tokens.
+fn is_glue(prev: Option<char>, c: char, next: Option<char>) -> bool {
+    let (p, n) = match (prev, next) {
+        (Some(p), Some(n)) => (p, n),
+        _ => return false,
+    };
+    match c {
+        // `2-3` and `all-purpose`; also `extra-virgin`.
+        '-' => (p.is_ascii_digit() && n.is_ascii_digit()) || (p.is_alphabetic() && n.is_alphabetic()),
+        // `1/2` only; `and/or` is split so NER sees two words.
+        '/' => p.is_ascii_digit() && n.is_ascii_digit(),
+        // `1.5`.
+        '.' => p.is_ascii_digit() && n.is_ascii_digit(),
+        _ => false,
+    }
+}
+
+/// Tokenize a recipe phrase or instruction sentence.
+///
+/// The returned tokens carry byte spans into `input`. Unicode vulgar
+/// fractions are rewritten (`½` → `1/2`), in which case the token's span
+/// still covers the original character.
+///
+/// ```
+/// use recipe_text::token::{tokenize, TokenKind};
+///
+/// let toks = tokenize("1 (8 ounce) package cream cheese, softened");
+/// let texts: Vec<&str> = toks.iter().map(|t| t.as_str()).collect();
+/// assert_eq!(
+///     texts,
+///     ["1", "(", "8", "ounce", ")", "package", "cream", "cheese", ",", "softened"]
+/// );
+/// assert_eq!(toks[0].kind, TokenKind::Integer);
+/// ```
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut buf = String::new();
+    let mut buf_start = 0usize;
+
+    let push = |buf: &mut String, start: usize, end: usize, out: &mut Vec<Token>| {
+        if !buf.is_empty() {
+            let text = std::mem::take(buf);
+            let kind = classify(&text);
+            out.push(Token { text, kind, start, end });
+        }
+    };
+
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
+    for idx in 0..chars.len() {
+        let (i, c) = chars[idx];
+        let end_of_char = i + c.len_utf8();
+        if c.is_whitespace() {
+            push(&mut buf, buf_start, i, &mut out);
+            continue;
+        }
+        if let Some(frac) = unicode_fraction(c) {
+            // A vulgar fraction is always its own token (e.g. "1½" is rare
+            // enough that splitting "1" and "1/2" is the safe reading).
+            push(&mut buf, buf_start, i, &mut out);
+            out.push(Token {
+                text: frac.to_string(),
+                kind: TokenKind::Fraction,
+                start: i,
+                end: end_of_char,
+            });
+            buf_start = end_of_char;
+            continue;
+        }
+        if is_punct(c) {
+            let prev = buf.chars().last();
+            let next = chars.get(idx + 1).map(|&(_, n)| n);
+            if is_glue(prev, c, next) {
+                if buf.is_empty() {
+                    buf_start = i;
+                }
+                buf.push(c);
+                continue;
+            }
+            push(&mut buf, buf_start, i, &mut out);
+            out.push(Token {
+                text: c.to_string(),
+                kind: TokenKind::Punct,
+                start: i,
+                end: end_of_char,
+            });
+            buf_start = end_of_char;
+            continue;
+        }
+        if c == '-' {
+            let prev = buf.chars().last();
+            let next = chars.get(idx + 1).map(|&(_, n)| n);
+            if is_glue(prev, c, next) {
+                buf.push(c);
+                continue;
+            }
+            push(&mut buf, buf_start, i, &mut out);
+            buf_start = end_of_char;
+            continue;
+        }
+        if buf.is_empty() {
+            buf_start = i;
+        }
+        buf.push(c);
+    }
+    push(&mut buf, buf_start, input.len(), &mut out);
+    out
+}
+
+/// Convenience: tokenize and return only the surface strings.
+pub fn tokenize_words(input: &str) -> Vec<String> {
+    tokenize(input).into_iter().map(|t| t.text).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(s: &str) -> Vec<String> {
+        tokenize_words(s)
+    }
+
+    #[test]
+    fn splits_on_whitespace() {
+        assert_eq!(texts("2 cups flour"), ["2", "cups", "flour"]);
+    }
+
+    #[test]
+    fn keeps_fractions_whole() {
+        let toks = tokenize("1/2 teaspoon pepper");
+        assert_eq!(toks[0].text, "1/2");
+        assert_eq!(toks[0].kind, TokenKind::Fraction);
+    }
+
+    #[test]
+    fn keeps_ranges_whole() {
+        let toks = tokenize("2-3 medium tomatoes");
+        assert_eq!(toks[0].text, "2-3");
+        assert_eq!(toks[0].kind, TokenKind::Range);
+    }
+
+    #[test]
+    fn keeps_decimals_whole() {
+        let toks = tokenize("1.5 pounds beef");
+        assert_eq!(toks[0].text, "1.5");
+        assert_eq!(toks[0].kind, TokenKind::Decimal);
+    }
+
+    #[test]
+    fn splits_parentheses_and_commas() {
+        assert_eq!(
+            texts("1 sheet frozen puff pastry (thawed)"),
+            ["1", "sheet", "frozen", "puff", "pastry", "(", "thawed", ")"]
+        );
+        assert_eq!(texts("pepper,freshly ground"), ["pepper", ",", "freshly", "ground"]);
+    }
+
+    #[test]
+    fn keeps_hyphenated_words_whole() {
+        assert_eq!(texts("half-and-half"), ["half-and-half"]);
+        assert_eq!(texts("2 tablespoons all-purpose flour"), ["2", "tablespoons", "all-purpose", "flour"]);
+    }
+
+    #[test]
+    fn normalizes_unicode_fractions() {
+        let toks = tokenize("½ cup sugar");
+        assert_eq!(toks[0].text, "1/2");
+        assert_eq!(toks[0].kind, TokenKind::Fraction);
+        assert_eq!(toks[1].text, "cup");
+    }
+
+    #[test]
+    fn mixed_number_becomes_two_tokens() {
+        assert_eq!(texts("1 1/2 cups milk"), ["1", "1/2", "cups", "milk"]);
+    }
+
+    #[test]
+    fn spans_cover_original_bytes() {
+        let input = "1 garlic clove, crushed";
+        for tok in tokenize(input) {
+            if tok.text.len() == tok.end - tok.start {
+                assert_eq!(&input[tok.start..tok.end], tok.text);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn slash_between_words_splits() {
+        assert_eq!(texts("and/or"), ["and", "/", "or"]);
+    }
+
+    #[test]
+    fn classify_kinds() {
+        assert_eq!(classify("salt"), TokenKind::Word);
+        assert_eq!(classify("12"), TokenKind::Integer);
+        assert_eq!(classify("3/4"), TokenKind::Fraction);
+        assert_eq!(classify("2-3"), TokenKind::Range);
+        assert_eq!(classify("0.5"), TokenKind::Decimal);
+        assert_eq!(classify(","), TokenKind::Punct);
+        assert_eq!(classify("8oz"), TokenKind::Other);
+    }
+
+    #[test]
+    fn trailing_hyphen_dropped() {
+        // A dangling dash separates; it is not kept in any token.
+        assert_eq!(texts("sugar - free"), ["sugar", "free"]);
+    }
+}

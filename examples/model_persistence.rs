@@ -1,0 +1,47 @@
+//! Train once, ship the artifact: pipeline persistence plus n-best
+//! decoding and CRF confidence marginals on the loaded model.
+//!
+//! Run with: `cargo run --release --example model_persistence`
+
+use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
+use recipe_corpus::{CorpusSpec, RecipeCorpus};
+
+fn main() {
+    let corpus = RecipeCorpus::generate(&CorpusSpec::scaled(600, 17));
+    println!("training pipeline on {} recipes...", corpus.recipes.len());
+    let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
+
+    let path = std::env::temp_dir().join("recipe_pipeline.json");
+    println!("saving to {} ...", path.display());
+    pipeline.save(&path).expect("save pipeline");
+    let bytes = std::fs::metadata(&path).expect("stat").len();
+    println!("artifact size: {:.1} MiB", bytes as f64 / (1024.0 * 1024.0));
+
+    println!("loading...");
+    let loaded = TrainedPipeline::load(&path).expect("load pipeline");
+
+    let phrase = "1 sheet frozen puff pastry ( thawed )";
+    let entry = loaded.extract_ingredient(phrase);
+    println!("\nphrase:  {phrase}");
+    println!("entry:   {entry}");
+
+    // N-best decoding exposes the model's alternative readings.
+    let words = loaded.pre.preprocess(phrase);
+    println!("\ntop-3 label sequences:");
+    for (labels, score) in loaded.ingredient_ner.predict_nbest(&words, 3) {
+        let rendered: Vec<String> =
+            words.iter().zip(&labels).map(|(w, l)| format!("{w}/{l}")).collect();
+        println!("  {score:8.3}  {}", rendered.join(" "));
+    }
+
+    // CRF marginals give per-token confidence.
+    if let Some(marginals) = loaded.ingredient_ner.predict_marginals(&words) {
+        println!("\nper-token confidence (max marginal):");
+        for (w, row) in words.iter().zip(&marginals) {
+            let best = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            println!("  {w:<12} {best:.3}");
+        }
+    }
+
+    std::fs::remove_file(&path).ok();
+}

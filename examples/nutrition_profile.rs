@@ -1,0 +1,45 @@
+//! Application: nutritional profile estimation over the mined structure
+//! (§IV / ref. [13] of the paper).
+//!
+//! Run with: `cargo run --release --example nutrition_profile`
+
+use recipe_core::nutrition::{Contribution, NutritionEstimator};
+use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
+use recipe_corpus::{CorpusSpec, RecipeCorpus};
+
+fn main() {
+    let corpus = RecipeCorpus::generate(&CorpusSpec::scaled(600, 3));
+    println!("training pipeline on {} recipes...", corpus.recipes.len());
+    let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
+    let estimator = NutritionEstimator::new();
+
+    for recipe in corpus.recipes.iter().take(3) {
+        let model = pipeline.model_recipe(recipe);
+        let (profile, contribs) = estimator.estimate(&model);
+        println!("\nrecipe: {}", recipe.title);
+        for (entry, contrib) in model.ingredients.iter().zip(&contribs) {
+            match contrib {
+                Contribution::Estimated { profile, grams } => println!(
+                    "  {:<40} {:>7.0} g  {:>7.0} kcal",
+                    entry.to_string(),
+                    grams,
+                    profile.kcal
+                ),
+                Contribution::UnknownIngredient => {
+                    println!("  {:<40} (no nutrient row)", entry.to_string())
+                }
+                Contribution::UnknownQuantity => {
+                    println!("  {:<40} (unparseable quantity)", entry.to_string())
+                }
+            }
+        }
+        println!(
+            "  TOTAL: {:.0} kcal | protein {:.1} g | fat {:.1} g | carbs {:.1} g | coverage {:.0}%",
+            profile.kcal,
+            profile.protein_g,
+            profile.fat_g,
+            profile.carbs_g,
+            estimator.coverage(&contribs) * 100.0
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the recipe-knowledge-mining workspace.
+//!
+//! Reproduction of Diwan, Batra & Bagler, *"A Named Entity Based Approach
+//! to Model Recipes"* (ICDE 2020 workshops). See the README for the map of
+//! the workspace; the runnable entry points are:
+//!
+//! * `examples/` — quickstart, ingredient NER, instruction mining,
+//!   nutrition estimation, similarity search;
+//! * `recipe-bench`'s `table_*` / `figure_*` binaries — regenerate every
+//!   table and figure of the paper.
+
+pub use recipe_bench as bench;
+pub use recipe_cluster as cluster;
+pub use recipe_core as core;
+pub use recipe_corpus as corpus;
+pub use recipe_eval as eval;
+pub use recipe_ner as ner;
+pub use recipe_parser as parser;
+pub use recipe_tagger as tagger;
+pub use recipe_text as text;

@@ -1,0 +1,123 @@
+//! Cross-crate integration tests: the full pipeline from corpus
+//! generation to the mined recipe model.
+
+use recipe_core::nutrition::NutritionEstimator;
+use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
+use recipe_core::similarity::{most_similar, recipe_similarity, SimilarityWeights};
+use recipe_corpus::{CorpusSpec, RecipeCorpus, Site};
+
+fn trained() -> (RecipeCorpus, TrainedPipeline) {
+    let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(1234));
+    let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
+    (corpus, pipeline)
+}
+
+#[test]
+fn full_pipeline_models_every_recipe() {
+    let (corpus, pipeline) = trained();
+    for recipe in corpus.recipes.iter().take(25) {
+        let model = pipeline.model_recipe(recipe);
+        assert_eq!(model.id, recipe.id);
+        assert_eq!(model.ingredients.len(), recipe.ingredients.len());
+        assert_eq!(model.num_steps, recipe.num_steps());
+        // Every event's step index is in range and ordered.
+        let mut last_step = 0usize;
+        for e in &model.events {
+            assert!(e.step < model.num_steps);
+            assert!(e.step >= last_step, "events must be in temporal order");
+            last_step = e.step;
+            assert!(!e.process.is_empty());
+        }
+    }
+}
+
+#[test]
+fn ingredient_extraction_matches_gold_on_training_distribution() {
+    let (corpus, pipeline) = trained();
+    let pre = pipeline.pre.clone();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for recipe in corpus.recipes.iter().take(40) {
+        for phrase in &recipe.ingredients {
+            let entry = pipeline.extract_ingredient(&phrase.text());
+            let gold_name = phrase.gold_name(&pre);
+            total += 1;
+            if entry.name == gold_name {
+                correct += 1;
+            }
+        }
+    }
+    let acc = correct as f64 / total as f64;
+    assert!(acc > 0.8, "name extraction accuracy {acc} ({correct}/{total})");
+}
+
+#[test]
+fn events_reference_dictionary_processes_or_ner_hits() {
+    let (corpus, pipeline) = trained();
+    for recipe in corpus.recipes.iter().take(15) {
+        for e in pipeline.model_recipe(recipe).events {
+            // Utensils are dictionary-confirmed by construction.
+            for u in &e.utensils {
+                assert!(pipeline.dicts.is_utensil(u), "unknown utensil {u}");
+            }
+        }
+    }
+}
+
+#[test]
+fn nutrition_estimates_are_finite_and_nonnegative() {
+    let (corpus, pipeline) = trained();
+    let est = NutritionEstimator::new();
+    for recipe in corpus.recipes.iter().take(20) {
+        let model = pipeline.model_recipe(recipe);
+        let (profile, contribs) = est.estimate(&model);
+        for v in [profile.kcal, profile.protein_g, profile.fat_g, profile.carbs_g] {
+            assert!(v.is_finite() && v >= 0.0, "bad nutrient value {v}");
+        }
+        assert_eq!(contribs.len(), model.ingredients.len());
+    }
+}
+
+#[test]
+fn similarity_is_symmetric_and_bounded() {
+    let (corpus, pipeline) = trained();
+    let models: Vec<_> =
+        corpus.recipes.iter().take(12).map(|r| pipeline.model_recipe(r)).collect();
+    let w = SimilarityWeights::default();
+    for a in &models {
+        let aa = recipe_similarity(a, a, &w);
+        for b in &models {
+            let ab = recipe_similarity(a, b, &w);
+            let ba = recipe_similarity(b, a, &w);
+            assert!((ab - ba).abs() < 1e-12, "asymmetric similarity");
+            assert!((0.0..=1.0 + 1e-12).contains(&ab));
+            // Nothing is more similar to a than a itself. (Self-similarity
+            // is below 1 only when a term is empty — e.g. no events — and
+            // then that term is 0 against every other recipe too.)
+            assert!(aa + 1e-9 >= ab, "self {aa} < cross {ab}");
+        }
+    }
+    let top = most_similar(&models[0], &models, 5, &w);
+    assert!(top.len() <= 5);
+    for pair in top.windows(2) {
+        assert!(pair[0].1 >= pair[1].1, "ranking not sorted");
+    }
+}
+
+#[test]
+fn site_profiles_actually_differ() {
+    let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(5));
+    let vocab = |site: Site| {
+        corpus
+            .phrases(site)
+            .iter()
+            .flat_map(|p| p.tokens.iter().map(|t| t.text.to_lowercase()))
+            .collect::<std::collections::HashSet<String>>()
+    };
+    let ar = vocab(Site::AllRecipes);
+    let fc = vocab(Site::FoodCom);
+    let fc_only = fc.difference(&ar).count();
+    let ar_only = ar.difference(&fc).count();
+    // Food.com must carry more exclusive vocabulary (the Table IV driver).
+    assert!(fc_only > ar_only, "fc_only {fc_only} vs ar_only {ar_only}");
+}

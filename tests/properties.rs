@@ -1,0 +1,280 @@
+//! Property-based tests (proptest) over the core substrates' invariants.
+
+use proptest::prelude::*;
+use recipe_cluster::{KMeans, KMeansConfig};
+use recipe_eval::metrics::{entity_prf, extract_entities, token_prf};
+use recipe_text::lemma::{Lemmatizer, WordClass};
+use recipe_text::{tokenize, Preprocessor};
+
+proptest! {
+    /// Tokenization never produces empty tokens and spans stay in bounds
+    /// and non-decreasing.
+    #[test]
+    fn tokenizer_invariants(input in "[ -~½¾⅓]{0,60}") {
+        let toks = tokenize(&input);
+        let mut last_end = 0usize;
+        for t in &toks {
+            prop_assert!(!t.text.is_empty());
+            prop_assert!(t.start <= t.end);
+            prop_assert!(t.end <= input.len() + 8); // unicode fractions may expand
+            prop_assert!(t.start >= last_end || t.start < input.len());
+            last_end = t.end;
+        }
+    }
+
+    /// Tokenizing the space-join of tokens is stable (tokenization is a
+    /// fixpoint after one application) for word-like inputs.
+    #[test]
+    fn tokenization_is_idempotent(words in prop::collection::vec("[a-z]{1,8}", 0..8)) {
+        let input = words.join(" ");
+        let once: Vec<String> = tokenize(&input).into_iter().map(|t| t.text).collect();
+        let again: Vec<String> = tokenize(&once.join(" ")).into_iter().map(|t| t.text).collect();
+        prop_assert_eq!(once, again);
+    }
+
+    /// Noun lemmatization is idempotent: lemma(lemma(w)) == lemma(w).
+    #[test]
+    fn lemmatization_idempotent(word in "[a-z]{1,12}") {
+        let lem = Lemmatizer::new();
+        let once = lem.lemmatize(&word, WordClass::Noun);
+        let twice = lem.lemmatize(&once, WordClass::Noun);
+        prop_assert_eq!(&once, &twice, "word {}", word);
+        prop_assert!(!once.is_empty());
+    }
+
+    /// Preprocessing never yields empty tokens and always lowercases.
+    #[test]
+    fn preprocess_output_is_clean(input in "[ -~]{0,60}") {
+        let pre = Preprocessor::default();
+        for tok in pre.preprocess(&input) {
+            prop_assert!(!tok.is_empty());
+            prop_assert_eq!(tok.clone(), tok.to_lowercase());
+        }
+    }
+
+    /// K-Means: every point is assigned to its nearest centroid, and
+    /// inertia equals the sum of those distances.
+    #[test]
+    fn kmeans_assignment_optimality(
+        points in prop::collection::vec(
+            prop::collection::vec(-10.0f64..10.0, 3), 4..40),
+        k in 1usize..6,
+    ) {
+        let km = KMeans::fit(&points, &KMeansConfig { k, seed: 7, ..Default::default() });
+        let d2 = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        let mut inertia = 0.0;
+        for (p, &a) in points.iter().zip(&km.assignments) {
+            let assigned = d2(p, &km.centroids[a]);
+            for c in &km.centroids {
+                prop_assert!(assigned <= d2(p, c) + 1e-9);
+            }
+            inertia += assigned;
+        }
+        prop_assert!((inertia - km.inertia).abs() < 1e-6);
+    }
+
+    /// Entity extraction round-trips: entities tile the non-outside tokens
+    /// exactly.
+    #[test]
+    fn entities_tile_labels(labels in prop::collection::vec(
+        prop::sample::select(vec!["O", "NAME", "UNIT", "QUANTITY"]), 0..20))
+    {
+        let labels: Vec<String> = labels.into_iter().map(String::from).collect();
+        let ents = extract_entities(&labels, "O");
+        let mut covered = vec![false; labels.len()];
+        for (s, e, label) in &ents {
+            prop_assert!(s < e);
+            for i in *s..*e {
+                prop_assert!(!covered[i], "overlap at {i}");
+                covered[i] = true;
+                prop_assert_eq!(&labels[i], label);
+            }
+            // Maximality: neighbours differ.
+            if *s > 0 { prop_assert_ne!(&labels[*s - 1], label); }
+            if *e < labels.len() { prop_assert_ne!(&labels[*e], label); }
+        }
+        for (i, l) in labels.iter().enumerate() {
+            prop_assert_eq!(covered[i], l != "O");
+        }
+    }
+
+    /// Perfect predictions always give F1 = 1 (when any entity exists) and
+    /// metrics stay within [0, 1].
+    #[test]
+    fn prf_bounds(gold in prop::collection::vec(
+        prop::collection::vec(prop::sample::select(vec!["O", "A", "B"]), 1..8), 1..6))
+    {
+        let gold: Vec<Vec<String>> =
+            gold.into_iter().map(|s| s.into_iter().map(String::from).collect()).collect();
+        let has_entity = gold.iter().flatten().any(|l| l != "O");
+        for metrics in [entity_prf(&gold, &gold, "O"), token_prf(&gold, &gold, "O")] {
+            if has_entity {
+                prop_assert!((metrics.micro.f1 - 1.0).abs() < 1e-12);
+            }
+            for s in metrics.per_class.values() {
+                prop_assert!((0.0..=1.0).contains(&s.precision));
+                prop_assert!((0.0..=1.0).contains(&s.recall));
+                prop_assert!((0.0..=1.0).contains(&s.f1));
+            }
+        }
+    }
+}
+
+mod crf_properties {
+    use proptest::prelude::*;
+    use recipe_knowledge_mining::ner::decode::{
+        brute_force_best, log_sum_exp, viterbi, viterbi_nbest, Params,
+    };
+
+    /// Random small parameter blocks for decoding properties.
+    fn arb_params() -> impl Strategy<Value = Params> {
+        (2usize..4, 2usize..5).prop_flat_map(|(l, f)| {
+            let n_weights = f * l;
+            (
+                prop::collection::vec(-3.0f64..3.0, n_weights),
+                prop::collection::vec(-2.0f64..2.0, l * l),
+                prop::collection::vec(-1.0f64..1.0, l),
+                prop::collection::vec(-1.0f64..1.0, l),
+            )
+                .prop_map(move |(emit, trans, start, end)| Params {
+                    n_labels: l,
+                    emit,
+                    trans,
+                    start,
+                    end,
+                })
+        })
+    }
+
+    proptest! {
+        /// Viterbi always finds the brute-force optimum.
+        #[test]
+        fn viterbi_is_optimal(params in arb_params(), seq_len in 1usize..5) {
+            let n_feats = params.emit.len() / params.n_labels;
+            let feats: Vec<Vec<u32>> =
+                (0..seq_len).map(|t| vec![(t % n_feats) as u32]).collect();
+            let v = viterbi(&params, &feats);
+            let b = brute_force_best(&params, &feats);
+            let sv = params.sequence_score(&feats, &v);
+            let sb = params.sequence_score(&feats, &b);
+            prop_assert!((sv - sb).abs() < 1e-9, "viterbi {sv} vs brute {sb}");
+        }
+
+        /// The 1-best of n-best equals Viterbi, and scores are sorted.
+        #[test]
+        fn nbest_consistency(params in arb_params(), seq_len in 1usize..4) {
+            let n_feats = params.emit.len() / params.n_labels;
+            let feats: Vec<Vec<u32>> =
+                (0..seq_len).map(|t| vec![(t % n_feats) as u32]).collect();
+            let v = viterbi(&params, &feats);
+            let nbest = viterbi_nbest(&params, &feats, 4);
+            prop_assert!(!nbest.is_empty());
+            let s_first = params.sequence_score(&feats, &nbest[0].0);
+            let s_vit = params.sequence_score(&feats, &v);
+            prop_assert!((s_first - s_vit).abs() < 1e-9);
+            for w in nbest.windows(2) {
+                prop_assert!(w[0].1 >= w[1].1 - 1e-9);
+            }
+        }
+
+        /// log_sum_exp dominates max and is translation-equivariant.
+        #[test]
+        fn log_sum_exp_properties(xs in prop::collection::vec(-50.0f64..50.0, 1..8), shift in -10.0f64..10.0) {
+            let lse = log_sum_exp(&xs);
+            let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(lse >= max - 1e-12);
+            prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-12);
+            let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+            prop_assert!((log_sum_exp(&shifted) - (lse + shift)).abs() < 1e-9);
+        }
+    }
+}
+
+mod quantity_properties {
+    use proptest::prelude::*;
+    use recipe_knowledge_mining::core::Quantity;
+
+    proptest! {
+        /// Integers always parse to exact quantities.
+        #[test]
+        fn integers_parse(n in 0u32..1000) {
+            let q = Quantity::parse(&n.to_string()).unwrap();
+            prop_assert!(!q.is_range());
+            prop_assert_eq!(q.midpoint(), n as f64);
+        }
+
+        /// Fractions parse to num/den.
+        #[test]
+        fn fractions_parse(num in 1u32..20, den in 1u32..20) {
+            let q = Quantity::parse(&format!("{num}/{den}")).unwrap();
+            prop_assert!((q.midpoint() - num as f64 / den as f64).abs() < 1e-12);
+        }
+
+        /// Well-ordered ranges parse; midpoint lies inside.
+        #[test]
+        fn ranges_parse(a in 1u32..10, extra in 1u32..10) {
+            let b = a + extra;
+            let q = Quantity::parse(&format!("{a}-{b}")).unwrap();
+            prop_assert!(q.is_range());
+            prop_assert!(q.min <= q.midpoint() && q.midpoint() <= q.max);
+        }
+
+        /// Arbitrary garbage never panics.
+        #[test]
+        fn parse_never_panics(s in "[ -~]{0,12}") {
+            let _ = Quantity::parse(&s);
+        }
+    }
+}
+
+mod corpus_properties {
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use recipe_corpus::grammar::PhraseGenerator;
+    use recipe_corpus::instructions::InstructionGenerator;
+    use recipe_corpus::Site;
+    use recipe_tagger::PennTag;
+    use recipe_text::Preprocessor;
+
+    proptest! {
+        /// Every generated phrase survives preprocessing with aligned tags
+        /// and a non-empty NAME, for any seed and either site.
+        #[test]
+        fn generated_phrases_are_well_formed(seed in 0u64..5000, foodcom in any::<bool>()) {
+            let site = if foodcom { Site::FoodCom } else { Site::AllRecipes };
+            let g = PhraseGenerator::new(site);
+            let pre = Preprocessor::default();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = g.generate(&mut rng);
+            let (words, tags) = p.preprocessed(&pre);
+            prop_assert_eq!(words.len(), tags.len());
+            prop_assert!(!words.is_empty());
+            prop_assert!(!p.gold_name(&pre).is_empty());
+        }
+
+        /// Every generated instruction has a valid projective tree whose
+        /// oracle sequence reconstructs it exactly.
+        #[test]
+        fn generated_instructions_round_trip_the_oracle(seed in 0u64..5000) {
+            use recipe_parser::transition::{oracle_sequence, State};
+            let g = InstructionGenerator::new(Site::FoodCom);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let names = vec![vec![("water".to_string(), PennTag::NN)]];
+            let s = g.generate(&mut rng, &names);
+            prop_assert!(s.tree.is_projective());
+            let seq = oracle_sequence(&s.tree);
+            prop_assert_eq!(seq.len(), 2 * s.tree.len(), "arc-standard is 2n transitions");
+            let mut state = State::new(s.tree.len());
+            for t in seq {
+                prop_assert!(state.is_legal(t));
+                state.apply(t);
+            }
+            prop_assert!(state.is_terminal());
+            let rebuilt = state.into_tree().unwrap();
+            prop_assert_eq!(rebuilt, s.tree);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Robustness and failure-injection tests: the pipeline must degrade
+//! gracefully — never panic — on adversarial, malformed or out-of-domain
+//! input.
+
+use recipe_core::events::extract_sentence_events;
+use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
+use recipe_corpus::{CorpusSpec, RecipeCorpus};
+
+fn pipeline() -> TrainedPipeline {
+    let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(4242));
+    TrainedPipeline::train(&corpus, &PipelineConfig::fast())
+}
+
+#[test]
+fn extraction_never_panics_on_garbage() {
+    let p = pipeline();
+    let garbage = [
+        "",
+        " ",
+        "!!!",
+        "(((((((",
+        "1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1",
+        "½½½½",
+        "\u{0000}\u{FFFF}",
+        "emoji 🍅 tomato 🍅",
+        "ВОДА И СОЛЬ",
+        "a-b-c-d-e-f-g-h",
+        "1/0 cups nothing",
+        "-5 cups antimatter",
+        "the the the the of of of",
+        "  , , , ,  ",
+    ];
+    for phrase in garbage {
+        let entry = p.extract_ingredient(phrase);
+        // No panic is the contract; the entry may legitimately be empty.
+        let _ = entry.attribute_count();
+    }
+}
+
+#[test]
+fn very_long_inputs_are_handled() {
+    let p = pipeline();
+    // 500-token phrase.
+    let long_phrase = vec!["tomato"; 500].join(" ");
+    let entry = p.extract_ingredient(&long_phrase);
+    assert!(!entry.name.is_empty());
+    // 300-token "sentence" through parsing + NER + extraction.
+    let words: Vec<String> = (0..300).map(|i| format!("word{i}")).collect();
+    let events = extract_sentence_events(&p, &words, 0);
+    let _ = events.len();
+}
+
+#[test]
+fn unicode_multibyte_does_not_split_badly() {
+    let p = pipeline();
+    for phrase in ["2 cups jalapeño", "1 crème fraîche", "½ teaspoon açaí"] {
+        let entry = p.extract_ingredient(phrase);
+        let _ = entry;
+    }
+}
+
+#[test]
+fn model_text_tolerates_odd_sections() {
+    let p = pipeline();
+    // No instructions at all.
+    let m = p.model_text("x", "", &["1 cup milk".to_string()], &[]);
+    assert_eq!(m.num_steps, 0);
+    assert!(m.events.is_empty());
+    assert_eq!(m.ingredients.len(), 1);
+    // Instructions but no ingredients.
+    let m = p.model_text("x", "", &[], &["Boil the water .".to_string()]);
+    assert!(m.ingredients.is_empty());
+    // Step with no sentence-final punctuation.
+    let m = p.model_text("x", "", &["salt".to_string()], &["stir gently".to_string()]);
+    assert_eq!(m.num_steps, 1);
+}
+
+#[test]
+fn nbest_and_marginals_agree_on_garbage() {
+    let p = pipeline();
+    let words: Vec<String> = vec!["!!".into(), "??".into(), "zz".into()];
+    let best = p.ingredient_ner.predict(&words);
+    let nbest = p.ingredient_ner.predict_nbest(&words, 2);
+    assert_eq!(nbest[0].0, best);
+    if let Some(marg) = p.ingredient_ner.predict_marginals(&words) {
+        assert_eq!(marg.len(), 3);
+        for row in marg {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn duplicate_and_conflicting_phrases_extract_consistently() {
+    let p = pipeline();
+    // Homograph: "clove" as unit vs as name.
+    let unit_use = p.extract_ingredient("2 cloves garlic , minced");
+    let name_use = p.extract_ingredient("1 teaspoon clove");
+    // The unit reading must place garlic (not clove) as the name.
+    assert_eq!(unit_use.name, "garlic", "{unit_use}");
+    // The name reading keeps clove out of the unit slot.
+    assert_ne!(name_use.unit.as_deref(), Some("clove"), "{name_use}");
+}
+
+#[test]
+fn repeated_extraction_is_deterministic() {
+    let p = pipeline();
+    let phrase = "1 (8 ounce) package cream cheese , softened";
+    let first = p.extract_ingredient(phrase);
+    for _ in 0..10 {
+        assert_eq!(p.extract_ingredient(phrase), first);
+    }
+}
