@@ -1,0 +1,500 @@
+//! Artifact lints (`RA0xx`): structural health checks over a trained
+//! pipeline — the things `cargo test` can't see because they depend on
+//! what training actually produced.
+
+use crate::diag::Diagnostic;
+use recipe_core::instructions::Dictionaries;
+use recipe_core::pipeline::TrainedPipeline;
+use recipe_ner::decode::Params;
+use recipe_ner::{IngredientTag, InstructionTag, SequenceModel};
+use recipe_parser::parser::DependencyParser;
+use recipe_tagger::tagset::NUM_TAGS;
+use recipe_tagger::PosTagger;
+
+/// Below this magnitude a whole parameter block counts as untrained.
+const DEGENERATE_EPS: f64 = 1e-12;
+
+/// Run every artifact lint over a trained pipeline.
+pub fn lint_pipeline(p: &TrainedPipeline) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(lint_sequence_model(&p.ingredient_ner, "ingredient NER"));
+    out.extend(lint_sequence_model(&p.instruction_ner, "instruction NER"));
+    out.extend(lint_pos_tagger(&p.pos));
+    out.extend(lint_parser(&p.parser));
+    out.extend(lint_dictionaries(&p.dicts, None));
+    out
+}
+
+/// Lint one sequence model (label set + parameter block + feature table).
+pub fn lint_sequence_model(model: &SequenceModel, which: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let params = model.params();
+    let labels = model.labels();
+    let loc = |part: &str| format!("artifact: {which}, {part}");
+
+    // RA004: dimensional consistency between the label set, the parameter
+    // block and the interner.
+    if labels.len() != params.n_labels {
+        out.push(
+            Diagnostic::new(
+                "RA004",
+                format!(
+                    "label set has {} labels but parameters are sized for {}",
+                    labels.len(),
+                    params.n_labels
+                ),
+                loc("labels vs params"),
+            )
+            .with_note("decoding will panic or silently mislabel"),
+        );
+    }
+    let n = params.n_labels;
+    if params.trans.len() != n * n || params.start.len() != n || params.end.len() != n {
+        out.push(Diagnostic::new(
+            "RA004",
+            format!(
+                "parameter block shapes are inconsistent: trans {} (want {}), start {} / end {} (want {})",
+                params.trans.len(),
+                n * n,
+                params.start.len(),
+                params.end.len(),
+                n
+            ),
+            loc("params"),
+        ));
+    }
+    if n > 0 && params.emit.len() != model.interner().len() * n {
+        out.push(
+            Diagnostic::new(
+                "RA004",
+                format!(
+                    "emission block has {} weights but {} features x {} labels = {}",
+                    params.emit.len(),
+                    model.interner().len(),
+                    n,
+                    model.interner().len() * n
+                ),
+                loc("emit vs interner"),
+            )
+            .with_note("feature ids decoded against the wrong rows produce garbage scores"),
+        );
+    }
+
+    // RA005: a frozen-but-empty feature table means predictions ignore
+    // the input entirely.
+    if model.interner().is_empty() {
+        out.push(Diagnostic::new(
+            "RA005",
+            "model has no interned features — every input scores identically",
+            loc("interner"),
+        ));
+    }
+
+    // RA001: non-finite parameters.
+    out.extend(lint_params_finite(
+        params,
+        labels.names().collect::<Vec<_>>().as_slice(),
+        which,
+    ));
+
+    // RA002: a model whose every weight is ~zero was never trained.
+    let max_abs = params
+        .emit
+        .iter()
+        .chain(&params.trans)
+        .chain(&params.start)
+        .chain(&params.end)
+        .fold(0.0f64, |m, w| m.max(w.abs()));
+    if max_abs < DEGENERATE_EPS && !params.emit.is_empty() {
+        out.push(
+            Diagnostic::new(
+                "RA002",
+                format!(
+                    "all {} parameters are zero",
+                    params.emit.len() + params.trans.len()
+                ),
+                loc("params"),
+            )
+            .with_note("was the model trained, or did a pruning pass drop everything?"),
+        );
+    }
+
+    // RA010 / RA003: inventory-shape dependent checks.
+    let names: Vec<&str> = labels.names().collect();
+    match classify_inventory(&names) {
+        InventoryKind::Bio => out.extend(lint_bio_transitions(params, &names, which)),
+        InventoryKind::Raw => {}
+        InventoryKind::Unknown => {
+            out.push(
+                Diagnostic::new(
+                    "RA010",
+                    format!("label inventory {names:?} matches no known task"),
+                    loc("labels"),
+                )
+                .with_note(
+                    "expected the Table II ingredient tags, the instruction tags, or a BIO expansion of either",
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// RA001 over one parameter block, with labeled locations.
+fn lint_params_finite(params: &Params, label_names: &[&str], which: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = params.n_labels.max(1);
+    let mut report = |block: &str, idx: usize, w: f64| {
+        let label = label_names.get(idx % n).copied().unwrap_or("?");
+        out.push(
+            Diagnostic::new(
+                "RA001",
+                format!("{block} weight for label {label} is {w}"),
+                format!("artifact: {which}, {block}[{idx}]"),
+            )
+            .with_note("a reloaded artifact would quietly regenerate this as NaN"),
+        );
+    };
+    // Cap the reports per block so a fully poisoned model doesn't flood.
+    for (name, block) in [
+        ("emit", &params.emit),
+        ("trans", &params.trans),
+        ("start", &params.start),
+        ("end", &params.end),
+    ] {
+        let mut seen = 0;
+        for (i, &w) in block.iter().enumerate() {
+            if !w.is_finite() {
+                report(name, i, w);
+                seen += 1;
+                if seen >= 3 {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// RA003: in a BIO inventory, a transition into `I-X` from anything other
+/// than `B-X`/`I-X` is structurally impossible; if the trained weight for
+/// an impossible transition is at least as large as every legal one into
+/// that label, Viterbi can emit invalid sequences.
+fn lint_bio_transitions(params: &Params, names: &[&str], which: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = params.n_labels;
+    if params.trans.len() != n * n || names.len() != n {
+        return out; // RA004 already covers shape problems.
+    }
+    for (j, to) in names.iter().enumerate() {
+        let Some(entity) = to.strip_prefix("I-") else {
+            continue;
+        };
+        let legal: Vec<usize> = names
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.strip_prefix("B-") == Some(entity) || f.strip_prefix("I-") == Some(entity)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let max_legal = legal
+            .iter()
+            .map(|&i| params.trans[i * n + j])
+            .fold(f64::NEG_INFINITY, f64::max);
+        for (i, from) in names.iter().enumerate() {
+            if legal.contains(&i) {
+                continue;
+            }
+            let w = params.trans[i * n + j];
+            if w >= max_legal {
+                out.push(
+                    Diagnostic::new(
+                        "RA003",
+                        format!(
+                            "impossible transition {from} -> {to} scores {w:.3}, >= best legal score {max_legal:.3}"
+                        ),
+                        format!("artifact: {which}, trans[{i},{j}]"),
+                    )
+                    .with_note("the decoder can emit BIO sequences that no valid entity tiling explains"),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// RA006/RA007 over the POS tagger.
+pub fn lint_pos_tagger(pos: &PosTagger) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if pos.model().num_classes() != NUM_TAGS {
+        out.push(Diagnostic::new(
+            "RA004",
+            format!(
+                "POS perceptron has {} classes but the Penn tagset has {NUM_TAGS}",
+                pos.model().num_classes()
+            ),
+            "artifact: POS tagger, classes",
+        ));
+    }
+    let mut reported = 0;
+    'rows: for (feature, row) in pos.model().weight_rows() {
+        for (c, &w) in row.iter().enumerate() {
+            if !w.is_finite() {
+                out.push(Diagnostic::new(
+                    "RA006",
+                    format!("weight for feature {feature:?}, class {c} is {w}"),
+                    "artifact: POS tagger, weights",
+                ));
+                reported += 1;
+                if reported >= 3 {
+                    break 'rows;
+                }
+            }
+        }
+    }
+    if pos.num_features() == 0 {
+        out.push(Diagnostic::new(
+            "RA007",
+            "POS tagger has no feature rows",
+            "artifact: POS tagger, weights",
+        ));
+    }
+    if pos.tagdict_len() == 0 {
+        out.push(
+            Diagnostic::new(
+                "RA007",
+                "POS tagger's unambiguous-word dictionary is empty",
+                "artifact: POS tagger, tagdict",
+            )
+            .with_note(
+                "every token will go through the perceptron path; accuracy and speed both suffer",
+            ),
+        );
+    }
+    out
+}
+
+/// RA008 over the dependency parser.
+pub fn lint_parser(parser: &DependencyParser) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if parser.transitions().is_empty() {
+        out.push(Diagnostic::new(
+            "RA008",
+            "parser has an empty transition inventory — it cannot parse anything",
+            "artifact: parser, transitions",
+        ));
+    }
+    let mut reported = 0;
+    'rows: for (feature, row) in parser.model().weight_rows() {
+        for (c, &w) in row.iter().enumerate() {
+            if !w.is_finite() {
+                out.push(Diagnostic::new(
+                    "RA008",
+                    format!("weight for feature {feature:?}, transition {c} is {w}"),
+                    "artifact: parser, weights",
+                ));
+                reported += 1;
+                if reported >= 3 {
+                    break 'rows;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// RA009 over the process/utensil dictionaries. When `thresholds` is
+/// given, entries whose recorded counts fall below it are flagged.
+pub fn lint_dictionaries(
+    dicts: &Dictionaries,
+    thresholds: Option<(usize, usize)>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (name, set) in [("process", &dicts.processes), ("utensil", &dicts.utensils)] {
+        if set.is_empty() {
+            out.push(
+                Diagnostic::new(
+                    "RA009",
+                    format!("{name} dictionary is empty"),
+                    format!("artifact: dictionaries, {name}"),
+                )
+                .with_note("event extraction will find no events of this kind"),
+            );
+        }
+    }
+    if let Some((process_min, utensil_min)) = thresholds {
+        for (name, set, counts, min) in [
+            (
+                "process",
+                &dicts.processes,
+                &dicts.process_counts,
+                process_min,
+            ),
+            (
+                "utensil",
+                &dicts.utensils,
+                &dicts.utensil_counts,
+                utensil_min,
+            ),
+        ] {
+            for word in set.iter() {
+                let count = counts.get(word).copied().unwrap_or(0);
+                if count < min {
+                    out.push(Diagnostic::new(
+                        "RA009",
+                        format!(
+                            "{name} dictionary entry {word:?} has count {count}, below the threshold {min}"
+                        ),
+                        format!("artifact: dictionaries, {name}[{word}]"),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Which task a label inventory belongs to.
+enum InventoryKind {
+    /// Raw tags of one of the two tasks.
+    Raw,
+    /// BIO expansion of one of the two tasks.
+    Bio,
+    /// Neither.
+    Unknown,
+}
+
+fn is_bio(names: &[&str]) -> bool {
+    names
+        .iter()
+        .any(|n| n.starts_with("B-") || n.starts_with("I-"))
+}
+
+fn classify_inventory(names: &[&str]) -> InventoryKind {
+    let mut sorted: Vec<&str> = names.to_vec();
+    sorted.sort_unstable();
+    let matches = |inventory: &[String]| {
+        let mut inv: Vec<&str> = inventory.iter().map(|s| s.as_str()).collect();
+        inv.sort_unstable();
+        inv == sorted
+    };
+    let ingredient: Vec<String> = IngredientTag::ALL.iter().map(|t| t.to_string()).collect();
+    let instruction: Vec<String> = InstructionTag::ALL.iter().map(|t| t.to_string()).collect();
+    if matches(&ingredient) || matches(&instruction) {
+        return InventoryKind::Raw;
+    }
+    let ing_refs: Vec<&str> = ingredient.iter().map(|s| s.as_str()).collect();
+    let ins_refs: Vec<&str> = instruction.iter().map(|s| s.as_str()).collect();
+    let ing_bio = recipe_ner::scheme::bio_label_names(&ing_refs, "O");
+    let ins_bio = recipe_ner::scheme::bio_label_names(&ins_refs, "O");
+    if matches(&ing_bio) || matches(&ins_bio) {
+        return InventoryKind::Bio;
+    }
+    if is_bio(names) {
+        // A BIO-looking inventory for some other task: lint transitions
+        // anyway, the structure argument still holds.
+        return InventoryKind::Bio;
+    }
+    InventoryKind::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recipe_ner::encode::Interner;
+    use recipe_ner::labels::LabelSet;
+
+    fn tiny_model(labels: &[&str], n_features: usize) -> SequenceModel {
+        let mut interner = Interner::new();
+        for i in 0..n_features {
+            interner.intern(&format!("f{i}"));
+        }
+        interner.freeze();
+        let params = Params::zeros(n_features, labels.len());
+        SequenceModel::from_parts(LabelSet::new(labels), interner, params)
+    }
+
+    #[test]
+    fn zero_model_is_degenerate_not_invalid() {
+        let model = tiny_model(&["O", "NAME"], 4);
+        let diags = lint_sequence_model(&model, "test");
+        assert!(diags.iter().any(|d| d.code == "RA002"), "{diags:?}");
+        assert!(!diags.iter().any(|d| d.code == "RA001"), "{diags:?}");
+    }
+
+    #[test]
+    fn nan_weight_fires_ra001() {
+        let mut model = tiny_model(&["O", "NAME"], 4);
+        model.params_mut().emit[3] = f64::NAN;
+        let diags = lint_sequence_model(&model, "test");
+        assert!(diags.iter().any(|d| d.code == "RA001"), "{diags:?}");
+    }
+
+    #[test]
+    fn shape_mismatch_fires_ra004() {
+        let mut model = tiny_model(&["O", "NAME"], 4);
+        model.params_mut().trans.pop();
+        let diags = lint_sequence_model(&model, "test");
+        assert!(diags.iter().any(|d| d.code == "RA004"), "{diags:?}");
+    }
+
+    #[test]
+    fn bio_impossible_transition_fires_ra003() {
+        // O, B-NAME, I-NAME; make O -> I-NAME the best-scoring way in.
+        let mut model = tiny_model(&["O", "B-NAME", "I-NAME"], 2);
+        {
+            let p = model.params_mut();
+            let n = 3;
+            p.trans[n * 2 + 2] = 1.0; // O(0) -> I-NAME(2) strong... index math:
+                                      // trans[from * n + to]; O=0, B-NAME=1, I-NAME=2.
+            p.trans[2] = 5.0; // O -> I-NAME impossible, strong
+            p.trans[n + 2] = 1.0; // B-NAME -> I-NAME legal, weaker
+            p.trans[2 * n + 2] = 1.0; // I-NAME -> I-NAME legal, weaker
+        }
+        let diags = lint_sequence_model(&model, "test");
+        assert!(diags.iter().any(|d| d.code == "RA003"), "{diags:?}");
+    }
+
+    #[test]
+    fn healthy_bio_model_passes_ra003() {
+        let mut model = tiny_model(&["O", "B-NAME", "I-NAME"], 2);
+        {
+            let p = model.params_mut();
+            let n = 3;
+            p.trans[2] = -5.0; // O -> I-NAME suppressed
+            p.trans[n + 2] = 2.0;
+            p.trans[2 * n + 2] = 2.0;
+            p.emit[0] = 0.1; // not degenerate
+        }
+        let diags = lint_sequence_model(&model, "test");
+        assert!(!diags.iter().any(|d| d.code == "RA003"), "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_inventory_fires_ra010() {
+        let model = tiny_model(&["X", "Y"], 2);
+        let diags = lint_sequence_model(&model, "test");
+        assert!(diags.iter().any(|d| d.code == "RA010"), "{diags:?}");
+    }
+
+    #[test]
+    fn dictionary_threshold_violations_fire_ra009() {
+        let mut dicts = Dictionaries::default();
+        dicts.processes.insert("boil".into());
+        dicts.process_counts.insert("boil".into(), 3);
+        dicts.utensils.insert("pan".into());
+        dicts.utensil_counts.insert("pan".into(), 50);
+        let diags = lint_dictionaries(&dicts, Some((47, 10)));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "RA009" && d.message.contains("boil")),
+            "{diags:?}"
+        );
+        assert!(
+            !diags.iter().any(|d| d.message.contains("\"pan\"")),
+            "{diags:?}"
+        );
+    }
+}

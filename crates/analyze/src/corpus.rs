@@ -1,0 +1,303 @@
+//! Corpus lints (`RA1xx`): well-formedness checks over annotated data —
+//! both the typed in-memory corpus and string-level label sequences as
+//! they appear in interchange files.
+
+use crate::diag::Diagnostic;
+use recipe_core::Quantity;
+use recipe_corpus::vocab::UNITS;
+use recipe_corpus::{Recipe, RecipeCorpus};
+use recipe_ner::{IngredientTag, InstructionTag};
+use recipe_text::tokenize;
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// Run every corpus lint over a generated/loaded corpus.
+pub fn lint_corpus(corpus: &RecipeCorpus) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut seen_ids: HashMap<u64, usize> = HashMap::new();
+    for (i, recipe) in corpus.recipes.iter().enumerate() {
+        if let Some(&first) = seen_ids.get(&recipe.id) {
+            out.push(Diagnostic::new(
+                "RA103",
+                format!(
+                    "recipe id {} appears in both recipe {first} and recipe {i}",
+                    recipe.id
+                ),
+                format!("corpus: recipe {i}"),
+            ));
+        }
+        seen_ids.insert(recipe.id, i);
+        out.extend(lint_recipe(recipe, i));
+    }
+    out
+}
+
+/// Lint one recipe: tokens, step structure, quantities, units, trees.
+pub fn lint_recipe(recipe: &Recipe, index: usize) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let loc = |what: &str| format!("corpus: recipe {index} ({}), {what}", recipe.title);
+
+    // RA109: empty sections.
+    if recipe.ingredients.is_empty() {
+        out.push(Diagnostic::new(
+            "RA109",
+            "recipe has no ingredients",
+            loc("ingredients"),
+        ));
+    }
+    if recipe.instructions.is_empty() {
+        out.push(Diagnostic::new(
+            "RA109",
+            "recipe has no instructions",
+            loc("instructions"),
+        ));
+    }
+
+    // RA102: step_of must map every instruction sentence to a step, with
+    // steps starting at 0 and never jumping.
+    if recipe.step_of.len() != recipe.instructions.len() {
+        out.push(Diagnostic::new(
+            "RA102",
+            format!(
+                "step_of has {} entries for {} instruction sentences",
+                recipe.step_of.len(),
+                recipe.instructions.len()
+            ),
+            loc("step_of"),
+        ));
+    } else if !recipe.step_of.is_empty() {
+        if recipe.step_of[0] != 0 {
+            out.push(Diagnostic::new(
+                "RA102",
+                format!(
+                    "first sentence is in step {}, expected 0",
+                    recipe.step_of[0]
+                ),
+                loc("step_of"),
+            ));
+        }
+        for w in recipe.step_of.windows(2) {
+            if w[1] < w[0] || w[1] > w[0] + 1 {
+                out.push(Diagnostic::new(
+                    "RA102",
+                    format!("step indices jump from {} to {}", w[0], w[1]),
+                    loc("step_of"),
+                ));
+                break;
+            }
+        }
+    }
+
+    let unit_vocab: BTreeSet<&str> = UNITS
+        .iter()
+        .flat_map(|(singular, plural, _)| [*singular, *plural])
+        .collect();
+
+    for (j, phrase) in recipe.ingredients.iter().enumerate() {
+        let ploc = |what: &str| format!("corpus: recipe {index}, ingredient {j}, {what}");
+        for (t, tok) in phrase.tokens.iter().enumerate() {
+            // RA101: empty token text.
+            if tok.text.is_empty() {
+                out.push(Diagnostic::new(
+                    "RA101",
+                    "token has empty text",
+                    ploc(&format!("token {t}")),
+                ));
+                continue;
+            }
+            // RA106: QUANTITY tokens must parse under the quantity grammar.
+            if tok.tag == IngredientTag::Quantity && Quantity::parse(&tok.text).is_none() {
+                out.push(
+                    Diagnostic::new(
+                        "RA106",
+                        format!("token {:?} is tagged QUANTITY but does not parse", tok.text),
+                        ploc(&format!("token {t}")),
+                    )
+                    .with_note("expected an integer, decimal, fraction, mixed number or range"),
+                );
+            }
+            // RA107: UNIT tokens should come from the unit vocabulary.
+            if tok.tag == IngredientTag::Unit && !unit_vocab.contains(tok.text.as_str()) {
+                out.push(Diagnostic::new(
+                    "RA107",
+                    format!(
+                        "token {:?} is tagged UNIT but is not a known unit",
+                        tok.text
+                    ),
+                    ploc(&format!("token {t}")),
+                ));
+            }
+        }
+        // RA108: the rendered text must re-tokenize to the same stream.
+        let words = phrase.words();
+        let retokenized: Vec<String> = tokenize(&phrase.text())
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        if retokenized != words {
+            out.push(
+                Diagnostic::new(
+                    "RA108",
+                    format!("re-tokenizing yields {retokenized:?}, annotation has {words:?}"),
+                    ploc("tokens"),
+                )
+                .with_note("NER features are computed on tokenizer output; misaligned gold labels corrupt training"),
+            );
+        }
+    }
+
+    for (j, sentence) in recipe.instructions.iter().enumerate() {
+        let sloc = |what: &str| format!("corpus: recipe {index}, sentence {j}, {what}");
+        for (t, tok) in sentence.tokens.iter().enumerate() {
+            if tok.text.is_empty() {
+                out.push(Diagnostic::new(
+                    "RA101",
+                    "token has empty text",
+                    sloc(&format!("token {t}")),
+                ));
+            }
+        }
+        // RA110: gold dependency trees must cover the sentence and be
+        // projective (the arc-standard oracle requires it).
+        if sentence.tree.len() != sentence.tokens.len() {
+            out.push(Diagnostic::new(
+                "RA110",
+                format!(
+                    "gold tree has {} nodes for {} tokens",
+                    sentence.tree.len(),
+                    sentence.tokens.len()
+                ),
+                sloc("tree"),
+            ));
+        } else if !sentence.tree.is_projective() {
+            out.push(
+                Diagnostic::new(
+                    "RA110",
+                    "gold dependency tree is non-projective",
+                    sloc("tree"),
+                )
+                .with_note("the arc-standard oracle cannot reach this tree"),
+            );
+        }
+    }
+    out
+}
+
+/// String-level label-sequence lints (`RA104`/`RA105`), for data as it
+/// appears in CoNLL/JSONL interchange files. `task` selects the
+/// inventory: `"ingredient"` or `"instruction"`.
+pub fn lint_label_sequence(labels: &[String], task: &str, location: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let raw: Vec<String> = match task {
+        "instruction" => InstructionTag::ALL.iter().map(|t| t.to_string()).collect(),
+        _ => IngredientTag::ALL.iter().map(|t| t.to_string()).collect(),
+    };
+    let mut inventory: BTreeSet<String> = raw.iter().cloned().collect();
+    for r in &raw {
+        if r != "O" {
+            inventory.insert(format!("B-{r}"));
+            inventory.insert(format!("I-{r}"));
+        }
+    }
+
+    for (i, label) in labels.iter().enumerate() {
+        // RA105: labels must come from the task inventory (raw or BIO).
+        if !inventory.contains(label) {
+            out.push(Diagnostic::new(
+                "RA105",
+                format!("label {label:?} is outside the {task} inventory"),
+                format!("{location}, position {i}"),
+            ));
+        }
+        // RA104: an I-X must continue a B-X/I-X run.
+        if let Some(entity) = label.strip_prefix("I-") {
+            let prev_ok = i > 0
+                && (labels[i - 1].strip_prefix("B-") == Some(entity)
+                    || labels[i - 1].strip_prefix("I-") == Some(entity));
+            if !prev_ok {
+                let prev = if i == 0 {
+                    "<start>"
+                } else {
+                    labels[i - 1].as_str()
+                };
+                out.push(Diagnostic::new(
+                    "RA104",
+                    format!("{label} follows {prev}; expected B-{entity} or I-{entity}"),
+                    format!("{location}, position {i}"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recipe_corpus::CorpusSpec;
+
+    #[test]
+    fn generated_corpus_is_clean() {
+        let corpus = RecipeCorpus::generate(&CorpusSpec::scaled(40, 5));
+        let diags = lint_corpus(&corpus);
+        assert!(
+            diags.is_empty(),
+            "healthy corpus should lint clean: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn broken_bio_fires_ra104() {
+        let labels: Vec<String> = ["O", "I-NAME", "B-UNIT", "I-NAME"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let diags = lint_label_sequence(&labels, "ingredient", "test");
+        let ra104: Vec<_> = diags.iter().filter(|d| d.code == "RA104").collect();
+        assert_eq!(ra104.len(), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_label_fires_ra105() {
+        let labels: Vec<String> = ["O", "FLAVOR"].iter().map(|s| s.to_string()).collect();
+        let diags = lint_label_sequence(&labels, "ingredient", "test");
+        assert!(diags.iter().any(|d| d.code == "RA105"), "{diags:?}");
+    }
+
+    #[test]
+    fn valid_raw_and_bio_pass() {
+        for labels in [
+            vec!["QUANTITY", "UNIT", "NAME", "NAME"],
+            vec!["B-QUANTITY", "B-UNIT", "B-NAME", "I-NAME"],
+            vec!["O"],
+        ] {
+            let labels: Vec<String> = labels.iter().map(|s| s.to_string()).collect();
+            let diags = lint_label_sequence(&labels, "ingredient", "test");
+            assert!(diags.is_empty(), "{labels:?} -> {diags:?}");
+        }
+    }
+
+    #[test]
+    fn corrupted_recipe_fires_corpus_rules() {
+        let corpus = RecipeCorpus::generate(&CorpusSpec::scaled(4, 5));
+        let mut recipe = corpus.recipes[0].clone();
+        recipe.ingredients[0].tokens[0].text = String::new(); // RA101 (+ RA108)
+        recipe.step_of = vec![3; recipe.instructions.len()]; // RA102
+        let diags = lint_recipe(&recipe, 0);
+        assert!(diags.iter().any(|d| d.code == "RA101"), "{diags:?}");
+        assert!(diags.iter().any(|d| d.code == "RA102"), "{diags:?}");
+    }
+
+    #[test]
+    fn bad_quantity_fires_ra106() {
+        let corpus = RecipeCorpus::generate(&CorpusSpec::scaled(4, 5));
+        let mut recipe = corpus.recipes[0].clone();
+        let phrase = &mut recipe.ingredients[0];
+        // Find or make a QUANTITY token and corrupt it.
+        let tok = &mut phrase.tokens[0];
+        tok.tag = IngredientTag::Quantity;
+        tok.text = "plenty".into();
+        let diags = lint_recipe(&recipe, 0);
+        assert!(diags.iter().any(|d| d.code == "RA106"), "{diags:?}");
+    }
+}

@@ -1,0 +1,397 @@
+//! The diagnostic data model: severities, rule codes, the rule registry,
+//! and allow/deny configuration.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How serious a diagnostic is. Ordering is by increasing severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; never fails a run.
+    Note,
+    /// Suspicious but not necessarily wrong; fails under `--deny-warnings`.
+    Warning,
+    /// A defect; always fails the run.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name used by both renderers.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding from a lint pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable rule code, `RAnnn`.
+    pub code: &'static str,
+    /// Effective severity (after configuration).
+    pub severity: Severity,
+    /// One-line description of what was found.
+    pub message: String,
+    /// Where it was found (model component, corpus coordinate, file:line).
+    pub location: String,
+    /// Extra context lines, rendered as `= note:`.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Construct with the rule's default severity from the registry.
+    pub fn new(
+        code: &'static str,
+        message: impl Into<String>,
+        location: impl Into<String>,
+    ) -> Self {
+        let severity = rule(code)
+            .map(|r| r.default_severity)
+            .unwrap_or(Severity::Warning);
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            location: location.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a `= note:` context line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+/// Registry entry describing one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable code, `RAnnn`. Never renumbered; retired codes are not reused.
+    pub code: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// Severity when not overridden by configuration.
+    pub default_severity: Severity,
+    /// One-line summary for `--list-rules` and the docs.
+    pub summary: &'static str,
+}
+
+/// Every rule the subsystem can emit, ordered by code.
+///
+/// Families: `RA0xx` artifact lints over trained models, `RA1xx` corpus
+/// lints over annotated data, `RA2xx` cross-crate invariant checks,
+/// `RA3xx` source-code scans.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        code: "RA001",
+        name: "non-finite-weight",
+        default_severity: Severity::Error,
+        summary: "a trained model parameter is NaN or infinite",
+    },
+    RuleInfo {
+        code: "RA002",
+        name: "degenerate-weights",
+        default_severity: Severity::Warning,
+        summary: "all parameters of a model block are (near) zero — the model was not actually trained",
+    },
+    RuleInfo {
+        code: "RA003",
+        name: "bio-impossible-transition",
+        default_severity: Severity::Warning,
+        summary: "a BIO-scheme model scores an impossible transition (into I-X from outside X) at least as high as every legal one",
+    },
+    RuleInfo {
+        code: "RA004",
+        name: "label-set-mismatch",
+        default_severity: Severity::Error,
+        summary: "model label inventory, parameter dimensions and feature table disagree",
+    },
+    RuleInfo {
+        code: "RA005",
+        name: "empty-feature-space",
+        default_severity: Severity::Warning,
+        summary: "a sequence model has no interned features — every prediction ignores the input",
+    },
+    RuleInfo {
+        code: "RA006",
+        name: "pos-non-finite",
+        default_severity: Severity::Error,
+        summary: "a POS-tagger perceptron weight is NaN or infinite",
+    },
+    RuleInfo {
+        code: "RA007",
+        name: "pos-empty-model",
+        default_severity: Severity::Warning,
+        summary: "the POS tagger has no feature rows or an empty tag dictionary",
+    },
+    RuleInfo {
+        code: "RA008",
+        name: "parser-anomaly",
+        default_severity: Severity::Error,
+        summary: "the dependency parser has non-finite weights or an empty transition inventory",
+    },
+    RuleInfo {
+        code: "RA009",
+        name: "dict-anomaly",
+        default_severity: Severity::Warning,
+        summary: "a process/utensil dictionary is empty or contains entries below its frequency threshold",
+    },
+    RuleInfo {
+        code: "RA010",
+        name: "unknown-label-inventory",
+        default_severity: Severity::Warning,
+        summary: "a model's labels match neither the raw task inventory nor its BIO expansion",
+    },
+    RuleInfo {
+        code: "RA101",
+        name: "empty-token",
+        default_severity: Severity::Error,
+        summary: "an annotated token has empty text",
+    },
+    RuleInfo {
+        code: "RA102",
+        name: "step-structure",
+        default_severity: Severity::Error,
+        summary: "a recipe's step_of map is malformed (wrong length, not monotone, or not starting at step 0)",
+    },
+    RuleInfo {
+        code: "RA103",
+        name: "duplicate-recipe-id",
+        default_severity: Severity::Error,
+        summary: "two recipes share an id",
+    },
+    RuleInfo {
+        code: "RA104",
+        name: "invalid-bio",
+        default_severity: Severity::Error,
+        summary: "a BIO label sequence is invalid (I-X follows neither B-X nor I-X)",
+    },
+    RuleInfo {
+        code: "RA105",
+        name: "unknown-label",
+        default_severity: Severity::Error,
+        summary: "a label string is outside the task inventory (Table II / instruction tags, raw or BIO)",
+    },
+    RuleInfo {
+        code: "RA106",
+        name: "quantity-grammar",
+        default_severity: Severity::Warning,
+        summary: "a token tagged QUANTITY does not parse as a number, fraction or range",
+    },
+    RuleInfo {
+        code: "RA107",
+        name: "unknown-unit",
+        default_severity: Severity::Note,
+        summary: "a token tagged UNIT is not in the unit vocabulary",
+    },
+    RuleInfo {
+        code: "RA108",
+        name: "tokenization-roundtrip",
+        default_severity: Severity::Warning,
+        summary: "re-tokenizing a phrase's rendered text does not reproduce its tokens",
+    },
+    RuleInfo {
+        code: "RA109",
+        name: "empty-section",
+        default_severity: Severity::Warning,
+        summary: "a recipe has no ingredients or no instructions",
+    },
+    RuleInfo {
+        code: "RA110",
+        name: "invalid-dep-tree",
+        default_severity: Severity::Error,
+        summary: "a gold dependency tree is the wrong length or non-projective",
+    },
+    RuleInfo {
+        code: "RA201",
+        name: "tagset-dim",
+        default_severity: Severity::Error,
+        summary: "Penn tagset size and POS-vector dimensionality must both be 36",
+    },
+    RuleInfo {
+        code: "RA202",
+        name: "kmeans-k",
+        default_severity: Severity::Error,
+        summary: "the paper configuration must cluster with k = 23",
+    },
+    RuleInfo {
+        code: "RA203",
+        name: "dict-thresholds",
+        default_severity: Severity::Error,
+        summary: "the paper configuration must threshold dictionaries at 47 (process) and 10 (utensil)",
+    },
+    RuleInfo {
+        code: "RA204",
+        name: "ingredient-inventory",
+        default_severity: Severity::Error,
+        summary: "the ingredient tag inventory must be O plus the seven Table II labels",
+    },
+    RuleInfo {
+        code: "RA205",
+        name: "instruction-inventory",
+        default_severity: Severity::Error,
+        summary: "the instruction tag inventory must be O, PROCESS, UTENSIL, INGREDIENT",
+    },
+    RuleInfo {
+        code: "RA206",
+        name: "bio-inventory",
+        default_severity: Severity::Error,
+        summary: "the BIO expansion of a raw inventory must have 2(n-1)+1 labels and round-trip through from_bio",
+    },
+    RuleInfo {
+        code: "RA301",
+        name: "unwrap-in-lib",
+        default_severity: Severity::Note,
+        summary: "unwrap()/expect() in non-test library code",
+    },
+    RuleInfo {
+        code: "RA302",
+        name: "todo-marker",
+        default_severity: Severity::Warning,
+        summary: "todo!/unimplemented! left in source",
+    },
+    RuleInfo {
+        code: "RA303",
+        name: "dbg-macro",
+        default_severity: Severity::Warning,
+        summary: "dbg! left in source",
+    },
+];
+
+/// Look up a rule by code.
+pub fn rule(code: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+/// A per-rule level override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Drop the diagnostic entirely.
+    Allow,
+    /// Force severity to warning.
+    Warn,
+    /// Force severity to error.
+    Deny,
+}
+
+/// Allow/deny configuration applied after all passes run.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Per-code overrides (`RAnnn` → level).
+    pub overrides: BTreeMap<String, Level>,
+    /// Treat surviving warnings as errors.
+    pub deny_warnings: bool,
+}
+
+impl LintConfig {
+    /// Record an override for `code`.
+    pub fn set(&mut self, code: &str, level: Level) {
+        self.overrides.insert(code.to_string(), level);
+    }
+
+    /// Apply overrides: drop allowed diagnostics, re-level the rest, and
+    /// (under `deny_warnings`) promote warnings to errors.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        diags
+            .into_iter()
+            .filter_map(|mut d| {
+                match self.overrides.get(d.code) {
+                    Some(Level::Allow) => return None,
+                    Some(Level::Warn) => d.severity = Severity::Warning,
+                    Some(Level::Deny) => d.severity = Severity::Error,
+                    None => {}
+                }
+                if self.deny_warnings && d.severity == Severity::Warning {
+                    d.severity = Severity::Error;
+                }
+                Some(d)
+            })
+            .collect()
+    }
+}
+
+/// Whether a diagnostic set should fail the run (any error-level finding).
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Sort by severity (errors first), then code, then location — the stable
+/// order both renderers print in.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.code.cmp(b.code))
+            .then_with(|| a.location.cmp(&b.location))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_codes_are_unique_and_sorted() {
+        for w in RULES.windows(2) {
+            assert!(w[0].code < w[1].code, "{} !< {}", w[0].code, w[1].code);
+        }
+        assert!(RULES.len() >= 12, "lint catalog shrank below 12 rules");
+    }
+
+    #[test]
+    fn default_severity_comes_from_registry() {
+        assert_eq!(Diagnostic::new("RA001", "m", "l").severity, Severity::Error);
+        assert_eq!(Diagnostic::new("RA301", "m", "l").severity, Severity::Note);
+    }
+
+    #[test]
+    fn config_overrides_apply() {
+        let mut cfg = LintConfig::default();
+        cfg.set("RA001", Level::Allow);
+        cfg.set("RA301", Level::Deny);
+        let out = cfg.apply(vec![
+            Diagnostic::new("RA001", "gone", "x"),
+            Diagnostic::new("RA301", "promoted", "y"),
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn deny_warnings_promotes() {
+        let cfg = LintConfig {
+            deny_warnings: true,
+            ..LintConfig::default()
+        };
+        let out = cfg.apply(vec![
+            Diagnostic::new("RA002", "w", "x"),
+            Diagnostic::new("RA301", "n", "y"),
+        ]);
+        assert_eq!(out[0].severity, Severity::Error);
+        assert_eq!(out[1].severity, Severity::Note, "notes stay notes");
+        assert!(has_errors(&out));
+    }
+
+    #[test]
+    fn sort_is_severity_then_code() {
+        let mut diags = vec![
+            Diagnostic::new("RA301", "n", "a"),
+            Diagnostic::new("RA001", "e", "b"),
+            Diagnostic::new("RA002", "w", "c"),
+        ];
+        sort_diagnostics(&mut diags);
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["RA001", "RA002", "RA301"]);
+    }
+}

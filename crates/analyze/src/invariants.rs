@@ -1,0 +1,263 @@
+//! Invariant lints (`RA2xx`): cross-crate constants the paper fixes —
+//! tagset size, k, dictionary thresholds, label inventories — checked
+//! against each other so a change in one crate can't silently skew
+//! another.
+//!
+//! The checks are pure functions over an [`Observed`] snapshot, so tests
+//! can verify each rule fires by feeding skewed values.
+
+use crate::diag::Diagnostic;
+use recipe_cluster::KMeansConfig;
+use recipe_core::PipelineConfig;
+use recipe_ner::scheme::bio_label_names;
+use recipe_ner::{IngredientTag, InstructionTag};
+use recipe_tagger::tagset::NUM_TAGS;
+use recipe_tagger::POS_VECTOR_DIM;
+
+/// The paper's constants, restated once, here, as the lint's ground truth.
+pub mod paper {
+    /// Penn Treebank tagset size (§II.D) and POS-vector dimensionality.
+    pub const TAGSET: usize = 36;
+    /// K-Means cluster count from the elbow analysis (§II.E).
+    pub const K: usize = 23;
+    /// Process-dictionary frequency threshold (§III.B).
+    pub const PROCESS_THRESHOLD: usize = 47;
+    /// Utensil-dictionary frequency threshold (§III.B).
+    pub const UTENSIL_THRESHOLD: usize = 10;
+    /// Entity labels of Table II (plus `O` in the model inventory).
+    pub const INGREDIENT_LABELS: [&str; 7] =
+        ["NAME", "STATE", "UNIT", "QUANTITY", "SIZE", "TEMP", "DF"];
+    /// Instruction-section entity labels (§III.A).
+    pub const INSTRUCTION_LABELS: [&str; 3] = ["PROCESS", "UTENSIL", "INGREDIENT"];
+}
+
+/// A snapshot of the values the invariant rules compare.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observed {
+    /// `recipe_tagger::NUM_TAGS`.
+    pub tagset_len: usize,
+    /// `recipe_tagger::POS_VECTOR_DIM`.
+    pub pos_vector_dim: usize,
+    /// k in `PipelineConfig::paper()`.
+    pub paper_k: usize,
+    /// k in `KMeansConfig::default()`.
+    pub default_k: usize,
+    /// Process threshold in `PipelineConfig::paper()`.
+    pub process_threshold: usize,
+    /// Utensil threshold in `PipelineConfig::paper()`.
+    pub utensil_threshold: usize,
+    /// Ingredient label inventory (id order), from `IngredientTag::ALL`.
+    pub ingredient_labels: Vec<String>,
+    /// Instruction label inventory (id order), from `InstructionTag::ALL`.
+    pub instruction_labels: Vec<String>,
+}
+
+impl Observed {
+    /// Gather the current values from the workspace crates.
+    pub fn gather() -> Self {
+        let paper_cfg = PipelineConfig::paper();
+        Observed {
+            tagset_len: NUM_TAGS,
+            pos_vector_dim: POS_VECTOR_DIM,
+            paper_k: paper_cfg.kmeans.k,
+            default_k: KMeansConfig::default().k,
+            process_threshold: paper_cfg.process_threshold,
+            utensil_threshold: paper_cfg.utensil_threshold,
+            ingredient_labels: IngredientTag::ALL.iter().map(|t| t.to_string()).collect(),
+            instruction_labels: InstructionTag::ALL.iter().map(|t| t.to_string()).collect(),
+        }
+    }
+}
+
+/// Run every invariant rule over a snapshot.
+pub fn lint_invariants(obs: &Observed) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // RA201: tagset size == POS-vector dimensionality == 36.
+    if obs.tagset_len != paper::TAGSET || obs.pos_vector_dim != paper::TAGSET {
+        out.push(
+            Diagnostic::new(
+                "RA201",
+                format!(
+                    "tagset has {} tags, POS vectors have {} dims; the paper fixes both at {}",
+                    obs.tagset_len,
+                    obs.pos_vector_dim,
+                    paper::TAGSET
+                ),
+                "invariant: recipe-tagger NUM_TAGS / POS_VECTOR_DIM",
+            )
+            .with_note(
+                "clustering distance is computed in this space; a skew silently changes Fig. 2",
+            ),
+        );
+    } else if obs.tagset_len != obs.pos_vector_dim {
+        out.push(Diagnostic::new(
+            "RA201",
+            format!(
+                "tagset size {} != POS-vector dimensionality {}",
+                obs.tagset_len, obs.pos_vector_dim
+            ),
+            "invariant: recipe-tagger NUM_TAGS / POS_VECTOR_DIM",
+        ));
+    }
+
+    // RA202: the paper clusters with k = 23.
+    if obs.paper_k != paper::K {
+        out.push(Diagnostic::new(
+            "RA202",
+            format!(
+                "PipelineConfig::paper() clusters with k = {}, the paper uses {}",
+                obs.paper_k,
+                paper::K
+            ),
+            "invariant: recipe-core PipelineConfig::paper().kmeans.k",
+        ));
+    }
+    if obs.default_k != paper::K {
+        out.push(Diagnostic::new(
+            "RA202",
+            format!(
+                "KMeansConfig::default() has k = {}, the paper uses {}",
+                obs.default_k,
+                paper::K
+            ),
+            "invariant: recipe-cluster KMeansConfig::default().k",
+        ));
+    }
+
+    // RA203: dictionary thresholds 47 / 10.
+    if (obs.process_threshold, obs.utensil_threshold)
+        != (paper::PROCESS_THRESHOLD, paper::UTENSIL_THRESHOLD)
+    {
+        out.push(Diagnostic::new(
+            "RA203",
+            format!(
+                "paper config thresholds are ({}, {}), the paper uses ({}, {})",
+                obs.process_threshold,
+                obs.utensil_threshold,
+                paper::PROCESS_THRESHOLD,
+                paper::UTENSIL_THRESHOLD
+            ),
+            "invariant: recipe-core PipelineConfig::paper() process/utensil thresholds",
+        ));
+    }
+
+    // RA204: ingredient inventory = O + the seven Table II labels.
+    let expected_ing: Vec<String> = std::iter::once("O".to_string())
+        .chain(paper::INGREDIENT_LABELS.iter().map(|s| s.to_string()))
+        .collect();
+    if obs.ingredient_labels != expected_ing {
+        out.push(
+            Diagnostic::new(
+                "RA204",
+                format!(
+                    "ingredient inventory is {:?}, expected {:?}",
+                    obs.ingredient_labels, expected_ing
+                ),
+                "invariant: recipe-ner IngredientTag::ALL",
+            )
+            .with_note("label ids are positional; reordering breaks every saved artifact"),
+        );
+    }
+
+    // RA205: instruction inventory = O + process/utensil/ingredient.
+    let expected_ins: Vec<String> = std::iter::once("O".to_string())
+        .chain(paper::INSTRUCTION_LABELS.iter().map(|s| s.to_string()))
+        .collect();
+    if obs.instruction_labels != expected_ins {
+        out.push(Diagnostic::new(
+            "RA205",
+            format!(
+                "instruction inventory is {:?}, expected {:?}",
+                obs.instruction_labels, expected_ins
+            ),
+            "invariant: recipe-ner InstructionTag::ALL",
+        ));
+    }
+
+    // RA206: the BIO expansion must be 2(n-1)+1 labels and strip back to
+    // the raw inventory.
+    let raw: Vec<&str> = obs.ingredient_labels.iter().map(|s| s.as_str()).collect();
+    if !raw.is_empty() {
+        let bio = bio_label_names(&raw, "O");
+        let expected_len = 2 * (raw.len() - 1) + 1;
+        if bio.len() != expected_len {
+            out.push(Diagnostic::new(
+                "RA206",
+                format!(
+                    "BIO inventory has {} labels, expected {expected_len}",
+                    bio.len()
+                ),
+                "invariant: recipe-ner scheme::bio_label_names",
+            ));
+        }
+        let stripped = recipe_ner::scheme::from_bio(&bio);
+        let mut uniq: Vec<String> = stripped.clone();
+        uniq.dedup();
+        let mut sorted_raw: Vec<String> = raw.iter().map(|s| s.to_string()).collect();
+        sorted_raw.sort();
+        let mut sorted_uniq = uniq.clone();
+        sorted_uniq.sort();
+        sorted_uniq.dedup();
+        if sorted_uniq != sorted_raw {
+            out.push(Diagnostic::new(
+                "RA206",
+                format!("from_bio over the BIO inventory yields {sorted_uniq:?}, expected {sorted_raw:?}"),
+                "invariant: recipe-ner scheme::from_bio",
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_workspace_satisfies_all_invariants() {
+        let diags = lint_invariants(&Observed::gather());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn skewed_tagset_fires_ra201() {
+        let mut obs = Observed::gather();
+        obs.pos_vector_dim = 35;
+        let diags = lint_invariants(&obs);
+        assert!(diags.iter().any(|d| d.code == "RA201"), "{diags:?}");
+    }
+
+    #[test]
+    fn skewed_k_fires_ra202() {
+        let mut obs = Observed::gather();
+        obs.paper_k = 20;
+        let diags = lint_invariants(&obs);
+        assert!(diags.iter().any(|d| d.code == "RA202"), "{diags:?}");
+    }
+
+    #[test]
+    fn skewed_thresholds_fire_ra203() {
+        let mut obs = Observed::gather();
+        obs.process_threshold = 48;
+        let diags = lint_invariants(&obs);
+        assert!(diags.iter().any(|d| d.code == "RA203"), "{diags:?}");
+    }
+
+    #[test]
+    fn reordered_inventory_fires_ra204() {
+        let mut obs = Observed::gather();
+        obs.ingredient_labels.swap(1, 2);
+        let diags = lint_invariants(&obs);
+        assert!(diags.iter().any(|d| d.code == "RA204"), "{diags:?}");
+    }
+
+    #[test]
+    fn missing_instruction_label_fires_ra205() {
+        let mut obs = Observed::gather();
+        obs.instruction_labels.pop();
+        let diags = lint_invariants(&obs);
+        assert!(diags.iter().any(|d| d.code == "RA205"), "{diags:?}");
+    }
+}

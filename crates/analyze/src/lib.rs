@@ -1,0 +1,156 @@
+#![warn(missing_docs)]
+
+//! `recipe-analyze` — static analysis for the recipe-mining workspace.
+//!
+//! A rustc-style diagnostics engine with stable rule codes (`RAnnn`),
+//! three severity levels, allow/deny configuration, and human + JSON
+//! renderers, over four pass families:
+//!
+//! * **artifact lints** (`RA0xx`, [`artifact`]) — health checks over a
+//!   *trained* pipeline: non-finite or degenerate weights, BIO-impossible
+//!   transitions, label/parameter shape mismatches, empty dictionaries;
+//! * **corpus lints** (`RA1xx`, [`corpus`]) — well-formedness of
+//!   annotated data: BIO validity, Table II inventory membership, empty
+//!   tokens, quantity-grammar and tokenizer round-trip failures;
+//! * **invariant lints** (`RA2xx`, [`invariants`]) — the paper's
+//!   cross-crate constants (36-dim tagset, k = 23, 47/10 thresholds,
+//!   label inventories) checked against each other;
+//! * **source scans** (`RA3xx`, [`source`]) — `unwrap()`/`expect()` in
+//!   non-test library code, leftover `todo!`/`dbg!`.
+//!
+//! Run everything through [`run_all`], or individual passes through the
+//! per-module entry points. The `recipe_mine lint` subcommand is a thin
+//! wrapper over this crate.
+
+pub mod artifact;
+pub mod corpus;
+pub mod diag;
+pub mod invariants;
+pub mod render;
+pub mod source;
+
+pub use diag::{has_errors, rule, Diagnostic, Level, LintConfig, RuleInfo, Severity, RULES};
+pub use render::{render_human, render_json, summarize, Summary};
+
+use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
+use recipe_corpus::{CorpusSpec, RecipeCorpus};
+use std::path::PathBuf;
+
+/// What [`run_all`] should analyze and how to level its findings.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Size of the synthetic corpus to generate and lint.
+    pub recipes: usize,
+    /// Corpus / training seed.
+    pub seed: u64,
+    /// Load a trained artifact from this path instead of training one.
+    pub model_path: Option<PathBuf>,
+    /// Run the source scanner over this directory tree (usually the
+    /// workspace root). `None` disables the `RA3xx` family.
+    pub source_root: Option<PathBuf>,
+    /// Allow/deny overrides and `--deny-warnings`.
+    pub lint: LintConfig,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            recipes: 120,
+            seed: 42,
+            model_path: None,
+            source_root: None,
+            lint: LintConfig::default(),
+        }
+    }
+}
+
+/// Errors from [`run_all`] setup (the lints themselves never fail).
+#[derive(Debug)]
+pub enum AnalyzeError {
+    /// The artifact at `model_path` could not be loaded.
+    ModelLoad(recipe_core::persist::PersistError),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::ModelLoad(e) => write!(f, "loading model artifact: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Run every pass: generate a corpus, obtain a trained pipeline (loaded
+/// from `model_path` or trained fresh on the generated corpus), lint
+/// both, check the cross-crate invariants, and (if configured) scan the
+/// sources. Returns the diagnostics after allow/deny configuration.
+pub fn run_all(cfg: &Config) -> Result<Vec<Diagnostic>, AnalyzeError> {
+    let mut diags = Vec::new();
+
+    // Invariants are pure; always checked.
+    diags.extend(invariants::lint_invariants(&invariants::Observed::gather()));
+
+    // Corpus lints over a freshly generated corpus.
+    let generated = RecipeCorpus::generate(&CorpusSpec::scaled(cfg.recipes, cfg.seed));
+    diags.extend(corpus::lint_corpus(&generated));
+
+    // Artifact lints over a trained pipeline.
+    match &cfg.model_path {
+        Some(path) => {
+            let pipeline = TrainedPipeline::load(path).map_err(AnalyzeError::ModelLoad)?;
+            diags.extend(artifact::lint_pipeline(&pipeline));
+        }
+        None => {
+            let mut pcfg = PipelineConfig::fast();
+            pcfg.seed = cfg.seed;
+            let pipeline = TrainedPipeline::train(&generated, &pcfg);
+            diags.extend(artifact::lint_pipeline(&pipeline));
+            // The training config is known here, so threshold consistency
+            // is checkable too.
+            diags.extend(artifact::lint_dictionaries(
+                &pipeline.dicts,
+                Some((pcfg.process_threshold, pcfg.utensil_threshold)),
+            ));
+        }
+    }
+
+    // Source scan, when a root is given.
+    if let Some(root) = &cfg.source_root {
+        diags.extend(source::scan_workspace(root));
+    }
+
+    Ok(cfg.lint.apply(diags))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_all_on_healthy_workspace_has_no_errors() {
+        let cfg = Config {
+            recipes: 60,
+            ..Config::default()
+        };
+        let diags = run_all(&cfg).unwrap();
+        assert!(
+            !has_errors(&diags),
+            "healthy pipeline should produce no error-level diagnostics: {:#?}",
+            diags
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn missing_model_path_is_reported() {
+        let cfg = Config {
+            model_path: Some(PathBuf::from("/nonexistent/model.json")),
+            recipes: 10,
+            ..Config::default()
+        };
+        assert!(matches!(run_all(&cfg), Err(AnalyzeError::ModelLoad(_))));
+    }
+}

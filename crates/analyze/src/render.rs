@@ -1,0 +1,170 @@
+//! Renderers: rustc-style human output and a machine-readable JSON form.
+
+use crate::diag::{sort_diagnostics, Diagnostic, Severity};
+use serde_json::{json, Value};
+
+/// Counts by severity, printed as the summary line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Summary {
+    /// Error-level findings.
+    pub errors: usize,
+    /// Warning-level findings.
+    pub warnings: usize,
+    /// Note-level findings.
+    pub notes: usize,
+}
+
+/// Tally a diagnostic set.
+pub fn summarize(diags: &[Diagnostic]) -> Summary {
+    let mut s = Summary::default();
+    for d in diags {
+        match d.severity {
+            Severity::Error => s.errors += 1,
+            Severity::Warning => s.warnings += 1,
+            Severity::Note => s.notes += 1,
+        }
+    }
+    s
+}
+
+/// Render in rustc style:
+///
+/// ```text
+/// error[RA001]: emission weight for label NAME is NaN
+///   --> artifact: ingredient NER, emit[172]
+///   = note: reload from JSON would silently reset it to NaN
+/// ```
+///
+/// ends with a `lint result:` summary line.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut diags = diags.to_vec();
+    sort_diagnostics(&mut diags);
+    let mut out = String::new();
+    for d in &diags {
+        out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+        out.push_str(&format!("  --> {}\n", d.location));
+        for n in &d.notes {
+            out.push_str(&format!("  = note: {n}\n"));
+        }
+        out.push('\n');
+    }
+    let s = summarize(&diags);
+    out.push_str(&format!(
+        "lint result: {} error{}, {} warning{}, {} note{}\n",
+        s.errors,
+        plural(s.errors),
+        s.warnings,
+        plural(s.warnings),
+        s.notes,
+        plural(s.notes),
+    ));
+    out
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Render as one JSON document with `diagnostics` and `summary` keys.
+pub fn render_json(diags: &[Diagnostic]) -> Value {
+    let mut diags = diags.to_vec();
+    sort_diagnostics(&mut diags);
+    let s = summarize(&diags);
+    json!({
+        "diagnostics": diags.iter().map(|d| json!({
+            "code": d.code,
+            "severity": d.severity.as_str(),
+            "message": d.message,
+            "location": d.location,
+            "notes": d.notes,
+        })).collect::<Vec<_>>(),
+        "summary": {
+            "errors": s.errors,
+            "warnings": s.warnings,
+            "notes": s.notes,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostic;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::new(
+                "RA002",
+                "transition block is all zeros",
+                "artifact: instruction NER",
+            )
+            .with_note("was the model trained?"),
+            Diagnostic::new(
+                "RA001",
+                "emission weight for label NAME is NaN",
+                "artifact: ingredient NER, emit[172]",
+            ),
+        ]
+    }
+
+    #[test]
+    fn golden_human_output() {
+        let expected = "\
+error[RA001]: emission weight for label NAME is NaN
+  --> artifact: ingredient NER, emit[172]
+
+warning[RA002]: transition block is all zeros
+  --> artifact: instruction NER
+  = note: was the model trained?
+
+lint result: 1 error, 1 warning, 0 notes
+";
+        assert_eq!(render_human(&sample()), expected);
+    }
+
+    #[test]
+    fn golden_json_output() {
+        let v = render_json(&sample());
+        let expected = r#"{
+  "diagnostics": [
+    {
+      "code": "RA001",
+      "severity": "error",
+      "message": "emission weight for label NAME is NaN",
+      "location": "artifact: ingredient NER, emit[172]",
+      "notes": []
+    },
+    {
+      "code": "RA002",
+      "severity": "warning",
+      "message": "transition block is all zeros",
+      "location": "artifact: instruction NER",
+      "notes": [
+        "was the model trained?"
+      ]
+    }
+  ],
+  "summary": {
+    "errors": 1,
+    "warnings": 1,
+    "notes": 0
+  }
+}"#;
+        assert_eq!(serde_json::to_string_pretty(&v).unwrap(), expected);
+    }
+
+    #[test]
+    fn empty_set_renders_clean_summary() {
+        assert_eq!(
+            render_human(&[]),
+            "lint result: 0 errors, 0 warnings, 0 notes\n"
+        );
+        let v = render_json(&[]);
+        assert_eq!(v["summary"]["errors"], 0);
+        assert_eq!(v["diagnostics"].as_array().unwrap().len(), 0);
+    }
+}

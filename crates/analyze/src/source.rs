@@ -1,0 +1,178 @@
+//! Source-scan lints (`RA3xx`): a std-only walk over the workspace's
+//! `.rs` files flagging panics-in-library-code and leftover debug
+//! markers. No syn, no parsing — a line scanner that understands just
+//! enough structure to skip test code.
+
+use crate::diag::Diagnostic;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned (test/bench/example code may unwrap freely;
+/// vendored shims are third-party stand-ins).
+const SKIP_DIRS: &[&str] = &[
+    "target", ".git", "tests", "benches", "examples", "vendor", ".github",
+];
+
+// The needles are assembled with `concat!` so the scanner does not flag
+// its own pattern table when it scans this file.
+const UNWRAP: &str = concat!(".unw", "rap()");
+const EXPECT: &str = concat!(".exp", "ect(");
+const TODO: &str = concat!("to", "do!(");
+const UNIMPLEMENTED: &str = concat!("unimpl", "emented!(");
+const DBG: &str = concat!("db", "g!(");
+
+/// Scan every non-test `.rs` file under `root` (expected: workspace root).
+pub fn scan_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut files = Vec::new();
+    collect_rust_files(root, &mut files);
+    files.sort();
+    let mut out = Vec::new();
+    for f in files {
+        if let Ok(content) = std::fs::read_to_string(&f) {
+            let rel = f.strip_prefix(root).unwrap_or(&f).display().to_string();
+            out.extend(scan_file(&rel, &content));
+        }
+    }
+    out
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rust_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scan one file's contents. `rel` is the path used in locations.
+pub fn scan_file(rel: &str, content: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // Brace-depth tracking for `#[cfg(test)]`-gated blocks: when the
+    // attribute appears, everything until its item's closing brace is
+    // test code. Good enough for the idiomatic `#[cfg(test)] mod tests`.
+    let mut depth: i32 = 0;
+    let mut test_block_floor: Option<i32> = None;
+    let mut pending_cfg_test = false;
+
+    for (lineno, line) in content.lines().enumerate() {
+        let lineno = lineno + 1;
+        let code = strip_comment(line);
+        let trimmed = code.trim();
+
+        if trimmed.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        if pending_cfg_test && test_block_floor.is_none() && trimmed.contains('{') {
+            test_block_floor = Some(depth);
+            pending_cfg_test = false;
+        }
+
+        let in_test = test_block_floor.is_some();
+        if !in_test {
+            let loc = format!("{rel}:{lineno}");
+            if trimmed.contains(UNWRAP) || trimmed.contains(EXPECT) {
+                out.push(
+                    Diagnostic::new(
+                        "RA301",
+                        format!("panicking call in library code: `{}`", trimmed.trim()),
+                        loc.clone(),
+                    )
+                    .with_note("prefer a Result or a documented # Panics contract"),
+                );
+            }
+            if trimmed.contains(TODO) || trimmed.contains(UNIMPLEMENTED) {
+                out.push(Diagnostic::new(
+                    "RA302",
+                    "todo!/unimplemented! left in source",
+                    loc.clone(),
+                ));
+            }
+            if trimmed.contains(DBG) {
+                out.push(Diagnostic::new("RA303", "dbg! left in source", loc));
+            }
+        }
+
+        for ch in code.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if let Some(floor) = test_block_floor {
+                        if depth <= floor {
+                            test_block_floor = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Drop a trailing `// ...` comment (naive: ignores `//` inside strings,
+/// which only risks under-reporting on a line that both has a panicking
+/// call and embeds `//` in a literal before it).
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unwrap_outside_tests() {
+        let src = "fn f() {\n    let x = y.unwrap();\n}\n";
+        let diags = scan_file("lib.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "RA301");
+        assert_eq!(diags[0].location, "lib.rs:2");
+    }
+
+    #[test]
+    fn ignores_unwrap_inside_cfg_test_module() {
+        let src = "\
+fn f() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x = y.unwrap();
+        assert!(todo_marker());
+    }
+}
+fn g() { h.expect(\"boom\"); }
+";
+        let diags = scan_file("lib.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].location, "lib.rs:10");
+    }
+
+    #[test]
+    fn flags_todo_and_dbg() {
+        let src = "fn f() {\n    todo!(\"later\");\n    dbg!(x);\n}\n";
+        let diags = scan_file("m.rs", src);
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"RA302"));
+        assert!(codes.contains(&"RA303"));
+    }
+
+    #[test]
+    fn comments_do_not_fire() {
+        let src = "fn f() {\n    // x.unwrap() would be wrong here\n}\n";
+        assert!(scan_file("m.rs", src).is_empty());
+    }
+}

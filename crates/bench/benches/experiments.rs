@@ -1,14 +1,16 @@
 //! Macro-benchmarks: the table-level experiment workloads at smoke scale
 //! (training included), so regressions in any stage surface here.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use recipe_bench::timing::Bench;
 use recipe_bench::{cross_site_from_datasets, table5_experiment, ExperimentScale};
 use recipe_core::pipeline::{build_site_dataset, train_pos_tagger, TrainedPipeline};
 use recipe_corpus::{RecipeCorpus, Site};
 use recipe_text::Preprocessor;
 use std::hint::black_box;
 
-fn bench_experiments(c: &mut Criterion) {
+fn main() {
+    let b = Bench::from_args().sample_size(10);
+
     let scale = ExperimentScale::smoke(42);
     let corpus = RecipeCorpus::generate(&scale.corpus);
     let pre = Preprocessor::default();
@@ -16,23 +18,16 @@ fn bench_experiments(c: &mut Criterion) {
     let ds_ar = build_site_dataset(&corpus, Site::AllRecipes, &pos, &pre, &scale.pipeline);
     let ds_fc = build_site_dataset(&corpus, Site::FoodCom, &pos, &pre, &scale.pipeline);
 
-    c.bench_function("corpus_generation_600", |b| {
-        b.iter(|| black_box(RecipeCorpus::generate(&scale.corpus)))
+    b.bench_function("corpus_generation_600", || {
+        RecipeCorpus::generate(black_box(&scale.corpus))
     });
-    c.bench_function("table4_cross_site_smoke", |b| {
-        b.iter(|| black_box(cross_site_from_datasets(&ds_ar, &ds_fc, &scale.pipeline)))
+    b.bench_function("table4_cross_site_smoke", || {
+        cross_site_from_datasets(black_box(&ds_ar), black_box(&ds_fc), &scale.pipeline)
     });
-    c.bench_function("table5_instruction_ner_smoke", |b| {
-        b.iter(|| black_box(table5_experiment(&corpus, &scale.pipeline)))
+    b.bench_function("table5_instruction_ner_smoke", || {
+        table5_experiment(black_box(&corpus), &scale.pipeline)
     });
-    c.bench_function("pipeline_train_smoke", |b| {
-        b.iter(|| black_box(TrainedPipeline::train(&corpus, &scale.pipeline)))
+    b.bench_function("pipeline_train_smoke", || {
+        TrainedPipeline::train(black_box(&corpus), &scale.pipeline)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_experiments
-}
-criterion_main!(benches);

@@ -2,17 +2,19 @@
 //! preprocessing, POS tagging, NER decoding, K-Means, dependency parsing
 //! and end-to-end ingredient/event extraction.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use recipe_bench::timing::Bench;
 use recipe_bench::ExperimentScale;
+use recipe_cluster::{minibatch_kmeans, KMeans, KMeansConfig, MiniBatchConfig};
 use recipe_core::events::extract_sentence_events;
 use recipe_core::pipeline::TrainedPipeline;
-use recipe_cluster::{minibatch_kmeans, KMeans, KMeansConfig, MiniBatchConfig};
 use recipe_corpus::RecipeCorpus;
 use recipe_tagger::pos_frequency_vector;
 use recipe_text::{tokenize, Preprocessor};
 use std::hint::black_box;
 
-fn bench_stages(c: &mut Criterion) {
+fn main() {
+    let b = Bench::from_args().sample_size(20);
+
     let scale = ExperimentScale::smoke(42);
     let corpus = RecipeCorpus::generate(&scale.corpus);
     let pipeline = TrainedPipeline::train(&corpus, &scale.pipeline);
@@ -22,31 +24,29 @@ fn bench_stages(c: &mut Criterion) {
     let sentence: Vec<String> = corpus.recipes[0].instructions[0].words();
     let words = pre.preprocess(phrase);
 
-    c.bench_function("tokenize_phrase", |b| {
-        b.iter(|| black_box(tokenize(black_box(phrase))))
+    b.bench_function("tokenize_phrase", || tokenize(black_box(phrase)));
+    b.bench_function("preprocess_phrase", || pre.preprocess(black_box(phrase)));
+    b.bench_function("pos_tag_sentence", || {
+        pipeline.pos.tag(black_box(&sentence))
     });
-    c.bench_function("preprocess_phrase", |b| {
-        b.iter(|| black_box(pre.preprocess(black_box(phrase))))
+    b.bench_function("ner_decode_phrase", || {
+        pipeline.ingredient_ner.predict(black_box(&words))
     });
-    c.bench_function("pos_tag_sentence", |b| {
-        b.iter(|| black_box(pipeline.pos.tag(black_box(&sentence))))
-    });
-    c.bench_function("ner_decode_phrase", |b| {
-        b.iter(|| black_box(pipeline.ingredient_ner.predict(black_box(&words))))
-    });
-    c.bench_function("extract_ingredient_e2e", |b| {
-        b.iter(|| black_box(pipeline.extract_ingredient(black_box(phrase))))
+    b.bench_function("extract_ingredient_e2e", || {
+        pipeline.extract_ingredient(black_box(phrase))
     });
 
     let pos_tags = pipeline.pos.tag(&sentence);
-    c.bench_function("dependency_parse_sentence", |b| {
-        b.iter(|| black_box(pipeline.parser.parse(black_box(&sentence), black_box(&pos_tags))))
+    b.bench_function("dependency_parse_sentence", || {
+        pipeline
+            .parser
+            .parse(black_box(&sentence), black_box(&pos_tags))
     });
-    c.bench_function("extract_events_sentence", |b| {
-        b.iter(|| black_box(extract_sentence_events(&pipeline, black_box(&sentence), 0)))
+    b.bench_function("extract_events_sentence", || {
+        extract_sentence_events(&pipeline, black_box(&sentence), 0)
     });
-    c.bench_function("model_recipe_e2e", |b| {
-        b.iter(|| black_box(pipeline.model_recipe(black_box(&corpus.recipes[0]))))
+    b.bench_function("model_recipe_e2e", || {
+        pipeline.model_recipe(black_box(&corpus.recipes[0]))
     });
 
     // K-Means over 1000 POS vectors (the Fig. 2 workload unit).
@@ -57,31 +57,22 @@ fn bench_stages(c: &mut Criterion) {
         .take(1000)
         .map(|p| pos_frequency_vector(&pipeline.pos.tag(&p.words())))
         .collect();
-    c.bench_function("kmeans_k23_1000_vectors", |b| {
-        b.iter_batched(
-            || vectors.clone(),
-            |v| black_box(KMeans::fit(&v, &KMeansConfig { k: 23, ..Default::default() })),
-            BatchSize::LargeInput,
+    b.bench_function("kmeans_k23_1000_vectors", || {
+        KMeans::fit(
+            black_box(&vectors),
+            &KMeansConfig {
+                k: 23,
+                ..Default::default()
+            },
         )
     });
-    c.bench_function("minibatch_kmeans_k23_1000_vectors", |b| {
-        b.iter_batched(
-            || vectors.clone(),
-            |v| black_box(minibatch_kmeans(&v, &MiniBatchConfig::default())),
-            BatchSize::LargeInput,
-        )
+    b.bench_function("minibatch_kmeans_k23_1000_vectors", || {
+        minibatch_kmeans(black_box(&vectors), &MiniBatchConfig::default())
     });
-    c.bench_function("ner_nbest5_phrase", |b| {
-        b.iter(|| black_box(pipeline.ingredient_ner.predict_nbest(black_box(&words), 5)))
+    b.bench_function("ner_nbest5_phrase", || {
+        pipeline.ingredient_ner.predict_nbest(black_box(&words), 5)
     });
-    c.bench_function("ner_marginals_phrase", |b| {
-        b.iter(|| black_box(pipeline.ingredient_ner.predict_marginals(black_box(&words))))
+    b.bench_function("ner_marginals_phrase", || {
+        pipeline.ingredient_ner.predict_marginals(black_box(&words))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_stages
-}
-criterion_main!(benches);

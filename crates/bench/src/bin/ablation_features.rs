@@ -21,13 +21,42 @@ fn main() {
 
     let variants = [
         ("all templates", FeatureConfig::default()),
-        ("no affixes", FeatureConfig { affixes: false, ..Default::default() }),
-        ("no shape", FeatureConfig { shape: false, ..Default::default() }),
-        ("no context", FeatureConfig { context: false, ..Default::default() }),
-        ("lexical only", FeatureConfig { shape: false, affixes: false, context: false, lexical: true }),
+        (
+            "no affixes",
+            FeatureConfig {
+                affixes: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no shape",
+            FeatureConfig {
+                shape: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no context",
+            FeatureConfig {
+                context: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "lexical only",
+            FeatureConfig {
+                shape: false,
+                affixes: false,
+                context: false,
+                lexical: true,
+            },
+        ),
     ];
     println!("Ablation: feature templates (entity F1)");
-    println!("{:<16} {:>8} {:>8} {:>10}", "variant", "AR->AR", "AR->FC", "gap");
+    println!(
+        "{:<16} {:>8} {:>8} {:>10}",
+        "variant", "AR->AR", "AR->FC", "gap"
+    );
     for (name, features) in variants {
         let mut cfg = scale.pipeline;
         cfg.ner.features = features;

@@ -29,7 +29,10 @@ fn to_seq(pre: &Preprocessor, norm: Normalizer, p: &AnnotatedPhrase) -> LabeledS
             Normalizer::Stem => porter_stem(&w),
         })
         .collect();
-    (words, tags.into_iter().map(|t| t.as_str().to_string()).collect())
+    (
+        words,
+        tags.into_iter().map(|t| t.as_str().to_string()).collect(),
+    )
 }
 
 fn main() {
@@ -76,7 +79,12 @@ fn main() {
             }
         }
         let model = SequenceModel::train(&labels, &train, &scale.pipeline.ner);
-        println!("{:<18} {:>8.4} {:>14}", name, ner_f1(&model, &test), names.len());
+        println!(
+            "{:<18} {:>8.4} {:>14}",
+            name,
+            ner_f1(&model, &test),
+            names.len()
+        );
     }
     println!();
     println!("reading: F1 is normalization-insensitive (shape/context features absorb");

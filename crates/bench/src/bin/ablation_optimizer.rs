@@ -31,7 +31,10 @@ fn main() {
         ("L-BFGS (batch)", Trainer::CrfLbfgs),
         ("avg. perceptron", Trainer::Perceptron),
     ] {
-        let cfg = TrainConfig { trainer, ..scale.pipeline.ner };
+        let cfg = TrainConfig {
+            trainer,
+            ..scale.pipeline.ner
+        };
         let t0 = Instant::now();
         let model = SequenceModel::train(&labels, &train, &cfg);
         let secs = t0.elapsed().as_secs_f64();

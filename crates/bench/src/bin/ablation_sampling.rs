@@ -36,8 +36,10 @@ fn main() {
             phrases.push(p);
         }
     }
-    let vectors: Vec<Vec<f64>> =
-        phrases.iter().map(|p| pos_frequency_vector(&pos.tag(&p.words()))).collect();
+    let vectors: Vec<Vec<f64>> = phrases
+        .iter()
+        .map(|p| pos_frequency_vector(&pos.tag(&p.words())))
+        .collect();
     let km = KMeans::fit(&vectors, &scale.pipeline.kmeans);
     let members = km.cluster_members();
 
@@ -45,10 +47,17 @@ fn main() {
     let test_idx: Vec<usize> = (0..phrases.len()).filter(|i| i % 7 == 0).collect();
     let test_set: std::collections::HashSet<usize> = test_idx.iter().copied().collect();
     let test: Vec<LabeledSequence> = test_idx.iter().map(|&i| to_seq(&pre, phrases[i])).collect();
-    let pool: Vec<usize> = (0..phrases.len()).filter(|i| !test_set.contains(i)).collect();
+    let pool: Vec<usize> = (0..phrases.len())
+        .filter(|i| !test_set.contains(i))
+        .collect();
     let pool_members: Vec<Vec<usize>> = members
         .iter()
-        .map(|m| m.iter().copied().filter(|i| !test_set.contains(i)).collect())
+        .map(|m| {
+            m.iter()
+                .copied()
+                .filter(|i| !test_set.contains(i))
+                .collect()
+        })
         .collect();
 
     let labels = IngredientTag::label_set();
@@ -56,7 +65,10 @@ fn main() {
         "Ablation: stratified vs uniform annotation sampling (FOOD.com, test {} phrases)",
         test.len()
     );
-    println!("{:>8} {:>12} {:>10} {:>10}", "budget", "stratified", "uniform", "delta");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10}",
+        "budget", "stratified", "uniform", "delta"
+    );
     for budget in [60usize, 120, 250, 500, 1000, 2500] {
         if budget > pool.len() {
             break;
@@ -65,19 +77,35 @@ fn main() {
         let frac = budget as f64 / pool.len() as f64;
         let mut strat_idx = stratified_sample(&pool_members, frac, scale.pipeline.seed);
         strat_idx.truncate(budget);
-        let strat: Vec<LabeledSequence> =
-            strat_idx.iter().map(|&i| to_seq(&pre, phrases[i])).collect();
+        let strat: Vec<LabeledSequence> = strat_idx
+            .iter()
+            .map(|&i| to_seq(&pre, phrases[i]))
+            .collect();
 
         // Uniform: same budget, uniform over the pool.
         let mut rng = StdRng::seed_from_u64(scale.pipeline.seed ^ 0x5eed);
         let mut shuffled = pool.clone();
         shuffled.shuffle(&mut rng);
-        let unif: Vec<LabeledSequence> =
-            shuffled[..budget].iter().map(|&i| to_seq(&pre, phrases[i])).collect();
+        let unif: Vec<LabeledSequence> = shuffled[..budget]
+            .iter()
+            .map(|&i| to_seq(&pre, phrases[i]))
+            .collect();
 
-        let f1_s = ner_f1(&SequenceModel::train(&labels, &strat, &scale.pipeline.ner), &test);
-        let f1_u = ner_f1(&SequenceModel::train(&labels, &unif, &scale.pipeline.ner), &test);
-        println!("{:>8} {:>12.4} {:>10.4} {:>+10.4}", budget, f1_s, f1_u, f1_s - f1_u);
+        let f1_s = ner_f1(
+            &SequenceModel::train(&labels, &strat, &scale.pipeline.ner),
+            &test,
+        );
+        let f1_u = ner_f1(
+            &SequenceModel::train(&labels, &unif, &scale.pipeline.ner),
+            &test,
+        );
+        println!(
+            "{:>8} {:>12.4} {:>10.4} {:>+10.4}",
+            budget,
+            f1_s,
+            f1_u,
+            f1_s - f1_u
+        );
     }
     println!();
     println!("reading: the stratified advantage concentrates at small budgets, where uniform");

@@ -43,18 +43,37 @@ fn main() {
     let raw_names: Vec<&str> = IngredientTag::ALL.iter().map(|t| t.as_str()).collect();
     let bio_names = bio_label_names(&raw_names, "O");
     let bio_labels = LabelSet::new(&bio_names);
-    let bio_train: Vec<LabeledSequence> =
-        train.iter().map(|(w, t)| (w.clone(), to_bio(t, "O"))).collect();
+    let bio_train: Vec<LabeledSequence> = train
+        .iter()
+        .map(|(w, t)| (w.clone(), to_bio(t, "O")))
+        .collect();
     let t0 = Instant::now();
     let bio_model = SequenceModel::train(&bio_labels, &bio_train, &scale.pipeline.ner);
     let bio_secs = t0.elapsed().as_secs_f64();
-    let bio_pred: Vec<Vec<String>> =
-        test.iter().map(|(w, _)| from_bio(&bio_model.predict(w))).collect();
+    let bio_pred: Vec<Vec<String>> = test
+        .iter()
+        .map(|(w, _)| from_bio(&bio_model.predict(w)))
+        .collect();
     let bio_f1 = entity_prf(&gold, &bio_pred, "O").micro.f1;
 
     println!("Ablation: tagging scheme (ingredient NER, composite dataset)");
     println!("train {} / test {} sequences", train.len(), test.len());
-    println!("{:<14} {:>8} {:>8} {:>10}", "scheme", "labels", "F1", "train (s)");
-    println!("{:<14} {:>8} {:>8.4} {:>10.2}", "raw (paper)", raw_labels.len(), raw_f1, raw_secs);
-    println!("{:<14} {:>8} {:>8.4} {:>10.2}", "BIO", bio_labels.len(), bio_f1, bio_secs);
+    println!(
+        "{:<14} {:>8} {:>8} {:>10}",
+        "scheme", "labels", "F1", "train (s)"
+    );
+    println!(
+        "{:<14} {:>8} {:>8.4} {:>10.2}",
+        "raw (paper)",
+        raw_labels.len(),
+        raw_f1,
+        raw_secs
+    );
+    println!(
+        "{:<14} {:>8} {:>8.4} {:>10.2}",
+        "BIO",
+        bio_labels.len(),
+        bio_f1,
+        bio_secs
+    );
 }

@@ -25,6 +25,13 @@ fn main() {
     println!("Ablation: trainer choice on the composite (BOTH) dataset");
     println!("train {} / test {} sequences", train.len(), test.len());
     println!("CRF:        F1 {:.4}  train {:.2}s", r.crf_f1, r.crf_secs);
-    println!("Perceptron: F1 {:.4}  train {:.2}s", r.perceptron_f1, r.perceptron_secs);
-    println!("speedup {:.1}x, F1 delta {:+.4}", r.crf_secs / r.perceptron_secs.max(1e-9), r.perceptron_f1 - r.crf_f1);
+    println!(
+        "Perceptron: F1 {:.4}  train {:.2}s",
+        r.perceptron_f1, r.perceptron_secs
+    );
+    println!(
+        "speedup {:.1}x, F1 delta {:+.4}",
+        r.crf_secs / r.perceptron_secs.max(1e-9),
+        r.perceptron_f1 - r.crf_f1
+    );
 }

@@ -48,7 +48,14 @@ fn main() {
         "k", "inertia", "purity", "ARI", "NMI", "silhouette"
     );
     for k in [8, 12, 16, 20, 23, 28, 32] {
-        let km = KMeans::fit(&vectors, &KMeansConfig { k, seed: scale.pipeline.seed, ..Default::default() });
+        let km = KMeans::fit(
+            &vectors,
+            &KMeansConfig {
+                k,
+                seed: scale.pipeline.seed,
+                ..Default::default()
+            },
+        );
         println!(
             "{:>4} {:>10.1} {:>8.3} {:>8.3} {:>8.3} {:>12.3}",
             k,

@@ -16,12 +16,27 @@ fn main() {
 
     println!("Conclusion statistics (paper values in parentheses)");
     println!("recipes measured:            {}  (40 000)", stats.recipes);
-    println!("instruction steps:           {}  (174 932)", stats.relations.instructions);
-    println!("relations per instruction:   {:.3} (6.164)", stats.relations.mean);
-    println!("standard deviation:          {:.2}  (5.70)", stats.relations.std_dev);
-    println!("unique ingredient names:     {}  (20 280 at full RecipeDB scale)", stats.unique_names);
+    println!(
+        "instruction steps:           {}  (174 932)",
+        stats.relations.instructions
+    );
+    println!(
+        "relations per instruction:   {:.3} (6.164)",
+        stats.relations.mean
+    );
+    println!(
+        "standard deviation:          {:.2}  (5.70)",
+        stats.relations.std_dev
+    );
+    println!(
+        "unique ingredient names:     {}  (20 280 at full RecipeDB scale)",
+        stats.unique_names
+    );
     println!();
-    println!("std/mean ratio: {:.2} (paper: {:.2}) — the high variance that motivates", 
-        stats.relations.std_dev / stats.relations.mean, 5.70f64 / 6.164);
+    println!(
+        "std/mean ratio: {:.2} (paper: {:.2}) — the high variance that motivates",
+        stats.relations.std_dev / stats.relations.mean,
+        5.70f64 / 6.164
+    );
     println!("many-to-many relation modelling");
 }

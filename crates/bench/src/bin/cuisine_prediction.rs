@@ -21,17 +21,29 @@ fn main() {
 
     eprintln!("mining recipe models...");
     let sample = corpus.recipes.len().min(4000);
-    let models: Vec<_> =
-        corpus.recipes.iter().take(sample).map(|r| pipeline.model_recipe(r)).collect();
+    let models: Vec<_> = corpus
+        .recipes
+        .iter()
+        .take(sample)
+        .map(|r| pipeline.model_recipe(r))
+        .collect();
     let (train, test) = models.split_at(models.len() / 2);
 
     let clf = CuisineClassifier::fit(train);
     let (acc, baseline) = clf.evaluate(test);
     println!("Cuisine prediction from extracted ingredient names (naive Bayes)");
-    println!("train {} recipes | test {} recipes | {} cuisines", train.len(), test.len(), clf.num_classes());
+    println!(
+        "train {} recipes | test {} recipes | {} cuisines",
+        train.len(),
+        test.len(),
+        clf.num_classes()
+    );
     println!("accuracy:          {acc:.3}");
     println!("majority baseline: {baseline:.3}");
-    println!("random baseline:   {:.3}", 1.0 / clf.num_classes().max(1) as f64);
+    println!(
+        "random baseline:   {:.3}",
+        1.0 / clf.num_classes().max(1) as f64
+    );
     println!();
     println!("note: only 12 of the 40 corpus cuisines carry an ingredient signature;");
     println!("recipes of unsignatured cuisines are irreducibly ambiguous, which bounds");

@@ -28,15 +28,9 @@ fn main() {
     let pos = train_pos_tagger(&corpus, cfg.pos_epochs, cfg.seed);
 
     // Composite train set via the standard pipeline sampling.
-    let ds_ar = recipe_core::pipeline::build_site_dataset(
-        &corpus,
-        Site::AllRecipes,
-        &pos,
-        &pre,
-        &cfg,
-    );
-    let ds_fc =
-        recipe_core::pipeline::build_site_dataset(&corpus, Site::FoodCom, &pos, &pre, &cfg);
+    let ds_ar =
+        recipe_core::pipeline::build_site_dataset(&corpus, Site::AllRecipes, &pos, &pre, &cfg);
+    let ds_fc = recipe_core::pipeline::build_site_dataset(&corpus, Site::FoodCom, &pos, &pre, &cfg);
     let mut train = ds_ar.train.clone();
     train.extend(ds_fc.train.iter().cloned());
     let model = SequenceModel::train(&IngredientTag::label_set(), &train, &cfg.ner);

@@ -22,8 +22,7 @@ fn main() {
     for (x, y, c) in &fig.points {
         writeln!(f, "{x:.6},{y:.6},{c}").unwrap();
     }
-    let mut f =
-        std::fs::File::create("figure2b_points.csv").expect("create panel-b points csv");
+    let mut f = std::fs::File::create("figure2b_points.csv").expect("create panel-b points csv");
     writeln!(f, "x,y,cluster").unwrap();
     for (x, y, c) in &fig.points_pca_first {
         writeln!(f, "{x:.6},{y:.6},{c}").unwrap();
@@ -35,9 +34,19 @@ fn main() {
     }
 
     println!("Figure 2: POS-vector clustering");
-    println!("points: {} unique phrases, k = {} clusters (paper: 23)", fig.points.len(), scale.pipeline.kmeans.k);
-    println!("elbow criterion suggests k = {} (paper chose 23 from elbow + interpretability)", fig.chosen_k);
-    println!("PCA explained variance: axis1 {:.3}, axis2 {:.3}", fig.explained[0], fig.explained[1]);
+    println!(
+        "points: {} unique phrases, k = {} clusters (paper: 23)",
+        fig.points.len(),
+        scale.pipeline.kmeans.k
+    );
+    println!(
+        "elbow criterion suggests k = {} (paper chose 23 from elbow + interpretability)",
+        fig.chosen_k
+    );
+    println!(
+        "PCA explained variance: axis1 {:.3}, axis2 {:.3}",
+        fig.explained[0], fig.explained[1]
+    );
     println!("inertia curve:");
     for (k, inertia) in &fig.elbow {
         println!("  k={k:<3} inertia={inertia:.1}");
@@ -50,7 +59,12 @@ fn main() {
     let sample: Vec<(f64, f64, usize)> = fig.points.iter().copied().take(5000).collect();
     std::fs::write(
         "figure2a.svg",
-        recipe_bench::svg::scatter_svg(&sample, "Fig 2(a): K-Means in 36-D, PCA projection", 720, 540),
+        recipe_bench::svg::scatter_svg(
+            &sample,
+            "Fig 2(a): K-Means in 36-D, PCA projection",
+            720,
+            540,
+        ),
     )
     .expect("write fig2a svg");
     let sample_b: Vec<(f64, f64, usize)> =

@@ -12,7 +12,10 @@ fn main() {
     let pipeline = TrainedPipeline::train(&corpus, &scale.pipeline);
 
     let recipe = &corpus.recipes[1];
-    println!("Figure 4: NER inference for the instruction section of \"{}\"", recipe.title);
+    println!(
+        "Figure 4: NER inference for the instruction section of \"{}\"",
+        recipe.title
+    );
     for sent in &recipe.instructions {
         println!("  {}", render_instruction_ner(&pipeline, &sent.words()));
     }

@@ -25,8 +25,15 @@ fn main() {
         }
         recipes
     };
-    let train_corpus = RecipeCorpus { recipes: spec2, spec: corpus.spec };
-    let pos = train_pos_tagger(&train_corpus, scale.pipeline.pos_epochs, scale.pipeline.seed);
+    let train_corpus = RecipeCorpus {
+        recipes: spec2,
+        spec: corpus.spec,
+    };
+    let pos = train_pos_tagger(
+        &train_corpus,
+        scale.pipeline.pos_epochs,
+        scale.pipeline.seed,
+    );
 
     let mut eval_phr = Vec::new();
     let mut eval_ins = Vec::new();
@@ -40,15 +47,29 @@ fn main() {
     }
     println!("substrate quality (held-out half of the corpus)");
     println!("POS tagger (Stanford-Twitter stand-in):");
-    println!("  ingredient phrases: {:.4} token accuracy", pos.accuracy(&eval_phr));
-    println!("  instructions:       {:.4} token accuracy", pos.accuracy(&eval_ins));
-    println!("  features: {}, tagdict: {}", pos.num_features(), pos.tagdict_len());
+    println!(
+        "  ingredient phrases: {:.4} token accuracy",
+        pos.accuracy(&eval_phr)
+    );
+    println!(
+        "  instructions:       {:.4} token accuracy",
+        pos.accuracy(&eval_ins)
+    );
+    println!(
+        "  features: {}, tagdict: {}",
+        pos.num_features(),
+        pos.tagdict_len()
+    );
 
     // --- Dependency parser: train on a slice, evaluate on another. ---
     let mut treebank = Vec::new();
     for r in corpus.recipes.iter().take(600) {
         for s in &r.instructions {
-            treebank.push(ParseExample { words: s.words(), tags: s.pos_tags(), tree: s.tree.clone() });
+            treebank.push(ParseExample {
+                words: s.words(),
+                tags: s.pos_tags(),
+                tree: s.tree.clone(),
+            });
         }
     }
     let split = treebank.len() * 4 / 5;
@@ -56,7 +77,10 @@ fn main() {
     let parser = DependencyParser::train(train_tb, &ParserConfig::default());
     let (uas_gold, las_gold) = parser.evaluate(test_tb);
     println!("dependency parser (spaCy stand-in), gold POS:");
-    println!("  UAS {uas_gold:.4}  LAS {las_gold:.4}  ({} test sentences)", test_tb.len());
+    println!(
+        "  UAS {uas_gold:.4}  LAS {las_gold:.4}  ({} test sentences)",
+        test_tb.len()
+    );
 
     // With predicted POS (the pipeline's actual operating condition).
     let test_pred: Vec<ParseExample> = test_tb
@@ -79,7 +103,10 @@ fn main() {
         for ex in test_tb.iter().take(200) {
             uas += parser.parse_beam(&ex.words, &ex.tags, beam).uas(&ex.tree);
         }
-        println!("  beam {beam}: UAS {:.4}", uas / test_tb.len().min(200) as f64);
+        println!(
+            "  beam {beam}: UAS {:.4}",
+            uas / test_tb.len().min(200) as f64
+        );
     }
 
     println!();

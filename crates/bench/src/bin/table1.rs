@@ -16,7 +16,10 @@ fn main() {
     let pipeline = TrainedPipeline::train(&corpus, &scale.pipeline);
 
     println!("Table II: Named Entity Recognition Tags");
-    for tag in IngredientTag::ALL.iter().filter(|t| **t != IngredientTag::O) {
+    for tag in IngredientTag::ALL
+        .iter()
+        .filter(|t| **t != IngredientTag::O)
+    {
         println!("  {tag}");
     }
     println!();

@@ -19,15 +19,26 @@ fn main() {
     let scale2 = scale;
     let (corpus, _) = recipe_bench::cross_site_experiment(&scale2);
     let pre = recipe_text::Preprocessor::default();
-    let pos = recipe_core::pipeline::train_pos_tagger(&corpus, scale.pipeline.pos_epochs, scale.pipeline.seed);
+    let pos = recipe_core::pipeline::train_pos_tagger(
+        &corpus,
+        scale.pipeline.pos_epochs,
+        scale.pipeline.seed,
+    );
     let mut all = Vec::new();
-    for site in [recipe_corpus::Site::AllRecipes, recipe_corpus::Site::FoodCom] {
-        let ds = recipe_core::pipeline::build_site_dataset(&corpus, site, &pos, &pre, &scale.pipeline);
+    for site in [
+        recipe_corpus::Site::AllRecipes,
+        recipe_corpus::Site::FoodCom,
+    ] {
+        let ds =
+            recipe_core::pipeline::build_site_dataset(&corpus, site, &pos, &pre, &scale.pipeline);
         all.extend(ds.train);
     }
     let folds = crossval_f1(&all, &IngredientTag::label_set(), &scale.pipeline, 5);
     let mean = folds.iter().sum::<f64>() / folds.len() as f64;
-    println!("5-fold cross-validation of the BOTH model: mean F1 {:.4}", mean);
+    println!(
+        "5-fold cross-validation of the BOTH model: mean F1 {:.4}",
+        mean
+    );
     for (i, f) in folds.iter().enumerate() {
         println!("  fold {}: {:.4}", i + 1, f);
     }
@@ -53,20 +64,19 @@ fn main() {
     both_train.extend(ds_fc2.train.iter().cloned());
     let mut both_test = ds_ar2.test.clone();
     both_test.extend(ds_fc2.test.iter().cloned());
-    let model_both =
-        recipe_ner::SequenceModel::train(&labels, &both_train, &scale.pipeline.ner);
-    let model_fc =
-        recipe_ner::SequenceModel::train(&labels, &ds_fc2.train, &scale.pipeline.ner);
+    let model_both = recipe_ner::SequenceModel::train(&labels, &both_train, &scale.pipeline.ner);
+    let model_fc = recipe_ner::SequenceModel::train(&labels, &ds_fc2.train, &scale.pipeline.ner);
     let preds: Vec<[Vec<String>; 2]> = both_test
         .iter()
         .map(|(w, _)| [model_both.predict(w), model_fc.predict(w)])
         .collect();
     let gold: Vec<Vec<String>> = both_test.iter().map(|(_, t)| t.clone()).collect();
-    let cmp = recipe_eval::paired_bootstrap(both_test.len(), 500, scale.pipeline.seed, |sys, idx| {
-        let g: Vec<Vec<String>> = idx.iter().map(|&i| gold[i].clone()).collect();
-        let p: Vec<Vec<String>> = idx.iter().map(|&i| preds[i][sys].clone()).collect();
-        recipe_eval::metrics::entity_prf(&g, &p, "O").micro.f1
-    });
+    let cmp =
+        recipe_eval::paired_bootstrap(both_test.len(), 500, scale.pipeline.seed, |sys, idx| {
+            let g: Vec<Vec<String>> = idx.iter().map(|&i| gold[i].clone()).collect();
+            let p: Vec<Vec<String>> = idx.iter().map(|&i| preds[i][sys].clone()).collect();
+            recipe_eval::metrics::entity_prf(&g, &p, "O").micro.f1
+        });
     println!(
         "paired bootstrap (BOTH vs FOOD.com model on composite test): \
 delta {:+.4}, win rate {:.3} over 500 replicates",

@@ -13,5 +13,8 @@ fn main() {
     println!("Table V: Evaluation of NER model for Instructions Section");
     println!("(paper: Processes P 0.92 R 0.85 F1 0.88 | Utensils P 0.94 R 0.86 F1 0.90)");
     println!("{}", result.table());
-    println!("train sentences: {} | test sentences: {}", result.train_size, result.test_size);
+    println!(
+        "train sentences: {} | test sentences: {}",
+        result.train_size, result.test_size
+    );
 }

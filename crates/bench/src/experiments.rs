@@ -5,8 +5,8 @@ use recipe_cluster::{inertia_sweep, KMeans, Pca};
 use recipe_core::events::{relation_stats, RelationStats};
 use recipe_core::instructions::tag_instruction;
 use recipe_core::pipeline::{
-    build_instruction_datasets, build_site_dataset, train_pos_tagger, PipelineConfig,
-    SiteDataset, TrainedPipeline,
+    build_instruction_datasets, build_site_dataset, train_pos_tagger, PipelineConfig, SiteDataset,
+    TrainedPipeline,
 };
 use recipe_corpus::{RecipeCorpus, Site};
 use recipe_eval::metrics::{entity_prf, ClassMetrics};
@@ -65,8 +65,12 @@ impl CrossSiteResult {
     /// Render Table IV (cross-dataset F1 matrix).
     pub fn table4(&self) -> TextTable {
         let names = ["AllRecipes", "FOOD.com", "BOTH"];
-        let mut t =
-            TextTable::new(&["Testing Set", "AllRecipes model", "FOOD.com model", "BOTH model"]);
+        let mut t = TextTable::new(&[
+            "Testing Set",
+            "AllRecipes model",
+            "FOOD.com model",
+            "BOTH model",
+        ]);
         for (i, name) in names.iter().enumerate() {
             t.row(&[
                 name.to_string(),
@@ -150,8 +154,7 @@ pub fn crossval_f1(
     splits
         .iter()
         .map(|fold| {
-            let train: Vec<LabeledSequence> =
-                fold.train.iter().map(|&i| data[i].clone()).collect();
+            let train: Vec<LabeledSequence> = fold.train.iter().map(|&i| data[i].clone()).collect();
             let test: Vec<LabeledSequence> = fold.test.iter().map(|&i| data[i].clone()).collect();
             let model = SequenceModel::train(labels, &train, &cfg.ner);
             ner_f1(&model, &test)
@@ -194,7 +197,11 @@ pub fn table5_experiment(corpus: &RecipeCorpus, cfg: &PipelineConfig) -> Table5R
     let labels = recipe_ner::InstructionTag::label_set();
     let model = SequenceModel::train(&labels, &train, &cfg.ner);
     let metrics = ner_metrics(&model, &test);
-    Table5Result { train_size: train.len(), test_size: test.len(), metrics }
+    Table5Result {
+        train_size: train.len(),
+        test_size: test.len(),
+        metrics,
+    }
 }
 
 /// Figure 2 result: clustered POS vectors with 2-D PCA coordinates plus
@@ -255,8 +262,7 @@ pub fn figure2_experiment(
         .zip(&km_b.assignments)
         .map(|(p, &c)| (p[0], p[1], c))
         .collect();
-    let variant_agreement =
-        recipe_cluster::adjusted_rand_index(&km.assignments, &km_b.assignments);
+    let variant_agreement = recipe_cluster::adjusted_rand_index(&km.assignments, &km_b.assignments);
 
     let ks: Vec<usize> = (2..=40).step_by(2).collect();
     let elbow = inertia_sweep(&vectors, &ks, &cfg.kmeans);
@@ -293,7 +299,11 @@ pub fn conclusion_experiment(
     let recipes = corpus.recipes.len().min(max_recipes);
     let relations = relation_stats(pipeline, corpus.recipes.iter().take(recipes));
     let unique_names = pipeline.unique_ingredient_names(corpus);
-    ConclusionStats { relations, unique_names, recipes }
+    ConclusionStats {
+        relations,
+        unique_names,
+        recipes,
+    }
 }
 
 /// Render the Table I demonstration: the paper's seven phrases through the
@@ -378,7 +388,12 @@ pub fn trainer_ablation(
     cfg: &PipelineConfig,
 ) -> TrainerAblation {
     let labels = IngredientTag::label_set();
-    let mut out = TrainerAblation { crf_f1: 0.0, crf_secs: 0.0, perceptron_f1: 0.0, perceptron_secs: 0.0 };
+    let mut out = TrainerAblation {
+        crf_f1: 0.0,
+        crf_secs: 0.0,
+        perceptron_f1: 0.0,
+        perceptron_secs: 0.0,
+    };
     for trainer in [recipe_ner::Trainer::Crf, recipe_ner::Trainer::Perceptron] {
         let cfg_t = recipe_ner::TrainConfig { trainer, ..cfg.ner };
         let t0 = Instant::now();
@@ -421,7 +436,10 @@ mod tests {
         assert!(result.f1[2][2] + 1e-9 >= result.f1[2][0]);
         assert!(result.f1[2][2] + 1e-9 >= result.f1[2][1]);
         // Sizes: both splits non-empty, BOTH = sum.
-        assert_eq!(result.train_sizes[2], result.train_sizes[0] + result.train_sizes[1]);
+        assert_eq!(
+            result.train_sizes[2],
+            result.train_sizes[0] + result.train_sizes[1]
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 pub mod experiments;
 pub mod scale;
 pub mod svg;
+pub mod timing;
 
 pub use experiments::*;
 pub use scale::*;

@@ -46,8 +46,15 @@ impl ExperimentScale {
         let frac = |target: usize, est: f64| (target as f64 / est).clamp(0.002, 0.5);
         let pipeline = PipelineConfig {
             pos_epochs: 3,
-            ner: TrainConfig { epochs: 12, ..TrainConfig::default() },
-            kmeans: KMeansConfig { k: 23, max_iters: 50, ..KMeansConfig::default() },
+            ner: TrainConfig {
+                epochs: 12,
+                ..TrainConfig::default()
+            },
+            kmeans: KMeansConfig {
+                k: 23,
+                max_iters: 50,
+                ..KMeansConfig::default()
+            },
             train_frac_allrecipes: frac(paper_sizes::TRAIN_ALLRECIPES, est_ar),
             test_frac_allrecipes: frac(paper_sizes::TEST_ALLRECIPES, est_ar),
             train_frac_foodcom: frac(paper_sizes::TRAIN_FOODCOM, est_fc),

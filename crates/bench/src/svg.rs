@@ -37,7 +37,10 @@ pub fn scatter_svg(points: &[(f64, f64, usize)], title: &str, width: u32, height
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
     );
-    let _ = write!(svg, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<rect width="{width}" height="{height}" fill="white"/>"#
+    );
     let _ = write!(
         svg,
         r#"<text x="{}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">{title}</text>"#,
@@ -72,7 +75,10 @@ pub fn elbow_svg(curve: &[(usize, f64)], title: &str, width: u32, height: u32) -
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
     );
-    let _ = write!(svg, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<rect width="{width}" height="{height}" fill="white"/>"#
+    );
     let _ = write!(
         svg,
         r#"<text x="{}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">{title}</text>"#,
@@ -87,8 +93,10 @@ pub fn elbow_svg(curve: &[(usize, f64)], title: &str, width: u32, height: u32) -
         let span_i = (max_i - min_i).max(1e-9);
         let sx = |k: f64| margin + (k - min_k) / span_k * (w - 2.0 * margin);
         let sy = |v: f64| h - margin - (v - min_i) / span_i * (h - 2.0 * margin);
-        let path: Vec<String> =
-            curve.iter().map(|&(k, v)| format!("{:.1},{:.1}", sx(k as f64), sy(v))).collect();
+        let path: Vec<String> = curve
+            .iter()
+            .map(|&(k, v)| format!("{:.1},{:.1}", sx(k as f64), sy(v)))
+            .collect();
         let _ = write!(
             svg,
             r##"<polyline points="{}" fill="none" stroke="#4e79a7" stroke-width="2"/>"##,

@@ -1,0 +1,150 @@
+//! Minimal wall-clock benchmark harness behind the `[[bench]]` targets.
+//!
+//! A self-contained replacement for the Criterion dependency: each
+//! benchmark is calibrated to a target wall time, then timed over a fixed
+//! number of samples, and the median / mean / min per-iteration times are
+//! printed in Criterion-like one-line form. Run with
+//! `cargo bench -p recipe-bench`; positional arguments filter benchmarks
+//! by substring.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark runner: holds reporting options and the name filter.
+pub struct Bench {
+    filters: Vec<String>,
+    /// Wall-clock budget each benchmark's measurement phase aims for.
+    pub target_time: Duration,
+    /// Number of timed samples per benchmark.
+    pub samples: usize,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench {
+            filters: Vec::new(),
+            target_time: Duration::from_millis(500),
+            samples: 20,
+        }
+    }
+}
+
+impl Bench {
+    /// Build a runner from CLI arguments: positional args are substring
+    /// filters; `--bench`/`--exact` (passed by `cargo bench`) are ignored.
+    pub fn from_args() -> Self {
+        let mut b = Bench::default();
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                b.filters.push(arg);
+            }
+        }
+        b
+    }
+
+    /// Same runner with `samples` timed samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(2);
+        self
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
+    }
+
+    /// Calibrate and time `f`, printing a one-line summary.
+    pub fn bench_function<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        if !self.selected(name) {
+            return;
+        }
+
+        // Calibration: find an iteration count whose batch takes roughly
+        // target_time / samples, so total wall time is bounded.
+        let mut iters = 1u64;
+        let per_sample = self.target_time / self.samples as u32;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= per_sample || iters >= 1 << 30 {
+                let scale = per_sample.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+                iters = ((iters as f64 * scale).ceil() as u64).clamp(1, 1 << 30);
+                break;
+            }
+            iters *= 2;
+        }
+
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                start.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{name:<40} median {:>12}  mean {:>12}  min {:>12}  ({} iters x {} samples)",
+            fmt_secs(median),
+            fmt_secs(mean),
+            fmt_secs(min),
+            iters,
+            per_iter.len(),
+        );
+    }
+}
+
+/// Human units for a per-iteration time in seconds.
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_select_by_substring() {
+        let b = Bench {
+            filters: vec!["toke".into()],
+            ..Bench::default()
+        };
+        assert!(b.selected("tokenize_phrase"));
+        assert!(!b.selected("kmeans"));
+        assert!(Bench::default().selected("anything"));
+    }
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let b = Bench::default().sample_size(2);
+        let b = Bench {
+            target_time: Duration::from_millis(5),
+            ..b
+        };
+        let mut calls = 0u64;
+        b.bench_function("trivial", || calls += 1);
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn fmt_secs_units() {
+        assert!(fmt_secs(5e-9).ends_with("ns"));
+        assert!(fmt_secs(5e-6).ends_with("µs"));
+        assert!(fmt_secs(5e-3).ends_with("ms"));
+        assert!(fmt_secs(5.0).ends_with('s'));
+    }
+}

@@ -39,8 +39,50 @@ pub enum Command {
         /// Corpus seed.
         seed: u64,
     },
+    /// `lint [--format human|json] [--deny-warnings] [--model PATH] ...`
+    Lint(LintOptions),
     /// `help`
     Help,
+}
+
+/// Options for the `lint` subcommand (see [`crate::commands::run`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintOptions {
+    /// Output format: `"human"` (rustc-style) or `"json"`.
+    pub format: String,
+    /// Treat warning-level findings as errors.
+    pub deny_warnings: bool,
+    /// Lint a saved artifact instead of training a fresh pipeline.
+    pub model: Option<String>,
+    /// Size of the generated corpus to lint (and train on).
+    pub recipes: usize,
+    /// Corpus/training seed.
+    pub seed: u64,
+    /// Run the source scanner over this directory (`--workspace [ROOT]`,
+    /// default `.` when the flag is given without a value).
+    pub workspace: Option<String>,
+    /// Rule codes to silence (`--allow RA301,RA107`).
+    pub allow: Vec<String>,
+    /// Rule codes to promote to errors (`--deny RA002`).
+    pub deny: Vec<String>,
+    /// Print the rule catalog and exit.
+    pub list_rules: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            format: "human".to_string(),
+            deny_warnings: false,
+            model: None,
+            recipes: 120,
+            seed: 42,
+            workspace: None,
+            allow: Vec::new(),
+            deny: Vec::new(),
+            list_rules: false,
+        }
+    }
 }
 
 /// Result of [`parse_args`].
@@ -63,6 +105,10 @@ pub enum ArgsError {
     BadValue(&'static str, String),
     /// Positional arguments were required but absent.
     MissingPositional(&'static str),
+    /// A flag that needs a value appeared without one.
+    MissingValue(&'static str),
+    /// An argument the subcommand does not understand.
+    UnexpectedArg(String),
 }
 
 impl fmt::Display for ArgsError {
@@ -73,6 +119,8 @@ impl fmt::Display for ArgsError {
             ArgsError::MissingFlag(flag) => write!(f, "missing required flag --{flag}"),
             ArgsError::BadValue(flag, v) => write!(f, "bad value for --{flag}: {v:?}"),
             ArgsError::MissingPositional(what) => write!(f, "expected at least one {what}"),
+            ArgsError::MissingValue(flag) => write!(f, "flag --{flag} requires a value"),
+            ArgsError::UnexpectedArg(arg) => write!(f, "unexpected argument {arg:?}"),
         }
     }
 }
@@ -111,48 +159,143 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
     let command = match cmd.as_str() {
         "help" | "--help" | "-h" => Command::Help,
         "train" => {
-            let out = flags.get("out").cloned().ok_or(ArgsError::MissingFlag("out"))?;
+            let out = flags
+                .get("out")
+                .cloned()
+                .ok_or(ArgsError::MissingFlag("out"))?;
             let recipes = match flags.get("recipes") {
-                Some(v) => {
-                    v.parse().map_err(|_| ArgsError::BadValue("recipes", v.clone()))?
-                }
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ArgsError::BadValue("recipes", v.clone()))?,
                 None => 1000,
             };
             let seed = match flags.get("seed") {
-                Some(v) => v.parse().map_err(|_| ArgsError::BadValue("seed", v.clone()))?,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ArgsError::BadValue("seed", v.clone()))?,
                 None => 42,
             };
             Command::Train { out, recipes, seed }
         }
         "generate" => {
-            let out = flags.get("out").cloned().ok_or(ArgsError::MissingFlag("out"))?;
+            let out = flags
+                .get("out")
+                .cloned()
+                .ok_or(ArgsError::MissingFlag("out"))?;
             let recipes = match flags.get("recipes") {
-                Some(v) => v.parse().map_err(|_| ArgsError::BadValue("recipes", v.clone()))?,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ArgsError::BadValue("recipes", v.clone()))?,
                 None => 100,
             };
             let seed = match flags.get("seed") {
-                Some(v) => v.parse().map_err(|_| ArgsError::BadValue("seed", v.clone()))?,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ArgsError::BadValue("seed", v.clone()))?,
                 None => 42,
             };
             Command::Generate { out, recipes, seed }
         }
         "extract" => {
-            let model = flags.get("model").cloned().ok_or(ArgsError::MissingFlag("model"))?;
+            let model = flags
+                .get("model")
+                .cloned()
+                .ok_or(ArgsError::MissingFlag("model"))?;
             if positional.is_empty() {
                 return Err(ArgsError::MissingPositional("phrase"));
             }
-            Command::Extract { model, phrases: positional }
+            Command::Extract {
+                model,
+                phrases: positional,
+            }
         }
         "mine" => {
-            let model = flags.get("model").cloned().ok_or(ArgsError::MissingFlag("model"))?;
+            let model = flags
+                .get("model")
+                .cloned()
+                .ok_or(ArgsError::MissingFlag("model"))?;
             if positional.is_empty() {
                 return Err(ArgsError::MissingPositional("recipe file"));
             }
-            Command::Mine { model, files: positional }
+            Command::Mine {
+                model,
+                files: positional,
+            }
         }
+        // `lint` has boolean flags, so it parses `rest` itself instead of
+        // going through the `--flag value` pairing of `split_flags`.
+        "lint" => Command::Lint(parse_lint(rest)?),
         other => return Err(ArgsError::UnknownCommand(other.to_string())),
     };
     Ok(ParsedArgs { command })
+}
+
+fn parse_lint(rest: &[String]) -> Result<LintOptions, ArgsError> {
+    let mut opts = LintOptions::default();
+    let mut i = 0usize;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--deny-warnings" => {
+                opts.deny_warnings = true;
+                i += 1;
+            }
+            "--list-rules" => {
+                opts.list_rules = true;
+                i += 1;
+            }
+            "--workspace" => {
+                // Optional value: `--workspace path` or bare `--workspace`.
+                if i + 1 < rest.len() && !rest[i + 1].starts_with("--") {
+                    opts.workspace = Some(rest[i + 1].clone());
+                    i += 2;
+                } else {
+                    opts.workspace = Some(".".to_string());
+                    i += 1;
+                }
+            }
+            flag @ ("--format" | "--model" | "--recipes" | "--seed" | "--allow" | "--deny") => {
+                let name: &'static str = match flag {
+                    "--format" => "format",
+                    "--model" => "model",
+                    "--recipes" => "recipes",
+                    "--seed" => "seed",
+                    "--allow" => "allow",
+                    _ => "deny",
+                };
+                let Some(v) = rest.get(i + 1) else {
+                    return Err(ArgsError::MissingValue(name));
+                };
+                match name {
+                    "format" => {
+                        if v != "human" && v != "json" {
+                            return Err(ArgsError::BadValue("format", v.clone()));
+                        }
+                        opts.format = v.clone();
+                    }
+                    "model" => opts.model = Some(v.clone()),
+                    "recipes" => {
+                        opts.recipes = v
+                            .parse()
+                            .map_err(|_| ArgsError::BadValue("recipes", v.clone()))?;
+                    }
+                    "seed" => {
+                        opts.seed = v
+                            .parse()
+                            .map_err(|_| ArgsError::BadValue("seed", v.clone()))?;
+                    }
+                    "allow" => opts
+                        .allow
+                        .extend(v.split(',').filter(|s| !s.is_empty()).map(String::from)),
+                    _ => opts
+                        .deny
+                        .extend(v.split(',').filter(|s| !s.is_empty()).map(String::from)),
+                }
+                i += 2;
+            }
+            other => return Err(ArgsError::UnexpectedArg(other.to_string())),
+        }
+    }
+    Ok(opts)
 }
 
 /// Usage text for `help`.
@@ -164,6 +307,10 @@ USAGE:
   recipe-mine train   --out <model.json> [--recipes N] [--seed S]
   recipe-mine extract --model <model.json> <phrase>...
   recipe-mine mine    --model <model.json> <recipe.txt>...
+  recipe-mine lint    [--format human|json] [--deny-warnings]
+                      [--model <model.json>] [--recipes N] [--seed S]
+                      [--workspace [ROOT]] [--allow CODES] [--deny CODES]
+                      [--list-rules]
   recipe-mine help
 
 generate write a synthetic RecipeDB-like corpus as recipe text files
@@ -174,6 +321,11 @@ train    generate a synthetic RecipeDB-like corpus, train the full
 extract  print the structured attributes of ingredient phrases as JSON
 mine     mine recipe text files (## ingredients / ## instructions
          sections) into the Fig. 1 structure, printed as JSON
+lint     run the recipe-analyze static checks: cross-crate invariants,
+         corpus well-formedness over a generated corpus, artifact health
+         over a loaded (--model) or freshly trained pipeline, and an
+         optional source scan (--workspace); exits nonzero on any
+         error-level finding (--deny-warnings promotes warnings)
 ";
 
 #[cfg(test)]
@@ -189,21 +341,46 @@ mod tests {
         let parsed = parse_args(&s(&["train", "--out", "m.json"])).unwrap();
         assert_eq!(
             parsed.command,
-            Command::Train { out: "m.json".into(), recipes: 1000, seed: 42 }
+            Command::Train {
+                out: "m.json".into(),
+                recipes: 1000,
+                seed: 42
+            }
         );
     }
 
     #[test]
     fn parses_train_with_flags_any_order() {
-        let parsed =
-            parse_args(&s(&["train", "--seed", "7", "--recipes", "250", "--out", "x"])).unwrap();
-        assert_eq!(parsed.command, Command::Train { out: "x".into(), recipes: 250, seed: 7 });
+        let parsed = parse_args(&s(&[
+            "train",
+            "--seed",
+            "7",
+            "--recipes",
+            "250",
+            "--out",
+            "x",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Train {
+                out: "x".into(),
+                recipes: 250,
+                seed: 7
+            }
+        );
     }
 
     #[test]
     fn parses_extract_with_positionals() {
-        let parsed =
-            parse_args(&s(&["extract", "--model", "m.json", "2 cups flour", "1 egg"])).unwrap();
+        let parsed = parse_args(&s(&[
+            "extract",
+            "--model",
+            "m.json",
+            "2 cups flour",
+            "1 egg",
+        ]))
+        .unwrap();
         match parsed.command {
             Command::Extract { model, phrases } => {
                 assert_eq!(model, "m.json");
@@ -220,7 +397,10 @@ mod tests {
             parse_args(&s(&["frobnicate"])),
             Err(ArgsError::UnknownCommand(_))
         ));
-        assert_eq!(parse_args(&s(&["train"])), Err(ArgsError::MissingFlag("out")));
+        assert_eq!(
+            parse_args(&s(&["train"])),
+            Err(ArgsError::MissingFlag("out"))
+        );
         assert!(matches!(
             parse_args(&s(&["train", "--out", "x", "--recipes", "many"])),
             Err(ArgsError::BadValue("recipes", _))
@@ -228,6 +408,89 @@ mod tests {
         assert_eq!(
             parse_args(&s(&["extract", "--model", "m"])),
             Err(ArgsError::MissingPositional("phrase"))
+        );
+    }
+
+    #[test]
+    fn parses_lint_defaults() {
+        let parsed = parse_args(&s(&["lint"])).unwrap();
+        assert_eq!(parsed.command, Command::Lint(LintOptions::default()));
+    }
+
+    #[test]
+    fn parses_lint_boolean_flags_without_eating_values() {
+        // `--deny-warnings` is boolean: the following flag must still parse.
+        let parsed = parse_args(&s(&["lint", "--deny-warnings", "--format", "json"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Lint(LintOptions {
+                deny_warnings: true,
+                format: "json".into(),
+                ..LintOptions::default()
+            })
+        );
+    }
+
+    #[test]
+    fn parses_lint_full_surface() {
+        let parsed = parse_args(&s(&[
+            "lint",
+            "--model",
+            "m.json",
+            "--recipes",
+            "30",
+            "--seed",
+            "9",
+            "--workspace",
+            "crates",
+            "--allow",
+            "RA301,RA107",
+            "--deny",
+            "RA002",
+            "--list-rules",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Lint(LintOptions {
+                model: Some("m.json".into()),
+                recipes: 30,
+                seed: 9,
+                workspace: Some("crates".into()),
+                allow: vec!["RA301".into(), "RA107".into()],
+                deny: vec!["RA002".into()],
+                list_rules: true,
+                ..LintOptions::default()
+            })
+        );
+    }
+
+    #[test]
+    fn lint_workspace_flag_value_is_optional() {
+        let parsed = parse_args(&s(&["lint", "--workspace", "--deny-warnings"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Lint(LintOptions {
+                workspace: Some(".".into()),
+                deny_warnings: true,
+                ..LintOptions::default()
+            })
+        );
+    }
+
+    #[test]
+    fn lint_error_cases() {
+        assert_eq!(
+            parse_args(&s(&["lint", "--format", "xml"])),
+            Err(ArgsError::BadValue("format", "xml".into()))
+        );
+        assert_eq!(
+            parse_args(&s(&["lint", "--model"])),
+            Err(ArgsError::MissingValue("model"))
+        );
+        assert_eq!(
+            parse_args(&s(&["lint", "extra"])),
+            Err(ArgsError::UnexpectedArg("extra".into()))
         );
     }
 

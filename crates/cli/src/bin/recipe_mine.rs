@@ -15,6 +15,12 @@ fn main() {
     };
     match commands::run(&parsed.command) {
         Ok(out) => print!("{out}"),
+        // A failed lint run prints its report on stdout (it *is* the
+        // output) and signals the failure through the exit code alone.
+        Err(commands::CliError::Lint(report)) => {
+            print!("{report}");
+            std::process::exit(1);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

@@ -1,7 +1,7 @@
 //! Subcommand implementations. Each returns its output as a `String` so
 //! tests can assert on it without process spawning; the binary prints.
 
-use crate::args::Command;
+use crate::args::{Command, LintOptions};
 use crate::recipe_file::parse_recipe_file;
 use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
 use recipe_corpus::{CorpusSpec, RecipeCorpus};
@@ -16,6 +16,9 @@ pub enum CliError {
     Persist(recipe_core::persist::PersistError),
     /// Recipe file parse problem (with the offending path).
     RecipeFile(String, crate::recipe_file::RecipeFileError),
+    /// `lint` found error-level diagnostics; carries the rendered report
+    /// so the binary can print it and exit nonzero.
+    Lint(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -24,6 +27,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(path, e) => write!(f, "{path}: {e}"),
             CliError::Persist(e) => write!(f, "model artifact: {e}"),
             CliError::RecipeFile(path, e) => write!(f, "{path}: {e}"),
+            CliError::Lint(report) => f.write_str(report),
         }
     }
 }
@@ -44,6 +48,57 @@ pub fn run(command: &Command) -> Result<String, CliError> {
         Command::Generate { out, recipes, seed } => generate(out, *recipes, *seed),
         Command::Extract { model, phrases } => extract(model, phrases),
         Command::Mine { model, files } => mine(model, files),
+        Command::Lint(opts) => lint(opts),
+    }
+}
+
+fn lint(opts: &LintOptions) -> Result<String, CliError> {
+    use recipe_analyze::{has_errors, render_human, render_json, Level, RULES};
+
+    if opts.list_rules {
+        let mut out = String::new();
+        for r in RULES {
+            out.push_str(&format!(
+                "{}  {:<7}  {:<26}  {}\n",
+                r.code,
+                r.default_severity.as_str(),
+                r.name,
+                r.summary
+            ));
+        }
+        return Ok(out);
+    }
+
+    let mut cfg = recipe_analyze::Config {
+        recipes: opts.recipes,
+        seed: opts.seed,
+        model_path: opts.model.as_ref().map(std::path::PathBuf::from),
+        source_root: opts.workspace.as_ref().map(std::path::PathBuf::from),
+        ..recipe_analyze::Config::default()
+    };
+    cfg.lint.deny_warnings = opts.deny_warnings;
+    for code in &opts.allow {
+        cfg.lint.set(code, Level::Allow);
+    }
+    for code in &opts.deny {
+        cfg.lint.set(code, Level::Deny);
+    }
+
+    let diags = recipe_analyze::run_all(&cfg).map_err(|e| match e {
+        recipe_analyze::AnalyzeError::ModelLoad(pe) => CliError::Persist(pe),
+    })?;
+
+    let report = match opts.format.as_str() {
+        "json" => format!(
+            "{}\n",
+            serde_json::to_string_pretty(&render_json(&diags)).expect("json")
+        ),
+        _ => render_human(&diags),
+    };
+    if has_errors(&diags) {
+        Err(CliError::Lint(report))
+    } else {
+        Ok(report)
     }
 }
 
@@ -96,7 +151,10 @@ fn train(out: &str, recipes: usize, seed: u64) -> Result<String, CliError> {
         "artifact": out,
     });
     pipeline.save(out)?;
-    Ok(format!("{}\n", serde_json::to_string_pretty(&summary).expect("json")))
+    Ok(format!(
+        "{}\n",
+        serde_json::to_string_pretty(&summary).expect("json")
+    ))
 }
 
 /// Structured JSON for one extracted entry.
@@ -121,23 +179,21 @@ fn extract(model: &str, phrases: &[String]) -> Result<String, CliError> {
             json!({ "phrase": p, "entry": entry_json(&e) })
         })
         .collect();
-    Ok(format!("{}\n", serde_json::to_string_pretty(&rows).expect("json")))
+    Ok(format!(
+        "{}\n",
+        serde_json::to_string_pretty(&rows).expect("json")
+    ))
 }
 
 fn mine(model: &str, files: &[String]) -> Result<String, CliError> {
     let pipeline = TrainedPipeline::load(model)?;
     let mut out = Vec::new();
     for path in files {
-        let content =
-            std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
+        let content = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
         let recipe =
             parse_recipe_file(&content).map_err(|e| CliError::RecipeFile(path.clone(), e))?;
-        let modeled = pipeline.model_text(
-            &recipe.title,
-            "",
-            &recipe.ingredients,
-            &recipe.instructions,
-        );
+        let modeled =
+            pipeline.model_text(&recipe.title, "", &recipe.ingredients, &recipe.instructions);
         out.push(json!({
             "file": path,
             "title": modeled.title,
@@ -151,7 +207,10 @@ fn mine(model: &str, files: &[String]) -> Result<String, CliError> {
             "process_sequence": modeled.process_sequence(),
         }));
     }
-    Ok(format!("{}\n", serde_json::to_string_pretty(&out).expect("json")))
+    Ok(format!(
+        "{}\n",
+        serde_json::to_string_pretty(&out).expect("json")
+    ))
 }
 
 #[cfg(test)]
@@ -178,7 +237,12 @@ mod tests {
         let model = model_path.to_string_lossy().to_string();
 
         // train (small corpus keeps the test fast)
-        let out = run(&Command::Train { out: model.clone(), recipes: 120, seed: 3 }).unwrap();
+        let out = run(&Command::Train {
+            out: model.clone(),
+            recipes: 120,
+            seed: 3,
+        })
+        .unwrap();
         assert!(out.contains("artifact"));
         assert!(model_path.exists());
 
@@ -241,6 +305,121 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("model artifact"));
+    }
+
+    #[test]
+    fn lint_list_rules_prints_catalog() {
+        let out = run(&Command::Lint(LintOptions {
+            list_rules: true,
+            ..LintOptions::default()
+        }))
+        .unwrap();
+        assert!(out.contains("RA001"));
+        assert!(out.contains("RA104"));
+        assert!(out.contains("RA201"));
+        assert!(out.contains("RA301"));
+        assert!(out.lines().count() >= 12, "rule catalog shrank below 12");
+    }
+
+    #[test]
+    fn lint_healthy_pipeline_passes_with_json_report() {
+        // Same corpus size/seed as the recipe-analyze healthy-workspace
+        // test: generates a corpus, trains a fresh pipeline, lints both.
+        let out = run(&Command::Lint(LintOptions {
+            recipes: 60,
+            format: "json".into(),
+            ..LintOptions::default()
+        }))
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed["summary"]["errors"], 0, "{out}");
+        assert!(parsed["diagnostics"].as_array().is_some());
+    }
+
+    #[test]
+    fn lint_poisoned_artifact_fails_with_ra001() {
+        let model_path = tmp("cli_lint_poisoned.json");
+        let corpus = RecipeCorpus::generate(&CorpusSpec::scaled(40, 9));
+        let mut cfg = PipelineConfig::fast();
+        cfg.seed = 9;
+        let mut pipeline = TrainedPipeline::train(&corpus, &cfg);
+        // Seed a defect: one NaN emission weight survives the JSON
+        // round trip (null -> NaN) and must fail the lint run.
+        pipeline.ingredient_ner.params_mut().emit[0] = f64::NAN;
+        pipeline
+            .save(model_path.to_string_lossy().as_ref())
+            .unwrap();
+
+        let err = run(&Command::Lint(LintOptions {
+            model: Some(model_path.to_string_lossy().into_owned()),
+            recipes: 10,
+            ..LintOptions::default()
+        }))
+        .unwrap_err();
+        match err {
+            CliError::Lint(report) => {
+                assert!(report.contains("RA001"), "{report}");
+                assert!(report.contains("error["), "{report}");
+            }
+            other => panic!("expected CliError::Lint, got {other:?}"),
+        }
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn lint_allow_silences_a_rule_and_deny_warnings_promotes() {
+        let model_path = tmp("cli_lint_degenerate.json");
+        let corpus = RecipeCorpus::generate(&CorpusSpec::scaled(40, 9));
+        let mut cfg = PipelineConfig::fast();
+        cfg.seed = 9;
+        let mut pipeline = TrainedPipeline::train(&corpus, &cfg);
+        // Zero out the ingredient NER: fires RA002 (warning by default).
+        let p = pipeline.ingredient_ner.params_mut();
+        for w in p
+            .emit
+            .iter_mut()
+            .chain(p.trans.iter_mut())
+            .chain(p.start.iter_mut())
+            .chain(p.end.iter_mut())
+        {
+            *w = 0.0;
+        }
+        pipeline
+            .save(model_path.to_string_lossy().as_ref())
+            .unwrap();
+        let model = model_path.to_string_lossy().into_owned();
+
+        // A warning alone passes...
+        let out = run(&Command::Lint(LintOptions {
+            model: Some(model.clone()),
+            recipes: 10,
+            ..LintOptions::default()
+        }))
+        .unwrap();
+        assert!(out.contains("RA002"), "{out}");
+
+        // ...fails under --deny-warnings...
+        let err = run(&Command::Lint(LintOptions {
+            model: Some(model.clone()),
+            recipes: 10,
+            deny_warnings: true,
+            ..LintOptions::default()
+        }))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Lint(_)));
+
+        // ...and --allow RA002 silences it even then.
+        let out = run(&Command::Lint(LintOptions {
+            model: Some(model),
+            recipes: 10,
+            deny_warnings: true,
+            allow: vec!["RA002".into()],
+            ..LintOptions::default()
+        }))
+        .unwrap();
+        assert!(!out.contains("RA002"), "{out}");
+
+        std::fs::remove_file(&model_path).ok();
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl fmt::Display for RecipeFileError {
                 write!(f, "line {line}: content before any '## section' header")
             }
             RecipeFileError::UnknownSection { line, name } => {
-                write!(f, "line {line}: unknown section {name:?} (expected ingredients/instructions)")
+                write!(
+                    f,
+                    "line {line}: unknown section {name:?} (expected ingredients/instructions)"
+                )
             }
             RecipeFileError::NoIngredients => write!(f, "no '## ingredients' lines found"),
         }
@@ -87,9 +90,7 @@ pub fn parse_recipe_file(content: &str) -> Result<RecipeText, RecipeFileError> {
             continue;
         }
         match section {
-            Section::None => {
-                return Err(RecipeFileError::ContentOutsideSection { line: lineno })
-            }
+            Section::None => return Err(RecipeFileError::ContentOutsideSection { line: lineno }),
             Section::Ingredients => out.ingredients.push(line.to_string()),
             Section::Instructions => out.instructions.push(line.to_string()),
         }
@@ -149,7 +150,10 @@ Simmer for 20 minutes.
         );
         assert_eq!(
             parse_recipe_file("## garnish\nx\n"),
-            Err(RecipeFileError::UnknownSection { line: 1, name: "garnish".into() })
+            Err(RecipeFileError::UnknownSection {
+                line: 1,
+                name: "garnish".into()
+            })
         );
         assert_eq!(parse_recipe_file(""), Err(RecipeFileError::NoIngredients));
         assert_eq!(

@@ -34,20 +34,89 @@ fn missing_model_exit_code_one() {
 }
 
 #[test]
+fn lint_list_rules_exits_zero() {
+    let out = bin()
+        .args(["lint", "--list-rules"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("RA001"));
+    assert!(stdout.lines().count() >= 12);
+}
+
+#[test]
+fn lint_healthy_run_exits_zero_with_json() {
+    let out = bin()
+        .args(["lint", "--recipes", "60", "--format", "json"])
+        .output()
+        .expect("spawn");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let parsed: serde_json::Value = serde_json::from_str(&stdout).expect("json stdout");
+    assert_eq!(parsed["summary"]["errors"], 0);
+}
+
+#[test]
+fn lint_denied_rule_exits_one() {
+    // Force a failure without crafting an artifact: promote a rule that
+    // fires on this source tree (the CLI uses expect() in library code)
+    // and scan the workspace.
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    let out = bin()
+        .args([
+            "lint",
+            "--recipes",
+            "20",
+            "--workspace",
+            manifest,
+            "--deny",
+            "RA301",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("RA301"), "{stdout}");
+    assert!(stdout.contains("lint result:"), "{stdout}");
+}
+
+#[test]
 fn train_then_extract_through_the_binary() {
     let dir = std::env::temp_dir().join("recipe_mine_bin_test");
     std::fs::create_dir_all(&dir).unwrap();
     let model = dir.join("model.json");
 
     let out = bin()
-        .args(["train", "--out", model.to_str().unwrap(), "--recipes", "120", "--seed", "9"])
+        .args([
+            "train",
+            "--out",
+            model.to_str().unwrap(),
+            "--recipes",
+            "120",
+            "--seed",
+            "9",
+        ])
         .output()
         .expect("spawn train");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
 
     let out = bin()
-        .args(["extract", "--model", model.to_str().unwrap(), "2 cups flour"])
+        .args([
+            "extract",
+            "--model",
+            model.to_str().unwrap(),
+            "2 cups flour",
+        ])
         .output()
         .expect("spawn extract");
     assert!(out.status.success());

@@ -17,7 +17,12 @@ pub fn inertia_sweep(data: &[Vec<f64>], ks: &[usize], base: &KMeansConfig) -> Ve
 }
 
 /// The elbow of an inertia curve: the interior point with the maximum
-/// positive second difference. Returns the corresponding k.
+/// second difference of *log* inertia. Returns the corresponding k.
+///
+/// The log scale makes the criterion respond to relative drops, which is
+/// what "stops buying much" means on curves spanning orders of magnitude;
+/// an absolute second difference can tie-break arbitrarily between an
+/// early halving and the true knee.
 ///
 /// Falls back to the middle k when the curve has fewer than three points.
 pub fn elbow_point(curve: &[(usize, f64)]) -> usize {
@@ -25,13 +30,15 @@ pub fn elbow_point(curve: &[(usize, f64)]) -> usize {
     if curve.len() < 3 {
         return curve[curve.len() / 2].0;
     }
+    let log = |y: f64| y.max(f64::MIN_POSITIVE).ln();
     let mut best_k = curve[1].0;
     let mut best_dd = f64::NEG_INFINITY;
     for w in curve.windows(3) {
         let (_, y0) = w[0];
         let (k1, y1) = w[1];
         let (_, y2) = w[2];
-        let dd = (y0 - y1) - (y1 - y2); // drop before minus drop after
+        // drop before minus drop after, in log space
+        let dd = (log(y0) - log(y1)) - (log(y1) - log(y2));
         if dd > best_dd {
             best_dd = dd;
             best_k = k1;
@@ -47,7 +54,14 @@ mod tests {
     #[test]
     fn elbow_of_synthetic_curve() {
         // Sharp knee at k = 3.
-        let curve = vec![(1, 100.0), (2, 55.0), (3, 12.0), (4, 10.0), (5, 9.0), (6, 8.5)];
+        let curve = vec![
+            (1, 100.0),
+            (2, 55.0),
+            (3, 12.0),
+            (4, 10.0),
+            (5, 9.0),
+            (6, 8.5),
+        ];
         assert_eq!(elbow_point(&curve), 3);
     }
 
@@ -66,7 +80,10 @@ mod tests {
                 data.push(vec![cx + (j % 4) as f64 * 0.2, cy + (j % 3) as f64 * 0.2]);
             }
         }
-        let base = KMeansConfig { seed: 11, ..Default::default() };
+        let base = KMeansConfig {
+            seed: 11,
+            ..Default::default()
+        };
         let curve = inertia_sweep(&data, &[1, 2, 3, 4, 5, 6, 7], &base);
         let k = elbow_point(&curve);
         assert!((3..=5).contains(&k), "elbow at {k}, curve {curve:?}");

@@ -20,7 +20,12 @@ pub struct KMeansConfig {
 
 impl Default for KMeansConfig {
     fn default() -> Self {
-        KMeansConfig { k: 23, max_iters: 100, tol: 1e-7, seed: 42 }
+        KMeansConfig {
+            k: 23,
+            max_iters: 100,
+            tol: 1e-7,
+            seed: 42,
+        }
     }
 }
 
@@ -101,7 +106,10 @@ impl KMeans {
     pub fn fit(data: &[Vec<f64>], cfg: &KMeansConfig) -> Self {
         assert!(!data.is_empty(), "cannot cluster an empty dataset");
         let dim = data[0].len();
-        assert!(data.iter().all(|p| p.len() == dim), "inconsistent dimensions");
+        assert!(
+            data.iter().all(|p| p.len() == dim),
+            "inconsistent dimensions"
+        );
         let k = cfg.k.min(data.len()).max(1);
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -162,7 +170,12 @@ impl KMeans {
             assignments[i] = c;
             final_inertia += d;
         }
-        KMeans { centroids, assignments, inertia: final_inertia, iterations }
+        KMeans {
+            centroids,
+            assignments,
+            inertia: final_inertia,
+            iterations,
+        }
     }
 
     /// Number of clusters.
@@ -206,7 +219,13 @@ mod tests {
     #[test]
     fn recovers_separated_blobs() {
         let data = blobs();
-        let km = KMeans::fit(&data, &KMeansConfig { k: 3, ..Default::default() });
+        let km = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(km.k(), 3);
         // Each blob of 20 points must be in a single cluster.
         for blob in 0..3 {
@@ -225,7 +244,14 @@ mod tests {
         let data = blobs();
         let mut last = f64::INFINITY;
         for k in [1, 2, 3, 6] {
-            let km = KMeans::fit(&data, &KMeansConfig { k, seed: 9, ..Default::default() });
+            let km = KMeans::fit(
+                &data,
+                &KMeansConfig {
+                    k,
+                    seed: 9,
+                    ..Default::default()
+                },
+            );
             assert!(km.inertia <= last + 1e-9, "k={k}: {} > {last}", km.inertia);
             last = km.inertia;
         }
@@ -234,7 +260,13 @@ mod tests {
     #[test]
     fn k_clamped_to_dataset_size() {
         let data = vec![vec![1.0], vec![2.0]];
-        let km = KMeans::fit(&data, &KMeansConfig { k: 10, ..Default::default() });
+        let km = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
         assert_eq!(km.k(), 2);
         assert!(km.inertia < 1e-12);
     }
@@ -242,7 +274,13 @@ mod tests {
     #[test]
     fn predict_matches_training_assignment() {
         let data = blobs();
-        let km = KMeans::fit(&data, &KMeansConfig { k: 3, ..Default::default() });
+        let km = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         for (i, p) in data.iter().enumerate() {
             assert_eq!(km.predict(p), km.assignments[i]);
         }
@@ -251,8 +289,22 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let data = blobs();
-        let a = KMeans::fit(&data, &KMeansConfig { k: 3, seed: 5, ..Default::default() });
-        let b = KMeans::fit(&data, &KMeansConfig { k: 3, seed: 5, ..Default::default() });
+        let a = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let b = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                seed: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.inertia, b.inertia);
     }
@@ -260,14 +312,26 @@ mod tests {
     #[test]
     fn identical_points_converge_instantly() {
         let data = vec![vec![1.0, 2.0]; 8];
-        let km = KMeans::fit(&data, &KMeansConfig { k: 3, ..Default::default() });
+        let km = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         assert!(km.inertia < 1e-12);
     }
 
     #[test]
     fn cluster_members_partition_the_data() {
         let data = blobs();
-        let km = KMeans::fit(&data, &KMeansConfig { k: 3, ..Default::default() });
+        let km = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         let members = km.cluster_members();
         let total: usize = members.iter().map(|m| m.len()).sum();
         assert_eq!(total, data.len());

@@ -28,7 +28,12 @@ pub struct MiniBatchConfig {
 
 impl Default for MiniBatchConfig {
     fn default() -> Self {
-        MiniBatchConfig { k: 23, batch_size: 256, iterations: 200, seed: 42 }
+        MiniBatchConfig {
+            k: 23,
+            batch_size: 256,
+            iterations: 200,
+            seed: 42,
+        }
     }
 }
 
@@ -40,7 +45,10 @@ impl Default for MiniBatchConfig {
 pub fn minibatch_kmeans(data: &[Vec<f64>], cfg: &MiniBatchConfig) -> KMeans {
     assert!(!data.is_empty(), "cannot cluster an empty dataset");
     let dim = data[0].len();
-    assert!(data.iter().all(|p| p.len() == dim), "inconsistent dimensions");
+    assert!(
+        data.iter().all(|p| p.len() == dim),
+        "inconsistent dimensions"
+    );
     let k = cfg.k.min(data.len()).max(1);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
@@ -51,8 +59,9 @@ pub fn minibatch_kmeans(data: &[Vec<f64>], cfg: &MiniBatchConfig) -> KMeans {
     let mut counts = vec![0usize; k];
     for _ in 0..cfg.iterations {
         // Sample a batch and cache its assignments.
-        let batch: Vec<usize> =
-            (0..cfg.batch_size.min(data.len())).map(|_| rng.random_range(0..data.len())).collect();
+        let batch: Vec<usize> = (0..cfg.batch_size.min(data.len()))
+            .map(|_| rng.random_range(0..data.len()))
+            .collect();
         let assigned: Vec<usize> = batch
             .iter()
             .map(|&i| {
@@ -86,7 +95,12 @@ pub fn minibatch_kmeans(data: &[Vec<f64>], cfg: &MiniBatchConfig) -> KMeans {
         assignments[i] = best;
         inertia += d;
     }
-    KMeans { centroids, assignments, inertia, iterations: cfg.iterations }
+    KMeans {
+        centroids,
+        assignments,
+        inertia,
+        iterations: cfg.iterations,
+    }
 }
 
 #[cfg(test)]
@@ -108,7 +122,12 @@ mod tests {
     fn recovers_separated_blobs() {
         let km = minibatch_kmeans(
             &blobs(),
-            &MiniBatchConfig { k: 3, batch_size: 32, iterations: 150, seed: 5 },
+            &MiniBatchConfig {
+                k: 3,
+                batch_size: 32,
+                iterations: 150,
+                seed: 5,
+            },
         );
         for blob in 0..3 {
             let first = km.assignments[blob * 40];
@@ -122,19 +141,41 @@ mod tests {
     #[test]
     fn inertia_close_to_exact_lloyd() {
         let data = blobs();
-        let exact = KMeans::fit(&data, &KMeansConfig { k: 3, seed: 1, ..Default::default() });
+        let exact = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                seed: 1,
+                ..Default::default()
+            },
+        );
         let mb = minibatch_kmeans(
             &data,
-            &MiniBatchConfig { k: 3, batch_size: 64, iterations: 200, seed: 1 },
+            &MiniBatchConfig {
+                k: 3,
+                batch_size: 64,
+                iterations: 200,
+                seed: 1,
+            },
         );
         // Mini-batch inertia within 2x of the exact optimum on easy data.
-        assert!(mb.inertia <= exact.inertia * 2.0 + 1e-9, "{} vs {}", mb.inertia, exact.inertia);
+        assert!(
+            mb.inertia <= exact.inertia * 2.0 + 1e-9,
+            "{} vs {}",
+            mb.inertia,
+            exact.inertia
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let data = blobs();
-        let cfg = MiniBatchConfig { k: 3, batch_size: 16, iterations: 50, seed: 9 };
+        let cfg = MiniBatchConfig {
+            k: 3,
+            batch_size: 16,
+            iterations: 50,
+            seed: 9,
+        };
         let a = minibatch_kmeans(&data, &cfg);
         let b = minibatch_kmeans(&data, &cfg);
         assert_eq!(a.assignments, b.assignments);
@@ -143,7 +184,13 @@ mod tests {
     #[test]
     fn k_clamped_and_duplicates_tolerated() {
         let data = vec![vec![1.0, 1.0]; 10];
-        let km = minibatch_kmeans(&data, &MiniBatchConfig { k: 4, ..Default::default() });
+        let km = minibatch_kmeans(
+            &data,
+            &MiniBatchConfig {
+                k: 4,
+                ..Default::default()
+            },
+        );
         assert!(km.inertia < 1e-9);
         assert_eq!(km.assignments.len(), 10);
     }

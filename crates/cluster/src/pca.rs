@@ -83,7 +83,10 @@ impl Pca {
     pub fn fit(data: &[Vec<f64>], n_components: usize) -> Self {
         assert!(!data.is_empty(), "cannot fit PCA on empty data");
         let dim = data[0].len();
-        assert!(data.iter().all(|p| p.len() == dim), "inconsistent dimensions");
+        assert!(
+            data.iter().all(|p| p.len() == dim),
+            "inconsistent dimensions"
+        );
         assert!(n_components <= dim, "n_components exceeds dimensionality");
         let n = data.len() as f64;
 
@@ -124,10 +127,17 @@ impl Pca {
             .take(n_components)
             .map(|&c| (0..dim).map(|r| vecs[r][c]).collect())
             .collect();
-        let explained_variance: Vec<f64> =
-            order.iter().take(n_components).map(|&c| eig[c].max(0.0)).collect();
+        let explained_variance: Vec<f64> = order
+            .iter()
+            .take(n_components)
+            .map(|&c| eig[c].max(0.0))
+            .collect();
 
-        Pca { mean, components, explained_variance }
+        Pca {
+            mean,
+            components,
+            explained_variance,
+        }
     }
 
     /// Project one point onto the principal axes.
@@ -135,7 +145,11 @@ impl Pca {
         self.components
             .iter()
             .map(|axis| {
-                axis.iter().zip(point).zip(&self.mean).map(|((a, &x), &m)| a * (x - m)).sum()
+                axis.iter()
+                    .zip(point)
+                    .zip(&self.mean)
+                    .map(|((a, &x), &m)| a * (x - m))
+                    .sum()
             })
             .collect()
     }

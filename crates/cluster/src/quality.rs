@@ -48,7 +48,10 @@ pub fn silhouette(data: &[Vec<f64>], assignments: &[usize]) -> f64 {
             if c == own || mem.is_empty() {
                 continue;
             }
-            let d = mem.iter().map(|&j| sq_dist(&data[i], &data[j]).sqrt()).sum::<f64>()
+            let d = mem
+                .iter()
+                .map(|&j| sq_dist(&data[i], &data[j]).sqrt())
+                .sum::<f64>()
                 / mem.len() as f64;
             b_i = b_i.min(d);
         }

@@ -22,11 +22,7 @@ pub struct StratifiedSplit {
 
 /// Sample `fraction` of the members of each cluster (at least one member
 /// per non-empty cluster). Returns sorted item indices.
-pub fn stratified_sample(
-    cluster_members: &[Vec<usize>],
-    fraction: f64,
-    seed: u64,
-) -> Vec<usize> {
+pub fn stratified_sample(cluster_members: &[Vec<usize>], fraction: f64, seed: u64) -> Vec<usize> {
     assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut picked = Vec::new();
@@ -36,10 +32,8 @@ pub fn stratified_sample(
         }
         let mut shuffled = members.clone();
         shuffled.shuffle(&mut rng);
-        let take = ((members.len() as f64 * fraction).round() as usize).clamp(
-            if fraction > 0.0 { 1 } else { 0 },
-            members.len(),
-        );
+        let take = ((members.len() as f64 * fraction).round() as usize)
+            .clamp(if fraction > 0.0 { 1 } else { 0 }, members.len());
         picked.extend_from_slice(&shuffled[..take]);
     }
     picked.sort_unstable();
@@ -61,7 +55,12 @@ pub fn stratified_split(
     // original cluster sizes (like the paper's 0.33 % of unique phrases).
     let remaining: Vec<Vec<usize>> = cluster_members
         .iter()
-        .map(|m| m.iter().copied().filter(|i| !train_set.contains(i)).collect())
+        .map(|m| {
+            m.iter()
+                .copied()
+                .filter(|i| !train_set.contains(i))
+                .collect()
+        })
         .collect();
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
     let mut test = Vec::new();
@@ -84,7 +83,11 @@ mod tests {
     use super::*;
 
     fn clusters() -> Vec<Vec<usize>> {
-        vec![(0..100).collect(), (100..140).collect(), (140..150).collect()]
+        vec![
+            (0..100).collect(),
+            (100..140).collect(),
+            (140..150).collect(),
+        ]
     }
 
     #[test]

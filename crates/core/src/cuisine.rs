@@ -105,7 +105,10 @@ impl CuisineClassifier {
             *counts.entry(m.cuisine.as_str()).or_insert(0) += 1;
         }
         let majority = counts.values().copied().max().unwrap_or(0);
-        (correct as f64 / models.len() as f64, majority as f64 / models.len() as f64)
+        (
+            correct as f64 / models.len() as f64,
+            majority as f64 / models.len() as f64,
+        )
     }
 }
 

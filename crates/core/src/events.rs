@@ -44,9 +44,17 @@ impl RelationStats {
         }
         let total: usize = counts.iter().sum();
         let mean = total as f64 / n as f64;
-        let var =
-            counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n as f64;
-        RelationStats { instructions: n, relations: total, mean, std_dev: var.sqrt() }
+        let var = counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        RelationStats {
+            instructions: n,
+            relations: total,
+            mean,
+            std_dev: var.sqrt(),
+        }
     }
 }
 
@@ -65,8 +73,12 @@ pub fn extract_sentence_events(
     let ner = tag_instruction(&pipeline.instruction_ner, words);
     let frames = verb_frames(&tree, &pos);
 
-    let lemma_verb =
-        |w: &str| pipeline.pre.lemmatizer().lemmatize(&w.to_lowercase(), WordClass::Verb);
+    let lemma_verb = |w: &str| {
+        pipeline
+            .pre
+            .lemmatizer()
+            .lemmatize(&w.to_lowercase(), WordClass::Verb)
+    };
     let lemma_noun = |w: &str| pipeline.pre.normalize_word(w);
 
     let mut events = Vec::new();
@@ -75,8 +87,8 @@ pub fn extract_sentence_events(
         // The dictionary filter from §III.B: only verbs confirmed as
         // cooking processes yield events. The NER tag is accepted as a
         // second signal so dictionary gaps degrade gracefully.
-        let is_process = pipeline.dicts.is_process(&verb)
-            || ner[frame.verb] == InstructionTag::Process;
+        let is_process =
+            pipeline.dicts.is_process(&verb) || ner[frame.verb] == InstructionTag::Process;
         if !is_process {
             continue;
         }
@@ -102,7 +114,12 @@ pub fn extract_sentence_events(
         if ingredients.is_empty() && utensils.is_empty() {
             continue;
         }
-        events.push(CookingEvent { process: verb, ingredients, utensils, step });
+        events.push(CookingEvent {
+            process: verb,
+            ingredients,
+            utensils,
+            step,
+        });
     }
     events
 }
@@ -168,7 +185,10 @@ mod tests {
 
     fn pipeline() -> (RecipeCorpus, TrainedPipeline) {
         let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(21));
-        (corpus.clone(), TrainedPipeline::train(&corpus, &PipelineConfig::fast()))
+        (
+            corpus.clone(),
+            TrainedPipeline::train(&corpus, &PipelineConfig::fast()),
+        )
     }
 
     #[test]
@@ -206,7 +226,10 @@ mod tests {
                 max_arity = max_arity.max(e.relation_count());
             }
         }
-        assert!(max_arity >= 3, "expected compound events, max arity {max_arity}");
+        assert!(
+            max_arity >= 3,
+            "expected compound events, max arity {max_arity}"
+        );
     }
 
     #[test]

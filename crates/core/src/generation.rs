@@ -53,7 +53,11 @@ pub struct GenerationConfig {
 
 impl Default for GenerationConfig {
     fn default() -> Self {
-        GenerationConfig { ingredients: 6, max_steps: 12, seed: 42 }
+        GenerationConfig {
+            ingredients: 6,
+            max_steps: 12,
+            seed: 42,
+        }
     }
 }
 
@@ -106,8 +110,11 @@ impl GenerationModel {
                 prev = p.to_string();
             }
             if !chain.is_empty() {
-                *gm.transitions.entry(prev).or_default().entry(END.to_string()).or_insert(0) +=
-                    1;
+                *gm.transitions
+                    .entry(prev)
+                    .or_default()
+                    .entry(END.to_string())
+                    .or_insert(0) += 1;
             }
             // Ingredient pool and co-occurrence.
             let names: Vec<&str> = model
@@ -138,7 +145,10 @@ impl GenerationModel {
 
     /// Number of distinct processes observed.
     pub fn num_processes(&self) -> usize {
-        self.transitions.keys().filter(|k| k.as_str() != START).count()
+        self.transitions
+            .keys()
+            .filter(|k| k.as_str() != START)
+            .count()
     }
 
     /// Number of distinct ingredients observed.
@@ -149,7 +159,9 @@ impl GenerationModel {
     /// Was `next` ever observed following `prev`? (Test hook: generated
     /// chains must only use observed transitions.)
     pub fn observed_transition(&self, prev: &str, next: &str) -> bool {
-        self.transitions.get(prev).is_some_and(|m| m.contains_key(next))
+        self.transitions
+            .get(prev)
+            .is_some_and(|m| m.contains_key(next))
     }
 
     /// Sample a novel recipe. Returns `None` when the model is empty.
@@ -198,8 +210,12 @@ impl GenerationModel {
         let mut chain: Vec<String> = Vec::new();
         let mut state = START.to_string();
         for _ in 0..cfg.max_steps {
-            let Some(next_map) = self.transitions.get(&state) else { break };
-            let Some(next) = weighted_sample(&mut rng, next_map.iter()) else { break };
+            let Some(next_map) = self.transitions.get(&state) else {
+                break;
+            };
+            let Some(next) = weighted_sample(&mut rng, next_map.iter()) else {
+                break;
+            };
             if next == END {
                 break;
             }
@@ -215,7 +231,9 @@ impl GenerationModel {
         let mut events = Vec::with_capacity(chain.len());
         let mut cursor = 0usize;
         for (step, process) in chain.iter().enumerate() {
-            let take = 1 + rng.random_range(0..3usize).min(chosen.len().saturating_sub(1));
+            let take = 1 + rng
+                .random_range(0..3usize)
+                .min(chosen.len().saturating_sub(1));
             let mut ingredients = Vec::with_capacity(take);
             for _ in 0..take {
                 ingredients.push(chosen[cursor % chosen.len()].clone());
@@ -228,7 +246,12 @@ impl GenerationModel {
                 .and_then(|m| weighted_sample(&mut rng, m.iter()))
                 .into_iter()
                 .collect();
-            events.push(CookingEvent { process: process.clone(), ingredients, utensils, step });
+            events.push(CookingEvent {
+                process: process.clone(),
+                ingredients,
+                utensils,
+                step,
+            });
         }
 
         Some(RecipeModel {
@@ -264,8 +287,16 @@ mod tests {
             ..Default::default()
         };
         vec![
-            mk(1, &["flour", "egg", "milk"], &[("mix", "bowl"), ("bake", "oven")]),
-            mk(2, &["flour", "sugar", "butter"], &[("mix", "bowl"), ("bake", "oven")]),
+            mk(
+                1,
+                &["flour", "egg", "milk"],
+                &[("mix", "bowl"), ("bake", "oven")],
+            ),
+            mk(
+                2,
+                &["flour", "sugar", "butter"],
+                &[("mix", "bowl"), ("bake", "oven")],
+            ),
             mk(3, &["egg", "milk"], &[("whisk", "bowl"), ("fry", "pan")]),
             mk(4, &["potato", "oil"], &[("chop", "board"), ("fry", "pan")]),
         ]
@@ -285,7 +316,11 @@ mod tests {
     #[test]
     fn generated_recipes_are_structurally_valid() {
         let gm = GenerationModel::fit(&mined_models());
-        let cfg = GenerationConfig { ingredients: 4, max_steps: 8, seed: 3 };
+        let cfg = GenerationConfig {
+            ingredients: 4,
+            max_steps: 8,
+            seed: 3,
+        };
         let recipe = gm.generate(&cfg).expect("generation succeeds");
         assert!(!recipe.ingredients.is_empty());
         assert!(recipe.ingredients.len() <= 4);
@@ -300,7 +335,10 @@ mod tests {
     fn chains_only_use_observed_transitions() {
         let gm = GenerationModel::fit(&mined_models());
         for seed in 0..20 {
-            let cfg = GenerationConfig { seed, ..Default::default() };
+            let cfg = GenerationConfig {
+                seed,
+                ..Default::default()
+            };
             if let Some(recipe) = gm.generate(&cfg) {
                 let chain = recipe.process_sequence();
                 if let Some(first) = chain.first() {
@@ -319,7 +357,11 @@ mod tests {
         let gm = GenerationModel::fit(&mined_models());
         let mut saw_flour_set = false;
         for seed in 0..30 {
-            let cfg = GenerationConfig { ingredients: 3, max_steps: 6, seed };
+            let cfg = GenerationConfig {
+                ingredients: 3,
+                max_steps: 6,
+                seed,
+            };
             if let Some(r) = gm.generate(&cfg) {
                 let names: Vec<&str> = r.ingredients.iter().map(|e| e.name.as_str()).collect();
                 // Condition on flour being the *seed* ingredient (first
@@ -346,7 +388,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let gm = GenerationModel::fit(&mined_models());
-        let cfg = GenerationConfig { seed: 9, ..Default::default() };
+        let cfg = GenerationConfig {
+            seed: 9,
+            ..Default::default()
+        };
         let a = gm.generate(&cfg).unwrap();
         let b = gm.generate(&cfg).unwrap();
         assert_eq!(a.events, b.events);

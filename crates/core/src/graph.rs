@@ -62,10 +62,15 @@ impl RecipeGraph {
         let mut g = RecipeGraph::default();
         let mut entity_ids: BTreeMap<(NodeKind, String), usize> = BTreeMap::new();
         let mut entity = |g: &mut RecipeGraph, kind: NodeKind, label: &str| -> usize {
-            *entity_ids.entry((kind, label.to_string())).or_insert_with(|| {
-                g.nodes.push(Node { kind, label: label.to_string() });
-                g.nodes.len() - 1
-            })
+            *entity_ids
+                .entry((kind, label.to_string()))
+                .or_insert_with(|| {
+                    g.nodes.push(Node {
+                        kind,
+                        label: label.to_string(),
+                    });
+                    g.nodes.len() - 1
+                })
         };
         let mut prev_event: Option<usize> = None;
         for (i, e) in model.events.iter().enumerate() {
@@ -181,8 +186,11 @@ mod tests {
     #[test]
     fn temporal_chain_links_events_in_order() {
         let g = RecipeGraph::from_model(&model());
-        let nexts: Vec<_> =
-            g.edges.iter().filter(|&&(_, _, k)| k == EdgeKind::Next).collect();
+        let nexts: Vec<_> = g
+            .edges
+            .iter()
+            .filter(|&&(_, _, k)| k == EdgeKind::Next)
+            .collect();
         assert_eq!(nexts.len(), 1);
         let &&(from, to, _) = nexts.first().unwrap();
         assert!(g.nodes[from].label.starts_with("boil"));

@@ -27,7 +27,10 @@ pub struct IngredientEntry {
 impl IngredientEntry {
     /// A bare entry with only a name.
     pub fn named(name: impl Into<String>) -> Self {
-        IngredientEntry { name: name.into(), ..Default::default() }
+        IngredientEntry {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Number of filled attribute slots (excluding the name).

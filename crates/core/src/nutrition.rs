@@ -197,7 +197,15 @@ impl NutritionEstimator {
         let table = NUTRIENTS_PER_100G
             .iter()
             .map(|&(n, kcal, p, f, c)| {
-                (n, NutrientProfile { kcal, protein_g: p, fat_g: f, carbs_g: c })
+                (
+                    n,
+                    NutrientProfile {
+                        kcal,
+                        protein_g: p,
+                        fat_g: f,
+                        carbs_g: c,
+                    },
+                )
             })
             .collect();
         let units = UNIT_GRAMS.iter().copied().collect();
@@ -227,8 +235,9 @@ impl NutritionEstimator {
             return quantity * DEFAULT_ITEM_GRAMS;
         };
         let base = ingredient.rsplit(' ').next().unwrap_or(ingredient);
-        if let Some(&(_, _, grams)) =
-            DENSITY_OVERRIDES.iter().find(|&&(ing, un, _)| ing == base && un == u)
+        if let Some(&(_, _, grams)) = DENSITY_OVERRIDES
+            .iter()
+            .find(|&&(ing, un, _)| ing == base && un == u)
         {
             return quantity * grams;
         }
@@ -250,7 +259,10 @@ impl NutritionEstimator {
             None => 1.0,
         };
         let grams = self.to_grams_of(qty, entry.unit.as_deref(), &entry.name);
-        Contribution::Estimated { profile: per100.scaled(grams / 100.0), grams }
+        Contribution::Estimated {
+            profile: per100.scaled(grams / 100.0),
+            grams,
+        }
     }
 
     /// Aggregate profile of a mined recipe plus per-ingredient outcomes.
@@ -272,7 +284,10 @@ impl NutritionEstimator {
         if contribs.is_empty() {
             return 0.0;
         }
-        let ok = contribs.iter().filter(|c| matches!(c, Contribution::Estimated { .. })).count();
+        let ok = contribs
+            .iter()
+            .filter(|c| matches!(c, Contribution::Estimated { .. }))
+            .count();
         ok as f64 / contribs.len() as f64
     }
 }

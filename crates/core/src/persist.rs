@@ -139,7 +139,10 @@ mod tests {
             "1 sheet frozen puff pastry ( thawed )",
             "2-3 medium tomatoes , finely chopped",
         ];
-        let before: Vec<_> = phrases.iter().map(|p| pipeline.extract_ingredient(p)).collect();
+        let before: Vec<_> = phrases
+            .iter()
+            .map(|p| pipeline.extract_ingredient(p))
+            .collect();
         let model_before = pipeline.model_recipe(&corpus.recipes[0]);
 
         let dir = std::env::temp_dir().join("recipe_persist_test");
@@ -148,7 +151,10 @@ mod tests {
         pipeline.save(&path).unwrap();
 
         let loaded = TrainedPipeline::load(&path).unwrap();
-        let after: Vec<_> = phrases.iter().map(|p| loaded.extract_ingredient(p)).collect();
+        let after: Vec<_> = phrases
+            .iter()
+            .map(|p| loaded.extract_ingredient(p))
+            .collect();
         assert_eq!(before, after);
         let model_after = loaded.model_recipe(&corpus.recipes[0]);
         assert_eq!(model_before.ingredients, model_after.ingredients);
@@ -163,7 +169,10 @@ mod tests {
         let mut artifact = pipeline.to_artifact();
         artifact.version = 999;
         match TrainedPipeline::from_artifact(artifact) {
-            Err(PersistError::VersionMismatch { found: 999, expected }) => {
+            Err(PersistError::VersionMismatch {
+                found: 999,
+                expected,
+            }) => {
                 assert_eq!(expected, ARTIFACT_VERSION);
             }
             other => panic!("expected version mismatch, got {:?}", other.is_ok()),

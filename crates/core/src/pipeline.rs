@@ -86,14 +86,24 @@ impl PipelineConfig {
     pub fn fast() -> Self {
         PipelineConfig {
             pos_epochs: 3,
-            ner: TrainConfig { epochs: 8, ..TrainConfig::default() },
-            kmeans: KMeansConfig { k: 23, max_iters: 30, ..KMeansConfig::default() },
+            ner: TrainConfig {
+                epochs: 8,
+                ..TrainConfig::default()
+            },
+            kmeans: KMeansConfig {
+                k: 23,
+                max_iters: 30,
+                ..KMeansConfig::default()
+            },
             train_frac_allrecipes: 0.30,
             test_frac_allrecipes: 0.10,
             train_frac_foodcom: 0.15,
             test_frac_foodcom: 0.05,
             instruction_train_frac: 0.15,
-            parser: ParserConfig { epochs: 4, ..ParserConfig::default() },
+            parser: ParserConfig {
+                epochs: 4,
+                ..ParserConfig::default()
+            },
             process_threshold: 2,
             utensil_threshold: 2,
             seed: 42,
@@ -120,7 +130,10 @@ pub struct SiteDataset {
 /// Convert a gold phrase into a labeled NER sequence.
 fn phrase_to_sequence(pre: &Preprocessor, phrase: &AnnotatedPhrase) -> LabeledSequence {
     let (words, tags) = phrase.preprocessed(pre);
-    (words, tags.into_iter().map(|t| t.as_str().to_string()).collect())
+    (
+        words,
+        tags.into_iter().map(|t| t.as_str().to_string()).collect(),
+    )
 }
 
 /// Deduplicate phrases by surface text (the paper samples *unique*
@@ -151,8 +164,10 @@ pub fn build_site_dataset(
 
     // 1×36 POS-frequency vectors over the tagger's predictions (the
     // pipeline never uses gold POS at this stage).
-    let vectors: Vec<Vec<f64>> =
-        uniq.iter().map(|p| pos_frequency_vector(&pos.tag(&p.words()))).collect();
+    let vectors: Vec<Vec<f64>> = uniq
+        .iter()
+        .map(|p| pos_frequency_vector(&pos.tag(&p.words())))
+        .collect();
     let km = KMeans::fit(&vectors, &cfg.kmeans);
 
     let (train_frac, test_frac) = match site {
@@ -161,9 +176,23 @@ pub fn build_site_dataset(
     };
     let split = stratified_split(&km.cluster_members(), train_frac, test_frac, cfg.seed);
 
-    let train = split.train.iter().map(|&i| phrase_to_sequence(pre, uniq[i])).collect();
-    let test = split.test.iter().map(|&i| phrase_to_sequence(pre, uniq[i])).collect();
-    SiteDataset { site, train, test, unique_phrases: uniq.len(), inertia: km.inertia }
+    let train = split
+        .train
+        .iter()
+        .map(|&i| phrase_to_sequence(pre, uniq[i]))
+        .collect();
+    let test = split
+        .test
+        .iter()
+        .map(|&i| phrase_to_sequence(pre, uniq[i]))
+        .collect();
+    SiteDataset {
+        site,
+        train,
+        test,
+        unique_phrases: uniq.len(),
+        inertia: km.inertia,
+    }
 }
 
 /// Build instruction NER training data and parser treebank from the
@@ -172,7 +201,11 @@ pub fn build_site_dataset(
 pub fn build_instruction_datasets(
     corpus: &RecipeCorpus,
     cfg: &PipelineConfig,
-) -> (Vec<LabeledSequence>, Vec<LabeledSequence>, Vec<ParseExample>) {
+) -> (
+    Vec<LabeledSequence>,
+    Vec<LabeledSequence>,
+    Vec<ParseExample>,
+) {
     let mut ner_train = Vec::new();
     let mut ner_test = Vec::new();
     let mut treebank = Vec::new();
@@ -181,8 +214,11 @@ pub fn build_instruction_datasets(
     for recipe in &corpus.recipes {
         for sent in &recipe.instructions {
             let words = sent.words();
-            let tags: Vec<String> =
-                sent.tokens.iter().map(|t| t.tag.as_str().to_string()).collect();
+            let tags: Vec<String> = sent
+                .tokens
+                .iter()
+                .map(|t| t.tag.as_str().to_string())
+                .collect();
             let slot = count % budget_every;
             if slot == 0 {
                 ner_train.push((words.clone(), tags));
@@ -259,7 +295,10 @@ pub struct IngredientExtractor {
 impl IngredientExtractor {
     /// Wrap a trained NER model.
     pub fn new(ner: SequenceModel) -> Self {
-        IngredientExtractor { pre: Preprocessor::default(), ner }
+        IngredientExtractor {
+            pre: Preprocessor::default(),
+            ner,
+        }
     }
 
     /// Extract the structured entry for one raw ingredient phrase.
@@ -401,12 +440,16 @@ impl TrainedPipeline {
         ingredient_lines: &[String],
         instruction_steps: &[String],
     ) -> RecipeModel {
-        let ingredients: Vec<IngredientEntry> =
-            ingredient_lines.iter().map(|l| self.extract_ingredient(l)).collect();
+        let ingredients: Vec<IngredientEntry> = ingredient_lines
+            .iter()
+            .map(|l| self.extract_ingredient(l))
+            .collect();
         let mut events = Vec::new();
         for (step, paragraph) in instruction_steps.iter().enumerate() {
             for sentence in split_sentences(paragraph) {
-                events.extend(crate::events::extract_sentence_events(self, &sentence, step));
+                events.extend(crate::events::extract_sentence_events(
+                    self, &sentence, step,
+                ));
             }
         }
         RecipeModel {
@@ -479,9 +522,18 @@ mod tests {
     #[test]
     fn entry_from_tagged_groups_runs() {
         use IngredientTag as I;
-        let words: Vec<String> =
-            ["1", "1/2", "cup", "olive", "oil", "chopped"].iter().map(|s| s.to_string()).collect();
-        let tags = [I::Quantity, I::Quantity, I::Unit, I::Name, I::Name, I::State];
+        let words: Vec<String> = ["1", "1/2", "cup", "olive", "oil", "chopped"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let tags = [
+            I::Quantity,
+            I::Quantity,
+            I::Unit,
+            I::Name,
+            I::Name,
+            I::State,
+        ];
         let e = entry_from_tagged(&words, &tags);
         assert_eq!(e.name, "olive oil");
         assert_eq!(e.quantity.as_deref(), Some("1 1/2"));

@@ -123,12 +123,18 @@ impl Lexicon {
 
     /// Translate one word (lowercased lookup; unmapped words pass through).
     pub fn word(&self, w: &str) -> String {
-        self.map.get(w).map(|t| t.to_string()).unwrap_or_else(|| w.to_string())
+        self.map
+            .get(w)
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| w.to_string())
     }
 
     /// Translate a (possibly multi-word) term word by word.
     pub fn term(&self, term: &str) -> String {
-        term.split(' ').map(|w| self.word(w)).collect::<Vec<_>>().join(" ")
+        term.split(' ')
+            .map(|w| self.word(w))
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 
     /// Join a list with the language's conjunction.
@@ -136,7 +142,12 @@ impl Lexicon {
         match items.len() {
             0 => String::new(),
             1 => items[0].clone(),
-            n => format!("{} {} {}", items[..n - 1].join(", "), self.and_word, items[n - 1]),
+            n => format!(
+                "{} {} {}",
+                items[..n - 1].join(", "),
+                self.and_word,
+                items[n - 1]
+            ),
         }
     }
 }
@@ -184,7 +195,10 @@ pub fn render_event(event: &CookingEvent, lex: &Lexicon) -> String {
 /// Render the whole model as sectioned text.
 pub fn render_recipe(model: &RecipeModel, lex: &Lexicon) -> String {
     let mut out = String::new();
-    out.push_str(&format!("# {}\n\n{}\n", model.title, lex.ingredients_heading));
+    out.push_str(&format!(
+        "# {}\n\n{}\n",
+        model.title, lex.ingredients_heading
+    ));
     for entry in &model.ingredients {
         out.push_str(&format!("- {}\n", render_ingredient(entry, lex)));
     }
@@ -265,7 +279,10 @@ mod tests {
         // the demonstration trades fluency for zero MT machinery.
         assert!(text.contains("2 cucharada oliva aceite"), "{text}");
         assert!(text.contains("3 patata, picado"), "{text}");
-        assert!(text.contains("freír patata, oliva aceite y sartén"), "{text}");
+        assert!(
+            text.contains("freír patata, oliva aceite y sartén"),
+            "{text}"
+        );
         assert!(text.contains("servir"), "{text}");
     }
 
@@ -282,7 +299,10 @@ mod tests {
         assert_eq!(lex.join_list(&[]), "");
         assert_eq!(lex.join_list(&["a".into()]), "a");
         assert_eq!(lex.join_list(&["a".into(), "b".into()]), "a and b");
-        assert_eq!(lex.join_list(&["a".into(), "b".into(), "c".into()]), "a, b and c");
+        assert_eq!(
+            lex.join_list(&["a".into(), "b".into(), "c".into()]),
+            "a, b and c"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub struct SimilarityWeights {
 
 impl Default for SimilarityWeights {
     fn default() -> Self {
-        SimilarityWeights { ingredients: 0.5, processes: 0.5 }
+        SimilarityWeights {
+            ingredients: 0.5,
+            processes: 0.5,
+        }
     }
 }
 
@@ -52,7 +55,10 @@ pub fn process_similarity(a: &RecipeModel, b: &RecipeModel) -> f64 {
     };
     let ca = count(a);
     let cb = count(b);
-    let dot: f64 = ca.iter().filter_map(|(k, v)| cb.get(k).map(|w| v * w)).sum();
+    let dot: f64 = ca
+        .iter()
+        .filter_map(|(k, v)| cb.get(k).map(|w| v * w))
+        .sum();
     let na: f64 = ca.values().map(|v| v * v).sum::<f64>().sqrt();
     let nb: f64 = cb.values().map(|v| v * v).sum::<f64>().sqrt();
     if na == 0.0 || nb == 0.0 {
@@ -67,8 +73,7 @@ pub fn recipe_similarity(a: &RecipeModel, b: &RecipeModel, w: &SimilarityWeights
     if total == 0.0 {
         return 0.0;
     }
-    (w.ingredients * ingredient_similarity(a, b) + w.processes * process_similarity(a, b))
-        / total
+    (w.ingredients * ingredient_similarity(a, b) + w.processes * process_similarity(a, b)) / total
 }
 
 /// The `k` most similar models to `query` (excluding exact id matches),
@@ -123,7 +128,10 @@ mod tests {
     fn disjoint_recipes_score_zero() {
         let a = model(1, &["flour"], &["bake"]);
         let b = model(2, &["shrimp"], &["grill"]);
-        assert_eq!(recipe_similarity(&a, &b, &SimilarityWeights::default()), 0.0);
+        assert_eq!(
+            recipe_similarity(&a, &b, &SimilarityWeights::default()),
+            0.0
+        );
     }
 
     #[test]
@@ -162,8 +170,14 @@ mod tests {
     fn weights_shift_the_score() {
         let a = model(1, &["flour"], &["bake"]);
         let b = model(2, &["flour"], &["grill"]);
-        let ing_only = SimilarityWeights { ingredients: 1.0, processes: 0.0 };
-        let proc_only = SimilarityWeights { ingredients: 0.0, processes: 1.0 };
+        let ing_only = SimilarityWeights {
+            ingredients: 1.0,
+            processes: 0.0,
+        };
+        let proc_only = SimilarityWeights {
+            ingredients: 0.0,
+            processes: 1.0,
+        };
         assert_eq!(recipe_similarity(&a, &b, &ing_only), 1.0);
         assert_eq!(recipe_similarity(&a, &b, &proc_only), 0.0);
     }
@@ -172,7 +186,10 @@ mod tests {
     fn empty_models_are_safe() {
         let a = model(1, &[], &[]);
         let b = model(2, &[], &[]);
-        assert_eq!(recipe_similarity(&a, &b, &SimilarityWeights::default()), 0.0);
+        assert_eq!(
+            recipe_similarity(&a, &b, &SimilarityWeights::default()),
+            0.0
+        );
     }
 }
 
@@ -186,7 +203,6 @@ pub struct SimilarityIndex {
     /// Models the index was fitted on.
     pub n_docs: usize,
 }
-
 
 impl SimilarityIndex {
     /// Fit IDF weights over the ingredient names of `models`.
@@ -292,10 +308,11 @@ mod idf_tests {
         let s2 = idx.weighted_ingredient_similarity(&q, &shares_salt);
         assert!(s1 > s2, "saffron {s1} vs salt {s2}");
         // Unweighted Jaccard cannot tell them apart.
-        assert!((ingredient_similarity(&q, &shares_saffron)
-            - ingredient_similarity(&q, &shares_salt))
-            .abs()
-            < 1e-12);
+        assert!(
+            (ingredient_similarity(&q, &shares_saffron) - ingredient_similarity(&q, &shares_salt))
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -119,12 +119,18 @@ impl AnnotatedSentence {
 /// Normalize one already-tokenized word the way the phrase preprocessor
 /// would; `None` means the token is dropped (stop word / punctuation).
 fn normalize_token(pre: &Preprocessor, text: &str, section: Section) -> Option<String> {
-    let is_word = text.chars().all(|c| c.is_alphabetic() || c == '-' || c == '\'');
+    let is_word = text
+        .chars()
+        .all(|c| c.is_alphabetic() || c == '-' || c == '\'');
     if !is_word {
         // Punctuation drops unless configured otherwise; numbers pass.
         let is_punct = text.chars().count() == 1 && !text.chars().next().unwrap().is_alphanumeric();
         if is_punct {
-            return if pre.keep_punct { Some(text.to_string()) } else { None };
+            return if pre.keep_punct {
+                Some(text.to_string())
+            } else {
+                None
+            };
         }
         return Some(text.to_lowercase());
     }
@@ -149,7 +155,11 @@ mod tests {
     use PennTag as P;
 
     fn tok<T: Copy>(text: &str, pos: PennTag, tag: T) -> AnnotatedToken<T> {
-        AnnotatedToken { text: text.to_string(), pos, tag }
+        AnnotatedToken {
+            text: text.to_string(),
+            pos,
+            tag,
+        }
     }
 
     fn sample_phrase() -> AnnotatedPhrase {

@@ -20,7 +20,13 @@ pub fn phrases_to_conll(phrases: &[&AnnotatedPhrase]) -> String {
     for phrase in phrases {
         let _ = writeln!(out, "# template {}", phrase.template);
         for tok in &phrase.tokens {
-            let _ = writeln!(out, "{}\t{}\t{}", tok.text, tok.pos.as_str(), tok.tag.as_str());
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}",
+                tok.text,
+                tok.pos.as_str(),
+                tok.tag.as_str()
+            );
         }
         out.push('\n');
     }
@@ -72,10 +78,14 @@ pub fn phrases_from_conll(input: &str) -> Result<Vec<AnnotatedPhrase>, ParseErro
     let mut phrases = Vec::new();
     let mut tokens: Vec<AnnotatedToken<IngredientTag>> = Vec::new();
     let mut template = 0usize;
-    let flush = |tokens: &mut Vec<AnnotatedToken<IngredientTag>>, template: &mut usize,
-                     phrases: &mut Vec<AnnotatedPhrase>| {
+    let flush = |tokens: &mut Vec<AnnotatedToken<IngredientTag>>,
+                 template: &mut usize,
+                 phrases: &mut Vec<AnnotatedPhrase>| {
         if !tokens.is_empty() {
-            phrases.push(AnnotatedPhrase { tokens: std::mem::take(tokens), template: *template });
+            phrases.push(AnnotatedPhrase {
+                tokens: std::mem::take(tokens),
+                template: *template,
+            });
             *template = 0;
         }
     };
@@ -97,11 +107,19 @@ pub fn phrases_from_conll(input: &str) -> Result<Vec<AnnotatedPhrase>, ParseErro
             (Some(a), Some(b), Some(c), None) => (a, b, c),
             _ => return Err(ParseError::BadColumns { line: lineno }),
         };
-        let pos = PennTag::from_str(pos)
-            .map_err(|_| ParseError::BadPos { line: lineno, tag: pos.to_string() })?;
-        let tag = IngredientTag::parse(tag)
-            .ok_or_else(|| ParseError::BadTag { line: lineno, tag: tag.to_string() })?;
-        tokens.push(AnnotatedToken { text: text.to_string(), pos, tag });
+        let pos = PennTag::from_str(pos).map_err(|_| ParseError::BadPos {
+            line: lineno,
+            tag: pos.to_string(),
+        })?;
+        let tag = IngredientTag::parse(tag).ok_or_else(|| ParseError::BadTag {
+            line: lineno,
+            tag: tag.to_string(),
+        })?;
+        tokens.push(AnnotatedToken {
+            text: text.to_string(),
+            pos,
+            tag,
+        });
     }
     flush(&mut tokens, &mut template, &mut phrases);
     Ok(phrases)

@@ -88,16 +88,28 @@ impl RecipeCorpus {
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let mut recipes = Vec::with_capacity(spec.total());
         let mut id = 0u64;
-        for (site, count) in [(Site::AllRecipes, spec.allrecipes), (Site::FoodCom, spec.foodcom)]
-        {
+        for (site, count) in [
+            (Site::AllRecipes, spec.allrecipes),
+            (Site::FoodCom, spec.foodcom),
+        ] {
             let phrase_gen = PhraseGenerator::new(site);
             let instr_gen = InstructionGenerator::new(site);
             for _ in 0..count {
-                recipes.push(generate_recipe(&mut rng, id, site, spec, &phrase_gen, &instr_gen));
+                recipes.push(generate_recipe(
+                    &mut rng,
+                    id,
+                    site,
+                    spec,
+                    &phrase_gen,
+                    &instr_gen,
+                ));
                 id += 1;
             }
         }
-        RecipeCorpus { recipes, spec: *spec }
+        RecipeCorpus {
+            recipes,
+            spec: *spec,
+        }
     }
 
     /// Recipes from one site.
@@ -108,7 +120,9 @@ impl RecipeCorpus {
     /// All ingredient phrases of one site (the unit of Table III/IV
     /// sampling).
     pub fn phrases(&self, site: Site) -> Vec<&AnnotatedPhrase> {
-        self.by_site(site).flat_map(|r| r.ingredients.iter()).collect()
+        self.by_site(site)
+            .flat_map(|r| r.ingredients.iter())
+            .collect()
     }
 
     /// Total ingredient-phrase count.
@@ -250,8 +264,16 @@ mod tests {
     fn different_seeds_differ() {
         let a = RecipeCorpus::generate(&CorpusSpec::tiny(1));
         let b = RecipeCorpus::generate(&CorpusSpec::tiny(2));
-        let lines_a: Vec<_> = a.recipes.iter().flat_map(|r| r.ingredient_lines()).collect();
-        let lines_b: Vec<_> = b.recipes.iter().flat_map(|r| r.ingredient_lines()).collect();
+        let lines_a: Vec<_> = a
+            .recipes
+            .iter()
+            .flat_map(|r| r.ingredient_lines())
+            .collect();
+        let lines_b: Vec<_> = b
+            .recipes
+            .iter()
+            .flat_map(|r| r.ingredient_lines())
+            .collect();
         assert_ne!(lines_a, lines_b);
     }
 

@@ -41,12 +41,18 @@ struct Ctx<'a> {
 
 impl<'a> Ctx<'a> {
     fn push(&mut self, text: impl Into<String>, pos: P, tag: I) {
-        self.toks.push(AnnotatedToken { text: text.into(), pos, tag });
+        self.toks.push(AnnotatedToken {
+            text: text.into(),
+            pos,
+            tag,
+        });
     }
 
     /// A plain integer quantity.
     fn qty_int(&mut self) {
-        let n: u32 = *[1u32, 1, 1, 2, 2, 3, 4, 5, 6, 8, 10, 12].choose(self.rng).unwrap();
+        let n: u32 = *[1u32, 1, 1, 2, 2, 3, 4, 5, 6, 8, 10, 12]
+            .choose(self.rng)
+            .unwrap();
         self.singular = n == 1;
         self.push(n.to_string(), P::CD, I::Quantity);
     }
@@ -54,7 +60,9 @@ impl<'a> Ctx<'a> {
     /// A fraction quantity (`1/2`). Sub-unit quantities take singular
     /// units in recipe convention ("1/2 cup sugar").
     fn qty_fraction(&mut self) {
-        let f = *["1/2", "1/3", "1/4", "3/4", "2/3", "1/8"].choose(self.rng).unwrap();
+        let f = *["1/2", "1/3", "1/4", "3/4", "2/3", "1/8"]
+            .choose(self.rng)
+            .unwrap();
         self.singular = true;
         self.push(f, P::CD, I::Quantity);
     }
@@ -137,8 +145,11 @@ impl<'a> Ctx<'a> {
             *self.g.name_bases.choose(self.rng).unwrap()
         };
         let plural = !self.singular && self.rng.random_range(0..3) == 0 && can_pluralize(base);
-        let surface =
-            if plural { pluralize(base) } else { base.to_string() };
+        let surface = if plural {
+            pluralize(base)
+        } else {
+            base.to_string()
+        };
         let surface = self.maybe_typo(&surface);
         self.push(surface, if plural { P::NNS } else { P::NN }, I::Name);
     }
@@ -198,7 +209,7 @@ fn pluralize(base: &str) -> String {
 }
 
 /// One template family: realization function plus per-site weights.
-type TemplateFn = fn(&mut Ctx);
+type TemplateFn = fn(&mut Ctx<'_>);
 
 struct Template {
     f: TemplateFn,
@@ -209,14 +220,14 @@ struct Template {
 }
 
 /// "2 cups flour"
-fn t_qty_unit_name(c: &mut Ctx) {
+fn t_qty_unit_name(c: &mut Ctx<'_>) {
     c.qty();
     c.unit();
     c.name();
 }
 
 /// "1 cup onion , chopped"
-fn t_qty_unit_name_state(c: &mut Ctx) {
+fn t_qty_unit_name_state(c: &mut Ctx<'_>) {
     c.qty();
     c.unit();
     c.name();
@@ -225,20 +236,20 @@ fn t_qty_unit_name_state(c: &mut Ctx) {
 }
 
 /// "2 eggs"
-fn t_qty_name(c: &mut Ctx) {
+fn t_qty_name(c: &mut Ctx<'_>) {
     c.qty_int();
     c.name();
 }
 
 /// "2-3 medium tomatoes"
-fn t_qty_size_name(c: &mut Ctx) {
+fn t_qty_size_name(c: &mut Ctx<'_>) {
     c.qty();
     c.size();
     c.name();
 }
 
 /// "1 tablespoon fresh thyme"
-fn t_qty_unit_df_name(c: &mut Ctx) {
+fn t_qty_unit_df_name(c: &mut Ctx<'_>) {
     c.qty();
     c.unit();
     c.dry_fresh();
@@ -246,7 +257,7 @@ fn t_qty_unit_df_name(c: &mut Ctx) {
 }
 
 /// "1/2 teaspoon pepper , freshly ground"
-fn t_qty_unit_name_adv_state(c: &mut Ctx) {
+fn t_qty_unit_name_adv_state(c: &mut Ctx<'_>) {
     c.qty();
     c.unit();
     c.name();
@@ -256,7 +267,7 @@ fn t_qty_unit_name_adv_state(c: &mut Ctx) {
 }
 
 /// "1 (8 ounce) package cream cheese , softened"
-fn t_parenthetical_package(c: &mut Ctx) {
+fn t_parenthetical_package(c: &mut Ctx<'_>) {
     c.qty_int();
     c.lit("(", P::SYM);
     let n: u32 = *[4u32, 6, 8, 10, 12, 14, 16].choose(c.rng).unwrap();
@@ -271,7 +282,7 @@ fn t_parenthetical_package(c: &mut Ctx) {
 }
 
 /// "1 sheet frozen puff pastry ( thawed )"
-fn t_temp_name_paren_state(c: &mut Ctx) {
+fn t_temp_name_paren_state(c: &mut Ctx<'_>) {
     c.qty_int();
     c.unit();
     c.temp();
@@ -282,7 +293,7 @@ fn t_temp_name_paren_state(c: &mut Ctx) {
 }
 
 /// "2 cups shredded cheddar"
-fn t_qty_unit_state_name(c: &mut Ctx) {
+fn t_qty_unit_state_name(c: &mut Ctx<'_>) {
     c.qty();
     c.unit();
     c.state();
@@ -290,7 +301,7 @@ fn t_qty_unit_state_name(c: &mut Ctx) {
 }
 
 /// "salt and pepper to taste"
-fn t_to_taste(c: &mut Ctx) {
+fn t_to_taste(c: &mut Ctx<'_>) {
     c.name();
     c.lit("and", P::CC);
     c.name();
@@ -299,7 +310,7 @@ fn t_to_taste(c: &mut Ctx) {
 }
 
 /// "1 onion , peeled and diced"
-fn t_name_two_states(c: &mut Ctx) {
+fn t_name_two_states(c: &mut Ctx<'_>) {
     c.qty_int();
     c.name();
     c.comma();
@@ -309,7 +320,7 @@ fn t_name_two_states(c: &mut Ctx) {
 }
 
 /// "2 large eggs , beaten"
-fn t_qty_size_name_state(c: &mut Ctx) {
+fn t_qty_size_name_state(c: &mut Ctx<'_>) {
     c.qty();
     c.size();
     c.name();
@@ -318,14 +329,14 @@ fn t_qty_size_name_state(c: &mut Ctx) {
 }
 
 /// "1 1/2 cups milk" (mixed number)
-fn t_mixed_unit_name(c: &mut Ctx) {
+fn t_mixed_unit_name(c: &mut Ctx<'_>) {
     c.qty_mixed();
     c.unit();
     c.name();
 }
 
 /// "1-2 fresh chili pepper very finely chopped"
-fn t_range_df_name_adv_state(c: &mut Ctx) {
+fn t_range_df_name_adv_state(c: &mut Ctx<'_>) {
     c.qty_range();
     c.dry_fresh();
     c.name();
@@ -334,7 +345,7 @@ fn t_range_df_name_adv_state(c: &mut Ctx) {
 }
 
 /// "1 pinch of salt"
-fn t_qty_unit_of_name(c: &mut Ctx) {
+fn t_qty_unit_of_name(c: &mut Ctx<'_>) {
     c.qty();
     c.unit();
     c.lit("of", P::IN);
@@ -342,7 +353,7 @@ fn t_qty_unit_of_name(c: &mut Ctx) {
 }
 
 /// "6 ounces blue cheese , at room temperature"
-fn t_room_temperature(c: &mut Ctx) {
+fn t_room_temperature(c: &mut Ctx<'_>) {
     c.qty();
     c.unit();
     c.name();
@@ -353,7 +364,7 @@ fn t_room_temperature(c: &mut Ctx) {
 }
 
 /// "1 cup walnuts ( optional )"
-fn t_optional(c: &mut Ctx) {
+fn t_optional(c: &mut Ctx<'_>) {
     c.qty();
     c.unit();
     c.name();
@@ -363,7 +374,7 @@ fn t_optional(c: &mut Ctx) {
 }
 
 /// "2 cups frozen peas"
-fn t_qty_unit_temp_name(c: &mut Ctx) {
+fn t_qty_unit_temp_name(c: &mut Ctx<'_>) {
     c.qty();
     c.unit();
     c.temp();
@@ -371,7 +382,7 @@ fn t_qty_unit_temp_name(c: &mut Ctx) {
 }
 
 /// "1 cup carrot , peeled , diced"
-fn t_two_comma_states(c: &mut Ctx) {
+fn t_two_comma_states(c: &mut Ctx<'_>) {
     c.qty();
     c.unit();
     c.name();
@@ -382,7 +393,7 @@ fn t_two_comma_states(c: &mut Ctx) {
 }
 
 /// "large onion , diced" (no quantity)
-fn t_size_name_state(c: &mut Ctx) {
+fn t_size_name_state(c: &mut Ctx<'_>) {
     c.singular = true;
     c.size();
     c.name();
@@ -391,20 +402,20 @@ fn t_size_name_state(c: &mut Ctx) {
 }
 
 /// "fresh basil leaves" style: DF + name
-fn t_df_name(c: &mut Ctx) {
+fn t_df_name(c: &mut Ctx<'_>) {
     c.singular = true;
     c.dry_fresh();
     c.name();
 }
 
 /// "salt" (bare name)
-fn t_bare_name(c: &mut Ctx) {
+fn t_bare_name(c: &mut Ctx<'_>) {
     c.singular = true;
     c.name();
 }
 
 /// "1/2 cup hot water"
-fn t_fraction_unit_temp_name(c: &mut Ctx) {
+fn t_fraction_unit_temp_name(c: &mut Ctx<'_>) {
     c.qty_fraction();
     c.unit();
     c.temp();
@@ -412,7 +423,7 @@ fn t_fraction_unit_temp_name(c: &mut Ctx) {
 }
 
 /// "2 tablespoons butter , melted , plus more for greasing"
-fn t_plus_more(c: &mut Ctx) {
+fn t_plus_more(c: &mut Ctx<'_>) {
     c.qty();
     c.unit();
     c.name();
@@ -429,31 +440,127 @@ fn t_plus_more(c: &mut Ctx) {
 /// families; Food.com spreads across everything.
 fn templates() -> Vec<Template> {
     vec![
-        Template { f: t_qty_unit_name, w_ar: 22.0, w_fc: 12.0 },
-        Template { f: t_qty_unit_name_state, w_ar: 16.0, w_fc: 10.0 },
-        Template { f: t_qty_name, w_ar: 14.0, w_fc: 8.0 },
-        Template { f: t_qty_size_name, w_ar: 10.0, w_fc: 6.0 },
-        Template { f: t_qty_unit_df_name, w_ar: 8.0, w_fc: 6.0 },
-        Template { f: t_qty_unit_name_adv_state, w_ar: 6.0, w_fc: 6.0 },
-        Template { f: t_qty_unit_state_name, w_ar: 6.0, w_fc: 5.0 },
-        Template { f: t_bare_name, w_ar: 5.0, w_fc: 3.0 },
-        Template { f: t_mixed_unit_name, w_ar: 4.0, w_fc: 4.0 },
-        Template { f: t_qty_unit_temp_name, w_ar: 3.0, w_fc: 4.0 },
-        Template { f: t_to_taste, w_ar: 2.0, w_fc: 2.0 },
-        Template { f: t_qty_size_name_state, w_ar: 2.0, w_fc: 4.0 },
+        Template {
+            f: t_qty_unit_name,
+            w_ar: 22.0,
+            w_fc: 12.0,
+        },
+        Template {
+            f: t_qty_unit_name_state,
+            w_ar: 16.0,
+            w_fc: 10.0,
+        },
+        Template {
+            f: t_qty_name,
+            w_ar: 14.0,
+            w_fc: 8.0,
+        },
+        Template {
+            f: t_qty_size_name,
+            w_ar: 10.0,
+            w_fc: 6.0,
+        },
+        Template {
+            f: t_qty_unit_df_name,
+            w_ar: 8.0,
+            w_fc: 6.0,
+        },
+        Template {
+            f: t_qty_unit_name_adv_state,
+            w_ar: 6.0,
+            w_fc: 6.0,
+        },
+        Template {
+            f: t_qty_unit_state_name,
+            w_ar: 6.0,
+            w_fc: 5.0,
+        },
+        Template {
+            f: t_bare_name,
+            w_ar: 5.0,
+            w_fc: 3.0,
+        },
+        Template {
+            f: t_mixed_unit_name,
+            w_ar: 4.0,
+            w_fc: 4.0,
+        },
+        Template {
+            f: t_qty_unit_temp_name,
+            w_ar: 3.0,
+            w_fc: 4.0,
+        },
+        Template {
+            f: t_to_taste,
+            w_ar: 2.0,
+            w_fc: 2.0,
+        },
+        Template {
+            f: t_qty_size_name_state,
+            w_ar: 2.0,
+            w_fc: 4.0,
+        },
         // Complex families: rare on AllRecipes, common on Food.com.
-        Template { f: t_parenthetical_package, w_ar: 0.5, w_fc: 5.0 },
-        Template { f: t_temp_name_paren_state, w_ar: 0.5, w_fc: 4.0 },
-        Template { f: t_name_two_states, w_ar: 0.5, w_fc: 4.0 },
-        Template { f: t_range_df_name_adv_state, w_ar: 0.2, w_fc: 3.0 },
-        Template { f: t_qty_unit_of_name, w_ar: 0.5, w_fc: 3.0 },
-        Template { f: t_room_temperature, w_ar: 0.2, w_fc: 3.0 },
-        Template { f: t_optional, w_ar: 0.5, w_fc: 3.0 },
-        Template { f: t_two_comma_states, w_ar: 0.2, w_fc: 2.5 },
-        Template { f: t_size_name_state, w_ar: 0.5, w_fc: 2.0 },
-        Template { f: t_df_name, w_ar: 1.0, w_fc: 2.0 },
-        Template { f: t_fraction_unit_temp_name, w_ar: 0.3, w_fc: 2.0 },
-        Template { f: t_plus_more, w_ar: 0.1, w_fc: 2.0 },
+        Template {
+            f: t_parenthetical_package,
+            w_ar: 0.5,
+            w_fc: 5.0,
+        },
+        Template {
+            f: t_temp_name_paren_state,
+            w_ar: 0.5,
+            w_fc: 4.0,
+        },
+        Template {
+            f: t_name_two_states,
+            w_ar: 0.5,
+            w_fc: 4.0,
+        },
+        Template {
+            f: t_range_df_name_adv_state,
+            w_ar: 0.2,
+            w_fc: 3.0,
+        },
+        Template {
+            f: t_qty_unit_of_name,
+            w_ar: 0.5,
+            w_fc: 3.0,
+        },
+        Template {
+            f: t_room_temperature,
+            w_ar: 0.2,
+            w_fc: 3.0,
+        },
+        Template {
+            f: t_optional,
+            w_ar: 0.5,
+            w_fc: 3.0,
+        },
+        Template {
+            f: t_two_comma_states,
+            w_ar: 0.2,
+            w_fc: 2.5,
+        },
+        Template {
+            f: t_size_name_state,
+            w_ar: 0.5,
+            w_fc: 2.0,
+        },
+        Template {
+            f: t_df_name,
+            w_ar: 1.0,
+            w_fc: 2.0,
+        },
+        Template {
+            f: t_fraction_unit_temp_name,
+            w_ar: 0.3,
+            w_fc: 2.0,
+        },
+        Template {
+            f: t_plus_more,
+            w_ar: 0.1,
+            w_fc: 2.0,
+        },
     ]
 }
 
@@ -489,23 +596,36 @@ impl PhraseGenerator {
     /// Sample a phrase whose ingredient name is drawn from `bias` (a
     /// cuisine signature) part of the time. Bias entries not in this
     /// site's pool are ignored.
-    pub fn generate_biased(
-        &self,
-        rng: &mut StdRng,
-        bias: &[&'static str],
-    ) -> AnnotatedPhrase {
-        let usable: Vec<&'static str> =
-            bias.iter().copied().filter(|b| self.name_bases.contains(b)).collect();
+    pub fn generate_biased(&self, rng: &mut StdRng, bias: &[&'static str]) -> AnnotatedPhrase {
+        let usable: Vec<&'static str> = bias
+            .iter()
+            .copied()
+            .filter(|b| self.name_bases.contains(b))
+            .collect();
         let templates = templates();
         let weights: Vec<f64> = templates
             .iter()
-            .map(|t| if self.site == Site::AllRecipes { t.w_ar } else { t.w_fc })
+            .map(|t| {
+                if self.site == Site::AllRecipes {
+                    t.w_ar
+                } else {
+                    t.w_fc
+                }
+            })
             .collect();
         let idx = weighted_choice(rng, &weights);
-        let mut ctx =
-            Ctx { g: self, rng, toks: Vec::with_capacity(10), singular: false, bias: &usable };
+        let mut ctx = Ctx {
+            g: self,
+            rng,
+            toks: Vec::with_capacity(10),
+            singular: false,
+            bias: &usable,
+        };
         (templates[idx].f)(&mut ctx);
-        AnnotatedPhrase { tokens: ctx.toks, template: idx }
+        AnnotatedPhrase {
+            tokens: ctx.toks,
+            template: idx,
+        }
     }
 }
 
@@ -578,7 +698,10 @@ mod tests {
         }
         let simple: usize = counts[..12].iter().sum();
         let complex: usize = counts[12..].iter().sum();
-        assert!(simple > 15 * complex, "simple {simple} vs complex {complex}");
+        assert!(
+            simple > 15 * complex,
+            "simple {simple} vs complex {complex}"
+        );
     }
 
     #[test]
@@ -591,7 +714,11 @@ mod tests {
                 let p = g.generate(&mut r);
                 let (words, tags) = p.preprocessed(&pre);
                 assert_eq!(words.len(), tags.len());
-                assert!(!words.is_empty(), "phrase fully preprocessed away: {}", p.text());
+                assert!(
+                    !words.is_empty(),
+                    "phrase fully preprocessed away: {}",
+                    p.text()
+                );
                 assert!(words.iter().all(|w| !w.is_empty()));
             }
         }

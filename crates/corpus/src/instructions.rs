@@ -29,11 +29,19 @@ struct B {
 
 impl B {
     fn new() -> Self {
-        B { toks: Vec::with_capacity(12), heads: Vec::new(), labels: Vec::new() }
+        B {
+            toks: Vec::with_capacity(12),
+            heads: Vec::new(),
+            labels: Vec::new(),
+        }
     }
 
     fn tok(&mut self, text: &str, pos: P, tag: T, head: Option<usize>, label: L) -> usize {
-        self.toks.push(AnnotatedToken { text: text.to_string(), pos, tag });
+        self.toks.push(AnnotatedToken {
+            text: text.to_string(),
+            pos,
+            tag,
+        });
         self.heads.push(head);
         self.labels.push(label);
         self.toks.len() - 1
@@ -91,7 +99,10 @@ impl B {
     fn finish(self) -> AnnotatedSentence {
         let tree = DepTree::new(self.heads, self.labels).expect("template tree is valid");
         debug_assert!(tree.is_projective(), "template tree must be projective");
-        AnnotatedSentence { tokens: self.toks, tree }
+        AnnotatedSentence {
+            tokens: self.toks,
+            tree,
+        }
     }
 }
 
@@ -134,7 +145,10 @@ impl InstructionGenerator {
     /// A process verb drawn from a compatible subset (falls back to the
     /// whole pool when the intersection with the site pool is empty).
     fn verb(&self, rng: &mut StdRng, subset: &[&str]) -> String {
-        let avail: Vec<&&str> = subset.iter().filter(|v| self.processes.contains(*v)).collect();
+        let avail: Vec<&&str> = subset
+            .iter()
+            .filter(|v| self.processes.contains(*v))
+            .collect();
         // A quarter of realizations draw from the whole technique pool, so
         // the long tail of processes actually occurs in text (268 distinct
         // techniques in the paper's annotation).
@@ -270,7 +284,7 @@ impl InstructionGenerator {
             1 => {
                 let v = b.root(&self.verb(rng, &["bring"]));
                 b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
-                b.pp("to", Some("a"), &single("boil", P::NN), T::Process, v, );
+                b.pp("to", Some("a"), &single("boil", P::NN), T::Process, v);
                 let pot = self.utensil(rng);
                 let p = b.tok("in", P::IN, T::O, Some(v), L::Prep);
                 let noun_idx = b.toks.len() + 2;
@@ -291,7 +305,13 @@ impl InstructionGenerator {
                 if rng.random_range(0..10) < 6 {
                     b.pp("to", Some("the"), &self.utensil(rng), T::Utensil, v);
                 } else {
-                    b.pp("to", Some("the"), &single(&self.product(rng), P::NN), T::O, v);
+                    b.pp(
+                        "to",
+                        Some("the"),
+                        &single(&self.product(rng), P::NN),
+                        T::O,
+                        v,
+                    );
                 }
                 b.period(v);
             }
@@ -392,7 +412,13 @@ impl InstructionGenerator {
             10 => {
                 let v = b.root(&self.verb(rng, &["transfer", "pour", "place", "spoon"]));
                 if rng.random_range(0..10) < 5 {
-                    b.np(Some("the"), &single(&self.product(rng), P::NN), T::O, v, L::Dobj);
+                    b.np(
+                        Some("the"),
+                        &single(&self.product(rng), P::NN),
+                        T::O,
+                        v,
+                        L::Dobj,
+                    );
                 } else {
                     b.np(Some("the"), &pick(rng), T::Ingredient, v, L::Dobj);
                 }
@@ -450,7 +476,13 @@ impl InstructionGenerator {
             // does not decide PROCESS-hood.
             16 => {
                 let v = b.tok(&self.nonprocess_verb(rng), P::VB, T::O, None, L::Root);
-                b.np(Some("the"), &single(&self.product(rng), P::NN), T::O, v, L::Dobj);
+                b.np(
+                    Some("the"),
+                    &single(&self.product(rng), P::NN),
+                    T::O,
+                    v,
+                    L::Dobj,
+                );
                 let c = b.tok(
                     &self.verb(rng, &["cool", "rest", "thicken", "chill"]),
                     P::VB,
@@ -480,7 +512,13 @@ impl InstructionGenerator {
                 if rng.random_range(0..10) < 5 {
                     b.pp("in", Some("the"), &self.utensil(rng), T::Utensil, v);
                 } else {
-                    b.pp("in", Some("the"), &single(&self.product(rng), P::NN), T::O, v);
+                    b.pp(
+                        "in",
+                        Some("the"),
+                        &single(&self.product(rng), P::NN),
+                        T::O,
+                        v,
+                    );
                 }
                 b.period(v);
             }
@@ -534,9 +572,17 @@ impl InstructionGenerator {
                 b.tok("until", P::IN, T::O, Some(clause_verb_idx), L::Mark);
                 let subj_idx = b.toks.len() + 1;
                 b.tok("the", P::DT, T::O, Some(subj_idx), L::Det);
-                b.tok(&self.product(rng), P::NN, T::O, Some(clause_verb_idx), L::Nsubj);
                 b.tok(
-                    ["thickens", "reduces", "sets", "bubbles"].choose(rng).unwrap(),
+                    &self.product(rng),
+                    P::NN,
+                    T::O,
+                    Some(clause_verb_idx),
+                    L::Nsubj,
+                );
+                b.tok(
+                    ["thickens", "reduces", "sets", "bubbles"]
+                        .choose(rng)
+                        .unwrap(),
                     P::VBZ,
                     T::Process,
                     Some(v),
@@ -559,7 +605,13 @@ impl InstructionGenerator {
                 }
                 b.tok(&last.0, last.1, T::Ingredient, Some(p), L::Pobj);
                 b.tok("and", P::CC, T::O, Some(v), L::Cc);
-                b.tok(&self.verb(rng, &["serve", "enjoy"]), P::VB, T::Process, Some(v), L::Conj);
+                b.tok(
+                    &self.verb(rng, &["serve", "enjoy"]),
+                    P::VB,
+                    T::Process,
+                    Some(v),
+                    L::Conj,
+                );
                 b.period(v);
             }
         }
@@ -604,7 +656,10 @@ mod tests {
         let n = 500;
         let with_process = (0..n)
             .filter(|_| {
-                g.generate(&mut rng, &names()).tokens.iter().any(|t| t.tag == T::Process)
+                g.generate(&mut rng, &names())
+                    .tokens
+                    .iter()
+                    .any(|t| t.tag == T::Process)
             })
             .count();
         assert!(with_process * 10 > n * 8, "{with_process}/{n}");
@@ -647,8 +702,10 @@ mod tests {
     fn multiword_names_stay_contiguous_and_tagged() {
         let g = InstructionGenerator::new(Site::FoodCom);
         let mut rng = StdRng::seed_from_u64(4);
-        let only_oil: Vec<NameTokens> =
-            vec![vec![("olive".to_string(), P::NN), ("oil".to_string(), P::NN)]];
+        let only_oil: Vec<NameTokens> = vec![vec![
+            ("olive".to_string(), P::NN),
+            ("oil".to_string(), P::NN),
+        ]];
         let mut saw_multiword = false;
         for _ in 0..200 {
             let s = g.generate(&mut rng, &only_oil);
@@ -669,11 +726,15 @@ mod tests {
         let g = InstructionGenerator::new(Site::AllRecipes);
         let a: Vec<String> = {
             let mut rng = StdRng::seed_from_u64(7);
-            (0..40).map(|_| g.generate(&mut rng, &names()).text()).collect()
+            (0..40)
+                .map(|_| g.generate(&mut rng, &names()).text())
+                .collect()
         };
         let b: Vec<String> = {
             let mut rng = StdRng::seed_from_u64(7);
-            (0..40).map(|_| g.generate(&mut rng, &names()).text()).collect()
+            (0..40)
+                .map(|_| g.generate(&mut rng, &names()).text())
+                .collect()
         };
         assert_eq!(a, b);
     }

@@ -36,35 +36,187 @@ impl Affinity {
 /// yields 20 280 unique names; we synthesize variety by combining these
 /// bases with [`NAME_MODIFIERS`].
 pub const NAME_BASES_SHARED: &[&str] = &[
-    "flour", "sugar", "salt", "pepper", "butter", "milk", "egg", "water", "oil", "onion",
-    "garlic", "tomato", "potato", "carrot", "celery", "chicken", "beef", "pork", "rice", "pasta",
-    "cheese", "cream", "yogurt", "honey", "vinegar", "lemon", "lime", "orange", "apple", "banana",
-    "mushroom", "spinach", "broccoli", "cabbage", "lettuce", "cucumber", "zucchini", "corn",
-    "bean", "pea", "lentil", "chickpea", "almond", "walnut", "pecan", "peanut", "cashew",
-    "raisin", "date", "fig", "thyme", "basil", "oregano", "rosemary", "sage", "parsley",
-    "cilantro", "mint", "dill", "cumin", "paprika", "cinnamon", "nutmeg", "ginger", "turmeric",
-    "vanilla", "chocolate", "cocoa", "coffee", "tea", "wine", "broth", "stock", "mustard",
-    "ketchup", "mayonnaise", "shrimp", "salmon", "tuna", "bacon", "ham", "sausage", "turkey",
-    "lamb", "oat", "barley", "quinoa", "couscous", "bread", "tortilla", "noodle", "clove",
+    "flour",
+    "sugar",
+    "salt",
+    "pepper",
+    "butter",
+    "milk",
+    "egg",
+    "water",
+    "oil",
+    "onion",
+    "garlic",
+    "tomato",
+    "potato",
+    "carrot",
+    "celery",
+    "chicken",
+    "beef",
+    "pork",
+    "rice",
+    "pasta",
+    "cheese",
+    "cream",
+    "yogurt",
+    "honey",
+    "vinegar",
+    "lemon",
+    "lime",
+    "orange",
+    "apple",
+    "banana",
+    "mushroom",
+    "spinach",
+    "broccoli",
+    "cabbage",
+    "lettuce",
+    "cucumber",
+    "zucchini",
+    "corn",
+    "bean",
+    "pea",
+    "lentil",
+    "chickpea",
+    "almond",
+    "walnut",
+    "pecan",
+    "peanut",
+    "cashew",
+    "raisin",
+    "date",
+    "fig",
+    "thyme",
+    "basil",
+    "oregano",
+    "rosemary",
+    "sage",
+    "parsley",
+    "cilantro",
+    "mint",
+    "dill",
+    "cumin",
+    "paprika",
+    "cinnamon",
+    "nutmeg",
+    "ginger",
+    "turmeric",
+    "vanilla",
+    "chocolate",
+    "cocoa",
+    "coffee",
+    "tea",
+    "wine",
+    "broth",
+    "stock",
+    "mustard",
+    "ketchup",
+    "mayonnaise",
+    "shrimp",
+    "salmon",
+    "tuna",
+    "bacon",
+    "ham",
+    "sausage",
+    "turkey",
+    "lamb",
+    "oat",
+    "barley",
+    "quinoa",
+    "couscous",
+    "bread",
+    "tortilla",
+    "noodle",
+    "clove",
 ];
 
 /// Food.com-exclusive bases (the larger, more adventurous site).
 pub const NAME_BASES_FOODCOM: &[&str] = &[
-    "shallot", "leek", "fennel", "kale", "chard", "arugula", "radicchio", "endive", "parsnip",
-    "turnip", "rutabaga", "beet", "jicama", "plantain", "mango", "papaya", "guava", "lychee",
-    "tamarind", "saffron", "cardamom", "coriander", "fenugreek", "sumac", "zaatar", "harissa",
-    "miso", "tahini", "seitan", "tempeh", "tofu", "edamame", "wasabi", "nori", "kimchi",
-    "gochujang", "pancetta", "prosciutto", "chorizo", "anchovy", "caper", "olive", "artichoke",
-    "asparagus", "eggplant", "okra", "yam", "taro", "millet", "farro", "polenta", "gnocchi",
-    "orzo", "vermicelli", "mascarpone", "ricotta", "gruyere", "gorgonzola", "brie", "feta",
-    "halloumi", "buttermilk", "molasses", "agave", "stevia", "lard", "ghee", "cognac", "sherry",
-    "marsala", "mirin",
+    "shallot",
+    "leek",
+    "fennel",
+    "kale",
+    "chard",
+    "arugula",
+    "radicchio",
+    "endive",
+    "parsnip",
+    "turnip",
+    "rutabaga",
+    "beet",
+    "jicama",
+    "plantain",
+    "mango",
+    "papaya",
+    "guava",
+    "lychee",
+    "tamarind",
+    "saffron",
+    "cardamom",
+    "coriander",
+    "fenugreek",
+    "sumac",
+    "zaatar",
+    "harissa",
+    "miso",
+    "tahini",
+    "seitan",
+    "tempeh",
+    "tofu",
+    "edamame",
+    "wasabi",
+    "nori",
+    "kimchi",
+    "gochujang",
+    "pancetta",
+    "prosciutto",
+    "chorizo",
+    "anchovy",
+    "caper",
+    "olive",
+    "artichoke",
+    "asparagus",
+    "eggplant",
+    "okra",
+    "yam",
+    "taro",
+    "millet",
+    "farro",
+    "polenta",
+    "gnocchi",
+    "orzo",
+    "vermicelli",
+    "mascarpone",
+    "ricotta",
+    "gruyere",
+    "gorgonzola",
+    "brie",
+    "feta",
+    "halloumi",
+    "buttermilk",
+    "molasses",
+    "agave",
+    "stevia",
+    "lard",
+    "ghee",
+    "cognac",
+    "sherry",
+    "marsala",
+    "mirin",
 ];
 
 /// AllRecipes-exclusive bases (a small pool).
 pub const NAME_BASES_ALLRECIPES: &[&str] = &[
-    "margarine", "shortening", "velveeta", "cool-whip", "bisquick", "jello", "marshmallow",
-    "pretzel", "cracker", "soda",
+    "margarine",
+    "shortening",
+    "velveeta",
+    "cool-whip",
+    "bisquick",
+    "jello",
+    "marshmallow",
+    "pretzel",
+    "cracker",
+    "soda",
 ];
 
 /// Modifier tokens that precede a base to form compound names
@@ -209,8 +361,11 @@ pub const TEMPS: &[(&str, Affinity)] = &[
 ];
 
 /// Dry/fresh indicators (`JJ`).
-pub const DRY_FRESH: &[(&str, Affinity)] =
-    &[("fresh", Affinity::Shared), ("dried", Affinity::Shared), ("dry", Affinity::Shared)];
+pub const DRY_FRESH: &[(&str, Affinity)] = &[
+    ("fresh", Affinity::Shared),
+    ("dried", Affinity::Shared),
+    ("dry", Affinity::Shared),
+];
 
 /// Cooking processes (imperative verb base forms, `VB`). The paper
 /// annotated 268 across 40 cuisines; this pool of ~110 is scaled to the
@@ -397,36 +552,113 @@ pub const UTENSILS: &[(&str, Affinity)] = &[
 /// verbs, so only lexical knowledge separates them — a principal error
 /// source for the instruction NER, as in the paper.
 pub const NONPROCESS_VERBS: &[&str] = &[
-    "let", "set", "wait", "continue", "check", "watch", "begin", "start", "stop", "try",
-    "make", "keep", "leave", "allow", "repeat", "return", "use", "need", "want", "prepare",
-    "ensure", "avoid", "finish", "follow", "gather", "notice", "open", "close", "hold",
-    "lift", "move", "adjust", "arrange", "attach", "balance", "carry", "collect", "compare",
-    "count", "decide", "expect", "find", "help", "hurry", "imagine", "insert", "inspect",
-    "label", "listen", "look", "manage", "mark", "match", "monitor", "note", "observe",
-    "pause", "plan", "point", "practice", "press-on", "proceed", "read", "record", "remember",
-    "review", "save", "search", "select", "share", "show", "skip", "study", "test", "think",
+    "let", "set", "wait", "continue", "check", "watch", "begin", "start", "stop", "try", "make",
+    "keep", "leave", "allow", "repeat", "return", "use", "need", "want", "prepare", "ensure",
+    "avoid", "finish", "follow", "gather", "notice", "open", "close", "hold", "lift", "move",
+    "adjust", "arrange", "attach", "balance", "carry", "collect", "compare", "count", "decide",
+    "expect", "find", "help", "hurry", "imagine", "insert", "inspect", "label", "listen", "look",
+    "manage", "mark", "match", "monitor", "note", "observe", "pause", "plan", "point", "practice",
+    "press-on", "proceed", "read", "record", "remember", "review", "save", "search", "select",
+    "share", "show", "skip", "study", "test", "think",
 ];
 
 /// Intermediate-product nouns (gold `O`): they sit in the same argument
 /// slots as utensils ("transfer to the **bowl**" / "transfer to the
 /// **sauce**") and as ingredient mentions, so identity matters.
 pub const PRODUCT_NOUNS: &[&str] = &[
-    "mixture", "batter", "dough", "marinade", "filling", "topping", "liquid", "glaze",
-    "mass", "paste", "crust", "base", "layer", "center", "side", "top", "bottom", "surface",
-    "blend", "puree", "reduction", "emulsion", "infusion", "concentrate", "syrup-base",
-    "roux", "slurry", "brine", "curd", "foam", "froth", "gel", "jelly", "pulp", "residue",
-    "sediment", "skin", "stockpot-liquid", "suspension", "zest-mix", "coating", "crumb",
-    "drippings", "juices", "scraps", "shell", "streusel", "swirl", "whip",
+    "mixture",
+    "batter",
+    "dough",
+    "marinade",
+    "filling",
+    "topping",
+    "liquid",
+    "glaze",
+    "mass",
+    "paste",
+    "crust",
+    "base",
+    "layer",
+    "center",
+    "side",
+    "top",
+    "bottom",
+    "surface",
+    "blend",
+    "puree",
+    "reduction",
+    "emulsion",
+    "infusion",
+    "concentrate",
+    "syrup-base",
+    "roux",
+    "slurry",
+    "brine",
+    "curd",
+    "foam",
+    "froth",
+    "gel",
+    "jelly",
+    "pulp",
+    "residue",
+    "sediment",
+    "skin",
+    "stockpot-liquid",
+    "suspension",
+    "zest-mix",
+    "coating",
+    "crumb",
+    "drippings",
+    "juices",
+    "scraps",
+    "shell",
+    "streusel",
+    "swirl",
+    "whip",
 ];
 
 /// Cuisine labels used for recipe metadata (the paper sampled instruction
 /// annotations across 40 cuisines).
 pub const CUISINES: &[&str] = &[
-    "american", "british", "cajun", "caribbean", "chinese", "colombian", "cuban", "dutch",
-    "egyptian", "ethiopian", "filipino", "french", "german", "greek", "hungarian", "indian",
-    "indonesian", "iranian", "irish", "israeli", "italian", "jamaican", "japanese", "korean",
-    "lebanese", "malaysian", "mexican", "moroccan", "nigerian", "pakistani", "peruvian",
-    "polish", "portuguese", "russian", "spanish", "swedish", "thai", "turkish", "vietnamese",
+    "american",
+    "british",
+    "cajun",
+    "caribbean",
+    "chinese",
+    "colombian",
+    "cuban",
+    "dutch",
+    "egyptian",
+    "ethiopian",
+    "filipino",
+    "french",
+    "german",
+    "greek",
+    "hungarian",
+    "indian",
+    "indonesian",
+    "iranian",
+    "irish",
+    "israeli",
+    "italian",
+    "jamaican",
+    "japanese",
+    "korean",
+    "lebanese",
+    "malaysian",
+    "mexican",
+    "moroccan",
+    "nigerian",
+    "pakistani",
+    "peruvian",
+    "polish",
+    "portuguese",
+    "russian",
+    "spanish",
+    "swedish",
+    "thai",
+    "turkish",
+    "vietnamese",
     "welsh",
 ];
 
@@ -435,18 +667,75 @@ pub const CUISINES: &[&str] = &[
 /// makes cuisine prediction (a §I use case of ingredient information)
 /// learnable. Cuisines without a row behave neutrally.
 pub const CUISINE_SIGNATURES: &[(&str, &[&str])] = &[
-    ("italian", &["pasta", "tomato", "basil", "olive", "garlic", "ricotta", "polenta", "gnocchi", "orzo", "mascarpone"]),
-    ("french", &["butter", "cream", "wine", "shallot", "thyme", "brie", "cognac", "sherry"]),
-    ("mexican", &["tortilla", "bean", "corn", "chili", "lime", "cilantro", "chorizo"]),
-    ("indian", &["rice", "lentil", "cumin", "turmeric", "ginger", "cardamom", "fenugreek", "ghee"]),
-    ("chinese", &["rice", "ginger", "sesame", "noodle", "tofu", "mirin"]),
-    ("japanese", &["rice", "tofu", "nori", "wasabi", "miso", "mirin"]),
-    ("thai", &["rice", "lime", "cilantro", "coconut", "chili", "tamarind"]),
-    ("greek", &["feta", "olive", "lemon", "oregano", "yogurt", "eggplant"]),
-    ("american", &["beef", "cheese", "potato", "corn", "bacon", "ketchup"]),
-    ("moroccan", &["couscous", "cumin", "date", "saffron", "harissa", "fig"]),
+    (
+        "italian",
+        &[
+            "pasta",
+            "tomato",
+            "basil",
+            "olive",
+            "garlic",
+            "ricotta",
+            "polenta",
+            "gnocchi",
+            "orzo",
+            "mascarpone",
+        ],
+    ),
+    (
+        "french",
+        &[
+            "butter", "cream", "wine", "shallot", "thyme", "brie", "cognac", "sherry",
+        ],
+    ),
+    (
+        "mexican",
+        &[
+            "tortilla", "bean", "corn", "chili", "lime", "cilantro", "chorizo",
+        ],
+    ),
+    (
+        "indian",
+        &[
+            "rice",
+            "lentil",
+            "cumin",
+            "turmeric",
+            "ginger",
+            "cardamom",
+            "fenugreek",
+            "ghee",
+        ],
+    ),
+    (
+        "chinese",
+        &["rice", "ginger", "sesame", "noodle", "tofu", "mirin"],
+    ),
+    (
+        "japanese",
+        &["rice", "tofu", "nori", "wasabi", "miso", "mirin"],
+    ),
+    (
+        "thai",
+        &["rice", "lime", "cilantro", "coconut", "chili", "tamarind"],
+    ),
+    (
+        "greek",
+        &["feta", "olive", "lemon", "oregano", "yogurt", "eggplant"],
+    ),
+    (
+        "american",
+        &["beef", "cheese", "potato", "corn", "bacon", "ketchup"],
+    ),
+    (
+        "moroccan",
+        &["couscous", "cumin", "date", "saffron", "harissa", "fig"],
+    ),
     ("korean", &["rice", "sesame", "kimchi", "gochujang", "tofu"]),
-    ("lebanese", &["chickpea", "tahini", "mint", "lemon", "sumac", "zaatar"]),
+    (
+        "lebanese",
+        &["chickpea", "tahini", "mint", "lemon", "sumac", "zaatar"],
+    ),
 ];
 
 /// Signature bases for a cuisine (empty for neutral cuisines).
@@ -460,12 +749,20 @@ pub fn cuisine_signature(cuisine: &str) -> &'static [&'static str] {
 
 /// Filter a `(word, affinity)` slice down to the entries a site draws from.
 pub fn for_site<T: Copy>(entries: &[(T, Affinity)], site: Site) -> Vec<T> {
-    entries.iter().filter(|(_, a)| a.includes(site)).map(|&(w, _)| w).collect()
+    entries
+        .iter()
+        .filter(|(_, a)| a.includes(site))
+        .map(|&(w, _)| w)
+        .collect()
 }
 
 /// Unit list for a site, as (singular, plural) pairs.
 pub fn units_for_site(site: Site) -> Vec<(&'static str, &'static str)> {
-    UNITS.iter().filter(|(_, _, a)| a.includes(site)).map(|&(s, p, _)| (s, p)).collect()
+    UNITS
+        .iter()
+        .filter(|(_, _, a)| a.includes(site))
+        .map(|&(s, p, _)| (s, p))
+        .collect()
 }
 
 /// Ingredient base-noun pool for a site.
@@ -492,8 +789,12 @@ mod tests {
 
     #[test]
     fn foodcom_vocabulary_is_strictly_larger() {
-        assert!(name_bases_for_site(Site::FoodCom).len() > name_bases_for_site(Site::AllRecipes).len());
-        assert!(for_site(PROCESSES, Site::FoodCom).len() > for_site(PROCESSES, Site::AllRecipes).len());
+        assert!(
+            name_bases_for_site(Site::FoodCom).len() > name_bases_for_site(Site::AllRecipes).len()
+        );
+        assert!(
+            for_site(PROCESSES, Site::FoodCom).len() > for_site(PROCESSES, Site::AllRecipes).len()
+        );
         assert!(!units_for_site(Site::FoodCom).is_empty());
     }
 

@@ -54,10 +54,13 @@ pub fn bootstrap_metric<F: FnMut(&[usize]) -> f64>(
     }
     scores.sort_by(|a, b| a.partial_cmp(b).expect("finite metric"));
     let alpha = (1.0 - level) / 2.0;
-    let idx = |q: f64| -> usize {
-        ((scores.len() as f64 * q) as usize).min(scores.len() - 1)
-    };
-    BootstrapInterval { point, lo: scores[idx(alpha)], hi: scores[idx(1.0 - alpha)], replicates }
+    let idx = |q: f64| -> usize { ((scores.len() as f64 * q) as usize).min(scores.len() - 1) };
+    BootstrapInterval {
+        point,
+        lo: scores[idx(alpha)],
+        hi: scores[idx(1.0 - alpha)],
+        replicates,
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +164,12 @@ pub fn paired_bootstrap<F: FnMut(usize, &[usize]) -> f64>(
             wins += 1;
         }
     }
-    PairedComparison { a, b, delta: a - b, win_rate: wins as f64 / replicates as f64 }
+    PairedComparison {
+        a,
+        b,
+        delta: a - b,
+        win_rate: wins as f64 / replicates as f64,
+    }
 }
 
 #[cfg(test)]
@@ -193,9 +201,11 @@ mod paired_tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let f = |sys: usize, idx: &[usize]| {
-            idx.iter().map(|&i| ((i + sys) % 7) as f64).sum::<f64>()
-        };
-        assert_eq!(paired_bootstrap(30, 100, 3, f), paired_bootstrap(30, 100, 3, f));
+        let f =
+            |sys: usize, idx: &[usize]| idx.iter().map(|&i| ((i + sys) % 7) as f64).sum::<f64>();
+        assert_eq!(
+            paired_bootstrap(30, 100, 3, f),
+            paired_bootstrap(30, 100, 3, f)
+        );
     }
 }

@@ -33,8 +33,11 @@ pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<KFold> {
     for f in 0..k {
         let size = base + usize::from(f < extra);
         let test: Vec<usize> = order[start..start + size].to_vec();
-        let train: Vec<usize> =
-            order[..start].iter().chain(&order[start + size..]).copied().collect();
+        let train: Vec<usize> = order[..start]
+            .iter()
+            .chain(&order[start + size..])
+            .copied()
+            .collect();
         folds.push(KFold { train, test });
         start += size;
     }

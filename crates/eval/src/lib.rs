@@ -15,7 +15,5 @@ pub mod report;
 
 pub use bootstrap::{bootstrap_metric, paired_bootstrap, BootstrapInterval, PairedComparison};
 pub use crossval::{kfold_indices, KFold};
-pub use metrics::{
-    entity_prf, token_prf, ClassMetrics, ConfusionMatrix, PrfScores,
-};
+pub use metrics::{entity_prf, token_prf, ClassMetrics, ConfusionMatrix, PrfScores};
 pub use report::TextTable;

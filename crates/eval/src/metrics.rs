@@ -20,14 +20,27 @@ pub struct PrfScores {
 impl PrfScores {
     /// Build from raw counts.
     pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Self {
-        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        PrfScores { precision, recall, f1, support: tp + fn_ }
+        PrfScores {
+            precision,
+            recall,
+            f1,
+            support: tp + fn_,
+        }
     }
 }
 
@@ -52,8 +65,7 @@ fn aggregate(counts: BTreeMap<String, (usize, usize, usize)>) -> ClassMetrics {
         fn_ += n;
     }
     let micro = PrfScores::from_counts(tp, fp, fn_);
-    let with_support: Vec<&PrfScores> =
-        per_class.values().filter(|s| s.support > 0).collect();
+    let with_support: Vec<&PrfScores> = per_class.values().filter(|s| s.support > 0).collect();
     let macro_avg = if with_support.is_empty() {
         PrfScores::from_counts(0, 0, 0)
     } else {
@@ -61,9 +73,18 @@ fn aggregate(counts: BTreeMap<String, (usize, usize, usize)>) -> ClassMetrics {
         let p = with_support.iter().map(|s| s.precision).sum::<f64>() / k;
         let r = with_support.iter().map(|s| s.recall).sum::<f64>() / k;
         let f1 = with_support.iter().map(|s| s.f1).sum::<f64>() / k;
-        PrfScores { precision: p, recall: r, f1, support: micro.support }
+        PrfScores {
+            precision: p,
+            recall: r,
+            f1,
+            support: micro.support,
+        }
     };
-    ClassMetrics { per_class, micro, macro_avg }
+    ClassMetrics {
+        per_class,
+        micro,
+        macro_avg,
+    }
 }
 
 /// Token-level P/R/F1 per class over parallel gold/pred label sequences.
@@ -71,11 +92,7 @@ fn aggregate(counts: BTreeMap<String, (usize, usize, usize)>) -> ClassMetrics {
 ///
 /// # Panics
 /// Panics when a gold/pred pair has different lengths.
-pub fn token_prf(
-    gold: &[Vec<String>],
-    pred: &[Vec<String>],
-    outside: &str,
-) -> ClassMetrics {
+pub fn token_prf(gold: &[Vec<String>], pred: &[Vec<String>], outside: &str) -> ClassMetrics {
     assert_eq!(gold.len(), pred.len(), "gold/pred sequence count mismatch");
     let mut counts: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new();
     for (g_seq, p_seq) in gold.iter().zip(pred) {
@@ -121,11 +138,7 @@ pub fn extract_entities(labels: &[String], outside: &str) -> Vec<(usize, usize, 
 
 /// Entity-level P/R/F1: an entity counts as correct only when its span and
 /// label both match exactly (CoNLL convention).
-pub fn entity_prf(
-    gold: &[Vec<String>],
-    pred: &[Vec<String>],
-    outside: &str,
-) -> ClassMetrics {
+pub fn entity_prf(gold: &[Vec<String>], pred: &[Vec<String>], outside: &str) -> ClassMetrics {
     assert_eq!(gold.len(), pred.len(), "gold/pred sequence count mismatch");
     let mut counts: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new();
     for (g_seq, p_seq) in gold.iter().zip(pred) {
@@ -199,7 +212,9 @@ mod tests {
     use super::*;
 
     fn seqs(rows: &[&[&str]]) -> Vec<Vec<String>> {
-        rows.iter().map(|r| r.iter().map(|s| s.to_string()).collect()).collect()
+        rows.iter()
+            .map(|r| r.iter().map(|s| s.to_string()).collect())
+            .collect()
     }
 
     #[test]
@@ -238,8 +253,10 @@ mod tests {
 
     #[test]
     fn entity_extraction_groups_runs() {
-        let labels: Vec<String> =
-            ["NAME", "NAME", "O", "UNIT", "NAME"].iter().map(|s| s.to_string()).collect();
+        let labels: Vec<String> = ["NAME", "NAME", "O", "UNIT", "NAME"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let ents = extract_entities(&labels, "O");
         assert_eq!(
             ents,

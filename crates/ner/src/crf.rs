@@ -32,7 +32,12 @@ pub struct CrfConfig {
 
 impl Default for CrfConfig {
     fn default() -> Self {
-        CrfConfig { epochs: 20, learning_rate: 0.2, l2: 1e-6, seed: 42 }
+        CrfConfig {
+            epochs: 20,
+            learning_rate: 0.2,
+            l2: 1e-6,
+            seed: 42,
+        }
     }
 }
 
@@ -118,7 +123,12 @@ fn build_lattice(params: &Params, feats: &[Vec<u32>]) -> Lattice {
             beta[t][y] = log_sum_exp(&scratch);
         }
     }
-    Lattice { alpha, beta, emits, log_z }
+    Lattice {
+        alpha,
+        beta,
+        emits,
+        log_z,
+    }
 }
 
 impl LinearChainCrf {
@@ -312,7 +322,10 @@ impl LinearChainCrf {
             .iter()
             .zip(&lat.beta)
             .map(|(a, b)| {
-                a.iter().zip(b).map(|(&x, &y)| (x + y - lat.log_z).exp()).collect()
+                a.iter()
+                    .zip(b)
+                    .map(|(&x, &y)| (x + y - lat.log_z).exp())
+                    .collect()
             })
             .collect()
     }
@@ -320,6 +333,12 @@ impl LinearChainCrf {
     /// Access the raw parameter block (used by ablation benches).
     pub fn params(&self) -> &Params {
         &self.params
+    }
+
+    /// Mutable access to the parameter block (lint-test fault injection).
+    #[doc(hidden)]
+    pub fn params_mut(&mut self) -> &mut Params {
+        &mut self.params
     }
 
     /// Wrap an existing parameter block (model surgery such as pruning).
@@ -336,9 +355,18 @@ mod tests {
     /// strict alternation pattern to exercise transitions.
     fn toy_data() -> Vec<EncodedSequence> {
         vec![
-            EncodedSequence { feats: vec![vec![0], vec![1], vec![0]], labels: vec![0, 1, 0] },
-            EncodedSequence { feats: vec![vec![1], vec![0]], labels: vec![1, 0] },
-            EncodedSequence { feats: vec![vec![0], vec![1]], labels: vec![0, 1] },
+            EncodedSequence {
+                feats: vec![vec![0], vec![1], vec![0]],
+                labels: vec![0, 1, 0],
+            },
+            EncodedSequence {
+                feats: vec![vec![1], vec![0]],
+                labels: vec![1, 0],
+            },
+            EncodedSequence {
+                feats: vec![vec![0], vec![1]],
+                labels: vec![0, 1],
+            },
         ]
     }
 
@@ -354,7 +382,9 @@ mod tests {
     #[test]
     fn training_increases_log_likelihood() {
         let data = toy_data();
-        let untrained = LinearChainCrf { params: Params::zeros(2, 2) };
+        let untrained = LinearChainCrf {
+            params: Params::zeros(2, 2),
+        };
         let trained = LinearChainCrf::train(2, 2, &data, &CrfConfig::default());
         for seq in &data {
             assert!(trained.log_likelihood(seq) > untrained.log_likelihood(seq));
@@ -377,7 +407,15 @@ mod tests {
     fn log_z_matches_brute_force_enumeration() {
         // Validate the forward pass against explicit enumeration.
         let data = toy_data();
-        let crf = LinearChainCrf::train(2, 2, &data, &CrfConfig { epochs: 3, ..Default::default() });
+        let crf = LinearChainCrf::train(
+            2,
+            2,
+            &data,
+            &CrfConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+        );
         let feats = vec![vec![0u32], vec![1], vec![0]];
         let lat = build_lattice(&crf.params, &feats);
         let l = 2usize;
@@ -399,10 +437,27 @@ mod tests {
     #[test]
     fn empty_sequence_is_skipped_gracefully() {
         let mut data = toy_data();
-        data.push(EncodedSequence { feats: vec![], labels: vec![] });
-        let crf = LinearChainCrf::train(2, 2, &data, &CrfConfig { epochs: 2, ..Default::default() });
+        data.push(EncodedSequence {
+            feats: vec![],
+            labels: vec![],
+        });
+        let crf = LinearChainCrf::train(
+            2,
+            2,
+            &data,
+            &CrfConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
         assert!(crf.decode(&[]).is_empty());
-        assert_eq!(crf.log_likelihood(&EncodedSequence { feats: vec![], labels: vec![] }), 0.0);
+        assert_eq!(
+            crf.log_likelihood(&EncodedSequence {
+                feats: vec![],
+                labels: vec![]
+            }),
+            0.0
+        );
     }
 
     #[test]
@@ -417,8 +472,7 @@ mod tests {
     #[test]
     fn lbfgs_fits_toy_problem() {
         let data = toy_data();
-        let (crf, result) =
-            LinearChainCrf::train_lbfgs(2, 2, &data, 1e-4, &LbfgsConfig::default());
+        let (crf, result) = LinearChainCrf::train_lbfgs(2, 2, &data, 1e-4, &LbfgsConfig::default());
         assert!(result.iterations > 0);
         for seq in &data {
             assert_eq!(crf.decode(&seq.feats), seq.labels, "lbfgs decode");
@@ -428,17 +482,37 @@ mod tests {
     #[test]
     fn lbfgs_reaches_higher_likelihood_than_short_sgd() {
         let data = toy_data();
-        let sgd = LinearChainCrf::train(2, 2, &data, &CrfConfig { epochs: 2, ..Default::default() });
-        let (lbfgs, _) =
-            LinearChainCrf::train_lbfgs(2, 2, &data, 1e-6, &LbfgsConfig::default());
+        let sgd = LinearChainCrf::train(
+            2,
+            2,
+            &data,
+            &CrfConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
+        let (lbfgs, _) = LinearChainCrf::train_lbfgs(2, 2, &data, 1e-6, &LbfgsConfig::default());
         let ll = |m: &LinearChainCrf| data.iter().map(|s| m.log_likelihood(s)).sum::<f64>();
-        assert!(ll(&lbfgs) >= ll(&sgd) - 1e-6, "{} vs {}", ll(&lbfgs), ll(&sgd));
+        assert!(
+            ll(&lbfgs) >= ll(&sgd) - 1e-6,
+            "{} vs {}",
+            ll(&lbfgs),
+            ll(&sgd)
+        );
     }
 
     #[test]
     fn unknown_feature_ids_do_not_crash_decoding() {
         let data = toy_data();
-        let crf = LinearChainCrf::train(2, 2, &data, &CrfConfig { epochs: 2, ..Default::default() });
+        let crf = LinearChainCrf::train(
+            2,
+            2,
+            &data,
+            &CrfConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
         // Feature 99 was never seen; emit_row skips it.
         let out = crf.decode(&[vec![99u32], vec![0]]);
         assert_eq!(out.len(), 2);

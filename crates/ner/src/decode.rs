@@ -265,7 +265,11 @@ pub fn viterbi_nbest(params: &Params, feats: &[Vec<u32>], n: usize) -> Vec<(Vec<
     let mut hyp: Vec<Vec<Vec<(f64, usize, usize)>>> = Vec::with_capacity(len);
 
     let e0 = params.emit_row(&feats[0]);
-    hyp.push((0..l).map(|y| vec![(params.start[y] + e0[y], usize::MAX, 0)]).collect());
+    hyp.push(
+        (0..l)
+            .map(|y| vec![(params.start[y] + e0[y], usize::MAX, 0)])
+            .collect(),
+    );
 
     for t in 1..len {
         let et = params.emit_row(&feats[t]);

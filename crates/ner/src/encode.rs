@@ -65,8 +65,7 @@ impl Interner {
         let mut remap = vec![None; self.map.len()];
         let mut map = HashMap::new();
         // Deterministic new ids: sort survivors by old id.
-        let mut survivors: Vec<(&str, u32)> =
-            self.iter().filter(|&(_, id)| keep(id)).collect();
+        let mut survivors: Vec<(&str, u32)> = self.iter().filter(|&(_, id)| keep(id)).collect();
         survivors.sort_by_key(|&(_, id)| id);
         for (new_id, (feature, old_id)) in survivors.into_iter().enumerate() {
             map.insert(feature.to_string(), new_id as u32);

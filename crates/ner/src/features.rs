@@ -27,7 +27,12 @@ pub struct FeatureConfig {
 
 impl Default for FeatureConfig {
     fn default() -> Self {
-        FeatureConfig { lexical: true, shape: true, affixes: true, context: true }
+        FeatureConfig {
+            lexical: true,
+            shape: true,
+            affixes: true,
+            context: true,
+        }
     }
 }
 
@@ -100,7 +105,9 @@ impl FeatureExtractor {
 
     /// Feature strings for every position of `tokens`.
     pub fn extract(&self, tokens: &[String]) -> Vec<Vec<String>> {
-        (0..tokens.len()).map(|i| self.extract_at(tokens, i)).collect()
+        (0..tokens.len())
+            .map(|i| self.extract_at(tokens, i))
+            .collect()
     }
 
     /// Feature strings for position `i`.

@@ -203,6 +203,12 @@ mod tests {
     fn seven_entity_tags_plus_outside() {
         // Table II defines 7 entity classes; O is ours.
         assert_eq!(IngredientTag::ALL.len(), 8);
-        assert_eq!(IngredientTag::ALL.iter().filter(|t| **t != IngredientTag::O).count(), 7);
+        assert_eq!(
+            IngredientTag::ALL
+                .iter()
+                .filter(|t| **t != IngredientTag::O)
+                .count(),
+            7
+        );
     }
 }

@@ -79,7 +79,11 @@ where
 
     for iter in 0..cfg.max_iters {
         if inf_norm(&grad) < cfg.grad_tol {
-            return LbfgsResult { objective: fx, iterations: iter, converged: true };
+            return LbfgsResult {
+                objective: fx,
+                iterations: iter,
+                converged: true,
+            };
         }
         // Two-loop recursion: d = -H grad.
         let mut q = grad.clone();
@@ -134,7 +138,11 @@ where
             if cand_fx > fx + cfg.armijo_c * step * dg {
                 // Too long: shrink within (lo, step).
                 hi = step;
-                step = if hi.is_finite() { (lo + hi) / 2.0 } else { step * cfg.backtrack };
+                step = if hi.is_finite() {
+                    (lo + hi) / 2.0
+                } else {
+                    step * cfg.backtrack
+                };
                 continue;
             }
             let new_dg = dot(&dir, &cand_grad);
@@ -146,7 +154,11 @@ where
                 new_grad = cand_grad;
                 accepted = true;
                 lo = step;
-                step = if hi.is_finite() { (lo + hi) / 2.0 } else { step * 2.0 };
+                step = if hi.is_finite() {
+                    (lo + hi) / 2.0
+                } else {
+                    step * 2.0
+                };
                 continue;
             }
             new_x.copy_from_slice(&probe);
@@ -156,12 +168,20 @@ where
             break;
         }
         if !accepted || new_grad.is_empty() {
-            return LbfgsResult { objective: fx, iterations: iter, converged: false };
+            return LbfgsResult {
+                objective: fx,
+                iterations: iter,
+                converged: false,
+            };
         }
 
         // Update curvature history.
         let s: Vec<f64> = new_x.iter().zip(x.iter()).map(|(a, b)| a - b).collect();
-        let y: Vec<f64> = new_grad.iter().zip(grad.iter()).map(|(a, b)| a - b).collect();
+        let y: Vec<f64> = new_grad
+            .iter()
+            .zip(grad.iter())
+            .map(|(a, b)| a - b)
+            .collect();
         let sy = dot(&s, &y);
         if sy > 1e-10 {
             s_hist.push(s);
@@ -177,7 +197,11 @@ where
         fx = new_fx;
         grad = new_grad;
     }
-    LbfgsResult { objective: fx, iterations: cfg.max_iters, converged: false }
+    LbfgsResult {
+        objective: fx,
+        iterations: cfg.max_iters,
+        converged: false,
+    }
 }
 
 #[cfg(test)]
@@ -208,7 +232,10 @@ mod tests {
     fn minimizes_rosenbrock() {
         // Classic ill-conditioned test; minimum (1, 1).
         let mut x = vec![-1.2, 1.0];
-        let cfg = LbfgsConfig { max_iters: 500, ..Default::default() };
+        let cfg = LbfgsConfig {
+            max_iters: 500,
+            ..Default::default()
+        };
         let result = minimize(&mut x, &cfg, |x| {
             let (a, b) = (x[0], x[1]);
             let v = (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2);
@@ -219,18 +246,28 @@ mod tests {
             (v, g)
         });
         assert!(result.objective < 1e-8, "{result:?}, x = {x:?}");
-        assert!((x[0] - 1.0).abs() < 1e-3 && (x[1] - 1.0).abs() < 1e-3, "{x:?}");
+        assert!(
+            (x[0] - 1.0).abs() < 1e-3 && (x[1] - 1.0).abs() < 1e-3,
+            "{x:?}"
+        );
     }
 
     #[test]
     fn objective_is_monotone_nonincreasing() {
         let mut x = vec![3.0, -2.0, 5.0];
         let mut values = Vec::new();
-        minimize(&mut x, &LbfgsConfig { max_iters: 20, ..Default::default() }, |x| {
-            let v: f64 = x.iter().map(|&xi| xi * xi).sum();
-            values.push(v);
-            (v, x.iter().map(|&xi| 2.0 * xi).collect())
-        });
+        minimize(
+            &mut x,
+            &LbfgsConfig {
+                max_iters: 20,
+                ..Default::default()
+            },
+            |x| {
+                let v: f64 = x.iter().map(|&xi| xi * xi).sum();
+                values.push(v);
+                (v, x.iter().map(|&xi| 2.0 * xi).collect())
+            },
+        );
         // Accepted objective values only decrease; probes may exceed, so
         // check the overall trend via first/last.
         assert!(values.last().unwrap() <= values.first().unwrap());
@@ -240,7 +277,10 @@ mod tests {
     fn already_optimal_converges_immediately() {
         let mut x = vec![0.0, 0.0];
         let result = minimize(&mut x, &LbfgsConfig::default(), |x| {
-            (x.iter().map(|&v| v * v).sum(), x.iter().map(|&v| 2.0 * v).collect())
+            (
+                x.iter().map(|&v| v * v).sum(),
+                x.iter().map(|&v| 2.0 * v).collect(),
+            )
         });
         assert!(result.converged);
         assert_eq!(result.iterations, 0);

@@ -2,6 +2,7 @@
 //! and string-in / string-out prediction.
 
 use crate::crf::{CrfConfig, LinearChainCrf};
+use crate::decode::Params;
 use crate::encode::{encode_tokens, encode_tokens_mut, EncodedSequence, Interner};
 use crate::features::{FeatureConfig, FeatureExtractor};
 use crate::labels::LabelSet;
@@ -83,9 +84,16 @@ impl SequenceModel {
             let feats = encode_tokens_mut(&extractor, &mut interner, tokens);
             let label_ids = tags
                 .iter()
-                .map(|t| labels.id(t).unwrap_or_else(|| panic!("unknown label {t:?}")))
+                .map(|t| {
+                    labels
+                        .id(t)
+                        .unwrap_or_else(|| panic!("unknown label {t:?}"))
+                })
                 .collect();
-            encoded.push(EncodedSequence { feats, labels: label_ids });
+            encoded.push(EncodedSequence {
+                feats,
+                labels: label_ids,
+            });
         }
         interner.freeze();
         let n_features = interner.len();
@@ -115,15 +123,26 @@ impl SequenceModel {
                 n_features,
                 n_labels,
                 &encoded,
-                &PerceptronConfig { epochs: cfg.epochs, seed: cfg.seed },
+                &PerceptronConfig {
+                    epochs: cfg.epochs,
+                    seed: cfg.seed,
+                },
             )),
         };
-        SequenceModel { labels: labels.clone(), extractor, interner, inner }
+        SequenceModel {
+            labels: labels.clone(),
+            extractor,
+            interner,
+            inner,
+        }
     }
 
     /// Predict label names for a token sequence.
     pub fn predict(&self, tokens: &[String]) -> Vec<String> {
-        self.predict_ids(tokens).into_iter().map(|id| self.labels.name(id).to_string()).collect()
+        self.predict_ids(tokens)
+            .into_iter()
+            .map(|id| self.labels.name(id).to_string())
+            .collect()
     }
 
     /// Predict dense label ids for a token sequence.
@@ -145,7 +164,12 @@ impl SequenceModel {
         crate::decode::viterbi_nbest(params, &feats, n)
             .into_iter()
             .map(|(ids, score)| {
-                (ids.into_iter().map(|id| self.labels.name(id).to_string()).collect(), score)
+                (
+                    ids.into_iter()
+                        .map(|id| self.labels.name(id).to_string())
+                        .collect(),
+                    score,
+                )
             })
             .collect()
     }
@@ -170,6 +194,50 @@ impl SequenceModel {
         self.interner.len()
     }
 
+    /// The trained parameter block (shared by both trainer families).
+    pub fn params(&self) -> &Params {
+        match &self.inner {
+            Inner::Crf(m) => m.params(),
+            Inner::Perceptron(m) => m.params(),
+        }
+    }
+
+    /// Mutable access to the parameter block. Exists for fault injection
+    /// in artifact-lint tests; not part of the supported training API.
+    #[doc(hidden)]
+    pub fn params_mut(&mut self) -> &mut Params {
+        match &mut self.inner {
+            Inner::Crf(m) => m.params_mut(),
+            Inner::Perceptron(m) => m.params_mut(),
+        }
+    }
+
+    /// The feature interner (feature string ↔ dense id table).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Name of the underlying trainer family.
+    pub fn trainer_name(&self) -> &'static str {
+        match &self.inner {
+            Inner::Crf(_) => "crf",
+            Inner::Perceptron(_) => "perceptron",
+        }
+    }
+
+    /// Build a model directly from parts. Exists so lint tests can
+    /// construct artifacts with known defects; `train` is the supported
+    /// constructor.
+    #[doc(hidden)]
+    pub fn from_parts(labels: LabelSet, interner: Interner, params: crate::decode::Params) -> Self {
+        SequenceModel {
+            labels,
+            extractor: FeatureExtractor::new(),
+            interner,
+            inner: Inner::Crf(LinearChainCrf::from_params(params)),
+        }
+    }
+
     /// Return a pruned copy: features whose absolute emission weight never
     /// exceeds `epsilon` for any label are dropped (they contribute
     /// ~nothing to scores but dominate artifact size). Transition, start
@@ -182,7 +250,9 @@ impl SequenceModel {
         let l = params.n_labels;
         let keep = |id: u32| -> bool {
             let base = id as usize * l;
-            params.emit[base..base + l].iter().any(|w| w.abs() > epsilon)
+            params.emit[base..base + l]
+                .iter()
+                .any(|w| w.abs() > epsilon)
         };
         let (interner, remap) = self.interner.retain_features(keep);
         let mut emit = vec![0.0; interner.len() * l];
@@ -251,15 +321,25 @@ mod tests {
         vec![
             seq(&["2", "cups", "flour"], &["QUANTITY", "UNIT", "NAME"]),
             seq(&["1", "pinch", "salt"], &["QUANTITY", "UNIT", "NAME"]),
-            seq(&["1/2", "teaspoon", "pepper"], &["QUANTITY", "UNIT", "NAME"]),
-            seq(&["3", "tablespoons", "butter"], &["QUANTITY", "UNIT", "NAME"]),
+            seq(
+                &["1/2", "teaspoon", "pepper"],
+                &["QUANTITY", "UNIT", "NAME"],
+            ),
+            seq(
+                &["3", "tablespoons", "butter"],
+                &["QUANTITY", "UNIT", "NAME"],
+            ),
         ]
     }
 
     #[test]
     fn both_trainers_fit_the_toy_set() {
         for trainer in [Trainer::Crf, Trainer::CrfLbfgs, Trainer::Perceptron] {
-            let cfg = TrainConfig { trainer, epochs: 15, ..Default::default() };
+            let cfg = TrainConfig {
+                trainer,
+                epochs: 15,
+                ..Default::default()
+            };
             let m = SequenceModel::train(&toy_labels(), &toy_data(), &cfg);
             assert!(m.token_accuracy(&toy_data()) > 0.99, "{trainer:?}");
         }
@@ -267,7 +347,11 @@ mod tests {
 
     #[test]
     fn generalizes_to_unseen_names_via_shape_and_context() {
-        let cfg = TrainConfig { trainer: Trainer::Crf, epochs: 25, ..Default::default() };
+        let cfg = TrainConfig {
+            trainer: Trainer::Crf,
+            epochs: 25,
+            ..Default::default()
+        };
         let m = SequenceModel::train(&toy_labels(), &toy_data(), &cfg);
         let pred = m.predict(&["5".into(), "cups".into(), "zoodles".into()]);
         assert_eq!(pred, ["QUANTITY", "UNIT", "NAME"]);
@@ -282,13 +366,20 @@ mod tests {
 
     #[test]
     fn pruning_shrinks_without_changing_strong_predictions() {
-        let cfg = TrainConfig { epochs: 15, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 15,
+            ..Default::default()
+        };
         let m = SequenceModel::train(&toy_labels(), &toy_data(), &cfg);
         let before = m.num_features();
         // Pick an epsilon between the smallest and largest per-feature max
         // so the test is robust to trainer details.
         let pruned = m.pruned(0.5);
-        assert!(pruned.num_features() < before, "{} !< {before}", pruned.num_features());
+        assert!(
+            pruned.num_features() < before,
+            "{} !< {before}",
+            pruned.num_features()
+        );
         assert!(pruned.num_features() > 0);
         // The surviving strong features still carry the toy problem.
         assert!(pruned.token_accuracy(&toy_data()) > 0.99);
@@ -302,7 +393,10 @@ mod tests {
 
     #[test]
     fn nbest_first_equals_predict() {
-        let cfg = TrainConfig { epochs: 10, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 10,
+            ..Default::default()
+        };
         let m = SequenceModel::train(&toy_labels(), &toy_data(), &cfg);
         let toks: Vec<String> = vec!["2".into(), "cups".into(), "flour".into()];
         let nbest = m.predict_nbest(&toks, 3);
@@ -317,7 +411,11 @@ mod tests {
         let crf = SequenceModel::train(
             &toy_labels(),
             &toy_data(),
-            &TrainConfig { trainer: Trainer::Crf, epochs: 5, ..Default::default() },
+            &TrainConfig {
+                trainer: Trainer::Crf,
+                epochs: 5,
+                ..Default::default()
+            },
         );
         let marg = crf.predict_marginals(&toks).expect("crf has marginals");
         assert_eq!(marg.len(), 3);
@@ -328,21 +426,31 @@ mod tests {
         let perc = SequenceModel::train(
             &toy_labels(),
             &toy_data(),
-            &TrainConfig { trainer: Trainer::Perceptron, epochs: 5, ..Default::default() },
+            &TrainConfig {
+                trainer: Trainer::Perceptron,
+                epochs: 5,
+                ..Default::default()
+            },
         );
         assert!(perc.predict_marginals(&toks).is_none());
     }
 
     #[test]
     fn predict_on_empty_tokens() {
-        let cfg = TrainConfig { epochs: 2, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        };
         let m = SequenceModel::train(&toy_labels(), &toy_data(), &cfg);
         assert!(m.predict(&[]).is_empty());
     }
 
     #[test]
     fn accuracy_of_empty_eval_set_is_zero() {
-        let cfg = TrainConfig { epochs: 2, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        };
         let m = SequenceModel::train(&toy_labels(), &toy_data(), &cfg);
         assert_eq!(m.token_accuracy(&[]), 0.0);
     }

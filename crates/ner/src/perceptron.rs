@@ -25,7 +25,10 @@ pub struct PerceptronConfig {
 
 impl Default for PerceptronConfig {
     fn default() -> Self {
-        PerceptronConfig { epochs: 10, seed: 42 }
+        PerceptronConfig {
+            epochs: 10,
+            seed: 42,
+        }
     }
 }
 
@@ -43,7 +46,10 @@ struct Avg {
 
 impl Avg {
     fn new(len: usize) -> Self {
-        Avg { totals: vec![0.0; len], stamps: vec![0; len] }
+        Avg {
+            totals: vec![0.0; len],
+            stamps: vec![0; len],
+        }
     }
 
     #[inline]
@@ -130,6 +136,12 @@ impl StructuredPerceptron {
         &self.params
     }
 
+    /// Mutable access to the parameter block (lint-test fault injection).
+    #[doc(hidden)]
+    pub fn params_mut(&mut self) -> &mut Params {
+        &mut self.params
+    }
+
     /// Wrap an existing parameter block (model surgery such as pruning).
     pub fn from_params(params: Params) -> Self {
         StructuredPerceptron { params }
@@ -142,9 +154,18 @@ mod tests {
 
     fn toy_data() -> Vec<EncodedSequence> {
         vec![
-            EncodedSequence { feats: vec![vec![0], vec![1], vec![0]], labels: vec![0, 1, 0] },
-            EncodedSequence { feats: vec![vec![1], vec![0]], labels: vec![1, 0] },
-            EncodedSequence { feats: vec![vec![0], vec![1]], labels: vec![0, 1] },
+            EncodedSequence {
+                feats: vec![vec![0], vec![1], vec![0]],
+                labels: vec![0, 1, 0],
+            },
+            EncodedSequence {
+                feats: vec![vec![1], vec![0]],
+                labels: vec![1, 0],
+            },
+            EncodedSequence {
+                feats: vec![vec![0], vec![1]],
+                labels: vec![0, 1],
+            },
         ]
     }
 
@@ -162,10 +183,24 @@ mod tests {
         // Feature 0 is ambiguous (appears under both labels); only the
         // alternation transition disambiguates the middle position.
         let data = vec![
-            EncodedSequence { feats: vec![vec![1], vec![0], vec![1]], labels: vec![1, 0, 1] },
-            EncodedSequence { feats: vec![vec![2], vec![0], vec![2]], labels: vec![0, 1, 0] },
+            EncodedSequence {
+                feats: vec![vec![1], vec![0], vec![1]],
+                labels: vec![1, 0, 1],
+            },
+            EncodedSequence {
+                feats: vec![vec![2], vec![0], vec![2]],
+                labels: vec![0, 1, 0],
+            },
         ];
-        let p = StructuredPerceptron::train(3, 2, &data, &PerceptronConfig { epochs: 20, seed: 3 });
+        let p = StructuredPerceptron::train(
+            3,
+            2,
+            &data,
+            &PerceptronConfig {
+                epochs: 20,
+                seed: 3,
+            },
+        );
         assert_eq!(p.decode(&data[0].feats), data[0].labels);
         assert_eq!(p.decode(&data[1].feats), data[1].labels);
     }
@@ -188,7 +223,15 @@ mod tests {
     #[test]
     fn perfect_prediction_stops_updates() {
         let data = toy_data();
-        let p = StructuredPerceptron::train(2, 2, &data, &PerceptronConfig { epochs: 50, seed: 1 });
+        let p = StructuredPerceptron::train(
+            2,
+            2,
+            &data,
+            &PerceptronConfig {
+                epochs: 50,
+                seed: 1,
+            },
+        );
         // After convergence further epochs leave averaged weights finite
         // and predictions stable.
         for seq in &data {

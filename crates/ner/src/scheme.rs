@@ -111,7 +111,14 @@ mod tests {
         let raw = v(&["QUANTITY", "QUANTITY", "UNIT", "O", "NAME", "NAME"]);
         assert_eq!(
             to_bio(&raw, "O"),
-            v(&["B-QUANTITY", "I-QUANTITY", "B-UNIT", "O", "B-NAME", "I-NAME"])
+            v(&[
+                "B-QUANTITY",
+                "I-QUANTITY",
+                "B-UNIT",
+                "O",
+                "B-NAME",
+                "I-NAME"
+            ])
         );
     }
 

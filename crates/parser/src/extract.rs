@@ -73,8 +73,7 @@ pub fn verb_frames(tree: &DepTree, tags: &[PennTag]) -> Vec<VerbFrame> {
     // Argument inheritance for bare conjunct verbs.
     let originals = frames.clone();
     for frame in &mut frames {
-        if frame.subjects.is_empty() && frame.objects.is_empty() && frame.prep_objects.is_empty()
-        {
+        if frame.subjects.is_empty() && frame.objects.is_empty() && frame.prep_objects.is_empty() {
             if let Some(head) = tree.head(frame.verb) {
                 if tree.label(frame.verb) == DepLabel::Conj && tags[head].is_verb() {
                     if let Some(parent) = originals.iter().find(|f| f.verb == head) {
@@ -107,7 +106,12 @@ fn frame_for_verb(tree: &DepTree, v: usize) -> VerbFrame {
             _ => {}
         }
     }
-    VerbFrame { verb: v, subjects, objects, prep_objects }
+    VerbFrame {
+        verb: v,
+        subjects,
+        objects,
+        prep_objects,
+    }
 }
 
 #[cfg(test)]
@@ -173,11 +177,7 @@ mod tests {
     #[test]
     fn subjects_are_collected() {
         // "the water boils": water(nsubj) <- boils
-        let tree = DepTree::new(
-            vec![Some(1), Some(2), None],
-            vec![Det, Nsubj, Root],
-        )
-        .unwrap();
+        let tree = DepTree::new(vec![Some(1), Some(2), None], vec![Det, Nsubj, Root]).unwrap();
         let tags = vec![DT, NN, VBZ];
         let frames = verb_frames(&tree, &tags);
         assert_eq!(frames.len(), 1);

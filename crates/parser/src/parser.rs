@@ -27,7 +27,10 @@ pub struct ParserConfig {
 
 impl Default for ParserConfig {
     fn default() -> Self {
-        ParserConfig { epochs: 8, seed: 42 }
+        ParserConfig {
+            epochs: 8,
+            seed: 42,
+        }
     }
 }
 
@@ -72,7 +75,11 @@ fn state_features(state: &State, words: &[String], tags: &[PennTag]) -> Vec<Stri
     let s1 = state.s1();
     let s2 = state.s2();
     let b1 = state.b1();
-    let b2 = if state.next < state.n { Some(state.next + 1) } else { None };
+    let b2 = if state.next < state.n {
+        Some(state.next + 1)
+    } else {
+        None
+    };
 
     let wd = |n: Option<usize>| n.map(|n| node_word(words, n)).unwrap_or("-NONE-");
     let tg = |n: Option<usize>| n.map(|n| node_tag(tags, n)).unwrap_or("-NONE-");
@@ -225,7 +232,10 @@ impl DependencyParser {
             hyps = next;
         }
         let (score, best) = hyps.into_iter().next().expect("at least one hypothesis");
-        (score, best.into_tree().expect("arc-standard yields a valid tree"))
+        (
+            score,
+            best.into_tree().expect("arc-standard yields a valid tree"),
+        )
     }
 
     /// Unlabeled/labeled attachment scores over a treebank.
@@ -247,6 +257,22 @@ impl DependencyParser {
         } else {
             (uas_sum / count as f64, las_sum / count as f64)
         }
+    }
+
+    /// The underlying transition classifier.
+    pub fn model(&self) -> &AveragedPerceptron {
+        &self.model
+    }
+
+    /// Mutable model access (lint-test fault injection).
+    #[doc(hidden)]
+    pub fn model_mut(&mut self) -> &mut AveragedPerceptron {
+        &mut self.model
+    }
+
+    /// The transition inventory the classifier chooses from.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
     }
 
     /// Number of features in the underlying classifier.
@@ -301,7 +327,13 @@ mod tests {
     #[test]
     fn fits_training_treebank() {
         let bank = treebank();
-        let parser = DependencyParser::train(&bank, &ParserConfig { epochs: 20, seed: 1 });
+        let parser = DependencyParser::train(
+            &bank,
+            &ParserConfig {
+                epochs: 20,
+                seed: 1,
+            },
+        );
         let (uas, las) = parser.evaluate(&bank);
         assert!(uas > 0.95, "UAS {uas}");
         assert!(las > 0.95, "LAS {las}");
@@ -310,7 +342,13 @@ mod tests {
     #[test]
     fn generalizes_to_same_structure_new_words() {
         let bank = treebank();
-        let parser = DependencyParser::train(&bank, &ParserConfig { epochs: 20, seed: 1 });
+        let parser = DependencyParser::train(
+            &bank,
+            &ParserConfig {
+                epochs: 20,
+                seed: 1,
+            },
+        );
         use PennTag::*;
         let tree = parser.parse(&words(&["mince", "the", "garlic"]), &[VB, DT, NN]);
         assert_eq!(tree.root(), Some(0));
@@ -353,11 +391,20 @@ mod tests {
     #[test]
     fn beam_one_matches_greedy() {
         let bank = treebank();
-        let parser = DependencyParser::train(&bank, &ParserConfig { epochs: 10, seed: 2 });
+        let parser = DependencyParser::train(
+            &bank,
+            &ParserConfig {
+                epochs: 10,
+                seed: 2,
+            },
+        );
         use PennTag::*;
         for (w, t) in [
             (words(&["boil", "the", "water"]), vec![VB, DT, NN]),
-            (words(&["fry", "the", "potatoes", "in", "a", "pan"]), vec![VB, DT, NNS, IN, DT, NN]),
+            (
+                words(&["fry", "the", "potatoes", "in", "a", "pan"]),
+                vec![VB, DT, NNS, IN, DT, NN],
+            ),
         ] {
             assert_eq!(parser.parse_beam(&w, &t, 1), parser.parse(&w, &t));
         }

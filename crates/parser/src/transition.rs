@@ -117,7 +117,9 @@ impl State {
             Transition::Shift => self.next <= self.n,
             Transition::LeftArc(l) => {
                 // s2 must exist and not be the virtual root.
-                l != DepLabel::Root && self.stack.len() >= 2 && self.stack[self.stack.len() - 2] != ROOT
+                l != DepLabel::Root
+                    && self.stack.len() >= 2
+                    && self.stack[self.stack.len() - 2] != ROOT
             }
             Transition::RightArc(l) => {
                 if self.stack.len() < 2 {
@@ -204,7 +206,11 @@ pub fn oracle(state: &State, gold_heads: &[usize], gold_labels: &[DepLabel]) -> 
         }
         // RightArc: s1's head is s2 and s1's dependents are all attached.
         if gold_heads[s1] == s2 && deps_done(state, s1, gold_heads) {
-            let label = if s2 == ROOT { DepLabel::Root } else { gold_labels[s1] };
+            let label = if s2 == ROOT {
+                DepLabel::Root
+            } else {
+                gold_labels[s1]
+            };
             // The root arc must wait for an empty buffer to stay legal.
             if s2 != ROOT || state.next > state.n {
                 return Transition::RightArc(label);

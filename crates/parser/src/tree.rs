@@ -73,7 +73,10 @@ impl DepLabel {
 
     /// Dense id.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&l| l == self).expect("label in ALL")
+        Self::ALL
+            .iter()
+            .position(|&l| l == self)
+            .expect("label in ALL")
     }
 
     /// Canonical lowercase string (spaCy style).
@@ -208,12 +211,17 @@ impl DepTree {
 
     /// Children of token `i` in surface order.
     pub fn children(&self, i: usize) -> Vec<usize> {
-        (0..self.len()).filter(|&j| self.heads[j] == Some(i)).collect()
+        (0..self.len())
+            .filter(|&j| self.heads[j] == Some(i))
+            .collect()
     }
 
     /// Children of `i` whose relation is `label`.
     pub fn children_with_label(&self, i: usize, label: DepLabel) -> Vec<usize> {
-        self.children(i).into_iter().filter(|&j| self.labels[j] == label).collect()
+        self.children(i)
+            .into_iter()
+            .filter(|&j| self.labels[j] == label)
+            .collect()
     }
 
     /// Is the tree projective (no crossing arcs)? The synthetic grammar
@@ -240,7 +248,9 @@ impl DepTree {
         if self.is_empty() {
             return 0.0;
         }
-        let same = (0..self.len()).filter(|&i| self.heads[i] == other.heads[i]).count();
+        let same = (0..self.len())
+            .filter(|&i| self.heads[i] == other.heads[i])
+            .count();
         same as f64 / self.len() as f64
     }
 
@@ -308,7 +318,10 @@ mod tests {
 
     #[test]
     fn rejects_length_mismatch() {
-        assert_eq!(DepTree::new(vec![None], vec![]), Err(TreeError::LengthMismatch));
+        assert_eq!(
+            DepTree::new(vec![None], vec![]),
+            Err(TreeError::LengthMismatch)
+        );
     }
 
     #[test]

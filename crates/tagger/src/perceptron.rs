@@ -21,7 +21,11 @@ struct Row {
 
 impl Row {
     fn new(classes: usize) -> Self {
-        Row { w: vec![0.0; classes], totals: vec![0.0; classes], stamps: vec![0; classes] }
+        Row {
+            w: vec![0.0; classes],
+            totals: vec![0.0; classes],
+            stamps: vec![0; classes],
+        }
     }
 }
 
@@ -43,7 +47,12 @@ impl AveragedPerceptron {
     /// Create an empty model for `num_classes` classes.
     pub fn new(num_classes: usize) -> Self {
         assert!(num_classes > 0, "need at least one class");
-        AveragedPerceptron { rows: HashMap::new(), num_classes, steps: 0, averaged: false }
+        AveragedPerceptron {
+            rows: HashMap::new(),
+            num_classes,
+            steps: 0,
+            averaged: false,
+        }
     }
 
     /// Number of classes.
@@ -54,6 +63,25 @@ impl AveragedPerceptron {
     /// Number of distinct features seen.
     pub fn num_features(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Iterate `(feature, current weights)` rows, in arbitrary order.
+    pub fn weight_rows(&self) -> impl Iterator<Item = (&str, &[f64])> {
+        self.rows
+            .iter()
+            .map(|(f, row)| (f.as_str(), row.w.as_slice()))
+    }
+
+    /// Overwrite one weight, creating the feature row if absent. Exists
+    /// for fault injection in artifact-lint tests; not a training API.
+    #[doc(hidden)]
+    pub fn inject_weight(&mut self, feature: &str, class: usize, value: f64) {
+        let classes = self.num_classes;
+        let row = self
+            .rows
+            .entry(feature.to_string())
+            .or_insert_with(|| Row::new(classes));
+        row.w[class] = value;
     }
 
     /// Score every class for the given active features.
@@ -92,7 +120,10 @@ impl AveragedPerceptron {
     /// Perceptron update: promote `truth`, demote `guess` (no-op when they
     /// agree, except for the step counter).
     pub fn update(&mut self, truth: usize, guess: usize, features: &[String]) {
-        assert!(!self.averaged, "cannot keep training after finalize_averaging");
+        assert!(
+            !self.averaged,
+            "cannot keep training after finalize_averaging"
+        );
         self.steps += 1;
         if truth == guess {
             return;
@@ -100,7 +131,10 @@ impl AveragedPerceptron {
         let steps = self.steps;
         let classes = self.num_classes;
         for f in features {
-            let row = self.rows.entry(f.clone()).or_insert_with(|| Row::new(classes));
+            let row = self
+                .rows
+                .entry(f.clone())
+                .or_insert_with(|| Row::new(classes));
             for (c, delta) in [(truth, 1.0), (guess, -1.0)] {
                 let elapsed = steps - row.stamps[c];
                 row.totals[c] += elapsed as f64 * row.w[c];
@@ -213,7 +247,10 @@ mod tests {
         }
         p.finalize_averaging();
         assert_eq!(p.predict(&f), 2);
-        assert_eq!(p.predict_constrained(&f, &[0, 1]), argmax(&p.scores(&f)[..2]));
+        assert_eq!(
+            p.predict_constrained(&f, &[0, 1]),
+            argmax(&p.scores(&f)[..2])
+        );
     }
 
     #[test]

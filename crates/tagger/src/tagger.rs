@@ -216,6 +216,22 @@ impl PosTagger {
         self.model.num_features()
     }
 
+    /// The underlying averaged-perceptron classifier.
+    pub fn model(&self) -> &AveragedPerceptron {
+        &self.model
+    }
+
+    /// Mutable model access (lint-test fault injection).
+    #[doc(hidden)]
+    pub fn model_mut(&mut self) -> &mut AveragedPerceptron {
+        &mut self.model
+    }
+
+    /// Iterate the unambiguous-word tag dictionary.
+    pub fn tagdict(&self) -> impl Iterator<Item = (&str, PennTag)> {
+        self.tagdict.iter().map(|(w, &t)| (w.as_str(), t))
+    }
+
     /// Size of the unambiguous-word dictionary.
     pub fn tagdict_len(&self) -> usize {
         self.tagdict.len()
@@ -233,8 +249,11 @@ fn build_tagdict(sentences: &[TaggedSentence]) -> HashMap<String, PennTag> {
     let mut dict = HashMap::new();
     for (word, row) in counts {
         let total: usize = row.iter().sum();
-        let (best_idx, &best) =
-            row.iter().enumerate().max_by_key(|&(_, &c)| c).expect("non-empty row");
+        let (best_idx, &best) = row
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .expect("non-empty row");
         if total >= TAGDICT_MIN_COUNT && best == total {
             dict.insert(word, PennTag::from_index(best_idx));
         }

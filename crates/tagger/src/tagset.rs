@@ -187,7 +187,10 @@ impl PennTag {
 
     /// Is this one of the noun tags?
     pub fn is_noun(self) -> bool {
-        matches!(self, PennTag::NN | PennTag::NNS | PennTag::NNP | PennTag::NNPS)
+        matches!(
+            self,
+            PennTag::NN | PennTag::NNS | PennTag::NNP | PennTag::NNPS
+        )
     }
 
     /// Is this one of the verb tags?

@@ -82,9 +82,8 @@ mod tests {
         let b = pos_frequency_vector(&[CD, NNS, JJ, NN]);
         // "boil the water until tender"
         let c = pos_frequency_vector(&[VB, DT, NN, IN, JJ]);
-        let d2 = |x: &[f64], y: &[f64]| -> f64 {
-            x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
-        };
+        let d2 =
+            |x: &[f64], y: &[f64]| -> f64 { x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum() };
         assert!(d2(&a, &b) < d2(&a, &c));
     }
 }

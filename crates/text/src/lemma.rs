@@ -71,60 +71,396 @@ const VERB_EXCEPTIONS: &[(&str, &str)] = &[
 ];
 
 /// Irregular adjective comparative/superlative forms.
-const ADJ_EXCEPTIONS: &[(&str, &str)] =
-    &[("best", "good"), ("better", "good"), ("least", "little"), ("less", "little"), ("more", "many"), ("most", "many"), ("worse", "bad"), ("worst", "bad")];
+const ADJ_EXCEPTIONS: &[(&str, &str)] = &[
+    ("best", "good"),
+    ("better", "good"),
+    ("least", "little"),
+    ("less", "little"),
+    ("more", "many"),
+    ("most", "many"),
+    ("worse", "bad"),
+    ("worst", "bad"),
+];
 
 /// Base-form lexicon: words whose base form we *know*, so detachment
 /// candidates can be validated against it. Deliberately food-centric; the
 /// lemmatizer degrades gracefully for words outside it.
 const LEXICON: &[&str] = &[
     // ingredients & food nouns
-    "almond", "apple", "apricot", "asparagus", "avocado", "bacon", "banana", "basil", "bean",
-    "beef", "beet", "berry", "biscuit", "blueberry", "bread", "broccoli", "broth", "butter",
-    "cabbage", "cake", "caper", "carrot", "cashew", "celery", "cheese", "cherry", "chicken",
-    "chickpea", "chili", "chive", "chocolate", "cilantro", "cinnamon", "clove", "coconut",
-    "cookie", "coriander", "corn", "crab", "cranberry", "cream", "cucumber", "cumin", "curry",
-    "date", "dill", "dough", "egg", "eggplant", "fennel", "fig", "fillet", "flour", "garlic",
-    "ginger", "grape", "gravy", "ham", "hazelnut", "herb", "honey", "jalapeno", "juice", "kale",
-    "lamb", "leek", "lemon", "lentil", "lettuce", "lime", "lobster", "mango", "maple",
-    "marinade", "meat", "milk", "mint", "mushroom", "mussel", "mustard", "noodle", "nut",
-    "nutmeg", "oat", "oil", "olive", "onion", "orange", "oregano", "oyster", "paprika",
-    "parsley", "parsnip", "pasta", "pastry", "pea", "peach", "peanut", "pear", "pecan",
-    "pepper", "pickle", "pineapple", "pistachio", "plum", "pork", "potato", "prawn", "pumpkin",
-    "quinoa", "radish", "raisin", "raspberry", "rhubarb", "rice", "rosemary", "saffron", "sage",
-    "salmon", "salsa", "salt", "sauce", "sausage", "scallion", "scallop", "seed", "sesame",
-    "shallot", "shrimp", "soup", "spinach", "sprout", "squash", "steak", "stock", "strawberry",
-    "sugar", "syrup", "thyme", "tofu", "tomato", "tortilla", "tuna", "turkey", "turmeric",
-    "turnip", "vanilla", "vinegar", "walnut", "water", "watermelon", "wine", "yeast", "yogurt",
-    "zucchini", "hummus", "citrus", "couscous", "asparagus",
+    "almond",
+    "apple",
+    "apricot",
+    "asparagus",
+    "avocado",
+    "bacon",
+    "banana",
+    "basil",
+    "bean",
+    "beef",
+    "beet",
+    "berry",
+    "biscuit",
+    "blueberry",
+    "bread",
+    "broccoli",
+    "broth",
+    "butter",
+    "cabbage",
+    "cake",
+    "caper",
+    "carrot",
+    "cashew",
+    "celery",
+    "cheese",
+    "cherry",
+    "chicken",
+    "chickpea",
+    "chili",
+    "chive",
+    "chocolate",
+    "cilantro",
+    "cinnamon",
+    "clove",
+    "coconut",
+    "cookie",
+    "coriander",
+    "corn",
+    "crab",
+    "cranberry",
+    "cream",
+    "cucumber",
+    "cumin",
+    "curry",
+    "date",
+    "dill",
+    "dough",
+    "egg",
+    "eggplant",
+    "fennel",
+    "fig",
+    "fillet",
+    "flour",
+    "garlic",
+    "ginger",
+    "grape",
+    "gravy",
+    "ham",
+    "hazelnut",
+    "herb",
+    "honey",
+    "jalapeno",
+    "juice",
+    "kale",
+    "lamb",
+    "leek",
+    "lemon",
+    "lentil",
+    "lettuce",
+    "lime",
+    "lobster",
+    "mango",
+    "maple",
+    "marinade",
+    "meat",
+    "milk",
+    "mint",
+    "mushroom",
+    "mussel",
+    "mustard",
+    "noodle",
+    "nut",
+    "nutmeg",
+    "oat",
+    "oil",
+    "olive",
+    "onion",
+    "orange",
+    "oregano",
+    "oyster",
+    "paprika",
+    "parsley",
+    "parsnip",
+    "pasta",
+    "pastry",
+    "pea",
+    "peach",
+    "peanut",
+    "pear",
+    "pecan",
+    "pepper",
+    "pickle",
+    "pineapple",
+    "pistachio",
+    "plum",
+    "pork",
+    "potato",
+    "prawn",
+    "pumpkin",
+    "quinoa",
+    "radish",
+    "raisin",
+    "raspberry",
+    "rhubarb",
+    "rice",
+    "rosemary",
+    "saffron",
+    "sage",
+    "salmon",
+    "salsa",
+    "salt",
+    "sauce",
+    "sausage",
+    "scallion",
+    "scallop",
+    "seed",
+    "sesame",
+    "shallot",
+    "shrimp",
+    "soup",
+    "spinach",
+    "sprout",
+    "squash",
+    "steak",
+    "stock",
+    "strawberry",
+    "sugar",
+    "syrup",
+    "thyme",
+    "tofu",
+    "tomato",
+    "tortilla",
+    "tuna",
+    "turkey",
+    "turmeric",
+    "turnip",
+    "vanilla",
+    "vinegar",
+    "walnut",
+    "water",
+    "watermelon",
+    "wine",
+    "yeast",
+    "yogurt",
+    "zucchini",
+    "hummus",
+    "citrus",
+    "couscous",
+    "asparagus",
     // units & containers
-    "bag", "batch", "bottle", "bowl", "box", "bunch", "can", "carton", "container", "cup",
-    "dash", "dollop", "gallon", "gram", "handful", "head", "inch", "jar", "kilogram", "liter",
-    "loaf", "milliliter", "ounce", "package", "packet", "piece", "pinch", "pint", "pound",
-    "quart", "rib", "sheet", "slice", "sprig", "stalk", "stick", "strip", "tablespoon",
-    "teaspoon", "wedge",
+    "bag",
+    "batch",
+    "bottle",
+    "bowl",
+    "box",
+    "bunch",
+    "can",
+    "carton",
+    "container",
+    "cup",
+    "dash",
+    "dollop",
+    "gallon",
+    "gram",
+    "handful",
+    "head",
+    "inch",
+    "jar",
+    "kilogram",
+    "liter",
+    "loaf",
+    "milliliter",
+    "ounce",
+    "package",
+    "packet",
+    "piece",
+    "pinch",
+    "pint",
+    "pound",
+    "quart",
+    "rib",
+    "sheet",
+    "slice",
+    "sprig",
+    "stalk",
+    "stick",
+    "strip",
+    "tablespoon",
+    "teaspoon",
+    "wedge",
     // utensils
-    "blender", "board", "colander", "dish", "foil", "fork", "grater", "griddle", "grill",
-    "knife", "ladle", "mixer", "oven", "pan", "peeler", "plate", "pot", "processor", "rack",
-    "skewer", "skillet", "spatula", "spoon", "thermometer", "tong", "tray", "whisk", "wok",
+    "blender",
+    "board",
+    "colander",
+    "dish",
+    "foil",
+    "fork",
+    "grater",
+    "griddle",
+    "grill",
+    "knife",
+    "ladle",
+    "mixer",
+    "oven",
+    "pan",
+    "peeler",
+    "plate",
+    "pot",
+    "processor",
+    "rack",
+    "skewer",
+    "skillet",
+    "spatula",
+    "spoon",
+    "thermometer",
+    "tong",
+    "tray",
+    "whisk",
+    "wok",
     // processes (verb base forms)
-    "add", "bake", "baste", "beat", "blanch", "blend", "boil", "braise", "bring", "broil",
-    "brown", "brush", "chill", "chop", "coat", "combine", "cook", "cool", "core", "cover",
-    "crush", "cube", "cut", "deglaze", "dice", "discard", "dissolve", "drain", "dress",
-    "drizzle", "dry", "dust", "fill", "flip", "fold", "fry", "garnish", "glaze", "grate",
-    "grease", "grill", "grind", "heat", "julienne", "knead", "layer", "marinate", "mash",
-    "measure", "melt", "microwave", "mince", "mix", "peel", "pit", "place", "poach", "pour",
-    "preheat", "press", "puree", "reduce", "refrigerate", "remove", "rinse", "roast", "roll",
-    "rub", "saute", "scrape", "sear", "season", "serve", "shred", "sift", "simmer", "skim",
-    "slice", "soak", "soften", "sprinkle", "steam", "stew", "stir", "strain", "stuff", "taste",
-    "thaw", "thicken", "toast", "top", "toss", "transfer", "trim", "turn", "whip", "whisk",
+    "add",
+    "bake",
+    "baste",
+    "beat",
+    "blanch",
+    "blend",
+    "boil",
+    "braise",
+    "bring",
+    "broil",
+    "brown",
+    "brush",
+    "chill",
+    "chop",
+    "coat",
+    "combine",
+    "cook",
+    "cool",
+    "core",
+    "cover",
+    "crush",
+    "cube",
+    "cut",
+    "deglaze",
+    "dice",
+    "discard",
+    "dissolve",
+    "drain",
+    "dress",
+    "drizzle",
+    "dry",
+    "dust",
+    "fill",
+    "flip",
+    "fold",
+    "fry",
+    "garnish",
+    "glaze",
+    "grate",
+    "grease",
+    "grill",
+    "grind",
+    "heat",
+    "julienne",
+    "knead",
+    "layer",
+    "marinate",
+    "mash",
+    "measure",
+    "melt",
+    "microwave",
+    "mince",
+    "mix",
+    "peel",
+    "pit",
+    "place",
+    "poach",
+    "pour",
+    "preheat",
+    "press",
+    "puree",
+    "reduce",
+    "refrigerate",
+    "remove",
+    "rinse",
+    "roast",
+    "roll",
+    "rub",
+    "saute",
+    "scrape",
+    "sear",
+    "season",
+    "serve",
+    "shred",
+    "sift",
+    "simmer",
+    "skim",
+    "slice",
+    "soak",
+    "soften",
+    "sprinkle",
+    "steam",
+    "stew",
+    "stir",
+    "strain",
+    "stuff",
+    "taste",
+    "thaw",
+    "thicken",
+    "toast",
+    "top",
+    "toss",
+    "transfer",
+    "trim",
+    "turn",
+    "whip",
+    "whisk",
     "zest",
     // adjectives / states
-    "big", "bitter", "coarse", "cold", "creamy", "crisp", "crispy", "dark", "deep", "dried",
-    "extra", "fine", "firm", "fresh", "gentle", "golden", "heavy", "hot", "large", "lean",
-    "light", "little", "long", "low", "medium", "mild", "new", "quick", "raw", "rich", "ripe",
-    "short", "small", "smooth", "soft", "sour", "spicy", "stiff", "sweet", "tender", "thick",
-    "thin", "warm", "whole", "wide",
+    "big",
+    "bitter",
+    "coarse",
+    "cold",
+    "creamy",
+    "crisp",
+    "crispy",
+    "dark",
+    "deep",
+    "dried",
+    "extra",
+    "fine",
+    "firm",
+    "fresh",
+    "gentle",
+    "golden",
+    "heavy",
+    "hot",
+    "large",
+    "lean",
+    "light",
+    "little",
+    "long",
+    "low",
+    "medium",
+    "mild",
+    "new",
+    "quick",
+    "raw",
+    "rich",
+    "ripe",
+    "short",
+    "small",
+    "smooth",
+    "soft",
+    "sour",
+    "spicy",
+    "stiff",
+    "sweet",
+    "tender",
+    "thick",
+    "thin",
+    "warm",
+    "whole",
+    "wide",
 ];
 
 /// The lemmatizer: exception tables + detachment rules + lexicon validation.

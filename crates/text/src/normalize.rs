@@ -51,13 +51,19 @@ impl Default for Preprocessor {
 impl Preprocessor {
     /// A preprocessor that keeps punctuation tokens.
     pub fn with_punct() -> Self {
-        Preprocessor { keep_punct: true, ..Preprocessor::default() }
+        Preprocessor {
+            keep_punct: true,
+            ..Preprocessor::default()
+        }
     }
 
     /// A preprocessor that lowercases and drops stop words but leaves
     /// inflection intact (the "no lemmatizer" ablation).
     pub fn without_lemmatization() -> Self {
-        Preprocessor { lemmatize: false, ..Preprocessor::default() }
+        Preprocessor {
+            lemmatize: false,
+            ..Preprocessor::default()
+        }
     }
 
     /// Access the underlying lemmatizer.
@@ -160,7 +166,10 @@ mod tests {
     #[test]
     fn instruction_mode_keeps_prepositions() {
         let pre = Preprocessor::default();
-        let toks = pre.preprocess_section("Bring the water to a boil in a large pot", Section::Instructions);
+        let toks = pre.preprocess_section(
+            "Bring the water to a boil in a large pot",
+            Section::Instructions,
+        );
         assert!(toks.contains(&"in".to_string()));
         assert!(toks.contains(&"the".to_string()));
         assert!(toks.contains(&"to".to_string()));
@@ -184,13 +193,19 @@ mod tests {
 
     #[test]
     fn no_lemmatize_mode() {
-        let pre = Preprocessor { lemmatize: false, ..Preprocessor::default() };
+        let pre = Preprocessor {
+            lemmatize: false,
+            ..Preprocessor::default()
+        };
         assert_eq!(pre.preprocess("Tomatoes"), ["tomatoes"]);
     }
 
     #[test]
     fn numbers_pass_through() {
         let pre = Preprocessor::default();
-        assert_eq!(pre.preprocess("2-3 1/2 1.5 12"), ["2-3", "1/2", "1.5", "12"]);
+        assert_eq!(
+            pre.preprocess("2-3 1/2 1.5 12"),
+            ["2-3", "1/2", "1.5", "12"]
+        );
     }
 }

@@ -122,7 +122,9 @@ pub fn porter_stem(word: &str) -> String {
     if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
         return word.to_string();
     }
-    let mut s = Stem { buf: word.as_bytes().to_vec() };
+    let mut s = Stem {
+        buf: word.as_bytes().to_vec(),
+    };
 
     // Step 1a.
     if s.ends_with("sses") {
@@ -210,8 +212,8 @@ pub fn porter_stem(word: &str) -> String {
 
     // Step 4 (m > 1 deletions).
     const STEP4: &[&str] = &[
-        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-        "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
     ];
     let mut matched = false;
     for &suffix in STEP4 {
@@ -356,7 +358,9 @@ mod tests {
 
     #[test]
     fn stemming_is_idempotent_on_common_words() {
-        for w in ["tomato", "chop", "boil", "slice", "flour", "butter", "pepper"] {
+        for w in [
+            "tomato", "chop", "boil", "slice", "flour", "butter", "pepper",
+        ] {
             let once = porter_stem(w);
             assert_eq!(porter_stem(&once), once, "{w}");
         }

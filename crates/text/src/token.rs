@@ -80,7 +80,10 @@ fn unicode_fraction(c: char) -> Option<&'static str> {
 }
 
 fn is_punct(c: char) -> bool {
-    matches!(c, '(' | ')' | ',' | '.' | ';' | ':' | '!' | '?' | '"' | '\'' | '[' | ']' | '&' | '/')
+    matches!(
+        c,
+        '(' | ')' | ',' | '.' | ';' | ':' | '!' | '?' | '"' | '\'' | '[' | ']' | '&' | '/'
+    )
 }
 
 /// Classify a completed token's surface form.
@@ -128,7 +131,10 @@ fn classify(text: &str) -> TokenKind {
             return TokenKind::Decimal;
         }
     }
-    if text.chars().all(|c| c.is_alphabetic() || c == '-' || c == '\'') {
+    if text
+        .chars()
+        .all(|c| c.is_alphabetic() || c == '-' || c == '\'')
+    {
         return TokenKind::Word;
     }
     TokenKind::Other
@@ -144,7 +150,9 @@ fn is_glue(prev: Option<char>, c: char, next: Option<char>) -> bool {
     };
     match c {
         // `2-3` and `all-purpose`; also `extra-virgin`.
-        '-' => (p.is_ascii_digit() && n.is_ascii_digit()) || (p.is_alphabetic() && n.is_alphabetic()),
+        '-' => {
+            (p.is_ascii_digit() && n.is_ascii_digit()) || (p.is_alphabetic() && n.is_alphabetic())
+        }
         // `1/2` only; `and/or` is split so NER sees two words.
         '/' => p.is_ascii_digit() && n.is_ascii_digit(),
         // `1.5`.
@@ -179,7 +187,12 @@ pub fn tokenize(input: &str) -> Vec<Token> {
         if !buf.is_empty() {
             let text = std::mem::take(buf);
             let kind = classify(&text);
-            out.push(Token { text, kind, start, end });
+            out.push(Token {
+                text,
+                kind,
+                start,
+                end,
+            });
         }
     };
 
@@ -289,13 +302,19 @@ mod tests {
             texts("1 sheet frozen puff pastry (thawed)"),
             ["1", "sheet", "frozen", "puff", "pastry", "(", "thawed", ")"]
         );
-        assert_eq!(texts("pepper,freshly ground"), ["pepper", ",", "freshly", "ground"]);
+        assert_eq!(
+            texts("pepper,freshly ground"),
+            ["pepper", ",", "freshly", "ground"]
+        );
     }
 
     #[test]
     fn keeps_hyphenated_words_whole() {
         assert_eq!(texts("half-and-half"), ["half-and-half"]);
-        assert_eq!(texts("2 tablespoons all-purpose flour"), ["2", "tablespoons", "all-purpose", "flour"]);
+        assert_eq!(
+            texts("2 tablespoons all-purpose flour"),
+            ["2", "tablespoons", "all-purpose", "flour"]
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ fn main() {
             let words = sent.words();
             println!("  {}", sent.text());
             println!("  NER:   {}", render_instruction_ner(&pipeline, &words));
-            println!("  parse:\n{}", indent(&render_dependency_parse(&pipeline, &words)));
+            println!(
+                "  parse:\n{}",
+                indent(&render_dependency_parse(&pipeline, &words))
+            );
             for event in extract_sentence_events(&pipeline, &words, step) {
                 println!("  event: {event}");
             }
@@ -38,5 +41,8 @@ fn main() {
 }
 
 fn indent(s: &str) -> String {
-    s.lines().map(|l| format!("    {l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }

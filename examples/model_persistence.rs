@@ -29,8 +29,11 @@ fn main() {
     let words = loaded.pre.preprocess(phrase);
     println!("\ntop-3 label sequences:");
     for (labels, score) in loaded.ingredient_ner.predict_nbest(&words, 3) {
-        let rendered: Vec<String> =
-            words.iter().zip(&labels).map(|(w, l)| format!("{w}/{l}")).collect();
+        let rendered: Vec<String> = words
+            .iter()
+            .zip(&labels)
+            .map(|(w, l)| format!("{w}/{l}"))
+            .collect();
         println!("  {score:8.3}  {}", rendered.join(" "));
     }
 

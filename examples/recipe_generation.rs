@@ -15,8 +15,12 @@ fn main() {
     let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
 
     println!("mining 200 recipes into structured models...");
-    let models: Vec<_> =
-        corpus.recipes.iter().take(200).map(|r| pipeline.model_recipe(r)).collect();
+    let models: Vec<_> = corpus
+        .recipes
+        .iter()
+        .take(200)
+        .map(|r| pipeline.model_recipe(r))
+        .collect();
 
     let gen = GenerationModel::fit(&models);
     println!(
@@ -28,7 +32,11 @@ fn main() {
 
     let lex = Lexicon::english();
     for seed in 0..3u64 {
-        let cfg = GenerationConfig { ingredients: 5, max_steps: 8, seed };
+        let cfg = GenerationConfig {
+            ingredients: 5,
+            max_steps: 8,
+            seed,
+        };
         if let Some(novel) = gen.generate(&cfg) {
             println!("--- generated recipe (seed {seed}) ---");
             println!("{}", render_recipe(&novel, &lex));

@@ -40,7 +40,10 @@ fn main() {
         .map(|(i, _)| (i, degree[i]))
         .max_by_key(|&(_, d)| d)
     {
-        println!("hub ingredient: {:?} (participates in {d} events)", graph.nodes[idx].label);
+        println!(
+            "hub ingredient: {:?} (participates in {d} events)",
+            graph.nodes[idx].label
+        );
     }
 
     let dot = to_dot(&model);

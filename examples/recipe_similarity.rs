@@ -12,15 +12,23 @@ fn main() {
     let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
 
     println!("mining models for 120 recipes...");
-    let models: Vec<_> =
-        corpus.recipes.iter().take(120).map(|r| pipeline.model_recipe(r)).collect();
+    let models: Vec<_> = corpus
+        .recipes
+        .iter()
+        .take(120)
+        .map(|r| pipeline.model_recipe(r))
+        .collect();
 
     let weights = SimilarityWeights::default();
     for query in models.iter().take(3) {
         println!("\nquery: {}", query.title);
         println!(
             "  ingredients: {:?}",
-            query.ingredients.iter().map(|e| e.name.as_str()).collect::<Vec<_>>()
+            query
+                .ingredients
+                .iter()
+                .map(|e| e.name.as_str())
+                .collect::<Vec<_>>()
         );
         println!("  processes:   {:?}", query.process_sequence());
         for (m, score) in most_similar(query, &models, 3, &weights) {
@@ -39,15 +47,27 @@ fn main() {
     // Weight sensitivity: the same query ranked by ingredients only vs
     // processes only.
     let query = &models[0];
-    let ing_only = SimilarityWeights { ingredients: 1.0, processes: 0.0 };
-    let proc_only = SimilarityWeights { ingredients: 0.0, processes: 1.0 };
+    let ing_only = SimilarityWeights {
+        ingredients: 1.0,
+        processes: 0.0,
+    };
+    let proc_only = SimilarityWeights {
+        ingredients: 0.0,
+        processes: 1.0,
+    };
     println!("\nweight sensitivity for \"{}\":", query.title);
     println!(
         "  by ingredients: {:?}",
-        most_similar(query, &models, 3, &ing_only).iter().map(|(m, _)| m.id).collect::<Vec<_>>()
+        most_similar(query, &models, 3, &ing_only)
+            .iter()
+            .map(|(m, _)| m.id)
+            .collect::<Vec<_>>()
     );
     println!(
         "  by processes:   {:?}",
-        most_similar(query, &models, 3, &proc_only).iter().map(|(m, _)| m.id).collect::<Vec<_>>()
+        most_similar(query, &models, 3, &proc_only)
+            .iter()
+            .map(|(m, _)| m.id)
+            .collect::<Vec<_>>()
     );
 }

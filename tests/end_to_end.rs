@@ -48,7 +48,10 @@ fn ingredient_extraction_matches_gold_on_training_distribution() {
         }
     }
     let acc = correct as f64 / total as f64;
-    assert!(acc > 0.8, "name extraction accuracy {acc} ({correct}/{total})");
+    assert!(
+        acc > 0.8,
+        "name extraction accuracy {acc} ({correct}/{total})"
+    );
 }
 
 #[test]
@@ -71,7 +74,12 @@ fn nutrition_estimates_are_finite_and_nonnegative() {
     for recipe in corpus.recipes.iter().take(20) {
         let model = pipeline.model_recipe(recipe);
         let (profile, contribs) = est.estimate(&model);
-        for v in [profile.kcal, profile.protein_g, profile.fat_g, profile.carbs_g] {
+        for v in [
+            profile.kcal,
+            profile.protein_g,
+            profile.fat_g,
+            profile.carbs_g,
+        ] {
             assert!(v.is_finite() && v >= 0.0, "bad nutrient value {v}");
         }
         assert_eq!(contribs.len(), model.ingredients.len());
@@ -81,8 +89,12 @@ fn nutrition_estimates_are_finite_and_nonnegative() {
 #[test]
 fn similarity_is_symmetric_and_bounded() {
     let (corpus, pipeline) = trained();
-    let models: Vec<_> =
-        corpus.recipes.iter().take(12).map(|r| pipeline.model_recipe(r)).collect();
+    let models: Vec<_> = corpus
+        .recipes
+        .iter()
+        .take(12)
+        .map(|r| pipeline.model_recipe(r))
+        .collect();
     let w = SimilarityWeights::default();
     for a in &models {
         let aa = recipe_similarity(a, a, &w);

@@ -1,0 +1,454 @@
+//! In-tree serialization substrate.
+//!
+//! A stand-in for the subset of `serde` this workspace uses, so builds
+//! need no registry access. Unlike real serde's zero-copy visitor
+//! architecture, this is a simple value-tree design: [`Serialize`] turns
+//! a value into a [`Value`] tree, [`Deserialize`] rebuilds it from one.
+//! `serde_json` (the sibling in-tree crate) renders and parses those
+//! trees. The derive macros (`#[derive(Serialize, Deserialize)]`) come
+//! from the in-tree `serde_derive` proc-macro crate and match serde's
+//! external data model: structs are objects, unit enum variants are
+//! strings, newtype variants are single-entry objects.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{Number, Value};
+
+/// Types that can render themselves as a JSON value tree.
+pub trait Serialize {
+    /// The value tree for `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a JSON value tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from `v`, or explain why the shape does not fit.
+    fn from_json_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// A deserialization failure: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with a preformatted message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// The conventional "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError::new(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Prefix the message with a field/index path segment, so nested
+    /// failures read like `field `pos`: expected string, found null`.
+    pub fn in_context(self, segment: &str) -> Self {
+        DeError::new(format!("{segment}: {}", self.msg))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Look up `name` in an object value and deserialize it; missing keys
+/// deserialize from `null` (so `Option` fields default to `None`, like
+/// serde). Used by the generated `Deserialize` impls.
+pub fn de_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    let field = match v {
+        Value::Object(entries) => entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, fv)| fv)
+            .unwrap_or(&Value::Null),
+        other => return Err(DeError::expected("object", other)),
+    };
+    T::from_json_value(field).map_err(|e| e.in_context(&format!("field `{name}`")))
+}
+
+// ---- Serialize impls for std types ----
+
+macro_rules! impl_ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("integer", v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_ser_de_uint!(u8, u16, u32, u64, usize);
+impl_ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            // JSON has no NaN/Infinity literal; non-finite floats
+            // round-trip through null (mirrors serde_json's writer).
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::from_f64(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_json_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("boolean", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+fn de_seq<T: Deserialize>(v: &Value) -> Result<Vec<T>, DeError> {
+    let arr = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, item)| T::from_json_value(item).map_err(|e| e.in_context(&format!("index {i}"))))
+        .collect()
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        de_seq(v)
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = de_seq(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::new(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($idx:tt : $t:ident),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+                let expected = [$(stringify!($t)),+].len();
+                if arr.len() != expected {
+                    return Err(DeError::new(format!(
+                        "expected array of length {expected}, found {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($t::from_json_value(&arr[$idx])
+                    .map_err(|e| e.in_context(&format!("index {}", $idx)))?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(0: A);
+impl_tuple!(0: A, 1: B);
+impl_tuple!(0: A, 1: B, 2: C);
+impl_tuple!(0: A, 1: B, 2: C, 3: D);
+
+/// Maps with string-shaped keys (whose key type serializes to
+/// `Value::String`) become JSON objects; any other key type falls back
+/// to an array of `[key, value]` pairs, which — unlike serde_json, which
+/// errors at runtime on non-string keys — still round-trips.
+fn ser_map<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    let pairs: Vec<(Value, Value)> = entries
+        .map(|(k, v)| (k.to_json_value(), v.to_json_value()))
+        .collect();
+    if pairs.iter().all(|(k, _)| matches!(k, Value::String(_))) {
+        Value::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| match k {
+                    Value::String(s) => (s, v),
+                    _ => unreachable!("checked all-string keys"),
+                })
+                .collect(),
+        )
+    } else {
+        Value::Array(
+            pairs
+                .into_iter()
+                .map(|(k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+fn de_map<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, DeError> {
+    match v {
+        Value::Object(entries) => entries
+            .iter()
+            .map(|(k, fv)| {
+                let key = K::from_json_value(&Value::String(k.clone()))
+                    .map_err(|e| e.in_context(&format!("key `{k}`")))?;
+                let value =
+                    V::from_json_value(fv).map_err(|e| e.in_context(&format!("key `{k}`")))?;
+                Ok((key, value))
+            })
+            .collect(),
+        Value::Array(items) => items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                <(K, V)>::from_json_value(item).map_err(|e| e.in_context(&format!("entry {i}")))
+            })
+            .collect(),
+        other => Err(DeError::expected("object or array of pairs", other)),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json_value(&self) -> Value {
+        // Sort for deterministic output; hash order would make artifact
+        // files unstable across runs.
+        let mut pairs: Vec<_> = self.iter().collect();
+        let mut keyed: Vec<(String, (&K, &V))> = pairs
+            .drain(..)
+            .map(|(k, v)| (k.to_json_value().to_compact_string(), (k, v)))
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        ser_map(keyed.iter().map(|(_, (k, v))| (*k, *v)))
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(de_map(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        ser_map(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(de_map(v)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(de_seq::<T>(v)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_json_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_json_value).collect();
+        items.sort_by_key(|v| v.to_compact_string());
+        Value::Array(items)
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash, S: std::hash::BuildHasher + Default> Deserialize
+    for HashSet<T, S>
+{
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(de_seq::<T>(v)?.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the in-tree
+//! serde stand-in, written against the compiler's `proc_macro` API alone
+//! (no syn/quote, so the workspace stays registry-free).
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! - structs with named fields, optionally with plain type parameters
+//!   (`struct Foo<T> { .. }`; every parameter is bounded by the derived
+//!   trait, like serde);
+//! - tuple structs (newtype serializes as its inner value, wider tuples
+//!   as arrays);
+//! - enums with unit variants (serialize as the variant-name string) and
+//!   newtype variants (serialize as a `{"Variant": value}` object),
+//!   matching serde's externally-tagged default.
+//!
+//! Anything else (struct variants, lifetimes, const generics, where
+//! clauses) is rejected with a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed skeleton of the item: just names, no types.
+struct Item {
+    name: String,
+    /// Plain type-parameter names (`T`, `U`).
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named-field struct with field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with its arity.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Payload {
+    /// No payload.
+    Unit,
+    /// One tuple field.
+    Newtype,
+    /// Named fields.
+    Struct(Vec<String>),
+}
+
+/// Generate the `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Generate the `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including expanded doc comments)
+    // and visibility (`pub`, `pub(crate)`).
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+
+    // Optional `<T, U>` generics: plain type idents only.
+    let mut generics = Vec::new();
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        toks.next();
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                Some(TokenTree::Ident(i)) => generics.push(i.to_string()),
+                other => {
+                    return Err(format!(
+                        "derive supports only plain type parameters, got {other:?}"
+                    ))
+                }
+            }
+        }
+    }
+
+    match (kind.as_str(), toks.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Ok(Item {
+            name,
+            generics,
+            shape: Shape::Struct(parse_named_fields(g.stream())?),
+        }),
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item {
+                name,
+                generics,
+                shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            })
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Ok(Item {
+            name,
+            generics,
+            shape: Shape::Unit,
+        }),
+        ("struct", None) => Ok(Item {
+            name,
+            generics,
+            shape: Shape::Unit,
+        }),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Ok(Item {
+            name,
+            generics,
+            shape: Shape::Enum(parse_variants(g.stream())?),
+        }),
+        (k, other) => Err(format!("cannot derive for {k} with body {other:?}")),
+    }
+}
+
+/// Field names from a named-field body; types are skipped with
+/// angle-bracket awareness so `HashMap<String, u32>` commas don't split
+/// fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = toks.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            return Err(format!("expected field name, got {tree:?}"));
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, got {other:?}")),
+        }
+        fields.push(field.to_string());
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tree in toks.by_ref() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Arity of a tuple-struct body: commas at angle depth 0, plus one for
+/// the trailing field (empty body = 0).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tree in body {
+        any = true;
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            toks.next();
+            toks.next();
+        }
+        let Some(tree) = toks.next() else { break };
+        let TokenTree::Ident(name) = tree else {
+            return Err(format!("expected variant name, got {tree:?}"));
+        };
+        let mut payload = Payload::Unit;
+        match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                if arity != 1 {
+                    return Err(format!(
+                        "derive supports only 1-field tuple variants (variant `{name}` has {arity})"
+                    ));
+                }
+                payload = Payload::Newtype;
+                toks.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                payload = Payload::Struct(parse_named_fields(g.stream())?);
+                toks.next();
+            }
+            _ => {}
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            payload,
+        });
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => return Err(format!("expected `,` between variants, got {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+// ---- codegen ----
+
+/// `impl<T: Bound, ..> Trait for Name<T, ..>` header pieces.
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let params: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", item.name, item.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (params, ty) = impl_header(item, "::serde::Serialize");
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_json_value(&self.{f}))",
+                        f
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let (name, vname) = (&item.name, &v.name);
+                    match &v.payload {
+                        Payload::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String({vname:?}.to_string())"
+                        ),
+                        Payload::Newtype => format!(
+                            "{name}::{vname}(inner) => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Serialize::to_json_value(inner))])"
+                        ),
+                        Payload::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_json_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {bind} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(vec![{entries}]))])",
+                                bind = fields.join(", "),
+                                entries = entries.join(", "),
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl{params} ::serde::Serialize for {ty} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (params, ty) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(v, {f:?})?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_json_value(v)?))"),
+        Shape::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", v))?;\n\
+                 if arr.len() != {n} {{ return Err(::serde::DeError::new(format!(\"expected {n} elements, found {{}}\", arr.len()))); }}\n\
+                 Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Shape::Unit => format!("let _ = v; Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.payload, Payload::Unit))
+                .map(|v| format!("{:?} => return Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let newtype_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.payload {
+                    Payload::Unit => None,
+                    Payload::Newtype => Some(format!(
+                        "{:?} => return Ok({name}::{}(::serde::Deserialize::from_json_value(inner)?)),",
+                        v.name, v.name
+                    )),
+                    Payload::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de_field(inner, {f:?})?"))
+                            .collect();
+                        Some(format!(
+                            "{:?} => return Ok({name}::{} {{ {} }}),",
+                            v.name,
+                            v.name,
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(s) = v.as_str() {{\n\
+                     match s {{ {unit} _ => {{}} }}\n\
+                 }}\n\
+                 if let Some(entries) = v.as_object() {{\n\
+                     if let [(tag, inner)] = entries.as_slice() {{\n\
+                         match tag.as_str() {{ {newtype} _ => {{}} }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::DeError::new(format!(\"no variant of {name} matches {{}}\", v.kind())))",
+                unit = unit_arms.join(" "),
+                newtype = newtype_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "impl{params} ::serde::Deserialize for {ty} {{\n\
+         fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}

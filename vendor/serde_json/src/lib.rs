@@ -1,0 +1,233 @@
+//! In-tree JSON: rendering and parsing for the `serde` stand-in's
+//! [`Value`] tree, exposing the subset of the serde_json API this
+//! workspace uses (`to_string`, `to_string_pretty`, `to_writer`,
+//! `from_str`, `from_reader`, `json!`, `Value`, `Error`).
+//!
+//! Non-finite floats render as `null` (as serde_json's writer does) and
+//! `null` deserializes into `f64` as NaN, so model artifacts containing
+//! poisoned weights still round-trip — which the `recipe-analyze`
+//! artifact lints rely on to diagnose them after a reload.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+pub use serde::{Number, Value};
+
+mod parse;
+
+/// Why (de)serialization failed.
+#[derive(Debug)]
+pub enum Error {
+    /// Malformed JSON text: message plus byte offset.
+    Syntax(String, usize),
+    /// Well-formed JSON whose shape does not fit the target type.
+    Data(serde::DeError),
+    /// An underlying reader/writer failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Syntax(msg, at) => write!(f, "{msg} at byte {at}"),
+            Error::Data(e) => write!(f, "{e}"),
+            Error::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::Data(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Render any serializable value as a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Rebuild a deserializable type from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_json_value(value)?)
+}
+
+/// Compact JSON text for `value`.
+#[allow(clippy::unnecessary_wraps)] // mirrors serde_json's fallible signature
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_compact_string())
+}
+
+/// Pretty JSON text (two-space indent) for `value`.
+#[allow(clippy::unnecessary_wraps)] // mirrors serde_json's fallible signature
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_pretty_string())
+}
+
+/// Write compact JSON for `value` into `writer`.
+pub fn to_writer<W: Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(value.to_json_value().to_compact_string().as_bytes())?;
+    Ok(())
+}
+
+/// Parse a value of type `T` from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    Ok(T::from_json_value(&value)?)
+}
+
+/// Parse a value of type `T` from a reader (buffers fully first).
+pub fn from_reader<R: Read, T: serde::Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+/// Build a [`Value`] with JSON-looking syntax. Keys must be string
+/// literals; values are any serializable expression, a nested array, or
+/// a nested object.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:tt)* ]) => { $crate::json_array!([ $($item)* ]) };
+    ({ $($entry:tt)* }) => { $crate::json_object!([] $($entry)*) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Helper for `json!` arrays; not intended for direct use.
+#[macro_export]
+macro_rules! json_array {
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::json!($item)),* ])
+    };
+}
+
+/// Helper for `json!` objects; accumulates entries, handling nested
+/// `{...}`/`[...]` values via token-tree matching. Not for direct use.
+#[macro_export]
+macro_rules! json_object {
+    // Terminal: all entries parsed.
+    ([ $($out:expr),* ]) => {
+        $crate::Value::Object(vec![ $($out),* ])
+    };
+    // Entry whose value is a nested object.
+    ([ $($out:expr),* ] $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_object!(
+            [ $($out,)* ($key.to_string(), $crate::json!({ $($inner)* })) ]
+            $($($rest)*)?
+        )
+    };
+    // Entry whose value is a nested array.
+    ([ $($out:expr),* ] $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_object!(
+            [ $($out,)* ($key.to_string(), $crate::json!([ $($inner)* ])) ]
+            $($($rest)*)?
+        )
+    };
+    // Entry whose value is a plain expression.
+    ([ $($out:expr),* ] $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $crate::json_object!(
+            [ $($out,)* ($key.to_string(), $crate::to_value(&$value)) ]
+            $($($rest)*)?
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(to_string(&3u32).unwrap(), "3");
+        assert_eq!(to_string(&-2i64).unwrap(), "-2");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+        let f: f64 = from_str("2.0").unwrap();
+        assert_eq!(f, 2.0);
+        let s: String = from_str("\"a\\\"b\\n\"").unwrap();
+        assert_eq!(s, "a\"b\n");
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null_and_back() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        let f: f64 = from_str("null").unwrap();
+        assert!(f.is_nan());
+    }
+
+    #[test]
+    fn vec_and_map_round_trip() {
+        use std::collections::HashMap;
+        let mut m: HashMap<String, Vec<u32>> = HashMap::new();
+        m.insert("a".into(), vec![1, 2]);
+        m.insert("b".into(), vec![]);
+        let text = to_string(&m).unwrap();
+        let back: HashMap<String, Vec<u32>> = from_str(&text).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let v = json!({
+            "name": "flour",
+            "n": 2,
+            "nested": { "ok": true },
+            "list": [1, 2],
+            "opt": Option::<u32>::None,
+        });
+        assert_eq!(v["name"], "flour");
+        assert_eq!(v["n"], 2u64);
+        assert_eq!(v["nested"]["ok"], true);
+        assert_eq!(v["list"][1], 2u64);
+        assert!(v["opt"].is_null());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v = json!({ "a": 1, "b": [true] });
+        assert_eq!(
+            v.to_pretty_string(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let s: String = from_str("\"\\u00e9\\u0041\"").unwrap();
+        assert_eq!(s, "éA");
+        // Surrogate pair.
+        let s: String = from_str("\"\\ud83c\\udf72\"").unwrap();
+        assert_eq!(s, "\u{1f372}");
+    }
+
+    #[test]
+    fn syntax_errors_are_reported_not_panicked() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1e", "\"\\q\"", "01"] {
+            assert!(from_str::<Value>(bad).is_err(), "{bad:?} should fail");
+        }
+        // Trailing garbage.
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_gracefully() {
+        let deep = "[".repeat(400) + &"]".repeat(400);
+        assert!(from_str::<Value>(&deep).is_err());
+    }
+}
