@@ -249,6 +249,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "the BIO expansion of a raw inventory must have 2(n-1)+1 labels and round-trip through from_bio",
     },
     RuleInfo {
+        code: "RA207",
+        name: "parallel-nondeterminism",
+        default_severity: Severity::Error,
+        summary: "recomputing a trained artifact on 2 worker threads does not reproduce the serial artifact byte-for-byte",
+    },
+    RuleInfo {
         code: "RA301",
         name: "unwrap-in-lib",
         default_severity: Severity::Note,

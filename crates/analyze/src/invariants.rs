@@ -5,9 +5,14 @@
 //!
 //! The checks are pure functions over an [`Observed`] snapshot, so tests
 //! can verify each rule fires by feeding skewed values.
+//!
+//! The determinism audit (RA207, [`lint_parallel_determinism`]) follows
+//! the same shape: [`DeterminismAudit::recompute`] trains miniature
+//! models serially and on worker threads, and the lint compares the
+//! serialized artifacts byte-for-byte.
 
 use crate::diag::Diagnostic;
-use recipe_cluster::KMeansConfig;
+use recipe_cluster::{KMeans, KMeansConfig};
 use recipe_core::PipelineConfig;
 use recipe_ner::scheme::bio_label_names;
 use recipe_ner::{IngredientTag, InstructionTag};
@@ -211,6 +216,129 @@ pub fn lint_invariants(obs: &Observed) -> Vec<Diagnostic> {
     out
 }
 
+/// Serialized artifacts recomputed for the RA207 determinism audit:
+/// one serial and one multi-threaded training run of each parallelized
+/// model family, as JSON strings ready for byte comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeterminismAudit {
+    /// Worker threads used for the parallel recompute.
+    pub threads: usize,
+    /// CRF (L-BFGS) model trained on one thread.
+    pub crf_serial: String,
+    /// The same training run on `threads` worker threads.
+    pub crf_parallel: String,
+    /// K-Means model fitted on one thread.
+    pub kmeans_serial: String,
+    /// The same fit on `threads` worker threads.
+    pub kmeans_parallel: String,
+}
+
+impl DeterminismAudit {
+    /// Train the miniature models serially and on `threads` worker
+    /// threads (the fixed inputs keep the audit at a few milliseconds).
+    pub fn recompute(threads: usize) -> Self {
+        use recipe_ner::model::LabeledSequence;
+        use recipe_ner::{SequenceModel, TrainConfig, Trainer};
+        use recipe_runtime::Runtime;
+
+        let seq = |words: &[&str], tags: &[&str]| -> LabeledSequence {
+            (
+                words.iter().map(|w| w.to_string()).collect(),
+                tags.iter().map(|t| t.to_string()).collect(),
+            )
+        };
+        let data = vec![
+            seq(&["2", "cups", "flour"], &["QUANTITY", "UNIT", "NAME"]),
+            seq(
+                &["1", "pinch", "sea", "salt"],
+                &["QUANTITY", "UNIT", "NAME", "NAME"],
+            ),
+            seq(
+                &["3", "large", "eggs", "beaten"],
+                &["QUANTITY", "SIZE", "NAME", "STATE"],
+            ),
+            seq(
+                &["1/2", "cup", "warm", "water"],
+                &["QUANTITY", "UNIT", "TEMP", "NAME"],
+            ),
+            seq(&["fresh", "basil", "leaves"], &["DF", "NAME", "NAME"]),
+        ];
+        let labels = recipe_ner::IngredientTag::label_set();
+        let crf_cfg = |threads: usize| TrainConfig {
+            trainer: Trainer::CrfLbfgs,
+            epochs: 8,
+            threads,
+            ..TrainConfig::default()
+        };
+        let crf_json = |threads: usize| {
+            serde_json::to_string(&SequenceModel::train(&labels, &data, &crf_cfg(threads)))
+                .expect("serialize CRF model")
+        };
+
+        let mut points: Vec<Vec<f64>> = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (12.0, 12.0), (24.0, 0.0)] {
+            for j in 0..20 {
+                points.push(vec![cx + (j % 4) as f64 * 0.1, cy + (j % 5) as f64 * 0.1]);
+            }
+        }
+        let kcfg = KMeansConfig {
+            k: 3,
+            max_iters: 25,
+            ..KMeansConfig::default()
+        };
+        let km_json = |rt: &Runtime| {
+            serde_json::to_string(&KMeans::fit_rt(&points, &kcfg, rt))
+                .expect("serialize K-Means model")
+        };
+
+        DeterminismAudit {
+            threads,
+            crf_serial: crf_json(1),
+            crf_parallel: crf_json(threads),
+            kmeans_serial: km_json(&Runtime::serial()),
+            kmeans_parallel: km_json(&Runtime::new(threads)),
+        }
+    }
+}
+
+/// RA207: the parallel recompute of each trained artifact must be
+/// byte-identical to the serial artifact.
+pub fn lint_parallel_determinism(audit: &DeterminismAudit) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (what, serial, parallel, location) in [
+        (
+            "CRF (L-BFGS) model",
+            &audit.crf_serial,
+            &audit.crf_parallel,
+            "invariant: recipe-ner train_lbfgs via recipe-runtime",
+        ),
+        (
+            "K-Means model",
+            &audit.kmeans_serial,
+            &audit.kmeans_parallel,
+            "invariant: recipe-cluster KMeans::fit_rt via recipe-runtime",
+        ),
+    ] {
+        if serial != parallel {
+            out.push(
+                Diagnostic::new(
+                    "RA207",
+                    format!(
+                        "{what} trained on {} worker threads differs from the serial artifact",
+                        audit.threads
+                    ),
+                    location,
+                )
+                .with_note(
+                    "the runtime contract (fixed chunking + ordered reduction) guarantees \
+                     bit-identical artifacts at every thread count",
+                ),
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +387,23 @@ mod tests {
         obs.instruction_labels.pop();
         let diags = lint_invariants(&obs);
         assert!(diags.iter().any(|d| d.code == "RA205"), "{diags:?}");
+    }
+
+    #[test]
+    fn determinism_audit_is_clean_on_current_workspace() {
+        let audit = DeterminismAudit::recompute(2);
+        let diags = lint_parallel_determinism(&audit);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn corrupted_audit_fires_ra207() {
+        let mut audit = DeterminismAudit::recompute(2);
+        audit.crf_parallel.push('x');
+        let diags = lint_parallel_determinism(&audit);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "RA207");
+        audit.kmeans_parallel.push('x');
+        assert_eq!(lint_parallel_determinism(&audit).len(), 2);
     }
 }

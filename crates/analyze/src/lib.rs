@@ -14,7 +14,9 @@
 //!   tokens, quantity-grammar and tokenizer round-trip failures;
 //! * **invariant lints** (`RA2xx`, [`invariants`]) — the paper's
 //!   cross-crate constants (36-dim tagset, k = 23, 47/10 thresholds,
-//!   label inventories) checked against each other;
+//!   label inventories) checked against each other, plus the parallel
+//!   determinism audit (RA207): miniature models retrained on worker
+//!   threads must be byte-identical to their serial artifacts;
 //! * **source scans** (`RA3xx`, [`source`]) — `unwrap()`/`expect()` in
 //!   non-test library code, leftover `todo!`/`dbg!`.
 //!
@@ -90,6 +92,12 @@ pub fn run_all(cfg: &Config) -> Result<Vec<Diagnostic>, AnalyzeError> {
 
     // Invariants are pure; always checked.
     diags.extend(invariants::lint_invariants(&invariants::Observed::gather()));
+
+    // RA207: retrain miniature models on 2 worker threads and compare the
+    // serialized artifacts to the serial run, byte for byte.
+    diags.extend(invariants::lint_parallel_determinism(
+        &invariants::DeterminismAudit::recompute(2),
+    ));
 
     // Corpus lints over a freshly generated corpus.
     let generated = RecipeCorpus::generate(&CorpusSpec::scaled(cfg.recipes, cfg.seed));

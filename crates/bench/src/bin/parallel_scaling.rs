@@ -1,0 +1,124 @@
+//! Thread-scaling benchmark for the deterministic runtime.
+//!
+//! Times the three parallelized hot paths — CRF/L-BFGS training, K-Means
+//! fitting, batch recipe extraction — at 1, 2, 4 and 8 worker threads,
+//! verifies the outputs are byte-identical at every thread count, and
+//! writes a machine-readable report (default `BENCH_parallel.json`).
+//!
+//! Usage: `parallel_scaling [total_recipes] [seed] [out.json]`
+
+use recipe_bench::timing::{Bench, Stats};
+use recipe_bench::ExperimentScale;
+use recipe_cluster::{KMeans, KMeansConfig};
+use recipe_core::pipeline::TrainedPipeline;
+use recipe_corpus::{RecipeCorpus, Site};
+use recipe_ner::{IngredientTag, SequenceModel, TrainConfig, Trainer};
+use recipe_runtime::Runtime;
+use recipe_tagger::pos_frequency_vector;
+use serde_json::json;
+use std::time::Duration;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn stats_json(name: &str, threads: usize, s: &Stats, baseline_median: f64) -> serde_json::Value {
+    json!({
+        "name": name,
+        "threads": threads,
+        "median_s": s.median,
+        "mean_s": s.mean,
+        "min_s": s.min,
+        "iters": s.iters,
+        "samples": s.samples,
+        "speedup_vs_1_thread": baseline_median / s.median,
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let total: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_parallel.json".into());
+
+    let scale = ExperimentScale::for_total(total, seed);
+    eprintln!("generating corpus of {total} recipes (seed {seed})...");
+    let corpus = RecipeCorpus::generate(&scale.corpus);
+    eprintln!("training pipeline once (shared models for the extraction benchmark)...");
+    let pipeline = TrainedPipeline::train(&corpus, &scale.pipeline);
+
+    // Shared inputs for the three hot paths.
+    let crf_train = &pipeline.site_datasets[0].train;
+    let labels = IngredientTag::label_set();
+    let vectors: Vec<Vec<f64>> = corpus
+        .phrases(Site::AllRecipes)
+        .iter()
+        .map(|p| pos_frequency_vector(&pipeline.pos.tag(&p.words())))
+        .collect();
+    let kmeans_cfg = KMeansConfig {
+        k: 23,
+        max_iters: 30,
+        ..KMeansConfig::default()
+    };
+
+    let mut bench = Bench::default().sample_size(3);
+    bench.target_time = Duration::from_millis(100);
+
+    let mut results: Vec<serde_json::Value> = Vec::new();
+    let mut baselines: [f64; 3] = [0.0; 3];
+    let mut reference: Option<(String, Vec<usize>, String)> = None;
+
+    for &t in &THREAD_COUNTS {
+        eprintln!("benchmarking at {t} thread(s)...");
+        let rt = Runtime::new(t);
+        let ner_cfg = TrainConfig {
+            trainer: Trainer::CrfLbfgs,
+            epochs: 10,
+            threads: t,
+            ..TrainConfig::default()
+        };
+
+        let crf = bench.measure(|| SequenceModel::train(&labels, crf_train, &ner_cfg));
+        let kmeans = bench.measure(|| KMeans::fit_rt(&vectors, &kmeans_cfg, &rt));
+        let extract = bench.measure(|| pipeline.model_recipes(&corpus.recipes, &rt));
+
+        // Determinism audit: the artifacts produced at this thread count
+        // must be byte-identical to the 1-thread reference.
+        let ner_json = serde_json::to_string(&SequenceModel::train(&labels, crf_train, &ner_cfg))
+            .expect("serialize NER model");
+        let km = KMeans::fit_rt(&vectors, &kmeans_cfg, &rt);
+        let models_json = serde_json::to_string(&pipeline.model_recipes(&corpus.recipes, &rt))
+            .expect("serialize recipe models");
+        match &reference {
+            None => reference = Some((ner_json, km.assignments, models_json)),
+            Some((r_ner, r_assign, r_models)) => {
+                assert_eq!(&ner_json, r_ner, "CRF artifact differs at {t} threads");
+                assert_eq!(&km.assignments, r_assign, "K-Means differs at {t} threads");
+                assert_eq!(&models_json, r_models, "extraction differs at {t} threads");
+            }
+        }
+
+        if t == 1 {
+            baselines = [crf.median, kmeans.median, extract.median];
+        }
+        results.push(stats_json("crf_lbfgs_train", t, &crf, baselines[0]));
+        results.push(stats_json("kmeans_fit", t, &kmeans, baselines[1]));
+        results.push(stats_json("batch_extract", t, &extract, baselines[2]));
+    }
+
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let report = json!({
+        "benchmark": "parallel_scaling",
+        "total_recipes": total,
+        "seed": seed,
+        "hardware_threads": hardware_threads,
+        "note": "speedups are bounded by hardware_threads; outputs verified \
+                 byte-identical across all thread counts",
+        "deterministic": true,
+        "results": results,
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("render report");
+    std::fs::write(&out_path, format!("{rendered}\n")).expect("write report");
+    eprintln!("wrote {out_path}");
+    println!("{rendered}");
+}

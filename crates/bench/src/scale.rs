@@ -69,6 +69,7 @@ impl ExperimentScale {
             process_threshold: scale_threshold(47, total),
             utensil_threshold: scale_threshold(10, total),
             seed,
+            threads: 0,
         };
         ExperimentScale { corpus, pipeline }
     }

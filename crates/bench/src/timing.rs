@@ -28,6 +28,22 @@ impl Default for Bench {
     }
 }
 
+/// Per-iteration timing statistics from one [`Bench::measure`] run, in
+/// seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Median per-iteration time over the samples.
+    pub median: f64,
+    /// Mean per-iteration time.
+    pub mean: f64,
+    /// Fastest sample's per-iteration time.
+    pub min: f64,
+    /// Iterations per sample (from calibration).
+    pub iters: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
 impl Bench {
     /// Build a runner from CLI arguments: positional args are substring
     /// filters; `--bench`/`--exact` (passed by `cargo bench`) are ignored.
@@ -51,12 +67,10 @@ impl Bench {
         self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
     }
 
-    /// Calibrate and time `f`, printing a one-line summary.
-    pub fn bench_function<T>(&self, name: &str, mut f: impl FnMut() -> T) {
-        if !self.selected(name) {
-            return;
-        }
-
+    /// Calibrate and time `f`, returning the per-iteration statistics
+    /// without printing (the hook for machine-readable reports like
+    /// `BENCH_parallel.json`).
+    pub fn measure<T>(&self, mut f: impl FnMut() -> T) -> Stats {
         // Calibration: find an iteration count whose batch takes roughly
         // target_time / samples, so total wall time is bounded.
         let mut iters = 1u64;
@@ -86,16 +100,28 @@ impl Bench {
             .collect();
         per_iter.sort_by(|a, b| a.total_cmp(b));
 
-        let min = per_iter[0];
-        let median = per_iter[per_iter.len() / 2];
-        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        Stats {
+            min: per_iter[0],
+            median: per_iter[per_iter.len() / 2],
+            mean: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+            iters,
+            samples: per_iter.len(),
+        }
+    }
+
+    /// Calibrate and time `f`, printing a one-line summary.
+    pub fn bench_function<T>(&self, name: &str, f: impl FnMut() -> T) {
+        if !self.selected(name) {
+            return;
+        }
+        let stats = self.measure(f);
         println!(
             "{name:<40} median {:>12}  mean {:>12}  min {:>12}  ({} iters x {} samples)",
-            fmt_secs(median),
-            fmt_secs(mean),
-            fmt_secs(min),
-            iters,
-            per_iter.len(),
+            fmt_secs(stats.median),
+            fmt_secs(stats.mean),
+            fmt_secs(stats.min),
+            stats.iters,
+            stats.samples,
         );
     }
 }
@@ -138,6 +164,19 @@ mod tests {
         let mut calls = 0u64;
         b.bench_function("trivial", || calls += 1);
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn measure_returns_consistent_stats() {
+        let b = Bench {
+            target_time: Duration::from_millis(5),
+            ..Bench::default().sample_size(3)
+        };
+        let stats = b.measure(|| std::hint::black_box(21 * 2));
+        assert!(stats.min > 0.0);
+        assert!(stats.median >= stats.min);
+        assert!(stats.iters >= 1);
+        assert_eq!(stats.samples, 3);
     }
 
     #[test]

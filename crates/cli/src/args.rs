@@ -7,7 +7,7 @@ use std::fmt;
 /// A parsed subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `train --out <path> [--recipes N] [--seed S]`
+    /// `train --out <path> [--recipes N] [--seed S] [--threads T]`
     Train {
         /// Artifact output path.
         out: String,
@@ -15,20 +15,26 @@ pub enum Command {
         recipes: usize,
         /// Corpus/training seed.
         seed: u64,
+        /// Worker threads (0 = `RECIPE_THREADS` env / detected cores).
+        threads: usize,
     },
-    /// `extract --model <path> <phrase>...`
+    /// `extract --model <path> [--threads T] <phrase>...`
     Extract {
         /// Trained artifact path.
         model: String,
         /// Ingredient phrases to extract.
         phrases: Vec<String>,
+        /// Worker threads (0 = `RECIPE_THREADS` env / detected cores).
+        threads: usize,
     },
-    /// `mine --model <path> <recipe.txt>...`
+    /// `mine --model <path> [--threads T] <recipe.txt>...`
     Mine {
         /// Trained artifact path.
         model: String,
         /// Recipe text files to mine.
         files: Vec<String>,
+        /// Worker threads (0 = `RECIPE_THREADS` env / detected cores).
+        threads: usize,
     },
     /// `generate --out <dir> [--recipes N] [--seed S]`
     Generate {
@@ -67,6 +73,8 @@ pub struct LintOptions {
     pub deny: Vec<String>,
     /// Print the rule catalog and exit.
     pub list_rules: bool,
+    /// Worker threads (0 = `RECIPE_THREADS` env / detected cores).
+    pub threads: usize,
 }
 
 impl Default for LintOptions {
@@ -81,6 +89,7 @@ impl Default for LintOptions {
             allow: Vec::new(),
             deny: Vec::new(),
             list_rules: false,
+            threads: 0,
         }
     }
 }
@@ -175,7 +184,13 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                     .map_err(|_| ArgsError::BadValue("seed", v.clone()))?,
                 None => 42,
             };
-            Command::Train { out, recipes, seed }
+            let threads = parse_threads(&flags)?;
+            Command::Train {
+                out,
+                recipes,
+                seed,
+                threads,
+            }
         }
         "generate" => {
             let out = flags
@@ -207,6 +222,7 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
             Command::Extract {
                 model,
                 phrases: positional,
+                threads: parse_threads(&flags)?,
             }
         }
         "mine" => {
@@ -220,6 +236,7 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
             Command::Mine {
                 model,
                 files: positional,
+                threads: parse_threads(&flags)?,
             }
         }
         // `lint` has boolean flags, so it parses `rest` itself instead of
@@ -228,6 +245,17 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
         other => return Err(ArgsError::UnknownCommand(other.to_string())),
     };
     Ok(ParsedArgs { command })
+}
+
+/// Parse the optional `--threads` flag (0 = unset: fall back to the
+/// `RECIPE_THREADS` environment variable, then detected cores).
+fn parse_threads(flags: &HashMap<String, String>) -> Result<usize, ArgsError> {
+    match flags.get("threads") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| ArgsError::BadValue("threads", v.clone())),
+        None => Ok(0),
+    }
 }
 
 fn parse_lint(rest: &[String]) -> Result<LintOptions, ArgsError> {
@@ -253,12 +281,14 @@ fn parse_lint(rest: &[String]) -> Result<LintOptions, ArgsError> {
                     i += 1;
                 }
             }
-            flag @ ("--format" | "--model" | "--recipes" | "--seed" | "--allow" | "--deny") => {
+            flag @ ("--format" | "--model" | "--recipes" | "--seed" | "--threads" | "--allow"
+            | "--deny") => {
                 let name: &'static str = match flag {
                     "--format" => "format",
                     "--model" => "model",
                     "--recipes" => "recipes",
                     "--seed" => "seed",
+                    "--threads" => "threads",
                     "--allow" => "allow",
                     _ => "deny",
                 };
@@ -283,6 +313,11 @@ fn parse_lint(rest: &[String]) -> Result<LintOptions, ArgsError> {
                             .parse()
                             .map_err(|_| ArgsError::BadValue("seed", v.clone()))?;
                     }
+                    "threads" => {
+                        opts.threads = v
+                            .parse()
+                            .map_err(|_| ArgsError::BadValue("threads", v.clone()))?;
+                    }
                     "allow" => opts
                         .allow
                         .extend(v.split(',').filter(|s| !s.is_empty()).map(String::from)),
@@ -304,14 +339,18 @@ recipe-mine — named-entity based recipe modelling
 
 USAGE:
   recipe-mine generate --out <dir> [--recipes N] [--seed S]
-  recipe-mine train   --out <model.json> [--recipes N] [--seed S]
-  recipe-mine extract --model <model.json> <phrase>...
-  recipe-mine mine    --model <model.json> <recipe.txt>...
+  recipe-mine train   --out <model.json> [--recipes N] [--seed S] [--threads T]
+  recipe-mine extract --model <model.json> [--threads T] <phrase>...
+  recipe-mine mine    --model <model.json> [--threads T] <recipe.txt>...
   recipe-mine lint    [--format human|json] [--deny-warnings]
                       [--model <model.json>] [--recipes N] [--seed S]
                       [--workspace [ROOT]] [--allow CODES] [--deny CODES]
-                      [--list-rules]
+                      [--list-rules] [--threads T]
   recipe-mine help
+
+Parallelism: --threads T sets the worker-thread count for training and
+batch extraction (default: the RECIPE_THREADS environment variable, else
+the detected core count). Outputs are bit-identical at every value.
 
 generate write a synthetic RecipeDB-like corpus as recipe text files
          (mineable with `mine`) plus corpus.jsonl with gold annotations
@@ -344,7 +383,8 @@ mod tests {
             Command::Train {
                 out: "m.json".into(),
                 recipes: 1000,
-                seed: 42
+                seed: 42,
+                threads: 0
             }
         );
     }
@@ -366,7 +406,8 @@ mod tests {
             Command::Train {
                 out: "x".into(),
                 recipes: 250,
-                seed: 7
+                seed: 7,
+                threads: 0
             }
         );
     }
@@ -382,12 +423,43 @@ mod tests {
         ]))
         .unwrap();
         match parsed.command {
-            Command::Extract { model, phrases } => {
+            Command::Extract {
+                model,
+                phrases,
+                threads,
+            } => {
                 assert_eq!(model, "m.json");
                 assert_eq!(phrases, vec!["2 cups flour", "1 egg"]);
+                assert_eq!(threads, 0);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        let parsed = parse_args(&s(&["train", "--out", "m.json", "--threads", "4"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Train {
+                out: "m.json".into(),
+                recipes: 1000,
+                seed: 42,
+                threads: 4
+            }
+        );
+        let parsed = parse_args(&s(&["lint", "--threads", "2"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Lint(LintOptions {
+                threads: 2,
+                ..LintOptions::default()
+            })
+        );
+        assert!(matches!(
+            parse_args(&s(&["train", "--out", "x", "--threads", "lots"])),
+            Err(ArgsError::BadValue("threads", _))
+        ));
     }
 
     #[test]

@@ -41,14 +41,44 @@ impl From<recipe_core::persist::PersistError> for CliError {
 }
 
 /// Execute a command; returns the text to print on stdout.
+///
+/// Subcommands that accept `--threads` install it as the process-wide
+/// default before running, so every parallel stage (training, batch
+/// extraction, lint re-training) picks it up; `0` leaves the
+/// `RECIPE_THREADS` / detected-cores fallback in place.
 pub fn run(command: &Command) -> Result<String, CliError> {
     match command {
         Command::Help => Ok(crate::args::USAGE.to_string()),
-        Command::Train { out, recipes, seed } => train(out, *recipes, *seed),
+        Command::Train {
+            out,
+            recipes,
+            seed,
+            threads,
+        } => {
+            recipe_runtime::set_global_threads(*threads);
+            train(out, *recipes, *seed)
+        }
         Command::Generate { out, recipes, seed } => generate(out, *recipes, *seed),
-        Command::Extract { model, phrases } => extract(model, phrases),
-        Command::Mine { model, files } => mine(model, files),
-        Command::Lint(opts) => lint(opts),
+        Command::Extract {
+            model,
+            phrases,
+            threads,
+        } => {
+            recipe_runtime::set_global_threads(*threads);
+            extract(model, phrases)
+        }
+        Command::Mine {
+            model,
+            files,
+            threads,
+        } => {
+            recipe_runtime::set_global_threads(*threads);
+            mine(model, files)
+        }
+        Command::Lint(opts) => {
+            recipe_runtime::set_global_threads(opts.threads);
+            lint(opts)
+        }
     }
 }
 
@@ -241,6 +271,7 @@ mod tests {
             out: model.clone(),
             recipes: 120,
             seed: 3,
+            threads: 0,
         })
         .unwrap();
         assert!(out.contains("artifact"));
@@ -250,6 +281,7 @@ mod tests {
         let out = run(&Command::Extract {
             model: model.clone(),
             phrases: vec!["2 cups flour".into()],
+            threads: 0,
         })
         .unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
@@ -266,6 +298,7 @@ mod tests {
         let out = run(&Command::Mine {
             model: model.clone(),
             files: vec![recipe_path.to_string_lossy().to_string()],
+            threads: 0,
         })
         .unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
@@ -302,6 +335,7 @@ mod tests {
         let err = run(&Command::Extract {
             model: "/nonexistent/model.json".into(),
             phrases: vec!["salt".into()],
+            threads: 0,
         })
         .unwrap_err();
         assert!(err.to_string().contains("model artifact"));

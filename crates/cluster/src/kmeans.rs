@@ -1,8 +1,16 @@
 //! Lloyd's K-Means with k-means++ initialization.
+//!
+//! The assignment step (the O(n·k·dim) bulk of every iteration) runs on
+//! the deterministic `recipe-runtime` pool: points are split into fixed
+//! chunks whose per-chunk sums/counts/inertia partials are merged in
+//! chunk order, so the fitted model is bit-identical at every thread
+//! count. All PRNG draws (k-means++ seeding, empty-cluster reseeds)
+//! happen on the calling thread in a fixed order.
 
 use rand::rngs::StdRng;
 use rand::RngExt;
 use rand::SeedableRng;
+use recipe_runtime::Runtime;
 use serde::{Deserialize, Serialize};
 
 /// K-Means hyperparameters.
@@ -49,7 +57,7 @@ pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
-fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> (usize, f64) {
+pub(crate) fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> (usize, f64) {
     let mut best = 0usize;
     let mut best_d = f64::INFINITY;
     for (c, centroid) in centroids.iter().enumerate() {
@@ -97,13 +105,79 @@ pub(crate) fn kmeanspp_init(data: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Ve
     centroids
 }
 
+/// Fixed chunk size for parallel assignment passes. A constant (rather
+/// than anything derived from the worker count) keeps chunk boundaries —
+/// and therefore all partial-sum association orders — identical at every
+/// thread count.
+pub(crate) const ASSIGN_CHUNK: usize = 1024;
+
+/// One assignment pass over `data`: per-point nearest centroids plus the
+/// per-cluster sums/counts and total inertia needed by the update step.
+pub(crate) struct AssignStats {
+    pub assignments: Vec<usize>,
+    pub sums: Vec<Vec<f64>>,
+    pub counts: Vec<usize>,
+    pub inertia: f64,
+}
+
+/// Assign every point to its nearest centroid on `rt`, merging per-chunk
+/// partials strictly in chunk order (bit-identical at any thread count).
+pub(crate) fn par_assign(data: &[Vec<f64>], centroids: &[Vec<f64>], rt: &Runtime) -> AssignStats {
+    let k = centroids.len();
+    let dim = data.first().map_or(0, Vec::len);
+    let partials = rt.par_chunks_map(data, ASSIGN_CHUNK, |_, chunk| {
+        let mut assignments = Vec::with_capacity(chunk.len());
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        let mut inertia = 0.0;
+        for p in chunk {
+            let (c, d) = nearest(centroids, p);
+            assignments.push(c);
+            counts[c] += 1;
+            inertia += d;
+            for (s, &x) in sums[c].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        (assignments, sums, counts, inertia)
+    });
+    let mut out = AssignStats {
+        assignments: Vec::with_capacity(data.len()),
+        sums: vec![vec![0.0f64; dim]; k],
+        counts: vec![0usize; k],
+        inertia: 0.0,
+    };
+    for (assignments, sums, counts, inertia) in partials {
+        out.assignments.extend(assignments);
+        for (acc, s) in out.sums.iter_mut().zip(&sums) {
+            for (a, &b) in acc.iter_mut().zip(s) {
+                *a += b;
+            }
+        }
+        for (a, &b) in out.counts.iter_mut().zip(&counts) {
+            *a += b;
+        }
+        out.inertia += inertia;
+    }
+    out
+}
+
 impl KMeans {
-    /// Fit K-Means to `data` (rows are points). `k` is clamped to the
-    /// number of points.
+    /// Fit K-Means to `data` (rows are points) on the process-wide
+    /// default runtime. `k` is clamped to the number of points.
     ///
     /// # Panics
     /// Panics if `data` is empty or rows have inconsistent dimensions.
     pub fn fit(data: &[Vec<f64>], cfg: &KMeansConfig) -> Self {
+        Self::fit_rt(data, cfg, &Runtime::global())
+    }
+
+    /// Fit K-Means with an explicit runtime. The fitted model is
+    /// bit-identical for every thread count of `rt`.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or rows have inconsistent dimensions.
+    pub fn fit_rt(data: &[Vec<f64>], cfg: &KMeansConfig, rt: &Runtime) -> Self {
         assert!(!data.is_empty(), "cannot cluster an empty dataset");
         let dim = data[0].len();
         assert!(
@@ -114,47 +188,25 @@ impl KMeans {
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut centroids = kmeanspp_init(data, k, &mut rng);
-        let mut assignments = vec![0usize; data.len()];
         let mut inertia = f64::INFINITY;
         let mut iterations = 0usize;
 
         for iter in 0..cfg.max_iters {
             iterations = iter + 1;
-            // Assignment step.
-            let mut new_inertia = 0.0;
-            for (i, p) in data.iter().enumerate() {
-                let (c, d) = nearest(&centroids, p);
-                assignments[i] = c;
-                new_inertia += d;
-            }
-            // Update step.
-            let mut sums = vec![vec![0.0f64; dim]; k];
-            let mut counts = vec![0usize; k];
-            for (p, &a) in data.iter().zip(&assignments) {
-                counts[a] += 1;
-                for (s, &x) in sums[a].iter_mut().zip(p) {
-                    *s += x;
-                }
-            }
+            // Assignment + update statistics in one parallel pass.
+            let stats = par_assign(data, &centroids, rt);
+            let new_inertia = stats.inertia;
             for c in 0..k {
-                if counts[c] == 0 {
-                    // Reseed an empty cluster at the point farthest from
-                    // its centroid to keep k clusters alive.
-                    let far = data
-                        .iter()
-                        .enumerate()
-                        .max_by(|(_, a), (_, b)| {
-                            let da = sq_dist(a, &centroids[assignments[0]]);
-                            let db = sq_dist(b, &centroids[assignments[0]]);
-                            da.partial_cmp(&db).unwrap()
-                        })
-                        .map(|(i, _)| i)
-                        .unwrap_or(0);
-                    centroids[c] = data[far].clone();
+                if stats.counts[c] == 0 {
+                    // Reseed an empty cluster from the seeded PRNG. The
+                    // reseed loop runs on the calling thread in cluster-
+                    // index order, so the draw sequence never depends on
+                    // scheduling or thread count.
+                    centroids[c] = data[rng.random_range(0..data.len())].clone();
                     continue;
                 }
-                for (j, s) in sums[c].iter().enumerate() {
-                    centroids[c][j] = s / counts[c] as f64;
+                for (j, s) in stats.sums[c].iter().enumerate() {
+                    centroids[c][j] = s / stats.counts[c] as f64;
                 }
             }
             let converged = new_inertia <= inertia && inertia - new_inertia < cfg.tol;
@@ -164,16 +216,11 @@ impl KMeans {
             }
         }
         // Final assignment against the final centroids.
-        let mut final_inertia = 0.0;
-        for (i, p) in data.iter().enumerate() {
-            let (c, d) = nearest(&centroids, p);
-            assignments[i] = c;
-            final_inertia += d;
-        }
+        let stats = par_assign(data, &centroids, rt);
         KMeans {
             centroids,
-            assignments,
-            inertia: final_inertia,
+            assignments: stats.assignments,
+            inertia: stats.inertia,
             iterations,
         }
     }
@@ -341,5 +388,49 @@ mod tests {
     #[should_panic(expected = "empty dataset")]
     fn empty_dataset_panics() {
         KMeans::fit(&[], &KMeansConfig::default());
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_thread_counts() {
+        let data = blobs();
+        let cfg = KMeansConfig {
+            k: 5,
+            seed: 7,
+            ..Default::default()
+        };
+        let reference = KMeans::fit_rt(&data, &cfg, &Runtime::serial());
+        for t in [2, 3, 4, 8] {
+            let km = KMeans::fit_rt(&data, &cfg, &Runtime::new(t));
+            assert_eq!(km.assignments, reference.assignments, "threads {t}");
+            assert_eq!(
+                km.inertia.to_bits(),
+                reference.inertia.to_bits(),
+                "threads {t}"
+            );
+            for (c, (a, b)) in km.centroids.iter().zip(&reference.centroids).enumerate() {
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+                assert_eq!(bits(a), bits(b), "threads {t} centroid {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cluster_reseed_is_thread_count_independent() {
+        // Many duplicate points + k > distinct values forces empty
+        // clusters, so the PRNG reseed path runs every iteration.
+        let mut data = vec![vec![0.0, 0.0]; 30];
+        data.extend(vec![vec![5.0, 5.0]; 30]);
+        let cfg = KMeansConfig {
+            k: 6,
+            max_iters: 10,
+            seed: 3,
+            ..Default::default()
+        };
+        let reference = KMeans::fit_rt(&data, &cfg, &Runtime::serial());
+        for t in [2, 5, 8] {
+            let km = KMeans::fit_rt(&data, &cfg, &Runtime::new(t));
+            assert_eq!(km.assignments, reference.assignments, "threads {t}");
+            assert_eq!(km.centroids, reference.centroids, "threads {t}");
+        }
     }
 }

@@ -23,7 +23,7 @@ pub mod sampling;
 
 pub use elbow::{elbow_point, inertia_sweep};
 pub use kmeans::{KMeans, KMeansConfig};
-pub use minibatch::{minibatch_kmeans, MiniBatchConfig};
+pub use minibatch::{minibatch_kmeans, minibatch_kmeans_rt, MiniBatchConfig};
 pub use pca::Pca;
 pub use quality::{adjusted_rand_index, normalized_mutual_information, purity, silhouette};
 pub use sampling::{stratified_sample, stratified_split, StratifiedSplit};

@@ -7,10 +7,11 @@
 //! assigns it, and moves centroids by a per-centroid decaying learning
 //! rate.
 
-use crate::kmeans::{sq_dist, KMeans};
+use crate::kmeans::{nearest, par_assign, KMeans};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use rand::SeedableRng;
+use recipe_runtime::Runtime;
 use serde::{Deserialize, Serialize};
 
 /// Mini-batch K-Means hyperparameters.
@@ -37,12 +38,26 @@ impl Default for MiniBatchConfig {
     }
 }
 
-/// Fit mini-batch K-Means and return a [`KMeans`] (same result shape as
-/// the exact algorithm: centroids, full assignments, final inertia).
+/// Fit mini-batch K-Means on the process-wide default runtime. See
+/// [`minibatch_kmeans_rt`].
 ///
 /// # Panics
 /// Panics on an empty dataset or inconsistent dimensionality.
 pub fn minibatch_kmeans(data: &[Vec<f64>], cfg: &MiniBatchConfig) -> KMeans {
+    minibatch_kmeans_rt(data, cfg, &Runtime::global())
+}
+
+/// Fit mini-batch K-Means and return a [`KMeans`] (same result shape as
+/// the exact algorithm: centroids, full assignments, final inertia).
+///
+/// Batch sampling and the sequential eta-decayed centroid updates run on
+/// the calling thread; the per-batch nearest-centroid search and the
+/// final full assignment pass run on `rt` with fixed chunking, so the
+/// fitted model is bit-identical at every thread count.
+///
+/// # Panics
+/// Panics on an empty dataset or inconsistent dimensionality.
+pub fn minibatch_kmeans_rt(data: &[Vec<f64>], cfg: &MiniBatchConfig, rt: &Runtime) -> KMeans {
     assert!(!data.is_empty(), "cannot cluster an empty dataset");
     let dim = data[0].len();
     assert!(
@@ -58,23 +73,15 @@ pub fn minibatch_kmeans(data: &[Vec<f64>], cfg: &MiniBatchConfig) -> KMeans {
 
     let mut counts = vec![0usize; k];
     for _ in 0..cfg.iterations {
-        // Sample a batch and cache its assignments.
+        // Sample a batch (calling-thread PRNG, fixed draw order) and
+        // assign it in parallel — assignments are per-point independent,
+        // so the ordered map is trivially thread-count-independent.
         let batch: Vec<usize> = (0..cfg.batch_size.min(data.len()))
             .map(|_| rng.random_range(0..data.len()))
             .collect();
-        let assigned: Vec<usize> = batch
-            .iter()
-            .map(|&i| {
-                (0..k)
-                    .min_by(|&a, &b| {
-                        sq_dist(&centroids[a], &data[i])
-                            .partial_cmp(&sq_dist(&centroids[b], &data[i]))
-                            .expect("finite distances")
-                    })
-                    .expect("k >= 1")
-            })
-            .collect();
-        // Per-centroid gradient step with decaying rate 1/count.
+        let assigned = rt.par_map(&batch, |_, &i| nearest(&centroids, &data[i]).0);
+        // Per-centroid gradient step with decaying rate 1/count; the
+        // update is order-sensitive, so it stays serial in batch order.
         for (&i, &c) in batch.iter().zip(&assigned) {
             counts[c] += 1;
             let eta = 1.0 / counts[c] as f64;
@@ -84,21 +91,12 @@ pub fn minibatch_kmeans(data: &[Vec<f64>], cfg: &MiniBatchConfig) -> KMeans {
         }
     }
 
-    // Final full assignment pass.
-    let mut assignments = vec![0usize; data.len()];
-    let mut inertia = 0.0;
-    for (i, p) in data.iter().enumerate() {
-        let (best, d) = (0..k)
-            .map(|c| (c, sq_dist(&centroids[c], p)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
-            .expect("k >= 1");
-        assignments[i] = best;
-        inertia += d;
-    }
+    // Final full assignment pass, chunk-merged in index order.
+    let stats = par_assign(data, &centroids, rt);
     KMeans {
         centroids,
-        assignments,
-        inertia,
+        assignments: stats.assignments,
+        inertia: stats.inertia,
         iterations: cfg.iterations,
     }
 }
@@ -199,5 +197,27 @@ mod tests {
     #[should_panic(expected = "empty dataset")]
     fn empty_dataset_panics() {
         minibatch_kmeans(&[], &MiniBatchConfig::default());
+    }
+
+    #[test]
+    fn minibatch_is_bit_identical_across_thread_counts() {
+        let data = blobs();
+        let cfg = MiniBatchConfig {
+            k: 3,
+            batch_size: 32,
+            iterations: 60,
+            seed: 11,
+        };
+        let reference = minibatch_kmeans_rt(&data, &cfg, &Runtime::serial());
+        for t in [2, 4, 8] {
+            let km = minibatch_kmeans_rt(&data, &cfg, &Runtime::new(t));
+            assert_eq!(km.assignments, reference.assignments, "threads {t}");
+            assert_eq!(
+                km.inertia.to_bits(),
+                reference.inertia.to_bits(),
+                "threads {t}"
+            );
+            assert_eq!(km.centroids, reference.centroids, "threads {t}");
+        }
     }
 }

@@ -8,6 +8,7 @@
 
 use recipe_corpus::RecipeCorpus;
 use recipe_ner::{InstructionTag, SequenceModel};
+use recipe_runtime::Runtime;
 use recipe_text::Preprocessor;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -69,30 +70,51 @@ pub fn tag_instruction(ner: &SequenceModel, words: &[String]) -> Vec<Instruction
 /// Run the instruction NER over the whole corpus, count the predicted
 /// process and utensil surface forms (lemmatized), and keep the ones above
 /// the thresholds.
+///
+/// NER prediction over the recipes runs on `rt` in fixed-size chunks;
+/// per-chunk counts are merged into ordered maps on the calling thread, so
+/// the dictionaries are identical at every thread count (addition of
+/// per-word counts is commutative, and `BTreeMap` iteration order never
+/// depends on insertion order).
 pub fn build_dictionaries(
     corpus: &RecipeCorpus,
     ner: &SequenceModel,
     pre: &Preprocessor,
     process_threshold: usize,
     utensil_threshold: usize,
+    rt: &Runtime,
 ) -> Dictionaries {
-    let mut process_counts: BTreeMap<String, usize> = BTreeMap::new();
-    let mut utensil_counts: BTreeMap<String, usize> = BTreeMap::new();
-    for recipe in &corpus.recipes {
-        for sent in &recipe.instructions {
-            let words = sent.words();
-            let tags = tag_instruction(ner, &words);
-            for (w, t) in words.iter().zip(&tags) {
-                match t {
-                    InstructionTag::Process => {
-                        *process_counts.entry(pre.normalize_word(w)).or_default() += 1;
+    let chunk = corpus.recipes.len().div_ceil(64).max(1);
+    let partials = rt.par_chunks_map(&corpus.recipes, chunk, |_, recipes| {
+        let mut process_counts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut utensil_counts: BTreeMap<String, usize> = BTreeMap::new();
+        for recipe in recipes {
+            for sent in &recipe.instructions {
+                let words = sent.words();
+                let tags = tag_instruction(ner, &words);
+                for (w, t) in words.iter().zip(&tags) {
+                    match t {
+                        InstructionTag::Process => {
+                            *process_counts.entry(pre.normalize_word(w)).or_default() += 1;
+                        }
+                        InstructionTag::Utensil => {
+                            *utensil_counts.entry(pre.normalize_word(w)).or_default() += 1;
+                        }
+                        _ => {}
                     }
-                    InstructionTag::Utensil => {
-                        *utensil_counts.entry(pre.normalize_word(w)).or_default() += 1;
-                    }
-                    _ => {}
                 }
             }
+        }
+        (process_counts, utensil_counts)
+    });
+    let mut process_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut utensil_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for (pc, uc) in partials {
+        for (w, c) in pc {
+            *process_counts.entry(w).or_default() += c;
+        }
+        for (w, c) in uc {
+            *utensil_counts.entry(w).or_default() += c;
         }
     }
     let dicts = Dictionaries {

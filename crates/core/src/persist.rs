@@ -108,6 +108,14 @@ impl TrainedPipeline {
         })
     }
 
+    /// Serialize the pipeline's artifact snapshot to a JSON string
+    /// (consumes `self` like [`TrainedPipeline::save`]). The rendering is
+    /// deterministic — map keys are sorted — so equal models produce
+    /// byte-equal strings; this is the hook for the determinism audits.
+    pub fn to_json_string(self) -> Result<String, PersistError> {
+        Ok(serde_json::to_string(&self.to_artifact())?)
+    }
+
     /// Save the pipeline to a JSON file.
     pub fn save(self, path: impl AsRef<Path>) -> Result<(), PersistError> {
         let file = File::create(path)?;

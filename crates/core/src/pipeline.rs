@@ -25,6 +25,7 @@ use recipe_corpus::{AnnotatedPhrase, Recipe, RecipeCorpus, Site};
 use recipe_ner::model::LabeledSequence;
 use recipe_ner::{IngredientTag, InstructionTag, SequenceModel, TrainConfig};
 use recipe_parser::parser::{DependencyParser, ParseExample, ParserConfig};
+use recipe_runtime::Runtime;
 use recipe_tagger::{pos_frequency_vector, PosTagger};
 use recipe_text::Preprocessor;
 use serde::{Deserialize, Serialize};
@@ -59,6 +60,11 @@ pub struct PipelineConfig {
     pub utensil_threshold: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for the parallel training and batch-extraction paths
+    /// (0 = process-wide default: CLI `--threads` → `RECIPE_THREADS` →
+    /// detected cores). Every trained artifact is bit-identical at every
+    /// value.
+    pub threads: usize,
 }
 
 impl PipelineConfig {
@@ -77,6 +83,7 @@ impl PipelineConfig {
             process_threshold: 47,
             utensil_threshold: 10,
             seed: 42,
+            threads: 0,
         }
     }
 
@@ -107,6 +114,7 @@ impl PipelineConfig {
             process_threshold: 2,
             utensil_threshold: 2,
             seed: 42,
+            threads: 0,
         }
     }
 }
@@ -163,12 +171,12 @@ pub fn build_site_dataset(
     assert!(!uniq.is_empty(), "no phrases for {site}");
 
     // 1×36 POS-frequency vectors over the tagger's predictions (the
-    // pipeline never uses gold POS at this stage).
-    let vectors: Vec<Vec<f64>> = uniq
-        .iter()
-        .map(|p| pos_frequency_vector(&pos.tag(&p.words())))
-        .collect();
-    let km = KMeans::fit(&vectors, &cfg.kmeans);
+    // pipeline never uses gold POS at this stage). Each phrase is tagged
+    // independently, so the ordered parallel map is exact.
+    let rt = Runtime::new(cfg.threads);
+    let vectors: Vec<Vec<f64>> =
+        rt.par_map(&uniq, |_, p| pos_frequency_vector(&pos.tag(&p.words())));
+    let km = KMeans::fit_rt(&vectors, &cfg.kmeans, &rt);
 
     let (train_frac, test_frac) = match site {
         Site::AllRecipes => (cfg.train_frac_allrecipes, cfg.test_frac_allrecipes),
@@ -363,20 +371,27 @@ impl TrainedPipeline {
     /// Train every stage on a corpus.
     pub fn train(corpus: &RecipeCorpus, cfg: &PipelineConfig) -> Self {
         let pre = Preprocessor::default();
+        let rt = Runtime::new(cfg.threads);
         let pos = train_pos_tagger(corpus, cfg.pos_epochs, cfg.seed);
 
         // Stages 2–4: per-site stratified datasets and the composite NER.
+        // The pipeline-level thread count flows into NER training unless
+        // the NER config pins its own.
+        let mut ner_cfg = cfg.ner;
+        if ner_cfg.threads == 0 {
+            ner_cfg.threads = cfg.threads;
+        }
         let ds_ar = build_site_dataset(corpus, Site::AllRecipes, &pos, &pre, cfg);
         let ds_fc = build_site_dataset(corpus, Site::FoodCom, &pos, &pre, cfg);
         let mut both_train = ds_ar.train.clone();
         both_train.extend(ds_fc.train.iter().cloned());
         let labels = IngredientTag::label_set();
-        let ingredient_ner = SequenceModel::train(&labels, &both_train, &cfg.ner);
+        let ingredient_ner = SequenceModel::train(&labels, &both_train, &ner_cfg);
 
         // Stage 5: instruction NER + parser.
         let (instr_train, _instr_test, treebank) = build_instruction_datasets(corpus, cfg);
         let instruction_ner =
-            SequenceModel::train(&InstructionTag::label_set(), &instr_train, &cfg.ner);
+            SequenceModel::train(&InstructionTag::label_set(), &instr_train, &ner_cfg);
         let parser = DependencyParser::train(&treebank, &cfg.parser);
 
         // Stage 6: dictionaries from NER predictions over the corpus.
@@ -386,6 +401,7 @@ impl TrainedPipeline {
             &pre,
             cfg.process_threshold,
             cfg.utensil_threshold,
+            &rt,
         );
 
         TrainedPipeline {
@@ -429,6 +445,14 @@ impl TrainedPipeline {
         }
     }
 
+    /// Mine [`RecipeModel`]s for a batch of recipes on `rt`. Every recipe
+    /// is mined independently, so the ordered parallel map returns exactly
+    /// the same models as a serial [`Self::model_recipe`] loop, in input
+    /// order, at any thread count.
+    pub fn model_recipes(&self, recipes: &[Recipe], rt: &Runtime) -> Vec<RecipeModel> {
+        rt.par_map(recipes, |_, r| self.model_recipe(r))
+    }
+
     /// Mine a recipe from **raw text**: ingredient lines plus instruction
     /// step paragraphs (each paragraph may contain several sentences,
     /// split on `.`). This is the entry point for text that did not come
@@ -463,16 +487,32 @@ impl TrainedPipeline {
     }
 
     /// All unique extracted ingredient names over a corpus (the paper's
-    /// "20 280 unique ingredient names" statistic, at our scale).
+    /// "20 280 unique ingredient names" statistic, at our scale), on the
+    /// process-wide default runtime. See [`Self::unique_ingredient_names_rt`].
     pub fn unique_ingredient_names(&self, corpus: &RecipeCorpus) -> usize {
-        let mut names = std::collections::HashSet::new();
-        for r in &corpus.recipes {
-            for line in r.ingredient_lines() {
-                let e = self.extract_ingredient(&line);
-                if !e.name.is_empty() {
-                    names.insert(e.name);
+        self.unique_ingredient_names_rt(corpus, &Runtime::global())
+    }
+
+    /// Count unique extracted ingredient names on `rt`: per-chunk name
+    /// sets are merged on the calling thread, so the count is
+    /// thread-count-independent (set union is order-insensitive).
+    pub fn unique_ingredient_names_rt(&self, corpus: &RecipeCorpus, rt: &Runtime) -> usize {
+        let chunk = corpus.recipes.len().div_ceil(64).max(1);
+        let partials = rt.par_chunks_map(&corpus.recipes, chunk, |_, recipes| {
+            let mut names = std::collections::HashSet::new();
+            for r in recipes {
+                for line in r.ingredient_lines() {
+                    let e = self.extract_ingredient(&line);
+                    if !e.name.is_empty() {
+                        names.insert(e.name);
+                    }
                 }
             }
+            names
+        });
+        let mut names = std::collections::HashSet::new();
+        for p in partials {
+            names.extend(p);
         }
         names.len()
     }
@@ -612,6 +652,50 @@ mod tests {
         let (corpus, pipeline) = tiny_pipeline();
         let n = pipeline.unique_ingredient_names(&corpus);
         assert!(n > 20, "unique names {n}");
+    }
+
+    #[test]
+    fn batch_model_recipes_matches_serial_loop() {
+        let (corpus, pipeline) = tiny_pipeline();
+        let serial: Vec<_> = corpus
+            .recipes
+            .iter()
+            .map(|r| pipeline.model_recipe(r))
+            .collect();
+        for t in [1, 2, 4, 8] {
+            let batch = pipeline.model_recipes(&corpus.recipes, &Runtime::new(t));
+            assert_eq!(batch.len(), serial.len(), "threads {t}");
+            for (b, s) in batch.iter().zip(&serial) {
+                assert_eq!(b.id, s.id, "threads {t}");
+                assert_eq!(b.ingredients, s.ingredients, "threads {t}");
+                assert_eq!(b.events, s.events, "threads {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn dictionaries_are_thread_count_independent() {
+        let (corpus, pipeline) = tiny_pipeline();
+        let reference = build_dictionaries(
+            &corpus,
+            &pipeline.instruction_ner,
+            &pipeline.pre,
+            2,
+            2,
+            &Runtime::serial(),
+        );
+        for t in [2, 3, 8] {
+            let d = build_dictionaries(
+                &corpus,
+                &pipeline.instruction_ner,
+                &pipeline.pre,
+                2,
+                2,
+                &Runtime::new(t),
+            );
+            assert_eq!(d.process_counts, reference.process_counts, "threads {t}");
+            assert_eq!(d.utensil_counts, reference.utensil_counts, "threads {t}");
+        }
     }
 
     #[test]

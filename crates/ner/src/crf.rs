@@ -11,10 +11,11 @@
 
 use crate::decode::{log_sum_exp, viterbi, Params};
 use crate::encode::EncodedSequence;
-use crate::lbfgs::{minimize, LbfgsConfig, LbfgsResult};
+use crate::lbfgs::{minimize_rt, LbfgsConfig, LbfgsResult};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use recipe_runtime::Runtime;
 use serde::{Deserialize, Serialize};
 
 /// CRF training hyperparameters.
@@ -131,6 +132,59 @@ fn build_lattice(params: &Params, feats: &[Vec<u32>]) -> Lattice {
     }
 }
 
+/// One sequence's contribution to the full-batch L-BFGS objective:
+/// accumulates the gradient into `grad` (laid out `[emit | trans | start |
+/// end]`) and returns the sequence's negative log-likelihood term.
+fn lbfgs_sequence_terms(
+    params: &Params,
+    seq: &EncodedSequence,
+    n_emit: usize,
+    n_trans: usize,
+    grad: &mut [f64],
+) -> f64 {
+    let l = params.n_labels;
+    let lat = build_lattice(params, &seq.feats);
+    let n = seq.len();
+    // Node terms.
+    for t in 0..n {
+        let gold = seq.labels[t];
+        for y in 0..l {
+            let p = (lat.alpha[t][y] + lat.beta[t][y] - lat.log_z).exp();
+            let g = p - f64::from(y == gold);
+            if g.abs() < 1e-12 {
+                continue;
+            }
+            for &fid in &seq.feats[t] {
+                grad[fid as usize * l + y] += g;
+            }
+            if t == 0 {
+                grad[n_emit + n_trans + y] += g;
+            }
+            if t == n - 1 {
+                grad[n_emit + n_trans + l + y] += g;
+            }
+        }
+    }
+    // Edge terms.
+    for t in 1..n {
+        let gold_pair = (seq.labels[t - 1], seq.labels[t]);
+        for yp in 0..l {
+            for y in 0..l {
+                let logp = lat.alpha[t - 1][yp]
+                    + params.trans[yp * l + y]
+                    + lat.emits[t][y]
+                    + lat.beta[t][y]
+                    - lat.log_z;
+                let g = logp.exp() - f64::from((yp, y) == gold_pair);
+                if g.abs() >= 1e-12 {
+                    grad[n_emit + yp * l + y] += g;
+                }
+            }
+        }
+    }
+    lat.log_z - params.sequence_score(&seq.feats, &seq.labels)
+}
+
 impl LinearChainCrf {
     /// Train on encoded sequences. `n_features` must cover every feature id
     /// present in `data`.
@@ -215,12 +269,17 @@ impl LinearChainCrf {
 
     /// Train with full-batch L-BFGS (the Stanford NER optimizer family)
     /// instead of AdaGrad SGD. Returns the model and the optimizer report.
+    ///
+    /// Per-sequence log-likelihood and gradient terms are computed on `rt`
+    /// over fixed chunks of `data` and reduced in chunk order, so the
+    /// trained weights are bit-identical at every thread count.
     pub fn train_lbfgs(
         n_features: usize,
         n_labels: usize,
         data: &[EncodedSequence],
         l2: f64,
         cfg: &LbfgsConfig,
+        rt: &Runtime,
     ) -> (Self, LbfgsResult) {
         let template = Params::zeros(n_features, n_labels);
         let n_emit = template.emit.len();
@@ -239,55 +298,36 @@ impl LinearChainCrf {
             }
         };
 
-        let result = minimize(&mut x, cfg, |x| {
+        // Each chunk's partial gradient is a full dim-sized vector, so cap
+        // the chunk count (not the chunk size) to bound peak memory at
+        // ~GRAD_PARTIALS gradient copies regardless of corpus size.
+        const GRAD_PARTIALS: usize = 16;
+        let chunk_size = data.len().div_ceil(GRAD_PARTIALS).max(1);
+
+        let result = minimize_rt(&mut x, cfg, rt, |x| {
             let params = unpack(x);
-            let mut nll = 0.0;
-            let mut grad = vec![0.0f64; dim];
-            for seq in data {
-                if seq.is_empty() {
-                    continue;
-                }
-                let lat = build_lattice(&params, &seq.feats);
-                nll += lat.log_z - params.sequence_score(&seq.feats, &seq.labels);
-                let n = seq.len();
-                // Node terms.
-                for t in 0..n {
-                    let gold = seq.labels[t];
-                    for y in 0..l {
-                        let p = (lat.alpha[t][y] + lat.beta[t][y] - lat.log_z).exp();
-                        let g = p - f64::from(y == gold);
-                        if g.abs() < 1e-12 {
+            let partial = rt.par_map_reduce(
+                data,
+                chunk_size,
+                |_, seqs| {
+                    let mut nll = 0.0;
+                    let mut grad = vec![0.0f64; dim];
+                    for seq in seqs {
+                        if seq.is_empty() {
                             continue;
                         }
-                        for &fid in &seq.feats[t] {
-                            grad[fid as usize * l + y] += g;
-                        }
-                        if t == 0 {
-                            grad[n_emit + n_trans + y] += g;
-                        }
-                        if t == n - 1 {
-                            grad[n_emit + n_trans + l + y] += g;
-                        }
+                        nll += lbfgs_sequence_terms(&params, seq, n_emit, n_trans, &mut grad);
                     }
-                }
-                // Edge terms.
-                for t in 1..n {
-                    let gold_pair = (seq.labels[t - 1], seq.labels[t]);
-                    for yp in 0..l {
-                        for y in 0..l {
-                            let logp = lat.alpha[t - 1][yp]
-                                + params.trans[yp * l + y]
-                                + lat.emits[t][y]
-                                + lat.beta[t][y]
-                                - lat.log_z;
-                            let g = logp.exp() - f64::from((yp, y) == gold_pair);
-                            if g.abs() >= 1e-12 {
-                                grad[n_emit + yp * l + y] += g;
-                            }
-                        }
+                    (nll, grad)
+                },
+                |(nll_a, mut grad_a), (nll_b, grad_b)| {
+                    for (a, b) in grad_a.iter_mut().zip(&grad_b) {
+                        *a += b;
                     }
-                }
-            }
+                    (nll_a + nll_b, grad_a)
+                },
+            );
+            let (nll, mut grad) = partial.unwrap_or_else(|| (0.0, vec![0.0f64; dim]));
             // L2 regularization.
             for (gi, &xi) in grad.iter_mut().zip(x.iter()) {
                 *gi += l2 * xi;
@@ -472,7 +512,14 @@ mod tests {
     #[test]
     fn lbfgs_fits_toy_problem() {
         let data = toy_data();
-        let (crf, result) = LinearChainCrf::train_lbfgs(2, 2, &data, 1e-4, &LbfgsConfig::default());
+        let (crf, result) = LinearChainCrf::train_lbfgs(
+            2,
+            2,
+            &data,
+            1e-4,
+            &LbfgsConfig::default(),
+            &Runtime::serial(),
+        );
         assert!(result.iterations > 0);
         for seq in &data {
             assert_eq!(crf.decode(&seq.feats), seq.labels, "lbfgs decode");
@@ -491,7 +538,14 @@ mod tests {
                 ..Default::default()
             },
         );
-        let (lbfgs, _) = LinearChainCrf::train_lbfgs(2, 2, &data, 1e-6, &LbfgsConfig::default());
+        let (lbfgs, _) = LinearChainCrf::train_lbfgs(
+            2,
+            2,
+            &data,
+            1e-6,
+            &LbfgsConfig::default(),
+            &Runtime::serial(),
+        );
         let ll = |m: &LinearChainCrf| data.iter().map(|s| m.log_likelihood(s)).sum::<f64>();
         assert!(
             ll(&lbfgs) >= ll(&sgd) - 1e-6,
@@ -499,6 +553,41 @@ mod tests {
             ll(&lbfgs),
             ll(&sgd)
         );
+    }
+
+    #[test]
+    fn lbfgs_weights_are_bit_identical_across_thread_counts() {
+        let data = toy_data();
+        let cfg = LbfgsConfig {
+            max_iters: 25,
+            ..Default::default()
+        };
+        let (reference, _) =
+            LinearChainCrf::train_lbfgs(2, 2, &data, 1e-4, &cfg, &Runtime::serial());
+        for t in [2, 3, 8] {
+            let (crf, _) = LinearChainCrf::train_lbfgs(2, 2, &data, 1e-4, &cfg, &Runtime::new(t));
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+            assert_eq!(
+                bits(&crf.params.emit),
+                bits(&reference.params.emit),
+                "threads {t}"
+            );
+            assert_eq!(
+                bits(&crf.params.trans),
+                bits(&reference.params.trans),
+                "threads {t}"
+            );
+            assert_eq!(
+                bits(&crf.params.start),
+                bits(&reference.params.start),
+                "threads {t}"
+            );
+            assert_eq!(
+                bits(&crf.params.end),
+                bits(&reference.params.end),
+                "threads {t}"
+            );
+        }
     }
 
     #[test]

@@ -97,16 +97,24 @@ impl EncodedSequence {
 }
 
 /// Extract and intern features for a token sequence, growing `interner`.
+///
+/// Feature strings are streamed straight from the extractor's scratch
+/// buffer into the interner, so tokens already seen in training allocate
+/// nothing per feature.
 pub fn encode_tokens_mut(
     extractor: &FeatureExtractor,
     interner: &mut Interner,
     tokens: &[String],
 ) -> Vec<Vec<u32>> {
-    extractor
-        .extract(tokens)
-        .into_iter()
-        .map(|fs| {
-            let mut ids: Vec<u32> = fs.iter().filter_map(|f| interner.intern(f)).collect();
+    let mut scratch = String::new();
+    (0..tokens.len())
+        .map(|i| {
+            let mut ids: Vec<u32> = Vec::with_capacity(24);
+            extractor.for_each_at(tokens, i, &mut scratch, |f| {
+                if let Some(id) = interner.intern(f) {
+                    ids.push(id);
+                }
+            });
             ids.sort_unstable();
             ids.dedup();
             ids
@@ -115,16 +123,22 @@ pub fn encode_tokens_mut(
 }
 
 /// Extract features using only already-known ids (prediction path).
+/// Allocation-free per feature: unknown features are dropped without ever
+/// materializing a `String`.
 pub fn encode_tokens(
     extractor: &FeatureExtractor,
     interner: &Interner,
     tokens: &[String],
 ) -> Vec<Vec<u32>> {
-    extractor
-        .extract(tokens)
-        .into_iter()
-        .map(|fs| {
-            let mut ids: Vec<u32> = fs.iter().filter_map(|f| interner.get(f)).collect();
+    let mut scratch = String::new();
+    (0..tokens.len())
+        .map(|i| {
+            let mut ids: Vec<u32> = Vec::with_capacity(24);
+            extractor.for_each_at(tokens, i, &mut scratch, |f| {
+                if let Some(id) = interner.get(f) {
+                    ids.push(id);
+                }
+            });
             ids.sort_unstable();
             ids.dedup();
             ids

@@ -47,6 +47,13 @@ impl Default for FeatureConfig {
 /// ```
 pub fn word_shape(word: &str) -> String {
     let mut shape = String::new();
+    word_shape_into(word, &mut shape);
+    shape
+}
+
+/// Append the collapsed word shape of `word` to `out` (allocation-free
+/// variant of [`word_shape`] for the streaming extraction path).
+fn word_shape_into(word: &str, out: &mut String) {
     let mut last = '\0';
     for c in word.chars() {
         let s = if c.is_ascii_digit() {
@@ -59,11 +66,10 @@ pub fn word_shape(word: &str) -> String {
             c
         };
         if s != last {
-            shape.push(s);
+            out.push(s);
             last = s;
         }
     }
-    shape
 }
 
 fn char_prefix(word: &str, n: usize) -> &str {
@@ -112,63 +118,120 @@ impl FeatureExtractor {
 
     /// Feature strings for position `i`.
     pub fn extract_at(&self, tokens: &[String], i: usize) -> Vec<String> {
+        let mut f = Vec::with_capacity(20);
+        let mut scratch = String::new();
+        self.for_each_at(tokens, i, &mut scratch, |feat| f.push(feat.to_string()));
+        f
+    }
+
+    /// Stream the feature strings for position `i` through `f`, reusing
+    /// `scratch` as the format buffer. This is the hot-loop variant of
+    /// [`Self::extract_at`]: interning call sites consume each `&str`
+    /// immediately, so no per-feature `String` is ever allocated. Features
+    /// are emitted in exactly the order `extract_at` returns them.
+    pub fn for_each_at<F: FnMut(&str)>(
+        &self,
+        tokens: &[String],
+        i: usize,
+        scratch: &mut String,
+        mut f: F,
+    ) {
+        use std::fmt::Write as _;
         let cfg = self.config;
         let w = tokens[i].as_str();
-        let mut f = Vec::with_capacity(20);
-        f.push("b".to_string()); // bias
+        let buf = scratch;
+        f("b"); // bias
 
         if cfg.lexical {
-            f.push(format!("w={w}"));
-            f.push(format!("wl={}", w.to_lowercase()));
+            buf.clear();
+            buf.push_str("w=");
+            buf.push_str(w);
+            f(buf);
+            buf.clear();
+            buf.push_str("wl=");
+            for c in w.chars() {
+                buf.extend(c.to_lowercase());
+            }
+            f(buf);
         }
         if cfg.shape {
-            f.push(format!("sh={}", word_shape(w)));
+            buf.clear();
+            buf.push_str("sh=");
+            word_shape_into(w, buf);
+            f(buf);
             if w.bytes().any(|b| b.is_ascii_digit()) {
-                f.push("hasdig".to_string());
+                f("hasdig");
             }
             if w.contains('-') {
-                f.push("hashyp".to_string());
+                f("hashyp");
             }
             if w.contains('/') {
-                f.push("hasslash".to_string());
+                f("hasslash");
             }
             if w.chars().count() <= 2 {
-                f.push("short".to_string());
+                f("short");
             }
         }
         if cfg.affixes {
             for n in 1..=3 {
-                f.push(format!("p{n}={}", char_prefix(w, n)));
-                f.push(format!("s{n}={}", char_suffix(w, n)));
+                buf.clear();
+                let _ = write!(buf, "p{n}=");
+                buf.push_str(char_prefix(w, n));
+                f(buf);
+                buf.clear();
+                let _ = write!(buf, "s{n}=");
+                buf.push_str(char_suffix(w, n));
+                f(buf);
             }
         }
         if cfg.context {
             if i == 0 {
-                f.push("first".to_string());
+                f("first");
             } else {
                 let pw = tokens[i - 1].as_str();
-                f.push(format!("w-1={pw}"));
+                buf.clear();
+                buf.push_str("w-1=");
+                buf.push_str(pw);
+                f(buf);
                 if cfg.shape {
-                    f.push(format!("sh-1={}", word_shape(pw)));
+                    buf.clear();
+                    buf.push_str("sh-1=");
+                    word_shape_into(pw, buf);
+                    f(buf);
                 }
                 if cfg.lexical {
-                    f.push(format!("w-1w={pw}|{w}"));
+                    buf.clear();
+                    buf.push_str("w-1w=");
+                    buf.push_str(pw);
+                    buf.push('|');
+                    buf.push_str(w);
+                    f(buf);
                 }
             }
             if i + 1 == tokens.len() {
-                f.push("last".to_string());
+                f("last");
             } else {
                 let nw = tokens[i + 1].as_str();
-                f.push(format!("w+1={nw}"));
+                buf.clear();
+                buf.push_str("w+1=");
+                buf.push_str(nw);
+                f(buf);
                 if cfg.shape {
-                    f.push(format!("sh+1={}", word_shape(nw)));
+                    buf.clear();
+                    buf.push_str("sh+1=");
+                    word_shape_into(nw, buf);
+                    f(buf);
                 }
                 if cfg.lexical {
-                    f.push(format!("ww+1={w}|{nw}"));
+                    buf.clear();
+                    buf.push_str("ww+1=");
+                    buf.push_str(w);
+                    buf.push('|');
+                    buf.push_str(nw);
+                    f(buf);
                 }
             }
         }
-        f
     }
 }
 
@@ -238,6 +301,36 @@ mod tests {
         });
         let f = fe.extract_at(&toks(&["salt"]), 0);
         assert_eq!(f, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn streaming_extraction_matches_extract_at_in_order() {
+        let configs = [
+            FeatureConfig::default(),
+            FeatureConfig {
+                lexical: false,
+                ..Default::default()
+            },
+            FeatureConfig {
+                shape: false,
+                ..Default::default()
+            },
+            FeatureConfig {
+                affixes: false,
+                context: false,
+                ..Default::default()
+            },
+        ];
+        let t = toks(&["1/2", "Cup", "all-purpose", "flour"]);
+        for cfg in configs {
+            let fe = FeatureExtractor::with_config(cfg);
+            let mut scratch = String::new();
+            for i in 0..t.len() {
+                let mut streamed = Vec::new();
+                fe.for_each_at(&t, i, &mut scratch, |f| streamed.push(f.to_string()));
+                assert_eq!(streamed, fe.extract_at(&t, i), "{cfg:?} position {i}");
+            }
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! L2-regularized negative log-likelihood. The `ablation_optimizer`
 //! binary compares the two.
 
+use recipe_runtime::Runtime;
 use serde::{Deserialize, Serialize};
 
 /// L-BFGS hyperparameters.
@@ -54,23 +55,38 @@ pub struct LbfgsResult {
     pub converged: bool,
 }
 
-fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
+/// Chunk size for the runtime's deterministic dot product.
+const DOT_CHUNK: usize = 16_384;
+/// Vectors shorter than this are dotted with a plain serial loop; the
+/// threshold depends only on the data length, never the thread count, so
+/// results stay bit-identical at any parallelism level.
+const DOT_PARALLEL_FLOOR: usize = 65_536;
 
 fn inf_norm(v: &[f64]) -> f64 {
     v.iter().fold(0.0, |m, &x| m.max(x.abs()))
+}
+
+/// Minimize `f` (returning `(value, gradient)`) starting from `x`,
+/// single-threaded. See [`minimize_rt`].
+pub fn minimize<F>(x: &mut [f64], cfg: &LbfgsConfig, f: F) -> LbfgsResult
+where
+    F: FnMut(&[f64]) -> (f64, Vec<f64>),
+{
+    minimize_rt(x, cfg, &Runtime::serial(), f)
 }
 
 /// Minimize `f` (returning `(value, gradient)`) starting from `x`.
 ///
 /// `f` is called once per line-search probe; gradients are only consumed
 /// at accepted points. The two-loop recursion uses at most
-/// `cfg.history` curvature pairs.
-pub fn minimize<F>(x: &mut [f64], cfg: &LbfgsConfig, mut f: F) -> LbfgsResult
+/// `cfg.history` curvature pairs. Dot products over high-dimensional
+/// parameter vectors run on `rt` with fixed chunking, so the optimizer
+/// trajectory is bit-identical at every thread count.
+pub fn minimize_rt<F>(x: &mut [f64], cfg: &LbfgsConfig, rt: &Runtime, mut f: F) -> LbfgsResult
 where
     F: FnMut(&[f64]) -> (f64, Vec<f64>),
 {
+    let dot = |a: &[f64], b: &[f64]| rt.par_dot(a, b, DOT_CHUNK, DOT_PARALLEL_FLOOR);
     let n = x.len();
     let (mut fx, mut grad) = f(x);
     let mut s_hist: Vec<Vec<f64>> = Vec::new();

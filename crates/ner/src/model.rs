@@ -36,6 +36,10 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Feature template switches.
     pub features: FeatureConfig,
+    /// Worker threads for the parallel training paths (0 = process-wide
+    /// default: CLI `--threads` → `RECIPE_THREADS` → detected cores).
+    /// Trained weights are bit-identical at every value.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -47,6 +51,7 @@ impl Default for TrainConfig {
             l2: 1e-6,
             seed: 42,
             features: FeatureConfig::default(),
+            threads: 0,
         }
     }
 }
@@ -115,8 +120,9 @@ impl SequenceModel {
                     max_iters: cfg.epochs.max(30),
                     ..Default::default()
                 };
+                let rt = recipe_runtime::Runtime::new(cfg.threads);
                 let (model, _) =
-                    LinearChainCrf::train_lbfgs(n_features, n_labels, &encoded, cfg.l2, &lcfg);
+                    LinearChainCrf::train_lbfgs(n_features, n_labels, &encoded, cfg.l2, &lcfg, &rt);
                 Inner::Crf(model)
             }
             Trainer::Perceptron => Inner::Perceptron(StructuredPerceptron::train(

@@ -4,6 +4,13 @@
 //! transition classifier. Weights are kept per feature as a dense row over
 //! the (small) class inventory; averaging uses the lazy totals/timestamps
 //! trick so training stays O(active features) per update.
+//!
+//! Feature strings are interned to dense `u32` ids: the rows live in a
+//! `Vec` indexed by id, and the hot paths ([`AveragedPerceptron::scores_ids`],
+//! [`AveragedPerceptron::update_ids`]) never touch a string. Callers that
+//! stream features through a scratch buffer (the POS tagger) pay one hash
+//! lookup per feature and zero per-feature allocations; the string-slice
+//! API remains for callers that already hold feature vectors.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -35,7 +42,10 @@ impl Row {
 /// strings. Scoring sums the weight rows of the active features.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AveragedPerceptron {
-    rows: HashMap<String, Row>,
+    /// Feature string → dense row id.
+    ids: HashMap<String, u32>,
+    /// Weight rows, indexed by feature id.
+    rows: Vec<Row>,
     num_classes: usize,
     /// Global update counter (number of `update` calls so far).
     steps: u64,
@@ -48,7 +58,8 @@ impl AveragedPerceptron {
     pub fn new(num_classes: usize) -> Self {
         assert!(num_classes > 0, "need at least one class");
         AveragedPerceptron {
-            rows: HashMap::new(),
+            ids: HashMap::new(),
+            rows: Vec::new(),
             num_classes,
             steps: 0,
             averaged: false,
@@ -65,31 +76,61 @@ impl AveragedPerceptron {
         self.rows.len()
     }
 
+    /// Dense id of a known feature (`None` for unseen features, which
+    /// carry zero weight anyway).
+    pub fn feature_id(&self, feature: &str) -> Option<u32> {
+        self.ids.get(feature).copied()
+    }
+
+    /// Id for `feature`, allocating a fresh zero row on first sight.
+    pub fn intern(&mut self, feature: &str) -> u32 {
+        if let Some(&id) = self.ids.get(feature) {
+            return id;
+        }
+        let id = self.rows.len() as u32;
+        self.ids.insert(feature.to_string(), id);
+        self.rows.push(Row::new(self.num_classes));
+        id
+    }
+
     /// Iterate `(feature, current weights)` rows, in arbitrary order.
     pub fn weight_rows(&self) -> impl Iterator<Item = (&str, &[f64])> {
-        self.rows
+        self.ids
             .iter()
-            .map(|(f, row)| (f.as_str(), row.w.as_slice()))
+            .map(|(f, &id)| (f.as_str(), self.rows[id as usize].w.as_slice()))
     }
 
     /// Overwrite one weight, creating the feature row if absent. Exists
     /// for fault injection in artifact-lint tests; not a training API.
     #[doc(hidden)]
     pub fn inject_weight(&mut self, feature: &str, class: usize, value: f64) {
-        let classes = self.num_classes;
-        let row = self
-            .rows
-            .entry(feature.to_string())
-            .or_insert_with(|| Row::new(classes));
-        row.w[class] = value;
+        let id = self.intern(feature);
+        self.rows[id as usize].w[class] = value;
     }
 
-    /// Score every class for the given active features.
+    /// Score every class for the given active feature ids.
+    pub fn scores_ids(&self, ids: &[u32]) -> Vec<f64> {
+        let mut s = vec![0.0; self.num_classes];
+        for &id in ids {
+            for (acc, w) in s.iter_mut().zip(&self.rows[id as usize].w) {
+                *acc += *w;
+            }
+        }
+        s
+    }
+
+    /// Highest-scoring class for the given active feature ids.
+    pub fn predict_ids(&self, ids: &[u32]) -> usize {
+        argmax(&self.scores_ids(ids))
+    }
+
+    /// Score every class for the given active features. Unknown features
+    /// are skipped (zero weight).
     pub fn scores(&self, features: &[String]) -> Vec<f64> {
         let mut s = vec![0.0; self.num_classes];
         for f in features {
-            if let Some(row) = self.rows.get(f) {
-                for (acc, w) in s.iter_mut().zip(&row.w) {
+            if let Some(&id) = self.ids.get(f) {
+                for (acc, w) in s.iter_mut().zip(&self.rows[id as usize].w) {
                     *acc += *w;
                 }
             }
@@ -117,9 +158,9 @@ impl AveragedPerceptron {
         best
     }
 
-    /// Perceptron update: promote `truth`, demote `guess` (no-op when they
-    /// agree, except for the step counter).
-    pub fn update(&mut self, truth: usize, guess: usize, features: &[String]) {
+    /// Perceptron update on interned feature ids: promote `truth`, demote
+    /// `guess` (no-op when they agree, except for the step counter).
+    pub fn update_ids(&mut self, truth: usize, guess: usize, ids: &[u32]) {
         assert!(
             !self.averaged,
             "cannot keep training after finalize_averaging"
@@ -129,12 +170,8 @@ impl AveragedPerceptron {
             return;
         }
         let steps = self.steps;
-        let classes = self.num_classes;
-        for f in features {
-            let row = self
-                .rows
-                .entry(f.clone())
-                .or_insert_with(|| Row::new(classes));
+        for &id in ids {
+            let row = &mut self.rows[id as usize];
             for (c, delta) in [(truth, 1.0), (guess, -1.0)] {
                 let elapsed = steps - row.stamps[c];
                 row.totals[c] += elapsed as f64 * row.w[c];
@@ -142,6 +179,20 @@ impl AveragedPerceptron {
                 row.stamps[c] = steps;
             }
         }
+    }
+
+    /// Perceptron update on feature strings, interning as needed.
+    pub fn update(&mut self, truth: usize, guess: usize, features: &[String]) {
+        assert!(
+            !self.averaged,
+            "cannot keep training after finalize_averaging"
+        );
+        if truth == guess {
+            self.steps += 1;
+            return;
+        }
+        let ids: Vec<u32> = features.iter().map(|f| self.intern(f)).collect();
+        self.update_ids(truth, guess, &ids);
     }
 
     /// Replace each weight with its average over all training steps.
@@ -152,7 +203,7 @@ impl AveragedPerceptron {
             return;
         }
         let steps = self.steps;
-        for row in self.rows.values_mut() {
+        for row in &mut self.rows {
             for c in 0..self.num_classes {
                 let elapsed = steps - row.stamps[c];
                 row.totals[c] += elapsed as f64 * row.w[c];
@@ -161,8 +212,36 @@ impl AveragedPerceptron {
             }
         }
         self.averaged = true;
-        // Drop all-zero rows: they cost memory and change nothing.
-        self.rows.retain(|_, row| row.w.iter().any(|&w| w != 0.0));
+        // Drop all-zero rows (they cost memory and change nothing),
+        // compacting surviving ids densely in old-id order.
+        let keep: Vec<bool> = self
+            .rows
+            .iter()
+            .map(|row| row.w.iter().any(|&w| w != 0.0))
+            .collect();
+        let mut remap: Vec<Option<u32>> = Vec::with_capacity(keep.len());
+        let mut next = 0u32;
+        for &k in &keep {
+            if k {
+                remap.push(Some(next));
+                next += 1;
+            } else {
+                remap.push(None);
+            }
+        }
+        let mut i = 0;
+        self.rows.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
+        self.ids.retain(|_, id| match remap[*id as usize] {
+            Some(new) => {
+                *id = new;
+                true
+            }
+            None => false,
+        });
     }
 }
 
@@ -265,5 +344,49 @@ mod tests {
     fn argmax_first_on_ties() {
         assert_eq!(argmax(&[0.0, 0.0, 0.0]), 0);
         assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+    }
+
+    #[test]
+    fn id_api_matches_string_api() {
+        let mut p = AveragedPerceptron::new(3);
+        let fs = feats(&["bias", "w=hot", "sh=x"]);
+        // Train via the string API.
+        for _ in 0..6 {
+            let g = p.predict(&fs);
+            p.update(2, g, &fs);
+        }
+        let ids: Vec<u32> = fs.iter().map(|f| p.feature_id(f).unwrap()).collect();
+        assert_eq!(p.scores_ids(&ids), p.scores(&fs));
+        assert_eq!(p.predict_ids(&ids), p.predict(&fs));
+        // Training via ids matches training via strings.
+        let mut q = p.clone();
+        p.update(2, 0, &fs);
+        q.update_ids(2, 0, &ids);
+        assert_eq!(p.scores(&fs), q.scores(&fs));
+    }
+
+    #[test]
+    fn finalize_compacts_zero_rows_and_keeps_lookups_valid() {
+        let mut p = AveragedPerceptron::new(2);
+        // "dead" is interned but never pushed away from zero.
+        p.intern("dead");
+        let live = feats(&["live"]);
+        p.update(0, 1, &live);
+        p.update(0, 1, &live);
+        p.finalize_averaging();
+        assert_eq!(p.feature_id("dead"), None);
+        assert_eq!(p.num_features(), 1);
+        let id = p.feature_id("live").expect("live survives");
+        assert_eq!(p.scores_ids(&[id]), p.scores(&live));
+        assert!(p.scores(&live)[0] > 0.0);
+    }
+
+    #[test]
+    fn intern_is_stable_and_dense() {
+        let mut p = AveragedPerceptron::new(2);
+        assert_eq!(p.intern("a"), 0);
+        assert_eq!(p.intern("b"), 1);
+        assert_eq!(p.intern("a"), 0);
+        assert_eq!(p.num_features(), 2);
     }
 }

@@ -75,40 +75,55 @@ fn prefix(word: &str, n: usize) -> &str {
     &word[..cut]
 }
 
-/// Extract the feature set for position `i`.
+/// Stream the feature set for position `i` through `f`, reusing `scratch`
+/// as the format buffer so no per-feature `String` is ever allocated.
 ///
 /// `context` is the normalized word sequence padded with two START and two
-/// END sentinels, so `context[i + 2]` is the current word.
-fn features(i: usize, word: &str, context: &[String], prev: &str, prev2: &str) -> Vec<String> {
+/// END sentinels, so `context[i + 2]` is the current (normalized) word.
+fn for_each_feature<F: FnMut(&str)>(
+    i: usize,
+    context: &[String],
+    prev: &str,
+    prev2: &str,
+    scratch: &mut String,
+    mut f: F,
+) {
     let ci = i + 2;
-    let mut f = Vec::with_capacity(16);
-    f.push("bias".to_string());
-    f.push(format!("i suffix={}", suffix(word, 3)));
-    f.push(format!("i pref1={}", prefix(word, 1)));
-    f.push(format!("i-1 tag={prev}"));
-    f.push(format!("i-2 tag={prev2}"));
-    f.push(format!("i tag+i-2 tag={prev} {prev2}"));
-    f.push(format!("i word={}", context[ci]));
-    f.push(format!("i-1 tag+i word={prev} {}", context[ci]));
-    f.push(format!("i-1 word={}", context[ci - 1]));
-    f.push(format!("i-1 suffix={}", suffix(&context[ci - 1], 3)));
-    f.push(format!("i-2 word={}", context[ci - 2]));
-    f.push(format!("i+1 word={}", context[ci + 1]));
-    f.push(format!("i+1 suffix={}", suffix(&context[ci + 1], 3)));
-    f.push(format!("i+2 word={}", context[ci + 2]));
+    let word = context[ci].as_str();
+    let buf = scratch;
+    let mut emit = |buf: &mut String, parts: &[&str]| {
+        buf.clear();
+        for p in parts {
+            buf.push_str(p);
+        }
+        f(buf);
+    };
+    emit(buf, &["bias"]);
+    emit(buf, &["i suffix=", suffix(word, 3)]);
+    emit(buf, &["i pref1=", prefix(word, 1)]);
+    emit(buf, &["i-1 tag=", prev]);
+    emit(buf, &["i-2 tag=", prev2]);
+    emit(buf, &["i tag+i-2 tag=", prev, " ", prev2]);
+    emit(buf, &["i word=", word]);
+    emit(buf, &["i-1 tag+i word=", prev, " ", word]);
+    emit(buf, &["i-1 word=", &context[ci - 1]]);
+    emit(buf, &["i-1 suffix=", suffix(&context[ci - 1], 3)]);
+    emit(buf, &["i-2 word=", &context[ci - 2]]);
+    emit(buf, &["i+1 word=", &context[ci + 1]]);
+    emit(buf, &["i+1 suffix=", suffix(&context[ci + 1], 3)]);
+    emit(buf, &["i+2 word=", &context[ci + 2]]);
     if word.contains('-') {
-        f.push("i hyphen".to_string());
+        emit(buf, &["i hyphen"]);
     }
     if word.ends_with("ly") {
-        f.push("i ly".to_string());
+        emit(buf, &["i ly"]);
     }
     if word.ends_with("ing") {
-        f.push("i ing".to_string());
+        emit(buf, &["i ing"]);
     }
     if word.ends_with("ed") {
-        f.push("i ed".to_string());
+        emit(buf, &["i ed"]);
     }
-    f
 }
 
 fn make_context(words: &[String]) -> Vec<String> {
@@ -138,29 +153,34 @@ impl PosTagger {
         let mut order: Vec<usize> = (0..sentences.len()).collect();
         let mut rng = StdRng::seed_from_u64(seed);
 
+        let mut scratch = String::new();
+        let mut ids: Vec<u32> = Vec::with_capacity(20);
         for _ in 0..epochs {
             order.shuffle(&mut rng);
             for &si in &order {
                 let (words, tags) = &sentences[si];
                 let context = make_context(words);
-                let mut prev = START[0].to_string();
-                let mut prev2 = START[1].to_string();
-                for (i, word) in words.iter().enumerate() {
+                let mut prev: &str = START[0];
+                let mut prev2: &str = START[1];
+                for i in 0..words.len() {
                     let gold = tags[i];
-                    let norm = normalize(word);
-                    let guess = if let Some(&tag) = tagdict.get(norm.as_str()) {
+                    // context[i + 2] is the already-normalized word.
+                    let norm = context[i + 2].as_str();
+                    let guess = if let Some(&tag) = tagdict.get(norm) {
                         tag
                     } else {
-                        let f = features(i, &norm, &context, &prev, &prev2);
-                        let g = model.predict(&f);
-                        model.update(gold.index(), g, &f);
+                        ids.clear();
+                        for_each_feature(i, &context, prev, prev2, &mut scratch, |feat| {
+                            ids.push(model.intern(feat));
+                        });
+                        let g = model.predict_ids(&ids);
+                        model.update_ids(gold.index(), g, &ids);
                         PennTag::from_index(g)
                     };
-                    prev2 = std::mem::take(&mut prev);
+                    prev2 = prev;
                     // Condition context on the *guess* during training so
                     // decode-time and train-time distributions match.
-                    prev = guess.as_str().to_string();
-                    let _ = guess;
+                    prev = guess.as_str();
                 }
             }
         }
@@ -168,23 +188,32 @@ impl PosTagger {
         PosTagger { model, tagdict }
     }
 
-    /// Tag a tokenized sentence.
+    /// Tag a tokenized sentence. Feature strings are streamed through a
+    /// reusable scratch buffer and looked up as interned ids, so tagging
+    /// allocates nothing per feature.
     pub fn tag(&self, words: &[String]) -> Vec<PennTag> {
         let context = make_context(words);
         let mut tags = Vec::with_capacity(words.len());
-        let mut prev = START[0].to_string();
-        let mut prev2 = START[1].to_string();
-        for (i, word) in words.iter().enumerate() {
-            let norm = normalize(word);
-            let tag = if let Some(&t) = self.tagdict.get(norm.as_str()) {
+        let mut prev: &str = START[0];
+        let mut prev2: &str = START[1];
+        let mut scratch = String::new();
+        let mut ids: Vec<u32> = Vec::with_capacity(20);
+        for i in 0..words.len() {
+            let norm = context[i + 2].as_str();
+            let tag = if let Some(&t) = self.tagdict.get(norm) {
                 t
             } else {
-                let f = features(i, &norm, &context, &prev, &prev2);
-                PennTag::from_index(self.model.predict(&f))
+                ids.clear();
+                for_each_feature(i, &context, prev, prev2, &mut scratch, |feat| {
+                    if let Some(id) = self.model.feature_id(feat) {
+                        ids.push(id);
+                    }
+                });
+                PennTag::from_index(self.model.predict_ids(&ids))
             };
             tags.push(tag);
-            prev2 = std::mem::take(&mut prev);
-            prev = tag.as_str().to_string();
+            prev2 = prev;
+            prev = tag.as_str();
         }
         tags
     }

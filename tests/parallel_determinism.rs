@@ -1,0 +1,220 @@
+//! Seeded determinism tests for the parallel runtime: every parallelized
+//! hot path must produce **exactly** the serial result — bitwise for
+//! floats — at every thread count from 1 to 8, including adversarial
+//! chunk sizes (0, 1, `n_threads - 1`, `n_threads + 1`) where chunk
+//! boundaries interact worst with worker scheduling.
+//!
+//! Same convention as `properties.rs`: plain seeded loops over the
+//! in-tree PRNG, with the failing seed in every panic message.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use recipe_cluster::{minibatch_kmeans_rt, KMeans, KMeansConfig, MiniBatchConfig};
+use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
+use recipe_corpus::{CorpusSpec, RecipeCorpus};
+use recipe_ner::{IngredientTag, SequenceModel, TrainConfig, Trainer};
+use recipe_runtime::Runtime;
+
+const THREAD_COUNTS: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
+/// Chunk sizes that stress the chunking logic for a given thread count:
+/// 0 (clamped to 1), 1, just below and just above the worker count, plus
+/// a couple of ordinary sizes.
+fn adversarial_chunk_sizes(threads: usize) -> Vec<usize> {
+    vec![0, 1, threads.saturating_sub(1), threads + 1, 7, 64]
+}
+
+#[test]
+fn float_reductions_are_bit_identical_across_threads_and_chunks() {
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.random_range(0..400usize);
+        let xs: Vec<f64> = (0..len).map(|_| rng.random_range(-1.0e3..1.0e3)).collect();
+        let ys: Vec<f64> = (0..len).map(|_| rng.random_range(-1.0e3..1.0e3)).collect();
+
+        for &t in &THREAD_COUNTS {
+            for chunk in adversarial_chunk_sizes(t) {
+                let rt = Runtime::new(t);
+                let serial = Runtime::serial();
+
+                let sum = rt.par_map_reduce(&xs, chunk, |_, c| c.iter().sum::<f64>(), |a, b| a + b);
+                let sum_serial =
+                    serial.par_map_reduce(&xs, chunk, |_, c| c.iter().sum::<f64>(), |a, b| a + b);
+                assert_eq!(
+                    sum.map(f64::to_bits),
+                    sum_serial.map(f64::to_bits),
+                    "seed {seed}: sum differs at {t} threads, chunk {chunk}"
+                );
+
+                // par_dot's parallel_floor = 0 forces the parallel path
+                // even for tiny inputs.
+                let dot = rt.par_dot(&xs, &ys, chunk.max(1), 0);
+                let dot_serial = serial.par_dot(&xs, &ys, chunk.max(1), 0);
+                assert_eq!(
+                    dot.to_bits(),
+                    dot_serial.to_bits(),
+                    "seed {seed}: dot differs at {t} threads, chunk {chunk}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ordered_map_preserves_order_at_adversarial_sizes() {
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Lengths around the thread count are the degenerate cases: fewer
+        // chunks than workers, single-element chunks, empty input.
+        let len = rng.random_range(0..20usize);
+        let items: Vec<u64> = (0..len).map(|_| rng.random_range(0..1000u64)).collect();
+        let expected: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * 3 + i as u64)
+            .collect();
+        for &t in &THREAD_COUNTS {
+            let got = Runtime::new(t).par_map(&items, |i, x| x * 3 + i as u64);
+            assert_eq!(got, expected, "seed {seed}: par_map differs at {t} threads");
+        }
+    }
+}
+
+#[test]
+fn crf_lbfgs_training_is_bit_identical_across_thread_counts() {
+    let tags = [
+        "NAME", "STATE", "UNIT", "QUANTITY", "SIZE", "TEMP", "DF", "O",
+    ];
+    let words = [
+        "flour", "sugar", "diced", "cup", "2", "large", "warm", "fresh", "of", "the",
+    ];
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<(Vec<String>, Vec<String>)> = (0..8)
+            .map(|_| {
+                let len = rng.random_range(1..6usize);
+                (
+                    (0..len)
+                        .map(|_| words[rng.random_range(0..words.len())].to_string())
+                        .collect(),
+                    (0..len)
+                        .map(|_| tags[rng.random_range(0..tags.len())].to_string())
+                        .collect(),
+                )
+            })
+            .collect();
+        let labels = IngredientTag::label_set();
+        let cfg = |threads: usize| TrainConfig {
+            trainer: Trainer::CrfLbfgs,
+            epochs: 6,
+            threads,
+            ..TrainConfig::default()
+        };
+        let reference =
+            serde_json::to_string(&SequenceModel::train(&labels, &data, &cfg(1))).unwrap();
+        for t in [2, 3, 7, 8] {
+            let model =
+                serde_json::to_string(&SequenceModel::train(&labels, &data, &cfg(t))).unwrap();
+            assert_eq!(
+                model, reference,
+                "seed {seed}: CRF artifact differs at {t} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn kmeans_variants_are_bit_identical_across_thread_counts() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Sizes straddling the worker counts: 1, n_threads ± 1, larger.
+        let n = [1usize, 3, 7, 9, 120][rng.random_range(0..5usize)];
+        let dim = rng.random_range(1..5usize);
+        let data: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random_range(-50.0..50.0)).collect())
+            .collect();
+        let kcfg = KMeansConfig {
+            k: rng.random_range(1..6usize),
+            max_iters: 20,
+            seed,
+            ..KMeansConfig::default()
+        };
+        let mcfg = MiniBatchConfig {
+            k: kcfg.k,
+            batch_size: 16,
+            iterations: 25,
+            seed,
+        };
+        let exact_ref = KMeans::fit_rt(&data, &kcfg, &Runtime::serial());
+        let mb_ref = minibatch_kmeans_rt(&data, &mcfg, &Runtime::serial());
+        for &t in &THREAD_COUNTS {
+            let exact = KMeans::fit_rt(&data, &kcfg, &Runtime::new(t));
+            assert_eq!(
+                exact.assignments, exact_ref.assignments,
+                "seed {seed}: exact assignments differ at {t} threads (n={n})"
+            );
+            assert_eq!(
+                exact.inertia.to_bits(),
+                exact_ref.inertia.to_bits(),
+                "seed {seed}: exact inertia differs at {t} threads (n={n})"
+            );
+            assert_eq!(
+                exact.centroids, exact_ref.centroids,
+                "seed {seed}: exact centroids differ at {t} threads (n={n})"
+            );
+            let mb = minibatch_kmeans_rt(&data, &mcfg, &Runtime::new(t));
+            assert_eq!(
+                mb.assignments, mb_ref.assignments,
+                "seed {seed}: minibatch assignments differ at {t} threads (n={n})"
+            );
+            assert_eq!(
+                mb.centroids, mb_ref.centroids,
+                "seed {seed}: minibatch centroids differ at {t} threads (n={n})"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_extraction_matches_serial_at_every_thread_count() {
+    let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(17));
+    let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
+    let serial: Vec<String> = corpus
+        .recipes
+        .iter()
+        .map(|r| serde_json::to_string(&pipeline.model_recipe(r)).unwrap())
+        .collect();
+    for &t in &THREAD_COUNTS {
+        let batch = pipeline.model_recipes(&corpus.recipes, &Runtime::new(t));
+        let batch_json: Vec<String> = batch
+            .iter()
+            .map(|m| serde_json::to_string(m).unwrap())
+            .collect();
+        assert_eq!(
+            batch_json, serial,
+            "batch extraction differs at {t} threads"
+        );
+    }
+}
+
+#[test]
+fn pipeline_training_is_byte_identical_across_thread_counts() {
+    let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(7));
+    let artifact = |threads: usize| {
+        let mut cfg = PipelineConfig::fast();
+        cfg.pos_epochs = 2;
+        cfg.ner.epochs = 4;
+        cfg.parser.epochs = 2;
+        cfg.threads = threads;
+        let p = TrainedPipeline::train(&corpus, &cfg);
+        p.to_json_string().expect("serialize pipeline")
+    };
+    let reference = artifact(1);
+    for t in [2, 4, 8] {
+        assert_eq!(
+            artifact(t),
+            reference,
+            "trained pipeline artifact differs at {t} threads"
+        );
+    }
+}
