@@ -255,6 +255,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "recomputing a trained artifact on 2 worker threads does not reproduce the serial artifact byte-for-byte",
     },
     RuleInfo {
+        code: "RA208",
+        name: "compiled-model-drift",
+        default_severity: Severity::Error,
+        summary: "the compiled (sparse CSR) decode of a frozen model does not reproduce the reference decode byte-for-byte",
+    },
+    RuleInfo {
         code: "RA301",
         name: "unwrap-in-lib",
         default_severity: Severity::Note,

@@ -9,7 +9,10 @@
 //! The determinism audit (RA207, [`lint_parallel_determinism`]) follows
 //! the same shape: [`DeterminismAudit::recompute`] trains miniature
 //! models serially and on worker threads, and the lint compares the
-//! serialized artifacts byte-for-byte.
+//! serialized artifacts byte-for-byte. The compiled-model drift audit
+//! (RA208, [`lint_compiled_drift`]) freezes miniature models into their
+//! sparse (CSR) compiled forms and byte-compares compiled vs. reference
+//! decodes over a fixed phrase set.
 
 use crate::diag::Diagnostic;
 use recipe_cluster::{KMeans, KMeansConfig};
@@ -339,6 +342,167 @@ pub fn lint_parallel_determinism(audit: &DeterminismAudit) -> Vec<Diagnostic> {
     out
 }
 
+/// Decoded outputs recomputed for the RA208 compiled-model drift audit:
+/// a miniature CRF and POS tagger are frozen into their compiled (sparse
+/// CSR) forms and both paths decode a fixed phrase set; the serialized
+/// tag sequences are compared byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledDriftAudit {
+    /// NER tag sequences from the reference (dense) decoder.
+    pub ner_reference: String,
+    /// NER tag sequences from the compiled (CSR) decoder.
+    pub ner_compiled: String,
+    /// POS tag sequences from the reference tagger.
+    pub pos_reference: String,
+    /// POS tag sequences from the compiled tagger.
+    pub pos_compiled: String,
+}
+
+impl CompiledDriftAudit {
+    /// Train the miniature models, freeze them, and decode the fixed
+    /// phrase set through both paths (a few milliseconds end to end).
+    pub fn recompute() -> Self {
+        use recipe_ner::model::LabeledSequence;
+        use recipe_ner::{CompiledSequenceModel, SequenceModel, TrainConfig, Trainer};
+        use recipe_tagger::{CompiledPosTagger, PennTag, PosTagger};
+
+        // Miniature CRF on the same fixed corpus as the RA207 audit.
+        let seq = |words: &[&str], tags: &[&str]| -> LabeledSequence {
+            (
+                words.iter().map(|w| w.to_string()).collect(),
+                tags.iter().map(|t| t.to_string()).collect(),
+            )
+        };
+        let data = vec![
+            seq(&["2", "cups", "flour"], &["QUANTITY", "UNIT", "NAME"]),
+            seq(
+                &["1", "pinch", "sea", "salt"],
+                &["QUANTITY", "UNIT", "NAME", "NAME"],
+            ),
+            seq(
+                &["3", "large", "eggs", "beaten"],
+                &["QUANTITY", "SIZE", "NAME", "STATE"],
+            ),
+            seq(
+                &["1/2", "cup", "warm", "water"],
+                &["QUANTITY", "UNIT", "TEMP", "NAME"],
+            ),
+            seq(&["fresh", "basil", "leaves"], &["DF", "NAME", "NAME"]),
+        ];
+        let labels = recipe_ner::IngredientTag::label_set();
+        let model = SequenceModel::train(
+            &labels,
+            &data,
+            &TrainConfig {
+                trainer: Trainer::CrfLbfgs,
+                epochs: 8,
+                threads: 1,
+                ..TrainConfig::default()
+            },
+        );
+        let compiled = CompiledSequenceModel::compile(&model);
+
+        // Fixed decode set: in-domain phrases plus unseen tokens, so the
+        // out-of-vocabulary path is exercised too.
+        let phrases: Vec<Vec<String>> = [
+            &["2", "cups", "flour"][..],
+            &["1/2", "cup", "diced", "unseen-word"][..],
+            &["3", "small", "ripe", "tomatoes"][..],
+            &["fresh", "warm", "water"][..],
+            &["1", "pinch", "salt"][..],
+        ]
+        .iter()
+        .map(|p| p.iter().map(|w| w.to_string()).collect())
+        .collect();
+        let ner_reference =
+            serde_json::to_string(&phrases.iter().map(|p| model.predict(p)).collect::<Vec<_>>())
+                .expect("serialize reference NER decode");
+        let ner_compiled = serde_json::to_string(
+            &phrases
+                .iter()
+                .map(|p| compiled.predict(p))
+                .collect::<Vec<_>>(),
+        )
+        .expect("serialize compiled NER decode");
+
+        // Miniature POS tagger. "mix" is ambiguous (verb and noun) so it
+        // stays out of the tag dictionary and the perceptron path runs.
+        let ts = |words: &[&str], tags: &[PennTag]| -> (Vec<String>, Vec<PennTag>) {
+            (words.iter().map(|w| w.to_string()).collect(), tags.to_vec())
+        };
+        let mut pos_data = Vec::new();
+        for _ in 0..12 {
+            use PennTag::*;
+            pos_data.push(ts(&["2", "cups", "flour"], &[CD, NNS, NN]));
+            pos_data.push(ts(&["boil", "the", "water"], &[VB, DT, NN]));
+            pos_data.push(ts(&["finely", "chopped", "onion"], &[RB, VBN, NN]));
+            pos_data.push(ts(&["mix", "the", "batter"], &[VB, DT, NN]));
+            pos_data.push(ts(&["pour", "the", "mix"], &[VB, DT, NN]));
+            pos_data.push(ts(&["mix", "well"], &[VB, RB]));
+        }
+        let tagger = PosTagger::train(&pos_data, 6, 7);
+        let compiled_pos = CompiledPosTagger::compile(&tagger);
+        let tag_names =
+            |tags: &[PennTag]| -> Vec<&'static str> { tags.iter().map(|t| t.as_str()).collect() };
+        let pos_reference = serde_json::to_string(
+            &phrases
+                .iter()
+                .map(|p| tag_names(&tagger.tag(p)))
+                .collect::<Vec<_>>(),
+        )
+        .expect("serialize reference POS decode");
+        let pos_compiled = serde_json::to_string(
+            &phrases
+                .iter()
+                .map(|p| tag_names(&compiled_pos.tag(p)))
+                .collect::<Vec<_>>(),
+        )
+        .expect("serialize compiled POS decode");
+
+        CompiledDriftAudit {
+            ner_reference,
+            ner_compiled,
+            pos_reference,
+            pos_compiled,
+        }
+    }
+}
+
+/// RA208: the compiled decode of a frozen model must be byte-identical
+/// to the reference decode.
+pub fn lint_compiled_drift(audit: &CompiledDriftAudit) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (what, reference, compiled, location) in [
+        (
+            "CRF (sparse CSR Viterbi)",
+            &audit.ner_reference,
+            &audit.ner_compiled,
+            "invariant: recipe-ner CompiledSequenceModel vs SequenceModel::predict",
+        ),
+        (
+            "POS tagger (sparse CSR scoring)",
+            &audit.pos_reference,
+            &audit.pos_compiled,
+            "invariant: recipe-tagger CompiledPosTagger vs PosTagger::tag",
+        ),
+    ] {
+        if reference != compiled {
+            out.push(
+                Diagnostic::new(
+                    "RA208",
+                    format!("{what} decode differs from the reference decode"),
+                    location,
+                )
+                .with_note(
+                    "pruning exact-zero weights only perturbs ±0.0 intermediates, which are \
+                     invisible to comparisons — any drift is a real decoding bug",
+                ),
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,5 +569,23 @@ mod tests {
         assert_eq!(diags[0].code, "RA207");
         audit.kmeans_parallel.push('x');
         assert_eq!(lint_parallel_determinism(&audit).len(), 2);
+    }
+
+    #[test]
+    fn compiled_drift_audit_is_clean_on_current_workspace() {
+        let audit = CompiledDriftAudit::recompute();
+        let diags = lint_compiled_drift(&audit);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn corrupted_compiled_audit_fires_ra208() {
+        let mut audit = CompiledDriftAudit::recompute();
+        audit.ner_compiled.push('x');
+        let diags = lint_compiled_drift(&audit);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "RA208");
+        audit.pos_compiled.push('x');
+        assert_eq!(lint_compiled_drift(&audit).len(), 2);
     }
 }

@@ -16,7 +16,9 @@
 //!   cross-crate constants (36-dim tagset, k = 23, 47/10 thresholds,
 //!   label inventories) checked against each other, plus the parallel
 //!   determinism audit (RA207): miniature models retrained on worker
-//!   threads must be byte-identical to their serial artifacts;
+//!   threads must be byte-identical to their serial artifacts, and the
+//!   compiled-model drift audit (RA208): frozen sparse-CSR decoders must
+//!   reproduce the reference decode byte-for-byte;
 //! * **source scans** (`RA3xx`, [`source`]) — `unwrap()`/`expect()` in
 //!   non-test library code, leftover `todo!`/`dbg!`.
 //!
@@ -97,6 +99,12 @@ pub fn run_all(cfg: &Config) -> Result<Vec<Diagnostic>, AnalyzeError> {
     // serialized artifacts to the serial run, byte for byte.
     diags.extend(invariants::lint_parallel_determinism(
         &invariants::DeterminismAudit::recompute(2),
+    ));
+
+    // RA208: freeze miniature models into their compiled (CSR) forms and
+    // compare compiled vs. reference decodes, byte for byte.
+    diags.extend(invariants::lint_compiled_drift(
+        &invariants::CompiledDriftAudit::recompute(),
     ));
 
     // Corpus lints over a freshly generated corpus.

@@ -1,0 +1,213 @@
+//! Compiled-inference throughput benchmark.
+//!
+//! Times batch extraction through the compiled (sparse CSR + scratch
+//! arena) inference path with the phrase cache on and off, at 1, 2, 4
+//! and 8 worker threads, measures per-phrase extraction latency
+//! (p50/p99), verifies the compiled output is byte-identical to the
+//! reference (uncompiled, uncached) path, and writes a machine-readable
+//! report (default `BENCH_inference.json`).
+//!
+//! Usage: `inference_throughput [total_recipes] [seed] [out.json] [--smoke]`
+//!
+//! `--smoke` shrinks the corpus and sample count for CI: it checks that
+//! the benchmark runs end to end and that the identity assertions hold,
+//! not that the numbers are stable.
+
+use recipe_bench::timing::{Bench, Stats};
+use recipe_bench::ExperimentScale;
+use recipe_core::pipeline::TrainedPipeline;
+use recipe_corpus::{RecipeCorpus, Site};
+use recipe_runtime::Runtime;
+use serde_json::json;
+use std::time::{Duration, Instant};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Median single-thread `batch_extract` from the PR 2 baseline run of
+/// `parallel_scaling` (300 recipes, seed 42), the speedup reference for
+/// the compiled path.
+const PR2_BASELINE_MEDIAN_S: f64 = 0.384329347;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Time one `extract_ingredient` call per phrase and return sorted
+/// per-call latencies in seconds.
+fn phrase_latencies(pipeline: &TrainedPipeline, phrases: &[String]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(phrases.len());
+    for p in phrases {
+        let t0 = Instant::now();
+        std::hint::black_box(pipeline.extract_ingredient(p));
+        out.push(t0.elapsed().as_secs_f64());
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    out
+}
+
+fn latency_json(sorted: &[f64]) -> serde_json::Value {
+    json!({
+        "phrases": sorted.len(),
+        "p50_us": percentile(sorted, 0.50) * 1e6,
+        "p99_us": percentile(sorted, 0.99) * 1e6,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stats_json(
+    name: &str,
+    threads: usize,
+    total: usize,
+    s: &Stats,
+    baseline_median: f64,
+    phrase_latency: serde_json::Value,
+    cache: serde_json::Value,
+) -> serde_json::Value {
+    json!({
+        "name": name,
+        "threads": threads,
+        "median_s": s.median,
+        "mean_s": s.mean,
+        "min_s": s.min,
+        "iters": s.iters,
+        "samples": s.samples,
+        "recipes_per_s": total as f64 / s.median,
+        "speedup_vs_1_thread": baseline_median / s.median,
+        "phrase_latency": phrase_latency,
+        "cache": cache,
+    })
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = raw.iter().any(|a| a == "--smoke");
+    let mut args = raw.iter().filter(|a| a.as_str() != "--smoke");
+    let default_total = if smoke { 40 } else { 300 };
+    let total: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(default_total);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let out_path = args
+        .next()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_inference.json".into());
+
+    let scale = ExperimentScale::for_total(total, seed);
+    eprintln!("generating corpus of {total} recipes (seed {seed})...");
+    let corpus = RecipeCorpus::generate(&scale.corpus);
+    eprintln!("training pipeline...");
+    let pipeline = TrainedPipeline::train(&corpus, &scale.pipeline);
+
+    let phrases: Vec<String> = corpus
+        .phrases(Site::AllRecipes)
+        .iter()
+        .map(|p| p.text())
+        .collect();
+
+    // Reference output: the uncompiled, uncached decode path. Everything
+    // the compiled path produces must match this byte-for-byte.
+    eprintln!("computing reference (uncompiled, uncached) output...");
+    let reference = serde_json::to_string(
+        &pipeline.model_recipes_reference(&corpus.recipes, &Runtime::serial()),
+    )
+    .expect("serialize reference output");
+
+    let mut bench = Bench::default().sample_size(if smoke { 2 } else { 3 });
+    bench.target_time = Duration::from_millis(if smoke { 20 } else { 100 });
+
+    let mut results: Vec<serde_json::Value> = Vec::new();
+    let mut baselines = [0.0f64; 2];
+    let mut speedup_vs_pr2 = None;
+
+    for &t in &THREAD_COUNTS {
+        eprintln!("benchmarking at {t} thread(s)...");
+        let rt = Runtime::new(t);
+
+        // Identity audit at this thread count: compiled decode, with and
+        // without the cache, must reproduce the reference bytes.
+        pipeline.set_cache_enabled(true);
+        pipeline.inference.clear_caches();
+        let cached_json = serde_json::to_string(&pipeline.model_recipes(&corpus.recipes, &rt))
+            .expect("serialize cached output");
+        assert_eq!(
+            cached_json, reference,
+            "compiled+cached output differs from reference at {t} threads"
+        );
+        pipeline.set_cache_enabled(false);
+        let uncached_json = serde_json::to_string(&pipeline.model_recipes(&corpus.recipes, &rt))
+            .expect("serialize uncached output");
+        assert_eq!(
+            uncached_json, reference,
+            "compiled (no cache) output differs from reference at {t} threads"
+        );
+
+        // Compiled path, cache disabled.
+        pipeline.set_cache_enabled(false);
+        let nocache = bench.measure(|| pipeline.model_recipes(&corpus.recipes, &rt));
+        let lat_nocache = phrase_latencies(&pipeline, &phrases);
+
+        // Compiled path, cache enabled (steady state: the cache stays
+        // warm across iterations, as it would across a corpus).
+        pipeline.set_cache_enabled(true);
+        pipeline.inference.clear_caches();
+        let cached = bench.measure(|| pipeline.model_recipes(&corpus.recipes, &rt));
+        let stats = pipeline.cache_stats();
+        let lat_cached = phrase_latencies(&pipeline, &phrases);
+
+        if t == 1 {
+            baselines = [cached.median, nocache.median];
+            if total == 300 && seed == 42 {
+                speedup_vs_pr2 = Some(PR2_BASELINE_MEDIAN_S / cached.median);
+            }
+        }
+        results.push(stats_json(
+            "batch_extract_compiled_cached",
+            t,
+            total,
+            &cached,
+            baselines[0],
+            latency_json(&lat_cached),
+            json!({
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "entries": stats.entries,
+                "hit_rate": stats.hit_rate(),
+            }),
+        ));
+        results.push(stats_json(
+            "batch_extract_compiled_nocache",
+            t,
+            total,
+            &nocache,
+            baselines[1],
+            latency_json(&lat_nocache),
+            json!(null),
+        ));
+    }
+
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let report = json!({
+        "benchmark": "inference_throughput",
+        "total_recipes": total,
+        "seed": seed,
+        "smoke": smoke,
+        "hardware_threads": hardware_threads,
+        "pr2_baseline_batch_extract_1thread_median_s": PR2_BASELINE_MEDIAN_S,
+        "speedup_vs_pr2_baseline_1thread": speedup_vs_pr2,
+        "note": "compiled (CSR + scratch arena) decode verified byte-identical to the \
+                 reference path, cache on and off, at every thread count",
+        "deterministic": true,
+        "results": results,
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("render report");
+    std::fs::write(&out_path, format!("{rendered}\n")).expect("write report");
+    eprintln!("wrote {out_path}");
+    println!("{rendered}");
+}

@@ -18,7 +18,7 @@ pub enum Command {
         /// Worker threads (0 = `RECIPE_THREADS` env / detected cores).
         threads: usize,
     },
-    /// `extract --model <path> [--threads T] <phrase>...`
+    /// `extract --model <path> [--threads T] [--no-cache] <phrase>...`
     Extract {
         /// Trained artifact path.
         model: String,
@@ -26,8 +26,10 @@ pub enum Command {
         phrases: Vec<String>,
         /// Worker threads (0 = `RECIPE_THREADS` env / detected cores).
         threads: usize,
+        /// Disable the phrase-level extraction cache.
+        no_cache: bool,
     },
-    /// `mine --model <path> [--threads T] <recipe.txt>...`
+    /// `mine --model <path> [--threads T] [--no-cache] <recipe.txt>...`
     Mine {
         /// Trained artifact path.
         model: String,
@@ -35,6 +37,8 @@ pub enum Command {
         files: Vec<String>,
         /// Worker threads (0 = `RECIPE_THREADS` env / detected cores).
         threads: usize,
+        /// Disable the phrase-level extraction cache.
+        no_cache: bool,
     },
     /// `generate --out <dir> [--recipes N] [--seed S]`
     Generate {
@@ -163,7 +167,26 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
     let Some(cmd) = args.first() else {
         return Err(ArgsError::Missing);
     };
-    let rest = &args[1..];
+    // `--no-cache` is boolean, so it must be stripped before `split_flags`
+    // pairs every `--flag` with the following token. Only `extract` and
+    // `mine` accept it; elsewhere it is an explicit error.
+    let mut no_cache = false;
+    let rest: Vec<String> = args[1..]
+        .iter()
+        .filter(|a| {
+            if a.as_str() == "--no-cache" {
+                no_cache = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    if no_cache && !matches!(cmd.as_str(), "extract" | "mine") {
+        return Err(ArgsError::UnexpectedArg("--no-cache".to_string()));
+    }
+    let rest = rest.as_slice();
     let (flags, positional) = split_flags(rest);
     let command = match cmd.as_str() {
         "help" | "--help" | "-h" => Command::Help,
@@ -223,6 +246,7 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                 model,
                 phrases: positional,
                 threads: parse_threads(&flags)?,
+                no_cache,
             }
         }
         "mine" => {
@@ -237,6 +261,7 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                 model,
                 files: positional,
                 threads: parse_threads(&flags)?,
+                no_cache,
             }
         }
         // `lint` has boolean flags, so it parses `rest` itself instead of
@@ -340,8 +365,10 @@ recipe-mine — named-entity based recipe modelling
 USAGE:
   recipe-mine generate --out <dir> [--recipes N] [--seed S]
   recipe-mine train   --out <model.json> [--recipes N] [--seed S] [--threads T]
-  recipe-mine extract --model <model.json> [--threads T] <phrase>...
-  recipe-mine mine    --model <model.json> [--threads T] <recipe.txt>...
+  recipe-mine extract --model <model.json> [--threads T] [--no-cache]
+                      <phrase>...
+  recipe-mine mine    --model <model.json> [--threads T] [--no-cache]
+                      <recipe.txt>...
   recipe-mine lint    [--format human|json] [--deny-warnings]
                       [--model <model.json>] [--recipes N] [--seed S]
                       [--workspace [ROOT]] [--allow CODES] [--deny CODES]
@@ -351,6 +378,10 @@ USAGE:
 Parallelism: --threads T sets the worker-thread count for training and
 batch extraction (default: the RECIPE_THREADS environment variable, else
 the detected core count). Outputs are bit-identical at every value.
+
+Caching: extract and mine memoize per-phrase NER decodes and per-sentence
+event extraction in a bounded deterministic cache; --no-cache disables it.
+Outputs are byte-identical with the cache on or off.
 
 generate write a synthetic RecipeDB-like corpus as recipe text files
          (mineable with `mine`) plus corpus.jsonl with gold annotations
@@ -427,12 +458,54 @@ mod tests {
                 model,
                 phrases,
                 threads,
+                no_cache,
             } => {
                 assert_eq!(model, "m.json");
                 assert_eq!(phrases, vec!["2 cups flour", "1 egg"]);
                 assert_eq!(threads, 0);
+                assert!(!no_cache);
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_cache_flag_does_not_eat_the_next_token() {
+        // `--no-cache` is boolean: the positional after it must survive.
+        let parsed = parse_args(&s(&["extract", "--no-cache", "--model", "m", "1 egg"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Extract {
+                model: "m".into(),
+                phrases: vec!["1 egg".into()],
+                threads: 0,
+                no_cache: true,
+            }
+        );
+        let parsed = parse_args(&s(&["mine", "--model", "m", "--no-cache", "r.txt"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Mine {
+                model: "m".into(),
+                files: vec!["r.txt".into()],
+                threads: 0,
+                no_cache: true,
+            }
+        );
+    }
+
+    #[test]
+    fn no_cache_flag_rejected_elsewhere() {
+        for cmd in [
+            vec!["train", "--out", "x", "--no-cache"],
+            vec!["generate", "--out", "d", "--no-cache"],
+            vec!["lint", "--no-cache"],
+        ] {
+            assert_eq!(
+                parse_args(&s(&cmd)),
+                Err(ArgsError::UnexpectedArg("--no-cache".into())),
+                "{cmd:?}"
+            );
         }
     }
 

@@ -63,17 +63,19 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             model,
             phrases,
             threads,
+            no_cache,
         } => {
             recipe_runtime::set_global_threads(*threads);
-            extract(model, phrases)
+            extract(model, phrases, *no_cache)
         }
         Command::Mine {
             model,
             files,
             threads,
+            no_cache,
         } => {
             recipe_runtime::set_global_threads(*threads);
-            mine(model, files)
+            mine(model, files, *no_cache)
         }
         Command::Lint(opts) => {
             recipe_runtime::set_global_threads(opts.threads);
@@ -200,8 +202,21 @@ fn entry_json(entry: &recipe_core::IngredientEntry) -> serde_json::Value {
     })
 }
 
-fn extract(model: &str, phrases: &[String]) -> Result<String, CliError> {
+/// Cache hit/miss summary appended to `extract`/`mine` output.
+fn cache_json(pipeline: &TrainedPipeline, enabled: bool) -> serde_json::Value {
+    let stats = pipeline.cache_stats();
+    json!({
+        "enabled": enabled,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "entries": stats.entries,
+        "hit_rate": stats.hit_rate(),
+    })
+}
+
+fn extract(model: &str, phrases: &[String], no_cache: bool) -> Result<String, CliError> {
     let pipeline = TrainedPipeline::load(model)?;
+    pipeline.set_cache_enabled(!no_cache);
     let rows: Vec<serde_json::Value> = phrases
         .iter()
         .map(|p| {
@@ -209,14 +224,16 @@ fn extract(model: &str, phrases: &[String]) -> Result<String, CliError> {
             json!({ "phrase": p, "entry": entry_json(&e) })
         })
         .collect();
+    let out = json!({ "results": rows, "cache": cache_json(&pipeline, !no_cache) });
     Ok(format!(
         "{}\n",
-        serde_json::to_string_pretty(&rows).expect("json")
+        serde_json::to_string_pretty(&out).expect("json")
     ))
 }
 
-fn mine(model: &str, files: &[String]) -> Result<String, CliError> {
+fn mine(model: &str, files: &[String], no_cache: bool) -> Result<String, CliError> {
     let pipeline = TrainedPipeline::load(model)?;
+    pipeline.set_cache_enabled(!no_cache);
     let mut out = Vec::new();
     for path in files {
         let content = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
@@ -237,6 +254,7 @@ fn mine(model: &str, files: &[String]) -> Result<String, CliError> {
             "process_sequence": modeled.process_sequence(),
         }));
     }
+    let out = json!({ "results": out, "cache": cache_json(&pipeline, !no_cache) });
     Ok(format!(
         "{}\n",
         serde_json::to_string_pretty(&out).expect("json")
@@ -277,16 +295,34 @@ mod tests {
         assert!(out.contains("artifact"));
         assert!(model_path.exists());
 
-        // extract
+        // extract (repeat a phrase so the cache registers a hit)
         let out = run(&Command::Extract {
             model: model.clone(),
-            phrases: vec!["2 cups flour".into()],
+            phrases: vec!["2 cups flour".into(), "2 cups flour".into()],
             threads: 0,
+            no_cache: false,
         })
         .unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
-        assert_eq!(parsed[0]["entry"]["name"], "flour");
-        assert_eq!(parsed[0]["entry"]["unit"], "cup");
+        assert_eq!(parsed["results"][0]["entry"]["name"], "flour");
+        assert_eq!(parsed["results"][0]["entry"]["unit"], "cup");
+        assert_eq!(parsed["cache"]["enabled"], true);
+        assert!(parsed["cache"]["hits"].as_u64().unwrap() >= 1, "{out}");
+        assert!(parsed["cache"]["entries"].as_u64().unwrap() >= 1, "{out}");
+
+        // extract with the cache disabled: same entries, zero cache traffic
+        let out_nc = run(&Command::Extract {
+            model: model.clone(),
+            phrases: vec!["2 cups flour".into(), "2 cups flour".into()],
+            threads: 0,
+            no_cache: true,
+        })
+        .unwrap();
+        let parsed_nc: serde_json::Value = serde_json::from_str(&out_nc).unwrap();
+        assert_eq!(parsed_nc["results"], parsed["results"]);
+        assert_eq!(parsed_nc["cache"]["enabled"], false);
+        assert_eq!(parsed_nc["cache"]["hits"], 0);
+        assert_eq!(parsed_nc["cache"]["entries"], 0);
 
         // mine
         let recipe_path = tmp("cli_recipe.txt");
@@ -299,11 +335,19 @@ mod tests {
             model: model.clone(),
             files: vec![recipe_path.to_string_lossy().to_string()],
             threads: 0,
+            no_cache: false,
         })
         .unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
-        assert_eq!(parsed[0]["title"], "test soup");
-        assert_eq!(parsed[0]["ingredients"].as_array().unwrap().len(), 2);
+        assert_eq!(parsed["results"][0]["title"], "test soup");
+        assert_eq!(
+            parsed["results"][0]["ingredients"]
+                .as_array()
+                .unwrap()
+                .len(),
+            2
+        );
+        assert!(parsed["cache"]["misses"].as_u64().unwrap() >= 1, "{out}");
 
         std::fs::remove_file(&model_path).ok();
         std::fs::remove_file(&recipe_path).ok();
@@ -336,6 +380,7 @@ mod tests {
             model: "/nonexistent/model.json".into(),
             phrases: vec!["salt".into()],
             threads: 0,
+            no_cache: false,
         })
         .unwrap_err();
         assert!(err.to_string().contains("model artifact"));

@@ -122,7 +122,25 @@ fn train_then_extract_through_the_binary() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     let parsed: serde_json::Value = serde_json::from_str(&stdout).expect("json stdout");
-    assert_eq!(parsed[0]["entry"]["name"], "flour");
+    assert_eq!(parsed["results"][0]["entry"]["name"], "flour");
+    assert_eq!(parsed["cache"]["enabled"], true);
+
+    // --no-cache produces the same result with the cache disabled.
+    let out = bin()
+        .args([
+            "extract",
+            "--no-cache",
+            "--model",
+            model.to_str().unwrap(),
+            "2 cups flour",
+        ])
+        .output()
+        .expect("spawn extract --no-cache");
+    assert!(out.status.success());
+    let stdout_nc = String::from_utf8_lossy(&out.stdout);
+    let parsed_nc: serde_json::Value = serde_json::from_str(&stdout_nc).expect("json stdout");
+    assert_eq!(parsed_nc["results"], parsed["results"]);
+    assert_eq!(parsed_nc["cache"]["enabled"], false);
 
     std::fs::remove_dir_all(&dir).ok();
 }

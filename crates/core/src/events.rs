@@ -59,7 +59,9 @@ impl RelationStats {
 }
 
 /// Extract the event tuples for one instruction sentence given its raw
-/// tokens. `step` is the temporal index recorded on each event.
+/// tokens, through the compiled POS/NER models and the sentence-level
+/// event cache. `step` is the temporal index recorded on each event.
+/// Byte-identical to [`extract_sentence_events_reference`].
 pub fn extract_sentence_events(
     pipeline: &TrainedPipeline,
     words: &[String],
@@ -68,10 +70,41 @@ pub fn extract_sentence_events(
     if words.is_empty() {
         return Vec::new();
     }
+    pipeline.inference.events_for_sentence(words, step, || {
+        let pos = pipeline.inference.pos_tag(words);
+        let ner = pipeline.inference.tag_instruction(words);
+        events_from_analysis(pipeline, words, &pos, &ner, step)
+    })
+}
+
+/// Reference extraction path: uncompiled models, no cache. The compiled
+/// path is verified byte-identical against this (tests, lint rule RA208,
+/// and the inference benches' speedup baseline).
+pub fn extract_sentence_events_reference(
+    pipeline: &TrainedPipeline,
+    words: &[String],
+    step: usize,
+) -> Vec<CookingEvent> {
+    if words.is_empty() {
+        return Vec::new();
+    }
     let pos = pipeline.pos.tag(words);
-    let tree = pipeline.parser.parse(words, &pos);
     let ner = tag_instruction(&pipeline.instruction_ner, words);
-    let frames = verb_frames(&tree, &pos);
+    events_from_analysis(pipeline, words, &pos, &ner, step)
+}
+
+/// Shared second half of sentence-event extraction: parse, collect verb
+/// frames, apply the dictionary/NER process filter, and merge each verb
+/// instance's relations into one compound event (Fig. 5).
+fn events_from_analysis(
+    pipeline: &TrainedPipeline,
+    words: &[String],
+    pos: &[recipe_tagger::PennTag],
+    ner: &[InstructionTag],
+    step: usize,
+) -> Vec<CookingEvent> {
+    let tree = pipeline.parser.parse(words, pos);
+    let frames = verb_frames(&tree, pos);
 
     let lemma_verb = |w: &str| {
         pipeline
@@ -97,7 +130,7 @@ pub fn extract_sentence_events(
         for arg in frame.all_arguments() {
             match ner[arg] {
                 InstructionTag::Ingredient => {
-                    let name = expand_name(words, &ner, arg, &lemma_noun);
+                    let name = expand_name(words, ner, arg, &lemma_noun);
                     if !ingredients.contains(&name) {
                         ingredients.push(name);
                     }
@@ -147,6 +180,25 @@ pub fn extract_recipe_events(pipeline: &TrainedPipeline, recipe: &Recipe) -> Vec
     for (step, sentences) in recipe.steps().iter().enumerate() {
         for sent in sentences {
             events.extend(extract_sentence_events(pipeline, &sent.words(), step));
+        }
+    }
+    events
+}
+
+/// Reference (uncompiled, uncached) counterpart of
+/// [`extract_recipe_events`]; byte-identical output.
+pub fn extract_recipe_events_reference(
+    pipeline: &TrainedPipeline,
+    recipe: &Recipe,
+) -> Vec<CookingEvent> {
+    let mut events = Vec::new();
+    for (step, sentences) in recipe.steps().iter().enumerate() {
+        for sent in sentences {
+            events.extend(extract_sentence_events_reference(
+                pipeline,
+                &sent.words(),
+                step,
+            ));
         }
     }
     events

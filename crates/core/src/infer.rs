@@ -1,0 +1,418 @@
+//! The compiled inference layer: frozen CSR models plus a bounded,
+//! deterministic phrase-level memoization cache.
+//!
+//! A trained [`crate::pipeline::TrainedPipeline`] carries an [`Inference`]
+//! bundle built at train/load time. It freezes the ingredient NER, the
+//! instruction NER and the POS tagger into their compiled sparse forms
+//! (see `recipe_ner::compiled` and `recipe_tagger::compiled`) and fronts
+//! the two hottest per-phrase computations with memoization caches:
+//!
+//! * **ingredient cache** — preprocessed ingredient phrase → parsed
+//!   [`IngredientEntry`]. Keys are the preprocessed (lowercased,
+//!   lemmatized) tokens, so `"2 Cups Flour"` and `"2 cups flour"` share an
+//!   entry — the same case/width normalization the tokenizer applies.
+//! * **event cache** — raw instruction sentence → its [`CookingEvent`]s.
+//!   Keys are the verbatim tokens (the analysis pipeline is
+//!   case-sensitive); the step index is patched on retrieval since it is
+//!   the only step-dependent field.
+//!
+//! Cached values are pure functions of their keys and every model is
+//! frozen, so results are **identical** with the cache on or off, at any
+//! thread count, with any eviction history — the cache can only change
+//! *when* a value is computed, never *what* it is. Capacity is bounded by
+//! refusing inserts once a shard is full (no eviction), which keeps memory
+//! flat on adversarial corpora while keeping behavior trivially
+//! deterministic. Hit/miss counters are monitoring-only and surfaced in
+//! the CLI extract/mine output and the `inference_throughput` bench.
+//!
+//! Decode scratch (Viterbi buffers, feature-id buffers, tag rows) lives in
+//! thread-locals: the deterministic runtime's workers have no init hook,
+//! and a thread-local arena gives exactly the once-per-worker reuse the
+//! compiled decoders are designed for.
+
+use crate::model::{CookingEvent, IngredientEntry};
+use crate::pipeline::entry_from_tagged;
+use recipe_ner::{
+    CompiledSequenceModel, DecodeScratch, IngredientTag, InstructionTag, SequenceModel,
+};
+use recipe_tagger::{CompiledPosTagger, PennTag, PosTagger, TagScratch};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked cache shards. A power of two keeps the
+/// shard pick a cheap mask; 16 shards keep contention negligible at the
+/// runtime's worker counts.
+const CACHE_SHARDS: usize = 16;
+
+/// Default per-cache capacity (entries across all shards).
+const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
+
+/// Separator for joining tokens into cache keys. A control character that
+/// the tokenizer never emits inside a token, so distinct token sequences
+/// never collide.
+const KEY_SEP: char = '\u{1f}';
+
+/// Join tokens into a cache key.
+fn cache_key(words: &[String]) -> String {
+    let mut key = String::with_capacity(words.iter().map(|w| w.len() + 1).sum());
+    for (i, w) in words.iter().enumerate() {
+        if i > 0 {
+            key.push(KEY_SEP);
+        }
+        key.push_str(w);
+    }
+    key
+}
+
+/// Monitoring counters for one memoization cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Combine two counters (for reporting totals across caches).
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            entries: self.entries + other.entries,
+        }
+    }
+}
+
+/// A bounded, sharded memoization cache shared across runtime workers.
+///
+/// Inserts are refused once a shard reaches its capacity slice — values
+/// are pure functions of keys, so dropping an insert only costs a future
+/// recompute and can never change results. Hit/miss counters are relaxed
+/// atomics: they are monitoring data, not part of any decoded output.
+#[derive(Debug)]
+struct ShardedCache<V> {
+    shards: Vec<Mutex<HashMap<String, V>>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Clone> ShardedCache<V> {
+    fn new(capacity: usize) -> Self {
+        ShardedCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            per_shard_capacity: capacity.div_ceil(CACHE_SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> usize {
+        // DefaultHasher::new() is seed-free: shard placement is identical
+        // across runs and across threads.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) & (CACHE_SHARDS - 1)
+    }
+
+    fn get(&self, key: &str) -> Option<V> {
+        let shard = self.shards[self.shard_of(key)].lock().expect("cache lock");
+        match shard.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: String, value: V) {
+        let mut shard = self.shards[self.shard_of(&key)].lock().expect("cache lock");
+        if shard.len() < self.per_shard_capacity {
+            shard.insert(key, value);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache lock").len())
+            .sum()
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("cache lock").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+thread_local! {
+    /// Per-worker NER decode scratch: Viterbi buffers, feature ids, the
+    /// label-id output row and the mapped tag row.
+    static NER_SCRATCH: RefCell<(DecodeScratch, Vec<usize>, Vec<IngredientTag>, Vec<InstructionTag>)> =
+        RefCell::new((DecodeScratch::new(), Vec::new(), Vec::new(), Vec::new()));
+    /// Per-worker POS tagging scratch and tag output row.
+    static POS_SCRATCH: RefCell<(TagScratch, Vec<PennTag>)> =
+        RefCell::new((TagScratch::new(), Vec::new()));
+}
+
+/// Compiled models plus phrase caches — the serving half of a trained
+/// pipeline. Frozen at construction: retraining or mutating the source
+/// models requires rebuilding (see
+/// [`crate::pipeline::TrainedPipeline::recompile`]).
+#[derive(Debug)]
+pub struct Inference {
+    ingredient: CompiledSequenceModel,
+    /// Label id → ingredient tag, mirroring `predict` + `parse` exactly.
+    ingredient_tag_of: Vec<IngredientTag>,
+    instruction: CompiledSequenceModel,
+    /// Label id → instruction tag.
+    instruction_tag_of: Vec<InstructionTag>,
+    pos: CompiledPosTagger,
+    ingredient_cache: ShardedCache<IngredientEntry>,
+    event_cache: ShardedCache<Vec<CookingEvent>>,
+    cache_enabled: AtomicBool,
+}
+
+impl Inference {
+    /// Freeze the trained models into their compiled forms with empty
+    /// caches (enabled by default).
+    pub fn compile(
+        pos: &PosTagger,
+        ingredient_ner: &SequenceModel,
+        instruction_ner: &SequenceModel,
+    ) -> Self {
+        let ingredient = CompiledSequenceModel::compile(ingredient_ner);
+        let instruction = CompiledSequenceModel::compile(instruction_ner);
+        let ingredient_tag_of = (0..ingredient.labels().len())
+            .map(|id| {
+                IngredientTag::parse(ingredient.labels().name(id)).unwrap_or(IngredientTag::O)
+            })
+            .collect();
+        let instruction_tag_of = (0..instruction.labels().len())
+            .map(|id| {
+                InstructionTag::parse(instruction.labels().name(id)).unwrap_or(InstructionTag::O)
+            })
+            .collect();
+        Inference {
+            ingredient,
+            ingredient_tag_of,
+            instruction,
+            instruction_tag_of,
+            pos: CompiledPosTagger::compile(pos),
+            ingredient_cache: ShardedCache::new(DEFAULT_CACHE_CAPACITY),
+            event_cache: ShardedCache::new(DEFAULT_CACHE_CAPACITY),
+            cache_enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// The compiled ingredient NER model.
+    pub fn ingredient_model(&self) -> &CompiledSequenceModel {
+        &self.ingredient
+    }
+
+    /// The compiled instruction NER model.
+    pub fn instruction_model(&self) -> &CompiledSequenceModel {
+        &self.instruction
+    }
+
+    /// The compiled POS tagger.
+    pub fn pos_model(&self) -> &CompiledPosTagger {
+        &self.pos
+    }
+
+    /// Enable or disable both phrase caches. Results are identical either
+    /// way; disabling exists for benchmarking and the `--no-cache` CLI
+    /// flag.
+    pub fn set_cache_enabled(&self, enabled: bool) {
+        self.cache_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the phrase caches are consulted.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Drop all cached entries and reset the counters.
+    pub fn clear_caches(&self) {
+        self.ingredient_cache.clear();
+        self.event_cache.clear();
+    }
+
+    /// Counters for the ingredient-phrase cache.
+    pub fn ingredient_cache_stats(&self) -> CacheStats {
+        self.ingredient_cache.stats()
+    }
+
+    /// Counters for the instruction-sentence event cache.
+    pub fn event_cache_stats(&self) -> CacheStats {
+        self.event_cache.stats()
+    }
+
+    /// Combined counters over both caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.ingredient_cache_stats()
+            .merged(&self.event_cache_stats())
+    }
+
+    /// Parse one *preprocessed* ingredient phrase into an entry via the
+    /// compiled NER model, memoized on the preprocessed tokens.
+    pub fn ingredient_entry(&self, words: &[String]) -> IngredientEntry {
+        if self.cache_enabled() {
+            let key = cache_key(words);
+            if let Some(entry) = self.ingredient_cache.get(&key) {
+                return entry;
+            }
+            let entry = self.ingredient_entry_uncached(words);
+            self.ingredient_cache.insert(key, entry.clone());
+            entry
+        } else {
+            self.ingredient_entry_uncached(words)
+        }
+    }
+
+    fn ingredient_entry_uncached(&self, words: &[String]) -> IngredientEntry {
+        NER_SCRATCH.with(|cell| {
+            let (scratch, ids, tags, _) = &mut *cell.borrow_mut();
+            self.ingredient.predict_ids_into(words, scratch, ids);
+            tags.clear();
+            tags.extend(ids.iter().map(|&id| self.ingredient_tag_of[id]));
+            entry_from_tagged(words, tags)
+        })
+    }
+
+    /// Instruction NER tags for a sentence via the compiled model
+    /// (identical to `tag_instruction` on the source model).
+    pub fn tag_instruction(&self, words: &[String]) -> Vec<InstructionTag> {
+        NER_SCRATCH.with(|cell| {
+            let (scratch, ids, _, tags) = &mut *cell.borrow_mut();
+            self.instruction.predict_ids_into(words, scratch, ids);
+            tags.clear();
+            tags.extend(ids.iter().map(|&id| self.instruction_tag_of[id]));
+            tags.clone()
+        })
+    }
+
+    /// POS tags for a sentence via the compiled tagger (identical to
+    /// [`PosTagger::tag`] on the source tagger).
+    pub fn pos_tag(&self, words: &[String]) -> Vec<PennTag> {
+        POS_SCRATCH.with(|cell| {
+            let (scratch, tags) = &mut *cell.borrow_mut();
+            self.pos.tag_into(words, scratch, tags);
+            tags.clone()
+        })
+    }
+
+    /// Cached events for a sentence: `compute` runs on a miss. The cached
+    /// value's `step` field is patched on every hit — it is the only
+    /// step-dependent field of an event.
+    pub(crate) fn events_for_sentence(
+        &self,
+        words: &[String],
+        step: usize,
+        compute: impl FnOnce() -> Vec<CookingEvent>,
+    ) -> Vec<CookingEvent> {
+        if !self.cache_enabled() {
+            return compute();
+        }
+        let key = cache_key(words);
+        if let Some(mut events) = self.event_cache.get(&key) {
+            for e in &mut events {
+                e.step = step;
+            }
+            return events;
+        }
+        let events = compute();
+        self.event_cache.insert(key, events.clone());
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_key_is_injective_on_token_boundaries() {
+        let a = cache_key(&["ab".to_string(), "c".to_string()]);
+        let b = cache_key(&["a".to_string(), "bc".to_string()]);
+        let c = cache_key(&["ab c".to_string()]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        assert_eq!(cache_key(&[]), "");
+    }
+
+    #[test]
+    fn sharded_cache_bounds_capacity_and_counts() {
+        let cache: ShardedCache<usize> = ShardedCache::new(CACHE_SHARDS * 2);
+        assert_eq!(cache.per_shard_capacity, 2);
+        for i in 0..200 {
+            let key = format!("key-{i}");
+            if cache.get(&key).is_none() {
+                cache.insert(key, i);
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= CACHE_SHARDS * 2, "{}", stats.entries);
+        assert_eq!(stats.misses, 200);
+        // Full shards refuse inserts; stored values stay correct.
+        for i in 0..200 {
+            if let Some(v) = cache.get(&format!("key-{i}")) {
+                assert_eq!(v, i);
+            }
+        }
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.hits, stats.misses), (0, 0, 0));
+    }
+
+    #[test]
+    fn cache_stats_hit_rate() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 1,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let merged = s.merged(&CacheStats {
+            hits: 1,
+            misses: 3,
+            entries: 2,
+        });
+        assert_eq!((merged.hits, merged.misses, merged.entries), (4, 4, 3));
+    }
+}

@@ -38,6 +38,7 @@ pub mod cuisine;
 pub mod events;
 pub mod generation;
 pub mod graph;
+pub mod infer;
 pub mod instructions;
 pub mod model;
 pub mod nutrition;
@@ -47,6 +48,7 @@ pub mod quantity;
 pub mod render;
 pub mod similarity;
 
+pub use infer::{CacheStats, Inference};
 pub use model::{CookingEvent, IngredientEntry, RecipeModel};
 pub use pipeline::{IngredientExtractor, PipelineConfig, TrainedPipeline};
 pub use quantity::Quantity;

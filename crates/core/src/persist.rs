@@ -97,6 +97,11 @@ impl TrainedPipeline {
                 expected: ARTIFACT_VERSION,
             });
         }
+        let inference = crate::infer::Inference::compile(
+            &artifact.pos,
+            &artifact.ingredient_ner,
+            &artifact.instruction_ner,
+        );
         Ok(TrainedPipeline {
             pre: Preprocessor::default(),
             pos: artifact.pos,
@@ -105,6 +110,7 @@ impl TrainedPipeline {
             parser: artifact.parser,
             dicts: artifact.dicts,
             site_datasets: Vec::new(),
+            inference,
         })
     }
 

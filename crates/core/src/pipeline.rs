@@ -18,6 +18,7 @@
 //!    utensil dictionaries by frequency thresholding (47 / 10 in the
 //!    paper).
 
+use crate::infer::{CacheStats, Inference};
 use crate::instructions::{build_dictionaries, Dictionaries};
 use crate::model::{IngredientEntry, RecipeModel};
 use recipe_cluster::{stratified_split, KMeans, KMeansConfig};
@@ -348,6 +349,10 @@ pub struct TrainedPipeline {
     pub dicts: Dictionaries,
     /// Per-site ingredient datasets (kept for evaluation and Table III).
     pub site_datasets: Vec<SiteDataset>,
+    /// Compiled serving layer: frozen CSR models + phrase caches. Built
+    /// from the models above at train/load time; call
+    /// [`TrainedPipeline::recompile`] after mutating them.
+    pub inference: Inference,
 }
 
 /// Train the POS-tagger substrate on the corpus's gold POS annotations
@@ -404,6 +409,7 @@ impl TrainedPipeline {
             &rt,
         );
 
+        let inference = Inference::compile(&pos, &ingredient_ner, &instruction_ner);
         TrainedPipeline {
             pre,
             pos,
@@ -412,11 +418,41 @@ impl TrainedPipeline {
             parser,
             dicts,
             site_datasets: vec![ds_ar, ds_fc],
+            inference,
         }
     }
 
-    /// Extract the structured entry for one raw ingredient phrase.
+    /// Rebuild the compiled inference layer from the current models and
+    /// drop the phrase caches. Required after mutating a model in place
+    /// (e.g. through `params_mut`): the compiled layer snapshots weights
+    /// at build time and does not track later edits.
+    pub fn recompile(&mut self) {
+        self.inference = Inference::compile(&self.pos, &self.ingredient_ner, &self.instruction_ner);
+    }
+
+    /// Enable or disable the phrase caches (results are identical either
+    /// way — see the `--no-cache` CLI flag and the inference benches).
+    pub fn set_cache_enabled(&self, enabled: bool) {
+        self.inference.set_cache_enabled(enabled);
+    }
+
+    /// Combined hit/miss/entry counters over both phrase caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inference.cache_stats()
+    }
+
+    /// Extract the structured entry for one raw ingredient phrase, through
+    /// the compiled NER model and the phrase cache. Byte-identical to
+    /// [`Self::extract_ingredient_reference`] on every input.
     pub fn extract_ingredient(&self, phrase: &str) -> IngredientEntry {
+        let words = self.pre.preprocess(phrase);
+        self.inference.ingredient_entry(&words)
+    }
+
+    /// Reference extraction path: the uncompiled, uncached decode the
+    /// compiled path is verified against (tests, lint rule RA208, and the
+    /// speedup baseline in the inference benches).
+    pub fn extract_ingredient_reference(&self, phrase: &str) -> IngredientEntry {
         let words = self.pre.preprocess(phrase);
         let tags: Vec<IngredientTag> = self
             .ingredient_ner
@@ -445,12 +481,37 @@ impl TrainedPipeline {
         }
     }
 
+    /// Reference (uncompiled, uncached) counterpart of
+    /// [`Self::model_recipe`]; byte-identical output.
+    pub fn model_recipe_reference(&self, recipe: &Recipe) -> RecipeModel {
+        let ingredients: Vec<IngredientEntry> = recipe
+            .ingredient_lines()
+            .iter()
+            .map(|line| self.extract_ingredient_reference(line))
+            .collect();
+        let events = crate::events::extract_recipe_events_reference(self, recipe);
+        RecipeModel {
+            id: recipe.id,
+            title: recipe.title.clone(),
+            cuisine: recipe.cuisine.clone(),
+            ingredients,
+            events,
+            num_steps: recipe.num_steps(),
+        }
+    }
+
     /// Mine [`RecipeModel`]s for a batch of recipes on `rt`. Every recipe
     /// is mined independently, so the ordered parallel map returns exactly
     /// the same models as a serial [`Self::model_recipe`] loop, in input
     /// order, at any thread count.
     pub fn model_recipes(&self, recipes: &[Recipe], rt: &Runtime) -> Vec<RecipeModel> {
         rt.par_map(recipes, |_, r| self.model_recipe(r))
+    }
+
+    /// Reference (uncompiled, uncached) counterpart of
+    /// [`Self::model_recipes`]; byte-identical output at any thread count.
+    pub fn model_recipes_reference(&self, recipes: &[Recipe], rt: &Runtime) -> Vec<RecipeModel> {
+        rt.par_map(recipes, |_, r| self.model_recipe_reference(r))
     }
 
     /// Mine a recipe from **raw text**: ingredient lines plus instruction
@@ -671,6 +732,89 @@ mod tests {
                 assert_eq!(b.events, s.events, "threads {t}");
             }
         }
+    }
+
+    #[test]
+    fn compiled_extraction_matches_reference_with_cache_on_and_off() {
+        let (corpus, pipeline) = tiny_pipeline();
+        let phrases = [
+            "2 cups flour",
+            "1 sheet frozen puff pastry ( thawed )",
+            "2-3 medium tomatoes , finely chopped",
+            "salt",
+        ];
+        for cached in [true, false] {
+            pipeline.set_cache_enabled(cached);
+            for p in &phrases {
+                assert_eq!(
+                    pipeline.extract_ingredient(p),
+                    pipeline.extract_ingredient_reference(p),
+                    "cached={cached} phrase={p:?}"
+                );
+                // Second call exercises the hit path when caching is on.
+                assert_eq!(
+                    pipeline.extract_ingredient(p),
+                    pipeline.extract_ingredient_reference(p),
+                    "cached={cached} phrase={p:?} (repeat)"
+                );
+            }
+            for r in corpus.recipes.iter().take(4) {
+                let compiled = pipeline.model_recipe(r);
+                let reference = pipeline.model_recipe_reference(r);
+                assert_eq!(
+                    serde_json::to_string(&compiled).unwrap(),
+                    serde_json::to_string(&reference).unwrap(),
+                    "cached={cached} recipe={}",
+                    r.id
+                );
+            }
+        }
+        pipeline.set_cache_enabled(true);
+        let stats = pipeline.cache_stats();
+        assert!(stats.hits > 0, "cache never hit: {stats:?}");
+        assert!(stats.entries > 0);
+    }
+
+    #[test]
+    fn event_cache_patches_step_on_hits() {
+        let (_, pipeline) = tiny_pipeline();
+        let words: Vec<String> = ["Boil", "the", "water", "."]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let at_step_0 = crate::events::extract_sentence_events(&pipeline, &words, 0);
+        // Same sentence at a different step: served from cache, step patched.
+        let at_step_5 = crate::events::extract_sentence_events(&pipeline, &words, 5);
+        assert_eq!(at_step_0.len(), at_step_5.len());
+        for (a, b) in at_step_0.iter().zip(&at_step_5) {
+            assert_eq!(a.process, b.process);
+            assert_eq!(a.ingredients, b.ingredients);
+            assert_eq!(a.utensils, b.utensils);
+            assert_eq!(b.step, 5);
+        }
+        let reference = crate::events::extract_sentence_events_reference(&pipeline, &words, 5);
+        assert_eq!(at_step_5, reference);
+    }
+
+    #[test]
+    fn recompile_tracks_model_mutation() {
+        let (_, mut pipeline) = tiny_pipeline();
+        let before = pipeline.extract_ingredient("2 cups flour");
+        // Zero out the ingredient NER: the stale compiled layer keeps the
+        // old behavior until recompile.
+        let params = pipeline.ingredient_ner.params_mut();
+        params.emit.iter_mut().for_each(|w| *w = 0.0);
+        params.trans.iter_mut().for_each(|w| *w = 0.0);
+        params.start.iter_mut().for_each(|w| *w = 0.0);
+        params.end.iter_mut().for_each(|w| *w = 0.0);
+        pipeline.set_cache_enabled(false);
+        assert_eq!(pipeline.extract_ingredient("2 cups flour"), before);
+        pipeline.recompile();
+        pipeline.set_cache_enabled(false);
+        assert_eq!(
+            pipeline.extract_ingredient("2 cups flour"),
+            pipeline.extract_ingredient_reference("2 cups flour")
+        );
     }
 
     #[test]

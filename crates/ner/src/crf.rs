@@ -94,7 +94,14 @@ struct Lattice {
 fn build_lattice(params: &Params, feats: &[Vec<u32>]) -> Lattice {
     let n = feats.len();
     let l = params.n_labels;
-    let emits: Vec<Vec<f64>> = feats.iter().map(|f| params.emit_row(f)).collect();
+    let emits: Vec<Vec<f64>> = feats
+        .iter()
+        .map(|f| {
+            let mut row = vec![0.0f64; l];
+            params.emit_row_into(f, &mut row);
+            row
+        })
+        .collect();
 
     let mut alpha = vec![vec![0.0f64; l]; n];
     for y in 0..l {

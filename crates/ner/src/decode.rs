@@ -56,17 +56,30 @@ impl Params {
     /// position. Features beyond the emission block are ignored (they were
     /// interned after this parameter block stopped growing).
     pub fn emit_row(&self, feats: &[u32]) -> Vec<f64> {
+        let mut row = vec![0.0; self.n_labels];
+        self.emit_row_into(feats, &mut row);
+        row
+    }
+
+    /// Emission scores for one position, written into a caller-provided
+    /// buffer of length `n_labels`. This is the allocation-free primitive
+    /// behind Viterbi, n-best decoding and the forward–backward lattice;
+    /// [`Params::emit_row`] is the allocating convenience wrapper.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != n_labels`.
+    pub fn emit_row_into(&self, feats: &[u32], out: &mut [f64]) {
         let l = self.n_labels;
-        let mut row = vec![0.0; l];
+        assert_eq!(out.len(), l, "emission buffer has the wrong label count");
+        out.fill(0.0);
         for &f in feats {
             let base = f as usize * l;
             if base + l <= self.emit.len() {
-                for (y, r) in row.iter_mut().enumerate() {
+                for (y, r) in out.iter_mut().enumerate() {
                     *r += self.emit[base + y];
                 }
             }
         }
-        row
     }
 
     /// Total score of a specific label sequence.
@@ -77,13 +90,10 @@ impl Params {
         }
         let l = self.n_labels;
         let mut s = self.start[labels[0]] + self.end[labels[labels.len() - 1]];
+        let mut row = vec![0.0f64; l];
         for (t, &y) in labels.iter().enumerate() {
-            for &f in &feats[t] {
-                let idx = f as usize * l + y;
-                if idx < self.emit.len() {
-                    s += self.emit[idx];
-                }
-            }
+            self.emit_row_into(&feats[t], &mut row);
+            s += row[y];
             if t > 0 {
                 s += self.trans[labels[t - 1] * l + y];
             }
@@ -112,13 +122,14 @@ pub fn viterbi(params: &Params, feats: &[Vec<u32>]) -> Vec<usize> {
     // delta[t][y]: best score of any path ending in y at t.
     let mut delta = vec![vec![0.0f64; l]; n];
     let mut back = vec![vec![0usize; l]; n];
+    let mut et = vec![0.0f64; l];
 
-    let e0 = params.emit_row(&feats[0]);
+    params.emit_row_into(&feats[0], &mut et);
     for y in 0..l {
-        delta[0][y] = params.start[y] + e0[y];
+        delta[0][y] = params.start[y] + et[y];
     }
     for t in 1..n {
-        let et = params.emit_row(&feats[t]);
+        params.emit_row_into(&feats[t], &mut et);
         for y in 0..l {
             let mut best = f64::NEG_INFINITY;
             let mut arg = 0usize;
@@ -263,16 +274,17 @@ pub fn viterbi_nbest(params: &Params, feats: &[Vec<u32>], n: usize) -> Vec<(Vec<
     let l = params.n_labels;
     // hyp[t][y] = sorted list of (score, prev_label, prev_rank).
     let mut hyp: Vec<Vec<Vec<(f64, usize, usize)>>> = Vec::with_capacity(len);
+    let mut et = vec![0.0f64; l];
 
-    let e0 = params.emit_row(&feats[0]);
+    params.emit_row_into(&feats[0], &mut et);
     hyp.push(
         (0..l)
-            .map(|y| vec![(params.start[y] + e0[y], usize::MAX, 0)])
+            .map(|y| vec![(params.start[y] + et[y], usize::MAX, 0)])
             .collect(),
     );
 
     for t in 1..len {
-        let et = params.emit_row(&feats[t]);
+        params.emit_row_into(&feats[t], &mut et);
         let mut row: Vec<Vec<(f64, usize, usize)>> = Vec::with_capacity(l);
         for y in 0..l {
             let mut cands: Vec<(f64, usize, usize)> = Vec::new();

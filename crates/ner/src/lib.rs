@@ -41,6 +41,7 @@
 //! assert_eq!(pred, ["QUANTITY", "O", "NAME"]);
 //! ```
 
+pub mod compiled;
 pub mod crf;
 pub mod decode;
 pub mod encode;
@@ -51,5 +52,6 @@ pub mod model;
 pub mod perceptron;
 pub mod scheme;
 
+pub use compiled::{CompiledParams, CompiledSequenceModel, DecodeScratch};
 pub use labels::{IngredientTag, InstructionTag, LabelSet};
 pub use model::{SequenceModel, TrainConfig, Trainer};

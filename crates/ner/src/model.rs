@@ -223,6 +223,11 @@ impl SequenceModel {
         &self.interner
     }
 
+    /// The feature extraction pipeline this model was trained with.
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
     /// Name of the underlying trainer family.
     pub fn trainer_name(&self) -> &'static str {
         match &self.inner {

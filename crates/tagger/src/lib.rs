@@ -33,11 +33,13 @@
 //! assert_eq!(tags[0], PennTag::CD);
 //! ```
 
+pub mod compiled;
 pub mod perceptron;
 pub mod tagger;
 pub mod tagset;
 pub mod vectorize;
 
+pub use compiled::{CompiledPosTagger, TagScratch};
 pub use tagger::PosTagger;
 pub use tagset::PennTag;
 pub use vectorize::{pos_frequency_vector, POS_VECTOR_DIM};

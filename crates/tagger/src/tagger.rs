@@ -24,8 +24,8 @@ pub type TaggedSentence = (Vec<String>, Vec<PennTag>);
 const TAGDICT_MIN_COUNT: usize = 10;
 
 /// Sentinel context words for positions before/after the sentence.
-const START: [&str; 2] = ["-START-", "-START2-"];
-const END: [&str; 2] = ["-END-", "-END2-"];
+pub(crate) const START: [&str; 2] = ["-START-", "-START2-"];
+pub(crate) const END: [&str; 2] = ["-END-", "-END2-"];
 
 /// Averaged-perceptron POS tagger.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -37,23 +37,37 @@ pub struct PosTagger {
 
 /// Normalize a word for feature extraction: digits collapse so the model
 /// generalizes over quantities.
-fn normalize(word: &str) -> String {
+pub(crate) fn normalize(word: &str) -> String {
+    let mut out = String::new();
+    normalize_into(word, &mut out);
+    out
+}
+
+/// Write the normalized form of `word` into `out` (cleared first).
+/// Produces exactly the same string as [`normalize`]; the ASCII fast path
+/// avoids the `to_lowercase` allocation on the compiled tagging path.
+pub(crate) fn normalize_into(word: &str, out: &mut String) {
+    out.clear();
     if word.bytes().all(|b| b.is_ascii_digit()) {
-        "!DIGITS".to_string()
+        out.push_str("!DIGITS");
     } else if word.bytes().any(|b| b.is_ascii_digit()) {
         if word.contains('/') {
-            "!FRACTION".to_string()
+            out.push_str("!FRACTION");
         } else if word.contains('-') {
-            "!RANGE".to_string()
+            out.push_str("!RANGE");
         } else {
-            "!NUM".to_string()
+            out.push_str("!NUM");
+        }
+    } else if word.is_ascii() {
+        for b in word.bytes() {
+            out.push(b.to_ascii_lowercase() as char);
         }
     } else {
-        word.to_lowercase()
+        out.push_str(&word.to_lowercase());
     }
 }
 
-fn suffix(word: &str, n: usize) -> &str {
+pub(crate) fn suffix(word: &str, n: usize) -> &str {
     let len = word.len();
     if len <= n {
         word
@@ -67,7 +81,7 @@ fn suffix(word: &str, n: usize) -> &str {
     }
 }
 
-fn prefix(word: &str, n: usize) -> &str {
+pub(crate) fn prefix(word: &str, n: usize) -> &str {
     let mut cut = n.min(word.len());
     while cut < word.len() && !word.is_char_boundary(cut) {
         cut += 1;
@@ -80,7 +94,7 @@ fn prefix(word: &str, n: usize) -> &str {
 ///
 /// `context` is the normalized word sequence padded with two START and two
 /// END sentinels, so `context[i + 2]` is the current (normalized) word.
-fn for_each_feature<F: FnMut(&str)>(
+pub(crate) fn for_each_feature<F: FnMut(&str)>(
     i: usize,
     context: &[String],
     prev: &str,
@@ -126,7 +140,7 @@ fn for_each_feature<F: FnMut(&str)>(
     }
 }
 
-fn make_context(words: &[String]) -> Vec<String> {
+pub(crate) fn make_context(words: &[String]) -> Vec<String> {
     let mut context = Vec::with_capacity(words.len() + 4);
     context.push(START[0].to_string());
     context.push(START[1].to_string());

@@ -12,7 +12,7 @@ use rand::{RngExt, SeedableRng};
 use recipe_cluster::{minibatch_kmeans_rt, KMeans, KMeansConfig, MiniBatchConfig};
 use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
 use recipe_corpus::{CorpusSpec, RecipeCorpus};
-use recipe_ner::{IngredientTag, SequenceModel, TrainConfig, Trainer};
+use recipe_ner::{CompiledSequenceModel, IngredientTag, SequenceModel, TrainConfig, Trainer};
 use recipe_runtime::Runtime;
 
 const THREAD_COUNTS: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
@@ -195,6 +195,105 @@ fn batch_extraction_matches_serial_at_every_thread_count() {
             "batch extraction differs at {t} threads"
         );
     }
+}
+
+#[test]
+fn compiled_viterbi_matches_reference_on_seeded_models() {
+    let tags = [
+        "NAME", "STATE", "UNIT", "QUANTITY", "SIZE", "TEMP", "DF", "O",
+    ];
+    let words = [
+        "flour", "sugar", "diced", "cup", "2", "large", "warm", "fresh", "of", "the",
+    ];
+    // Decode inputs include words the model never saw, so the compiled
+    // feature-lookup path is exercised on misses too.
+    let decode_words = [
+        "flour",
+        "sugar",
+        "cup",
+        "2",
+        "large",
+        "unseen",
+        "jalapeño",
+        "1/2",
+    ];
+    let labels = IngredientTag::label_set();
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<(Vec<String>, Vec<String>)> = (0..10)
+            .map(|_| {
+                let len = rng.random_range(1..7usize);
+                (
+                    (0..len)
+                        .map(|_| words[rng.random_range(0..words.len())].to_string())
+                        .collect(),
+                    (0..len)
+                        .map(|_| tags[rng.random_range(0..tags.len())].to_string())
+                        .collect(),
+                )
+            })
+            .collect();
+        for trainer in [Trainer::CrfLbfgs, Trainer::Perceptron] {
+            let model = SequenceModel::train(
+                &labels,
+                &data,
+                &TrainConfig {
+                    trainer,
+                    epochs: 5,
+                    threads: 1,
+                    ..TrainConfig::default()
+                },
+            );
+            let compiled = CompiledSequenceModel::compile(&model);
+            for _ in 0..20 {
+                let len = rng.random_range(1..8usize);
+                let input: Vec<String> = (0..len)
+                    .map(|_| decode_words[rng.random_range(0..decode_words.len())].to_string())
+                    .collect();
+                assert_eq!(
+                    compiled.predict(&input),
+                    model.predict(&input),
+                    "seed {seed}: compiled {trainer:?} decode differs on {input:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_extraction_is_byte_identical_across_threads_and_cache_modes() {
+    let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(17));
+    let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
+    // Ground truth: the uncompiled, uncached reference path, serially.
+    let reference: Vec<String> = corpus
+        .recipes
+        .iter()
+        .map(|r| serde_json::to_string(&pipeline.model_recipe_reference(r)).unwrap())
+        .collect();
+    for &t in &THREAD_COUNTS {
+        for cache in [true, false] {
+            pipeline.set_cache_enabled(cache);
+            pipeline.inference.clear_caches();
+            // Two passes: the second one decodes through a warm cache,
+            // so hit-path results are checked too.
+            for pass in 0..2 {
+                let batch: Vec<String> = pipeline
+                    .model_recipes(&corpus.recipes, &Runtime::new(t))
+                    .iter()
+                    .map(|m| serde_json::to_string(m).unwrap())
+                    .collect();
+                assert_eq!(
+                    batch, reference,
+                    "compiled extraction differs at {t} threads (cache {cache}, pass {pass})"
+                );
+            }
+            if cache {
+                let stats = pipeline.cache_stats();
+                assert!(stats.hits > 0, "warm pass at {t} threads recorded no hits");
+            }
+        }
+    }
+    pipeline.set_cache_enabled(true);
 }
 
 #[test]
