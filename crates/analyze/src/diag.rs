@@ -261,6 +261,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "the compiled (sparse CSR) decode of a frozen model does not reproduce the reference decode byte-for-byte",
     },
     RuleInfo {
+        code: "RA209",
+        name: "telemetry-coverage",
+        default_severity: Severity::Warning,
+        summary: "a public `*_rt`/decode/extract entry point opens no tracing span",
+    },
+    RuleInfo {
         code: "RA301",
         name: "unwrap-in-lib",
         default_severity: Severity::Note,

@@ -3,9 +3,10 @@
 //! Times batch extraction through the compiled (sparse CSR + scratch
 //! arena) inference path with the phrase cache on and off, at 1, 2, 4
 //! and 8 worker threads, measures per-phrase extraction latency
-//! (p50/p99), verifies the compiled output is byte-identical to the
-//! reference (uncompiled, uncached) path, and writes a machine-readable
-//! report (default `BENCH_inference.json`).
+//! (p50/p99 via [`recipe_obs::SampleSummary`]), verifies the compiled
+//! output is byte-identical to the reference (uncompiled, uncached)
+//! path, measures the single-thread overhead of enabling tracing, and
+//! writes a machine-readable report (default `BENCH_inference.json`).
 //!
 //! Usage: `inference_throughput [total_recipes] [seed] [out.json] [--smoke]`
 //!
@@ -17,6 +18,7 @@ use recipe_bench::timing::{Bench, Stats};
 use recipe_bench::ExperimentScale;
 use recipe_core::pipeline::TrainedPipeline;
 use recipe_corpus::{RecipeCorpus, Site};
+use recipe_obs::SampleSummary;
 use recipe_runtime::Runtime;
 use serde_json::json;
 use std::time::{Duration, Instant};
@@ -28,32 +30,23 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// the compiled path.
 const PR2_BASELINE_MEDIAN_S: f64 = 0.384329347;
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
-}
-
-/// Time one `extract_ingredient` call per phrase and return sorted
-/// per-call latencies in seconds.
-fn phrase_latencies(pipeline: &TrainedPipeline, phrases: &[String]) -> Vec<f64> {
+/// Time one `extract_ingredient` call per phrase and summarise the
+/// per-call latencies (shared percentile math from `recipe-obs`).
+fn phrase_latencies(pipeline: &TrainedPipeline, phrases: &[String]) -> SampleSummary {
     let mut out = Vec::with_capacity(phrases.len());
     for p in phrases {
         let t0 = Instant::now();
         std::hint::black_box(pipeline.extract_ingredient(p));
         out.push(t0.elapsed().as_secs_f64());
     }
-    out.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
-    out
+    SampleSummary::from_samples(out)
 }
 
-fn latency_json(sorted: &[f64]) -> serde_json::Value {
+fn latency_json(summary: &SampleSummary) -> serde_json::Value {
     json!({
-        "phrases": sorted.len(),
-        "p50_us": percentile(sorted, 0.50) * 1e6,
-        "p99_us": percentile(sorted, 0.99) * 1e6,
+        "phrases": summary.n,
+        "p50_us": summary.median * 1e6,
+        "p99_us": summary.p99 * 1e6,
     })
 }
 
@@ -73,6 +66,8 @@ fn stats_json(
         "median_s": s.median,
         "mean_s": s.mean,
         "min_s": s.min,
+        "p90_s": s.p90,
+        "p99_s": s.p99,
         "iters": s.iters,
         "samples": s.samples,
         "recipes_per_s": total as f64 / s.median,
@@ -123,6 +118,7 @@ fn main() {
     let mut results: Vec<serde_json::Value> = Vec::new();
     let mut baselines = [0.0f64; 2];
     let mut speedup_vs_pr2 = None;
+    let mut trace_overhead = None;
 
     for &t in &THREAD_COUNTS {
         eprintln!("benchmarking at {t} thread(s)...");
@@ -150,6 +146,20 @@ fn main() {
         pipeline.set_cache_enabled(false);
         let nocache = bench.measure(|| pipeline.model_recipes(&corpus.recipes, &rt));
         let lat_nocache = phrase_latencies(&pipeline, &phrases);
+        // Tracing-overhead audit at one thread: the same measurement
+        // with span/histogram collection enabled. The budget is < 2%
+        // on the median (observability must stay effectively free).
+        if t == 1 {
+            recipe_obs::reset();
+            recipe_obs::set_enabled(true);
+            let traced = bench.measure(|| pipeline.model_recipes(&corpus.recipes, &rt));
+            recipe_obs::set_enabled(false);
+            trace_overhead = Some(json!({
+                "nocache_median_s": nocache.median,
+                "traced_median_s": traced.median,
+                "median_ratio": traced.median / nocache.median,
+            }));
+        }
 
         // Compiled path, cache enabled (steady state: the cache stays
         // warm across iterations, as it would across a corpus).
@@ -201,6 +211,7 @@ fn main() {
         "hardware_threads": hardware_threads,
         "pr2_baseline_batch_extract_1thread_median_s": PR2_BASELINE_MEDIAN_S,
         "speedup_vs_pr2_baseline_1thread": speedup_vs_pr2,
+        "trace_overhead_1thread": trace_overhead,
         "note": "compiled (CSR + scratch arena) decode verified byte-identical to the \
                  reference path, cache on and off, at every thread count",
         "deterministic": true,

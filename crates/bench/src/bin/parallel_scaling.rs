@@ -27,6 +27,8 @@ fn stats_json(name: &str, threads: usize, s: &Stats, baseline_median: f64) -> se
         "median_s": s.median,
         "mean_s": s.mean,
         "min_s": s.min,
+        "p90_s": s.p90,
+        "p99_s": s.p99,
         "iters": s.iters,
         "samples": s.samples,
         "speedup_vs_1_thread": baseline_median / s.median,

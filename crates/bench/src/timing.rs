@@ -3,10 +3,12 @@
 //! A self-contained replacement for the Criterion dependency: each
 //! benchmark is calibrated to a target wall time, then timed over a fixed
 //! number of samples, and the median / mean / min per-iteration times are
-//! printed in Criterion-like one-line form. Run with
-//! `cargo bench -p recipe-bench`; positional arguments filter benchmarks
-//! by substring.
+//! printed in Criterion-like one-line form. Percentile math is shared
+//! with the observability layer ([`recipe_obs::SampleSummary`]) rather
+//! than re-implemented here. Run with `cargo bench -p recipe-bench`;
+//! positional arguments filter benchmarks by substring.
 
+use recipe_obs::SampleSummary;
 use std::time::{Duration, Instant};
 
 /// One benchmark runner: holds reporting options and the name filter.
@@ -29,7 +31,7 @@ impl Default for Bench {
 }
 
 /// Per-iteration timing statistics from one [`Bench::measure`] run, in
-/// seconds.
+/// seconds. Derived from a [`SampleSummary`] over the per-sample times.
 #[derive(Debug, Clone, Copy)]
 pub struct Stats {
     /// Median per-iteration time over the samples.
@@ -38,6 +40,10 @@ pub struct Stats {
     pub mean: f64,
     /// Fastest sample's per-iteration time.
     pub min: f64,
+    /// Exact (interpolated) 90th-percentile per-iteration time.
+    pub p90: f64,
+    /// Exact (interpolated) 99th-percentile per-iteration time.
+    pub p99: f64,
     /// Iterations per sample (from calibration).
     pub iters: u64,
     /// Number of timed samples.
@@ -89,7 +95,7 @@ impl Bench {
             iters *= 2;
         }
 
-        let mut per_iter: Vec<f64> = (0..self.samples)
+        let per_iter: Vec<f64> = (0..self.samples)
             .map(|_| {
                 let start = Instant::now();
                 for _ in 0..iters {
@@ -98,14 +104,16 @@ impl Bench {
                 start.elapsed().as_secs_f64() / iters as f64
             })
             .collect();
-        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let summary = SampleSummary::from_samples(per_iter);
 
         Stats {
-            min: per_iter[0],
-            median: per_iter[per_iter.len() / 2],
-            mean: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+            min: summary.min,
+            median: summary.median,
+            mean: summary.mean,
+            p90: summary.p90,
+            p99: summary.p99,
             iters,
-            samples: per_iter.len(),
+            samples: summary.n,
         }
     }
 

@@ -7,7 +7,8 @@ use std::fmt;
 /// A parsed subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `train --out <path> [--recipes N] [--seed S] [--threads T]`
+    /// `train --out <path> [--recipes N] [--seed S] [--threads T]
+    /// [--trace] [--metrics-out PATH]`
     Train {
         /// Artifact output path.
         out: String,
@@ -17,8 +18,13 @@ pub enum Command {
         seed: u64,
         /// Worker threads (0 = `RECIPE_THREADS` env / detected cores).
         threads: usize,
+        /// Enable tracing and attach a `telemetry` block to the output.
+        trace: bool,
+        /// Write the full telemetry document to this path.
+        metrics_out: Option<String>,
     },
-    /// `extract --model <path> [--threads T] [--no-cache] <phrase>...`
+    /// `extract --model <path> [--threads T] [--no-cache] [--trace]
+    /// [--metrics-out PATH] <phrase>...`
     Extract {
         /// Trained artifact path.
         model: String,
@@ -28,8 +34,13 @@ pub enum Command {
         threads: usize,
         /// Disable the phrase-level extraction cache.
         no_cache: bool,
+        /// Enable tracing and attach a `telemetry` block to the output.
+        trace: bool,
+        /// Write the full telemetry document to this path.
+        metrics_out: Option<String>,
     },
-    /// `mine --model <path> [--threads T] [--no-cache] <recipe.txt>...`
+    /// `mine --model <path> [--threads T] [--no-cache] [--trace]
+    /// [--metrics-out PATH] <recipe.txt>...`
     Mine {
         /// Trained artifact path.
         model: String,
@@ -39,6 +50,10 @@ pub enum Command {
         threads: usize,
         /// Disable the phrase-level extraction cache.
         no_cache: bool,
+        /// Enable tracing and attach a `telemetry` block to the output.
+        trace: bool,
+        /// Write the full telemetry document to this path.
+        metrics_out: Option<String>,
     },
     /// `generate --out <dir> [--recipes N] [--seed S]`
     Generate {
@@ -51,6 +66,12 @@ pub enum Command {
     },
     /// `lint [--format human|json] [--deny-warnings] [--model PATH] ...`
     Lint(LintOptions),
+    /// `stats <metrics.json>`: validate and pretty-print a telemetry
+    /// document written by `--metrics-out`.
+    Stats {
+        /// Path to the telemetry JSON document.
+        path: String,
+    },
     /// `help`
     Help,
 }
@@ -167,24 +188,32 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
     let Some(cmd) = args.first() else {
         return Err(ArgsError::Missing);
     };
-    // `--no-cache` is boolean, so it must be stripped before `split_flags`
-    // pairs every `--flag` with the following token. Only `extract` and
-    // `mine` accept it; elsewhere it is an explicit error.
+    // `--no-cache` and `--trace` are boolean, so they must be stripped
+    // before `split_flags` pairs every `--flag` with the following token.
+    // `--no-cache` is accepted by `extract` and `mine`; `--trace` also by
+    // `train`; elsewhere both are explicit errors.
     let mut no_cache = false;
+    let mut trace = false;
     let rest: Vec<String> = args[1..]
         .iter()
-        .filter(|a| {
-            if a.as_str() == "--no-cache" {
+        .filter(|a| match a.as_str() {
+            "--no-cache" => {
                 no_cache = true;
                 false
-            } else {
-                true
             }
+            "--trace" => {
+                trace = true;
+                false
+            }
+            _ => true,
         })
         .cloned()
         .collect();
     if no_cache && !matches!(cmd.as_str(), "extract" | "mine") {
         return Err(ArgsError::UnexpectedArg("--no-cache".to_string()));
+    }
+    if trace && !matches!(cmd.as_str(), "train" | "extract" | "mine") {
+        return Err(ArgsError::UnexpectedArg("--trace".to_string()));
     }
     let rest = rest.as_slice();
     let (flags, positional) = split_flags(rest);
@@ -213,6 +242,8 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                 recipes,
                 seed,
                 threads,
+                trace,
+                metrics_out: flags.get("metrics-out").cloned(),
             }
         }
         "generate" => {
@@ -247,6 +278,8 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                 phrases: positional,
                 threads: parse_threads(&flags)?,
                 no_cache,
+                trace,
+                metrics_out: flags.get("metrics-out").cloned(),
             }
         }
         "mine" => {
@@ -262,11 +295,19 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                 files: positional,
                 threads: parse_threads(&flags)?,
                 no_cache,
+                trace,
+                metrics_out: flags.get("metrics-out").cloned(),
             }
         }
         // `lint` has boolean flags, so it parses `rest` itself instead of
         // going through the `--flag value` pairing of `split_flags`.
         "lint" => Command::Lint(parse_lint(rest)?),
+        "stats" => {
+            let Some(path) = positional.first() else {
+                return Err(ArgsError::MissingPositional("metrics file"));
+            };
+            Command::Stats { path: path.clone() }
+        }
         other => return Err(ArgsError::UnknownCommand(other.to_string())),
     };
     Ok(ParsedArgs { command })
@@ -365,10 +406,12 @@ recipe-mine — named-entity based recipe modelling
 USAGE:
   recipe-mine generate --out <dir> [--recipes N] [--seed S]
   recipe-mine train   --out <model.json> [--recipes N] [--seed S] [--threads T]
+                      [--trace] [--metrics-out <metrics.json>]
   recipe-mine extract --model <model.json> [--threads T] [--no-cache]
-                      <phrase>...
+                      [--trace] [--metrics-out <metrics.json>] <phrase>...
   recipe-mine mine    --model <model.json> [--threads T] [--no-cache]
-                      <recipe.txt>...
+                      [--trace] [--metrics-out <metrics.json>] <recipe.txt>...
+  recipe-mine stats   <metrics.json>
   recipe-mine lint    [--format human|json] [--deny-warnings]
                       [--model <model.json>] [--recipes N] [--seed S]
                       [--workspace [ROOT]] [--allow CODES] [--deny CODES]
@@ -383,6 +426,13 @@ Caching: extract and mine memoize per-phrase NER decodes and per-sentence
 event extraction in a bounded deterministic cache; --no-cache disables it.
 Outputs are byte-identical with the cache on or off.
 
+Telemetry: --trace enables span/metric collection and attaches a
+`telemetry` block to the JSON output; --metrics-out PATH additionally
+writes the full telemetry document (schema_version, command, telemetry)
+to PATH. `recipe-mine stats metrics.json` validates such a document and
+renders it for terminals. Telemetry never changes extraction results:
+the `results` block is byte-identical with tracing on or off.
+
 generate write a synthetic RecipeDB-like corpus as recipe text files
          (mineable with `mine`) plus corpus.jsonl with gold annotations
 train    generate a synthetic RecipeDB-like corpus, train the full
@@ -391,6 +441,8 @@ train    generate a synthetic RecipeDB-like corpus, train the full
 extract  print the structured attributes of ingredient phrases as JSON
 mine     mine recipe text files (## ingredients / ## instructions
          sections) into the Fig. 1 structure, printed as JSON
+stats    validate a --metrics-out telemetry document and render it in a
+         human-readable form (stage tree, counters, histograms)
 lint     run the recipe-analyze static checks: cross-crate invariants,
          corpus well-formedness over a generated corpus, artifact health
          over a loaded (--model) or freshly trained pipeline, and an
@@ -415,7 +467,9 @@ mod tests {
                 out: "m.json".into(),
                 recipes: 1000,
                 seed: 42,
-                threads: 0
+                threads: 0,
+                trace: false,
+                metrics_out: None,
             }
         );
     }
@@ -438,7 +492,9 @@ mod tests {
                 out: "x".into(),
                 recipes: 250,
                 seed: 7,
-                threads: 0
+                threads: 0,
+                trace: false,
+                metrics_out: None,
             }
         );
     }
@@ -459,11 +515,15 @@ mod tests {
                 phrases,
                 threads,
                 no_cache,
+                trace,
+                metrics_out,
             } => {
                 assert_eq!(model, "m.json");
                 assert_eq!(phrases, vec!["2 cups flour", "1 egg"]);
                 assert_eq!(threads, 0);
                 assert!(!no_cache);
+                assert!(!trace);
+                assert_eq!(metrics_out, None);
             }
             other => panic!("{other:?}"),
         }
@@ -480,6 +540,8 @@ mod tests {
                 phrases: vec!["1 egg".into()],
                 threads: 0,
                 no_cache: true,
+                trace: false,
+                metrics_out: None,
             }
         );
         let parsed = parse_args(&s(&["mine", "--model", "m", "--no-cache", "r.txt"])).unwrap();
@@ -490,6 +552,8 @@ mod tests {
                 files: vec!["r.txt".into()],
                 threads: 0,
                 no_cache: true,
+                trace: false,
+                metrics_out: None,
             }
         );
     }
@@ -518,7 +582,9 @@ mod tests {
                 out: "m.json".into(),
                 recipes: 1000,
                 seed: 42,
-                threads: 4
+                threads: 4,
+                trace: false,
+                metrics_out: None,
             }
         );
         let parsed = parse_args(&s(&["lint", "--threads", "2"])).unwrap();
@@ -636,6 +702,97 @@ mod tests {
         assert_eq!(
             parse_args(&s(&["lint", "extra"])),
             Err(ArgsError::UnexpectedArg("extra".into()))
+        );
+    }
+
+    #[test]
+    fn trace_flag_does_not_eat_the_next_token() {
+        // `--trace` is boolean: the positional after it must survive.
+        let parsed = parse_args(&s(&["extract", "--trace", "--model", "m", "1 egg"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Extract {
+                model: "m".into(),
+                phrases: vec!["1 egg".into()],
+                threads: 0,
+                no_cache: false,
+                trace: true,
+                metrics_out: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_metrics_out_on_all_three_commands() {
+        let parsed = parse_args(&s(&[
+            "train",
+            "--out",
+            "m.json",
+            "--metrics-out",
+            "metrics.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Train {
+                out: "m.json".into(),
+                recipes: 1000,
+                seed: 42,
+                threads: 0,
+                trace: false,
+                metrics_out: Some("metrics.json".into()),
+            }
+        );
+        let parsed = parse_args(&s(&[
+            "mine",
+            "--model",
+            "m",
+            "--trace",
+            "--metrics-out",
+            "out.json",
+            "r.txt",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Mine {
+                model: "m".into(),
+                files: vec!["r.txt".into()],
+                threads: 0,
+                no_cache: false,
+                trace: true,
+                metrics_out: Some("out.json".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn trace_flag_rejected_elsewhere() {
+        for cmd in [
+            vec!["generate", "--out", "d", "--trace"],
+            vec!["lint", "--trace"],
+            vec!["stats", "m.json", "--trace"],
+        ] {
+            assert_eq!(
+                parse_args(&s(&cmd)),
+                Err(ArgsError::UnexpectedArg("--trace".into())),
+                "{cmd:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_stats_subcommand() {
+        let parsed = parse_args(&s(&["stats", "metrics.json"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Stats {
+                path: "metrics.json".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["stats"])),
+            Err(ArgsError::MissingPositional("metrics file"))
         );
     }
 

@@ -19,6 +19,9 @@ pub enum CliError {
     /// `lint` found error-level diagnostics; carries the rendered report
     /// so the binary can print it and exit nonzero.
     Lint(String),
+    /// `stats` input failed to parse or validate against the telemetry
+    /// schema.
+    Stats(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -28,6 +31,7 @@ impl std::fmt::Display for CliError {
             CliError::Persist(e) => write!(f, "model artifact: {e}"),
             CliError::RecipeFile(path, e) => write!(f, "{path}: {e}"),
             CliError::Lint(report) => f.write_str(report),
+            CliError::Stats(msg) => write!(f, "telemetry document: {msg}"),
         }
     }
 }
@@ -54,9 +58,11 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             recipes,
             seed,
             threads,
+            trace,
+            metrics_out,
         } => {
             recipe_runtime::set_global_threads(*threads);
-            train(out, *recipes, *seed)
+            train(out, *recipes, *seed, &ObsOpts::new(*trace, metrics_out))
         }
         Command::Generate { out, recipes, seed } => generate(out, *recipes, *seed),
         Command::Extract {
@@ -64,24 +70,143 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             phrases,
             threads,
             no_cache,
+            trace,
+            metrics_out,
         } => {
             recipe_runtime::set_global_threads(*threads);
-            extract(model, phrases, *no_cache)
+            extract(
+                model,
+                phrases,
+                *no_cache,
+                &ObsOpts::new(*trace, metrics_out),
+            )
         }
         Command::Mine {
             model,
             files,
             threads,
             no_cache,
+            trace,
+            metrics_out,
         } => {
             recipe_runtime::set_global_threads(*threads);
-            mine(model, files, *no_cache)
+            mine(model, files, *no_cache, &ObsOpts::new(*trace, metrics_out))
         }
         Command::Lint(opts) => {
             recipe_runtime::set_global_threads(opts.threads);
             lint(opts)
         }
+        Command::Stats { path } => stats(path),
     }
+}
+
+/// Telemetry options for one `train`/`extract`/`mine` invocation,
+/// resolved from `--trace` / `--metrics-out`.
+struct ObsOpts {
+    /// Attach a `telemetry` block to the stdout JSON.
+    trace: bool,
+    /// Write the full telemetry document here.
+    metrics_out: Option<String>,
+}
+
+impl ObsOpts {
+    fn new(trace: bool, metrics_out: &Option<String>) -> Self {
+        ObsOpts {
+            trace,
+            metrics_out: metrics_out.clone(),
+        }
+    }
+
+    /// Either output wants telemetry collected.
+    fn active(&self) -> bool {
+        self.trace || self.metrics_out.is_some()
+    }
+
+    /// Start collection: clear any state left by a previous command in
+    /// this process and flip the tracing switch on.
+    fn begin(&self) -> std::time::Instant {
+        if self.active() {
+            recipe_obs::reset();
+            recipe_obs::set_enabled(true);
+        }
+        std::time::Instant::now()
+    }
+
+    /// Stop collection and export. Merges the pipeline-private registry
+    /// (phrase caches, per-phrase latency) into the global snapshot,
+    /// derives throughput rates, writes `--metrics-out` if requested and
+    /// returns the `telemetry` JSON block when `--trace` asked for it.
+    fn finish(
+        &self,
+        command: &str,
+        extra: &[&recipe_obs::Registry],
+        items: &[(&str, f64)],
+        started: std::time::Instant,
+    ) -> Result<Option<serde_json::Value>, CliError> {
+        if !self.active() {
+            return Ok(None);
+        }
+        // Main-thread span aggregates are normally flushed on thread
+        // exit; export needs them now.
+        recipe_obs::span::flush_local();
+        let mut t = recipe_obs::Telemetry::gather(extra);
+        let wall_s = started.elapsed().as_secs_f64();
+        t.throughput.insert("wall_s".to_string(), wall_s);
+        for (name, n) in items {
+            t.throughput.insert(name.to_string(), *n);
+            if wall_s > 0.0 {
+                t.throughput.insert(format!("{name}_per_s"), *n / wall_s);
+            }
+        }
+        if let Some(tokens) = t.counters.get("ner.decode.tokens") {
+            if wall_s > 0.0 {
+                t.throughput
+                    .insert("tokens_per_s".to_string(), *tokens as f64 / wall_s);
+            }
+        }
+        recipe_obs::set_enabled(false);
+        let block = serde_json::to_value(&t);
+        if let Some(path) = &self.metrics_out {
+            let doc = json!({
+                "schema_version": recipe_obs::report::SCHEMA_VERSION,
+                "command": command,
+                "telemetry": block,
+            });
+            let text = format!("{}\n", serde_json::to_string_pretty(&doc).expect("json"));
+            std::fs::write(path, text).map_err(|e| CliError::Io(path.clone(), e))?;
+        }
+        Ok(if self.trace { Some(block) } else { None })
+    }
+}
+
+/// Append a `telemetry` field to a JSON object output.
+fn attach_telemetry(out: &mut serde_json::Value, telemetry: Option<serde_json::Value>) {
+    if let (Some(block), serde_json::Value::Object(fields)) = (telemetry, out) {
+        fields.push(("telemetry".to_string(), block));
+    }
+}
+
+/// `recipe-mine stats`: validate a `--metrics-out` document and render
+/// it for terminals.
+fn stats(path: &str) -> Result<String, CliError> {
+    let content = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))?;
+    let doc: serde_json::Value =
+        serde_json::from_str(&content).map_err(|e| CliError::Stats(format!("{path}: {e}")))?;
+    recipe_obs::validate_document(&doc).map_err(|e| CliError::Stats(format!("{path}: {e}")))?;
+    let command = doc
+        .get("command")
+        .and_then(|c| c.as_str())
+        .unwrap_or("?")
+        .to_string();
+    let telemetry: recipe_obs::Telemetry = doc
+        .get("telemetry")
+        .map(serde_json::from_value)
+        .expect("validated document has telemetry")
+        .map_err(|e| CliError::Stats(format!("{path}: {e}")))?;
+    Ok(format!(
+        "command: {command}\n{}",
+        recipe_obs::render_human(&telemetry)
+    ))
 }
 
 fn lint(opts: &LintOptions) -> Result<String, CliError> {
@@ -166,14 +291,18 @@ fn generate(out: &str, recipes: usize, seed: u64) -> Result<String, CliError> {
     ))
 }
 
-fn train(out: &str, recipes: usize, seed: u64) -> Result<String, CliError> {
+fn train(out: &str, recipes: usize, seed: u64, obs: &ObsOpts) -> Result<String, CliError> {
+    let started = obs.begin();
     eprintln!("generating corpus of {recipes} recipes (seed {seed})...");
     let corpus = RecipeCorpus::generate(&CorpusSpec::scaled(recipes, seed));
     eprintln!("training pipeline...");
     let mut cfg = PipelineConfig::fast();
     cfg.seed = seed;
-    let pipeline = TrainedPipeline::train(&corpus, &cfg);
-    let summary = json!({
+    let pipeline = {
+        let _span = recipe_obs::span!("train");
+        TrainedPipeline::train(&corpus, &cfg)
+    };
+    let mut summary = json!({
         "recipes": recipes,
         "seed": seed,
         "ingredient_ner_features": pipeline.ingredient_ner.num_features(),
@@ -182,7 +311,16 @@ fn train(out: &str, recipes: usize, seed: u64) -> Result<String, CliError> {
         "utensil_dictionary": pipeline.dicts.utensils.len(),
         "artifact": out,
     });
+    // `save` consumes the pipeline, so export telemetry first (the
+    // artifact write is not an instrumented stage).
+    let telemetry = obs.finish(
+        "train",
+        &[pipeline.inference.metrics_registry()],
+        &[("recipes", recipes as f64)],
+        started,
+    )?;
     pipeline.save(out)?;
+    attach_telemetry(&mut summary, telemetry);
     Ok(format!(
         "{}\n",
         serde_json::to_string_pretty(&summary).expect("json")
@@ -214,26 +352,44 @@ fn cache_json(pipeline: &TrainedPipeline, enabled: bool) -> serde_json::Value {
     })
 }
 
-fn extract(model: &str, phrases: &[String], no_cache: bool) -> Result<String, CliError> {
+fn extract(
+    model: &str,
+    phrases: &[String],
+    no_cache: bool,
+    obs: &ObsOpts,
+) -> Result<String, CliError> {
+    let started = obs.begin();
     let pipeline = TrainedPipeline::load(model)?;
     pipeline.set_cache_enabled(!no_cache);
-    let rows: Vec<serde_json::Value> = phrases
-        .iter()
-        .map(|p| {
-            let e = pipeline.extract_ingredient(p);
-            json!({ "phrase": p, "entry": entry_json(&e) })
-        })
-        .collect();
-    let out = json!({ "results": rows, "cache": cache_json(&pipeline, !no_cache) });
+    let rows: Vec<serde_json::Value> = {
+        let _span = recipe_obs::span!("extract");
+        phrases
+            .iter()
+            .map(|p| {
+                let e = pipeline.extract_ingredient(p);
+                json!({ "phrase": p, "entry": entry_json(&e) })
+            })
+            .collect()
+    };
+    let mut out = json!({ "results": rows, "cache": cache_json(&pipeline, !no_cache) });
+    let telemetry = obs.finish(
+        "extract",
+        &[pipeline.inference.metrics_registry()],
+        &[("phrases", phrases.len() as f64)],
+        started,
+    )?;
+    attach_telemetry(&mut out, telemetry);
     Ok(format!(
         "{}\n",
         serde_json::to_string_pretty(&out).expect("json")
     ))
 }
 
-fn mine(model: &str, files: &[String], no_cache: bool) -> Result<String, CliError> {
+fn mine(model: &str, files: &[String], no_cache: bool, obs: &ObsOpts) -> Result<String, CliError> {
+    let started = obs.begin();
     let pipeline = TrainedPipeline::load(model)?;
     pipeline.set_cache_enabled(!no_cache);
+    let _span = recipe_obs::span!("mine");
     let mut out = Vec::new();
     for path in files {
         let content = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
@@ -254,7 +410,15 @@ fn mine(model: &str, files: &[String], no_cache: bool) -> Result<String, CliErro
             "process_sequence": modeled.process_sequence(),
         }));
     }
-    let out = json!({ "results": out, "cache": cache_json(&pipeline, !no_cache) });
+    drop(_span);
+    let mut out = json!({ "results": out, "cache": cache_json(&pipeline, !no_cache) });
+    let telemetry = obs.finish(
+        "mine",
+        &[pipeline.inference.metrics_registry()],
+        &[("recipes", files.len() as f64)],
+        started,
+    )?;
+    attach_telemetry(&mut out, telemetry);
     Ok(format!(
         "{}\n",
         serde_json::to_string_pretty(&out).expect("json")
@@ -290,6 +454,8 @@ mod tests {
             recipes: 120,
             seed: 3,
             threads: 0,
+            trace: false,
+            metrics_out: None,
         })
         .unwrap();
         assert!(out.contains("artifact"));
@@ -301,6 +467,8 @@ mod tests {
             phrases: vec!["2 cups flour".into(), "2 cups flour".into()],
             threads: 0,
             no_cache: false,
+            trace: false,
+            metrics_out: None,
         })
         .unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
@@ -316,6 +484,8 @@ mod tests {
             phrases: vec!["2 cups flour".into(), "2 cups flour".into()],
             threads: 0,
             no_cache: true,
+            trace: false,
+            metrics_out: None,
         })
         .unwrap();
         let parsed_nc: serde_json::Value = serde_json::from_str(&out_nc).unwrap();
@@ -336,6 +506,8 @@ mod tests {
             files: vec![recipe_path.to_string_lossy().to_string()],
             threads: 0,
             no_cache: false,
+            trace: false,
+            metrics_out: None,
         })
         .unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
@@ -381,6 +553,8 @@ mod tests {
             phrases: vec!["salt".into()],
             threads: 0,
             no_cache: false,
+            trace: false,
+            metrics_out: None,
         })
         .unwrap_err();
         assert!(err.to_string().contains("model artifact"));
@@ -499,6 +673,106 @@ mod tests {
         assert!(!out.contains("RA002"), "{out}");
 
         std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn trace_and_metrics_out_round_trip() {
+        let model_path = tmp("cli_obs_model.json");
+        let model = model_path.to_string_lossy().to_string();
+        run(&Command::Train {
+            out: model.clone(),
+            recipes: 80,
+            seed: 5,
+            threads: 0,
+            trace: false,
+            metrics_out: None,
+        })
+        .unwrap();
+
+        let phrases: Vec<String> = vec!["2 cups flour".into(), "1 pinch salt".into()];
+        let plain = run(&Command::Extract {
+            model: model.clone(),
+            phrases: phrases.clone(),
+            threads: 0,
+            no_cache: false,
+            trace: false,
+            metrics_out: None,
+        })
+        .unwrap();
+
+        let metrics_path = tmp("cli_obs_metrics.json");
+        let traced = run(&Command::Extract {
+            model: model.clone(),
+            phrases,
+            threads: 0,
+            no_cache: false,
+            trace: true,
+            metrics_out: Some(metrics_path.to_string_lossy().to_string()),
+        })
+        .unwrap();
+
+        // Telemetry never perturbs results: the `results` and `cache`
+        // blocks are identical with tracing on.
+        let plain_v: serde_json::Value = serde_json::from_str(&plain).unwrap();
+        let traced_v: serde_json::Value = serde_json::from_str(&traced).unwrap();
+        assert_eq!(plain_v["results"], traced_v["results"]);
+        assert_eq!(plain_v["cache"], traced_v["cache"]);
+        assert!(plain_v.get("telemetry").is_none());
+
+        // The attached block is schema-valid and saw the extraction.
+        let block = traced_v.get("telemetry").expect("telemetry block");
+        recipe_obs::validate_telemetry(block).expect("valid telemetry");
+        assert_eq!(block["enabled"], true);
+        assert!(
+            block["throughput"]["phrases"].as_f64().unwrap() >= 2.0,
+            "{traced}"
+        );
+        assert!(
+            block["counters"]["cache.ingredient.misses"]
+                .as_u64()
+                .unwrap()
+                >= 1,
+            "{traced}"
+        );
+
+        // --metrics-out wrote a full, valid document...
+        let doc_text = std::fs::read_to_string(&metrics_path).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&doc_text).unwrap();
+        recipe_obs::validate_document(&doc).expect("valid document");
+        assert_eq!(doc["command"], "extract");
+
+        // ...that `stats` validates and renders.
+        let rendered = run(&Command::Stats {
+            path: metrics_path.to_string_lossy().to_string(),
+        })
+        .unwrap();
+        assert!(rendered.contains("command: extract"), "{rendered}");
+        assert!(rendered.contains("telemetry (tracing on)"), "{rendered}");
+        assert!(rendered.contains("counters:"), "{rendered}");
+
+        std::fs::remove_file(&model_path).ok();
+        std::fs::remove_file(&metrics_path).ok();
+    }
+
+    #[test]
+    fn stats_rejects_malformed_documents() {
+        let missing = run(&Command::Stats {
+            path: "/nonexistent/metrics.json".into(),
+        })
+        .unwrap_err();
+        assert!(matches!(missing, CliError::Io(_, _)));
+
+        let bad_path = tmp("cli_bad_metrics.json");
+        std::fs::write(&bad_path, "{\"schema_version\": 999}").unwrap();
+        let err = run(&Command::Stats {
+            path: bad_path.to_string_lossy().to_string(),
+        })
+        .unwrap_err();
+        match err {
+            CliError::Stats(msg) => assert!(msg.contains("schema_version"), "{msg}"),
+            other => panic!("expected CliError::Stats, got {other:?}"),
+        }
+        std::fs::remove_file(&bad_path).ok();
     }
 
     #[test]

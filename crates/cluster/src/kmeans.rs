@@ -178,6 +178,7 @@ impl KMeans {
     /// # Panics
     /// Panics if `data` is empty or rows have inconsistent dimensions.
     pub fn fit_rt(data: &[Vec<f64>], cfg: &KMeansConfig, rt: &Runtime) -> Self {
+        let _span = recipe_obs::span!("cluster.kmeans.fit");
         assert!(!data.is_empty(), "cannot cluster an empty dataset");
         let dim = data[0].len();
         assert!(
@@ -196,6 +197,11 @@ impl KMeans {
             // Assignment + update statistics in one parallel pass.
             let stats = par_assign(data, &centroids, rt);
             let new_inertia = stats.inertia;
+            if recipe_obs::enabled() {
+                recipe_obs::global()
+                    .series("kmeans.inertia")
+                    .push(new_inertia);
+            }
             for c in 0..k {
                 if stats.counts[c] == 0 {
                     // Reseed an empty cluster from the seeded PRNG. The
@@ -217,6 +223,12 @@ impl KMeans {
         }
         // Final assignment against the final centroids.
         let stats = par_assign(data, &centroids, rt);
+        if recipe_obs::enabled() {
+            let reg = recipe_obs::global();
+            reg.counter("kmeans.fits").inc();
+            reg.counter("kmeans.iterations").add(iterations as u64);
+            reg.gauge("kmeans.final_inertia").set(stats.inertia);
+        }
         KMeans {
             centroids,
             assignments: stats.assignments,

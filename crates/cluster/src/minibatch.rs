@@ -58,6 +58,7 @@ pub fn minibatch_kmeans(data: &[Vec<f64>], cfg: &MiniBatchConfig) -> KMeans {
 /// # Panics
 /// Panics on an empty dataset or inconsistent dimensionality.
 pub fn minibatch_kmeans_rt(data: &[Vec<f64>], cfg: &MiniBatchConfig, rt: &Runtime) -> KMeans {
+    let _span = recipe_obs::span!("cluster.kmeans.minibatch");
     assert!(!data.is_empty(), "cannot cluster an empty dataset");
     let dim = data[0].len();
     assert!(
@@ -93,6 +94,12 @@ pub fn minibatch_kmeans_rt(data: &[Vec<f64>], cfg: &MiniBatchConfig, rt: &Runtim
 
     // Final full assignment pass, chunk-merged in index order.
     let stats = par_assign(data, &centroids, rt);
+    if recipe_obs::enabled() {
+        let reg = recipe_obs::global();
+        reg.counter("kmeans.minibatch_fits").inc();
+        reg.counter("kmeans.iterations").add(cfg.iterations as u64);
+        reg.gauge("kmeans.final_inertia").set(stats.inertia);
+    }
     KMeans {
         centroids,
         assignments: stats.assignments,

@@ -67,6 +67,7 @@ pub fn extract_sentence_events(
     words: &[String],
     step: usize,
 ) -> Vec<CookingEvent> {
+    let _span = recipe_obs::span!("events.sentence");
     if words.is_empty() {
         return Vec::new();
     }
@@ -85,6 +86,7 @@ pub fn extract_sentence_events_reference(
     words: &[String],
     step: usize,
 ) -> Vec<CookingEvent> {
+    let _span = recipe_obs::span!("events.sentence.reference");
     if words.is_empty() {
         return Vec::new();
     }
@@ -176,6 +178,7 @@ fn expand_name(
 /// Extract the full temporal event sequence of one recipe. Events carry
 /// the index of the instruction *step* (paragraph) they came from.
 pub fn extract_recipe_events(pipeline: &TrainedPipeline, recipe: &Recipe) -> Vec<CookingEvent> {
+    let _span = recipe_obs::span!("events.recipe");
     let mut events = Vec::new();
     for (step, sentences) in recipe.steps().iter().enumerate() {
         for sent in sentences {
@@ -191,6 +194,7 @@ pub fn extract_recipe_events_reference(
     pipeline: &TrainedPipeline,
     recipe: &Recipe,
 ) -> Vec<CookingEvent> {
+    let _span = recipe_obs::span!("events.recipe.reference");
     let mut events = Vec::new();
     for (step, sentences) in recipe.steps().iter().enumerate() {
         for sent in sentences {

@@ -22,8 +22,11 @@
 //! *when* a value is computed, never *what* it is. Capacity is bounded by
 //! refusing inserts once a shard is full (no eviction), which keeps memory
 //! flat on adversarial corpora while keeping behavior trivially
-//! deterministic. Hit/miss counters are monitoring-only and surfaced in
-//! the CLI extract/mine output and the `inference_throughput` bench.
+//! deterministic. Hit/miss/rejected-insert counters live on a
+//! per-[`Inference`] `recipe_obs::Registry` (instance-local so concurrent
+//! pipelines never share counts) and are surfaced in the CLI extract/mine
+//! output, the `--metrics-out` telemetry, and the `inference_throughput`
+//! bench.
 //!
 //! Decode scratch (Viterbi buffers, feature-id buffers, tag rows) lives in
 //! thread-locals: the deterministic runtime's workers have no init hook,
@@ -39,8 +42,9 @@ use recipe_tagger::{CompiledPosTagger, PennTag, PosTagger, TagScratch};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Number of independently locked cache shards. A power of two keeps the
 /// shard pick a cheap mask; 16 shards keep contention negligible at the
@@ -103,25 +107,32 @@ impl CacheStats {
 ///
 /// Inserts are refused once a shard reaches its capacity slice — values
 /// are pure functions of keys, so dropping an insert only costs a future
-/// recompute and can never change results. Hit/miss counters are relaxed
-/// atomics: they are monitoring data, not part of any decoded output.
+/// recompute and can never change results. Hit/miss/rejected counters are
+/// `recipe_obs` counters resolved from the owning [`Inference`]'s
+/// instance-local registry: monitoring data, never part of any decoded
+/// output, and they count whether or not tracing is enabled because the
+/// CLI's `cache` block reports them unconditionally.
 #[derive(Debug)]
 struct ShardedCache<V> {
     shards: Vec<Mutex<HashMap<String, V>>>,
     per_shard_capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Arc<recipe_obs::Counter>,
+    misses: Arc<recipe_obs::Counter>,
+    rejected: Arc<recipe_obs::Counter>,
+    entries_gauge: Arc<recipe_obs::Gauge>,
 }
 
 impl<V: Clone> ShardedCache<V> {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, registry: &recipe_obs::Registry, prefix: &str) -> Self {
         ShardedCache {
             shards: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             per_shard_capacity: capacity.div_ceil(CACHE_SHARDS).max(1),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: registry.counter(&format!("{prefix}.hits")),
+            misses: registry.counter(&format!("{prefix}.misses")),
+            rejected: registry.counter(&format!("{prefix}.rejected_inserts")),
+            entries_gauge: registry.gauge(&format!("{prefix}.entries")),
         }
     }
 
@@ -137,11 +148,11 @@ impl<V: Clone> ShardedCache<V> {
         let shard = self.shards[self.shard_of(key)].lock().expect("cache lock");
         match shard.get(key) {
             Some(v) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(v.clone())
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -151,6 +162,8 @@ impl<V: Clone> ShardedCache<V> {
         let mut shard = self.shards[self.shard_of(&key)].lock().expect("cache lock");
         if shard.len() < self.per_shard_capacity {
             shard.insert(key, value);
+        } else {
+            self.rejected.inc();
         }
     }
 
@@ -165,15 +178,21 @@ impl<V: Clone> ShardedCache<V> {
         for s in &self.shards {
             s.lock().expect("cache lock").clear();
         }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        self.hits.reset();
+        self.misses.reset();
+        self.rejected.reset();
+        self.entries_gauge.reset();
     }
 
+    /// Counter snapshot. Also refreshes the registry's `entries` gauge so
+    /// exported telemetry carries the current fill level.
     fn stats(&self) -> CacheStats {
+        let entries = self.len();
+        self.entries_gauge.set(entries as f64);
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.len(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            entries,
         }
     }
 }
@@ -204,6 +223,17 @@ pub struct Inference {
     ingredient_cache: ShardedCache<IngredientEntry>,
     event_cache: ShardedCache<Vec<CookingEvent>>,
     cache_enabled: AtomicBool,
+    /// Instance-local metrics registry: cache counters and per-phrase
+    /// latency histograms. Instance-local (not the process-global
+    /// registry) so concurrently live pipelines — e.g. parallel tests —
+    /// never mix counts.
+    registry: Arc<recipe_obs::Registry>,
+    /// Per-phrase ingredient-parse latency (cache hits included); only
+    /// recorded while tracing is enabled.
+    lat_ingredient: Arc<recipe_obs::Histogram>,
+    /// Per-sentence event-extraction latency (cache hits included); only
+    /// recorded while tracing is enabled.
+    lat_events: Arc<recipe_obs::Histogram>,
 }
 
 impl Inference {
@@ -226,16 +256,34 @@ impl Inference {
                 InstructionTag::parse(instruction.labels().name(id)).unwrap_or(InstructionTag::O)
             })
             .collect();
+        let registry = Arc::new(recipe_obs::Registry::new());
         Inference {
             ingredient,
             ingredient_tag_of,
             instruction,
             instruction_tag_of,
             pos: CompiledPosTagger::compile(pos),
-            ingredient_cache: ShardedCache::new(DEFAULT_CACHE_CAPACITY),
-            event_cache: ShardedCache::new(DEFAULT_CACHE_CAPACITY),
+            ingredient_cache: ShardedCache::new(
+                DEFAULT_CACHE_CAPACITY,
+                &registry,
+                "cache.ingredient",
+            ),
+            event_cache: ShardedCache::new(DEFAULT_CACHE_CAPACITY, &registry, "cache.events"),
             cache_enabled: AtomicBool::new(true),
+            lat_ingredient: registry.latency_histogram("latency.ingredient_phrase_s"),
+            lat_events: registry.latency_histogram("latency.event_sentence_s"),
+            registry,
         }
+    }
+
+    /// This inference bundle's instance-local metrics registry (cache
+    /// counters, per-phrase latency histograms). Cache `entries` gauges
+    /// are refreshed first so a snapshot taken from the returned registry
+    /// is current.
+    pub fn metrics_registry(&self) -> &recipe_obs::Registry {
+        self.ingredient_cache.stats();
+        self.event_cache.stats();
+        &self.registry
     }
 
     /// The compiled ingredient NER model.
@@ -290,6 +338,17 @@ impl Inference {
     /// Parse one *preprocessed* ingredient phrase into an entry via the
     /// compiled NER model, memoized on the preprocessed tokens.
     pub fn ingredient_entry(&self, words: &[String]) -> IngredientEntry {
+        if recipe_obs::enabled() {
+            let t0 = Instant::now();
+            let entry = self.ingredient_entry_memo(words);
+            self.lat_ingredient.record(t0.elapsed().as_secs_f64());
+            entry
+        } else {
+            self.ingredient_entry_memo(words)
+        }
+    }
+
+    fn ingredient_entry_memo(&self, words: &[String]) -> IngredientEntry {
         if self.cache_enabled() {
             let key = cache_key(words);
             if let Some(entry) = self.ingredient_cache.get(&key) {
@@ -344,6 +403,22 @@ impl Inference {
         step: usize,
         compute: impl FnOnce() -> Vec<CookingEvent>,
     ) -> Vec<CookingEvent> {
+        if recipe_obs::enabled() {
+            let t0 = Instant::now();
+            let events = self.events_for_sentence_memo(words, step, compute);
+            self.lat_events.record(t0.elapsed().as_secs_f64());
+            events
+        } else {
+            self.events_for_sentence_memo(words, step, compute)
+        }
+    }
+
+    fn events_for_sentence_memo(
+        &self,
+        words: &[String],
+        step: usize,
+        compute: impl FnOnce() -> Vec<CookingEvent>,
+    ) -> Vec<CookingEvent> {
         if !self.cache_enabled() {
             return compute();
         }
@@ -377,7 +452,8 @@ mod tests {
 
     #[test]
     fn sharded_cache_bounds_capacity_and_counts() {
-        let cache: ShardedCache<usize> = ShardedCache::new(CACHE_SHARDS * 2);
+        let reg = recipe_obs::Registry::new();
+        let cache: ShardedCache<usize> = ShardedCache::new(CACHE_SHARDS * 2, &reg, "cache.test");
         assert_eq!(cache.per_shard_capacity, 2);
         for i in 0..200 {
             let key = format!("key-{i}");

@@ -312,6 +312,7 @@ impl IngredientExtractor {
 
     /// Extract the structured entry for one raw ingredient phrase.
     pub fn extract(&self, phrase: &str) -> IngredientEntry {
+        let _span = recipe_obs::span!("pipeline.ingredient_extractor.extract");
         let words = self.pre.preprocess(phrase);
         let tags: Vec<IngredientTag> = self
             .ner
@@ -445,6 +446,7 @@ impl TrainedPipeline {
     /// the compiled NER model and the phrase cache. Byte-identical to
     /// [`Self::extract_ingredient_reference`] on every input.
     pub fn extract_ingredient(&self, phrase: &str) -> IngredientEntry {
+        let _span = recipe_obs::span!("pipeline.extract_ingredient");
         let words = self.pre.preprocess(phrase);
         self.inference.ingredient_entry(&words)
     }
@@ -453,6 +455,7 @@ impl TrainedPipeline {
     /// compiled path is verified against (tests, lint rule RA208, and the
     /// speedup baseline in the inference benches).
     pub fn extract_ingredient_reference(&self, phrase: &str) -> IngredientEntry {
+        let _span = recipe_obs::span!("pipeline.extract_ingredient.reference");
         let words = self.pre.preprocess(phrase);
         let tags: Vec<IngredientTag> = self
             .ingredient_ner
@@ -465,6 +468,7 @@ impl TrainedPipeline {
 
     /// Mine the full [`RecipeModel`] from a recipe's raw text.
     pub fn model_recipe(&self, recipe: &Recipe) -> RecipeModel {
+        let _span = recipe_obs::span!("pipeline.model_recipe");
         let ingredients: Vec<IngredientEntry> = recipe
             .ingredient_lines()
             .iter()
@@ -484,6 +488,7 @@ impl TrainedPipeline {
     /// Reference (uncompiled, uncached) counterpart of
     /// [`Self::model_recipe`]; byte-identical output.
     pub fn model_recipe_reference(&self, recipe: &Recipe) -> RecipeModel {
+        let _span = recipe_obs::span!("pipeline.model_recipe.reference");
         let ingredients: Vec<IngredientEntry> = recipe
             .ingredient_lines()
             .iter()
@@ -505,12 +510,14 @@ impl TrainedPipeline {
     /// the same models as a serial [`Self::model_recipe`] loop, in input
     /// order, at any thread count.
     pub fn model_recipes(&self, recipes: &[Recipe], rt: &Runtime) -> Vec<RecipeModel> {
+        let _span = recipe_obs::span!("pipeline.model_recipes");
         rt.par_map(recipes, |_, r| self.model_recipe(r))
     }
 
     /// Reference (uncompiled, uncached) counterpart of
     /// [`Self::model_recipes`]; byte-identical output at any thread count.
     pub fn model_recipes_reference(&self, recipes: &[Recipe], rt: &Runtime) -> Vec<RecipeModel> {
+        let _span = recipe_obs::span!("pipeline.model_recipes.reference");
         rt.par_map(recipes, |_, r| self.model_recipe_reference(r))
     }
 
@@ -525,6 +532,7 @@ impl TrainedPipeline {
         ingredient_lines: &[String],
         instruction_steps: &[String],
     ) -> RecipeModel {
+        let _span = recipe_obs::span!("pipeline.model_text");
         let ingredients: Vec<IngredientEntry> = ingredient_lines
             .iter()
             .map(|l| self.extract_ingredient(l))
@@ -558,6 +566,7 @@ impl TrainedPipeline {
     /// sets are merged on the calling thread, so the count is
     /// thread-count-independent (set union is order-insensitive).
     pub fn unique_ingredient_names_rt(&self, corpus: &RecipeCorpus, rt: &Runtime) -> usize {
+        let _span = recipe_obs::span!("pipeline.unique_ingredient_names");
         let chunk = corpus.recipes.len().div_ceil(64).max(1);
         let partials = rt.par_chunks_map(&corpus.recipes, chunk, |_, recipes| {
             let mut names = std::collections::HashSet::new();

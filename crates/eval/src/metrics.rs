@@ -119,6 +119,7 @@ pub fn token_prf(gold: &[Vec<String>], pred: &[Vec<String>], outside: &str) -> C
 /// Our annotation scheme is raw per-token tags (no BIO prefixes), matching
 /// the paper's Stanford NER setup, so maximal same-label runs are entities.
 pub fn extract_entities(labels: &[String], outside: &str) -> Vec<(usize, usize, String)> {
+    let _span = recipe_obs::span!("eval.entities");
     let mut out = Vec::new();
     let mut i = 0usize;
     while i < labels.len() {

@@ -38,6 +38,37 @@ use crate::encode::Interner;
 use crate::features::FeatureExtractor;
 use crate::labels::LabelSet;
 use crate::model::SequenceModel;
+use std::sync::{Arc, OnceLock};
+
+/// Telemetry handles for the compiled decode path, resolved once from
+/// the global registry. All recording is gated on
+/// [`recipe_obs::enabled`] and never affects decoded output.
+struct DecodeMetrics {
+    /// Phrases decoded through [`CompiledSequenceModel::predict_ids_into`].
+    phrases: Arc<recipe_obs::Counter>,
+    /// Tokens across those phrases.
+    tokens: Arc<recipe_obs::Counter>,
+    /// Tokens whose entire feature set was out of vocabulary.
+    oov_tokens: Arc<recipe_obs::Counter>,
+    /// Encodes served by an already-large-enough scratch arena.
+    scratch_reuses: Arc<recipe_obs::Counter>,
+    /// Encodes that had to grow the scratch arena.
+    scratch_grows: Arc<recipe_obs::Counter>,
+}
+
+fn decode_metrics() -> &'static DecodeMetrics {
+    static METRICS: OnceLock<DecodeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = recipe_obs::global();
+        DecodeMetrics {
+            phrases: reg.counter("ner.decode.phrases"),
+            tokens: reg.counter("ner.decode.tokens"),
+            oov_tokens: reg.counter("ner.decode.oov_tokens"),
+            scratch_reuses: reg.counter("ner.decode.scratch_reuses"),
+            scratch_grows: reg.counter("ner.decode.scratch_grows"),
+        }
+    })
+}
 
 /// A trained parameter block frozen into a sparse CSR emission layout.
 ///
@@ -260,12 +291,15 @@ impl CompiledSequenceModel {
     /// order, sort, dedup, and unknown-feature dropping) with zero
     /// allocation after warm-up.
     fn encode_into(&self, tokens: &[String], scratch: &mut DecodeScratch) {
-        if scratch.feats.len() < tokens.len() {
+        let trace = recipe_obs::enabled();
+        let grew = scratch.feats.len() < tokens.len();
+        if grew {
             scratch.feats.resize_with(tokens.len(), Vec::new);
         }
         let DecodeScratch {
             feats, scratch_str, ..
         } = scratch;
+        let mut oov = 0u64;
         for (i, ids) in feats.iter_mut().enumerate().take(tokens.len()) {
             ids.clear();
             self.extractor.for_each_at(tokens, i, scratch_str, |f| {
@@ -275,6 +309,19 @@ impl CompiledSequenceModel {
             });
             ids.sort_unstable();
             ids.dedup();
+            if ids.is_empty() {
+                oov += 1;
+            }
+        }
+        if trace {
+            let m = decode_metrics();
+            m.tokens.add(tokens.len() as u64);
+            m.oov_tokens.add(oov);
+            if grew {
+                m.scratch_grows.inc();
+            } else {
+                m.scratch_reuses.inc();
+            }
         }
     }
 
@@ -287,6 +334,10 @@ impl CompiledSequenceModel {
         scratch: &mut DecodeScratch,
         out: &mut Vec<usize>,
     ) {
+        let _span = recipe_obs::span!("ner.decode");
+        if recipe_obs::enabled() {
+            decode_metrics().phrases.inc();
+        }
         self.encode_into(tokens, scratch);
         // Split the borrow: feats is read-only during decoding while the
         // numeric buffers are written.

@@ -347,6 +347,7 @@ impl LinearChainCrf {
 
     /// Viterbi-decode a feature-encoded sequence.
     pub fn decode(&self, feats: &[Vec<u32>]) -> Vec<usize> {
+        let _span = recipe_obs::span!("ner.decode.reference");
         viterbi(&self.params, feats)
     }
 

@@ -118,6 +118,7 @@ impl FeatureExtractor {
 
     /// Feature strings for position `i`.
     pub fn extract_at(&self, tokens: &[String], i: usize) -> Vec<String> {
+        let _span = recipe_obs::span!("ner.features.extract_at");
         let mut f = Vec::with_capacity(20);
         let mut scratch = String::new();
         self.for_each_at(tokens, i, &mut scratch, |feat| f.push(feat.to_string()));

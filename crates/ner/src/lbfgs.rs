@@ -86,6 +86,7 @@ pub fn minimize_rt<F>(x: &mut [f64], cfg: &LbfgsConfig, rt: &Runtime, mut f: F) 
 where
     F: FnMut(&[f64]) -> (f64, Vec<f64>),
 {
+    let _span = recipe_obs::span!("ner.lbfgs.minimize");
     let dot = |a: &[f64], b: &[f64]| rt.par_dot(a, b, DOT_CHUNK, DOT_PARALLEL_FLOOR);
     let n = x.len();
     let (mut fx, mut grad) = f(x);

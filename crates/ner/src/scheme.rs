@@ -54,6 +54,7 @@ pub fn bio_label_names(raw: &[&str], outside: &str) -> Vec<String> {
 /// Extract `(start, end, type)` entities from a BIO sequence. Unlike raw
 /// tags, adjacent entities of one type stay separate.
 pub fn extract_entities_bio(labels: &[String], outside: &str) -> Vec<(usize, usize, String)> {
+    let _span = recipe_obs::span!("ner.entities_bio");
     let mut out: Vec<(usize, usize, String)> = Vec::new();
     let mut open: Option<(usize, String)> = None;
     for (i, label) in labels.iter().enumerate() {

@@ -1,0 +1,128 @@
+//! `recipe-obs`: zero-dependency observability for the recipe pipeline.
+//!
+//! Three pieces, all std-only:
+//!
+//! 1. **Metrics registry** ([`metrics`]): named atomic [`Counter`]s
+//!    (sharded across cache lines so hot-path increments from the worker
+//!    pool stay uncontended), [`Gauge`]s, fixed-bucket [`Histogram`]s and
+//!    bounded [`Series`]. A process-global registry ([`metrics::global`])
+//!    serves the hot paths; components that need isolation (e.g. the
+//!    per-pipeline phrase caches) own private [`Registry`] instances that
+//!    are merged into exported telemetry.
+//!
+//! 2. **Hierarchical spans** ([`span`]): `let _g = span!("ner.decode");`
+//!    guards that *aggregate* into a stage tree — count plus total wall
+//!    time per (path-from-root) — instead of logging per event. O(1) per
+//!    span, no allocation on the hot path after the first occurrence of a
+//!    path on a thread, and a single relaxed atomic load when tracing is
+//!    disabled.
+//!
+//! 3. **Telemetry export** ([`report`]): a serializable [`Telemetry`]
+//!    snapshot (stage tree, counters, gauges, histogram summaries,
+//!    series, throughput) plus a human renderer and a schema validator
+//!    for the `--metrics-out` JSON documents written by the CLI.
+//!
+//! Observability must never perturb artifacts: nothing here influences
+//! any computed value, and aggregation (not logging) keeps the memory
+//! and time cost independent of corpus size. Tracing is off by default;
+//! see [`set_enabled`].
+
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use metrics::{
+    global, percentile_sorted, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
+    RegistrySnapshot, SampleSummary, Series, DEFAULT_COUNT_BOUNDS, DEFAULT_LATENCY_BOUNDS,
+};
+pub use report::{render_human, validate_document, validate_telemetry, Telemetry};
+pub use span::{enter, stage_tree, SpanGuard, StageNode};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide tracing switch. Off by default so instrumented hot paths
+/// cost one relaxed load each.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn span/histogram collection on or off for the whole process.
+///
+/// Counters that back user-visible output (the per-pipeline cache
+/// statistics) count regardless of this switch; it gates only the
+/// tracing-grade telemetry (spans, latency histograms, per-stage
+/// counters).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether tracing-grade telemetry is currently collected.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zero every global metric and drop all aggregated spans. Registered
+/// handles stay valid — callers holding an `Arc<Counter>` keep counting
+/// into the same (now zeroed) cells.
+pub fn reset() {
+    metrics::global().reset();
+    span::reset();
+}
+
+/// Declarative on/off configuration, mirroring the CLI `--trace` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Collect spans and histograms when `true`.
+    pub enabled: bool,
+}
+
+impl ObsConfig {
+    /// Tracing disabled: every span and histogram record is a no-op.
+    pub fn off() -> Self {
+        ObsConfig { enabled: false }
+    }
+
+    /// Tracing enabled.
+    pub fn on() -> Self {
+        ObsConfig { enabled: true }
+    }
+
+    /// Apply this configuration to the process-wide switch.
+    pub fn apply(&self) {
+        set_enabled(self.enabled);
+    }
+}
+
+/// Open an aggregating span: `let _g = span!("pipeline.extract");`.
+///
+/// The guard records its wall time under the current thread's span path
+/// when dropped; when tracing is disabled the expansion is a single
+/// relaxed atomic load.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::enter($name)
+    };
+}
+
+/// Serialises tests that touch the process-wide `ENABLED` flag or the
+/// global span map, so the crate's parallel test runner can't interleave
+/// them.
+#[cfg(test)]
+pub(crate) fn tests_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_config_round_trip() {
+        let _lock = tests_lock();
+        ObsConfig::on().apply();
+        assert!(enabled());
+        ObsConfig::off().apply();
+        assert!(!enabled());
+    }
+}

@@ -1,0 +1,342 @@
+//! Telemetry export: a serializable snapshot of spans and metrics, a
+//! human-readable renderer for `recipe_mine stats`, and a schema
+//! validator for `--metrics-out` documents.
+
+use crate::metrics::{HistogramSnapshot, Registry, RegistrySnapshot};
+use crate::span::{stage_tree, StageNode};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Version of the `--metrics-out` document layout; bumped on breaking
+/// schema changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A point-in-time export of everything the observability layer knows:
+/// the aggregated stage tree plus a merged snapshot of the global
+/// registry and any component-private registries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// Whether tracing was enabled while this snapshot was collected
+    /// (counters that back normal output count either way).
+    pub enabled: bool,
+    /// Aggregated span tree, roots sorted by name.
+    pub stages: Vec<StageNode>,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Retained series values by name.
+    pub series: BTreeMap<String, Vec<f64>>,
+    /// Derived rates filled in by the caller (items per second, wall
+    /// seconds, …), keyed by measure name.
+    pub throughput: BTreeMap<String, f64>,
+}
+
+impl Telemetry {
+    /// Gather the stage tree, the global registry, and any `extra`
+    /// registries (merged in order, later names winning) into one
+    /// snapshot.
+    pub fn gather(extra: &[&Registry]) -> Self {
+        let mut snap = crate::metrics::global().snapshot();
+        for r in extra {
+            snap.merge(r.snapshot());
+        }
+        Self::from_parts(stage_tree(), snap)
+    }
+
+    /// Assemble a snapshot from already-collected parts.
+    pub fn from_parts(stages: Vec<StageNode>, snap: RegistrySnapshot) -> Self {
+        Telemetry {
+            enabled: crate::enabled(),
+            stages,
+            counters: snap.counters,
+            gauges: snap.gauges,
+            histograms: snap.histograms,
+            series: snap.series,
+            throughput: BTreeMap::new(),
+        }
+    }
+}
+
+/// Format seconds compactly for the human renderer.
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+fn render_stage(out: &mut String, node: &StageNode, depth: usize) {
+    let indent = "  ".repeat(depth + 1);
+    let _ = writeln!(
+        out,
+        "{indent}{:<w$} {:>8} calls  {:>10}",
+        node.name,
+        node.count,
+        fmt_secs(node.wall_s),
+        w = 32usize.saturating_sub(depth * 2),
+    );
+    for child in &node.children {
+        render_stage(out, child, depth + 1);
+    }
+}
+
+/// Render a telemetry snapshot for terminals: stage tree, then each
+/// metric family, skipping empty sections.
+pub fn render_human(t: &Telemetry) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "telemetry (tracing {})",
+        if t.enabled { "on" } else { "off" }
+    );
+    if !t.stages.is_empty() {
+        let _ = writeln!(out, "stages:");
+        for node in &t.stages {
+            render_stage(&mut out, node, 0);
+        }
+    }
+    if !t.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for (name, v) in &t.counters {
+            let _ = writeln!(out, "  {name:<40} {v:>12}");
+        }
+    }
+    if !t.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for (name, v) in &t.gauges {
+            let _ = writeln!(out, "  {name:<40} {v:>12.6}");
+        }
+    }
+    if !t.histograms.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        for (name, h) in &t.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<40} n={:<8} p50={} p90={} p99={} max={}",
+                h.count,
+                fmt_secs(h.p50),
+                fmt_secs(h.p90),
+                fmt_secs(h.p99),
+                fmt_secs(h.max),
+            );
+        }
+    }
+    if !t.series.is_empty() {
+        let _ = writeln!(out, "series:");
+        for (name, vals) in &t.series {
+            let head: Vec<String> = vals.iter().take(8).map(|v| format!("{v:.4}")).collect();
+            let ellipsis = if vals.len() > 8 { ", …" } else { "" };
+            let _ = writeln!(
+                out,
+                "  {name:<40} [{}{}] ({} points)",
+                head.join(", "),
+                ellipsis,
+                vals.len()
+            );
+        }
+    }
+    if !t.throughput.is_empty() {
+        let _ = writeln!(out, "throughput:");
+        for (name, v) in &t.throughput {
+            let _ = writeln!(out, "  {name:<40} {v:>14.2}");
+        }
+    }
+    out
+}
+
+fn expect_object<'v>(v: &'v Value, what: &str) -> Result<&'v Vec<(String, Value)>, String> {
+    v.as_object()
+        .ok_or_else(|| format!("{what} must be an object"))
+}
+
+fn expect_number_map(v: &Value, what: &str) -> Result<(), String> {
+    for (key, val) in expect_object(v, what)? {
+        if val.as_f64().is_none() {
+            return Err(format!("{what}.{key} must be a number"));
+        }
+    }
+    Ok(())
+}
+
+fn validate_stage(v: &Value, path: &str) -> Result<(), String> {
+    let obj = expect_object(v, path)?;
+    let field = |name: &str| {
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("{path} missing field `{name}`"))
+    };
+    if field("name")?.as_str().is_none() {
+        return Err(format!("{path}.name must be a string"));
+    }
+    if field("count")?.as_f64().is_none() {
+        return Err(format!("{path}.count must be a number"));
+    }
+    if field("wall_s")?.as_f64().is_none() {
+        return Err(format!("{path}.wall_s must be a number"));
+    }
+    let children = field("children")?
+        .as_array()
+        .ok_or_else(|| format!("{path}.children must be an array"))?;
+    for (i, child) in children.iter().enumerate() {
+        validate_stage(child, &format!("{path}.children[{i}]"))?;
+    }
+    Ok(())
+}
+
+/// Validate the shape of a `telemetry` JSON block (as produced by
+/// serializing [`Telemetry`]). Returns the first problem found.
+pub fn validate_telemetry(v: &Value) -> Result<(), String> {
+    let obj = expect_object(v, "telemetry")?;
+    let field = |name: &str| {
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("telemetry missing field `{name}`"))
+    };
+    if field("enabled")?.as_bool().is_none() {
+        return Err("telemetry.enabled must be a boolean".to_string());
+    }
+    let stages = field("stages")?
+        .as_array()
+        .ok_or_else(|| "telemetry.stages must be an array".to_string())?;
+    for (i, stage) in stages.iter().enumerate() {
+        validate_stage(stage, &format!("telemetry.stages[{i}]"))?;
+    }
+    expect_number_map(field("counters")?, "telemetry.counters")?;
+    expect_number_map(field("gauges")?, "telemetry.gauges")?;
+    for (key, hist) in expect_object(field("histograms")?, "telemetry.histograms")? {
+        let hist_obj = expect_object(hist, &format!("telemetry.histograms.{key}"))?;
+        for want in ["count", "sum", "mean", "min", "max", "p50", "p90", "p99"] {
+            let found = hist_obj
+                .iter()
+                .find(|(k, _)| k == want)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("telemetry.histograms.{key} missing `{want}`"))?;
+            if found.as_f64().is_none() {
+                return Err(format!(
+                    "telemetry.histograms.{key}.{want} must be a number"
+                ));
+            }
+        }
+    }
+    for (key, s) in expect_object(field("series")?, "telemetry.series")? {
+        let arr = s
+            .as_array()
+            .ok_or_else(|| format!("telemetry.series.{key} must be an array"))?;
+        if arr.iter().any(|x| x.as_f64().is_none()) {
+            return Err(format!("telemetry.series.{key} must contain only numbers"));
+        }
+    }
+    expect_number_map(field("throughput")?, "telemetry.throughput")?;
+    Ok(())
+}
+
+/// Validate a full `--metrics-out` document: `schema_version`,
+/// `command`, and a valid `telemetry` block.
+pub fn validate_document(v: &Value) -> Result<(), String> {
+    let obj = expect_object(v, "document")?;
+    let field = |name: &str| {
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("document missing field `{name}`"))
+    };
+    match field("schema_version")?.as_f64() {
+        Some(version) if version == SCHEMA_VERSION as f64 => {}
+        Some(version) => return Err(format!("unsupported schema_version {version}")),
+        None => return Err("schema_version must be a number".to_string()),
+    }
+    if field("command")?.as_str().is_none() {
+        return Err("command must be a string".to_string());
+    }
+    validate_telemetry(field("telemetry")?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_telemetry() -> Telemetry {
+        let _lock = crate::tests_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _root = crate::span::enter("extract");
+            let _child = crate::span::enter("ner.decode");
+        }
+        let reg = Registry::new();
+        reg.counter("cache.hits").add(7);
+        reg.gauge("pool.workers").set(4.0);
+        reg.latency_histogram("phrase.latency").record(0.002);
+        reg.series("kmeans.inertia").push(12.5);
+        let mut t = Telemetry::gather(&[&reg]);
+        t.throughput.insert("phrases_per_s".to_string(), 123.0);
+        crate::set_enabled(false);
+        crate::reset();
+        t
+    }
+
+    #[test]
+    fn telemetry_round_trips_and_validates() {
+        let t = sample_telemetry();
+        let json = serde_json::to_string_pretty(&t).expect("serialize");
+        let value: serde_json::Value = serde_json::from_str(&json).expect("reparse");
+        validate_telemetry(&value).expect("valid telemetry");
+        let back: Telemetry = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, t);
+        let doc = serde_json::json!({
+            "schema_version": SCHEMA_VERSION,
+            "command": "extract",
+            "telemetry": value,
+        });
+        validate_document(&doc).expect("valid document");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_blocks() {
+        let t = sample_telemetry();
+        let good = serde_json::to_value(&t);
+        assert!(validate_telemetry(&good).is_ok());
+        assert!(validate_telemetry(&serde_json::json!([])).is_err());
+        assert!(validate_telemetry(&serde_json::json!({})).is_err());
+        let doc = serde_json::json!({
+            "schema_version": 999,
+            "command": "extract",
+            "telemetry": good,
+        });
+        let err = validate_document(&doc).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        assert!(validate_document(&serde_json::json!({"command": "x"})).is_err());
+    }
+
+    #[test]
+    fn human_render_mentions_every_section() {
+        let t = sample_telemetry();
+        let text = render_human(&t);
+        for needle in [
+            "stages:",
+            "extract",
+            "ner.decode",
+            "counters:",
+            "cache.hits",
+            "gauges:",
+            "histograms:",
+            "phrase.latency",
+            "series:",
+            "kmeans.inertia",
+            "throughput:",
+            "phrases_per_s",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Aggregating hierarchical spans.
+//!
+//! A span is a scope guard opened with [`enter`] (or the [`span!`]
+//! macro). Guards nest per thread: each records its wall time under the
+//! *path* of currently open span names, and identical paths aggregate
+//! into a single `(count, total time)` cell rather than producing one
+//! record per event. That keeps memory O(distinct paths) — independent
+//! of corpus size — and, because nothing is ever logged in between,
+//! tracing cannot reorder or interleave any observable output.
+//!
+//! Aggregation is two-level: each thread accumulates into a private map
+//! (no synchronisation per span) and flushes it into the process-global
+//! map when the thread exits — the runtime's scoped workers exit at the
+//! end of every parallel call, so their data is merged by the time the
+//! caller regains control. The owning thread flushes explicitly via
+//! [`stage_tree`] / [`flush_local`] when telemetry is gathered.
+//!
+//! [`span!`]: crate::span!
+
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Aggregated cell for one span path.
+#[derive(Debug, Clone, Copy, Default)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+}
+
+/// Process-global aggregation, keyed by the full path from the root
+/// span. `BTreeMap` so export order is deterministic and parents sort
+/// before their children.
+static GLOBAL_SPANS: Mutex<BTreeMap<Vec<&'static str>, SpanAgg>> = Mutex::new(BTreeMap::new());
+
+/// Per-thread aggregation, flushed to [`GLOBAL_SPANS`] on thread exit.
+#[derive(Default)]
+struct LocalAggs {
+    map: RefCell<HashMap<Vec<&'static str>, SpanAgg>>,
+}
+
+impl LocalAggs {
+    fn record(&self, path: &[&'static str], elapsed_ns: u64) {
+        let mut map = self.map.borrow_mut();
+        if let Some(agg) = map.get_mut(path) {
+            agg.count += 1;
+            agg.total_ns += elapsed_ns;
+        } else {
+            map.insert(
+                path.to_vec(),
+                SpanAgg {
+                    count: 1,
+                    total_ns: elapsed_ns,
+                },
+            );
+        }
+    }
+
+    fn flush(&self) {
+        let mut map = self.map.borrow_mut();
+        if map.is_empty() {
+            return;
+        }
+        let mut global = GLOBAL_SPANS
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for (path, agg) in map.drain() {
+            let cell = global.entry(path).or_default();
+            cell.count += agg.count;
+            cell.total_ns += agg.total_ns;
+        }
+    }
+}
+
+impl Drop for LocalAggs {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    /// Names of the spans currently open on this thread, root first.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// This thread's aggregation map; flushed to the global map on drop.
+    static LOCAL: LocalAggs = LocalAggs::default();
+}
+
+/// Guard returned by [`enter`]; records on drop. Inert (holds no start
+/// time) when tracing was disabled at entry.
+#[must_use = "a span only measures the scope the guard lives in"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+/// Open a span named `name` under the thread's currently open spans.
+/// When tracing is disabled this is a single relaxed atomic load and the
+/// returned guard does nothing.
+#[inline]
+pub fn enter(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { start: None };
+    }
+    STACK.with(|s| s.borrow_mut().push(name));
+    SpanGuard {
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // LOCAL may already be gone during thread teardown; spans
+            // closing that late have nowhere to aggregate, so drop them.
+            let _ = LOCAL.try_with(|l| l.record(&stack, elapsed_ns));
+            stack.pop();
+        });
+    }
+}
+
+/// Flush the calling thread's span aggregates into the global map.
+/// Worker threads flush automatically on exit; the owning thread calls
+/// this (via [`stage_tree`]) before exporting.
+pub fn flush_local() {
+    let _ = LOCAL.try_with(|l| l.flush());
+}
+
+/// Drop every aggregated span, globally and on the calling thread.
+pub fn reset() {
+    let _ = LOCAL.try_with(|l| l.map.borrow_mut().clear());
+    GLOBAL_SPANS
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .clear();
+}
+
+/// One node of the exported stage tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageNode {
+    /// Span name (one path segment).
+    pub name: String,
+    /// Times a span closed at exactly this path. A node that only ever
+    /// appeared as an ancestor of closed spans reports 0 (e.g. the tree
+    /// was exported while it was still open).
+    pub count: u64,
+    /// Total wall time of spans closed at this path, summed across
+    /// threads — on worker threads this approximates busy (CPU) time
+    /// rather than elapsed time.
+    pub wall_s: f64,
+    /// Child stages, sorted by name.
+    pub children: Vec<StageNode>,
+}
+
+/// Export the aggregated spans as a stage tree (children sorted by
+/// name). Flushes the calling thread first.
+pub fn stage_tree() -> Vec<StageNode> {
+    flush_local();
+    let global = GLOBAL_SPANS
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let mut roots: Vec<StageNode> = Vec::new();
+    for (path, agg) in global.iter() {
+        let mut level = &mut roots;
+        for (depth, name) in path.iter().enumerate() {
+            let pos = match level.iter().position(|n| n.name == *name) {
+                Some(p) => p,
+                None => {
+                    level.push(StageNode {
+                        name: name.to_string(),
+                        count: 0,
+                        wall_s: 0.0,
+                        children: Vec::new(),
+                    });
+                    level.len() - 1
+                }
+            };
+            if depth == path.len() - 1 {
+                level[pos].count += agg.count;
+                level[pos].wall_s += agg.total_ns as f64 / 1e9;
+            }
+            level = &mut level[pos].children;
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span tests toggle the process-wide ENABLED flag and share the
+    // process-wide span map, so they serialize on the crate test lock.
+    #[test]
+    fn spans_aggregate_into_a_stage_tree() {
+        let _lock = crate::tests_lock();
+        crate::set_enabled(true);
+        reset();
+        {
+            let _root = enter("extract");
+            for _ in 0..3 {
+                let _tag = enter("tagger.tag");
+            }
+            {
+                let _ner = enter("ner.decode");
+                let _inner = enter("viterbi");
+            }
+        }
+        let tree = stage_tree();
+        crate::set_enabled(false);
+        assert_eq!(tree.len(), 1, "single root, got {tree:?}");
+        let root = &tree[0];
+        assert_eq!(root.name, "extract");
+        assert_eq!(root.count, 1);
+        assert!(root.wall_s >= 0.0);
+        let names: Vec<&str> = root.children.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["ner.decode", "tagger.tag"], "sorted children");
+        assert_eq!(root.children[1].count, 3, "three tag spans aggregated");
+        assert_eq!(root.children[0].children[0].name, "viterbi");
+        assert_eq!(root.children[0].children[0].count, 1);
+    }
+
+    #[test]
+    fn worker_thread_spans_flush_on_exit() {
+        let _lock = crate::tests_lock();
+        crate::set_enabled(true);
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _g = enter("worker.chunk");
+                });
+            }
+        });
+        let tree = stage_tree();
+        crate::set_enabled(false);
+        let node = tree
+            .iter()
+            .find(|n| n.name == "worker.chunk")
+            .expect("worker spans flushed");
+        assert_eq!(node.count, 4);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _lock = crate::tests_lock();
+        crate::set_enabled(false);
+        reset();
+        {
+            let _g = enter("ghost");
+        }
+        assert!(stage_tree().is_empty(), "disabled span left a trace");
+    }
+}

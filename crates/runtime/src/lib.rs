@@ -33,7 +33,42 @@
 //! [`std::thread::available_parallelism`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Handles into the global metrics registry for the pool's telemetry,
+/// resolved once so hot-path increments are plain atomic adds. All
+/// recording is gated on [`recipe_obs::enabled`] and never influences
+/// chunking, scheduling or results.
+struct PoolMetrics {
+    /// Parallel calls dispatched (serial fallback included).
+    par_calls: Arc<recipe_obs::Counter>,
+    /// Chunks processed across all calls.
+    chunks: Arc<recipe_obs::Counter>,
+    /// Worker count of the most recent parallel dispatch.
+    workers: Arc<recipe_obs::Gauge>,
+    /// Per-worker busy time (seconds inside the caller's closure).
+    worker_busy: Arc<recipe_obs::Histogram>,
+    /// Per-worker idle time (call wall time minus busy time).
+    worker_idle: Arc<recipe_obs::Histogram>,
+    /// Chunks pulled by each worker in one call (queue balance).
+    worker_chunks: Arc<recipe_obs::Histogram>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = recipe_obs::global();
+        PoolMetrics {
+            par_calls: reg.counter("runtime.par_calls"),
+            chunks: reg.counter("runtime.chunks"),
+            workers: reg.gauge("runtime.workers"),
+            worker_busy: reg.latency_histogram("runtime.worker_busy_s"),
+            worker_idle: reg.latency_histogram("runtime.worker_idle_s"),
+            worker_chunks: reg.count_histogram("runtime.worker_chunks"),
+        }
+    })
+}
 
 /// Global thread-count override (0 = unset). Set by [`set_global_threads`].
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -126,35 +161,66 @@ impl Runtime {
             let end = (start + chunk_size).min(items.len());
             &items[start..end]
         };
+        let trace = recipe_obs::enabled();
+        if trace {
+            let m = pool_metrics();
+            m.par_calls.inc();
+            m.chunks.add(n_chunks as u64);
+        }
         if self.threads <= 1 || n_chunks <= 1 {
             return (0..n_chunks).map(|c| f(c, take(c))).collect();
         }
         let workers = self.threads.min(n_chunks);
         let cursor = AtomicUsize::new(0);
         let mut slots: Vec<Option<R>> = (0..n_chunks).map(|_| None).collect();
+        let started = trace.then(Instant::now);
+        let mut worker_busy_ns: Vec<u64> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut local = Vec::new();
+                        let mut busy_ns = 0u64;
                         loop {
                             let c = cursor.fetch_add(1, Ordering::Relaxed);
                             if c >= n_chunks {
                                 break;
                             }
-                            local.push((c, f(c, take(c))));
+                            if trace {
+                                let t0 = Instant::now();
+                                local.push((c, f(c, take(c))));
+                                busy_ns += t0.elapsed().as_nanos() as u64;
+                            } else {
+                                local.push((c, f(c, take(c))));
+                            }
                         }
-                        local
+                        (local, busy_ns)
                     })
                 })
                 .collect();
             for handle in handles {
                 // A worker panic propagates here, which aborts the scope.
-                for (c, r) in handle.join().expect("runtime worker panicked") {
+                let (local, busy_ns) = handle.join().expect("runtime worker panicked");
+                if trace {
+                    let m = pool_metrics();
+                    m.worker_chunks.record(local.len() as f64);
+                    worker_busy_ns.push(busy_ns);
+                }
+                for (c, r) in local {
                     slots[c] = Some(r);
                 }
             }
         });
+        if let Some(started) = started {
+            let wall_s = started.elapsed().as_secs_f64();
+            let m = pool_metrics();
+            m.workers.set(workers as f64);
+            for busy_ns in worker_busy_ns {
+                let busy_s = busy_ns as f64 / 1e9;
+                m.worker_busy.record(busy_s);
+                m.worker_idle.record((wall_s - busy_s).max(0.0));
+            }
+        }
         slots
             .into_iter()
             .map(|s| s.expect("every chunk produced a result"))
@@ -227,6 +293,11 @@ impl Runtime {
     {
         let chunk_size = chunk_size.max(1);
         let n_chunks = items.len().div_ceil(chunk_size);
+        if recipe_obs::enabled() {
+            let m = pool_metrics();
+            m.par_calls.inc();
+            m.chunks.add(n_chunks as u64);
+        }
         if self.threads <= 1 || n_chunks <= 1 {
             for (c, chunk) in items.chunks_mut(chunk_size).enumerate() {
                 f(c, chunk);

@@ -20,6 +20,31 @@ use crate::perceptron::argmax;
 use crate::tagger::{for_each_feature, normalize_into, PosTagger, END, START};
 use crate::tagset::PennTag;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Telemetry handles for compiled tagging, resolved once from the global
+/// registry. Recording is gated on [`recipe_obs::enabled`] and never
+/// affects the tags produced.
+struct TagMetrics {
+    /// Sentences tagged through [`CompiledPosTagger::tag_into`].
+    sentences: Arc<recipe_obs::Counter>,
+    /// Tokens across those sentences.
+    tokens: Arc<recipe_obs::Counter>,
+    /// Tokens short-circuited by the unambiguous-word dictionary.
+    tagdict_hits: Arc<recipe_obs::Counter>,
+}
+
+fn tag_metrics() -> &'static TagMetrics {
+    static METRICS: OnceLock<TagMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = recipe_obs::global();
+        TagMetrics {
+            sentences: reg.counter("tagger.sentences"),
+            tokens: reg.counter("tagger.tokens"),
+            tagdict_hits: reg.counter("tagger.tagdict_hits"),
+        }
+    })
+}
 
 /// Per-worker scratch buffers for compiled tagging: allocated once, reused
 /// across every sentence a worker processes.
@@ -125,6 +150,7 @@ impl CompiledPosTagger {
     /// intermediate buffer. Output is identical to [`PosTagger::tag`] on
     /// the tagger this was compiled from.
     pub fn tag_into(&self, words: &[String], scratch: &mut TagScratch, out: &mut Vec<PennTag>) {
+        let _span = recipe_obs::span!("tagger.tag");
         out.clear();
         let n = words.len();
         let ctx_len = n + 4;
@@ -153,9 +179,11 @@ impl CompiledPosTagger {
 
         let mut prev: &str = START[0];
         let mut prev2: &str = START[1];
+        let mut dict_hits = 0u64;
         for i in 0..n {
             let norm = context[i + 2].as_str();
             let tag = if let Some(&t) = self.tagdict.get(norm) {
+                dict_hits += 1;
                 t
             } else {
                 ids.clear();
@@ -170,6 +198,12 @@ impl CompiledPosTagger {
             out.push(tag);
             prev2 = prev;
             prev = tag.as_str();
+        }
+        if recipe_obs::enabled() {
+            let m = tag_metrics();
+            m.sentences.inc();
+            m.tokens.add(n as u64);
+            m.tagdict_hits.add(dict_hits);
         }
     }
 

@@ -297,6 +297,42 @@ fn compiled_extraction_is_byte_identical_across_threads_and_cache_modes() {
 }
 
 #[test]
+fn extraction_is_byte_identical_with_tracing_on_and_off() {
+    // Telemetry must never perturb artifacts: the compiled batch output
+    // is byte-identical with span/metric collection enabled or disabled,
+    // at every thread count, cache on and off.
+    let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(13));
+    let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
+    let reference: Vec<String> = corpus
+        .recipes
+        .iter()
+        .map(|r| serde_json::to_string(&pipeline.model_recipe_reference(r)).unwrap())
+        .collect();
+    for &t in &[1usize, 4, 8] {
+        for cache in [true, false] {
+            pipeline.set_cache_enabled(cache);
+            // Off → on → off again, so a stale tracing flag from an
+            // earlier iteration can't mask a difference.
+            for trace in [false, true, false] {
+                recipe_obs::set_enabled(trace);
+                pipeline.inference.clear_caches();
+                let batch: Vec<String> = pipeline
+                    .model_recipes(&corpus.recipes, &Runtime::new(t))
+                    .iter()
+                    .map(|m| serde_json::to_string(m).unwrap())
+                    .collect();
+                assert_eq!(
+                    batch, reference,
+                    "extraction differs at {t} threads (cache {cache}, trace {trace})"
+                );
+            }
+        }
+    }
+    recipe_obs::set_enabled(false);
+    pipeline.set_cache_enabled(true);
+}
+
+#[test]
 fn pipeline_training_is_byte_identical_across_thread_counts() {
     let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(7));
     let artifact = |threads: usize| {

@@ -1,0 +1,161 @@
+//! Integration tests for the `recipe-obs` observability layer: counter
+//! sharding stays exact under the real worker pool at several thread
+//! counts, histogram bucket boundaries behave at the API surface, and a
+//! trained pipeline exports a schema-valid telemetry snapshot.
+//!
+//! Tests in this binary share the process-wide tracing switch and the
+//! global registry, so the ones that touch them serialize on a lock.
+
+use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
+use recipe_corpus::{CorpusSpec, RecipeCorpus};
+use recipe_runtime::Runtime;
+use std::sync::{Mutex, MutexGuard};
+
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[test]
+fn counter_totals_are_exact_across_worker_counts() {
+    // Sharded counters must never lose increments, whatever the worker
+    // count: the total over a parallel map equals the item count exactly.
+    for &threads in &[1usize, 4, 8] {
+        let reg = recipe_obs::Registry::new();
+        let counter = reg.counter("test.items");
+        let items: Vec<u64> = (0..10_000).collect();
+        let rt = Runtime::new(threads);
+        let doubled = rt.par_map(&items, |_, x| {
+            counter.inc();
+            x * 2
+        });
+        assert_eq!(doubled.len(), items.len());
+        assert_eq!(
+            counter.get(),
+            items.len() as u64,
+            "lost increments at {threads} threads"
+        );
+        counter.reset();
+        assert_eq!(counter.get(), 0);
+    }
+}
+
+#[test]
+fn counter_totals_are_exact_under_global_thread_setting() {
+    // Same exactness through the `RECIPE_THREADS`-equivalent process-wide
+    // default that the CLI `--threads` flag installs.
+    let _lock = obs_lock();
+    for &threads in &[1usize, 4, 8] {
+        recipe_runtime::set_global_threads(threads);
+        let reg = recipe_obs::Registry::new();
+        let counter = reg.counter("test.global_items");
+        let items: Vec<u64> = (0..4_096).collect();
+        let rt = Runtime::global();
+        rt.par_map(&items, |_, _| counter.add(3));
+        assert_eq!(
+            counter.get(),
+            3 * items.len() as u64,
+            "at {threads} threads"
+        );
+    }
+    recipe_runtime::set_global_threads(0);
+}
+
+#[test]
+fn histogram_bucket_boundaries_are_inclusive_upper() {
+    // A bucket with upper bound b counts values <= b; the first larger
+    // value falls into the next bucket; values beyond the last bound land
+    // in the overflow bucket but keep exact min/max/sum.
+    let h = recipe_obs::Histogram::new(&[1.0, 2.0, 5.0]);
+    for v in [0.5, 1.0, 1.5, 2.0, 5.0, 80.0] {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 6);
+    assert!((snap.sum - 90.0).abs() < 1e-6, "{snap:?}");
+    assert!((snap.min - 0.5).abs() < 1e-12, "{snap:?}");
+    assert!((snap.max - 80.0).abs() < 1e-12, "{snap:?}");
+    // Everything at or below 2.0 sits in the first two buckets: the
+    // median interpolates within bound 1.0..=2.0.
+    assert!(snap.p50 <= 2.0, "{snap:?}");
+    // The single overflow sample keeps the tail quantiles pinned at the
+    // last finite bound; the exact max is still tracked separately.
+    assert!(snap.p99 >= 5.0, "{snap:?}");
+}
+
+#[test]
+fn default_latency_bounds_cover_microseconds_to_seconds() {
+    let h = recipe_obs::Histogram::new(&recipe_obs::DEFAULT_LATENCY_BOUNDS);
+    for v in [2e-6, 5e-4, 0.02, 1.5] {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 4);
+    assert!(snap.p50 >= 1e-6 && snap.p50 <= 0.1, "{snap:?}");
+}
+
+#[test]
+fn trained_pipeline_exports_schema_valid_telemetry() {
+    let _lock = obs_lock();
+    let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(11));
+    let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
+
+    recipe_obs::reset();
+    recipe_obs::set_enabled(true);
+    let models = pipeline.model_recipes(&corpus.recipes, &Runtime::new(4));
+    recipe_obs::span::flush_local();
+    let telemetry = recipe_obs::Telemetry::gather(&[pipeline.inference.metrics_registry()]);
+    recipe_obs::set_enabled(false);
+    recipe_obs::reset();
+
+    assert_eq!(models.len(), corpus.recipes.len());
+    assert!(telemetry.enabled);
+    assert!(!telemetry.stages.is_empty(), "no stages aggregated");
+    let mut names: Vec<&str> = Vec::new();
+    fn collect<'t>(nodes: &'t [recipe_obs::StageNode], out: &mut Vec<&'t str>) {
+        for n in nodes {
+            out.push(n.name.as_str());
+            collect(&n.children, out);
+        }
+    }
+    collect(&telemetry.stages, &mut names);
+    assert!(
+        names.iter().any(|n| n.starts_with("pipeline.")),
+        "{names:?}"
+    );
+    assert!(names.iter().any(|n| n.starts_with("ner.")), "{names:?}");
+
+    let phrases = telemetry.counters.get("ner.decode.phrases").copied();
+    assert!(phrases.unwrap_or(0) > 0, "{:?}", telemetry.counters);
+    assert!(
+        telemetry.counters.contains_key("cache.ingredient.misses"),
+        "{:?}",
+        telemetry.counters
+    );
+    assert!(
+        telemetry
+            .histograms
+            .contains_key("latency.ingredient_phrase_s"),
+        "{:?}",
+        telemetry.histograms.keys()
+    );
+
+    // The serialized block passes the exported-schema validator.
+    let value = serde_json::to_value(&telemetry);
+    recipe_obs::validate_telemetry(&value).expect("schema-valid telemetry");
+}
+
+#[test]
+fn disabled_tracing_records_nothing_globally() {
+    let _lock = obs_lock();
+    recipe_obs::reset();
+    recipe_obs::set_enabled(false);
+    let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(5));
+    let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
+    let _ = pipeline.model_recipes(&corpus.recipes, &Runtime::new(2));
+    recipe_obs::span::flush_local();
+    let telemetry = recipe_obs::Telemetry::gather(&[]);
+    assert!(!telemetry.enabled);
+    assert!(telemetry.stages.is_empty(), "{:?}", telemetry.stages);
+    assert_eq!(telemetry.counters.get("ner.decode.phrases"), None);
+}
