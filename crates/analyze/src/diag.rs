@@ -267,6 +267,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "a public `*_rt`/decode/extract entry point opens no tracing span",
     },
     RuleInfo {
+        code: "RA210",
+        name: "event-name-hygiene",
+        default_severity: Severity::Warning,
+        summary: "a span/metric/instant name is not lowercase dot-separated, or an explain-reachable decision site records no provenance",
+    },
+    RuleInfo {
         code: "RA301",
         name: "unwrap-in-lib",
         default_severity: Severity::Note,

@@ -22,6 +22,29 @@ const TODO: &str = concat!("to", "do!(");
 const UNIMPLEMENTED: &str = concat!("unimpl", "emented!(");
 const DBG: &str = concat!("db", "g!(");
 
+// RA209 body needles: a span site inside an audited entry point.
+const SPAN_MACRO: &str = concat!("sp", "an!(");
+const OBS_SPAN: &str = concat!("recipe_ob", "s::span");
+
+// RA210 registration-site needles: the opening of a name literal at
+// every span/metric/event call. Each includes the opening quote so the
+// name can be cut out up to the closing quote.
+const NAME_SITES: &[&str] = &[
+    concat!("sp", "an!(\""),
+    concat!("cou", "nter(\""),
+    concat!("gau", "ge(\""),
+    concat!("histo", "gram(\""),
+    concat!("latency_histo", "gram(\""),
+    concat!("count_histo", "gram(\""),
+    concat!("ser", "ies(\""),
+    concat!("inst", "ant(\""),
+];
+
+// RA210 provenance needle: any reference to a provenance helper inside
+// an explain-reachable site (module calls and the `record_*_provenance`
+// wrappers alike).
+const PROVENANCE_CALL: &str = concat!("proven", "ance");
+
 /// Scan every non-test `.rs` file under `root` (expected: workspace root).
 pub fn scan_workspace(root: &Path) -> Vec<Diagnostic> {
     let mut files = Vec::new();
@@ -58,6 +81,8 @@ fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
 /// Scan one file's contents. `rel` is the path used in locations.
 pub fn scan_file(rel: &str, content: &str) -> Vec<Diagnostic> {
     let mut out = scan_telemetry_coverage(rel, content);
+    out.extend(scan_event_names(rel, content));
+    out.extend(scan_provenance_coverage(rel, content));
     // Brace-depth tracking for `#[cfg(test)]`-gated blocks: when the
     // attribute appears, everything until its item's closing brace is
     // test code. Good enough for the idiomatic `#[cfg(test)] mod tests`.
@@ -184,7 +209,7 @@ fn scan_telemetry_coverage(rel: &str, content: &str) -> Vec<Diagnostic> {
                 }
             }
         }
-        if open_body.is_some() && (code.contains("span!(") || code.contains("recipe_obs::span")) {
+        if open_body.is_some() && (code.contains(SPAN_MACRO) || code.contains(OBS_SPAN)) {
             body_has_span = true;
         }
 
@@ -224,6 +249,211 @@ fn scan_telemetry_coverage(rel: &str, content: &str) -> Vec<Diagnostic> {
         }
     }
     out
+}
+
+/// RA210 name hygiene: lowercase dot-separated segments of
+/// `[a-z0-9_]+`, so timelines and metric reports group consistently.
+fn hygienic_event_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+/// RA210 (names): every name literal handed to a span/metric/instant
+/// registration site must be hygienic. Test code may use throwaway
+/// names freely.
+fn scan_event_names(rel: &str, content: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut depth: i32 = 0;
+    let mut test_block_floor: Option<i32> = None;
+    let mut pending_cfg_test = false;
+
+    for (lineno, line) in content.lines().enumerate() {
+        let lineno = lineno + 1;
+        let code = strip_comment(line);
+        let trimmed = code.trim();
+
+        if trimmed.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        if pending_cfg_test && test_block_floor.is_none() && trimmed.contains('{') {
+            test_block_floor = Some(depth);
+            pending_cfg_test = false;
+        }
+
+        if test_block_floor.is_none() {
+            // Name-literal start offsets; overlapping needles (e.g. the
+            // plain and latency histogram sites) land on the same
+            // offset and are deduplicated.
+            let mut starts: Vec<usize> = Vec::new();
+            for needle in NAME_SITES {
+                starts.extend(code.match_indices(needle).map(|(p, _)| p + needle.len()));
+            }
+            starts.sort_unstable();
+            starts.dedup();
+            for start in starts {
+                let Some(len) = code[start..].find('"') else {
+                    continue;
+                };
+                let name = &code[start..start + len];
+                if !hygienic_event_name(name) {
+                    out.push(
+                        Diagnostic::new(
+                            "RA210",
+                            format!("event name {name:?} is not lowercase dot-separated"),
+                            format!("{rel}:{lineno}"),
+                        )
+                        .with_note(
+                            "name spans/metrics/instants with dot-joined [a-z0-9_] segments, \
+                             e.g. `ner.decode.tokens`",
+                        ),
+                    );
+                }
+            }
+        }
+
+        for ch in code.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if let Some(floor) = test_block_floor {
+                        if depth <= floor {
+                            test_block_floor = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Names the RA210 provenance audit treats as explain-reachable
+/// decision sites: the compiled decode/tag kernels, the event-frame
+/// filter, and every memoized lookup (`*_memo`). Each must reference a
+/// provenance helper so `--explain` keeps covering the decisions that
+/// shape its output.
+fn provenance_site(name: &str) -> bool {
+    name.ends_with("_memo") || matches!(name, "viterbi_into" | "tag_into" | "events_from_analysis")
+}
+
+/// RA210 (coverage): every explain-reachable decision site outside test
+/// code must mention a provenance helper somewhere in its body.
+fn scan_provenance_coverage(rel: &str, content: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut depth: i32 = 0;
+    let mut test_block_floor: Option<i32> = None;
+    let mut pending_cfg_test = false;
+    // A matching `fn` whose body brace has not appeared yet.
+    let mut pending_fn: Option<(usize, String)> = None;
+    // (decl line, name, brace depth before the body) of an open body.
+    let mut open_body: Option<(usize, String, i32)> = None;
+    let mut body_has_provenance = false;
+
+    for (lineno, line) in content.lines().enumerate() {
+        let lineno = lineno + 1;
+        let code = strip_comment(line);
+        let trimmed = code.trim();
+
+        if trimmed.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        if pending_cfg_test && test_block_floor.is_none() && trimmed.contains('{') {
+            test_block_floor = Some(depth);
+            pending_cfg_test = false;
+        }
+
+        if test_block_floor.is_none() && pending_fn.is_none() && open_body.is_none() {
+            if let Some(name) = fn_decl_name(code) {
+                if provenance_site(&name) {
+                    pending_fn = Some((lineno, name));
+                }
+            }
+        }
+        if open_body.is_none() {
+            if let Some((decl_line, name)) = pending_fn.take() {
+                if code.contains('{') {
+                    open_body = Some((decl_line, name, depth));
+                    body_has_provenance = false;
+                } else if trimmed.ends_with(';') {
+                    // Bodyless signature (trait declaration): not audited.
+                } else {
+                    pending_fn = Some((decl_line, name));
+                }
+            }
+        }
+        if open_body.is_some() && code.contains(PROVENANCE_CALL) {
+            body_has_provenance = true;
+        }
+
+        for ch in code.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if let Some(floor) = test_block_floor {
+                        if depth <= floor {
+                            test_block_floor = None;
+                        }
+                    }
+                    if let Some((decl_line, name, floor)) = &open_body {
+                        if depth <= *floor {
+                            if !body_has_provenance {
+                                out.push(
+                                    Diagnostic::new(
+                                        "RA210",
+                                        format!(
+                                            "explain-reachable decision site `{name}` records \
+                                             no provenance"
+                                        ),
+                                        format!("{rel}:{decl_line}"),
+                                    )
+                                    .with_note(
+                                        "record the decision when \
+                                         recipe_obs::provenance::enabled(), so `--explain` \
+                                         keeps seeing it",
+                                    ),
+                                );
+                            }
+                            open_body = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// The name of a `fn` declared on this line (any visibility), if one is.
+fn fn_decl_name(code: &str) -> Option<String> {
+    let mut from = 0usize;
+    while let Some(rel) = code[from..].find("fn ") {
+        let pos = from + rel;
+        let boundary_ok = pos == 0
+            || code[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| !c.is_alphanumeric() && c != '_');
+        if boundary_ok {
+            let name: String = code[pos + 3..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+        from = pos + 3;
+    }
+    None
 }
 
 /// Drop a trailing `// ...` comment (naive: ignores `//` inside strings,
@@ -324,6 +554,84 @@ pub fn helper(x: usize) -> usize { x }
 #[cfg(test)]
 mod tests {
     pub fn extract_everything() -> usize { 7 }
+}
+";
+        assert!(
+            scan_file("m.rs", src).is_empty(),
+            "{:?}",
+            scan_file("m.rs", src)
+        );
+    }
+
+    #[test]
+    fn flags_unhygienic_event_names() {
+        let src = format!(
+            "fn f() {{\n    let _s = recipe_obs::{}\"Mix.Phase\");\n}}\n",
+            concat!("sp", "an!(")
+        );
+        let diags = scan_file("m.rs", &src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "RA210");
+        assert!(diags[0].message.contains("Mix.Phase"), "{diags:?}");
+
+        for bad in ["ner..decode", "ner-decode", "", "ner.decode "] {
+            let src = format!(
+                "fn f() {{\n    reg.{}\"{bad}\");\n}}\n",
+                concat!("cou", "nter(")
+            );
+            let diags = scan_file("m.rs", &src);
+            assert_eq!(diags.len(), 1, "{bad:?}: {diags:?}");
+            assert_eq!(diags[0].code, "RA210");
+        }
+    }
+
+    #[test]
+    fn hygienic_event_names_pass_and_tests_are_exempt() {
+        let src = format!(
+            "fn f() {{\n    let _s = {span}\"events.sentence\");\n    \
+             reg.{lat}\"latency.phrase_s\");\n}}\n\
+             #[cfg(test)]\nmod tests {{\n    fn t() {{ reg.{ctr}\"X\"); }}\n}}\n",
+            span = concat!("sp", "an!("),
+            lat = concat!("latency_histo", "gram("),
+            ctr = concat!("cou", "nter(")
+        );
+        assert!(
+            scan_file("m.rs", &src).is_empty(),
+            "{:?}",
+            scan_file("m.rs", &src)
+        );
+    }
+
+    #[test]
+    fn flags_provenance_free_decision_sites() {
+        let src = "\
+fn viterbi_into(xs: &[u32]) -> usize {
+    xs.len()
+}
+pub fn lookup_memo(k: &str) -> usize {
+    k.len()
+}
+";
+        let diags = scan_file("m.rs", src);
+        let ra210: Vec<_> = diags.iter().filter(|d| d.code == "RA210").collect();
+        assert_eq!(ra210.len(), 2, "{diags:?}");
+        assert!(ra210[0].message.contains("viterbi_into"), "{diags:?}");
+        assert!(ra210[1].message.contains("lookup_memo"), "{diags:?}");
+    }
+
+    #[test]
+    fn provenance_calls_satisfy_the_coverage_audit() {
+        let src = "\
+fn tag_into(xs: &[u32]) -> usize {
+    let explain = recipe_obs::provenance::enabled();
+    xs.len() + explain as usize
+}
+fn entry_memo(k: &str) -> usize {
+    record_cache_provenance(\"cache.ingredient\", k, \"hit\");
+    k.len()
+}
+fn other_helper(k: &str) -> usize {
+    k.len()
 }
 ";
         assert!(

@@ -43,10 +43,15 @@ fn phrase_latencies(pipeline: &TrainedPipeline, phrases: &[String]) -> SampleSum
 }
 
 fn latency_json(summary: &SampleSummary) -> serde_json::Value {
+    // Seconds-valued fields alongside the original microsecond ones:
+    // `_s` is what the bench-diff gate and history compare; `_us` stays
+    // for readers of the older report shape.
     json!({
         "phrases": summary.n,
         "p50_us": summary.median * 1e6,
         "p99_us": summary.p99 * 1e6,
+        "p50_s": summary.median,
+        "p99_s": summary.p99,
     })
 }
 
@@ -153,11 +158,19 @@ fn main() {
             recipe_obs::reset();
             recipe_obs::set_enabled(true);
             let traced = bench.measure(|| pipeline.model_recipes(&corpus.recipes, &rt));
+            // Same again with the event timeline recording every span
+            // (what `--trace-out` costs on top of metrics collection).
+            recipe_obs::event::start(&recipe_obs::TraceConfig::default());
+            let event_traced = bench.measure(|| pipeline.model_recipes(&corpus.recipes, &rt));
+            recipe_obs::event::stop();
+            recipe_obs::event::reset();
             recipe_obs::set_enabled(false);
             trace_overhead = Some(json!({
                 "nocache_median_s": nocache.median,
                 "traced_median_s": traced.median,
                 "median_ratio": traced.median / nocache.median,
+                "event_traced_median_s": event_traced.median,
+                "event_median_ratio": event_traced.median / nocache.median,
             }));
         }
 
@@ -214,11 +227,14 @@ fn main() {
         "trace_overhead_1thread": trace_overhead,
         "note": "compiled (CSR + scratch arena) decode verified byte-identical to the \
                  reference path, cache on and off, at every thread count",
+        "units": "fields ending _s are seconds, _us microseconds, _per_s rates; \
+                  the bench-diff gate compares only the _s fields",
         "deterministic": true,
         "results": results,
     });
     let rendered = serde_json::to_string_pretty(&report).expect("render report");
     std::fs::write(&out_path, format!("{rendered}\n")).expect("write report");
     eprintln!("wrote {out_path}");
+    recipe_bench::append_history(&report);
     println!("{rendered}");
 }

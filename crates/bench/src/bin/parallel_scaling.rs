@@ -116,11 +116,14 @@ fn main() {
         "hardware_threads": hardware_threads,
         "note": "speedups are bounded by hardware_threads; outputs verified \
                  byte-identical across all thread counts",
+        "units": "fields ending _s are seconds, _per_s rates; the bench-diff \
+                  gate compares only the _s fields",
         "deterministic": true,
         "results": results,
     });
     let rendered = serde_json::to_string_pretty(&report).expect("render report");
     std::fs::write(&out_path, format!("{rendered}\n")).expect("write report");
     eprintln!("wrote {out_path}");
+    recipe_bench::append_history(&report);
     println!("{rendered}");
 }

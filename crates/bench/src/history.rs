@@ -1,0 +1,28 @@
+//! Bench-history appending shared by the timing benchmark binaries.
+//!
+//! Every run of `inference_throughput` / `parallel_scaling` appends one
+//! line to `results/bench_history.jsonl` so `recipe-mine bench-diff`
+//! can compare the newest run against its earliest comparable baseline.
+
+/// Append this run's report to the bench history. History is
+/// best-effort: a failure warns but never fails the benchmark itself.
+pub fn append_history(report: &serde_json::Value) {
+    let recorded_at = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let path = std::path::Path::new(recipe_obs::DEFAULT_HISTORY_PATH);
+    match recipe_obs::history::run_from_bench_report(report, recorded_at) {
+        Ok(run) => {
+            if let Err(e) = recipe_obs::history::append_run(path, &run) {
+                eprintln!(
+                    "warning: could not append bench history to {}: {e}",
+                    path.display()
+                );
+            } else {
+                eprintln!("appended run to {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: bench report not history-compatible: {e}"),
+    }
+}

@@ -10,9 +10,11 @@
 //! test). Pass a recipe count as the first CLI argument to rescale.
 
 pub mod experiments;
+pub mod history;
 pub mod scale;
 pub mod svg;
 pub mod timing;
 
 pub use experiments::*;
+pub use history::append_history;
 pub use scale::*;

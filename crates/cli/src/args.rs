@@ -8,7 +8,8 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `train --out <path> [--recipes N] [--seed S] [--threads T]
-    /// [--trace] [--metrics-out PATH]`
+    /// [--trace] [--metrics-out PATH] [--trace-out PATH]
+    /// [--trace-sample R]`
     Train {
         /// Artifact output path.
         out: String,
@@ -18,13 +19,13 @@ pub enum Command {
         seed: u64,
         /// Worker threads (0 = `RECIPE_THREADS` env / detected cores).
         threads: usize,
-        /// Enable tracing and attach a `telemetry` block to the output.
-        trace: bool,
-        /// Write the full telemetry document to this path.
-        metrics_out: Option<String>,
+        /// Observability flags (`--trace`, `--metrics-out`,
+        /// `--trace-out`, `--trace-sample`).
+        obs: ObsArgs,
     },
     /// `extract --model <path> [--threads T] [--no-cache] [--trace]
-    /// [--metrics-out PATH] <phrase>...`
+    /// [--metrics-out PATH] [--trace-out PATH] [--trace-sample R]
+    /// [--explain] <phrase>...`
     Extract {
         /// Trained artifact path.
         model: String,
@@ -34,13 +35,12 @@ pub enum Command {
         threads: usize,
         /// Disable the phrase-level extraction cache.
         no_cache: bool,
-        /// Enable tracing and attach a `telemetry` block to the output.
-        trace: bool,
-        /// Write the full telemetry document to this path.
-        metrics_out: Option<String>,
+        /// Observability flags, including `--explain`.
+        obs: ObsArgs,
     },
     /// `mine --model <path> [--threads T] [--no-cache] [--trace]
-    /// [--metrics-out PATH] <recipe.txt>...`
+    /// [--metrics-out PATH] [--trace-out PATH] [--trace-sample R]
+    /// [--explain] <recipe.txt>...`
     Mine {
         /// Trained artifact path.
         model: String,
@@ -50,11 +50,24 @@ pub enum Command {
         threads: usize,
         /// Disable the phrase-level extraction cache.
         no_cache: bool,
-        /// Enable tracing and attach a `telemetry` block to the output.
-        trace: bool,
-        /// Write the full telemetry document to this path.
-        metrics_out: Option<String>,
+        /// Observability flags, including `--explain`.
+        obs: ObsArgs,
     },
+    /// `explain --model <path> [--threads T] <phrase>...`: extract each
+    /// phrase with provenance recording on and print the per-decision
+    /// trail (Viterbi margins, cache origin, dictionary votes).
+    Explain {
+        /// Trained artifact path.
+        model: String,
+        /// Ingredient phrases to explain.
+        phrases: Vec<String>,
+        /// Worker threads (0 = `RECIPE_THREADS` env / detected cores).
+        threads: usize,
+    },
+    /// `bench-diff [--history PATH] [--benchmark NAME] [--warn-pct P]
+    /// [--fail-pct P] [--smoke]`: compare the latest bench run in the
+    /// history file against its baseline and exit nonzero on regression.
+    BenchDiff(BenchDiffOptions),
     /// `generate --out <dir> [--recipes N] [--seed S]`
     Generate {
         /// Output directory for the recipe text files + corpus.jsonl.
@@ -74,6 +87,53 @@ pub enum Command {
     },
     /// `help`
     Help,
+}
+
+/// Observability flags shared by `train`, `extract`, and `mine`.
+/// Everything here is additive: none of these flags may change the
+/// `results` block of the command's output.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObsArgs {
+    /// Enable tracing and attach a `telemetry` block to the output.
+    pub trace: bool,
+    /// Write the full telemetry document to this path.
+    pub metrics_out: Option<String>,
+    /// Write a Chrome-trace-format event timeline to this path
+    /// (implies telemetry collection).
+    pub trace_out: Option<String>,
+    /// Deterministic span-event sample rate in `0.0..=1.0`
+    /// (default 1.0 = every span).
+    pub trace_sample: Option<f64>,
+    /// Attach a `provenance` block (per-token margins, cache origin,
+    /// dictionary votes) to the output. `extract`/`mine` only.
+    pub explain: bool,
+}
+
+/// Options for the `bench-diff` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiffOptions {
+    /// Bench history file (JSONL, one run per line).
+    pub history: String,
+    /// Only compare runs of this benchmark.
+    pub benchmark: Option<String>,
+    /// Warn threshold as a percent slowdown (default 5, smoke 50).
+    pub warn_pct: Option<f64>,
+    /// Fail threshold as a percent slowdown (default 10, smoke 200).
+    pub fail_pct: Option<f64>,
+    /// Use the loose smoke-run thresholds (CI runners are noisy).
+    pub smoke: bool,
+}
+
+impl Default for BenchDiffOptions {
+    fn default() -> Self {
+        BenchDiffOptions {
+            history: "results/bench_history.jsonl".to_string(),
+            benchmark: None,
+            warn_pct: None,
+            fail_pct: None,
+            smoke: false,
+        }
+    }
 }
 
 /// Options for the `lint` subcommand (see [`crate::commands::run`]).
@@ -188,12 +248,14 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
     let Some(cmd) = args.first() else {
         return Err(ArgsError::Missing);
     };
-    // `--no-cache` and `--trace` are boolean, so they must be stripped
-    // before `split_flags` pairs every `--flag` with the following token.
-    // `--no-cache` is accepted by `extract` and `mine`; `--trace` also by
-    // `train`; elsewhere both are explicit errors.
+    // `--no-cache`, `--trace`, and `--explain` are boolean, so they must
+    // be stripped before `split_flags` pairs every `--flag` with the
+    // following token. `--no-cache` and `--explain` are accepted by
+    // `extract` and `mine`; `--trace` also by `train`; elsewhere all
+    // three are explicit errors.
     let mut no_cache = false;
     let mut trace = false;
+    let mut explain = false;
     let rest: Vec<String> = args[1..]
         .iter()
         .filter(|a| match a.as_str() {
@@ -205,6 +267,10 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                 trace = true;
                 false
             }
+            "--explain" => {
+                explain = true;
+                false
+            }
             _ => true,
         })
         .cloned()
@@ -214,6 +280,9 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
     }
     if trace && !matches!(cmd.as_str(), "train" | "extract" | "mine") {
         return Err(ArgsError::UnexpectedArg("--trace".to_string()));
+    }
+    if explain && !matches!(cmd.as_str(), "extract" | "mine") {
+        return Err(ArgsError::UnexpectedArg("--explain".to_string()));
     }
     let rest = rest.as_slice();
     let (flags, positional) = split_flags(rest);
@@ -242,8 +311,7 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                 recipes,
                 seed,
                 threads,
-                trace,
-                metrics_out: flags.get("metrics-out").cloned(),
+                obs: parse_obs(&flags, trace, explain)?,
             }
         }
         "generate" => {
@@ -278,8 +346,21 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                 phrases: positional,
                 threads: parse_threads(&flags)?,
                 no_cache,
-                trace,
-                metrics_out: flags.get("metrics-out").cloned(),
+                obs: parse_obs(&flags, trace, explain)?,
+            }
+        }
+        "explain" => {
+            let model = flags
+                .get("model")
+                .cloned()
+                .ok_or(ArgsError::MissingFlag("model"))?;
+            if positional.is_empty() {
+                return Err(ArgsError::MissingPositional("phrase"));
+            }
+            Command::Explain {
+                model,
+                phrases: positional,
+                threads: parse_threads(&flags)?,
             }
         }
         "mine" => {
@@ -295,13 +376,14 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                 files: positional,
                 threads: parse_threads(&flags)?,
                 no_cache,
-                trace,
-                metrics_out: flags.get("metrics-out").cloned(),
+                obs: parse_obs(&flags, trace, explain)?,
             }
         }
-        // `lint` has boolean flags, so it parses `rest` itself instead of
-        // going through the `--flag value` pairing of `split_flags`.
+        // `lint` and `bench-diff` have boolean flags, so they parse
+        // `rest` themselves instead of going through the `--flag value`
+        // pairing of `split_flags`.
         "lint" => Command::Lint(parse_lint(rest)?),
+        "bench-diff" => Command::BenchDiff(parse_bench_diff(rest)?),
         "stats" => {
             let Some(path) = positional.first() else {
                 return Err(ArgsError::MissingPositional("metrics file"));
@@ -322,6 +404,77 @@ fn parse_threads(flags: &HashMap<String, String>) -> Result<usize, ArgsError> {
             .map_err(|_| ArgsError::BadValue("threads", v.clone())),
         None => Ok(0),
     }
+}
+
+/// Resolve the shared observability flags for `train`/`extract`/`mine`.
+/// `trace` and `explain` were stripped as booleans before `split_flags`.
+fn parse_obs(
+    flags: &HashMap<String, String>,
+    trace: bool,
+    explain: bool,
+) -> Result<ObsArgs, ArgsError> {
+    let trace_sample = match flags.get("trace-sample") {
+        Some(v) => {
+            let rate: f64 = v
+                .parse()
+                .map_err(|_| ArgsError::BadValue("trace-sample", v.clone()))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(ArgsError::BadValue("trace-sample", v.clone()));
+            }
+            Some(rate)
+        }
+        None => None,
+    };
+    Ok(ObsArgs {
+        trace,
+        metrics_out: flags.get("metrics-out").cloned(),
+        trace_out: flags.get("trace-out").cloned(),
+        trace_sample,
+        explain,
+    })
+}
+
+fn parse_bench_diff(rest: &[String]) -> Result<BenchDiffOptions, ArgsError> {
+    let mut opts = BenchDiffOptions::default();
+    let mut i = 0usize;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--smoke" => {
+                opts.smoke = true;
+                i += 1;
+            }
+            flag @ ("--history" | "--benchmark" | "--warn-pct" | "--fail-pct") => {
+                let name: &'static str = match flag {
+                    "--history" => "history",
+                    "--benchmark" => "benchmark",
+                    "--warn-pct" => "warn-pct",
+                    _ => "fail-pct",
+                };
+                let Some(v) = rest.get(i + 1) else {
+                    return Err(ArgsError::MissingValue(name));
+                };
+                match name {
+                    "history" => opts.history = v.clone(),
+                    "benchmark" => opts.benchmark = Some(v.clone()),
+                    pct => {
+                        let parsed: f64 =
+                            v.parse().map_err(|_| ArgsError::BadValue(pct, v.clone()))?;
+                        if !parsed.is_finite() || parsed < 0.0 {
+                            return Err(ArgsError::BadValue(pct, v.clone()));
+                        }
+                        if pct == "warn-pct" {
+                            opts.warn_pct = Some(parsed);
+                        } else {
+                            opts.fail_pct = Some(parsed);
+                        }
+                    }
+                }
+                i += 2;
+            }
+            other => return Err(ArgsError::UnexpectedArg(other.to_string())),
+        }
+    }
+    Ok(opts)
 }
 
 fn parse_lint(rest: &[String]) -> Result<LintOptions, ArgsError> {
@@ -407,11 +560,20 @@ USAGE:
   recipe-mine generate --out <dir> [--recipes N] [--seed S]
   recipe-mine train   --out <model.json> [--recipes N] [--seed S] [--threads T]
                       [--trace] [--metrics-out <metrics.json>]
+                      [--trace-out <trace.json>] [--trace-sample R]
   recipe-mine extract --model <model.json> [--threads T] [--no-cache]
-                      [--trace] [--metrics-out <metrics.json>] <phrase>...
+                      [--trace] [--metrics-out <metrics.json>]
+                      [--trace-out <trace.json>] [--trace-sample R]
+                      [--explain] <phrase>...
   recipe-mine mine    --model <model.json> [--threads T] [--no-cache]
-                      [--trace] [--metrics-out <metrics.json>] <recipe.txt>...
+                      [--trace] [--metrics-out <metrics.json>]
+                      [--trace-out <trace.json>] [--trace-sample R]
+                      [--explain] <recipe.txt>...
+  recipe-mine explain --model <model.json> [--threads T] <phrase>...
   recipe-mine stats   <metrics.json>
+  recipe-mine bench-diff [--history <bench_history.jsonl>]
+                      [--benchmark NAME] [--warn-pct P] [--fail-pct P]
+                      [--smoke]
   recipe-mine lint    [--format human|json] [--deny-warnings]
                       [--model <model.json>] [--recipes N] [--seed S]
                       [--workspace [ROOT]] [--allow CODES] [--deny CODES]
@@ -433,16 +595,36 @@ to PATH. `recipe-mine stats metrics.json` validates such a document and
 renders it for terminals. Telemetry never changes extraction results:
 the `results` block is byte-identical with tracing on or off.
 
+Tracing: --trace-out PATH writes an event timeline (span begin/end and
+instants, per-thread, monotonic timestamps) in Chrome trace format —
+open it in chrome://tracing or Perfetto. --trace-sample R keeps a
+deterministic fraction R (0.0..=1.0) of span events when full traces
+are too large. --explain attaches a `provenance` block (per-token
+Viterbi margins, cache hit/miss origin, dictionary accept/reject votes)
+to extract/mine output; `recipe-mine explain` prints the same trail per
+phrase without the surrounding pipeline output. None of these flags
+change the `results` block.
+
+Bench gate: `recipe-mine bench-diff` loads results/bench_history.jsonl
+(appended to by the bench binaries), compares each benchmark's newest
+run against its earliest comparable baseline, and exits nonzero when a
+seconds-valued metric regressed past --fail-pct (default 10%; --smoke
+uses 50/200% for noisy CI runners).
+
 generate write a synthetic RecipeDB-like corpus as recipe text files
          (mineable with `mine`) plus corpus.jsonl with gold annotations
 train    generate a synthetic RecipeDB-like corpus, train the full
          pipeline (POS tagger, ingredient & instruction NER, parser,
          dictionaries) and save the artifact as JSON
 extract  print the structured attributes of ingredient phrases as JSON
+explain  extract phrases with provenance recording on and print the
+         decision trail that produced each entry
 mine     mine recipe text files (## ingredients / ## instructions
          sections) into the Fig. 1 structure, printed as JSON
 stats    validate a --metrics-out telemetry document and render it in a
          human-readable form (stage tree, counters, histograms)
+bench-diff compare the latest bench run against its history baseline and
+         exit nonzero on regression (the perf gate CI runs)
 lint     run the recipe-analyze static checks: cross-crate invariants,
          corpus well-formedness over a generated corpus, artifact health
          over a loaded (--model) or freshly trained pipeline, and an
@@ -468,8 +650,7 @@ mod tests {
                 recipes: 1000,
                 seed: 42,
                 threads: 0,
-                trace: false,
-                metrics_out: None,
+                obs: ObsArgs::default(),
             }
         );
     }
@@ -493,8 +674,7 @@ mod tests {
                 recipes: 250,
                 seed: 7,
                 threads: 0,
-                trace: false,
-                metrics_out: None,
+                obs: ObsArgs::default(),
             }
         );
     }
@@ -515,15 +695,13 @@ mod tests {
                 phrases,
                 threads,
                 no_cache,
-                trace,
-                metrics_out,
+                obs,
             } => {
                 assert_eq!(model, "m.json");
                 assert_eq!(phrases, vec!["2 cups flour", "1 egg"]);
                 assert_eq!(threads, 0);
                 assert!(!no_cache);
-                assert!(!trace);
-                assert_eq!(metrics_out, None);
+                assert_eq!(obs, ObsArgs::default());
             }
             other => panic!("{other:?}"),
         }
@@ -540,8 +718,7 @@ mod tests {
                 phrases: vec!["1 egg".into()],
                 threads: 0,
                 no_cache: true,
-                trace: false,
-                metrics_out: None,
+                obs: ObsArgs::default(),
             }
         );
         let parsed = parse_args(&s(&["mine", "--model", "m", "--no-cache", "r.txt"])).unwrap();
@@ -552,8 +729,7 @@ mod tests {
                 files: vec!["r.txt".into()],
                 threads: 0,
                 no_cache: true,
-                trace: false,
-                metrics_out: None,
+                obs: ObsArgs::default(),
             }
         );
     }
@@ -583,8 +759,7 @@ mod tests {
                 recipes: 1000,
                 seed: 42,
                 threads: 4,
-                trace: false,
-                metrics_out: None,
+                obs: ObsArgs::default(),
             }
         );
         let parsed = parse_args(&s(&["lint", "--threads", "2"])).unwrap();
@@ -716,8 +891,10 @@ mod tests {
                 phrases: vec!["1 egg".into()],
                 threads: 0,
                 no_cache: false,
-                trace: true,
-                metrics_out: None,
+                obs: ObsArgs {
+                    trace: true,
+                    ..ObsArgs::default()
+                },
             }
         );
     }
@@ -739,8 +916,10 @@ mod tests {
                 recipes: 1000,
                 seed: 42,
                 threads: 0,
-                trace: false,
-                metrics_out: Some("metrics.json".into()),
+                obs: ObsArgs {
+                    metrics_out: Some("metrics.json".into()),
+                    ..ObsArgs::default()
+                },
             }
         );
         let parsed = parse_args(&s(&[
@@ -760,8 +939,11 @@ mod tests {
                 files: vec!["r.txt".into()],
                 threads: 0,
                 no_cache: false,
-                trace: true,
-                metrics_out: Some("out.json".into()),
+                obs: ObsArgs {
+                    trace: true,
+                    metrics_out: Some("out.json".into()),
+                    ..ObsArgs::default()
+                },
             }
         );
     }
@@ -779,6 +961,138 @@ mod tests {
                 "{cmd:?}"
             );
         }
+    }
+
+    #[test]
+    fn parses_trace_out_and_sample() {
+        let parsed = parse_args(&s(&[
+            "extract",
+            "--model",
+            "m",
+            "--trace-out",
+            "trace.json",
+            "--trace-sample",
+            "0.25",
+            "1 egg",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Extract {
+                model: "m".into(),
+                phrases: vec!["1 egg".into()],
+                threads: 0,
+                no_cache: false,
+                obs: ObsArgs {
+                    trace_out: Some("trace.json".into()),
+                    trace_sample: Some(0.25),
+                    ..ObsArgs::default()
+                },
+            }
+        );
+        for bad in ["-0.5", "1.5", "lots", "NaN"] {
+            assert_eq!(
+                parse_args(&s(&[
+                    "extract",
+                    "--model",
+                    "m",
+                    "--trace-sample",
+                    bad,
+                    "1 egg"
+                ])),
+                Err(ArgsError::BadValue("trace-sample", bad.into())),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_flag_and_subcommand() {
+        // `--explain` is boolean: the positional after it must survive.
+        let parsed = parse_args(&s(&["extract", "--explain", "--model", "m", "1 egg"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Extract {
+                model: "m".into(),
+                phrases: vec!["1 egg".into()],
+                threads: 0,
+                no_cache: false,
+                obs: ObsArgs {
+                    explain: true,
+                    ..ObsArgs::default()
+                },
+            }
+        );
+        // The standalone subcommand.
+        let parsed =
+            parse_args(&s(&["explain", "--model", "m", "--threads", "2", "1 egg"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Explain {
+                model: "m".into(),
+                phrases: vec!["1 egg".into()],
+                threads: 2,
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["explain", "--model", "m"])),
+            Err(ArgsError::MissingPositional("phrase"))
+        );
+        // `--explain` is rejected where there is no extraction to explain.
+        for cmd in [
+            vec!["train", "--out", "x", "--explain"],
+            vec!["lint", "--explain"],
+        ] {
+            assert_eq!(
+                parse_args(&s(&cmd)),
+                Err(ArgsError::UnexpectedArg("--explain".into())),
+                "{cmd:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_bench_diff() {
+        let parsed = parse_args(&s(&["bench-diff"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::BenchDiff(BenchDiffOptions::default())
+        );
+        let parsed = parse_args(&s(&[
+            "bench-diff",
+            "--history",
+            "h.jsonl",
+            "--benchmark",
+            "inference_throughput",
+            "--warn-pct",
+            "2.5",
+            "--fail-pct",
+            "20",
+            "--smoke",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::BenchDiff(BenchDiffOptions {
+                history: "h.jsonl".into(),
+                benchmark: Some("inference_throughput".into()),
+                warn_pct: Some(2.5),
+                fail_pct: Some(20.0),
+                smoke: true,
+            })
+        );
+        assert_eq!(
+            parse_args(&s(&["bench-diff", "--warn-pct", "-3"])),
+            Err(ArgsError::BadValue("warn-pct", "-3".into()))
+        );
+        assert_eq!(
+            parse_args(&s(&["bench-diff", "--history"])),
+            Err(ArgsError::MissingValue("history"))
+        );
+        assert_eq!(
+            parse_args(&s(&["bench-diff", "extra"])),
+            Err(ArgsError::UnexpectedArg("extra".into()))
+        );
     }
 
     #[test]

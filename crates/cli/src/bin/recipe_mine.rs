@@ -15,9 +15,10 @@ fn main() {
     };
     match commands::run(&parsed.command) {
         Ok(out) => print!("{out}"),
-        // A failed lint run prints its report on stdout (it *is* the
-        // output) and signals the failure through the exit code alone.
-        Err(commands::CliError::Lint(report)) => {
+        // A failed lint or bench-diff run prints its report on stdout
+        // (it *is* the output) and signals the failure through the exit
+        // code alone.
+        Err(commands::CliError::Lint(report)) | Err(commands::CliError::BenchDiff(report)) => {
             print!("{report}");
             std::process::exit(1);
         }

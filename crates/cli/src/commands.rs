@@ -1,7 +1,7 @@
 //! Subcommand implementations. Each returns its output as a `String` so
 //! tests can assert on it without process spawning; the binary prints.
 
-use crate::args::{Command, LintOptions};
+use crate::args::{BenchDiffOptions, Command, LintOptions, ObsArgs};
 use crate::recipe_file::parse_recipe_file;
 use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
 use recipe_corpus::{CorpusSpec, RecipeCorpus};
@@ -22,6 +22,10 @@ pub enum CliError {
     /// `stats` input failed to parse or validate against the telemetry
     /// schema.
     Stats(String),
+    /// `bench-diff` found a regression past the fail threshold; carries
+    /// the rendered comparison report so the binary can print it and
+    /// exit nonzero.
+    BenchDiff(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -32,6 +36,7 @@ impl std::fmt::Display for CliError {
             CliError::RecipeFile(path, e) => write!(f, "{path}: {e}"),
             CliError::Lint(report) => f.write_str(report),
             CliError::Stats(msg) => write!(f, "telemetry document: {msg}"),
+            CliError::BenchDiff(report) => f.write_str(report),
         }
     }
 }
@@ -58,11 +63,10 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             recipes,
             seed,
             threads,
-            trace,
-            metrics_out,
+            obs,
         } => {
             recipe_runtime::set_global_threads(*threads);
-            train(out, *recipes, *seed, &ObsOpts::new(*trace, metrics_out))
+            train(out, *recipes, *seed, &ObsOpts::new(obs))
         }
         Command::Generate { out, recipes, seed } => generate(out, *recipes, *seed),
         Command::Extract {
@@ -70,28 +74,30 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             phrases,
             threads,
             no_cache,
-            trace,
-            metrics_out,
+            obs,
         } => {
             recipe_runtime::set_global_threads(*threads);
-            extract(
-                model,
-                phrases,
-                *no_cache,
-                &ObsOpts::new(*trace, metrics_out),
-            )
+            extract(model, phrases, *no_cache, &ObsOpts::new(obs))
         }
         Command::Mine {
             model,
             files,
             threads,
             no_cache,
-            trace,
-            metrics_out,
+            obs,
         } => {
             recipe_runtime::set_global_threads(*threads);
-            mine(model, files, *no_cache, &ObsOpts::new(*trace, metrics_out))
+            mine(model, files, *no_cache, &ObsOpts::new(obs))
         }
+        Command::Explain {
+            model,
+            phrases,
+            threads,
+        } => {
+            recipe_runtime::set_global_threads(*threads);
+            explain(model, phrases)
+        }
+        Command::BenchDiff(opts) => bench_diff(opts),
         Command::Lint(opts) => {
             recipe_runtime::set_global_threads(opts.threads);
             lint(opts)
@@ -100,51 +106,97 @@ pub fn run(command: &Command) -> Result<String, CliError> {
     }
 }
 
-/// Telemetry options for one `train`/`extract`/`mine` invocation,
-/// resolved from `--trace` / `--metrics-out`.
+/// Observability options for one `train`/`extract`/`mine` invocation,
+/// resolved from `--trace` / `--metrics-out` / `--trace-out` /
+/// `--trace-sample` / `--explain`.
 struct ObsOpts {
     /// Attach a `telemetry` block to the stdout JSON.
     trace: bool,
     /// Write the full telemetry document here.
     metrics_out: Option<String>,
+    /// Write a Chrome-trace event timeline here.
+    trace_out: Option<String>,
+    /// Span-event sample rate (`--trace-sample`, default 1.0).
+    trace_sample: f64,
+    /// Attach a `provenance` block to the stdout JSON.
+    explain: bool,
+}
+
+/// What [`ObsOpts::finish`] produced for the stdout JSON.
+#[derive(Default)]
+struct ObsBlocks {
+    /// The `telemetry` block when `--trace` asked for it.
+    telemetry: Option<serde_json::Value>,
+    /// The `provenance` block when `--explain` asked for it.
+    provenance: Option<serde_json::Value>,
 }
 
 impl ObsOpts {
-    fn new(trace: bool, metrics_out: &Option<String>) -> Self {
+    fn new(args: &ObsArgs) -> Self {
         ObsOpts {
-            trace,
-            metrics_out: metrics_out.clone(),
+            trace: args.trace,
+            metrics_out: args.metrics_out.clone(),
+            trace_out: args.trace_out.clone(),
+            trace_sample: args.trace_sample.unwrap_or(1.0),
+            explain: args.explain,
         }
     }
 
-    /// Either output wants telemetry collected.
+    /// Some output wants telemetry collected (`--trace-out` needs the
+    /// span switch on for span sites to emit events).
     fn active(&self) -> bool {
-        self.trace || self.metrics_out.is_some()
+        self.trace || self.metrics_out.is_some() || self.trace_out.is_some()
     }
 
     /// Start collection: clear any state left by a previous command in
-    /// this process and flip the tracing switch on.
+    /// this process and flip the switches on. Provenance has its own
+    /// switch so `--explain` works without telemetry.
     fn begin(&self) -> std::time::Instant {
         if self.active() {
             recipe_obs::reset();
             recipe_obs::set_enabled(true);
+        }
+        if self.trace_out.is_some() {
+            recipe_obs::event::start(&recipe_obs::TraceConfig {
+                sample: self.trace_sample,
+                ..recipe_obs::TraceConfig::default()
+            });
+            recipe_obs::event::set_thread_name("main");
+        }
+        if self.explain {
+            recipe_obs::provenance::reset();
+            recipe_obs::provenance::set_enabled(true);
         }
         std::time::Instant::now()
     }
 
     /// Stop collection and export. Merges the pipeline-private registry
     /// (phrase caches, per-phrase latency) into the global snapshot,
-    /// derives throughput rates, writes `--metrics-out` if requested and
-    /// returns the `telemetry` JSON block when `--trace` asked for it.
+    /// derives throughput rates, writes `--metrics-out` / `--trace-out`
+    /// if requested and returns the blocks the stdout JSON should carry.
     fn finish(
         &self,
         command: &str,
         extra: &[&recipe_obs::Registry],
         items: &[(&str, f64)],
         started: std::time::Instant,
-    ) -> Result<Option<serde_json::Value>, CliError> {
+    ) -> Result<ObsBlocks, CliError> {
+        let mut blocks = ObsBlocks::default();
+        if self.explain {
+            recipe_obs::provenance::set_enabled(false);
+            let records = recipe_obs::provenance::drain();
+            blocks.provenance = Some(recipe_obs::provenance::to_json(&records));
+        }
+        if let Some(path) = &self.trace_out {
+            recipe_obs::event::flush_local();
+            let session = recipe_obs::event::drain();
+            recipe_obs::event::stop();
+            let trace = recipe_obs::export_chrome_trace(&session);
+            let text = format!("{}\n", serde_json::to_string_pretty(&trace).expect("json"));
+            std::fs::write(path, text).map_err(|e| CliError::Io(path.clone(), e))?;
+        }
         if !self.active() {
-            return Ok(None);
+            return Ok(blocks);
         }
         // Main-thread span aggregates are normally flushed on thread
         // exit; export needs them now.
@@ -175,14 +227,22 @@ impl ObsOpts {
             let text = format!("{}\n", serde_json::to_string_pretty(&doc).expect("json"));
             std::fs::write(path, text).map_err(|e| CliError::Io(path.clone(), e))?;
         }
-        Ok(if self.trace { Some(block) } else { None })
+        if self.trace {
+            blocks.telemetry = Some(block);
+        }
+        Ok(blocks)
     }
 }
 
-/// Append a `telemetry` field to a JSON object output.
-fn attach_telemetry(out: &mut serde_json::Value, telemetry: Option<serde_json::Value>) {
-    if let (Some(block), serde_json::Value::Object(fields)) = (telemetry, out) {
-        fields.push(("telemetry".to_string(), block));
+/// Append the `telemetry` / `provenance` fields to a JSON object output.
+fn attach_obs_blocks(out: &mut serde_json::Value, blocks: ObsBlocks) {
+    if let serde_json::Value::Object(fields) = out {
+        if let Some(block) = blocks.telemetry {
+            fields.push(("telemetry".to_string(), block));
+        }
+        if let Some(block) = blocks.provenance {
+            fields.push(("provenance".to_string(), block));
+        }
     }
 }
 
@@ -313,14 +373,14 @@ fn train(out: &str, recipes: usize, seed: u64, obs: &ObsOpts) -> Result<String, 
     });
     // `save` consumes the pipeline, so export telemetry first (the
     // artifact write is not an instrumented stage).
-    let telemetry = obs.finish(
+    let blocks = obs.finish(
         "train",
         &[pipeline.inference.metrics_registry()],
         &[("recipes", recipes as f64)],
         started,
     )?;
     pipeline.save(out)?;
-    attach_telemetry(&mut summary, telemetry);
+    attach_obs_blocks(&mut summary, blocks);
     Ok(format!(
         "{}\n",
         serde_json::to_string_pretty(&summary).expect("json")
@@ -372,17 +432,74 @@ fn extract(
             .collect()
     };
     let mut out = json!({ "results": rows, "cache": cache_json(&pipeline, !no_cache) });
-    let telemetry = obs.finish(
+    let blocks = obs.finish(
         "extract",
         &[pipeline.inference.metrics_registry()],
         &[("phrases", phrases.len() as f64)],
         started,
     )?;
-    attach_telemetry(&mut out, telemetry);
+    attach_obs_blocks(&mut out, blocks);
     Ok(format!(
         "{}\n",
         serde_json::to_string_pretty(&out).expect("json")
     ))
+}
+
+/// `recipe-mine explain`: extract each phrase with provenance recording
+/// on and print the per-phrase decision trail (per-token Viterbi
+/// margins, cache hit/miss origin, dictionary votes).
+fn explain(model: &str, phrases: &[String]) -> Result<String, CliError> {
+    let pipeline = TrainedPipeline::load(model)?;
+    let mut rows = Vec::new();
+    for p in phrases {
+        recipe_obs::provenance::reset();
+        recipe_obs::provenance::set_enabled(true);
+        let e = pipeline.extract_ingredient(p);
+        recipe_obs::provenance::set_enabled(false);
+        let records = recipe_obs::provenance::drain();
+        rows.push(json!({
+            "phrase": p,
+            "entry": entry_json(&e),
+            "provenance": recipe_obs::provenance::to_json(&records),
+        }));
+    }
+    let out = json!({ "results": rows });
+    Ok(format!(
+        "{}\n",
+        serde_json::to_string_pretty(&out).expect("json")
+    ))
+}
+
+/// `recipe-mine bench-diff`: compare the newest bench run in the
+/// history file against its earliest comparable baseline; a regression
+/// past the fail threshold is an error carrying the rendered report.
+fn bench_diff(opts: &BenchDiffOptions) -> Result<String, CliError> {
+    use recipe_obs::history;
+
+    let path = std::path::Path::new(&opts.history);
+    let runs = history::load_history(path)
+        .map_err(|e| CliError::Stats(format!("{}: {e}", opts.history)))?;
+    let mut thresholds = if opts.smoke {
+        history::DiffThresholds::smoke()
+    } else {
+        history::DiffThresholds::default()
+    };
+    if let Some(pct) = opts.warn_pct {
+        thresholds.warn_ratio = 1.0 + pct / 100.0;
+    }
+    if let Some(pct) = opts.fail_pct {
+        thresholds.fail_ratio = 1.0 + pct / 100.0;
+    }
+    let mut findings = Vec::new();
+    for (baseline, latest) in history::baseline_and_latest(&runs, opts.benchmark.as_deref()) {
+        findings.extend(history::diff_runs(baseline, latest, &thresholds));
+    }
+    let report = history::render_diff(&findings, &thresholds);
+    if history::worst_level(&findings) == history::DiffLevel::Fail {
+        Err(CliError::BenchDiff(report))
+    } else {
+        Ok(report)
+    }
 }
 
 fn mine(model: &str, files: &[String], no_cache: bool, obs: &ObsOpts) -> Result<String, CliError> {
@@ -412,13 +529,13 @@ fn mine(model: &str, files: &[String], no_cache: bool, obs: &ObsOpts) -> Result<
     }
     drop(_span);
     let mut out = json!({ "results": out, "cache": cache_json(&pipeline, !no_cache) });
-    let telemetry = obs.finish(
+    let blocks = obs.finish(
         "mine",
         &[pipeline.inference.metrics_registry()],
         &[("recipes", files.len() as f64)],
         started,
     )?;
-    attach_telemetry(&mut out, telemetry);
+    attach_obs_blocks(&mut out, blocks);
     Ok(format!(
         "{}\n",
         serde_json::to_string_pretty(&out).expect("json")
@@ -434,6 +551,14 @@ mod tests {
         let dir = std::env::temp_dir().join("recipe_cli_tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name)
+    }
+
+    /// Telemetry, event tracing, and provenance are process-wide;
+    /// tests that flip those switches serialize on this lock so they
+    /// don't reset each other's collections mid-run.
+    fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     #[test]
@@ -454,8 +579,7 @@ mod tests {
             recipes: 120,
             seed: 3,
             threads: 0,
-            trace: false,
-            metrics_out: None,
+            obs: ObsArgs::default(),
         })
         .unwrap();
         assert!(out.contains("artifact"));
@@ -467,8 +591,7 @@ mod tests {
             phrases: vec!["2 cups flour".into(), "2 cups flour".into()],
             threads: 0,
             no_cache: false,
-            trace: false,
-            metrics_out: None,
+            obs: ObsArgs::default(),
         })
         .unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
@@ -484,8 +607,7 @@ mod tests {
             phrases: vec!["2 cups flour".into(), "2 cups flour".into()],
             threads: 0,
             no_cache: true,
-            trace: false,
-            metrics_out: None,
+            obs: ObsArgs::default(),
         })
         .unwrap();
         let parsed_nc: serde_json::Value = serde_json::from_str(&out_nc).unwrap();
@@ -506,8 +628,7 @@ mod tests {
             files: vec![recipe_path.to_string_lossy().to_string()],
             threads: 0,
             no_cache: false,
-            trace: false,
-            metrics_out: None,
+            obs: ObsArgs::default(),
         })
         .unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
@@ -553,8 +674,7 @@ mod tests {
             phrases: vec!["salt".into()],
             threads: 0,
             no_cache: false,
-            trace: false,
-            metrics_out: None,
+            obs: ObsArgs::default(),
         })
         .unwrap_err();
         assert!(err.to_string().contains("model artifact"));
@@ -677,6 +797,7 @@ mod tests {
 
     #[test]
     fn trace_and_metrics_out_round_trip() {
+        let _guard = obs_lock();
         let model_path = tmp("cli_obs_model.json");
         let model = model_path.to_string_lossy().to_string();
         run(&Command::Train {
@@ -684,8 +805,7 @@ mod tests {
             recipes: 80,
             seed: 5,
             threads: 0,
-            trace: false,
-            metrics_out: None,
+            obs: ObsArgs::default(),
         })
         .unwrap();
 
@@ -695,8 +815,7 @@ mod tests {
             phrases: phrases.clone(),
             threads: 0,
             no_cache: false,
-            trace: false,
-            metrics_out: None,
+            obs: ObsArgs::default(),
         })
         .unwrap();
 
@@ -706,8 +825,11 @@ mod tests {
             phrases,
             threads: 0,
             no_cache: false,
-            trace: true,
-            metrics_out: Some(metrics_path.to_string_lossy().to_string()),
+            obs: ObsArgs {
+                trace: true,
+                metrics_out: Some(metrics_path.to_string_lossy().to_string()),
+                ..ObsArgs::default()
+            },
         })
         .unwrap();
 
@@ -752,6 +874,197 @@ mod tests {
 
         std::fs::remove_file(&model_path).ok();
         std::fs::remove_file(&metrics_path).ok();
+    }
+
+    #[test]
+    fn explain_attaches_provenance_without_perturbing_results() {
+        let _guard = obs_lock();
+        let model_path = tmp("cli_explain_model.json");
+        let model = model_path.to_string_lossy().to_string();
+        run(&Command::Train {
+            out: model.clone(),
+            recipes: 80,
+            seed: 5,
+            threads: 0,
+            obs: ObsArgs::default(),
+        })
+        .unwrap();
+
+        let phrases: Vec<String> = vec!["2 cups flour".into(), "1 pinch salt".into()];
+        let plain = run(&Command::Extract {
+            model: model.clone(),
+            phrases: phrases.clone(),
+            threads: 0,
+            no_cache: false,
+            obs: ObsArgs::default(),
+        })
+        .unwrap();
+        let explained = run(&Command::Extract {
+            model: model.clone(),
+            phrases: phrases.clone(),
+            threads: 0,
+            no_cache: false,
+            obs: ObsArgs {
+                explain: true,
+                ..ObsArgs::default()
+            },
+        })
+        .unwrap();
+
+        // `--explain` adds a block; it never changes results or cache.
+        let plain_v: serde_json::Value = serde_json::from_str(&plain).unwrap();
+        let explained_v: serde_json::Value = serde_json::from_str(&explained).unwrap();
+        assert_eq!(plain_v["results"], explained_v["results"]);
+        assert_eq!(plain_v["cache"], explained_v["cache"]);
+        assert!(plain_v.get("provenance").is_none());
+        let block = explained_v.get("provenance").expect("provenance block");
+        recipe_obs::validate_provenance(block).expect("valid provenance");
+        let records = block.as_array().unwrap();
+        assert!(!records.is_empty(), "{explained}");
+        // The trail covers both Viterbi margins and cache decisions.
+        let kinds: Vec<&str> = records.iter().filter_map(|r| r["kind"].as_str()).collect();
+        assert!(kinds.contains(&"viterbi.margin"), "{kinds:?}");
+        assert!(kinds.contains(&"cache.lookup"), "{kinds:?}");
+
+        // The standalone subcommand reports a per-phrase trail.
+        let out = run(&Command::Explain {
+            model: model.clone(),
+            phrases,
+            threads: 0,
+        })
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let rows = v["results"].as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            assert_eq!(row["entry"]["name"].as_str().is_some(), true, "{out}");
+            recipe_obs::validate_provenance(&row["provenance"]).expect("valid provenance");
+            assert!(!row["provenance"].as_array().unwrap().is_empty(), "{out}");
+        }
+
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn trace_out_writes_a_valid_chrome_trace() {
+        let _guard = obs_lock();
+        let model_path = tmp("cli_trace_model.json");
+        let model = model_path.to_string_lossy().to_string();
+        run(&Command::Train {
+            out: model.clone(),
+            recipes: 80,
+            seed: 5,
+            threads: 0,
+            obs: ObsArgs::default(),
+        })
+        .unwrap();
+
+        let phrases: Vec<String> = vec!["2 cups flour".into(), "1 pinch salt".into()];
+        let plain = run(&Command::Extract {
+            model: model.clone(),
+            phrases: phrases.clone(),
+            threads: 0,
+            no_cache: false,
+            obs: ObsArgs::default(),
+        })
+        .unwrap();
+
+        let trace_path = tmp("cli_trace.json");
+        let traced = run(&Command::Extract {
+            model: model.clone(),
+            phrases,
+            threads: 0,
+            no_cache: false,
+            obs: ObsArgs {
+                trace_out: Some(trace_path.to_string_lossy().to_string()),
+                trace_sample: Some(1.0),
+                ..ObsArgs::default()
+            },
+        })
+        .unwrap();
+
+        // Event tracing never perturbs results.
+        let plain_v: serde_json::Value = serde_json::from_str(&plain).unwrap();
+        let traced_v: serde_json::Value = serde_json::from_str(&traced).unwrap();
+        assert_eq!(plain_v["results"], traced_v["results"]);
+        assert_eq!(plain_v["cache"], traced_v["cache"]);
+
+        // The exported file is Chrome trace format with extract's spans.
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let trace: serde_json::Value = serde_json::from_str(&text).unwrap();
+        recipe_obs::validate_chrome_trace(&trace).expect("valid chrome trace");
+        let events = trace["traceEvents"].as_array().unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| e["name"] == "extract" && e["ph"] == "B"),
+            "no extract span in {text}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e["name"] == "thread_name" && e["ph"] == "M"),
+            "no thread metadata in {text}"
+        );
+
+        std::fs::remove_file(&model_path).ok();
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn bench_diff_gates_on_injected_regression() {
+        use recipe_obs::history::{append_run, HistoryEntry, HistoryRun, HISTORY_SCHEMA_VERSION};
+        use std::collections::BTreeMap;
+
+        let path = tmp("cli_bench_history.jsonl");
+        std::fs::remove_file(&path).ok();
+        let run_at = |p50: f64, at: u64| HistoryRun {
+            schema_version: HISTORY_SCHEMA_VERSION,
+            benchmark: "inference_throughput".to_string(),
+            smoke: false,
+            recorded_at_unix_s: at,
+            params: BTreeMap::from([("total_recipes".to_string(), 100.0)]),
+            entries: vec![HistoryEntry {
+                name: "compiled".to_string(),
+                threads: 1,
+                metrics: BTreeMap::from([("phrase_latency.p50_s".to_string(), p50)]),
+            }],
+        };
+        // Baseline, then a +50% regression.
+        append_run(&path, &run_at(0.010, 1)).unwrap();
+        append_run(&path, &run_at(0.015, 2)).unwrap();
+
+        let opts = BenchDiffOptions {
+            history: path.to_string_lossy().to_string(),
+            ..BenchDiffOptions::default()
+        };
+        let err = run(&Command::BenchDiff(opts.clone())).unwrap_err();
+        match err {
+            CliError::BenchDiff(report) => {
+                assert!(report.contains("FAIL"), "{report}");
+                assert!(report.contains("phrase_latency.p50_s"), "{report}");
+                assert!(report.contains("REGRESSION"), "{report}");
+            }
+            other => panic!("expected CliError::BenchDiff, got {other:?}"),
+        }
+
+        // The smoke thresholds tolerate +50%.
+        let out = run(&Command::BenchDiff(BenchDiffOptions {
+            smoke: true,
+            ..opts.clone()
+        }))
+        .unwrap();
+        assert!(out.contains("result:"), "{out}");
+
+        // So does an explicit loose --fail-pct.
+        let out = run(&Command::BenchDiff(BenchDiffOptions {
+            fail_pct: Some(100.0),
+            ..opts
+        }))
+        .unwrap();
+        assert!(out.contains("WARN") || out.contains("warnings"), "{out}");
+
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

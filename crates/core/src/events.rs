@@ -122,8 +122,26 @@ fn events_from_analysis(
         // The dictionary filter from §III.B: only verbs confirmed as
         // cooking processes yield events. The NER tag is accepted as a
         // second signal so dictionary gaps degrade gracefully.
-        let is_process =
-            pipeline.dicts.is_process(&verb) || ner[frame.verb] == InstructionTag::Process;
+        let in_dict = pipeline.dicts.is_process(&verb);
+        let is_process = in_dict || ner[frame.verb] == InstructionTag::Process;
+        if recipe_obs::provenance::enabled() {
+            recipe_obs::provenance::record(recipe_obs::provenance::Record {
+                kind: "dict.decision",
+                site: "dicts.process",
+                subject: verb.clone(),
+                decision: if is_process { "accept" } else { "reject" }.to_string(),
+                detail: if in_dict {
+                    "dictionary"
+                } else if is_process {
+                    "ner"
+                } else {
+                    "none"
+                }
+                .to_string(),
+                index: frame.verb,
+                margin: None,
+            });
+        }
         if !is_process {
             continue;
         }
@@ -139,7 +157,19 @@ fn events_from_analysis(
                 }
                 InstructionTag::Utensil => {
                     let name = lemma_noun(&words[arg]);
-                    if pipeline.dicts.is_utensil(&name) && !utensils.contains(&name) {
+                    let accepted = pipeline.dicts.is_utensil(&name);
+                    if recipe_obs::provenance::enabled() {
+                        recipe_obs::provenance::record(recipe_obs::provenance::Record {
+                            kind: "dict.decision",
+                            site: "dicts.utensil",
+                            subject: name.clone(),
+                            decision: if accepted { "accept" } else { "reject" }.to_string(),
+                            detail: "dictionary".to_string(),
+                            index: arg,
+                            margin: None,
+                        });
+                    }
+                    if accepted && !utensils.contains(&name) {
                         utensils.push(name);
                     }
                 }

@@ -352,12 +352,15 @@ impl Inference {
         if self.cache_enabled() {
             let key = cache_key(words);
             if let Some(entry) = self.ingredient_cache.get(&key) {
+                record_cache_provenance("cache.ingredient", words, "hit");
                 return entry;
             }
+            record_cache_provenance("cache.ingredient", words, "miss");
             let entry = self.ingredient_entry_uncached(words);
             self.ingredient_cache.insert(key, entry.clone());
             entry
         } else {
+            record_cache_provenance("cache.ingredient", words, "bypass");
             self.ingredient_entry_uncached(words)
         }
     }
@@ -366,6 +369,7 @@ impl Inference {
         NER_SCRATCH.with(|cell| {
             let (scratch, ids, tags, _) = &mut *cell.borrow_mut();
             self.ingredient.predict_ids_into(words, scratch, ids);
+            record_viterbi_provenance("ner.ingredient", &self.ingredient, words, ids, scratch);
             tags.clear();
             tags.extend(ids.iter().map(|&id| self.ingredient_tag_of[id]));
             entry_from_tagged(words, tags)
@@ -378,6 +382,7 @@ impl Inference {
         NER_SCRATCH.with(|cell| {
             let (scratch, ids, _, tags) = &mut *cell.borrow_mut();
             self.instruction.predict_ids_into(words, scratch, ids);
+            record_viterbi_provenance("ner.instruction", &self.instruction, words, ids, scratch);
             tags.clear();
             tags.extend(ids.iter().map(|&id| self.instruction_tag_of[id]));
             tags.clone()
@@ -420,18 +425,66 @@ impl Inference {
         compute: impl FnOnce() -> Vec<CookingEvent>,
     ) -> Vec<CookingEvent> {
         if !self.cache_enabled() {
+            record_cache_provenance("cache.events", words, "bypass");
             return compute();
         }
         let key = cache_key(words);
         if let Some(mut events) = self.event_cache.get(&key) {
+            record_cache_provenance("cache.events", words, "hit");
             for e in &mut events {
                 e.step = step;
             }
             return events;
         }
+        record_cache_provenance("cache.events", words, "miss");
         let events = compute();
         self.event_cache.insert(key, events.clone());
         events
+    }
+}
+
+/// Record one `cache.lookup` provenance decision (hit/miss/bypass) for
+/// a phrase or sentence. One relaxed load when `--explain` is off.
+fn record_cache_provenance(site: &'static str, words: &[String], decision: &str) {
+    if !recipe_obs::provenance::enabled() {
+        return;
+    }
+    recipe_obs::provenance::record(recipe_obs::provenance::Record {
+        kind: "cache.lookup",
+        site,
+        subject: words.join(" "),
+        decision: decision.to_string(),
+        detail: String::new(),
+        index: 0,
+        margin: None,
+    });
+}
+
+/// Record per-token `viterbi.margin` provenance for a decoded phrase:
+/// the predicted label plus the δ-row margin the decode left in
+/// `scratch` (filled only while provenance is enabled). One relaxed
+/// load when `--explain` is off.
+fn record_viterbi_provenance(
+    site: &'static str,
+    model: &CompiledSequenceModel,
+    words: &[String],
+    ids: &[usize],
+    scratch: &DecodeScratch,
+) {
+    if !recipe_obs::provenance::enabled() {
+        return;
+    }
+    let margins = scratch.margins();
+    for (i, (&id, word)) in ids.iter().zip(words).enumerate() {
+        recipe_obs::provenance::record(recipe_obs::provenance::Record {
+            kind: "viterbi.margin",
+            site,
+            subject: word.clone(),
+            decision: model.labels().name(id).to_string(),
+            detail: String::new(),
+            index: i,
+            margin: margins.get(i).copied().filter(|m| m.is_finite()),
+        });
     }
 }
 

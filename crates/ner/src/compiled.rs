@@ -174,6 +174,10 @@ impl CompiledParams {
         scratch: &mut DecodeScratch,
         out: &mut Vec<usize>,
     ) {
+        // Provenance margins are pure reads over δ rows the decode
+        // already computed; the decode itself is untouched either way.
+        let explain = recipe_obs::provenance::enabled();
+        scratch.margins.clear();
         out.clear();
         let n = feats.len();
         if n == 0 {
@@ -193,6 +197,9 @@ impl CompiledParams {
         for y in 0..l {
             scratch.delta_prev[y] = self.start[y] + scratch.et[y];
         }
+        if explain {
+            scratch.margins.push(row_margin(&scratch.delta_prev));
+        }
         for t in 1..n {
             self.emit_row_into(&feats[t], &mut scratch.et);
             for y in 0..l {
@@ -207,6 +214,9 @@ impl CompiledParams {
                 }
                 scratch.delta_cur[y] = best + scratch.et[y];
                 scratch.back[t * l + y] = arg;
+            }
+            if explain {
+                scratch.margins.push(row_margin(&scratch.delta_cur));
             }
             std::mem::swap(&mut scratch.delta_prev, &mut scratch.delta_cur);
         }
@@ -227,6 +237,22 @@ impl CompiledParams {
     }
 }
 
+/// Best minus second-best of a Viterbi δ row: how decisively the top
+/// label won at that position. Infinite when the model has one label.
+fn row_margin(row: &[f64]) -> f64 {
+    let mut best = f64::NEG_INFINITY;
+    let mut second = f64::NEG_INFINITY;
+    for &s in row {
+        if s > best {
+            second = best;
+            best = s;
+        } else if s > second {
+            second = s;
+        }
+    }
+    best - second
+}
+
 /// Per-worker scratch arena for compiled decoding: every buffer Viterbi,
 /// emission scoring and feature encoding need, allocated once and reused
 /// across an entire corpus.
@@ -244,12 +270,24 @@ pub struct DecodeScratch {
     back: Vec<usize>,
     /// Format buffer for streaming feature extraction.
     scratch_str: String,
+    /// Per-position δ-row margins from the last decode; filled only
+    /// while provenance recording is enabled, empty otherwise.
+    margins: Vec<f64>,
 }
 
 impl DecodeScratch {
     /// Fresh, empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Per-position score margins (best minus runner-up δ entry) from
+    /// the most recent decode. Empty unless provenance recording
+    /// ([`recipe_obs::provenance::enabled`]) was on during the decode.
+    /// These are forward-pass margins per position, not margins of the
+    /// globally decoded path.
+    pub fn margins(&self) -> &[f64] {
+        &self.margins
     }
 }
 
@@ -475,6 +513,41 @@ mod tests {
                 assert_eq!(compiled.predict(tokens), model.predict(tokens));
             }
         }
+    }
+
+    #[test]
+    fn margins_fill_only_under_provenance_and_never_change_the_path() {
+        let p = tiny_params();
+        let c = CompiledParams::from_params(&p);
+        let mut scratch = DecodeScratch::new();
+        let mut out_plain = Vec::new();
+        let mut out_explained = Vec::new();
+        let feats: Vec<Vec<u32>> = vec![vec![0, 2], vec![1], vec![5, 0], vec![2]];
+
+        recipe_obs::provenance::set_enabled(false);
+        c.viterbi_into(&feats, &mut scratch, &mut out_plain);
+        assert!(scratch.margins().is_empty(), "margins without --explain");
+
+        recipe_obs::provenance::set_enabled(true);
+        c.viterbi_into(&feats, &mut scratch, &mut out_explained);
+        recipe_obs::provenance::set_enabled(false);
+        assert_eq!(out_explained, out_plain, "margins perturbed the decode");
+        assert_eq!(scratch.margins().len(), feats.len(), "one margin per token");
+        for (i, &m) in scratch.margins().iter().enumerate() {
+            assert!(m >= 0.0, "margin[{i}] = {m} negative");
+            assert!(m.is_finite(), "three labels give finite margins");
+        }
+
+        // A later non-explained decode clears stale margins.
+        c.viterbi_into(&feats, &mut scratch, &mut out_plain);
+        assert!(scratch.margins().is_empty());
+    }
+
+    #[test]
+    fn row_margin_picks_best_minus_runner_up() {
+        assert_eq!(row_margin(&[3.0, 7.5, -1.0]), 4.5);
+        assert_eq!(row_margin(&[2.0, 2.0]), 0.0);
+        assert_eq!(row_margin(&[5.0]), f64::INFINITY);
     }
 
     #[test]

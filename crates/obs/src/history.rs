@@ -1,0 +1,537 @@
+//! Bench-run history and the regression gate behind
+//! `recipe-mine bench-diff`.
+//!
+//! Every benchmark binary appends its run to a JSON Lines file
+//! (one [`HistoryRun`] per line, schema_version'd) so the BENCH_*.json
+//! trajectory has a durable record. [`diff_runs`] then compares the
+//! latest run of a benchmark against its recorded baseline (the
+//! earliest comparable run) metric-by-metric and classifies each
+//! latency ratio against configurable thresholds; the CLI turns any
+//! `Fail` finding into a non-zero exit so CI catches hot-path
+//! slowdowns.
+//!
+//! Only seconds-valued, lower-is-better metrics participate in the
+//! gate: a metric is compared iff its name ends in `_s` (including
+//! flattened nested ones such as `phrase_latency.p99_s`) and not
+//! `_per_s`. Throughput-style fields ride along in the history for
+//! context but are never gated — their regressions always show up as a
+//! latency regression anyway.
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Version of the history line layout; bumped on breaking changes.
+pub const HISTORY_SCHEMA_VERSION: u64 = 1;
+
+/// Where benchmark binaries and `bench-diff` look by default, relative
+/// to the workspace root.
+pub const DEFAULT_HISTORY_PATH: &str = "results/bench_history.jsonl";
+
+/// One benchmark configuration's measurements within a run: the
+/// `results[]` entry of a BENCH_*.json report flattened to numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoryEntry {
+    /// Configuration name (`batch_extract_compiled_cached`, …).
+    pub name: String,
+    /// Worker threads the configuration ran with.
+    pub threads: u64,
+    /// Flattened numeric measurements (`median_s`, `p99_s`,
+    /// `phrase_latency.p50_s`, `recipes_per_s`, …).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// One appended benchmark run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoryRun {
+    /// Layout version ([`HISTORY_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Benchmark name (`inference_throughput`, `parallel_scaling`).
+    pub benchmark: String,
+    /// Whether this was a `--smoke` run (smoke and full runs are never
+    /// compared against each other).
+    pub smoke: bool,
+    /// Unix seconds when the run was recorded.
+    pub recorded_at_unix_s: u64,
+    /// Run parameters that must match for two runs to be comparable
+    /// (`total_recipes`, `seed`, …).
+    pub params: BTreeMap<String, f64>,
+    /// Per-configuration measurements.
+    pub entries: Vec<HistoryEntry>,
+}
+
+impl HistoryRun {
+    /// Key identifying runs that may be compared with each other.
+    fn comparable_key(&self) -> (&str, bool, &BTreeMap<String, f64>) {
+        (self.benchmark.as_str(), self.smoke, &self.params)
+    }
+}
+
+/// Flatten the numeric fields of one `results[]` entry (one level of
+/// nesting, dot-joined keys) into a metrics map.
+fn flatten_metrics(entry: &Value, metrics: &mut BTreeMap<String, f64>, prefix: &str) {
+    let Some(fields) = entry.as_object() else {
+        return;
+    };
+    for (key, val) in fields {
+        if key == "name" || key == "threads" {
+            continue;
+        }
+        let full = if prefix.is_empty() {
+            key.clone()
+        } else {
+            format!("{prefix}.{key}")
+        };
+        match val {
+            Value::Number(_) => {
+                if let Some(n) = val.as_f64() {
+                    if n.is_finite() {
+                        metrics.insert(full, n);
+                    }
+                }
+            }
+            Value::Object(_) if prefix.is_empty() => flatten_metrics(val, metrics, key),
+            _ => {}
+        }
+    }
+}
+
+/// Build a [`HistoryRun`] from a bench report [`Value`] (the document
+/// the bench binaries write to BENCH_*.json). Top-level numeric fields
+/// become `params`; each `results[]` entry becomes a [`HistoryEntry`].
+pub fn run_from_bench_report(
+    report: &Value,
+    recorded_at_unix_s: u64,
+) -> Result<HistoryRun, String> {
+    let obj = report
+        .as_object()
+        .ok_or_else(|| "bench report must be an object".to_string())?;
+    let benchmark = report
+        .get("benchmark")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "bench report missing string `benchmark`".to_string())?
+        .to_string();
+    let smoke = report
+        .get("smoke")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let mut params = BTreeMap::new();
+    for key in ["total_recipes", "seed", "samples"] {
+        if let Some(n) = obj
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_f64())
+        {
+            params.insert(key.to_string(), n);
+        }
+    }
+    let results = report
+        .get("results")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "bench report missing `results` array".to_string())?;
+    let mut entries = Vec::with_capacity(results.len());
+    for (i, entry) in results.iter().enumerate() {
+        let name = entry
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("results[{i}] missing string `name`"))?
+            .to_string();
+        let threads = entry.get("threads").and_then(Value::as_u64).unwrap_or(0);
+        let mut metrics = BTreeMap::new();
+        flatten_metrics(entry, &mut metrics, "");
+        entries.push(HistoryEntry {
+            name,
+            threads,
+            metrics,
+        });
+    }
+    Ok(HistoryRun {
+        schema_version: HISTORY_SCHEMA_VERSION,
+        benchmark,
+        smoke,
+        recorded_at_unix_s,
+        params,
+        entries,
+    })
+}
+
+/// Append one run as a JSON line, creating the parent directory and the
+/// file as needed.
+pub fn append_run(path: &Path, run: &HistoryRun) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let line = serde_json::to_string(run)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    writeln!(file, "{line}")
+}
+
+/// Load every run from a JSON Lines history file, preserving file
+/// order. Blank lines are skipped; a malformed line or an unsupported
+/// `schema_version` is an error (a corrupt history must not silently
+/// pass the gate).
+pub fn load_history(path: &Path) -> Result<Vec<HistoryRun>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut runs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let run: HistoryRun =
+            serde_json::from_str(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+        if run.schema_version != HISTORY_SCHEMA_VERSION {
+            return Err(format!(
+                "{}:{}: unsupported schema_version {}",
+                path.display(),
+                i + 1,
+                run.schema_version
+            ));
+        }
+        runs.push(run);
+    }
+    Ok(runs)
+}
+
+/// Severity of one metric comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DiffLevel {
+    /// Within the warn threshold.
+    Ok,
+    /// Slower than the warn threshold but within the fail threshold.
+    Warn,
+    /// Slower than the fail threshold: the gate trips.
+    Fail,
+}
+
+/// Relative latency-ratio thresholds for the gate. A metric with
+/// `latest / baseline > fail_ratio` fails; `> warn_ratio` warns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffThresholds {
+    /// Ratio above which a metric is flagged (default 1.05 = +5%).
+    pub warn_ratio: f64,
+    /// Ratio above which the gate fails (default 1.10 = +10%).
+    pub fail_ratio: f64,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        DiffThresholds {
+            warn_ratio: 1.05,
+            fail_ratio: 1.10,
+        }
+    }
+}
+
+impl DiffThresholds {
+    /// Loose thresholds for CI smoke runs, where scheduler jitter on
+    /// shared runners dwarfs real regressions: warn at +50%, hard-fail
+    /// only past 3x.
+    pub fn smoke() -> Self {
+        DiffThresholds {
+            warn_ratio: 1.50,
+            fail_ratio: 3.0,
+        }
+    }
+
+    fn classify(&self, ratio: f64) -> DiffLevel {
+        if ratio > self.fail_ratio {
+            DiffLevel::Fail
+        } else if ratio > self.warn_ratio {
+            DiffLevel::Warn
+        } else {
+            DiffLevel::Ok
+        }
+    }
+}
+
+/// One metric comparison between a baseline and the latest run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffFinding {
+    /// Benchmark the finding belongs to.
+    pub benchmark: String,
+    /// Configuration name within the benchmark.
+    pub name: String,
+    /// Worker threads of the configuration.
+    pub threads: u64,
+    /// Metric compared (always a seconds-valued, lower-is-better one).
+    pub metric: String,
+    /// Baseline value (seconds).
+    pub baseline: f64,
+    /// Latest value (seconds).
+    pub latest: f64,
+    /// `latest / baseline`.
+    pub ratio: f64,
+    /// Classification against the thresholds.
+    pub level: DiffLevel,
+}
+
+/// Whether a metric participates in the gate: seconds-valued and
+/// lower-is-better.
+fn gated_metric(name: &str) -> bool {
+    name.ends_with("_s") && !name.ends_with("_per_s")
+}
+
+/// Compare the latest run against a baseline entry-by-entry. Entries
+/// match on `(name, threads)`; metrics compared are the gated ones
+/// present in both runs.
+pub fn diff_runs(
+    baseline: &HistoryRun,
+    latest: &HistoryRun,
+    thresholds: &DiffThresholds,
+) -> Vec<DiffFinding> {
+    let mut findings = Vec::new();
+    for entry in &latest.entries {
+        let Some(base) = baseline
+            .entries
+            .iter()
+            .find(|b| b.name == entry.name && b.threads == entry.threads)
+        else {
+            continue;
+        };
+        for (metric, &latest_v) in &entry.metrics {
+            if !gated_metric(metric) {
+                continue;
+            }
+            let Some(&baseline_v) = base.metrics.get(metric) else {
+                continue;
+            };
+            if !(baseline_v > 0.0) || !latest_v.is_finite() {
+                continue;
+            }
+            let ratio = latest_v / baseline_v;
+            findings.push(DiffFinding {
+                benchmark: latest.benchmark.clone(),
+                name: entry.name.clone(),
+                threads: entry.threads,
+                metric: metric.clone(),
+                baseline: baseline_v,
+                latest: latest_v,
+                ratio,
+                level: thresholds.classify(ratio),
+            });
+        }
+    }
+    findings
+}
+
+/// Pick `(baseline, latest)` pairs out of a loaded history: runs group
+/// by `(benchmark, smoke, params)`, each group's earliest run is the
+/// baseline and its newest is the latest. Groups with a single run
+/// compare that run against itself (all ratios 1.0). `benchmark`
+/// filters groups by name when given.
+pub fn baseline_and_latest<'r>(
+    runs: &'r [HistoryRun],
+    benchmark: Option<&str>,
+) -> Vec<(&'r HistoryRun, &'r HistoryRun)> {
+    let mut pairs: Vec<(&HistoryRun, &HistoryRun)> = Vec::new();
+    for run in runs {
+        if benchmark.is_some_and(|b| b != run.benchmark) {
+            continue;
+        }
+        if let Some(pair) = pairs
+            .iter_mut()
+            .find(|(base, _)| base.comparable_key() == run.comparable_key())
+        {
+            pair.1 = run;
+        } else {
+            pairs.push((run, run));
+        }
+    }
+    pairs
+}
+
+/// The worst level across findings ([`DiffLevel::Ok`] when empty).
+pub fn worst_level(findings: &[DiffFinding]) -> DiffLevel {
+    findings
+        .iter()
+        .map(|f| f.level)
+        .max()
+        .unwrap_or(DiffLevel::Ok)
+}
+
+/// Human report for a set of comparisons, one line per gated metric.
+pub fn render_diff(findings: &[DiffFinding], thresholds: &DiffThresholds) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench-diff: warn > {:+.1}%, fail > {:+.1}%",
+        (thresholds.warn_ratio - 1.0) * 100.0,
+        (thresholds.fail_ratio - 1.0) * 100.0,
+    );
+    if findings.is_empty() {
+        let _ = writeln!(out, "  no comparable runs in history");
+        return out;
+    }
+    let mut last_group = String::new();
+    for f in findings {
+        let group = format!("{} · {} (t={})", f.benchmark, f.name, f.threads);
+        if group != last_group {
+            let _ = writeln!(out, "{group}");
+            last_group = group;
+        }
+        let tag = match f.level {
+            DiffLevel::Ok => "ok  ",
+            DiffLevel::Warn => "WARN",
+            DiffLevel::Fail => "FAIL",
+        };
+        let _ = writeln!(
+            out,
+            "  {tag} {:<28} {:>12.6}s -> {:>12.6}s  ({:+.1}%)",
+            f.metric,
+            f.baseline,
+            f.latest,
+            (f.ratio - 1.0) * 100.0,
+        );
+    }
+    let worst = worst_level(findings);
+    let _ = writeln!(
+        out,
+        "result: {}",
+        match worst {
+            DiffLevel::Ok => "ok",
+            DiffLevel::Warn => "warnings (not gating)",
+            DiffLevel::Fail => "REGRESSION",
+        }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::{json, Value};
+
+    fn run_with(median_s: f64, recorded_at: u64) -> HistoryRun {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("median_s".to_string(), median_s);
+        metrics.insert("p99_s".to_string(), median_s * 1.4);
+        metrics.insert("recipes_per_s".to_string(), 100.0 / median_s);
+        HistoryRun {
+            schema_version: HISTORY_SCHEMA_VERSION,
+            benchmark: "inference_throughput".to_string(),
+            smoke: false,
+            recorded_at_unix_s: recorded_at,
+            params: BTreeMap::from([("seed".to_string(), 42.0)]),
+            entries: vec![HistoryEntry {
+                name: "batch_extract".to_string(),
+                threads: 1,
+                metrics,
+            }],
+        }
+    }
+
+    #[test]
+    fn synthetic_regression_trips_the_gate() {
+        let baseline = run_with(0.100, 1);
+        let regressed = run_with(0.150, 2); // +50% — past the 10% default
+        let findings = diff_runs(&baseline, &regressed, &DiffThresholds::default());
+        assert!(!findings.is_empty());
+        assert_eq!(worst_level(&findings), DiffLevel::Fail);
+        // Throughput fields never gate.
+        assert!(findings
+            .iter()
+            .all(|f| f.metric.ends_with("_s") && !f.metric.ends_with("_per_s")));
+        // The same slowdown passes the loose smoke thresholds (<3x).
+        let smoke = diff_runs(&baseline, &regressed, &DiffThresholds::smoke());
+        assert_eq!(worst_level(&smoke), DiffLevel::Ok);
+    }
+
+    #[test]
+    fn unchanged_and_faster_runs_pass() {
+        let baseline = run_with(0.100, 1);
+        let same = diff_runs(&baseline, &run_with(0.100, 2), &DiffThresholds::default());
+        assert_eq!(worst_level(&same), DiffLevel::Ok);
+        let faster = diff_runs(&baseline, &run_with(0.080, 3), &DiffThresholds::default());
+        assert_eq!(worst_level(&faster), DiffLevel::Ok);
+        let warn = diff_runs(&baseline, &run_with(0.107, 4), &DiffThresholds::default());
+        assert_eq!(worst_level(&warn), DiffLevel::Warn, "{warn:?}");
+    }
+
+    #[test]
+    fn append_load_round_trip_and_grouping() {
+        let dir = std::env::temp_dir().join(format!(
+            "recipe_obs_history_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = dir.join("bench_history.jsonl");
+        let _ = std::fs::remove_file(&path);
+        append_run(&path, &run_with(0.100, 1)).expect("append 1");
+        append_run(&path, &run_with(0.120, 2)).expect("append 2");
+        let mut other = run_with(0.5, 3);
+        other.benchmark = "parallel_scaling".to_string();
+        append_run(&path, &other).expect("append 3");
+
+        let runs = load_history(&path).expect("load");
+        assert_eq!(runs.len(), 3);
+        let pairs = baseline_and_latest(&runs, None);
+        assert_eq!(pairs.len(), 2, "two comparable groups");
+        assert_eq!(pairs[0].0.recorded_at_unix_s, 1, "earliest is baseline");
+        assert_eq!(pairs[0].1.recorded_at_unix_s, 2, "newest is latest");
+        assert_eq!(pairs[1].0.recorded_at_unix_s, pairs[1].1.recorded_at_unix_s);
+        let only = baseline_and_latest(&runs, Some("parallel_scaling"));
+        assert_eq!(only.len(), 1);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_history_lines_are_errors() {
+        let dir = std::env::temp_dir().join(format!(
+            "recipe_obs_badhist_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        std::fs::write(&path, "{\"schema_version\": 999}\n").unwrap();
+        assert!(load_history(&path).is_err());
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(load_history(&path).is_err());
+        assert!(load_history(&dir.join("missing.jsonl")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_report_flattens_into_a_history_run() {
+        let report = json!({
+            "benchmark": "inference_throughput",
+            "total_recipes": 300,
+            "seed": 42,
+            "smoke": false,
+            "results": [json!({
+                "name": "batch_extract_compiled_cached",
+                "threads": 4,
+                "median_s": 0.015,
+                "recipes_per_s": 20000.0,
+                "phrase_latency": {"phrases": 2400, "p50_us": 2.1, "p50_s": 2.1e-6},
+                "cache": Value::Null,
+            })],
+        });
+        let run = run_from_bench_report(&report, 77).expect("convert");
+        assert_eq!(run.benchmark, "inference_throughput");
+        assert_eq!(run.params.get("seed"), Some(&42.0));
+        assert_eq!(run.entries.len(), 1);
+        let m = &run.entries[0].metrics;
+        assert_eq!(m.get("median_s"), Some(&0.015));
+        assert_eq!(m.get("phrase_latency.p50_s"), Some(&2.1e-6));
+        assert!(gated_metric("phrase_latency.p50_s"));
+        assert!(!gated_metric("recipes_per_s"));
+        assert!(!gated_metric("iters"));
+        // Old-shape reports (microsecond-only phrase latency) still load.
+        assert_eq!(m.get("phrase_latency.p50_us"), Some(&2.1));
+
+        assert!(run_from_bench_report(&json!({"results": []}), 0).is_err());
+        assert!(run_from_bench_report(&json!({"benchmark": "x"}), 0).is_err());
+    }
+}

@@ -22,14 +22,39 @@
 //!    series, throughput) plus a human renderer and a schema validator
 //!    for the `--metrics-out` JSON documents written by the CLI.
 //!
+//! 4. **Event tracing** ([`event`]): per-thread ring buffers of
+//!    begin/end/instant events behind the same `span!()` sites,
+//!    exported as Chrome-trace JSON (`--trace-out`, sampled via
+//!    `--trace-sample`).
+//!
+//! 5. **Prediction provenance** ([`provenance`]): canonical,
+//!    deterministic records of per-token Viterbi margins, cache
+//!    hit/miss origins, and dictionary accept/reject decisions behind
+//!    the CLI `--explain` flag.
+//!
+//! 6. **Bench history** ([`history`]): schema_version'd JSON Lines
+//!    bench-run records plus the `bench-diff` regression gate.
+//!
 //! Observability must never perturb artifacts: nothing here influences
 //! any computed value, and aggregation (not logging) keeps the memory
 //! and time cost independent of corpus size. Tracing is off by default;
 //! see [`set_enabled`].
 
+pub mod event;
+pub mod history;
 pub mod metrics;
+pub mod provenance;
 pub mod report;
 pub mod span;
+
+pub use event::{
+    export_chrome_trace, validate_chrome_trace, EventKind, TraceConfig, TraceEvent, TraceSession,
+};
+pub use history::{
+    DiffFinding, DiffLevel, DiffThresholds, HistoryEntry, HistoryRun, DEFAULT_HISTORY_PATH,
+    HISTORY_SCHEMA_VERSION,
+};
+pub use provenance::validate_provenance;
 
 pub use metrics::{
     global, percentile_sorted, Counter, Gauge, Histogram, HistogramSnapshot, Registry,

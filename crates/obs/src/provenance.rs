@@ -1,0 +1,296 @@
+//! Prediction provenance: why the pipeline decided what it decided.
+//!
+//! When enabled (the CLI `--explain` flag or the `explain` subcommand),
+//! decision sites in the compiled decode paths record *why* each
+//! prediction happened:
+//!
+//! - `viterbi.margin` — per-token score margin (best minus runner-up
+//!   accumulated Viterbi score) from the compiled NER decoders; small
+//!   margins flag low-confidence tags.
+//! - `tagger.margin` — per-token margin from the compiled POS tagger,
+//!   with `detail` distinguishing tag-dictionary short-circuits
+//!   (`"tagdict"`, no margin) from scored predictions (`"model"`).
+//! - `cache.lookup` — phrase/sentence cache hit-or-miss origin, so an
+//!   explained result can be traced to a fresh decode or a cached one.
+//! - `dict.decision` — dictionary accept/reject outcomes (the paper's
+//!   Table V process/utensil thresholds), with `detail` naming what
+//!   backed the acceptance (`"dictionary"`, `"ner"`, or `"none"`).
+//!
+//! Recording is bounded (at most [`CAPACITY`] records, overflow
+//! counted) and **canonical**: [`drain`] sorts by every field and
+//! de-duplicates, so the exported block is identical whatever the
+//! worker-thread interleaving — the same determinism contract as the
+//! rest of the crate. Records carry no timestamps for the same reason.
+//! Provenance is observational only: decision sites compute margins
+//! from values the decode already produced and never influence any
+//! result.
+
+use serde_json::{json, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Maximum records retained; further records are counted as dropped.
+/// A full `mine` over the bundled corpus stays well under this.
+pub const CAPACITY: usize = 1 << 18;
+
+/// One recorded decision. All label fields are static site names except
+/// `subject` (the token/phrase/word the decision was about) and
+/// `decision` (the chosen outcome, e.g. a tag name or `hit`/`miss`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// What kind of decision: `viterbi.margin`, `tagger.margin`,
+    /// `cache.lookup`, or `dict.decision`.
+    pub kind: &'static str,
+    /// Where it happened: `ner.ingredient`, `ner.instruction`,
+    /// `tagger.pos`, `cache.ingredient`, `cache.events`,
+    /// `dicts.process`, `dicts.utensil`.
+    pub site: &'static str,
+    /// The token, word, or phrase the decision concerned.
+    pub subject: String,
+    /// The outcome (predicted tag, `hit`/`miss`, `accept`/`reject`).
+    pub decision: String,
+    /// Qualifier for the outcome (`model`/`tagdict`, `dictionary`/
+    /// `ner`/`none`), empty when not applicable.
+    pub detail: String,
+    /// Token position within its phrase/sentence (0 when positionless).
+    pub index: usize,
+    /// Score margin (best minus runner-up), when the site computes one.
+    /// Non-finite margins (single-label models) are recorded as `None`.
+    pub margin: Option<f64>,
+}
+
+impl Record {
+    fn sort_key(&self) -> (&str, usize, &str, &str, &str, &str, u64) {
+        (
+            self.site,
+            self.index,
+            self.subject.as_str(),
+            self.kind,
+            self.decision.as_str(),
+            self.detail.as_str(),
+            self.margin.unwrap_or(f64::NEG_INFINITY).to_bits(),
+        )
+    }
+
+    /// The record as a JSON object.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "kind": self.kind,
+            "site": self.site,
+            "subject": self.subject,
+            "decision": self.decision,
+            "detail": self.detail,
+            "index": self.index as u64,
+            "margin": self.margin.filter(|m| m.is_finite()),
+        })
+    }
+}
+
+/// Process-wide provenance switch, independent of the telemetry switch
+/// so `--explain` works without `--trace`.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct Store {
+    records: Vec<Record>,
+    dropped: u64,
+}
+
+static STORE: Mutex<Store> = Mutex::new(Store {
+    records: Vec::new(),
+    dropped: 0,
+});
+
+fn store() -> std::sync::MutexGuard<'static, Store> {
+    STORE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Turn provenance recording on or off for the whole process.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether decision sites should record provenance. One relaxed load;
+/// instrumented sites check this before computing margins.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Record one decision. No-op when recording is disabled; counted but
+/// not stored when the store is at [`CAPACITY`].
+pub fn record(r: Record) {
+    if !enabled() {
+        return;
+    }
+    let mut store = store();
+    if store.records.len() >= CAPACITY {
+        store.dropped += 1;
+        return;
+    }
+    store.records.push(r);
+}
+
+/// Drop every record and the overflow count.
+pub fn reset() {
+    let mut store = store();
+    store.records.clear();
+    store.dropped = 0;
+}
+
+/// Records dropped since the last [`reset`] because the store was full.
+pub fn dropped() -> u64 {
+    store().dropped
+}
+
+/// Take all records in canonical order: sorted by every field and
+/// de-duplicated. Duplicates arise when concurrent workers race on the
+/// same cache miss and decode the same phrase twice — the set of
+/// decisions is what provenance reports, so the canonical form is
+/// identical at any thread count.
+pub fn drain() -> Vec<Record> {
+    let mut records = std::mem::take(&mut store().records);
+    records.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    records.dedup();
+    records
+}
+
+/// Render records as a JSON array (one object per record).
+pub fn to_json(records: &[Record]) -> Value {
+    Value::Array(records.iter().map(Record::to_json).collect())
+}
+
+/// Validate a serialized provenance block: an array of objects each
+/// carrying string `kind`/`site`/`subject`/`decision`/`detail`, a
+/// numeric `index`, and a numeric-or-null `margin`.
+pub fn validate_provenance(v: &Value) -> Result<(), String> {
+    let records = v
+        .as_array()
+        .ok_or_else(|| "provenance must be an array".to_string())?;
+    for (i, rec) in records.iter().enumerate() {
+        let obj = rec
+            .as_object()
+            .ok_or_else(|| format!("provenance[{i}] must be an object"))?;
+        let field = |name: &str| {
+            obj.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("provenance[{i}] missing `{name}`"))
+        };
+        for want in ["kind", "site", "subject", "decision", "detail"] {
+            if field(want)?.as_str().is_none() {
+                return Err(format!("provenance[{i}].{want} must be a string"));
+            }
+        }
+        if field("index")?.as_u64().is_none() {
+            return Err(format!("provenance[{i}].index must be an integer"));
+        }
+        let margin = field("margin")?;
+        if !margin.is_null() && margin.as_f64().is_none() {
+            return Err(format!("provenance[{i}].margin must be a number or null"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(site: &'static str, subject: &str, index: usize, margin: Option<f64>) -> Record {
+        Record {
+            kind: "viterbi.margin",
+            site,
+            subject: subject.to_string(),
+            decision: "ingredient-name".to_string(),
+            detail: String::new(),
+            index,
+            margin,
+        }
+    }
+
+    #[test]
+    fn disabled_recording_stores_nothing() {
+        let _lock = crate::tests_lock();
+        reset();
+        set_enabled(false);
+        record(sample("ner.ingredient", "flour", 0, Some(1.5)));
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn drain_is_sorted_and_deduplicated() {
+        let _lock = crate::tests_lock();
+        reset();
+        set_enabled(true);
+        // Same phrase decoded twice (cache-miss race) plus another site,
+        // pushed out of order.
+        record(sample("ner.ingredient", "flour", 1, Some(0.5)));
+        record(sample("ner.ingredient", "cups", 0, Some(2.0)));
+        record(sample("ner.ingredient", "flour", 1, Some(0.5)));
+        record(sample("cache.ingredient", "2 cups flour", 0, None));
+        set_enabled(false);
+        let records = drain();
+        assert_eq!(records.len(), 3, "duplicate collapsed: {records:?}");
+        assert_eq!(records[0].site, "cache.ingredient");
+        assert_eq!(records[1].subject, "cups");
+        assert_eq!(records[2].subject, "flour");
+    }
+
+    #[test]
+    fn json_round_trip_validates_and_nonfinite_margins_are_null() {
+        let _lock = crate::tests_lock();
+        reset();
+        set_enabled(true);
+        record(sample("ner.ingredient", "flour", 0, Some(f64::INFINITY)));
+        record(sample("ner.ingredient", "cups", 1, Some(1.25)));
+        set_enabled(false);
+        let records = drain();
+        let block = to_json(&records);
+        validate_provenance(&block).expect("valid block");
+        assert!(block[0]["margin"].is_null(), "{block}");
+        assert_eq!(block[1]["margin"], 1.25);
+        // Survives a text round trip too.
+        let text = serde_json::to_string(&block).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        validate_provenance(&back).expect("valid after round trip");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_blocks() {
+        assert!(validate_provenance(&json!({})).is_err());
+        assert!(validate_provenance(&json!([json!({"kind": "x"})])).is_err());
+        assert!(validate_provenance(&json!([json!({
+            "kind": "viterbi.margin", "site": "ner.ingredient",
+            "subject": "flour", "decision": "name", "detail": "",
+            "index": "zero", "margin": Value::Null,
+        })]))
+        .is_err());
+        assert!(validate_provenance(&json!([json!({
+            "kind": "viterbi.margin", "site": "ner.ingredient",
+            "subject": "flour", "decision": "name", "detail": "",
+            "index": 0, "margin": 1.5,
+        })]))
+        .is_ok());
+    }
+
+    #[test]
+    fn capacity_overflow_is_counted_not_stored() {
+        let _lock = crate::tests_lock();
+        reset();
+        set_enabled(true);
+        {
+            let mut s = store();
+            s.records.clear();
+            // Pretend the store is already full.
+            s.records
+                .extend((0..CAPACITY).map(|i| sample("ner.ingredient", "x", i, None)));
+        }
+        record(sample("ner.ingredient", "overflow", 0, None));
+        set_enabled(false);
+        assert_eq!(dropped(), 1);
+        reset();
+        assert_eq!(dropped(), 0);
+    }
+}

@@ -319,6 +319,64 @@ mod tests {
     }
 
     #[test]
+    fn human_render_on_empty_registry_is_header_only() {
+        let _lock = crate::tests_lock();
+        crate::set_enabled(false);
+        crate::reset();
+        let t = Telemetry::gather(&[]);
+        let text = render_human(&t);
+        assert!(text.starts_with("telemetry (tracing off)"), "{text}");
+        // Every section is empty, so nothing but the header renders.
+        assert_eq!(text.lines().count(), 1, "{text}");
+        for absent in ["stages:", "counters:", "gauges:", "histograms:"] {
+            assert!(!text.contains(absent), "{text}");
+        }
+    }
+
+    #[test]
+    fn validate_document_rejects_truncated_json() {
+        // A document cut off mid-write must fail parsing, and a document
+        // parsed from a prefix-complete but field-incomplete text must
+        // fail validation — not silently pass.
+        let t = sample_telemetry();
+        let full = serde_json::to_string(&serde_json::json!({
+            "schema_version": SCHEMA_VERSION,
+            "command": "extract",
+            "telemetry": serde_json::to_value(&t),
+        }))
+        .unwrap();
+        let cut = &full[..full.len() / 2];
+        assert!(serde_json::from_str::<Value>(cut).is_err(), "parses: {cut}");
+        // Truncation that happens to be well-formed JSON (an object with
+        // fields missing) still fails validation.
+        let partial: Value = serde_json::from_str("{\"schema_version\": 1}").unwrap();
+        let err = validate_document(&partial).unwrap_err();
+        assert!(err.contains("command"), "{err}");
+    }
+
+    #[test]
+    fn validate_document_flags_nan_bearing_histograms() {
+        // Non-finite histogram stats serialize as `null` (the writer's
+        // NaN convention); a reloaded document carrying one must be
+        // *rejected with a message naming the field*, not silently
+        // accepted as healthy telemetry.
+        let t = sample_telemetry();
+        let text = serde_json::to_string(&serde_json::json!({
+            "schema_version": SCHEMA_VERSION,
+            "command": "extract",
+            "telemetry": serde_json::to_value(&t),
+        }))
+        .unwrap();
+        // Poison one percentile the way a NaN serializes.
+        let poisoned = text.replacen("\"p99\":", "\"p99\":null,\"p99_orig\":", 1);
+        assert_ne!(poisoned, text, "sample telemetry has a p99 field");
+        let doc: Value = serde_json::from_str(&poisoned).expect("well-formed");
+        let err = validate_document(&doc).unwrap_err();
+        assert!(err.contains("p99"), "{err}");
+        assert!(err.contains("must be a number"), "{err}");
+    }
+
+    #[test]
     fn human_render_mentions_every_section() {
         let t = sample_telemetry();
         let text = render_human(&t);

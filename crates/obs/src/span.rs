@@ -88,24 +88,34 @@ thread_local! {
 }
 
 /// Guard returned by [`enter`]; records on drop. Inert (holds no start
-/// time) when tracing was disabled at entry.
+/// time) when tracing was disabled at entry. `traced` remembers whether
+/// the event tracer sampled this span's begin event, so exactly the
+/// matching end event is emitted on drop.
 #[must_use = "a span only measures the scope the guard lives in"]
 #[derive(Debug)]
 pub struct SpanGuard {
     start: Option<Instant>,
+    traced: bool,
 }
 
 /// Open a span named `name` under the thread's currently open spans.
 /// When tracing is disabled this is a single relaxed atomic load and the
-/// returned guard does nothing.
+/// returned guard does nothing. When the event tracer is also running
+/// ([`crate::event::start`]) a begin event is recorded, subject to
+/// sampling.
 #[inline]
 pub fn enter(name: &'static str) -> SpanGuard {
     if !crate::enabled() {
-        return SpanGuard { start: None };
+        return SpanGuard {
+            start: None,
+            traced: false,
+        };
     }
     STACK.with(|s| s.borrow_mut().push(name));
+    let traced = crate::event::on_span_enter(name);
     SpanGuard {
         start: Some(Instant::now()),
+        traced,
     }
 }
 
@@ -117,6 +127,11 @@ impl Drop for SpanGuard {
         let elapsed_ns = start.elapsed().as_nanos() as u64;
         STACK.with(|s| {
             let mut stack = s.borrow_mut();
+            if self.traced {
+                if let Some(name) = stack.last() {
+                    crate::event::on_span_exit(name);
+                }
+            }
             // LOCAL may already be gone during thread teardown; spans
             // closing that late have nowhere to aggregate, so drop them.
             let _ = LOCAL.try_with(|l| l.record(&stack, elapsed_ns));

@@ -177,8 +177,10 @@ impl Runtime {
         let mut worker_busy_ns: Vec<u64> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    let (cursor, f, take) = (&cursor, &f, &take);
+                    scope.spawn(move || {
+                        recipe_obs::event::set_thread_name(&format!("runtime.worker.{w}"));
                         let mut local = Vec::new();
                         let mut busy_ns = 0u64;
                         loop {

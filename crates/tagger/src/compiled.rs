@@ -180,10 +180,24 @@ impl CompiledPosTagger {
         let mut prev: &str = START[0];
         let mut prev2: &str = START[1];
         let mut dict_hits = 0u64;
+        // Provenance is purely observational: margins are read off the
+        // score row the tagger already computed.
+        let explain = recipe_obs::provenance::enabled();
         for i in 0..n {
             let norm = context[i + 2].as_str();
             let tag = if let Some(&t) = self.tagdict.get(norm) {
                 dict_hits += 1;
+                if explain {
+                    recipe_obs::provenance::record(recipe_obs::provenance::Record {
+                        kind: "tagger.margin",
+                        site: "tagger.pos",
+                        subject: words[i].clone(),
+                        decision: t.as_str().to_string(),
+                        detail: "tagdict".to_string(),
+                        index: i,
+                        margin: None,
+                    });
+                }
                 t
             } else {
                 ids.clear();
@@ -193,7 +207,19 @@ impl CompiledPosTagger {
                     }
                 });
                 self.scores_into(ids, scores);
-                PennTag::from_index(argmax(scores))
+                let tag = PennTag::from_index(argmax(scores));
+                if explain {
+                    recipe_obs::provenance::record(recipe_obs::provenance::Record {
+                        kind: "tagger.margin",
+                        site: "tagger.pos",
+                        subject: words[i].clone(),
+                        decision: tag.as_str().to_string(),
+                        detail: "model".to_string(),
+                        index: i,
+                        margin: Some(Self::margin_of(scores)),
+                    });
+                }
+                tag
             };
             out.push(tag);
             prev2 = prev;
@@ -205,6 +231,22 @@ impl CompiledPosTagger {
             m.tokens.add(n as u64);
             m.tagdict_hits.add(dict_hits);
         }
+    }
+
+    /// Best minus second-best class score: how decisively the predicted
+    /// tag won. Infinite for a single-class score row.
+    fn margin_of(scores: &[f64]) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        let mut second = f64::NEG_INFINITY;
+        for &s in scores {
+            if s > best {
+                second = best;
+                best = s;
+            } else if s > second {
+                second = s;
+            }
+        }
+        best - second
     }
 
     /// Allocating convenience wrapper around [`Self::tag_into`].
@@ -265,6 +307,38 @@ mod tests {
             assert_eq!(out, tagger.tag(words), "{words:?}");
             assert_eq!(compiled.tag(words), tagger.tag(words));
         }
+    }
+
+    #[test]
+    fn provenance_labels_tagdict_and_model_decisions_without_changing_tags() {
+        let tagger = PosTagger::train(&toy_corpus(), 6, 7);
+        let compiled = CompiledPosTagger::compile(&tagger);
+        let mut scratch = TagScratch::new();
+        let mut plain = Vec::new();
+        let mut explained = Vec::new();
+        // "the" is unambiguous (tagdict), "mix" is ambiguous (model).
+        let words: Vec<String> = vec!["mix".into(), "the".into(), "batter".into()];
+
+        compiled.tag_into(&words, &mut scratch, &mut plain);
+        recipe_obs::provenance::reset();
+        recipe_obs::provenance::set_enabled(true);
+        compiled.tag_into(&words, &mut scratch, &mut explained);
+        recipe_obs::provenance::set_enabled(false);
+        let records = recipe_obs::provenance::drain();
+
+        assert_eq!(explained, plain, "provenance perturbed tagging");
+        let ours: Vec<_> = records
+            .iter()
+            .filter(|r| r.site == "tagger.pos" && words.iter().any(|w| *w == r.subject))
+            .collect();
+        assert_eq!(ours.len(), words.len(), "{records:?}");
+        let mix = ours.iter().find(|r| r.subject == "mix").expect("mix");
+        assert_eq!(mix.detail, "model");
+        assert!(mix.margin.is_some(), "scored tokens carry a margin");
+        let the = ours.iter().find(|r| r.subject == "the").expect("the");
+        assert_eq!(the.detail, "tagdict");
+        assert_eq!(the.margin, None, "dictionary hits have no margin");
+        assert_eq!(the.decision, "DT");
     }
 
     #[test]

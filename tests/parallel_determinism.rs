@@ -14,8 +14,17 @@ use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
 use recipe_corpus::{CorpusSpec, RecipeCorpus};
 use recipe_ner::{CompiledSequenceModel, IngredientTag, SequenceModel, TrainConfig, Trainer};
 use recipe_runtime::Runtime;
+use std::sync::{Mutex, MutexGuard};
 
 const THREAD_COUNTS: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
+/// Tests that flip the process-wide observability switches (metrics,
+/// event tracer, provenance) serialize on this lock so they cannot
+/// reset each other mid-run.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Chunk sizes that stress the chunking logic for a given thread count:
 /// 0 (clamped to 1), 1, just below and just above the worker count, plus
@@ -301,6 +310,7 @@ fn extraction_is_byte_identical_with_tracing_on_and_off() {
     // Telemetry must never perturb artifacts: the compiled batch output
     // is byte-identical with span/metric collection enabled or disabled,
     // at every thread count, cache on and off.
+    let _lock = obs_lock();
     let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(13));
     let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
     let reference: Vec<String> = corpus
@@ -329,6 +339,109 @@ fn extraction_is_byte_identical_with_tracing_on_and_off() {
         }
     }
     recipe_obs::set_enabled(false);
+    pipeline.set_cache_enabled(true);
+}
+
+#[test]
+fn extraction_is_byte_identical_with_event_tracing_on_and_off() {
+    // The `--trace-out` timeline recorder must never perturb artifacts:
+    // batch extraction is byte-identical with the event tracer running
+    // or stopped, at 1/4/8 threads, and the recorder actually captures
+    // a non-empty, schema-valid Chrome trace while enabled.
+    let _lock = obs_lock();
+    let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(13));
+    let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
+    let reference: Vec<String> = corpus
+        .recipes
+        .iter()
+        .map(|r| serde_json::to_string(&pipeline.model_recipe_reference(r)).unwrap())
+        .collect();
+    for &t in &[1usize, 4, 8] {
+        // Off → on → off again, so a stale tracer from an earlier
+        // iteration can't mask a difference.
+        for tracing in [false, true, false] {
+            recipe_obs::reset();
+            recipe_obs::event::reset();
+            if tracing {
+                recipe_obs::set_enabled(true);
+                recipe_obs::event::start(&recipe_obs::TraceConfig::default());
+            }
+            pipeline.inference.clear_caches();
+            let batch: Vec<String> = pipeline
+                .model_recipes(&corpus.recipes, &Runtime::new(t))
+                .iter()
+                .map(|m| serde_json::to_string(m).unwrap())
+                .collect();
+            if tracing {
+                recipe_obs::event::flush_local();
+                let session = recipe_obs::event::drain();
+                recipe_obs::event::stop();
+                recipe_obs::set_enabled(false);
+                assert!(
+                    !session.events.is_empty(),
+                    "tracer captured nothing at {t} threads"
+                );
+                let trace = recipe_obs::event::export_chrome_trace(&session);
+                recipe_obs::event::validate_chrome_trace(&trace)
+                    .unwrap_or_else(|e| panic!("invalid chrome trace at {t} threads: {e}"));
+            }
+            assert_eq!(
+                batch, reference,
+                "extraction differs at {t} threads (event tracing {tracing})"
+            );
+        }
+    }
+    recipe_obs::set_enabled(false);
+    recipe_obs::event::reset();
+    recipe_obs::reset();
+}
+
+#[test]
+fn extraction_is_byte_identical_with_provenance_on_and_off() {
+    // The `--explain` provenance recorder must never perturb artifacts:
+    // batch extraction is byte-identical with per-prediction decision
+    // recording enabled or disabled, at 1/4/8 threads, cache on and off.
+    let _lock = obs_lock();
+    let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(13));
+    let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
+    let reference: Vec<String> = corpus
+        .recipes
+        .iter()
+        .map(|r| serde_json::to_string(&pipeline.model_recipe_reference(r)).unwrap())
+        .collect();
+    for &t in &[1usize, 4, 8] {
+        for cache in [true, false] {
+            pipeline.set_cache_enabled(cache);
+            for explain in [false, true, false] {
+                recipe_obs::provenance::reset();
+                recipe_obs::provenance::set_enabled(explain);
+                pipeline.inference.clear_caches();
+                let batch: Vec<String> = pipeline
+                    .model_recipes(&corpus.recipes, &Runtime::new(t))
+                    .iter()
+                    .map(|m| serde_json::to_string(m).unwrap())
+                    .collect();
+                if explain {
+                    let records = recipe_obs::provenance::drain();
+                    recipe_obs::provenance::set_enabled(false);
+                    assert!(
+                        !records.is_empty(),
+                        "provenance captured nothing at {t} threads (cache {cache})"
+                    );
+                    let block = recipe_obs::provenance::to_json(&records);
+                    recipe_obs::validate_provenance(&block).unwrap_or_else(|e| {
+                        panic!("invalid provenance at {t} threads (cache {cache}): {e}")
+                    });
+                }
+                assert_eq!(
+                    batch, reference,
+                    "extraction differs at {t} threads (cache {cache}, explain {explain})"
+                );
+            }
+        }
+    }
+    recipe_obs::provenance::set_enabled(false);
+    recipe_obs::provenance::reset();
     pipeline.set_cache_enabled(true);
 }
 
