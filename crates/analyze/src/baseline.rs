@@ -1,0 +1,244 @@
+//! The lint baseline: a checked-in suppression file keyed by stable
+//! content fingerprints, and the `--deny-new` partition over it.
+//!
+//! The baseline lets CI enforce "no *new* diagnostics" without first
+//! driving the historical count to zero: `recipe-mine lint --deny-new`
+//! fails only on findings whose fingerprint is absent from
+//! `lint_baseline.json`. Fingerprints hash (rule code, file, message) —
+//! not the line number — so editing code *above* a baselined finding
+//! does not resurface it, while changing the finding itself (or adding
+//! another like it in a new file) does.
+
+use crate::diag::{dedupe_diagnostics, Diagnostic};
+use serde_json::{json, Value};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Schema version written to and required from `lint_baseline.json`.
+pub const BASELINE_SCHEMA_VERSION: u64 = 1;
+
+/// Default baseline path, relative to the workspace root.
+pub const DEFAULT_BASELINE_PATH: &str = "lint_baseline.json";
+
+/// One suppressed finding. `location` and `message` are carried for
+/// human review of the file; only `fingerprint` is matched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// 16-hex-digit content fingerprint (see [`Diagnostic::fingerprint`]).
+    pub fingerprint: String,
+    /// Rule code at capture time.
+    pub code: String,
+    /// Location at capture time (line may have drifted since).
+    pub location: String,
+    /// Message at capture time.
+    pub message: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Entries sorted by (location, code, message), fingerprint-deduped.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Capture a baseline from the current diagnostic set.
+    pub fn from_diagnostics(diags: &[Diagnostic]) -> Baseline {
+        let mut diags = diags.to_vec();
+        dedupe_diagnostics(&mut diags);
+        let mut seen = BTreeSet::new();
+        let mut entries = Vec::new();
+        for d in &diags {
+            let fingerprint = d.fingerprint();
+            if seen.insert(fingerprint.clone()) {
+                entries.push(BaselineEntry {
+                    fingerprint,
+                    code: d.code.to_string(),
+                    location: d.location.clone(),
+                    message: d.message.clone(),
+                });
+            }
+        }
+        Baseline { entries }
+    }
+
+    /// The set of suppressed fingerprints.
+    pub fn fingerprints(&self) -> BTreeSet<&str> {
+        self.entries
+            .iter()
+            .map(|e| e.fingerprint.as_str())
+            .collect()
+    }
+
+    /// Serialize to the `lint_baseline.json` document.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "schema_version": BASELINE_SCHEMA_VERSION,
+            "tool": "recipe-analyze",
+            "entries": self.entries.iter().map(|e| json!({
+                "fingerprint": e.fingerprint,
+                "code": e.code,
+                "location": e.location,
+                "message": e.message,
+            })).collect::<Vec<_>>(),
+        })
+    }
+
+    /// Parse a baseline document, validating the schema version.
+    pub fn from_json(v: &Value) -> Result<Baseline, String> {
+        let version = v
+            .get("schema_version")
+            .and_then(|s| s.as_u64())
+            .ok_or("baseline: missing schema_version")?;
+        if version != BASELINE_SCHEMA_VERSION {
+            return Err(format!(
+                "baseline: schema_version {version} unsupported (expected {BASELINE_SCHEMA_VERSION})"
+            ));
+        }
+        let entries = v
+            .get("entries")
+            .and_then(|e| e.as_array())
+            .ok_or("baseline: missing entries array")?;
+        let mut out = Vec::with_capacity(entries.len());
+        for (i, e) in entries.iter().enumerate() {
+            let field = |k: &str| -> Result<String, String> {
+                e.get(k)
+                    .and_then(|v| v.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline: entry {i} missing string field `{k}`"))
+            };
+            out.push(BaselineEntry {
+                fingerprint: field("fingerprint")?,
+                code: field("code")?,
+                location: field("location")?,
+                message: field("message")?,
+            });
+        }
+        Ok(Baseline { entries: out })
+    }
+
+    /// Load from disk. A missing file is an empty baseline (so
+    /// `--deny-new` degrades to "deny everything new from zero").
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        if !path.exists() {
+            return Ok(Baseline::default());
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("baseline: reading {}: {e}", path.display()))?;
+        let v: Value = serde_json::from_str(&text)
+            .map_err(|e| format!("baseline: parsing {}: {e:?}", path.display()))?;
+        Baseline::from_json(&v)
+    }
+
+    /// Write to disk as pretty JSON with a trailing newline.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let mut text = serde_json::to_string_pretty(&self.to_json())
+            .map_err(|e| format!("baseline: serializing: {e:?}"))?;
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("baseline: writing {}: {e}", path.display()))
+    }
+}
+
+/// The result of partitioning a diagnostic set against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct DenyNewOutcome {
+    /// Diagnostics whose fingerprints are not in the baseline — these
+    /// fail a `--deny-new` run, at any severity.
+    pub new: Vec<Diagnostic>,
+    /// How many diagnostics the baseline suppressed.
+    pub suppressed: usize,
+}
+
+/// Split `diags` into new-vs-baselined by fingerprint.
+pub fn partition(diags: &[Diagnostic], baseline: &Baseline) -> DenyNewOutcome {
+    let known = baseline.fingerprints();
+    let mut out = DenyNewOutcome::default();
+    for d in diags {
+        if known.contains(d.fingerprint().as_str()) {
+            out.suppressed += 1;
+        } else {
+            out.new.push(d.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::new(
+                "RA301",
+                "panicking call in library code: `x.unwrap();`",
+                "a.rs:10",
+            ),
+            Diagnostic::new(
+                "RA402",
+                "nondeterministic source `Instant::now` in `f`",
+                "b.rs:3",
+            ),
+        ]
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let b = Baseline::from_diagnostics(&sample());
+        assert_eq!(b.entries.len(), 2);
+        let parsed = Baseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn partition_suppresses_known_and_surfaces_new() {
+        let b = Baseline::from_diagnostics(&sample()[..1]);
+        let out = partition(&sample(), &b);
+        assert_eq!(out.suppressed, 1);
+        assert_eq!(out.new.len(), 1);
+        assert_eq!(out.new[0].code, "RA402");
+    }
+
+    #[test]
+    fn line_drift_does_not_resurface_a_finding() {
+        let b = Baseline::from_diagnostics(&sample());
+        let mut drifted = sample();
+        drifted[0].location = "a.rs:99".to_string();
+        let out = partition(&drifted, &b);
+        assert_eq!(out.suppressed, 2, "{:?}", out.new);
+        assert!(out.new.is_empty());
+    }
+
+    #[test]
+    fn message_change_does_resurface_a_finding() {
+        let b = Baseline::from_diagnostics(&sample());
+        let mut changed = sample();
+        changed[0].message = "panicking call in library code: `y.unwrap();`".to_string();
+        let out = partition(&changed, &b);
+        assert_eq!(out.new.len(), 1);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let v = json!({"schema_version": 999, "tool": "recipe-analyze", "entries": []});
+        assert!(Baseline::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_baseline() {
+        let b = Baseline::load(Path::new("/nonexistent/lint_baseline.json")).unwrap();
+        assert!(b.entries.is_empty());
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("recipe_analyze_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lint_baseline.json");
+        let b = Baseline::from_diagnostics(&sample());
+        b.save(&path).unwrap();
+        let loaded = Baseline::load(&path).unwrap();
+        assert_eq!(loaded, b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,330 @@
+//! An approximate workspace call graph over the parsed items.
+//!
+//! Edges are resolved *by name* (with an `impl`-type qualifier when the
+//! call site spells one), which overapproximates dynamic dispatch and
+//! same-named functions — exactly the right bias for lints that must
+//! not miss a panic or a nondeterministic source on a serving path.
+
+use crate::items::FileItems;
+use crate::lexer::{Lexed, TokenKind};
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::Range;
+
+/// Identifiers that look like calls but are control flow.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "ref", "mut", "where",
+    "unsafe", "else", "fn", "impl", "pub", "let", "use", "mod", "dyn", "box", "break", "continue",
+    "Some", "Ok", "Err", "None",
+];
+
+/// One syntactic call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (method or function).
+    pub name: String,
+    /// `Type` in `Type::name(…)` call syntax, when present.
+    pub qualifier: Option<String>,
+    /// `recv.name(…)` method-call syntax.
+    pub is_method: bool,
+    /// Token index of the callee name.
+    pub token: usize,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Extract the call sites in `body` (a token range of `lexed`).
+pub fn call_sites(lexed: &Lexed, body: Range<usize>) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for k in body.clone() {
+        if lexed.kind(k) != Some(TokenKind::Ident) || !lexed.is_punct(k + 1, '(') {
+            continue;
+        }
+        let name = lexed.text(k);
+        if CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        let is_method = lexed.is_punct(k.wrapping_sub(1), '.');
+        let qualifier = if !is_method
+            && k >= 3
+            && lexed.is_punct(k - 1, ':')
+            && lexed.is_punct(k - 2, ':')
+            && lexed.kind(k - 3) == Some(TokenKind::Ident)
+        {
+            Some(lexed.text(k - 3).to_string())
+        } else {
+            None
+        };
+        out.push(CallSite {
+            name: name.to_string(),
+            qualifier,
+            is_method,
+            token: k,
+            line: lexed.line(k),
+        });
+    }
+    out
+}
+
+/// Macro invocations (`name!(…)`, `name![…]`, `name!{…}`) in `body`.
+pub fn macro_sites(lexed: &Lexed, body: Range<usize>) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for k in body.clone() {
+        if lexed.kind(k) == Some(TokenKind::Ident)
+            && lexed.is_punct(k + 1, '!')
+            && (lexed.is_punct(k + 2, '(')
+                || lexed.is_punct(k + 2, '[')
+                || lexed.is_punct(k + 2, '{'))
+        {
+            out.push(CallSite {
+                name: lexed.text(k).to_string(),
+                qualifier: None,
+                is_method: false,
+                token: k,
+                line: lexed.line(k),
+            });
+        }
+    }
+    out
+}
+
+/// All parsed files of the workspace.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Parsed files in path order.
+    pub files: Vec<FileItems>,
+}
+
+/// A function id: index into [`CallGraph::fns`].
+pub type FnId = usize;
+
+/// The resolved call graph.
+pub struct CallGraph<'w> {
+    /// Backing workspace.
+    pub ws: &'w Workspace,
+    /// Flat function list as `(file index, fn index)`.
+    pub fns: Vec<(usize, usize)>,
+    /// `edges[f]` = resolved callee ids of `f`, sorted and deduped.
+    pub edges: Vec<Vec<FnId>>,
+    /// Reverse edges, for "can this reach a sink" queries.
+    reverse: Vec<Vec<FnId>>,
+}
+
+impl<'w> CallGraph<'w> {
+    /// Build the graph: index every non-test fn by name and qualified
+    /// name, then resolve each body's call sites.
+    pub fn build(ws: &'w Workspace) -> CallGraph<'w> {
+        let mut fns = Vec::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            for (ki, _) in file.fns.iter().enumerate() {
+                fns.push((fi, ki));
+            }
+        }
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut by_qual: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        for (id, &(fi, ki)) in fns.iter().enumerate() {
+            let f = &ws.files[fi].fns[ki];
+            if f.in_test {
+                continue; // test fns are never call targets for lint paths
+            }
+            by_name.entry(f.name.as_str()).or_default().push(id);
+            by_qual.entry(f.qual.as_str()).or_default().push(id);
+        }
+        let mut edges: Vec<Vec<FnId>> = vec![Vec::new(); fns.len()];
+        for (id, &(fi, ki)) in fns.iter().enumerate() {
+            let file = &ws.files[fi];
+            let f = &file.fns[ki];
+            let mut targets = Vec::new();
+            for site in call_sites(&file.lexed, f.body.clone()) {
+                if let Some(q) = &site.qualifier {
+                    let qual = format!("{q}::{}", site.name);
+                    if let Some(ids) = by_qual.get(qual.as_str()) {
+                        targets.extend_from_slice(ids);
+                        continue;
+                    }
+                }
+                if let Some(ids) = by_name.get(site.name.as_str()) {
+                    targets.extend_from_slice(ids);
+                }
+            }
+            targets.sort_unstable();
+            targets.dedup();
+            targets.retain(|t| *t != id);
+            edges[id] = targets;
+        }
+        let mut reverse: Vec<Vec<FnId>> = vec![Vec::new(); fns.len()];
+        for (id, outs) in edges.iter().enumerate() {
+            for &t in outs {
+                reverse[t].push(id);
+            }
+        }
+        CallGraph {
+            ws,
+            fns,
+            edges,
+            reverse,
+        }
+    }
+
+    /// The file and item behind a function id.
+    pub fn item(&self, id: FnId) -> (&FileItems, &crate::items::FnItem) {
+        let (fi, ki) = self.fns[id];
+        (&self.ws.files[fi], &self.ws.files[fi].fns[ki])
+    }
+
+    /// Ids of functions matching a predicate.
+    pub fn select(
+        &self,
+        mut pred: impl FnMut(&FileItems, &crate::items::FnItem) -> bool,
+    ) -> Vec<FnId> {
+        (0..self.fns.len())
+            .filter(|&id| {
+                let (file, f) = self.item(id);
+                pred(file, f)
+            })
+            .collect()
+    }
+
+    /// Forward closure: every function reachable *from* any root
+    /// (roots included).
+    pub fn reachable_from(&self, roots: &[FnId]) -> Vec<bool> {
+        bfs(&self.edges, roots, self.fns.len())
+    }
+
+    /// Backward closure: every function that can *reach* any sink
+    /// (sinks included).
+    pub fn can_reach(&self, sinks: &[FnId]) -> Vec<bool> {
+        bfs(&self.reverse, sinks, self.fns.len())
+    }
+}
+
+fn bfs(adj: &[Vec<FnId>], starts: &[FnId], n: usize) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    let mut queue: VecDeque<FnId> = VecDeque::new();
+    for &s in starts {
+        if s < n && !seen[s] {
+            seen[s] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+
+    fn ws(srcs: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: srcs.iter().map(|(p, s)| parse_file(p, s)).collect(),
+        }
+    }
+
+    #[test]
+    fn resolves_bare_method_and_qualified_calls() {
+        let w = ws(&[(
+            "a.rs",
+            "\
+pub fn entry() { helper(); S::assoc(); obj.finish(); }
+fn helper() {}
+struct S;
+impl S { fn assoc() {} }
+struct T;
+impl T { fn finish(&self) {} }
+",
+        )]);
+        let g = CallGraph::build(&w);
+        let entry = g.select(|_, f| f.name == "entry")[0];
+        let callees: Vec<&str> = g.edges[entry]
+            .iter()
+            .map(|&t| g.item(t).1.qual.as_str())
+            .collect();
+        assert_eq!(callees, vec!["helper", "S::assoc", "T::finish"]);
+    }
+
+    #[test]
+    fn reachability_forward_and_backward() {
+        let w = ws(&[(
+            "a.rs",
+            "\
+pub fn root() { mid(); }
+fn mid() { leaf(); }
+fn leaf() {}
+fn island() {}
+fn sinky() { serialize_out(); }
+fn serialize_out() {}
+",
+        )]);
+        let g = CallGraph::build(&w);
+        let root = g.select(|_, f| f.name == "root")[0];
+        let reach = g.reachable_from(&[root]);
+        let name = |id: FnId| g.item(id).1.name.clone();
+        let reached: Vec<String> = (0..g.fns.len()).filter(|&i| reach[i]).map(name).collect();
+        assert_eq!(reached, vec!["root", "mid", "leaf"]);
+
+        let sink = g.select(|_, f| f.name == "serialize_out")[0];
+        let backward = g.can_reach(&[sink]);
+        let reaching: Vec<String> = (0..g.fns.len())
+            .filter(|&i| backward[i])
+            .map(|i| g.item(i).1.name.clone())
+            .collect();
+        assert_eq!(reaching, vec!["sinky", "serialize_out"]);
+    }
+
+    #[test]
+    fn test_fns_are_not_call_targets() {
+        let w = ws(&[(
+            "a.rs",
+            "\
+pub fn entry() { check(); }
+#[cfg(test)]
+mod tests {
+    fn check() {}
+}
+",
+        )]);
+        let g = CallGraph::build(&w);
+        let entry = g.select(|_, f| f.name == "entry")[0];
+        assert!(g.edges[entry].is_empty());
+    }
+
+    #[test]
+    fn control_flow_keywords_are_not_calls() {
+        let w = ws(&[(
+            "a.rs",
+            "pub fn f(x: usize) -> usize { if (x > 1) { x } else { (x + 1) } }\n",
+        )]);
+        let g = CallGraph::build(&w);
+        let f = g.select(|_, fi| fi.name == "f")[0];
+        assert!(g.edges[f].is_empty());
+    }
+
+    #[test]
+    fn call_sites_capture_shapes() {
+        let lexed = crate::lexer::lex("f(); x.g(); T::h(); mac!(1);");
+        let sites = call_sites(&lexed, 0..lexed.tokens.len());
+        let shapes: Vec<(String, Option<String>, bool)> = sites
+            .iter()
+            .map(|s| (s.name.clone(), s.qualifier.clone(), s.is_method))
+            .collect();
+        assert_eq!(
+            shapes,
+            vec![
+                ("f".to_string(), None, false),
+                ("g".to_string(), None, true),
+                ("h".to_string(), Some("T".to_string()), false),
+            ]
+        );
+        let macros = macro_sites(&lexed, 0..lexed.tokens.len());
+        assert_eq!(macros.len(), 1);
+        assert_eq!(macros[0].name, "mac");
+    }
+}

@@ -1,0 +1,920 @@
+//! The `RA4xx` dataflow lints: determinism, panic-safety and
+//! concurrency-discipline checks that combine token-level pattern
+//! matching with the approximate call graph.
+//!
+//! Every rule here is a *heuristic over tokens* — there is no type
+//! inference — so each one is written to overapproximate only where the
+//! cost of a false negative is a nondeterministic artifact or a panic in
+//! serving, and to suppress aggressively where the workspace has a
+//! sanctioned pattern (telemetry behind `recipe_obs`, ordered reduction
+//! through `recipe-runtime`, counter-style relaxed atomics).
+//!
+//! | rule  | finds |
+//! |-------|-------|
+//! | RA401 | iteration over `HashMap`/`HashSet` feeding a serialized artifact |
+//! | RA402 | wall-clock / RNG sources on artifact-producing paths |
+//! | RA403 | unordered float reduction not routed through the runtime's ordered reduce |
+//! | RA404 | `Ordering::Relaxed` stores on publication-style atomics |
+//! | RA405 | inconsistent mutex acquisition order; guards held across pool dispatch |
+//! | RA406 | panic sources (`unwrap`, `panic!`, arithmetic indexing) on the serving call graph |
+
+use crate::callgraph::{call_sites, macro_sites, CallGraph, Workspace};
+use crate::diag::Diagnostic;
+use crate::items::{match_bracket, FileItems, FnItem};
+use crate::lexer::{Lexed, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Hash-container iteration methods whose visit order is nondeterministic.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Identifiers whose presence in a body marks it as a serialization
+/// sink (it writes an artifact whose bytes depend on visit order).
+const SINK_IDENTS: &[&str] = &[
+    "serde_json",
+    "to_json",
+    "to_jsonl",
+    "to_writer",
+    "to_string_pretty",
+    "serialize",
+    "write_all",
+    "save",
+];
+
+/// Worker-pool / thread dispatch entry points (RA405's "don't hold a
+/// lock across these" set).
+const DISPATCH_CALLS: &[&str] = &[
+    "par_chunks_map",
+    "par_map",
+    "par_map_reduce",
+    "par_for_each_mut",
+    "par_dot",
+    "spawn",
+    "scope",
+];
+
+/// Receiver-name fragments that mark an atomic as *publication-style*:
+/// a flag or slot other threads read to decide whether shared data is
+/// visible. Counter/cursor/config atomics (`threads`, `enabled`,
+/// `cursor`, …) are deliberately absent — relaxed is correct for those.
+const PUBLICATION_FRAGMENTS: &[&str] = &[
+    "ready",
+    "init",
+    "done",
+    "publish",
+    "current",
+    "latest",
+    "epoch",
+    "generation",
+    "model",
+    "committed",
+];
+
+/// Run every RA4xx pass over the workspace.
+pub fn lint_dataflow(ws: &Workspace) -> Vec<Diagnostic> {
+    let g = CallGraph::build(ws);
+
+    let serving_roots = g.select(is_serving_root);
+    let artifact_roots = g.select(is_artifact_root);
+    let sink_fns = g.select(|file, f| {
+        !f.in_test && (is_sink_fn(f) || body_has_sink_tokens(&file.lexed, f.body.clone()))
+    });
+
+    let serving = g.reachable_from(&serving_roots);
+    let artifact = g.reachable_from(&artifact_roots);
+    let feeds_sink = g.can_reach(&sink_fns);
+
+    let mut out = Vec::new();
+    let mut lock_orders: Vec<LockPair> = Vec::new();
+
+    for id in 0..g.fns.len() {
+        let (file, f) = g.item(id);
+        if f.in_test || f.body.is_empty() {
+            continue;
+        }
+        ra401_hash_iteration(file, f, feeds_sink[id], &mut out);
+        ra402_nondeterministic_sources(file, f, artifact[id], &mut out);
+        ra403_unordered_float_reduction(file, f, feeds_sink[id] || artifact[id], &mut out);
+        ra404_relaxed_publication(file, f, &mut out);
+        ra405_collect_locks(file, f, &mut out, &mut lock_orders);
+        if serving[id] {
+            ra406_panic_sources(file, f, &mut out);
+        }
+    }
+
+    ra405_order_conflicts(&lock_orders, &mut out);
+    out
+}
+
+/// Serving roots: the public inference surface plus the compiled
+/// kernels and the CLI commands that answer queries.
+fn is_serving_root(file: &FileItems, f: &FnItem) -> bool {
+    if f.in_test {
+        return false;
+    }
+    (f.is_pub && f.qual.starts_with("Inference::"))
+        || f.name.starts_with("extract_")
+        || f.name.starts_with("model_recipe")
+        || matches!(
+            f.name.as_str(),
+            "model_text" | "decode" | "viterbi_into" | "tag_into" | "predict_ids_into"
+        )
+        || (file.file.contains("cli") && matches!(f.name.as_str(), "extract" | "mine" | "explain"))
+}
+
+/// Artifact roots: everything serving, plus training, corpus
+/// generation and model persistence — any path whose output lands in a
+/// file another run will compare.
+fn is_artifact_root(file: &FileItems, f: &FnItem) -> bool {
+    if f.in_test {
+        return false;
+    }
+    is_serving_root(file, f)
+        || f.name == "train"
+        || f.qual.starts_with("TrainedPipeline::")
+        || f.name.starts_with("generate")
+}
+
+/// A function is a serialization sink if its name says so or its body
+/// touches a serialization identifier.
+fn is_sink_fn(f: &FnItem) -> bool {
+    f.name.starts_with("save") || f.name.starts_with("to_json") || f.name == "serialize"
+}
+
+fn body_has_sink_tokens(lexed: &Lexed, body: Range<usize>) -> bool {
+    body.clone()
+        .any(|k| lexed.kind(k) == Some(TokenKind::Ident) && SINK_IDENTS.contains(&lexed.text(k)))
+        || macro_sites(lexed, body).iter().any(|m| m.name == "json")
+}
+
+/// Whether any token in `range` is a float marker: `f64`/`f32` idents
+/// or a float literal (`0.0`, `1e9`, `2f64`).
+fn has_float_evidence(lexed: &Lexed, range: Range<usize>) -> bool {
+    range.into_iter().any(|k| match lexed.kind(k) {
+        Some(TokenKind::Ident) => matches!(lexed.text(k), "f64" | "f32"),
+        Some(TokenKind::NumLit) => {
+            let t = lexed.text(k);
+            let radix_prefixed = t.starts_with("0x")
+                || t.starts_with("0X")
+                || t.starts_with("0b")
+                || t.starts_with("0o");
+            t.contains('.')
+                || t.ends_with("f64")
+                || t.ends_with("f32")
+                || (!radix_prefixed && (t.contains('e') || t.contains('E')))
+        }
+        _ => false,
+    })
+}
+
+/// Names bound to `HashMap`/`HashSet` values in the signature or body:
+/// `m: HashMap<…>`, `let mut m = HashMap::new()`, `m: &HashSet<…>`.
+fn hash_bindings(lexed: &Lexed, f: &FnItem) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for range in [f.signature.clone(), f.body.clone()] {
+        for k in range {
+            if !(lexed.is_ident(k, "HashMap") || lexed.is_ident(k, "HashSet")) {
+                continue;
+            }
+            // Walk left over `&`, `mut` and `std::collections::`-style
+            // path prefixes to find what this type/constructor binds.
+            let mut j = k as isize - 1;
+            loop {
+                if j >= 1
+                    && lexed.is_punct(j as usize, ':')
+                    && lexed.is_punct((j - 1) as usize, ':')
+                {
+                    j -= 2;
+                    if j >= 0 && lexed.kind(j as usize) == Some(TokenKind::Ident) {
+                        j -= 1;
+                    }
+                    continue;
+                }
+                if j >= 0 && (lexed.is_punct(j as usize, '&') || lexed.is_ident(j as usize, "mut"))
+                {
+                    j -= 1;
+                    continue;
+                }
+                break;
+            }
+            if j < 1 {
+                continue;
+            }
+            let j = j as usize;
+            let single_colon = lexed.is_punct(j, ':') && !lexed.is_punct(j.wrapping_sub(1), ':');
+            if (single_colon || lexed.is_punct(j, '='))
+                && lexed.kind(j - 1) == Some(TokenKind::Ident)
+            {
+                out.insert(lexed.text(j - 1).to_string());
+            }
+        }
+    }
+    out
+}
+
+/// RA401: iteration over a hash-ordered container in a function that
+/// can reach a serialization sink, with no visible ordering step.
+fn ra401_hash_iteration(file: &FileItems, f: &FnItem, feeds_sink: bool, out: &mut Vec<Diagnostic>) {
+    let lexed = &file.lexed;
+    if !(feeds_sink || body_has_sink_tokens(lexed, f.body.clone())) {
+        return;
+    }
+    let names = hash_bindings(lexed, f);
+    if names.is_empty() {
+        return;
+    }
+    for k in f.body.clone() {
+        if lexed.kind(k) != Some(TokenKind::Ident) || !names.contains(lexed.text(k)) {
+            continue;
+        }
+        let name = lexed.text(k);
+        let method_iter = lexed.is_punct(k + 1, '.')
+            && lexed.kind(k + 2) == Some(TokenKind::Ident)
+            && HASH_ITER_METHODS.contains(&lexed.text(k + 2))
+            && lexed.is_punct(k + 3, '(');
+        let for_iter = {
+            // `for x in name` / `for x in &name`.
+            let mut p = k as isize - 1;
+            while p >= 0 && lexed.is_punct(p as usize, '&') {
+                p -= 1;
+            }
+            p >= 0 && lexed.is_ident(p as usize, "in")
+        };
+        if !(method_iter || for_iter) {
+            continue;
+        }
+        // Suppress when the rest of the body visibly restores order:
+        // a sort call or a BTree re-collection downstream.
+        let ordered_later = (k..f.body.end).any(|j| {
+            lexed.kind(j) == Some(TokenKind::Ident)
+                && (lexed.text(j).starts_with("sort") || lexed.text(j).starts_with("BTree"))
+        });
+        if ordered_later {
+            continue;
+        }
+        let line = lexed.line(k);
+        out.push(
+            Diagnostic::new(
+                "RA401",
+                format!(
+                    "iteration over hash-ordered `{name}` in `{}` feeds a serialized artifact",
+                    f.qual
+                ),
+                format!("{}:{line}", file.file),
+            )
+            .with_note(
+                "hash iteration order varies between runs; collect-and-sort or use a \
+                 BTreeMap/BTreeSet before serializing",
+            ),
+        );
+    }
+}
+
+/// RA402: wall-clock and RNG reads inside artifact-producing call
+/// paths, unless the function is telemetry (gated on `recipe_obs`) or
+/// lives in the observability/bench crates.
+fn ra402_nondeterministic_sources(
+    file: &FileItems,
+    f: &FnItem,
+    on_artifact_path: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !on_artifact_path || telemetry_exempt(file, f) {
+        return;
+    }
+    let lexed = &file.lexed;
+    for site in call_sites(lexed, f.body.clone()) {
+        let source = match (site.qualifier.as_deref(), site.name.as_str()) {
+            (Some(q @ ("SystemTime" | "Instant" | "Utc")), "now") => format!("{q}::now"),
+            (Some("rand"), "random") => "rand::random".to_string(),
+            (_, n @ ("thread_rng" | "from_entropy")) => n.to_string(),
+            _ => continue,
+        };
+        out.push(
+            Diagnostic::new(
+                "RA402",
+                format!(
+                    "nondeterministic source `{source}` in `{}` on an artifact-producing path",
+                    f.qual
+                ),
+                format!("{}:{}", file.file, site.line),
+            )
+            .with_note(
+                "artifacts must be reproducible from (corpus, seed); derive randomness from \
+                 the run seed and keep wall-clock reads behind recipe_obs telemetry",
+            ),
+        );
+    }
+}
+
+/// Telemetry code is allowed to read clocks: the obs crate itself, the
+/// bench harness, and any body that touches `recipe_obs` (the
+/// workspace's sanctioned pattern is `if recipe_obs::enabled() { … }`).
+fn telemetry_exempt(file: &FileItems, f: &FnItem) -> bool {
+    file.file.contains("obs/")
+        || file.file.contains("bench")
+        || f.body.clone().any(|k| file.lexed.is_ident(k, "recipe_obs"))
+}
+
+/// RA403: float reductions whose result depends on summation order —
+/// either folding a hash-ordered container, or accumulating across
+/// hand-rolled threads instead of the runtime's ordered reduce.
+fn ra403_unordered_float_reduction(
+    file: &FileItems,
+    f: &FnItem,
+    on_artifact_path: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !on_artifact_path {
+        return;
+    }
+    let lexed = &file.lexed;
+    let names = hash_bindings(lexed, f);
+
+    // (a) `map.values().sum::<f64>()`-style reductions over hash order.
+    for site in call_sites(lexed, f.body.clone()) {
+        if !site.is_method || !matches!(site.name.as_str(), "sum" | "product" | "fold") {
+            continue;
+        }
+        let stmt_start = (f.body.start..site.token)
+            .rev()
+            .find(|&j| lexed.is_punct(j, ';') || lexed.is_punct(j, '{'))
+            .map(|j| j + 1)
+            .unwrap_or(f.body.start);
+        let stmt = stmt_start..site.token;
+        let over_hash = stmt.clone().any(|j| {
+            lexed.kind(j) == Some(TokenKind::Ident)
+                && (names.contains(lexed.text(j))
+                    || lexed.text(j) == "HashMap"
+                    || lexed.text(j) == "HashSet")
+        });
+        if over_hash && has_float_evidence(lexed, stmt_start..site.token + 8) {
+            out.push(
+                Diagnostic::new(
+                    "RA403",
+                    format!(
+                        "float `{}()` over hash-ordered data in `{}`",
+                        site.name, f.qual
+                    ),
+                    format!("{}:{}", file.file, site.line),
+                )
+                .with_note(
+                    "float addition is not associative; fix the iteration order (sort or \
+                     BTree) so the reduction is reproducible",
+                ),
+            );
+        }
+    }
+
+    // (b) hand-rolled spawn/join float accumulation. The runtime's
+    // par_map_reduce folds worker results in worker-index order; ad-hoc
+    // `total += handle.join()` folds in completion order.
+    if telemetry_exempt(file, f) {
+        return;
+    }
+    let sites = call_sites(lexed, f.body.clone());
+    let spawns = sites.iter().any(|s| s.name == "spawn");
+    let joins = sites.iter().any(|s| s.name == "join");
+    let ordered = f.body.clone().any(|k| {
+        lexed.kind(k) == Some(TokenKind::Ident)
+            && matches!(lexed.text(k), "par_map_reduce" | "par_dot")
+    });
+    if spawns && joins && !ordered && has_float_evidence(lexed, f.body.clone()) {
+        if let Some(plus) = (f.body.start..f.body.end.saturating_sub(1))
+            .find(|&k| lexed.is_punct(k, '+') && lexed.is_punct(k + 1, '='))
+        {
+            out.push(
+                Diagnostic::new(
+                    "RA403",
+                    format!(
+                        "hand-rolled float accumulation across threads in `{}`",
+                        f.qual
+                    ),
+                    format!("{}:{}", file.file, lexed.line(plus)),
+                )
+                .with_note(
+                    "route the reduction through recipe_runtime::Runtime::par_map_reduce, \
+                     which folds worker results in a fixed order",
+                ),
+            );
+        }
+    }
+}
+
+/// RA404: `store`/`swap`/`compare_exchange` with `Ordering::Relaxed` on
+/// an atomic whose name says it *publishes* data to other threads.
+fn ra404_relaxed_publication(file: &FileItems, f: &FnItem, out: &mut Vec<Diagnostic>) {
+    let lexed = &file.lexed;
+    for site in call_sites(lexed, f.body.clone()) {
+        if !site.is_method
+            || !matches!(
+                site.name.as_str(),
+                "store" | "swap" | "compare_exchange" | "compare_exchange_weak" | "fetch_update"
+            )
+        {
+            continue;
+        }
+        let recv = site.token.checked_sub(2);
+        let Some(recv) = recv.filter(|&r| lexed.kind(r) == Some(TokenKind::Ident)) else {
+            continue;
+        };
+        let recv_name = lexed.text(recv);
+        let lower = recv_name.to_ascii_lowercase();
+        if !PUBLICATION_FRAGMENTS
+            .iter()
+            .any(|frag| lower.contains(frag))
+        {
+            continue;
+        }
+        let args_end = match_bracket(lexed, site.token + 1, '(', ')');
+        let relaxed = (site.token + 1..args_end).any(|k| lexed.is_ident(k, "Relaxed"));
+        if relaxed {
+            out.push(
+                Diagnostic::new(
+                    "RA404",
+                    format!(
+                        "`Ordering::Relaxed` on publication atomic `{recv_name}.{}` in `{}`",
+                        site.name, f.qual
+                    ),
+                    format!("{}:{}", file.file, site.line),
+                )
+                .with_note(
+                    "a relaxed store does not order earlier writes; use Release (and Acquire \
+                     on the reader) when the flag gates access to other data",
+                ),
+            );
+        }
+    }
+}
+
+/// One lock acquisition inside a function body.
+struct LockAcq {
+    recv: String,
+    line: u32,
+    token: usize,
+    /// `let guard = …` binding name, when the guard outlives the
+    /// statement. Temporary guards drop at the end of their statement.
+    binding: Option<String>,
+}
+
+/// A (first, second) lock-acquisition order observed in one function.
+struct LockPair {
+    first: String,
+    second: String,
+    file: String,
+    qual: String,
+    line: u32,
+}
+
+/// RA405 per-function pass: held-across-dispatch diagnostics now,
+/// acquisition orders accumulated for the global conflict check.
+fn ra405_collect_locks(
+    file: &FileItems,
+    f: &FnItem,
+    out: &mut Vec<Diagnostic>,
+    orders: &mut Vec<LockPair>,
+) {
+    let lexed = &file.lexed;
+    let mut acqs: Vec<LockAcq> = Vec::new();
+    for site in call_sites(lexed, f.body.clone()) {
+        if site.name != "lock" || !site.is_method {
+            continue;
+        }
+        let Some(recv) = site
+            .token
+            .checked_sub(2)
+            .filter(|&r| lexed.kind(r) == Some(TokenKind::Ident) && !lexed.is_ident(r, "self"))
+        else {
+            continue;
+        };
+        let stmt_start = (f.body.start..site.token)
+            .rev()
+            .find(|&j| lexed.is_punct(j, ';') || lexed.is_punct(j, '{') || lexed.is_punct(j, '}'))
+            .map(|j| j + 1)
+            .unwrap_or(f.body.start);
+        let binding = if lexed.is_ident(stmt_start, "let") {
+            let name_tok = if lexed.is_ident(stmt_start + 1, "mut") {
+                stmt_start + 2
+            } else {
+                stmt_start + 1
+            };
+            (lexed.kind(name_tok) == Some(TokenKind::Ident))
+                .then(|| lexed.text(name_tok).to_string())
+        } else {
+            None
+        };
+        acqs.push(LockAcq {
+            recv: lexed.text(recv).to_string(),
+            line: site.line,
+            token: site.token,
+            binding,
+        });
+    }
+    if acqs.is_empty() {
+        return;
+    }
+
+    let dropped_between = |binding: &str, from: usize, to: usize| {
+        (from..to).any(|k| {
+            lexed.is_ident(k, "drop")
+                && lexed.is_punct(k + 1, '(')
+                && lexed.is_ident(k + 2, binding)
+        })
+    };
+
+    // Guards held across worker-pool dispatch.
+    for acq in &acqs {
+        let Some(binding) = &acq.binding else {
+            continue;
+        };
+        for site in call_sites(lexed, acq.token..f.body.end) {
+            if DISPATCH_CALLS.contains(&site.name.as_str())
+                && !dropped_between(binding, acq.token, site.token)
+            {
+                out.push(
+                    Diagnostic::new(
+                        "RA405",
+                        format!(
+                            "mutex guard `{binding}` (locked line {}) held across `{}` dispatch \
+                             in `{}`",
+                            acq.line, site.name, f.qual
+                        ),
+                        format!("{}:{}", file.file, site.line),
+                    )
+                    .with_note(
+                        "a guard held while fanning out to the pool serializes the workers \
+                         (or deadlocks if they take the same lock); drop it first",
+                    ),
+                );
+                break;
+            }
+        }
+    }
+
+    // Acquisition orders for the cross-function conflict check; only
+    // bound guards survive past their statement.
+    for i in 0..acqs.len() {
+        if acqs[i].binding.is_none() {
+            continue;
+        }
+        for j in (i + 1)..acqs.len() {
+            if acqs[i].recv == acqs[j].recv {
+                continue;
+            }
+            let b = acqs[i].binding.as_deref().unwrap_or("");
+            if dropped_between(b, acqs[i].token, acqs[j].token) {
+                continue;
+            }
+            orders.push(LockPair {
+                first: acqs[i].recv.clone(),
+                second: acqs[j].recv.clone(),
+                file: file.file.clone(),
+                qual: f.qual.clone(),
+                line: acqs[j].line,
+            });
+        }
+    }
+}
+
+/// RA405 global pass: report each unordered pair of mutexes that two
+/// functions acquire in opposite orders.
+fn ra405_order_conflicts(orders: &[LockPair], out: &mut Vec<Diagnostic>) {
+    let mut by_dir: BTreeMap<(&str, &str), &LockPair> = BTreeMap::new();
+    for p in orders {
+        by_dir.entry((&p.first, &p.second)).or_insert(p);
+    }
+    let mut reported: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for (&(a, b), p) in &by_dir {
+        let key = if a < b { (a, b) } else { (b, a) };
+        if reported.contains(&key) {
+            continue;
+        }
+        if let Some(q) = by_dir.get(&(b, a)) {
+            reported.insert(key);
+            // Deterministic site choice: the lexicographically later
+            // (file, line) of the two conflicting acquisitions.
+            let (site, other) = if (&p.file, p.line) >= (&q.file, q.line) {
+                (p, q)
+            } else {
+                (q, p)
+            };
+            out.push(
+                Diagnostic::new(
+                    "RA405",
+                    format!(
+                        "`{}` then `{}` locked here in `{}`, but `{}` locks them in the \
+                         opposite order",
+                        site.first, site.second, site.qual, other.qual
+                    ),
+                    format!("{}:{}", site.file, site.line),
+                )
+                .with_note(
+                    "two lock orders can deadlock under contention; pick one global order \
+                     and acquire in it everywhere",
+                ),
+            );
+        }
+    }
+}
+
+/// RA406: panic sources in functions reachable from the serving roots.
+fn ra406_panic_sources(file: &FileItems, f: &FnItem, out: &mut Vec<Diagnostic>) {
+    let lexed = &file.lexed;
+    for site in call_sites(lexed, f.body.clone()) {
+        if site.is_method && matches!(site.name.as_str(), "unwrap" | "expect") {
+            out.push(
+                Diagnostic::new(
+                    "RA406",
+                    format!("`.{}()` on the serving path in `{}`", site.name, f.qual),
+                    format!("{}:{}", file.file, site.line),
+                )
+                .with_note(
+                    "a panic here takes down the request; return the error or document the \
+                     invariant that rules it out",
+                ),
+            );
+        }
+    }
+    for site in macro_sites(lexed, f.body.clone()) {
+        if matches!(site.name.as_str(), "panic" | "unreachable") {
+            out.push(
+                Diagnostic::new(
+                    "RA406",
+                    format!(
+                        "`{}!` reachable on the serving path in `{}`",
+                        site.name, f.qual
+                    ),
+                    format!("{}:{}", file.file, site.line),
+                )
+                .with_note(
+                    "a panic here takes down the request; return the error or document the \
+                     invariant that rules it out",
+                ),
+            );
+        }
+    }
+    // Arithmetic indexing (`m[r * n + c]`): one capped finding per
+    // function with a site count, so kernel-heavy bodies don't flood
+    // the report — the count still changes the fingerprint when sites
+    // are added.
+    let mut arith_sites = 0usize;
+    let mut first_line = 0u32;
+    let mut k = f.body.start;
+    while k < f.body.end {
+        let indexish = lexed.is_punct(k, '[')
+            && k > 0
+            && (lexed.kind(k - 1) == Some(TokenKind::Ident)
+                || lexed.is_punct(k - 1, ')')
+                || lexed.is_punct(k - 1, ']'));
+        if indexish {
+            let end = match_bracket(lexed, k, '[', ']');
+            let arith = (k + 1..end).any(|j| {
+                lexed.is_punct(j, '+') || lexed.is_punct(j, '-') || lexed.is_punct(j, '*')
+            });
+            if arith {
+                arith_sites += 1;
+                if first_line == 0 {
+                    first_line = lexed.line(k);
+                }
+            }
+            k = if end > k { end + 1 } else { k + 1 };
+            continue;
+        }
+        k += 1;
+    }
+    if arith_sites > 0 {
+        out.push(
+            Diagnostic::new(
+                "RA406",
+                format!(
+                    "arithmetic indexing ({arith_sites} site{}) on the serving path in `{}`",
+                    if arith_sites == 1 { "" } else { "s" },
+                    f.qual
+                ),
+                format!("{}:{first_line}", file.file),
+            )
+            .with_note(
+                "computed indices can leave bounds and panic; prefer get()/chunks() or \
+                 assert the bound once at entry",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let mut ws = Workspace::default();
+        ws.files.push(parse_file("m.rs", src));
+        lint_dataflow(&ws)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn ra401_fires_on_hash_iteration_into_serialization() {
+        let src = "\
+use std::collections::HashMap;
+pub fn save_counts(counts: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts {
+        out.push_str(&serde_json::to_string(&(k, v)).unwrap_or_default());
+    }
+    out
+}
+";
+        let diags = lint(src);
+        assert!(codes(&diags).contains(&"RA401"), "{diags:?}");
+        assert_eq!(
+            diags.iter().find(|d| d.code == "RA401").unwrap().location,
+            "m.rs:4"
+        );
+    }
+
+    #[test]
+    fn ra401_respects_sorting_and_btree() {
+        let sorted = "\
+use std::collections::HashMap;
+pub fn save_counts(counts: &HashMap<String, u64>) -> String {
+    let mut rows: Vec<_> = counts.iter().collect();
+    rows.sort();
+    serde_json::to_string(&rows).unwrap_or_default()
+}
+";
+        let diags = lint(sorted);
+        assert!(!codes(&diags).contains(&"RA401"), "{diags:?}");
+    }
+
+    #[test]
+    fn ra402_fires_only_on_artifact_paths_and_skips_telemetry() {
+        let src = "\
+pub fn extract_summary() -> u64 { stamp() + telemetry_stamp() }
+fn stamp() -> u64 {
+    SystemTime::now().elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}
+fn unrelated() -> u64 {
+    SystemTime::now().elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}
+fn telemetry_stamp() -> u64 {
+    if recipe_obs::enabled() { SystemTime::now().elapsed().map(|d| d.as_secs()).unwrap_or(0) } else { 0 }
+}
+";
+        let diags = lint(src);
+        let ra402: Vec<_> = diags.iter().filter(|d| d.code == "RA402").collect();
+        assert_eq!(ra402.len(), 1, "{diags:?}");
+        assert_eq!(ra402[0].location, "m.rs:3");
+        assert!(ra402[0].message.contains("stamp"), "{diags:?}");
+    }
+
+    #[test]
+    fn ra403_fires_on_spawn_join_accumulation() {
+        let src = "\
+pub fn train() -> f64 {
+    let mut handles = Vec::new();
+    for c in 0..4 {
+        handles.push(std::thread::spawn(move || c as f64 * 0.5));
+    }
+    let mut total = 0.0f64;
+    for h in handles {
+        total += h.join().unwrap_or(0.0);
+    }
+    total
+}
+";
+        let diags = lint(src);
+        assert!(codes(&diags).contains(&"RA403"), "{diags:?}");
+    }
+
+    #[test]
+    fn ra403_quiet_when_routed_through_ordered_reduce() {
+        let src = "\
+pub fn train(rt: &Runtime, xs: &[f64]) -> f64 {
+    rt.par_map_reduce(xs, |x| x * 0.5, 0.0, |a, b| a + b)
+}
+";
+        let diags = lint(src);
+        assert!(!codes(&diags).contains(&"RA403"), "{diags:?}");
+    }
+
+    #[test]
+    fn ra404_fires_on_relaxed_publication_store_only() {
+        let src = "\
+fn publish(ready: &AtomicBool, threads: &AtomicUsize) {
+    ready.store(true, Ordering::Relaxed);
+    threads.store(4, Ordering::Relaxed);
+    ready.store(true, Ordering::Release);
+}
+";
+        let diags = lint(src);
+        let ra404: Vec<_> = diags.iter().filter(|d| d.code == "RA404").collect();
+        assert_eq!(ra404.len(), 1, "{diags:?}");
+        assert_eq!(ra404[0].location, "m.rs:2");
+    }
+
+    #[test]
+    fn ra405_fires_on_opposite_lock_orders() {
+        let src = "\
+fn ab(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock();
+    let gb = b.lock();
+    drop(gb);
+    drop(ga);
+}
+fn ba(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let gb = b.lock();
+    let ga = a.lock();
+    drop(ga);
+    drop(gb);
+}
+";
+        let diags = lint(src);
+        let ra405: Vec<_> = diags.iter().filter(|d| d.code == "RA405").collect();
+        assert_eq!(ra405.len(), 1, "{diags:?}");
+        assert!(ra405[0].message.contains("opposite order"), "{diags:?}");
+    }
+
+    #[test]
+    fn ra405_fires_on_lock_across_dispatch_and_respects_drop() {
+        let held = "\
+fn f(state: &Mutex<u32>, rt: &Runtime, xs: &[u32]) {
+    let g = state.lock();
+    rt.par_map(xs, |x| x + 1);
+}
+";
+        let diags = lint(held);
+        assert!(codes(&diags).contains(&"RA405"), "{diags:?}");
+
+        let dropped = "\
+fn f(state: &Mutex<u32>, rt: &Runtime, xs: &[u32]) {
+    let g = state.lock();
+    drop(g);
+    rt.par_map(xs, |x| x + 1);
+}
+";
+        let diags = lint(dropped);
+        assert!(!codes(&diags).contains(&"RA405"), "{diags:?}");
+    }
+
+    #[test]
+    fn ra406_reports_panic_sources_only_on_serving_paths() {
+        let src = "\
+pub fn decode(xs: &[u32], table: &[u32]) -> u32 {
+    let first = xs.first().unwrap();
+    helper(*first, table)
+}
+fn helper(x: u32, table: &[u32]) -> u32 {
+    table[x as usize * 2 + 1]
+}
+fn offline(xs: &[u32]) -> u32 {
+    xs.first().unwrap_or(&0) + xs[0]
+}
+";
+        let diags = lint(src);
+        let ra406: Vec<_> = diags.iter().filter(|d| d.code == "RA406").collect();
+        // decode's unwrap + helper's arithmetic index; `offline` is not
+        // serving-reachable and its plain `xs[0]` has no arithmetic.
+        assert_eq!(ra406.len(), 2, "{diags:?}");
+        assert!(
+            ra406.iter().any(|d| d.message.contains("unwrap")),
+            "{diags:?}"
+        );
+        assert!(
+            ra406
+                .iter()
+                .any(|d| d.message.contains("arithmetic indexing")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn hash_bindings_sees_decls_params_and_constructors() {
+        let src = "\
+fn f(m: &HashMap<u32, u32>) {
+    let mut s = HashSet::new();
+    let t: std::collections::HashMap<u32, u32> = Default::default();
+    s.insert(1);
+    t.len();
+    m.len();
+}
+";
+        let file = parse_file("m.rs", src);
+        let names = hash_bindings(&file.lexed, &file.fns[0]);
+        let names: Vec<_> = names.iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["m", "s", "t"]);
+    }
+}

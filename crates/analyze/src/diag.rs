@@ -71,6 +71,38 @@ impl Diagnostic {
         self.notes.push(note.into());
         self
     }
+
+    /// The location's file part: everything before a trailing `:NNN`
+    /// line suffix (the whole location when there is none, e.g. for
+    /// artifact/corpus lints).
+    pub fn file(&self) -> &str {
+        match self.location.rsplit_once(':') {
+            Some((file, line)) if !line.is_empty() && line.bytes().all(|b| b.is_ascii_digit()) => {
+                file
+            }
+            _ => &self.location,
+        }
+    }
+
+    /// The location's 1-based line, or 0 when the location has none.
+    pub fn line(&self) -> u32 {
+        match self.location.rsplit_once(':') {
+            Some((_, line)) => line.parse().unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Stable content fingerprint: rule code + file (line dropped, so
+    /// unrelated edits above a finding do not churn the baseline) +
+    /// message. Rendered as 16 hex digits; used by `lint_baseline.json`
+    /// and SARIF `partialFingerprints`.
+    pub fn fingerprint(&self) -> String {
+        recipe_obs::fingerprint::to_hex(recipe_obs::fingerprint_parts(&[
+            self.code,
+            self.file(),
+            &self.message,
+        ]))
+    }
 }
 
 /// Registry entry describing one rule.
@@ -290,6 +322,42 @@ pub const RULES: &[RuleInfo] = &[
         default_severity: Severity::Warning,
         summary: "dbg! left in source",
     },
+    RuleInfo {
+        code: "RA401",
+        name: "hash-iteration-order",
+        default_severity: Severity::Warning,
+        summary: "HashMap/HashSet iteration feeds a serialized artifact — use BTreeMap/BTreeSet or sort before emitting",
+    },
+    RuleInfo {
+        code: "RA402",
+        name: "nondeterministic-source",
+        default_severity: Severity::Warning,
+        summary: "a wall-clock/RNG source (SystemTime/Instant/thread_rng) is reachable from an artifact-producing path outside telemetry",
+    },
+    RuleInfo {
+        code: "RA403",
+        name: "unordered-float-reduction",
+        default_severity: Severity::Warning,
+        summary: "a floating-point reduction runs in nondeterministic order — route it through recipe_runtime's ordered par_map_reduce",
+    },
+    RuleInfo {
+        code: "RA404",
+        name: "relaxed-publication",
+        default_severity: Severity::Warning,
+        summary: "an Ordering::Relaxed atomic appears to gate data publication — use Acquire/Release (or SeqCst) for handoff flags",
+    },
+    RuleInfo {
+        code: "RA405",
+        name: "lock-discipline",
+        default_severity: Severity::Warning,
+        summary: "mutexes are acquired in inconsistent order across functions, or a lock guard is held across a pool dispatch",
+    },
+    RuleInfo {
+        code: "RA406",
+        name: "panic-on-serving-path",
+        default_severity: Severity::Note,
+        summary: "a panic site (unwrap/expect/panic!/arithmetic-indexing) sits on the serving-critical call graph",
+    },
 ];
 
 /// Look up a rule by code.
@@ -349,16 +417,24 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(|d| d.severity == Severity::Error)
 }
 
-/// Sort by severity (errors first), then code, then location — the stable
-/// order both renderers print in.
+/// Sort by (file, line, code), then message and severity — the stable
+/// order every renderer (human, JSON, SARIF) and the baseline file use.
 pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
     diags.sort_by(|a, b| {
-        b.severity
-            .cmp(&a.severity)
+        a.file()
+            .cmp(b.file())
+            .then_with(|| a.line().cmp(&b.line()))
             .then_with(|| a.code.cmp(b.code))
-            .then_with(|| a.location.cmp(&b.location))
             .then_with(|| a.message.cmp(&b.message))
+            .then_with(|| b.severity.cmp(&a.severity))
     });
+}
+
+/// Sort and drop exact duplicates (same code, severity, location,
+/// message and notes) so overlapping passes can never double-report.
+pub fn dedupe_diagnostics(diags: &mut Vec<Diagnostic>) {
+    sort_diagnostics(diags);
+    diags.dedup();
 }
 
 #[cfg(test)]
@@ -408,14 +484,62 @@ mod tests {
     }
 
     #[test]
-    fn sort_is_severity_then_code() {
+    fn sort_is_file_line_code() {
         let mut diags = vec![
-            Diagnostic::new("RA301", "n", "a"),
-            Diagnostic::new("RA001", "e", "b"),
-            Diagnostic::new("RA002", "w", "c"),
+            Diagnostic::new("RA301", "n", "b.rs:10"),
+            Diagnostic::new("RA303", "w", "a.rs:20"),
+            Diagnostic::new("RA302", "w", "a.rs:3"),
+            Diagnostic::new("RA301", "n", "a.rs:3"),
         ];
         sort_diagnostics(&mut diags);
-        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
-        assert_eq!(codes, vec!["RA001", "RA002", "RA301"]);
+        let keys: Vec<_> = diags
+            .iter()
+            .map(|d| (d.location.as_str(), d.code))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("a.rs:3", "RA301"),
+                ("a.rs:3", "RA302"),
+                ("a.rs:20", "RA303"),
+                ("b.rs:10", "RA301"),
+            ]
+        );
+    }
+
+    #[test]
+    fn file_line_split_handles_plain_locations() {
+        let d = Diagnostic::new("RA001", "m", "artifact: ingredient NER, emit[172]");
+        assert_eq!(d.file(), "artifact: ingredient NER, emit[172]");
+        assert_eq!(d.line(), 0);
+        let d = Diagnostic::new("RA301", "m", "crates/ner/src/decode.rs:42");
+        assert_eq!(d.file(), "crates/ner/src/decode.rs");
+        assert_eq!(d.line(), 42);
+    }
+
+    #[test]
+    fn dedupe_drops_exact_duplicates_only() {
+        let mut diags = vec![
+            Diagnostic::new("RA301", "m", "a.rs:1"),
+            Diagnostic::new("RA301", "m", "a.rs:1"),
+            Diagnostic::new("RA301", "other", "a.rs:1"),
+        ];
+        dedupe_diagnostics(&mut diags);
+        assert_eq!(diags.len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_line_independent() {
+        let a = Diagnostic::new("RA406", "panicking `unwrap`", "crates/x/src/a.rs:10");
+        let b = Diagnostic::new("RA406", "panicking `unwrap`", "crates/x/src/a.rs:99");
+        let c = Diagnostic::new("RA406", "panicking `unwrap`", "crates/x/src/b.rs:10");
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "line drift keeps the fingerprint"
+        );
+        assert_ne!(a.fingerprint(), c.fingerprint(), "file changes it");
+        assert_eq!(a.fingerprint().len(), 16);
+        assert!(a.fingerprint().bytes().all(|b| b.is_ascii_hexdigit()));
     }
 }

@@ -1,0 +1,353 @@
+//! A lightweight item parser over the token stream: functions (with
+//! visibility, impl context, body extent and test-ness), `impl` blocks,
+//! and `use` edges. This is not a Rust parser — it recovers exactly the
+//! structure the lints need: *which function body am I in, what is it
+//! called, is it test code, and what does it call?*
+
+use crate::lexer::{lex, Lexed, TokenKind};
+use std::ops::Range;
+
+/// One `fn` item (free function, inherent or trait method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare name.
+    pub name: String,
+    /// `Type::name` inside an `impl Type` block, else the bare name.
+    pub qual: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Declared with a `pub` modifier.
+    pub is_pub: bool,
+    /// Inside a `#[cfg(test)]` region or annotated `#[test]`.
+    pub in_test: bool,
+    /// Token range of the signature (from `fn` to the body `{` or `;`).
+    pub signature: Range<usize>,
+    /// Token range of the body including both braces; empty for
+    /// bodyless trait signatures.
+    pub body: Range<usize>,
+}
+
+/// One parsed file: tokens plus the items found in them.
+#[derive(Debug, Clone)]
+pub struct FileItems {
+    /// Path as reported in diagnostics (workspace-relative).
+    pub file: String,
+    /// The token stream the ranges index into.
+    pub lexed: Lexed,
+    /// Every `fn` in the file, in source order.
+    pub fns: Vec<FnItem>,
+    /// Textual `use` paths (`recipe_obs::span`, `std::collections::HashMap`).
+    pub uses: Vec<String>,
+}
+
+impl FileItems {
+    /// The innermost function whose body contains token `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.contains(&i))
+            .min_by_key(|f| f.body.len())
+    }
+}
+
+/// Parse `content` (at diagnostics path `file`) into items.
+pub fn parse_file(file: &str, content: &str) -> FileItems {
+    let lexed = lex(content);
+    let mut fns = Vec::new();
+    let mut uses = Vec::new();
+
+    let n = lexed.tokens.len();
+    // Active `#[cfg(test)]` / `#[test]` regions, as end-token indices.
+    let mut test_regions: Vec<usize> = Vec::new();
+    // Attribute seen, waiting for its item's `{` (or a `;` to cancel).
+    let mut pending_test = false;
+    // Active `impl Type` blocks: (type name, end-token index).
+    let mut impl_stack: Vec<(String, usize)> = Vec::new();
+    // Start of the current item's modifier run (`pub`, `const`, …).
+    let mut item_start = 0usize;
+
+    let mut i = 0usize;
+    while i < n {
+        impl_stack.retain(|(_, end)| i <= *end);
+        test_regions.retain(|end| i <= *end);
+
+        // Attributes: `#[...]`, possibly marking test code.
+        if lexed.is_punct(i, '#') && lexed.is_punct(i + 1, '[') {
+            let end = match_bracket(&lexed, i + 1, '[', ']');
+            let is_cfg_test =
+                lexed.is_ident(i + 2, "cfg") && (i + 3..end).any(|k| lexed.is_ident(k, "test"));
+            let is_test_attr = lexed.is_ident(i + 2, "test") && end == i + 3;
+            if is_cfg_test || is_test_attr {
+                pending_test = true;
+            }
+            i = end + 1;
+            item_start = i;
+            continue;
+        }
+
+        if pending_test {
+            if lexed.is_punct(i, '{') {
+                test_regions.push(match_bracket(&lexed, i, '{', '}'));
+                pending_test = false;
+            } else if lexed.is_punct(i, ';') {
+                // The attribute annotated a braceless item.
+                pending_test = false;
+            }
+        }
+
+        if lexed.is_ident(i, "use") {
+            let mut j = i + 1;
+            let mut path = String::new();
+            while j < n && !lexed.is_punct(j, ';') {
+                path.push_str(lexed.text(j));
+                j += 1;
+            }
+            uses.push(path);
+            // Any pending attribute annotated this (braceless) item.
+            pending_test = false;
+            i = j + 1;
+            item_start = i;
+            continue;
+        }
+
+        if lexed.is_ident(i, "impl") {
+            // Find the block `{`, skipping the generic intro and any
+            // parenthesised/bracketed stretches of the type.
+            let mut j = i + 1;
+            let mut angle = 0i32;
+            let mut ty: Option<String> = None;
+            while j < n && !(angle <= 0 && lexed.is_punct(j, '{')) && !lexed.is_punct(j, ';') {
+                if lexed.is_punct(j, '<') {
+                    angle += 1;
+                } else if lexed.is_punct(j, '>') {
+                    angle -= 1;
+                } else if angle <= 0 && lexed.is_ident(j, "for") {
+                    // `impl Trait for Type`: the implementing type wins.
+                    ty = None;
+                } else if angle <= 0
+                    && lexed.kind(j) == Some(TokenKind::Ident)
+                    && !lexed.is_ident(j, "dyn")
+                    && (ty.is_none() || lexed.is_punct(j.wrapping_sub(1), ':'))
+                {
+                    // First type-position ident; a `::` path keeps
+                    // updating so the last segment is recorded.
+                    ty = Some(lexed.text(j).to_string());
+                }
+                j += 1;
+            }
+            if j < n && lexed.is_punct(j, '{') {
+                let end = match_bracket(&lexed, j, '{', '}');
+                impl_stack.push((ty.unwrap_or_default(), end));
+                if pending_test {
+                    test_regions.push(end);
+                    pending_test = false;
+                }
+                i = j + 1;
+                item_start = i;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+
+        if lexed.is_ident(i, "fn") && lexed.kind(i + 1) == Some(TokenKind::Ident) {
+            let name = lexed.text(i + 1).to_string();
+            // Signature runs to the first `{` or `;` outside (), [] and <>.
+            let mut j = i + 2;
+            let (mut paren, mut angle) = (0i32, 0i32);
+            while j < n {
+                if lexed.is_punct(j, '(') || lexed.is_punct(j, '[') {
+                    paren += 1;
+                } else if lexed.is_punct(j, ')') || lexed.is_punct(j, ']') {
+                    paren -= 1;
+                } else if lexed.is_punct(j, '<') {
+                    angle += 1;
+                } else if lexed.is_punct(j, '>') {
+                    angle = (angle - 1).max(0);
+                } else if paren <= 0 && (lexed.is_punct(j, '{') || lexed.is_punct(j, ';')) {
+                    break;
+                }
+                j += 1;
+            }
+            let _ = angle;
+            let in_test = !test_regions.is_empty() || pending_test;
+            let is_pub = (item_start..i).any(|k| lexed.is_ident(k, "pub"));
+            let qual = match impl_stack.last() {
+                Some((ty, _)) if !ty.is_empty() => format!("{ty}::{name}"),
+                _ => name.clone(),
+            };
+            let body = if j < n && lexed.is_punct(j, '{') {
+                let end = match_bracket(&lexed, j, '{', '}');
+                if pending_test {
+                    test_regions.push(end);
+                }
+                j..end + 1
+            } else {
+                j..j
+            };
+            pending_test = false;
+            fns.push(FnItem {
+                name,
+                qual,
+                line: lexed.line(i),
+                is_pub,
+                in_test,
+                signature: i..j,
+                body,
+            });
+            // Continue *inside* the body so nested items are still seen.
+            i = j + 1;
+            item_start = i;
+            continue;
+        }
+
+        if lexed.is_punct(i, ';') || lexed.is_punct(i, '}') || lexed.is_punct(i, '{') {
+            item_start = i + 1;
+        }
+        i += 1;
+    }
+
+    FileItems {
+        file: file.to_string(),
+        lexed,
+        fns,
+        uses,
+    }
+}
+
+/// Index of the token closing the bracket opened at `open` (which must
+/// hold `open_ch`). Returns the last token index when unbalanced.
+pub fn match_bracket(lexed: &Lexed, open: usize, open_ch: char, close_ch: char) -> usize {
+    let mut depth = 0i32;
+    let n = lexed.tokens.len();
+    let mut i = open;
+    while i < n {
+        if lexed.is_punct(i, open_ch) {
+            depth += 1;
+        } else if lexed.is_punct(i, close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    n.saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_free_and_impl_fns() {
+        let src = "\
+pub fn top(x: usize) -> usize { x }
+struct S;
+impl S {
+    pub fn method(&self) -> usize { helper() }
+    fn private(&self) {}
+}
+impl Clone for S {
+    fn clone(&self) -> S { S }
+}
+";
+        let items = parse_file("m.rs", src);
+        let quals: Vec<_> = items.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, vec!["top", "S::method", "S::private", "S::clone"]);
+        assert!(items.fns[0].is_pub);
+        assert!(items.fns[1].is_pub);
+        assert!(!items.fns[2].is_pub);
+        assert_eq!(items.fns[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_test_marks_module_contents() {
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+    #[test]
+    fn t() {}
+}
+fn also_real() {}
+";
+        let items = parse_file("m.rs", src);
+        let test_flags: Vec<_> = items
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.in_test))
+            .collect();
+        assert_eq!(
+            test_flags,
+            vec![
+                ("real", false),
+                ("helper", true),
+                ("t", true),
+                ("also_real", false)
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn real() {}\n";
+        let items = parse_file("m.rs", src);
+        assert_eq!(items.fns.len(), 1);
+        assert!(!items.fns[0].in_test);
+    }
+
+    #[test]
+    fn trait_signatures_have_empty_bodies() {
+        let src = "pub trait T {\n    fn sig(&self) -> usize;\n    fn has_default(&self) -> usize { 1 }\n}\n";
+        let items = parse_file("m.rs", src);
+        assert_eq!(items.fns.len(), 2);
+        assert!(items.fns[0].body.is_empty());
+        assert!(!items.fns[1].body.is_empty());
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn real() { let f: fn(usize) -> usize = real2; f(1); }\nfn real2(x: usize) -> usize { x }\n";
+        let items = parse_file("m.rs", src);
+        let names: Vec<_> = items.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real", "real2"]);
+    }
+
+    #[test]
+    fn use_edges_are_collected() {
+        let src = "use std::collections::HashMap;\nuse recipe_obs::span;\nfn f() {}\n";
+        let items = parse_file("m.rs", src);
+        assert_eq!(
+            items.uses,
+            vec!["std::collections::HashMap", "recipe_obs::span"]
+        );
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let src = "fn outer() {\n    fn inner() { mark(); }\n}\n";
+        let items = parse_file("m.rs", src);
+        let mark_idx = (0..items.lexed.tokens.len())
+            .find(|&k| items.lexed.is_ident(k, "mark"))
+            .unwrap();
+        assert_eq!(items.enclosing_fn(mark_idx).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn strings_and_comments_cannot_fake_items() {
+        let src = "fn real() {\n    let s = \"fn fake() {\";\n    // fn commented() {}\n}\n";
+        let items = parse_file("m.rs", src);
+        assert_eq!(items.fns.len(), 1);
+        assert_eq!(items.fns[0].name, "real");
+    }
+
+    #[test]
+    fn multiline_signature_line_is_the_fn_keyword() {
+        let src = "pub fn long(\n    a: usize,\n    b: usize,\n) -> usize {\n    a + b\n}\n";
+        let items = parse_file("m.rs", src);
+        assert_eq!(items.fns[0].line, 1);
+        assert!(!items.fns[0].body.is_empty());
+    }
+}

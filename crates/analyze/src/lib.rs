@@ -20,17 +20,34 @@
 //!   compiled-model drift audit (RA208): frozen sparse-CSR decoders must
 //!   reproduce the reference decode byte-for-byte;
 //! * **source scans** (`RA3xx`, [`source`]) — `unwrap()`/`expect()` in
-//!   non-test library code, leftover `todo!`/`dbg!`.
+//!   non-test library code, leftover `todo!`/`dbg!`, telemetry and
+//!   provenance coverage audits — all token-accurate, hosted on a real
+//!   Rust lexer ([`lexer`]) and item parser ([`items`]);
+//! * **dataflow lints** (`RA4xx`, [`dataflow`]) — determinism,
+//!   panic-safety and concurrency discipline over an approximate
+//!   workspace call graph ([`callgraph`]): hash-iteration feeding
+//!   artifacts, nondeterministic sources on artifact paths, unordered
+//!   float reduction, relaxed publication atomics, lock-order
+//!   conflicts, and panic sources on the serving path.
 //!
 //! Run everything through [`run_all`], or individual passes through the
-//! per-module entry points. The `recipe_mine lint` subcommand is a thin
-//! wrapper over this crate.
+//! per-module entry points. Output is deterministic: diagnostics are
+//! sorted by (file, line, code) and exact duplicates removed, and every
+//! diagnostic carries a stable content fingerprint used by the
+//! [`baseline`] suppression file and the SARIF renderer ([`sarif`]).
+//! The `recipe_mine lint` subcommand is a thin wrapper over this crate.
 
 pub mod artifact;
+pub mod baseline;
+pub mod callgraph;
 pub mod corpus;
+pub mod dataflow;
 pub mod diag;
 pub mod invariants;
+pub mod items;
+pub mod lexer;
 pub mod render;
+pub mod sarif;
 pub mod source;
 
 pub use diag::{has_errors, rule, Diagnostic, Level, LintConfig, RuleInfo, Severity, RULES};
@@ -50,8 +67,13 @@ pub struct Config {
     /// Load a trained artifact from this path instead of training one.
     pub model_path: Option<PathBuf>,
     /// Run the source scanner over this directory tree (usually the
-    /// workspace root). `None` disables the `RA3xx` family.
+    /// workspace root). `None` disables the `RA3xx`/`RA4xx` families.
     pub source_root: Option<PathBuf>,
+    /// Run *only* the source passes (`RA3xx`/`RA4xx`), skipping corpus
+    /// generation, training and the invariant audits. This is the fast
+    /// CI path: a full-workspace scan stays well under the 2 s smoke
+    /// budget because nothing is trained.
+    pub source_only: bool,
     /// Allow/deny overrides and `--deny-warnings`.
     pub lint: LintConfig,
 }
@@ -63,6 +85,7 @@ impl Default for Config {
             seed: 42,
             model_path: None,
             source_root: None,
+            source_only: false,
             lint: LintConfig::default(),
         }
     }
@@ -91,6 +114,15 @@ impl std::error::Error for AnalyzeError {}
 /// sources. Returns the diagnostics after allow/deny configuration.
 pub fn run_all(cfg: &Config) -> Result<Vec<Diagnostic>, AnalyzeError> {
     let mut diags = Vec::new();
+
+    if cfg.source_only {
+        if let Some(root) = &cfg.source_root {
+            diags.extend(source::scan_workspace(root));
+        }
+        let mut diags = cfg.lint.apply(diags);
+        diag::dedupe_diagnostics(&mut diags);
+        return Ok(diags);
+    }
 
     // Invariants are pure; always checked.
     diags.extend(invariants::lint_invariants(&invariants::Observed::gather()));
@@ -136,7 +168,9 @@ pub fn run_all(cfg: &Config) -> Result<Vec<Diagnostic>, AnalyzeError> {
         diags.extend(source::scan_workspace(root));
     }
 
-    Ok(cfg.lint.apply(diags))
+    let mut diags = cfg.lint.apply(diags);
+    diag::dedupe_diagnostics(&mut diags);
+    Ok(diags)
 }
 
 #[cfg(test)]

@@ -1,0 +1,199 @@
+//! SARIF 2.1.0 output: the interchange format GitHub code scanning and
+//! most lint dashboards ingest.
+//!
+//! One run per document, with the full rule registry in
+//! `tool.driver.rules` (so viewers can show names/summaries even for
+//! rules with no findings), one `result` per diagnostic, and the stable
+//! content fingerprint under `partialFingerprints` so ingesting tools
+//! track findings across line drift exactly like the local baseline
+//! ([`crate::baseline`]) does.
+
+use crate::diag::{sort_diagnostics, Diagnostic, Severity, RULES};
+use serde_json::{json, Value};
+
+/// SARIF schema URI for 2.1.0.
+pub const SARIF_SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Key under `partialFingerprints` carrying the content fingerprint.
+/// Versioned so the hashing scheme can evolve without colliding.
+pub const FINGERPRINT_KEY: &str = "recipeAnalyze/v1";
+
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Note => "note",
+    }
+}
+
+/// Render a diagnostic set as a SARIF 2.1.0 document.
+pub fn render_sarif(diags: &[Diagnostic]) -> Value {
+    let mut diags = diags.to_vec();
+    sort_diagnostics(&mut diags);
+
+    let rules: Vec<Value> = RULES
+        .iter()
+        .map(|r| {
+            json!({
+                "id": r.code,
+                "name": r.name,
+                "shortDescription": { "text": r.summary },
+                "defaultConfiguration": { "level": level(r.default_severity) },
+            })
+        })
+        .collect();
+
+    let results: Vec<Value> = diags
+        .iter()
+        .map(|d| {
+            let rule_index = RULES.iter().position(|r| r.code == d.code);
+            let location = if d.line() > 0 {
+                json!({
+                    "physicalLocation": {
+                        "artifactLocation": { "uri": d.file() },
+                        "region": { "startLine": d.line() },
+                    }
+                })
+            } else {
+                // Artifact/corpus/invariant findings have logical
+                // locations ("artifact: ingredient NER, emit[172]"),
+                // not files.
+                let name = json!({ "fullyQualifiedName": d.location });
+                json!({ "logicalLocations": [name] })
+            };
+            let mut fields = vec![
+                ("ruleId".to_string(), json!(d.code)),
+                ("level".to_string(), json!(level(d.severity))),
+                ("message".to_string(), json!({ "text": render_message(d) })),
+                ("locations".to_string(), Value::Array(vec![location])),
+                (
+                    "partialFingerprints".to_string(),
+                    // The key is a constant, which the `json!` shim's
+                    // object form cannot splice — build it directly.
+                    Value::Object(vec![(FINGERPRINT_KEY.to_string(), json!(d.fingerprint()))]),
+                ),
+            ];
+            if let Some(ix) = rule_index {
+                fields.insert(1, ("ruleIndex".to_string(), json!(ix)));
+            }
+            Value::Object(fields)
+        })
+        .collect();
+
+    let run = json!({
+        "tool": {
+            "driver": {
+                "name": "recipe-analyze",
+                "version": env!("CARGO_PKG_VERSION"),
+                "informationUri": "https://github.com/oasis-tcs/sarif-spec",
+                "rules": rules,
+            }
+        },
+        "results": results,
+    });
+    json!({
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [run],
+    })
+}
+
+/// SARIF has no `notes` side channel; fold them into the message.
+fn render_message(d: &Diagnostic) -> String {
+    if d.notes.is_empty() {
+        d.message.clone()
+    } else {
+        let mut text = d.message.clone();
+        for n in &d.notes {
+            text.push_str("; note: ");
+            text.push_str(n);
+        }
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::new(
+                "RA301",
+                "panicking call in library code: `x.unwrap();`",
+                "a.rs:10",
+            )
+            .with_note("prefer a Result"),
+            Diagnostic::new(
+                "RA001",
+                "emission weight for label NAME is NaN",
+                "artifact: ingredient NER, emit[172]",
+            ),
+        ]
+    }
+
+    #[test]
+    fn document_shape_is_sarif_2_1_0() {
+        let v = render_sarif(&sample());
+        assert_eq!(v["version"], "2.1.0");
+        assert_eq!(v["runs"].as_array().unwrap().len(), 1);
+        let driver = &v["runs"][0]["tool"]["driver"];
+        assert_eq!(driver["name"], "recipe-analyze");
+        assert_eq!(
+            driver["rules"].as_array().unwrap().len(),
+            RULES.len(),
+            "every registry rule is described"
+        );
+    }
+
+    #[test]
+    fn file_locations_are_physical_and_artifact_locations_logical() {
+        let v = render_sarif(&sample());
+        let results = v["runs"][0]["results"].as_array().unwrap();
+        assert_eq!(results.len(), 2);
+        // Sorted by (file, line, code): "a.rs" sorts before the
+        // artifact lint's "artifact: …" location string.
+        let artifact = &results[1];
+        assert_eq!(artifact["ruleId"], "RA001");
+        assert!(artifact["locations"][0].get("physicalLocation").is_none());
+        assert_eq!(
+            artifact["locations"][0]["logicalLocations"][0]["fullyQualifiedName"],
+            "artifact: ingredient NER, emit[172]"
+        );
+        let source = &results[0];
+        assert_eq!(source["ruleId"], "RA301");
+        assert_eq!(
+            source["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],
+            "a.rs"
+        );
+        assert_eq!(
+            source["locations"][0]["physicalLocation"]["region"]["startLine"],
+            10
+        );
+    }
+
+    #[test]
+    fn results_carry_fingerprints_and_folded_notes() {
+        let v = render_sarif(&sample());
+        let results = v["runs"][0]["results"].as_array().unwrap();
+        for r in results {
+            let fp = r["partialFingerprints"][FINGERPRINT_KEY].as_str().unwrap();
+            assert_eq!(fp.len(), 16);
+            assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+        let with_note = results.iter().find(|r| r["ruleId"] == "RA301").unwrap();
+        let text = with_note["message"]["text"].as_str().unwrap();
+        assert!(text.contains("note: prefer a Result"), "{text}");
+    }
+
+    #[test]
+    fn levels_map_to_sarif_levels() {
+        let v = render_sarif(&sample());
+        let results = v["runs"][0]["results"].as_array().unwrap();
+        let ra001 = results.iter().find(|r| r["ruleId"] == "RA001").unwrap();
+        assert_eq!(ra001["level"], "error");
+        let ra301 = results.iter().find(|r| r["ruleId"] == "RA301").unwrap();
+        assert_eq!(ra301["level"], "note");
+    }
+}

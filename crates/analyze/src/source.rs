@@ -1,11 +1,18 @@
-//! Source-scan lints: a std-only walk over the workspace's `.rs` files
-//! flagging panics-in-library-code and leftover debug markers (`RA3xx`),
-//! plus the telemetry-coverage audit (`RA209`) that keeps every public
-//! hot-path entry point instrumented with a `recipe_obs` span. No syn,
-//! no parsing — a line scanner that understands just enough structure to
-//! skip test code.
+//! Source-scan lints, re-hosted on the real lexer ([`crate::lexer`]) and
+//! item parser ([`crate::items`]): panics-in-library-code and leftover
+//! debug markers (`RA3xx`), the telemetry-coverage audit (`RA209`), the
+//! event-name/provenance hygiene audit (`RA210`), and — through
+//! [`crate::dataflow`] — the token-level dataflow lints (`RA4xx`).
+//!
+//! Because every pass works on tokens, needles inside string literals,
+//! raw strings, char literals and (nested) block comments can no longer
+//! produce false positives; the old line scanner's `concat!` needle
+//! obfuscation is gone for the same reason.
 
+use crate::callgraph::{macro_sites, Workspace};
 use crate::diag::Diagnostic;
+use crate::items::{parse_file, FileItems};
+use crate::lexer::TokenKind;
 use std::path::{Path, PathBuf};
 
 /// Directories never scanned (test/bench/example code may unwrap freely;
@@ -14,49 +21,31 @@ const SKIP_DIRS: &[&str] = &[
     "target", ".git", "tests", "benches", "examples", "vendor", ".github",
 ];
 
-// The needles are assembled with `concat!` so the scanner does not flag
-// its own pattern table when it scans this file.
-const UNWRAP: &str = concat!(".unw", "rap()");
-const EXPECT: &str = concat!(".exp", "ect(");
-const TODO: &str = concat!("to", "do!(");
-const UNIMPLEMENTED: &str = concat!("unimpl", "emented!(");
-const DBG: &str = concat!("db", "g!(");
-
-// RA209 body needles: a span site inside an audited entry point.
-const SPAN_MACRO: &str = concat!("sp", "an!(");
-const OBS_SPAN: &str = concat!("recipe_ob", "s::span");
-
-// RA210 registration-site needles: the opening of a name literal at
-// every span/metric/event call. Each includes the opening quote so the
-// name can be cut out up to the closing quote.
-const NAME_SITES: &[&str] = &[
-    concat!("sp", "an!(\""),
-    concat!("cou", "nter(\""),
-    concat!("gau", "ge(\""),
-    concat!("histo", "gram(\""),
-    concat!("latency_histo", "gram(\""),
-    concat!("count_histo", "gram(\""),
-    concat!("ser", "ies(\""),
-    concat!("inst", "ant(\""),
-];
-
-// RA210 provenance needle: any reference to a provenance helper inside
-// an explain-reachable site (module calls and the `record_*_provenance`
-// wrappers alike).
-const PROVENANCE_CALL: &str = concat!("proven", "ance");
-
-/// Scan every non-test `.rs` file under `root` (expected: workspace root).
-pub fn scan_workspace(root: &Path) -> Vec<Diagnostic> {
+/// Parse every non-test `.rs` file under `root` into a [`Workspace`].
+pub fn parse_workspace(root: &Path) -> Workspace {
     let mut files = Vec::new();
     collect_rust_files(root, &mut files);
     files.sort();
-    let mut out = Vec::new();
+    let mut ws = Workspace::default();
     for f in files {
         if let Ok(content) = std::fs::read_to_string(&f) {
             let rel = f.strip_prefix(root).unwrap_or(&f).display().to_string();
-            out.extend(scan_file(&rel, &content));
+            ws.files.push(parse_file(&rel, &content));
         }
     }
+    ws
+}
+
+/// Scan every non-test `.rs` file under `root` (expected: workspace
+/// root): per-file `RA3xx`/`RA209`/`RA210` plus the cross-file `RA4xx`
+/// dataflow lints.
+pub fn scan_workspace(root: &Path) -> Vec<Diagnostic> {
+    let ws = parse_workspace(root);
+    let mut out = Vec::new();
+    for file in &ws.files {
+        out.extend(scan_items(file));
+    }
+    out.extend(crate::dataflow::lint_dataflow(&ws));
     out
 }
 
@@ -78,73 +67,182 @@ fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Scan one file's contents. `rel` is the path used in locations.
+/// Scan one file's contents (`rel` is the path used in locations),
+/// treating it as a one-file workspace for the dataflow lints. Library
+/// callers with many files should use [`scan_workspace`] so the call
+/// graph sees cross-file edges.
 pub fn scan_file(rel: &str, content: &str) -> Vec<Diagnostic> {
-    let mut out = scan_telemetry_coverage(rel, content);
-    out.extend(scan_event_names(rel, content));
-    out.extend(scan_provenance_coverage(rel, content));
-    // Brace-depth tracking for `#[cfg(test)]`-gated blocks: when the
-    // attribute appears, everything until its item's closing brace is
-    // test code. Good enough for the idiomatic `#[cfg(test)] mod tests`.
-    let mut depth: i32 = 0;
-    let mut test_block_floor: Option<i32> = None;
-    let mut pending_cfg_test = false;
-
-    for (lineno, line) in content.lines().enumerate() {
-        let lineno = lineno + 1;
-        let code = strip_comment(line);
-        let trimmed = code.trim();
-
-        if trimmed.contains("#[cfg(test)]") {
-            pending_cfg_test = true;
-        }
-        if pending_cfg_test && test_block_floor.is_none() && trimmed.contains('{') {
-            test_block_floor = Some(depth);
-            pending_cfg_test = false;
-        }
-
-        let in_test = test_block_floor.is_some();
-        if !in_test {
-            let loc = format!("{rel}:{lineno}");
-            if trimmed.contains(UNWRAP) || trimmed.contains(EXPECT) {
-                out.push(
-                    Diagnostic::new(
-                        "RA301",
-                        format!("panicking call in library code: `{}`", trimmed.trim()),
-                        loc.clone(),
-                    )
-                    .with_note("prefer a Result or a documented # Panics contract"),
-                );
-            }
-            if trimmed.contains(TODO) || trimmed.contains(UNIMPLEMENTED) {
-                out.push(Diagnostic::new(
-                    "RA302",
-                    "todo!/unimplemented! left in source",
-                    loc.clone(),
-                ));
-            }
-            if trimmed.contains(DBG) {
-                out.push(Diagnostic::new("RA303", "dbg! left in source", loc));
-            }
-        }
-
-        for ch in code.chars() {
-            match ch {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if let Some(floor) = test_block_floor {
-                        if depth <= floor {
-                            test_block_floor = None;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
+    let mut ws = Workspace::default();
+    ws.files.push(parse_file(rel, content));
+    let mut out = scan_items(&ws.files[0]);
+    out.extend(crate::dataflow::lint_dataflow(&ws));
     out
 }
+
+/// Whether the token at `k` is inside test code (a `#[cfg(test)]` /
+/// `#[test]` function body). Tokens outside any function body count as
+/// library code.
+fn in_test_code(file: &FileItems, k: usize) -> bool {
+    file.enclosing_fn(k).is_some_and(|f| f.in_test)
+}
+
+/// The trimmed source line a token sits on, for diagnostics messages.
+fn line_text(file: &FileItems, line: u32) -> &str {
+    file.lexed
+        .src
+        .lines()
+        .nth(line.saturating_sub(1) as usize)
+        .unwrap_or("")
+        .trim()
+}
+
+/// Per-file passes: `RA301`–`RA303`, `RA209`, `RA210`.
+fn scan_items(file: &FileItems) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let lexed = &file.lexed;
+    let n = lexed.tokens.len();
+
+    // RA301: `.unwrap()` / `.expect(` in non-test code.
+    for k in 0..n {
+        if lexed.kind(k) != Some(TokenKind::Ident) || !lexed.is_punct(k + 1, '(') {
+            continue;
+        }
+        let name = lexed.text(k);
+        if (name == "unwrap" || name == "expect")
+            && lexed.is_punct(k.wrapping_sub(1), '.')
+            && !in_test_code(file, k)
+        {
+            let line = lexed.line(k);
+            out.push(
+                Diagnostic::new(
+                    "RA301",
+                    format!(
+                        "panicking call in library code: `{}`",
+                        line_text(file, line)
+                    ),
+                    format!("{}:{line}", file.file),
+                )
+                .with_note("prefer a Result or a documented # Panics contract"),
+            );
+        }
+    }
+
+    // RA302 / RA303: leftover macros.
+    for site in macro_sites(lexed, 0..n) {
+        if in_test_code(file, site.token) {
+            continue;
+        }
+        let loc = format!("{}:{}", file.file, site.line);
+        match site.name.as_str() {
+            "todo" | "unimplemented" => out.push(Diagnostic::new(
+                "RA302",
+                "todo!/unimplemented! left in source",
+                loc,
+            )),
+            "dbg" => out.push(Diagnostic::new("RA303", "dbg! left in source", loc)),
+            _ => {}
+        }
+    }
+
+    // RA209: telemetry coverage of public hot-path entry points.
+    for f in &file.fns {
+        if f.in_test || !f.is_pub || f.body.is_empty() || !telemetry_entry_point(&f.name) {
+            continue;
+        }
+        let has_span = macro_sites(lexed, f.body.clone())
+            .iter()
+            .any(|m| m.name == "span")
+            || f.body.clone().any(|k| {
+                lexed.is_ident(k, "span")
+                    && (lexed.is_punct(k.wrapping_sub(1), ':') || lexed.is_punct(k + 1, '!'))
+            });
+        if !has_span {
+            out.push(
+                Diagnostic::new(
+                    "RA209",
+                    format!("public entry point `{}` opens no tracing span", f.name),
+                    format!("{}:{}", file.file, f.line),
+                )
+                .with_note("open a span first: `let _span = recipe_obs::span!(\"stage.name\");`"),
+            );
+        }
+    }
+
+    // RA210 (names): string literals handed to span/metric/instant
+    // registration sites must be lowercase dot-separated.
+    for k in 0..n {
+        if lexed.kind(k) != Some(TokenKind::Ident) || in_test_code(file, k) {
+            continue;
+        }
+        let name = lexed.text(k);
+        let lit = if name == "span" && lexed.is_punct(k + 1, '!') && lexed.is_punct(k + 2, '(') {
+            k + 3
+        } else if NAME_SITES.contains(&name) && lexed.is_punct(k + 1, '(') {
+            k + 2
+        } else {
+            continue;
+        };
+        if lexed.kind(lit) != Some(TokenKind::StrLit) {
+            continue;
+        }
+        let text = lexed.text(lit);
+        let event_name = text.get(1..text.len().saturating_sub(1)).unwrap_or("");
+        if !hygienic_event_name(event_name) {
+            out.push(
+                Diagnostic::new(
+                    "RA210",
+                    format!("event name {event_name:?} is not lowercase dot-separated"),
+                    format!("{}:{}", file.file, lexed.line(lit)),
+                )
+                .with_note(
+                    "name spans/metrics/instants with dot-joined [a-z0-9_] segments, \
+                     e.g. `ner.decode.tokens`",
+                ),
+            );
+        }
+    }
+
+    // RA210 (coverage): explain-reachable decision sites must record
+    // provenance somewhere in their bodies.
+    for f in &file.fns {
+        if f.in_test || f.body.is_empty() || !provenance_site(&f.name) {
+            continue;
+        }
+        let has_provenance = f.body.clone().any(|k| {
+            lexed.kind(k) == Some(TokenKind::Ident) && lexed.text(k).contains("provenance")
+        });
+        if !has_provenance {
+            out.push(
+                Diagnostic::new(
+                    "RA210",
+                    format!(
+                        "explain-reachable decision site `{}` records no provenance",
+                        f.name
+                    ),
+                    format!("{}:{}", file.file, f.line),
+                )
+                .with_note(
+                    "record the decision when recipe_obs::provenance::enabled(), so \
+                     `--explain` keeps seeing it",
+                ),
+            );
+        }
+    }
+
+    out
+}
+
+/// Metric/instant registration methods whose first argument is an event
+/// name literal (the `span!` macro is handled separately).
+const NAME_SITES: &[&str] = &[
+    "counter",
+    "gauge",
+    "histogram",
+    "latency_histogram",
+    "count_histogram",
+    "series",
+    "instant",
+];
 
 /// Names the RA209 telemetry audit treats as instrumented entry points:
 /// the runtime-parameterised hot paths (`*_rt`), the extraction and
@@ -159,100 +257,8 @@ fn telemetry_entry_point(name: &str) -> bool {
         )
 }
 
-/// RA209: every matching `pub fn` outside test code must open a
-/// `recipe_obs` span somewhere in its body, so the stage tree keeps
-/// covering the hot paths as they evolve.
-fn scan_telemetry_coverage(rel: &str, content: &str) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    let mut depth: i32 = 0;
-    let mut test_block_floor: Option<i32> = None;
-    let mut pending_cfg_test = false;
-    // A matching `pub fn` whose body brace has not appeared yet.
-    let mut pending_fn: Option<(usize, String)> = None;
-    // (decl line, name, brace depth before the body) of an open body.
-    let mut open_body: Option<(usize, String, i32)> = None;
-    let mut body_has_span = false;
-
-    for (lineno, line) in content.lines().enumerate() {
-        let lineno = lineno + 1;
-        let code = strip_comment(line);
-        let trimmed = code.trim();
-
-        if trimmed.contains("#[cfg(test)]") {
-            pending_cfg_test = true;
-        }
-        if pending_cfg_test && test_block_floor.is_none() && trimmed.contains('{') {
-            test_block_floor = Some(depth);
-            pending_cfg_test = false;
-        }
-
-        if test_block_floor.is_none() && pending_fn.is_none() && open_body.is_none() {
-            if let Some(pos) = code.find("pub fn ") {
-                let name: String = code[pos + "pub fn ".len()..]
-                    .chars()
-                    .take_while(|c| c.is_alphanumeric() || *c == '_')
-                    .collect();
-                if telemetry_entry_point(&name) {
-                    pending_fn = Some((lineno, name));
-                }
-            }
-        }
-        if open_body.is_none() {
-            if let Some((decl_line, name)) = pending_fn.take() {
-                if code.contains('{') {
-                    open_body = Some((decl_line, name, depth));
-                    body_has_span = false;
-                } else if trimmed.ends_with(';') {
-                    // Bodyless signature (trait declaration): not audited.
-                } else {
-                    pending_fn = Some((decl_line, name));
-                }
-            }
-        }
-        if open_body.is_some() && (code.contains(SPAN_MACRO) || code.contains(OBS_SPAN)) {
-            body_has_span = true;
-        }
-
-        for ch in code.chars() {
-            match ch {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if let Some(floor) = test_block_floor {
-                        if depth <= floor {
-                            test_block_floor = None;
-                        }
-                    }
-                    if let Some((decl_line, name, floor)) = &open_body {
-                        if depth <= *floor {
-                            if !body_has_span {
-                                out.push(
-                                    Diagnostic::new(
-                                        "RA209",
-                                        format!(
-                                            "public entry point `{name}` opens no tracing span"
-                                        ),
-                                        format!("{rel}:{decl_line}"),
-                                    )
-                                    .with_note(
-                                        "open a span first: `let _span = \
-                                         recipe_obs::span!(\"stage.name\");`",
-                                    ),
-                                );
-                            }
-                            open_body = None;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    out
-}
-
-/// RA210 name hygiene: lowercase dot-separated segments of
-/// `[a-z0-9_]+`, so timelines and metric reports group consistently.
+/// RA210 name hygiene: lowercase dot-separated segments of `[a-z0-9_]+`,
+/// so timelines and metric reports group consistently.
 fn hygienic_event_name(name: &str) -> bool {
     !name.is_empty()
         && name.split('.').all(|seg| {
@@ -263,207 +269,11 @@ fn hygienic_event_name(name: &str) -> bool {
         })
 }
 
-/// RA210 (names): every name literal handed to a span/metric/instant
-/// registration site must be hygienic. Test code may use throwaway
-/// names freely.
-fn scan_event_names(rel: &str, content: &str) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    let mut depth: i32 = 0;
-    let mut test_block_floor: Option<i32> = None;
-    let mut pending_cfg_test = false;
-
-    for (lineno, line) in content.lines().enumerate() {
-        let lineno = lineno + 1;
-        let code = strip_comment(line);
-        let trimmed = code.trim();
-
-        if trimmed.contains("#[cfg(test)]") {
-            pending_cfg_test = true;
-        }
-        if pending_cfg_test && test_block_floor.is_none() && trimmed.contains('{') {
-            test_block_floor = Some(depth);
-            pending_cfg_test = false;
-        }
-
-        if test_block_floor.is_none() {
-            // Name-literal start offsets; overlapping needles (e.g. the
-            // plain and latency histogram sites) land on the same
-            // offset and are deduplicated.
-            let mut starts: Vec<usize> = Vec::new();
-            for needle in NAME_SITES {
-                starts.extend(code.match_indices(needle).map(|(p, _)| p + needle.len()));
-            }
-            starts.sort_unstable();
-            starts.dedup();
-            for start in starts {
-                let Some(len) = code[start..].find('"') else {
-                    continue;
-                };
-                let name = &code[start..start + len];
-                if !hygienic_event_name(name) {
-                    out.push(
-                        Diagnostic::new(
-                            "RA210",
-                            format!("event name {name:?} is not lowercase dot-separated"),
-                            format!("{rel}:{lineno}"),
-                        )
-                        .with_note(
-                            "name spans/metrics/instants with dot-joined [a-z0-9_] segments, \
-                             e.g. `ner.decode.tokens`",
-                        ),
-                    );
-                }
-            }
-        }
-
-        for ch in code.chars() {
-            match ch {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if let Some(floor) = test_block_floor {
-                        if depth <= floor {
-                            test_block_floor = None;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    out
-}
-
-/// Names the RA210 provenance audit treats as explain-reachable
-/// decision sites: the compiled decode/tag kernels, the event-frame
-/// filter, and every memoized lookup (`*_memo`). Each must reference a
-/// provenance helper so `--explain` keeps covering the decisions that
-/// shape its output.
+/// Names the RA210 provenance audit treats as explain-reachable decision
+/// sites: the compiled decode/tag kernels, the event-frame filter, and
+/// every memoized lookup (`*_memo`).
 fn provenance_site(name: &str) -> bool {
     name.ends_with("_memo") || matches!(name, "viterbi_into" | "tag_into" | "events_from_analysis")
-}
-
-/// RA210 (coverage): every explain-reachable decision site outside test
-/// code must mention a provenance helper somewhere in its body.
-fn scan_provenance_coverage(rel: &str, content: &str) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    let mut depth: i32 = 0;
-    let mut test_block_floor: Option<i32> = None;
-    let mut pending_cfg_test = false;
-    // A matching `fn` whose body brace has not appeared yet.
-    let mut pending_fn: Option<(usize, String)> = None;
-    // (decl line, name, brace depth before the body) of an open body.
-    let mut open_body: Option<(usize, String, i32)> = None;
-    let mut body_has_provenance = false;
-
-    for (lineno, line) in content.lines().enumerate() {
-        let lineno = lineno + 1;
-        let code = strip_comment(line);
-        let trimmed = code.trim();
-
-        if trimmed.contains("#[cfg(test)]") {
-            pending_cfg_test = true;
-        }
-        if pending_cfg_test && test_block_floor.is_none() && trimmed.contains('{') {
-            test_block_floor = Some(depth);
-            pending_cfg_test = false;
-        }
-
-        if test_block_floor.is_none() && pending_fn.is_none() && open_body.is_none() {
-            if let Some(name) = fn_decl_name(code) {
-                if provenance_site(&name) {
-                    pending_fn = Some((lineno, name));
-                }
-            }
-        }
-        if open_body.is_none() {
-            if let Some((decl_line, name)) = pending_fn.take() {
-                if code.contains('{') {
-                    open_body = Some((decl_line, name, depth));
-                    body_has_provenance = false;
-                } else if trimmed.ends_with(';') {
-                    // Bodyless signature (trait declaration): not audited.
-                } else {
-                    pending_fn = Some((decl_line, name));
-                }
-            }
-        }
-        if open_body.is_some() && code.contains(PROVENANCE_CALL) {
-            body_has_provenance = true;
-        }
-
-        for ch in code.chars() {
-            match ch {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if let Some(floor) = test_block_floor {
-                        if depth <= floor {
-                            test_block_floor = None;
-                        }
-                    }
-                    if let Some((decl_line, name, floor)) = &open_body {
-                        if depth <= *floor {
-                            if !body_has_provenance {
-                                out.push(
-                                    Diagnostic::new(
-                                        "RA210",
-                                        format!(
-                                            "explain-reachable decision site `{name}` records \
-                                             no provenance"
-                                        ),
-                                        format!("{rel}:{decl_line}"),
-                                    )
-                                    .with_note(
-                                        "record the decision when \
-                                         recipe_obs::provenance::enabled(), so `--explain` \
-                                         keeps seeing it",
-                                    ),
-                                );
-                            }
-                            open_body = None;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    out
-}
-
-/// The name of a `fn` declared on this line (any visibility), if one is.
-fn fn_decl_name(code: &str) -> Option<String> {
-    let mut from = 0usize;
-    while let Some(rel) = code[from..].find("fn ") {
-        let pos = from + rel;
-        let boundary_ok = pos == 0
-            || code[..pos]
-                .chars()
-                .next_back()
-                .is_some_and(|c| !c.is_alphanumeric() && c != '_');
-        if boundary_ok {
-            let name: String = code[pos + 3..]
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            if !name.is_empty() {
-                return Some(name);
-            }
-        }
-        from = pos + 3;
-    }
-    None
-}
-
-/// Drop a trailing `// ...` comment (naive: ignores `//` inside strings,
-/// which only risks under-reporting on a line that both has a panicking
-/// call and embeds `//` in a literal before it).
-fn strip_comment(line: &str) -> &str {
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    }
 }
 
 #[cfg(test)]
@@ -511,6 +321,26 @@ fn g() { h.expect(\"boom\"); }
     fn comments_do_not_fire() {
         let src = "fn f() {\n    // x.unwrap() would be wrong here\n}\n";
         assert!(scan_file("m.rs", src).is_empty());
+    }
+
+    #[test]
+    fn string_literals_do_not_fire() {
+        // The regression class the lexer re-host fixes: needles inside
+        // string literals, raw strings and block comments.
+        let src = r####"
+fn f() -> String {
+    let msg = "call x.unwrap() then todo!(later) and dbg!(x)";
+    let raw = r#"even .expect("here") is fine"#;
+    /* and todo!()
+       inside /* nested */ block comments */
+    format!("{msg}{raw}")
+}
+"####;
+        assert!(
+            scan_file("m.rs", src).is_empty(),
+            "{:?}",
+            scan_file("m.rs", src)
+        );
     }
 
     #[test]
@@ -564,21 +394,28 @@ mod tests {
     }
 
     #[test]
+    fn a_span_mentioned_in_a_string_does_not_satisfy_ra209() {
+        let src = "\
+pub fn decode(xs: &[u32]) -> usize {
+    let _hint = \"recipe_obs::span!(\\\"x\\\") would go here\";
+    xs.len()
+}
+";
+        let diags = scan_file("m.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "RA209");
+    }
+
+    #[test]
     fn flags_unhygienic_event_names() {
-        let src = format!(
-            "fn f() {{\n    let _s = recipe_obs::{}\"Mix.Phase\");\n}}\n",
-            concat!("sp", "an!(")
-        );
-        let diags = scan_file("m.rs", &src);
+        let src = "fn f() {\n    let _s = recipe_obs::span!(\"Mix.Phase\");\n}\n";
+        let diags = scan_file("m.rs", src);
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].code, "RA210");
         assert!(diags[0].message.contains("Mix.Phase"), "{diags:?}");
 
         for bad in ["ner..decode", "ner-decode", "", "ner.decode "] {
-            let src = format!(
-                "fn f() {{\n    reg.{}\"{bad}\");\n}}\n",
-                concat!("cou", "nter(")
-            );
+            let src = format!("fn f() {{\n    reg.counter(\"{bad}\");\n}}\n");
             let diags = scan_file("m.rs", &src);
             assert_eq!(diags.len(), 1, "{bad:?}: {diags:?}");
             assert_eq!(diags[0].code, "RA210");
@@ -587,18 +424,20 @@ mod tests {
 
     #[test]
     fn hygienic_event_names_pass_and_tests_are_exempt() {
-        let src = format!(
-            "fn f() {{\n    let _s = {span}\"events.sentence\");\n    \
-             reg.{lat}\"latency.phrase_s\");\n}}\n\
-             #[cfg(test)]\nmod tests {{\n    fn t() {{ reg.{ctr}\"X\"); }}\n}}\n",
-            span = concat!("sp", "an!("),
-            lat = concat!("latency_histo", "gram("),
-            ctr = concat!("cou", "nter(")
-        );
+        let src = "\
+fn f() {
+    let _s = span!(\"events.sentence\");
+    reg.latency_histogram(\"latency.phrase_s\");
+}
+#[cfg(test)]
+mod tests {
+    fn t() { reg.counter(\"X\"); }
+}
+";
         assert!(
-            scan_file("m.rs", &src).is_empty(),
+            scan_file("m.rs", src).is_empty(),
             "{:?}",
-            scan_file("m.rs", &src)
+            scan_file("m.rs", src)
         );
     }
 

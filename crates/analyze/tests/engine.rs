@@ -1,0 +1,158 @@
+//! Golden tests for the RA4xx dataflow engine over the seeded fixture
+//! corpus in `tests/fixtures/`. Each rule must fire on its violation
+//! fixture at the expected line and stay silent on the clean twin.
+//!
+//! The fixture files are never compiled — they are source-only inputs
+//! to the analyzer — so they can reference workspace APIs freely.
+
+use recipe_analyze::baseline::{partition, Baseline};
+use recipe_analyze::diag::Diagnostic;
+use recipe_analyze::source::{scan_file, scan_workspace};
+use recipe_analyze::{run_all, Config};
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Scan one fixture file through the full single-file pipeline and
+/// keep only the diagnostics for the rule under test.
+fn scan_fixture(name: &str, code: &str) -> Vec<Diagnostic> {
+    let path = fixtures_dir().join(name);
+    let content = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()));
+    scan_file(name, &content)
+        .into_iter()
+        .filter(|d| d.code == code)
+        .collect()
+}
+
+fn lines(diags: &[Diagnostic]) -> Vec<u32> {
+    diags.iter().map(|d| d.line()).collect()
+}
+
+#[test]
+fn ra401_catches_hash_iteration_feeding_artifact() {
+    let hits = scan_fixture("ra401_violation.rs", "RA401");
+    assert_eq!(lines(&hits), vec![7], "{hits:?}");
+    assert!(hits[0].message.contains("counts"), "{hits:?}");
+
+    let clean = scan_fixture("ra401_clean.rs", "RA401");
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn ra402_catches_wall_clock_on_artifact_path() {
+    let hits = scan_fixture("ra402_violation.rs", "RA402");
+    assert_eq!(lines(&hits), vec![5], "{hits:?}");
+    assert!(hits[0].message.contains("SystemTime::now"), "{hits:?}");
+
+    let clean = scan_fixture("ra402_clean.rs", "RA402");
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn ra403_catches_spawn_join_float_accumulation() {
+    let hits = scan_fixture("ra403_violation.rs", "RA403");
+    assert_eq!(lines(&hits), vec![12], "{hits:?}");
+    assert!(hits[0].message.contains("accumulation"), "{hits:?}");
+
+    let clean = scan_fixture("ra403_clean.rs", "RA403");
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn ra404_catches_relaxed_publication_store() {
+    let hits = scan_fixture("ra404_violation.rs", "RA404");
+    assert_eq!(lines(&hits), vec![7], "{hits:?}");
+    assert!(hits[0].message.contains("ready"), "{hits:?}");
+
+    // The twin keeps a Relaxed fetch_add on a plain counter — that must
+    // not fire; only the publication-flag store with Relaxed does.
+    let clean = scan_fixture("ra404_clean.rs", "RA404");
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn ra405_catches_lock_order_conflict_and_guard_across_dispatch() {
+    let mut hits = scan_fixture("ra405_violation.rs", "RA405");
+    hits.sort_by_key(|d| d.line());
+    assert_eq!(lines(&hits), vec![14, 20], "{hits:?}");
+    assert!(hits[0].message.contains("opposite order"), "{hits:?}");
+    assert!(hits[1].message.contains("held across"), "{hits:?}");
+
+    let clean = scan_fixture("ra405_clean.rs", "RA405");
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn ra406_catches_panics_reachable_from_serving() {
+    let hits = scan_fixture("ra406_violation.rs", "RA406");
+    assert_eq!(lines(&hits), vec![7, 13, 15], "{hits:?}");
+    assert!(hits[0].message.contains("unwrap"), "{hits:?}");
+    assert!(hits[1].message.contains("panic"), "{hits:?}");
+    assert!(hits[2].message.contains("arithmetic indexing"), "{hits:?}");
+
+    let clean = scan_fixture("ra406_clean.rs", "RA406");
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+fn corpus_config() -> Config {
+    Config {
+        source_only: true,
+        source_root: Some(fixtures_dir()),
+        ..Config::default()
+    }
+}
+
+#[test]
+fn corpus_scan_covers_every_rule_and_is_deterministic() {
+    let first = run_all(&corpus_config()).expect("corpus scan");
+    for code in ["RA401", "RA402", "RA403", "RA404", "RA405", "RA406"] {
+        assert!(
+            first.iter().any(|d| d.code == code),
+            "{code} missing from corpus scan: {first:?}"
+        );
+    }
+    // Byte-for-byte stable across runs: same diagnostics, same order.
+    let second = run_all(&corpus_config()).expect("corpus scan");
+    assert_eq!(first, second);
+    // Sorted by (file, line, code) and deduped.
+    for w in first.windows(2) {
+        let key = |d: &Diagnostic| (d.file().to_string(), d.line(), d.code);
+        assert!(
+            key(&w[0]) <= key(&w[1]),
+            "unsorted: {:?} then {:?}",
+            w[0],
+            w[1]
+        );
+        assert!(
+            (w[0].code, &w[0].location, &w[0].message)
+                != (w[1].code, &w[1].location, &w[1].message),
+            "duplicate: {:?}",
+            w[0]
+        );
+    }
+}
+
+#[test]
+fn baselining_the_corpus_suppresses_it_and_still_flags_new_findings() {
+    let corpus = scan_workspace(&fixtures_dir());
+    assert!(!corpus.is_empty());
+    let baseline = Baseline::from_diagnostics(&corpus);
+
+    // Every baselined finding is suppressed; nothing is new.
+    let outcome = partition(&corpus, &baseline);
+    assert!(outcome.new.is_empty(), "{:?}", outcome.new);
+    assert_eq!(outcome.suppressed, corpus.len());
+
+    // A finding introduced after the baseline was written still fails.
+    let mut grown = corpus.clone();
+    grown.extend(scan_file(
+        "new_module.rs",
+        "pub fn helper() { todo!(\"fresh violation\") }\n",
+    ));
+    let outcome = partition(&grown, &baseline);
+    assert_eq!(outcome.new.len(), 1, "{:?}", outcome.new);
+    assert_eq!(outcome.new[0].code, "RA302");
+}

@@ -1,0 +1,14 @@
+//! Clean twin of ra401_violation: the map is collected and sorted
+//! before serialization, so the artifact bytes are order-independent.
+use std::collections::HashMap;
+
+pub fn save_phrase_counts(counts: &HashMap<String, u64>) -> String {
+    let mut rows: Vec<(&String, &u64)> = counts.iter().collect();
+    rows.sort();
+    let mut out = String::new();
+    for (phrase, n) in rows {
+        out.push_str(&serde_json::to_string(&(phrase, n)).unwrap_or_default());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,12 @@
+//! Seeded RA401 violation: hash-ordered iteration feeding a serialized
+//! artifact. Not compiled — parsed by the analysis engine in tests.
+use std::collections::HashMap;
+
+pub fn save_phrase_counts(counts: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (phrase, n) in counts.iter() {
+        out.push_str(&serde_json::to_string(&(phrase, n)).unwrap_or_default());
+        out.push('\n');
+    }
+    out
+}

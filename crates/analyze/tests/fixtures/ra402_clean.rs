@@ -1,0 +1,16 @@
+//! Clean twin of ra402_violation: the manifest token is derived from
+//! the run seed, so identical runs write identical artifacts. The
+//! telemetry-gated timing read is the workspace's sanctioned pattern.
+
+pub fn generate_corpus_manifest(seed: u64) -> String {
+    let token = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    record_generation(seed);
+    format!("{seed}:{token:016x}")
+}
+
+fn record_generation(seed: u64) {
+    if recipe_obs::enabled() {
+        let _t0 = std::time::Instant::now();
+        let _ = seed;
+    }
+}

@@ -1,0 +1,7 @@
+//! Seeded RA402 violation: a wall-clock read on an artifact-producing
+//! path (corpus generation), outside any telemetry gate.
+
+pub fn generate_corpus_manifest(seed: u64) -> String {
+    let stamp = std::time::SystemTime::now();
+    format!("{seed}:{stamp:?}")
+}

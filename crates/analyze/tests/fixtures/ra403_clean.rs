@@ -1,0 +1,7 @@
+//! Clean twin of ra403_violation: the reduction is routed through the
+//! runtime's ordered reduce, which folds worker results in a fixed
+//! worker-index order regardless of completion timing.
+
+pub fn train(rt: &recipe_runtime::Runtime, partials: &[f64]) -> f64 {
+    rt.par_map_reduce(partials, |p| p * 0.5, 0.0, |a, b| a + b)
+}

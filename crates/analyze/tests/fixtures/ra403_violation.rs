@@ -1,0 +1,15 @@
+//! Seeded RA403 violation: hand-rolled float accumulation across
+//! spawned threads — partial sums fold in completion order, so the
+//! total varies run to run.
+
+pub fn train(partials: Vec<f64>) -> f64 {
+    let mut handles = Vec::new();
+    for p in partials {
+        handles.push(std::thread::spawn(move || p * 0.5));
+    }
+    let mut total = 0.0f64;
+    for h in handles {
+        total += h.join().unwrap_or(0.0);
+    }
+    total
+}

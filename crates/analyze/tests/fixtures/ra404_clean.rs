@@ -1,0 +1,9 @@
+//! Clean twin of ra404_violation: Release on the publication flag
+//! (paired with Acquire loads on readers), and Relaxed kept for the
+//! plain counter, where it is the right ordering.
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn publish_model(ready: &AtomicBool, publishes: &AtomicU64) {
+    publishes.fetch_add(1, Ordering::Relaxed);
+    ready.store(true, Ordering::Release);
+}

@@ -1,0 +1,8 @@
+//! Seeded RA404 violation: a Relaxed store on a publication-style
+//! flag — readers that see `ready == true` are not guaranteed to see
+//! the model writes that preceded it.
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn publish_model(ready: &AtomicBool) {
+    ready.store(true, Ordering::Relaxed);
+}

@@ -1,0 +1,24 @@
+//! Clean twin of ra405_violation: both functions take the locks in
+//! the same (stats, cache) order, and the guard is dropped before the
+//! pool dispatch runs.
+use std::sync::Mutex;
+
+pub fn reload(stats: &Mutex<u64>, cache: &Mutex<u64>) {
+    let s = stats.lock().unwrap_or_else(|e| e.into_inner());
+    let c = cache.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = (*s, *c);
+}
+
+pub fn flush(stats: &Mutex<u64>, cache: &Mutex<u64>) {
+    let s = stats.lock().unwrap_or_else(|e| e.into_inner());
+    let c = cache.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = (*s, *c);
+}
+
+pub fn recount(totals: &Mutex<u64>, rt: &recipe_runtime::Runtime, xs: &[u64]) {
+    let guard = totals.lock().unwrap_or_else(|e| e.into_inner());
+    let before = *guard;
+    drop(guard);
+    let bumped = rt.par_map(xs, |x| x + before);
+    let _ = bumped.len();
+}

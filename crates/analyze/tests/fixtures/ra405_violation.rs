@@ -1,0 +1,22 @@
+//! Seeded RA405 violations: two functions acquire the same pair of
+//! locks in opposite orders (deadlock-prone), and a third holds a
+//! guard across a pool dispatch (serializes the workers).
+use std::sync::Mutex;
+
+pub fn reload(stats: &Mutex<u64>, cache: &Mutex<u64>) {
+    let s = stats.lock().unwrap_or_else(|e| e.into_inner());
+    let c = cache.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = (*s, *c);
+}
+
+pub fn flush(stats: &Mutex<u64>, cache: &Mutex<u64>) {
+    let c = cache.lock().unwrap_or_else(|e| e.into_inner());
+    let s = stats.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = (*s, *c);
+}
+
+pub fn recount(totals: &Mutex<u64>, rt: &recipe_runtime::Runtime, xs: &[u64]) {
+    let guard = totals.lock().unwrap_or_else(|e| e.into_inner());
+    let bumped = rt.par_map(xs, |x| x + 1);
+    let _ = (*guard, bumped.len());
+}

@@ -1,0 +1,15 @@
+//! Clean twin of ra406_violation: the serving path degrades to a
+//! default on bad input instead of panicking, and all slice access is
+//! bounds-checked.
+
+pub fn decode(xs: &[u32], trans: &[f32]) -> f32 {
+    let _span = recipe_obs::span!("fixtures.decode");
+    match xs.first() {
+        Some(&first) => lookup(trans, first as usize),
+        None => 0.0,
+    }
+}
+
+fn lookup(trans: &[f32], state: usize) -> f32 {
+    trans.get(state * 2 + 1).copied().unwrap_or(0.0)
+}

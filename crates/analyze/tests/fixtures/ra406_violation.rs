@@ -1,0 +1,16 @@
+//! Seeded RA406 violations: panics reachable from a serving entry
+//! point — an unwrap on caller-controlled input, an explicit panic in
+//! a callee, and unchecked arithmetic indexing.
+
+pub fn decode(xs: &[u32], trans: &[f32]) -> f32 {
+    let _span = recipe_obs::span!("fixtures.decode");
+    let first = xs.first().unwrap();
+    lookup(trans, *first as usize)
+}
+
+fn lookup(trans: &[f32], state: usize) -> f32 {
+    if trans.is_empty() {
+        panic!("empty transition table");
+    }
+    trans[state * 2 + 1]
+}

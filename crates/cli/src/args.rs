@@ -77,7 +77,7 @@ pub enum Command {
         /// Corpus seed.
         seed: u64,
     },
-    /// `lint [--format human|json] [--deny-warnings] [--model PATH] ...`
+    /// `lint [--format human|json|sarif] [--deny-warnings] [--deny-new] ...`
     Lint(LintOptions),
     /// `stats <metrics.json>`: validate and pretty-print a telemetry
     /// document written by `--metrics-out`.
@@ -160,6 +160,16 @@ pub struct LintOptions {
     pub list_rules: bool,
     /// Worker threads (0 = `RECIPE_THREADS` env / detected cores).
     pub threads: usize,
+    /// Fail only on diagnostics absent from the baseline file.
+    pub deny_new: bool,
+    /// Baseline path override (`--baseline PATH`); defaults to
+    /// `lint_baseline.json` under the workspace root.
+    pub baseline: Option<String>,
+    /// Regenerate the baseline from this run's findings and exit.
+    pub write_baseline: bool,
+    /// Run only the source passes (`RA3xx`/`RA4xx`): no corpus
+    /// generation, no training, no invariant audits.
+    pub source_only: bool,
 }
 
 impl Default for LintOptions {
@@ -175,6 +185,10 @@ impl Default for LintOptions {
             deny: Vec::new(),
             list_rules: false,
             threads: 0,
+            deny_new: false,
+            baseline: None,
+            write_baseline: false,
+            source_only: false,
         }
     }
 }
@@ -490,6 +504,18 @@ fn parse_lint(rest: &[String]) -> Result<LintOptions, ArgsError> {
                 opts.list_rules = true;
                 i += 1;
             }
+            "--deny-new" => {
+                opts.deny_new = true;
+                i += 1;
+            }
+            "--write-baseline" => {
+                opts.write_baseline = true;
+                i += 1;
+            }
+            "--source-only" => {
+                opts.source_only = true;
+                i += 1;
+            }
             "--workspace" => {
                 // Optional value: `--workspace path` or bare `--workspace`.
                 if i + 1 < rest.len() && !rest[i + 1].starts_with("--") {
@@ -501,7 +527,7 @@ fn parse_lint(rest: &[String]) -> Result<LintOptions, ArgsError> {
                 }
             }
             flag @ ("--format" | "--model" | "--recipes" | "--seed" | "--threads" | "--allow"
-            | "--deny") => {
+            | "--deny" | "--baseline") => {
                 let name: &'static str = match flag {
                     "--format" => "format",
                     "--model" => "model",
@@ -509,6 +535,7 @@ fn parse_lint(rest: &[String]) -> Result<LintOptions, ArgsError> {
                     "--seed" => "seed",
                     "--threads" => "threads",
                     "--allow" => "allow",
+                    "--baseline" => "baseline",
                     _ => "deny",
                 };
                 let Some(v) = rest.get(i + 1) else {
@@ -516,12 +543,13 @@ fn parse_lint(rest: &[String]) -> Result<LintOptions, ArgsError> {
                 };
                 match name {
                     "format" => {
-                        if v != "human" && v != "json" {
+                        if v != "human" && v != "json" && v != "sarif" {
                             return Err(ArgsError::BadValue("format", v.clone()));
                         }
                         opts.format = v.clone();
                     }
                     "model" => opts.model = Some(v.clone()),
+                    "baseline" => opts.baseline = Some(v.clone()),
                     "recipes" => {
                         opts.recipes = v
                             .parse()
@@ -574,10 +602,11 @@ USAGE:
   recipe-mine bench-diff [--history <bench_history.jsonl>]
                       [--benchmark NAME] [--warn-pct P] [--fail-pct P]
                       [--smoke]
-  recipe-mine lint    [--format human|json] [--deny-warnings]
+  recipe-mine lint    [--format human|json|sarif] [--deny-warnings]
                       [--model <model.json>] [--recipes N] [--seed S]
                       [--workspace [ROOT]] [--allow CODES] [--deny CODES]
-                      [--list-rules] [--threads T]
+                      [--list-rules] [--threads T] [--source-only]
+                      [--deny-new] [--baseline PATH] [--write-baseline]
   recipe-mine help
 
 Parallelism: --threads T sets the worker-thread count for training and
@@ -604,6 +633,14 @@ Viterbi margins, cache hit/miss origin, dictionary accept/reject votes)
 to extract/mine output; `recipe-mine explain` prints the same trail per
 phrase without the surrounding pipeline output. None of these flags
 change the `results` block.
+
+Linting: --source-only runs just the token-accurate source passes
+(RA3xx/RA4xx) — no training — so a full-workspace scan finishes in well
+under two seconds. --format sarif emits a SARIF 2.1.0 document for code
+scanning dashboards. --deny-new fails only on diagnostics whose stable
+fingerprint is absent from the baseline file (default
+<workspace>/lint_baseline.json, override with --baseline PATH);
+--write-baseline regenerates that file from the current findings.
 
 Bench gate: `recipe-mine bench-diff` loads results/bench_history.jsonl
 (appended to by the bench binaries), compares each benchmark's newest
@@ -846,6 +883,40 @@ mod tests {
                 allow: vec!["RA301".into(), "RA107".into()],
                 deny: vec!["RA002".into()],
                 list_rules: true,
+                ..LintOptions::default()
+            })
+        );
+    }
+
+    #[test]
+    fn parses_lint_baseline_surface() {
+        let parsed = parse_args(&s(&[
+            "lint",
+            "--source-only",
+            "--deny-new",
+            "--baseline",
+            "custom_baseline.json",
+            "--format",
+            "sarif",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Lint(LintOptions {
+                source_only: true,
+                deny_new: true,
+                baseline: Some("custom_baseline.json".into()),
+                format: "sarif".into(),
+                ..LintOptions::default()
+            })
+        );
+
+        let parsed = parse_args(&s(&["lint", "--write-baseline", "--workspace"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Lint(LintOptions {
+                write_baseline: true,
+                workspace: Some(".".into()),
                 ..LintOptions::default()
             })
         );

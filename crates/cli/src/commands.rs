@@ -26,6 +26,8 @@ pub enum CliError {
     /// the rendered comparison report so the binary can print it and
     /// exit nonzero.
     BenchDiff(String),
+    /// The lint baseline file failed to load, parse or save.
+    Baseline(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -37,6 +39,7 @@ impl std::fmt::Display for CliError {
             CliError::Lint(report) => f.write_str(report),
             CliError::Stats(msg) => write!(f, "telemetry document: {msg}"),
             CliError::BenchDiff(report) => f.write_str(report),
+            CliError::Baseline(msg) => f.write_str(msg),
         }
     }
 }
@@ -270,6 +273,7 @@ fn stats(path: &str) -> Result<String, CliError> {
 }
 
 fn lint(opts: &LintOptions) -> Result<String, CliError> {
+    use recipe_analyze::baseline::{partition, Baseline, DEFAULT_BASELINE_PATH};
     use recipe_analyze::{has_errors, render_human, render_json, Level, RULES};
 
     if opts.list_rules {
@@ -286,11 +290,18 @@ fn lint(opts: &LintOptions) -> Result<String, CliError> {
         return Ok(out);
     }
 
+    // `--source-only` without an explicit `--workspace` scans the
+    // current directory rather than silently scanning nothing.
+    let source_root = opts
+        .workspace
+        .clone()
+        .or_else(|| opts.source_only.then(|| ".".to_string()));
     let mut cfg = recipe_analyze::Config {
         recipes: opts.recipes,
         seed: opts.seed,
         model_path: opts.model.as_ref().map(std::path::PathBuf::from),
-        source_root: opts.workspace.as_ref().map(std::path::PathBuf::from),
+        source_root: source_root.map(std::path::PathBuf::from),
+        source_only: opts.source_only,
         ..recipe_analyze::Config::default()
     };
     cfg.lint.deny_warnings = opts.deny_warnings;
@@ -305,14 +316,58 @@ fn lint(opts: &LintOptions) -> Result<String, CliError> {
         recipe_analyze::AnalyzeError::ModelLoad(pe) => CliError::Persist(pe),
     })?;
 
-    let report = match opts.format.as_str() {
+    // The baseline lives at the workspace root unless overridden.
+    let baseline_path = opts.baseline.clone().unwrap_or_else(|| {
+        let root = opts.workspace.as_deref().unwrap_or(".");
+        format!("{}/{DEFAULT_BASELINE_PATH}", root.trim_end_matches('/'))
+    });
+    let baseline_path = std::path::PathBuf::from(baseline_path);
+
+    if opts.write_baseline {
+        let baseline = Baseline::from_diagnostics(&diags);
+        baseline.save(&baseline_path).map_err(CliError::Baseline)?;
+        return Ok(format!(
+            "wrote {} suppression{} to {}\n",
+            baseline.entries.len(),
+            if baseline.entries.len() == 1 { "" } else { "s" },
+            baseline_path.display()
+        ));
+    }
+
+    // Under --deny-new, only diagnostics absent from the baseline are
+    // reported — and ANY of them (even notes) fails the run.
+    let (reported, suppressed_line, failed) = if opts.deny_new {
+        let baseline = Baseline::load(&baseline_path).map_err(CliError::Baseline)?;
+        let outcome = partition(&diags, &baseline);
+        let line = format!(
+            "{} baselined diagnostic{} suppressed ({})\n",
+            outcome.suppressed,
+            if outcome.suppressed == 1 { "" } else { "s" },
+            baseline_path.display()
+        );
+        let failed = !outcome.new.is_empty();
+        (outcome.new, Some(line), failed)
+    } else {
+        let failed = has_errors(&diags);
+        (diags, None, failed)
+    };
+
+    let mut report = match opts.format.as_str() {
         "json" => format!(
             "{}\n",
-            serde_json::to_string_pretty(&render_json(&diags)).expect("json")
+            serde_json::to_string_pretty(&render_json(&reported)).expect("json")
         ),
-        _ => render_human(&diags),
+        "sarif" => format!(
+            "{}\n",
+            serde_json::to_string_pretty(&recipe_analyze::sarif::render_sarif(&reported))
+                .expect("sarif")
+        ),
+        _ => render_human(&reported),
     };
-    if has_errors(&diags) {
+    if let (Some(line), "human") = (suppressed_line, opts.format.as_str()) {
+        report.push_str(&line);
+    }
+    if failed {
         Err(CliError::Lint(report))
     } else {
         Ok(report)
@@ -793,6 +848,103 @@ mod tests {
         assert!(!out.contains("RA002"), "{out}");
 
         std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn lint_source_only_baseline_and_sarif_flow() {
+        // A miniature "workspace" with one seeded violation: an unwrap
+        // in non-test library code (RA301, note level).
+        let ws = tmp("cli_lint_ws");
+        std::fs::create_dir_all(ws.join("src")).unwrap();
+        std::fs::write(
+            ws.join("src/lib.rs"),
+            "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        )
+        .unwrap();
+        let ws_str = ws.to_string_lossy().into_owned();
+
+        // Plain --source-only reports it but passes (note level).
+        let out = run(&Command::Lint(LintOptions {
+            workspace: Some(ws_str.clone()),
+            source_only: true,
+            ..LintOptions::default()
+        }))
+        .unwrap();
+        assert!(out.contains("RA301"), "{out}");
+
+        // --deny-new with no baseline fails on it, whatever the severity.
+        let err = run(&Command::Lint(LintOptions {
+            workspace: Some(ws_str.clone()),
+            source_only: true,
+            deny_new: true,
+            ..LintOptions::default()
+        }))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Lint(_)), "{err:?}");
+
+        // --write-baseline captures it; --deny-new then passes and says
+        // how many findings the baseline suppressed.
+        let out = run(&Command::Lint(LintOptions {
+            workspace: Some(ws_str.clone()),
+            source_only: true,
+            write_baseline: true,
+            ..LintOptions::default()
+        }))
+        .unwrap();
+        assert!(out.contains("wrote 1 suppression"), "{out}");
+        let out = run(&Command::Lint(LintOptions {
+            workspace: Some(ws_str.clone()),
+            source_only: true,
+            deny_new: true,
+            ..LintOptions::default()
+        }))
+        .unwrap();
+        assert!(out.contains("1 baselined diagnostic suppressed"), "{out}");
+        assert!(
+            !out.contains("RA301]"),
+            "suppressed finding rendered: {out}"
+        );
+
+        // A new violation in a new file still fails --deny-new.
+        std::fs::write(
+            ws.join("src/extra.rs"),
+            "pub fn g() {\n    todo!(\"later\")\n}\n",
+        )
+        .unwrap();
+        let err = run(&Command::Lint(LintOptions {
+            workspace: Some(ws_str.clone()),
+            source_only: true,
+            deny_new: true,
+            ..LintOptions::default()
+        }))
+        .unwrap_err();
+        match err {
+            CliError::Lint(report) => {
+                assert!(report.contains("RA302"), "{report}");
+                assert!(!report.contains("RA301]"), "{report}");
+            }
+            other => panic!("expected CliError::Lint, got {other:?}"),
+        }
+        std::fs::remove_file(ws.join("src/extra.rs")).unwrap();
+
+        // SARIF output is a 2.1.0 document with physical locations.
+        let out = run(&Command::Lint(LintOptions {
+            workspace: Some(ws_str),
+            source_only: true,
+            format: "sarif".into(),
+            ..LintOptions::default()
+        }))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["version"], "2.1.0");
+        let results = v["runs"][0]["results"].as_array().unwrap();
+        assert!(!results.is_empty());
+        assert_eq!(
+            results[0]["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],
+            "src/lib.rs"
+        );
+
+        std::fs::remove_dir_all(&ws).ok();
     }
 
     #[test]

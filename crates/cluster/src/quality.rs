@@ -8,7 +8,7 @@
 //! K-Means assignment against the gold family labels.
 
 use crate::kmeans::sq_dist;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Mean silhouette coefficient over all points (internal quality;
 /// 1 = dense & separated, 0 = overlapping, negative = misassigned).
@@ -69,16 +69,16 @@ pub fn silhouette(data: &[Vec<f64>], assignments: &[usize]) -> f64 {
 }
 
 /// Contingency counts between two labelings.
-fn contingency(pred: &[usize], gold: &[usize]) -> HashMap<(usize, usize), usize> {
-    let mut table = HashMap::new();
+fn contingency(pred: &[usize], gold: &[usize]) -> BTreeMap<(usize, usize), usize> {
+    let mut table = BTreeMap::new();
     for (&p, &g) in pred.iter().zip(gold) {
         *table.entry((p, g)).or_insert(0) += 1;
     }
     table
 }
 
-fn class_counts(labels: &[usize]) -> HashMap<usize, usize> {
-    let mut counts = HashMap::new();
+fn class_counts(labels: &[usize]) -> BTreeMap<usize, usize> {
+    let mut counts = BTreeMap::new();
     for &l in labels {
         *counts.entry(l).or_insert(0) += 1;
     }
@@ -94,7 +94,7 @@ pub fn purity(pred: &[usize], gold: &[usize]) -> f64 {
     }
     let table = contingency(pred, gold);
     // Majority gold-label count per cluster.
-    let mut per_cluster: HashMap<usize, usize> = HashMap::new();
+    let mut per_cluster: BTreeMap<usize, usize> = BTreeMap::new();
     for (&(p, _g), &count) in &table {
         let e = per_cluster.entry(p).or_insert(0);
         if count > *e {
@@ -146,7 +146,7 @@ pub fn normalized_mutual_information(pred: &[usize], gold: &[usize]) -> f64 {
         let pj = gc[&g] as f64 / n;
         mi += pij * (pij / (pi * pj)).ln();
     }
-    let h = |counts: &HashMap<usize, usize>| -> f64 {
+    let h = |counts: &BTreeMap<usize, usize>| -> f64 {
         counts
             .values()
             .map(|&c| {

@@ -100,7 +100,7 @@ impl CuisineClassifier {
             .iter()
             .filter(|m| self.predict(m).as_deref() == Some(m.cuisine.as_str()))
             .count();
-        let mut counts: HashMap<&str, usize> = HashMap::new();
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
         for m in models {
             *counts.entry(m.cuisine.as_str()).or_insert(0) += 1;
         }

@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::RngExt;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Virtual chain states.
 const START: &str = "<START>";
@@ -178,7 +178,7 @@ impl GenerationModel {
         chosen.push(first);
         while chosen.len() < cfg.ingredients.min(self.ingredient_counts.len()) {
             // Score candidates by total co-occurrence with chosen set.
-            let mut scores: HashMap<String, usize> = HashMap::new();
+            let mut scores: BTreeMap<String, usize> = BTreeMap::new();
             for (pair, &c) in &self.cooccurrence {
                 let (a, b) = pair;
                 if chosen.contains(a) && !chosen.contains(b) {
@@ -190,7 +190,7 @@ impl GenerationModel {
             }
             let next = if scores.is_empty() {
                 // Fall back to global frequency among unchosen.
-                let remaining: HashMap<String, usize> = self
+                let remaining: BTreeMap<String, usize> = self
                     .ingredient_counts
                     .iter()
                     .filter(|(k, _)| !chosen.contains(k))

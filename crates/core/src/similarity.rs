@@ -12,7 +12,7 @@
 
 use crate::model::RecipeModel;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Weights for the combined score. Defaults to an even split.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -207,9 +207,9 @@ pub struct SimilarityIndex {
 impl SimilarityIndex {
     /// Fit IDF weights over the ingredient names of `models`.
     pub fn fit(models: &[RecipeModel]) -> Self {
-        let mut df: HashMap<String, usize> = HashMap::new();
+        let mut df: BTreeMap<String, usize> = BTreeMap::new();
         for m in models {
-            let names: HashSet<&str> = m.ingredients.iter().map(|e| e.name.as_str()).collect();
+            let names: BTreeSet<&str> = m.ingredients.iter().map(|e| e.name.as_str()).collect();
             for n in names {
                 *df.entry(n.to_string()).or_insert(0) += 1;
             }
@@ -236,8 +236,9 @@ impl SimilarityIndex {
 
     /// IDF-weighted Jaccard over ingredient-name sets.
     pub fn weighted_ingredient_similarity(&self, a: &RecipeModel, b: &RecipeModel) -> f64 {
-        let sa: HashSet<&str> = a.ingredients.iter().map(|e| e.name.as_str()).collect();
-        let sb: HashSet<&str> = b.ingredients.iter().map(|e| e.name.as_str()).collect();
+        // BTreeSet so the float sums below fold in a fixed (sorted) order.
+        let sa: BTreeSet<&str> = a.ingredients.iter().map(|e| e.name.as_str()).collect();
+        let sb: BTreeSet<&str> = b.ingredients.iter().map(|e| e.name.as_str()).collect();
         if sa.is_empty() && sb.is_empty() {
             return 0.0;
         }

@@ -1,0 +1,79 @@
+//! Stable content fingerprints.
+//!
+//! A tiny FNV-1a implementation with a fixed offset basis and prime, so
+//! fingerprints are identical across platforms, architectures and runs —
+//! unlike `DefaultHasher`, whose output is deliberately randomized.
+//! Used by `recipe-analyze` to key lint-baseline suppressions and SARIF
+//! `partialFingerprints`, and available to any subsystem that needs a
+//! deterministic digest of small strings.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over raw bytes.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fingerprint a sequence of string parts. Each part is length-prefixed
+/// before hashing so `("ab", "c")` and `("a", "bc")` cannot collide.
+pub fn fingerprint_parts(parts: &[&str]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for part in parts {
+        for &b in (part.len() as u64).to_le_bytes().iter() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        for &b in part.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Render a fingerprint as the fixed-width lowercase hex form used in
+/// `lint_baseline.json` and SARIF `partialFingerprints`.
+pub fn to_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn parts_are_length_prefixed() {
+        assert_ne!(
+            fingerprint_parts(&["ab", "c"]),
+            fingerprint_parts(&["a", "bc"])
+        );
+        assert_ne!(fingerprint_parts(&["ab"]), fingerprint_parts(&["ab", ""]));
+        assert_eq!(
+            fingerprint_parts(&["RA401", "m.rs", "msg"]),
+            fingerprint_parts(&["RA401", "m.rs", "msg"])
+        );
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(to_hex(0).len(), 16);
+        assert_eq!(to_hex(u64::MAX), "ffffffffffffffff");
+        assert_eq!(to_hex(0x1a2b), "0000000000001a2b");
+    }
+}

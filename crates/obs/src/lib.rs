@@ -41,6 +41,7 @@
 //! see [`set_enabled`].
 
 pub mod event;
+pub mod fingerprint;
 pub mod history;
 pub mod metrics;
 pub mod provenance;
@@ -50,6 +51,7 @@ pub mod span;
 pub use event::{
     export_chrome_trace, validate_chrome_trace, EventKind, TraceConfig, TraceEvent, TraceSession,
 };
+pub use fingerprint::{fingerprint_parts, fnv1a64};
 pub use history::{
     DiffFinding, DiffLevel, DiffThresholds, HistoryEntry, HistoryRun, DEFAULT_HISTORY_PATH,
     HISTORY_SCHEMA_VERSION,

@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A training sentence: parallel word and tag sequences.
 pub type TaggedSentence = (Vec<String>, Vec<PennTag>);
@@ -283,7 +283,7 @@ impl PosTagger {
 
 /// Build the unambiguous-word dictionary from training counts.
 fn build_tagdict(sentences: &[TaggedSentence]) -> HashMap<String, PennTag> {
-    let mut counts: HashMap<String, [usize; NUM_TAGS]> = HashMap::new();
+    let mut counts: BTreeMap<String, [usize; NUM_TAGS]> = BTreeMap::new();
     for (words, tags) in sentences {
         for (w, t) in words.iter().zip(tags) {
             counts.entry(normalize(w)).or_insert([0; NUM_TAGS])[t.index()] += 1;
