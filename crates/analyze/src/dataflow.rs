@@ -17,6 +17,7 @@
 //! | RA404 | `Ordering::Relaxed` stores on publication-style atomics |
 //! | RA405 | inconsistent mutex acquisition order; guards held across pool dispatch |
 //! | RA406 | panic sources (`unwrap`, `panic!`, arithmetic indexing) on the serving call graph |
+//! | RA407 | load/parse entry points that reinterpret raw bytes without reachable validation |
 
 use crate::callgraph::{call_sites, macro_sites, CallGraph, Workspace};
 use crate::diag::Diagnostic;
@@ -113,6 +114,7 @@ pub fn lint_dataflow(ws: &Workspace) -> Vec<Diagnostic> {
     }
 
     ra405_order_conflicts(&lock_orders, &mut out);
+    ra407_unchecked_reinterpretation(&g, &mut out);
     out
 }
 
@@ -711,6 +713,88 @@ fn ra406_panic_sources(file: &FileItems, f: &FnItem, out: &mut Vec<Diagnostic>) 
     }
 }
 
+/// Byte-reinterpretation calls: each one turns raw bytes into typed
+/// values, so its result is only as trustworthy as the bytes.
+const REINTERP_CALLS: &[&str] = &[
+    "from_le_bytes",
+    "from_be_bytes",
+    "from_ne_bytes",
+    "transmute",
+    "from_raw_parts",
+    "align_to",
+];
+
+/// Identifier fragments that count as validation evidence on a load
+/// path: a magic check, a checksum, a schema-version gate, or an
+/// explicit validate/verify call anywhere in the entry's reachable set.
+const VALIDATION_FRAGMENTS: &[&str] = &[
+    "magic",
+    "crc",
+    "checksum",
+    "schema_version",
+    "validate",
+    "verify",
+];
+
+/// RA407: a deserialization entry point (`load*`/`parse*`) whose
+/// forward-reachable call graph reinterprets raw bytes
+/// (`from_le_bytes`, `transmute`, …) while neither the entry nor
+/// anything it reaches shows validation evidence (magic, checksum,
+/// schema version, validate/verify). Flagging the *entry* rather than
+/// each reinterpretation site keeps validated decoders (where one
+/// header check covers thousands of reads) clean without per-site
+/// suppressions.
+fn ra407_unchecked_reinterpretation(g: &CallGraph<'_>, out: &mut Vec<Diagnostic>) {
+    for id in 0..g.fns.len() {
+        let (file, f) = g.item(id);
+        if f.in_test
+            || f.body.is_empty()
+            || !(f.name.starts_with("load") || f.name.starts_with("parse"))
+        {
+            continue;
+        }
+        let reach = g.reachable_from(&[id]);
+        let mut reinterp: Option<String> = None;
+        let mut evidence = false;
+        for rid in 0..g.fns.len() {
+            if !reach[rid] {
+                continue;
+            }
+            let (rfile, rf) = g.item(rid);
+            for k in rf.body.clone() {
+                if rfile.lexed.kind(k) != Some(TokenKind::Ident) {
+                    continue;
+                }
+                let text = rfile.lexed.text(k);
+                if REINTERP_CALLS.contains(&text) && reinterp.is_none() {
+                    reinterp = Some(text.to_string());
+                }
+                let lower = text.to_ascii_lowercase();
+                if VALIDATION_FRAGMENTS.iter().any(|frag| lower.contains(frag)) {
+                    evidence = true;
+                }
+            }
+        }
+        if let (Some(call), false) = (reinterp, evidence) {
+            out.push(
+                Diagnostic::new(
+                    "RA407",
+                    format!(
+                        "`{}` reinterprets raw bytes (`{call}`) with no reachable validation",
+                        f.qual
+                    ),
+                    format!("{}:{}", file.file, file.lexed.line(f.signature.start)),
+                )
+                .with_note(
+                    "corrupt or truncated input flows straight into typed values; check a \
+                     magic number, schema version or checksum before decoding (any reachable \
+                     magic/crc/checksum/schema_version/validate/verify identifier counts)",
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -899,6 +983,66 @@ fn offline(xs: &[u32]) -> u32 {
                 .any(|d| d.message.contains("arithmetic indexing")),
             "{diags:?}"
         );
+    }
+
+    #[test]
+    fn ra407_fires_on_unchecked_load_entry() {
+        let src = "\
+pub fn load_header(buf: &[u8]) -> u32 {
+    read_u32(buf, 0)
+}
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&buf[at..at + 4]);
+    u32::from_le_bytes(raw)
+}
+";
+        let diags = lint(src);
+        let ra407: Vec<_> = diags.iter().filter(|d| d.code == "RA407").collect();
+        assert_eq!(ra407.len(), 1, "{diags:?}");
+        assert_eq!(ra407[0].location, "m.rs:1");
+        assert!(ra407[0].message.contains("load_header"), "{diags:?}");
+        assert!(ra407[0].message.contains("from_le_bytes"), "{diags:?}");
+    }
+
+    #[test]
+    fn ra407_quiet_with_reachable_validation_evidence() {
+        // The entry itself has no check, but a reachable callee touches
+        // the magic constant and a checksum — that is the sanctioned
+        // "validate once at the container boundary" shape.
+        let src = "\
+pub fn load_header(buf: &[u8]) -> u32 {
+    check_container(buf);
+    read_u32(buf, 0)
+}
+fn check_container(buf: &[u8]) {
+    assert_eq!(&buf[..8], MAGIC);
+    assert_eq!(crc32(&buf[8..]), read_u32(buf, 4));
+}
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&buf[at..at + 4]);
+    u32::from_le_bytes(raw)
+}
+";
+        let diags = lint(src);
+        assert!(!codes(&diags).contains(&"RA407"), "{diags:?}");
+    }
+
+    #[test]
+    fn ra407_ignores_non_load_entries_and_plain_parsers() {
+        // A helper that is not a load/parse entry point never fires,
+        // and a parse that never reinterprets bytes never fires.
+        let src = "\
+pub fn decode_row(buf: &[u8]) -> u32 {
+    u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]])
+}
+pub fn parse_name(s: &str) -> String {
+    s.trim().to_string()
+}
+";
+        let diags = lint(src);
+        assert!(!codes(&diags).contains(&"RA407"), "{diags:?}");
     }
 
     #[test]

@@ -358,6 +358,12 @@ pub const RULES: &[RuleInfo] = &[
         default_severity: Severity::Note,
         summary: "a panic site (unwrap/expect/panic!/arithmetic-indexing) sits on the serving-critical call graph",
     },
+    RuleInfo {
+        code: "RA407",
+        name: "unchecked-byte-reinterpretation",
+        default_severity: Severity::Warning,
+        summary: "a load/parse entry point reinterprets raw bytes with no reachable magic/checksum/version validation",
+    },
 ];
 
 /// Look up a rule by code.

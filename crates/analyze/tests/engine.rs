@@ -97,6 +97,17 @@ fn ra406_catches_panics_reachable_from_serving() {
     assert!(clean.is_empty(), "{clean:?}");
 }
 
+#[test]
+fn ra407_catches_unchecked_byte_reinterpretation_on_load() {
+    let hits = scan_fixture("ra407_violation.rs", "RA407");
+    assert_eq!(lines(&hits), vec![5], "{hits:?}");
+    assert!(hits[0].message.contains("load_weights"), "{hits:?}");
+    assert!(hits[0].message.contains("from_le_bytes"), "{hits:?}");
+
+    let clean = scan_fixture("ra407_clean.rs", "RA407");
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
 fn corpus_config() -> Config {
     Config {
         source_only: true,
@@ -108,7 +119,9 @@ fn corpus_config() -> Config {
 #[test]
 fn corpus_scan_covers_every_rule_and_is_deterministic() {
     let first = run_all(&corpus_config()).expect("corpus scan");
-    for code in ["RA401", "RA402", "RA403", "RA404", "RA405", "RA406"] {
+    for code in [
+        "RA401", "RA402", "RA403", "RA404", "RA405", "RA406", "RA407",
+    ] {
         assert!(
             first.iter().any(|d| d.code == code),
             "{code} missing from corpus scan: {first:?}"

@@ -1,0 +1,39 @@
+//! Clean twin of ra407_violation: the same reinterpreting decode, but
+//! the entry validates the container first — magic number and CRC are
+//! checked before any bytes become typed values.
+
+const MAGIC: &[u8; 8] = b"RECIPRMA";
+
+pub fn load_weights(buf: &[u8]) -> Vec<f64> {
+    check_magic_and_crc(buf);
+    let count = read_u32(buf, 8) as usize;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        out.push(f64::from_le_bytes(take8(buf, 12 + i * 8)));
+    }
+    out
+}
+
+fn check_magic_and_crc(buf: &[u8]) {
+    assert_eq!(&buf[..8], MAGIC, "bad magic");
+    let stored = read_u32(buf, buf.len() - 4);
+    assert_eq!(crc32(&buf[..buf.len() - 4]), stored, "checksum mismatch");
+}
+
+fn crc32(bytes: &[u8]) -> u32 {
+    bytes.iter().fold(0u32, |acc, &b| {
+        acc.rotate_left(5) ^ u32::from(b)
+    })
+}
+
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&buf[at..at + 4]);
+    u32::from_le_bytes(raw)
+}
+
+fn take8(buf: &[u8], at: usize) -> [u8; 8] {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&buf[at..at + 8]);
+    raw
+}

@@ -1,0 +1,24 @@
+//! Seeded RA407 violation: a load entry point reinterprets raw bytes
+//! through a helper with no reachable magic/checksum/version check —
+//! a truncated or corrupt file flows straight into typed weights.
+
+pub fn load_weights(buf: &[u8]) -> Vec<f64> {
+    let count = read_u32(buf, 0) as usize;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        out.push(f64::from_le_bytes(take8(buf, 4 + i * 8)));
+    }
+    out
+}
+
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&buf[at..at + 4]);
+    u32::from_le_bytes(raw)
+}
+
+fn take8(buf: &[u8], at: usize) -> [u8; 8] {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&buf[at..at + 8]);
+    raw
+}

@@ -1,0 +1,819 @@
+//! Zero-copy binary container for compiled recipe models (`.rma` files).
+//!
+//! The format is a flat, little-endian, 8-byte-aligned section file:
+//!
+//! ```text
+//! [header: 32 bytes][section table: 32 bytes x N][payload 0][pad][payload 1] ...
+//! ```
+//!
+//! * **Header** — magic `RECIPRMA`, schema version, endianness tag,
+//!   section count, total length, and a CRC-32 of the header itself.
+//! * **Section table** — one fixed-width entry per section: kind tag,
+//!   byte offset, byte length, and a CRC-32 of the payload.
+//! * **Payloads** — opaque byte ranges, each starting on an 8-byte
+//!   boundary so fixed-width numeric reads never straddle sections.
+//!
+//! [`Artifact::parse`] validates the container structurally in
+//! **O(sections)** — magic, version, endianness, header checksum, total
+//! length, per-section bounds, alignment, and overlap — without touching
+//! payload bytes, so cold load cost is independent of model size. The
+//! optional [`Artifact::verify_crc`] pass walks payload bytes and checks
+//! every section checksum; callers opt into that O(bytes) cost.
+//!
+//! Readers borrow directly from the backing buffer (an `Arc<[u8]>`, so
+//! the same mapping can be shared across threads); nothing is decoded or
+//! re-allocated at load time. Model crates layer typed views on top of
+//! [`Artifact::section`] ranges and the [`StrTable`] helper.
+
+#![warn(missing_docs)]
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+
+use recipe_obs::Counter;
+
+/// File magic: first eight bytes of every `.rma` artifact.
+pub const MAGIC: [u8; 8] = *b"RECIPRMA";
+/// Current container schema version. Readers reject other versions.
+pub const SCHEMA_VERSION: u32 = 1;
+/// Endianness probe word. Stored little-endian; a reader on a
+/// mismatched-endian decode path sees `0x04030201` and rejects the file.
+pub const ENDIAN_TAG: u32 = 0x0102_0304;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 32;
+/// Fixed size of one section-table entry in bytes.
+pub const SECTION_ENTRY_LEN: usize = 32;
+/// Alignment guarantee for every section payload start.
+pub const ALIGN: usize = 8;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+/// CRC-32 (IEEE) of `bytes`, as used for the header and section checksums.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian fixed-width accessors
+// ---------------------------------------------------------------------------
+// All multi-byte values in the container are little-endian. The readers
+// copy a fixed-width window into a stack array, so they are safe under
+// `#![deny(unsafe_code)]`; callers guarantee bounds via the load-time
+// section-length checks.
+
+/// Read a little-endian `u32` at byte offset `at`.
+#[inline]
+pub fn read_u32(buf: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+/// Read a little-endian `u64` at byte offset `at`.
+#[inline]
+pub fn read_u64(buf: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Read a little-endian `f64` at byte offset `at`.
+#[inline]
+pub fn read_f64(buf: &[u8], at: usize) -> f64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    f64::from_le_bytes(b)
+}
+
+/// Read a little-endian `i16` at byte offset `at`.
+#[inline]
+pub fn read_i16(buf: &[u8], at: usize) -> i16 {
+    let mut b = [0u8; 2];
+    b.copy_from_slice(&buf[at..at + 2]);
+    i16::from_le_bytes(b)
+}
+
+/// Append a `u32` in little-endian order.
+#[inline]
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` in little-endian order.
+#[inline]
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` in little-endian order.
+#[inline]
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `i16` in little-endian order.
+#[inline]
+pub fn put_i16(out: &mut Vec<u8>, v: i16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Failure modes for parsing or verifying an artifact container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// Buffer is smaller than the fixed header.
+    TooShort,
+    /// First eight bytes are not [`MAGIC`].
+    BadMagic,
+    /// Schema version is not [`SCHEMA_VERSION`].
+    BadVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// Endianness tag did not match [`ENDIAN_TAG`] — the file was
+    /// written on (or corrupted into) an incompatible byte order.
+    BadEndianness,
+    /// Header CRC-32 mismatch: the header bytes themselves are corrupt.
+    HeaderCorrupt,
+    /// `total_len` recorded in the header does not match the buffer.
+    LengthMismatch {
+        /// Length recorded in the header.
+        expected: u64,
+        /// Actual buffer length.
+        actual: u64,
+    },
+    /// Section table extends past the end of the buffer.
+    SectionTableTruncated,
+    /// A section's `[offset, offset+len)` range escapes the buffer or
+    /// the payload region.
+    SectionBounds {
+        /// Kind tag of the offending section.
+        kind: u32,
+    },
+    /// A section payload does not start on an [`ALIGN`]-byte boundary.
+    SectionMisaligned {
+        /// Kind tag of the offending section.
+        kind: u32,
+    },
+    /// A section payload overlaps the previous section.
+    SectionOverlap {
+        /// Kind tag of the offending section.
+        kind: u32,
+    },
+    /// A section payload failed its CRC-32 check (from
+    /// [`Artifact::verify_crc`]).
+    ChecksumMismatch {
+        /// Kind tag of the offending section.
+        kind: u32,
+    },
+    /// A section required by the model reader is absent.
+    MissingSection {
+        /// Kind tag that was looked up.
+        kind: u32,
+    },
+    /// A section is present but its contents are not the shape the
+    /// model reader expects (wrong length for the recorded counts,
+    /// malformed string table, out-of-range ids, ...).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::TooShort => write!(f, "buffer shorter than artifact header"),
+            ArtifactError::BadMagic => write!(f, "bad magic: not a .rma artifact"),
+            ArtifactError::BadVersion { found } => write!(
+                f,
+                "unsupported artifact schema version {found} (reader supports {SCHEMA_VERSION})"
+            ),
+            ArtifactError::BadEndianness => {
+                write!(
+                    f,
+                    "artifact endianness tag mismatch (expected little-endian)"
+                )
+            }
+            ArtifactError::HeaderCorrupt => write!(f, "artifact header failed its CRC-32 check"),
+            ArtifactError::LengthMismatch { expected, actual } => write!(
+                f,
+                "artifact length mismatch: header says {expected} bytes, buffer has {actual}"
+            ),
+            ArtifactError::SectionTableTruncated => {
+                write!(f, "section table extends past end of artifact")
+            }
+            ArtifactError::SectionBounds { kind } => {
+                write!(f, "section kind {kind} escapes the artifact bounds")
+            }
+            ArtifactError::SectionMisaligned { kind } => {
+                write!(f, "section kind {kind} is not {ALIGN}-byte aligned")
+            }
+            ArtifactError::SectionOverlap { kind } => {
+                write!(f, "section kind {kind} overlaps the previous section")
+            }
+            ArtifactError::ChecksumMismatch { kind } => {
+                write!(f, "section kind {kind} failed its CRC-32 check")
+            }
+            ArtifactError::MissingSection { kind } => {
+                write!(f, "required section kind {kind} missing from artifact")
+            }
+            ArtifactError::Malformed(what) => write!(f, "malformed artifact section: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+// ---------------------------------------------------------------------------
+// Load/verify telemetry
+// ---------------------------------------------------------------------------
+
+struct Metrics {
+    loads: Arc<Counter>,
+    load_errors: Arc<Counter>,
+    crc_verifies: Arc<Counter>,
+    crc_failures: Arc<Counter>,
+}
+
+fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = recipe_obs::global();
+        Metrics {
+            loads: reg.counter("artifact.loads"),
+            load_errors: reg.counter("artifact.load_errors"),
+            crc_verifies: reg.counter("artifact.crc_verifies"),
+            crc_failures: reg.counter("artifact.crc_failures"),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Assembles sections into a finished `.rma` byte buffer.
+///
+/// Sections are laid out in push order; [`ArtifactWriter::finish`] fills
+/// in the header, the section table, per-section CRC-32s, and the
+/// inter-section alignment padding.
+#[derive(Default)]
+pub struct ArtifactWriter {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl ArtifactWriter {
+    /// New writer with no sections.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one section payload under `kind`.
+    pub fn push_section(&mut self, kind: u32, bytes: Vec<u8>) {
+        self.sections.push((kind, bytes));
+    }
+
+    /// Serialize the container: header, section table, aligned payloads.
+    pub fn finish(self) -> Vec<u8> {
+        let count = self.sections.len();
+        let table_end = HEADER_LEN + count * SECTION_ENTRY_LEN;
+        let mut total = table_end;
+        let mut entries = Vec::with_capacity(count);
+        for (kind, bytes) in &self.sections {
+            let offset = align_up(total, ALIGN);
+            entries.push((*kind, offset as u64, bytes.len() as u64, crc32(bytes)));
+            total = offset + bytes.len();
+        }
+        let total_len = total as u64;
+
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, SCHEMA_VERSION);
+        put_u32(&mut out, ENDIAN_TAG);
+        put_u32(&mut out, count as u32);
+        put_u64(&mut out, total_len);
+        let header_crc = crc32(&out);
+        put_u32(&mut out, header_crc);
+        debug_assert_eq!(out.len(), HEADER_LEN);
+
+        for (kind, offset, len, crc) in &entries {
+            put_u32(&mut out, *kind);
+            put_u32(&mut out, 0);
+            put_u64(&mut out, *offset);
+            put_u64(&mut out, *len);
+            put_u32(&mut out, *crc);
+            put_u32(&mut out, 0);
+        }
+        debug_assert_eq!(out.len(), table_end);
+
+        for (i, (_, bytes)) in self.sections.iter().enumerate() {
+            let offset = entries[i].1 as usize;
+            out.resize(offset, 0);
+            out.extend_from_slice(bytes);
+        }
+        debug_assert_eq!(out.len() as u64, total_len);
+        out
+    }
+}
+
+fn align_up(n: usize, align: usize) -> usize {
+    (n + align - 1) / align * align
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// A structurally validated `.rma` container over a shared byte buffer.
+///
+/// Holds only the `Arc<[u8]>` and the section count; section lookups
+/// scan the fixed-width table in place, so no per-section state is
+/// allocated at load time.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    buf: Arc<[u8]>,
+    count: usize,
+}
+
+impl Artifact {
+    /// Validate the container structure and wrap the buffer.
+    ///
+    /// This is the O(sections) cold-load path: it checks magic, schema
+    /// version, endianness, the header CRC, the recorded total length,
+    /// and every section-table entry (bounds, alignment, overlap)
+    /// without reading payload bytes. Use [`Artifact::verify_crc`] for
+    /// the optional O(bytes) checksum pass.
+    pub fn parse(buf: Arc<[u8]>) -> Result<Self, ArtifactError> {
+        match Self::validate(&buf) {
+            Ok(count) => {
+                metrics().loads.inc();
+                Ok(Artifact { buf, count })
+            }
+            Err(e) => {
+                metrics().load_errors.inc();
+                Err(e)
+            }
+        }
+    }
+
+    fn validate(buf: &[u8]) -> Result<usize, ArtifactError> {
+        if buf.len() < HEADER_LEN {
+            return Err(ArtifactError::TooShort);
+        }
+        if buf[..8] != MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        let version = read_u32(buf, 8);
+        if version != SCHEMA_VERSION {
+            return Err(ArtifactError::BadVersion { found: version });
+        }
+        if read_u32(buf, 12) != ENDIAN_TAG {
+            return Err(ArtifactError::BadEndianness);
+        }
+        if read_u32(buf, HEADER_LEN - 4) != crc32(&buf[..HEADER_LEN - 4]) {
+            return Err(ArtifactError::HeaderCorrupt);
+        }
+        let total_len = read_u64(buf, 20);
+        if total_len != buf.len() as u64 {
+            return Err(ArtifactError::LengthMismatch {
+                expected: total_len,
+                actual: buf.len() as u64,
+            });
+        }
+        let count = read_u32(buf, 16) as usize;
+        let table_end = HEADER_LEN
+            .checked_add(count.checked_mul(SECTION_ENTRY_LEN).unwrap_or(usize::MAX))
+            .unwrap_or(usize::MAX);
+        if table_end > buf.len() {
+            return Err(ArtifactError::SectionTableTruncated);
+        }
+        let mut prev_end = table_end as u64;
+        for i in 0..count {
+            let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
+            let kind = read_u32(buf, at);
+            let offset = read_u64(buf, at + 8);
+            let len = read_u64(buf, at + 16);
+            if offset % ALIGN as u64 != 0 {
+                return Err(ArtifactError::SectionMisaligned { kind });
+            }
+            let end = offset
+                .checked_add(len)
+                .ok_or(ArtifactError::SectionBounds { kind })?;
+            if offset < table_end as u64 || end > total_len {
+                return Err(ArtifactError::SectionBounds { kind });
+            }
+            if offset < prev_end {
+                return Err(ArtifactError::SectionOverlap { kind });
+            }
+            prev_end = end;
+        }
+        Ok(count)
+    }
+
+    /// Number of sections in the container.
+    pub fn section_count(&self) -> usize {
+        self.count
+    }
+
+    /// The shared backing buffer.
+    pub fn buf(&self) -> &Arc<[u8]> {
+        &self.buf
+    }
+
+    /// Byte range of the first section tagged `kind`, if present.
+    ///
+    /// Scans the fixed-width section table in place — no allocation.
+    pub fn section(&self, kind: u32) -> Option<Range<usize>> {
+        for i in 0..self.count {
+            let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
+            if read_u32(&self.buf, at) == kind {
+                let offset = read_u64(&self.buf, at + 8) as usize;
+                let len = read_u64(&self.buf, at + 16) as usize;
+                return Some(offset..offset + len);
+            }
+        }
+        None
+    }
+
+    /// Like [`Artifact::section`] but returns [`ArtifactError::MissingSection`].
+    pub fn require_section(&self, kind: u32) -> Result<Range<usize>, ArtifactError> {
+        self.section(kind)
+            .ok_or(ArtifactError::MissingSection { kind })
+    }
+
+    /// Walk every section payload and check its CRC-32 against the
+    /// section table. O(bytes) — separate from [`Artifact::parse`] so
+    /// callers choose when to pay for it.
+    pub fn verify_crc(&self) -> Result<(), ArtifactError> {
+        metrics().crc_verifies.inc();
+        for i in 0..self.count {
+            let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
+            let kind = read_u32(&self.buf, at);
+            let offset = read_u64(&self.buf, at + 8) as usize;
+            let len = read_u64(&self.buf, at + 16) as usize;
+            let stored = read_u32(&self.buf, at + 24);
+            if crc32(&self.buf[offset..offset + len]) != stored {
+                metrics().crc_failures.inc();
+                return Err(ArtifactError::ChecksumMismatch { kind });
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String tables
+// ---------------------------------------------------------------------------
+
+/// Serialize a string table: `[count u32][(count+1) x u32 end offsets][blob]`.
+///
+/// Offsets are cumulative byte positions into the blob, starting at 0,
+/// so string `i` occupies `blob[offsets[i]..offsets[i+1]]`. Callers that
+/// want binary-search lookup must pass `strings` already sorted.
+pub fn write_str_table<S: AsRef<str>>(out: &mut Vec<u8>, strings: &[S]) {
+    put_u32(out, strings.len() as u32);
+    put_u32(out, 0);
+    let mut off = 0u32;
+    for s in strings {
+        off += s.as_ref().len() as u32;
+        put_u32(out, off);
+    }
+    for s in strings {
+        out.extend_from_slice(s.as_ref().as_bytes());
+    }
+}
+
+/// Zero-copy view over a serialized string table.
+///
+/// Lookups borrow `&str` slices straight out of the backing buffer.
+/// Malformed entries (offsets out of range, invalid UTF-8) resolve to
+/// the empty string rather than panicking, so a corrupted-but-parseable
+/// table degrades to lookup misses on the serving path.
+#[derive(Clone, Copy)]
+pub struct StrTable<'a> {
+    offsets: &'a [u8],
+    blob: &'a [u8],
+    count: usize,
+}
+
+impl<'a> StrTable<'a> {
+    /// Wrap `data` as a string table; `None` if the header or offset
+    /// array does not fit.
+    pub fn new(data: &'a [u8]) -> Option<Self> {
+        if data.len() < 4 {
+            return None;
+        }
+        let count = read_u32(data, 0) as usize;
+        let offsets_end = count
+            .checked_add(1)?
+            .checked_mul(4)?
+            .checked_add(4)
+            .filter(|&end| end <= data.len())?;
+        Some(StrTable {
+            offsets: &data[4..offsets_end],
+            blob: &data[offsets_end..],
+            count,
+        })
+    }
+
+    /// Number of strings in the table.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the table holds no strings.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// String `i`, or `""` when out of range or malformed.
+    pub fn at(&self, i: usize) -> &'a str {
+        if i >= self.count {
+            return "";
+        }
+        let lo = read_u32(self.offsets, i * 4) as usize;
+        let hi = read_u32(self.offsets, i * 4 + 4) as usize;
+        if lo > hi || hi > self.blob.len() {
+            return "";
+        }
+        std::str::from_utf8(&self.blob[lo..hi]).unwrap_or("")
+    }
+
+    /// Binary-search for `needle`; requires the table was written from
+    /// byte-lexicographically sorted strings.
+    pub fn find(&self, needle: &str) -> Option<usize> {
+        let mut lo = 0usize;
+        let mut hi = self.count;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.at(mid).cmp(needle) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Greater => hi = mid,
+                Ordering::Equal => return Some(mid),
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = ArtifactWriter::new();
+        w.push_section(1, b"manifest".to_vec());
+        w.push_section(100, vec![7u8; 13]);
+        w.push_section(200, Vec::new());
+        w.finish()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE check values.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip_preserves_sections_and_alignment() {
+        let bytes = sample();
+        let art = Artifact::parse(bytes.clone().into()).expect("parse");
+        assert_eq!(art.section_count(), 3);
+
+        let s1 = art.require_section(1).expect("manifest");
+        assert_eq!(&bytes[s1.clone()], b"manifest");
+        assert_eq!(s1.start % ALIGN, 0);
+
+        let s100 = art.section(100).expect("ner");
+        assert_eq!(&bytes[s100.clone()], &[7u8; 13][..]);
+        assert_eq!(s100.start % ALIGN, 0);
+
+        let s200 = art.section(200).expect("empty");
+        assert_eq!(s200.len(), 0);
+
+        assert!(art.section(999).is_none());
+        assert_eq!(
+            art.require_section(999),
+            Err(ArtifactError::MissingSection { kind: 999 })
+        );
+        art.verify_crc().expect("checksums");
+    }
+
+    #[test]
+    fn empty_container_round_trips() {
+        let bytes = ArtifactWriter::new().finish();
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let art = Artifact::parse(bytes.into()).expect("parse");
+        assert_eq!(art.section_count(), 0);
+        art.verify_crc().expect("checksums");
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_endianness() {
+        let good = sample();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            Artifact::parse(bad.into()).unwrap_err(),
+            ArtifactError::BadMagic
+        );
+
+        let mut bad = good.clone();
+        bad[8] = 99; // schema_version
+        let err = Artifact::parse(bad.into()).unwrap_err();
+        assert_eq!(err, ArtifactError::BadVersion { found: 99 });
+
+        let mut bad = good.clone();
+        // Byte-swap the endianness tag, as a big-endian writer would store it.
+        bad[12..16].copy_from_slice(&ENDIAN_TAG.to_be_bytes());
+        // Header CRC is checked after the endian tag, so recompute it so
+        // the endianness error (not HeaderCorrupt) is what surfaces.
+        let crc = crc32(&bad[..HEADER_LEN - 4]);
+        bad[28..32].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            Artifact::parse(bad.into()).unwrap_err(),
+            ArtifactError::BadEndianness
+        );
+    }
+
+    #[test]
+    fn rejects_corrupt_header_and_wrong_length() {
+        let good = sample();
+
+        let mut bad = good.clone();
+        bad[17] ^= 0xff; // section count byte, breaks the header CRC
+        assert_eq!(
+            Artifact::parse(bad.into()).unwrap_err(),
+            ArtifactError::HeaderCorrupt
+        );
+
+        let mut truncated = good.clone();
+        truncated.pop();
+        assert!(matches!(
+            Artifact::parse(truncated.into()).unwrap_err(),
+            ArtifactError::LengthMismatch { .. }
+        ));
+
+        assert_eq!(
+            Artifact::parse(good[..HEADER_LEN - 1].to_vec().into()).unwrap_err(),
+            ArtifactError::TooShort
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_table_misalignment_and_overlap() {
+        // Hand-build a header claiming more sections than fit.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        put_u32(&mut buf, SCHEMA_VERSION);
+        put_u32(&mut buf, ENDIAN_TAG);
+        put_u32(&mut buf, 4); // four sections, no table
+        put_u64(&mut buf, HEADER_LEN as u64);
+        let crc = crc32(&buf);
+        put_u32(&mut buf, crc);
+        assert_eq!(
+            Artifact::parse(buf.into()).unwrap_err(),
+            ArtifactError::SectionTableTruncated
+        );
+
+        // Corrupting a section offset breaks alignment / bounds /
+        // overlap — but not the header CRC, so parse reaches the table.
+        let good = sample();
+        let entry = |i: usize| HEADER_LEN + i * SECTION_ENTRY_LEN;
+
+        let mut bad = good.clone();
+        bad[entry(1) + 8] += 1; // offset off by one: misaligned
+        assert_eq!(
+            Artifact::parse(bad.into()).unwrap_err(),
+            ArtifactError::SectionMisaligned { kind: 100 }
+        );
+
+        let mut bad = good.clone();
+        bad[entry(1) + 8] = 0; // offset 0 points into the header
+        assert!(matches!(
+            Artifact::parse(bad.into()).unwrap_err(),
+            ArtifactError::SectionBounds { kind: 100 }
+        ));
+
+        let mut bad = good.clone();
+        // Rewind section 100's offset onto section 1's payload: overlap.
+        let s1_off = read_u64(&good, entry(0) + 8);
+        bad[entry(1) + 8..entry(1) + 16].copy_from_slice(&s1_off.to_le_bytes());
+        assert_eq!(
+            Artifact::parse(bad.into()).unwrap_err(),
+            ArtifactError::SectionOverlap { kind: 100 }
+        );
+    }
+
+    #[test]
+    fn crc_verify_catches_payload_corruption_that_parse_accepts() {
+        let good = sample();
+        let art = Artifact::parse(good.clone().into()).expect("parse");
+        let payload = art.section(100).expect("section");
+
+        let mut bad = good;
+        bad[payload.start] ^= 0xff;
+        let art = Artifact::parse(bad.into()).expect("structural parse still passes");
+        assert_eq!(
+            art.verify_crc().unwrap_err(),
+            ArtifactError::ChecksumMismatch { kind: 100 }
+        );
+    }
+
+    #[test]
+    fn str_table_round_trip_and_binary_search() {
+        let words = ["alpha", "beta", "gamma", "ünïcode"];
+        let mut sorted: Vec<&str> = words.to_vec();
+        sorted.sort_unstable();
+
+        let mut buf = Vec::new();
+        write_str_table(&mut buf, &sorted);
+        let table = StrTable::new(&buf).expect("table");
+        assert_eq!(table.len(), 4);
+        assert!(!table.is_empty());
+        for (i, w) in sorted.iter().enumerate() {
+            assert_eq!(table.at(i), *w);
+            assert_eq!(table.find(w), Some(i));
+        }
+        assert_eq!(table.at(99), "");
+        assert_eq!(table.find("zeta"), None);
+        assert_eq!(table.find(""), None);
+
+        let empty: Vec<u8> = {
+            let mut b = Vec::new();
+            write_str_table(&mut b, &Vec::<&str>::new());
+            b
+        };
+        let table = StrTable::new(&empty).expect("empty table");
+        assert!(table.is_empty());
+        assert_eq!(table.find("x"), None);
+    }
+
+    #[test]
+    fn str_table_rejects_or_degrades_on_malformed_input() {
+        assert!(StrTable::new(&[]).is_none());
+        assert!(StrTable::new(&[1, 0]).is_none());
+        // Claims 1000 strings but has no offset array.
+        let mut tiny = Vec::new();
+        put_u32(&mut tiny, 1000);
+        assert!(StrTable::new(&tiny).is_none());
+
+        // Offsets past the blob degrade to "" instead of panicking.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1);
+        put_u32(&mut buf, 0);
+        put_u32(&mut buf, 400); // end offset far past blob
+        buf.extend_from_slice(b"hi");
+        let table = StrTable::new(&buf).expect("structurally ok");
+        assert_eq!(table.at(0), "");
+    }
+
+    #[test]
+    fn writer_aligns_every_payload() {
+        let mut w = ArtifactWriter::new();
+        for k in 0..9u32 {
+            w.push_section(k, vec![k as u8; k as usize]); // odd lengths
+        }
+        let bytes = w.finish();
+        let art = Artifact::parse(bytes.into()).expect("parse");
+        for k in 0..9u32 {
+            let r = art.section(k).expect("section");
+            assert_eq!(r.start % ALIGN, 0, "kind {k}");
+            assert_eq!(r.len(), k as usize);
+        }
+        art.verify_crc().expect("checksums");
+    }
+}

@@ -1,0 +1,191 @@
+//! Zero-copy artifact cold-start benchmark.
+//!
+//! Measures what the `.rma` format buys over the JSON pipeline path:
+//!
+//! * **cold start** — in-process train+compile (timed once) versus
+//!   opening views over already-loaded artifact bytes
+//!   ([`recipe_core::ArtifactPipeline::from_bytes`], which is structural
+//!   O(sections) validation — file I/O deliberately excluded from both
+//!   sides), plus the container-only [`recipe_artifact::Artifact::parse`]
+//!   and the O(bytes) CRC pass as separate lines;
+//! * **decode throughput** — per-phrase extraction through the compiled
+//!   in-process path, the artifact f64 view, and the artifact i16
+//!   quantized view, with tail latencies up to p99.9;
+//! * **fidelity** — the f64 view must match the compiled path on every
+//!   corpus phrase (asserted); quantized agreement is reported here and
+//!   gated in `tests/artifact.rs`.
+//!
+//! Asserts cold load is >= 100x faster than train+compile, writes a
+//! machine-readable report (default `BENCH_artifact.json`), and appends
+//! it to `results/bench_history.jsonl` for the `bench-diff` gate.
+//!
+//! Usage: `artifact_coldstart [total_recipes] [seed] [out.json] [--smoke]`
+
+use recipe_bench::timing::{Bench, Stats};
+use recipe_bench::ExperimentScale;
+use recipe_core::pipeline::TrainedPipeline;
+use recipe_core::ArtifactPipeline;
+use recipe_corpus::{RecipeCorpus, Site};
+use serde_json::json;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The cold-start contract from the PR 7 acceptance criteria: opening
+/// artifact views must beat in-process train+compile by this factor.
+const MIN_COLDSTART_SPEEDUP: f64 = 100.0;
+
+fn stats_json(name: &str, s: &Stats, phrases: usize) -> serde_json::Value {
+    json!({
+        "name": name,
+        "threads": 1,
+        "median_s": s.median,
+        "mean_s": s.mean,
+        "min_s": s.min,
+        "p90_s": s.p90,
+        "p99_s": s.p99,
+        "p999_s": s.p999,
+        "iters": s.iters,
+        "samples": s.samples,
+        "phrases_per_s": if phrases > 0 { phrases as f64 / s.median } else { 0.0 },
+    })
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = raw.iter().any(|a| a == "--smoke");
+    let mut args = raw.iter().filter(|a| a.as_str() != "--smoke");
+    let default_total = if smoke { 40 } else { 300 };
+    let total: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(default_total);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let out_path = args
+        .next()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_artifact.json".into());
+
+    let scale = ExperimentScale::for_total(total, seed);
+    eprintln!("generating corpus of {total} recipes (seed {seed})...");
+    let corpus = RecipeCorpus::generate(&scale.corpus);
+
+    // The in-process cold-start cost: train + compile, timed once (it is
+    // seconds; repeating it would dominate the benchmark's wall time).
+    eprintln!("training pipeline (timed: the in-process cold-start cost)...");
+    let t0 = Instant::now();
+    let pipeline = TrainedPipeline::train(&corpus, &scale.pipeline);
+    let train_compile_s = t0.elapsed().as_secs_f64();
+
+    let bytes: Arc<[u8]> = recipe_core::artifact::artifact_bytes(&pipeline)
+        .expect("serialize artifact")
+        .into();
+    let artifact_bytes = bytes.len();
+
+    let phrases: Vec<String> = corpus
+        .phrases(Site::AllRecipes)
+        .iter()
+        .map(|p| p.text())
+        .collect();
+
+    let mut bench = Bench::default().sample_size(if smoke { 2 } else { 3 });
+    bench.target_time = Duration::from_millis(if smoke { 20 } else { 100 });
+
+    // Artifact cold load: container parse + per-model section validation
+    // + view construction, over bytes already in memory.
+    eprintln!("benchmarking artifact open (parse + validate + views)...");
+    let load = bench.measure(|| {
+        ArtifactPipeline::from_bytes(Arc::clone(&bytes), false).expect("load artifact")
+    });
+    // Container-only structural parse, without the model views.
+    let parse_only = bench
+        .measure(|| recipe_artifact::Artifact::parse(Arc::clone(&bytes)).expect("parse artifact"));
+    // The optional O(bytes) integrity pass, for contrast with the
+    // O(sections) structural validation above.
+    let loaded = ArtifactPipeline::from_bytes(Arc::clone(&bytes), false).expect("load artifact");
+    let crc = bench.measure(|| loaded.verify_crc().expect("checksums"));
+
+    let coldstart_speedup = train_compile_s / load.median;
+    eprintln!(
+        "cold start: train+compile {train_compile_s:.3}s vs artifact open \
+         {:.2}us ({coldstart_speedup:.0}x)",
+        load.median * 1e6
+    );
+    assert!(
+        coldstart_speedup >= MIN_COLDSTART_SPEEDUP,
+        "artifact cold load must be >= {MIN_COLDSTART_SPEEDUP}x faster than \
+         train+compile, measured {coldstart_speedup:.1}x \
+         (train {train_compile_s:.3}s, load {:.6}s)",
+        load.median
+    );
+
+    // Decode throughput: the compiled in-process path versus the f64 and
+    // quantized artifact views, caches off so every phrase decodes.
+    eprintln!(
+        "benchmarking decode throughput over {} phrases...",
+        phrases.len()
+    );
+    pipeline.set_cache_enabled(false);
+    let quantized = ArtifactPipeline::from_bytes(Arc::clone(&bytes), true).expect("load quantized");
+    loaded.inference.set_cache_enabled(false);
+    quantized.inference.set_cache_enabled(false);
+
+    let extract_all = |extract: &dyn Fn(&str) -> recipe_core::IngredientEntry| {
+        for p in &phrases {
+            std::hint::black_box(extract(p));
+        }
+    };
+    let compiled_stats = bench.measure(|| extract_all(&|p| pipeline.extract_ingredient(p)));
+    let f64_stats = bench.measure(|| extract_all(&|p| loaded.extract_ingredient(p)));
+    let quant_stats = bench.measure(|| extract_all(&|p| quantized.extract_ingredient(p)));
+
+    // Fidelity: the f64 view is byte-identical to the compiled path on
+    // every phrase; the quantized view's agreement is reported.
+    let mut quant_agree = 0usize;
+    for p in &phrases {
+        let reference = pipeline.extract_ingredient(p);
+        assert_eq!(
+            reference,
+            loaded.extract_ingredient(p),
+            "artifact f64 view diverged from the compiled path on {p:?}"
+        );
+        if quantized.extract_ingredient(p) == reference {
+            quant_agree += 1;
+        }
+    }
+    let quantized_agreement = if phrases.is_empty() {
+        1.0
+    } else {
+        quant_agree as f64 / phrases.len() as f64
+    };
+
+    let report = json!({
+        "benchmark": "artifact_coldstart",
+        "total_recipes": total,
+        "seed": seed,
+        "smoke": smoke,
+        "artifact_bytes": artifact_bytes,
+        "train_compile_once_s": train_compile_s,
+        "coldstart_speedup": coldstart_speedup,
+        "min_coldstart_speedup": MIN_COLDSTART_SPEEDUP,
+        "quantized_agreement": quantized_agreement,
+        "phrases": phrases.len(),
+        "note": "artifact f64 view verified byte-identical to the compiled path on \
+                 every corpus phrase; cold start excludes file I/O on both sides",
+        "units": "fields ending _s are seconds, _per_s rates; the bench-diff gate \
+                  compares only the _s fields",
+        "deterministic": true,
+        "results": [
+            stats_json("artifact_open", &load, 0),
+            stats_json("artifact_parse_only", &parse_only, 0),
+            stats_json("artifact_crc_verify", &crc, 0),
+            stats_json("extract_compiled", &compiled_stats, phrases.len()),
+            stats_json("extract_artifact_f64", &f64_stats, phrases.len()),
+            stats_json("extract_artifact_quantized", &quant_stats, phrases.len()),
+        ],
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("render report");
+    std::fs::write(&out_path, format!("{rendered}\n")).expect("write report");
+    eprintln!("wrote {out_path}");
+    recipe_bench::append_history(&report);
+    println!("{rendered}");
+}

@@ -52,6 +52,7 @@ fn latency_json(summary: &SampleSummary) -> serde_json::Value {
         "p99_us": summary.p99 * 1e6,
         "p50_s": summary.median,
         "p99_s": summary.p99,
+        "p999_s": summary.p999,
     })
 }
 
@@ -73,6 +74,7 @@ fn stats_json(
         "min_s": s.min,
         "p90_s": s.p90,
         "p99_s": s.p99,
+        "p999_s": s.p999,
         "iters": s.iters,
         "samples": s.samples,
         "recipes_per_s": total as f64 / s.median,

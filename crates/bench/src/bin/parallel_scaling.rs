@@ -29,6 +29,7 @@ fn stats_json(name: &str, threads: usize, s: &Stats, baseline_median: f64) -> se
         "min_s": s.min,
         "p90_s": s.p90,
         "p99_s": s.p99,
+        "p999_s": s.p999,
         "iters": s.iters,
         "samples": s.samples,
         "speedup_vs_1_thread": baseline_median / s.median,

@@ -44,6 +44,8 @@ pub struct Stats {
     pub p90: f64,
     /// Exact (interpolated) 99th-percentile per-iteration time.
     pub p99: f64,
+    /// Exact (interpolated) 99.9th-percentile per-iteration time.
+    pub p999: f64,
     /// Iterations per sample (from calibration).
     pub iters: u64,
     /// Number of timed samples.
@@ -112,6 +114,7 @@ impl Bench {
             mean: summary.mean,
             p90: summary.p90,
             p99: summary.p99,
+            p999: summary.p999,
             iters,
             samples: summary.n,
         }

@@ -23,11 +23,11 @@ pub enum Command {
         /// `--trace-out`, `--trace-sample`).
         obs: ObsArgs,
     },
-    /// `extract --model <path> [--threads T] [--no-cache] [--trace]
-    /// [--metrics-out PATH] [--trace-out PATH] [--trace-sample R]
-    /// [--explain] <phrase>...`
+    /// `extract --model <path> [--threads T] [--no-cache] [--quantized]
+    /// [--trace] [--metrics-out PATH] [--trace-out PATH]
+    /// [--trace-sample R] [--explain] <phrase>...`
     Extract {
-        /// Trained artifact path.
+        /// Trained artifact path (`.json` pipeline or binary `.rma`).
         model: String,
         /// Ingredient phrases to extract.
         phrases: Vec<String>,
@@ -35,8 +35,25 @@ pub enum Command {
         threads: usize,
         /// Disable the phrase-level extraction cache.
         no_cache: bool,
+        /// Decode with the i16 quantized kernels (`.rma` models only).
+        quantized: bool,
         /// Observability flags, including `--explain`.
         obs: ObsArgs,
+    },
+    /// `compile --out <model.rma> [--model <model.json>] [--recipes N]
+    /// [--seed S] [--threads T]`: write a zero-copy binary artifact from
+    /// an existing JSON pipeline (or a freshly trained one).
+    Compile {
+        /// Existing JSON pipeline to compile; `None` trains fresh.
+        model: Option<String>,
+        /// Binary artifact output path.
+        out: String,
+        /// Corpus size when training fresh.
+        recipes: usize,
+        /// Corpus/training seed when training fresh.
+        seed: u64,
+        /// Worker threads (0 = `RECIPE_THREADS` env / detected cores).
+        threads: usize,
     },
     /// `mine --model <path> [--threads T] [--no-cache] [--trace]
     /// [--metrics-out PATH] [--trace-out PATH] [--trace-sample R]
@@ -262,14 +279,16 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
     let Some(cmd) = args.first() else {
         return Err(ArgsError::Missing);
     };
-    // `--no-cache`, `--trace`, and `--explain` are boolean, so they must
-    // be stripped before `split_flags` pairs every `--flag` with the
-    // following token. `--no-cache` and `--explain` are accepted by
-    // `extract` and `mine`; `--trace` also by `train`; elsewhere all
-    // three are explicit errors.
+    // `--no-cache`, `--trace`, `--explain`, and `--quantized` are
+    // boolean, so they must be stripped before `split_flags` pairs every
+    // `--flag` with the following token. `--no-cache` and `--explain`
+    // are accepted by `extract` and `mine`; `--trace` also by `train`;
+    // `--quantized` only by `extract`; elsewhere all four are explicit
+    // errors.
     let mut no_cache = false;
     let mut trace = false;
     let mut explain = false;
+    let mut quantized = false;
     let rest: Vec<String> = args[1..]
         .iter()
         .filter(|a| match a.as_str() {
@@ -285,6 +304,10 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                 explain = true;
                 false
             }
+            "--quantized" => {
+                quantized = true;
+                false
+            }
             _ => true,
         })
         .cloned()
@@ -297,6 +320,9 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
     }
     if explain && !matches!(cmd.as_str(), "extract" | "mine") {
         return Err(ArgsError::UnexpectedArg("--explain".to_string()));
+    }
+    if quantized && cmd.as_str() != "extract" {
+        return Err(ArgsError::UnexpectedArg("--quantized".to_string()));
     }
     let rest = rest.as_slice();
     let (flags, positional) = split_flags(rest);
@@ -360,7 +386,33 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                 phrases: positional,
                 threads: parse_threads(&flags)?,
                 no_cache,
+                quantized,
                 obs: parse_obs(&flags, trace, explain)?,
+            }
+        }
+        "compile" => {
+            let out = flags
+                .get("out")
+                .cloned()
+                .ok_or(ArgsError::MissingFlag("out"))?;
+            let recipes = match flags.get("recipes") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ArgsError::BadValue("recipes", v.clone()))?,
+                None => 1000,
+            };
+            let seed = match flags.get("seed") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ArgsError::BadValue("seed", v.clone()))?,
+                None => 42,
+            };
+            Command::Compile {
+                model: flags.get("model").cloned(),
+                out,
+                recipes,
+                seed,
+                threads: parse_threads(&flags)?,
             }
         }
         "explain" => {
@@ -589,7 +641,10 @@ USAGE:
   recipe-mine train   --out <model.json> [--recipes N] [--seed S] [--threads T]
                       [--trace] [--metrics-out <metrics.json>]
                       [--trace-out <trace.json>] [--trace-sample R]
-  recipe-mine extract --model <model.json> [--threads T] [--no-cache]
+  recipe-mine compile --out <model.rma> [--model <model.json>]
+                      [--recipes N] [--seed S] [--threads T]
+  recipe-mine extract --model <model.json|model.rma> [--threads T]
+                      [--no-cache] [--quantized]
                       [--trace] [--metrics-out <metrics.json>]
                       [--trace-out <trace.json>] [--trace-sample R]
                       [--explain] <phrase>...
@@ -653,7 +708,14 @@ generate write a synthetic RecipeDB-like corpus as recipe text files
 train    generate a synthetic RecipeDB-like corpus, train the full
          pipeline (POS tagger, ingredient & instruction NER, parser,
          dictionaries) and save the artifact as JSON
-extract  print the structured attributes of ingredient phrases as JSON
+compile  write a zero-copy binary `.rma` artifact holding the compiled
+         models (CSR weights, interned feature tables, i16 quantized
+         variants) from an existing --model JSON pipeline or a freshly
+         trained one; `extract --model x.rma` then cold-starts in
+         O(sections) instead of recompiling
+extract  print the structured attributes of ingredient phrases as JSON;
+         accepts JSON pipelines or compiled `.rma` artifacts
+         (--quantized selects the i16 decode kernels, .rma only)
 explain  extract phrases with provenance recording on and print the
          decision trail that produced each entry
 mine     mine recipe text files (## ingredients / ## instructions
@@ -732,12 +794,14 @@ mod tests {
                 phrases,
                 threads,
                 no_cache,
+                quantized,
                 obs,
             } => {
                 assert_eq!(model, "m.json");
                 assert_eq!(phrases, vec!["2 cups flour", "1 egg"]);
                 assert_eq!(threads, 0);
                 assert!(!no_cache);
+                assert!(!quantized);
                 assert_eq!(obs, ObsArgs::default());
             }
             other => panic!("{other:?}"),
@@ -755,6 +819,7 @@ mod tests {
                 phrases: vec!["1 egg".into()],
                 threads: 0,
                 no_cache: true,
+                quantized: false,
                 obs: ObsArgs::default(),
             }
         );
@@ -962,6 +1027,7 @@ mod tests {
                 phrases: vec!["1 egg".into()],
                 threads: 0,
                 no_cache: false,
+                quantized: false,
                 obs: ObsArgs {
                     trace: true,
                     ..ObsArgs::default()
@@ -1054,6 +1120,7 @@ mod tests {
                 phrases: vec!["1 egg".into()],
                 threads: 0,
                 no_cache: false,
+                quantized: false,
                 obs: ObsArgs {
                     trace_out: Some("trace.json".into()),
                     trace_sample: Some(0.25),
@@ -1088,6 +1155,7 @@ mod tests {
                 phrases: vec!["1 egg".into()],
                 threads: 0,
                 no_cache: false,
+                quantized: false,
                 obs: ObsArgs {
                     explain: true,
                     ..ObsArgs::default()
@@ -1179,6 +1247,82 @@ mod tests {
             parse_args(&s(&["stats"])),
             Err(ArgsError::MissingPositional("metrics file"))
         );
+    }
+
+    #[test]
+    fn parses_compile_subcommand() {
+        let parsed = parse_args(&s(&["compile", "--out", "m.rma"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Compile {
+                model: None,
+                out: "m.rma".into(),
+                recipes: 1000,
+                seed: 42,
+                threads: 0,
+            }
+        );
+        let parsed = parse_args(&s(&[
+            "compile",
+            "--model",
+            "m.json",
+            "--out",
+            "m.rma",
+            "--recipes",
+            "50",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Compile {
+                model: Some("m.json".into()),
+                out: "m.rma".into(),
+                recipes: 50,
+                seed: 7,
+                threads: 2,
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["compile", "--model", "m.json"])),
+            Err(ArgsError::MissingFlag("out"))
+        );
+    }
+
+    #[test]
+    fn quantized_flag_does_not_eat_the_next_token() {
+        // `--quantized` is boolean: the positional after it must survive.
+        let parsed = parse_args(&s(&["extract", "--quantized", "--model", "m", "1 egg"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Extract {
+                model: "m".into(),
+                phrases: vec!["1 egg".into()],
+                threads: 0,
+                no_cache: false,
+                quantized: true,
+                obs: ObsArgs::default(),
+            }
+        );
+    }
+
+    #[test]
+    fn quantized_flag_rejected_elsewhere() {
+        for cmd in [
+            vec!["train", "--out", "x", "--quantized"],
+            vec!["compile", "--out", "x.rma", "--quantized"],
+            vec!["mine", "--model", "m", "r.txt", "--quantized"],
+            vec!["lint", "--quantized"],
+        ] {
+            assert_eq!(
+                parse_args(&s(&cmd)),
+                Err(ArgsError::UnexpectedArg("--quantized".into())),
+                "{cmd:?}"
+            );
+        }
     }
 
     #[test]

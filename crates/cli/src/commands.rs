@@ -28,6 +28,10 @@ pub enum CliError {
     BenchDiff(String),
     /// The lint baseline file failed to load, parse or save.
     Baseline(String),
+    /// Binary `.rma` artifact load/save problem (with the offending path).
+    Artifact(String, recipe_core::ArtifactPipelineError),
+    /// A flag combination the command cannot honor.
+    Usage(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -40,6 +44,8 @@ impl std::fmt::Display for CliError {
             CliError::Stats(msg) => write!(f, "telemetry document: {msg}"),
             CliError::BenchDiff(report) => f.write_str(report),
             CliError::Baseline(msg) => f.write_str(msg),
+            CliError::Artifact(path, e) => write!(f, "{path}: {e}"),
+            CliError::Usage(msg) => f.write_str(msg),
         }
     }
 }
@@ -77,10 +83,21 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             phrases,
             threads,
             no_cache,
+            quantized,
             obs,
         } => {
             recipe_runtime::set_global_threads(*threads);
-            extract(model, phrases, *no_cache, &ObsOpts::new(obs))
+            extract(model, phrases, *no_cache, *quantized, &ObsOpts::new(obs))
+        }
+        Command::Compile {
+            model,
+            out,
+            recipes,
+            seed,
+            threads,
+        } => {
+            recipe_runtime::set_global_threads(*threads);
+            compile(model.as_deref(), out, *recipes, *seed)
         }
         Command::Mine {
             model,
@@ -456,8 +473,8 @@ fn entry_json(entry: &recipe_core::IngredientEntry) -> serde_json::Value {
 }
 
 /// Cache hit/miss summary appended to `extract`/`mine` output.
-fn cache_json(pipeline: &TrainedPipeline, enabled: bool) -> serde_json::Value {
-    let stats = pipeline.cache_stats();
+fn cache_json(inference: &recipe_core::Inference, enabled: bool) -> serde_json::Value {
+    let stats = inference.cache_stats();
     json!({
         "enabled": enabled,
         "hits": stats.hits,
@@ -467,15 +484,86 @@ fn cache_json(pipeline: &TrainedPipeline, enabled: bool) -> serde_json::Value {
     })
 }
 
+/// An extraction model loaded by `extract`: either a JSON pipeline
+/// (recompiled on load) or a zero-copy binary `.rma` artifact, selected
+/// by sniffing the file's magic bytes.
+enum LoadedModel {
+    /// JSON pipeline artifact ([`TrainedPipeline`]).
+    Json(TrainedPipeline),
+    /// Binary `.rma` artifact served from loaded bytes.
+    Rma(recipe_core::ArtifactPipeline),
+}
+
+impl LoadedModel {
+    fn load(model: &str, quantized: bool) -> Result<Self, CliError> {
+        if recipe_core::artifact::sniffs_as_artifact(model) {
+            let loaded = recipe_core::ArtifactPipeline::load(model, quantized)
+                .map_err(|e| CliError::Artifact(model.to_string(), e))?;
+            Ok(LoadedModel::Rma(loaded))
+        } else if quantized {
+            Err(CliError::Usage(format!(
+                "--quantized needs a binary .rma model (compile one with \
+                 `recipe-mine compile --model {model} --out model.rma`)"
+            )))
+        } else {
+            Ok(LoadedModel::Json(TrainedPipeline::load(model)?))
+        }
+    }
+
+    fn inference(&self) -> &recipe_core::Inference {
+        match self {
+            LoadedModel::Json(p) => &p.inference,
+            LoadedModel::Rma(a) => &a.inference,
+        }
+    }
+
+    fn extract_ingredient(&self, phrase: &str) -> recipe_core::IngredientEntry {
+        match self {
+            LoadedModel::Json(p) => p.extract_ingredient(phrase),
+            LoadedModel::Rma(a) => a.extract_ingredient(phrase),
+        }
+    }
+}
+
+/// `recipe-mine compile`: serialize a pipeline's compiled models into a
+/// zero-copy `.rma` artifact, from an existing JSON pipeline when
+/// `--model` is given, else from a freshly trained one.
+fn compile(model: Option<&str>, out: &str, recipes: usize, seed: u64) -> Result<String, CliError> {
+    let pipeline = match model {
+        Some(path) => TrainedPipeline::load(path)?,
+        None => {
+            eprintln!("generating corpus of {recipes} recipes (seed {seed})...");
+            let corpus = RecipeCorpus::generate(&CorpusSpec::scaled(recipes, seed));
+            eprintln!("training pipeline...");
+            let mut cfg = PipelineConfig::fast();
+            cfg.seed = seed;
+            TrainedPipeline::train(&corpus, &cfg)
+        }
+    };
+    let bytes = recipe_core::artifact::artifact_bytes(&pipeline)
+        .map_err(|e| CliError::Artifact(out.to_string(), e))?;
+    std::fs::write(out, &bytes).map_err(|e| CliError::Io(out.to_string(), e))?;
+    let summary = json!({
+        "source": model.map(String::from),
+        "artifact": out,
+        "bytes": bytes.len(),
+    });
+    Ok(format!(
+        "{}\n",
+        serde_json::to_string_pretty(&summary).expect("json")
+    ))
+}
+
 fn extract(
     model: &str,
     phrases: &[String],
     no_cache: bool,
+    quantized: bool,
     obs: &ObsOpts,
 ) -> Result<String, CliError> {
     let started = obs.begin();
-    let pipeline = TrainedPipeline::load(model)?;
-    pipeline.set_cache_enabled(!no_cache);
+    let pipeline = LoadedModel::load(model, quantized)?;
+    pipeline.inference().set_cache_enabled(!no_cache);
     let rows: Vec<serde_json::Value> = {
         let _span = recipe_obs::span!("extract");
         phrases
@@ -486,10 +574,10 @@ fn extract(
             })
             .collect()
     };
-    let mut out = json!({ "results": rows, "cache": cache_json(&pipeline, !no_cache) });
+    let mut out = json!({ "results": rows, "cache": cache_json(pipeline.inference(), !no_cache) });
     let blocks = obs.finish(
         "extract",
-        &[pipeline.inference.metrics_registry()],
+        &[pipeline.inference().metrics_registry()],
         &[("phrases", phrases.len() as f64)],
         started,
     )?;
@@ -532,6 +620,22 @@ fn bench_diff(opts: &BenchDiffOptions) -> Result<String, CliError> {
     use recipe_obs::history;
 
     let path = std::path::Path::new(&opts.history);
+    // A missing history file is routine on fresh checkouts and new CI
+    // jobs; under --smoke that is "nothing to gate", not a failure.
+    if !path.exists() {
+        let line = format!(
+            "bench history {} not found; nothing to gate\n",
+            opts.history
+        );
+        if opts.smoke {
+            return Ok(line);
+        }
+        return Err(CliError::Stats(format!(
+            "{}: no such file (run a bench binary to record a baseline, \
+             or pass --smoke to tolerate a missing history)",
+            opts.history
+        )));
+    }
     let runs = history::load_history(path)
         .map_err(|e| CliError::Stats(format!("{}: {e}", opts.history)))?;
     let mut thresholds = if opts.smoke {
@@ -545,8 +649,24 @@ fn bench_diff(opts: &BenchDiffOptions) -> Result<String, CliError> {
     if let Some(pct) = opts.fail_pct {
         thresholds.fail_ratio = 1.0 + pct / 100.0;
     }
+    let pairs = history::baseline_and_latest(&runs, opts.benchmark.as_deref());
+    // A benchmark that has never recorded a run (a bench binary added in
+    // this change) has no baseline yet: report that plainly and pass —
+    // the first recorded run becomes the baseline for the next one.
+    if pairs.is_empty() {
+        if let Some(name) = &opts.benchmark {
+            return Ok(format!(
+                "no baseline entry for benchmark {name:?} in {}; nothing to gate yet\n",
+                opts.history
+            ));
+        }
+        return Ok(format!(
+            "no runs recorded in {}; nothing to gate yet\n",
+            opts.history
+        ));
+    }
     let mut findings = Vec::new();
-    for (baseline, latest) in history::baseline_and_latest(&runs, opts.benchmark.as_deref()) {
+    for (baseline, latest) in pairs {
         findings.extend(history::diff_runs(baseline, latest, &thresholds));
     }
     let report = history::render_diff(&findings, &thresholds);
@@ -583,7 +703,7 @@ fn mine(model: &str, files: &[String], no_cache: bool, obs: &ObsOpts) -> Result<
         }));
     }
     drop(_span);
-    let mut out = json!({ "results": out, "cache": cache_json(&pipeline, !no_cache) });
+    let mut out = json!({ "results": out, "cache": cache_json(&pipeline.inference, !no_cache) });
     let blocks = obs.finish(
         "mine",
         &[pipeline.inference.metrics_registry()],
@@ -646,6 +766,7 @@ mod tests {
             phrases: vec!["2 cups flour".into(), "2 cups flour".into()],
             threads: 0,
             no_cache: false,
+            quantized: false,
             obs: ObsArgs::default(),
         })
         .unwrap();
@@ -662,6 +783,7 @@ mod tests {
             phrases: vec!["2 cups flour".into(), "2 cups flour".into()],
             threads: 0,
             no_cache: true,
+            quantized: false,
             obs: ObsArgs::default(),
         })
         .unwrap();
@@ -729,6 +851,7 @@ mod tests {
             phrases: vec!["salt".into()],
             threads: 0,
             no_cache: false,
+            quantized: false,
             obs: ObsArgs::default(),
         })
         .unwrap_err();
@@ -967,6 +1090,7 @@ mod tests {
             phrases: phrases.clone(),
             threads: 0,
             no_cache: false,
+            quantized: false,
             obs: ObsArgs::default(),
         })
         .unwrap();
@@ -977,6 +1101,7 @@ mod tests {
             phrases,
             threads: 0,
             no_cache: false,
+            quantized: false,
             obs: ObsArgs {
                 trace: true,
                 metrics_out: Some(metrics_path.to_string_lossy().to_string()),
@@ -1048,6 +1173,7 @@ mod tests {
             phrases: phrases.clone(),
             threads: 0,
             no_cache: false,
+            quantized: false,
             obs: ObsArgs::default(),
         })
         .unwrap();
@@ -1056,6 +1182,7 @@ mod tests {
             phrases: phrases.clone(),
             threads: 0,
             no_cache: false,
+            quantized: false,
             obs: ObsArgs {
                 explain: true,
                 ..ObsArgs::default()
@@ -1117,6 +1244,7 @@ mod tests {
             phrases: phrases.clone(),
             threads: 0,
             no_cache: false,
+            quantized: false,
             obs: ObsArgs::default(),
         })
         .unwrap();
@@ -1127,6 +1255,7 @@ mod tests {
             phrases,
             threads: 0,
             no_cache: false,
+            quantized: false,
             obs: ObsArgs {
                 trace_out: Some(trace_path.to_string_lossy().to_string()),
                 trace_sample: Some(1.0),
@@ -1238,6 +1367,141 @@ mod tests {
             other => panic!("expected CliError::Stats, got {other:?}"),
         }
         std::fs::remove_file(&bad_path).ok();
+    }
+
+    #[test]
+    fn compile_then_extract_rma_matches_json_pipeline() {
+        let model_path = tmp("cli_rma_model.json");
+        let model = model_path.to_string_lossy().to_string();
+        run(&Command::Train {
+            out: model.clone(),
+            recipes: 120,
+            seed: 3,
+            threads: 0,
+            obs: ObsArgs::default(),
+        })
+        .unwrap();
+
+        // Compile the JSON pipeline into a binary artifact.
+        let rma_path = tmp("cli_rma_model.rma");
+        let rma = rma_path.to_string_lossy().to_string();
+        let out = run(&Command::Compile {
+            model: Some(model.clone()),
+            out: rma.clone(),
+            recipes: 0,
+            seed: 0,
+            threads: 0,
+        })
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed["artifact"], rma);
+        assert!(parsed["bytes"].as_u64().unwrap() > 0, "{out}");
+        assert!(rma_path.exists());
+
+        // Extract dispatches on the magic bytes; results are identical.
+        let phrases: Vec<String> = vec!["2 cups flour".into(), "1 pinch salt".into()];
+        let from_json = run(&Command::Extract {
+            model: model.clone(),
+            phrases: phrases.clone(),
+            threads: 0,
+            no_cache: false,
+            quantized: false,
+            obs: ObsArgs::default(),
+        })
+        .unwrap();
+        let from_rma = run(&Command::Extract {
+            model: rma.clone(),
+            phrases: phrases.clone(),
+            threads: 0,
+            no_cache: false,
+            quantized: false,
+            obs: ObsArgs::default(),
+        })
+        .unwrap();
+        let json_v: serde_json::Value = serde_json::from_str(&from_json).unwrap();
+        let rma_v: serde_json::Value = serde_json::from_str(&from_rma).unwrap();
+        assert_eq!(json_v["results"], rma_v["results"]);
+
+        // The quantized kernels load and produce well-formed entries.
+        let quantized = run(&Command::Extract {
+            model: rma,
+            phrases: phrases.clone(),
+            threads: 0,
+            no_cache: false,
+            quantized: true,
+            obs: ObsArgs::default(),
+        })
+        .unwrap();
+        let q_v: serde_json::Value = serde_json::from_str(&quantized).unwrap();
+        assert_eq!(q_v["results"].as_array().unwrap().len(), 2);
+
+        // `--quantized` against a JSON model is a clear usage error.
+        let err = run(&Command::Extract {
+            model,
+            phrases,
+            threads: 0,
+            no_cache: false,
+            quantized: true,
+            obs: ObsArgs::default(),
+        })
+        .unwrap_err();
+        match err {
+            CliError::Usage(msg) => assert!(msg.contains(".rma"), "{msg}"),
+            other => panic!("expected CliError::Usage, got {other:?}"),
+        }
+
+        std::fs::remove_file(&model_path).ok();
+        std::fs::remove_file(&rma_path).ok();
+    }
+
+    #[test]
+    fn bench_diff_degrades_gracefully_without_baseline() {
+        use recipe_obs::history::{append_run, HistoryRun, HISTORY_SCHEMA_VERSION};
+        use std::collections::BTreeMap;
+
+        // Missing history file: hard error normally, pass under --smoke.
+        let missing = tmp("cli_bench_missing.jsonl");
+        std::fs::remove_file(&missing).ok();
+        let opts = BenchDiffOptions {
+            history: missing.to_string_lossy().to_string(),
+            ..BenchDiffOptions::default()
+        };
+        let err = run(&Command::BenchDiff(opts.clone())).unwrap_err();
+        assert!(err.to_string().contains("no such file"), "{err}");
+        let out = run(&Command::BenchDiff(BenchDiffOptions {
+            smoke: true,
+            ..opts
+        }))
+        .unwrap();
+        assert!(out.contains("nothing to gate"), "{out}");
+
+        // A benchmark with no recorded runs passes with a clear message.
+        let path = tmp("cli_bench_no_baseline.jsonl");
+        std::fs::remove_file(&path).ok();
+        append_run(
+            &path,
+            &HistoryRun {
+                schema_version: HISTORY_SCHEMA_VERSION,
+                benchmark: "inference_throughput".to_string(),
+                smoke: false,
+                recorded_at_unix_s: 1,
+                params: BTreeMap::new(),
+                entries: Vec::new(),
+            },
+        )
+        .unwrap();
+        let out = run(&Command::BenchDiff(BenchDiffOptions {
+            history: path.to_string_lossy().to_string(),
+            benchmark: Some("artifact_coldstart".to_string()),
+            ..BenchDiffOptions::default()
+        }))
+        .unwrap();
+        assert!(
+            out.contains("no baseline entry for benchmark \"artifact_coldstart\""),
+            "{out}"
+        );
+        assert!(out.contains("nothing to gate yet"), "{out}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

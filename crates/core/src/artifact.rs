@@ -1,0 +1,323 @@
+//! Binary `.rma` model artifacts: serialize a trained pipeline's
+//! compiled models into the zero-copy container defined by
+//! `recipe-artifact`, and serve extraction straight from the loaded
+//! bytes.
+//!
+//! The JSON path ([`crate::persist`]) ships *trainable* parameters and
+//! recompiles on load — seconds of cold start. This module ships the
+//! *compiled* forms (CSR weights, interned feature tables, quantized
+//! variants), so loading is a structural O(sections) validation plus a
+//! handful of tiny materializations (label names), independent of model
+//! size. An [`ArtifactPipeline`] serves `extract` workloads; training,
+//! dependency parsing and event mining still require the JSON pipeline
+//! (the parser and dictionaries are not part of the `.rma` format).
+//!
+//! Section kind assignment inside the container:
+//!
+//! | kind base | contents |
+//! |-----------|----------|
+//! | 1         | manifest (creator strings) |
+//! | 100..=113 | ingredient NER (`recipe_ner::artifact::section`) |
+//! | 200..=213 | instruction NER |
+//! | 300..=306 | POS tagger (`recipe_tagger::artifact::section`) |
+
+use crate::infer::Inference;
+use crate::model::IngredientEntry;
+use crate::pipeline::TrainedPipeline;
+use recipe_artifact::{write_str_table, Artifact, ArtifactError, ArtifactWriter};
+use recipe_ner::NerView;
+use recipe_tagger::PosView;
+use recipe_text::Preprocessor;
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Section kind of the manifest string table.
+pub const KIND_MANIFEST: u32 = 1;
+/// Base section kind of the ingredient NER model block.
+pub const KIND_INGREDIENT_NER: u32 = 100;
+/// Base section kind of the instruction NER model block.
+pub const KIND_INSTRUCTION_NER: u32 = 200;
+/// Base section kind of the POS tagger block.
+pub const KIND_POS: u32 = 300;
+
+/// Errors from writing or loading `.rma` pipeline artifacts.
+#[derive(Debug)]
+pub enum ArtifactPipelineError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// The container or a model section failed validation.
+    Format(ArtifactError),
+    /// The pipeline's inference bundle is artifact-backed, so the
+    /// compiled models needed for serialization are not present.
+    NotCompiled,
+}
+
+impl fmt::Display for ArtifactPipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactPipelineError::Io(e) => write!(f, "io error: {e}"),
+            ArtifactPipelineError::Format(e) => write!(f, "artifact error: {e}"),
+            ArtifactPipelineError::NotCompiled => {
+                write!(
+                    f,
+                    "pipeline is artifact-backed; re-serialization needs compiled models"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactPipelineError {}
+
+impl From<std::io::Error> for ArtifactPipelineError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactPipelineError::Io(e)
+    }
+}
+
+impl From<ArtifactError> for ArtifactPipelineError {
+    fn from(e: ArtifactError) -> Self {
+        ArtifactPipelineError::Format(e)
+    }
+}
+
+/// Serialize the pipeline's compiled models into `.rma` container bytes.
+pub fn artifact_bytes(pipeline: &TrainedPipeline) -> Result<Vec<u8>, ArtifactPipelineError> {
+    let inference = &pipeline.inference;
+    let ingredient = inference
+        .ingredient_model()
+        .ok_or(ArtifactPipelineError::NotCompiled)?;
+    let instruction = inference
+        .instruction_model()
+        .ok_or(ArtifactPipelineError::NotCompiled)?;
+    let pos = inference
+        .pos_model()
+        .ok_or(ArtifactPipelineError::NotCompiled)?;
+
+    let mut writer = ArtifactWriter::new();
+    let mut manifest = Vec::new();
+    write_str_table(
+        &mut manifest,
+        &[
+            "recipe-knowledge-mining",
+            "ingredient-ner instruction-ner pos",
+        ],
+    );
+    writer.push_section(KIND_MANIFEST, manifest);
+    recipe_ner::artifact::append_model(&mut writer, KIND_INGREDIENT_NER, ingredient);
+    recipe_ner::artifact::append_model(&mut writer, KIND_INSTRUCTION_NER, instruction);
+    recipe_tagger::artifact::append_tagger(&mut writer, KIND_POS, pos);
+    Ok(writer.finish())
+}
+
+/// Write the pipeline's compiled models to a `.rma` file at `path`.
+pub fn save_artifact(
+    pipeline: &TrainedPipeline,
+    path: impl AsRef<Path>,
+) -> Result<(), ArtifactPipelineError> {
+    let bytes = artifact_bytes(pipeline)?;
+    std::fs::write(path, bytes)?;
+    Ok(())
+}
+
+/// Whether the file at `path` starts with the `.rma` magic (used by the
+/// CLI to dispatch between JSON and binary model files). Unreadable
+/// files report `false`; the subsequent open surfaces the real error.
+pub fn sniffs_as_artifact(path: impl AsRef<Path>) -> bool {
+    use std::io::Read;
+    let mut head = [0u8; 8];
+    match std::fs::File::open(path) {
+        Ok(mut f) => f.read_exact(&mut head).is_ok() && head == recipe_artifact::MAGIC,
+        Err(_) => false,
+    }
+}
+
+/// An extraction pipeline served from `.rma` artifact bytes: the
+/// stateless preprocessor plus an artifact-backed [`Inference`] bundle.
+///
+/// Serves [`ArtifactPipeline::extract_ingredient`] (and the underlying
+/// [`Inference`] surface: instruction tagging, POS tagging, caches,
+/// metrics) byte-identically to the [`TrainedPipeline`] the artifact
+/// was written from when `quantized` is off.
+#[derive(Debug)]
+pub struct ArtifactPipeline {
+    /// Tokenization/normalization, rebuilt from embedded tables — the
+    /// preprocessor is stateless, exactly as on the JSON load path.
+    pub pre: Preprocessor,
+    /// Artifact-backed inference bundle.
+    pub inference: Inference,
+    /// The validated container (kept for [`ArtifactPipeline::verify_crc`]).
+    artifact: Artifact,
+}
+
+impl ArtifactPipeline {
+    /// Open pipeline views over already-loaded container bytes.
+    ///
+    /// Structural validation is O(sections); `quantized` selects the
+    /// i16 decode kernels for both NER models.
+    pub fn from_bytes(bytes: Arc<[u8]>, quantized: bool) -> Result<Self, ArtifactPipelineError> {
+        let _span = recipe_obs::span!("artifact.load");
+        let total_len = bytes.len();
+        let artifact = Artifact::parse(bytes)?;
+        let ingredient = NerView::from_artifact(&artifact, KIND_INGREDIENT_NER, quantized)?;
+        let instruction = NerView::from_artifact(&artifact, KIND_INSTRUCTION_NER, quantized)?;
+        let pos = PosView::from_artifact(&artifact, KIND_POS)?;
+        let inference = Inference::from_views(pos, ingredient, instruction);
+        // Load telemetry on the instance registry, so `--metrics-out`
+        // documents from artifact-served extraction record what was
+        // opened (counters never affect decoded output).
+        let registry = inference.metrics_registry();
+        registry.counter("artifact.loads").inc();
+        if quantized {
+            registry.counter("artifact.loads_quantized").inc();
+        }
+        registry.gauge("artifact.bytes").set(total_len as f64);
+        Ok(ArtifactPipeline {
+            pre: Preprocessor::default(),
+            inference,
+            artifact,
+        })
+    }
+
+    /// Read and open a `.rma` file, including the O(bytes) CRC pass —
+    /// file bytes are untrusted on cold open. Use
+    /// [`ArtifactPipeline::from_bytes`] to skip the integrity pass for
+    /// bytes that were already verified.
+    pub fn load(path: impl AsRef<Path>, quantized: bool) -> Result<Self, ArtifactPipelineError> {
+        let bytes = std::fs::read(path)?;
+        let loaded = Self::from_bytes(bytes.into(), quantized)?;
+        loaded.verify_crc()?;
+        Ok(loaded)
+    }
+
+    /// Run the O(bytes) CRC-32 pass over every section payload.
+    pub fn verify_crc(&self) -> Result<(), ArtifactError> {
+        let _span = recipe_obs::span!("artifact.crc_verify");
+        let registry = self.inference.metrics_registry();
+        match self.artifact.verify_crc() {
+            Ok(()) => {
+                registry.counter("artifact.crc_verifies").inc();
+                Ok(())
+            }
+            Err(e) => {
+                registry.counter("artifact.crc_failures").inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// Extract the structured entry for one raw ingredient phrase —
+    /// same preprocessing and decode contract as
+    /// [`TrainedPipeline::extract_ingredient`].
+    pub fn extract_ingredient(&self, phrase: &str) -> IngredientEntry {
+        let _span = recipe_obs::span!("pipeline.extract_ingredient");
+        let words = self.pre.preprocess(phrase);
+        self.inference.ingredient_entry(&words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use recipe_corpus::{CorpusSpec, RecipeCorpus};
+
+    fn trained() -> (RecipeCorpus, TrainedPipeline) {
+        let corpus = RecipeCorpus::generate(&CorpusSpec::tiny(101));
+        let pipeline = TrainedPipeline::train(&corpus, &PipelineConfig::fast());
+        (corpus, pipeline)
+    }
+
+    #[test]
+    fn artifact_round_trip_preserves_extraction() {
+        let (_corpus, pipeline) = trained();
+        let bytes = artifact_bytes(&pipeline).expect("serialize");
+        let loaded = ArtifactPipeline::from_bytes(bytes.into(), false).expect("load");
+        loaded.verify_crc().expect("checksums");
+
+        let phrases = [
+            "2 cups flour",
+            "1 sheet frozen puff pastry ( thawed )",
+            "2-3 medium tomatoes , finely chopped",
+            "salt",
+        ];
+        for phrase in phrases {
+            assert_eq!(
+                pipeline.extract_ingredient(phrase),
+                loaded.extract_ingredient(phrase),
+                "{phrase}"
+            );
+        }
+        // Instruction tagging and POS tagging go through the same views.
+        let words: Vec<String> = ["boil", "the", "water"].map(String::from).to_vec();
+        assert_eq!(
+            pipeline.inference.tag_instruction(&words),
+            loaded.inference.tag_instruction(&words)
+        );
+        assert_eq!(
+            pipeline.inference.pos_tag(&words),
+            loaded.inference.pos_tag(&words)
+        );
+    }
+
+    #[test]
+    fn save_load_file_round_trip_and_magic_sniffing() {
+        let (_corpus, pipeline) = trained();
+        let dir = std::env::temp_dir().join("recipe_artifact_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.rma");
+        save_artifact(&pipeline, &path).expect("save");
+        assert!(sniffs_as_artifact(&path));
+        assert!(!sniffs_as_artifact(dir.join("missing.rma")));
+
+        let loaded = ArtifactPipeline::load(&path, false).expect("load");
+        assert_eq!(
+            pipeline.extract_ingredient("2 cups flour"),
+            loaded.extract_ingredient("2 cups flour")
+        );
+
+        // JSON model files must not sniff as binary artifacts.
+        let json_path = dir.join("model.json");
+        pipeline.save(&json_path).expect("save json");
+        assert!(!sniffs_as_artifact(&json_path));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&json_path).ok();
+    }
+
+    #[test]
+    fn quantized_pipeline_loads_and_extracts() {
+        let (_corpus, pipeline) = trained();
+        let bytes = artifact_bytes(&pipeline).expect("serialize");
+        let loaded = ArtifactPipeline::from_bytes(bytes.into(), true).expect("load");
+        // Drift is gated corpus-wide in tests/artifact.rs; here we only
+        // require the quantized path to produce well-formed entries.
+        let entry = loaded.extract_ingredient("2 cups flour");
+        assert!(!entry.name.is_empty() || entry.quantity.is_some() || entry.unit.is_some());
+    }
+
+    #[test]
+    fn corrupted_bytes_are_rejected() {
+        let (_corpus, pipeline) = trained();
+        let bytes = artifact_bytes(&pipeline).expect("serialize");
+
+        let mut truncated = bytes.clone();
+        truncated.truncate(truncated.len() / 2);
+        assert!(ArtifactPipeline::from_bytes(truncated.into(), false).is_err());
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(ArtifactPipeline::from_bytes(bad_magic.into(), false).is_err());
+
+        // Payload corruption passes structural parse but fails the CRC pass.
+        let art = Artifact::parse(bytes.clone().into()).expect("parse");
+        let weights = art
+            .section(KIND_INGREDIENT_NER + recipe_ner::artifact::section::WEIGHTS)
+            .expect("weights section");
+        let mut bad_payload = bytes;
+        bad_payload[weights.start] ^= 0xff;
+        let loaded =
+            ArtifactPipeline::from_bytes(bad_payload.into(), false).expect("structural ok");
+        assert!(loaded.verify_crc().is_err());
+    }
+}

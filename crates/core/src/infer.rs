@@ -36,9 +36,10 @@
 use crate::model::{CookingEvent, IngredientEntry};
 use crate::pipeline::entry_from_tagged;
 use recipe_ner::{
-    CompiledSequenceModel, DecodeScratch, IngredientTag, InstructionTag, SequenceModel,
+    CompiledSequenceModel, DecodeScratch, IngredientTag, InstructionTag, LabelSet, NerView,
+    SequenceModel,
 };
-use recipe_tagger::{CompiledPosTagger, PennTag, PosTagger, TagScratch};
+use recipe_tagger::{CompiledPosTagger, PennTag, PosTagger, PosView, TagScratch};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -207,19 +208,99 @@ thread_local! {
         RefCell::new((TagScratch::new(), Vec::new()));
 }
 
+/// A frozen sequence model behind [`Inference`]: either compiled
+/// in-process from trained parameters, or a zero-copy view over loaded
+/// artifact bytes. Both decode through the same scratch arenas and are
+/// byte-identical on the f64 path.
+pub enum NerBackend {
+    /// In-process compiled CSR model.
+    Compiled(CompiledSequenceModel),
+    /// Zero-copy view over `.rma` artifact bytes (possibly quantized).
+    Artifact(NerView),
+}
+
+impl NerBackend {
+    /// The model's label inventory.
+    pub fn labels(&self) -> &LabelSet {
+        match self {
+            NerBackend::Compiled(m) => m.labels(),
+            NerBackend::Artifact(v) => v.labels(),
+        }
+    }
+
+    /// Predict dense label ids into `out`, reusing `scratch`.
+    ///
+    /// Pure dispatch: the span and provenance hooks live in the decode
+    /// kernels this delegates to; external callers go through
+    /// [`Inference`].
+    pub(crate) fn predict_ids(
+        &self,
+        tokens: &[String],
+        scratch: &mut DecodeScratch,
+        out: &mut Vec<usize>,
+    ) {
+        match self {
+            NerBackend::Compiled(m) => m.predict_ids_into(tokens, scratch, out),
+            NerBackend::Artifact(v) => v.predict_ids_into(tokens, scratch, out),
+        }
+    }
+}
+
+impl std::fmt::Debug for NerBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NerBackend::Compiled(_) => f.write_str("NerBackend::Compiled"),
+            NerBackend::Artifact(v) => {
+                write!(f, "NerBackend::Artifact {{ quantized: {} }}", v.quantized())
+            }
+        }
+    }
+}
+
+/// The POS tagger behind [`Inference`]: compiled in-process or served
+/// from artifact bytes. Tags are identical either way.
+pub enum PosBackend {
+    /// In-process compiled CSR tagger.
+    Compiled(CompiledPosTagger),
+    /// Zero-copy view over `.rma` artifact bytes.
+    Artifact(PosView),
+}
+
+impl PosBackend {
+    /// Tag a tokenized sentence into `out`, reusing `scratch`.
+    ///
+    /// Pure dispatch: the span lives in the tag kernels this delegates
+    /// to; external callers go through [`Inference`].
+    pub(crate) fn tag(&self, words: &[String], scratch: &mut TagScratch, out: &mut Vec<PennTag>) {
+        match self {
+            PosBackend::Compiled(t) => t.tag_into(words, scratch, out),
+            PosBackend::Artifact(v) => v.tag_into(words, scratch, out),
+        }
+    }
+}
+
+impl std::fmt::Debug for PosBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PosBackend::Compiled(_) => f.write_str("PosBackend::Compiled"),
+            PosBackend::Artifact(_) => f.write_str("PosBackend::Artifact"),
+        }
+    }
+}
+
 /// Compiled models plus phrase caches — the serving half of a trained
 /// pipeline. Frozen at construction: retraining or mutating the source
 /// models requires rebuilding (see
 /// [`crate::pipeline::TrainedPipeline::recompile`]).
 #[derive(Debug)]
 pub struct Inference {
-    ingredient: CompiledSequenceModel,
+    ingredient: NerBackend,
     /// Label id → ingredient tag, mirroring `predict` + `parse` exactly.
     ingredient_tag_of: Vec<IngredientTag>,
-    instruction: CompiledSequenceModel,
+    instruction: NerBackend,
     /// Label id → instruction tag.
     instruction_tag_of: Vec<InstructionTag>,
-    pos: CompiledPosTagger,
+    pos: PosBackend,
     ingredient_cache: ShardedCache<IngredientEntry>,
     event_cache: ShardedCache<Vec<CookingEvent>>,
     cache_enabled: AtomicBool,
@@ -244,8 +325,25 @@ impl Inference {
         ingredient_ner: &SequenceModel,
         instruction_ner: &SequenceModel,
     ) -> Self {
-        let ingredient = CompiledSequenceModel::compile(ingredient_ner);
-        let instruction = CompiledSequenceModel::compile(instruction_ner);
+        Self::from_backends(
+            NerBackend::Compiled(CompiledSequenceModel::compile(ingredient_ner)),
+            NerBackend::Compiled(CompiledSequenceModel::compile(instruction_ner)),
+            PosBackend::Compiled(CompiledPosTagger::compile(pos)),
+        )
+    }
+
+    /// Build an inference bundle from zero-copy artifact views (see
+    /// `recipe_core::artifact`). Whether decoding uses the quantized i16
+    /// kernels was fixed when the views were opened.
+    pub fn from_views(pos: PosView, ingredient: NerView, instruction: NerView) -> Self {
+        Self::from_backends(
+            NerBackend::Artifact(ingredient),
+            NerBackend::Artifact(instruction),
+            PosBackend::Artifact(pos),
+        )
+    }
+
+    fn from_backends(ingredient: NerBackend, instruction: NerBackend, pos: PosBackend) -> Self {
         let ingredient_tag_of = (0..ingredient.labels().len())
             .map(|id| {
                 IngredientTag::parse(ingredient.labels().name(id)).unwrap_or(IngredientTag::O)
@@ -262,7 +360,7 @@ impl Inference {
             ingredient_tag_of,
             instruction,
             instruction_tag_of,
-            pos: CompiledPosTagger::compile(pos),
+            pos,
             ingredient_cache: ShardedCache::new(
                 DEFAULT_CACHE_CAPACITY,
                 &registry,
@@ -286,19 +384,35 @@ impl Inference {
         &self.registry
     }
 
-    /// The compiled ingredient NER model.
-    pub fn ingredient_model(&self) -> &CompiledSequenceModel {
+    /// The ingredient NER backend (compiled model or artifact view).
+    pub fn ingredient_backend(&self) -> &NerBackend {
         &self.ingredient
     }
 
-    /// The compiled instruction NER model.
-    pub fn instruction_model(&self) -> &CompiledSequenceModel {
-        &self.instruction
+    /// The in-process compiled ingredient NER model, when this bundle
+    /// was built by [`Inference::compile`] (artifact-backed bundles
+    /// return `None`).
+    pub fn ingredient_model(&self) -> Option<&CompiledSequenceModel> {
+        match &self.ingredient {
+            NerBackend::Compiled(m) => Some(m),
+            NerBackend::Artifact(_) => None,
+        }
     }
 
-    /// The compiled POS tagger.
-    pub fn pos_model(&self) -> &CompiledPosTagger {
-        &self.pos
+    /// The in-process compiled instruction NER model, when present.
+    pub fn instruction_model(&self) -> Option<&CompiledSequenceModel> {
+        match &self.instruction {
+            NerBackend::Compiled(m) => Some(m),
+            NerBackend::Artifact(_) => None,
+        }
+    }
+
+    /// The in-process compiled POS tagger, when present.
+    pub fn pos_model(&self) -> Option<&CompiledPosTagger> {
+        match &self.pos {
+            PosBackend::Compiled(t) => Some(t),
+            PosBackend::Artifact(_) => None,
+        }
     }
 
     /// Enable or disable both phrase caches. Results are identical either
@@ -368,7 +482,7 @@ impl Inference {
     fn ingredient_entry_uncached(&self, words: &[String]) -> IngredientEntry {
         NER_SCRATCH.with(|cell| {
             let (scratch, ids, tags, _) = &mut *cell.borrow_mut();
-            self.ingredient.predict_ids_into(words, scratch, ids);
+            self.ingredient.predict_ids(words, scratch, ids);
             record_viterbi_provenance("ner.ingredient", &self.ingredient, words, ids, scratch);
             tags.clear();
             tags.extend(ids.iter().map(|&id| self.ingredient_tag_of[id]));
@@ -381,7 +495,7 @@ impl Inference {
     pub fn tag_instruction(&self, words: &[String]) -> Vec<InstructionTag> {
         NER_SCRATCH.with(|cell| {
             let (scratch, ids, _, tags) = &mut *cell.borrow_mut();
-            self.instruction.predict_ids_into(words, scratch, ids);
+            self.instruction.predict_ids(words, scratch, ids);
             record_viterbi_provenance("ner.instruction", &self.instruction, words, ids, scratch);
             tags.clear();
             tags.extend(ids.iter().map(|&id| self.instruction_tag_of[id]));
@@ -394,7 +508,7 @@ impl Inference {
     pub fn pos_tag(&self, words: &[String]) -> Vec<PennTag> {
         POS_SCRATCH.with(|cell| {
             let (scratch, tags) = &mut *cell.borrow_mut();
-            self.pos.tag_into(words, scratch, tags);
+            self.pos.tag(words, scratch, tags);
             tags.clone()
         })
     }
@@ -466,7 +580,7 @@ fn record_cache_provenance(site: &'static str, words: &[String], decision: &str)
 /// load when `--explain` is off.
 fn record_viterbi_provenance(
     site: &'static str,
-    model: &CompiledSequenceModel,
+    model: &NerBackend,
     words: &[String],
     ids: &[usize],
     scratch: &DecodeScratch,

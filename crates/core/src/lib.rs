@@ -34,6 +34,7 @@
 //! println!("{} events", model.events.len());
 //! ```
 
+pub mod artifact;
 pub mod cuisine;
 pub mod events;
 pub mod generation;
@@ -48,6 +49,7 @@ pub mod quantity;
 pub mod render;
 pub mod similarity;
 
+pub use artifact::{ArtifactPipeline, ArtifactPipelineError};
 pub use infer::{CacheStats, Inference};
 pub use model::{CookingEvent, IngredientEntry, RecipeModel};
 pub use pipeline::{IngredientExtractor, PipelineConfig, TrainedPipeline};

@@ -43,20 +43,20 @@ use std::sync::{Arc, OnceLock};
 /// Telemetry handles for the compiled decode path, resolved once from
 /// the global registry. All recording is gated on
 /// [`recipe_obs::enabled`] and never affects decoded output.
-struct DecodeMetrics {
+pub(crate) struct DecodeMetrics {
     /// Phrases decoded through [`CompiledSequenceModel::predict_ids_into`].
-    phrases: Arc<recipe_obs::Counter>,
+    pub(crate) phrases: Arc<recipe_obs::Counter>,
     /// Tokens across those phrases.
-    tokens: Arc<recipe_obs::Counter>,
+    pub(crate) tokens: Arc<recipe_obs::Counter>,
     /// Tokens whose entire feature set was out of vocabulary.
-    oov_tokens: Arc<recipe_obs::Counter>,
+    pub(crate) oov_tokens: Arc<recipe_obs::Counter>,
     /// Encodes served by an already-large-enough scratch arena.
-    scratch_reuses: Arc<recipe_obs::Counter>,
+    pub(crate) scratch_reuses: Arc<recipe_obs::Counter>,
     /// Encodes that had to grow the scratch arena.
-    scratch_grows: Arc<recipe_obs::Counter>,
+    pub(crate) scratch_grows: Arc<recipe_obs::Counter>,
 }
 
-fn decode_metrics() -> &'static DecodeMetrics {
+pub(crate) fn decode_metrics() -> &'static DecodeMetrics {
     static METRICS: OnceLock<DecodeMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let reg = recipe_obs::global();
@@ -82,17 +82,17 @@ pub struct CompiledParams {
     /// Number of features covered by the emission table.
     pub n_features: usize,
     /// CSR row offsets, length `n_features + 1`.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Label ids of the nonzero emission entries, row-major by feature.
-    labels: Vec<u32>,
+    pub(crate) labels: Vec<u32>,
     /// Weights parallel to `labels`.
-    weights: Vec<f64>,
+    pub(crate) weights: Vec<f64>,
     /// Dense transition weights, indexed `prev * L + next`.
-    trans: Vec<f64>,
+    pub(crate) trans: Vec<f64>,
     /// Start-of-sequence weights, one per label.
-    start: Vec<f64>,
+    pub(crate) start: Vec<f64>,
     /// End-of-sequence weights, one per label.
-    end: Vec<f64>,
+    pub(crate) end: Vec<f64>,
 }
 
 impl CompiledParams {
@@ -239,7 +239,7 @@ impl CompiledParams {
 
 /// Best minus second-best of a Viterbi δ row: how decisively the top
 /// label won at that position. Infinite when the model has one label.
-fn row_margin(row: &[f64]) -> f64 {
+pub(crate) fn row_margin(row: &[f64]) -> f64 {
     let mut best = f64::NEG_INFINITY;
     let mut second = f64::NEG_INFINITY;
     for &s in row {
@@ -259,20 +259,20 @@ fn row_margin(row: &[f64]) -> f64 {
 #[derive(Debug, Default)]
 pub struct DecodeScratch {
     /// Per-position feature-id buffers (inner `Vec`s are reused).
-    feats: Vec<Vec<u32>>,
+    pub(crate) feats: Vec<Vec<u32>>,
     /// Emission row for the current position.
-    et: Vec<f64>,
+    pub(crate) et: Vec<f64>,
     /// Best path scores at the previous position.
-    delta_prev: Vec<f64>,
+    pub(crate) delta_prev: Vec<f64>,
     /// Best path scores at the current position.
-    delta_cur: Vec<f64>,
+    pub(crate) delta_cur: Vec<f64>,
     /// Backpointers, flattened `position * n_labels + label`.
-    back: Vec<usize>,
+    pub(crate) back: Vec<usize>,
     /// Format buffer for streaming feature extraction.
-    scratch_str: String,
+    pub(crate) scratch_str: String,
     /// Per-position δ-row margins from the last decode; filled only
     /// while provenance recording is enabled, empty otherwise.
-    margins: Vec<f64>,
+    pub(crate) margins: Vec<f64>,
 }
 
 impl DecodeScratch {
@@ -296,10 +296,10 @@ impl DecodeScratch {
 /// [`DecodeScratch`].
 #[derive(Debug, Clone)]
 pub struct CompiledSequenceModel {
-    labels: LabelSet,
-    extractor: FeatureExtractor,
-    interner: Interner,
-    params: CompiledParams,
+    pub(crate) labels: LabelSet,
+    pub(crate) extractor: FeatureExtractor,
+    pub(crate) interner: Interner,
+    pub(crate) params: CompiledParams,
 }
 
 impl CompiledSequenceModel {

@@ -41,6 +41,7 @@
 //! assert_eq!(pred, ["QUANTITY", "O", "NAME"]);
 //! ```
 
+pub mod artifact;
 pub mod compiled;
 pub mod crf;
 pub mod decode;
@@ -52,6 +53,7 @@ pub mod model;
 pub mod perceptron;
 pub mod scheme;
 
+pub use artifact::NerView;
 pub use compiled::{CompiledParams, CompiledSequenceModel, DecodeScratch};
 pub use labels::{IngredientTag, InstructionTag, LabelSet};
 pub use model::{SequenceModel, TrainConfig, Trainer};

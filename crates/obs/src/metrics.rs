@@ -540,6 +540,10 @@ pub struct SampleSummary {
     pub p90: f64,
     /// Exact 99th percentile (interpolated).
     pub p99: f64,
+    /// Exact 99.9th percentile (interpolated). With fewer than ~1000
+    /// samples this interpolates toward the maximum — still useful as a
+    /// tail-latency bound, identical to `max` in the limit.
+    pub p999: f64,
 }
 
 impl SampleSummary {
@@ -561,6 +565,7 @@ impl SampleSummary {
                 max: 0.0,
                 p90: 0.0,
                 p99: 0.0,
+                p999: 0.0,
             };
         }
         SampleSummary {
@@ -571,6 +576,7 @@ impl SampleSummary {
             max: sorted[sorted.len() - 1],
             p90: percentile_sorted(sorted, 0.9),
             p99: percentile_sorted(sorted, 0.99),
+            p999: percentile_sorted(sorted, 0.999),
         }
     }
 }
@@ -727,5 +733,11 @@ mod tests {
         assert!((summary.median - 2.5).abs() < 1e-12);
         assert_eq!(summary.min, 1.0);
         assert_eq!(summary.max, 4.0);
+        // The tail percentiles interpolate toward the maximum and order
+        // correctly: p90 <= p99 <= p999 <= max.
+        assert!(summary.p90 <= summary.p99);
+        assert!(summary.p99 <= summary.p999);
+        assert!(summary.p999 <= summary.max);
+        assert!((summary.p999 - 3.997).abs() < 1e-12);
     }
 }

@@ -25,16 +25,16 @@ use std::sync::{Arc, OnceLock};
 /// Telemetry handles for compiled tagging, resolved once from the global
 /// registry. Recording is gated on [`recipe_obs::enabled`] and never
 /// affects the tags produced.
-struct TagMetrics {
+pub(crate) struct TagMetrics {
     /// Sentences tagged through [`CompiledPosTagger::tag_into`].
-    sentences: Arc<recipe_obs::Counter>,
+    pub(crate) sentences: Arc<recipe_obs::Counter>,
     /// Tokens across those sentences.
-    tokens: Arc<recipe_obs::Counter>,
+    pub(crate) tokens: Arc<recipe_obs::Counter>,
     /// Tokens short-circuited by the unambiguous-word dictionary.
-    tagdict_hits: Arc<recipe_obs::Counter>,
+    pub(crate) tagdict_hits: Arc<recipe_obs::Counter>,
 }
 
-fn tag_metrics() -> &'static TagMetrics {
+pub(crate) fn tag_metrics() -> &'static TagMetrics {
     static METRICS: OnceLock<TagMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let reg = recipe_obs::global();
@@ -52,13 +52,13 @@ fn tag_metrics() -> &'static TagMetrics {
 pub struct TagScratch {
     /// Normalized context (two START sentinels, the words, two END
     /// sentinels); the inner `String`s are reused.
-    context: Vec<String>,
+    pub(crate) context: Vec<String>,
     /// Active feature ids for the current position.
-    ids: Vec<u32>,
+    pub(crate) ids: Vec<u32>,
     /// Per-class score row.
-    scores: Vec<f64>,
+    pub(crate) scores: Vec<f64>,
     /// Format buffer for streaming feature extraction.
-    scratch_str: String,
+    pub(crate) scratch_str: String,
 }
 
 impl TagScratch {
@@ -75,16 +75,16 @@ impl TagScratch {
 pub struct CompiledPosTagger {
     /// Feature string → compiled row id. Ids are assigned in sorted
     /// feature-string order, so compilation is deterministic.
-    ids: HashMap<String, u32>,
+    pub(crate) ids: HashMap<String, u32>,
     /// CSR row offsets, length `num_features + 1`.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Class ids of the nonzero weights, row-major by feature.
-    classes: Vec<u32>,
+    pub(crate) classes: Vec<u32>,
     /// Weights parallel to `classes`.
-    weights: Vec<f64>,
-    num_classes: usize,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) num_classes: usize,
     /// Words that always carry the same tag in training data.
-    tagdict: HashMap<String, PennTag>,
+    pub(crate) tagdict: HashMap<String, PennTag>,
 }
 
 impl CompiledPosTagger {
@@ -235,7 +235,7 @@ impl CompiledPosTagger {
 
     /// Best minus second-best class score: how decisively the predicted
     /// tag won. Infinite for a single-class score row.
-    fn margin_of(scores: &[f64]) -> f64 {
+    pub(crate) fn margin_of(scores: &[f64]) -> f64 {
         let mut best = f64::NEG_INFINITY;
         let mut second = f64::NEG_INFINITY;
         for &s in scores {

@@ -33,12 +33,14 @@
 //! assert_eq!(tags[0], PennTag::CD);
 //! ```
 
+pub mod artifact;
 pub mod compiled;
 pub mod perceptron;
 pub mod tagger;
 pub mod tagset;
 pub mod vectorize;
 
+pub use artifact::PosView;
 pub use compiled::{CompiledPosTagger, TagScratch};
 pub use tagger::PosTagger;
 pub use tagset::PennTag;

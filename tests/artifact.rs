@@ -1,0 +1,162 @@
+//! Root integration tests for the `.rma` zero-copy artifact path:
+//! round-trips across thread counts, corruption rejection, and the
+//! quantized-decode drift gate (PR 7 acceptance criteria).
+
+use recipe_core::artifact::{artifact_bytes, ArtifactPipeline};
+use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
+use recipe_corpus::{CorpusSpec, RecipeCorpus, Site};
+use std::sync::Arc;
+
+fn corpus() -> RecipeCorpus {
+    RecipeCorpus::generate(&CorpusSpec::tiny(4242))
+}
+
+fn train(corpus: &RecipeCorpus, threads: usize) -> TrainedPipeline {
+    let mut cfg = PipelineConfig::fast();
+    cfg.threads = threads;
+    TrainedPipeline::train(corpus, &cfg)
+}
+
+/// The documented quantization contract: i16 fixed-point Viterbi must
+/// reproduce the f64 argmax on at least this fraction of phrases and
+/// instruction tokens over the seeded corpus (DESIGN.md section 14).
+const MIN_QUANTIZED_AGREEMENT: f64 = 0.995;
+
+#[test]
+fn artifact_round_trip_is_byte_identical_across_thread_counts() {
+    let corpus = corpus();
+    let mut reference_bytes: Option<Vec<u8>> = None;
+    for threads in [1usize, 4, 8] {
+        let pipeline = train(&corpus, threads);
+        let bytes = artifact_bytes(&pipeline).expect("serialize artifact");
+        // Training is deterministic across thread counts, so the
+        // serialized artifact must be byte-for-byte identical too.
+        match &reference_bytes {
+            None => reference_bytes = Some(bytes.clone()),
+            Some(reference) => assert_eq!(
+                reference, &bytes,
+                "artifact bytes differ at {threads} threads"
+            ),
+        }
+
+        let shared: Arc<[u8]> = bytes.into();
+        let loaded = ArtifactPipeline::from_bytes(shared, false).expect("load artifact");
+        loaded.verify_crc().expect("fresh artifact checksums");
+
+        // The f64 view serves extraction byte-identically to the
+        // in-process compiled models it was written from.
+        for phrase in corpus.phrases(Site::AllRecipes) {
+            let text = phrase.text();
+            assert_eq!(
+                pipeline.extract_ingredient(&text),
+                loaded.extract_ingredient(&text),
+                "{threads} threads: artifact extraction diverged on {text:?}"
+            );
+        }
+        for recipe in corpus.recipes.iter().take(10) {
+            for sentence in &recipe.instructions {
+                let words = sentence.words();
+                assert_eq!(
+                    pipeline.inference.tag_instruction(&words),
+                    loaded.inference.tag_instruction(&words),
+                    "{threads} threads: instruction tagging diverged on {words:?}"
+                );
+                assert_eq!(
+                    pipeline.inference.pos_tag(&words),
+                    loaded.inference.pos_tag(&words),
+                    "{threads} threads: POS tagging diverged on {words:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupted_artifacts_are_rejected() {
+    let corpus = corpus();
+    let pipeline = train(&corpus, 1);
+    let bytes = artifact_bytes(&pipeline).expect("serialize artifact");
+
+    // Wrong magic: not even recognizably an artifact.
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(
+        ArtifactPipeline::from_bytes(bad_magic.into(), false).is_err(),
+        "flipped magic must be rejected"
+    );
+
+    // A corrupted schema version breaks the header checksum.
+    let mut bad_version = bytes.clone();
+    bad_version[8] ^= 0x01;
+    assert!(
+        ArtifactPipeline::from_bytes(bad_version.into(), false).is_err(),
+        "corrupted schema version must be rejected"
+    );
+
+    // Truncation: the container's recorded total length no longer fits.
+    let truncated = bytes[..bytes.len() - 8].to_vec();
+    assert!(
+        ArtifactPipeline::from_bytes(truncated.into(), false).is_err(),
+        "truncated artifact must be rejected"
+    );
+
+    // A flipped payload byte deep in the weight sections passes the
+    // O(sections) structural validation (by design) but must be caught
+    // by the O(bytes) CRC pass.
+    let mut bad_payload = bytes.clone();
+    let at = bytes.len() * 3 / 4;
+    bad_payload[at] ^= 0xFF;
+    match ArtifactPipeline::from_bytes(bad_payload.into(), false) {
+        Err(_) => {} // flipped a structurally-validated field: also fine
+        Ok(loaded) => assert!(
+            loaded.verify_crc().is_err(),
+            "flipped payload byte at {at} must fail the CRC pass"
+        ),
+    }
+}
+
+#[test]
+fn quantized_decode_stays_within_documented_drift_bound() {
+    let corpus = corpus();
+    let pipeline = train(&corpus, 1);
+    let shared: Arc<[u8]> = artifact_bytes(&pipeline)
+        .expect("serialize artifact")
+        .into();
+    let f64_view = ArtifactPipeline::from_bytes(Arc::clone(&shared), false).expect("f64 view");
+    let quantized = ArtifactPipeline::from_bytes(shared, true).expect("quantized view");
+
+    let mut entries_agree = 0usize;
+    let mut entries = 0usize;
+    for phrase in corpus.phrases(Site::AllRecipes) {
+        let text = phrase.text();
+        entries += 1;
+        if quantized.extract_ingredient(&text) == f64_view.extract_ingredient(&text) {
+            entries_agree += 1;
+        }
+    }
+    let entry_agreement = entries_agree as f64 / entries.max(1) as f64;
+    assert!(
+        entry_agreement >= MIN_QUANTIZED_AGREEMENT,
+        "quantized ingredient extraction agreement {entry_agreement} \
+         ({entries_agree}/{entries}) below the documented {MIN_QUANTIZED_AGREEMENT} bound"
+    );
+
+    let mut tokens_agree = 0usize;
+    let mut tokens = 0usize;
+    for recipe in corpus.recipes.iter().take(20) {
+        for sentence in &recipe.instructions {
+            let words = sentence.words();
+            let expected = f64_view.inference.tag_instruction(&words);
+            let got = quantized.inference.tag_instruction(&words);
+            assert_eq!(expected.len(), got.len());
+            tokens += expected.len();
+            tokens_agree += expected.iter().zip(&got).filter(|(a, b)| a == b).count();
+        }
+    }
+    let token_agreement = tokens_agree as f64 / tokens.max(1) as f64;
+    assert!(
+        token_agreement >= MIN_QUANTIZED_AGREEMENT,
+        "quantized instruction-token agreement {token_agreement} \
+         ({tokens_agree}/{tokens}) below the documented {MIN_QUANTIZED_AGREEMENT} bound"
+    );
+}
