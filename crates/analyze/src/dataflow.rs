@@ -18,6 +18,7 @@
 //! | RA405 | inconsistent mutex acquisition order; guards held across pool dispatch |
 //! | RA406 | panic sources (`unwrap`, `panic!`, arithmetic indexing) on the serving call graph |
 //! | RA407 | load/parse entry points that reinterpret raw bytes without reachable validation |
+//! | RA408 | unbounded reads (`read_to_end`/`read_to_string` without a limit) and blocking sleeps on the serving call graph |
 
 use crate::callgraph::{call_sites, macro_sites, CallGraph, Workspace};
 use crate::diag::Diagnostic;
@@ -110,6 +111,7 @@ pub fn lint_dataflow(ws: &Workspace) -> Vec<Diagnostic> {
         ra405_collect_locks(file, f, &mut out, &mut lock_orders);
         if serving[id] {
             ra406_panic_sources(file, f, &mut out);
+            ra408_unbounded_io(file, f, &mut out);
         }
     }
 
@@ -119,7 +121,8 @@ pub fn lint_dataflow(ws: &Workspace) -> Vec<Diagnostic> {
 }
 
 /// Serving roots: the public inference surface plus the compiled
-/// kernels and the CLI commands that answer queries.
+/// kernels, the CLI commands that answer queries, and the HTTP
+/// request handlers in `recipe-serve` (`handle_*`).
 fn is_serving_root(file: &FileItems, f: &FnItem) -> bool {
     if f.in_test {
         return false;
@@ -127,6 +130,7 @@ fn is_serving_root(file: &FileItems, f: &FnItem) -> bool {
     (f.is_pub && f.qual.starts_with("Inference::"))
         || f.name.starts_with("extract_")
         || f.name.starts_with("model_recipe")
+        || f.name.starts_with("handle_")
         || matches!(
             f.name.as_str(),
             "model_text" | "decode" | "viterbi_into" | "tag_into" | "predict_ids_into"
@@ -713,6 +717,63 @@ fn ra406_panic_sources(file: &FileItems, f: &FnItem, out: &mut Vec<Diagnostic>) 
     }
 }
 
+/// RA408: unbounded reads and blocking sleeps on serving-reachable
+/// functions.
+///
+/// An HTTP handler that calls `read_to_end`/`read_to_string` on a
+/// socket lets one slow or malicious client allocate without bound
+/// and pin a shard for the stream timeout; a `thread::sleep` on the
+/// same path stalls every request batched behind it. Both are flagged
+/// only where the serving call graph can reach them. The read check
+/// is suppressed when the body mentions `take` — `reader.take(limit)`
+/// is the sanctioned way to bound a read — and skips
+/// `fs::read_to_string`-style qualified calls, which read local files
+/// the operator controls, not peer-controlled streams.
+fn ra408_unbounded_io(file: &FileItems, f: &FnItem, out: &mut Vec<Diagnostic>) {
+    let lexed = &file.lexed;
+    let body_has_take = f
+        .body
+        .clone()
+        .any(|k| lexed.kind(k) == Some(TokenKind::Ident) && lexed.text(k) == "take");
+    for site in call_sites(lexed, f.body.clone()) {
+        let unbounded_read = matches!(site.name.as_str(), "read_to_end" | "read_to_string")
+            && (site.is_method || site.qualifier.as_deref() == Some("Read"))
+            && !body_has_take;
+        if unbounded_read {
+            out.push(
+                Diagnostic::new(
+                    "RA408",
+                    format!(
+                        "unbounded `{}` on the serving path in `{}`",
+                        site.name, f.qual
+                    ),
+                    format!("{}:{}", file.file, site.line),
+                )
+                .with_note(
+                    "a peer-fed reader can grow without limit; wrap it in `Read::take(max)` \
+                     or read a length-checked body instead",
+                ),
+            );
+        }
+        if matches!(site.name.as_str(), "sleep" | "sleep_ms") {
+            out.push(
+                Diagnostic::new(
+                    "RA408",
+                    format!(
+                        "blocking `{}` on the serving path in `{}`",
+                        site.name, f.qual
+                    ),
+                    format!("{}:{}", file.file, site.line),
+                )
+                .with_note(
+                    "a sleep here stalls the whole shard and every batched request behind \
+                     this one; use socket timeouts or the queue's deadline wait instead",
+                ),
+            );
+        }
+    }
+}
+
 /// Byte-reinterpretation calls: each one turns raw bytes into typed
 /// values, so its result is only as trustworthy as the bytes.
 const REINTERP_CALLS: &[&str] = &[
@@ -1043,6 +1104,60 @@ pub fn parse_name(s: &str) -> String {
 ";
         let diags = lint(src);
         assert!(!codes(&diags).contains(&"RA407"), "{diags:?}");
+    }
+
+    #[test]
+    fn ra408_fires_on_unbounded_read_in_handler() {
+        let src = "\
+pub fn handle_extract(stream: &mut TcpStream) -> Vec<u8> {
+    let mut body = Vec::new();
+    stream.read_to_end(&mut body).ok();
+    body
+}
+";
+        let diags = lint(src);
+        let ra408: Vec<_> = diags.iter().filter(|d| d.code == "RA408").collect();
+        assert_eq!(ra408.len(), 1, "{diags:?}");
+        assert_eq!(ra408[0].location, "m.rs:3");
+        assert!(ra408[0].message.contains("read_to_end"), "{diags:?}");
+    }
+
+    #[test]
+    fn ra408_quiet_with_take_bound_and_off_serving_path() {
+        // `take(limit)` bounds the read; a fn nothing serving reaches
+        // never fires at all.
+        let src = "\
+pub fn handle_extract(stream: &mut TcpStream) -> String {
+    let mut body = String::new();
+    stream.take(1024).read_to_string(&mut body).ok();
+    body
+}
+fn offline_slurp(stream: &mut TcpStream) -> Vec<u8> {
+    let mut body = Vec::new();
+    stream.read_to_end(&mut body).ok();
+    body
+}
+";
+        let diags = lint(src);
+        assert!(!codes(&diags).contains(&"RA408"), "{diags:?}");
+    }
+
+    #[test]
+    fn ra408_fires_on_sleep_but_skips_fs_reads() {
+        // A blocking sleep on the handler path fires; a qualified
+        // `fs::read_to_string` reads an operator-controlled file, not a
+        // peer-fed stream, and stays quiet.
+        let src = "\
+pub fn handle_reload(path: &str) -> String {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    std::fs::read_to_string(path).unwrap_or_default()
+}
+";
+        let diags = lint(src);
+        let ra408: Vec<_> = diags.iter().filter(|d| d.code == "RA408").collect();
+        assert_eq!(ra408.len(), 1, "{diags:?}");
+        assert_eq!(ra408[0].location, "m.rs:2");
+        assert!(ra408[0].message.contains("sleep"), "{diags:?}");
     }
 
     #[test]

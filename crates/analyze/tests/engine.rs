@@ -108,6 +108,18 @@ fn ra407_catches_unchecked_byte_reinterpretation_on_load() {
     assert!(clean.is_empty(), "{clean:?}");
 }
 
+#[test]
+fn ra408_catches_unbounded_reads_and_sleeps_on_serving() {
+    let mut hits = scan_fixture("ra408_violation.rs", "RA408");
+    hits.sort_by_key(|d| d.line());
+    assert_eq!(lines(&hits), vec![6, 12], "{hits:?}");
+    assert!(hits[0].message.contains("read_to_end"), "{hits:?}");
+    assert!(hits[1].message.contains("sleep"), "{hits:?}");
+
+    let clean = scan_fixture("ra408_clean.rs", "RA408");
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
 fn corpus_config() -> Config {
     Config {
         source_only: true,
@@ -120,7 +132,7 @@ fn corpus_config() -> Config {
 fn corpus_scan_covers_every_rule_and_is_deterministic() {
     let first = run_all(&corpus_config()).expect("corpus scan");
     for code in [
-        "RA401", "RA402", "RA403", "RA404", "RA405", "RA406", "RA407",
+        "RA401", "RA402", "RA403", "RA404", "RA405", "RA406", "RA407", "RA408",
     ] {
         assert!(
             first.iter().any(|d| d.code == code),

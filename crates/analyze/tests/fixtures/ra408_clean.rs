@@ -1,0 +1,15 @@
+//! RA408-clean twin: the handler bounds its socket read with
+//! `Read::take`, and the unbounded slurp lives in a helper nothing on
+//! the serving graph reaches.
+
+pub fn handle_extract(stream: &mut std::net::TcpStream) -> String {
+    let mut body = String::new();
+    stream.take(4096).read_to_string(&mut body).ok();
+    body
+}
+
+fn offline_dump(stream: &mut std::net::TcpStream) -> Vec<u8> {
+    let mut body = Vec::new();
+    stream.read_to_end(&mut body).ok();
+    body
+}

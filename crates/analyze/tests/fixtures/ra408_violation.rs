@@ -1,0 +1,13 @@
+//! Seeded RA408 violations: an unbounded socket read and a blocking
+//! sleep, both reachable from a serving `handle_*` entry point.
+
+pub fn handle_extract(stream: &mut std::net::TcpStream) -> Vec<u8> {
+    let mut body = Vec::new();
+    stream.read_to_end(&mut body).ok();
+    throttle();
+    body
+}
+
+fn throttle() {
+    std::thread::sleep(std::time::Duration::from_millis(2));
+}

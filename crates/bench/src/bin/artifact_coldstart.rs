@@ -21,7 +21,7 @@
 //!
 //! Usage: `artifact_coldstart [total_recipes] [seed] [out.json] [--smoke]`
 
-use recipe_bench::timing::{Bench, Stats};
+use recipe_bench::timing::{stats_json, Bench};
 use recipe_bench::ExperimentScale;
 use recipe_core::pipeline::TrainedPipeline;
 use recipe_core::ArtifactPipeline;
@@ -33,22 +33,6 @@ use std::time::{Duration, Instant};
 /// The cold-start contract from the PR 7 acceptance criteria: opening
 /// artifact views must beat in-process train+compile by this factor.
 const MIN_COLDSTART_SPEEDUP: f64 = 100.0;
-
-fn stats_json(name: &str, s: &Stats, phrases: usize) -> serde_json::Value {
-    json!({
-        "name": name,
-        "threads": 1,
-        "median_s": s.median,
-        "mean_s": s.mean,
-        "min_s": s.min,
-        "p90_s": s.p90,
-        "p99_s": s.p99,
-        "p999_s": s.p999,
-        "iters": s.iters,
-        "samples": s.samples,
-        "phrases_per_s": if phrases > 0 { phrases as f64 / s.median } else { 0.0 },
-    })
-}
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -175,12 +159,12 @@ fn main() {
                   compares only the _s fields",
         "deterministic": true,
         "results": [
-            stats_json("artifact_open", &load, 0),
-            stats_json("artifact_parse_only", &parse_only, 0),
-            stats_json("artifact_crc_verify", &crc, 0),
-            stats_json("extract_compiled", &compiled_stats, phrases.len()),
-            stats_json("extract_artifact_f64", &f64_stats, phrases.len()),
-            stats_json("extract_artifact_quantized", &quant_stats, phrases.len()),
+            stats_json("artifact_open", 1, &load, 0),
+            stats_json("artifact_parse_only", 1, &parse_only, 0),
+            stats_json("artifact_crc_verify", 1, &crc, 0),
+            stats_json("extract_compiled", 1, &compiled_stats, phrases.len()),
+            stats_json("extract_artifact_f64", 1, &f64_stats, phrases.len()),
+            stats_json("extract_artifact_quantized", 1, &quant_stats, phrases.len()),
         ],
     });
     let rendered = serde_json::to_string_pretty(&report).expect("render report");

@@ -52,6 +52,73 @@ pub struct Stats {
     pub samples: usize,
 }
 
+impl Stats {
+    /// Build per-iteration statistics directly from raw samples in
+    /// seconds (one observation per sample, `iters = 1`) — the entry
+    /// point for benchmarks that collect their own timings (e.g. the
+    /// open-loop serving bench) instead of going through
+    /// [`Bench::measure`]'s calibration loop.
+    pub fn from_samples(samples: Vec<f64>) -> Stats {
+        let summary = SampleSummary::from_samples(samples);
+        Stats {
+            min: summary.min,
+            median: summary.median,
+            mean: summary.mean,
+            p90: summary.p90,
+            p99: summary.p99,
+            p999: summary.p999,
+            iters: 1,
+            samples: summary.n,
+        }
+    }
+}
+
+/// Machine-readable row for one [`Stats`] measurement, in the shape
+/// the `bench-diff` gate expects: `_s` fields in seconds (gated),
+/// `_per_s` rates (informational), `name` + `threads` as the row key.
+/// Shared by every benchmark binary that appends to the history so the
+/// percentile plumbing exists exactly once.
+pub fn stats_json(name: &str, threads: u64, s: &Stats, phrases: usize) -> serde_json::Value {
+    serde_json::json!({
+        "name": name,
+        "threads": threads,
+        "median_s": s.median,
+        "mean_s": s.mean,
+        "min_s": s.min,
+        "p90_s": s.p90,
+        "p99_s": s.p99,
+        "p999_s": s.p999,
+        "iters": s.iters,
+        "samples": s.samples,
+        "phrases_per_s": if phrases > 0 { phrases as f64 / s.median } else { 0.0 },
+    })
+}
+
+/// Deterministic open-loop arrival offsets, in seconds from the start
+/// of the run: `n` exponential inter-arrival gaps at `qps` requests
+/// per second, drawn from a seeded splitmix64 stream and summed. The
+/// same `(qps, n, seed)` always replays the same schedule, so two
+/// sustained-load runs offer identical traffic.
+pub fn arrival_offsets(qps: f64, n: usize, seed: u64) -> Vec<f64> {
+    let rate = qps.max(1e-9);
+    let mut state = seed;
+    let mut at = 0.0f64;
+    (0..n)
+        .map(|_| {
+            // splitmix64: the standard 64-bit finalizer-based stream.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            // Uniform in (0, 1]: 53 mantissa bits, never exactly zero.
+            let u = ((z >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+            at += -u.ln() / rate;
+            at
+        })
+        .collect()
+}
+
 impl Bench {
     /// Build a runner from CLI arguments: positional args are substring
     /// filters; `--bench`/`--exact` (passed by `cargo bench`) are ignored.
@@ -188,6 +255,40 @@ mod tests {
         assert!(stats.median >= stats.min);
         assert!(stats.iters >= 1);
         assert_eq!(stats.samples, 3);
+    }
+
+    #[test]
+    fn from_samples_matches_summary_percentiles() {
+        let stats = Stats::from_samples(vec![0.004, 0.001, 0.003, 0.002]);
+        assert_eq!(stats.iters, 1);
+        assert_eq!(stats.samples, 4);
+        assert_eq!(stats.min, 0.001);
+        assert!(stats.median >= stats.min && stats.p999 >= stats.median);
+    }
+
+    #[test]
+    fn stats_json_has_gated_fields_and_row_key() {
+        let stats = Stats::from_samples(vec![0.002, 0.001]);
+        let row = stats_json("qps100", 4, &stats, 0);
+        assert_eq!(row.get("name").and_then(|v| v.as_str()), Some("qps100"));
+        assert_eq!(row.get("threads").and_then(|v| v.as_u64()), Some(4));
+        for key in ["median_s", "mean_s", "min_s", "p90_s", "p99_s", "p999_s"] {
+            assert!(row.get(key).and_then(|v| v.as_f64()).is_some(), "{key}");
+        }
+        assert_eq!(row.get("phrases_per_s").and_then(|v| v.as_f64()), Some(0.0));
+    }
+
+    #[test]
+    fn arrival_offsets_are_deterministic_and_match_rate() {
+        let a = arrival_offsets(100.0, 500, 7);
+        let b = arrival_offsets(100.0, 500, 7);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[1] > w[0]), "offsets must increase");
+        // 500 arrivals at 100/s should span about 5 s of offered load.
+        let span = *a.last().unwrap();
+        assert!((2.5..10.0).contains(&span), "span {span}");
+        // A different seed replays a different schedule.
+        assert_ne!(a, arrival_offsets(100.0, 500, 8));
     }
 
     #[test]

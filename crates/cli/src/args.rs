@@ -81,6 +81,26 @@ pub enum Command {
         /// Worker threads (0 = `RECIPE_THREADS` env / detected cores).
         threads: usize,
     },
+    /// `serve --model <path> [--addr HOST:PORT] [--threads T]
+    /// [--quantized] [--queue-cap N] [--batch-max B]
+    /// [--batch-window-us U]`: run the long-lived HTTP serving layer
+    /// over the model (see `crates/serve`).
+    Serve {
+        /// Trained artifact path (`.json` pipeline or binary `.rma`).
+        model: String,
+        /// Bind address (`host:port`; port 0 picks an ephemeral port).
+        addr: String,
+        /// Worker shards (0 = `RECIPE_THREADS` env / detected cores).
+        threads: usize,
+        /// Decode with the i16 quantized kernels (`.rma` models only).
+        quantized: bool,
+        /// Bounded request-queue capacity (admission control depth).
+        queue_cap: usize,
+        /// Max requests drained into one micro-batch.
+        batch_max: usize,
+        /// Micro-batch fill window in microseconds.
+        batch_window_us: u64,
+    },
     /// `bench-diff [--history PATH] [--benchmark NAME] [--warn-pct P]
     /// [--fail-pct P] [--smoke]`: compare the latest bench run in the
     /// history file against its baseline and exit nonzero on regression.
@@ -283,8 +303,8 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
     // boolean, so they must be stripped before `split_flags` pairs every
     // `--flag` with the following token. `--no-cache` and `--explain`
     // are accepted by `extract` and `mine`; `--trace` also by `train`;
-    // `--quantized` only by `extract`; elsewhere all four are explicit
-    // errors.
+    // `--quantized` by `extract` and `serve`; elsewhere all four are
+    // explicit errors.
     let mut no_cache = false;
     let mut trace = false;
     let mut explain = false;
@@ -321,7 +341,7 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
     if explain && !matches!(cmd.as_str(), "extract" | "mine") {
         return Err(ArgsError::UnexpectedArg("--explain".to_string()));
     }
-    if quantized && cmd.as_str() != "extract" {
+    if quantized && !matches!(cmd.as_str(), "extract" | "serve") {
         return Err(ArgsError::UnexpectedArg("--quantized".to_string()));
     }
     let rest = rest.as_slice();
@@ -443,6 +463,55 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                 threads: parse_threads(&flags)?,
                 no_cache,
                 obs: parse_obs(&flags, trace, explain)?,
+            }
+        }
+        "serve" => {
+            let model = flags
+                .get("model")
+                .cloned()
+                .ok_or(ArgsError::MissingFlag("model"))?;
+            let addr = flags
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+            let queue_cap = match flags.get("queue-cap") {
+                Some(v) => {
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| ArgsError::BadValue("queue-cap", v.clone()))?;
+                    if n == 0 {
+                        return Err(ArgsError::BadValue("queue-cap", v.clone()));
+                    }
+                    n
+                }
+                None => 128,
+            };
+            let batch_max = match flags.get("batch-max") {
+                Some(v) => {
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| ArgsError::BadValue("batch-max", v.clone()))?;
+                    if n == 0 {
+                        return Err(ArgsError::BadValue("batch-max", v.clone()));
+                    }
+                    n
+                }
+                None => 8,
+            };
+            let batch_window_us = match flags.get("batch-window-us") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ArgsError::BadValue("batch-window-us", v.clone()))?,
+                None => 500,
+            };
+            Command::Serve {
+                model,
+                addr,
+                threads: parse_threads(&flags)?,
+                quantized,
+                queue_cap,
+                batch_max,
+                batch_window_us,
             }
         }
         // `lint` and `bench-diff` have boolean flags, so they parse
@@ -653,6 +722,9 @@ USAGE:
                       [--trace-out <trace.json>] [--trace-sample R]
                       [--explain] <recipe.txt>...
   recipe-mine explain --model <model.json> [--threads T] <phrase>...
+  recipe-mine serve   --model <model.json|model.rma> [--addr HOST:PORT]
+                      [--threads T] [--quantized] [--queue-cap N]
+                      [--batch-max B] [--batch-window-us U]
   recipe-mine stats   <metrics.json>
   recipe-mine bench-diff [--history <bench_history.jsonl>]
                       [--benchmark NAME] [--warn-pct P] [--fail-pct P]
@@ -718,6 +790,11 @@ extract  print the structured attributes of ingredient phrases as JSON;
          (--quantized selects the i16 decode kernels, .rma only)
 explain  extract phrases with provenance recording on and print the
          decision trail that produced each entry
+serve    run the long-lived HTTP/1.1 serving layer: one acceptor plus
+         --threads shard-per-core workers micro-batching a bounded
+         request queue (503 + Retry-After when full). Endpoints:
+         POST /extract, POST /explain, GET /healthz, GET /metrics,
+         POST /admin/reload (hot-swap), POST /admin/shutdown (drain)
 mine     mine recipe text files (## ingredients / ## instructions
          sections) into the Fig. 1 structure, printed as JSON
 stats    validate a --metrics-out telemetry document and render it in a
@@ -1307,6 +1384,70 @@ mod tests {
                 obs: ObsArgs::default(),
             }
         );
+    }
+
+    #[test]
+    fn parses_serve_subcommand() {
+        let parsed = parse_args(&s(&["serve", "--model", "m.rma"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Serve {
+                model: "m.rma".into(),
+                addr: "127.0.0.1:7878".into(),
+                threads: 0,
+                quantized: false,
+                queue_cap: 128,
+                batch_max: 8,
+                batch_window_us: 500,
+            }
+        );
+        let parsed = parse_args(&s(&[
+            "serve",
+            "--model",
+            "m.rma",
+            "--addr",
+            "0.0.0.0:9000",
+            "--threads",
+            "4",
+            "--quantized",
+            "--queue-cap",
+            "32",
+            "--batch-max",
+            "16",
+            "--batch-window-us",
+            "250",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Serve {
+                model: "m.rma".into(),
+                addr: "0.0.0.0:9000".into(),
+                threads: 4,
+                quantized: true,
+                queue_cap: 32,
+                batch_max: 16,
+                batch_window_us: 250,
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["serve"])),
+            Err(ArgsError::MissingFlag("model"))
+        );
+        for (flag, bad) in [
+            ("queue-cap", "0"),
+            ("batch-max", "0"),
+            ("queue-cap", "many"),
+        ] {
+            let dashed = format!("--{flag}");
+            assert!(
+                matches!(
+                    parse_args(&s(&["serve", "--model", "m", &dashed, bad])),
+                    Err(ArgsError::BadValue(_, _))
+                ),
+                "{flag}={bad}"
+            );
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::args::{BenchDiffOptions, Command, LintOptions, ObsArgs};
 use crate::recipe_file::parse_recipe_file;
 use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
 use recipe_corpus::{CorpusSpec, RecipeCorpus};
+use recipe_serve::{entry_json, ServeModel};
 use serde_json::json;
 
 /// Errors surfaced to the CLI user.
@@ -116,6 +117,26 @@ pub fn run(command: &Command) -> Result<String, CliError> {
         } => {
             recipe_runtime::set_global_threads(*threads);
             explain(model, phrases)
+        }
+        Command::Serve {
+            model,
+            addr,
+            threads,
+            quantized,
+            queue_cap,
+            batch_max,
+            batch_window_us,
+        } => {
+            recipe_runtime::set_global_threads(*threads);
+            serve(
+                model,
+                addr,
+                *threads,
+                *quantized,
+                *queue_cap,
+                *batch_max,
+                *batch_window_us,
+            )
         }
         Command::BenchDiff(opts) => bench_diff(opts),
         Command::Lint(opts) => {
@@ -459,19 +480,6 @@ fn train(out: &str, recipes: usize, seed: u64, obs: &ObsOpts) -> Result<String, 
     ))
 }
 
-/// Structured JSON for one extracted entry.
-fn entry_json(entry: &recipe_core::IngredientEntry) -> serde_json::Value {
-    json!({
-        "name": entry.name,
-        "state": entry.state,
-        "quantity": entry.quantity,
-        "unit": entry.unit,
-        "temperature": entry.temperature,
-        "dry_fresh": entry.dry_fresh,
-        "size": entry.size,
-    })
-}
-
 /// Cache hit/miss summary appended to `extract`/`mine` output.
 fn cache_json(inference: &recipe_core::Inference, enabled: bool) -> serde_json::Value {
     let stats = inference.cache_stats();
@@ -484,45 +492,53 @@ fn cache_json(inference: &recipe_core::Inference, enabled: bool) -> serde_json::
     })
 }
 
-/// An extraction model loaded by `extract`: either a JSON pipeline
-/// (recompiled on load) or a zero-copy binary `.rma` artifact, selected
-/// by sniffing the file's magic bytes.
-enum LoadedModel {
-    /// JSON pipeline artifact ([`TrainedPipeline`]).
-    Json(TrainedPipeline),
-    /// Binary `.rma` artifact served from loaded bytes.
-    Rma(recipe_core::ArtifactPipeline),
+/// Map a [`recipe_serve::ModelError`] (the shared CLI/server load
+/// path) onto the CLI's error surface.
+fn model_error(e: recipe_serve::ModelError) -> CliError {
+    match e {
+        recipe_serve::ModelError::Artifact(path, err) => CliError::Artifact(path, err),
+        recipe_serve::ModelError::Persist(err) => CliError::Persist(err),
+        err @ recipe_serve::ModelError::QuantizedJson(_) => CliError::Usage(err.to_string()),
+    }
 }
 
-impl LoadedModel {
-    fn load(model: &str, quantized: bool) -> Result<Self, CliError> {
-        if recipe_core::artifact::sniffs_as_artifact(model) {
-            let loaded = recipe_core::ArtifactPipeline::load(model, quantized)
-                .map_err(|e| CliError::Artifact(model.to_string(), e))?;
-            Ok(LoadedModel::Rma(loaded))
-        } else if quantized {
-            Err(CliError::Usage(format!(
-                "--quantized needs a binary .rma model (compile one with \
-                 `recipe-mine compile --model {model} --out model.rma`)"
-            )))
-        } else {
-            Ok(LoadedModel::Json(TrainedPipeline::load(model)?))
-        }
-    }
-
-    fn inference(&self) -> &recipe_core::Inference {
-        match self {
-            LoadedModel::Json(p) => &p.inference,
-            LoadedModel::Rma(a) => &a.inference,
-        }
-    }
-
-    fn extract_ingredient(&self, phrase: &str) -> recipe_core::IngredientEntry {
-        match self {
-            LoadedModel::Json(p) => p.extract_ingredient(phrase),
-            LoadedModel::Rma(a) => a.extract_ingredient(phrase),
-        }
-    }
+/// `recipe-mine serve`: run the HTTP serving layer over a loaded model
+/// until `POST /admin/shutdown` drains it (see `crates/serve`).
+fn serve(
+    model: &str,
+    addr: &str,
+    threads: usize,
+    quantized: bool,
+    queue_cap: usize,
+    batch_max: usize,
+    batch_window_us: u64,
+) -> Result<String, CliError> {
+    let loaded = ServeModel::load(model, quantized).map_err(model_error)?;
+    let cfg = recipe_serve::ServeConfig {
+        addr: addr.to_string(),
+        shards: threads,
+        queue_cap,
+        batch_max,
+        batch_window_us,
+        ..recipe_serve::ServeConfig::default()
+    };
+    let server = recipe_serve::Server::launch(&cfg, loaded, (model.to_string(), quantized))
+        .map_err(|e| CliError::Io(addr.to_string(), e))?;
+    let bound = server.local_addr();
+    let shards = server.shards();
+    eprintln!(
+        "serving {model} on http://{bound} ({shards} shards; \
+         POST /admin/shutdown to drain and exit)"
+    );
+    server.join();
+    let summary = json!({
+        "served": { "addr": bound.to_string(), "model": model, "shards": shards },
+        "shutdown": "drained",
+    });
+    Ok(format!(
+        "{}\n",
+        serde_json::to_string_pretty(&summary).expect("json")
+    ))
 }
 
 /// `recipe-mine compile`: serialize a pipeline's compiled models into a
@@ -562,7 +578,7 @@ fn extract(
     obs: &ObsOpts,
 ) -> Result<String, CliError> {
     let started = obs.begin();
-    let pipeline = LoadedModel::load(model, quantized)?;
+    let pipeline = ServeModel::load(model, quantized).map_err(model_error)?;
     pipeline.inference().set_cache_enabled(!no_cache);
     let rows: Vec<serde_json::Value> = {
         let _span = recipe_obs::span!("extract");

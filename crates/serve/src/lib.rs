@@ -1,0 +1,544 @@
+//! `recipe-serve`: the online serving layer — a std-only HTTP/1.1
+//! front end over the compiled [`Inference`] bundle.
+//!
+//! Architecture (DESIGN.md §15):
+//!
+//! - **One acceptor, N shard-per-core workers.** The acceptor thread
+//!   owns the listener and pushes accepted connections onto a bounded
+//!   queue; each worker thread drains the queue independently, so a
+//!   slow request only stalls its own shard.
+//! - **Request micro-batching.** A worker blocks for the first
+//!   connection of a batch, then keeps draining until it has
+//!   [`ServeConfig::batch_max`] connections or the
+//!   [`ServeConfig::batch_window_us`] window closes, and serves the
+//!   whole batch against one pinned model handle (amortizing the
+//!   `Arc` resolution and keeping phrase-cache shards warm).
+//! - **Backpressure.** When the queue is full the acceptor sheds the
+//!   connection immediately with `503 + Retry-After` instead of
+//!   queueing unbounded work.
+//! - **Atomic hot-swap.** The model lives behind `RwLock<Arc<…>>`;
+//!   workers pin one `Arc` per batch, so a concurrent swap
+//!   ([`Server::swap_model`] or `POST /admin/reload`) never corrupts
+//!   an in-flight response — old batches finish on the old model.
+//! - **Graceful drain.** `POST /admin/shutdown` (or
+//!   [`Server::request_shutdown`]) stops the acceptor, closes the
+//!   queue, and lets workers drain what was already admitted. There is
+//!   no signal handling — the workspace is std-only — so process
+//!   supervisors should use the endpoint.
+//!
+//! Endpoints: `POST /extract`, `POST /explain`, `GET /healthz`,
+//! `GET /metrics` (a schema-valid `recipe-mine stats` telemetry
+//! document), `POST /admin/reload`, `POST /admin/shutdown`. Responses
+//! render entries through the same [`entry_json`] as the batch CLI, so
+//! served extractions are byte-identical to `recipe-mine extract`.
+
+pub mod http;
+pub mod metrics;
+pub mod model;
+pub mod queue;
+
+pub use metrics::ServeMetrics;
+pub use model::{entry_json, ModelError, ServeModel};
+
+use queue::{BoundedQueue, PushError};
+use serde_json::json;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-connection read/write timeout: a stalled client cannot hold a
+/// worker longer than this.
+const STREAM_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 for ephemeral).
+    pub addr: String,
+    /// Worker shard count; 0 means [`recipe_runtime::default_threads`].
+    pub shards: usize,
+    /// Bounded queue capacity (admission-control depth).
+    pub queue_cap: usize,
+    /// Max connections drained into one micro-batch.
+    pub batch_max: usize,
+    /// Micro-batch fill window in microseconds.
+    pub batch_window_us: u64,
+    /// `Retry-After` seconds advertised on shed responses.
+    pub retry_after_secs: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            shards: 0,
+            queue_cap: 128,
+            batch_max: 8,
+            batch_window_us: 500,
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// One admitted connection, stamped at accept time so the latency
+/// histogram covers queue wait as well as decode.
+struct Conn {
+    stream: TcpStream,
+    arrived: Instant,
+}
+
+/// State shared by the acceptor, the workers and the [`Server`] handle.
+struct Shared {
+    model: RwLock<Arc<ServeModel>>,
+    /// (path, quantized) the current model was loaded from; the
+    /// default source for `POST /admin/reload`.
+    model_source: Mutex<(String, bool)>,
+    metrics: ServeMetrics,
+    queue: BoundedQueue<Conn>,
+    shutdown: AtomicBool,
+    /// Provenance is a process-global store, so `/explain` requests
+    /// must serialize across shards.
+    explain_lock: Mutex<()>,
+    shards: usize,
+    batch_max: usize,
+    batch_window: Duration,
+    retry_after_secs: u32,
+}
+
+/// A running server: handle for swap/shutdown/join.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the acceptor and worker shards, and return
+    /// immediately. `model_source` records where `model` came from so
+    /// `POST /admin/reload` without a body can re-read it.
+    pub fn launch(
+        cfg: &ServeConfig,
+        model: ServeModel,
+        model_source: (String, bool),
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shards = if cfg.shards == 0 {
+            recipe_runtime::default_threads()
+        } else {
+            cfg.shards
+        };
+        let shared = Arc::new(Shared {
+            model: RwLock::new(Arc::new(model)),
+            model_source: Mutex::new(model_source),
+            metrics: ServeMetrics::new(),
+            queue: BoundedQueue::new(cfg.queue_cap),
+            shutdown: AtomicBool::new(false),
+            explain_lock: Mutex::new(()),
+            shards,
+            batch_max: cfg.batch_max.max(1),
+            batch_window: Duration::from_micros(cfg.batch_window_us),
+            retry_after_secs: cfg.retry_after_secs,
+        });
+        let workers = (0..shards)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || run_worker(&shared, shard))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || run_acceptor(&shared, &listener))
+        };
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving metrics registry (merged into `/metrics`).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// Number of worker shards actually spawned (after resolving 0 to
+    /// the runtime's default thread count).
+    pub fn shards(&self) -> usize {
+        self.shared.shards
+    }
+
+    /// Atomically install a new model. In-flight batches finish on the
+    /// model they pinned; later batches see the new one.
+    pub fn swap_model(&self, model: ServeModel) {
+        install_model(&self.shared, model);
+    }
+
+    /// Ask the server to stop accepting and drain admitted work.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Block until the acceptor and every worker shard have exited
+    /// (i.e. shutdown was requested and admitted work has drained).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Swap the shared model slot and count the hot-swap.
+fn install_model(shared: &Shared, model: ServeModel) {
+    let mut slot = shared.model.write().unwrap_or_else(|p| p.into_inner());
+    *slot = Arc::new(model);
+    drop(slot);
+    shared.metrics.hot_swaps.inc();
+}
+
+/// Acceptor loop: accept, admit or shed, until shutdown. Closing the
+/// queue on exit is what lets the workers drain and stop.
+fn run_acceptor(shared: &Shared, listener: &TcpListener) {
+    recipe_obs::event::set_thread_name("serve-acceptor");
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                shared.metrics.accepted.inc();
+                let conn = Conn {
+                    stream,
+                    arrived: Instant::now(),
+                };
+                match shared.queue.try_push(conn) {
+                    Ok(()) => {}
+                    Err(PushError::Full(conn)) => shed(shared, conn.stream),
+                    Err(PushError::Closed(_)) => break,
+                }
+                shared.metrics.queue_depth.set(shared.queue.depth() as f64);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    shared.queue.close();
+}
+
+/// Worker shard loop: drain micro-batches and serve them against one
+/// pinned model handle per batch.
+fn run_worker(shared: &Shared, shard: usize) {
+    recipe_obs::event::set_thread_name(&format!("serve-worker-{shard}"));
+    while let Some(first) = shared.queue.pop_blocking() {
+        let mut batch = vec![first];
+        let deadline = Instant::now() + shared.batch_window;
+        while batch.len() < shared.batch_max {
+            match shared.queue.pop_until(deadline) {
+                Some(conn) => batch.push(conn),
+                None => break,
+            }
+        }
+        shared.metrics.queue_depth.set(shared.queue.depth() as f64);
+        shared.metrics.batch_size.record(batch.len() as f64);
+        // Pin the model once per batch: a concurrent hot-swap replaces
+        // the slot, not this Arc, so every response in the batch is
+        // computed against one consistent model.
+        let model = Arc::clone(&shared.model.read().unwrap_or_else(|p| p.into_inner()));
+        for conn in batch {
+            shared.metrics.begin_request();
+            serve_connection(shared, &model, conn.stream);
+            shared.metrics.end_request();
+            shared
+                .metrics
+                .latency
+                .record(conn.arrived.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Read one request off the connection, dispatch it, write the
+/// response, close. Transport errors are dropped — the peer is gone.
+fn serve_connection(shared: &Shared, model: &ServeModel, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(STREAM_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(STREAM_TIMEOUT));
+    let mut reader = BufReader::new(stream);
+    let resp = match http::read_request(&mut reader) {
+        Ok(req) => handle_request(shared, model, &req),
+        Err(http::HttpError::Closed) => return,
+        Err(e) => error_response(&e),
+    };
+    let mut stream = reader.into_inner();
+    let _ = http::write_response(&mut stream, &resp);
+}
+
+/// Shed one connection with `503 + Retry-After`. Drains whatever
+/// request bytes already arrived (without blocking) so the close does
+/// not reset the response out from under the client.
+fn shed(shared: &Shared, stream: TcpStream) {
+    shared.metrics.shed.inc();
+    let mut stream = stream;
+    let _ = stream.set_nonblocking(true);
+    let mut scratch = [0u8; 4096];
+    while let Ok(n) = std::io::Read::read(&mut stream, &mut scratch) {
+        if n == 0 {
+            break;
+        }
+    }
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(STREAM_TIMEOUT));
+    let mut resp =
+        http::Response::json(503, render(&json!({ "error": "queue full", "shed": true })));
+    resp.retry_after = Some(shared.retry_after_secs);
+    let _ = http::write_response(&mut stream, &resp);
+}
+
+/// Map a framing error onto a response.
+fn error_response(e: &http::HttpError) -> http::Response {
+    let status = match e {
+        http::HttpError::BadRequest(_) => 400,
+        http::HttpError::HeadersTooLarge | http::HttpError::BodyTooLarge => 413,
+        http::HttpError::Closed | http::HttpError::Io(_) => 400,
+    };
+    http::Response::json(status, render(&json!({ "error": e.to_string() })))
+}
+
+/// Pretty-print a JSON value with the CLI's trailing-newline framing.
+fn render(v: &serde_json::Value) -> String {
+    match serde_json::to_string_pretty(v) {
+        Ok(text) => format!("{text}\n"),
+        Err(_) => "{}\n".to_string(),
+    }
+}
+
+fn err_json(why: &str) -> String {
+    render(&json!({ "error": why }))
+}
+
+/// Route one parsed request to its endpoint handler and keep the
+/// per-endpoint request/error counters.
+fn handle_request(shared: &Shared, model: &ServeModel, req: &http::Request) -> http::Response {
+    let counters = shared.metrics.endpoint(&req.path);
+    counters.requests.inc();
+    let resp = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/extract") => handle_extract(model, &req.body),
+        ("POST", "/explain") => handle_explain(shared, model, &req.body),
+        ("GET", "/healthz") => handle_healthz(shared, model),
+        ("GET", "/metrics") => handle_metrics(shared, model),
+        ("POST", "/admin/reload") => handle_reload(shared, &req.body),
+        ("POST", "/admin/shutdown") => handle_shutdown(shared),
+        (
+            _,
+            "/extract" | "/explain" | "/healthz" | "/metrics" | "/admin/reload" | "/admin/shutdown",
+        ) => http::Response::json(405, err_json("method not allowed")),
+        _ => http::Response::json(404, err_json("no such endpoint")),
+    };
+    if resp.status >= 400 {
+        counters.errors.inc();
+    }
+    resp
+}
+
+/// Parse a `{"phrases": [...]}` body into borrowed strs.
+fn parse_phrases(body: &[u8]) -> Result<(serde_json::Value, usize), http::Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| http::Response::json(400, err_json("body is not UTF-8")))?;
+    let parsed: serde_json::Value = serde_json::from_str(text)
+        .map_err(|e| http::Response::json(400, err_json(&format!("body is not JSON: {e:?}"))))?;
+    let n = match parsed.get("phrases").and_then(|v| v.as_array()) {
+        Some(arr) if arr.iter().all(|p| p.as_str().is_some()) => arr.len(),
+        _ => {
+            return Err(http::Response::json(
+                400,
+                err_json("body must be {\"phrases\": [\"...\"]}"),
+            ))
+        }
+    };
+    Ok((parsed, n))
+}
+
+fn phrase_at(parsed: &serde_json::Value, i: usize) -> &str {
+    parsed
+        .get("phrases")
+        .and_then(|v| v.as_array())
+        .and_then(|arr| arr.get(i))
+        .and_then(|p| p.as_str())
+        .unwrap_or("")
+}
+
+/// `POST /extract`: decode each phrase and render rows exactly like
+/// the batch CLI (`{"phrase", "entry"}` through [`entry_json`]).
+fn handle_extract(model: &ServeModel, body: &[u8]) -> http::Response {
+    let (parsed, n) = match parse_phrases(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = phrase_at(&parsed, i);
+        let e = model.extract_ingredient(p);
+        rows.push(json!({ "phrase": p, "entry": entry_json(&e) }));
+    }
+    http::Response::json(200, render(&json!({ "results": rows })))
+}
+
+/// `POST /explain`: like the CLI `explain` command — per-phrase
+/// provenance (Viterbi margins, cache origin, dictionary votes). The
+/// provenance store is process-global, so requests serialize on
+/// `explain_lock` across shards.
+fn handle_explain(shared: &Shared, model: &ServeModel, body: &[u8]) -> http::Response {
+    let (parsed, n) = match parse_phrases(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let _guard = shared
+        .explain_lock
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = phrase_at(&parsed, i);
+        recipe_obs::provenance::reset();
+        recipe_obs::provenance::set_enabled(true);
+        let e = model.extract_ingredient(p);
+        recipe_obs::provenance::set_enabled(false);
+        let records = recipe_obs::provenance::drain();
+        rows.push(json!({
+            "phrase": p,
+            "entry": entry_json(&e),
+            "provenance": recipe_obs::provenance::to_json(&records),
+        }));
+    }
+    http::Response::json(200, render(&json!({ "results": rows })))
+}
+
+/// `GET /healthz`: liveness plus a model/shard summary.
+fn handle_healthz(shared: &Shared, model: &ServeModel) -> http::Response {
+    let doc = json!({
+        "status": "ok",
+        "model": model.kind(),
+        "shards": shared.shards,
+        "queue_depth": shared.queue.depth(),
+    });
+    http::Response::json(200, render(&doc))
+}
+
+/// `GET /metrics`: a full telemetry document (global registry merged
+/// with the serving and inference registries), schema-valid for
+/// `recipe-mine stats`.
+fn handle_metrics(shared: &Shared, model: &ServeModel) -> http::Response {
+    shared.metrics.queue_depth.set(shared.queue.depth() as f64);
+    let t = recipe_obs::Telemetry::gather(&[
+        shared.metrics.registry(),
+        model.inference().metrics_registry(),
+    ]);
+    let doc = json!({
+        "schema_version": recipe_obs::report::SCHEMA_VERSION,
+        "command": "serve",
+        "telemetry": serde_json::to_value(&t),
+    });
+    http::Response::json(200, render(&doc))
+}
+
+/// `POST /admin/reload`: hot-swap the model. An empty or `{}` body
+/// re-reads the source the current model came from; `{"model": path,
+/// "quantized": bool}` switches sources.
+fn handle_reload(shared: &Shared, body: &[u8]) -> http::Response {
+    let (mut path, mut quantized) = {
+        let src = shared
+            .model_source
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        src.clone()
+    };
+    if !body.is_empty() {
+        let Ok(text) = std::str::from_utf8(body) else {
+            return http::Response::json(400, err_json("body is not UTF-8"));
+        };
+        let parsed: serde_json::Value = match serde_json::from_str(text) {
+            Ok(v) => v,
+            Err(e) => {
+                return http::Response::json(400, err_json(&format!("body is not JSON: {e:?}")))
+            }
+        };
+        if let Some(p) = parsed.get("model").and_then(|v| v.as_str()) {
+            path = p.to_string();
+        }
+        if let Some(q) = parsed.get("quantized").and_then(|v| v.as_bool()) {
+            quantized = q;
+        }
+    }
+    match ServeModel::load(&path, quantized) {
+        Ok(model) => {
+            let kind = model.kind();
+            install_model(shared, model);
+            {
+                let mut src = shared
+                    .model_source
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner());
+                *src = (path.clone(), quantized);
+            }
+            http::Response::json(
+                200,
+                render(&json!({ "reloaded": path, "kind": kind, "quantized": quantized })),
+            )
+        }
+        Err(e) => http::Response::json(500, err_json(&format!("reload failed: {e}"))),
+    }
+}
+
+/// `POST /admin/shutdown`: begin graceful drain. The acceptor notices
+/// within its poll tick, closes the queue, and workers exit once
+/// admitted work is drained.
+fn handle_shutdown(shared: &Shared) -> http::Response {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    http::Response::json(200, render(&json!({ "shutting_down": true })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let cfg = ServeConfig::default();
+        assert_eq!(cfg.shards, 0);
+        assert!(cfg.queue_cap >= 1);
+        assert!(cfg.batch_max >= 1);
+        assert!(cfg.retry_after_secs >= 1);
+    }
+
+    #[test]
+    fn error_responses_map_framing_errors_to_4xx() {
+        let resp = error_response(&http::HttpError::BodyTooLarge);
+        assert_eq!(resp.status, 413);
+        let resp = error_response(&http::HttpError::BadRequest("x".to_string()));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn render_appends_trailing_newline() {
+        let text = render(&json!({ "a": 1 }));
+        assert!(text.ends_with('\n'));
+        assert!(text.starts_with('{'));
+    }
+}

@@ -1,0 +1,142 @@
+//! Serving metrics: a dedicated [`Registry`] merged into the
+//! `/metrics` telemetry document alongside the global and
+//! per-inference registries.
+//!
+//! Handles are resolved once at startup (registry lookups take a lock;
+//! the hot path must not), and the in-flight gauge is backed by an
+//! `AtomicU64` because [`Gauge`] is set-only.
+
+use recipe_obs::metrics::{Counter, Gauge, Histogram, Registry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Request/error counters for one endpoint.
+pub struct EndpointCounters {
+    pub requests: Arc<Counter>,
+    pub errors: Arc<Counter>,
+}
+
+impl EndpointCounters {
+    fn new(reg: &Registry, endpoint: &str) -> Self {
+        EndpointCounters {
+            requests: reg.counter(&format!("serve.requests.{endpoint}")),
+            errors: reg.counter(&format!("serve.errors.{endpoint}")),
+        }
+    }
+}
+
+/// All serving metrics, handle-resolved at construction.
+pub struct ServeMetrics {
+    registry: Registry,
+    /// Requests queued but not yet claimed by a worker.
+    pub queue_depth: Arc<Gauge>,
+    /// Requests claimed by a worker and not yet responded to.
+    pub in_flight: Arc<Gauge>,
+    in_flight_now: AtomicU64,
+    /// Requests shed with `503 + Retry-After` (queue full).
+    pub shed: Arc<Counter>,
+    /// Successful model hot-swaps.
+    pub hot_swaps: Arc<Counter>,
+    /// Connections accepted by the acceptor.
+    pub accepted: Arc<Counter>,
+    /// Micro-batch sizes drained per worker wakeup.
+    pub batch_size: Arc<Histogram>,
+    /// Queue-wait + decode + write latency per request, seconds.
+    pub latency: Arc<Histogram>,
+    extract: EndpointCounters,
+    explain: EndpointCounters,
+    healthz: EndpointCounters,
+    metrics: EndpointCounters,
+    admin: EndpointCounters,
+    other: EndpointCounters,
+}
+
+impl ServeMetrics {
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        ServeMetrics {
+            queue_depth: registry.gauge("serve.queue.depth"),
+            in_flight: registry.gauge("serve.in_flight"),
+            in_flight_now: AtomicU64::new(0),
+            shed: registry.counter("serve.shed"),
+            hot_swaps: registry.counter("serve.hot_swaps"),
+            accepted: registry.counter("serve.accepted"),
+            batch_size: registry.count_histogram("serve.batch.size"),
+            latency: registry.latency_histogram("serve.request.latency_s"),
+            extract: EndpointCounters::new(&registry, "extract"),
+            explain: EndpointCounters::new(&registry, "explain"),
+            healthz: EndpointCounters::new(&registry, "healthz"),
+            metrics: EndpointCounters::new(&registry, "metrics"),
+            admin: EndpointCounters::new(&registry, "admin"),
+            other: EndpointCounters::new(&registry, "other"),
+            registry,
+        }
+    }
+
+    /// The registry to merge into `/metrics` telemetry documents.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Counters for a request path (the part before any query string).
+    pub fn endpoint(&self, path: &str) -> &EndpointCounters {
+        match path {
+            "/extract" => &self.extract,
+            "/explain" => &self.explain,
+            "/healthz" => &self.healthz,
+            "/metrics" => &self.metrics,
+            "/admin/reload" | "/admin/shutdown" => &self.admin,
+            _ => &self.other,
+        }
+    }
+
+    /// Mark one request claimed by a worker.
+    pub fn begin_request(&self) {
+        let now = self.in_flight_now.fetch_add(1, Ordering::SeqCst) + 1;
+        self.in_flight.set(now as f64);
+    }
+
+    /// Mark one request responded to (however it ended).
+    pub fn end_request(&self) {
+        let now = self
+            .in_flight_now
+            .fetch_sub(1, Ordering::SeqCst)
+            .saturating_sub(1);
+        self.in_flight.set(now as f64);
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_routing_and_inflight_tracking() {
+        let m = ServeMetrics::new();
+        m.endpoint("/extract").requests.inc();
+        m.endpoint("/nope").errors.inc();
+        m.begin_request();
+        m.begin_request();
+        assert_eq!(m.in_flight.get(), 2.0);
+        m.end_request();
+        assert_eq!(m.in_flight.get(), 1.0);
+        assert_eq!(m.endpoint("/extract").requests.get(), 1);
+        assert_eq!(m.endpoint("/other-too").errors.get(), 1);
+    }
+
+    #[test]
+    fn registry_snapshot_carries_serve_names() {
+        let m = ServeMetrics::new();
+        m.shed.inc();
+        m.batch_size.record(3.0);
+        let snap = m.registry().snapshot();
+        assert!(snap.counters.iter().any(|(n, _)| n == "serve.shed"));
+        assert!(snap.histograms.iter().any(|(n, _)| n == "serve.batch.size"));
+    }
+}

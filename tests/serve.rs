@@ -1,0 +1,303 @@
+//! Root integration tests for the `recipe-serve` online serving layer:
+//! byte-identity with the batch extraction path across shard counts,
+//! queue-full shedding, mid-traffic hot-swap, telemetry document
+//! validity, and graceful drain (PR 8 acceptance criteria).
+
+use recipe_core::artifact::{artifact_bytes, ArtifactPipeline};
+use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
+use recipe_corpus::{CorpusSpec, RecipeCorpus, Site};
+use recipe_serve::{entry_json, ServeConfig, ServeModel, Server};
+use serde_json::json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn corpus() -> RecipeCorpus {
+    RecipeCorpus::generate(&CorpusSpec::tiny(4242))
+}
+
+fn train(corpus: &RecipeCorpus) -> TrainedPipeline {
+    TrainedPipeline::train(corpus, &PipelineConfig::fast())
+}
+
+/// Serialize once, open a fresh zero-copy view per server under test.
+fn model_bytes(pipeline: &TrainedPipeline) -> Arc<[u8]> {
+    artifact_bytes(pipeline).expect("serialize artifact").into()
+}
+
+fn rma_model(bytes: &Arc<[u8]>) -> ServeModel {
+    ServeModel::Rma(ArtifactPipeline::from_bytes(Arc::clone(bytes), false).expect("load artifact"))
+}
+
+fn launch(cfg: &ServeConfig, model: ServeModel) -> Server {
+    Server::launch(cfg, model, ("<test>".to_string(), false)).expect("launch server")
+}
+
+fn ephemeral(shards: usize) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards,
+        ..ServeConfig::default()
+    }
+}
+
+/// One HTTP/1.1 round trip; returns (status, raw head, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let text = String::from_utf8(response).expect("utf-8 response");
+    let (head, payload) = text.split_once("\r\n\r\n").expect("header terminator");
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .expect("status code");
+    (status, head.to_string(), payload.to_string())
+}
+
+/// The exact body `POST /extract` must produce for `phrase`: the same
+/// `entry_json` renderer the batch CLI uses, pretty-printed with a
+/// trailing newline. This *is* the byte-identity contract — both sides
+/// funnel through `recipe_serve::entry_json`.
+fn expected_extract_body(model: &ServeModel, phrase: &str) -> String {
+    let rows = vec![json!({
+        "phrase": phrase,
+        "entry": entry_json(&model.extract_ingredient(phrase)),
+    })];
+    let text = serde_json::to_string_pretty(&json!({ "results": rows })).expect("render");
+    format!("{text}\n")
+}
+
+#[test]
+fn served_extraction_is_byte_identical_across_shard_counts() {
+    let corpus = corpus();
+    let pipeline = train(&corpus);
+    let bytes = model_bytes(&pipeline);
+    let reference = rma_model(&bytes);
+
+    let phrases: Vec<String> = corpus
+        .phrases(Site::AllRecipes)
+        .iter()
+        .take(12)
+        .map(|p| p.text())
+        .collect();
+    assert!(!phrases.is_empty());
+    let expected: Vec<(String, String)> = phrases
+        .iter()
+        .map(|p| (p.clone(), expected_extract_body(&reference, p)))
+        .collect();
+
+    for shards in [1usize, 4, 8] {
+        let server = launch(&ephemeral(shards), rma_model(&bytes));
+        let addr = server.local_addr();
+        let expected = Arc::new(expected.clone());
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                let expected = Arc::clone(&expected);
+                std::thread::spawn(move || {
+                    for (phrase, want) in expected.iter() {
+                        let body =
+                            serde_json::to_string(&json!({ "phrases": [phrase] })).expect("body");
+                        let (status, _, got) = request(addr, "POST", "/extract", &body);
+                        assert_eq!(status, 200, "{shards} shards: {phrase:?}");
+                        assert_eq!(
+                            &got, want,
+                            "{shards} shards: served bytes diverged on {phrase:?}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().expect("client thread");
+        }
+        server.request_shutdown();
+        server.join();
+    }
+}
+
+#[test]
+fn queue_full_sheds_with_503_and_retry_after() {
+    let corpus = corpus();
+    let pipeline = train(&corpus);
+    let bytes = model_bytes(&pipeline);
+
+    // One shard, queue depth one: hold the only worker with a
+    // half-sent request, and every arrival past the single queue slot
+    // must shed deterministically.
+    let cfg = ServeConfig {
+        queue_cap: 1,
+        ..ephemeral(1)
+    };
+    let server = launch(&cfg, rma_model(&bytes));
+    let addr = server.local_addr();
+
+    let mut held = TcpStream::connect(addr).expect("connect held");
+    held.write_all(b"POST /extr").expect("partial header");
+    // Let the worker pop the held connection and block reading it, so
+    // its micro-batch window is closed before the flood arrives.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let body = serde_json::to_string(&json!({ "phrases": ["1 cup sugar"] })).expect("body");
+    let flood: Vec<TcpStream> = (0..10)
+        .map(|i| {
+            let mut s = TcpStream::connect(addr).expect("connect flood");
+            s.set_read_timeout(Some(Duration::from_secs(30))).ok();
+            s.write_all(
+                format!(
+                    "POST /extract HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap_or_else(|e| panic!("send flood request {i}: {e}"));
+            // Give the acceptor time to admit or shed this connection
+            // before the next one arrives, keeping the order exact.
+            std::thread::sleep(Duration::from_millis(50));
+            s
+        })
+        .collect();
+
+    // Release the worker; the one queued connection can now be served.
+    drop(held);
+
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for (i, mut s) in flood.into_iter().enumerate() {
+        let mut response = Vec::new();
+        s.read_to_end(&mut response)
+            .unwrap_or_else(|e| panic!("read flood response {i}: {e}"));
+        let text = String::from_utf8_lossy(&response);
+        let status: u16 = text
+            .split(' ')
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("flood response {i} had no status: {text:?}"));
+        match status {
+            200 => served += 1,
+            503 => {
+                shed += 1;
+                assert!(
+                    text.contains("Retry-After: 1"),
+                    "shed response {i} missing Retry-After: {text:?}"
+                );
+            }
+            other => panic!("flood response {i}: unexpected status {other}"),
+        }
+    }
+    assert_eq!(
+        (served, shed),
+        (1, 9),
+        "queue_cap=1 must admit exactly one flooded request"
+    );
+
+    server.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn hot_swap_mid_traffic_keeps_responses_byte_identical() {
+    let corpus = corpus();
+    let pipeline = train(&corpus);
+    let bytes = model_bytes(&pipeline);
+    let reference = rma_model(&bytes);
+
+    let phrase = corpus.phrases(Site::AllRecipes)[0].text();
+    let want = expected_extract_body(&reference, &phrase);
+    let body = serde_json::to_string(&json!({ "phrases": [phrase] })).expect("body");
+
+    let server = launch(&ephemeral(2), rma_model(&bytes));
+    let addr = server.local_addr();
+    let server = Arc::new(server);
+
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let body = body.clone();
+            let want = want.clone();
+            std::thread::spawn(move || {
+                for i in 0..30 {
+                    let (status, _, got) = request(addr, "POST", "/extract", &body);
+                    assert_eq!(status, 200, "request {i} dropped during hot-swap");
+                    assert_eq!(got, want, "request {i} corrupted during hot-swap");
+                }
+            })
+        })
+        .collect();
+
+    // Swap repeatedly while the clients hammer: in-flight batches pin
+    // their Arc, so no response may be dropped or torn.
+    for _ in 0..10 {
+        server.swap_model(rma_model(&bytes));
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    assert!(server.metrics().hot_swaps.get() >= 10);
+
+    server.request_shutdown();
+    match Arc::try_unwrap(server) {
+        Ok(s) => s.join(),
+        Err(_) => panic!("server handle still shared after clients joined"),
+    }
+}
+
+#[test]
+fn healthz_and_metrics_serve_valid_documents() {
+    let corpus = corpus();
+    let pipeline = train(&corpus);
+    let bytes = model_bytes(&pipeline);
+    let server = launch(&ephemeral(1), rma_model(&bytes));
+    let addr = server.local_addr();
+
+    let (status, _, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let health: serde_json::Value = serde_json::from_str(&body).expect("healthz json");
+    assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
+    assert_eq!(health.get("model").and_then(|v| v.as_str()), Some("rma"));
+
+    // Drive one extraction so the telemetry has serving counters.
+    let req = serde_json::to_string(&json!({ "phrases": ["2 cups flour"] })).expect("body");
+    let (status, _, _) = request(addr, "POST", "/extract", &req);
+    assert_eq!(status, 200);
+
+    let (status, _, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let doc: serde_json::Value = serde_json::from_str(&body).expect("metrics json");
+    recipe_obs::report::validate_document(&doc).expect("metrics document schema");
+    assert_eq!(doc.get("command").and_then(|v| v.as_str()), Some("serve"));
+
+    server.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn admin_shutdown_drains_and_joins() {
+    let corpus = corpus();
+    let pipeline = train(&corpus);
+    let bytes = model_bytes(&pipeline);
+    let server = launch(&ephemeral(2), rma_model(&bytes));
+    let addr = server.local_addr();
+
+    let (status, _, body) = request(addr, "POST", "/admin/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("shutting_down"), "{body:?}");
+    assert!(server.shutdown_requested());
+    // Drain must complete without external help (acceptor poll tick
+    // notices the flag, closes the queue, workers exit).
+    server.join();
+}
