@@ -19,6 +19,7 @@
 //! | RA406 | panic sources (`unwrap`, `panic!`, arithmetic indexing) on the serving call graph |
 //! | RA407 | load/parse entry points that reinterpret raw bytes without reachable validation |
 //! | RA408 | unbounded reads (`read_to_end`/`read_to_string` without a limit) and blocking sleeps on the serving call graph |
+//! | RA409 | raw clock reads (`Instant::now`/`SystemTime::now`) on the serving call graph bypassing the injectable `Clock` |
 
 use crate::callgraph::{call_sites, macro_sites, CallGraph, Workspace};
 use crate::diag::Diagnostic;
@@ -112,6 +113,7 @@ pub fn lint_dataflow(ws: &Workspace) -> Vec<Diagnostic> {
         if serving[id] {
             ra406_panic_sources(file, f, &mut out);
             ra408_unbounded_io(file, f, &mut out);
+            ra409_raw_clock_reads(file, f, &mut out);
         }
     }
 
@@ -774,6 +776,44 @@ fn ra408_unbounded_io(file: &FileItems, f: &FnItem, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// RA409: raw clock reads on serving-reachable functions.
+///
+/// The serving layer's windowed metrics, SLO burn rates and drift
+/// windows all rotate through one injected `Clock`, which is what lets
+/// tests drive bucket expiry deterministically with a virtual clock. A
+/// raw `Instant::now()`/`SystemTime::now()` on the same path is a
+/// second time source the virtual clock cannot move, so the behavior
+/// it feeds (deadlines, stamps, expiry) silently diverges from the
+/// windows under test. The obs crate (which *implements* the clock
+/// abstraction over `Instant`) and the bench harness are exempt.
+fn ra409_raw_clock_reads(file: &FileItems, f: &FnItem, out: &mut Vec<Diagnostic>) {
+    if file.file.contains("obs/") || file.file.contains("bench") {
+        return;
+    }
+    let lexed = &file.lexed;
+    for site in call_sites(lexed, f.body.clone()) {
+        let source = match (site.qualifier.as_deref(), site.name.as_str()) {
+            (Some(q @ ("Instant" | "SystemTime")), "now") => format!("{q}::now"),
+            _ => continue,
+        };
+        out.push(
+            Diagnostic::new(
+                "RA409",
+                format!(
+                    "raw `{source}` on the serving path in `{}` bypasses the injectable Clock",
+                    f.qual
+                ),
+                format!("{}:{}", file.file, site.line),
+            )
+            .with_note(
+                "windowed metrics, SLO burn rates and drift windows rotate through the \
+                 injected Clock; thread the shard's Arc<dyn Clock> (clock.now_ticks()) here \
+                 so virtual-clock tests can drive this path too",
+            ),
+        );
+    }
+}
+
 /// Byte-reinterpretation calls: each one turns raw bytes into typed
 /// values, so its result is only as trustworthy as the bytes.
 const REINTERP_CALLS: &[&str] = &[
@@ -1158,6 +1198,53 @@ pub fn handle_reload(path: &str) -> String {
         assert_eq!(ra408.len(), 1, "{diags:?}");
         assert_eq!(ra408[0].location, "m.rs:2");
         assert!(ra408[0].message.contains("sleep"), "{diags:?}");
+    }
+
+    #[test]
+    fn ra409_fires_on_raw_clock_reads_in_serving_reachable_fns() {
+        let src = "\
+pub fn handle_extract(req: &[u8]) -> u64 {
+    let started = Instant::now();
+    stamp() + started.elapsed().as_secs() + req.len() as u64
+}
+fn stamp() -> u64 {
+    SystemTime::now().elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}
+fn offline() -> u64 {
+    Instant::now().elapsed().as_secs()
+}
+";
+        let diags = lint(src);
+        let ra409: Vec<_> = diags.iter().filter(|d| d.code == "RA409").collect();
+        // The handler's own read plus the reachable helper's; `offline`
+        // is not on the serving call graph.
+        assert_eq!(ra409.len(), 2, "{diags:?}");
+        assert_eq!(ra409[0].location, "m.rs:2");
+        assert!(ra409[0].message.contains("Instant::now"), "{diags:?}");
+        assert_eq!(ra409[1].location, "m.rs:6");
+        assert!(ra409[1].message.contains("SystemTime::now"), "{diags:?}");
+    }
+
+    #[test]
+    fn ra409_quiet_through_injected_clock_and_in_obs_files() {
+        let clock_routed = "\
+pub fn handle_extract(clock: &Arc<dyn Clock>, req: &[u8]) -> u64 {
+    let started = clock.now_ticks();
+    clock.now_ticks() - started + req.len() as u64
+}
+";
+        let diags = lint(clock_routed);
+        assert!(!codes(&diags).contains(&"RA409"), "{diags:?}");
+
+        // The obs crate implements the Clock abstraction over Instant,
+        // so its own files are exempt.
+        let mut ws = Workspace::default();
+        ws.files.push(parse_file(
+            "crates/obs/src/window.rs",
+            "pub fn handle_ticks() -> u64 { Instant::now().elapsed().as_micros() as u64 }\n",
+        ));
+        let diags = lint_dataflow(&ws);
+        assert!(!codes(&diags).contains(&"RA409"), "{diags:?}");
     }
 
     #[test]

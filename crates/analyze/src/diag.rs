@@ -364,6 +364,18 @@ pub const RULES: &[RuleInfo] = &[
         default_severity: Severity::Warning,
         summary: "a load/parse entry point reinterprets raw bytes with no reachable magic/checksum/version validation",
     },
+    RuleInfo {
+        code: "RA408",
+        name: "unbounded-serving-io",
+        default_severity: Severity::Warning,
+        summary: "an unbounded read (read_to_end/read_to_string without take) or blocking sleep sits on the serving call graph",
+    },
+    RuleInfo {
+        code: "RA409",
+        name: "unclocked-serving-time",
+        default_severity: Severity::Note,
+        summary: "a raw Instant::now/SystemTime::now on the serving call graph bypasses the injectable Clock that windowed metrics rotate through",
+    },
 ];
 
 /// Look up a rule by code.

@@ -120,6 +120,18 @@ fn ra408_catches_unbounded_reads_and_sleeps_on_serving() {
     assert!(clean.is_empty(), "{clean:?}");
 }
 
+#[test]
+fn ra409_catches_raw_clock_reads_on_serving() {
+    let mut hits = scan_fixture("ra409_violation.rs", "RA409");
+    hits.sort_by_key(|d| d.line());
+    assert_eq!(lines(&hits), vec![6, 12], "{hits:?}");
+    assert!(hits[0].message.contains("Instant::now"), "{hits:?}");
+    assert!(hits[1].message.contains("SystemTime::now"), "{hits:?}");
+
+    let clean = scan_fixture("ra409_clean.rs", "RA409");
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
 fn corpus_config() -> Config {
     Config {
         source_only: true,
@@ -132,7 +144,7 @@ fn corpus_config() -> Config {
 fn corpus_scan_covers_every_rule_and_is_deterministic() {
     let first = run_all(&corpus_config()).expect("corpus scan");
     for code in [
-        "RA401", "RA402", "RA403", "RA404", "RA405", "RA406", "RA407", "RA408",
+        "RA401", "RA402", "RA403", "RA404", "RA405", "RA406", "RA407", "RA408", "RA409",
     ] {
         assert!(
             first.iter().any(|d| d.code == code),

@@ -1,0 +1,14 @@
+//! RA409-clean twin: the handler stamps its lifecycle through the
+//! shard's injected `Clock` (virtual-clock-drivable in tests), and the
+//! raw `Instant::now` lives in a helper nothing on the serving graph
+//! reaches.
+
+pub fn handle_extract(clock: &std::sync::Arc<dyn Clock>, req: &[u8]) -> u64 {
+    let started = clock.now_ticks();
+    let decoded = req.len() as u64;
+    decoded + clock.now_ticks().saturating_sub(started)
+}
+
+fn offline_stamp() -> u64 {
+    std::time::Instant::now().elapsed().as_micros() as u64
+}

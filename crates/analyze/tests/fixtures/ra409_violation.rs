@@ -1,0 +1,16 @@
+//! Seeded RA409 violations: a serving handler that stamps its request
+//! lifecycle with raw clock reads, and a reachable helper doing the
+//! same — both bypass the shard's injectable `Clock`.
+
+pub fn handle_extract(req: &[u8]) -> u64 {
+    let started = std::time::Instant::now();
+    let decoded = req.len() as u64;
+    decoded + wall_stamp() + started.elapsed().as_micros() as u64
+}
+
+fn wall_stamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

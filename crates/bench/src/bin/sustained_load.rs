@@ -1,5 +1,6 @@
 //! Sustained-load serving benchmark: open-loop latency SLOs for
-//! `recipe-serve` under fixed offered rates.
+//! `recipe-serve` under fixed offered rates, plus the cost of the live
+//! monitoring plane.
 //!
 //! Boots an in-process [`recipe_serve::Server`] over a compiled `.rma`
 //! model, then offers traffic at two (or more) fixed QPS targets on a
@@ -11,6 +12,16 @@
 //! from the scheduled arrival to the last response byte — queueing
 //! delay under overload is part of the number, as it is for a real
 //! client.
+//!
+//! Every target runs in paired trials, against a monitoring-off server
+//! and a monitoring-on one (windowed metrics, SLO tracking,
+//! slow-request exemplars and drift sampling against an embedded
+//! reference). The monitoring-on rows keep the historical `qps{N}`
+//! names so `recipe-mine bench-diff` trends stay continuous; the
+//! monitoring-off twins ride along as `qps{N}_nomon`. Outside smoke
+//! mode the run fails if monitoring inflates any target's
+//! best-of-trials p99 by more than 5% (with a 200 µs absolute
+//! allowance for scheduler noise) — the overhead gate CI relies on.
 //!
 //! Per target the report carries p50/p99/p999 (as the gated
 //! `median_s`/`p99_s`/`p999_s` fields), the shed rate (503 responses
@@ -35,6 +46,12 @@ use std::time::{Duration, Instant};
 /// Client threads offering the load. Each owns every C-th arrival, so
 /// one slow response only delays that thread's share of the schedule.
 const CLIENT_THREADS: usize = 8;
+
+/// Relative p99 inflation monitoring is allowed to cost (non-smoke).
+const OVERHEAD_FRAC_MAX: f64 = 0.05;
+
+/// Absolute p99 allowance absorbing scheduler noise on tiny latencies.
+const OVERHEAD_ABS_S: f64 = 200e-6;
 
 /// Outcome of one offered request.
 struct Sample {
@@ -64,10 +81,6 @@ fn main() {
     let corpus = RecipeCorpus::generate(&scale.corpus);
     eprintln!("training + compiling the served model...");
     let pipeline = TrainedPipeline::train(&corpus, &scale.pipeline);
-    let bytes: Arc<[u8]> = recipe_core::artifact::artifact_bytes(&pipeline)
-        .expect("serialize artifact")
-        .into();
-    let model = ServeModel::Rma(ArtifactPipeline::from_bytes(bytes, false).expect("load artifact"));
 
     let phrases: Vec<String> = corpus
         .phrases(Site::AllRecipes)
@@ -76,19 +89,13 @@ fn main() {
         .collect();
     assert!(!phrases.is_empty(), "corpus produced no phrases");
 
-    // Shards are pinned (not derived from the machine) so the history
-    // row key `(name, threads)` is stable across hosts and CI runners.
-    let cfg = ServeConfig {
-        addr: "127.0.0.1:0".to_string(),
-        shards: 2,
-        queue_cap: 512,
-        ..ServeConfig::default()
-    };
-    let server =
-        Server::launch(&cfg, model, (String::from("<in-process>"), false)).expect("launch server");
-    let addr = server.local_addr();
-    let shards = server.shards();
-    eprintln!("serving on {addr} with {shards} shards");
+    // Embed a drift reference so the monitoring-on run pays the full
+    // live plane: windowed metrics, SLO tracking AND drift scoring.
+    let reference = recipe_core::artifact::capture_drift_reference(&pipeline, &phrases);
+    let bytes: Arc<[u8]> =
+        recipe_core::artifact::artifact_bytes_with_reference(&pipeline, Some(&reference))
+            .expect("serialize artifact")
+            .into();
 
     // Offered load per target: about one second of traffic in smoke
     // mode, about two seconds otherwise — enough arrivals for a stable
@@ -99,17 +106,105 @@ fn main() {
         vec![(250.0, 500), (750.0, 1500)]
     };
 
-    let mut rows: Vec<Value> = Vec::new();
-    for (i, &(qps, requests)) in targets.iter().enumerate() {
-        eprintln!("offering {requests} requests at {qps} QPS...");
-        let samples = fire_target(addr, &phrases, qps, requests, seed.wrapping_add(i as u64));
-        rows.push(target_row(qps, shards, &samples));
+    // Paired trials: each trial runs monitoring-off then monitoring-on
+    // against fresh servers sharing the trial's arrival schedule, so
+    // the two modes see identical offered load. The gate compares the
+    // *minimum* p99 across trials per mode — an open-loop p99 over a
+    // couple thousand samples is one scheduler hiccup away from 5x, and
+    // the min is the standard noise-robust estimate of the clean value.
+    // History rows pool every trial's samples for a stable trend line.
+    let trials = if smoke { 1 } else { 3 };
+    let mut pooled: Vec<Vec<Vec<Sample>>> = vec![
+        targets.iter().map(|_| Vec::new()).collect(),
+        targets.iter().map(|_| Vec::new()).collect(),
+    ];
+    let mut p99_min: Vec<Vec<f64>> = vec![vec![f64::INFINITY; targets.len()]; 2];
+    let mut shards = 0;
+    for trial in 0..trials {
+        for (mode, &monitoring) in [false, true].iter().enumerate() {
+            let model = ServeModel::Rma(
+                ArtifactPipeline::from_bytes(Arc::clone(&bytes), false).expect("load artifact"),
+            );
+            // Shards are pinned (not derived from the machine) so the
+            // history row key `(name, threads)` is stable across hosts
+            // and CI runners.
+            let cfg = ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                shards: 2,
+                queue_cap: 512,
+                monitoring,
+                ..ServeConfig::default()
+            };
+            let server = Server::launch(&cfg, model, (String::from("<in-process>"), false))
+                .expect("launch server");
+            let addr = server.local_addr();
+            shards = server.shards();
+            eprintln!(
+                "trial {trial}: serving on {addr} with {shards} shards \
+                 (monitoring={monitoring})"
+            );
+
+            for (i, &(qps, requests)) in targets.iter().enumerate() {
+                eprintln!("offering {requests} requests at {qps} QPS...");
+                let schedule_seed = seed.wrapping_add((trial * targets.len() + i) as u64);
+                let samples = fire_target(addr, &phrases, qps, requests, schedule_seed);
+                let served: Vec<f64> = samples
+                    .iter()
+                    .filter(|s| s.status == 200)
+                    .map(|s| s.latency_s)
+                    .collect();
+                if !served.is_empty() {
+                    let trial_p99 = Stats::from_samples(served).p99;
+                    p99_min[mode][i] = p99_min[mode][i].min(trial_p99);
+                }
+                pooled[mode][i].extend(samples);
+            }
+
+            server.request_shutdown();
+            // The acceptor notices shutdown on its next poll tick; a
+            // nudge connection is unnecessary because it polls with a
+            // timeout.
+            server.join();
+        }
     }
 
-    server.request_shutdown();
-    // The acceptor notices shutdown on its next poll tick; a nudge
-    // connection is unnecessary because it polls with a timeout.
-    server.join();
+    let mut rows: Vec<Value> = Vec::new();
+    for (mode, &suffix) in ["_nomon", ""].iter().enumerate() {
+        for (i, &(qps, _)) in targets.iter().enumerate() {
+            let (row, _) = target_row(qps, suffix, shards, &pooled[mode][i]);
+            rows.push(row);
+        }
+    }
+
+    // The monitoring-overhead gate: best-of-trials p99 with the live
+    // plane on may not exceed the off twin by more than 5% (plus an
+    // absolute allowance for scheduler noise at microsecond latencies).
+    let mut overhead_rows: Vec<Value> = Vec::new();
+    for (i, &(qps, _)) in targets.iter().enumerate() {
+        let off = p99_min[0].get(i).copied().unwrap_or(0.0);
+        let on = p99_min[1].get(i).copied().unwrap_or(0.0);
+        let frac = if off > 0.0 { (on - off) / off } else { 0.0 };
+        eprintln!(
+            "monitoring overhead at {qps} QPS: p99 {:.1}us -> {:.1}us ({:+.1}%)",
+            off * 1e6,
+            on * 1e6,
+            frac * 100.0
+        );
+        overhead_rows.push(json!({
+            "qps_target": qps,
+            "p99_off_s": off,
+            "p99_on_s": on,
+            "overhead_frac": frac,
+        }));
+        if !smoke {
+            assert!(
+                on <= off * (1.0 + OVERHEAD_FRAC_MAX) + OVERHEAD_ABS_S,
+                "monitoring inflates p99 beyond {:.0}% at {qps} QPS: \
+                 {off:.6}s off vs {on:.6}s on",
+                OVERHEAD_FRAC_MAX * 100.0
+            );
+        }
+    }
 
     let report = json!({
         "benchmark": "sustained_load",
@@ -120,10 +215,16 @@ fn main() {
         "queue_cap": 512,
         "note": "open-loop arrivals on a seeded schedule; latency runs from the \
                  scheduled arrival to the last response byte, so queueing under \
-                 overload is included; 503 sheds are counted, not timed",
+                 overload is included; 503 sheds are counted, not timed; each \
+                 target runs paired trials against a monitoring-off server \
+                 (rows *_nomon) and a monitoring-on one (historical row names); \
+                 rows pool all trials, the overhead gate compares best-of-trials \
+                 p99s",
+        "trials": trials,
         "units": "fields ending _s are seconds, _per_s and _rate ratios; the \
                   bench-diff gate compares only the _s fields",
         "deterministic": false,
+        "monitoring_overhead": overhead_rows,
         "results": rows,
     });
     let rendered = serde_json::to_string_pretty(&report).expect("render report");
@@ -179,8 +280,10 @@ fn fire_target(
     all
 }
 
-/// One HTTP round trip: POST the phrase, read to EOF (the server
-/// closes after each response), return the status line's code.
+/// One HTTP round trip: POST the phrase with `Connection: close` (the
+/// bench measures cold-connection latency; without the header the
+/// server would park the socket for keep-alive and `read_to_end` would
+/// block until the idle timeout), read to EOF, return the status code.
 fn post_extract(addr: SocketAddr, phrase: &str) -> std::io::Result<u16> {
     let body = serde_json::to_string(&json!({ "phrases": [phrase] }))
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
@@ -188,7 +291,8 @@ fn post_extract(addr: SocketAddr, phrase: &str) -> std::io::Result<u16> {
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     stream.write_all(
         format!(
-            "POST /extract HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST /extract HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{body}",
             body.len()
         )
         .as_bytes(),
@@ -205,8 +309,9 @@ fn post_extract(addr: SocketAddr, phrase: &str) -> std::io::Result<u16> {
 }
 
 /// One history row for a QPS target: the shared percentile fields over
-/// the served (200) latencies, plus shed/error ride-alongs.
-fn target_row(qps: f64, shards: usize, samples: &[Sample]) -> Value {
+/// the served (200) latencies, plus shed/error ride-alongs. Returns
+/// the stats too so the caller can gate monitoring overhead on p99.
+fn target_row(qps: f64, suffix: &str, shards: usize, samples: &[Sample]) -> (Value, Stats) {
     let served: Vec<f64> = samples
         .iter()
         .filter(|s| s.status == 200)
@@ -227,7 +332,8 @@ fn target_row(qps: f64, shards: usize, samples: &[Sample]) -> Value {
         "transport or server errors at {qps} QPS: {errors}/{n}"
     );
     let stats = Stats::from_samples(served.clone());
-    let mut row = match stats_json(&format!("qps{}", qps as u64), shards as u64, &stats, 0) {
+    let name = format!("qps{}{suffix}", qps as u64);
+    let mut row = match stats_json(&name, shards as u64, &stats, 0) {
         Value::Object(pairs) => pairs,
         _ => Vec::new(),
     };
@@ -236,5 +342,5 @@ fn target_row(qps: f64, shards: usize, samples: &[Sample]) -> Value {
     row.push(("served".to_string(), json!(served.len())));
     row.push(("shed_rate".to_string(), json!(shed as f64 / n as f64)));
     row.push(("error_rate".to_string(), json!(errors as f64 / n as f64)));
-    Value::Object(row)
+    (Value::Object(row), stats)
 }

@@ -83,8 +83,9 @@ pub enum Command {
     },
     /// `serve --model <path> [--addr HOST:PORT] [--threads T]
     /// [--quantized] [--queue-cap N] [--batch-max B]
-    /// [--batch-window-us U]`: run the long-lived HTTP serving layer
-    /// over the model (see `crates/serve`).
+    /// [--batch-window-us U] [--no-monitoring] [--drift-sample N]`:
+    /// run the long-lived HTTP serving layer over the model (see
+    /// `crates/serve`).
     Serve {
         /// Trained artifact path (`.json` pipeline or binary `.rma`).
         model: String,
@@ -100,11 +101,22 @@ pub enum Command {
         batch_max: usize,
         /// Micro-batch fill window in microseconds.
         batch_window_us: u64,
+        /// Collect windowed metrics, SLO outcomes, slow-request
+        /// exemplars and drift samples (`--no-monitoring` disables).
+        monitoring: bool,
+        /// Sample every Nth `/extract` request for drift scoring
+        /// (`0` disables sampling).
+        drift_sample: u64,
     },
     /// `bench-diff [--history PATH] [--benchmark NAME] [--warn-pct P]
     /// [--fail-pct P] [--smoke]`: compare the latest bench run in the
     /// history file against its baseline and exit nonzero on regression.
     BenchDiff(BenchDiffOptions),
+    /// `monitor [--addr HOST:PORT] [--interval-ms N] [--count N]
+    /// [--out PATH] [--once]`: poll a running server's `/metrics` and
+    /// `/admin/slo`, render a live delta view, and optionally append
+    /// one JSONL snapshot per poll.
+    Monitor(MonitorOptions),
     /// `generate --out <dir> [--recipes N] [--seed S]`
     Generate {
         /// Output directory for the recipe text files + corpus.jsonl.
@@ -169,6 +181,33 @@ impl Default for BenchDiffOptions {
             warn_pct: None,
             fail_pct: None,
             smoke: false,
+        }
+    }
+}
+
+/// Options for the `monitor` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorOptions {
+    /// Server address to poll (`host:port`).
+    pub addr: String,
+    /// Poll interval in milliseconds.
+    pub interval_ms: u64,
+    /// Stop after this many polls (`None` = until the server goes away).
+    pub count: Option<u64>,
+    /// Append one JSONL snapshot per poll to this path.
+    pub out: Option<String>,
+    /// Poll exactly once and exit (CI smoke probe; same as `--count 1`).
+    pub once: bool,
+}
+
+impl Default for MonitorOptions {
+    fn default() -> Self {
+        MonitorOptions {
+            addr: "127.0.0.1:7878".to_string(),
+            interval_ms: 2000,
+            count: None,
+            out: None,
+            once: false,
         }
     }
 }
@@ -309,6 +348,7 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
     let mut trace = false;
     let mut explain = false;
     let mut quantized = false;
+    let mut no_monitoring = false;
     let rest: Vec<String> = args[1..]
         .iter()
         .filter(|a| match a.as_str() {
@@ -328,6 +368,10 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                 quantized = true;
                 false
             }
+            "--no-monitoring" => {
+                no_monitoring = true;
+                false
+            }
             _ => true,
         })
         .cloned()
@@ -343,6 +387,9 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
     }
     if quantized && !matches!(cmd.as_str(), "extract" | "serve") {
         return Err(ArgsError::UnexpectedArg("--quantized".to_string()));
+    }
+    if no_monitoring && cmd.as_str() != "serve" {
+        return Err(ArgsError::UnexpectedArg("--no-monitoring".to_string()));
     }
     let rest = rest.as_slice();
     let (flags, positional) = split_flags(rest);
@@ -504,6 +551,12 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                     .map_err(|_| ArgsError::BadValue("batch-window-us", v.clone()))?,
                 None => 500,
             };
+            let drift_sample = match flags.get("drift-sample") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ArgsError::BadValue("drift-sample", v.clone()))?,
+                None => 8,
+            };
             Command::Serve {
                 model,
                 addr,
@@ -512,6 +565,8 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                 queue_cap,
                 batch_max,
                 batch_window_us,
+                monitoring: !no_monitoring,
+                drift_sample,
             }
         }
         // `lint` and `bench-diff` have boolean flags, so they parse
@@ -519,6 +574,7 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
         // pairing of `split_flags`.
         "lint" => Command::Lint(parse_lint(rest)?),
         "bench-diff" => Command::BenchDiff(parse_bench_diff(rest)?),
+        "monitor" => Command::Monitor(parse_monitor(rest)?),
         "stats" => {
             let Some(path) = positional.first() else {
                 return Err(ArgsError::MissingPositional("metrics file"));
@@ -602,6 +658,51 @@ fn parse_bench_diff(rest: &[String]) -> Result<BenchDiffOptions, ArgsError> {
                         } else {
                             opts.fail_pct = Some(parsed);
                         }
+                    }
+                }
+                i += 2;
+            }
+            other => return Err(ArgsError::UnexpectedArg(other.to_string())),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_monitor(rest: &[String]) -> Result<MonitorOptions, ArgsError> {
+    let mut opts = MonitorOptions::default();
+    let mut i = 0usize;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--once" => {
+                opts.once = true;
+                i += 1;
+            }
+            flag @ ("--addr" | "--interval-ms" | "--count" | "--out") => {
+                let name: &'static str = match flag {
+                    "--addr" => "addr",
+                    "--interval-ms" => "interval-ms",
+                    "--count" => "count",
+                    _ => "out",
+                };
+                let Some(v) = rest.get(i + 1) else {
+                    return Err(ArgsError::MissingValue(name));
+                };
+                match name {
+                    "addr" => opts.addr = v.clone(),
+                    "out" => opts.out = Some(v.clone()),
+                    "interval-ms" => {
+                        opts.interval_ms = v
+                            .parse()
+                            .map_err(|_| ArgsError::BadValue("interval-ms", v.clone()))?;
+                    }
+                    _ => {
+                        let n: u64 = v
+                            .parse()
+                            .map_err(|_| ArgsError::BadValue("count", v.clone()))?;
+                        if n == 0 {
+                            return Err(ArgsError::BadValue("count", v.clone()));
+                        }
+                        opts.count = Some(n);
                     }
                 }
                 i += 2;
@@ -725,6 +826,9 @@ USAGE:
   recipe-mine serve   --model <model.json|model.rma> [--addr HOST:PORT]
                       [--threads T] [--quantized] [--queue-cap N]
                       [--batch-max B] [--batch-window-us U]
+                      [--no-monitoring] [--drift-sample N]
+  recipe-mine monitor [--addr HOST:PORT] [--interval-ms N] [--count N]
+                      [--out <snapshots.jsonl>] [--once]
   recipe-mine stats   <metrics.json>
   recipe-mine bench-diff [--history <bench_history.jsonl>]
                       [--benchmark NAME] [--warn-pct P] [--fail-pct P]
@@ -793,8 +897,16 @@ explain  extract phrases with provenance recording on and print the
 serve    run the long-lived HTTP/1.1 serving layer: one acceptor plus
          --threads shard-per-core workers micro-batching a bounded
          request queue (503 + Retry-After when full). Endpoints:
-         POST /extract, POST /explain, GET /healthz, GET /metrics,
-         POST /admin/reload (hot-swap), POST /admin/shutdown (drain)
+         POST /extract, POST /explain, GET /healthz, GET /metrics
+         (windowed rates/tails + drift), GET /admin/slo, GET
+         /admin/slow, POST /admin/reload (hot-swap), POST
+         /admin/shutdown (drain). --no-monitoring turns the live
+         observability plane off; --drift-sample N scores every Nth
+         extract request against the artifact's drift reference
+monitor  poll a running server's /metrics and /admin/slo over one
+         keep-alive connection, print a delta line per poll (rates,
+         windowed tails, SLO level, drift score) and optionally append
+         JSONL snapshots (--out); --once polls a single time for CI
 mine     mine recipe text files (## ingredients / ## instructions
          sections) into the Fig. 1 structure, printed as JSON
 stats    validate a --metrics-out telemetry document and render it in a
@@ -1312,6 +1424,48 @@ mod tests {
     }
 
     #[test]
+    fn parses_monitor_subcommand() {
+        let parsed = parse_args(&s(&["monitor"])).unwrap();
+        assert_eq!(parsed.command, Command::Monitor(MonitorOptions::default()));
+        // `--once` is boolean: the flag after it must still parse.
+        let parsed = parse_args(&s(&[
+            "monitor",
+            "--once",
+            "--addr",
+            "127.0.0.1:9000",
+            "--interval-ms",
+            "500",
+            "--count",
+            "3",
+            "--out",
+            "snap.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Monitor(MonitorOptions {
+                addr: "127.0.0.1:9000".into(),
+                interval_ms: 500,
+                count: Some(3),
+                out: Some("snap.jsonl".into()),
+                once: true,
+            })
+        );
+        assert_eq!(
+            parse_args(&s(&["monitor", "--count", "0"])),
+            Err(ArgsError::BadValue("count", "0".into()))
+        );
+        assert_eq!(
+            parse_args(&s(&["monitor", "--addr"])),
+            Err(ArgsError::MissingValue("addr"))
+        );
+        assert_eq!(
+            parse_args(&s(&["monitor", "extra"])),
+            Err(ArgsError::UnexpectedArg("extra".into()))
+        );
+    }
+
+    #[test]
     fn parses_stats_subcommand() {
         let parsed = parse_args(&s(&["stats", "metrics.json"])).unwrap();
         assert_eq!(
@@ -1399,6 +1553,8 @@ mod tests {
                 queue_cap: 128,
                 batch_max: 8,
                 batch_window_us: 500,
+                monitoring: true,
+                drift_sample: 8,
             }
         );
         let parsed = parse_args(&s(&[
@@ -1416,6 +1572,9 @@ mod tests {
             "16",
             "--batch-window-us",
             "250",
+            "--no-monitoring",
+            "--drift-sample",
+            "0",
         ]))
         .unwrap();
         assert_eq!(
@@ -1428,7 +1587,13 @@ mod tests {
                 queue_cap: 32,
                 batch_max: 16,
                 batch_window_us: 250,
+                monitoring: false,
+                drift_sample: 0,
             }
+        );
+        assert_eq!(
+            parse_args(&s(&["extract", "--model", "m", "x", "--no-monitoring"])),
+            Err(ArgsError::UnexpectedArg("--no-monitoring".into()))
         );
         assert_eq!(
             parse_args(&s(&["serve"])),

@@ -126,6 +126,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             queue_cap,
             batch_max,
             batch_window_us,
+            monitoring,
+            drift_sample,
         } => {
             recipe_runtime::set_global_threads(*threads);
             serve(
@@ -136,9 +138,12 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 *queue_cap,
                 *batch_max,
                 *batch_window_us,
+                *monitoring,
+                *drift_sample,
             )
         }
         Command::BenchDiff(opts) => bench_diff(opts),
+        Command::Monitor(opts) => crate::monitor::run_monitor(opts),
         Command::Lint(opts) => {
             recipe_runtime::set_global_threads(opts.threads);
             lint(opts)
@@ -504,6 +509,7 @@ fn model_error(e: recipe_serve::ModelError) -> CliError {
 
 /// `recipe-mine serve`: run the HTTP serving layer over a loaded model
 /// until `POST /admin/shutdown` drains it (see `crates/serve`).
+#[allow(clippy::too_many_arguments)]
 fn serve(
     model: &str,
     addr: &str,
@@ -512,6 +518,8 @@ fn serve(
     queue_cap: usize,
     batch_max: usize,
     batch_window_us: u64,
+    monitoring: bool,
+    drift_sample: u64,
 ) -> Result<String, CliError> {
     let loaded = ServeModel::load(model, quantized).map_err(model_error)?;
     let cfg = recipe_serve::ServeConfig {
@@ -520,6 +528,8 @@ fn serve(
         queue_cap,
         batch_max,
         batch_window_us,
+        monitoring,
+        drift_sample,
         ..recipe_serve::ServeConfig::default()
     };
     let server = recipe_serve::Server::launch(&cfg, loaded, (model.to_string(), quantized))
@@ -541,28 +551,69 @@ fn serve(
     ))
 }
 
+/// How many corpus ingredient phrases feed the frozen drift reference
+/// a compiled artifact carries (enough mass for stable margin/label
+/// distributions; capture runs one provenance-recorded extraction per
+/// phrase, so this also bounds compile-time cost).
+const DRIFT_REFERENCE_PHRASES: usize = 256;
+
+/// The provenance store is process-global. Commands that record
+/// provenance (`explain`, `--explain`, the drift-reference capture in
+/// `compile`) serialize on this lock so parallel tests in one process
+/// cannot steal each other's records; a production process runs one
+/// command at a time, so it is uncontended there.
+static PROVENANCE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn provenance_lock() -> std::sync::MutexGuard<'static, ()> {
+    PROVENANCE_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
 /// `recipe-mine compile`: serialize a pipeline's compiled models into a
 /// zero-copy `.rma` artifact, from an existing JSON pipeline when
-/// `--model` is given, else from a freshly trained one.
+/// `--model` is given, else from a freshly trained one. Every artifact
+/// carries a frozen drift reference captured over corpus ingredient
+/// phrases (`--recipes`/`--seed` parameterize that corpus in both
+/// paths), so `serve` can score live-traffic drift against it.
 fn compile(model: Option<&str>, out: &str, recipes: usize, seed: u64) -> Result<String, CliError> {
-    let pipeline = match model {
-        Some(path) => TrainedPipeline::load(path)?,
+    let (pipeline, corpus) = match model {
+        Some(path) => {
+            let pipeline = TrainedPipeline::load(path)?;
+            eprintln!("generating drift-reference corpus of {recipes} recipes (seed {seed})...");
+            let corpus = RecipeCorpus::generate(&CorpusSpec::scaled(recipes, seed));
+            (pipeline, corpus)
+        }
         None => {
             eprintln!("generating corpus of {recipes} recipes (seed {seed})...");
             let corpus = RecipeCorpus::generate(&CorpusSpec::scaled(recipes, seed));
             eprintln!("training pipeline...");
             let mut cfg = PipelineConfig::fast();
             cfg.seed = seed;
-            TrainedPipeline::train(&corpus, &cfg)
+            let pipeline = TrainedPipeline::train(&corpus, &cfg);
+            (pipeline, corpus)
         }
     };
-    let bytes = recipe_core::artifact::artifact_bytes(&pipeline)
+    let phrases: Vec<String> = corpus
+        .phrases(recipe_corpus::Site::AllRecipes)
+        .iter()
+        .take(DRIFT_REFERENCE_PHRASES)
+        .map(|p| p.text())
+        .collect();
+    eprintln!(
+        "capturing drift reference over {} phrases...",
+        phrases.len()
+    );
+    let reference = {
+        let _guard = provenance_lock();
+        recipe_core::artifact::capture_drift_reference(&pipeline, &phrases)
+    };
+    let bytes = recipe_core::artifact::artifact_bytes_with_reference(&pipeline, Some(&reference))
         .map_err(|e| CliError::Artifact(out.to_string(), e))?;
     std::fs::write(out, &bytes).map_err(|e| CliError::Io(out.to_string(), e))?;
     let summary = json!({
         "source": model.map(String::from),
         "artifact": out,
         "bytes": bytes.len(),
+        "drift_reference": { "phrases": reference.phrases },
     });
     Ok(format!(
         "{}\n",
@@ -577,6 +628,7 @@ fn extract(
     quantized: bool,
     obs: &ObsOpts,
 ) -> Result<String, CliError> {
+    let _guard = obs.explain.then(provenance_lock);
     let started = obs.begin();
     let pipeline = ServeModel::load(model, quantized).map_err(model_error)?;
     pipeline.inference().set_cache_enabled(!no_cache);
@@ -609,6 +661,7 @@ fn extract(
 /// margins, cache hit/miss origin, dictionary votes).
 fn explain(model: &str, phrases: &[String]) -> Result<String, CliError> {
     let pipeline = TrainedPipeline::load(model)?;
+    let _guard = provenance_lock();
     let mut rows = Vec::new();
     for p in phrases {
         recipe_obs::provenance::reset();
@@ -694,6 +747,7 @@ fn bench_diff(opts: &BenchDiffOptions) -> Result<String, CliError> {
 }
 
 fn mine(model: &str, files: &[String], no_cache: bool, obs: &ObsOpts) -> Result<String, CliError> {
+    let _guard = obs.explain.then(provenance_lock);
     let started = obs.begin();
     let pipeline = TrainedPipeline::load(model)?;
     pipeline.set_cache_enabled(!no_cache);
@@ -750,6 +804,66 @@ mod tests {
     fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
         LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn monitor_polls_a_served_artifact() {
+        // `compile` records provenance for the drift reference.
+        let _lock = obs_lock();
+        let rma_path = tmp("monitor_model.rma");
+        let rma = rma_path.to_string_lossy().to_string();
+        let out = run(&Command::Compile {
+            model: None,
+            out: rma.clone(),
+            recipes: 120,
+            seed: 3,
+            threads: 0,
+        })
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(
+            parsed["drift_reference"]["phrases"].as_u64().unwrap() > 0,
+            "{out}"
+        );
+
+        let model = ServeModel::load(&rma, false).expect("load compiled artifact");
+        let cfg = recipe_serve::ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 1,
+            ..recipe_serve::ServeConfig::default()
+        };
+        let server =
+            recipe_serve::Server::launch(&cfg, model, (rma.clone(), false)).expect("launch");
+        let addr = server.local_addr().to_string();
+
+        let snap_path = tmp("monitor_snap.jsonl");
+        let _ = std::fs::remove_file(&snap_path);
+        let out = run(&Command::Monitor(crate::args::MonitorOptions {
+            addr: addr.clone(),
+            once: true,
+            out: Some(snap_path.to_string_lossy().to_string()),
+            ..crate::args::MonitorOptions::default()
+        }))
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed["monitored"]["polls"], serde_json::json!(1));
+        assert_eq!(parsed["monitored"]["addr"], serde_json::json!(addr));
+        // The compiled artifact carries a reference, so drift is live.
+        assert_eq!(parsed["drift"]["active"], serde_json::json!(true));
+        assert_eq!(parsed["windows"]["window_s"], serde_json::json!(60.0));
+        assert!(parsed["slo_level"].as_str().is_some(), "{parsed:?}");
+
+        // One snapshot line, parseable, carrying both raw documents.
+        let snaps = std::fs::read_to_string(&snap_path).unwrap();
+        let lines: Vec<&str> = snaps.lines().collect();
+        assert_eq!(lines.len(), 1, "{snaps}");
+        let snap: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(snap["poll"], serde_json::json!(0));
+        recipe_obs::validate_document(&snap["metrics"]).expect("metrics snapshot valid");
+        recipe_obs::validate_slo_document(&snap["slo"]).expect("slo snapshot valid");
+
+        server.request_shutdown();
+        server.join();
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod monitor;
 pub mod recipe_file;
 
 pub use args::{parse_args, Command, ParsedArgs};

@@ -20,6 +20,7 @@
 //! | 100..=113 | ingredient NER (`recipe_ner::artifact::section`) |
 //! | 200..=213 | instruction NER |
 //! | 300..=306 | POS tagger (`recipe_tagger::artifact::section`) |
+//! | 400       | drift reference (frozen margin/label/cache distribution) |
 
 use crate::infer::Inference;
 use crate::model::IngredientEntry;
@@ -28,6 +29,8 @@ use recipe_artifact::{write_str_table, Artifact, ArtifactError, ArtifactWriter};
 use recipe_ner::NerView;
 use recipe_tagger::PosView;
 use recipe_text::Preprocessor;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
@@ -40,6 +43,113 @@ pub const KIND_INGREDIENT_NER: u32 = 100;
 pub const KIND_INSTRUCTION_NER: u32 = 200;
 /// Base section kind of the POS tagger block.
 pub const KIND_POS: u32 = 300;
+/// Section kind of the prediction-drift reference distribution.
+pub const KIND_DRIFT: u32 = 400;
+
+/// Version of the drift-reference section payload.
+pub const DRIFT_SCHEMA_VERSION: u64 = 1;
+
+/// Bucket upper bounds over per-token Viterbi margins (best minus
+/// runner-up accumulated score), one overflow bucket implied. Both the
+/// compile-time reference capture and the server's live sampler bucket
+/// through [`drift_margin_bucket`], so PSI compares like with like.
+pub const DRIFT_MARGIN_BOUNDS: [f64; 10] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Index of the margin bucket for `margin` (overflow bucket last).
+pub fn drift_margin_bucket(margin: f64) -> usize {
+    DRIFT_MARGIN_BOUNDS.partition_point(|&b| b < margin.max(0.0))
+}
+
+/// A frozen reference distribution of prediction behaviour, captured at
+/// `compile` time by running extraction with provenance recording over
+/// a corpus sample. The server compares its live windowed distribution
+/// against this section with a population-stability index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftReference {
+    /// Payload layout version ([`DRIFT_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Number of phrases the reference run extracted.
+    pub phrases: u64,
+    /// Margin bucket upper bounds ([`DRIFT_MARGIN_BOUNDS`]).
+    pub margin_bounds: Vec<f64>,
+    /// Per-bucket Viterbi margin counts, overflow bucket last.
+    pub margin_counts: Vec<u64>,
+    /// Predicted-label counts from the ingredient NER decode.
+    pub label_counts: BTreeMap<String, u64>,
+    /// Phrase-cache hits observed during the reference run.
+    pub cache_hits: u64,
+    /// Phrase-cache misses observed during the reference run.
+    pub cache_misses: u64,
+}
+
+impl DriftReference {
+    /// Serialize for the artifact section (JSON payload; the container
+    /// supplies framing and CRC).
+    pub fn encode(&self) -> Vec<u8> {
+        // Serializing a plain in-memory struct cannot fail; an empty
+        // payload would simply decode to `None` and disable drift
+        // scoring, matching the forward-compatibility contract below.
+        serde_json::to_string(self)
+            .map(String::into_bytes)
+            .unwrap_or_default()
+    }
+
+    /// Decode a drift section payload; `None` when the payload is not
+    /// a current-version reference (forward compatibility: an unknown
+    /// drift section disables drift scoring, never the model).
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let _span = recipe_obs::span!("artifact.drift_decode");
+        let text = std::str::from_utf8(bytes).ok()?;
+        let reference: DriftReference = serde_json::from_str(text).ok()?;
+        (reference.schema_version == DRIFT_SCHEMA_VERSION).then_some(reference)
+    }
+}
+
+/// Capture a [`DriftReference`] by extracting `phrases` with provenance
+/// recording on and aggregating the margin/label/cache records.
+///
+/// Uses the process-global provenance store — callers that share it
+/// (the server's `/explain` path) hold their own exclusion lock;
+/// `compile` runs single-threaded so plain reset/drain is safe.
+pub fn capture_drift_reference(pipeline: &TrainedPipeline, phrases: &[String]) -> DriftReference {
+    recipe_obs::provenance::reset();
+    recipe_obs::provenance::set_enabled(true);
+    for phrase in phrases {
+        pipeline.extract_ingredient(phrase);
+    }
+    recipe_obs::provenance::set_enabled(false);
+    let records = recipe_obs::provenance::drain();
+
+    let mut margin_counts = vec![0u64; DRIFT_MARGIN_BOUNDS.len() + 1];
+    let mut label_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    for r in &records {
+        match r.kind {
+            "viterbi.margin" => {
+                if let Some(m) = r.margin {
+                    margin_counts[drift_margin_bucket(m)] += 1;
+                }
+                *label_counts.entry(r.decision.clone()).or_insert(0) += 1;
+            }
+            "cache.lookup" => match r.decision.as_str() {
+                "hit" => cache_hits += 1,
+                "miss" => cache_misses += 1,
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    DriftReference {
+        schema_version: DRIFT_SCHEMA_VERSION,
+        phrases: phrases.len() as u64,
+        margin_bounds: DRIFT_MARGIN_BOUNDS.to_vec(),
+        margin_counts,
+        label_counts,
+        cache_hits,
+        cache_misses,
+    }
+}
 
 /// Errors from writing or loading `.rma` pipeline artifacts.
 #[derive(Debug)]
@@ -83,7 +193,18 @@ impl From<ArtifactError> for ArtifactPipelineError {
 }
 
 /// Serialize the pipeline's compiled models into `.rma` container bytes.
+/// Byte-identical to pre-drift artifacts: the drift section is only
+/// appended by [`artifact_bytes_with_reference`].
 pub fn artifact_bytes(pipeline: &TrainedPipeline) -> Result<Vec<u8>, ArtifactPipelineError> {
+    artifact_bytes_with_reference(pipeline, None)
+}
+
+/// Serialize the pipeline's compiled models, optionally appending a
+/// frozen [`DriftReference`] section ([`KIND_DRIFT`]).
+pub fn artifact_bytes_with_reference(
+    pipeline: &TrainedPipeline,
+    reference: Option<&DriftReference>,
+) -> Result<Vec<u8>, ArtifactPipelineError> {
     let inference = &pipeline.inference;
     let ingredient = inference
         .ingredient_model()
@@ -108,6 +229,9 @@ pub fn artifact_bytes(pipeline: &TrainedPipeline) -> Result<Vec<u8>, ArtifactPip
     recipe_ner::artifact::append_model(&mut writer, KIND_INGREDIENT_NER, ingredient);
     recipe_ner::artifact::append_model(&mut writer, KIND_INSTRUCTION_NER, instruction);
     recipe_tagger::artifact::append_tagger(&mut writer, KIND_POS, pos);
+    if let Some(reference) = reference {
+        writer.push_section(KIND_DRIFT, reference.encode());
+    }
     Ok(writer.finish())
 }
 
@@ -207,6 +331,13 @@ impl ArtifactPipeline {
         }
     }
 
+    /// The frozen drift reference embedded at compile time, when the
+    /// artifact carries one ([`KIND_DRIFT`]).
+    pub fn drift_reference(&self) -> Option<DriftReference> {
+        let range = self.artifact.section(KIND_DRIFT)?;
+        DriftReference::decode(&self.artifact.buf()[range])
+    }
+
     /// Extract the structured entry for one raw ingredient phrase —
     /// same preprocessing and decode contract as
     /// [`TrainedPipeline::extract_ingredient`].
@@ -294,6 +425,51 @@ mod tests {
         // require the quantized path to produce well-formed entries.
         let entry = loaded.extract_ingredient("2 cups flour");
         assert!(!entry.name.is_empty() || entry.quantity.is_some() || entry.unit.is_some());
+    }
+
+    #[test]
+    fn drift_reference_round_trips_through_artifact() {
+        let (corpus, pipeline) = trained();
+        let phrases: Vec<String> = corpus
+            .recipes
+            .iter()
+            .flat_map(|r| r.ingredient_lines())
+            .take(32)
+            .collect();
+        let reference = capture_drift_reference(&pipeline, &phrases);
+        assert_eq!(reference.phrases, phrases.len() as u64);
+        assert!(
+            reference.margin_counts.iter().sum::<u64>() > 0,
+            "reference saw margins: {reference:?}"
+        );
+        assert!(!reference.label_counts.is_empty());
+
+        let bytes = artifact_bytes_with_reference(&pipeline, Some(&reference)).expect("serialize");
+        let loaded = ArtifactPipeline::from_bytes(bytes.into(), false).expect("load");
+        loaded.verify_crc().expect("checksums");
+        assert_eq!(loaded.drift_reference(), Some(reference));
+
+        // Capture is observational: extraction output is unchanged.
+        assert_eq!(
+            pipeline.extract_ingredient("2 cups flour"),
+            loaded.extract_ingredient("2 cups flour")
+        );
+
+        // Plain artifact_bytes stays byte-identical (no drift section)
+        // and reports no reference.
+        let plain = artifact_bytes(&pipeline).expect("serialize");
+        let plain_loaded = ArtifactPipeline::from_bytes(plain.into(), false).expect("load");
+        assert_eq!(plain_loaded.drift_reference(), None);
+    }
+
+    #[test]
+    fn drift_margin_buckets_are_total() {
+        assert_eq!(drift_margin_bucket(-1.0), 0);
+        assert_eq!(drift_margin_bucket(0.0), 0);
+        assert_eq!(drift_margin_bucket(0.25), 0);
+        assert_eq!(drift_margin_bucket(0.26), 1);
+        assert_eq!(drift_margin_bucket(1e9), DRIFT_MARGIN_BOUNDS.len());
+        assert!(DriftReference::decode(b"not json").is_none());
     }
 
     #[test]

@@ -35,6 +35,12 @@
 //! 6. **Bench history** ([`history`]): schema_version'd JSON Lines
 //!    bench-run records plus the `bench-diff` regression gate.
 //!
+//! 7. **Windowed metrics & SLOs** ([`window`], [`slo`]): ring-of-bucket
+//!    sliding windows over an injectable [`window::Clock`] (monotonic in
+//!    production, virtual in tests) feeding rolling rates, windowed tail
+//!    percentiles, and the multi-window multi-burn-rate SLO engine
+//!    behind the server's `/admin/slo`.
+//!
 //! Observability must never perturb artifacts: nothing here influences
 //! any computed value, and aggregation (not logging) keeps the memory
 //! and time cost independent of corpus size. Tracing is off by default;
@@ -46,7 +52,9 @@ pub mod history;
 pub mod metrics;
 pub mod provenance;
 pub mod report;
+pub mod slo;
 pub mod span;
+pub mod window;
 
 pub use event::{
     export_chrome_trace, validate_chrome_trace, EventKind, TraceConfig, TraceEvent, TraceSession,
@@ -63,7 +71,12 @@ pub use metrics::{
     RegistrySnapshot, SampleSummary, Series, DEFAULT_COUNT_BOUNDS, DEFAULT_LATENCY_BOUNDS,
 };
 pub use report::{render_human, validate_document, validate_telemetry, Telemetry};
+pub use slo::{validate_slo_document, BurnWindow, Objective, SloEngine, SloLevel};
 pub use span::{enter, stage_tree, SpanGuard, StageNode};
+pub use window::{
+    psi, Clock, MonotonicClock, VirtualClock, WindowRate, WindowSet, WindowSpec, WindowedCounter,
+    WindowedHistogram, WindowsSnapshot, TICKS_PER_SEC,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -4,14 +4,16 @@
 
 use crate::metrics::{HistogramSnapshot, Registry, RegistrySnapshot};
 use crate::span::{stage_tree, StageNode};
+use crate::window::WindowsSnapshot;
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Version of the `--metrics-out` document layout; bumped on breaking
-/// schema changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// schema changes. v2 added the `windows` block (rolling rates and
+/// windowed tail percentiles); the cumulative blocks are unchanged.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A point-in-time export of everything the observability layer knows:
 /// the aggregated stage tree plus a merged snapshot of the global
@@ -34,6 +36,10 @@ pub struct Telemetry {
     /// Derived rates filled in by the caller (items per second, wall
     /// seconds, …), keyed by measure name.
     pub throughput: BTreeMap<String, f64>,
+    /// Sliding-window view (rolling rates, windowed tails) filled in by
+    /// callers that maintain a [`crate::window::WindowSet`] — the
+    /// server does; batch commands export an empty block.
+    pub windows: WindowsSnapshot,
 }
 
 impl Telemetry {
@@ -58,6 +64,7 @@ impl Telemetry {
             histograms: snap.histograms,
             series: snap.series,
             throughput: BTreeMap::new(),
+            windows: WindowsSnapshot::default(),
         }
     }
 }
@@ -149,6 +156,22 @@ pub fn render_human(t: &Telemetry) -> String {
             let _ = writeln!(out, "  {name:<40} {v:>14.2}");
         }
     }
+    if !(t.windows.rates.is_empty() && t.windows.histograms.is_empty()) {
+        let _ = writeln!(out, "windows ({}s):", t.windows.window_s);
+        for (name, r) in &t.windows.rates {
+            let _ = writeln!(out, "  {name:<40} {:>10}  {:>10.2}/s", r.count, r.per_s);
+        }
+        for (name, h) in &t.windows.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<40} n={:<8} p50={} p99={} p999={}",
+                h.count,
+                fmt_secs(h.p50),
+                fmt_secs(h.p99),
+                fmt_secs(h.p999),
+            );
+        }
+    }
     out
 }
 
@@ -237,6 +260,42 @@ pub fn validate_telemetry(v: &Value) -> Result<(), String> {
         }
     }
     expect_number_map(field("throughput")?, "telemetry.throughput")?;
+    let windows = field("windows")?;
+    let win_obj = expect_object(windows, "telemetry.windows")?;
+    let win_field = |name: &str| {
+        win_obj
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("telemetry.windows missing field `{name}`"))
+    };
+    if win_field("window_s")?.as_f64().is_none() {
+        return Err("telemetry.windows.window_s must be a number".to_string());
+    }
+    for (key, rate) in expect_object(win_field("rates")?, "telemetry.windows.rates")? {
+        let what = format!("telemetry.windows.rates.{key}");
+        expect_number_map(rate, &what)?;
+        let rate_obj = expect_object(rate, &what)?;
+        for want in ["count", "per_s"] {
+            if !rate_obj.iter().any(|(k, _)| k == want) {
+                return Err(format!("{what} missing `{want}`"));
+            }
+        }
+    }
+    for (key, hist) in expect_object(win_field("histograms")?, "telemetry.windows.histograms")? {
+        let what = format!("telemetry.windows.histograms.{key}");
+        let hist_obj = expect_object(hist, &what)?;
+        for want in ["count", "p50", "p99", "p999"] {
+            let found = hist_obj
+                .iter()
+                .find(|(k, _)| k == want)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("{what} missing `{want}`"))?;
+            if found.as_f64().is_none() {
+                return Err(format!("{what}.{want} must be a number"));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -349,7 +408,8 @@ mod tests {
         assert!(serde_json::from_str::<Value>(cut).is_err(), "parses: {cut}");
         // Truncation that happens to be well-formed JSON (an object with
         // fields missing) still fails validation.
-        let partial: Value = serde_json::from_str("{\"schema_version\": 1}").unwrap();
+        let partial: Value =
+            serde_json::from_str(&format!("{{\"schema_version\": {SCHEMA_VERSION}}}")).unwrap();
         let err = validate_document(&partial).unwrap_err();
         assert!(err.contains("command"), "{err}");
     }

@@ -1,0 +1,464 @@
+//! SLO burn-rate engine: declarative objectives evaluated with the
+//! multi-window multi-burn-rate recipe. Each objective owns a set of
+//! (long, short) window pairs of good/bad [`WindowedCounter`]s; a pair
+//! *fires* when the burn rate — bad fraction divided by the error
+//! budget `1 - target` — exceeds its factor over **both** windows (the
+//! long window filters noise, the short one proves the burn is still
+//! happening). The worst firing pair's level is the objective's level,
+//! and the worst objective is the overall `ok | warn | critical`
+//! surfaced in `/healthz` and `/admin/slo`.
+//!
+//! Production pairs follow the standard shape — fast 5m/1h at a high
+//! factor for paging, slow 6h/3d at factor 1 for budget exhaustion —
+//! and tests shrink the same shape to milliseconds through the shared
+//! [`Clock`], so the evaluation path is identical in both.
+
+use crate::window::{Clock, WindowSpec, WindowedCounter, TICKS_PER_SEC};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::sync::Arc;
+
+/// Version of the `/admin/slo` document layout.
+pub const SLO_SCHEMA_VERSION: u64 = 1;
+
+/// Health of one objective (or the whole engine): ordered so `max`
+/// picks the worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloLevel {
+    Ok,
+    Warn,
+    Critical,
+}
+
+impl SloLevel {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SloLevel::Ok => "ok",
+            SloLevel::Warn => "warn",
+            SloLevel::Critical => "critical",
+        }
+    }
+}
+
+/// One declarative objective: a name and the required good fraction.
+#[derive(Debug, Clone)]
+pub struct Objective {
+    /// e.g. `availability`, `latency`.
+    pub name: String,
+    /// Required fraction of good events, e.g. `0.999`.
+    pub target: f64,
+}
+
+impl Objective {
+    pub fn new(name: &str, target: f64) -> Self {
+        Objective {
+            name: name.to_string(),
+            target: target.clamp(0.0, 1.0 - 1e-9),
+        }
+    }
+}
+
+/// One (long, short) burn-rate window pair.
+#[derive(Debug, Clone, Copy)]
+pub struct BurnWindow {
+    /// Display name (`fast`, `slow`).
+    pub name: &'static str,
+    /// Long window, seconds (noise filter).
+    pub long_s: f64,
+    /// Short window, seconds (is the burn still happening?).
+    pub short_s: f64,
+    /// Burn-rate threshold both windows must exceed.
+    pub factor: f64,
+    /// Level reported while firing.
+    pub level: SloLevel,
+}
+
+impl BurnWindow {
+    /// The standard pairs: fast 5m/1h paging at 14.4× burn, slow 6h/3d
+    /// budget-exhaustion at 1× burn.
+    pub fn production() -> Vec<BurnWindow> {
+        vec![
+            BurnWindow {
+                name: "fast",
+                long_s: 3_600.0,
+                short_s: 300.0,
+                factor: 14.4,
+                level: SloLevel::Critical,
+            },
+            BurnWindow {
+                name: "slow",
+                long_s: 259_200.0,
+                short_s: 21_600.0,
+                factor: 1.0,
+                level: SloLevel::Warn,
+            },
+        ]
+    }
+
+    /// The production shape shrunk by `divisor` (tests drive rotation
+    /// through a virtual clock, so even sub-second windows evaluate
+    /// deterministically).
+    pub fn scaled(divisor: f64) -> Vec<BurnWindow> {
+        let d = divisor.max(1.0);
+        Self::production()
+            .into_iter()
+            .map(|mut w| {
+                w.long_s /= d;
+                w.short_s /= d;
+                w
+            })
+            .collect()
+    }
+}
+
+/// Ring slots per SLO window: enough resolution that an expiring slot
+/// moves the burn rate by a few percent, coarse enough that 3-day
+/// windows stay tiny.
+const SLO_SLOTS: usize = 30;
+
+struct PairCounters {
+    good: WindowedCounter,
+    bad: WindowedCounter,
+}
+
+impl PairCounters {
+    fn new(clock: &Arc<dyn Clock>, seconds: f64) -> Self {
+        let ticks = ((seconds * TICKS_PER_SEC as f64) as u64).max(SLO_SLOTS as u64);
+        let spec = WindowSpec::new(ticks / SLO_SLOTS as u64, SLO_SLOTS);
+        PairCounters {
+            good: WindowedCounter::new(Arc::clone(clock), spec),
+            bad: WindowedCounter::new(Arc::clone(clock), spec),
+        }
+    }
+
+    /// Bad fraction over this window (`0.0` with no events).
+    fn bad_fraction(&self) -> f64 {
+        let good = self.good.count();
+        let bad = self.bad.count();
+        let total = good + bad;
+        if total == 0 {
+            0.0
+        } else {
+            bad as f64 / total as f64
+        }
+    }
+}
+
+struct PairState {
+    cfg: BurnWindow,
+    long: PairCounters,
+    short: PairCounters,
+}
+
+struct ObjectiveState {
+    spec: Objective,
+    pairs: Vec<PairState>,
+}
+
+/// The engine: objectives × window pairs of windowed counters. Records
+/// are lock-free (windowed counter adds); evaluation reads the rings.
+pub struct SloEngine {
+    objectives: Vec<ObjectiveState>,
+}
+
+impl SloEngine {
+    pub fn new(clock: Arc<dyn Clock>, objectives: Vec<Objective>, pairs: &[BurnWindow]) -> Self {
+        SloEngine {
+            objectives: objectives
+                .into_iter()
+                .map(|spec| ObjectiveState {
+                    pairs: pairs
+                        .iter()
+                        .map(|&cfg| PairState {
+                            long: PairCounters::new(&clock, cfg.long_s),
+                            short: PairCounters::new(&clock, cfg.short_s),
+                            cfg,
+                        })
+                        .collect(),
+                    spec,
+                })
+                .collect(),
+        }
+    }
+
+    /// Index of the objective `name`, resolved once by callers that
+    /// record on a hot path.
+    pub fn objective_index(&self, name: &str) -> Option<usize> {
+        self.objectives.iter().position(|o| o.spec.name == name)
+    }
+
+    /// Record one event outcome for objective `idx` (from
+    /// [`Self::objective_index`]) into every window pair.
+    pub fn record_at(&self, idx: usize, good: bool) {
+        let Some(o) = self.objectives.get(idx) else {
+            return;
+        };
+        for pair in &o.pairs {
+            if good {
+                pair.long.good.inc();
+                pair.short.good.inc();
+            } else {
+                pair.long.bad.inc();
+                pair.short.bad.inc();
+            }
+        }
+    }
+
+    /// Record by objective name (cold paths and tests).
+    pub fn record(&self, name: &str, good: bool) {
+        if let Some(idx) = self.objective_index(name) {
+            self.record_at(idx, good);
+        }
+    }
+
+    /// Evaluate every objective now.
+    pub fn evaluate(&self) -> SloReport {
+        let mut objectives = Vec::with_capacity(self.objectives.len());
+        let mut overall = SloLevel::Ok;
+        for o in &self.objectives {
+            let budget = 1.0 - o.spec.target;
+            let mut level = SloLevel::Ok;
+            let mut pairs = Vec::with_capacity(o.pairs.len());
+            for p in &o.pairs {
+                let long_burn = p.long.bad_fraction() / budget;
+                let short_burn = p.short.bad_fraction() / budget;
+                let firing = long_burn >= p.cfg.factor && short_burn >= p.cfg.factor;
+                if firing {
+                    level = level.max(p.cfg.level);
+                }
+                pairs.push(PairReport {
+                    name: p.cfg.name.to_string(),
+                    long_s: p.cfg.long_s,
+                    short_s: p.cfg.short_s,
+                    factor: p.cfg.factor,
+                    long_burn,
+                    short_burn,
+                    firing,
+                });
+            }
+            overall = overall.max(level);
+            objectives.push(ObjectiveReport {
+                name: o.spec.name.clone(),
+                target: o.spec.target,
+                level: level.as_str().to_string(),
+                pairs,
+            });
+        }
+        SloReport {
+            schema_version: SLO_SCHEMA_VERSION,
+            level: overall.as_str().to_string(),
+            objectives,
+        }
+    }
+
+    /// The worst current level (the `/healthz` summary field).
+    pub fn level(&self) -> SloLevel {
+        match self.evaluate().level.as_str() {
+            "critical" => SloLevel::Critical,
+            "warn" => SloLevel::Warn,
+            _ => SloLevel::Ok,
+        }
+    }
+}
+
+/// One evaluated burn-rate pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairReport {
+    pub name: String,
+    pub long_s: f64,
+    pub short_s: f64,
+    pub factor: f64,
+    pub long_burn: f64,
+    pub short_burn: f64,
+    pub firing: bool,
+}
+
+/// One evaluated objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveReport {
+    pub name: String,
+    pub target: f64,
+    /// `ok | warn | critical`.
+    pub level: String,
+    pub pairs: Vec<PairReport>,
+}
+
+/// The `/admin/slo` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    pub schema_version: u64,
+    /// Worst objective level: `ok | warn | critical`.
+    pub level: String,
+    pub objectives: Vec<ObjectiveReport>,
+}
+
+fn expect_object<'v>(v: &'v Value, what: &str) -> Result<&'v Vec<(String, Value)>, String> {
+    v.as_object()
+        .ok_or_else(|| format!("{what} must be an object"))
+}
+
+fn get<'v>(obj: &'v [(String, Value)], name: &str, what: &str) -> Result<&'v Value, String> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("{what} missing field `{name}`"))
+}
+
+fn expect_level(v: &Value, what: &str) -> Result<(), String> {
+    match v.as_str() {
+        Some("ok") | Some("warn") | Some("critical") => Ok(()),
+        _ => Err(format!("{what} must be one of ok|warn|critical")),
+    }
+}
+
+/// Validate the shape of an `/admin/slo` document. Returns the first
+/// problem found.
+pub fn validate_slo_document(v: &Value) -> Result<(), String> {
+    let obj = expect_object(v, "slo")?;
+    match get(obj, "schema_version", "slo")?.as_f64() {
+        Some(version) if version == SLO_SCHEMA_VERSION as f64 => {}
+        Some(version) => return Err(format!("unsupported slo schema_version {version}")),
+        None => return Err("slo.schema_version must be a number".to_string()),
+    }
+    expect_level(get(obj, "level", "slo")?, "slo.level")?;
+    let objectives = get(obj, "objectives", "slo")?
+        .as_array()
+        .ok_or_else(|| "slo.objectives must be an array".to_string())?;
+    for (i, o) in objectives.iter().enumerate() {
+        let what = format!("slo.objectives[{i}]");
+        let o_obj = expect_object(o, &what)?;
+        if get(o_obj, "name", &what)?.as_str().is_none() {
+            return Err(format!("{what}.name must be a string"));
+        }
+        if get(o_obj, "target", &what)?.as_f64().is_none() {
+            return Err(format!("{what}.target must be a number"));
+        }
+        expect_level(get(o_obj, "level", &what)?, &format!("{what}.level"))?;
+        let pairs = get(o_obj, "pairs", &what)?
+            .as_array()
+            .ok_or_else(|| format!("{what}.pairs must be an array"))?;
+        for (j, p) in pairs.iter().enumerate() {
+            let pwhat = format!("{what}.pairs[{j}]");
+            let p_obj = expect_object(p, &pwhat)?;
+            if get(p_obj, "name", &pwhat)?.as_str().is_none() {
+                return Err(format!("{pwhat}.name must be a string"));
+            }
+            for want in ["long_s", "short_s", "factor", "long_burn", "short_burn"] {
+                if get(p_obj, want, &pwhat)?.as_f64().is_none() {
+                    return Err(format!("{pwhat}.{want} must be a number"));
+                }
+            }
+            if get(p_obj, "firing", &pwhat)?.as_bool().is_none() {
+                return Err(format!("{pwhat}.firing must be a boolean"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::VirtualClock;
+
+    fn engine(clock: Arc<VirtualClock>) -> SloEngine {
+        // 1000× shrink: fast pair 3.6s/0.3s, slow pair 259.2s/21.6s.
+        SloEngine::new(
+            clock,
+            vec![
+                Objective::new("availability", 0.999),
+                Objective::new("latency", 0.99),
+            ],
+            &BurnWindow::scaled(1000.0),
+        )
+    }
+
+    #[test]
+    fn quiet_engine_reports_ok_and_validates() {
+        let clock = Arc::new(VirtualClock::new());
+        let e = engine(clock.clone());
+        for _ in 0..100 {
+            e.record("availability", true);
+        }
+        let report = e.evaluate();
+        assert_eq!(report.level, "ok");
+        assert_eq!(report.objectives.len(), 2);
+        assert!(report.objectives[0].pairs.iter().all(|p| !p.firing));
+        let value = serde_json::to_value(&report);
+        validate_slo_document(&value).expect("valid slo document");
+    }
+
+    #[test]
+    fn sustained_burn_fires_fast_pair_critical() {
+        let clock = Arc::new(VirtualClock::new());
+        let e = engine(clock.clone());
+        // 50% failure rate against a 0.1% budget: burn 500× over both
+        // fast windows.
+        for _ in 0..200 {
+            e.record("availability", true);
+            e.record("availability", false);
+        }
+        let report = e.evaluate();
+        assert_eq!(report.level, "critical");
+        let avail = &report.objectives[0];
+        assert_eq!(avail.level, "critical");
+        assert!(avail.pairs.iter().any(|p| p.name == "fast" && p.firing));
+        // The latency objective saw nothing and stays ok.
+        assert_eq!(report.objectives[1].level, "ok");
+        assert_eq!(e.level(), SloLevel::Critical);
+    }
+
+    #[test]
+    fn burn_clears_when_short_window_recovers() {
+        let clock = Arc::new(VirtualClock::new());
+        let e = engine(clock.clone());
+        for _ in 0..100 {
+            e.record("latency", false);
+        }
+        assert_eq!(e.evaluate().objectives[1].level, "critical");
+        // Advance past the short fast window (0.3s scaled) but inside
+        // the long one (3.6s): the short window no longer confirms the
+        // burn, so the fast pair stops firing.
+        clock.advance((1.0 * TICKS_PER_SEC as f64) as u64);
+        for _ in 0..100 {
+            e.record("latency", true);
+        }
+        let report = e.evaluate();
+        let fast = report.objectives[1]
+            .pairs
+            .iter()
+            .find(|p| p.name == "fast")
+            .unwrap();
+        assert!(fast.long_burn > fast.factor, "long window still burnt");
+        assert!(!fast.firing, "short window recovered: {fast:?}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_slo_document(&serde_json::json!([])).is_err());
+        assert!(validate_slo_document(&serde_json::json!({})).is_err());
+        let bad_level = serde_json::json!({
+            "schema_version": SLO_SCHEMA_VERSION,
+            "level": "fine",
+            "objectives": [],
+        });
+        let err = validate_slo_document(&bad_level).unwrap_err();
+        assert!(err.contains("ok|warn|critical"), "{err}");
+        let bad_version = serde_json::json!({
+            "schema_version": 999,
+            "level": "ok",
+            "objectives": [],
+        });
+        assert!(validate_slo_document(&bad_version).is_err());
+    }
+
+    #[test]
+    fn unknown_objective_records_are_ignored() {
+        let clock = Arc::new(VirtualClock::new());
+        let e = engine(clock);
+        e.record("nonexistent", false);
+        assert_eq!(e.evaluate().level, "ok");
+        assert_eq!(e.objective_index("latency"), Some(1));
+        assert_eq!(e.objective_index("nonexistent"), None);
+    }
+}

@@ -1,7 +1,9 @@
 //! Minimal HTTP/1.1 framing for the serving front end: just enough to
 //! parse `method path` + headers and a `Content-Length` body, and to
-//! write a fixed-header response. One request per connection
-//! (`Connection: close`), no chunked encoding, no keep-alive.
+//! write a fixed-header response. Keep-alive follows HTTP/1.1 defaults
+//! (persistent unless `Connection: close`; HTTP/1.0 opts in with
+//! `Connection: keep-alive`), bounded by the server's per-connection
+//! request cap and idle timeout. No chunked encoding.
 //!
 //! Every read is bounded — headers are capped at [`MAX_HEAD_BYTES`]
 //! and bodies at [`MAX_BODY_BYTES`], read with `read_exact` into a
@@ -23,6 +25,10 @@ pub struct Request {
     pub method: String,
     pub path: String,
     pub body: Vec<u8>,
+    /// Whether the client allows the connection to persist after the
+    /// response (HTTP/1.1 default yes, `Connection: close` overrides;
+    /// HTTP/1.0 default no, `Connection: keep-alive` overrides).
+    pub keep_alive: bool,
 }
 
 /// Why a request could not be framed.
@@ -105,16 +111,26 @@ pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> Result<Request, HttpE
     if method.is_empty() || path.is_empty() {
         return Err(bad("malformed request line"));
     }
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    let mut keep_alive = !version.eq_ignore_ascii_case("HTTP/1.0");
     let mut content_length = 0usize;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .trim()
                 .parse()
                 .map_err(|_| bad("unparseable content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            let value = value.trim();
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -122,7 +138,12 @@ pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> Result<Request, HttpE
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(HttpError::Io)?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
 }
 
 /// One response about to be written.
@@ -131,6 +152,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// `Retry-After` seconds, set on 503 shed responses.
     pub retry_after: Option<u32>,
+    /// Server-minted request id, echoed as `X-Request-Id` so traces
+    /// and the `/admin/slow` exemplar table correlate with responses.
+    pub request_id: Option<u64>,
     pub body: String,
 }
 
@@ -140,6 +164,7 @@ impl Response {
             status,
             content_type: "application/json",
             retry_after: None,
+            request_id: None,
             body,
         }
     }
@@ -149,6 +174,7 @@ impl Response {
             status,
             content_type: "text/plain",
             retry_after: None,
+            request_id: None,
             body: body.to_string(),
         }
     }
@@ -167,10 +193,16 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Serialize a response (`Connection: close`; the server is strictly
-/// one-request-per-connection).
-pub fn write_response<W: Write>(stream: &mut W, resp: &Response) -> std::io::Result<()> {
-    let mut out = String::with_capacity(resp.body.len() + 128);
+/// Serialize a response. `keep_alive` selects the `Connection` header:
+/// the server passes `true` only when it will actually park the
+/// connection for reuse (client allowed it and the per-connection
+/// request cap is not exhausted).
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut out = String::with_capacity(resp.body.len() + 160);
     out.push_str(&format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         resp.status,
@@ -181,7 +213,14 @@ pub fn write_response<W: Write>(stream: &mut W, resp: &Response) -> std::io::Res
     if let Some(secs) = resp.retry_after {
         out.push_str(&format!("Retry-After: {secs}\r\n"));
     }
-    out.push_str("Connection: close\r\n\r\n");
+    if let Some(id) = resp.request_id {
+        out.push_str(&format!("X-Request-Id: {id}\r\n"));
+    }
+    out.push_str(if keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
     out.push_str(&resp.body);
     stream.write_all(out.as_bytes())?;
     stream.flush()
@@ -252,11 +291,36 @@ mod tests {
         let mut out = Vec::new();
         let mut resp = Response::json(503, "{}".to_string());
         resp.retry_after = Some(1);
-        write_response(&mut out, &resp).expect("write");
+        write_response(&mut out, &resp, false).expect("write");
         let text = String::from_utf8(out).expect("utf8");
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").expect("parse");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        let req = parse(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parse");
+        assert!(!req.keep_alive);
+        let req = parse(b"GET /healthz HTTP/1.0\r\n\r\n").expect("parse");
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        let req = parse(b"GET /healthz HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").expect("parse");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn response_carries_request_id_and_keep_alive() {
+        let mut out = Vec::new();
+        let mut resp = Response::json(200, "{}".to_string());
+        resp.request_id = Some(42);
+        write_response(&mut out, &resp, true).expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("X-Request-Id: 42\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
     }
 }

@@ -25,26 +25,45 @@
 //!   queue, and lets workers drain what was already admitted. There is
 //!   no signal handling — the workspace is std-only — so process
 //!   supervisors should use the endpoint.
+//! - **Keep-alive via a parking lot.** After a keep-alive response the
+//!   worker parks the connection back with the acceptor, whose poll
+//!   loop re-arms it as a fresh request (new id, new arrival stamp) the
+//!   moment bytes show up — bounded by a per-connection request cap and
+//!   an idle timeout, so a parked socket can never pin a worker.
+//! - **Observability.** Every request is minted an id at admission
+//!   (echoed as `X-Request-Id`) and stamped through its lifecycle
+//!   (queue wait → handle → write) on the injected [`Clock`];
+//!   sliding-window mirrors feed the telemetry `windows` block, a
+//!   multi-window multi-burn-rate [`SloEngine`] scores availability and
+//!   latency objectives, the slowest requests land in the `/admin/slow`
+//!   exemplar table, and sampled `/extract` traffic streams into the
+//!   [`drift::DriftMonitor`] for PSI scoring against the model's frozen
+//!   reference distribution.
 //!
 //! Endpoints: `POST /extract`, `POST /explain`, `GET /healthz`,
 //! `GET /metrics` (a schema-valid `recipe-mine stats` telemetry
-//! document), `POST /admin/reload`, `POST /admin/shutdown`. Responses
-//! render entries through the same [`entry_json`] as the batch CLI, so
-//! served extractions are byte-identical to `recipe-mine extract`.
+//! document), `GET /admin/slo`, `GET /admin/slow`,
+//! `POST /admin/reload`, `POST /admin/shutdown`. Responses render
+//! entries through the same [`entry_json`] as the batch CLI, so served
+//! extractions are byte-identical to `recipe-mine extract`.
 
+pub mod drift;
 pub mod http;
 pub mod metrics;
 pub mod model;
 pub mod queue;
 
+pub use drift::DriftMonitor;
 pub use metrics::ServeMetrics;
 pub use model::{entry_json, ModelError, ServeModel};
 
 use queue::{BoundedQueue, PushError};
+use recipe_obs::slo::{BurnWindow, Objective, SloEngine};
+use recipe_obs::window::{Clock, MonotonicClock, TICKS_PER_SEC};
 use serde_json::json;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -52,6 +71,12 @@ use std::time::{Duration, Instant};
 /// Per-connection read/write timeout: a stalled client cannot hold a
 /// worker longer than this.
 const STREAM_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A request slower than this counts against the latency SLO.
+const LATENCY_SLO_S: f64 = 0.25;
+
+/// Bounded size of the slowest-request exemplar table.
+const SLOW_TABLE_CAP: usize = 32;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -68,6 +93,19 @@ pub struct ServeConfig {
     pub batch_window_us: u64,
     /// `Retry-After` seconds advertised on shed responses.
     pub retry_after_secs: u32,
+    /// Max requests served on one keep-alive connection before the
+    /// server closes it (bounds how long one socket can recycle).
+    pub keepalive_max_requests: u32,
+    /// How long a parked keep-alive connection may sit idle before the
+    /// acceptor drops it, milliseconds.
+    pub keepalive_idle_ms: u64,
+    /// Collect windowed metrics, SLO outcomes, slow-request exemplars
+    /// and drift samples. Off leaves only the cumulative counters (the
+    /// `sustained_load` bench compares the two to gate overhead).
+    pub monitoring: bool,
+    /// Sample every Nth `/extract` request for drift scoring
+    /// (`0` disables sampling).
+    pub drift_sample: u64,
 }
 
 impl Default for ServeConfig {
@@ -79,15 +117,48 @@ impl Default for ServeConfig {
             batch_max: 8,
             batch_window_us: 500,
             retry_after_secs: 1,
+            keepalive_max_requests: 64,
+            keepalive_idle_ms: 5_000,
+            monitoring: true,
+            drift_sample: 8,
         }
     }
 }
 
-/// One admitted connection, stamped at accept time so the latency
+/// One admitted request: the connection plus the id and arrival tick
+/// minted at admission (accept or keep-alive re-arm), so the latency
 /// histogram covers queue wait as well as decode.
 struct Conn {
     stream: TcpStream,
-    arrived: Instant,
+    /// Server-unique request id, echoed as `X-Request-Id`.
+    id: u64,
+    /// Admission tick on the shared [`Clock`].
+    arrived_ticks: u64,
+    /// Requests already served on this connection (keep-alive reuse).
+    reused: u32,
+}
+
+/// A keep-alive connection waiting with the acceptor for its next
+/// request (nonblocking while parked).
+struct Parked {
+    stream: TcpStream,
+    /// Requests already served on this connection.
+    reused: u32,
+    /// Tick the connection was parked at (idle-timeout origin).
+    parked_at: u64,
+}
+
+/// One `/admin/slow` exemplar: the lifecycle breakdown of a slow
+/// request (all stamps from the shared [`Clock`], seconds).
+#[derive(Debug, Clone)]
+struct SlowEntry {
+    id: u64,
+    path: String,
+    status: u16,
+    queue_wait_s: f64,
+    handle_s: f64,
+    write_s: f64,
+    total_s: f64,
 }
 
 /// State shared by the acceptor, the workers and the [`Server`] handle.
@@ -100,8 +171,29 @@ struct Shared {
     queue: BoundedQueue<Conn>,
     shutdown: AtomicBool,
     /// Provenance is a process-global store, so `/explain` requests
-    /// must serialize across shards.
+    /// (and drift sampling) must serialize across shards.
     explain_lock: Mutex<()>,
+    /// The tick source every stamp, window and SLO counter shares.
+    clock: Arc<dyn Clock>,
+    /// Request-id mint (ids start at 1).
+    next_request_id: AtomicU64,
+    /// Keep-alive connections waiting for their next request.
+    parking: Mutex<Vec<Parked>>,
+    /// Burn-rate engine over availability and latency objectives.
+    slo: SloEngine,
+    idx_availability: usize,
+    idx_latency: usize,
+    /// Live drift monitor; `None` when the model carries no reference
+    /// or monitoring is off. Rebuilt on hot-swap.
+    drift: RwLock<Option<Arc<DriftMonitor>>>,
+    /// Slowest-request exemplars, bounded at [`SLOW_TABLE_CAP`].
+    slow: Mutex<Vec<SlowEntry>>,
+    /// `/extract` request sequence for drift sampling.
+    extract_seq: AtomicU64,
+    monitoring: bool,
+    keepalive_max_requests: u32,
+    keepalive_idle_ticks: u64,
+    drift_sample: u64,
     shards: usize,
     batch_max: usize,
     batch_window: Duration,
@@ -133,13 +225,44 @@ impl Server {
         } else {
             cfg.shards
         };
+        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock);
+        let slo = SloEngine::new(
+            Arc::clone(&clock),
+            vec![
+                Objective::new("availability", 0.999),
+                Objective::new("latency", 0.99),
+            ],
+            &BurnWindow::production(),
+        );
+        let idx_availability = slo.objective_index("availability").unwrap_or(0);
+        let idx_latency = slo.objective_index("latency").unwrap_or(0);
+        let drift = if cfg.monitoring {
+            model
+                .drift_reference()
+                .map(|r| Arc::new(DriftMonitor::new(Arc::clone(&clock), r)))
+        } else {
+            None
+        };
         let shared = Arc::new(Shared {
             model: RwLock::new(Arc::new(model)),
             model_source: Mutex::new(model_source),
-            metrics: ServeMetrics::new(),
+            metrics: ServeMetrics::new(Arc::clone(&clock)),
             queue: BoundedQueue::new(cfg.queue_cap),
             shutdown: AtomicBool::new(false),
             explain_lock: Mutex::new(()),
+            clock,
+            next_request_id: AtomicU64::new(0),
+            parking: Mutex::new(Vec::new()),
+            slo,
+            idx_availability,
+            idx_latency,
+            drift: RwLock::new(drift),
+            slow: Mutex::new(Vec::new()),
+            extract_seq: AtomicU64::new(0),
+            monitoring: cfg.monitoring,
+            keepalive_max_requests: cfg.keepalive_max_requests.max(1),
+            keepalive_idle_ticks: cfg.keepalive_idle_ms.saturating_mul(TICKS_PER_SEC / 1_000),
+            drift_sample: cfg.drift_sample,
             shards,
             batch_max: cfg.batch_max.max(1),
             batch_window: Duration::from_micros(cfg.batch_window_us),
@@ -207,26 +330,46 @@ impl Server {
     }
 }
 
-/// Swap the shared model slot and count the hot-swap.
+/// Swap the shared model slot, rebuild the drift monitor for the new
+/// model's reference, and count the hot-swap.
 fn install_model(shared: &Shared, model: ServeModel) {
+    let drift = if shared.monitoring {
+        model
+            .drift_reference()
+            .map(|r| Arc::new(DriftMonitor::new(Arc::clone(&shared.clock), r)))
+    } else {
+        None
+    };
     let mut slot = shared.model.write().unwrap_or_else(|p| p.into_inner());
     *slot = Arc::new(model);
     drop(slot);
+    let mut d = shared.drift.write().unwrap_or_else(|p| p.into_inner());
+    *d = drift;
+    drop(d);
     shared.metrics.hot_swaps.inc();
 }
 
-/// Acceptor loop: accept, admit or shed, until shutdown. Closing the
-/// queue on exit is what lets the workers drain and stop.
+/// Mint the next server-unique request id (ids start at 1).
+fn mint_id(shared: &Shared) -> u64 {
+    shared.next_request_id.fetch_add(1, Ordering::SeqCst) + 1
+}
+
+/// Acceptor loop: accept, admit or shed, re-arm parked keep-alive
+/// connections, until shutdown. Closing the queue on exit is what lets
+/// the workers drain and stop.
 fn run_acceptor(shared: &Shared, listener: &TcpListener) {
     recipe_obs::event::set_thread_name("serve-acceptor");
     while !shared.shutdown.load(Ordering::SeqCst) {
+        drain_parking(shared);
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let _ = stream.set_nonblocking(false);
                 shared.metrics.accepted.inc();
                 let conn = Conn {
                     stream,
-                    arrived: Instant::now(),
+                    id: mint_id(shared),
+                    arrived_ticks: shared.clock.now_ticks(),
+                    reused: 0,
                 };
                 match shared.queue.try_push(conn) {
                     Ok(()) => {}
@@ -244,6 +387,70 @@ fn run_acceptor(shared: &Shared, listener: &TcpListener) {
     shared.queue.close();
 }
 
+/// Sweep the keep-alive parking lot: connections with bytes waiting are
+/// re-armed as fresh requests (new id, new arrival stamp — the reuse
+/// counter is the only memory of the previous request); closed or
+/// errored peers are dropped, and idle connections past the timeout are
+/// dropped too. Nonblocking throughout — one sweep costs a `peek` per
+/// parked socket.
+fn drain_parking(shared: &Shared) {
+    let mut parked = {
+        let mut lot = shared.parking.lock().unwrap_or_else(|p| p.into_inner());
+        if lot.is_empty() {
+            return;
+        }
+        std::mem::take(&mut *lot)
+    };
+    let now = shared.clock.now_ticks();
+    let mut still_idle = Vec::with_capacity(parked.len());
+    for p in parked.drain(..) {
+        let mut probe = [0u8; 1];
+        match p.stream.peek(&mut probe) {
+            Ok(0) => {} // peer closed: drop
+            Ok(_) => {
+                let _ = p.stream.set_nonblocking(false);
+                shared.metrics.keepalive_reuse.inc();
+                let conn = Conn {
+                    stream: p.stream,
+                    id: mint_id(shared),
+                    arrived_ticks: now,
+                    reused: p.reused,
+                };
+                match shared.queue.try_push(conn) {
+                    Ok(()) => {}
+                    Err(PushError::Full(conn)) => shed(shared, conn.stream),
+                    Err(PushError::Closed(_)) => {}
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if now.saturating_sub(p.parked_at) <= shared.keepalive_idle_ticks {
+                    still_idle.push(p);
+                } // else: idle timeout — drop
+            }
+            Err(_) => {} // transport error: drop
+        }
+    }
+    if !still_idle.is_empty() {
+        let mut lot = shared.parking.lock().unwrap_or_else(|p| p.into_inner());
+        lot.extend(still_idle);
+    }
+}
+
+/// Park a keep-alive connection back with the acceptor after a
+/// response (nonblocking while parked so the sweep never stalls).
+fn park_connection(shared: &Shared, stream: TcpStream, reused: u32) {
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let parked = Parked {
+        stream,
+        reused,
+        parked_at: shared.clock.now_ticks(),
+    };
+    let mut lot = shared.parking.lock().unwrap_or_else(|p| p.into_inner());
+    lot.push(parked);
+}
+
 /// Worker shard loop: drain micro-batches and serve them against one
 /// pinned model handle per batch.
 fn run_worker(shared: &Shared, shard: usize) {
@@ -259,35 +466,109 @@ fn run_worker(shared: &Shared, shard: usize) {
         }
         shared.metrics.queue_depth.set(shared.queue.depth() as f64);
         shared.metrics.batch_size.record(batch.len() as f64);
+        if shared.monitoring {
+            shared.metrics.w_batch.record(batch.len() as f64);
+        }
         // Pin the model once per batch: a concurrent hot-swap replaces
         // the slot, not this Arc, so every response in the batch is
         // computed against one consistent model.
         let model = Arc::clone(&shared.model.read().unwrap_or_else(|p| p.into_inner()));
         for conn in batch {
             shared.metrics.begin_request();
-            serve_connection(shared, &model, conn.stream);
+            serve_connection(shared, &model, conn);
             shared.metrics.end_request();
-            shared
-                .metrics
-                .latency
-                .record(conn.arrived.elapsed().as_secs_f64());
         }
     }
 }
 
 /// Read one request off the connection, dispatch it, write the
-/// response, close. Transport errors are dropped — the peer is gone.
-fn serve_connection(shared: &Shared, model: &ServeModel, stream: TcpStream) {
+/// response, and either park the connection for keep-alive reuse or
+/// close it. Records the request's lifecycle (latency histograms,
+/// windowed mirrors, SLO outcomes, slow-table exemplar) from the tick
+/// stamps minted on the shared clock. Transport errors are dropped —
+/// the peer is gone.
+fn serve_connection(shared: &Shared, model: &ServeModel, conn: Conn) {
+    let Conn {
+        stream,
+        id,
+        arrived_ticks,
+        reused,
+    } = conn;
+    let dequeued_ticks = shared.clock.now_ticks();
     let _ = stream.set_read_timeout(Some(STREAM_TIMEOUT));
     let _ = stream.set_write_timeout(Some(STREAM_TIMEOUT));
     let mut reader = BufReader::new(stream);
-    let resp = match http::read_request(&mut reader) {
-        Ok(req) => handle_request(shared, model, &req),
+    let (mut resp, client_keep_alive, path) = match http::read_request(&mut reader) {
+        Ok(req) => {
+            let _span = recipe_obs::span!("serve.handle");
+            let resp = handle_request(shared, model, &req);
+            (resp, req.keep_alive, req.path)
+        }
         Err(http::HttpError::Closed) => return,
-        Err(e) => error_response(&e),
+        Err(e) => (error_response(&e), false, String::new()),
     };
+    resp.request_id = Some(id);
+    // Decide reuse before writing: the Connection header must match
+    // what the server will actually do with the socket.
+    let keep = client_keep_alive && reused + 1 < shared.keepalive_max_requests;
+    let handled_ticks = shared.clock.now_ticks();
     let mut stream = reader.into_inner();
-    let _ = http::write_response(&mut stream, &resp);
+    let wrote = {
+        let _span = recipe_obs::span!("serve.write");
+        http::write_response(&mut stream, &resp, keep).is_ok()
+    };
+    let done_ticks = shared.clock.now_ticks();
+    let total_s = done_ticks.saturating_sub(arrived_ticks) as f64 / TICKS_PER_SEC as f64;
+    shared.metrics.latency.record(total_s);
+    if shared.monitoring {
+        shared.metrics.w_requests.inc();
+        if resp.status >= 400 {
+            shared.metrics.w_errors.inc();
+        }
+        shared.metrics.w_latency.record(total_s);
+        shared
+            .slo
+            .record_at(shared.idx_availability, wrote && resp.status < 500);
+        shared
+            .slo
+            .record_at(shared.idx_latency, total_s <= LATENCY_SLO_S);
+        record_slow(
+            shared,
+            SlowEntry {
+                id,
+                path,
+                status: resp.status,
+                queue_wait_s: dequeued_ticks.saturating_sub(arrived_ticks) as f64
+                    / TICKS_PER_SEC as f64,
+                handle_s: handled_ticks.saturating_sub(dequeued_ticks) as f64
+                    / TICKS_PER_SEC as f64,
+                write_s: done_ticks.saturating_sub(handled_ticks) as f64 / TICKS_PER_SEC as f64,
+                total_s,
+            },
+        );
+    }
+    if wrote && keep {
+        park_connection(shared, stream, reused + 1);
+    }
+}
+
+/// Keep the slowest [`SLOW_TABLE_CAP`] requests by total latency:
+/// replace the current minimum once the table is full.
+fn record_slow(shared: &Shared, entry: SlowEntry) {
+    let mut table = shared.slow.lock().unwrap_or_else(|p| p.into_inner());
+    if table.len() < SLOW_TABLE_CAP {
+        table.push(entry);
+        return;
+    }
+    let mut min_idx = 0;
+    for (i, e) in table.iter().enumerate() {
+        if e.total_s < table[min_idx].total_s {
+            min_idx = i;
+        }
+    }
+    if entry.total_s > table[min_idx].total_s {
+        table[min_idx] = entry;
+    }
 }
 
 /// Shed one connection with `503 + Retry-After`. Drains whatever
@@ -295,6 +576,10 @@ fn serve_connection(shared: &Shared, model: &ServeModel, stream: TcpStream) {
 /// not reset the response out from under the client.
 fn shed(shared: &Shared, stream: TcpStream) {
     shared.metrics.shed.inc();
+    if shared.monitoring {
+        shared.metrics.w_shed.inc();
+        shared.slo.record_at(shared.idx_availability, false);
+    }
     let mut stream = stream;
     let _ = stream.set_nonblocking(true);
     let mut scratch = [0u8; 4096];
@@ -308,7 +593,7 @@ fn shed(shared: &Shared, stream: TcpStream) {
     let mut resp =
         http::Response::json(503, render(&json!({ "error": "queue full", "shed": true })));
     resp.retry_after = Some(shared.retry_after_secs);
-    let _ = http::write_response(&mut stream, &resp);
+    let _ = http::write_response(&mut stream, &resp, false);
 }
 
 /// Map a framing error onto a response.
@@ -339,15 +624,18 @@ fn handle_request(shared: &Shared, model: &ServeModel, req: &http::Request) -> h
     let counters = shared.metrics.endpoint(&req.path);
     counters.requests.inc();
     let resp = match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/extract") => handle_extract(model, &req.body),
+        ("POST", "/extract") => handle_extract(shared, model, &req.body),
         ("POST", "/explain") => handle_explain(shared, model, &req.body),
         ("GET", "/healthz") => handle_healthz(shared, model),
         ("GET", "/metrics") => handle_metrics(shared, model),
+        ("GET", "/admin/slo") => handle_slo(shared),
+        ("GET", "/admin/slow") => handle_slow(shared),
         ("POST", "/admin/reload") => handle_reload(shared, &req.body),
         ("POST", "/admin/shutdown") => handle_shutdown(shared),
         (
             _,
-            "/extract" | "/explain" | "/healthz" | "/metrics" | "/admin/reload" | "/admin/shutdown",
+            "/extract" | "/explain" | "/healthz" | "/metrics" | "/admin/slo" | "/admin/slow"
+            | "/admin/reload" | "/admin/shutdown",
         ) => http::Response::json(405, err_json("method not allowed")),
         _ => http::Response::json(404, err_json("no such endpoint")),
     };
@@ -386,17 +674,50 @@ fn phrase_at(parsed: &serde_json::Value, i: usize) -> &str {
 
 /// `POST /extract`: decode each phrase and render rows exactly like
 /// the batch CLI (`{"phrase", "entry"}` through [`entry_json`]).
-fn handle_extract(model: &ServeModel, body: &[u8]) -> http::Response {
+///
+/// Every [`ServeConfig::drift_sample`]th request is additionally run
+/// with provenance recording on (only when the explain lock is free —
+/// sampling never blocks the hot path) and its margin/label/cache
+/// records stream into the [`DriftMonitor`]. Provenance recording
+/// never changes extraction output, so sampled responses stay
+/// byte-identical.
+fn handle_extract(shared: &Shared, model: &ServeModel, body: &[u8]) -> http::Response {
     let (parsed, n) = match parse_phrases(body) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
+    let seq = shared.extract_seq.fetch_add(1, Ordering::SeqCst);
+    let drift = if shared.monitoring && shared.drift_sample > 0 && seq % shared.drift_sample == 0 {
+        shared
+            .drift
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    } else {
+        None
+    };
+    let guard = drift
+        .as_ref()
+        .and_then(|_| shared.explain_lock.try_lock().ok());
+    let sampling = guard.is_some();
+    if sampling {
+        recipe_obs::provenance::reset();
+        recipe_obs::provenance::set_enabled(true);
+    }
     let mut rows = Vec::with_capacity(n);
     for i in 0..n {
         let p = phrase_at(&parsed, i);
         let e = model.extract_ingredient(p);
         rows.push(json!({ "phrase": p, "entry": entry_json(&e) }));
     }
+    if sampling {
+        recipe_obs::provenance::set_enabled(false);
+        let records = recipe_obs::provenance::drain();
+        if let Some(monitor) = &drift {
+            monitor.observe(&records);
+        }
+    }
+    drop(guard);
     http::Response::json(200, render(&json!({ "results": rows })))
 }
 
@@ -430,32 +751,88 @@ fn handle_explain(shared: &Shared, model: &ServeModel, body: &[u8]) -> http::Res
     http::Response::json(200, render(&json!({ "results": rows })))
 }
 
-/// `GET /healthz`: liveness plus a model/shard summary.
+/// `GET /healthz`: liveness plus a model/shard summary and the current
+/// worst SLO level (`ok | warn | critical`).
 fn handle_healthz(shared: &Shared, model: &ServeModel) -> http::Response {
     let doc = json!({
         "status": "ok",
         "model": model.kind(),
         "shards": shared.shards,
         "queue_depth": shared.queue.depth(),
+        "slo": shared.slo.level().as_str(),
+        "monitoring": shared.monitoring,
     });
     http::Response::json(200, render(&doc))
 }
 
 /// `GET /metrics`: a full telemetry document (global registry merged
 /// with the serving and inference registries), schema-valid for
-/// `recipe-mine stats`.
+/// `recipe-mine stats`, extended with the sliding-window `windows`
+/// block and the prediction-drift summary.
 fn handle_metrics(shared: &Shared, model: &ServeModel) -> http::Response {
     shared.metrics.queue_depth.set(shared.queue.depth() as f64);
-    let t = recipe_obs::Telemetry::gather(&[
+    let mut t = recipe_obs::Telemetry::gather(&[
         shared.metrics.registry(),
         model.inference().metrics_registry(),
     ]);
+    t.windows = shared.metrics.windows().snapshot();
+    let drift = shared
+        .drift
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone();
+    let drift_doc = match drift {
+        Some(monitor) => monitor.report(),
+        None => json!({ "active": false }),
+    };
     let doc = json!({
         "schema_version": recipe_obs::report::SCHEMA_VERSION,
         "command": "serve",
         "telemetry": serde_json::to_value(&t),
+        "drift": drift_doc,
     });
     http::Response::json(200, render(&doc))
+}
+
+/// `GET /admin/slo`: the burn-rate engine's full evaluation — every
+/// objective's window pairs with their current long/short burn rates
+/// and firing state (schema-valid for
+/// [`recipe_obs::slo::validate_slo_document`]).
+fn handle_slo(shared: &Shared) -> http::Response {
+    let report = shared.slo.evaluate();
+    http::Response::json(200, render(&serde_json::to_value(&report)))
+}
+
+/// `GET /admin/slow`: the slowest-request exemplar table, worst first,
+/// with each request's lifecycle breakdown.
+fn handle_slow(shared: &Shared) -> http::Response {
+    let mut entries = {
+        let table = shared.slow.lock().unwrap_or_else(|p| p.into_inner());
+        table.clone()
+    };
+    entries.sort_by(|a, b| {
+        b.total_s
+            .partial_cmp(&a.total_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let rows: Vec<serde_json::Value> = entries
+        .iter()
+        .map(|e| {
+            json!({
+                "id": e.id,
+                "path": e.path,
+                "status": e.status,
+                "queue_wait_s": e.queue_wait_s,
+                "handle_s": e.handle_s,
+                "write_s": e.write_s,
+                "total_s": e.total_s,
+            })
+        })
+        .collect();
+    http::Response::json(
+        200,
+        render(&json!({ "capacity": SLOW_TABLE_CAP, "slowest": rows })),
+    )
 }
 
 /// `POST /admin/reload`: hot-swap the model. An empty or `{}` body

@@ -90,6 +90,15 @@ impl ServeModel {
             ServeModel::Rma(_) => "rma",
         }
     }
+
+    /// The frozen drift reference distribution, when the backing
+    /// artifact carries one (`.rma` compiled with drift capture).
+    pub fn drift_reference(&self) -> Option<recipe_core::artifact::DriftReference> {
+        match self {
+            ServeModel::Json(_) => None,
+            ServeModel::Rma(a) => a.drift_reference(),
+        }
+    }
 }
 
 /// Structured JSON for one extracted entry. The field order here is

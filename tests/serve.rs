@@ -1,9 +1,15 @@
 //! Root integration tests for the `recipe-serve` online serving layer:
 //! byte-identity with the batch extraction path across shard counts,
 //! queue-full shedding, mid-traffic hot-swap, telemetry document
-//! validity, and graceful drain (PR 8 acceptance criteria).
+//! validity, and graceful drain (PR 8 acceptance criteria); plus the
+//! PR 9 observability surface — keep-alive reuse, request-id
+//! uniqueness, lifecycle exemplars at `/admin/slow`, burn-rate state
+//! at `/admin/slo`, response header hygiene, and prediction-drift
+//! scoring against the artifact's frozen reference.
 
-use recipe_core::artifact::{artifact_bytes, ArtifactPipeline};
+use recipe_core::artifact::{
+    artifact_bytes_with_reference, capture_drift_reference, ArtifactPipeline,
+};
 use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
 use recipe_corpus::{CorpusSpec, RecipeCorpus, Site};
 use recipe_serve::{entry_json, ServeConfig, ServeModel, Server};
@@ -21,9 +27,30 @@ fn train(corpus: &RecipeCorpus) -> TrainedPipeline {
     TrainedPipeline::train(corpus, &PipelineConfig::fast())
 }
 
-/// Serialize once, open a fresh zero-copy view per server under test.
+/// Reference-capture phrases: a stable slice of the training corpus.
+fn reference_phrases(corpus: &RecipeCorpus) -> Vec<String> {
+    corpus
+        .phrases(Site::AllRecipes)
+        .iter()
+        .take(32)
+        .map(|p| p.text())
+        .collect()
+}
+
+/// Serialize once (with a frozen drift reference, like `compile`
+/// does), open a fresh zero-copy view per server under test. Capture
+/// is serialized across tests — the provenance store is
+/// process-global.
 fn model_bytes(pipeline: &TrainedPipeline) -> Arc<[u8]> {
-    artifact_bytes(pipeline).expect("serialize artifact").into()
+    static CAPTURE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let corpus = corpus();
+    let reference = {
+        let _guard = CAPTURE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        capture_drift_reference(pipeline, &reference_phrases(&corpus))
+    };
+    artifact_bytes_with_reference(pipeline, Some(&reference))
+        .expect("serialize artifact")
+        .into()
 }
 
 fn rma_model(bytes: &Arc<[u8]>) -> ServeModel {
@@ -42,7 +69,8 @@ fn ephemeral(shards: usize) -> ServeConfig {
     }
 }
 
-/// One HTTP/1.1 round trip; returns (status, raw head, body).
+/// One HTTP/1.1 round trip (`Connection: close` — the server honours
+/// it, so `read_to_end` terminates); returns (status, raw head, body).
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
@@ -51,7 +79,8 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Stri
     stream
         .write_all(
             format!(
-                "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+                "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
                 body.len()
             )
             .as_bytes(),
@@ -67,6 +96,69 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Stri
         .and_then(|s| s.parse::<u16>().ok())
         .expect("status code");
     (status, head.to_string(), payload.to_string())
+}
+
+/// Send one request on an already-open keep-alive connection.
+fn send_keep_alive(stream: &mut TcpStream, method: &str, path: &str, body: &str) {
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: keep\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send keep-alive request");
+}
+
+/// Read exactly one HTTP response off a keep-alive connection (parses
+/// `Content-Length` instead of reading to EOF).
+fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("read head byte");
+        assert!(n > 0, "eof mid-head: {:?}", String::from_utf8_lossy(&head));
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).expect("utf-8 head");
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .expect("status code");
+    let len: usize = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                v.trim().parse().ok()
+            } else {
+                None
+            }
+        })
+        .expect("content-length header");
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).expect("read body");
+    (
+        status,
+        head.trim_end().to_string(),
+        String::from_utf8(body).expect("utf-8 body"),
+    )
+}
+
+/// The `X-Request-Id` header value of a response head.
+fn request_id(head: &str) -> u64 {
+    head.lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            if k.trim().eq_ignore_ascii_case("x-request-id") {
+                v.trim().parse().ok()
+            } else {
+                None
+            }
+        })
+        .unwrap_or_else(|| panic!("no X-Request-Id in {head:?}"))
 }
 
 /// The exact body `POST /extract` must produce for `phrase`: the same
@@ -159,7 +251,8 @@ fn queue_full_sheds_with_503_and_retry_after() {
             s.set_read_timeout(Some(Duration::from_secs(30))).ok();
             s.write_all(
                 format!(
-                    "POST /extract HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+                    "POST /extract HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+                     Content-Length: {}\r\n\r\n{body}",
                     body.len()
                 )
                 .as_bytes(),
@@ -203,6 +296,18 @@ fn queue_full_sheds_with_503_and_retry_after() {
         (served, shed),
         (1, 9),
         "queue_cap=1 must admit exactly one flooded request"
+    );
+
+    // Nine sheds against a 99.9% availability target is a sustained
+    // burn over both fast windows: the SLO engine must page.
+    let (status, _, body) = request(addr, "GET", "/admin/slo", "");
+    assert_eq!(status, 200);
+    let slo: serde_json::Value = serde_json::from_str(&body).expect("slo json");
+    recipe_obs::validate_slo_document(&slo).expect("slo document schema");
+    assert_eq!(
+        slo.get("level").and_then(|v| v.as_str()),
+        Some("critical"),
+        "shed burst must fire the fast burn-rate pair: {body}"
     );
 
     server.request_shutdown();
@@ -269,6 +374,7 @@ fn healthz_and_metrics_serve_valid_documents() {
     let health: serde_json::Value = serde_json::from_str(&body).expect("healthz json");
     assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
     assert_eq!(health.get("model").and_then(|v| v.as_str()), Some("rma"));
+    assert_eq!(health.get("slo").and_then(|v| v.as_str()), Some("ok"));
 
     // Drive one extraction so the telemetry has serving counters.
     let req = serde_json::to_string(&json!({ "phrases": ["2 cups flour"] })).expect("body");
@@ -280,7 +386,241 @@ fn healthz_and_metrics_serve_valid_documents() {
     let doc: serde_json::Value = serde_json::from_str(&body).expect("metrics json");
     recipe_obs::report::validate_document(&doc).expect("metrics document schema");
     assert_eq!(doc.get("command").and_then(|v| v.as_str()), Some("serve"));
+    // The windows block must carry the serving mirrors with live data.
+    let windows = &doc["telemetry"]["windows"];
+    assert_eq!(windows["window_s"].as_f64(), Some(60.0));
+    assert!(
+        windows["rates"]["serve.requests"]["count"]
+            .as_u64()
+            .unwrap()
+            >= 1,
+        "windowed request rate must see the traffic: {windows}"
+    );
+    assert!(
+        windows["histograms"]["serve.request.latency_s"]["count"]
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+    // The drift block is active (the artifact carries a reference).
+    assert_eq!(doc["drift"]["active"].as_bool(), Some(true));
+    assert!(doc["drift"]["level"].as_str().is_some());
 
+    server.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn keep_alive_reuses_connection_with_fresh_request_ids() {
+    let corpus = corpus();
+    let pipeline = train(&corpus);
+    let bytes = model_bytes(&pipeline);
+    let server = launch(&ephemeral(1), rma_model(&bytes));
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let body = serde_json::to_string(&json!({ "phrases": ["1 cup sugar"] })).expect("body");
+    let mut ids = Vec::new();
+    for i in 0..3 {
+        send_keep_alive(&mut stream, "POST", "/extract", &body);
+        let (status, head, _) = read_response(&mut stream);
+        assert_eq!(status, 200, "keep-alive round {i}");
+        assert!(
+            head.contains("Connection: keep-alive"),
+            "round {i} must advertise reuse: {head:?}"
+        );
+        ids.push(request_id(&head));
+    }
+    // Every round got a fresh id, and the later rounds were re-armed
+    // off the parking lot rather than re-accepted.
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 3, "request ids must be unique per request");
+    assert!(
+        server.metrics().keepalive_reuse.get() >= 2,
+        "re-arms must count as keep-alive reuse"
+    );
+    assert_eq!(server.metrics().accepted.get(), 1, "one socket, one accept");
+
+    server.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn request_ids_are_unique_under_concurrent_load() {
+    let corpus = corpus();
+    let pipeline = train(&corpus);
+    let bytes = model_bytes(&pipeline);
+    let server = launch(&ephemeral(4), rma_model(&bytes));
+    let addr = server.local_addr();
+
+    let body = serde_json::to_string(&json!({ "phrases": ["2 tbsp butter"] })).expect("body");
+    let ids = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let body = body.clone();
+            let ids = Arc::clone(&ids);
+            std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let (status, head, _) = request(addr, "POST", "/extract", &body);
+                    assert_eq!(status, 200);
+                    ids.lock().unwrap().push(request_id(&head));
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let mut ids = Arc::try_unwrap(ids)
+        .expect("clients joined")
+        .into_inner()
+        .unwrap();
+    assert_eq!(ids.len(), 40);
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 40, "request ids collided under concurrency");
+
+    // The lifecycle exemplar table saw the traffic, with coherent
+    // monotonic stage breakdowns.
+    let (status, _, body) = request(addr, "GET", "/admin/slow", "");
+    assert_eq!(status, 200);
+    let slow: serde_json::Value = serde_json::from_str(&body).expect("slow json");
+    let rows = slow["slowest"].as_array().expect("slowest array");
+    assert!(!rows.is_empty(), "slow table must have exemplars");
+    let mut last_total = f64::INFINITY;
+    for row in rows {
+        let queue_wait = row["queue_wait_s"].as_f64().expect("queue_wait_s");
+        let handle = row["handle_s"].as_f64().expect("handle_s");
+        let write = row["write_s"].as_f64().expect("write_s");
+        let total = row["total_s"].as_f64().expect("total_s");
+        assert!(queue_wait >= 0.0 && handle >= 0.0 && write >= 0.0);
+        assert!(
+            (queue_wait + handle + write) <= total + 1e-9,
+            "stage sum exceeds total: {row}"
+        );
+        assert!(total <= last_total, "slow table must be sorted worst-first");
+        last_total = total;
+        assert!(row["id"].as_u64().is_some());
+    }
+
+    server.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn every_endpoint_sets_json_content_type_and_exact_length() {
+    let corpus = corpus();
+    let pipeline = train(&corpus);
+    let bytes = model_bytes(&pipeline);
+    let server = launch(&ephemeral(1), rma_model(&bytes));
+    let addr = server.local_addr();
+
+    let extract = serde_json::to_string(&json!({ "phrases": ["1 cup milk"] })).expect("body");
+    let calls: Vec<(&str, &str, &str)> = vec![
+        ("POST", "/extract", extract.as_str()),
+        ("POST", "/explain", extract.as_str()),
+        ("GET", "/healthz", ""),
+        ("GET", "/metrics", ""),
+        ("GET", "/admin/slo", ""),
+        ("GET", "/admin/slow", ""),
+        ("GET", "/no-such-endpoint", ""),
+        ("PUT", "/extract", ""),
+    ];
+    for (method, path, body) in calls {
+        let (_, head, payload) = request(addr, method, path, body);
+        assert!(
+            head.contains("Content-Type: application/json"),
+            "{method} {path} missing JSON content type: {head:?}"
+        );
+        let declared: usize = head
+            .lines()
+            .find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    v.trim().parse().ok()
+                } else {
+                    None
+                }
+            })
+            .unwrap_or_else(|| panic!("{method} {path} missing Content-Length"));
+        assert_eq!(
+            declared,
+            payload.len(),
+            "{method} {path}: Content-Length does not match the body"
+        );
+        serde_json::from_str::<serde_json::Value>(&payload)
+            .unwrap_or_else(|e| panic!("{method} {path} body is not JSON: {e:?}"));
+    }
+
+    server.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn drift_monitor_fires_on_shifted_phrases_and_stays_quiet_in_distribution() {
+    let corpus = corpus();
+    let pipeline = train(&corpus);
+    let bytes = model_bytes(&pipeline);
+    let phrases = reference_phrases(&corpus);
+
+    // Sample every /extract request so the window fills immediately.
+    let cfg = ServeConfig {
+        drift_sample: 1,
+        ..ephemeral(1)
+    };
+
+    let drift_doc = |addr: SocketAddr| -> serde_json::Value {
+        let (status, _, body) = request(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&body).expect("metrics json");
+        doc["drift"].clone()
+    };
+
+    // In-distribution: replay the exact reference phrases.
+    let server = launch(&cfg, rma_model(&bytes));
+    let addr = server.local_addr();
+    let body = serde_json::to_string(&json!({ "phrases": phrases })).expect("body");
+    let (status, _, _) = request(addr, "POST", "/extract", &body);
+    assert_eq!(status, 200);
+    let doc = drift_doc(addr);
+    assert_eq!(doc["active"].as_bool(), Some(true));
+    assert!(doc["samples"].as_u64().unwrap() >= 1);
+    let score = doc["score"].as_f64().expect("score");
+    assert!(
+        score < 0.1,
+        "in-distribution replay must stay under warn: {doc}"
+    );
+    assert_eq!(doc["level"].as_str(), Some("stable"));
+    server.request_shutdown();
+    server.join();
+
+    // Shifted: unicode fractions, heavy abbreviation, foreign tokens.
+    let server = launch(&cfg, rma_model(&bytes));
+    let addr = server.local_addr();
+    let noisy: Vec<String> = (0..32)
+        .map(|i| {
+            [
+                "½ c. zzgrnfl xq",
+                "¼ tsp qwrtz pdr",
+                "⅓ pkg frzn brkklwv",
+                "2½ tbsp. mstrd sd oil",
+            ][i % 4]
+                .to_string()
+        })
+        .collect();
+    let body = serde_json::to_string(&json!({ "phrases": noisy })).expect("body");
+    let (status, _, _) = request(addr, "POST", "/extract", &body);
+    assert_eq!(status, 200);
+    let doc = drift_doc(addr);
+    let score = doc["score"].as_f64().expect("score");
+    assert!(
+        score > 0.1,
+        "shifted phrase population must push PSI past warn: {doc}"
+    );
     server.request_shutdown();
     server.join();
 }

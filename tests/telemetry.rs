@@ -146,6 +146,117 @@ fn trained_pipeline_exports_schema_valid_telemetry() {
 }
 
 #[test]
+fn windowed_counter_buckets_expire_exactly_on_slot_boundaries() {
+    // 4 slots of 1 s: an event recorded in epoch 0 stays visible through
+    // epoch 3 and disappears the instant the clock enters epoch 4.
+    use recipe_obs::window::{Clock, TICKS_PER_SEC};
+    let clock = std::sync::Arc::new(recipe_obs::window::VirtualClock::new());
+    let spec = recipe_obs::window::WindowSpec::new(TICKS_PER_SEC, 4);
+    let counter =
+        recipe_obs::window::WindowedCounter::new(clock.clone() as std::sync::Arc<dyn Clock>, spec);
+
+    counter.add(5); // epoch 0
+    assert_eq!(counter.count(), 5);
+
+    clock.set(3 * TICKS_PER_SEC); // epoch 3: epoch 0 is the oldest in-window slot
+    counter.add(7);
+    assert_eq!(counter.count(), 12);
+    assert!((counter.per_s() - 12.0 / 4.0).abs() < 1e-12);
+
+    clock.set(4 * TICKS_PER_SEC - 1); // last tick of epoch 3
+    assert_eq!(counter.count(), 12);
+
+    clock.set(4 * TICKS_PER_SEC); // epoch 4: the epoch-0 slot just expired
+    assert_eq!(counter.count(), 7);
+
+    clock.set(7 * TICKS_PER_SEC - 1); // epoch 6: epoch 3 still counts
+    assert_eq!(counter.count(), 7);
+
+    clock.set(7 * TICKS_PER_SEC); // epoch 7: window is empty
+    assert_eq!(counter.count(), 0);
+    assert_eq!(counter.per_s(), 0.0);
+}
+
+#[test]
+fn windowed_percentiles_follow_samples_across_rotation() {
+    // Old samples fall out of the quantile computation exactly when
+    // their slot expires: a bimodal distribution collapses to its fast
+    // mode once the slow epoch rotates away.
+    use recipe_obs::window::{Clock, TICKS_PER_SEC};
+    let clock = std::sync::Arc::new(recipe_obs::window::VirtualClock::new());
+    let spec = recipe_obs::window::WindowSpec::new(TICKS_PER_SEC, 4);
+    let hist = recipe_obs::window::WindowedHistogram::new(
+        clock.clone() as std::sync::Arc<dyn Clock>,
+        spec,
+        &[1.0, 10.0, 100.0],
+    );
+
+    for _ in 0..90 {
+        hist.record(0.5); // epoch 0, first bucket
+    }
+    clock.set(3 * TICKS_PER_SEC);
+    for _ in 0..10 {
+        hist.record(50.0); // epoch 3, third bucket
+    }
+
+    // Mixed window: the bulk is fast, the p99 sits in the slow bucket.
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, 100);
+    assert!(snap.p50 <= 1.0, "{snap:?}");
+    assert!(snap.p99 > 10.0 && snap.p99 <= 100.0, "{snap:?}");
+
+    // Epoch 0 expires: only the ten slow samples remain, and every
+    // quantile lands inside their bucket. The merged counts — and so
+    // the interpolated values — are exact, not approximate.
+    clock.set(4 * TICKS_PER_SEC);
+    assert_eq!(hist.count(), 10);
+    assert_eq!(hist.bucket_counts(), vec![0, 0, 10, 0]);
+    let snap = hist.snapshot();
+    assert!(snap.p50 > 10.0 && snap.p50 <= 100.0, "{snap:?}");
+    let expected =
+        recipe_obs::window::quantile_from_counts(&[1.0, 10.0, 100.0], &[0, 0, 10, 0], 0.50);
+    assert_eq!(snap.p50, expected);
+
+    // Everything gone once epoch 3 rotates out.
+    clock.set(7 * TICKS_PER_SEC);
+    assert_eq!(hist.count(), 0);
+    assert_eq!(hist.snapshot().p999, 0.0);
+}
+
+#[test]
+fn windows_snapshot_is_byte_identical_across_worker_counts() {
+    // Under a frozen virtual clock, the serialized `windows` block is a
+    // pure function of the recorded multiset — the worker count and
+    // interleaving must not show through. This is the determinism
+    // contract the serve-layer metrics endpoint builds on.
+    use recipe_obs::window::Clock;
+    let mut serialized: Vec<String> = Vec::new();
+    for &threads in &[1usize, 4, 8] {
+        let clock = std::sync::Arc::new(recipe_obs::window::VirtualClock::new());
+        clock.set(41 * recipe_obs::window::TICKS_PER_SEC);
+        let set = recipe_obs::window::WindowSet::new(
+            clock as std::sync::Arc<dyn Clock>,
+            recipe_obs::window::WindowSpec::serving(),
+        );
+        let requests = set.counter("requests");
+        let latency = set.latency_histogram("latency.handle_s");
+
+        let items: Vec<u64> = (0..10_000).collect();
+        let rt = Runtime::new(threads);
+        rt.par_map(&items, |_, &i| {
+            requests.inc();
+            latency.record((i % 97) as f64 * 1e-4);
+        });
+
+        let snap = set.snapshot();
+        assert_eq!(snap.rates["requests"].count, items.len() as u64);
+        serialized.push(serde_json::to_string(&snap).expect("windows block serializes"));
+    }
+    assert_eq!(serialized[0], serialized[1], "1 vs 4 workers");
+    assert_eq!(serialized[0], serialized[2], "1 vs 8 workers");
+}
+
+#[test]
 fn disabled_tracing_records_nothing_globally() {
     let _lock = obs_lock();
     recipe_obs::reset();
