@@ -20,6 +20,7 @@
 //! | RA407 | load/parse entry points that reinterpret raw bytes without reachable validation |
 //! | RA408 | unbounded reads (`read_to_end`/`read_to_string` without a limit) and blocking sleeps on the serving call graph |
 //! | RA409 | raw clock reads (`Instant::now`/`SystemTime::now`) on the serving call graph bypassing the injectable `Clock` |
+//! | RA410 | loops on the serving or artifact call graph with no span/profiler attribution site |
 
 use crate::callgraph::{call_sites, macro_sites, CallGraph, Workspace};
 use crate::diag::Diagnostic;
@@ -114,6 +115,9 @@ pub fn lint_dataflow(ws: &Workspace) -> Vec<Diagnostic> {
             ra406_panic_sources(file, f, &mut out);
             ra408_unbounded_io(file, f, &mut out);
             ra409_raw_clock_reads(file, f, &mut out);
+        }
+        if serving[id] || artifact[id] {
+            ra410_unattributed_hot_loop(file, f, &mut out);
         }
     }
 
@@ -814,6 +818,63 @@ fn ra409_raw_clock_reads(file: &FileItems, f: &FnItem, out: &mut Vec<Diagnostic>
     }
 }
 
+/// RA410: loops on the hot graph with no attribution site.
+///
+/// The continuous profiler can only attribute cost to stages that
+/// announce themselves — a `span!` guard, a `Profiler::record` call, or
+/// anything else routed through `recipe_obs`. A loop on the serving or
+/// artifact call graph whose enclosing function carries none of that
+/// evidence is a cost sink the collapsed-stack profile folds into its
+/// parent: a regression there shows up in `bench-diff` percentiles but
+/// no stage path names it. One finding per function, anchored at the
+/// first loop keyword; the obs crate (which implements the profiler)
+/// and the bench harness are exempt.
+fn ra410_unattributed_hot_loop(file: &FileItems, f: &FnItem, out: &mut Vec<Diagnostic>) {
+    if file.file.contains("obs/") || file.file.contains("bench") {
+        return;
+    }
+    let lexed = &file.lexed;
+    let mut first_loop: Option<usize> = None;
+    let mut attributed = false;
+    for k in f.body.clone() {
+        if lexed.kind(k) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let text = lexed.text(k);
+        if first_loop.is_none() && matches!(text, "for" | "while" | "loop") {
+            first_loop = Some(k);
+        }
+        // Attribution evidence: span guards, instanced profilers or
+        // anything qualified through the obs crate. Case-insensitive
+        // fragment matching keeps wrappers (`span_guard`,
+        // `profiled_extract`) and types (`Profiler`) counted.
+        let lower = text.to_ascii_lowercase();
+        if lower.contains("span") || lower.contains("profil") || text == "recipe_obs" {
+            attributed = true;
+        }
+    }
+    let Some(at) = first_loop else { return };
+    if attributed {
+        return;
+    }
+    out.push(
+        Diagnostic::new(
+            "RA410",
+            format!(
+                "unattributed hot loop in `{}` on the serving/artifact graph",
+                f.qual
+            ),
+            format!("{}:{}", file.file, lexed.line(at)),
+        )
+        .with_note(
+            "the profiler folds this loop's cost into its caller, so a regression here \
+             reaches bench-diff as an unnamed percentile shift; wrap the stage in a \
+             `recipe_obs` span (or record it on the shard's Profiler) so collapsed-stack \
+             profiles and stage diffs can attribute it",
+        ),
+    );
+}
+
 /// Byte-reinterpretation calls: each one turns raw bytes into typed
 /// values, so its result is only as trustworthy as the bytes.
 const REINTERP_CALLS: &[&str] = &[
@@ -1245,6 +1306,92 @@ pub fn handle_extract(clock: &Arc<dyn Clock>, req: &[u8]) -> u64 {
         ));
         let diags = lint_dataflow(&ws);
         assert!(!codes(&diags).contains(&"RA409"), "{diags:?}");
+    }
+
+    #[test]
+    fn ra410_fires_on_unattributed_loops_in_hot_fns() {
+        let src = "\
+pub fn handle_extract(req: &[u8]) -> u64 {
+    let mut acc = 0;
+    for b in req {
+        acc += *b as u64;
+    }
+    acc + helper(req)
+}
+fn helper(req: &[u8]) -> u64 {
+    let mut n = 0;
+    while n < req.len() as u64 {
+        n += 1;
+    }
+    n
+}
+fn offline(req: &[u8]) -> u64 {
+    let mut acc = 0;
+    for b in req {
+        acc += *b as u64;
+    }
+    acc
+}
+";
+        let diags = lint(src);
+        let ra410: Vec<_> = diags.iter().filter(|d| d.code == "RA410").collect();
+        // One finding per hot function, at the first loop keyword;
+        // `offline` is on neither the serving nor the artifact graph.
+        assert_eq!(ra410.len(), 2, "{diags:?}");
+        assert_eq!(ra410[0].location, "m.rs:3");
+        assert!(ra410[0].message.contains("handle_extract"), "{diags:?}");
+        assert_eq!(ra410[1].location, "m.rs:10");
+        assert!(ra410[1].message.contains("helper"), "{diags:?}");
+    }
+
+    #[test]
+    fn ra410_quiet_with_span_evidence_and_in_obs_files() {
+        let spanned = "\
+pub fn handle_extract(req: &[u8]) -> u64 {
+    let _span = recipe_obs::span::enter(\"extract\");
+    let mut acc = 0;
+    for b in req {
+        acc += *b as u64;
+    }
+    acc
+}
+";
+        let diags = lint(spanned);
+        assert!(!codes(&diags).contains(&"RA410"), "{diags:?}");
+
+        let profiled = "\
+pub fn handle_extract(profiler: &Profiler, req: &[u8]) -> u64 {
+    let mut acc = 0;
+    for b in req {
+        acc += *b as u64;
+    }
+    profiler.record(&[\"serve\", \"extract\"], acc);
+    acc
+}
+";
+        let diags = lint(profiled);
+        assert!(!codes(&diags).contains(&"RA410"), "{diags:?}");
+
+        let loopless = "\
+pub fn handle_extract(req: &[u8]) -> u64 {
+    req.len() as u64
+}
+";
+        let diags = lint(loopless);
+        assert!(!codes(&diags).contains(&"RA410"), "{diags:?}");
+
+        // The obs crate implements the profiler itself: exempt.
+        let mut ws = Workspace::default();
+        ws.files.push(parse_file(
+            "crates/obs/src/profile.rs",
+            "pub fn handle_cells(xs: &[u64]) -> u64 {\n    \
+                 let mut acc = 0;\n    \
+                 for x in xs { acc += *x; }\n    \
+                 acc\n\
+             }\n",
+        ));
+        let diags = lint_dataflow(&ws);
+        assert!(!codes(&diags).contains(&"RA410"), "{diags:?}");
     }
 
     #[test]

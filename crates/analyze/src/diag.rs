@@ -376,6 +376,12 @@ pub const RULES: &[RuleInfo] = &[
         default_severity: Severity::Note,
         summary: "a raw Instant::now/SystemTime::now on the serving call graph bypasses the injectable Clock that windowed metrics rotate through",
     },
+    RuleInfo {
+        code: "RA410",
+        name: "unattributed-hot-loop",
+        default_severity: Severity::Note,
+        summary: "a loop on the serving or artifact call graph has no span/profiler attribution site, so collapsed-stack profiles fold its cost into the caller",
+    },
 ];
 
 /// Look up a rule by code.

@@ -132,6 +132,18 @@ fn ra409_catches_raw_clock_reads_on_serving() {
     assert!(clean.is_empty(), "{clean:?}");
 }
 
+#[test]
+fn ra410_catches_unattributed_hot_loops() {
+    let mut hits = scan_fixture("ra410_violation.rs", "RA410");
+    hits.sort_by_key(|d| d.line());
+    assert_eq!(lines(&hits), vec![8, 16], "{hits:?}");
+    assert!(hits[0].message.contains("handle_extract"), "{hits:?}");
+    assert!(hits[1].message.contains("decode_all"), "{hits:?}");
+
+    let clean = scan_fixture("ra410_clean.rs", "RA410");
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
 fn corpus_config() -> Config {
     Config {
         source_only: true,
@@ -144,7 +156,7 @@ fn corpus_config() -> Config {
 fn corpus_scan_covers_every_rule_and_is_deterministic() {
     let first = run_all(&corpus_config()).expect("corpus scan");
     for code in [
-        "RA401", "RA402", "RA403", "RA404", "RA405", "RA406", "RA407", "RA408", "RA409",
+        "RA401", "RA402", "RA403", "RA404", "RA405", "RA406", "RA407", "RA408", "RA409", "RA410",
     ] {
         assert!(
             first.iter().any(|d| d.code == code),

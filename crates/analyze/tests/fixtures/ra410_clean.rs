@@ -1,0 +1,32 @@
+//! RA410-clean twin: the handler's loop runs under a `recipe_obs` span
+//! guard, the helper records its stage on the shard's profiler, and the
+//! unattributed loop lives in a function nothing on the hot graph
+//! reaches.
+
+pub fn handle_extract(req: &[u8]) -> u64 {
+    let _span = recipe_obs::span::enter("extract");
+    let mut acc = 0;
+    for b in req {
+        acc = acc * 31 + *b as u64;
+    }
+    acc + decode_all(req)
+}
+
+fn decode_all(req: &[u8]) -> u64 {
+    let mut n = 0;
+    while n < req.len() as u64 {
+        n += 1;
+    }
+    profiler_record(n);
+    n
+}
+
+fn profiler_record(_ticks: u64) {}
+
+fn offline_sum(xs: &[u64]) -> u64 {
+    let mut acc = 0;
+    for x in xs {
+        acc += *x;
+    }
+    acc
+}

@@ -1,0 +1,20 @@
+//! Seeded RA410 violations: a serving handler looping over its request
+//! body with no attribution site, and a reachable helper doing the
+//! same — both fold their cost into the caller in collapsed-stack
+//! profiles, so a regression there reaches bench-diff unnamed.
+
+pub fn handle_extract(req: &[u8]) -> u64 {
+    let mut acc = 0;
+    for b in req {
+        acc = acc * 31 + *b as u64;
+    }
+    acc + decode_all(req)
+}
+
+fn decode_all(req: &[u8]) -> u64 {
+    let mut n = 0;
+    while n < req.len() as u64 {
+        n += 1;
+    }
+    n
+}

@@ -83,7 +83,10 @@ pub enum Command {
     },
     /// `serve --model <path> [--addr HOST:PORT] [--threads T]
     /// [--quantized] [--queue-cap N] [--batch-max B]
-    /// [--batch-window-us U] [--no-monitoring] [--drift-sample N]`:
+    /// [--batch-window-us U] [--no-monitoring] [--no-profiling]
+    /// [--drift-sample N]
+    /// [--keepalive-max-requests N] [--keepalive-idle-ms MS]
+    /// [--slo-availability R] [--slo-latency-ms MS]`:
     /// run the long-lived HTTP serving layer over the model (see
     /// `crates/serve`).
     Serve {
@@ -104,19 +107,40 @@ pub enum Command {
         /// Collect windowed metrics, SLO outcomes, slow-request
         /// exemplars and drift samples (`--no-monitoring` disables).
         monitoring: bool,
+        /// Attribute per-request stage costs on the always-on request
+        /// profiler behind `/admin/profile` (`--no-profiling`
+        /// disables).
+        profiling: bool,
         /// Sample every Nth `/extract` request for drift scoring
         /// (`0` disables sampling).
         drift_sample: u64,
+        /// Requests served per keep-alive connection before close.
+        keepalive_max_requests: u32,
+        /// Idle milliseconds before a parked keep-alive connection is
+        /// reaped.
+        keepalive_idle_ms: u64,
+        /// Availability SLO target in `(0.0, 1.0)` (good requests /
+        /// total), reflected in `/admin/slo`.
+        slo_availability: f64,
+        /// Per-request latency SLO threshold in milliseconds; requests
+        /// slower than this count against the latency objective.
+        slo_latency_ms: f64,
     },
     /// `bench-diff [--history PATH] [--benchmark NAME] [--warn-pct P]
     /// [--fail-pct P] [--smoke]`: compare the latest bench run in the
     /// history file against its baseline and exit nonzero on regression.
     BenchDiff(BenchDiffOptions),
     /// `monitor [--addr HOST:PORT] [--interval-ms N] [--count N]
-    /// [--out PATH] [--once]`: poll a running server's `/metrics` and
-    /// `/admin/slo`, render a live delta view, and optionally append
-    /// one JSONL snapshot per poll.
+    /// [--out PATH] [--once]`: poll a running server's `/metrics`,
+    /// `/admin/slo` and `/admin/profile`, render a live delta view,
+    /// and optionally append one JSONL snapshot per poll.
     Monitor(MonitorOptions),
+    /// `profile <profile.json> [--fold] [--diff <other.json>]
+    /// [--top N]`: validate a profile document written by
+    /// `--profile-out`, render its stage attribution (or emit
+    /// collapsed-stack folded lines with `--fold`), and optionally
+    /// diff it against a second profile, ranking regressed stages.
+    Profile(ProfileOptions),
     /// `generate --out <dir> [--recipes N] [--seed S]`
     Generate {
         /// Output directory for the recipe text files + corpus.jsonl.
@@ -156,6 +180,10 @@ pub struct ObsArgs {
     /// Attach a `provenance` block (per-token margins, cache origin,
     /// dictionary votes) to the output. `extract`/`mine` only.
     pub explain: bool,
+    /// Write a collapsed-stack profile document (per-stage tick
+    /// attribution over the span sites) to this path (implies
+    /// telemetry collection).
+    pub profile_out: Option<String>,
 }
 
 /// Options for the `bench-diff` subcommand.
@@ -208,6 +236,32 @@ impl Default for MonitorOptions {
             count: None,
             out: None,
             once: false,
+        }
+    }
+}
+
+/// Options for the `profile` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileOptions {
+    /// Profile JSON document to load (written by `--profile-out`).
+    pub path: String,
+    /// Emit collapsed-stack folded lines (`a;b;c N`) instead of the
+    /// human table.
+    pub fold: bool,
+    /// Diff against this second profile (the "after" side), ranking
+    /// regressed stages.
+    pub diff: Option<String>,
+    /// Stages shown in a diff (most-regressed first).
+    pub top: usize,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        ProfileOptions {
+            path: String::new(),
+            fold: false,
+            diff: None,
+            top: 5,
         }
     }
 }
@@ -349,6 +403,7 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
     let mut explain = false;
     let mut quantized = false;
     let mut no_monitoring = false;
+    let mut no_profiling = false;
     let rest: Vec<String> = args[1..]
         .iter()
         .filter(|a| match a.as_str() {
@@ -372,6 +427,10 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                 no_monitoring = true;
                 false
             }
+            "--no-profiling" => {
+                no_profiling = true;
+                false
+            }
             _ => true,
         })
         .cloned()
@@ -390,6 +449,9 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
     }
     if no_monitoring && cmd.as_str() != "serve" {
         return Err(ArgsError::UnexpectedArg("--no-monitoring".to_string()));
+    }
+    if no_profiling && cmd.as_str() != "serve" {
+        return Err(ArgsError::UnexpectedArg("--no-profiling".to_string()));
     }
     let rest = rest.as_slice();
     let (flags, positional) = split_flags(rest);
@@ -557,6 +619,51 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                     .map_err(|_| ArgsError::BadValue("drift-sample", v.clone()))?,
                 None => 8,
             };
+            let keepalive_max_requests = match flags.get("keepalive-max-requests") {
+                Some(v) => {
+                    let n: u32 = v
+                        .parse()
+                        .map_err(|_| ArgsError::BadValue("keepalive-max-requests", v.clone()))?;
+                    if n == 0 {
+                        return Err(ArgsError::BadValue("keepalive-max-requests", v.clone()));
+                    }
+                    n
+                }
+                None => 64,
+            };
+            let keepalive_idle_ms = match flags.get("keepalive-idle-ms") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ArgsError::BadValue("keepalive-idle-ms", v.clone()))?,
+                None => 5_000,
+            };
+            let slo_availability = match flags.get("slo-availability") {
+                Some(v) => {
+                    let r: f64 = v
+                        .parse()
+                        .map_err(|_| ArgsError::BadValue("slo-availability", v.clone()))?;
+                    // 0.0 and 1.0 are excluded: a 0-target objective is
+                    // vacuous and a 1.0 target makes every error an
+                    // infinite burn rate.
+                    if !r.is_finite() || r <= 0.0 || r >= 1.0 {
+                        return Err(ArgsError::BadValue("slo-availability", v.clone()));
+                    }
+                    r
+                }
+                None => 0.999,
+            };
+            let slo_latency_ms = match flags.get("slo-latency-ms") {
+                Some(v) => {
+                    let ms: f64 = v
+                        .parse()
+                        .map_err(|_| ArgsError::BadValue("slo-latency-ms", v.clone()))?;
+                    if !ms.is_finite() || ms <= 0.0 {
+                        return Err(ArgsError::BadValue("slo-latency-ms", v.clone()));
+                    }
+                    ms
+                }
+                None => 250.0,
+            };
             Command::Serve {
                 model,
                 addr,
@@ -566,7 +673,12 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                 batch_max,
                 batch_window_us,
                 monitoring: !no_monitoring,
+                profiling: !no_profiling,
                 drift_sample,
+                keepalive_max_requests,
+                keepalive_idle_ms,
+                slo_availability,
+                slo_latency_ms,
             }
         }
         // `lint` and `bench-diff` have boolean flags, so they parse
@@ -575,6 +687,7 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
         "lint" => Command::Lint(parse_lint(rest)?),
         "bench-diff" => Command::BenchDiff(parse_bench_diff(rest)?),
         "monitor" => Command::Monitor(parse_monitor(rest)?),
+        "profile" => Command::Profile(parse_profile(rest)?),
         "stats" => {
             let Some(path) = positional.first() else {
                 return Err(ArgsError::MissingPositional("metrics file"));
@@ -622,6 +735,7 @@ fn parse_obs(
         trace_out: flags.get("trace-out").cloned(),
         trace_sample,
         explain,
+        profile_out: flags.get("profile-out").cloned(),
     })
 }
 
@@ -709,6 +823,55 @@ fn parse_monitor(rest: &[String]) -> Result<MonitorOptions, ArgsError> {
             }
             other => return Err(ArgsError::UnexpectedArg(other.to_string())),
         }
+    }
+    Ok(opts)
+}
+
+fn parse_profile(rest: &[String]) -> Result<ProfileOptions, ArgsError> {
+    let mut opts = ProfileOptions::default();
+    let mut i = 0usize;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--fold" => {
+                opts.fold = true;
+                i += 1;
+            }
+            flag @ ("--diff" | "--top") => {
+                let name: &'static str = match flag {
+                    "--diff" => "diff",
+                    _ => "top",
+                };
+                let Some(v) = rest.get(i + 1) else {
+                    return Err(ArgsError::MissingValue(name));
+                };
+                match name {
+                    "diff" => opts.diff = Some(v.clone()),
+                    _ => {
+                        let n: usize = v
+                            .parse()
+                            .map_err(|_| ArgsError::BadValue("top", v.clone()))?;
+                        if n == 0 {
+                            return Err(ArgsError::BadValue("top", v.clone()));
+                        }
+                        opts.top = n;
+                    }
+                }
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                return Err(ArgsError::UnexpectedArg(other.to_string()));
+            }
+            positional => {
+                if !opts.path.is_empty() {
+                    return Err(ArgsError::UnexpectedArg(positional.to_string()));
+                }
+                opts.path = positional.to_string();
+                i += 1;
+            }
+        }
+    }
+    if opts.path.is_empty() {
+        return Err(ArgsError::MissingPositional("profile file"));
     }
     Ok(opts)
 }
@@ -811,24 +974,31 @@ USAGE:
   recipe-mine train   --out <model.json> [--recipes N] [--seed S] [--threads T]
                       [--trace] [--metrics-out <metrics.json>]
                       [--trace-out <trace.json>] [--trace-sample R]
+                      [--profile-out <profile.json>]
   recipe-mine compile --out <model.rma> [--model <model.json>]
                       [--recipes N] [--seed S] [--threads T]
   recipe-mine extract --model <model.json|model.rma> [--threads T]
                       [--no-cache] [--quantized]
                       [--trace] [--metrics-out <metrics.json>]
                       [--trace-out <trace.json>] [--trace-sample R]
+                      [--profile-out <profile.json>]
                       [--explain] <phrase>...
   recipe-mine mine    --model <model.json> [--threads T] [--no-cache]
                       [--trace] [--metrics-out <metrics.json>]
                       [--trace-out <trace.json>] [--trace-sample R]
+                      [--profile-out <profile.json>]
                       [--explain] <recipe.txt>...
   recipe-mine explain --model <model.json> [--threads T] <phrase>...
   recipe-mine serve   --model <model.json|model.rma> [--addr HOST:PORT]
                       [--threads T] [--quantized] [--queue-cap N]
                       [--batch-max B] [--batch-window-us U]
-                      [--no-monitoring] [--drift-sample N]
+                      [--no-monitoring] [--no-profiling] [--drift-sample N]
+                      [--keepalive-max-requests N] [--keepalive-idle-ms MS]
+                      [--slo-availability R] [--slo-latency-ms MS]
   recipe-mine monitor [--addr HOST:PORT] [--interval-ms N] [--count N]
                       [--out <snapshots.jsonl>] [--once]
+  recipe-mine profile <profile.json> [--fold] [--diff <other.json>]
+                      [--top N]
   recipe-mine stats   <metrics.json>
   recipe-mine bench-diff [--history <bench_history.jsonl>]
                       [--benchmark NAME] [--warn-pct P] [--fail-pct P]
@@ -864,6 +1034,14 @@ Viterbi margins, cache hit/miss origin, dictionary accept/reject votes)
 to extract/mine output; `recipe-mine explain` prints the same trail per
 phrase without the surrounding pipeline output. None of these flags
 change the `results` block.
+
+Profiling: --profile-out PATH attributes wall ticks to every span site
+(count, total, and self time per stage path) and writes the profile as
+JSON; `recipe-mine profile` renders it, emits flamegraph-ready
+collapsed-stack lines (--fold), or ranks regressed stages against a
+second profile (--diff). bench-diff prints the same stage ranking when
+history runs carry profiles. The server keeps an always-on low-overhead
+profiler at GET /admin/profile.
 
 Linting: --source-only runs just the token-accurate source passes
 (RA3xx/RA4xx) — no training — so a full-workspace scan finishes in well
@@ -902,11 +1080,19 @@ serve    run the long-lived HTTP/1.1 serving layer: one acceptor plus
          /admin/slow, POST /admin/reload (hot-swap), POST
          /admin/shutdown (drain). --no-monitoring turns the live
          observability plane off; --drift-sample N scores every Nth
-         extract request against the artifact's drift reference
-monitor  poll a running server's /metrics and /admin/slo over one
-         keep-alive connection, print a delta line per poll (rates,
-         windowed tails, SLO level, drift score) and optionally append
-         JSONL snapshots (--out); --once polls a single time for CI
+         extract request against the artifact's drift reference;
+         --keepalive-max-requests / --keepalive-idle-ms bound connection
+         reuse; --slo-availability / --slo-latency-ms set the SLO
+         targets reflected in /admin/slo
+monitor  poll a running server's /metrics, /admin/slo and
+         /admin/profile over one keep-alive connection, print a delta
+         line per poll (rates, windowed tails, SLO level, drift score)
+         and optionally append JSONL snapshots (--out); --once polls a
+         single time for CI
+profile  validate a --profile-out document and render per-stage tick
+         attribution; --fold emits collapsed-stack lines (one
+         `stage;path N` per line, flamegraph-ready); --diff ranks the
+         stages that regressed against a second profile
 mine     mine recipe text files (## ingredients / ## instructions
          sections) into the Fig. 1 structure, printed as JSON
 stats    validate a --metrics-out telemetry document and render it in a
@@ -1466,6 +1652,106 @@ mod tests {
     }
 
     #[test]
+    fn parses_profile_out_flag() {
+        let parsed = parse_args(&s(&[
+            "extract",
+            "--model",
+            "m",
+            "--profile-out",
+            "prof.json",
+            "1 egg",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Extract {
+                model: "m".into(),
+                phrases: vec!["1 egg".into()],
+                threads: 0,
+                no_cache: false,
+                quantized: false,
+                obs: ObsArgs {
+                    profile_out: Some("prof.json".into()),
+                    ..ObsArgs::default()
+                },
+            }
+        );
+        let parsed = parse_args(&s(&[
+            "train",
+            "--out",
+            "m.json",
+            "--profile-out",
+            "prof.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Train {
+                out: "m.json".into(),
+                recipes: 1000,
+                seed: 42,
+                threads: 0,
+                obs: ObsArgs {
+                    profile_out: Some("prof.json".into()),
+                    ..ObsArgs::default()
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn parses_profile_subcommand() {
+        let parsed = parse_args(&s(&["profile", "prof.json"])).unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Profile(ProfileOptions {
+                path: "prof.json".into(),
+                ..ProfileOptions::default()
+            })
+        );
+        // `--fold` is boolean: flags after it must still parse.
+        let parsed = parse_args(&s(&[
+            "profile",
+            "--fold",
+            "before.json",
+            "--diff",
+            "after.json",
+            "--top",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parsed.command,
+            Command::Profile(ProfileOptions {
+                path: "before.json".into(),
+                fold: true,
+                diff: Some("after.json".into()),
+                top: 3,
+            })
+        );
+        assert_eq!(
+            parse_args(&s(&["profile"])),
+            Err(ArgsError::MissingPositional("profile file"))
+        );
+        assert_eq!(
+            parse_args(&s(&["profile", "a.json", "b.json"])),
+            Err(ArgsError::UnexpectedArg("b.json".into()))
+        );
+        assert_eq!(
+            parse_args(&s(&["profile", "a.json", "--top", "0"])),
+            Err(ArgsError::BadValue("top", "0".into()))
+        );
+        assert_eq!(
+            parse_args(&s(&["profile", "a.json", "--diff"])),
+            Err(ArgsError::MissingValue("diff"))
+        );
+        assert_eq!(
+            parse_args(&s(&["profile", "a.json", "--bogus"])),
+            Err(ArgsError::UnexpectedArg("--bogus".into()))
+        );
+    }
+
+    #[test]
     fn parses_stats_subcommand() {
         let parsed = parse_args(&s(&["stats", "metrics.json"])).unwrap();
         assert_eq!(
@@ -1554,7 +1840,12 @@ mod tests {
                 batch_max: 8,
                 batch_window_us: 500,
                 monitoring: true,
+                profiling: true,
                 drift_sample: 8,
+                keepalive_max_requests: 64,
+                keepalive_idle_ms: 5_000,
+                slo_availability: 0.999,
+                slo_latency_ms: 250.0,
             }
         );
         let parsed = parse_args(&s(&[
@@ -1573,8 +1864,17 @@ mod tests {
             "--batch-window-us",
             "250",
             "--no-monitoring",
+            "--no-profiling",
             "--drift-sample",
             "0",
+            "--keepalive-max-requests",
+            "8",
+            "--keepalive-idle-ms",
+            "1000",
+            "--slo-availability",
+            "0.99",
+            "--slo-latency-ms",
+            "100",
         ]))
         .unwrap();
         assert_eq!(
@@ -1588,12 +1888,21 @@ mod tests {
                 batch_max: 16,
                 batch_window_us: 250,
                 monitoring: false,
+                profiling: false,
                 drift_sample: 0,
+                keepalive_max_requests: 8,
+                keepalive_idle_ms: 1000,
+                slo_availability: 0.99,
+                slo_latency_ms: 100.0,
             }
         );
         assert_eq!(
             parse_args(&s(&["extract", "--model", "m", "x", "--no-monitoring"])),
             Err(ArgsError::UnexpectedArg("--no-monitoring".into()))
+        );
+        assert_eq!(
+            parse_args(&s(&["mine", "--model", "m", "x", "--no-profiling"])),
+            Err(ArgsError::UnexpectedArg("--no-profiling".into()))
         );
         assert_eq!(
             parse_args(&s(&["serve"])),
@@ -1603,6 +1912,16 @@ mod tests {
             ("queue-cap", "0"),
             ("batch-max", "0"),
             ("queue-cap", "many"),
+            ("keepalive-max-requests", "0"),
+            ("keepalive-idle-ms", "soon"),
+            // SLO targets: availability must sit strictly inside (0, 1)
+            // and the latency threshold must be a positive duration.
+            ("slo-availability", "0"),
+            ("slo-availability", "1"),
+            ("slo-availability", "1.5"),
+            ("slo-availability", "NaN"),
+            ("slo-latency-ms", "0"),
+            ("slo-latency-ms", "-5"),
         ] {
             let dashed = format!("--{flag}");
             assert!(

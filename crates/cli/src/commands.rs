@@ -1,7 +1,7 @@
 //! Subcommand implementations. Each returns its output as a `String` so
 //! tests can assert on it without process spawning; the binary prints.
 
-use crate::args::{BenchDiffOptions, Command, LintOptions, ObsArgs};
+use crate::args::{BenchDiffOptions, Command, LintOptions, ObsArgs, ProfileOptions};
 use crate::recipe_file::parse_recipe_file;
 use recipe_core::pipeline::{PipelineConfig, TrainedPipeline};
 use recipe_corpus::{CorpusSpec, RecipeCorpus};
@@ -23,6 +23,9 @@ pub enum CliError {
     /// `stats` input failed to parse or validate against the telemetry
     /// schema.
     Stats(String),
+    /// `profile` input failed to parse or validate against the profile
+    /// schema.
+    Profile(String),
     /// `bench-diff` found a regression past the fail threshold; carries
     /// the rendered comparison report so the binary can print it and
     /// exit nonzero.
@@ -43,6 +46,7 @@ impl std::fmt::Display for CliError {
             CliError::RecipeFile(path, e) => write!(f, "{path}: {e}"),
             CliError::Lint(report) => f.write_str(report),
             CliError::Stats(msg) => write!(f, "telemetry document: {msg}"),
+            CliError::Profile(msg) => write!(f, "profile document: {msg}"),
             CliError::BenchDiff(report) => f.write_str(report),
             CliError::Baseline(msg) => f.write_str(msg),
             CliError::Artifact(path, e) => write!(f, "{path}: {e}"),
@@ -127,23 +131,34 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             batch_max,
             batch_window_us,
             monitoring,
+            profiling,
             drift_sample,
+            keepalive_max_requests,
+            keepalive_idle_ms,
+            slo_availability,
+            slo_latency_ms,
         } => {
             recipe_runtime::set_global_threads(*threads);
-            serve(
+            serve(&ServeOpts {
                 model,
                 addr,
-                *threads,
-                *quantized,
-                *queue_cap,
-                *batch_max,
-                *batch_window_us,
-                *monitoring,
-                *drift_sample,
-            )
+                threads: *threads,
+                quantized: *quantized,
+                queue_cap: *queue_cap,
+                batch_max: *batch_max,
+                batch_window_us: *batch_window_us,
+                monitoring: *monitoring,
+                profiling: *profiling,
+                drift_sample: *drift_sample,
+                keepalive_max_requests: *keepalive_max_requests,
+                keepalive_idle_ms: *keepalive_idle_ms,
+                slo_availability: *slo_availability,
+                slo_latency_ms: *slo_latency_ms,
+            })
         }
         Command::BenchDiff(opts) => bench_diff(opts),
         Command::Monitor(opts) => crate::monitor::run_monitor(opts),
+        Command::Profile(opts) => profile_cmd(opts),
         Command::Lint(opts) => {
             recipe_runtime::set_global_threads(opts.threads);
             lint(opts)
@@ -154,7 +169,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
 
 /// Observability options for one `train`/`extract`/`mine` invocation,
 /// resolved from `--trace` / `--metrics-out` / `--trace-out` /
-/// `--trace-sample` / `--explain`.
+/// `--trace-sample` / `--explain` / `--profile-out`.
 struct ObsOpts {
     /// Attach a `telemetry` block to the stdout JSON.
     trace: bool,
@@ -166,6 +181,8 @@ struct ObsOpts {
     trace_sample: f64,
     /// Attach a `provenance` block to the stdout JSON.
     explain: bool,
+    /// Write the per-stage tick attribution profile here.
+    profile_out: Option<String>,
 }
 
 /// What [`ObsOpts::finish`] produced for the stdout JSON.
@@ -185,13 +202,18 @@ impl ObsOpts {
             trace_out: args.trace_out.clone(),
             trace_sample: args.trace_sample.unwrap_or(1.0),
             explain: args.explain,
+            profile_out: args.profile_out.clone(),
         }
     }
 
-    /// Some output wants telemetry collected (`--trace-out` needs the
-    /// span switch on for span sites to emit events).
+    /// Some output wants telemetry collected (`--trace-out` and
+    /// `--profile-out` need the span switch on for span sites to emit
+    /// events / attribute ticks).
     fn active(&self) -> bool {
-        self.trace || self.metrics_out.is_some() || self.trace_out.is_some()
+        self.trace
+            || self.metrics_out.is_some()
+            || self.trace_out.is_some()
+            || self.profile_out.is_some()
     }
 
     /// Start collection: clear any state left by a previous command in
@@ -201,6 +223,12 @@ impl ObsOpts {
         if self.active() {
             recipe_obs::reset();
             recipe_obs::set_enabled(true);
+        }
+        if self.profile_out.is_some() {
+            recipe_obs::profile::start(
+                std::sync::Arc::new(recipe_obs::MonotonicClock),
+                "monotonic",
+            );
         }
         if self.trace_out.is_some() {
             recipe_obs::event::start(&recipe_obs::TraceConfig {
@@ -248,6 +276,15 @@ impl ObsOpts {
         // exit; export needs them now.
         recipe_obs::span::flush_local();
         let mut t = recipe_obs::Telemetry::gather(extra);
+        if let Some(path) = &self.profile_out {
+            let profile = recipe_obs::profile::stop();
+            let text = format!(
+                "{}\n",
+                serde_json::to_string_pretty(&serde_json::to_value(&profile)).expect("json")
+            );
+            std::fs::write(path, text).map_err(|e| CliError::Io(path.clone(), e))?;
+            t.profile = profile;
+        }
         let wall_s = started.elapsed().as_secs_f64();
         t.throughput.insert("wall_s".to_string(), wall_s);
         for (name, n) in items {
@@ -507,42 +544,56 @@ fn model_error(e: recipe_serve::ModelError) -> CliError {
     }
 }
 
-/// `recipe-mine serve`: run the HTTP serving layer over a loaded model
-/// until `POST /admin/shutdown` drains it (see `crates/serve`).
-#[allow(clippy::too_many_arguments)]
-fn serve(
-    model: &str,
-    addr: &str,
+/// Resolved `recipe-mine serve` options (one field per CLI flag).
+struct ServeOpts<'a> {
+    model: &'a str,
+    addr: &'a str,
     threads: usize,
     quantized: bool,
     queue_cap: usize,
     batch_max: usize,
     batch_window_us: u64,
     monitoring: bool,
+    profiling: bool,
     drift_sample: u64,
-) -> Result<String, CliError> {
-    let loaded = ServeModel::load(model, quantized).map_err(model_error)?;
+    keepalive_max_requests: u32,
+    keepalive_idle_ms: u64,
+    slo_availability: f64,
+    slo_latency_ms: f64,
+}
+
+/// `recipe-mine serve`: run the HTTP serving layer over a loaded model
+/// until `POST /admin/shutdown` drains it (see `crates/serve`).
+fn serve(opts: &ServeOpts<'_>) -> Result<String, CliError> {
+    let loaded = ServeModel::load(opts.model, opts.quantized).map_err(model_error)?;
     let cfg = recipe_serve::ServeConfig {
-        addr: addr.to_string(),
-        shards: threads,
-        queue_cap,
-        batch_max,
-        batch_window_us,
-        monitoring,
-        drift_sample,
+        addr: opts.addr.to_string(),
+        shards: opts.threads,
+        queue_cap: opts.queue_cap,
+        batch_max: opts.batch_max,
+        batch_window_us: opts.batch_window_us,
+        monitoring: opts.monitoring,
+        profiling: opts.profiling,
+        drift_sample: opts.drift_sample,
+        keepalive_max_requests: opts.keepalive_max_requests,
+        keepalive_idle_ms: opts.keepalive_idle_ms,
+        slo_availability: opts.slo_availability,
+        slo_latency_s: opts.slo_latency_ms / 1_000.0,
         ..recipe_serve::ServeConfig::default()
     };
-    let server = recipe_serve::Server::launch(&cfg, loaded, (model.to_string(), quantized))
-        .map_err(|e| CliError::Io(addr.to_string(), e))?;
+    let server =
+        recipe_serve::Server::launch(&cfg, loaded, (opts.model.to_string(), opts.quantized))
+            .map_err(|e| CliError::Io(opts.addr.to_string(), e))?;
     let bound = server.local_addr();
     let shards = server.shards();
     eprintln!(
-        "serving {model} on http://{bound} ({shards} shards; \
-         POST /admin/shutdown to drain and exit)"
+        "serving {} on http://{bound} ({shards} shards; \
+         POST /admin/shutdown to drain and exit)",
+        opts.model
     );
     server.join();
     let summary = json!({
-        "served": { "addr": bound.to_string(), "model": model, "shards": shards },
+        "served": { "addr": bound.to_string(), "model": opts.model, "shards": shards },
         "shutdown": "drained",
     });
     Ok(format!(
@@ -735,15 +786,71 @@ fn bench_diff(opts: &BenchDiffOptions) -> Result<String, CliError> {
         ));
     }
     let mut findings = Vec::new();
+    let mut profile_sections = Vec::new();
     for (baseline, latest) in pairs {
         findings.extend(history::diff_runs(baseline, latest, &thresholds));
+        // Runs that recorded profiles get their regression named by
+        // stage, not just by percentile.
+        if let Some(section) = history::render_profile_section(baseline, latest, 3) {
+            profile_sections.push(section);
+        }
     }
-    let report = history::render_diff(&findings, &thresholds);
+    let mut report = history::render_diff(&findings, &thresholds);
+    for section in &profile_sections {
+        report.push_str(section);
+    }
     if history::worst_level(&findings) == history::DiffLevel::Fail {
         Err(CliError::BenchDiff(report))
     } else {
         Ok(report)
     }
+}
+
+/// Load and schema-validate a `--profile-out` document.
+fn load_profile(path: &str) -> Result<recipe_obs::Profile, CliError> {
+    let content = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))?;
+    let doc: serde_json::Value =
+        serde_json::from_str(&content).map_err(|e| CliError::Profile(format!("{path}: {e}")))?;
+    recipe_obs::validate_profile(&doc).map_err(|e| CliError::Profile(format!("{path}: {e}")))?;
+    serde_json::from_value(&doc).map_err(|e| CliError::Profile(format!("{path}: {e}")))
+}
+
+/// `recipe-mine profile`: validate a `--profile-out` document and
+/// render it — the human attribution table by default, collapsed-stack
+/// folded lines under `--fold`, or the regressed-stage ranking against
+/// a second profile under `--diff`.
+fn profile_cmd(opts: &ProfileOptions) -> Result<String, CliError> {
+    let profile = load_profile(&opts.path)?;
+    if let Some(after_path) = &opts.diff {
+        let after = load_profile(after_path)?;
+        let deltas = recipe_obs::diff_profiles(&profile, &after);
+        let mut out = format!(
+            "profile diff: {} -> {} (top {} regressed stages, self ticks)\n",
+            opts.path, after_path, opts.top
+        );
+        out.push_str(&recipe_obs::render_diff(&deltas, opts.top));
+        return Ok(out);
+    }
+    if opts.fold {
+        return Ok(recipe_obs::fold(&profile));
+    }
+    let mut out = format!(
+        "profile: {} ({} clock, {} total ticks)\n",
+        opts.path, profile.clock, profile.total_ticks
+    );
+    for node in &profile.nodes {
+        out.push_str(&format!(
+            "  {:<48} {:>8} calls  total {:>10}  self {:>10}\n",
+            node.path.join(";"),
+            node.count,
+            node.total_ticks,
+            node.self_ticks
+        ));
+    }
+    if profile.nodes.is_empty() {
+        out.push_str("  (no stages attributed)\n");
+    }
+    Ok(out)
 }
 
 fn mine(model: &str, files: &[String], no_cache: bool, obs: &ObsOpts) -> Result<String, CliError> {
@@ -1284,6 +1391,112 @@ mod tests {
     }
 
     #[test]
+    fn profile_out_round_trip_and_profile_subcommand() {
+        let _guard = obs_lock();
+        let model_path = tmp("cli_profile_model.json");
+        let model = model_path.to_string_lossy().to_string();
+        run(&Command::Train {
+            out: model.clone(),
+            recipes: 80,
+            seed: 5,
+            threads: 0,
+            obs: ObsArgs::default(),
+        })
+        .unwrap();
+
+        let phrases: Vec<String> = vec!["2 cups flour".into(), "1 pinch salt".into()];
+        let plain = run(&Command::Extract {
+            model: model.clone(),
+            phrases: phrases.clone(),
+            threads: 0,
+            no_cache: false,
+            quantized: false,
+            obs: ObsArgs::default(),
+        })
+        .unwrap();
+
+        let profile_path = tmp("cli_profile.json");
+        let profiled = run(&Command::Extract {
+            model: model.clone(),
+            phrases,
+            threads: 0,
+            no_cache: false,
+            quantized: false,
+            obs: ObsArgs {
+                trace: true,
+                profile_out: Some(profile_path.to_string_lossy().to_string()),
+                ..ObsArgs::default()
+            },
+        })
+        .unwrap();
+
+        // Profiling never perturbs results.
+        let plain_v: serde_json::Value = serde_json::from_str(&plain).unwrap();
+        let profiled_v: serde_json::Value = serde_json::from_str(&profiled).unwrap();
+        assert_eq!(plain_v["results"], profiled_v["results"]);
+        assert_eq!(plain_v["cache"], profiled_v["cache"]);
+
+        // The telemetry block carries the same attribution.
+        let telemetry = profiled_v.get("telemetry").expect("telemetry block");
+        recipe_obs::validate_telemetry(telemetry).expect("valid telemetry");
+        assert_eq!(telemetry["profile"]["clock"], "monotonic", "{profiled}");
+
+        // The written document validates and saw the extract span.
+        let text = std::fs::read_to_string(&profile_path).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        recipe_obs::validate_profile(&doc).expect("valid profile");
+
+        // The `profile` subcommand renders the attribution table...
+        let prof_str = profile_path.to_string_lossy().to_string();
+        let rendered = run(&Command::Profile(crate::args::ProfileOptions {
+            path: prof_str.clone(),
+            ..crate::args::ProfileOptions::default()
+        }))
+        .unwrap();
+        assert!(rendered.contains("monotonic clock"), "{rendered}");
+        assert!(rendered.contains("extract"), "{rendered}");
+
+        // ...folds to collapsed-stack lines (`path;segments N`)...
+        let folded = run(&Command::Profile(crate::args::ProfileOptions {
+            path: prof_str.clone(),
+            fold: true,
+            ..crate::args::ProfileOptions::default()
+        }))
+        .unwrap();
+        for line in folded.lines() {
+            let (stack, ticks) = line.rsplit_once(' ').expect("folded line");
+            assert!(!stack.is_empty(), "{line}");
+            ticks.parse::<u64>().expect("tick count");
+        }
+
+        // ...and diffs against itself without inventing regressions.
+        let diffed = run(&Command::Profile(crate::args::ProfileOptions {
+            path: prof_str.clone(),
+            diff: Some(prof_str),
+            ..crate::args::ProfileOptions::default()
+        }))
+        .unwrap();
+        assert!(diffed.contains("no stage regressed"), "{diffed}");
+
+        // A malformed document is a clean error.
+        let bad_path = tmp("cli_profile_bad.json");
+        std::fs::write(&bad_path, "{\"schema_version\": 999}").unwrap();
+        let err = run(&Command::Profile(crate::args::ProfileOptions {
+            path: bad_path.to_string_lossy().to_string(),
+            ..crate::args::ProfileOptions::default()
+        }))
+        .unwrap_err();
+        match err {
+            CliError::Profile(msg) => assert!(msg.contains("schema_version"), "{msg}"),
+            other => panic!("expected CliError::Profile, got {other:?}"),
+        }
+
+        std::fs::remove_file(&model_path).ok();
+        std::fs::remove_file(&profile_path).ok();
+        std::fs::remove_file(&bad_path).ok();
+    }
+
+    #[test]
     fn explain_attaches_provenance_without_perturbing_results() {
         let _guard = obs_lock();
         let model_path = tmp("cli_explain_model.json");
@@ -1429,17 +1642,25 @@ mod tests {
 
         let path = tmp("cli_bench_history.jsonl");
         std::fs::remove_file(&path).ok();
-        let run_at = |p50: f64, at: u64| HistoryRun {
-            schema_version: HISTORY_SCHEMA_VERSION,
-            benchmark: "inference_throughput".to_string(),
-            smoke: false,
-            recorded_at_unix_s: at,
-            params: BTreeMap::from([("total_recipes".to_string(), 100.0)]),
-            entries: vec![HistoryEntry {
-                name: "compiled".to_string(),
-                threads: 1,
-                metrics: BTreeMap::from([("phrase_latency.p50_s".to_string(), p50)]),
-            }],
+        // Each run carries a profile whose decode stage scales with the
+        // injected latency, so the failing diff can name the stage.
+        let run_at = |p50: f64, at: u64| {
+            let prof = recipe_obs::Profiler::new("monotonic");
+            prof.record(&["extract", "ner.decode"], (p50 * 1e6) as u64);
+            prof.record(&["extract", "parse"], 100);
+            HistoryRun {
+                schema_version: HISTORY_SCHEMA_VERSION,
+                benchmark: "inference_throughput".to_string(),
+                smoke: false,
+                recorded_at_unix_s: at,
+                params: BTreeMap::from([("total_recipes".to_string(), 100.0)]),
+                entries: vec![HistoryEntry {
+                    name: "compiled".to_string(),
+                    threads: 1,
+                    metrics: BTreeMap::from([("phrase_latency.p50_s".to_string(), p50)]),
+                }],
+                profile: Some(prof.snapshot()),
+            }
         };
         // Baseline, then a +50% regression.
         append_run(&path, &run_at(0.010, 1)).unwrap();
@@ -1455,6 +1676,9 @@ mod tests {
                 assert!(report.contains("FAIL"), "{report}");
                 assert!(report.contains("phrase_latency.p50_s"), "{report}");
                 assert!(report.contains("REGRESSION"), "{report}");
+                // The attached profiles name the regressed stage.
+                assert!(report.contains("profile: top regressed stages"), "{report}");
+                assert!(report.contains("extract;ner.decode"), "{report}");
             }
             other => panic!("expected CliError::BenchDiff, got {other:?}"),
         }
@@ -1617,6 +1841,7 @@ mod tests {
                 recorded_at_unix_s: 1,
                 params: BTreeMap::new(),
                 entries: Vec::new(),
+                profile: None,
             },
         )
         .unwrap();

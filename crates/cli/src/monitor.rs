@@ -1,13 +1,13 @@
 //! `recipe-mine monitor`: a terminal tail for a running server.
 //!
-//! Polls `GET /metrics` and `GET /admin/slo` over one keep-alive
-//! connection (reconnecting transparently when the server's idle
-//! reaper drops it between polls), validates both documents against
-//! their schemas, prints a one-line delta view per poll on stderr and
-//! optionally appends the raw snapshots as JSONL (`--out`). The final
-//! stdout JSON summarizes the run, so `--once` doubles as a CI probe:
-//! it exits nonzero when the server is unreachable or either document
-//! fails validation.
+//! Polls `GET /metrics`, `GET /admin/slo` and `GET /admin/profile`
+//! over one keep-alive connection (reconnecting transparently when the
+//! server's idle reaper drops it between polls), validates all three
+//! documents against their schemas, prints a one-line delta view per
+//! poll on stderr and optionally appends the raw snapshots as JSONL
+//! (`--out`). The final stdout JSON summarizes the run, so `--once`
+//! doubles as a CI probe: it exits nonzero when the server is
+//! unreachable or any document fails validation.
 
 use crate::args::MonitorOptions;
 use crate::commands::CliError;
@@ -183,7 +183,7 @@ pub fn run_monitor(opts: &MonitorOptions) -> Result<String, CliError> {
         None => None,
     };
 
-    let (last_metrics, last_slo) = loop {
+    let (last_metrics, last_slo, last_profile) = loop {
         let (status, metrics) = client.get("/metrics")?;
         if status != 200 {
             return Err(CliError::Stats(format!("/metrics returned {status}")));
@@ -196,6 +196,12 @@ pub fn run_monitor(opts: &MonitorOptions) -> Result<String, CliError> {
         }
         recipe_obs::validate_slo_document(&slo)
             .map_err(|e| CliError::Stats(format!("/admin/slo: {e}")))?;
+        let (status, profile) = client.get("/admin/profile")?;
+        if status != 200 {
+            return Err(CliError::Stats(format!("/admin/profile returned {status}")));
+        }
+        recipe_obs::validate_profile(&profile)
+            .map_err(|e| CliError::Stats(format!("/admin/profile: {e}")))?;
 
         let elapsed_s = started.elapsed().as_secs_f64();
         let (line, sample) = render_line(elapsed_s, &metrics, &slo, prev);
@@ -209,6 +215,7 @@ pub fn run_monitor(opts: &MonitorOptions) -> Result<String, CliError> {
                 "addr": opts.addr,
                 "metrics": metrics,
                 "slo": slo,
+                "profile": profile,
             });
             let rendered = serde_json::to_string(&snapshot)
                 .map_err(|e| CliError::Stats(format!("snapshot serialization: {e}")))?;
@@ -218,7 +225,7 @@ pub fn run_monitor(opts: &MonitorOptions) -> Result<String, CliError> {
 
         done += 1;
         if polls.map(|n| done >= n).unwrap_or(false) {
-            break (metrics, slo);
+            break (metrics, slo, profile);
         }
         std::thread::sleep(Duration::from_millis(opts.interval_ms));
     };
@@ -228,6 +235,10 @@ pub fn run_monitor(opts: &MonitorOptions) -> Result<String, CliError> {
         "slo_level": last_slo["level"],
         "drift": last_metrics["drift"],
         "windows": last_metrics["telemetry"]["windows"],
+        "profile": {
+            "stages": last_profile["nodes"].as_array().map(|n| n.len()).unwrap_or(0),
+            "total_ticks": last_profile["total_ticks"],
+        },
     });
     let rendered = serde_json::to_string_pretty(&summary)
         .map_err(|e| CliError::Stats(format!("summary serialization: {e}")))?;

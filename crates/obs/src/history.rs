@@ -17,6 +17,7 @@
 //! context but are never gated — their regressions always show up as a
 //! latency regression anyway.
 
+use crate::profile::{diff_profiles, render_diff as render_profile_diff, Profile};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -61,6 +62,9 @@ pub struct HistoryRun {
     pub params: BTreeMap<String, f64>,
     /// Per-configuration measurements.
     pub entries: Vec<HistoryEntry>,
+    /// Cost-attribution profile attached by benches that ran one
+    /// (absent in older history lines — missing keys load as `None`).
+    pub profile: Option<Profile>,
 }
 
 impl HistoryRun {
@@ -148,6 +152,12 @@ pub fn run_from_bench_report(
             metrics,
         });
     }
+    let profile = match report.get("profile") {
+        Some(v) if !v.is_null() => Some(
+            serde_json::from_value(v).map_err(|e| format!("bench report `profile` block: {e}"))?,
+        ),
+        _ => None,
+    };
     Ok(HistoryRun {
         schema_version: HISTORY_SCHEMA_VERSION,
         benchmark,
@@ -155,6 +165,7 @@ pub fn run_from_bench_report(
         recorded_at_unix_s,
         params,
         entries,
+        profile,
     })
 }
 
@@ -406,6 +417,27 @@ pub fn render_diff(findings: &[DiffFinding], thresholds: &DiffThresholds) -> Str
     out
 }
 
+/// Render the top-`top` regressed stage paths for one `(baseline,
+/// latest)` pair, when both runs carry an attached profile — this is
+/// the bench-diff section that names *where* the ticks went when a
+/// percentile verdict moves. `None` when either side has no profile.
+pub fn render_profile_section(
+    baseline: &HistoryRun,
+    latest: &HistoryRun,
+    top: usize,
+) -> Option<String> {
+    let (before, after) = (baseline.profile.as_ref()?, latest.profile.as_ref()?);
+    let deltas = diff_profiles(before, after);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} · profile: top regressed stages (self ticks)",
+        latest.benchmark
+    );
+    out.push_str(&render_profile_diff(&deltas, top));
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +459,7 @@ mod tests {
                 threads: 1,
                 metrics,
             }],
+            profile: None,
         }
     }
 
@@ -533,5 +566,57 @@ mod tests {
 
         assert!(run_from_bench_report(&json!({"results": []}), 0).is_err());
         assert!(run_from_bench_report(&json!({"benchmark": "x"}), 0).is_err());
+    }
+
+    #[test]
+    fn profiles_ride_history_lines_and_render_in_diffs() {
+        let prof = crate::profile::Profiler::new("monotonic");
+        prof.record(&["serve", "extract"], 100);
+        let mut baseline = run_with(0.100, 1);
+        baseline.profile = Some(prof.snapshot());
+        prof.record(&["serve", "extract"], 900);
+        let mut latest = run_with(0.150, 2);
+        latest.profile = Some(prof.snapshot());
+
+        let dir = std::env::temp_dir().join(format!(
+            "recipe_obs_profhist_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = dir.join("bench_history.jsonl");
+        let _ = std::fs::remove_file(&path);
+        append_run(&path, &baseline).expect("append baseline");
+        append_run(&path, &latest).expect("append latest");
+        let runs = load_history(&path).expect("load");
+        assert_eq!(runs[0].profile, baseline.profile, "profile round-trips");
+        assert_eq!(runs[1].profile, latest.profile);
+        std::fs::remove_dir_all(&dir).ok();
+
+        let section = render_profile_section(&runs[0], &runs[1], 3).expect("both profiled");
+        assert!(section.contains("serve;extract"), "{section}");
+        assert!(section.contains("+900 ticks"), "{section}");
+        // A pair where either side lacks a profile renders nothing.
+        assert!(render_profile_section(&run_with(0.1, 1), &runs[1], 3).is_none());
+    }
+
+    #[test]
+    fn bench_report_profile_block_lands_in_the_run() {
+        let prof = crate::profile::Profiler::new("monotonic");
+        prof.record(&["serve", "extract", "handle"], 42);
+        let report = json!({
+            "benchmark": "sustained_load",
+            "smoke": true,
+            "results": [json!({"name": "qps500", "threads": 2, "p99_s": 0.002})],
+            "profile": serde_json::to_value(&prof.snapshot()),
+        });
+        let run = run_from_bench_report(&report, 9).expect("convert");
+        assert_eq!(run.profile, Some(prof.snapshot()));
+        // A malformed profile block is an error, not a silent None.
+        let bad = json!({
+            "benchmark": "sustained_load",
+            "results": [],
+            "profile": {"schema_version": 1},
+        });
+        assert!(run_from_bench_report(&bad, 9).is_err());
     }
 }

@@ -41,6 +41,12 @@
 //!    percentiles, and the multi-window multi-burn-rate SLO engine
 //!    behind the server's `/admin/slo`.
 //!
+//! 8. **Continuous profiling** ([`profile`]): exact per-stage tick
+//!    attribution over the `span!()` sites (self vs. children), a
+//!    collapsed-stack (flamegraph-folded) exporter, an instanced
+//!    [`Profiler`] behind the server's `/admin/profile`, and the
+//!    profile differ that lets `bench-diff` name regressed stages.
+//!
 //! Observability must never perturb artifacts: nothing here influences
 //! any computed value, and aggregation (not logging) keeps the memory
 //! and time cost independent of corpus size. Tracing is off by default;
@@ -50,6 +56,7 @@ pub mod event;
 pub mod fingerprint;
 pub mod history;
 pub mod metrics;
+pub mod profile;
 pub mod provenance;
 pub mod report;
 pub mod slo;
@@ -63,6 +70,10 @@ pub use fingerprint::{fingerprint_parts, fnv1a64};
 pub use history::{
     DiffFinding, DiffLevel, DiffThresholds, HistoryEntry, HistoryRun, DEFAULT_HISTORY_PATH,
     HISTORY_SCHEMA_VERSION,
+};
+pub use profile::{
+    diff_profiles, fold, render_diff, validate_profile, Profile, ProfileNode, Profiler, StageDelta,
+    PROFILE_SCHEMA_VERSION,
 };
 pub use provenance::validate_provenance;
 
@@ -106,6 +117,7 @@ pub fn enabled() -> bool {
 pub fn reset() {
     metrics::global().reset();
     span::reset();
+    profile::reset();
 }
 
 /// Declarative on/off configuration, mirroring the CLI `--trace` flag.

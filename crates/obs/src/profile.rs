@@ -1,0 +1,638 @@
+//! Continuous profiling and cost attribution over the span tree.
+//!
+//! Two collectors share one data model:
+//!
+//! 1. A **process-global profiler** ([`start`] / [`stop`]) hooked into
+//!    the `span!()` sites: while active, every span records its exact
+//!    enter/exit tick pair from an injected [`Clock`], aggregated per
+//!    (path-from-root) stage exactly like the span tree — per-thread
+//!    maps, flushed on thread exit, merged under one mutex. Under a
+//!    frozen [`crate::window::VirtualClock`] the attribution is exact
+//!    and byte-reproducible.
+//!
+//! 2. An **instanced [`Profiler`]** for components that attribute cost
+//!    outside the span machinery — the server records queue/handle/write
+//!    tick deltas per endpoint into one of these and serves the snapshot
+//!    at `GET /admin/profile`.
+//!
+//! Both export a schema-versioned [`Profile`]: a flat, path-sorted list
+//! of stages carrying `count`, `total_ticks` and `self_ticks` (total
+//! minus direct children — the flamegraph "self" column). [`fold`]
+//! renders the collapsed-stack format flamegraph.pl consumes
+//! (`a;b;c N`, one line per stage with self time), and
+//! [`diff_profiles`] aligns two profiles by stage path and ranks
+//! regressions so `bench-diff` can name the stage that ate the ticks,
+//! not just the percentile that moved.
+
+use crate::window::Clock;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Version of the `profile` block layout; bumped on breaking changes.
+pub const PROFILE_SCHEMA_VERSION: u64 = 1;
+
+/// Aggregated cell for one stage path.
+#[derive(Debug, Clone, Copy, Default)]
+struct ProfAgg {
+    count: u64,
+    total_ticks: u64,
+}
+
+/// One stage of an exported profile: a full path from the root span
+/// plus its cost. `self_ticks` is `total_ticks` minus the totals of
+/// direct children — the time spent *in* this stage rather than below
+/// it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileNode {
+    /// Full stage path from the root (`["extract", "ner.decode"]`).
+    pub path: Vec<String>,
+    /// Spans closed at exactly this path.
+    pub count: u64,
+    /// Total ticks attributed to this path, children included.
+    pub total_ticks: u64,
+    /// Ticks spent at this path excluding direct children.
+    pub self_ticks: u64,
+}
+
+/// A point-in-time cost-attribution snapshot: every observed stage
+/// path, sorted by path, with exact tick attribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Layout version ([`PROFILE_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Which clock produced the ticks (`"monotonic"`, `"virtual"`, …).
+    pub clock: String,
+    /// Ticks attributed to root stages (depth-1 paths) in total.
+    pub total_ticks: u64,
+    /// Flat stage list, sorted by path.
+    pub nodes: Vec<ProfileNode>,
+}
+
+impl Default for Profile {
+    fn default() -> Self {
+        Profile {
+            schema_version: PROFILE_SCHEMA_VERSION,
+            clock: "none".to_string(),
+            total_ticks: 0,
+            nodes: Vec::new(),
+        }
+    }
+}
+
+impl Profile {
+    /// Assemble a profile from aggregated cells (already path-keyed;
+    /// `BTreeMap` iteration gives the sorted order the format
+    /// requires).
+    fn from_cells(clock: &str, cells: &BTreeMap<Vec<String>, ProfAgg>) -> Self {
+        let mut nodes: Vec<ProfileNode> = cells
+            .iter()
+            .map(|(path, agg)| ProfileNode {
+                path: path.clone(),
+                count: agg.count,
+                total_ticks: agg.total_ticks,
+                self_ticks: agg.total_ticks,
+            })
+            .collect();
+        // self = total − Σ direct children (saturating: a child closed
+        // after its parent's snapshot can carry more ticks than the
+        // parent observed).
+        for i in 0..nodes.len() {
+            let child_sum: u64 = nodes
+                .iter()
+                .filter(|n| {
+                    n.path.len() == nodes[i].path.len() + 1 && n.path.starts_with(&nodes[i].path)
+                })
+                .map(|n| n.total_ticks)
+                .sum();
+            nodes[i].self_ticks = nodes[i].total_ticks.saturating_sub(child_sum);
+        }
+        // Every tick is attributed to exactly one node's self time, so
+        // the self sum is the grand total under both producers: the
+        // span-hooked profiler (complete trees, where it equals the
+        // root totals) and instanced `Profiler`s that record only leaf
+        // stages (no depth-1 ancestors to sum).
+        let total_ticks = nodes.iter().map(|n| n.self_ticks).sum();
+        Profile {
+            schema_version: PROFILE_SCHEMA_VERSION,
+            clock: clock.to_string(),
+            total_ticks,
+            nodes,
+        }
+    }
+
+    /// Whether any cost was attributed.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Render a profile in the collapsed-stack ("folded") format
+/// flamegraph.pl consumes: one `a;b;c N` line per stage with nonzero
+/// self time, in path order.
+pub fn fold(profile: &Profile) -> String {
+    let mut out = String::new();
+    for node in &profile.nodes {
+        if node.self_ticks == 0 {
+            continue;
+        }
+        let _ = writeln!(out, "{} {}", node.path.join(";"), node.self_ticks);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Process-global span-hooked profiler.
+// ---------------------------------------------------------------------
+
+/// Generation counter: odd while the global profiler is active. Bumped
+/// on every [`start`]/[`stop`] so per-thread clock caches invalidate
+/// without taking the state lock on the hot path.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// The active clock, set by [`start`]; the label travels into the
+/// exported [`Profile::clock`].
+static STATE: Mutex<Option<(Arc<dyn Clock>, String)>> = Mutex::new(None);
+
+/// Process-global aggregation for the span-hooked profiler.
+static GLOBAL_PROF: Mutex<BTreeMap<Vec<String>, ProfAgg>> = Mutex::new(BTreeMap::new());
+
+/// Per-thread aggregation, flushed to [`GLOBAL_PROF`] on thread exit —
+/// the same two-level scheme as the span tree, so worker threads never
+/// contend on the global mutex per span.
+#[derive(Default)]
+struct LocalProf {
+    map: RefCell<HashMap<Vec<&'static str>, ProfAgg>>,
+}
+
+impl LocalProf {
+    fn record(&self, path: &[&'static str], ticks: u64) {
+        let mut map = self.map.borrow_mut();
+        if let Some(agg) = map.get_mut(path) {
+            agg.count += 1;
+            agg.total_ticks += ticks;
+        } else {
+            map.insert(
+                path.to_vec(),
+                ProfAgg {
+                    count: 1,
+                    total_ticks: ticks,
+                },
+            );
+        }
+    }
+
+    fn flush(&self) {
+        let mut map = self.map.borrow_mut();
+        if map.is_empty() {
+            return;
+        }
+        let mut global = GLOBAL_PROF
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for (path, agg) in map.drain() {
+            let key: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+            let cell = global.entry(key).or_default();
+            cell.count += agg.count;
+            cell.total_ticks += agg.total_ticks;
+        }
+    }
+}
+
+impl Drop for LocalProf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL_PROF: LocalProf = LocalProf::default();
+    /// Generation-stamped clone of the active clock, so the span hot
+    /// path reads ticks without touching [`STATE`]'s lock.
+    static CACHED_CLOCK: RefCell<(u64, Option<Arc<dyn Clock>>)> = const { RefCell::new((0, None)) };
+}
+
+/// Run `f` with the active clock for generation `gen`, refreshing the
+/// thread's cache from [`STATE`] when stale. Returns `None` when the
+/// profiler stopped in between.
+fn with_clock<T>(gen: u64, f: impl FnOnce(&dyn Clock) -> T) -> Option<T> {
+    CACHED_CLOCK
+        .try_with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if cache.0 != gen || cache.1.is_none() {
+                let state = STATE
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                // Re-check under the lock: the generation may have moved
+                // again while we waited.
+                if GENERATION.load(Ordering::Acquire) != gen {
+                    return None;
+                }
+                *cache = (gen, state.as_ref().map(|(c, _)| Arc::clone(c)));
+            }
+            cache.1.as_deref().map(f)
+        })
+        .ok()
+        .flatten()
+}
+
+/// Start the global span-hooked profiler: every subsequent span on any
+/// thread attributes its exact tick cost under its stage path. Clears
+/// any previous attribution. Spans only record while
+/// [`crate::enabled`] is on (the profiler rides the same guards).
+pub fn start(clock: Arc<dyn Clock>, clock_label: &str) {
+    let mut state = STATE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    GLOBAL_PROF
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .clear();
+    let _ = LOCAL_PROF.try_with(|l| l.map.borrow_mut().clear());
+    *state = Some((clock, clock_label.to_string()));
+    // 2 keeps it odd across restarts (odd = active).
+    let gen = GENERATION.load(Ordering::Acquire);
+    GENERATION.store(gen + if gen % 2 == 0 { 1 } else { 2 }, Ordering::Release);
+}
+
+/// Whether the global profiler is collecting.
+pub fn is_active() -> bool {
+    GENERATION.load(Ordering::Acquire) % 2 == 1
+}
+
+/// Stop the global profiler and export everything attributed since
+/// [`start`]. Flushes the calling thread first; worker threads flushed
+/// when they exited.
+pub fn stop() -> Profile {
+    let label = {
+        let mut state = STATE
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let gen = GENERATION.load(Ordering::Acquire);
+        if gen % 2 == 1 {
+            GENERATION.store(gen + 1, Ordering::Release);
+        }
+        match state.take() {
+            Some((_, label)) => label,
+            None => "none".to_string(),
+        }
+    };
+    flush_local();
+    let mut global = GLOBAL_PROF
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let profile = Profile::from_cells(&label, &global);
+    global.clear();
+    profile
+}
+
+/// Flush the calling thread's profile aggregates into the global map.
+pub fn flush_local() {
+    let _ = LOCAL_PROF.try_with(|l| l.flush());
+}
+
+/// Drop all attributed cost, globally and on the calling thread, without
+/// changing whether the profiler is active.
+pub fn reset() {
+    let _ = LOCAL_PROF.try_with(|l| l.map.borrow_mut().clear());
+    GLOBAL_PROF
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .clear();
+}
+
+/// Span-enter hook: stamp the enter tick when the profiler is active.
+#[inline]
+pub(crate) fn on_enter() -> Option<u64> {
+    let gen = GENERATION.load(Ordering::Acquire);
+    if gen % 2 == 0 {
+        return None;
+    }
+    with_clock(gen, |clock| clock.now_ticks())
+}
+
+/// Span-exit hook: attribute the tick delta under `path` (the full
+/// open-span stack, this span's name last).
+#[inline]
+pub(crate) fn on_exit(path: &[&'static str], start_ticks: u64) {
+    let gen = GENERATION.load(Ordering::Acquire);
+    if gen % 2 == 0 {
+        return;
+    }
+    let Some(end) = with_clock(gen, |clock| clock.now_ticks()) else {
+        return;
+    };
+    let ticks = end.saturating_sub(start_ticks);
+    let _ = LOCAL_PROF.try_with(|l| l.record(path, ticks));
+}
+
+// ---------------------------------------------------------------------
+// Instanced profiler.
+// ---------------------------------------------------------------------
+
+/// A self-contained cost-attribution collector for components that
+/// stamp ticks themselves instead of riding the span hooks — the
+/// server's per-endpoint attribution, and deterministic tests.
+/// `record` is order-independent (a multiset sum), so snapshots are
+/// byte-identical regardless of how many threads recorded.
+#[derive(Debug)]
+pub struct Profiler {
+    clock_label: String,
+    cells: Mutex<BTreeMap<Vec<String>, ProfAgg>>,
+}
+
+impl Profiler {
+    /// A profiler whose exported snapshots carry `clock_label`.
+    pub fn new(clock_label: &str) -> Self {
+        Profiler {
+            clock_label: clock_label.to_string(),
+            cells: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Attribute `ticks` to stage `path` (one observation).
+    pub fn record(&self, path: &[&str], ticks: u64) {
+        let mut cells = self
+            .cells
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let key: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+        let cell = cells.entry(key).or_default();
+        cell.count += 1;
+        cell.total_ticks += ticks;
+    }
+
+    /// Export everything recorded so far.
+    pub fn snapshot(&self) -> Profile {
+        let cells = self
+            .cells
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        Profile::from_cells(&self.clock_label, &cells)
+    }
+
+    /// Drop everything recorded so far.
+    pub fn reset(&self) {
+        self.cells
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Profile differ.
+// ---------------------------------------------------------------------
+
+/// One stage's cost movement between two profiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageDelta {
+    /// The stage path (present in either profile).
+    pub path: Vec<String>,
+    /// Self ticks in the baseline profile (0 when the stage is new).
+    pub before_self_ticks: u64,
+    /// Self ticks in the new profile (0 when the stage vanished).
+    pub after_self_ticks: u64,
+    /// `after − before`, signed.
+    pub delta_ticks: i64,
+    /// `delta / max(before, 1)` — the relative regression.
+    pub delta_frac: f64,
+}
+
+/// Align two profiles by stage path and rank cost movements, biggest
+/// absolute regression first (ties broken by path, so the ranking is
+/// deterministic). Stages present in only one profile align against
+/// zero.
+pub fn diff_profiles(before: &Profile, after: &Profile) -> Vec<StageDelta> {
+    let mut merged: BTreeMap<&[String], (u64, u64)> = BTreeMap::new();
+    for node in &before.nodes {
+        merged.entry(&node.path).or_default().0 = node.self_ticks;
+    }
+    for node in &after.nodes {
+        merged.entry(&node.path).or_default().1 = node.self_ticks;
+    }
+    let mut deltas: Vec<StageDelta> = merged
+        .into_iter()
+        .map(|(path, (b, a))| StageDelta {
+            path: path.to_vec(),
+            before_self_ticks: b,
+            after_self_ticks: a,
+            delta_ticks: a as i64 - b as i64,
+            delta_frac: (a as i64 - b as i64) as f64 / b.max(1) as f64,
+        })
+        .collect();
+    deltas.sort_by(|x, y| y.delta_ticks.cmp(&x.delta_ticks).then(x.path.cmp(&y.path)));
+    deltas
+}
+
+/// Render the top `top` regressions (positive deltas only) as indented
+/// report lines for `bench-diff` / `profile --diff` output.
+pub fn render_diff(deltas: &[StageDelta], top: usize) -> String {
+    let mut out = String::new();
+    let regressed: Vec<&StageDelta> = deltas.iter().filter(|d| d.delta_ticks > 0).collect();
+    if regressed.is_empty() {
+        let _ = writeln!(out, "  no stage regressed");
+        return out;
+    }
+    for d in regressed.iter().take(top) {
+        let _ = writeln!(
+            out,
+            "  {:+} ticks ({:+.1}%)  {}  ({} -> {})",
+            d.delta_ticks,
+            d.delta_frac * 100.0,
+            d.path.join(";"),
+            d.before_self_ticks,
+            d.after_self_ticks,
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Schema validation.
+// ---------------------------------------------------------------------
+
+fn expect_object<'v>(v: &'v Value, what: &str) -> Result<&'v Vec<(String, Value)>, String> {
+    v.as_object()
+        .ok_or_else(|| format!("{what} must be an object"))
+}
+
+/// Validate the shape of a `profile` JSON block (as produced by
+/// serializing [`Profile`]). Returns the first problem found.
+pub fn validate_profile(v: &Value) -> Result<(), String> {
+    let obj = expect_object(v, "profile")?;
+    let field = |name: &str| {
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("profile missing field `{name}`"))
+    };
+    match field("schema_version")?.as_f64() {
+        Some(version) if version == PROFILE_SCHEMA_VERSION as f64 => {}
+        Some(version) => return Err(format!("unsupported profile schema_version {version}")),
+        None => return Err("profile.schema_version must be a number".to_string()),
+    }
+    if field("clock")?.as_str().is_none() {
+        return Err("profile.clock must be a string".to_string());
+    }
+    if field("total_ticks")?.as_f64().is_none() {
+        return Err("profile.total_ticks must be a number".to_string());
+    }
+    let nodes = field("nodes")?
+        .as_array()
+        .ok_or_else(|| "profile.nodes must be an array".to_string())?;
+    for (i, node) in nodes.iter().enumerate() {
+        let what = format!("profile.nodes[{i}]");
+        let node_obj = expect_object(node, &what)?;
+        let nfield = |name: &str| {
+            node_obj
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("{what} missing field `{name}`"))
+        };
+        let path = nfield("path")?
+            .as_array()
+            .ok_or_else(|| format!("{what}.path must be an array"))?;
+        if path.is_empty() || path.iter().any(|seg| seg.as_str().is_none()) {
+            return Err(format!("{what}.path must be a nonempty array of strings"));
+        }
+        for want in ["count", "total_ticks", "self_ticks"] {
+            if nfield(want)?.as_f64().is_none() {
+                return Err(format!("{what}.{want} must be a number"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::VirtualClock;
+
+    #[test]
+    fn span_hooked_attribution_is_exact_under_virtual_clock() {
+        let _lock = crate::tests_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        let clock = Arc::new(VirtualClock::new());
+        clock.set(1_000);
+        start(clock.clone(), "virtual");
+        assert!(is_active());
+        {
+            let _root = crate::span::enter("extract");
+            clock.advance(10);
+            {
+                let _child = crate::span::enter("ner.decode");
+                clock.advance(30);
+            }
+            clock.advance(5);
+        }
+        let profile = stop();
+        crate::set_enabled(false);
+        crate::reset();
+        assert!(!is_active());
+        assert_eq!(profile.clock, "virtual");
+        assert_eq!(profile.total_ticks, 45);
+        assert_eq!(profile.nodes.len(), 2, "{profile:?}");
+        let root = &profile.nodes[0];
+        assert_eq!(root.path, vec!["extract"]);
+        assert_eq!((root.count, root.total_ticks, root.self_ticks), (1, 45, 15));
+        let child = &profile.nodes[1];
+        assert_eq!(child.path, vec!["extract", "ner.decode"]);
+        assert_eq!(
+            (child.count, child.total_ticks, child.self_ticks),
+            (1, 30, 30)
+        );
+    }
+
+    #[test]
+    fn stopped_profiler_attributes_nothing() {
+        let _lock = crate::tests_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        let clock = Arc::new(VirtualClock::new());
+        start(clock.clone(), "virtual");
+        let _ = stop();
+        {
+            let _g = crate::span::enter("ghost");
+            clock.advance(100);
+        }
+        let profile = stop();
+        crate::set_enabled(false);
+        crate::reset();
+        assert!(profile.is_empty(), "{profile:?}");
+    }
+
+    #[test]
+    fn folded_output_lists_self_ticks_per_path() {
+        let prof = Profiler::new("virtual");
+        prof.record(&["extract"], 45);
+        prof.record(&["extract", "ner.decode"], 30);
+        prof.record(&["extract", "ner.decode"], 10);
+        let snap = prof.snapshot();
+        // extract total 45, children 40 → self 5.
+        assert_eq!(fold(&snap), "extract 5\nextract;ner.decode 40\n");
+        prof.reset();
+        assert!(prof.snapshot().is_empty());
+    }
+
+    #[test]
+    fn diff_ranks_biggest_regression_first() {
+        let prof_a = Profiler::new("virtual");
+        prof_a.record(&["serve", "extract"], 100);
+        prof_a.record(&["serve", "healthz"], 50);
+        let prof_b = Profiler::new("virtual");
+        prof_b.record(&["serve", "extract"], 400);
+        prof_b.record(&["serve", "healthz"], 40);
+        prof_b.record(&["serve", "reload"], 5);
+        let deltas = diff_profiles(&prof_a.snapshot(), &prof_b.snapshot());
+        assert_eq!(deltas.len(), 3, "{deltas:?}");
+        assert_eq!(deltas[0].path, vec!["serve", "extract"]);
+        assert_eq!(deltas[0].delta_ticks, 300);
+        assert!((deltas[0].delta_frac - 3.0).abs() < 1e-9);
+        assert_eq!(deltas[1].path, vec!["serve", "reload"]);
+        assert_eq!(deltas[1].before_self_ticks, 0);
+        assert_eq!(deltas[2].delta_ticks, -10);
+        let rendered = render_diff(&deltas, 3);
+        assert!(rendered.contains("serve;extract"), "{rendered}");
+        assert!(rendered.contains("+300 ticks"), "{rendered}");
+        assert!(
+            !rendered.contains("healthz"),
+            "improvements hidden: {rendered}"
+        );
+    }
+
+    #[test]
+    fn profile_round_trips_and_validates() {
+        let prof = Profiler::new("monotonic");
+        prof.record(&["serve", "extract", "handle"], 120);
+        prof.record(&["serve", "extract"], 200);
+        let snap = prof.snapshot();
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let value: Value = serde_json::from_str(&json).expect("reparse");
+        validate_profile(&value).expect("valid profile");
+        let back: Profile = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, snap);
+
+        assert!(validate_profile(&serde_json::json!([])).is_err());
+        assert!(validate_profile(&serde_json::json!({})).is_err());
+        let bad = serde_json::json!({
+            "schema_version": 999, "clock": "x", "total_ticks": 0, "nodes": [],
+        });
+        let err = validate_profile(&bad).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn default_profile_validates_as_empty() {
+        let value = serde_json::to_value(&Profile::default());
+        validate_profile(&value).expect("default profile valid");
+        assert!(Profile::default().is_empty());
+    }
+}

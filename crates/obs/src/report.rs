@@ -3,6 +3,7 @@
 //! validator for `--metrics-out` documents.
 
 use crate::metrics::{HistogramSnapshot, Registry, RegistrySnapshot};
+use crate::profile::Profile;
 use crate::span::{stage_tree, StageNode};
 use crate::window::WindowsSnapshot;
 use serde::{Deserialize, Serialize};
@@ -12,8 +13,9 @@ use std::fmt::Write as _;
 
 /// Version of the `--metrics-out` document layout; bumped on breaking
 /// schema changes. v2 added the `windows` block (rolling rates and
-/// windowed tail percentiles); the cumulative blocks are unchanged.
-pub const SCHEMA_VERSION: u64 = 2;
+/// windowed tail percentiles); v3 added the `profile` block (per-stage
+/// cost attribution); the cumulative blocks are unchanged.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// A point-in-time export of everything the observability layer knows:
 /// the aggregated stage tree plus a merged snapshot of the global
@@ -40,6 +42,10 @@ pub struct Telemetry {
     /// callers that maintain a [`crate::window::WindowSet`] — the
     /// server does; batch commands export an empty block.
     pub windows: WindowsSnapshot,
+    /// Per-stage cost attribution ([`crate::profile`]), filled in by
+    /// callers that ran a profiler (`--profile-out`, the server's
+    /// always-on endpoint profiler); empty otherwise.
+    pub profile: Profile,
 }
 
 impl Telemetry {
@@ -65,6 +71,7 @@ impl Telemetry {
             series: snap.series,
             throughput: BTreeMap::new(),
             windows: WindowsSnapshot::default(),
+            profile: Profile::default(),
         }
     }
 }
@@ -169,6 +176,23 @@ pub fn render_human(t: &Telemetry) -> String {
                 fmt_secs(h.p50),
                 fmt_secs(h.p99),
                 fmt_secs(h.p999),
+            );
+        }
+    }
+    if !t.profile.is_empty() {
+        let _ = writeln!(
+            out,
+            "profile ({} clock, {} total ticks):",
+            t.profile.clock, t.profile.total_ticks
+        );
+        for node in &t.profile.nodes {
+            let _ = writeln!(
+                out,
+                "  {:<48} {:>8} calls  total {:>10}  self {:>10}",
+                node.path.join(";"),
+                node.count,
+                node.total_ticks,
+                node.self_ticks,
             );
         }
     }
@@ -296,7 +320,7 @@ pub fn validate_telemetry(v: &Value) -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    crate::profile::validate_profile(field("profile")?).map_err(|e| format!("telemetry.{e}"))
 }
 
 /// Validate a full `--metrics-out` document: `schema_version`,

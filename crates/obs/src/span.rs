@@ -96,6 +96,9 @@ thread_local! {
 pub struct SpanGuard {
     start: Option<Instant>,
     traced: bool,
+    /// Enter tick from the global profiler's clock, when it was active
+    /// at entry; the exit hook attributes the delta under the path.
+    prof_start: Option<u64>,
 }
 
 /// Open a span named `name` under the thread's currently open spans.
@@ -109,13 +112,16 @@ pub fn enter(name: &'static str) -> SpanGuard {
         return SpanGuard {
             start: None,
             traced: false,
+            prof_start: None,
         };
     }
     STACK.with(|s| s.borrow_mut().push(name));
     let traced = crate::event::on_span_enter(name);
+    let prof_start = crate::profile::on_enter();
     SpanGuard {
         start: Some(Instant::now()),
         traced,
+        prof_start,
     }
 }
 
@@ -135,6 +141,9 @@ impl Drop for SpanGuard {
             // LOCAL may already be gone during thread teardown; spans
             // closing that late have nowhere to aggregate, so drop them.
             let _ = LOCAL.try_with(|l| l.record(&stack, elapsed_ns));
+            if let Some(prof_start) = self.prof_start {
+                crate::profile::on_exit(&stack, prof_start);
+            }
             stack.pop();
         });
     }
@@ -145,6 +154,7 @@ impl Drop for SpanGuard {
 /// this (via [`stage_tree`]) before exporting.
 pub fn flush_local() {
     let _ = LOCAL.try_with(|l| l.flush());
+    crate::profile::flush_local();
 }
 
 /// Drop every aggregated span, globally and on the calling thread.

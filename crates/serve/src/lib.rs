@@ -38,14 +38,19 @@
 //!   latency objectives, the slowest requests land in the `/admin/slow`
 //!   exemplar table, and sampled `/extract` traffic streams into the
 //!   [`drift::DriftMonitor`] for PSI scoring against the model's frozen
-//!   reference distribution.
+//!   reference distribution. An always-on [`Profiler`] attributes every
+//!   request's queue-wait / handle / write ticks to its endpoint
+//!   (`GET /admin/profile`) — three uncontended map bumps per request,
+//!   cheap enough to leave on in production (the `sustained_load` bench
+//!   gates the overhead).
 //!
 //! Endpoints: `POST /extract`, `POST /explain`, `GET /healthz`,
 //! `GET /metrics` (a schema-valid `recipe-mine stats` telemetry
 //! document), `GET /admin/slo`, `GET /admin/slow`,
-//! `POST /admin/reload`, `POST /admin/shutdown`. Responses render
-//! entries through the same [`entry_json`] as the batch CLI, so served
-//! extractions are byte-identical to `recipe-mine extract`.
+//! `GET /admin/profile`, `POST /admin/reload`, `POST /admin/shutdown`.
+//! Responses render entries through the same [`entry_json`] as the
+//! batch CLI, so served extractions are byte-identical to
+//! `recipe-mine extract`.
 
 pub mod drift;
 pub mod http;
@@ -58,6 +63,7 @@ pub use metrics::ServeMetrics;
 pub use model::{entry_json, ModelError, ServeModel};
 
 use queue::{BoundedQueue, PushError};
+use recipe_obs::profile::Profiler;
 use recipe_obs::slo::{BurnWindow, Objective, SloEngine};
 use recipe_obs::window::{Clock, MonotonicClock, TICKS_PER_SEC};
 use serde_json::json;
@@ -71,9 +77,6 @@ use std::time::{Duration, Instant};
 /// Per-connection read/write timeout: a stalled client cannot hold a
 /// worker longer than this.
 const STREAM_TIMEOUT: Duration = Duration::from_secs(10);
-
-/// A request slower than this counts against the latency SLO.
-const LATENCY_SLO_S: f64 = 0.25;
 
 /// Bounded size of the slowest-request exemplar table.
 const SLOW_TABLE_CAP: usize = 32;
@@ -106,6 +109,15 @@ pub struct ServeConfig {
     /// Sample every Nth `/extract` request for drift scoring
     /// (`0` disables sampling).
     pub drift_sample: u64,
+    /// Availability SLO target (good requests / total) in `(0.0, 1.0)`.
+    pub slo_availability: f64,
+    /// A request slower than this (seconds) counts against the latency
+    /// SLO objective.
+    pub slo_latency_s: f64,
+    /// Attribute per-request lifecycle ticks to endpoints in the
+    /// always-on [`Profiler`] behind `GET /admin/profile`. Independent
+    /// of `monitoring` so the profiler-overhead gate can isolate it.
+    pub profiling: bool,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +133,9 @@ impl Default for ServeConfig {
             keepalive_idle_ms: 5_000,
             monitoring: true,
             drift_sample: 8,
+            slo_availability: 0.999,
+            slo_latency_s: 0.25,
+            profiling: true,
         }
     }
 }
@@ -191,6 +206,11 @@ struct Shared {
     /// `/extract` request sequence for drift sampling.
     extract_seq: AtomicU64,
     monitoring: bool,
+    /// Endpoint-level tick attribution behind `GET /admin/profile`.
+    profiler: Profiler,
+    profiling: bool,
+    /// The latency-SLO threshold requests are scored against, seconds.
+    latency_slo_s: f64,
     keepalive_max_requests: u32,
     keepalive_idle_ticks: u64,
     drift_sample: u64,
@@ -226,10 +246,23 @@ impl Server {
             cfg.shards
         };
         let clock: Arc<dyn Clock> = Arc::new(MonotonicClock);
+        // CLI parsing validates the SLO knobs; clamp here too so a
+        // programmatic config can't build a vacuous or infinite-burn
+        // objective.
+        let slo_availability = if cfg.slo_availability > 0.0 && cfg.slo_availability < 1.0 {
+            cfg.slo_availability
+        } else {
+            0.999
+        };
+        let latency_slo_s = if cfg.slo_latency_s > 0.0 {
+            cfg.slo_latency_s
+        } else {
+            0.25
+        };
         let slo = SloEngine::new(
             Arc::clone(&clock),
             vec![
-                Objective::new("availability", 0.999),
+                Objective::new("availability", slo_availability),
                 Objective::new("latency", 0.99),
             ],
             &BurnWindow::production(),
@@ -260,6 +293,9 @@ impl Server {
             slow: Mutex::new(Vec::new()),
             extract_seq: AtomicU64::new(0),
             monitoring: cfg.monitoring,
+            profiler: Profiler::new("monotonic"),
+            profiling: cfg.profiling,
+            latency_slo_s,
             keepalive_max_requests: cfg.keepalive_max_requests.max(1),
             keepalive_idle_ticks: cfg.keepalive_idle_ms.saturating_mul(TICKS_PER_SEC / 1_000),
             drift_sample: cfg.drift_sample,
@@ -294,6 +330,12 @@ impl Server {
     /// The serving metrics registry (merged into `/metrics`).
     pub fn metrics(&self) -> &ServeMetrics {
         &self.shared.metrics
+    }
+
+    /// Snapshot the per-endpoint request profile (what
+    /// `GET /admin/profile` serves). Empty when profiling is off.
+    pub fn profile(&self) -> recipe_obs::Profile {
+        self.shared.profiler.snapshot()
     }
 
     /// Number of worker shards actually spawned (after resolving 0 to
@@ -518,6 +560,8 @@ fn serve_connection(shared: &Shared, model: &ServeModel, conn: Conn) {
         http::write_response(&mut stream, &resp, keep).is_ok()
     };
     let done_ticks = shared.clock.now_ticks();
+    // Resolved before `path` moves into the slow-table exemplar below.
+    let endpoint = profile_endpoint(&path);
     let total_s = done_ticks.saturating_sub(arrived_ticks) as f64 / TICKS_PER_SEC as f64;
     shared.metrics.latency.record(total_s);
     if shared.monitoring {
@@ -531,7 +575,7 @@ fn serve_connection(shared: &Shared, model: &ServeModel, conn: Conn) {
             .record_at(shared.idx_availability, wrote && resp.status < 500);
         shared
             .slo
-            .record_at(shared.idx_latency, total_s <= LATENCY_SLO_S);
+            .record_at(shared.idx_latency, total_s <= shared.latency_slo_s);
         record_slow(
             shared,
             SlowEntry {
@@ -547,8 +591,36 @@ fn serve_connection(shared: &Shared, model: &ServeModel, conn: Conn) {
             },
         );
     }
+    if shared.profiling {
+        // Endpoint names are normalized (bounded cardinality even under
+        // 404 scans), and the stage split mirrors the `/admin/slow`
+        // lifecycle breakdown so the two views cross-check.
+        let wait = dequeued_ticks.saturating_sub(arrived_ticks);
+        let handle = handled_ticks.saturating_sub(dequeued_ticks);
+        let write = done_ticks.saturating_sub(handled_ticks);
+        shared
+            .profiler
+            .record(&["serve", endpoint, "queue_wait"], wait);
+        shared
+            .profiler
+            .record(&["serve", endpoint, "handle"], handle);
+        shared.profiler.record(&["serve", endpoint, "write"], write);
+    }
     if wrote && keep {
         park_connection(shared, stream, reused + 1);
+    }
+}
+
+/// Normalize a request path to a bounded endpoint label for the
+/// profiler (same buckets as [`ServeMetrics::endpoint`]).
+fn profile_endpoint(path: &str) -> &'static str {
+    match path {
+        "/extract" => "extract",
+        "/explain" => "explain",
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        p if p.starts_with("/admin/") => "admin",
+        _ => "other",
     }
 }
 
@@ -630,12 +702,13 @@ fn handle_request(shared: &Shared, model: &ServeModel, req: &http::Request) -> h
         ("GET", "/metrics") => handle_metrics(shared, model),
         ("GET", "/admin/slo") => handle_slo(shared),
         ("GET", "/admin/slow") => handle_slow(shared),
+        ("GET", "/admin/profile") => handle_profile(shared),
         ("POST", "/admin/reload") => handle_reload(shared, &req.body),
         ("POST", "/admin/shutdown") => handle_shutdown(shared),
         (
             _,
             "/extract" | "/explain" | "/healthz" | "/metrics" | "/admin/slo" | "/admin/slow"
-            | "/admin/reload" | "/admin/shutdown",
+            | "/admin/profile" | "/admin/reload" | "/admin/shutdown",
         ) => http::Response::json(405, err_json("method not allowed")),
         _ => http::Response::json(404, err_json("no such endpoint")),
     };
@@ -761,6 +834,7 @@ fn handle_healthz(shared: &Shared, model: &ServeModel) -> http::Response {
         "queue_depth": shared.queue.depth(),
         "slo": shared.slo.level().as_str(),
         "monitoring": shared.monitoring,
+        "profiling": shared.profiling,
     });
     http::Response::json(200, render(&doc))
 }
@@ -776,6 +850,7 @@ fn handle_metrics(shared: &Shared, model: &ServeModel) -> http::Response {
         model.inference().metrics_registry(),
     ]);
     t.windows = shared.metrics.windows().snapshot();
+    t.profile = shared.profiler.snapshot();
     let drift = shared
         .drift
         .read()
@@ -801,6 +876,15 @@ fn handle_metrics(shared: &Shared, model: &ServeModel) -> http::Response {
 fn handle_slo(shared: &Shared) -> http::Response {
     let report = shared.slo.evaluate();
     http::Response::json(200, render(&serde_json::to_value(&report)))
+}
+
+/// `GET /admin/profile`: the per-endpoint request profile — queue-wait
+/// / handle / write tick attribution per endpoint, schema-valid for
+/// [`recipe_obs::validate_profile`]. Empty (but still valid) when
+/// profiling is off.
+fn handle_profile(shared: &Shared) -> http::Response {
+    let profile = shared.profiler.snapshot();
+    http::Response::json(200, render(&serde_json::to_value(&profile)))
 }
 
 /// `GET /admin/slow`: the slowest-request exemplar table, worst first,

@@ -119,7 +119,8 @@ impl ServeMetrics {
             "/explain" => &self.explain,
             "/healthz" => &self.healthz,
             "/metrics" => &self.metrics,
-            "/admin/reload" | "/admin/shutdown" | "/admin/slo" | "/admin/slow" => &self.admin,
+            "/admin/reload" | "/admin/shutdown" | "/admin/slo" | "/admin/slow"
+            | "/admin/profile" => &self.admin,
             _ => &self.other,
         }
     }
@@ -166,7 +167,8 @@ mod tests {
         // The new admin endpoints share the admin counters.
         m.endpoint("/admin/slo").requests.inc();
         m.endpoint("/admin/slow").requests.inc();
-        assert_eq!(m.endpoint("/admin/reload").requests.get(), 2);
+        m.endpoint("/admin/profile").requests.inc();
+        assert_eq!(m.endpoint("/admin/reload").requests.get(), 3);
     }
 
     #[test]

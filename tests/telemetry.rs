@@ -1,7 +1,9 @@
 //! Integration tests for the `recipe-obs` observability layer: counter
 //! sharding stays exact under the real worker pool at several thread
-//! counts, histogram bucket boundaries behave at the API surface, and a
-//! trained pipeline exports a schema-valid telemetry snapshot.
+//! counts, histogram bucket boundaries behave at the API surface, a
+//! trained pipeline exports a schema-valid telemetry snapshot, and
+//! profile exports (collapsed-stack folds, profile JSON, stage diffs)
+//! are byte-identical across worker counts.
 //!
 //! Tests in this binary share the process-wide tracing switch and the
 //! global registry, so the ones that touch them serialize on a lock.
@@ -254,6 +256,122 @@ fn windows_snapshot_is_byte_identical_across_worker_counts() {
     }
     assert_eq!(serialized[0], serialized[1], "1 vs 4 workers");
     assert_eq!(serialized[0], serialized[2], "1 vs 8 workers");
+}
+
+#[test]
+fn profile_export_is_byte_identical_across_worker_counts() {
+    // The collapsed-stack export and the profile JSON are pure
+    // functions of the recorded multiset: per-thread shards merge into
+    // sorted path cells, so worker count and interleaving must not
+    // show through. Recorded ticks are index-derived (not clocked) to
+    // make every run's multiset identical by construction.
+    let mut folded: Vec<String> = Vec::new();
+    let mut json: Vec<String> = Vec::new();
+    for &threads in &[1usize, 4, 8] {
+        let profiler = recipe_obs::Profiler::new("virtual");
+        let items: Vec<u64> = (0..10_000).collect();
+        let rt = Runtime::new(threads);
+        rt.par_map(&items, |_, &i| {
+            profiler.record(&["extract", "parse"], i % 97);
+            profiler.record(&["extract", "parse", "tokenize"], i % 31);
+            profiler.record(&["extract", "ner.decode"], i % 53);
+        });
+        let profile = profiler.snapshot();
+        assert_eq!(profile.nodes.len(), 3);
+        assert!(profile.total_ticks > 0);
+        folded.push(recipe_obs::fold(&profile));
+        let value = serde_json::to_value(&profile);
+        recipe_obs::validate_profile(&value).expect("schema-valid profile");
+        json.push(serde_json::to_string(&value).expect("profile serializes"));
+    }
+    assert_eq!(folded[0], folded[1], "folded: 1 vs 4 workers");
+    assert_eq!(folded[0], folded[2], "folded: 1 vs 8 workers");
+    assert_eq!(json[0], json[1], "json: 1 vs 4 workers");
+    assert_eq!(json[0], json[2], "json: 1 vs 8 workers");
+    // Collapsed-stack lines are `stack;frames N`, deepest-path cells
+    // included, ready for external flamegraph tooling.
+    assert!(
+        folded[0].contains("extract;parse;tokenize "),
+        "{}",
+        folded[0]
+    );
+}
+
+#[test]
+fn span_hooked_profile_is_deterministic_under_frozen_virtual_clock() {
+    // The global span-hooked profiler under a frozen VirtualClock:
+    // every span closes with a zero-tick delta, so the exported profile
+    // is a pure function of the span paths taken — byte-identical
+    // whatever the worker count.
+    let _lock = obs_lock();
+    let mut json: Vec<String> = Vec::new();
+    for &threads in &[1usize, 4, 8] {
+        recipe_obs::reset();
+        recipe_obs::set_enabled(true);
+        let clock = std::sync::Arc::new(recipe_obs::window::VirtualClock::new());
+        clock.set(41 * recipe_obs::window::TICKS_PER_SEC);
+        recipe_obs::profile::start(clock, "virtual");
+        let items: Vec<u64> = (0..512).collect();
+        let rt = Runtime::new(threads);
+        rt.par_map(&items, |_, &i| {
+            let _outer = recipe_obs::span::enter("extract");
+            let _inner = recipe_obs::span::enter(if i % 2 == 0 { "parse" } else { "decode" });
+        });
+        let profile = recipe_obs::profile::stop();
+        recipe_obs::set_enabled(false);
+        recipe_obs::reset();
+        assert_eq!(profile.clock, "virtual");
+        let paths: Vec<String> = profile.nodes.iter().map(|n| n.path.join(";")).collect();
+        assert_eq!(
+            paths,
+            vec!["extract", "extract;decode", "extract;parse"],
+            "at {threads} threads"
+        );
+        json.push(serde_json::to_string(&serde_json::to_value(&profile)).expect("serializes"));
+    }
+    assert_eq!(json[0], json[1], "1 vs 4 workers");
+    assert_eq!(json[0], json[2], "1 vs 8 workers");
+}
+
+#[test]
+fn profile_diff_ranks_injected_regression_first() {
+    // Alignment golden: the differ joins the two profiles on the full
+    // path union — a regressed stage ranks first, a stage present only
+    // in the latest profile counts from zero, and improvements sort
+    // below every regression.
+    let before = recipe_obs::Profiler::new("virtual");
+    before.record(&["extract", "parse"], 1_000);
+    before.record(&["extract", "ner.decode"], 2_000);
+    before.record(&["extract", "gone"], 300);
+    let after = recipe_obs::Profiler::new("virtual");
+    after.record(&["extract", "parse"], 1_050);
+    after.record(&["extract", "ner.decode"], 9_000);
+    after.record(&["extract", "fresh"], 400);
+
+    let deltas = recipe_obs::diff_profiles(&before.snapshot(), &after.snapshot());
+    let view: Vec<(String, i64)> = deltas
+        .iter()
+        .map(|d| (d.path.join(";"), d.delta_ticks))
+        .collect();
+    assert_eq!(
+        view,
+        vec![
+            ("extract;ner.decode".to_string(), 7_000),
+            ("extract;fresh".to_string(), 400),
+            ("extract;parse".to_string(), 50),
+            ("extract;gone".to_string(), -300),
+        ],
+        "{deltas:?}"
+    );
+
+    let rendered = recipe_obs::render_diff(&deltas, 3);
+    let lines: Vec<&str> = rendered.lines().collect();
+    assert_eq!(lines.len(), 3, "{rendered}");
+    assert!(lines[0].contains("extract;ner.decode"), "{rendered}");
+    assert!(lines[0].contains("+7000 ticks"), "{rendered}");
+    assert!(lines[0].contains("2000 -> 9000"), "{rendered}");
+    // The vanished stage is an improvement, never in the top regressions.
+    assert!(!rendered.contains("extract;gone"), "{rendered}");
 }
 
 #[test]
